@@ -1,0 +1,28 @@
+//! Fig. 13 / Appendix A — synthesis cost per fragment idiom.
+//!
+//! The paper reports per-fragment synthesis times (19s–310s on their SKETCH
+//! + Z3 stack); this bench regenerates the same column for representative
+//! fragments of each operation category on our enumerative CEGIS + rewrite
+//! prover stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbs_bench::{fragment, translate};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_synthesis");
+    g.sample_size(10);
+    // One representative per translated operation category:
+    // A=#40 selection, B=#38 count literal, D=#2 distinct, E=#46 join,
+    // F=#23 contains join, H=#29 exists, J=#49 filtered count,
+    // M=#5 size, O=#11 running max.
+    for id in [40usize, 38, 2, 46, 23, 29, 49, 5, 11] {
+        let frag = fragment(id);
+        g.bench_function(format!("fragment_{id}_{:?}", frag.category), |b| {
+            b.iter(|| translate(&frag));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 14d — aggregation page-load time: fetching matching objects and
+//! counting in the application vs. `SELECT COUNT(*)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbs_corpus::{aggregation_pageload, inferred_sql, populate_wilos, Mode, WilosConfig};
+
+fn bench(c: &mut Criterion) {
+    let sql = inferred_sql(38);
+    let mut g = c.benchmark_group("fig14d_aggregation");
+    g.sample_size(10);
+    for users in [500usize, 2_000] {
+        let db = populate_wilos(&WilosConfig {
+            users,
+            projects: 50,
+            manager_fraction: 0.1,
+            ..WilosConfig::default()
+        });
+        for mode in Mode::all() {
+            g.bench_with_input(
+                BenchmarkId::new(mode.label().replace(' ', "_"), users),
+                &users,
+                |b, _| b.iter(|| aggregation_pageload(&db, mode, &sql)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 14c — join page-load time: the O(n·m) application-code nested loop
+//! vs. the pushed-down hash join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbs_corpus::{inferred_sql, join_pageload, populate_wilos, Mode, WilosConfig};
+
+fn bench(c: &mut Criterion) {
+    let sql = inferred_sql(46);
+    let mut g = c.benchmark_group("fig14c_join");
+    g.sample_size(10);
+    for users in [500usize, 2_000] {
+        let db = populate_wilos(&WilosConfig {
+            users,
+            roles: (users / 10).max(1),
+            projects: 50,
+            ..WilosConfig::default()
+        });
+        for mode in Mode::all() {
+            g.bench_with_input(
+                BenchmarkId::new(mode.label().replace(' ', "_"), users),
+                &users,
+                |b, _| b.iter(|| join_pageload(&db, mode, &sql)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 14a/b — selection page-load time: original vs. inferred, lazy vs.
+//! eager, at 10% and 50% selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qbs_corpus::{inferred_sql, populate_wilos, selection_pageload, Mode, WilosConfig};
+
+fn bench(c: &mut Criterion) {
+    let sql = inferred_sql(40);
+    for (fig, selectivity) in [("fig14a_10pct", 0.1), ("fig14b_50pct", 0.5)] {
+        let mut g = c.benchmark_group(fig);
+        g.sample_size(10);
+        for rows in [500usize, 2_000] {
+            let db = populate_wilos(&WilosConfig {
+                users: 100,
+                projects: rows,
+                unfinished_fraction: selectivity,
+                ..WilosConfig::default()
+            });
+            for mode in Mode::all() {
+                g.bench_with_input(
+                    BenchmarkId::new(mode.label().replace(' ', "_"), rows),
+                    &rows,
+                    |b, _| b.iter(|| selection_pageload(&db, mode, &sql)),
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! One Criterion bench per paper table/figure:
+//!
+//! * `fig13_corpus` — synthesis cost per fragment idiom (the Appendix A
+//!   "time (s)" column);
+//! * `fig14_selection`, `fig14_join`, `fig14_aggregation` — page-load
+//!   comparisons of original vs. inferred code (Fig. 14a–d);
+//! * `ablation_symmetry` — solving cost with and without the symmetry
+//!   breaking of Sec. 4.5.
+
+use qbs::Pipeline;
+use qbs_corpus::{all_fragments, CorpusFragment};
+
+/// Fetches a corpus fragment by Appendix A number.
+///
+/// # Panics
+///
+/// Panics when the id is not in 1..=49.
+pub fn fragment(id: usize) -> CorpusFragment {
+    all_fragments()
+        .into_iter()
+        .find(|f| f.id == id)
+        .unwrap_or_else(|| panic!("fragment {id} exists"))
+}
+
+/// Runs the full pipeline on a fragment and asserts it translates.
+///
+/// # Panics
+///
+/// Panics when the fragment does not translate.
+pub fn translate(frag: &CorpusFragment) -> qbs::FragmentStatus {
+    let report = Pipeline::new(frag.model())
+        .run_source(&frag.source)
+        .expect("corpus fragments parse");
+    let status = report.fragments.into_iter().next().expect("one fragment").status;
+    assert!(
+        matches!(status, qbs::FragmentStatus::Translated { .. }),
+        "fragment {} must translate",
+        frag.id
+    );
+    status
+}

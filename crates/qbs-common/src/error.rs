@@ -1,0 +1,74 @@
+//! Error types shared across the workspace.
+
+use crate::FieldRef;
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T, E = CommonError> = std::result::Result<T, E>;
+
+/// Errors raised by the substrate types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommonError {
+    /// A field reference did not resolve against a schema.
+    UnknownField {
+        /// The unresolved reference.
+        field: FieldRef,
+        /// Description of the schema searched.
+        schema: String,
+    },
+    /// An unqualified field reference matched more than one column.
+    AmbiguousField {
+        /// The ambiguous reference.
+        field: FieldRef,
+    },
+    /// A record or relation carried a schema different from the expected one.
+    SchemaMismatch {
+        /// Expected schema description.
+        expected: String,
+        /// Found schema description.
+        found: String,
+    },
+    /// A value had the wrong runtime type for an operation.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it got.
+        found: &'static str,
+        /// Operation context for the message.
+        context: String,
+    },
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::UnknownField { field, schema } => {
+                write!(f, "unknown field `{field}` in schema {schema}")
+            }
+            CommonError::AmbiguousField { field } => {
+                write!(f, "ambiguous field reference `{field}`; add a qualifier")
+            }
+            CommonError::SchemaMismatch { expected, found } => {
+                write!(f, "schema mismatch: expected {expected}, found {found}")
+            }
+            CommonError::TypeMismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CommonError::UnknownField { field: "x".into(), schema: "t(a: int)".into() };
+        assert_eq!(e.to_string(), "unknown field `x` in schema t(a: int)");
+        let e = CommonError::TypeMismatch { expected: "int", found: "str", context: "sum".into() };
+        assert!(e.to_string().contains("sum"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Cheap-to-clone identifiers.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned-style identifier: an immutable, reference-counted string.
+///
+/// Identifiers name fields, tables, program variables, classes, and methods
+/// throughout the workspace. Cloning is an `Arc` bump.
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::Ident;
+/// let a = Ident::new("roleId");
+/// let b = a.clone();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "roleId");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ident(Arc<str>);
+
+impl Ident {
+    /// Creates an identifier from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Ident(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ident({})", self.0)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident(Arc::from(s.as_str()))
+    }
+}
+
+impl Borrow<str> for Ident {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Ident {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn ident_equality_and_display() {
+        let a = Ident::new("users");
+        assert_eq!(a, "users");
+        assert_eq!(a.to_string(), "users");
+        assert_eq!(format!("{a:?}"), "Ident(users)");
+    }
+
+    #[test]
+    fn ident_usable_as_map_key_via_str_borrow() {
+        let mut m: HashMap<Ident, i32> = HashMap::new();
+        m.insert(Ident::new("k"), 7);
+        assert_eq!(m.get("k"), Some(&7));
+    }
+
+    #[test]
+    fn ident_ordering_is_lexicographic() {
+        let mut v = vec![Ident::new("b"), Ident::new("a")];
+        v.sort();
+        assert_eq!(v[0], "a");
+    }
+}

@@ -1,0 +1,171 @@
+//! Immutable records.
+
+use crate::{FieldRef, Result, Schema, SchemaRef, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable record: a schema handle plus one value per field.
+///
+/// Records are the element type of ordered relations. TOR joins concatenate
+/// records; projections build new records with a subset (or replication) of
+/// fields.
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::{Schema, FieldType, Record, Value};
+/// let s = Schema::builder("t").field("a", FieldType::Int).finish();
+/// let r = Record::new(s, vec![Value::from(7)]);
+/// assert_eq!(r.get(&"a".into()).unwrap(), &Value::from(7));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    schema: SchemaRef,
+    values: Arc<[Value]>,
+}
+
+impl Record {
+    /// Creates a record from a schema and one value per field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the schema arity — this
+    /// is an internal invariant of every producer in the workspace.
+    pub fn new(schema: SchemaRef, values: Vec<Value>) -> Self {
+        assert_eq!(
+            schema.arity(),
+            values.len(),
+            "record arity mismatch: schema {} has {} fields, got {} values",
+            schema.describe(),
+            schema.arity(),
+            values.len()
+        );
+        Record { schema, values: Arc::from(values) }
+    }
+
+    /// The record's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// All field values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at a positional index.
+    pub fn value_at(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Resolves a field reference and returns its value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema resolution errors (unknown/ambiguous field).
+    pub fn get(&self, fref: &FieldRef) -> Result<&Value> {
+        Ok(&self.values[self.schema.index_of(fref)?])
+    }
+
+    /// Concatenates two records — the shape of a TOR join output `(e, h)`.
+    /// The combined schema qualifies the fields of each side by its source
+    /// relation name.
+    pub fn join(&self, right: &Record, joined_schema: &SchemaRef) -> Record {
+        let mut values = Vec::with_capacity(self.values.len() + right.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&right.values);
+        Record { schema: joined_schema.clone(), values: Arc::from(values) }
+    }
+
+    /// Projects this record onto `refs` using a pre-computed output schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates field resolution errors against the *input* schema.
+    pub fn project(&self, refs: &[FieldRef], out_schema: &SchemaRef) -> Result<Record> {
+        let mut values = Vec::with_capacity(refs.len());
+        for r in refs {
+            values.push(self.get(r)?.clone());
+        }
+        Ok(Record { schema: out_schema.clone(), values: Arc::from(values) })
+    }
+
+    /// Convenience: the joined schema of two records' schemas.
+    pub fn joined_schema(left: &SchemaRef, right: &SchemaRef) -> SchemaRef {
+        Arc::new(Schema::join(left, right))
+    }
+}
+
+impl fmt::Debug for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (field, value) in self.schema.fields().iter().zip(self.values.iter()) {
+            m.entry(&format_args!("{}", field.name), value);
+        }
+        m.finish()
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FieldType;
+
+    fn users() -> SchemaRef {
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish()
+    }
+
+    fn roles() -> SchemaRef {
+        Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("label", FieldType::Str)
+            .finish()
+    }
+
+    #[test]
+    fn get_by_name() {
+        let r = Record::new(users(), vec![Value::from(1), Value::from(9)]);
+        assert_eq!(r.get(&"roleId".into()).unwrap(), &Value::from(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "record arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = Record::new(users(), vec![Value::from(1)]);
+    }
+
+    #[test]
+    fn join_concatenates_and_qualifies() {
+        let u = Record::new(users(), vec![Value::from(1), Value::from(9)]);
+        let ro = Record::new(roles(), vec![Value::from(9), Value::from("admin")]);
+        let js = Record::joined_schema(u.schema(), ro.schema());
+        let j = u.join(&ro, &js);
+        assert_eq!(j.values().len(), 4);
+        assert_eq!(j.get(&"users.roleId".into()).unwrap(), &Value::from(9));
+        assert_eq!(j.get(&"label".into()).unwrap(), &Value::from("admin"));
+    }
+
+    #[test]
+    fn project_builds_new_record() {
+        let r = Record::new(users(), vec![Value::from(1), Value::from(9)]);
+        let out = r.schema().project(&["id".into()]).unwrap().into_ref();
+        let p = r.project(&["id".into()], &out).unwrap();
+        assert_eq!(p.values(), &[Value::from(1)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Finite ordered relations.
+
+use crate::{CommonError, Record, Result, SchemaRef};
+use std::fmt;
+
+/// A finite **ordered** relation: a list of records sharing one schema.
+///
+/// This is the central data type of the Theory of Ordered Relations: unlike
+/// set-based relational algebra, equality of two relations requires the same
+/// records *in the same order* — the paper's precision requirement for
+/// reasoning about the result lists that application code observes.
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::{Schema, FieldType, Record, Relation, Value};
+/// let s = Schema::builder("t").field("a", FieldType::Int).finish();
+/// let mk = |i: i64| Record::new(s.clone(), vec![Value::from(i)]);
+/// let r = Relation::from_records(s.clone(), vec![mk(2), mk(1)]).unwrap();
+/// let sorted = r.sorted_by(&["a".into()]).unwrap();
+/// assert_eq!(sorted.records()[0].get(&"a".into()).unwrap(), &Value::from(1));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: SchemaRef,
+    rows: Vec<Record>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: SchemaRef) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Creates a relation from records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommonError::SchemaMismatch`] if any record's schema differs
+    /// from `schema`.
+    pub fn from_records(schema: SchemaRef, rows: Vec<Record>) -> Result<Self> {
+        for r in &rows {
+            if r.schema() != &schema {
+                return Err(CommonError::SchemaMismatch {
+                    expected: schema.describe(),
+                    found: r.schema().describe(),
+                });
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// The shared schema of every record.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The records, in order.
+    pub fn records(&self) -> &[Record] {
+        &self.rows
+    }
+
+    /// Number of records (`size` in the TOR).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation has no records.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The record at index `i` (`get_i` in the TOR), if in bounds.
+    pub fn get(&self, i: usize) -> Option<&Record> {
+        self.rows.get(i)
+    }
+
+    /// The first `n` records (`top_n` in the TOR); returns the whole relation
+    /// when `n >= len`.
+    pub fn top(&self, n: usize) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Appends one record (`append` in the TOR), returning a new relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommonError::SchemaMismatch`] if the record's schema differs.
+    pub fn append(&self, rec: Record) -> Result<Relation> {
+        if rec.schema() != &self.schema {
+            return Err(CommonError::SchemaMismatch {
+                expected: self.schema.describe(),
+                found: rec.schema().describe(),
+            });
+        }
+        let mut rows = self.rows.clone();
+        rows.push(rec);
+        Ok(Relation { schema: self.schema.clone(), rows })
+    }
+
+    /// Concatenates two relations with the same schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommonError::SchemaMismatch`] if the schemas differ.
+    pub fn concat(&self, other: &Relation) -> Result<Relation> {
+        if other.schema != self.schema {
+            return Err(CommonError::SchemaMismatch {
+                expected: self.schema.describe(),
+                found: other.schema.describe(),
+            });
+        }
+        let mut rows = self.rows.clone();
+        rows.extend_from_slice(&other.rows);
+        Ok(Relation { schema: self.schema.clone(), rows })
+    }
+
+    /// Removes duplicate records, keeping the first occurrence of each
+    /// (`unique` in the TOR).
+    pub fn unique(&self) -> Relation {
+        let mut seen: Vec<&Record> = Vec::new();
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r) {
+                seen.push(r);
+                rows.push(r.clone());
+            }
+        }
+        Relation { schema: self.schema.clone(), rows }
+    }
+
+    /// Stable-sorts by the given fields (`sort_ℓ` in the TOR).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any sort field fails to resolve.
+    pub fn sorted_by(&self, fields: &[crate::FieldRef]) -> Result<Relation> {
+        let mut idxs = Vec::with_capacity(fields.len());
+        for f in fields {
+            idxs.push(self.schema.index_of(f)?);
+        }
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for &i in &idxs {
+                let ord = a.value_at(i).total_cmp(b.value_at(i));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(Relation { schema: self.schema.clone(), rows })
+    }
+
+    /// Iterates over the records in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.rows.iter()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation {} [", self.schema.describe())?;
+        for r in &self.rows {
+            writeln!(f, "  {r:?},")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Record;
+    type IntoIter = std::slice::Iter<'a, Record>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldType, Schema, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::builder("t")
+            .field("a", FieldType::Int)
+            .field("b", FieldType::Str)
+            .finish()
+    }
+
+    fn rec(s: &SchemaRef, a: i64, b: &str) -> Record {
+        Record::new(s.clone(), vec![Value::from(a), Value::from(b)])
+    }
+
+    fn sample() -> Relation {
+        let s = schema();
+        Relation::from_records(
+            s.clone(),
+            vec![rec(&s, 3, "c"), rec(&s, 1, "a"), rec(&s, 3, "c"), rec(&s, 2, "b")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equality_is_order_sensitive() {
+        let s = schema();
+        let r1 = Relation::from_records(s.clone(), vec![rec(&s, 1, "a"), rec(&s, 2, "b")]).unwrap();
+        let r2 = Relation::from_records(s.clone(), vec![rec(&s, 2, "b"), rec(&s, 1, "a")]).unwrap();
+        assert_ne!(r1, r2, "same contents, different order must differ");
+    }
+
+    #[test]
+    fn top_truncates_and_saturates() {
+        let r = sample();
+        assert_eq!(r.top(2).len(), 2);
+        assert_eq!(r.top(99).len(), 4);
+        assert_eq!(r.top(0).len(), 0);
+    }
+
+    #[test]
+    fn unique_keeps_first_occurrence_order() {
+        let r = sample().unique();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(0).unwrap().value_at(0), &Value::from(3));
+        assert_eq!(r.get(1).unwrap().value_at(0), &Value::from(1));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let s = schema();
+        // Two records with equal key "1" but different payloads; stability
+        // keeps their input order.
+        let r = Relation::from_records(
+            s.clone(),
+            vec![rec(&s, 1, "x"), rec(&s, 0, "z"), rec(&s, 1, "y")],
+        )
+        .unwrap();
+        let sorted = r.sorted_by(&["a".into()]).unwrap();
+        assert_eq!(sorted.get(0).unwrap().value_at(1), &Value::from("z"));
+        assert_eq!(sorted.get(1).unwrap().value_at(1), &Value::from("x"));
+        assert_eq!(sorted.get(2).unwrap().value_at(1), &Value::from("y"));
+    }
+
+    #[test]
+    fn append_checks_schema() {
+        let s = schema();
+        let other = Schema::builder("u").field("x", FieldType::Int).finish();
+        let r = Relation::empty(s);
+        let bad = Record::new(other, vec![Value::from(0)]);
+        assert!(r.append(bad).is_err());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let s = schema();
+        let r1 = Relation::from_records(s.clone(), vec![rec(&s, 1, "a")]).unwrap();
+        let r2 = Relation::from_records(s.clone(), vec![rec(&s, 2, "b")]).unwrap();
+        let c = r1.concat(&r2).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0).unwrap().value_at(0), &Value::from(1));
+    }
+}

@@ -1,0 +1,344 @@
+//! Relation schemas and field references.
+
+use crate::{CommonError, Ident, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// The static type of a record field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FieldType {
+    /// Boolean field.
+    Bool,
+    /// 64-bit integer field.
+    Int,
+    /// String field.
+    Str,
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldType::Bool => write!(f, "bool"),
+            FieldType::Int => write!(f, "int"),
+            FieldType::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// A single column of a schema.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Field {
+    /// Optional qualifier — usually the table or class the field came from.
+    /// Join output schemas carry qualifiers so that same-named fields from
+    /// the two sides stay distinguishable.
+    pub qualifier: Option<Ident>,
+    /// The field's name.
+    pub name: Ident,
+    /// The field's static type.
+    pub ty: FieldType,
+}
+
+impl Field {
+    /// Creates an unqualified field.
+    pub fn new(name: impl Into<Ident>, ty: FieldType) -> Self {
+        Field { qualifier: None, name: name.into(), ty }
+    }
+
+    /// Creates a field qualified by a table/class name.
+    pub fn qualified(qualifier: impl Into<Ident>, name: impl Into<Ident>, ty: FieldType) -> Self {
+        Field { qualifier: Some(qualifier.into()), name: name.into(), ty }
+    }
+
+    /// Returns true if `fref` denotes this field.
+    pub fn matches(&self, fref: &FieldRef) -> bool {
+        if self.name != fref.name {
+            return false;
+        }
+        match (&fref.qualifier, &self.qualifier) {
+            (None, _) => true,
+            (Some(q), Some(mine)) => q == mine,
+            (Some(_), None) => false,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{name}: {ty}", name = self.name, ty = self.ty),
+            None => write!(f, "{name}: {ty}", name = self.name, ty = self.ty),
+        }
+    }
+}
+
+/// A (possibly qualified) reference to a field, e.g. `roleId` or
+/// `users.roleId`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldRef {
+    /// Optional table/class qualifier.
+    pub qualifier: Option<Ident>,
+    /// Field name.
+    pub name: Ident,
+}
+
+impl FieldRef {
+    /// An unqualified reference.
+    pub fn new(name: impl Into<Ident>) -> Self {
+        FieldRef { qualifier: None, name: name.into() }
+    }
+
+    /// A qualified reference.
+    pub fn qualified(qualifier: impl Into<Ident>, name: impl Into<Ident>) -> Self {
+        FieldRef { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl fmt::Debug for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FieldRef({self})")
+    }
+}
+
+impl From<&str> for FieldRef {
+    fn from(s: &str) -> Self {
+        match s.split_once('.') {
+            Some((q, n)) => FieldRef::qualified(q, n),
+            None => FieldRef::new(s),
+        }
+    }
+}
+
+/// A shared, immutable schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+/// An ordered list of typed fields, optionally named after the relation it
+/// describes.
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::{Schema, FieldType};
+/// let s = Schema::builder("roles")
+///     .field("roleId", FieldType::Int)
+///     .field("name", FieldType::Str)
+///     .finish();
+/// assert_eq!(s.arity(), 2);
+/// assert_eq!(s.index_of(&"roleId".into()).unwrap(), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Schema {
+    name: Option<Ident>,
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Starts building a named schema.
+    pub fn builder(name: impl Into<Ident>) -> SchemaBuilder {
+        SchemaBuilder { name: Some(name.into()), fields: Vec::new() }
+    }
+
+    /// Starts building an anonymous schema (e.g. a projection output).
+    pub fn anonymous() -> SchemaBuilder {
+        SchemaBuilder { name: None, fields: Vec::new() }
+    }
+
+    /// The relation name, if any.
+    pub fn name(&self) -> Option<&Ident> {
+        self.name.as_ref()
+    }
+
+    /// The fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Resolves a field reference to its positional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommonError::UnknownField`] when no field matches and
+    /// [`CommonError::AmbiguousField`] when an unqualified reference matches
+    /// several fields of a join output.
+    pub fn index_of(&self, fref: &FieldRef) -> Result<usize> {
+        let mut found = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(fref) {
+                if found.is_some() {
+                    return Err(CommonError::AmbiguousField { field: fref.clone() });
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| CommonError::UnknownField { field: fref.clone(), schema: self.describe() })
+    }
+
+    /// Resolves a field reference to the field itself.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Schema::index_of`].
+    pub fn field(&self, fref: &FieldRef) -> Result<&Field> {
+        self.index_of(fref).map(|i| &self.fields[i])
+    }
+
+    /// Returns the schema of the concatenation of `self` and `right`
+    /// (the shape of a TOR join output). Fields keep their qualifiers; fields
+    /// that were unqualified get qualified by their source relation name so
+    /// that same-named columns stay resolvable.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = Vec::with_capacity(self.arity() + right.arity());
+        let qualify = |side: &Schema, f: &Field| -> Field {
+            let mut f = f.clone();
+            if f.qualifier.is_none() {
+                f.qualifier = side.name.clone();
+            }
+            f
+        };
+        for f in &self.fields {
+            fields.push(qualify(self, f));
+        }
+        for f in &right.fields {
+            fields.push(qualify(right, f));
+        }
+        Schema { name: None, fields }
+    }
+
+    /// Returns a projection of this schema onto `refs` (in `refs` order).
+    /// Like relational projection, the same field may be replicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any reference fails to resolve.
+    pub fn project(&self, refs: &[FieldRef]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(refs.len());
+        for r in refs {
+            fields.push(self.field(r)?.clone());
+        }
+        Ok(Schema { name: None, fields })
+    }
+
+    /// A compact human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        let cols: Vec<String> = self.fields.iter().map(|f| f.to_string()).collect();
+        match &self.name {
+            Some(n) => format!("{n}({})", cols.join(", ")),
+            None => format!("({})", cols.join(", ")),
+        }
+    }
+
+    /// Wraps this schema in a shared handle.
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Incrementally builds a [`Schema`].
+#[derive(Clone, Debug)]
+pub struct SchemaBuilder {
+    name: Option<Ident>,
+    fields: Vec<Field>,
+}
+
+impl SchemaBuilder {
+    /// Appends an unqualified field.
+    pub fn field(mut self, name: impl Into<Ident>, ty: FieldType) -> Self {
+        self.fields.push(Field::new(name, ty));
+        self
+    }
+
+    /// Appends a pre-built field.
+    pub fn push(mut self, field: Field) -> Self {
+        self.fields.push(field);
+        self
+    }
+
+    /// Finalizes into a shared schema handle.
+    pub fn finish(self) -> SchemaRef {
+        Arc::new(Schema { name: self.name, fields: self.fields })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users() -> SchemaRef {
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .field("name", FieldType::Str)
+            .finish()
+    }
+
+    fn roles() -> SchemaRef {
+        Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("label", FieldType::Str)
+            .finish()
+    }
+
+    #[test]
+    fn unqualified_lookup() {
+        let s = users();
+        assert_eq!(s.index_of(&"id".into()).unwrap(), 0);
+        assert_eq!(s.index_of(&"name".into()).unwrap(), 2);
+    }
+
+    #[test]
+    fn unknown_field_is_error() {
+        let s = users();
+        assert!(matches!(
+            s.index_of(&"missing".into()),
+            Err(CommonError::UnknownField { .. })
+        ));
+    }
+
+    #[test]
+    fn join_schema_qualifies_and_disambiguates() {
+        let j = users().join(&roles());
+        assert_eq!(j.arity(), 5);
+        // roleId is now ambiguous unqualified…
+        assert!(matches!(
+            j.index_of(&"roleId".into()),
+            Err(CommonError::AmbiguousField { .. })
+        ));
+        // …but resolvable with a qualifier.
+        assert_eq!(j.index_of(&"users.roleId".into()).unwrap(), 1);
+        assert_eq!(j.index_of(&"roles.roleId".into()).unwrap(), 3);
+    }
+
+    #[test]
+    fn project_replicates_fields() {
+        let s = users();
+        let p = s.project(&["id".into(), "id".into()]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.fields()[0].name, "id");
+    }
+
+    #[test]
+    fn field_ref_parses_dotted_form() {
+        let r = FieldRef::from("users.roleId");
+        assert_eq!(r.qualifier.as_ref().unwrap(), "users");
+        assert_eq!(r.name, "roleId");
+    }
+}

@@ -1,0 +1,179 @@
+//! Scalar values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A scalar value in the kernel language, the TOR, and the database engine.
+///
+/// The paper's kernel language (Fig. 4) operates on booleans, numbers, and
+/// string literals; three-valued SQL `NULL` logic is explicitly out of scope
+/// ("The language currently does not model the three-valued logic of null
+/// values in SQL").
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::Value;
+/// let v = Value::from(42);
+/// assert!(v > Value::from(7));
+/// assert_eq!(v.as_int(), Some(42));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer (the paper's "number literal").
+    Int(i64),
+    /// An immutable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's runtime type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Total order used by `ORDER BY`, `sort`, `max`/`min`, and comparison
+    /// predicates. Values of different runtime types order by type tag
+    /// (bool < int < str); within a type the natural order applies.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Bool(_) => 0,
+                Value::Int(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => tag(a).cmp(&tag(b)),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        assert_eq!(Value::from(3).as_int(), Some(3));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(3).as_bool(), None);
+    }
+
+    #[test]
+    fn total_order_within_types() {
+        assert!(Value::from(1) < Value::from(2));
+        assert!(Value::from("a") < Value::from("b"));
+        assert!(Value::from(false) < Value::from(true));
+    }
+
+    #[test]
+    fn total_order_across_types_is_by_tag() {
+        assert!(Value::from(true) < Value::from(0));
+        assert!(Value::from(i64::MAX) < Value::from(""));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(format!("{:?}", Value::from("hi")), "\"hi\"");
+        assert_eq!(format!("{:?}", Value::from(5)), "5");
+    }
+}

@@ -1,0 +1,150 @@
+//! The Sec. 7.3 "advanced idioms" — synthetic fragments probing the limits
+//! of query inference.
+
+use crate::schema::wilos_model;
+use qbs_front::DataModel;
+
+/// One advanced-idiom case with the paper's expected outcome.
+#[derive(Clone, Debug)]
+pub struct AdvancedIdiom {
+    /// Short name.
+    pub name: &'static str,
+    /// What the paper says about it.
+    pub paper_expectation: &'static str,
+    /// True when QBS should translate it.
+    pub should_translate: bool,
+    /// MiniJava source.
+    pub source: String,
+}
+
+impl AdvancedIdiom {
+    /// The object-relational model (all cases use the Wilos model).
+    pub fn model(&self) -> DataModel {
+        wilos_model()
+    }
+}
+
+/// Builds the four Sec. 7.3 cases.
+pub fn advanced_idioms() -> Vec<AdvancedIdiom> {
+    vec![
+        AdvancedIdiom {
+            name: "hash_join",
+            paper_expectation:
+                "hash-join implementations are recognized and converted to joins \
+                 (QBS models hashtables using lists)",
+            should_translate: true,
+            // The hashtable build keyed on `a` followed by probing is
+            // modeled the way QBS models it: the key-list membership probe.
+            source: r#"
+class HashJoin {
+    public List<User> hashJoin() {
+        List<Role> rs = roleDao.getRoles();
+        List<Integer> keyTable = new ArrayList<Integer>();
+        for (Role r : rs) {
+            keyTable.add(r.roleId);
+        }
+        List<User> us = userDao.getUsers();
+        List<User> out = new ArrayList<User>();
+        for (User u : us) {
+            if (keyTable.contains(u.roleId)) {
+                out.add(u);
+            }
+        }
+        return out;
+    }
+}
+"#
+            .to_string(),
+        },
+        AdvancedIdiom {
+            name: "sort_merge_join",
+            paper_expectation:
+                "sort-merge joins are NOT translated: the loop invariants relate the \
+                 current records to all previously processed ones, which the predicate \
+                 language cannot express",
+            should_translate: false,
+            source: r#"
+class SortMergeJoin {
+    public List<User> sortMergeJoin() {
+        List<User> us = userDao.getUsers();
+        List<Role> rs = roleDao.getRoles();
+        Collections.sort(us, "roleId");
+        Collections.sort(rs, "roleId");
+        List<User> out = new ArrayList<User>();
+        int i = 0;
+        int j = 0;
+        while (i < us.size() && j < rs.size()) {
+            if (us.get(i).roleId < rs.get(j).roleId) {
+                i++;
+            } else {
+                j++;
+            }
+        }
+        return out;
+    }
+}
+"#
+            .to_string(),
+        },
+        AdvancedIdiom {
+            name: "sorted_top_k",
+            paper_expectation:
+                "iterating over a sorted relation for the first 10 records translates to \
+                 SELECT … ORDER BY id LIMIT 10",
+            should_translate: true,
+            source: r#"
+class SortedTopK {
+    public List<User> firstTen() {
+        List<User> records = userDao.getUsers();
+        Collections.sort(records, "id");
+        List<User> results = new ArrayList<User>();
+        for (int i = 0; i < 10 && i < records.size(); i++) {
+            results.add(records.get(i));
+        }
+        return results;
+    }
+}
+"#
+            .to_string(),
+        },
+        AdvancedIdiom {
+            name: "sorted_pk_guard",
+            paper_expectation:
+                "the variant that stops when the primary key reaches 10 is NOT translated: \
+                 reasoning about it needs schema axioms relating id values to positions",
+            should_translate: false,
+            source: r#"
+class SortedPkGuard {
+    public List<User> firstTenByKey() {
+        List<User> records = userDao.getUsers();
+        Collections.sort(records, "id");
+        List<User> results = new ArrayList<User>();
+        int i = 0;
+        while (records.get(i).id < 10) {
+            results.add(records.get(i));
+            i++;
+        }
+        return results;
+    }
+}
+"#
+            .to_string(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_cases_with_two_translatable() {
+        let all = advanced_idioms();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.iter().filter(|c| c.should_translate).count(), 2);
+        for c in &all {
+            qbs_front::parse(&c.source)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", c.name));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Data generators for the performance experiments (Fig. 14).
+
+use crate::schema;
+use qbs_common::Value;
+use qbs_db::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wilos database sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct WilosConfig {
+    /// Number of `users` rows (and `roles` rows in the join experiment).
+    pub users: usize,
+    /// Number of distinct roles.
+    pub roles: usize,
+    /// Number of `projects` rows.
+    pub projects: usize,
+    /// Fraction of unfinished projects (Fig. 14a/b selectivity).
+    pub unfinished_fraction: f64,
+    /// Fraction of users who are process managers (roleId = 5, Fig. 14d).
+    pub manager_fraction: f64,
+    /// Association rows per parent (eager-fetch weight).
+    pub assoc_per_parent: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WilosConfig {
+    fn default() -> Self {
+        WilosConfig {
+            users: 1000,
+            roles: 20,
+            projects: 1000,
+            unfinished_fraction: 0.1,
+            manager_fraction: 0.1,
+            assoc_per_parent: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Populates a Wilos database. Indexes are created on the join/selection
+/// key columns, as Hibernate would (paper Sec. 7.2).
+pub fn populate_wilos(cfg: &WilosConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+    db.create_table(schema::users_schema()).expect("fresh db");
+    db.create_table(schema::roles_schema()).expect("fresh db");
+    db.create_table(schema::projects_schema()).expect("fresh db");
+    db.create_table(schema::participants_schema()).expect("fresh db");
+    db.create_table(schema::activities_schema()).expect("fresh db");
+    db.create_table(schema::workproducts_schema()).expect("fresh db");
+
+    let roles = cfg.roles.max(1);
+    for r in 0..roles {
+        db.insert("roles", vec![
+            Value::from(r as i64),
+            Value::from(format!("role{r}")),
+        ])
+        .expect("insert");
+    }
+    let managers = (cfg.users as f64 * cfg.manager_fraction) as usize;
+    for u in 0..cfg.users {
+        // Process managers carry roleId 5; everyone else a spread of roles
+        // avoiding 5 so the manager fraction is exact.
+        let role = if u < managers {
+            5
+        } else {
+            let r = (u % roles) as i64;
+            if r == 5 {
+                (r + 1) % roles as i64
+            } else {
+                r
+            }
+        };
+        db.insert("users", vec![
+            Value::from(u as i64),
+            Value::from(role),
+            Value::from(u % 2 == 0),
+            Value::from(format!("user{u}")),
+        ])
+        .expect("insert");
+        for k in 0..cfg.assoc_per_parent {
+            db.insert("participants", vec![
+                Value::from((u * cfg.assoc_per_parent + k) as i64),
+                Value::from((u % (cfg.projects.max(1))) as i64),
+                Value::from(role),
+            ])
+            .expect("insert");
+        }
+    }
+    let unfinished = (cfg.projects as f64 * cfg.unfinished_fraction) as usize;
+    for p in 0..cfg.projects {
+        db.insert("projects", vec![
+            Value::from(p as i64),
+            Value::from(rng.gen_range(0..cfg.users.max(1)) as i64),
+            Value::from(p >= unfinished),
+            Value::from(format!("project{p}")),
+        ])
+        .expect("insert");
+        for k in 0..cfg.assoc_per_parent {
+            db.insert("activities", vec![
+                Value::from((p * cfg.assoc_per_parent + k) as i64),
+                Value::from(p as i64),
+                Value::from((k % 3) as i64),
+            ])
+            .expect("insert");
+            db.insert("workproducts", vec![
+                Value::from((p * cfg.assoc_per_parent + k) as i64),
+                Value::from(p as i64),
+                Value::from((k % 2) as i64),
+            ])
+            .expect("insert");
+        }
+    }
+    db.create_index("users", "roleId").expect("index");
+    db.create_index("roles", "roleId").expect("index");
+    db.create_index("projects", "finished").expect("index");
+    db.create_index("participants", "roleId").expect("index");
+    db.create_index("activities", "projectId").expect("index");
+    db.create_index("workproducts", "projectId").expect("index");
+    db
+}
+
+/// Populates an itracker database (sized for correctness tests).
+pub fn populate_itracker(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.create_table(schema::issues_schema()).expect("fresh db");
+    db.create_table(schema::itprojects_schema()).expect("fresh db");
+    db.create_table(schema::itusers_schema()).expect("fresh db");
+    db.create_table(schema::notifications_schema()).expect("fresh db");
+    for i in 0..rows {
+        db.insert("issues", vec![
+            Value::from(i as i64),
+            Value::from((i % 10) as i64),
+            Value::from(rng.gen_range(0..4i64)),
+            Value::from(rng.gen_range(0..5i64)),
+            Value::from((i % 7) as i64),
+        ])
+        .expect("insert");
+        db.insert("notifications", vec![
+            Value::from(i as i64),
+            Value::from((i % 13) as i64),
+            Value::from((i % 5) as i64),
+        ])
+        .expect("insert");
+    }
+    for p in 0..10usize {
+        db.insert("itprojects", vec![
+            Value::from(p as i64),
+            Value::from((p % 2) as i64),
+            Value::from(format!("proj{p}")),
+        ])
+        .expect("insert");
+    }
+    for u in 0..7usize {
+        db.insert("itusers", vec![
+            Value::from(u as i64),
+            Value::from(u == 0),
+            Value::from(format!("dev{u}")),
+        ])
+        .expect("insert");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_db::Params;
+    use qbs_sql::parse_query;
+
+    #[test]
+    fn wilos_population_matches_config() {
+        let cfg = WilosConfig {
+            users: 50,
+            projects: 40,
+            unfinished_fraction: 0.25,
+            ..WilosConfig::default()
+        };
+        let db = populate_wilos(&cfg);
+        let q = parse_query("SELECT * FROM projects WHERE finished = false").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 10, "25% of 40 projects are unfinished");
+        let q = parse_query("SELECT * FROM users WHERE roleId = 5").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 5, "10% managers");
+    }
+
+    #[test]
+    fn itracker_population_has_all_tables() {
+        let db = populate_itracker(20, 1);
+        for t in ["issues", "itprojects", "itusers", "notifications"] {
+            let q = parse_query(&format!("SELECT * FROM {t}")).unwrap();
+            assert!(!db.execute_select(&q, &Params::new()).unwrap().rows.is_empty());
+        }
+    }
+}

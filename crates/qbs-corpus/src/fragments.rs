@@ -1,0 +1,661 @@
+//! The 49 distinct persistent-data code fragments of Appendix A.
+//!
+//! Every fragment reproduces the operation category (A–O) and the expected
+//! outcome of the paper's table: `X` translated, `†` rejected by
+//! preprocessing, `*` failed synthesis. Where the original trigger cannot be
+//! expressed in MiniJava verbatim, a documented equivalent with the same
+//! observable status is used (e.g. fragment #3's array-filling projection is
+//! modeled as a two-accumulator projection loop — both fall outside the
+//! invariant template language and fail with `*`).
+
+use crate::schema::{itracker_model, wilos_model};
+use qbs_front::DataModel;
+
+/// Subject application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum App {
+    /// Wilos project-management application (fragments 17–49).
+    Wilos,
+    /// itracker issue-management system (fragments 1–16).
+    Itracker,
+}
+
+impl App {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Wilos => "wilos",
+            App::Itracker => "itracker",
+        }
+    }
+}
+
+/// Appendix A operation category.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Category {
+    A, B, C, D, E, F, G, H, I, J, K, L, M, N, O,
+}
+
+impl Category {
+    /// The paper's description of the category.
+    pub fn description(self) -> &'static str {
+        match self {
+            Category::A => "selection of records",
+            Category::B => "return literal based on result size",
+            Category::C => "retrieve max/min record by sorting and taking the last element",
+            Category::D => "projection/selection of records returned as a set",
+            Category::E => "nested-loop join followed by projection",
+            Category::F => "join using contains",
+            Category::G => "type-based record selection",
+            Category::H => "check for record existence in list",
+            Category::I => "record selection returning one of several matches",
+            Category::J => "record selection followed by count",
+            Category::K => "sort records using a custom comparator",
+            Category::L => "projection of records returned as an array",
+            Category::M => "return result set size",
+            Category::N => "record selection and in-place removal of records",
+            Category::O => "retrieve the max/min record",
+        }
+    }
+}
+
+/// Expected pipeline outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExpectedStatus {
+    /// `X` — translated to SQL.
+    Translated,
+    /// `†` — rejected by preprocessing.
+    Rejected,
+    /// `*` — synthesis failed.
+    Failed,
+}
+
+impl ExpectedStatus {
+    /// The paper's glyph.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            ExpectedStatus::Translated => "X",
+            ExpectedStatus::Rejected => "†",
+            ExpectedStatus::Failed => "*",
+        }
+    }
+}
+
+/// One corpus fragment.
+#[derive(Clone, Debug)]
+pub struct CorpusFragment {
+    /// Appendix A fragment number (1–49).
+    pub id: usize,
+    /// Subject application.
+    pub app: App,
+    /// Java class the fragment came from.
+    pub class_name: &'static str,
+    /// Source line in the original application.
+    pub line: usize,
+    /// Operation category.
+    pub category: Category,
+    /// Expected outcome.
+    pub expected: ExpectedStatus,
+    /// MiniJava source.
+    pub source: String,
+}
+
+impl CorpusFragment {
+    /// The object-relational model for this fragment's application.
+    pub fn model(&self) -> DataModel {
+        match self.app {
+            App::Wilos => wilos_model(),
+            App::Itracker => itracker_model(),
+        }
+    }
+
+    /// The fragment's method name inside its source.
+    pub fn method_name(&self) -> String {
+        format!("fragment{}", self.id)
+    }
+}
+
+// ---------- source templates ----------
+
+fn wrap(id: usize, class: &str, ret: &str, body: &str) -> String {
+    format!("class {class} {{\n    public {ret} fragment{id}() {{\n{body}\n    }}\n}}\n")
+}
+
+/// Category A: selection by an integer field.
+fn sel(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+    wrap(
+        id,
+        class,
+        &format!("List<{ent}>"),
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        List<{ent}> out = new ArrayList<{ent}>();
+        for ({ent} x : xs) {{
+            if (x.{field} == {v}) {{ out.add(x); }}
+        }}
+        return out;"
+        ),
+    )
+}
+
+/// Category A with a boolean field selection.
+fn sel_bool(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: bool) -> String {
+    wrap(
+        id,
+        class,
+        &format!("List<{ent}>"),
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        List<{ent}> out = new ArrayList<{ent}>();
+        for ({ent} x : xs) {{
+            if (x.{field} == {v}) {{ out.add(x); }}
+        }}
+        return out;"
+        ),
+    )
+}
+
+/// Rejected A variant: builds an array (unsupported data structure).
+fn sel_array(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> String {
+    wrap(
+        id,
+        class,
+        "int",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        int[] marks = new int[10];
+        for ({ent} x : xs) {{
+            marks[0] = x.id;
+        }}
+        return 0;"
+        ),
+    )
+}
+
+/// Rejected A variant: writes back to a persistent object (update).
+fn sel_update(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> String {
+    wrap(
+        id,
+        class,
+        "int",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        for ({ent} x : xs) {{
+            if (x.id == 0) {{ x.setKind(1); }}
+        }}
+        return 0;"
+        ),
+    )
+}
+
+/// Rejected A variant: tainted data escapes to an unknown callee
+/// (session state) mid-fragment.
+fn sel_escape(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> String {
+    wrap(
+        id,
+        class,
+        "int",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        List<{ent}> out = new ArrayList<{ent}>();
+        for ({ent} x : xs) {{
+            if (x.id == 0) {{ out.add(x); }}
+        }}
+        session.setAttribute(\"cache\", out);
+        return 0;"
+        ),
+    )
+}
+
+/// Category B: literal derived from the result size.
+fn size_literal(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> String {
+    wrap(
+        id,
+        class,
+        "boolean",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        return xs.size() > 0;"
+        ),
+    )
+}
+
+/// Category C: sort by a field, then take the last element.
+fn sort_last(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str) -> String {
+    wrap(
+        id,
+        class,
+        ent,
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        Collections.sort(xs, \"{field}\");
+        return xs.get(xs.size() - 1);"
+        ),
+    )
+}
+
+/// Category D: distinct projection into a set.
+fn distinct_proj(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str) -> String {
+    wrap(
+        id,
+        class,
+        "Set<Integer>",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        Set<Integer> out = new HashSet<Integer>();
+        for ({ent} x : xs) {{
+            out.add(x.{field});
+        }}
+        return out;"
+        ),
+    )
+}
+
+/// Rejected D variant: the projected set is stored into an array.
+fn distinct_array(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str) -> String {
+    wrap(
+        id,
+        class,
+        "int",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        int[] out = new int[10];
+        for ({ent} x : xs) {{
+            out[0] = x.{field};
+        }}
+        return 0;"
+        ),
+    )
+}
+
+/// Category E: nested-loop join with projection (the running example shape).
+fn join_nested(
+    id: usize,
+    class: &str,
+    dao1: &str,
+    e1: &str,
+    g1: &str,
+    f1: &str,
+    dao2: &str,
+    e2: &str,
+    g2: &str,
+    f2: &str,
+) -> String {
+    wrap(
+        id,
+        class,
+        &format!("List<{e1}>"),
+        &format!(
+            "        List<{e1}> xs = {dao1}.{g1}();
+        List<{e2}> ys = {dao2}.{g2}();
+        List<{e1}> out = new ArrayList<{e1}>();
+        for ({e1} x : xs) {{
+            for ({e2} y : ys) {{
+                if (x.{f1} == y.{f2}) {{
+                    out.add(x);
+                }}
+            }}
+        }}
+        return out;"
+        ),
+    )
+}
+
+/// Category F: join via `contains` over a projected key list.
+fn contains_join(
+    id: usize,
+    class: &str,
+    dao1: &str,
+    e1: &str,
+    g1: &str,
+    f1: &str,
+    dao2: &str,
+    e2: &str,
+    g2: &str,
+    f2: &str,
+) -> String {
+    wrap(
+        id,
+        class,
+        &format!("List<{e1}>"),
+        &format!(
+            "        List<{e2}> ys = {dao2}.{g2}();
+        List<Integer> keys = new ArrayList<Integer>();
+        for ({e2} y : ys) {{
+            keys.add(y.{f2});
+        }}
+        List<{e1}> xs = {dao1}.{g1}();
+        List<{e1}> out = new ArrayList<{e1}>();
+        for ({e1} x : xs) {{
+            if (keys.contains(x.{f1})) {{
+                out.add(x);
+            }}
+        }}
+        return out;"
+        ),
+    )
+}
+
+/// Category G: type-based selection via `instanceof` — rejected.
+fn type_based(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> String {
+    wrap(
+        id,
+        class,
+        "int",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        int c = 0;
+        for ({ent} x : xs) {{
+            if (x instanceof Milestone) {{ c++; }}
+        }}
+        return c;"
+        ),
+    )
+}
+
+/// Category H: existence check via an early constant return.
+fn exists(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+    wrap(
+        id,
+        class,
+        "boolean",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        for ({ent} x : xs) {{
+            if (x.{field} == {v}) {{ return true; }}
+        }}
+        return false;"
+        ),
+    )
+}
+
+/// Category I: select a single record out of several matches — fails.
+fn single_record(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+    wrap(
+        id,
+        class,
+        ent,
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        {ent} found = xs.get(0);
+        for ({ent} x : xs) {{
+            if (x.{field} == {v}) {{ found = x; }}
+        }}
+        return found;"
+        ),
+    )
+}
+
+/// Category J/M: filtered count.
+fn count_filtered(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+    wrap(
+        id,
+        class,
+        "int",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        int c = 0;
+        for ({ent} x : xs) {{
+            if (x.{field} == {v}) {{ c++; }}
+        }}
+        return c;"
+        ),
+    )
+}
+
+/// Category K: custom comparator sort — fails.
+fn custom_sort(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> String {
+    wrap(
+        id,
+        class,
+        &format!("List<{ent}>"),
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        Collections.sort(xs, new ByPriority());
+        return xs;"
+        ),
+    )
+}
+
+/// Category L: projection into an indexed structure, modeled as a
+/// two-accumulator loop (outside the template language) — fails.
+fn array_proj(id: usize, class: &str, dao: &str, ent: &str, getter: &str, f1: &str, f2: &str) -> String {
+    wrap(
+        id,
+        class,
+        "List<Integer>",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        List<Integer> firsts = new ArrayList<Integer>();
+        List<Integer> seconds = new ArrayList<Integer>();
+        for ({ent} x : xs) {{
+            firsts.add(x.{f1});
+            seconds.add(x.{f2});
+        }}
+        return firsts;"
+        ),
+    )
+}
+
+/// Category M: plain result-set size.
+fn size_only(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> String {
+    wrap(
+        id,
+        class,
+        "int",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        return xs.size();"
+        ),
+    )
+}
+
+/// Category N: in-place removal — fails.
+fn remove_inplace(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+    wrap(
+        id,
+        class,
+        &format!("List<{ent}>"),
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        for ({ent} x : xs) {{
+            if (x.{field} == {v}) {{ xs.remove(x); }}
+        }}
+        return xs;"
+        ),
+    )
+}
+
+/// Category O: running maximum.
+fn running_max(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str) -> String {
+    wrap(
+        id,
+        class,
+        "int",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        int best = Integer.MIN_VALUE;
+        for ({ent} x : xs) {{
+            if (x.{field} > best) {{ best = x.{field}; }}
+        }}
+        return best;"
+        ),
+    )
+}
+
+/// Builds the full 49-fragment corpus (Appendix A).
+pub fn all_fragments() -> Vec<CorpusFragment> {
+    use App::{Itracker as IT, Wilos as WI};
+    use Category as C;
+    use ExpectedStatus::{Failed as F, Rejected as R, Translated as X};
+
+    let mk = |id, app, class_name, line, category, expected, source| CorpusFragment {
+        id,
+        app,
+        class_name,
+        line,
+        category,
+        expected,
+        source,
+    };
+
+    vec![
+        // ---- itracker (1–16) ----
+        mk(1, IT, "EditProjectFormActionUtil", 219, C::F, X,
+            contains_join(1, "EditProjectFormActionUtil", "issueDao", "Issue", "getIssues", "projectId",
+                "itProjectDao", "ItProject", "getItProjects", "id")),
+        mk(2, IT, "IssueServiceImpl", 1437, C::D, X,
+            distinct_proj(2, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "ownerId")),
+        mk(3, IT, "IssueServiceImpl", 1456, C::L, F,
+            array_proj(3, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "id", "severity")),
+        mk(4, IT, "IssueServiceImpl", 1567, C::C, F,
+            sort_last(4, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "severity")),
+        mk(5, IT, "IssueServiceImpl", 1583, C::M, X,
+            size_only(5, "IssueServiceImpl", "issueDao", "Issue", "getIssues")),
+        mk(6, IT, "IssueServiceImpl", 1592, C::M, X,
+            count_filtered(6, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "status", 1)),
+        mk(7, IT, "IssueServiceImpl", 1601, C::M, X,
+            count_filtered(7, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "severity", 3)),
+        mk(8, IT, "IssueServiceImpl", 1422, C::D, X,
+            distinct_proj(8, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "projectId")),
+        mk(9, IT, "ListProjectsAction", 77, C::N, F,
+            remove_inplace(9, "ListProjectsAction", "itProjectDao", "ItProject", "getItProjects", "status", 0)),
+        mk(10, IT, "MoveIssueFormAction", 144, C::K, F,
+            custom_sort(10, "MoveIssueFormAction", "issueDao", "Issue", "getIssues")),
+        mk(11, IT, "NotificationServiceImpl", 568, C::O, X,
+            running_max(11, "NotificationServiceImpl", "notificationDao", "Notification", "getNotifications", "id")),
+        mk(12, IT, "NotificationServiceImpl", 848, C::A, X,
+            sel(12, "NotificationServiceImpl", "notificationDao", "Notification", "getNotifications", "issueId", 1)),
+        mk(13, IT, "NotificationServiceImpl", 941, C::H, X,
+            exists(13, "NotificationServiceImpl", "notificationDao", "Notification", "getNotifications", "userId", 2)),
+        mk(14, IT, "NotificationServiceImpl", 244, C::O, X,
+            running_max(14, "NotificationServiceImpl", "notificationDao", "Notification", "getNotifications", "issueId")),
+        mk(15, IT, "UserServiceImpl", 155, C::M, X,
+            size_only(15, "UserServiceImpl", "itUserDao", "ItUser", "getItUsers")),
+        mk(16, IT, "UserServiceImpl", 412, C::A, X,
+            sel_bool(16, "UserServiceImpl", "itUserDao", "ItUser", "getItUsers", "superuser", true)),
+        // ---- wilos (17–49) ----
+        mk(17, WI, "ActivityService", 401, C::A, R,
+            sel_array(17, "ActivityService", "activityDao", "Activity", "getActivities")),
+        mk(18, WI, "ActivityService", 328, C::A, R,
+            sel_update(18, "ActivityService", "activityDao", "Activity", "getActivities")),
+        mk(19, WI, "AffectedtoDao", 13, C::B, X,
+            size_literal(19, "AffectedtoDao", "participantDao", "Participant", "getParticipants")),
+        mk(20, WI, "ConcreteActivityDao", 139, C::C, F,
+            sort_last(20, "ConcreteActivityDao", "activityDao", "Activity", "getActivities", "id")),
+        mk(21, WI, "ConcreteActivityService", 133, C::D, R,
+            distinct_array(21, "ConcreteActivityService", "activityDao", "Activity", "getActivities", "projectId")),
+        mk(22, WI, "ConcreteRoleAffectationService", 55, C::E, X,
+            join_nested(22, "ConcreteRoleAffectationService",
+                "userDao", "User", "getUsers", "roleId",
+                "roleDao", "Role", "getRoles", "roleId")),
+        mk(23, WI, "ConcreteRoleDescriptorService", 181, C::F, X,
+            contains_join(23, "ConcreteRoleDescriptorService",
+                "participantDao", "Participant", "getParticipants", "roleId",
+                "roleDao", "Role", "getRoles", "roleId")),
+        mk(24, WI, "ConcreteWorkBreakdownElementService", 55, C::G, R,
+            type_based(24, "ConcreteWorkBreakdownElementService", "activityDao", "Activity", "getActivities")),
+        mk(25, WI, "ConcreteWorkProductDescriptorService", 236, C::F, X,
+            contains_join(25, "ConcreteWorkProductDescriptorService",
+                "workProductDao", "WorkProduct", "getWorkProducts", "projectId",
+                "projectDao", "Project", "getProjects", "id")),
+        mk(26, WI, "GuidanceService", 140, C::A, R,
+            sel_escape(26, "GuidanceService", "activityDao", "Activity", "getActivities")),
+        mk(27, WI, "GuidanceService", 154, C::A, R,
+            sel_array(27, "GuidanceService", "workProductDao", "WorkProduct", "getWorkProducts")),
+        mk(28, WI, "IterationService", 103, C::A, R,
+            sel_update(28, "IterationService", "activityDao", "Activity", "getActivities")),
+        mk(29, WI, "LoginService", 103, C::H, X,
+            exists(29, "LoginService", "userDao", "User", "getUsers", "id", 7)),
+        mk(30, WI, "LoginService", 83, C::H, X,
+            exists(30, "LoginService", "userDao", "User", "getUsers", "roleId", 1)),
+        mk(31, WI, "ParticipantBean", 1079, C::B, X,
+            size_literal(31, "ParticipantBean", "participantDao", "Participant", "getParticipants")),
+        mk(32, WI, "ParticipantBean", 681, C::H, X,
+            exists(32, "ParticipantBean", "participantDao", "Participant", "getParticipants", "projectId", 3)),
+        mk(33, WI, "ParticipantService", 146, C::E, X,
+            join_nested(33, "ParticipantService",
+                "participantDao", "Participant", "getParticipants", "projectId",
+                "projectDao", "Project", "getProjects", "id")),
+        mk(34, WI, "ParticipantService", 119, C::E, X,
+            join_nested(34, "ParticipantService",
+                "participantDao", "Participant", "getParticipants", "roleId",
+                "roleDao", "Role", "getRoles", "roleId")),
+        mk(35, WI, "ParticipantService", 266, C::F, X,
+            contains_join(35, "ParticipantService",
+                "userDao", "User", "getUsers", "roleId",
+                "roleDao", "Role", "getRoles", "roleId")),
+        mk(36, WI, "PhaseService", 98, C::A, R,
+            sel_update(36, "PhaseService", "activityDao", "Activity", "getActivities")),
+        mk(37, WI, "ProcessBean", 248, C::H, X,
+            exists(37, "ProcessBean", "activityDao", "Activity", "getActivities", "kind", 2)),
+        mk(38, WI, "ProcessManagerBean", 243, C::B, X,
+            count_filtered(38, "ProcessManagerBean", "userDao", "User", "getUsers", "roleId", 5)),
+        mk(39, WI, "ProjectService", 266, C::K, F,
+            custom_sort(39, "ProjectService", "projectDao", "Project", "getProjects")),
+        mk(40, WI, "ProjectService", 297, C::A, X,
+            sel_bool(40, "ProjectService", "projectDao", "Project", "getProjects", "finished", false)),
+        mk(41, WI, "ProjectService", 338, C::G, R,
+            type_based(41, "ProjectService", "projectDao", "Project", "getProjects")),
+        mk(42, WI, "ProjectService", 394, C::A, X,
+            sel(42, "ProjectService", "projectDao", "Project", "getProjects", "managerId", 4)),
+        mk(43, WI, "ProjectService", 410, C::A, X,
+            sel_bool(43, "ProjectService", "projectDao", "Project", "getProjects", "finished", true)),
+        mk(44, WI, "ProjectService", 248, C::H, X,
+            exists(44, "ProjectService", "projectDao", "Project", "getProjects", "managerId", 9)),
+        mk(45, WI, "RoleDao", 15, C::I, F,
+            single_record(45, "RoleDao", "roleDao", "Role", "getRoles", "roleId", 2)),
+        mk(46, WI, "RoleService", 15, C::E, X,
+            join_nested(46, "RoleService",
+                "userDao", "User", "getUsers", "roleId",
+                "roleDao", "Role", "getRoles", "roleId")),
+        mk(47, WI, "WilosUserBean", 717, C::B, X,
+            size_literal(47, "WilosUserBean", "userDao", "User", "getUsers")),
+        mk(48, WI, "WorkProductsExpTableBean", 990, C::B, X,
+            size_literal(48, "WorkProductsExpTableBean", "workProductDao", "WorkProduct", "getWorkProducts")),
+        mk(49, WI, "WorkProductsExpTableBean", 974, C::J, X,
+            count_filtered(49, "WorkProductsExpTableBean", "workProductDao", "WorkProduct", "getWorkProducts", "state", 1)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_the_appendix_a_shape() {
+        let all = all_fragments();
+        assert_eq!(all.len(), 49);
+        let wilos: Vec<_> = all.iter().filter(|f| f.app == App::Wilos).collect();
+        let itracker: Vec<_> = all.iter().filter(|f| f.app == App::Itracker).collect();
+        assert_eq!(wilos.len(), 33);
+        assert_eq!(itracker.len(), 16);
+        // Fig. 13 expected counts.
+        let count = |fs: &[&CorpusFragment], s: ExpectedStatus| {
+            fs.iter().filter(|f| f.expected == s).count()
+        };
+        assert_eq!(count(&wilos, ExpectedStatus::Translated), 21);
+        assert_eq!(count(&wilos, ExpectedStatus::Rejected), 9);
+        assert_eq!(count(&wilos, ExpectedStatus::Failed), 3);
+        assert_eq!(count(&itracker, ExpectedStatus::Translated), 12);
+        assert_eq!(count(&itracker, ExpectedStatus::Rejected), 0);
+        assert_eq!(count(&itracker, ExpectedStatus::Failed), 4);
+    }
+
+    #[test]
+    fn fragment_ids_are_unique_and_sorted() {
+        let all = all_fragments();
+        for (k, f) in all.iter().enumerate() {
+            assert_eq!(f.id, k + 1);
+        }
+    }
+
+    #[test]
+    fn sources_parse() {
+        for f in all_fragments() {
+            qbs_front::parse(&f.source)
+                .unwrap_or_else(|e| panic!("fragment {} does not parse: {e}", f.id));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Domain models of the two subject applications.
+//!
+//! Wilos (project management) and itracker (issue management) schemas,
+//! reduced to the columns the Appendix A fragments touch.
+
+use qbs_common::{FieldType, Schema, SchemaRef};
+use qbs_front::DataModel;
+use qbs_orm::{EntityDef, Registry};
+
+/// Wilos `users` table.
+pub fn users_schema() -> SchemaRef {
+    Schema::builder("users")
+        .field("id", FieldType::Int)
+        .field("roleId", FieldType::Int)
+        .field("enabled", FieldType::Bool)
+        .field("login", FieldType::Str)
+        .finish()
+}
+
+/// Wilos `roles` table.
+pub fn roles_schema() -> SchemaRef {
+    Schema::builder("roles")
+        .field("roleId", FieldType::Int)
+        .field("name", FieldType::Str)
+        .finish()
+}
+
+/// Wilos `projects` table.
+pub fn projects_schema() -> SchemaRef {
+    Schema::builder("projects")
+        .field("id", FieldType::Int)
+        .field("managerId", FieldType::Int)
+        .field("finished", FieldType::Bool)
+        .field("name", FieldType::Str)
+        .finish()
+}
+
+/// Wilos `participants` table.
+pub fn participants_schema() -> SchemaRef {
+    Schema::builder("participants")
+        .field("id", FieldType::Int)
+        .field("projectId", FieldType::Int)
+        .field("roleId", FieldType::Int)
+        .finish()
+}
+
+/// Wilos `activities` table.
+pub fn activities_schema() -> SchemaRef {
+    Schema::builder("activities")
+        .field("id", FieldType::Int)
+        .field("projectId", FieldType::Int)
+        .field("kind", FieldType::Int)
+        .finish()
+}
+
+/// Wilos `workproducts` table.
+pub fn workproducts_schema() -> SchemaRef {
+    Schema::builder("workproducts")
+        .field("id", FieldType::Int)
+        .field("projectId", FieldType::Int)
+        .field("state", FieldType::Int)
+        .finish()
+}
+
+/// itracker `issues` table.
+pub fn issues_schema() -> SchemaRef {
+    Schema::builder("issues")
+        .field("id", FieldType::Int)
+        .field("projectId", FieldType::Int)
+        .field("status", FieldType::Int)
+        .field("severity", FieldType::Int)
+        .field("ownerId", FieldType::Int)
+        .finish()
+}
+
+/// itracker `itprojects` table.
+pub fn itprojects_schema() -> SchemaRef {
+    Schema::builder("itprojects")
+        .field("id", FieldType::Int)
+        .field("status", FieldType::Int)
+        .field("name", FieldType::Str)
+        .finish()
+}
+
+/// itracker `itusers` table.
+pub fn itusers_schema() -> SchemaRef {
+    Schema::builder("itusers")
+        .field("id", FieldType::Int)
+        .field("superuser", FieldType::Bool)
+        .field("login", FieldType::Str)
+        .finish()
+}
+
+/// itracker `notifications` table.
+pub fn notifications_schema() -> SchemaRef {
+    Schema::builder("notifications")
+        .field("id", FieldType::Int)
+        .field("issueId", FieldType::Int)
+        .field("userId", FieldType::Int)
+        .finish()
+}
+
+/// The Wilos object-relational model (entities + DAO methods).
+pub fn wilos_model() -> DataModel {
+    let mut m = DataModel::new();
+    m.add_entity("User", "users", users_schema());
+    m.add_entity("Role", "roles", roles_schema());
+    m.add_entity("Project", "projects", projects_schema());
+    m.add_entity("Participant", "participants", participants_schema());
+    m.add_entity("Activity", "activities", activities_schema());
+    m.add_entity("WorkProduct", "workproducts", workproducts_schema());
+    m.add_dao("userDao", "getUsers", "User");
+    m.add_dao("roleDao", "getRoles", "Role");
+    m.add_dao("projectDao", "getProjects", "Project");
+    m.add_dao("participantDao", "getParticipants", "Participant");
+    m.add_dao("activityDao", "getActivities", "Activity");
+    m.add_dao("workProductDao", "getWorkProducts", "WorkProduct");
+    m
+}
+
+/// The itracker object-relational model.
+pub fn itracker_model() -> DataModel {
+    let mut m = DataModel::new();
+    m.add_entity("Issue", "issues", issues_schema());
+    m.add_entity("ItProject", "itprojects", itprojects_schema());
+    m.add_entity("ItUser", "itusers", itusers_schema());
+    m.add_entity("Notification", "notifications", notifications_schema());
+    m.add_dao("issueDao", "getIssues", "Issue");
+    m.add_dao("itProjectDao", "getItProjects", "ItProject");
+    m.add_dao("itUserDao", "getItUsers", "ItUser");
+    m.add_dao("notificationDao", "getNotifications", "Notification");
+    m
+}
+
+/// ORM registry for the Wilos entities (used by the Fig. 14 page-load
+/// experiments). `User` eagerly loads its participant rows; `Project` its
+/// activities and work products — giving the eager mode its extra cost.
+pub fn wilos_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(
+        EntityDef::new("User", "users").with_association(
+            "participations",
+            "Participant",
+            "roleId",
+            "roleId",
+        ),
+    );
+    r.register(EntityDef::new("Role", "roles"));
+    r.register(
+        EntityDef::new("Project", "projects")
+            .with_association("activities", "Activity", "projectId", "id")
+            .with_association("workProducts", "WorkProduct", "projectId", "id"),
+    );
+    r.register(EntityDef::new("Participant", "participants"));
+    r.register(EntityDef::new("Activity", "activities"));
+    r.register(EntityDef::new("WorkProduct", "workproducts"));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_resolve_daos() {
+        let w = wilos_model();
+        assert!(w.dao_target("userDao", "getUsers").is_some());
+        assert!(w.dao_target("projectDao", "getProjects").is_some());
+        let i = itracker_model();
+        assert!(i.dao_target("issueDao", "getIssues").is_some());
+    }
+
+    #[test]
+    fn registry_has_eager_associations() {
+        let r = wilos_registry();
+        assert_eq!(r.entity("Project").unwrap().associations.len(), 2);
+    }
+}

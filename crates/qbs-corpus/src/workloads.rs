@@ -1,0 +1,236 @@
+//! The Fig. 14 page-load workloads: original ORM code paths versus the
+//! QBS-inferred queries, in lazy and eager fetch modes.
+//!
+//! "Page load time" is the wall-clock time to produce the objects the page
+//! renders: fetch + in-application processing for the original code;
+//! executing the inferred SQL (plus association fetches in eager mode) for
+//! the transformed code.
+
+use crate::fragments::all_fragments;
+use crate::schema::wilos_registry;
+use qbs::{FragmentStatus, Pipeline};
+use qbs_common::Value;
+use qbs_db::{Database, Params, QueryOutput};
+use qbs_orm::{FetchMode, OrmObject, Session};
+use qbs_sql::SqlQuery;
+use std::time::{Duration, Instant};
+
+/// Which code path and fetch configuration to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Original application code, lazy associations.
+    OriginalLazy,
+    /// Original application code, eager associations.
+    OriginalEager,
+    /// QBS-inferred query, lazy associations.
+    InferredLazy,
+    /// QBS-inferred query, eager associations.
+    InferredEager,
+}
+
+impl Mode {
+    /// All four series of Fig. 14.
+    pub fn all() -> [Mode; 4] {
+        [Mode::OriginalLazy, Mode::OriginalEager, Mode::InferredLazy, Mode::InferredEager]
+    }
+
+    /// Display label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::OriginalLazy => "original (lazy)",
+            Mode::OriginalEager => "original (eager)",
+            Mode::InferredLazy => "inferred (lazy)",
+            Mode::InferredEager => "inferred (eager)",
+        }
+    }
+
+    fn fetch(self) -> FetchMode {
+        match self {
+            Mode::OriginalLazy | Mode::InferredLazy => FetchMode::Lazy,
+            Mode::OriginalEager | Mode::InferredEager => FetchMode::Eager,
+        }
+    }
+
+    fn inferred(self) -> bool {
+        matches!(self, Mode::InferredLazy | Mode::InferredEager)
+    }
+}
+
+/// Runs the QBS pipeline on a corpus fragment and returns its inferred SQL.
+///
+/// # Panics
+///
+/// Panics when the fragment does not translate — callers pass fragments the
+/// Fig. 13 experiment proves translatable.
+pub fn inferred_sql(fragment_id: usize) -> SqlQuery {
+    let frag = all_fragments()
+        .into_iter()
+        .find(|f| f.id == fragment_id)
+        .unwrap_or_else(|| panic!("fragment {fragment_id} exists"));
+    let report = Pipeline::new(frag.model())
+        .run_source(&frag.source)
+        .expect("corpus fragments parse");
+    match report.fragments.into_iter().next().expect("one fragment").status {
+        FragmentStatus::Translated { sql, .. } => sql,
+        other => panic!("fragment {fragment_id} did not translate: {other:?}"),
+    }
+}
+
+fn eager_load(db: &Database, session: &Session<'_>, objs: &[OrmObject]) -> usize {
+    // Eager association loading for inferred results: the same per-parent
+    // queries the ORM session would issue.
+    let _ = db;
+    let mut loaded = 0;
+    for o in objs {
+        if let Ok(id) = o.get("id") {
+            let kids = session
+                .find_where("Activity", "projectId", id.clone())
+                .unwrap_or_default();
+            loaded += kids.len();
+            let wps = session
+                .find_where("WorkProduct", "projectId", id.clone())
+                .unwrap_or_default();
+            loaded += wps.len();
+        }
+    }
+    loaded
+}
+
+/// Fig. 14a/b — the selection fragment (#40: unfinished projects).
+///
+/// Original: fetch **all** projects through the ORM, filter in application
+/// code. Inferred: `SELECT * FROM projects WHERE finished = false`.
+/// Returns `(rows produced, elapsed)`.
+pub fn selection_pageload(db: &Database, mode: Mode, sql: &SqlQuery) -> (usize, Duration) {
+    let registry = wilos_registry();
+    let session = Session::new(db, &registry, mode.fetch());
+    let start = Instant::now();
+    let rows = if mode.inferred() {
+        let QueryOutput::Rows(out) = db.execute(sql, &Params::new()).expect("selection sql")
+        else {
+            panic!("selection query is relational")
+        };
+        let objs: Vec<OrmObject> = out
+            .rows
+            .iter()
+            .map(|r| OrmObject { record: r.clone(), children: Default::default() })
+            .collect();
+        if mode.fetch() == FetchMode::Eager {
+            eager_load(db, &session, &objs);
+        }
+        objs.len()
+    } else {
+        // Original code: fetch everything, filter in the application.
+        let all = session.find_all("Project").expect("orm fetch");
+        let mut page = Vec::new();
+        for p in all {
+            if p.get("finished").expect("column") == &Value::from(false) {
+                page.push(p);
+            }
+        }
+        page.len()
+    };
+    (rows, start.elapsed())
+}
+
+/// Fig. 14c — the join fragment (#46: users with matching roles).
+///
+/// Original: fetch all users and all roles, nested-loop join in application
+/// code (`O(n·m)`). Inferred: the pushed-down join (hash join, `O(n+m)`).
+pub fn join_pageload(db: &Database, mode: Mode, sql: &SqlQuery) -> (usize, Duration) {
+    let registry = wilos_registry();
+    let session = Session::new(db, &registry, mode.fetch());
+    let start = Instant::now();
+    let rows = if mode.inferred() {
+        let QueryOutput::Rows(out) = db.execute(sql, &Params::new()).expect("join sql") else {
+            panic!("join query is relational")
+        };
+        out.rows.len()
+    } else {
+        let users = session.find_all("User").expect("orm fetch");
+        let roles = session.find_all("Role").expect("orm fetch");
+        let mut page = Vec::new();
+        for u in &users {
+            for r in &roles {
+                if u.get("roleId").expect("column") == r.get("roleId").expect("column") {
+                    page.push(u.clone());
+                }
+            }
+        }
+        page.len()
+    };
+    (rows, start.elapsed())
+}
+
+/// Fig. 14d — the aggregation fragment (#38: count process managers).
+///
+/// Original: fetch the managers into the application and take the list
+/// size. Inferred: `SELECT COUNT(*) …` returning a single value.
+pub fn aggregation_pageload(db: &Database, mode: Mode, sql: &SqlQuery) -> (usize, Duration) {
+    let registry = wilos_registry();
+    let session = Session::new(db, &registry, mode.fetch());
+    let start = Instant::now();
+    let count = if mode.inferred() {
+        let QueryOutput::Scalar { value, .. } =
+            db.execute(sql, &Params::new()).expect("count sql")
+        else {
+            panic!("aggregation query is scalar")
+        };
+        value.as_int().unwrap_or(0) as usize
+    } else {
+        let users = session.find_all("User").expect("orm fetch");
+        let mut managers = Vec::new();
+        for u in users {
+            if u.get("roleId").expect("column") == &Value::from(5) {
+                managers.push(u);
+            }
+        }
+        managers.len()
+    };
+    (count, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{populate_wilos, WilosConfig};
+
+    fn db() -> Database {
+        populate_wilos(&WilosConfig {
+            users: 200,
+            roles: 20,
+            projects: 200,
+            unfinished_fraction: 0.1,
+            ..WilosConfig::default()
+        })
+    }
+
+    #[test]
+    fn selection_modes_agree_on_row_count() {
+        let db = db();
+        let sql = inferred_sql(40);
+        let (orig, _) = selection_pageload(&db, Mode::OriginalLazy, &sql);
+        let (inf, _) = selection_pageload(&db, Mode::InferredLazy, &sql);
+        assert_eq!(orig, inf);
+        assert_eq!(orig, 20, "10% of 200 projects are unfinished");
+    }
+
+    #[test]
+    fn join_modes_agree_on_row_count() {
+        let db = db();
+        let sql = inferred_sql(46);
+        let (orig, _) = join_pageload(&db, Mode::OriginalLazy, &sql);
+        let (inf, _) = join_pageload(&db, Mode::InferredLazy, &sql);
+        assert_eq!(orig, inf);
+    }
+
+    #[test]
+    fn aggregation_modes_agree_on_count() {
+        let db = db();
+        let sql = inferred_sql(38);
+        let (orig, _) = aggregation_pageload(&db, Mode::OriginalLazy, &sql);
+        let (inf, _) = aggregation_pageload(&db, Mode::InferredLazy, &sql);
+        assert_eq!(orig, inf);
+        assert_eq!(orig, 20, "10% of 200 users are managers");
+    }
+}

@@ -1,0 +1,54 @@
+//! Reproduction of the Sec. 7.3 advanced idioms: which synthetic fragments
+//! QBS translates and which defeat query inference.
+
+use qbs::{FragmentStatus, Pipeline};
+use qbs_corpus::advanced_idioms;
+
+#[test]
+fn advanced_idioms_match_the_paper() {
+    for case in advanced_idioms() {
+        let report = Pipeline::new(case.model())
+            .run_source(&case.source)
+            .unwrap_or_else(|e| panic!("{}: parse failure {e}", case.name));
+        let status = &report.fragments[0].status;
+        let translated = matches!(status, FragmentStatus::Translated { .. });
+        assert_eq!(
+            translated, case.should_translate,
+            "{}: expected should_translate={}, got {status:?} ({})",
+            case.name, case.should_translate, case.paper_expectation
+        );
+    }
+}
+
+#[test]
+fn sorted_top_k_produces_order_by_limit() {
+    let case = advanced_idioms()
+        .into_iter()
+        .find(|c| c.name == "sorted_top_k")
+        .expect("case exists");
+    let report = Pipeline::new(case.model()).run_source(&case.source).unwrap();
+    match &report.fragments[0].status {
+        FragmentStatus::Translated { sql, .. } => {
+            let text = sql.to_string();
+            assert!(text.contains("ORDER BY users.id"), "{text}");
+            assert!(text.contains("LIMIT 10"), "{text}");
+        }
+        other => panic!("expected translation, got {other:?}"),
+    }
+}
+
+#[test]
+fn hash_join_produces_in_subquery() {
+    let case = advanced_idioms()
+        .into_iter()
+        .find(|c| c.name == "hash_join")
+        .expect("case exists");
+    let report = Pipeline::new(case.model()).run_source(&case.source).unwrap();
+    match &report.fragments[0].status {
+        FragmentStatus::Translated { sql, .. } => {
+            let text = sql.to_string();
+            assert!(text.contains("IN (SELECT"), "{text}");
+        }
+        other => panic!("expected translation, got {other:?}"),
+    }
+}

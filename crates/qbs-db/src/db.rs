@@ -1,0 +1,654 @@
+//! The database façade: catalog plus query execution.
+
+use crate::exec::{
+    self, distinct, eval_expr, filter, hash_join, nested_loop_join, sort, EvalCtx, ExecStats,
+    Frame,
+};
+use crate::planner::{aliases_of, conjuncts, equi_join_keys, index_eq};
+use crate::storage::Table;
+use qbs_common::{FieldType, Ident, Record, Relation, Schema, SchemaRef, Value};
+use qbs_sql::{FromItem, SqlExpr, SqlQuery, SqlSelect};
+use qbs_tor::AggKind;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Bind parameters for query execution.
+pub type Params = BTreeMap<Ident, Value>;
+
+/// Errors from the database layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbError {
+    /// Unknown table.
+    UnknownTable(Ident),
+    /// A table with this name already exists.
+    DuplicateTable(Ident),
+    /// Schema problem (bad column etc.).
+    Schema(String),
+    /// Runtime execution failure.
+    Exec(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            DbError::Schema(e) => write!(f, "schema error: {e}"),
+            DbError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<exec::ExecError> for DbError {
+    fn from(e: exec::ExecError) -> Self {
+        DbError::Exec(e.to_string())
+    }
+}
+
+/// Result rows of a select, plus execution stats.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectOutput {
+    /// The rows as an ordered relation.
+    pub rows: Relation,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+/// Result of executing any [`SqlQuery`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutput {
+    /// Relational result.
+    Rows(SelectOutput),
+    /// Scalar (aggregate / boolean) result.
+    Scalar {
+        /// The value.
+        value: Value,
+        /// Execution counters.
+        stats: ExecStats,
+    },
+}
+
+/// The in-memory database: a catalog of [`Table`]s plus the executor.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<Ident, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a table from a named schema.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::DuplicateTable`] when the name is taken;
+    /// [`DbError::Schema`] when the schema is anonymous.
+    pub fn create_table(&mut self, schema: SchemaRef) -> Result<(), DbError> {
+        let name = schema
+            .name()
+            .cloned()
+            .ok_or_else(|| DbError::Schema("tables need named schemas".to_string()))?;
+        if self.tables.contains_key(&name) {
+            return Err(DbError::DuplicateTable(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Inserts a row.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`] when the table does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity/type mismatch (see [`Table::insert`]).
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<(), DbError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.into()))?
+            .insert(values);
+        Ok(())
+    }
+
+    /// Builds a hash index on `table.column` (the paper notes Hibernate
+    /// auto-creates indexes on key columns).
+    ///
+    /// # Errors
+    ///
+    /// Unknown table or column.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), DbError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.into()))?
+            .create_index(&column.into())
+            .map_err(|e| DbError::Schema(e.to_string()))
+    }
+
+    /// Table lookup.
+    pub fn table(&self, name: &Ident) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> impl Iterator<Item = &Ident> {
+        self.tables.keys()
+    }
+
+    /// Scans a table into a frame (columns qualified by `alias`, plus the
+    /// hidden `rowid`), applying pushed-down predicates — via the hash index
+    /// when an equality predicate matches an indexed column.
+    fn scan(
+        &self,
+        name: &Ident,
+        alias: &Ident,
+        pushed: &[SqlExpr],
+        params: &Params,
+        ctx: &EvalCtx<'_>,
+        stats: &mut ExecStats,
+    ) -> Result<Frame, DbError> {
+        let table = self
+            .tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.clone()))?;
+        let mut cols: Vec<exec::FrameCol> = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| exec::FrameCol { alias: alias.clone(), name: f.name.clone() })
+            .collect();
+        cols.push(exec::FrameCol { alias: alias.clone(), name: "rowid".into() });
+
+        // Try an index for one equality predicate.
+        let mut index_rows: Option<Vec<usize>> = None;
+        let mut residual = Vec::new();
+        for p in pushed {
+            if index_rows.is_none() {
+                if let Some((col, valexpr)) = index_eq(p, alias) {
+                    if table.has_index(&col) {
+                        let v = match &valexpr {
+                            SqlExpr::Lit(v) => Some(v.clone()),
+                            SqlExpr::Param(p) => params.get(p).cloned(),
+                            _ => None,
+                        };
+                        if let Some(v) = v {
+                            index_rows =
+                                Some(table.index_lookup(&col, &v).unwrap_or(&[]).to_vec());
+                            stats.used_index = true;
+                            continue;
+                        }
+                    }
+                }
+            }
+            residual.push(p.clone());
+        }
+
+        let mut frame = Frame::new(cols);
+        match index_rows {
+            Some(ids) => {
+                stats.rows_scanned += ids.len();
+                for rowid in ids {
+                    let mut row = table.rows()[rowid].clone();
+                    row.push(Value::from(rowid as i64));
+                    frame.rows.push(row);
+                }
+            }
+            None => {
+                stats.rows_scanned += table.len();
+                for (rowid, r) in table.rows().iter().enumerate() {
+                    let mut row = r.clone();
+                    row.push(Value::from(rowid as i64));
+                    frame.rows.push(row);
+                }
+            }
+        }
+        if !residual.is_empty() {
+            let pred = SqlExpr::and(residual).expect("non-empty");
+            frame = filter(frame, &pred, ctx)?;
+        }
+        Ok(frame)
+    }
+
+    /// Executes a relational query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown tables/columns and evaluation failures.
+    pub fn execute_select(&self, q: &SqlSelect, params: &Params) -> Result<SelectOutput, DbError> {
+        let mut stats = ExecStats::default();
+        let frame = self.run_select(q, params, &mut stats)?;
+        // Build the output relation: anonymous schema over the frame columns.
+        let mut b = Schema::anonymous();
+        for (k, c) in frame.cols.iter().enumerate() {
+            let ty = frame
+                .rows
+                .first()
+                .map(|r| match &r[k] {
+                    Value::Bool(_) => FieldType::Bool,
+                    Value::Int(_) => FieldType::Int,
+                    Value::Str(_) => FieldType::Str,
+                })
+                .unwrap_or(FieldType::Int);
+            b = b.push(qbs_common::Field::qualified(c.alias.clone(), c.name.clone(), ty));
+        }
+        let schema = b.finish();
+        let records = frame
+            .rows
+            .into_iter()
+            .map(|r| Record::new(schema.clone(), r))
+            .collect();
+        let rows = Relation::from_records(schema, records)
+            .map_err(|e| DbError::Schema(e.to_string()))?;
+        Ok(SelectOutput { rows, stats })
+    }
+
+    fn run_select(
+        &self,
+        q: &SqlSelect,
+        params: &Params,
+        stats: &mut ExecStats,
+    ) -> Result<Frame, DbError> {
+        let db = self;
+        let sub = |s: &SqlSelect| -> Result<Frame, exec::ExecError> {
+            let mut st = ExecStats::default();
+            db.run_select(s, params, &mut st)
+                .map_err(|e| exec::ExecError::new(e.to_string()))
+        };
+        let ctx = EvalCtx { params, subquery: &sub };
+
+        let mut remaining: Vec<SqlExpr> =
+            q.where_clause.as_ref().map(conjuncts).unwrap_or_default();
+
+        // Per-item frames with pushdown.
+        let mut frames: Vec<(Ident, Frame)> = Vec::new();
+        for item in &q.from {
+            let alias = item.alias().clone();
+            let mut mine = BTreeSet::new();
+            mine.insert(alias.clone());
+            let mut pushed = Vec::new();
+            let mut rest = Vec::new();
+            for c in remaining.drain(..) {
+                let mut used = BTreeSet::new();
+                aliases_of(&c, &mut used);
+                // Unqualified predicates are pushable when there is only one
+                // FROM item to attribute them to.
+                let pushable =
+                    used.is_subset(&mine) && (!used.is_empty() || q.from.len() == 1);
+                if pushable {
+                    pushed.push(c);
+                } else {
+                    rest.push(c);
+                }
+            }
+            remaining = rest;
+            let frame = match item {
+                FromItem::Table { name, alias } => {
+                    self.scan(name, alias, &pushed, params, &ctx, stats)?
+                }
+                FromItem::Subquery { query, alias } => {
+                    let inner = self.run_select(query, params, stats)?;
+                    let cols = query
+                        .columns
+                        .iter()
+                        .enumerate()
+                        .map(|(k, c)| exec::FrameCol {
+                            alias: alias.clone(),
+                            name: c
+                                .alias
+                                .clone()
+                                .or_else(|| match &c.expr {
+                                    SqlExpr::Column { name, .. } => Some(name.clone()),
+                                    _ => None,
+                                })
+                                .unwrap_or_else(|| Ident::new(format!("c{k}"))),
+                        })
+                        .collect();
+                    let mut f = Frame::new(cols);
+                    f.rows = inner.rows;
+                    if !pushed.is_empty() {
+                        let pred = SqlExpr::and(pushed).expect("non-empty");
+                        f = filter(f, &pred, &ctx)?;
+                    }
+                    f
+                }
+            };
+            frames.push((alias, frame));
+        }
+
+        // Fold joins left to right.
+        let mut iter = frames.into_iter();
+        let (first_alias, mut acc) = iter
+            .next()
+            .ok_or_else(|| DbError::Exec("query without FROM".to_string()))?;
+        let mut joined: BTreeSet<Ident> = BTreeSet::new();
+        joined.insert(first_alias);
+        for (alias, right) in iter {
+            let mut right_set = BTreeSet::new();
+            right_set.insert(alias.clone());
+            // Find one equi-join key pair; remaining connecting predicates
+            // become the residual.
+            let mut key: Option<(SqlExpr, SqlExpr)> = None;
+            let mut connecting = Vec::new();
+            let mut rest = Vec::new();
+            for c in remaining.drain(..) {
+                let mut used = BTreeSet::new();
+                aliases_of(&c, &mut used);
+                let mut both = joined.clone();
+                both.insert(alias.clone());
+                if used.is_subset(&both) && used.contains(&alias) {
+                    if key.is_none() {
+                        if let Some(k) = equi_join_keys(&c, &joined, &right_set) {
+                            key = Some(k);
+                            continue;
+                        }
+                    }
+                    connecting.push(c);
+                } else {
+                    rest.push(c);
+                }
+            }
+            remaining = rest;
+            let residual = SqlExpr::and(connecting);
+            acc = match key {
+                Some((lk, rk)) => {
+                    hash_join(acc, right, &lk, &rk, residual.as_ref(), &ctx, stats)?
+                }
+                None => nested_loop_join(acc, right, residual.as_ref(), &ctx, stats)?,
+            };
+            joined.insert(alias);
+        }
+
+        // Leftover predicates (alias-free literals etc.).
+        if let Some(pred) = SqlExpr::and(remaining) {
+            acc = filter(acc, &pred, &ctx)?;
+        }
+
+        // ORDER BY before projection (keys may be unprojected).
+        if !q.order_by.is_empty() {
+            let keys: Vec<(SqlExpr, bool)> =
+                q.order_by.iter().map(|k| (k.expr.clone(), k.asc)).collect();
+            acc = sort(acc, &keys, &ctx)?;
+        }
+
+        // Projection. An empty column list is `SELECT *`: all non-rowid
+        // columns.
+        let mut out_cols = Vec::new();
+        let mut out_idx: Vec<usize> = Vec::new();
+        if q.columns.is_empty() {
+            for (i, c) in acc.cols.iter().enumerate() {
+                if c.name != "rowid" {
+                    out_cols.push(c.clone());
+                    out_idx.push(i);
+                }
+            }
+        } else {
+            for (k, item) in q.columns.iter().enumerate() {
+                match &item.expr {
+                    SqlExpr::Column { qualifier, name } => {
+                        let i = acc.resolve(qualifier.as_ref(), name).ok_or_else(|| {
+                            DbError::Exec(format!("unresolved select column {name}"))
+                        })?;
+                        out_cols.push(exec::FrameCol {
+                            alias: item
+                                .alias
+                                .clone()
+                                .map(|a| a.clone())
+                                .unwrap_or_else(|| acc.cols[i].alias.clone()),
+                            name: item.alias.clone().unwrap_or_else(|| name.clone()),
+                        });
+                        out_idx.push(i);
+                    }
+                    other => {
+                        return Err(DbError::Exec(format!(
+                            "unsupported select expression {other:?} at position {k}"
+                        )))
+                    }
+                }
+            }
+        }
+        let rows = acc
+            .rows
+            .into_iter()
+            .map(|r| out_idx.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        let mut frame = Frame { cols: out_cols, rows };
+
+        if q.distinct {
+            frame = distinct(frame);
+        }
+
+        if let Some(l) = &q.limit {
+            let n = match l {
+                SqlExpr::Lit(Value::Int(n)) => *n,
+                SqlExpr::Param(p) => params
+                    .get(p)
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| DbError::Exec(format!("unbound LIMIT parameter :{p}")))?,
+                other => return Err(DbError::Exec(format!("unsupported LIMIT {other:?}"))),
+            };
+            frame.rows.truncate(n.max(0) as usize);
+        }
+        Ok(frame)
+    }
+
+    /// Executes any query (relational or scalar).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn execute(&self, q: &SqlQuery, params: &Params) -> Result<QueryOutput, DbError> {
+        match q {
+            SqlQuery::Select(s) => Ok(QueryOutput::Rows(self.execute_select(s, params)?)),
+            SqlQuery::Scalar(s) => {
+                let mut stats = ExecStats::default();
+                // Aggregate input: the relational part with projection; for
+                // COUNT(*) project nothing special.
+                let mut inner = s.query.clone();
+                if let Some(col) = &s.column {
+                    inner.columns =
+                        vec![qbs_sql::SelectItem { expr: col.clone(), alias: None }];
+                }
+                let frame = self.run_select(&inner, params, &mut stats)?;
+                let value = match s.agg {
+                    AggKind::Count => Value::from(frame.rows.len() as i64),
+                    agg => {
+                        let nums: Vec<i64> = frame
+                            .rows
+                            .iter()
+                            .filter_map(|r| r.first().and_then(Value::as_int))
+                            .collect();
+                        match agg {
+                            AggKind::Sum => Value::from(nums.iter().sum::<i64>()),
+                            AggKind::Max => {
+                                Value::from(nums.iter().copied().fold(i64::MIN, i64::max))
+                            }
+                            AggKind::Min => {
+                                Value::from(nums.iter().copied().fold(i64::MAX, i64::min))
+                            }
+                            AggKind::Count => unreachable!("handled above"),
+                        }
+                    }
+                };
+                let value = match &s.compare {
+                    None => value,
+                    Some((op, rhs)) => {
+                        let no_sub = |_: &qbs_sql::SqlSelect| -> Result<Frame, exec::ExecError> {
+                            Err(exec::ExecError::new("no sub-queries in scalar comparisons"))
+                        };
+                        let ctx = EvalCtx { params, subquery: &no_sub };
+                        let empty = Frame::new(vec![]);
+                        let r = eval_expr(rhs, &empty, &[], &ctx)?;
+                        Value::from(op.test(value.total_cmp(&r)))
+                    }
+                };
+                Ok(QueryOutput::Scalar { value, stats })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_tor::CmpOp;
+    use crate::planner::{explain, JoinAlgorithm};
+    use qbs_sql::parse_query;
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::builder("users")
+                .field("id", FieldType::Int)
+                .field("roleId", FieldType::Int)
+                .finish(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::builder("roles")
+                .field("roleId", FieldType::Int)
+                .field("label", FieldType::Str)
+                .finish(),
+        )
+        .unwrap();
+        for i in 0..6i64 {
+            db.insert("users", vec![Value::from(i), Value::from(i % 3)]).unwrap();
+        }
+        for r in 0..3i64 {
+            db.insert("roles", vec![Value::from(r), Value::from(format!("role{r}"))]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn select_star_strips_rowid() {
+        let db = setup();
+        let q = parse_query("SELECT * FROM users").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 6);
+        assert_eq!(out.rows.schema().arity(), 2);
+    }
+
+    #[test]
+    fn where_filters_and_index_is_used() {
+        let mut db = setup();
+        db.create_index("users", "roleId").unwrap();
+        let q = parse_query("SELECT id FROM users WHERE roleId = 1").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.stats.used_index);
+        // Only the matching rows were touched.
+        assert_eq!(out.stats.rows_scanned, 2);
+    }
+
+    #[test]
+    fn join_uses_hash_algorithm_and_preserves_order() {
+        let db = setup();
+        let q = parse_query(
+            "SELECT users.id, roles.label FROM users, roles WHERE users.roleId = roles.roleId \
+             ORDER BY users.rowid, roles.rowid",
+        )
+        .unwrap();
+        // Need two FROM items: extend the parser output manually.
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 6);
+        assert_eq!(out.stats.joins, vec!["hash"]);
+        // users in insertion order: ids 0..6.
+        let ids: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.value_at(0).as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn explain_reports_hash_join_and_index() {
+        let mut db = setup();
+        db.create_index("users", "roleId").unwrap();
+        let q = parse_query(
+            "SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId",
+        )
+        .unwrap();
+        let plan = explain(&q, &db);
+        assert_eq!(plan.joins, vec![JoinAlgorithm::Hash]);
+        let q2 = parse_query("SELECT id FROM users WHERE roleId = 2").unwrap();
+        let plan2 = explain(&q2, &db);
+        assert_eq!(plan2.index_scans, 1);
+    }
+
+    #[test]
+    fn order_by_limit_distinct() {
+        let db = setup();
+        let q = parse_query("SELECT DISTINCT roleId FROM users ORDER BY roleId DESC LIMIT 2");
+        // The parser has no DISTINCT support; build by hand.
+        drop(q);
+        let mut q = parse_query("SELECT roleId FROM users ORDER BY roleId DESC LIMIT 2").unwrap();
+        q.distinct = true;
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows.get(0).unwrap().value_at(0), &Value::from(2));
+    }
+
+    #[test]
+    fn scalar_count_and_comparison() {
+        let db = setup();
+        let inner = parse_query("SELECT * FROM users WHERE roleId = 0").unwrap();
+        let scalar = qbs_sql::SqlScalar {
+            agg: AggKind::Count,
+            column: None,
+            query: inner,
+            compare: None,
+        };
+        match db.execute(&SqlQuery::Scalar(scalar.clone()), &Params::new()).unwrap() {
+            QueryOutput::Scalar { value, .. } => assert_eq!(value, Value::from(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let exists = qbs_sql::SqlScalar {
+            compare: Some((CmpOp::Gt, SqlExpr::int(0))),
+            ..scalar
+        };
+        match db.execute(&SqlQuery::Scalar(exists), &Params::new()).unwrap() {
+            QueryOutput::Scalar { value, .. } => assert_eq!(value, Value::from(true)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_parameters_resolve() {
+        let db = setup();
+        let q = parse_query("SELECT id FROM users WHERE id = :uid").unwrap();
+        let mut params = Params::new();
+        params.insert("uid".into(), Value::from(3));
+        let out = db.execute_select(&q, &params).unwrap();
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn in_subquery_executes() {
+        let db = setup();
+        let sub = parse_query("SELECT roleId FROM roles WHERE roleId = 1").unwrap();
+        let mut q = parse_query("SELECT id FROM users").unwrap();
+        q.where_clause = Some(SqlExpr::InSubquery(
+            Box::new(SqlExpr::qcol("users", "roleId")),
+            Box::new(sub),
+        ));
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let db = setup();
+        let q = parse_query("SELECT * FROM missing").unwrap();
+        assert!(matches!(
+            db.execute_select(&q, &Params::new()),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+}

@@ -1,0 +1,383 @@
+//! Execution frames and order-preserving operators.
+
+use qbs_common::{Ident, Value};
+use qbs_sql::SqlExpr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A column of an execution frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameCol {
+    /// The table alias (or sub-query alias) the column came from.
+    pub alias: Ident,
+    /// Column name.
+    pub name: Ident,
+}
+
+/// A batch of rows flowing between operators.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Column descriptors.
+    pub cols: Vec<FrameCol>,
+    /// Row data.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Frame {
+    /// An empty frame with the given columns.
+    pub fn new(cols: Vec<FrameCol>) -> Frame {
+        Frame { cols, rows: Vec::new() }
+    }
+
+    /// Resolves a column reference to a position.
+    pub fn resolve(&self, qualifier: Option<&Ident>, name: &Ident) -> Option<usize> {
+        let mut found = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            let matches = c.name == *name
+                && match qualifier {
+                    Some(q) => &c.alias == q,
+                    None => true,
+                };
+            if matches {
+                if found.is_some() {
+                    return None; // ambiguous
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+}
+
+/// Execution counters for benchmarks and plan tests.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Rows read from base tables.
+    pub rows_scanned: usize,
+    /// Row pairs compared by join operators.
+    pub join_comparisons: usize,
+    /// Join algorithms used, in execution order.
+    pub joins: Vec<&'static str>,
+    /// True when an index satisfied a selection.
+    pub used_index: bool,
+}
+
+/// Errors raised during execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecError {
+    /// Description.
+    pub message: String,
+}
+
+impl ExecError {
+    pub(crate) fn new(m: impl Into<String>) -> ExecError {
+        ExecError { message: m.into() }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Evaluation context: bind parameters plus a callback for `IN (subquery)`.
+pub(crate) struct EvalCtx<'a> {
+    pub params: &'a super::db::Params,
+    pub subquery: &'a dyn Fn(&qbs_sql::SqlSelect) -> Result<Frame, ExecError>,
+}
+
+/// Evaluates a scalar SQL expression against one row.
+pub(crate) fn eval_expr(
+    e: &SqlExpr,
+    frame: &Frame,
+    row: &[Value],
+    ctx: &EvalCtx<'_>,
+) -> Result<Value, ExecError> {
+    match e {
+        SqlExpr::Column { qualifier, name } => frame
+            .resolve(qualifier.as_ref(), name)
+            .map(|i| row[i].clone())
+            .ok_or_else(|| {
+                ExecError::new(format!(
+                    "unresolved column {}{name}",
+                    qualifier.as_ref().map(|q| format!("{q}.")).unwrap_or_default()
+                ))
+            }),
+        SqlExpr::Lit(v) => Ok(v.clone()),
+        SqlExpr::Param(p) => ctx
+            .params
+            .get(p)
+            .cloned()
+            .ok_or_else(|| ExecError::new(format!("unbound parameter :{p}"))),
+        SqlExpr::Cmp(a, op, b) => {
+            let x = eval_expr(a, frame, row, ctx)?;
+            let y = eval_expr(b, frame, row, ctx)?;
+            Ok(Value::from(op.test(x.total_cmp(&y))))
+        }
+        SqlExpr::And(parts) => {
+            for p in parts {
+                if !truthy(&eval_expr(p, frame, row, ctx)?)? {
+                    return Ok(Value::from(false));
+                }
+            }
+            Ok(Value::from(true))
+        }
+        SqlExpr::Or(parts) => {
+            for p in parts {
+                if truthy(&eval_expr(p, frame, row, ctx)?)? {
+                    return Ok(Value::from(true));
+                }
+            }
+            Ok(Value::from(false))
+        }
+        SqlExpr::Not(x) => Ok(Value::from(!truthy(&eval_expr(x, frame, row, ctx)?)?)),
+        SqlExpr::InSubquery(x, q) => {
+            let v = eval_expr(x, frame, row, ctx)?;
+            let sub = (ctx.subquery)(q)?;
+            Ok(Value::from(sub.rows.iter().any(|r| r.first() == Some(&v))))
+        }
+        SqlExpr::RowInSubquery(xs, q) => {
+            let vs = xs
+                .iter()
+                .map(|x| eval_expr(x, frame, row, ctx))
+                .collect::<Result<Vec<_>, _>>()?;
+            let sub = (ctx.subquery)(q)?;
+            Ok(Value::from(sub.rows.iter().any(|r| r == &vs)))
+        }
+    }
+}
+
+pub(crate) fn truthy(v: &Value) -> Result<bool, ExecError> {
+    v.as_bool().ok_or_else(|| ExecError::new(format!("expected boolean, got {v:?}")))
+}
+
+/// Order-preserving filter.
+pub(crate) fn filter(
+    frame: Frame,
+    pred: &SqlExpr,
+    ctx: &EvalCtx<'_>,
+) -> Result<Frame, ExecError> {
+    let shell = Frame::new(frame.cols.clone());
+    let mut rows = Vec::new();
+    for row in frame.rows {
+        if truthy(&eval_expr(pred, &shell, &row, ctx)?)? {
+            rows.push(row);
+        }
+    }
+    Ok(Frame { cols: frame.cols, rows })
+}
+
+/// Nested-loop join: left-major order, right insertion order (the TOR `⋈`
+/// axiom order). `O(n·m)`.
+pub(crate) fn nested_loop_join(
+    left: Frame,
+    right: Frame,
+    pred: Option<&SqlExpr>,
+    ctx: &EvalCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<Frame, ExecError> {
+    let mut cols = left.cols.clone();
+    cols.extend(right.cols.clone());
+    let out_frame = Frame::new(cols.clone());
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        for r in &right.rows {
+            stats.join_comparisons += 1;
+            let mut combined = l.clone();
+            combined.extend(r.iter().cloned());
+            let keep = match pred {
+                Some(p) => truthy(&eval_expr(p, &out_frame, &combined, ctx)?)?,
+                None => true,
+            };
+            if keep {
+                rows.push(combined);
+            }
+        }
+    }
+    stats.joins.push("nested-loop");
+    Ok(Frame { cols, rows })
+}
+
+/// Hash join on equality keys: builds on the right input (buckets keep right
+/// insertion order), probes left rows in order — output order is identical
+/// to the nested-loop join. `O(n + m)`.
+pub(crate) fn hash_join(
+    left: Frame,
+    right: Frame,
+    left_key: &SqlExpr,
+    right_key: &SqlExpr,
+    residual: Option<&SqlExpr>,
+    ctx: &EvalCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<Frame, ExecError> {
+    let mut buckets: HashMap<Value, Vec<usize>> = HashMap::new();
+    for (i, r) in right.rows.iter().enumerate() {
+        let k = eval_expr(right_key, &right, r, ctx)?;
+        buckets.entry(k).or_default().push(i);
+    }
+    let mut cols = left.cols.clone();
+    cols.extend(right.cols.clone());
+    let out_frame = Frame::new(cols.clone());
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        let k = eval_expr(left_key, &left, l, ctx)?;
+        if let Some(matches) = buckets.get(&k) {
+            for &ri in matches {
+                stats.join_comparisons += 1;
+                let mut combined = l.clone();
+                combined.extend(right.rows[ri].iter().cloned());
+                let keep = match residual {
+                    Some(p) => truthy(&eval_expr(p, &out_frame, &combined, ctx)?)?,
+                    None => true,
+                };
+                if keep {
+                    rows.push(combined);
+                }
+            }
+        }
+    }
+    stats.joins.push("hash");
+    Ok(Frame { cols, rows })
+}
+
+/// Stable sort by keys (ascending/descending per key).
+pub(crate) fn sort(
+    frame: Frame,
+    keys: &[(SqlExpr, bool)],
+    ctx: &EvalCtx<'_>,
+) -> Result<Frame, ExecError> {
+    let shell = Frame::new(frame.cols.clone());
+    let mut decorated: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(frame.rows.len());
+    for row in frame.rows {
+        let mut ks = Vec::with_capacity(keys.len());
+        for (k, _) in keys {
+            ks.push(eval_expr(k, &shell, &row, ctx)?);
+        }
+        decorated.push((ks, row));
+    }
+    decorated.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, asc)) in keys.iter().enumerate() {
+            let ord = ka[i].total_cmp(&kb[i]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Frame { cols: frame.cols, rows: decorated.into_iter().map(|(_, r)| r).collect() })
+}
+
+/// First-occurrence duplicate elimination (preserves order).
+pub(crate) fn distinct(frame: Frame) -> Frame {
+    let mut seen: Vec<&Vec<Value>> = Vec::new();
+    let mut keep = vec![false; frame.rows.len()];
+    for (i, r) in frame.rows.iter().enumerate() {
+        if !seen.contains(&r) {
+            seen.push(r);
+            keep[i] = true;
+        }
+    }
+    let rows = frame
+        .rows
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(r, _)| r.clone())
+        .collect();
+    Frame { cols: frame.cols, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_tor::CmpOp;
+
+    fn fc(alias: &str, name: &str) -> FrameCol {
+        FrameCol { alias: alias.into(), name: name.into() }
+    }
+
+    fn ctx<'a>(params: &'a super::super::db::Params) -> EvalCtx<'a> {
+        EvalCtx { params, subquery: &|_| Err(ExecError::new("no subqueries in this test")) }
+    }
+
+    fn two_frames() -> (Frame, Frame) {
+        let left = Frame {
+            cols: vec![fc("l", "k"), fc("l", "x")],
+            rows: vec![
+                vec![1.into(), 10.into()],
+                vec![2.into(), 20.into()],
+                vec![1.into(), 30.into()],
+            ],
+        };
+        let right = Frame {
+            cols: vec![fc("r", "k"), fc("r", "y")],
+            rows: vec![vec![1.into(), 100.into()], vec![1.into(), 200.into()], vec![3.into(), 300.into()]],
+        };
+        (left, right)
+    }
+
+    #[test]
+    fn hash_join_order_matches_nested_loop() {
+        let params = super::super::db::Params::new();
+        let c = ctx(&params);
+        let (l, r) = two_frames();
+        let pred = SqlExpr::cmp(SqlExpr::qcol("l", "k"), CmpOp::Eq, SqlExpr::qcol("r", "k"));
+        let mut s1 = ExecStats::default();
+        let nl = nested_loop_join(l.clone(), r.clone(), Some(&pred), &c, &mut s1).unwrap();
+        let mut s2 = ExecStats::default();
+        let hj = hash_join(
+            l,
+            r,
+            &SqlExpr::qcol("l", "k"),
+            &SqlExpr::qcol("r", "k"),
+            None,
+            &c,
+            &mut s2,
+        )
+        .unwrap();
+        assert_eq!(nl.rows, hj.rows, "hash join must preserve the axiom order");
+        assert_eq!(nl.rows.len(), 4);
+        // Hash join does asymptotically less work.
+        assert!(s2.join_comparisons < s1.join_comparisons);
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence() {
+        let f = Frame {
+            cols: vec![fc("t", "a")],
+            rows: vec![vec![1.into()], vec![2.into()], vec![1.into()]],
+        };
+        let d = distinct(f);
+        assert_eq!(d.rows, vec![vec![Value::from(1)], vec![Value::from(2)]]);
+    }
+
+    #[test]
+    fn sort_is_stable_and_supports_desc() {
+        let params = super::super::db::Params::new();
+        let c = ctx(&params);
+        let f = Frame {
+            cols: vec![fc("t", "a"), fc("t", "b")],
+            rows: vec![
+                vec![1.into(), 1.into()],
+                vec![2.into(), 2.into()],
+                vec![1.into(), 3.into()],
+            ],
+        };
+        let sorted = sort(f, &[(SqlExpr::qcol("t", "a"), false)], &c).unwrap();
+        assert_eq!(sorted.rows[0][0], Value::from(2));
+        // Equal keys keep input order (b = 1 before b = 3).
+        assert_eq!(sorted.rows[1][1], Value::from(1));
+        assert_eq!(sorted.rows[2][1], Value::from(3));
+    }
+
+    #[test]
+    fn ambiguous_column_is_detected() {
+        let f = Frame { cols: vec![fc("a", "k"), fc("b", "k")], rows: vec![] };
+        assert_eq!(f.resolve(None, &"k".into()), None);
+        assert_eq!(f.resolve(Some(&"a".into()), &"k".into()), Some(0));
+    }
+}

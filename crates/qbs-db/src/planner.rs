@@ -1,0 +1,217 @@
+//! Query planning: predicate classification, join-algorithm selection,
+//! selection pushdown.
+
+use qbs_common::Ident;
+use qbs_sql::{SqlExpr, SqlSelect};
+use qbs_tor::CmpOp;
+use std::collections::BTreeSet;
+
+/// Join algorithm chosen for one join step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinAlgorithm {
+    /// Hash join on an equality key — `O(n + m)`.
+    Hash,
+    /// Nested-loop join — `O(n·m)`.
+    NestedLoop,
+}
+
+/// A human-inspectable plan summary (used by tests and benches to assert
+/// that the optimizer made the expected choices).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Plan {
+    /// Join algorithm per join step, in execution order.
+    pub joins: Vec<JoinAlgorithm>,
+    /// Number of predicates pushed down to single-table scans.
+    pub pushed_filters: usize,
+    /// Number of scans satisfied by a hash index.
+    pub index_scans: usize,
+}
+
+/// The table aliases a predicate references.
+pub(crate) fn aliases_of(e: &SqlExpr, out: &mut BTreeSet<Ident>) {
+    match e {
+        SqlExpr::Column { qualifier, .. } => {
+            if let Some(q) = qualifier {
+                out.insert(q.clone());
+            }
+        }
+        SqlExpr::Lit(_) | SqlExpr::Param(_) => {}
+        SqlExpr::Cmp(a, _, b) => {
+            aliases_of(a, out);
+            aliases_of(b, out);
+        }
+        SqlExpr::And(ps) | SqlExpr::Or(ps) => {
+            for p in ps {
+                aliases_of(p, out);
+            }
+        }
+        SqlExpr::Not(x) => aliases_of(x, out),
+        SqlExpr::InSubquery(x, _) => aliases_of(x, out),
+        SqlExpr::RowInSubquery(xs, _) => {
+            for x in xs {
+                aliases_of(x, out);
+            }
+        }
+    }
+}
+
+/// Splits a `WHERE` clause into conjuncts.
+pub(crate) fn conjuncts(e: &SqlExpr) -> Vec<SqlExpr> {
+    match e {
+        SqlExpr::And(ps) => ps.iter().flat_map(conjuncts).collect(),
+        other => vec![other.clone()],
+    }
+}
+
+/// Recognizes `a.x = b.y` equi-join predicates between two alias sets.
+pub(crate) fn equi_join_keys(
+    e: &SqlExpr,
+    left: &BTreeSet<Ident>,
+    right: &BTreeSet<Ident>,
+) -> Option<(SqlExpr, SqlExpr)> {
+    if let SqlExpr::Cmp(a, CmpOp::Eq, b) = e {
+        let mut qa = BTreeSet::new();
+        aliases_of(a, &mut qa);
+        let mut qb = BTreeSet::new();
+        aliases_of(b, &mut qb);
+        if !qa.is_empty() && !qb.is_empty() {
+            if qa.is_subset(left) && qb.is_subset(right) {
+                return Some(((**a).clone(), (**b).clone()));
+            }
+            if qa.is_subset(right) && qb.is_subset(left) {
+                return Some(((**b).clone(), (**a).clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Recognizes `alias.col = <lit|param>` for index-scan pushdown; returns the
+/// column name and the value expression.
+pub(crate) fn index_eq(e: &SqlExpr, alias: &Ident) -> Option<(Ident, SqlExpr)> {
+    if let SqlExpr::Cmp(a, CmpOp::Eq, b) = e {
+        let col = |x: &SqlExpr| -> Option<Ident> {
+            if let SqlExpr::Column { qualifier, name } = x {
+                // Unqualified columns are attributed to the scan being
+                // planned (single-table pushdown).
+                if qualifier.is_none() || qualifier.as_ref() == Some(alias) {
+                    return Some(name.clone());
+                }
+            }
+            None
+        };
+        let is_const = |x: &SqlExpr| matches!(x, SqlExpr::Lit(_) | SqlExpr::Param(_));
+        if let Some(c) = col(a) {
+            if is_const(b) {
+                return Some((c, (**b).clone()));
+            }
+        }
+        if let Some(c) = col(b) {
+            if is_const(a) {
+                return Some((c, (**a).clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Computes the plan summary for a query against the given database —
+/// the same decisions [`crate::Database::execute_select`] makes.
+pub fn explain(q: &SqlSelect, db: &crate::Database) -> Plan {
+    let mut plan = Plan::default();
+    let mut remaining: Vec<SqlExpr> =
+        q.where_clause.as_ref().map(conjuncts).unwrap_or_default();
+
+    // Selection pushdown per FROM item.
+    for item in &q.from {
+        let alias = item.alias().clone();
+        let mut mine = BTreeSet::new();
+        mine.insert(alias.clone());
+        let mut rest = Vec::new();
+        for c in remaining.drain(..) {
+            let mut used = BTreeSet::new();
+            aliases_of(&c, &mut used);
+            let pushable = used.is_subset(&mine) && (!used.is_empty() || q.from.len() == 1);
+            if pushable {
+                plan.pushed_filters += 1;
+                if let qbs_sql::FromItem::Table { name, .. } = item {
+                    if let Some((col, _)) = index_eq(&c, &alias) {
+                        if db.table(name).is_some_and(|t| t.has_index(&col)) {
+                            plan.index_scans += 1;
+                        }
+                    }
+                }
+            } else {
+                rest.push(c);
+            }
+        }
+        remaining = rest;
+    }
+
+    // Join steps.
+    let mut joined: BTreeSet<Ident> = BTreeSet::new();
+    for (k, item) in q.from.iter().enumerate() {
+        let alias = item.alias().clone();
+        if k == 0 {
+            joined.insert(alias);
+            continue;
+        }
+        let mut right = BTreeSet::new();
+        right.insert(alias.clone());
+        let has_equi = remaining
+            .iter()
+            .any(|c| equi_join_keys(c, &joined, &right).is_some());
+        plan.joins.push(if has_equi { JoinAlgorithm::Hash } else { JoinAlgorithm::NestedLoop });
+        // Consume the predicates that connect this step.
+        remaining.retain(|c| {
+            let mut used = BTreeSet::new();
+            aliases_of(c, &mut used);
+            let mut both = joined.clone();
+            both.insert(alias.clone());
+            !(used.is_subset(&both) && used.iter().any(|a| a == &alias))
+        });
+        joined.insert(alias);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting_flattens() {
+        let e = SqlExpr::And(vec![
+            SqlExpr::cmp(SqlExpr::col("a"), CmpOp::Eq, SqlExpr::int(1)),
+            SqlExpr::And(vec![SqlExpr::cmp(SqlExpr::col("b"), CmpOp::Gt, SqlExpr::int(2))]),
+        ]);
+        assert_eq!(conjuncts(&e).len(), 2);
+    }
+
+    #[test]
+    fn equi_join_detection_both_orientations() {
+        let mut l = BTreeSet::new();
+        l.insert(Ident::new("u"));
+        let mut r = BTreeSet::new();
+        r.insert(Ident::new("r"));
+        let e = SqlExpr::cmp(SqlExpr::qcol("u", "k"), CmpOp::Eq, SqlExpr::qcol("r", "k"));
+        assert!(equi_join_keys(&e, &l, &r).is_some());
+        let flipped = SqlExpr::cmp(SqlExpr::qcol("r", "k"), CmpOp::Eq, SqlExpr::qcol("u", "k"));
+        let (lk, _) = equi_join_keys(&flipped, &l, &r).unwrap();
+        assert_eq!(lk, SqlExpr::qcol("u", "k"));
+        // Non-equality is not an equi-join.
+        let lt = SqlExpr::cmp(SqlExpr::qcol("u", "k"), CmpOp::Lt, SqlExpr::qcol("r", "k"));
+        assert!(equi_join_keys(&lt, &l, &r).is_none());
+    }
+
+    #[test]
+    fn index_eq_recognizes_literal_and_param() {
+        let alias = Ident::new("t");
+        let e = SqlExpr::cmp(SqlExpr::qcol("t", "id"), CmpOp::Eq, SqlExpr::int(5));
+        assert!(index_eq(&e, &alias).is_some());
+        let p = SqlExpr::cmp(SqlExpr::Param("uid".into()), CmpOp::Eq, SqlExpr::qcol("t", "id"));
+        assert!(index_eq(&p, &alias).is_some());
+        let col2 = SqlExpr::cmp(SqlExpr::qcol("t", "id"), CmpOp::Eq, SqlExpr::qcol("t", "x"));
+        assert!(index_eq(&col2, &alias).is_none());
+    }
+}

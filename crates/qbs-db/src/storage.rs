@@ -1,0 +1,156 @@
+//! Table storage: insertion-ordered rows, hidden rowid, hash indexes.
+
+use qbs_common::{FieldType, Ident, SchemaRef, Value};
+use std::collections::HashMap;
+
+/// A stored table.
+///
+/// Rows are kept in insertion order; the hidden `rowid` column (exposed to
+/// queries as `<alias>.rowid`) is the insertion index — the paper's "record
+/// order in the database" (Fig. 9).
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: SchemaRef,
+    rows: Vec<Vec<Value>>,
+    indexes: HashMap<Ident, HashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: SchemaRef) -> Table {
+        Table { schema, rows: Vec::new(), indexes: HashMap::new() }
+    }
+
+    /// The logical schema (without `rowid`).
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The stored rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Appends a row; maintains indexes. The row's `rowid` is its position.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count does not match the schema arity or a
+    /// value's type does not match its column — inserts come from trusted
+    /// generators in this workspace.
+    pub fn insert(&mut self, values: Vec<Value>) {
+        assert_eq!(
+            values.len(),
+            self.schema.arity(),
+            "insert arity mismatch for {}",
+            self.schema.describe()
+        );
+        for (v, f) in values.iter().zip(self.schema.fields()) {
+            let ok = matches!(
+                (v, f.ty),
+                (Value::Bool(_), FieldType::Bool)
+                    | (Value::Int(_), FieldType::Int)
+                    | (Value::Str(_), FieldType::Str)
+            );
+            assert!(ok, "value {v:?} does not fit column {f}");
+        }
+        let rowid = self.rows.len();
+        for (col, idx) in self.indexes.iter_mut() {
+            let pos = self
+                .schema
+                .index_of(&qbs_common::FieldRef::new(col.clone()))
+                .expect("indexed column exists");
+            idx.entry(values[pos].clone()).or_default().push(rowid);
+        }
+        self.rows.push(values);
+    }
+
+    /// Builds (or rebuilds) a hash index on `column`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the schema resolution error when the column does not exist.
+    pub fn create_index(&mut self, column: &Ident) -> Result<(), qbs_common::CommonError> {
+        let pos = self.schema.index_of(&qbs_common::FieldRef::new(column.clone()))?;
+        let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (rowid, row) in self.rows.iter().enumerate() {
+            idx.entry(row[pos].clone()).or_default().push(rowid);
+        }
+        self.indexes.insert(column.clone(), idx);
+        Ok(())
+    }
+
+    /// Row ids (in insertion order) whose `column` equals `value`, when an
+    /// index exists.
+    pub fn index_lookup(&self, column: &Ident, value: &Value) -> Option<&[usize]> {
+        self.indexes
+            .get(column)
+            .map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// True when `column` has a hash index.
+    pub fn has_index(&self, column: &Ident) -> bool {
+        self.indexes.contains_key(column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::Schema;
+
+    fn table() -> Table {
+        Table::new(
+            Schema::builder("t")
+                .field("a", FieldType::Int)
+                .field("b", FieldType::Str)
+                .finish(),
+        )
+    }
+
+    #[test]
+    fn insert_preserves_order() {
+        let mut t = table();
+        t.insert(vec![2.into(), "x".into()]);
+        t.insert(vec![1.into(), "y".into()]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][0], Value::from(2));
+    }
+
+    #[test]
+    fn index_lookup_returns_rowids_in_order() {
+        let mut t = table();
+        t.insert(vec![1.into(), "x".into()]);
+        t.insert(vec![2.into(), "y".into()]);
+        t.insert(vec![1.into(), "z".into()]);
+        t.create_index(&"a".into()).unwrap();
+        assert_eq!(t.index_lookup(&"a".into(), &1.into()).unwrap(), &[0, 2]);
+        assert_eq!(t.index_lookup(&"a".into(), &9.into()).unwrap(), &[] as &[usize]);
+        assert!(t.index_lookup(&"b".into(), &"x".into()).is_none());
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let mut t = table();
+        t.create_index(&"a".into()).unwrap();
+        t.insert(vec![5.into(), "x".into()]);
+        assert_eq!(t.index_lookup(&"a".into(), &5.into()).unwrap(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit column")]
+    fn type_mismatch_panics() {
+        let mut t = table();
+        t.insert(vec!["oops".into(), "x".into()]);
+    }
+}

@@ -1,0 +1,201 @@
+//! MiniJava abstract syntax.
+
+use std::fmt;
+
+/// A MiniJava type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Type {
+    /// `int`.
+    Int,
+    /// `boolean`.
+    Boolean,
+    /// `String`.
+    Str,
+    /// `void`.
+    Void,
+    /// A class/entity type.
+    Class(String),
+    /// `List<T>`.
+    List(Box<Type>),
+    /// `Set<T>` — results become `SELECT DISTINCT`.
+    Set(Box<Type>),
+    /// `T[]` — triggers rejection (paper Sec. 7.1: fragments using Java
+    /// arrays are not supported by the prototype).
+    Array(Box<Type>),
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Boolean => write!(f, "boolean"),
+            Type::Str => write!(f, "String"),
+            Type::Void => write!(f, "void"),
+            Type::Class(c) => write!(f, "{c}"),
+            Type::List(t) => write!(f, "List<{t}>"),
+            Type::Set(t) => write!(f, "Set<{t}>"),
+            Type::Array(t) => write!(f, "{t}[]"),
+        }
+    }
+}
+
+/// A MiniJava expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// String literal.
+    StrLit(String),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Variable reference.
+    Var(String),
+    /// Field access `e.f`.
+    Field(Box<Expr>, String),
+    /// Method call `recv.name(args)`; `recv = None` for same-class calls.
+    Call {
+        /// Receiver expression.
+        recv: Option<Box<Expr>>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Constructor call `new C<...>(args)`.
+    New {
+        /// Class name (`ArrayList`, `HashSet`, entity classes, …).
+        class: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Array allocation `new T[len]`.
+    NewArray {
+        /// Element type.
+        elem: Type,
+        /// Length.
+        len: Box<Expr>,
+    },
+    /// Array indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Unary `!e`.
+    Not(Box<Expr>),
+    /// Binary operation; `op` is the Java spelling (`==`, `&&`, `<`, `+`…).
+    Binary {
+        /// Operator spelling.
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `e instanceof C` — triggers rejection (type-based selection).
+    InstanceOf(Box<Expr>, String),
+}
+
+impl Expr {
+    /// Convenience constructor for binary operations.
+    pub fn binary(op: &str, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op: op.to_string(), lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+}
+
+/// A MiniJava statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `T x = e;`.
+    Decl {
+        /// Declared type.
+        ty: Type,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Assignment `lhs = e;` (variable, field, or array element).
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// Enhanced for loop `for (T x : xs) { … }`.
+    ForEach {
+        /// Element type.
+        ty: Type,
+        /// Loop variable.
+        var: String,
+        /// Iterated expression.
+        iter: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Counted loop `for (int i = a; cond; i++) { … }`.
+    For {
+        /// Counter name.
+        var: String,
+        /// Initial value.
+        init: Expr,
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return e;`.
+    Return(Option<Expr>),
+    /// An expression statement (method call for effect).
+    ExprStmt(Expr),
+}
+
+/// A method declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Method {
+    /// `public` methods are servlet-style entry points.
+    pub public: bool,
+    /// Return type.
+    pub ret: Type,
+    /// Method name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(Type, String)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A class declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Methods.
+    pub methods: Vec<Method>,
+}
+
+/// A MiniJava compilation unit.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// Declared classes.
+    pub classes: Vec<ClassDecl>,
+}
+
+impl Program {
+    /// Finds a method by name across all classes.
+    pub fn method(&self, name: &str) -> Option<&Method> {
+        self.classes.iter().flat_map(|c| &c.methods).find(|m| m.name == name)
+    }
+}

@@ -1,0 +1,140 @@
+//! MiniJava lexer.
+
+use std::fmt;
+
+/// A MiniJava token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (without quotes).
+    Str(String),
+    /// Punctuation or operator, e.g. `{`, `==`, `&&`.
+    Sym(String),
+}
+
+impl Token {
+    /// The identifier payload, if any.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Lexing failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// Byte offset.
+    pub at: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` at byte {}", self.ch, self.at)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MiniJava source. `//` line comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push(Token::Ident(bytes[start..i].iter().collect()));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let s: String = bytes[start..i].iter().collect();
+            out.push(Token::Int(s.parse().expect("digits parse")));
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let start = i;
+            while i < bytes.len() && bytes[i] != '"' {
+                i += 1;
+            }
+            out.push(Token::Str(bytes[start..i].iter().collect()));
+            i += 1;
+            continue;
+        }
+        // Multi-character operators first.
+        let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+        if ["==", "!=", "<=", ">=", "&&", "||", "++", "--"].contains(&two.as_str()) {
+            out.push(Token::Sym(two));
+            i += 2;
+            continue;
+        }
+        if "{}()[]<>;,.!=+-*:".contains(c) {
+            out.push(Token::Sym(c.to_string()));
+            i += 1;
+            continue;
+        }
+        return Err(LexError { ch: c, at: i });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_java_snippet() {
+        let toks = lex("for (User u : users) { x++; } // done").unwrap();
+        assert!(toks.contains(&Token::Ident("for".into())));
+        assert!(toks.contains(&Token::Sym("++".into())));
+        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "done")));
+    }
+
+    #[test]
+    fn lexes_strings_and_numbers() {
+        let toks = lex("x = \"hi there\"; y = 42;").unwrap();
+        assert!(toks.contains(&Token::Str("hi there".into())));
+        assert!(toks.contains(&Token::Int(42)));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("x = #;").is_err());
+    }
+}

@@ -1,0 +1,935 @@
+//! Inlining, persistent-data analysis, and lowering to the kernel language.
+
+use crate::ast::{Expr, Method, Program, Stmt, Type};
+use crate::model::DataModel;
+use crate::parser::{parse, ParseError};
+use qbs_common::Ident;
+use qbs_kernel::{KExpr, KStmt, KernelProgram};
+use qbs_tor::{BinOp, CmpOp, QuerySpec};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why the preprocessor rejected a fragment (the paper's `†` outcomes:
+/// "rejected … due to TOR / pre-processing limitations").
+#[derive(Clone, Debug, PartialEq)]
+pub struct RejectReason {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl RejectReason {
+    fn new(r: impl Into<String>) -> RejectReason {
+        RejectReason { reason: r.into() }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rejected: {}", self.reason)
+    }
+}
+
+/// One identified code fragment: the originating method plus the lowering
+/// outcome.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    /// Method name.
+    pub method: String,
+    /// Kernel program, or the rejection reason.
+    pub kernel: Result<KernelProgram, RejectReason>,
+}
+
+/// Inlining budget (paper Sec. 6.1 inlines a neighborhood of 5 calls).
+const INLINE_DEPTH: usize = 5;
+
+type LowerResult<T> = Result<T, RejectReason>;
+
+struct Lowerer<'a> {
+    model: &'a DataModel,
+    /// Substitutions for loop element variables: `u ↦ get(users, i)`.
+    record_subst: BTreeMap<String, KExpr>,
+    /// Variables holding entity classes (class name per variable).
+    entity_vars: BTreeMap<String, String>,
+    /// Variables declared as sets (results become DISTINCT).
+    set_vars: BTreeSet<String>,
+    /// Variables derived from persistent data.
+    tainted: BTreeSet<String>,
+    /// Counter for fresh loop variables.
+    fresh: usize,
+    /// Early-return support: the result variable and default flag.
+    early_result: Option<Ident>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn fresh_counter(&mut self) -> Ident {
+        self.fresh += 1;
+        Ident::new(format!("i{}", self.fresh))
+    }
+
+    fn reject<T>(&self, reason: impl Into<String>) -> LowerResult<T> {
+        Err(RejectReason::new(reason))
+    }
+
+    /// The entity class of an expression's elements, when known.
+    fn elem_class(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Var(v) => self.entity_vars.get(v).cloned(),
+            _ => None,
+        }
+    }
+
+    // ---------- expressions ----------
+
+    fn lower_expr(&mut self, e: &Expr) -> LowerResult<KExpr> {
+        Ok(match e {
+            Expr::IntLit(i) => KExpr::int(*i),
+            Expr::StrLit(s) => KExpr::str(s),
+            Expr::BoolLit(b) => KExpr::bool(*b),
+            Expr::Var(v) => {
+                if let Some(sub) = self.record_subst.get(v) {
+                    sub.clone()
+                } else {
+                    KExpr::var(v.as_str())
+                }
+            }
+            Expr::Field(recv, f) => {
+                // Integer.MIN_VALUE / MAX_VALUE literals.
+                if let Expr::Var(v) = &**recv {
+                    if v == "Integer" || v == "Long" {
+                        if f == "MIN_VALUE" {
+                            return Ok(KExpr::int(i64::MIN));
+                        }
+                        if f == "MAX_VALUE" {
+                            return Ok(KExpr::int(i64::MAX));
+                        }
+                    }
+                }
+                KExpr::field(self.lower_expr(recv)?, f.as_str())
+            }
+            Expr::Not(x) => KExpr::not(self.lower_expr(x)?),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.lower_expr(lhs)?;
+                let r = self.lower_expr(rhs)?;
+                match op.as_str() {
+                    "==" => KExpr::cmp(CmpOp::Eq, l, r),
+                    "!=" => KExpr::cmp(CmpOp::Ne, l, r),
+                    "<" => KExpr::cmp(CmpOp::Lt, l, r),
+                    "<=" => KExpr::cmp(CmpOp::Le, l, r),
+                    ">" => KExpr::cmp(CmpOp::Gt, l, r),
+                    ">=" => KExpr::cmp(CmpOp::Ge, l, r),
+                    "&&" => KExpr::and(l, r),
+                    "||" => KExpr::binary(BinOp::Or, l, r),
+                    "+" => KExpr::add(l, r),
+                    "-" => KExpr::binary(BinOp::Sub, l, r),
+                    other => return self.reject(format!("operator `{other}`")),
+                }
+            }
+            Expr::InstanceOf(..) => {
+                return self.reject("type-based record selection (instanceof)")
+            }
+            Expr::Index(..) | Expr::NewArray { .. } => {
+                return self.reject("Java arrays are not supported")
+            }
+            Expr::New { class, args } => {
+                if args.is_empty() {
+                    // Empty collection constructors.
+                    return Ok(KExpr::EmptyList);
+                }
+                // View-object construction: map positional args onto the
+                // registered schema fields.
+                if let Some(info) = self.model.entity(class) {
+                    if info.schema.arity() == args.len() {
+                        let mut fields = Vec::with_capacity(args.len());
+                        for (f, a) in info.schema.fields().iter().zip(args) {
+                            fields.push((f.name.clone(), self.lower_expr(a)?));
+                        }
+                        return Ok(KExpr::RecordLit(fields));
+                    }
+                }
+                // `new ArrayList<>(other)` copies a collection.
+                if (class == "ArrayList" || class == "LinkedList") && args.len() == 1 {
+                    return self.lower_expr(&args[0]);
+                }
+                return self.reject(format!("constructor `new {class}(…)`"));
+            }
+            Expr::Call { recv, name, args } => return self.lower_call(recv.as_deref(), name, args),
+        })
+    }
+
+    fn lower_call(
+        &mut self,
+        recv: Option<&Expr>,
+        name: &str,
+        args: &[Expr],
+    ) -> LowerResult<KExpr> {
+        // DAO retrievals: `userDao.getUsers()`.
+        if let Some(Expr::Var(r)) = recv {
+            if let Some(info) = self.model.dao_target(r, name) {
+                return Ok(KExpr::query(QuerySpec::table_scan(
+                    info.table.clone(),
+                    info.schema.clone(),
+                )));
+            }
+        }
+        match (recv, name, args.len()) {
+            (Some(r), "size", 0) => Ok(KExpr::size(self.lower_expr(r)?)),
+            (Some(r), "isEmpty", 0) => Ok(KExpr::cmp(
+                CmpOp::Eq,
+                KExpr::size(self.lower_expr(r)?),
+                KExpr::int(0),
+            )),
+            (Some(r), "get", 1) => Ok(KExpr::get(self.lower_expr(r)?, self.lower_expr(&args[0])?)),
+            (Some(r), "contains", 1) => Ok(KExpr::contains(
+                self.lower_expr(r)?,
+                self.lower_expr(&args[0])?,
+            )),
+            (Some(r), "equals", 1) => Ok(KExpr::cmp(
+                CmpOp::Eq,
+                self.lower_expr(r)?,
+                self.lower_expr(&args[0])?,
+            )),
+            // Getter-style field access: `u.getRoleId()`.
+            (Some(r), getter, 0) if getter.starts_with("get") && getter.len() > 3 => {
+                let mut field = getter[3..].to_string();
+                let first = field.remove(0).to_ascii_lowercase();
+                field.insert(0, first);
+                Ok(KExpr::field(self.lower_expr(r)?, field.as_str()))
+            }
+            _ => self.reject(format!("call to unknown method `{name}`")),
+        }
+    }
+
+    // ---------- statements ----------
+
+    fn lower_block(&mut self, stmts: &[Stmt], out: &mut Vec<KStmt>) -> LowerResult<()> {
+        for s in stmts {
+            self.lower_stmt(s, out)?;
+        }
+        Ok(())
+    }
+
+    fn track_decl_type(&mut self, ty: &Type, name: &str, init: &Option<Expr>) {
+        match ty {
+            Type::Class(c) => {
+                self.entity_vars.insert(name.to_string(), c.clone());
+            }
+            Type::List(inner) | Type::Set(inner) => {
+                if let Type::Class(c) = &**inner {
+                    self.entity_vars.insert(name.to_string(), c.clone());
+                }
+                if matches!(ty, Type::Set(_)) {
+                    self.set_vars.insert(name.to_string());
+                }
+            }
+            _ => {}
+        }
+        // Taint propagation: values derived from DAO calls or tainted vars.
+        if let Some(e) = init {
+            if self.is_tainted(e) {
+                self.tainted.insert(name.to_string());
+            }
+        }
+    }
+
+    fn is_tainted(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Var(v) => self.tainted.contains(v) || self.record_subst.contains_key(v),
+            Expr::Call { recv: Some(r), name, .. } => {
+                if let Expr::Var(rv) = &**r {
+                    if self.model.dao_target(rv, name).is_some() {
+                        return true;
+                    }
+                }
+                self.is_tainted(r)
+            }
+            Expr::Field(r, _) => self.is_tainted(r),
+            Expr::New { args, .. } => args.iter().any(|a| self.is_tainted(a)),
+            Expr::Binary { lhs, rhs, .. } => self.is_tainted(lhs) || self.is_tainted(rhs),
+            Expr::Not(x) => self.is_tainted(x),
+            _ => false,
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, out: &mut Vec<KStmt>) -> LowerResult<()> {
+        match s {
+            Stmt::Decl { ty, name, init } => {
+                if matches!(ty, Type::Array(_)) {
+                    return self.reject("Java arrays are not supported");
+                }
+                self.track_decl_type(ty, name, init);
+                match init {
+                    None => {}
+                    Some(Expr::Call { recv: Some(r), name: m, args })
+                        if matches!(&**r, Expr::Var(rv)
+                            if self.model.dao_target(rv, m).is_some()) && args.is_empty() =>
+                    {
+                        let k = self.lower_call(Some(r), m, args)?;
+                        out.push(KStmt::assign(name.as_str(), k));
+                    }
+                    Some(e) => {
+                        let k = self.lower_expr(e)?;
+                        out.push(KStmt::assign(name.as_str(), k));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value } => match target {
+                Expr::Var(v) => {
+                    if self.is_tainted(value) {
+                        self.tainted.insert(v.clone());
+                    }
+                    let k = self.lower_expr(value)?;
+                    out.push(KStmt::assign(v.as_str(), k));
+                    Ok(())
+                }
+                Expr::Field(..) => {
+                    self.reject("relational update (field write on a persistent object)")
+                }
+                Expr::Index(..) => self.reject("Java arrays are not supported"),
+                other => self.reject(format!("unsupported assignment target {other:?}")),
+            },
+            Stmt::If { cond, then_branch, else_branch } => {
+                let c = self.lower_expr(cond)?;
+                let mut t = Vec::new();
+                self.lower_block(then_branch, &mut t)?;
+                let mut f = Vec::new();
+                self.lower_block(else_branch, &mut f)?;
+                out.push(KStmt::If(c, t, f));
+                Ok(())
+            }
+            Stmt::ForEach { ty, var, iter, body } => {
+                let list = self.lower_expr(iter)?;
+                // Materialize the iterated expression into a variable when
+                // it is not one already.
+                let list_var: Ident = match &list {
+                    KExpr::Var(v) => v.clone(),
+                    _ => {
+                        let v = Ident::new(format!("it{}", self.fresh));
+                        self.fresh += 1;
+                        out.push(KStmt::assign(v.clone(), list));
+                        v
+                    }
+                };
+                if let (Type::Class(c), Some(ec)) = (ty, self.elem_class(iter)) {
+                    let _ = c;
+                    self.entity_vars.insert(var.clone(), ec);
+                }
+                let counter = self.fresh_counter();
+                out.push(KStmt::assign(counter.clone(), KExpr::int(0)));
+                let elem = KExpr::get(KExpr::var(list_var.clone()), KExpr::var(counter.clone()));
+                let shadow = self.record_subst.insert(var.clone(), elem);
+                // The element is persistent data when the list is.
+                self.tainted.insert(var.clone());
+                let mut body_k = Vec::new();
+                self.lower_block(body, &mut body_k)?;
+                body_k.push(KStmt::assign(
+                    counter.clone(),
+                    KExpr::add(KExpr::var(counter.clone()), KExpr::int(1)),
+                ));
+                out.push(KStmt::while_loop(
+                    KExpr::cmp(
+                        CmpOp::Lt,
+                        KExpr::var(counter),
+                        KExpr::size(KExpr::var(list_var)),
+                    ),
+                    body_k,
+                ));
+                match shadow {
+                    Some(prev) => {
+                        self.record_subst.insert(var.clone(), prev);
+                    }
+                    None => {
+                        self.record_subst.remove(var);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::For { var, init, cond, body } => {
+                let i = self.lower_expr(init)?;
+                out.push(KStmt::assign(var.as_str(), i));
+                let c = self.lower_expr(cond)?;
+                let mut body_k = Vec::new();
+                self.lower_block(body, &mut body_k)?;
+                body_k.push(KStmt::assign(
+                    var.as_str(),
+                    KExpr::add(KExpr::var(var.as_str()), KExpr::int(1)),
+                ));
+                out.push(KStmt::while_loop(c, body_k));
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let c = self.lower_expr(cond)?;
+                let mut body_k = Vec::new();
+                self.lower_block(body, &mut body_k)?;
+                out.push(KStmt::while_loop(c, body_k));
+                Ok(())
+            }
+            Stmt::Return(_) => {
+                // Handled by the caller (`lower_method`); a return deep in a
+                // loop is transformed there.
+                self.reject("internal: unexpected return position")
+            }
+            Stmt::ExprStmt(e) => self.lower_effect(e, out),
+        }
+    }
+
+    /// Lowers a call-for-effect statement.
+    fn lower_effect(&mut self, e: &Expr, out: &mut Vec<KStmt>) -> LowerResult<()> {
+        let Expr::Call { recv, name, args } = e else {
+            return self.reject(format!("expression statement {e:?}"));
+        };
+        // Collections.sort(list[, comparator]).
+        if let Some(Expr::Var(r)) = recv.as_deref() {
+            if r == "Collections" && name == "sort" {
+                let Some(Expr::Var(list)) = args.first() else {
+                    return self.reject("sort of a non-variable list");
+                };
+                // The sorted view gets a fresh name and subsequent uses of
+                // the list variable are redirected to it. Re-assigning the
+                // same variable would make its defining equation circular
+                // (`xs = sort(xs)`), which breaks both invariant checking
+                // and postcondition expansion.
+                let source = self
+                    .record_subst
+                    .get(list)
+                    .cloned()
+                    .unwrap_or_else(|| KExpr::var(list.as_str()));
+                let sorted = match args.get(1) {
+                    None => {
+                        return self.reject(
+                            "sort without a comparator needs entity ordering metadata",
+                        )
+                    }
+                    // Field comparator, written as a string literal.
+                    Some(Expr::StrLit(field)) => {
+                        KExpr::Sort(vec![field.as_str().into()], Box::new(source))
+                    }
+                    // Custom comparator object: opaque.
+                    Some(_) => KExpr::SortCustom(Box::new(source)),
+                };
+                self.fresh += 1;
+                let fresh = format!("{list}_sorted{}", self.fresh);
+                out.push(KStmt::assign(fresh.as_str(), sorted));
+                self.record_subst.insert(list.clone(), KExpr::var(fresh.as_str()));
+                if self.tainted.contains(list) {
+                    self.tainted.insert(fresh);
+                }
+                return Ok(());
+            }
+        }
+        match (recv.as_deref(), name.as_str(), args.len()) {
+            (Some(Expr::Var(list)), "add", 1) => {
+                if self.is_tainted(&args[0]) {
+                    self.tainted.insert(list.clone());
+                }
+                let elem = self.lower_expr(&args[0])?;
+                out.push(KStmt::assign(
+                    list.as_str(),
+                    KExpr::append(KExpr::var(list.as_str()), elem),
+                ));
+                Ok(())
+            }
+            (Some(Expr::Var(list)), "remove", 1) => {
+                let elem = self.lower_expr(&args[0])?;
+                out.push(KStmt::assign(
+                    list.as_str(),
+                    KExpr::Remove(Box::new(KExpr::var(list.as_str())), Box::new(elem)),
+                ));
+                Ok(())
+            }
+            (Some(Expr::Var(dao)), m, _)
+                if m.starts_with("save") || m.starts_with("update") || m.starts_with("delete") =>
+            {
+                let _ = dao;
+                self.reject("relational update operation (DAO write)")
+            }
+            // Setter on an entity object: a relational update.
+            (Some(_), setter, 1) if setter.starts_with("set") => {
+                self.reject("relational update (entity setter)")
+            }
+            _ => {
+                // Unknown callee: if it consumes tainted data, the value
+                // escapes mid-fragment (paper's escapement analysis).
+                if args.iter().any(|a| self.is_tainted(a)) {
+                    self.reject(format!(
+                        "persistent data escapes to unknown callee `{name}`"
+                    ))
+                } else {
+                    // Harmless effect (logging etc.).
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Inlines helper-method calls appearing as declaration initializers
+/// (`List<X> xs = helper(…);`), up to [`INLINE_DEPTH`].
+fn inline_method(program: &Program, m: &Method, depth: usize) -> Method {
+    if depth == 0 {
+        return m.clone();
+    }
+    let mut body = Vec::new();
+    for s in &m.body {
+        match s {
+            Stmt::Decl { ty, name, init: Some(Expr::Call { recv: None, name: callee, args }) } => {
+                if let Some(helper) = program.method(callee) {
+                    let helper = inline_method(program, helper, depth - 1);
+                    // Bind parameters.
+                    for ((pty, pname), arg) in helper.params.iter().zip(args) {
+                        body.push(Stmt::Decl {
+                            ty: pty.clone(),
+                            name: format!("{callee}_{pname}"),
+                            init: Some(arg.clone()),
+                        });
+                    }
+                    // Splice the body with locals renamed, converting the
+                    // tail return into an assignment to `name`.
+                    let renamed = rename_vars(&helper.body, &helper, callee);
+                    for hs in renamed {
+                        match hs {
+                            Stmt::Return(Some(e)) => {
+                                body.push(Stmt::Decl {
+                                    ty: ty.clone(),
+                                    name: name.clone(),
+                                    init: Some(e),
+                                });
+                            }
+                            Stmt::Return(None) => {}
+                            other => body.push(other),
+                        }
+                    }
+                    continue;
+                }
+                body.push(s.clone());
+            }
+            other => body.push(other.clone()),
+        }
+    }
+    Method { body, ..m.clone() }
+}
+
+/// Prefixes helper locals/params with the callee name to avoid capture.
+fn rename_vars(stmts: &[Stmt], helper: &Method, prefix: &str) -> Vec<Stmt> {
+    let mut names: BTreeSet<String> =
+        helper.params.iter().map(|(_, n)| n.clone()).collect();
+    collect_locals(stmts, &mut names);
+    stmts.iter().map(|s| rename_stmt(s, &names, prefix)).collect()
+}
+
+fn collect_locals(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Decl { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_locals(then_branch, out);
+                collect_locals(else_branch, out);
+            }
+            Stmt::ForEach { var, body, .. } => {
+                out.insert(var.clone());
+                collect_locals(body, out);
+            }
+            Stmt::For { var, body, .. } => {
+                out.insert(var.clone());
+                collect_locals(body, out);
+            }
+            Stmt::While { body, .. } => collect_locals(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn rename_stmt(s: &Stmt, names: &BTreeSet<String>, prefix: &str) -> Stmt {
+    let re = |e: &Expr| rename_expr(e, names, prefix);
+    let rb = |b: &[Stmt]| b.iter().map(|s| rename_stmt(s, names, prefix)).collect();
+    let rn = |n: &String| {
+        if names.contains(n) {
+            format!("{prefix}_{n}")
+        } else {
+            n.clone()
+        }
+    };
+    match s {
+        Stmt::Decl { ty, name, init } => Stmt::Decl {
+            ty: ty.clone(),
+            name: rn(name),
+            init: init.as_ref().map(re),
+        },
+        Stmt::Assign { target, value } => Stmt::Assign { target: re(target), value: re(value) },
+        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+            cond: re(cond),
+            then_branch: rb(then_branch),
+            else_branch: rb(else_branch),
+        },
+        Stmt::ForEach { ty, var, iter, body } => Stmt::ForEach {
+            ty: ty.clone(),
+            var: rn(var),
+            iter: re(iter),
+            body: rb(body),
+        },
+        Stmt::For { var, init, cond, body } => Stmt::For {
+            var: rn(var),
+            init: re(init),
+            cond: re(cond),
+            body: rb(body),
+        },
+        Stmt::While { cond, body } => Stmt::While { cond: re(cond), body: rb(body) },
+        Stmt::Return(e) => Stmt::Return(e.as_ref().map(re)),
+        Stmt::ExprStmt(e) => Stmt::ExprStmt(re(e)),
+    }
+}
+
+fn rename_expr(e: &Expr, names: &BTreeSet<String>, prefix: &str) -> Expr {
+    let re = |x: &Expr| rename_expr(x, names, prefix);
+    match e {
+        Expr::Var(v) if names.contains(v) => Expr::Var(format!("{prefix}_{v}")),
+        Expr::Var(_) | Expr::IntLit(_) | Expr::StrLit(_) | Expr::BoolLit(_) => e.clone(),
+        Expr::Field(r, f) => Expr::Field(Box::new(re(r)), f.clone()),
+        Expr::Call { recv, name, args } => Expr::Call {
+            recv: recv.as_ref().map(|r| Box::new(re(r))),
+            name: name.clone(),
+            args: args.iter().map(re).collect(),
+        },
+        Expr::New { class, args } => {
+            Expr::New { class: class.clone(), args: args.iter().map(re).collect() }
+        }
+        Expr::NewArray { elem, len } => {
+            Expr::NewArray { elem: elem.clone(), len: Box::new(re(len)) }
+        }
+        Expr::Index(a, b) => Expr::Index(Box::new(re(a)), Box::new(re(b))),
+        Expr::Not(x) => Expr::Not(Box::new(re(x))),
+        Expr::Binary { op, lhs, rhs } => {
+            Expr::Binary { op: op.clone(), lhs: Box::new(re(lhs)), rhs: Box::new(re(rhs)) }
+        }
+        Expr::InstanceOf(x, c) => Expr::InstanceOf(Box::new(re(x)), c.clone()),
+    }
+}
+
+/// Splits a method body into (statements, result expression) and rewrites
+/// constant early returns inside loops into flag assignments.
+fn extract_result(body: &[Stmt]) -> LowerResult<(Vec<Stmt>, Expr)> {
+    let mut stmts = body.to_vec();
+    let Some(Stmt::Return(Some(tail))) = stmts.pop() else {
+        return Err(RejectReason::new("fragment method must end with `return e;`"));
+    };
+    Ok((stmts, tail))
+}
+
+/// Rewrites `return <const>` inside loops into `resultVar = <const>;`
+/// (the scan continues; the final value is unchanged for constant returns).
+fn rewrite_early_returns(stmts: &mut Vec<Stmt>, result_var: &str) -> LowerResult<bool> {
+    let mut changed = false;
+    for s in stmts {
+        match s {
+            Stmt::If { then_branch, else_branch, .. } => {
+                changed |= rewrite_early_returns(then_branch, result_var)?;
+                changed |= rewrite_early_returns(else_branch, result_var)?;
+            }
+            Stmt::ForEach { body, .. } | Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                changed |= rewrite_early_returns(body, result_var)?;
+            }
+            Stmt::Return(Some(e)) => {
+                match e {
+                    Expr::BoolLit(_) | Expr::IntLit(_) | Expr::StrLit(_) => {
+                        *s = Stmt::Assign {
+                            target: Expr::Var(result_var.to_string()),
+                            value: e.clone(),
+                        };
+                        changed = true;
+                    }
+                    _ => {
+                        return Err(RejectReason::new(
+                            "early return of a non-constant value",
+                        ))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(changed)
+}
+
+/// Compiles one (already inlined) method into a kernel program.
+fn lower_method(m: &Method, model: &DataModel, program: &Program) -> LowerResult<KernelProgram> {
+    let _ = program;
+    let mut lw = Lowerer {
+        model,
+        record_subst: BTreeMap::new(),
+        entity_vars: BTreeMap::new(),
+        set_vars: BTreeSet::new(),
+        tainted: BTreeSet::new(),
+        fresh: 0,
+        early_result: None,
+    };
+    let _ = &lw.early_result;
+
+    let (mut stmts, tail) = extract_result(&m.body)?;
+    let result_var = "result";
+    let had_early = rewrite_early_returns(&mut stmts, result_var)?;
+
+    for (ty, name) in &m.params {
+        if matches!(ty, Type::List(_) | Type::Set(_) | Type::Array(_)) {
+            return Err(RejectReason::new("collection-typed fragment parameters"));
+        }
+        let _ = name;
+    }
+
+    let mut body = Vec::new();
+    if had_early {
+        // The tail return supplies the *default*: with constant early
+        // returns, `for (…) { if (c) return A; } return B;` is equivalent to
+        // `result = B; for (…) { if (c) result = A; } return result;`.
+        let tail_k = lw.lower_expr(&tail)?;
+        if !matches!(tail_k, KExpr::Const(_)) {
+            return Err(RejectReason::new(
+                "early returns combined with a non-constant tail return",
+            ));
+        }
+        body.push(KStmt::assign(result_var, tail_k));
+        lw.lower_block(&stmts, &mut body)?;
+    } else {
+        lw.lower_block(&stmts, &mut body)?;
+        // The tail return defines the result variable.
+        let tail_k = lw.lower_expr(&tail)?;
+        let returns_set = matches!(&tail, Expr::Var(v) if lw.set_vars.contains(v));
+        let tail_k = if returns_set { KExpr::unique(tail_k) } else { tail_k };
+        match &tail_k {
+            KExpr::Var(v) if v == result_var => {}
+            _ => body.push(KStmt::assign(result_var, tail_k)),
+        }
+    }
+
+    let mut b = KernelProgram::builder(m.name.as_str());
+    for (_, p) in &m.params {
+        b = b.param(p.as_str());
+    }
+    for s in body {
+        b = b.stmt(s);
+    }
+    Ok(b.result(result_var).finish())
+}
+
+/// Compiles every public (entry-point) method of a parsed program that
+/// touches persistent data.
+pub fn compile_program(program: &Program, model: &DataModel) -> Vec<Fragment> {
+    let mut out = Vec::new();
+    for class in &program.classes {
+        for m in &class.methods {
+            if !m.public {
+                continue;
+            }
+            let inlined = inline_method(program, m, INLINE_DEPTH);
+            // Persistent-data check: the method (after inlining) must issue
+            // a DAO retrieval somewhere.
+            if !method_touches_dao(&inlined, model) {
+                continue;
+            }
+            let kernel = lower_method(&inlined, model, program);
+            out.push(Fragment { method: m.name.clone(), kernel });
+        }
+    }
+    out
+}
+
+fn expr_touches_dao(e: &Expr, model: &DataModel) -> bool {
+    if let Expr::Call { recv: Some(r), name, .. } = e {
+        if let Expr::Var(rv) = &**r {
+            if model.dao_target(rv, name).is_some() {
+                return true;
+            }
+        }
+    }
+    match e {
+        Expr::Field(r, _) | Expr::Not(r) => expr_touches_dao(r, model),
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_touches_dao(lhs, model) || expr_touches_dao(rhs, model)
+        }
+        Expr::Call { recv, args, .. } => {
+            recv.as_ref().is_some_and(|r| expr_touches_dao(r, model))
+                || args.iter().any(|a| expr_touches_dao(a, model))
+        }
+        Expr::New { args, .. } => args.iter().any(|a| expr_touches_dao(a, model)),
+        _ => false,
+    }
+}
+
+fn stmts_touch_dao(stmts: &[Stmt], model: &DataModel) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Decl { init, .. } => init.as_ref().is_some_and(|e| expr_touches_dao(e, model)),
+        Stmt::Assign { value, .. } => expr_touches_dao(value, model),
+        Stmt::If { cond, then_branch, else_branch } => {
+            expr_touches_dao(cond, model)
+                || stmts_touch_dao(then_branch, model)
+                || stmts_touch_dao(else_branch, model)
+        }
+        Stmt::ForEach { iter, body, .. } => {
+            expr_touches_dao(iter, model) || stmts_touch_dao(body, model)
+        }
+        Stmt::For { body, .. } | Stmt::While { body, .. } => stmts_touch_dao(body, model),
+        Stmt::Return(e) => e.as_ref().is_some_and(|e| expr_touches_dao(e, model)),
+        Stmt::ExprStmt(e) => expr_touches_dao(e, model),
+    })
+}
+
+fn method_touches_dao(m: &Method, model: &DataModel) -> bool {
+    stmts_touch_dao(&m.body, model)
+}
+
+/// Parses and compiles MiniJava source into fragments.
+///
+/// # Errors
+///
+/// Returns the parse error if the source is malformed; per-fragment
+/// rejections are reported inside the [`Fragment`] results.
+pub fn compile_source(src: &str, model: &DataModel) -> Result<Vec<Fragment>, ParseError> {
+    let program = parse(src)?;
+    Ok(compile_program(&program, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema};
+
+    fn model() -> DataModel {
+        let mut m = DataModel::new();
+        m.add_entity(
+            "User",
+            "users",
+            Schema::builder("users")
+                .field("id", FieldType::Int)
+                .field("roleId", FieldType::Int)
+                .finish(),
+        );
+        m.add_entity(
+            "Role",
+            "roles",
+            Schema::builder("roles")
+                .field("roleId", FieldType::Int)
+                .field("name", FieldType::Str)
+                .finish(),
+        );
+        m.add_dao("userDao", "getUsers", "User");
+        m.add_dao("roleDao", "getRoles", "Role");
+        m
+    }
+
+    #[test]
+    fn lowers_running_example_to_nested_loops() {
+        let src = r#"
+        class UserService {
+            public List<User> getRoleUser() {
+                List<User> users = userDao.getUsers();
+                List<Role> roles = roleDao.getRoles();
+                List<User> listUsers = new ArrayList<User>();
+                for (User u : users) {
+                    for (Role r : roles) {
+                        if (u.roleId == r.roleId) {
+                            listUsers.add(u);
+                        }
+                    }
+                }
+                return listUsers;
+            }
+        }
+        "#;
+        let frags = compile_source(src, &model()).unwrap();
+        assert_eq!(frags.len(), 1);
+        let kernel = frags[0].kernel.as_ref().unwrap();
+        let printed = qbs_kernel::pretty(kernel);
+        assert!(printed.contains("while"), "{printed}");
+        assert!(printed.contains("append(listUsers"), "{printed}");
+        assert!(printed.contains(".roleId"), "{printed}");
+    }
+
+    #[test]
+    fn rejects_arrays_updates_and_instanceof() {
+        let cases = [
+            (
+                "int[] a = new int[3]; return 0;",
+                "arrays",
+            ),
+            (
+                "List<User> us = userDao.getUsers(); for (User u : us) { u.setName(\"x\"); } return 0;",
+                "update",
+            ),
+        ];
+        for (body, needle) in cases {
+            let src = format!(
+                "class S {{ public int f() {{ List<User> zz = userDao.getUsers(); {body} }} }}"
+            );
+            let frags = compile_source(&src, &model()).unwrap();
+            let err = frags[0].kernel.as_ref().unwrap_err();
+            assert!(
+                err.reason.contains(needle),
+                "expected `{needle}` in `{}`",
+                err.reason
+            );
+        }
+    }
+
+    #[test]
+    fn early_constant_return_becomes_flag() {
+        let src = r#"
+        class S {
+            public boolean hasAdmin() {
+                List<User> users = userDao.getUsers();
+                for (User u : users) {
+                    if (u.roleId == 1) { return true; }
+                }
+                return false;
+            }
+        }
+        "#;
+        let frags = compile_source(src, &model()).unwrap();
+        let kernel = frags[0].kernel.as_ref().unwrap();
+        let printed = qbs_kernel::pretty(kernel);
+        assert!(printed.contains("result := true"), "{printed}");
+        assert!(printed.contains("result := false"), "{printed}");
+    }
+
+    #[test]
+    fn helper_methods_are_inlined() {
+        let src = r#"
+        class S {
+            private List<User> fetch() {
+                List<User> us = userDao.getUsers();
+                return us;
+            }
+            public int countUsers() {
+                List<User> all = fetch();
+                return all.size();
+            }
+        }
+        "#;
+        let frags = compile_source(src, &model()).unwrap();
+        assert_eq!(frags.len(), 1, "only the public method is an entry point");
+        let kernel = frags[0].kernel.as_ref().unwrap();
+        let printed = qbs_kernel::pretty(kernel);
+        assert!(printed.contains("Query(SELECT * FROM users)"), "{printed}");
+        assert!(printed.contains("size("), "{printed}");
+    }
+
+    #[test]
+    fn set_results_become_unique() {
+        let src = r#"
+        class S {
+            public Set<Integer> roleIds() {
+                List<User> users = userDao.getUsers();
+                Set<Integer> ids = new HashSet<Integer>();
+                for (User u : users) {
+                    ids.add(u.roleId);
+                }
+                return ids;
+            }
+        }
+        "#;
+        let frags = compile_source(src, &model()).unwrap();
+        let kernel = frags[0].kernel.as_ref().unwrap();
+        let printed = qbs_kernel::pretty(kernel);
+        assert!(printed.contains("unique(ids)"), "{printed}");
+    }
+}

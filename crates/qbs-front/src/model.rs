@@ -1,0 +1,79 @@
+//! The persistent-data model: entity classes, tables, and DAO methods.
+//!
+//! The paper's preprocessor reads Hibernate configuration files to learn
+//! which methods are "persistent data methods" and which tables back each
+//! entity. [`DataModel`] plays that role: the corpus registers entity
+//! classes with their schemas and maps DAO calls (`userDao.getUsers()`) to
+//! table retrievals.
+
+use qbs_common::{Ident, SchemaRef};
+use std::collections::BTreeMap;
+
+/// An entity class mapping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EntityInfo {
+    /// Backing table name.
+    pub table: Ident,
+    /// Row schema.
+    pub schema: SchemaRef,
+}
+
+/// The application's object-relational configuration.
+#[derive(Clone, Debug, Default)]
+pub struct DataModel {
+    entities: BTreeMap<String, EntityInfo>,
+    /// `(receiver, method)` → entity class returned by the DAO call.
+    daos: BTreeMap<(String, String), String>,
+}
+
+impl DataModel {
+    /// An empty model.
+    pub fn new() -> DataModel {
+        DataModel::default()
+    }
+
+    /// Registers an entity class backed by `table` with the given schema.
+    pub fn add_entity(&mut self, class: &str, table: &str, schema: SchemaRef) {
+        self.entities
+            .insert(class.to_string(), EntityInfo { table: table.into(), schema });
+    }
+
+    /// Registers a DAO retrieval: `recv.method()` returns all instances of
+    /// `entity`.
+    pub fn add_dao(&mut self, recv: &str, method: &str, entity: &str) {
+        self.daos
+            .insert((recv.to_string(), method.to_string()), entity.to_string());
+    }
+
+    /// Looks up an entity class.
+    pub fn entity(&self, class: &str) -> Option<&EntityInfo> {
+        self.entities.get(class)
+    }
+
+    /// Resolves a DAO call to the entity it retrieves.
+    pub fn dao_target(&self, recv: &str, method: &str) -> Option<&EntityInfo> {
+        self.daos
+            .get(&(recv.to_string(), method.to_string()))
+            .and_then(|class| self.entities.get(class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema};
+
+    #[test]
+    fn dao_resolution() {
+        let mut m = DataModel::new();
+        m.add_entity(
+            "User",
+            "users",
+            Schema::builder("users").field("id", FieldType::Int).finish(),
+        );
+        m.add_dao("userDao", "getUsers", "User");
+        let e = m.dao_target("userDao", "getUsers").unwrap();
+        assert_eq!(e.table, "users");
+        assert!(m.dao_target("userDao", "getAdmins").is_none());
+    }
+}

@@ -1,0 +1,570 @@
+//! Recursive-descent parser for MiniJava.
+
+use crate::ast::{ClassDecl, Expr, Method, Program, Stmt, Type};
+use crate::lexer::{lex, Token};
+use std::fmt;
+
+/// Parse failure with a readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(m: impl Into<String>) -> ParseError {
+        ParseError { message: m.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError::new(e.to_string())
+    }
+}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<()> {
+        match self.next()? {
+            Token::Sym(t) if t == s => Ok(()),
+            other => Err(ParseError::new(format!("expected `{s}`, found `{other}`"))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Token::Ident(t) if t == kw => Ok(()),
+            other => Err(ParseError::new(format!("expected `{kw}`, found `{other}`"))),
+        }
+    }
+
+    fn at_sym(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Token::Sym(t)) if t == s)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(t)) if t == kw)
+    }
+
+    fn take_sym(&mut self, s: &str) -> bool {
+        if self.at_sym(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError::new(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    // ---------- types ----------
+
+    fn parse_type(&mut self) -> Result<Type> {
+        let base = self.ident()?;
+        let mut ty = match base.as_str() {
+            "int" | "long" => Type::Int,
+            "boolean" => Type::Boolean,
+            "String" => Type::Str,
+            "void" => Type::Void,
+            "List" | "ArrayList" => {
+                let inner = self.generic_arg()?;
+                Type::List(Box::new(inner))
+            }
+            "Set" | "HashSet" | "LinkedHashSet" => {
+                let inner = self.generic_arg()?;
+                Type::Set(Box::new(inner))
+            }
+            other => Type::Class(other.to_string()),
+        };
+        while self.at_sym("[") {
+            self.eat_sym("[")?;
+            self.eat_sym("]")?;
+            ty = Type::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn generic_arg(&mut self) -> Result<Type> {
+        if self.take_sym("<") {
+            if self.take_sym(">") {
+                // Diamond `<>`.
+                return Ok(Type::Class(String::new()));
+            }
+            let inner = self.parse_type()?;
+            self.eat_sym(">")?;
+            Ok(inner)
+        } else {
+            Ok(Type::Class(String::new()))
+        }
+    }
+
+    /// Is a type declaration starting here? (Heuristic: `Ident Ident` or a
+    /// known type keyword followed by an identifier or generic bracket.)
+    fn at_decl(&self) -> bool {
+        let Some(Token::Ident(first)) = self.peek() else { return false };
+        if ["int", "long", "boolean", "String", "List", "ArrayList", "Set", "HashSet"]
+            .contains(&first.as_str())
+        {
+            return true;
+        }
+        // `User u = …` — a capitalized class name followed by an identifier.
+        first.chars().next().is_some_and(char::is_uppercase)
+            && matches!(self.peek2(), Some(Token::Ident(_)))
+    }
+
+    // ---------- expressions ----------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut e = self.parse_and()?;
+        while self.at_sym("||") {
+            self.eat_sym("||")?;
+            let r = self.parse_and()?;
+            e = Expr::binary("||", e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut e = self.parse_equality()?;
+        while self.at_sym("&&") {
+            self.eat_sym("&&")?;
+            let r = self.parse_equality()?;
+            e = Expr::binary("&&", e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr> {
+        let mut e = self.parse_relational()?;
+        loop {
+            let op = if self.at_sym("==") {
+                "=="
+            } else if self.at_sym("!=") {
+                "!="
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let r = self.parse_relational()?;
+            e = Expr::binary(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr> {
+        let mut e = self.parse_additive()?;
+        loop {
+            if self.at_kw("instanceof") {
+                self.pos += 1;
+                let class = self.ident()?;
+                e = Expr::InstanceOf(Box::new(e), class);
+                continue;
+            }
+            let op = if self.at_sym("<=") {
+                "<="
+            } else if self.at_sym(">=") {
+                ">="
+            } else if self.at_sym("<") {
+                "<"
+            } else if self.at_sym(">") {
+                ">"
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let r = self.parse_additive()?;
+            e = Expr::binary(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut e = self.parse_unary()?;
+        loop {
+            let op = if self.at_sym("+") {
+                "+"
+            } else if self.at_sym("-") {
+                "-"
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let r = self.parse_unary()?;
+            e = Expr::binary(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.take_sym("!") {
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.at_sym(".") {
+                self.eat_sym(".")?;
+                let name = self.ident()?;
+                if self.at_sym("(") {
+                    let args = self.parse_args()?;
+                    e = Expr::Call { recv: Some(Box::new(e)), name, args };
+                } else {
+                    e = Expr::Field(Box::new(e), name);
+                }
+                continue;
+            }
+            if self.at_sym("[") {
+                self.eat_sym("[")?;
+                let idx = self.parse_expr()?;
+                self.eat_sym("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+                continue;
+            }
+            break;
+        }
+        Ok(e)
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Expr>> {
+        self.eat_sym("(")?;
+        let mut args = Vec::new();
+        if !self.at_sym(")") {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.take_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_sym(")")?;
+        Ok(args)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next()? {
+            Token::Int(i) => Ok(Expr::IntLit(i)),
+            Token::Str(s) => Ok(Expr::StrLit(s)),
+            Token::Ident(id) => match id.as_str() {
+                "true" => Ok(Expr::BoolLit(true)),
+                "false" => Ok(Expr::BoolLit(false)),
+                "new" => {
+                    let class = self.ident()?;
+                    // Skip generics.
+                    if self.take_sym("<") {
+                        let mut depth = 1;
+                        while depth > 0 {
+                            match self.next()? {
+                                Token::Sym(s) if s == "<" => depth += 1,
+                                Token::Sym(s) if s == ">" => depth -= 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                    if self.at_sym("[") {
+                        self.eat_sym("[")?;
+                        let len = self.parse_expr()?;
+                        self.eat_sym("]")?;
+                        return Ok(Expr::NewArray {
+                            elem: Type::Class(class),
+                            len: Box::new(len),
+                        });
+                    }
+                    let args = self.parse_args()?;
+                    Ok(Expr::New { class, args })
+                }
+                _ => {
+                    if self.at_sym("(") {
+                        let args = self.parse_args()?;
+                        Ok(Expr::Call { recv: None, name: id, args })
+                    } else {
+                        Ok(Expr::Var(id))
+                    }
+                }
+            },
+            Token::Sym(s) if s == "(" => {
+                let e = self.parse_expr()?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            other => Err(ParseError::new(format!("unexpected token `{other}`"))),
+        }
+    }
+
+    // ---------- statements ----------
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>> {
+        self.eat_sym("{")?;
+        let mut out = Vec::new();
+        while !self.at_sym("}") {
+            out.push(self.parse_stmt()?);
+        }
+        self.eat_sym("}")?;
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        if self.at_kw("if") {
+            self.eat_kw("if")?;
+            self.eat_sym("(")?;
+            let cond = self.parse_expr()?;
+            self.eat_sym(")")?;
+            let then_branch = self.parse_block()?;
+            let else_branch = if self.at_kw("else") {
+                self.eat_kw("else")?;
+                if self.at_kw("if") {
+                    vec![self.parse_stmt()?]
+                } else {
+                    self.parse_block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then_branch, else_branch });
+        }
+        if self.at_kw("while") {
+            self.eat_kw("while")?;
+            self.eat_sym("(")?;
+            let cond = self.parse_expr()?;
+            self.eat_sym(")")?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.at_kw("for") {
+            return self.parse_for();
+        }
+        if self.at_kw("return") {
+            self.eat_kw("return")?;
+            if self.take_sym(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.parse_expr()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.at_decl() {
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            let init = if self.take_sym("=") { Some(self.parse_expr()?) } else { None };
+            self.eat_sym(";")?;
+            return Ok(Stmt::Decl { ty, name, init });
+        }
+        // Assignment, increment, or expression statement.
+        let target = self.parse_expr()?;
+        if self.take_sym("=") {
+            let value = self.parse_expr()?;
+            self.eat_sym(";")?;
+            return Ok(Stmt::Assign { target, value });
+        }
+        if self.take_sym("++") {
+            self.eat_sym(";")?;
+            let value = Expr::binary("+", target.clone(), Expr::IntLit(1));
+            return Ok(Stmt::Assign { target, value });
+        }
+        self.eat_sym(";")?;
+        Ok(Stmt::ExprStmt(target))
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt> {
+        self.eat_kw("for")?;
+        self.eat_sym("(")?;
+        // Distinguish for-each (`T x : e`) from counted (`int i = 0; …`).
+        let ty = self.parse_type()?;
+        let var = self.ident()?;
+        if self.take_sym(":") {
+            let iter = self.parse_expr()?;
+            self.eat_sym(")")?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::ForEach { ty, var, iter, body });
+        }
+        self.eat_sym("=")?;
+        let init = self.parse_expr()?;
+        self.eat_sym(";")?;
+        let cond = self.parse_expr()?;
+        self.eat_sym(";")?;
+        // Update must be `var++`.
+        let uv = self.ident()?;
+        self.eat_sym("++")?;
+        if uv != var {
+            return Err(ParseError::new("for-loop update must increment the loop counter"));
+        }
+        self.eat_sym(")")?;
+        let body = self.parse_block()?;
+        Ok(Stmt::For { var, init, cond, body })
+    }
+
+    // ---------- declarations ----------
+
+    fn parse_method(&mut self) -> Result<Method> {
+        let mut public = false;
+        while self.at_kw("public") || self.at_kw("private") || self.at_kw("static") {
+            if self.at_kw("public") {
+                public = true;
+            }
+            self.pos += 1;
+        }
+        let ret = self.parse_type()?;
+        let name = self.ident()?;
+        self.eat_sym("(")?;
+        let mut params = Vec::new();
+        if !self.at_sym(")") {
+            loop {
+                let ty = self.parse_type()?;
+                let pname = self.ident()?;
+                params.push((ty, pname));
+                if !self.take_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_sym(")")?;
+        let body = self.parse_block()?;
+        Ok(Method { public, ret, name, params, body })
+    }
+
+    fn parse_class(&mut self) -> Result<ClassDecl> {
+        self.eat_kw("class")?;
+        let name = self.ident()?;
+        self.eat_sym("{")?;
+        let mut methods = Vec::new();
+        while !self.at_sym("}") {
+            methods.push(self.parse_method()?);
+        }
+        self.eat_sym("}")?;
+        Ok(ClassDecl { name, methods })
+    }
+}
+
+/// Parses a MiniJava compilation unit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut classes = Vec::new();
+    while p.peek().is_some() {
+        classes.push(p.parse_class()?);
+    }
+    Ok(Program { classes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_running_example() {
+        let src = r#"
+        class UserService {
+            public List<User> getRoleUser() {
+                List<User> users = userDao.getUsers();
+                List<Role> roles = roleDao.getRoles();
+                List<User> listUsers = new ArrayList<User>();
+                for (User u : users) {
+                    for (Role r : roles) {
+                        if (u.roleId == r.roleId) {
+                            listUsers.add(u);
+                        }
+                    }
+                }
+                return listUsers;
+            }
+        }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.classes.len(), 1);
+        let m = prog.method("getRoleUser").unwrap();
+        assert!(m.public);
+        assert_eq!(m.body.len(), 5);
+        assert!(matches!(m.body[3], Stmt::ForEach { .. }));
+    }
+
+    #[test]
+    fn parses_counted_for_and_calls() {
+        let src = r#"
+        class S {
+            public int count() {
+                int c = 0;
+                List<User> users = userDao.getUsers();
+                for (int i = 0; i < users.size(); i++) {
+                    if (users.get(i).roleId == 3) { c++; }
+                }
+                return c;
+            }
+        }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = prog.method("count").unwrap();
+        assert!(matches!(&m.body[2], Stmt::For { var, .. } if var == "i"));
+    }
+
+    #[test]
+    fn parses_instanceof_arrays_and_sets() {
+        let src = r#"
+        class S {
+            public int f(Task t) {
+                Set<Integer> ids = new HashSet<Integer>();
+                int[] arr = new int[10];
+                if (t instanceof Milestone) { return 1; }
+                return 0;
+            }
+        }
+        "#;
+        let prog = parse(src).unwrap();
+        let m = prog.method("f").unwrap();
+        assert!(matches!(&m.body[0], Stmt::Decl { ty: Type::Set(_), .. }));
+        assert!(matches!(&m.body[1], Stmt::Decl { ty: Type::Array(_), .. }));
+    }
+
+    #[test]
+    fn parse_error_is_descriptive() {
+        let err = parse("class X { public int f( { } }").unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+}

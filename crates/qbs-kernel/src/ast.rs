@@ -1,0 +1,367 @@
+//! Kernel language AST (paper Fig. 4).
+
+use qbs_common::{Ident, Value};
+use qbs_tor::{BinOp, CmpOp, QuerySpec};
+use std::fmt;
+
+/// A kernel-language expression.
+///
+/// The grammar follows paper Fig. 4, with two pragmatic extensions used by
+/// the fragment compiler: a record literal (`{fi = ei}` appears in the paper
+/// grammar) and a boolean `contains` (the lowering of `List.contains(x)`
+/// calls, which the synthesizer later re-expresses as TOR `contains`
+/// predicates).
+#[derive(Clone, PartialEq, Debug)]
+pub enum KExpr {
+    /// Scalar constant.
+    Const(Value),
+    /// The empty list `[ ]`.
+    EmptyList,
+    /// Variable reference.
+    Var(Ident),
+    /// Field access `e.f`.
+    Field(Box<KExpr>, Ident),
+    /// Record construction `{fi = ei}`.
+    RecordLit(Vec<(Ident, KExpr)>),
+    /// Binary operation.
+    Binary(BinOp, Box<KExpr>, Box<KExpr>),
+    /// Negation `¬e`.
+    Not(Box<KExpr>),
+    /// Database retrieval `Query(...)`.
+    Query(QuerySpec),
+    /// `size(e)`.
+    Size(Box<KExpr>),
+    /// `get_es(er)`.
+    Get(Box<KExpr>, Box<KExpr>),
+    /// `append(er, es)`.
+    Append(Box<KExpr>, Box<KExpr>),
+    /// `unique(e)`.
+    Unique(Box<KExpr>),
+    /// `contains(er, es)` — true when `es` occurs in `er`.
+    Contains(Box<KExpr>, Box<KExpr>),
+    /// `sort_[f…](e)` — the lowering of `Collections.sort` with a field
+    /// comparator (paper Sec. 7.3 "iterating over sorted relations").
+    Sort(Vec<qbs_common::FieldRef>, Box<KExpr>),
+    /// A sort with an opaque custom comparator (category K in Appendix A).
+    /// Runs under the interpreter but has no TOR counterpart, so query
+    /// inference fails on fragments using it — as in the paper.
+    SortCustom(Box<KExpr>),
+    /// In-place element removal, rebuilt functionally (category N).
+    /// Runs under the interpreter but has no TOR counterpart.
+    Remove(Box<KExpr>, Box<KExpr>),
+}
+
+impl KExpr {
+    /// Variable reference.
+    pub fn var(name: impl Into<Ident>) -> KExpr {
+        KExpr::Var(name.into())
+    }
+
+    /// Integer literal.
+    pub fn int(i: i64) -> KExpr {
+        KExpr::Const(Value::from(i))
+    }
+
+    /// Boolean literal.
+    pub fn bool(b: bool) -> KExpr {
+        KExpr::Const(Value::from(b))
+    }
+
+    /// String literal.
+    pub fn str(s: &str) -> KExpr {
+        KExpr::Const(Value::from(s))
+    }
+
+    /// `Query(...)` retrieval.
+    pub fn query(spec: QuerySpec) -> KExpr {
+        KExpr::Query(spec)
+    }
+
+    /// Field access.
+    pub fn field(e: KExpr, name: impl Into<Ident>) -> KExpr {
+        KExpr::Field(Box::new(e), name.into())
+    }
+
+    /// `size(e)`.
+    pub fn size(e: KExpr) -> KExpr {
+        KExpr::Size(Box::new(e))
+    }
+
+    /// `get_idx(rel)`.
+    pub fn get(rel: KExpr, idx: KExpr) -> KExpr {
+        KExpr::Get(Box::new(rel), Box::new(idx))
+    }
+
+    /// `append(rel, elem)`.
+    pub fn append(rel: KExpr, elem: KExpr) -> KExpr {
+        KExpr::Append(Box::new(rel), Box::new(elem))
+    }
+
+    /// `unique(e)`.
+    pub fn unique(e: KExpr) -> KExpr {
+        KExpr::Unique(Box::new(e))
+    }
+
+    /// `contains(rel, elem)`.
+    pub fn contains(rel: KExpr, elem: KExpr) -> KExpr {
+        KExpr::Contains(Box::new(rel), Box::new(elem))
+    }
+
+    /// Binary operation.
+    pub fn binary(op: BinOp, a: KExpr, b: KExpr) -> KExpr {
+        KExpr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Comparison.
+    pub fn cmp(op: CmpOp, a: KExpr, b: KExpr) -> KExpr {
+        KExpr::binary(BinOp::Cmp(op), a, b)
+    }
+
+    /// Addition.
+    pub fn add(a: KExpr, b: KExpr) -> KExpr {
+        KExpr::binary(BinOp::Add, a, b)
+    }
+
+    /// Conjunction.
+    pub fn and(a: KExpr, b: KExpr) -> KExpr {
+        KExpr::binary(BinOp::And, a, b)
+    }
+
+    /// Negation.
+    pub fn not(e: KExpr) -> KExpr {
+        KExpr::Not(Box::new(e))
+    }
+
+    /// Immediate subexpressions.
+    pub fn children(&self) -> Vec<&KExpr> {
+        use KExpr::*;
+        match self {
+            Const(_) | EmptyList | Var(_) | Query(_) => vec![],
+            Field(e, _) | Not(e) | Size(e) | Unique(e) | Sort(_, e) | SortCustom(e) => vec![e],
+            RecordLit(fs) => fs.iter().map(|(_, e)| e).collect(),
+            Binary(_, a, b) | Get(a, b) | Append(a, b) | Contains(a, b) | Remove(a, b) => {
+                vec![a, b]
+            }
+        }
+    }
+
+    /// All variables read by this expression.
+    pub fn free_vars(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Ident>) {
+        if let KExpr::Var(v) = self {
+            out.push(v.clone());
+        }
+        for c in self.children() {
+            c.collect_vars(out);
+        }
+    }
+}
+
+/// A kernel-language statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum KStmt {
+    /// `skip`.
+    Skip,
+    /// `var := e`.
+    Assign(Ident, KExpr),
+    /// `if (e) then c1 else c2`.
+    If(KExpr, Vec<KStmt>, Vec<KStmt>),
+    /// `while (e) do c`.
+    While(KExpr, Vec<KStmt>),
+    /// `assert e`.
+    Assert(KExpr),
+}
+
+impl KStmt {
+    /// Assignment.
+    pub fn assign(var: impl Into<Ident>, e: KExpr) -> KStmt {
+        KStmt::Assign(var.into(), e)
+    }
+
+    /// `if` with empty else branch.
+    pub fn if_then(cond: KExpr, then_branch: Vec<KStmt>) -> KStmt {
+        KStmt::If(cond, then_branch, Vec::new())
+    }
+
+    /// `if`/`else`.
+    pub fn if_else(cond: KExpr, then_branch: Vec<KStmt>, else_branch: Vec<KStmt>) -> KStmt {
+        KStmt::If(cond, then_branch, else_branch)
+    }
+
+    /// `while` loop.
+    pub fn while_loop(cond: KExpr, body: Vec<KStmt>) -> KStmt {
+        KStmt::While(cond, body)
+    }
+
+    /// Variables assigned anywhere within this statement (including nested
+    /// loops/branches) — the "modified variables" the invariant templates
+    /// must constrain (paper Sec. 4.3).
+    pub fn assigned_vars(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        self.collect_assigned(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_assigned(&self, out: &mut Vec<Ident>) {
+        match self {
+            KStmt::Skip | KStmt::Assert(_) => {}
+            KStmt::Assign(v, _) => out.push(v.clone()),
+            KStmt::If(_, t, e) => {
+                for s in t.iter().chain(e) {
+                    s.collect_assigned(out);
+                }
+            }
+            KStmt::While(_, body) => {
+                for s in body {
+                    s.collect_assigned(out);
+                }
+            }
+        }
+    }
+}
+
+/// A complete kernel program: the compiled code fragment plus the result
+/// variable QBS infers a query for.
+#[derive(Clone, PartialEq, Debug)]
+pub struct KernelProgram {
+    name: Ident,
+    params: Vec<Ident>,
+    body: Vec<KStmt>,
+    result_var: Ident,
+}
+
+impl KernelProgram {
+    /// Starts building a program.
+    pub fn builder(name: impl Into<Ident>) -> KernelProgramBuilder {
+        KernelProgramBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            body: Vec::new(),
+            result_var: None,
+        }
+    }
+
+    /// Fragment name (usually the originating method).
+    pub fn name(&self) -> &Ident {
+        &self.name
+    }
+
+    /// Scalar parameters passed into the fragment (bind parameters of the
+    /// eventual SQL).
+    pub fn params(&self) -> &[Ident] {
+        &self.params
+    }
+
+    /// The statements.
+    pub fn body(&self) -> &[KStmt] {
+        &self.body
+    }
+
+    /// The result variable.
+    pub fn result_var(&self) -> &Ident {
+        &self.result_var
+    }
+
+    /// All variables assigned in the program.
+    pub fn assigned_vars(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        for s in &self.body {
+            s.collect_assigned(&mut out);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Builder for [`KernelProgram`].
+#[derive(Clone, Debug)]
+pub struct KernelProgramBuilder {
+    name: Ident,
+    params: Vec<Ident>,
+    body: Vec<KStmt>,
+    result_var: Option<Ident>,
+}
+
+impl KernelProgramBuilder {
+    /// Declares a scalar parameter.
+    pub fn param(mut self, name: impl Into<Ident>) -> Self {
+        self.params.push(name.into());
+        self
+    }
+
+    /// Appends a statement.
+    pub fn stmt(mut self, s: KStmt) -> Self {
+        self.body.push(s);
+        self
+    }
+
+    /// Sets the result variable.
+    pub fn result(mut self, var: impl Into<Ident>) -> Self {
+        self.result_var = Some(var.into());
+        self
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no result variable was set — every QBS fragment has one by
+    /// construction (paper Sec. 2.1).
+    pub fn finish(self) -> KernelProgram {
+        KernelProgram {
+            name: self.name,
+            params: self.params,
+            body: self.body,
+            result_var: self.result_var.expect("kernel program requires a result variable"),
+        }
+    }
+}
+
+impl fmt::Display for KernelProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigned_vars_sees_through_nesting() {
+        let s = KStmt::while_loop(
+            KExpr::bool(true),
+            vec![
+                KStmt::assign("a", KExpr::int(1)),
+                KStmt::if_then(KExpr::bool(true), vec![KStmt::assign("b", KExpr::int(2))]),
+            ],
+        );
+        assert_eq!(s.assigned_vars(), vec![Ident::new("a"), Ident::new("b")]);
+    }
+
+    #[test]
+    fn free_vars_of_expressions() {
+        let e = KExpr::cmp(
+            CmpOp::Lt,
+            KExpr::var("i"),
+            KExpr::size(KExpr::var("users")),
+        );
+        assert_eq!(e.free_vars(), vec![Ident::new("i"), Ident::new("users")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "result variable")]
+    fn builder_requires_result() {
+        let _ = KernelProgram::builder("f").finish();
+    }
+}

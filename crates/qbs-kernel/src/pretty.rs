@@ -1,0 +1,209 @@
+//! Pretty printer for kernel programs (used in reports and error messages).
+
+use crate::ast::{KExpr, KStmt, KernelProgram};
+use qbs_tor::BinOp;
+use std::fmt::Write;
+
+fn expr(e: &KExpr, out: &mut String) {
+    use KExpr::*;
+    match e {
+        Const(v) => {
+            let _ = write!(out, "{v:?}");
+        }
+        EmptyList => out.push_str("[]"),
+        Var(v) => out.push_str(v.as_str()),
+        Field(r, f) => {
+            expr(r, out);
+            let _ = write!(out, ".{f}");
+        }
+        RecordLit(fields) => {
+            out.push('{');
+            for (i, (n, e)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{n} = ");
+                expr(e, out);
+            }
+            out.push('}');
+        }
+        Binary(op, a, b) => {
+            out.push('(');
+            expr(a, out);
+            let sym = match op {
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Cmp(c) => c.sql(),
+            };
+            let _ = write!(out, " {sym} ");
+            expr(b, out);
+            out.push(')');
+        }
+        Not(x) => {
+            out.push('!');
+            expr(x, out);
+        }
+        Query(q) => {
+            let _ = write!(out, "Query(SELECT * FROM {})", q.table);
+        }
+        Size(r) => {
+            out.push_str("size(");
+            expr(r, out);
+            out.push(')');
+        }
+        Get(r, i) => {
+            expr(r, out);
+            out.push('[');
+            expr(i, out);
+            out.push(']');
+        }
+        Append(r, x) => {
+            out.push_str("append(");
+            expr(r, out);
+            out.push_str(", ");
+            expr(x, out);
+            out.push(')');
+        }
+        Unique(r) => {
+            out.push_str("unique(");
+            expr(r, out);
+            out.push(')');
+        }
+        Contains(r, x) => {
+            out.push_str("contains(");
+            expr(r, out);
+            out.push_str(", ");
+            expr(x, out);
+            out.push(')');
+        }
+        Sort(fields, r) => {
+            out.push_str("sort[");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{f}");
+            }
+            out.push_str("](");
+            expr(r, out);
+            out.push(')');
+        }
+        Remove(r, x) => {
+            out.push_str("remove(");
+            expr(r, out);
+            out.push_str(", ");
+            expr(x, out);
+            out.push(')');
+        }
+        SortCustom(r) => {
+            out.push_str("sortWithComparator(");
+            expr(r, out);
+            out.push(')');
+        }
+    }
+}
+
+fn stmt(s: &KStmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        KStmt::Skip => {
+            let _ = writeln!(out, "{pad}skip;");
+        }
+        KStmt::Assign(v, e) => {
+            let _ = write!(out, "{pad}{v} := ");
+            expr(e, out);
+            out.push_str(";\n");
+        }
+        KStmt::If(c, t, f) => {
+            let _ = write!(out, "{pad}if (");
+            expr(c, out);
+            out.push_str(") {\n");
+            for s in t {
+                stmt(s, indent + 1, out);
+            }
+            if f.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in f {
+                    stmt(s, indent + 1, out);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        KStmt::While(c, body) => {
+            let _ = write!(out, "{pad}while (");
+            expr(c, out);
+            out.push_str(") {\n");
+            for s in body {
+                stmt(s, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        KStmt::Assert(e) => {
+            let _ = write!(out, "{pad}assert ");
+            expr(e, out);
+            out.push_str(";\n");
+        }
+    }
+}
+
+/// Renders a kernel program in the paper's concrete syntax (Fig. 2 style).
+///
+/// # Example
+///
+/// ```
+/// use qbs_kernel::{pretty, KernelProgram, KExpr, KStmt};
+/// let p = KernelProgram::builder("f")
+///     .stmt(KStmt::assign("x", KExpr::int(1)))
+///     .result("x")
+///     .finish();
+/// assert!(pretty(&p).contains("x := 1;"));
+/// ```
+pub fn pretty(prog: &KernelProgram) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "fragment {}(", prog.name());
+    for (i, p) in prog.params().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(p.as_str());
+    }
+    out.push_str(") {\n");
+    for s in prog.body() {
+        stmt(s, 1, &mut out);
+    }
+    let _ = writeln!(out, "  return {};", prog.result_var());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_tor::CmpOp;
+
+    #[test]
+    fn renders_nested_control_flow() {
+        let p = KernelProgram::builder("f")
+            .param("limit")
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::var("limit")),
+                vec![KStmt::if_else(
+                    KExpr::bool(true),
+                    vec![KStmt::Skip],
+                    vec![KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1)))],
+                )],
+            ))
+            .result("i")
+            .finish();
+        let s = pretty(&p);
+        assert!(s.contains("fragment f(limit)"));
+        assert!(s.contains("while ((i < limit))"));
+        assert!(s.contains("} else {"));
+        assert!(s.contains("return i;"));
+    }
+}

@@ -1,0 +1,504 @@
+//! Type checking of kernel programs.
+//!
+//! Besides rejecting ill-typed fragments, the checker produces the TOR
+//! [`TypeEnv`] that parameterizes the synthesizer's template space: every
+//! invariant predicate ranges over "the program variables that are in scope"
+//! (paper Sec. 4.3), and the enumerator needs their schemas.
+
+use crate::ast::{KExpr, KStmt, KernelProgram};
+use qbs_common::{FieldType, Ident, Schema, SchemaRef, Value};
+use qbs_tor::{BinOp, TorType, TypeEnv};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A type checking failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypecheckError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl TypecheckError {
+    fn new(msg: impl Into<String>) -> Self {
+        TypecheckError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for TypecheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypecheckError {}
+
+type Result<T> = std::result::Result<T, TypecheckError>;
+
+/// Inferred types of all program variables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VarTypes {
+    vars: BTreeMap<Ident, TorType>,
+}
+
+impl VarTypes {
+    /// Looks up a variable's type.
+    pub fn get(&self, v: &Ident) -> Option<&TorType> {
+        self.vars.get(v)
+    }
+
+    /// Converts into a TOR type environment for the synthesizer.
+    pub fn to_type_env(&self) -> TypeEnv {
+        let mut t = TypeEnv::new();
+        for (v, ty) in &self.vars {
+            t.bind(v.clone(), ty.clone());
+        }
+        t
+    }
+
+    /// Iterates over `(variable, type)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, &TorType)> {
+        self.vars.iter()
+    }
+}
+
+/// Internal inference type: `Pending` marks an empty-list variable whose
+/// element schema is fixed by a later `append`.
+#[derive(Clone, Debug, PartialEq)]
+enum ITy {
+    Known(TorType),
+    PendingList,
+}
+
+struct Checker {
+    vars: BTreeMap<Ident, ITy>,
+}
+
+const SCALAR_COL: &str = "val";
+
+fn scalar_list_schema(ft: FieldType) -> SchemaRef {
+    Schema::anonymous().field(SCALAR_COL, ft).finish()
+}
+
+impl Checker {
+    fn infer(&mut self, e: &KExpr) -> Result<ITy> {
+        use KExpr::*;
+        Ok(match e {
+            Const(v) => ITy::Known(match v {
+                Value::Bool(_) => TorType::Bool,
+                Value::Int(_) => TorType::Int,
+                Value::Str(_) => TorType::Str,
+            }),
+            EmptyList => ITy::PendingList,
+            Var(v) => self
+                .vars
+                .get(v)
+                .cloned()
+                .ok_or_else(|| TypecheckError::new(format!("unknown variable `{v}`")))?,
+            Field(rec, name) => match self.infer(rec)? {
+                ITy::Known(TorType::Record(s)) => {
+                    let f = s
+                        .field(&name.as_str().into())
+                        .map_err(|e| TypecheckError::new(e.to_string()))?;
+                    ITy::Known(TorType::from_field(f.ty))
+                }
+                other => {
+                    return Err(TypecheckError::new(format!(
+                        "field access on non-record ({other:?})"
+                    )))
+                }
+            },
+            RecordLit(fields) => {
+                let mut b = Schema::anonymous();
+                for (name, fe) in fields {
+                    let ft = match self.infer(fe)? {
+                        ITy::Known(TorType::Bool) => FieldType::Bool,
+                        ITy::Known(TorType::Int) => FieldType::Int,
+                        ITy::Known(TorType::Str) => FieldType::Str,
+                        other => {
+                            return Err(TypecheckError::new(format!(
+                                "record field `{name}` must be scalar, got {other:?}"
+                            )))
+                        }
+                    };
+                    b = b.field(name.as_str(), ft);
+                }
+                ITy::Known(TorType::Record(b.finish()))
+            }
+            Binary(op, a, b) => {
+                let ta = self.infer(a)?;
+                let tb = self.infer(b)?;
+                let want = |t: &ITy, e: TorType, ctx: &str| -> Result<()> {
+                    match t {
+                        ITy::Known(k) if *k == e => Ok(()),
+                        other => Err(TypecheckError::new(format!(
+                            "{ctx} expects {e}, got {other:?}"
+                        ))),
+                    }
+                };
+                match op {
+                    BinOp::And | BinOp::Or => {
+                        want(&ta, TorType::Bool, "logical operator")?;
+                        want(&tb, TorType::Bool, "logical operator")?;
+                        ITy::Known(TorType::Bool)
+                    }
+                    BinOp::Add | BinOp::Sub => {
+                        want(&ta, TorType::Int, "arithmetic")?;
+                        want(&tb, TorType::Int, "arithmetic")?;
+                        ITy::Known(TorType::Int)
+                    }
+                    BinOp::Cmp(_) => match (&ta, &tb) {
+                        (ITy::Known(x), ITy::Known(y)) if x == y && x.is_scalar() => {
+                            ITy::Known(TorType::Bool)
+                        }
+                        _ => {
+                            return Err(TypecheckError::new(format!(
+                                "comparison of incompatible operands ({ta:?} vs {tb:?})"
+                            )))
+                        }
+                    },
+                }
+            }
+            Not(x) => match self.infer(x)? {
+                ITy::Known(TorType::Bool) => ITy::Known(TorType::Bool),
+                other => {
+                    return Err(TypecheckError::new(format!("negation of non-bool ({other:?})")))
+                }
+            },
+            Query(spec) => ITy::Known(TorType::Rel(spec.schema.clone())),
+            Size(r) => match self.infer(r)? {
+                ITy::Known(TorType::Rel(_)) | ITy::PendingList => ITy::Known(TorType::Int),
+                other => return Err(TypecheckError::new(format!("size of non-list ({other:?})"))),
+            },
+            Get(r, i) => {
+                match self.infer(i)? {
+                    ITy::Known(TorType::Int) => {}
+                    other => {
+                        return Err(TypecheckError::new(format!(
+                            "get index must be int, got {other:?}"
+                        )))
+                    }
+                }
+                match self.infer(r)? {
+                    ITy::Known(TorType::Rel(s)) => ITy::Known(TorType::Record(s)),
+                    other => {
+                        return Err(TypecheckError::new(format!("get on non-list ({other:?})")))
+                    }
+                }
+            }
+            Append(r, x) => {
+                let elem = match self.infer(x)? {
+                    ITy::Known(TorType::Record(s)) => s,
+                    ITy::Known(TorType::Bool) => scalar_list_schema(FieldType::Bool),
+                    ITy::Known(TorType::Int) => scalar_list_schema(FieldType::Int),
+                    ITy::Known(TorType::Str) => scalar_list_schema(FieldType::Str),
+                    other => {
+                        return Err(TypecheckError::new(format!(
+                            "append of non-record/scalar ({other:?})"
+                        )))
+                    }
+                };
+                match self.infer(r)? {
+                    ITy::PendingList => {
+                        // The append fixes the element schema; the caller
+                        // (statement walker) records it for the variable.
+                        ITy::Known(TorType::Rel(elem))
+                    }
+                    ITy::Known(TorType::Rel(s)) => {
+                        if s != elem {
+                            return Err(TypecheckError::new(format!(
+                                "append schema mismatch: list {} vs element {}",
+                                s.describe(),
+                                elem.describe()
+                            )));
+                        }
+                        ITy::Known(TorType::Rel(s))
+                    }
+                    other => {
+                        return Err(TypecheckError::new(format!(
+                            "append to non-list ({other:?})"
+                        )))
+                    }
+                }
+            }
+            Unique(r) => match self.infer(r)? {
+                t @ (ITy::Known(TorType::Rel(_)) | ITy::PendingList) => t,
+                other => {
+                    return Err(TypecheckError::new(format!("unique of non-list ({other:?})")))
+                }
+            },
+            Sort(fields, r) => match self.infer(r)? {
+                ITy::Known(TorType::Rel(s)) => {
+                    for f in fields {
+                        s.field(f).map_err(|e| TypecheckError::new(e.to_string()))?;
+                    }
+                    ITy::Known(TorType::Rel(s))
+                }
+                other => return Err(TypecheckError::new(format!("sort of non-list ({other:?})"))),
+            },
+            Remove(r, _) => match self.infer(r)? {
+                t @ (ITy::Known(TorType::Rel(_)) | ITy::PendingList) => t,
+                other => {
+                    return Err(TypecheckError::new(format!("remove from non-list ({other:?})")))
+                }
+            },
+            SortCustom(r) => match self.infer(r)? {
+                t @ (ITy::Known(TorType::Rel(_)) | ITy::PendingList) => t,
+                other => return Err(TypecheckError::new(format!("sort of non-list ({other:?})"))),
+            },
+            Contains(r, x) => {
+                match self.infer(r)? {
+                    ITy::Known(TorType::Rel(_)) | ITy::PendingList => {}
+                    other => {
+                        return Err(TypecheckError::new(format!(
+                            "contains on non-list ({other:?})"
+                        )))
+                    }
+                }
+                self.infer(x)?;
+                ITy::Known(TorType::Bool)
+            }
+        })
+    }
+
+    fn check_stmt(&mut self, s: &KStmt) -> Result<bool> {
+        let mut changed = false;
+        match s {
+            KStmt::Skip => {}
+            KStmt::Assign(v, e) => {
+                let t = self.infer(e)?;
+                match self.vars.get(v) {
+                    None => {
+                        self.vars.insert(v.clone(), t);
+                        changed = true;
+                    }
+                    Some(old) if *old == t => {}
+                    Some(ITy::PendingList) => {
+                        // Refinement of an empty-list variable.
+                        self.vars.insert(v.clone(), t);
+                        changed = true;
+                    }
+                    Some(old) => {
+                        // Re-assigning a pending list keeps the known type.
+                        if t == ITy::PendingList {
+                            let _ = old;
+                        } else {
+                            return Err(TypecheckError::new(format!(
+                                "variable `{v}` changes type"
+                            )));
+                        }
+                    }
+                }
+            }
+            KStmt::If(c, t, f) => {
+                match self.infer(c)? {
+                    ITy::Known(TorType::Bool) => {}
+                    other => {
+                        return Err(TypecheckError::new(format!(
+                            "if condition must be bool, got {other:?}"
+                        )))
+                    }
+                }
+                for s in t.iter().chain(f) {
+                    changed |= self.check_stmt(s)?;
+                }
+            }
+            KStmt::While(c, body) => {
+                match self.infer(c)? {
+                    ITy::Known(TorType::Bool) => {}
+                    other => {
+                        return Err(TypecheckError::new(format!(
+                            "while condition must be bool, got {other:?}"
+                        )))
+                    }
+                }
+                for s in body {
+                    changed |= self.check_stmt(s)?;
+                }
+            }
+            KStmt::Assert(e) => {
+                match self.infer(e)? {
+                    ITy::Known(TorType::Bool) => {}
+                    other => {
+                        return Err(TypecheckError::new(format!(
+                            "assert must be bool, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Type-checks a kernel program. `params` supplies the types of fragment
+/// parameters (scalars passed into the method).
+///
+/// # Errors
+///
+/// Returns a [`TypecheckError`] describing the first inconsistency found.
+///
+/// # Example
+///
+/// ```
+/// use qbs_kernel::{typecheck, KernelProgram, KExpr, KStmt};
+/// use qbs_tor::{TorType, TypeEnv};
+///
+/// let prog = KernelProgram::builder("f")
+///     .stmt(KStmt::assign("x", KExpr::int(1)))
+///     .result("x")
+///     .finish();
+/// let types = typecheck(&prog, &TypeEnv::new()).unwrap();
+/// assert_eq!(types.get(&"x".into()), Some(&TorType::Int));
+/// ```
+pub fn typecheck(prog: &KernelProgram, params: &TypeEnv) -> Result<VarTypes> {
+    let mut checker = Checker { vars: BTreeMap::new() };
+    for (v, t) in params.iter() {
+        checker.vars.insert(v.clone(), ITy::Known(t.clone()));
+    }
+    // Iterate to a fixpoint so `append`s inside loops refine empty-list
+    // variables initialized before the loop.
+    for _ in 0..8 {
+        let mut changed = false;
+        for s in prog.body() {
+            changed |= checker.check_stmt(s)?;
+        }
+        // Refine variables whose appends fixed a schema this round.
+        for s in prog.body() {
+            refine_appends(s, &mut checker, &mut changed)?;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut vars = BTreeMap::new();
+    for (v, t) in checker.vars {
+        let ty = match t {
+            ITy::Known(k) => k,
+            // A list that never receives an element stays the empty relation.
+            ITy::PendingList => TorType::Rel(Schema::anonymous().finish()),
+        };
+        vars.insert(v, ty);
+    }
+    Ok(VarTypes { vars })
+}
+
+/// Walks statements looking for `v := append(v, x)` patterns that pin down
+/// the schema of a pending-list variable.
+fn refine_appends(s: &KStmt, checker: &mut Checker, changed: &mut bool) -> Result<()> {
+    match s {
+        KStmt::Assign(v, e) => {
+            if checker.vars.get(v) == Some(&ITy::PendingList) {
+                if let Ok(ITy::Known(t @ TorType::Rel(_))) = checker.infer(e) {
+                    checker.vars.insert(v.clone(), ITy::Known(t));
+                    *changed = true;
+                }
+            }
+            Ok(())
+        }
+        KStmt::If(_, t, f) => {
+            for s in t.iter().chain(f) {
+                refine_appends(s, checker, changed)?;
+            }
+            Ok(())
+        }
+        KStmt::While(_, body) => {
+            for s in body {
+                refine_appends(s, checker, changed)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_tor::{CmpOp, QuerySpec};
+
+    fn users() -> SchemaRef {
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish()
+    }
+
+    #[test]
+    fn empty_list_refined_by_append_in_loop() {
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users()))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::assign(
+                        "out",
+                        KExpr::append(
+                            KExpr::var("out"),
+                            KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                        ),
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish();
+        let types = typecheck(&prog, &TypeEnv::new()).unwrap();
+        match types.get(&"out".into()).unwrap() {
+            TorType::Rel(s) => assert_eq!(s.arity(), 2),
+            other => panic!("expected relation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn scalar_append_gives_single_column_list() {
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign("out", KExpr::append(KExpr::var("out"), KExpr::int(1))))
+            .result("out")
+            .finish();
+        let types = typecheck(&prog, &TypeEnv::new()).unwrap();
+        match types.get(&"out".into()).unwrap() {
+            TorType::Rel(s) => {
+                assert_eq!(s.arity(), 1);
+                assert_eq!(s.fields()[0].ty, FieldType::Int);
+            }
+            other => panic!("expected relation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn type_change_is_rejected() {
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("x", KExpr::int(1)))
+            .stmt(KStmt::assign("x", KExpr::bool(true)))
+            .result("x")
+            .finish();
+        assert!(typecheck(&prog, &TypeEnv::new()).is_err());
+    }
+
+    #[test]
+    fn params_are_visible() {
+        let mut params = TypeEnv::new();
+        params.bind_int("limit");
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("x", KExpr::add(KExpr::var("limit"), KExpr::int(1))))
+            .result("x")
+            .finish();
+        assert!(typecheck(&prog, &params).is_ok());
+    }
+
+    #[test]
+    fn bad_field_access_is_rejected() {
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users()))))
+            .stmt(KStmt::assign(
+                "x",
+                KExpr::field(KExpr::get(KExpr::var("users"), KExpr::int(0)), "missing"),
+            ))
+            .result("x")
+            .finish();
+        assert!(typecheck(&prog, &TypeEnv::new()).is_err());
+    }
+}

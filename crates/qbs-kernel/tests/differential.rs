@@ -1,0 +1,160 @@
+//! Property tests: kernel-language loop idioms agree with their TOR
+//! denotations under the two evaluators — the semantic bridge the QBS
+//! verification conditions rely on.
+
+use proptest::prelude::*;
+use qbs_common::{FieldType, Record, Relation, Schema, SchemaRef, Value};
+use qbs_kernel::{run, KExpr, KStmt, KernelProgram};
+use qbs_tor::{eval, AggKind, CmpOp, Env, Operand, Pred, QuerySpec, TorExpr};
+
+fn schema() -> SchemaRef {
+    Schema::builder("t")
+        .field("a", FieldType::Int)
+        .field("b", FieldType::Int)
+        .finish()
+}
+
+prop_compose! {
+    fn arb_rel()(rows in prop::collection::vec((0i64..4, 0i64..4), 0..8)) -> Relation {
+        let s = schema();
+        Relation::from_records(
+            s.clone(),
+            rows.into_iter()
+                .map(|(a, b)| Record::new(s.clone(), vec![Value::from(a), Value::from(b)]))
+                .collect(),
+        )
+        .expect("schema matches")
+    }
+}
+
+fn counter_loop(body: Vec<KStmt>) -> KStmt {
+    let mut body = body;
+    body.push(KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))));
+    KStmt::while_loop(
+        KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("xs"))),
+        body,
+    )
+}
+
+fn env_with(rel: &Relation) -> Env {
+    let mut env = Env::new();
+    env.bind_table("t", rel.clone());
+    env.bind("xs", rel.clone());
+    env
+}
+
+proptest! {
+    /// A filtering loop denotes σ.
+    #[test]
+    fn selection_loop_denotes_sigma(rel in arb_rel(), c in 0i64..4) {
+        let prog = KernelProgram::builder("sel")
+            .stmt(KStmt::assign("xs", KExpr::query(QuerySpec::table_scan("t", schema()))))
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(counter_loop(vec![KStmt::if_then(
+                KExpr::cmp(
+                    CmpOp::Eq,
+                    KExpr::field(KExpr::get(KExpr::var("xs"), KExpr::var("i")), "a"),
+                    KExpr::int(c),
+                ),
+                vec![KStmt::assign(
+                    "out",
+                    KExpr::append(KExpr::var("out"), KExpr::get(KExpr::var("xs"), KExpr::var("i"))),
+                )],
+            )]))
+            .result("out")
+            .finish();
+        let out = run(&prog, env_with(&rel)).unwrap();
+        let denot = TorExpr::select(
+            Pred::truth().and_cmp("a".into(), CmpOp::Eq, Operand::Const(c.into())),
+            TorExpr::var("xs"),
+        );
+        let expect = eval(&denot, &env_with(&rel)).unwrap();
+        let (got, want) = (out.result.as_relation().unwrap().clone(), expect.as_relation().unwrap().clone());
+        prop_assert_eq!(got.len(), want.len());
+        for (x, y) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(x.values(), y.values());
+        }
+    }
+
+    /// A counting loop denotes COUNT(σ).
+    #[test]
+    fn count_loop_denotes_count(rel in arb_rel(), c in 0i64..4) {
+        let prog = KernelProgram::builder("cnt")
+            .stmt(KStmt::assign("xs", KExpr::query(QuerySpec::table_scan("t", schema()))))
+            .stmt(KStmt::assign("n", KExpr::int(0)))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(counter_loop(vec![KStmt::if_then(
+                KExpr::cmp(
+                    CmpOp::Gt,
+                    KExpr::field(KExpr::get(KExpr::var("xs"), KExpr::var("i")), "b"),
+                    KExpr::int(c),
+                ),
+                vec![KStmt::assign("n", KExpr::add(KExpr::var("n"), KExpr::int(1)))],
+            )]))
+            .result("n")
+            .finish();
+        let out = run(&prog, env_with(&rel)).unwrap();
+        let denot = TorExpr::agg(
+            AggKind::Count,
+            TorExpr::select(
+                Pred::truth().and_cmp("b".into(), CmpOp::Gt, Operand::Const(c.into())),
+                TorExpr::var("xs"),
+            ),
+        );
+        let expect = eval(&denot, &env_with(&rel)).unwrap();
+        prop_assert_eq!(out.result.as_int(), expect.as_int());
+    }
+
+    /// A running-max loop denotes MAX(π).
+    #[test]
+    fn max_loop_denotes_max(rel in arb_rel()) {
+        let prog = KernelProgram::builder("mx")
+            .stmt(KStmt::assign("xs", KExpr::query(QuerySpec::table_scan("t", schema()))))
+            .stmt(KStmt::assign("best", KExpr::int(i64::MIN)))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(counter_loop(vec![KStmt::if_then(
+                KExpr::cmp(
+                    CmpOp::Gt,
+                    KExpr::field(KExpr::get(KExpr::var("xs"), KExpr::var("i")), "a"),
+                    KExpr::var("best"),
+                ),
+                vec![KStmt::assign(
+                    "best",
+                    KExpr::field(KExpr::get(KExpr::var("xs"), KExpr::var("i")), "a"),
+                )],
+            )]))
+            .result("best")
+            .finish();
+        let out = run(&prog, env_with(&rel)).unwrap();
+        let denot = TorExpr::agg(AggKind::Max, TorExpr::proj(vec!["a".into()], TorExpr::var("xs")));
+        let expect = eval(&denot, &env_with(&rel)).unwrap();
+        prop_assert_eq!(out.result.as_int(), expect.as_int());
+    }
+
+    /// A projection loop (scalar appends) denotes π.
+    #[test]
+    fn projection_loop_denotes_pi(rel in arb_rel()) {
+        let prog = KernelProgram::builder("proj")
+            .stmt(KStmt::assign("xs", KExpr::query(QuerySpec::table_scan("t", schema()))))
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(counter_loop(vec![KStmt::assign(
+                "out",
+                KExpr::append(
+                    KExpr::var("out"),
+                    KExpr::field(KExpr::get(KExpr::var("xs"), KExpr::var("i")), "b"),
+                ),
+            )]))
+            .result("out")
+            .finish();
+        let out = run(&prog, env_with(&rel)).unwrap();
+        let denot = TorExpr::proj(vec!["b".into()], TorExpr::var("xs"));
+        let expect = eval(&denot, &env_with(&rel)).unwrap();
+        let (got, want) = (out.result.as_relation().unwrap().clone(), expect.as_relation().unwrap().clone());
+        prop_assert_eq!(got.len(), want.len());
+        for (x, y) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(x.values(), y.values());
+        }
+    }
+}

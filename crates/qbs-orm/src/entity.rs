@@ -1,0 +1,97 @@
+//! Entity definitions and the mapping registry.
+
+use qbs_common::Ident;
+use std::collections::BTreeMap;
+
+/// A one-to-many association from a parent entity to a child table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Association {
+    /// Field name on the parent object (e.g. `tasks`).
+    pub field: Ident,
+    /// Child entity name.
+    pub child_entity: Ident,
+    /// Foreign-key column on the child table.
+    pub fk_column: Ident,
+    /// Key column on the parent table the FK points at.
+    pub parent_key: Ident,
+}
+
+/// The object-relational mapping of one persistent class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EntityDef {
+    /// Class name (e.g. `User`).
+    pub name: Ident,
+    /// Backing table.
+    pub table: Ident,
+    /// Association collections fetched in eager mode.
+    pub associations: Vec<Association>,
+}
+
+impl EntityDef {
+    /// A mapping without associations.
+    pub fn new(name: impl Into<Ident>, table: impl Into<Ident>) -> EntityDef {
+        EntityDef { name: name.into(), table: table.into(), associations: Vec::new() }
+    }
+
+    /// Adds a one-to-many association.
+    pub fn with_association(
+        mut self,
+        field: impl Into<Ident>,
+        child_entity: impl Into<Ident>,
+        fk_column: impl Into<Ident>,
+        parent_key: impl Into<Ident>,
+    ) -> EntityDef {
+        self.associations.push(Association {
+            field: field.into(),
+            child_entity: child_entity.into(),
+            fk_column: fk_column.into(),
+            parent_key: parent_key.into(),
+        });
+        self
+    }
+}
+
+/// All registered entity mappings.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    entities: BTreeMap<Ident, EntityDef>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or replaces) an entity mapping.
+    pub fn register(&mut self, def: EntityDef) {
+        self.entities.insert(def.name.clone(), def);
+    }
+
+    /// Looks up an entity by class name.
+    pub fn entity(&self, name: &str) -> Option<&EntityDef> {
+        self.entities.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = Registry::new();
+        r.register(
+            EntityDef::new("Project", "projects").with_association(
+                "tasks",
+                "Task",
+                "projectId",
+                "id",
+            ),
+        );
+        let p = r.entity("Project").unwrap();
+        assert_eq!(p.table, "projects");
+        assert_eq!(p.associations.len(), 1);
+        assert!(r.entity("Missing").is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! A Hibernate-lite object-relational mapper — the evaluation substrate for
+//! the "original application code" side of the paper's experiments.
+//!
+//! The paper measures webpage load times of ORM-backed code in two fetch
+//! configurations (Sec. 7.2): **lazy**, where only the top-level objects are
+//! retrieved, and **eager**, where each object's association collections are
+//! fetched too. This crate reproduces those code paths: a [`Session`] issues
+//! `SELECT`s against the `qbs-db` engine; eager mode loads every
+//! association with one query per parent object (the classic N+1 pattern
+//! that makes eager retrieval expensive — visible in Fig. 14's eager
+//! curves).
+//!
+//! # Example
+//!
+//! ```
+//! use qbs_common::{Schema, FieldType, Value};
+//! use qbs_db::Database;
+//! use qbs_orm::{EntityDef, FetchMode, Registry, Session};
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     Schema::builder("users").field("id", FieldType::Int).finish(),
+//! ).unwrap();
+//! db.insert("users", vec![Value::from(1)]).unwrap();
+//!
+//! let mut registry = Registry::new();
+//! registry.register(EntityDef::new("User", "users"));
+//!
+//! let session = Session::new(&db, &registry, FetchMode::Lazy);
+//! let users = session.find_all("User").unwrap();
+//! assert_eq!(users.len(), 1);
+//! ```
+
+mod entity;
+mod session;
+
+pub use entity::{Association, EntityDef, Registry};
+pub use session::{FetchMode, OrmError, OrmObject, Session, SessionStats};

@@ -1,0 +1,280 @@
+//! ORM sessions: lazy/eager retrieval against the database engine.
+
+use crate::entity::{EntityDef, Registry};
+use qbs_common::{Ident, Record, Value};
+use qbs_db::{Database, DbError, Params};
+use qbs_sql::{FromItem, SqlExpr, SqlSelect};
+use qbs_tor::CmpOp;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Whether association collections are loaded with their parents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FetchMode {
+    /// Only top-level objects are retrieved (Hibernate's default, and the
+    /// configuration of the paper's subject applications).
+    Lazy,
+    /// Every association collection is fetched alongside its parent — one
+    /// query per parent object per association.
+    Eager,
+}
+
+/// A loaded persistent object: the row plus (in eager mode) its association
+/// collections.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrmObject {
+    /// The entity's row.
+    pub record: Record,
+    /// Loaded children per association field (eager mode only).
+    pub children: BTreeMap<Ident, Vec<OrmObject>>,
+}
+
+impl OrmObject {
+    /// Field access on the underlying row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-field errors.
+    pub fn get(&self, field: &str) -> Result<&Value, qbs_common::CommonError> {
+        self.record.get(&field.into())
+    }
+}
+
+/// ORM-level errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OrmError {
+    /// Entity not registered.
+    UnknownEntity(String),
+    /// Database failure.
+    Db(DbError),
+}
+
+impl fmt::Display for OrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrmError::UnknownEntity(e) => write!(f, "unknown entity `{e}`"),
+            OrmError::Db(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OrmError {}
+
+impl From<DbError> for OrmError {
+    fn from(e: DbError) -> Self {
+        OrmError::Db(e)
+    }
+}
+
+/// Counters of ORM activity, used by the benchmarks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionStats {
+    /// SQL queries issued.
+    pub queries: usize,
+    /// Objects materialized (parents + children).
+    pub objects_loaded: usize,
+}
+
+/// An ORM session bound to a database and mapping registry.
+pub struct Session<'a> {
+    db: &'a Database,
+    registry: &'a Registry,
+    mode: FetchMode,
+    queries: Cell<usize>,
+    objects: Cell<usize>,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session.
+    pub fn new(db: &'a Database, registry: &'a Registry, mode: FetchMode) -> Session<'a> {
+        Session { db, registry, mode, queries: Cell::new(0), objects: Cell::new(0) }
+    }
+
+    /// The session's fetch mode.
+    pub fn mode(&self) -> FetchMode {
+        self.mode
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats { queries: self.queries.get(), objects_loaded: self.objects.get() }
+    }
+
+    fn entity(&self, name: &str) -> Result<&EntityDef, OrmError> {
+        self.registry.entity(name).ok_or_else(|| OrmError::UnknownEntity(name.to_string()))
+    }
+
+    fn select_all(table: &Ident) -> SqlSelect {
+        SqlSelect::new(
+            Vec::new(),
+            vec![FromItem::Table { name: table.clone(), alias: table.clone() }],
+        )
+    }
+
+    /// Loads every instance of an entity (`dao.getAll()` in the subject
+    /// applications).
+    ///
+    /// # Errors
+    ///
+    /// Unknown entity or database failure.
+    pub fn find_all(&self, entity: &str) -> Result<Vec<OrmObject>, OrmError> {
+        let def = self.entity(entity)?;
+        let q = Self::select_all(&def.table);
+        self.load_query(def, &q)
+    }
+
+    /// Loads the instances matching `field = value`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown entity or database failure.
+    pub fn find_where(
+        &self,
+        entity: &str,
+        field: &str,
+        value: Value,
+    ) -> Result<Vec<OrmObject>, OrmError> {
+        let def = self.entity(entity)?;
+        let mut q = Self::select_all(&def.table);
+        q.where_clause = Some(SqlExpr::cmp(
+            SqlExpr::qcol(def.table.clone(), field),
+            CmpOp::Eq,
+            SqlExpr::Lit(value),
+        ));
+        self.load_query(def, &q)
+    }
+
+    /// Runs an arbitrary select and materializes objects of `entity`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown entity or database failure.
+    pub fn query(&self, entity: &str, q: &SqlSelect) -> Result<Vec<OrmObject>, OrmError> {
+        let def = self.entity(entity)?;
+        self.load_query(def, q)
+    }
+
+    fn load_query(&self, def: &EntityDef, q: &SqlSelect) -> Result<Vec<OrmObject>, OrmError> {
+        self.queries.set(self.queries.get() + 1);
+        let out = self.db.execute_select(q, &Params::new())?;
+        let mut objects = Vec::with_capacity(out.rows.len());
+        for rec in out.rows.iter() {
+            objects.push(self.materialize(def, rec.clone())?);
+        }
+        Ok(objects)
+    }
+
+    fn materialize(&self, def: &EntityDef, record: Record) -> Result<OrmObject, OrmError> {
+        self.objects.set(self.objects.get() + 1);
+        let mut children = BTreeMap::new();
+        if self.mode == FetchMode::Eager {
+            for assoc in &def.associations {
+                let child_def = self
+                    .registry
+                    .entity(assoc.child_entity.as_str())
+                    .ok_or_else(|| OrmError::UnknownEntity(assoc.child_entity.to_string()))?;
+                let key = record
+                    .get(&assoc.parent_key.as_str().into())
+                    .map_err(|e| OrmError::Db(DbError::Schema(e.to_string())))?
+                    .clone();
+                // One query per parent per association — the N+1 pattern.
+                let mut q = Self::select_all(&child_def.table);
+                q.where_clause = Some(SqlExpr::cmp(
+                    SqlExpr::qcol(child_def.table.clone(), assoc.fk_column.clone()),
+                    CmpOp::Eq,
+                    SqlExpr::Lit(key),
+                ));
+                self.queries.set(self.queries.get() + 1);
+                let rows = self.db.execute_select(&q, &Params::new())?;
+                let mut kids = Vec::with_capacity(rows.rows.len());
+                for rec in rows.rows.iter() {
+                    kids.push(self.materialize(child_def, rec.clone())?);
+                }
+                children.insert(assoc.field.clone(), kids);
+            }
+        }
+        Ok(OrmObject { record, children })
+    }
+
+    /// Columns selected by `SELECT *` queries materialized through this
+    /// session keep the entity schema, so field access by name works.
+    pub fn registry(&self) -> &Registry {
+        self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema};
+
+    fn setup() -> (Database, Registry) {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::builder("projects")
+                .field("id", FieldType::Int)
+                .field("done", FieldType::Bool)
+                .finish(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::builder("tasks")
+                .field("id", FieldType::Int)
+                .field("projectId", FieldType::Int)
+                .finish(),
+        )
+        .unwrap();
+        for p in 0..3i64 {
+            db.insert("projects", vec![Value::from(p), Value::from(p % 2 == 0)]).unwrap();
+            for t in 0..2i64 {
+                db.insert("tasks", vec![Value::from(p * 10 + t), Value::from(p)]).unwrap();
+            }
+        }
+        let mut reg = Registry::new();
+        reg.register(
+            EntityDef::new("Project", "projects")
+                .with_association("tasks", "Task", "projectId", "id"),
+        );
+        reg.register(EntityDef::new("Task", "tasks"));
+        (db, reg)
+    }
+
+    #[test]
+    fn lazy_fetch_issues_one_query() {
+        let (db, reg) = setup();
+        let s = Session::new(&db, &reg, FetchMode::Lazy);
+        let ps = s.find_all("Project").unwrap();
+        assert_eq!(ps.len(), 3);
+        assert!(ps[0].children.is_empty());
+        assert_eq!(s.stats().queries, 1);
+    }
+
+    #[test]
+    fn eager_fetch_loads_children_with_n_plus_one_queries() {
+        let (db, reg) = setup();
+        let s = Session::new(&db, &reg, FetchMode::Eager);
+        let ps = s.find_all("Project").unwrap();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].children["tasks"].len(), 2);
+        // 1 parent query + 3 association queries.
+        assert_eq!(s.stats().queries, 4);
+        assert_eq!(s.stats().objects_loaded, 9);
+    }
+
+    #[test]
+    fn find_where_filters() {
+        let (db, reg) = setup();
+        let s = Session::new(&db, &reg, FetchMode::Lazy);
+        let ps = s.find_where("Project", "done", Value::from(true)).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].get("id").unwrap(), &Value::from(0));
+    }
+
+    #[test]
+    fn unknown_entity_is_reported() {
+        let (db, reg) = setup();
+        let s = Session::new(&db, &reg, FetchMode::Lazy);
+        assert!(matches!(s.find_all("Nope"), Err(OrmError::UnknownEntity(_))));
+    }
+}

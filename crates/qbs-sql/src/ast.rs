@@ -1,0 +1,202 @@
+//! SQL abstract syntax.
+
+use qbs_common::{Ident, Value};
+use qbs_tor::{AggKind, CmpOp};
+use std::fmt;
+
+/// A scalar SQL expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SqlExpr {
+    /// A (possibly qualified) column reference.
+    Column {
+        /// Table alias.
+        qualifier: Option<Ident>,
+        /// Column name.
+        name: Ident,
+    },
+    /// A literal.
+    Lit(Value),
+    /// A named bind parameter (`:name`).
+    Param(Ident),
+    /// Binary comparison.
+    Cmp(Box<SqlExpr>, CmpOp, Box<SqlExpr>),
+    /// Conjunction.
+    And(Vec<SqlExpr>),
+    /// Disjunction.
+    Or(Vec<SqlExpr>),
+    /// Negation.
+    Not(Box<SqlExpr>),
+    /// `expr IN (subquery)`.
+    InSubquery(Box<SqlExpr>, Box<SqlSelect>),
+    /// `(e1, …, en) IN (subquery)` — row membership.
+    RowInSubquery(Vec<SqlExpr>, Box<SqlSelect>),
+}
+
+impl SqlExpr {
+    /// Unqualified column.
+    pub fn col(name: impl Into<Ident>) -> SqlExpr {
+        SqlExpr::Column { qualifier: None, name: name.into() }
+    }
+
+    /// Qualified column.
+    pub fn qcol(qualifier: impl Into<Ident>, name: impl Into<Ident>) -> SqlExpr {
+        SqlExpr::Column { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+
+    /// Integer literal.
+    pub fn int(i: i64) -> SqlExpr {
+        SqlExpr::Lit(Value::from(i))
+    }
+
+    /// Comparison.
+    pub fn cmp(a: SqlExpr, op: CmpOp, b: SqlExpr) -> SqlExpr {
+        SqlExpr::Cmp(Box::new(a), op, Box::new(b))
+    }
+
+    /// Conjunction that flattens nested `And`s and drops duplicates.
+    pub fn and(parts: Vec<SqlExpr>) -> Option<SqlExpr> {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                SqlExpr::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => None,
+            1 => Some(flat.pop().expect("len checked")),
+            _ => Some(SqlExpr::And(flat)),
+        }
+    }
+}
+
+/// One item of a `SELECT` list.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SelectItem {
+    /// The selected expression.
+    pub expr: SqlExpr,
+    /// Output column alias.
+    pub alias: Option<Ident>,
+}
+
+/// A `FROM` clause item.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FromItem {
+    /// A base table with an alias.
+    Table {
+        /// Table name.
+        name: Ident,
+        /// Alias used by column references.
+        alias: Ident,
+    },
+    /// A parenthesized sub-query with an alias.
+    Subquery {
+        /// The sub-query.
+        query: Box<SqlSelect>,
+        /// Alias used by column references.
+        alias: Ident,
+    },
+}
+
+impl FromItem {
+    /// The alias of this item.
+    pub fn alias(&self) -> &Ident {
+        match self {
+            FromItem::Table { alias, .. } | FromItem::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+/// An `ORDER BY` key.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: SqlExpr,
+    /// Ascending (`true`) or descending.
+    pub asc: bool,
+}
+
+/// A relational `SELECT` query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SqlSelect {
+    /// `SELECT DISTINCT` when true.
+    pub distinct: bool,
+    /// Select list.
+    pub columns: Vec<SelectItem>,
+    /// `FROM` items (comma join — the planner picks join algorithms).
+    pub from: Vec<FromItem>,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<SqlExpr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// Optional `LIMIT`.
+    pub limit: Option<SqlExpr>,
+}
+
+impl SqlSelect {
+    /// A bare `SELECT cols FROM table` skeleton.
+    pub fn new(columns: Vec<SelectItem>, from: Vec<FromItem>) -> SqlSelect {
+        SqlSelect {
+            distinct: false,
+            columns,
+            from,
+            where_clause: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+}
+
+/// A scalar query: an aggregate over a relational query, optionally
+/// compared with a constant or parameter (the paper's
+/// `SELECT COUNT(*) > 0 FROM …` existence idiom).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SqlScalar {
+    /// The aggregate.
+    pub agg: AggKind,
+    /// Aggregated column (`None` = `COUNT(*)`).
+    pub column: Option<SqlExpr>,
+    /// The underlying relational query.
+    pub query: SqlSelect,
+    /// Optional trailing comparison (result becomes boolean).
+    pub compare: Option<(CmpOp, SqlExpr)>,
+}
+
+/// A complete query: relation- or scalar-valued.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SqlQuery {
+    /// Rows.
+    Select(SqlSelect),
+    /// A single scalar (or boolean).
+    Scalar(SqlScalar),
+}
+
+impl fmt::Display for SqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::print::print_query(self))
+    }
+}
+
+impl fmt::Display for SqlSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::print::print_select(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens_and_collapses() {
+        let e = SqlExpr::and(vec![
+            SqlExpr::cmp(SqlExpr::col("a"), CmpOp::Eq, SqlExpr::int(1)),
+            SqlExpr::And(vec![SqlExpr::cmp(SqlExpr::col("b"), CmpOp::Gt, SqlExpr::int(2))]),
+        ]);
+        match e {
+            Some(SqlExpr::And(parts)) => assert_eq!(parts.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(SqlExpr::and(vec![]).is_none());
+    }
+}

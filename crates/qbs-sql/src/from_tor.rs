@@ -1,0 +1,387 @@
+//! Translatable TOR expressions → SQL (paper Fig. 8).
+//!
+//! Positions in a [`SortedExpr`] resolve against the flattened base (cross
+//! product of tables and sub-queries); the `Order` function's field list
+//! becomes the outer `ORDER BY`, with `Query(...)` bases contributing their
+//! hidden `rowid` columns (Fig. 9's "record order in DB").
+
+use crate::ast::{FromItem, OrderKey, SelectItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect};
+use qbs_common::Ident;
+use qbs_tor::{
+    order_fields, BaseExpr, PosAtom, PosOperand, PosProbe, ScalarQuery, SortedExpr, TorExpr,
+    TransExpr, TransResult,
+};
+use std::fmt;
+
+/// Errors during SQL generation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlGenError {
+    /// A `top`/`limit` count expression is not a constant or parameter.
+    BadLimit(String),
+    /// Internal inconsistency (positions out of range etc.).
+    Internal(String),
+}
+
+impl fmt::Display for SqlGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlGenError::BadLimit(e) => write!(f, "unsupported LIMIT expression: {e}"),
+            SqlGenError::Internal(e) => write!(f, "sql generation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlGenError {}
+
+type Result<T> = std::result::Result<T, SqlGenError>;
+
+/// Context while flattening a base: one [`SqlExpr`] per base column, plus
+/// the accumulated `FROM` items.
+struct Flat {
+    from: Vec<FromItem>,
+    cols: Vec<SqlExpr>,
+    /// `(table name, alias)` pairs for rowid resolution.
+    tables: Vec<(Ident, Ident)>,
+    next_sub: usize,
+}
+
+fn limit_expr(e: &TorExpr) -> Result<SqlExpr> {
+    match e {
+        TorExpr::Const(qbs_common::Value::Int(i)) => Ok(SqlExpr::int(*i)),
+        TorExpr::Var(v) => Ok(SqlExpr::Param(v.clone())),
+        other => Err(SqlGenError::BadLimit(format!("{other}"))),
+    }
+}
+
+fn flatten_base(base: &BaseExpr, flat: &mut Flat) -> Result<()> {
+    match base {
+        BaseExpr::Query(q) => {
+            // Alias: reuse the table name, disambiguating self-joins.
+            let alias = if flat.tables.iter().any(|(t, _)| t == &q.table) {
+                flat.next_sub += 1;
+                Ident::new(format!("{}_{}", q.table, flat.next_sub + 1))
+            } else {
+                q.table.clone()
+            };
+            flat.from.push(FromItem::Table { name: q.table.clone(), alias: alias.clone() });
+            flat.tables.push((q.table.clone(), alias.clone()));
+            for f in q.schema.fields() {
+                flat.cols.push(SqlExpr::qcol(alias.clone(), f.name.clone()));
+            }
+            Ok(())
+        }
+        BaseExpr::Top(inner, count) => {
+            // Nested LIMIT becomes a FROM sub-query with aliased columns.
+            let sub = select_of(
+                &TransExpr::Top((**inner).clone(), Box::new((**count).clone())),
+                None,
+                false,
+            )?;
+            flat.next_sub += 1;
+            let alias = Ident::new(format!("sub{}", flat.next_sub));
+            // Rename output columns c0.. so the outer query can reference
+            // them unambiguously.
+            let mut renamed = sub;
+            for (k, item) in renamed.columns.iter_mut().enumerate() {
+                item.alias = Some(Ident::new(format!("c{k}")));
+            }
+            let n = renamed.columns.len();
+            flat.from.push(FromItem::Subquery { query: Box::new(renamed), alias: alias.clone() });
+            for k in 0..n {
+                flat.cols.push(SqlExpr::qcol(alias.clone(), format!("c{k}").as_str()));
+            }
+            Ok(())
+        }
+        BaseExpr::Cross(a, b) => {
+            flatten_base(a, flat)?;
+            flatten_base(b, flat)
+        }
+        BaseExpr::Agg(..) => Err(SqlGenError::Internal(
+            "aggregate bases appear only in scalar queries".to_string(),
+        )),
+    }
+}
+
+fn atom_expr(atom: &PosAtom, cols: &[SqlExpr]) -> Result<SqlExpr> {
+    Ok(match atom {
+        PosAtom::Cmp { lhs, op, rhs } => {
+            let l = cols
+                .get(*lhs)
+                .cloned()
+                .ok_or_else(|| SqlGenError::Internal(format!("column {lhs} out of range")))?;
+            let r = match rhs {
+                PosOperand::Const(v) => SqlExpr::Lit(v.clone()),
+                PosOperand::Col(c) => cols
+                    .get(*c)
+                    .cloned()
+                    .ok_or_else(|| SqlGenError::Internal(format!("column {c} out of range")))?,
+                PosOperand::Param(p) => SqlExpr::Param(p.clone()),
+            };
+            SqlExpr::cmp(l, *op, r)
+        }
+        PosAtom::Contains { probe, rel } => {
+            let sub = select_of(rel, None, false)?;
+            match probe {
+                PosProbe::Col(c) => {
+                    let l = cols.get(*c).cloned().ok_or_else(|| {
+                        SqlGenError::Internal(format!("column {c} out of range"))
+                    })?;
+                    SqlExpr::InSubquery(Box::new(l), Box::new(sub))
+                }
+                PosProbe::Record => {
+                    SqlExpr::RowInSubquery(cols.to_vec(), Box::new(sub))
+                }
+            }
+        }
+    })
+}
+
+/// Renders a translatable expression into a `SELECT`.
+fn select_of(t: &TransExpr, extra_limit: Option<SqlExpr>, outer: bool) -> Result<SqlSelect> {
+    match t {
+        TransExpr::Unique(inner) => {
+            let mut q = select_of(inner, extra_limit, outer)?;
+            q.distinct = true;
+            Ok(q)
+        }
+        TransExpr::Top(s, count) => {
+            let limit = limit_expr(count)?;
+            // An extra outer limit combines by nesting; in practice `trans`
+            // already fused constant tops.
+            let q = sorted_select(s, Some(limit), outer, order_fields(t))?;
+            match extra_limit {
+                None => Ok(q),
+                Some(_) => Err(SqlGenError::Internal("double limit".to_string())),
+            }
+        }
+        TransExpr::Sorted(s) => sorted_select(s, extra_limit, outer, order_fields(t)),
+    }
+}
+
+fn sorted_select(
+    s: &SortedExpr,
+    limit: Option<SqlExpr>,
+    outer: bool,
+    order: Vec<qbs_common::FieldRef>,
+) -> Result<SqlSelect> {
+    let mut flat = Flat { from: Vec::new(), cols: Vec::new(), tables: Vec::new(), next_sub: 0 };
+    flatten_base(&s.base, &mut flat)?;
+
+    let base_schema = s.base.schema();
+    let columns: Vec<SelectItem> = s
+        .proj
+        .iter()
+        .map(|&p| {
+            flat.cols
+                .get(p)
+                .cloned()
+                .map(|expr| SelectItem { expr, alias: None })
+                .ok_or_else(|| SqlGenError::Internal(format!("projection {p} out of range")))
+        })
+        .collect::<Result<_>>()?;
+
+    let where_clause = SqlExpr::and(
+        s.filter
+            .iter()
+            .map(|a| atom_expr(a, &flat.cols))
+            .collect::<Result<Vec<_>>>()?,
+    );
+
+    // ORDER BY: resolve the Fig. 9 field list. Rowid fields resolve against
+    // the table aliases; ordinary fields against the base schema.
+    let mut order_by = Vec::new();
+    if outer {
+        for fref in order {
+            if fref.name == qbs_tor::ROWID {
+                if let Some(q) = &fref.qualifier {
+                    if let Some((_, alias)) = flat.tables.iter().find(|(t, _)| t == q) {
+                        order_by.push(OrderKey {
+                            expr: SqlExpr::qcol(alias.clone(), qbs_tor::ROWID),
+                            asc: true,
+                        });
+                    }
+                    // A rowid hidden behind a sub-query boundary is dropped:
+                    // the engine's operators preserve input order, so the
+                    // nested ordering is already fixed (documented deviation).
+                }
+                continue;
+            }
+            if let Ok(pos) = base_schema.index_of(&fref) {
+                if let Some(col) = flat.cols.get(pos) {
+                    order_by.push(OrderKey { expr: col.clone(), asc: true });
+                }
+            }
+        }
+    }
+
+    Ok(SqlSelect {
+        distinct: false,
+        columns,
+        from: flat.from,
+        where_clause,
+        order_by,
+        limit,
+    })
+}
+
+fn scalar_of(s: &ScalarQuery) -> Result<SqlScalar> {
+    // The aggregated input is rendered without ORDER BY (aggregates are
+    // order-insensitive; Fig. 9 gives Order(agg(e)) = []).
+    let inner = select_of(&s.input, None, false)?;
+    let column = match s.agg {
+        qbs_tor::AggKind::Count => None,
+        _ => Some(
+            inner
+                .columns
+                .first()
+                .map(|c| c.expr.clone())
+                .ok_or_else(|| SqlGenError::Internal("aggregate over zero columns".into()))?,
+        ),
+    };
+    let compare = match &s.compare {
+        None => None,
+        Some((op, rhs)) => Some((
+            *op,
+            match rhs {
+                qbs_tor::ScalarRhs::Const(v) => SqlExpr::Lit(v.clone()),
+                qbs_tor::ScalarRhs::Param(p) => SqlExpr::Param(p.clone()),
+            },
+        )),
+    };
+    Ok(SqlScalar { agg: s.agg, column, query: inner, compare })
+}
+
+/// Translates a [`TransResult`] into SQL (the rules of Fig. 8).
+///
+/// # Errors
+///
+/// Returns [`SqlGenError`] for non-constant, non-parameter `LIMIT`
+/// expressions or internal position inconsistencies.
+pub fn sql_of(t: &TransResult) -> Result<SqlQuery> {
+    match t {
+        TransResult::Rel(rel) => Ok(SqlQuery::Select(select_of(rel, None, true)?)),
+        TransResult::Scalar(s) => Ok(SqlQuery::Scalar(scalar_of(s)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema, SchemaRef};
+    use qbs_tor::{trans, CmpOp, JoinPred, Operand, Pred, QuerySpec, TypeEnv};
+
+    fn users() -> SchemaRef {
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish()
+    }
+
+    fn roles() -> SchemaRef {
+        Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("label", FieldType::Str)
+            .finish()
+    }
+
+    fn q(t: &str, s: SchemaRef) -> TorExpr {
+        TorExpr::Query(QuerySpec::table_scan(t, s))
+    }
+
+    fn gen(e: &TorExpr) -> String {
+        sql_of(&trans(e, &TypeEnv::new()).unwrap()).unwrap().to_string()
+    }
+
+    #[test]
+    fn selection_with_projection() {
+        let p = Pred::truth().and_cmp("roleId".into(), CmpOp::Eq, Operand::Const(3.into()));
+        let e = TorExpr::proj(vec!["id".into()], TorExpr::select(p, q("users", users())));
+        assert_eq!(
+            gen(&e),
+            "SELECT users.id FROM users WHERE users.roleId = 3 ORDER BY users.rowid"
+        );
+    }
+
+    #[test]
+    fn join_matches_fig3_shape() {
+        // The running example: projection of a join, ordered by both rowids.
+        let join = TorExpr::join(
+            JoinPred::eq("roleId", "roleId"),
+            q("users", users()),
+            q("roles", roles()),
+        );
+        let e = TorExpr::proj(vec!["users.id".into(), "users.roleId".into()], join);
+        assert_eq!(
+            gen(&e),
+            "SELECT users.id, users.roleId FROM users, roles \
+             WHERE users.roleId = roles.roleId ORDER BY users.rowid, roles.rowid"
+        );
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let e = TorExpr::unique(TorExpr::proj(vec!["roleId".into()], q("users", users())));
+        assert_eq!(
+            gen(&e),
+            "SELECT DISTINCT users.roleId FROM users ORDER BY users.rowid"
+        );
+    }
+
+    #[test]
+    fn count_scalar() {
+        let e = TorExpr::agg(qbs_tor::AggKind::Count, q("users", users()));
+        assert_eq!(gen(&e), "SELECT COUNT(*) FROM users");
+    }
+
+    #[test]
+    fn exists_idiom() {
+        let p = Pred::truth().and_cmp("roleId".into(), CmpOp::Eq, Operand::Const(1.into()));
+        let e = TorExpr::cmp(
+            CmpOp::Gt,
+            TorExpr::agg(qbs_tor::AggKind::Count, TorExpr::select(p, q("users", users()))),
+            TorExpr::int(0),
+        );
+        assert_eq!(
+            gen(&e),
+            "SELECT COUNT(*) > 0 FROM users WHERE users.roleId = 1"
+        );
+    }
+
+    #[test]
+    fn top_of_sort_limits() {
+        let e = TorExpr::top(
+            TorExpr::sort(vec!["id".into()], q("users", users())),
+            TorExpr::int(10),
+        );
+        assert_eq!(
+            gen(&e),
+            "SELECT users.id, users.roleId FROM users \
+             ORDER BY users.id, users.rowid LIMIT 10"
+        );
+    }
+
+    #[test]
+    fn contains_join_becomes_in_subquery() {
+        let sub = TorExpr::proj(vec!["roleId".into()], q("roles", roles()));
+        let p = Pred::new(vec![qbs_tor::PredAtom::Contains {
+            probe: qbs_tor::Probe::Field("roleId".into()),
+            rel: Box::new(sub),
+        }]);
+        let e = TorExpr::select(p, q("users", users()));
+        assert_eq!(
+            gen(&e),
+            "SELECT users.id, users.roleId FROM users \
+             WHERE users.roleId IN (SELECT roles.roleId FROM roles) ORDER BY users.rowid"
+        );
+    }
+
+    #[test]
+    fn parameterized_selection_uses_bind_param() {
+        let p = Pred::truth().and_cmp("id".into(), CmpOp::Eq, Operand::Param("uid".into()));
+        let e = TorExpr::select(p, q("users", users()));
+        assert_eq!(
+            gen(&e),
+            "SELECT users.id, users.roleId FROM users WHERE users.id = :uid ORDER BY users.rowid"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! SQL representation and the TOR→SQL translation (paper Sec. 3.2, Fig. 8).
+//!
+//! This crate owns the SQL dialect shared by the QBS pipeline and the
+//! in-memory database engine (`qbs-db`):
+//!
+//! * a structured AST ([`SqlQuery`], [`SqlExpr`]) with tables, sub-queries,
+//!   `WHERE`/`ORDER BY`/`LIMIT`/`DISTINCT`, aggregates, `IN` sub-queries, and
+//!   bind parameters;
+//! * a pretty printer producing the textual SQL shown in reports (Fig. 3);
+//! * a small parser for the embedded `Query("SELECT …")` strings appearing
+//!   in application sources;
+//! * [`sql_of`] — the syntax-directed translation of translatable TOR
+//!   expressions into SQL, including the `Order` function's `ORDER BY`
+//!   columns that pin down record order (Fig. 9). Record order of a base
+//!   retrieval is the hidden monotone `rowid` column materialized by the
+//!   engine.
+//!
+//! # Example
+//!
+//! ```
+//! use qbs_common::{Schema, FieldType};
+//! use qbs_tor::{trans, QuerySpec, TorExpr, TypeEnv};
+//! use qbs_sql::sql_of;
+//!
+//! let users = Schema::builder("users").field("id", FieldType::Int).finish();
+//! let q = TorExpr::Query(QuerySpec::table_scan("users", users));
+//! let sql = sql_of(&trans(&q, &TypeEnv::new()).unwrap()).unwrap();
+//! assert_eq!(sql.to_string(), "SELECT users.id FROM users ORDER BY users.rowid");
+//! ```
+
+mod ast;
+mod from_tor;
+mod parse;
+mod print;
+
+pub use ast::{
+    FromItem, OrderKey, SelectItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect,
+};
+pub use from_tor::{sql_of, SqlGenError};
+pub use parse::{parse_query, ParseError};
+pub use print::{print_query, print_select};

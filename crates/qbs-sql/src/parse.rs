@@ -1,0 +1,310 @@
+//! A small parser for the embedded `Query("SELECT …")` strings found in
+//! application sources. Covers single-table selects with optional `WHERE`
+//! conjunctions, `ORDER BY`, and `LIMIT` — the shapes ORM-generated base
+//! queries take.
+
+use crate::ast::{FromItem, OrderKey, SelectItem, SqlExpr, SqlSelect};
+use qbs_common::Value;
+use qbs_tor::CmpOp;
+use std::fmt;
+
+/// A parse failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(m: impl Into<String>) -> ParseError {
+        ParseError { message: m.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sql parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Tokens {
+    toks: Vec<String>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn new(input: &str) -> Tokens {
+        let mut toks = Vec::new();
+        let mut chars = input.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+            } else if c == ',' || c == '*' || c == '(' || c == ')' {
+                toks.push(c.to_string());
+                chars.next();
+            } else if c == '\'' {
+                chars.next();
+                let mut s = String::from("'");
+                for ch in chars.by_ref() {
+                    if ch == '\'' {
+                        break;
+                    }
+                    s.push(ch);
+                }
+                toks.push(s);
+            } else if "<>=!".contains(c) {
+                let mut op = String::new();
+                while let Some(&c) = chars.peek() {
+                    if "<>=!".contains(c) {
+                        op.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(op);
+            } else {
+                let mut w = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' || c == ':' {
+                        w.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(w);
+            }
+        }
+        Tokens { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError::new(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw))
+    }
+}
+
+fn parse_value(tok: &str) -> Option<Value> {
+    if let Some(s) = tok.strip_prefix('\'') {
+        return Some(Value::from(s));
+    }
+    if tok.eq_ignore_ascii_case("true") {
+        return Some(Value::from(true));
+    }
+    if tok.eq_ignore_ascii_case("false") {
+        return Some(Value::from(false));
+    }
+    tok.parse::<i64>().ok().map(Value::from)
+}
+
+fn parse_cmp(tok: &str) -> Option<CmpOp> {
+    match tok {
+        "=" | "==" => Some(CmpOp::Eq),
+        "<>" | "!=" => Some(CmpOp::Ne),
+        "<" => Some(CmpOp::Lt),
+        "<=" => Some(CmpOp::Le),
+        ">" => Some(CmpOp::Gt),
+        ">=" => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+fn column_expr(name: &str) -> SqlExpr {
+    match name.split_once('.') {
+        Some((q, n)) => SqlExpr::qcol(q, n),
+        None => SqlExpr::col(name),
+    }
+}
+
+/// Parses an embedded SQL query string.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for queries outside the supported single-table
+/// subset.
+///
+/// # Example
+///
+/// ```
+/// use qbs_sql::parse_query;
+/// let q = parse_query("SELECT id, name FROM users WHERE roleId = 3 ORDER BY id LIMIT 5")
+///     .unwrap();
+/// assert_eq!(q.columns.len(), 2);
+/// assert!(q.where_clause.is_some());
+/// assert_eq!(q.order_by.len(), 1);
+/// ```
+pub fn parse_query(input: &str) -> Result<SqlSelect, ParseError> {
+    let mut t = Tokens::new(input);
+    t.expect_kw("SELECT")?;
+    let mut columns = Vec::new();
+    let mut star = false;
+    loop {
+        match t.next() {
+            Some(tok) if tok == "*" => {
+                star = true;
+            }
+            Some(tok) if tok.eq_ignore_ascii_case("FROM") => {
+                return Err(ParseError::new("empty select list"));
+            }
+            Some(tok) => {
+                columns.push(SelectItem { expr: column_expr(&tok), alias: None });
+            }
+            None => return Err(ParseError::new("unexpected end of input")),
+        }
+        if t.peek() == Some(",") {
+            t.next();
+            continue;
+        }
+        break;
+    }
+    t.expect_kw("FROM")?;
+    let mut from = Vec::new();
+    loop {
+        let table = t.next().ok_or_else(|| ParseError::new("missing table name"))?;
+        from.push(FromItem::Table { name: table.as_str().into(), alias: table.as_str().into() });
+        if t.peek() == Some(",") {
+            t.next();
+            continue;
+        }
+        break;
+    }
+
+    let mut where_clause = None;
+    if t.peek_kw("WHERE") {
+        t.next();
+        let mut conjuncts = Vec::new();
+        loop {
+            let col = t.next().ok_or_else(|| ParseError::new("missing column in WHERE"))?;
+            let op = t
+                .next()
+                .and_then(|o| parse_cmp(&o))
+                .ok_or_else(|| ParseError::new("bad comparison operator"))?;
+            let rhs_tok = t.next().ok_or_else(|| ParseError::new("missing value in WHERE"))?;
+            let rhs = if let Some(p) = rhs_tok.strip_prefix(':') {
+                SqlExpr::Param(p.into())
+            } else if let Some(v) = parse_value(&rhs_tok) {
+                SqlExpr::Lit(v)
+            } else {
+                column_expr(&rhs_tok)
+            };
+            conjuncts.push(SqlExpr::cmp(column_expr(&col), op, rhs));
+            if t.peek_kw("AND") {
+                t.next();
+                continue;
+            }
+            break;
+        }
+        where_clause = SqlExpr::and(conjuncts);
+    }
+
+    let mut order_by = Vec::new();
+    if t.peek_kw("ORDER") {
+        t.next();
+        t.expect_kw("BY")?;
+        loop {
+            let col = t.next().ok_or_else(|| ParseError::new("missing ORDER BY column"))?;
+            let asc = if t.peek_kw("DESC") {
+                t.next();
+                false
+            } else {
+                if t.peek_kw("ASC") {
+                    t.next();
+                }
+                true
+            };
+            order_by.push(OrderKey { expr: column_expr(&col), asc });
+            if t.peek() == Some(",") {
+                t.next();
+                continue;
+            }
+            break;
+        }
+    }
+
+    let mut limit = None;
+    if t.peek_kw("LIMIT") {
+        t.next();
+        let n = t
+            .next()
+            .and_then(|tok| tok.parse::<i64>().ok())
+            .ok_or_else(|| ParseError::new("bad LIMIT"))?;
+        limit = Some(SqlExpr::int(n));
+    }
+
+    if let Some(extra) = t.peek() {
+        return Err(ParseError::new(format!("trailing input at `{extra}`")));
+    }
+    let mut q = SqlSelect::new(columns, from);
+    if star {
+        q.columns.clear();
+    }
+    q.where_clause = where_clause;
+    q.order_by = order_by;
+    q.limit = limit;
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_star_select() {
+        let q = parse_query("SELECT * FROM users").unwrap();
+        assert!(q.columns.is_empty());
+        assert_eq!(q.from.len(), 1);
+    }
+
+    #[test]
+    fn parses_where_conjunction() {
+        let q = parse_query("SELECT * FROM t WHERE a = 1 AND b <> 'x'").unwrap();
+        match q.where_clause.unwrap() {
+            SqlExpr::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_desc_and_limit() {
+        let q = parse_query("SELECT id FROM t ORDER BY id DESC LIMIT 3").unwrap();
+        assert!(!q.order_by[0].asc);
+        assert_eq!(q.limit, Some(SqlExpr::int(3)));
+    }
+
+    #[test]
+    fn parses_bind_parameter() {
+        let q = parse_query("SELECT * FROM t WHERE id = :uid").unwrap();
+        match q.where_clause.unwrap() {
+            SqlExpr::Cmp(_, _, rhs) => assert!(matches!(*rhs, SqlExpr::Param(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("DELETE FROM t").is_err());
+        assert!(parse_query("SELECT FROM t").is_err());
+        assert!(parse_query("SELECT * FROM t GROUP BY x").is_err());
+    }
+}

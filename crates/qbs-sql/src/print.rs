@@ -1,0 +1,227 @@
+//! SQL pretty printing.
+
+use crate::ast::{FromItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect};
+use std::fmt::Write;
+
+fn expr(e: &SqlExpr, out: &mut String) {
+    match e {
+        SqlExpr::Column { qualifier, name } => match qualifier {
+            Some(q) => {
+                let _ = write!(out, "{q}.{name}");
+            }
+            None => {
+                let _ = write!(out, "{name}");
+            }
+        },
+        SqlExpr::Lit(v) => match v {
+            qbs_common::Value::Str(s) => {
+                let _ = write!(out, "'{}'", s.replace('\'', "''"));
+            }
+            other => {
+                let _ = write!(out, "{other}");
+            }
+        },
+        SqlExpr::Param(p) => {
+            let _ = write!(out, ":{p}");
+        }
+        SqlExpr::Cmp(a, op, b) => {
+            expr(a, out);
+            let _ = write!(out, " {} ", op.sql());
+            expr(b, out);
+        }
+        SqlExpr::And(parts) =>
+
+ {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" AND ");
+                }
+                expr(p, out);
+            }
+        }
+        SqlExpr::Or(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" OR ");
+                }
+                expr(p, out);
+            }
+            out.push(')');
+        }
+        SqlExpr::Not(x) => {
+            out.push_str("NOT (");
+            expr(x, out);
+            out.push(')');
+        }
+        SqlExpr::InSubquery(x, q) => {
+            expr(x, out);
+            out.push_str(" IN (");
+            out.push_str(&print_select(q));
+            out.push(')');
+        }
+        SqlExpr::RowInSubquery(xs, q) => {
+            out.push('(');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(x, out);
+            }
+            out.push_str(") IN (");
+            out.push_str(&print_select(q));
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a relational query.
+pub fn print_select(q: &SqlSelect) -> String {
+    let mut out = String::from("SELECT ");
+    if q.distinct {
+        out.push_str("DISTINCT ");
+    }
+    if q.columns.is_empty() {
+        out.push('*');
+    }
+    for (i, c) in q.columns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        expr(&c.expr, &mut out);
+        if let Some(a) = &c.alias {
+            let _ = write!(out, " AS {a}");
+        }
+    }
+    out.push_str(" FROM ");
+    for (i, f) in q.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match f {
+            FromItem::Table { name, alias } => {
+                if name == alias {
+                    let _ = write!(out, "{name}");
+                } else {
+                    let _ = write!(out, "{name} AS {alias}");
+                }
+            }
+            FromItem::Subquery { query, alias } => {
+                let _ = write!(out, "({}) AS {alias}", print_select(query));
+            }
+        }
+    }
+    if let Some(w) = &q.where_clause {
+        out.push_str(" WHERE ");
+        expr(w, &mut out);
+    }
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, k) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            expr(&k.expr, &mut out);
+            if !k.asc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(l) = &q.limit {
+        out.push_str(" LIMIT ");
+        expr(l, &mut out);
+    }
+    out
+}
+
+fn print_scalar(q: &SqlScalar) -> String {
+    let mut out = String::from("SELECT ");
+    let _ = write!(out, "{}(", q.agg.sql());
+    match &q.column {
+        Some(c) => expr(c, &mut out),
+        None => out.push('*'),
+    }
+    out.push(')');
+    if let Some((op, rhs)) = &q.compare {
+        let _ = write!(out, " {} ", op.sql());
+        expr(rhs, &mut out);
+    }
+    out.push_str(" FROM ");
+    // Reuse the select printer for FROM/WHERE by printing a dummy select and
+    // stripping its head.
+    let inner = print_select(&SqlSelect { columns: vec![], ..q.query.clone() });
+    let from = inner.strip_prefix("SELECT * FROM ").unwrap_or(&inner);
+    out.push_str(from);
+    out
+}
+
+/// Renders any query.
+pub fn print_query(q: &SqlQuery) -> String {
+    match q {
+        SqlQuery::Select(s) => print_select(s),
+        SqlQuery::Scalar(s) => print_scalar(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{OrderKey, SelectItem};
+    use qbs_tor::{AggKind, CmpOp};
+
+    fn users_from() -> Vec<FromItem> {
+        vec![FromItem::Table { name: "users".into(), alias: "users".into() }]
+    }
+
+    #[test]
+    fn renders_filtered_ordered_query() {
+        let q = SqlSelect {
+            distinct: false,
+            columns: vec![SelectItem { expr: SqlExpr::qcol("users", "id"), alias: None }],
+            from: users_from(),
+            where_clause: Some(SqlExpr::cmp(
+                SqlExpr::qcol("users", "roleId"),
+                CmpOp::Eq,
+                SqlExpr::int(3),
+            )),
+            order_by: vec![OrderKey { expr: SqlExpr::qcol("users", "rowid"), asc: true }],
+            limit: Some(SqlExpr::int(10)),
+        };
+        assert_eq!(
+            print_select(&q),
+            "SELECT users.id FROM users WHERE users.roleId = 3 ORDER BY users.rowid LIMIT 10"
+        );
+    }
+
+    #[test]
+    fn renders_scalar_count_comparison() {
+        let q = SqlScalar {
+            agg: AggKind::Count,
+            column: None,
+            query: SqlSelect::new(vec![], users_from()),
+            compare: Some((CmpOp::Gt, SqlExpr::int(0))),
+        };
+        assert_eq!(print_query(&SqlQuery::Scalar(q)), "SELECT COUNT(*) > 0 FROM users");
+    }
+
+    #[test]
+    fn renders_string_literals_escaped() {
+        let mut s = String::new();
+        expr(&SqlExpr::Lit("o'brien".into()), &mut s);
+        assert_eq!(s, "'o''brien'");
+    }
+
+    #[test]
+    fn renders_in_subquery() {
+        let sub = SqlSelect::new(
+            vec![SelectItem { expr: SqlExpr::qcol("roles", "roleId"), alias: None }],
+            vec![FromItem::Table { name: "roles".into(), alias: "roles".into() }],
+        );
+        let mut s = String::new();
+        expr(
+            &SqlExpr::InSubquery(Box::new(SqlExpr::qcol("users", "roleId")), Box::new(sub)),
+            &mut s,
+        );
+        assert_eq!(s, "users.roleId IN (SELECT roles.roleId FROM roles)");
+    }
+}

@@ -1,0 +1,335 @@
+//! Invariant derivation from postcondition templates (paper Sec. 4.3,
+//! Figs. 10 and 12).
+//!
+//! Given a candidate expression `E` for each loop's product, the invariants
+//! follow by *staging*: inside a loop with counter `i` over source `src`,
+//! the completed prefix is `E[src → top_i(src)]`; inside a nested inner loop
+//! with counter `j`, the partially processed outer record contributes
+//! `E[src1 → get_i(src1), src2 → top_j(src2)]` concatenated after the outer
+//! prefix — exactly the shape of the paper's Fig. 12 inner-loop invariant.
+
+use crate::pattern::{Bound, LoopInfo, Shape};
+use crate::postcond::Template;
+use qbs_common::Ident;
+use qbs_kernel::{KernelProgram, VarTypes};
+use qbs_tor::{CmpOp, TorExpr};
+use qbs_vcgen::{subst_expr, Formula, VcSet};
+use qbs_verify::Candidate;
+use std::collections::BTreeMap;
+
+/// A fully derived candidate plus the expanded postcondition right-hand side
+/// (the expression that will be translated to SQL).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DerivedCandidate {
+    /// The assignment for all unknowns.
+    pub candidate: Candidate,
+    /// Postcondition RHS over source relations and fragment parameters.
+    pub post_rhs: TorExpr,
+    /// True when the result is scalar-valued.
+    pub post_scalar: bool,
+}
+
+fn is_source(v: &Ident, vcs: &VcSet) -> bool {
+    vcs.sources.contains(v)
+}
+
+/// Non-source straight-line definitions worth carrying (e.g.
+/// `sorted := sort_f(records)`), excluding initializers and counters.
+fn carried_defs<'s>(shape: &'s Shape, vcs: &VcSet) -> Vec<(&'s Ident, &'s TorExpr)> {
+    shape
+        .defs
+        .iter()
+        .filter(|(v, e)| {
+            !is_source(v, vcs)
+                && !matches!(e, TorExpr::EmptyList | TorExpr::Const(_) | TorExpr::Query(_))
+                && !shape.loops.iter().any(|l| &l.counter == v || &l.product == v)
+        })
+        .map(|(v, e)| (v, e))
+        .collect()
+}
+
+/// Fully expands products and carried defs so the expression ranges over
+/// source relations and parameters only.
+fn expand(
+    e: &TorExpr,
+    shape: &Shape,
+    products: &BTreeMap<Ident, TorExpr>,
+    vcs: &VcSet,
+) -> TorExpr {
+    let mut cur = e.clone();
+    for _ in 0..6 {
+        let mut next = cur.clone();
+        for (v, pe) in products {
+            next = subst_expr(&next, v, pe);
+        }
+        for (v, de) in carried_defs(shape, vcs) {
+            next = subst_expr(&next, v, de);
+        }
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// `E[src → top_c(src)]`, or counter-for-constant replacement in `top_k`
+/// templates of constant-bound loops.
+fn stage_own(expr: &TorExpr, l: &LoopInfo) -> TorExpr {
+    match (&l.bound, expr) {
+        (Bound::Const(k) | Bound::ConstAndSize(k, _), TorExpr::Top(inner, count))
+            if matches!(&**count, TorExpr::Const(qbs_common::Value::Int(c)) if c == k) =>
+        {
+            TorExpr::Top(inner.clone(), Box::new(TorExpr::var(l.counter.clone())))
+        }
+        _ => subst_expr(
+            expr,
+            &l.src,
+            &TorExpr::top(TorExpr::var(l.src.clone()), TorExpr::var(l.counter.clone())),
+        ),
+    }
+}
+
+fn bound_conjuncts(l: &LoopInfo, strict: bool) -> Vec<Formula> {
+    let op = if strict { CmpOp::Lt } else { CmpOp::Le };
+    let c = TorExpr::var(l.counter.clone());
+    match &l.bound {
+        Bound::Size(s) => vec![Formula::Atom(TorExpr::cmp(
+            op,
+            c,
+            TorExpr::size(TorExpr::var(s.clone())),
+        ))],
+        Bound::Const(k) => vec![Formula::Atom(TorExpr::cmp(op, c, TorExpr::int(*k)))],
+        Bound::ConstAndSize(k, s) => vec![
+            Formula::Atom(TorExpr::cmp(op, c.clone(), TorExpr::int(*k))),
+            Formula::Atom(TorExpr::cmp(op, c, TorExpr::size(TorExpr::var(s.clone())))),
+        ],
+    }
+}
+
+/// The initial value of a product variable, from its straight-line
+/// initializer.
+fn init_value(shape: &Shape, v: &Ident) -> Option<TorExpr> {
+    shape
+        .defs
+        .iter()
+        .find(|(d, e)| d == v && matches!(e, TorExpr::EmptyList | TorExpr::Const(_)))
+        .map(|(_, e)| e.clone())
+}
+
+/// The product equality conjunct: relation products use [`Formula::RelEq`],
+/// scalar products a scalar equality atom.
+fn product_eq(p: &Ident, rhs: TorExpr, scalar: bool) -> Formula {
+    if scalar {
+        Formula::Atom(TorExpr::cmp(CmpOp::Eq, TorExpr::var(p.clone()), rhs))
+    } else {
+        Formula::RelEq(TorExpr::var(p.clone()), rhs)
+    }
+}
+
+/// Derives the candidate (all loop invariants + postcondition) from one
+/// template choice. `choice` maps the *unit* loop index (outermost of a
+/// nested pair, or each sequential loop) to its chosen template.
+///
+/// Returns `None` when the program's result variable cannot be expressed
+/// from the chosen templates.
+pub fn derive_candidate(
+    shape: &Shape,
+    choice: &BTreeMap<usize, Template>,
+    prog: &KernelProgram,
+    vcs: &VcSet,
+    types: &VarTypes,
+) -> Option<DerivedCandidate> {
+    // Product variable → (template expr, scalar?).
+    let mut products: BTreeMap<Ident, TorExpr> = BTreeMap::new();
+    let mut scalar_of: BTreeMap<Ident, bool> = BTreeMap::new();
+    for (&idx, t) in choice {
+        let l = &shape.loops[idx];
+        products.insert(l.product.clone(), t.expr.clone());
+        scalar_of.insert(l.product.clone(), t.scalar);
+    }
+
+    // Postcondition: resolve the result variable. Whether the result is
+    // scalar comes from its inferred kernel type.
+    let result = prog.result_var();
+    let post_scalar = types
+        .get(result)
+        .map(|t| t.is_scalar())
+        .unwrap_or(false);
+    let post_rhs_raw = if let Some(e) = products.get(result) {
+        e.clone()
+    } else if let Some((_, def)) = shape.defs.iter().find(|(v, _)| v == result) {
+        // e.g. result := unique(out) / result := size(xs).
+        def.clone()
+    } else {
+        return None;
+    };
+    let post_rhs = expand(&post_rhs_raw, shape, &products, vcs);
+    let post_body = product_eq(result, post_rhs.clone(), post_scalar);
+
+    let mut candidate = Candidate::new();
+    candidate.set(vcs.post_id, post_body);
+
+    // Loop invariants.
+    for info in vcs.invariants() {
+        let path = info.loop_path.as_ref()?;
+        let (m, l) = shape
+            .loops
+            .iter()
+            .enumerate()
+            .find(|(_, l)| &l.path == path)?;
+        let mut conjuncts: Vec<Formula> = Vec::new();
+
+        // Carried definitions in scope (sorted views etc.).
+        for (v, de) in carried_defs(shape, vcs) {
+            if info.params.contains(v) {
+                conjuncts.push(Formula::RelEq(TorExpr::Var(v.clone()), de.clone()));
+            }
+        }
+
+        // Finished earlier loops and untouched later loops.
+        for (k, other) in shape.loops.iter().enumerate() {
+            if k == m || other.product == l.product {
+                continue;
+            }
+            if !info.params.contains(&other.product) {
+                continue;
+            }
+            let scalar = scalar_of.get(&other.product).copied().unwrap_or(false);
+            let Some(expr) = products.get(&other.product) else { continue };
+            if other.path < l.path {
+                // Completed producer: full expression.
+                conjuncts.push(product_eq(&other.product, expr.clone(), scalar));
+            } else {
+                // Not yet started: initial value.
+                let init = init_value(shape, &other.product)?;
+                conjuncts.push(product_eq(&other.product, init, scalar));
+            }
+        }
+
+        // Bounds: ancestors strict, own loop inclusive.
+        let mut anc = l.parent;
+        while let Some(a) = anc {
+            conjuncts.extend(bound_conjuncts(&shape.loops[a], true));
+            anc = shape.loops[a].parent;
+        }
+        conjuncts.extend(bound_conjuncts(l, false));
+
+        // Own product staging.
+        let scalar = scalar_of.get(&l.product).copied().unwrap_or(false);
+        let expr = products.get(&l.product)?;
+        let staged = match l.parent {
+            None => stage_own(expr, l),
+            Some(parent_idx) => {
+                // Inner loop of a nested pair (Fig. 12): completed outer
+                // prefix ++ partially joined current outer record.
+                let outer = &shape.loops[parent_idx];
+                let prefix = stage_own(expr, outer);
+                let partial = subst_expr(
+                    &subst_expr(
+                        expr,
+                        &outer.src,
+                        &TorExpr::get(
+                            TorExpr::var(outer.src.clone()),
+                            TorExpr::var(outer.counter.clone()),
+                        ),
+                    ),
+                    &l.src,
+                    &TorExpr::top(TorExpr::var(l.src.clone()), TorExpr::var(l.counter.clone())),
+                );
+                TorExpr::concat(prefix, partial)
+            }
+        };
+        conjuncts.push(product_eq(&l.product, staged, scalar));
+
+        candidate.set(info.id, Formula::and(conjuncts));
+    }
+
+    Some(DerivedCandidate { candidate, post_rhs, post_scalar })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::mine;
+    use crate::pattern::analyze;
+    use crate::postcond::product_templates;
+    use qbs_common::{FieldType, Schema};
+    use qbs_kernel::{typecheck, KExpr, KStmt, KernelProgram};
+    use qbs_tor::{QuerySpec, TypeEnv};
+    use qbs_vcgen::generate;
+
+    fn join_prog() -> KernelProgram {
+        let users = Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish();
+        let roles = Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("label", FieldType::Str)
+            .finish();
+        KernelProgram::builder("join")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users))))
+            .stmt(KStmt::assign("roles", KExpr::query(QuerySpec::table_scan("roles", roles))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::assign("j", KExpr::int(0)),
+                    KStmt::while_loop(
+                        KExpr::cmp(CmpOp::Lt, KExpr::var("j"), KExpr::size(KExpr::var("roles"))),
+                        vec![
+                            KStmt::if_then(
+                                KExpr::cmp(
+                                    CmpOp::Eq,
+                                    KExpr::field(
+                                        KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                        "roleId",
+                                    ),
+                                    KExpr::field(
+                                        KExpr::get(KExpr::var("roles"), KExpr::var("j")),
+                                        "roleId",
+                                    ),
+                                ),
+                                vec![KStmt::assign(
+                                    "out",
+                                    KExpr::append(
+                                        KExpr::var("out"),
+                                        KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                    ),
+                                )],
+                            ),
+                            KStmt::assign("j", KExpr::add(KExpr::var("j"), KExpr::int(1))),
+                        ],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish()
+    }
+
+    #[test]
+    fn join_invariants_match_fig12_shape() {
+        let prog = join_prog();
+        let shape = analyze(&prog).unwrap();
+        let mined = mine(&prog, &shape);
+        let types = typecheck(&prog, &TypeEnv::new()).unwrap();
+        let vcs = generate(&prog).unwrap();
+        let templates = product_templates(&shape, 0, &mined, &types, 4);
+        assert!(!templates.is_empty(), "join template expected");
+        let mut choice = BTreeMap::new();
+        choice.insert(0usize, templates[0].clone());
+        let derived = derive_candidate(&shape, &choice, &prog, &vcs, &types).unwrap();
+        // Postcondition: out = π(⋈(users, roles)).
+        assert!(matches!(derived.post_rhs, TorExpr::Proj(_, _)));
+        // The inner invariant contains a concatenation (Fig. 12).
+        let inner = vcs
+            .invariants()
+            .find(|u| u.name.contains('#'))
+            .expect("inner invariant");
+        let body = derived.candidate.body(inner.id).unwrap();
+        assert!(format!("{body}").contains("cat("), "inner invariant: {body}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Predicate mining from fragment branch conditions.
+//!
+//! The paper's template generator "scans the input code fragment for
+//! specific patterns" (Sec. 4.5). The richest pattern source is the guard of
+//! the conditional that gates an `append`: a comparison between a field of
+//! the current element and a constant/parameter is a selection atom; a
+//! comparison between fields of two different loops' elements is a join
+//! atom; a `contains` test against another list is a containment atom.
+
+use crate::pattern::Shape;
+use qbs_common::Ident;
+use qbs_kernel::{KStmt, KernelProgram};
+use qbs_tor::{BinOp, CmpOp, Operand, PredAtom, Probe, TorExpr};
+use qbs_vcgen::kexpr_to_tor;
+
+/// A mined join atom between two sources.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinedJoin {
+    /// Left source variable.
+    pub left_src: Ident,
+    /// Left field.
+    pub left: qbs_common::FieldRef,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right source variable.
+    pub right_src: Ident,
+    /// Right field.
+    pub right: qbs_common::FieldRef,
+}
+
+/// Atoms harvested from a fragment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MinedAtoms {
+    /// Selection atoms per source variable (including negated forms).
+    pub selections: Vec<(Ident, PredAtom)>,
+    /// Join atoms between source pairs.
+    pub joins: Vec<MinedJoin>,
+}
+
+impl MinedAtoms {
+    /// Selection atoms applying to `src`.
+    pub fn selections_for(&self, src: &Ident) -> Vec<PredAtom> {
+        self.selections
+            .iter()
+            .filter(|(s, _)| s == src)
+            .map(|(_, a)| a.clone())
+            .collect()
+    }
+
+    /// Join atoms between `left` and `right` (in either orientation,
+    /// normalized to `left` on the left).
+    pub fn joins_for(&self, left: &Ident, right: &Ident) -> Vec<MinedJoin> {
+        let mut out = Vec::new();
+        for j in &self.joins {
+            if &j.left_src == left && &j.right_src == right {
+                out.push(j.clone());
+            } else if &j.left_src == right && &j.right_src == left {
+                out.push(MinedJoin {
+                    left_src: left.clone(),
+                    left: j.right.clone(),
+                    op: j.op.flip(),
+                    right_src: right.clone(),
+                    right: j.left.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// `Field(Get(Var s, Var c), f)` where `c` is the counter of a loop over `s`.
+fn elem_field<'e>(
+    e: &'e TorExpr,
+    shape: &Shape,
+) -> Option<(Ident, qbs_common::FieldRef)> {
+    if let TorExpr::Field(inner, f) = e {
+        if let TorExpr::Get(r, i) = &**inner {
+            if let (TorExpr::Var(src), TorExpr::Var(c)) = (&**r, &**i) {
+                if shape.loops.iter().any(|l| &l.src == src && &l.counter == c) {
+                    return Some((src.clone(), f.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn mine_condition(cond: &TorExpr, shape: &Shape, prog: &KernelProgram, out: &mut MinedAtoms) {
+    match cond {
+        TorExpr::Binary(BinOp::And, a, b) => {
+            mine_condition(a, shape, prog, out);
+            mine_condition(b, shape, prog, out);
+        }
+        TorExpr::Not(inner) => {
+            // Mine the negated comparison too (e.g. `if (!(status = 1))`).
+            if let TorExpr::Binary(BinOp::Cmp(op), a, b) = &**inner {
+                let neg = TorExpr::Binary(BinOp::Cmp(op.negate()), a.clone(), b.clone());
+                mine_condition(&neg, shape, prog, out);
+            }
+        }
+        TorExpr::Binary(BinOp::Cmp(op), a, b) => {
+            let la = elem_field(a, shape);
+            let lb = elem_field(b, shape);
+            match (la, lb) {
+                (Some((sa, fa)), Some((sb, fb))) if sa != sb => {
+                    out.joins.push(MinedJoin {
+                        left_src: sa,
+                        left: fa,
+                        op: *op,
+                        right_src: sb,
+                        right: fb,
+                    });
+                }
+                (Some((s, f)), Some((_, g))) => {
+                    // Field-to-field on the same source.
+                    out.selections.push((
+                        s,
+                        PredAtom::Cmp { lhs: f, op: *op, rhs: Operand::Field(g) },
+                    ));
+                }
+                (Some((s, f)), None) => {
+                    if let Some(rhs) = operand_of(b, prog) {
+                        out.selections.push((s.clone(), PredAtom::Cmp {
+                            lhs: f.clone(),
+                            op: *op,
+                            rhs: rhs.clone(),
+                        }));
+                        // Also mine the negation for else-gated appends.
+                        out.selections.push((
+                            s,
+                            PredAtom::Cmp { lhs: f, op: op.negate(), rhs },
+                        ));
+                    }
+                }
+                (None, Some((s, f))) => {
+                    if let Some(rhs) = operand_of(a, prog) {
+                        out.selections.push((s.clone(), PredAtom::Cmp {
+                            lhs: f.clone(),
+                            op: op.flip(),
+                            rhs: rhs.clone(),
+                        }));
+                        out.selections.push((
+                            s,
+                            PredAtom::Cmp { lhs: f, op: op.flip().negate(), rhs },
+                        ));
+                    }
+                }
+                (None, None) => {}
+            }
+        }
+        TorExpr::Contains(x, rel) => {
+            // contains(elem-or-field, otherList)
+            if let Some((s, f)) = elem_field(x, shape) {
+                out.selections.push((
+                    s,
+                    PredAtom::Contains { probe: Probe::Field(f), rel: rel.clone() },
+                ));
+            } else if let TorExpr::Get(r, i) = &**x {
+                if let (TorExpr::Var(src), TorExpr::Var(c)) = (&**r, &**i) {
+                    if shape.loops.iter().any(|l| &l.src == src && &l.counter == c) {
+                        out.selections.push((
+                            src.clone(),
+                            PredAtom::Contains { probe: Probe::Record, rel: rel.clone() },
+                        ));
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn operand_of(e: &TorExpr, prog: &KernelProgram) -> Option<Operand> {
+    match e {
+        TorExpr::Const(v) => Some(Operand::Const(v.clone())),
+        TorExpr::Var(v) if prog.params().contains(v) => Some(Operand::Param(v.clone())),
+        _ => None,
+    }
+}
+
+fn walk(stmts: &[KStmt], shape: &Shape, prog: &KernelProgram, out: &mut MinedAtoms) {
+    for s in stmts {
+        match s {
+            KStmt::If(c, t, f) => {
+                if let Ok(cond) = kexpr_to_tor(c) {
+                    mine_condition(&cond, shape, prog, out);
+                }
+                walk(t, shape, prog, out);
+                walk(f, shape, prog, out);
+            }
+            KStmt::While(_, b) => walk(b, shape, prog, out),
+            _ => {}
+        }
+    }
+}
+
+/// Harvests selection/join/containment atoms from a fragment's conditionals.
+pub fn mine(prog: &KernelProgram, shape: &Shape) -> MinedAtoms {
+    let mut out = MinedAtoms::default();
+    walk(prog.body(), shape, prog, &mut out);
+    // Canonical order, no duplicates — part of symmetry breaking.
+    out.selections.dedup();
+    out.joins.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::analyze;
+    use qbs_kernel::KExpr;
+    use qbs_common::{FieldType, Schema};
+    use qbs_tor::QuerySpec;
+
+    fn prog_with_cond(cond: KExpr) -> KernelProgram {
+        let users = Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish();
+        KernelProgram::builder("f")
+            .param("uid")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::if_then(
+                        cond,
+                        vec![KStmt::assign(
+                            "out",
+                            KExpr::append(
+                                KExpr::var("out"),
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                            ),
+                        )],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish()
+    }
+
+    #[test]
+    fn mines_const_selection() {
+        let prog = prog_with_cond(KExpr::cmp(
+            CmpOp::Eq,
+            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+            KExpr::int(3),
+        ));
+        let shape = analyze(&prog).unwrap();
+        let atoms = mine(&prog, &shape);
+        let sels = atoms.selections_for(&"users".into());
+        assert!(sels.iter().any(|a| matches!(
+            a,
+            PredAtom::Cmp { op: CmpOp::Eq, rhs: Operand::Const(_), .. }
+        )));
+        // The negation is mined too.
+        assert!(sels.iter().any(|a| matches!(a, PredAtom::Cmp { op: CmpOp::Ne, .. })));
+    }
+
+    #[test]
+    fn mines_param_selection() {
+        let prog = prog_with_cond(KExpr::cmp(
+            CmpOp::Eq,
+            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "id"),
+            KExpr::var("uid"),
+        ));
+        let shape = analyze(&prog).unwrap();
+        let atoms = mine(&prog, &shape);
+        let sels = atoms.selections_for(&"users".into());
+        assert!(sels.iter().any(|a| matches!(
+            a,
+            PredAtom::Cmp { rhs: Operand::Param(p), .. } if p == &Ident::new("uid")
+        )));
+    }
+
+    #[test]
+    fn mines_contains_atom() {
+        let prog = prog_with_cond(KExpr::contains(
+            KExpr::var("ids"),
+            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "id"),
+        ));
+        let shape = analyze(&prog).unwrap();
+        let atoms = mine(&prog, &shape);
+        let sels = atoms.selections_for(&"users".into());
+        assert!(sels.iter().any(|a| matches!(a, PredAtom::Contains { .. })));
+    }
+}

@@ -1,0 +1,571 @@
+//! Loop structure analysis of kernel programs.
+//!
+//! Recovers, for every `while` loop: the counter variable, the loop bound,
+//! the iterated source relation, and the accumulated *product* variable.
+//! Fragments whose loops do not fit these patterns (custom comparators,
+//! non-monotonic index updates, in-place removal rewrites, …) are reported
+//! as [`ShapeError`] — these become the paper's "failed to find invariants"
+//! (`*`) outcomes.
+
+use qbs_common::Ident;
+use qbs_kernel::{KExpr, KStmt, KernelProgram};
+use qbs_tor::{BinOp, CmpOp, TorExpr};
+use qbs_vcgen::kexpr_to_tor;
+use std::fmt;
+
+/// The bound of a counting loop.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Bound {
+    /// `c < size(src)`.
+    Size(Ident),
+    /// `c < k`.
+    Const(i64),
+    /// `c < k && c < size(src)` — the guarded top-k idiom.
+    ConstAndSize(i64, Ident),
+}
+
+/// How a loop accumulates its product.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProductKind {
+    /// `p := append(p, elem)`, possibly guarded by a condition.
+    Append {
+        /// The appended element expression (in TOR form).
+        elem: TorExpr,
+    },
+    /// A scalar accumulation: count, sum, max/min, or boolean flag.
+    Scalar {
+        /// The update expression assigned to the product.
+        update: TorExpr,
+    },
+    /// The loop's product is produced by a nested loop.
+    Nested,
+}
+
+/// One analyzed loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopInfo {
+    /// Statement path (matches `UnknownInfo::loop_path`).
+    pub path: Vec<usize>,
+    /// Counter variable.
+    pub counter: Ident,
+    /// Loop bound.
+    pub bound: Bound,
+    /// Source relation variable (for `Size`-style bounds this is the scanned
+    /// relation; for pure `Const` bounds the relation indexed by `get`).
+    pub src: Ident,
+    /// Accumulated product variable.
+    pub product: Ident,
+    /// How the product is accumulated.
+    pub kind: ProductKind,
+    /// Index of the parent loop in [`Shape::loops`], if nested.
+    pub parent: Option<usize>,
+}
+
+/// The analyzed shape of a fragment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shape {
+    /// Loops in program order (outer loops precede their inner loops).
+    pub loops: Vec<LoopInfo>,
+    /// Straight-line definitions outside loops: `v := e`.
+    pub defs: Vec<(Ident, TorExpr)>,
+}
+
+impl Shape {
+    /// Looks up a loop by its statement path.
+    pub fn loop_by_path(&self, path: &[usize]) -> Option<&LoopInfo> {
+        self.loops.iter().find(|l| l.path == path)
+    }
+
+    /// Expands a variable through the straight-line definitions (e.g.
+    /// `sorted ↦ sort_f(Query(...))`), leaving source variables intact.
+    pub fn expand_defs(&self, e: &TorExpr) -> TorExpr {
+        let mut cur = e.clone();
+        for _ in 0..4 {
+            let mut next = cur.clone();
+            for (v, def) in &self.defs {
+                // Only expand non-trivial defs (skip v := [] and counters).
+                if matches!(def, TorExpr::EmptyList | TorExpr::Const(_)) {
+                    continue;
+                }
+                next = qbs_vcgen::subst_expr(&next, v, def);
+            }
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// The inner loops of loop `idx`.
+    pub fn children(&self, idx: usize) -> Vec<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.parent == Some(idx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Why the analyzer rejected a fragment shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeError {
+    /// Human-readable reason, surfaced in the report.
+    pub reason: String,
+}
+
+impl ShapeError {
+    fn new(reason: impl Into<String>) -> ShapeError {
+        ShapeError { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported fragment shape: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Parses a loop guard into (counter, bound).
+fn parse_guard(guard: &KExpr) -> Result<(Ident, Bound), ShapeError> {
+    fn lt_parts(e: &KExpr) -> Option<(&Ident, &KExpr)> {
+        if let KExpr::Binary(BinOp::Cmp(CmpOp::Lt), a, b) = e {
+            if let KExpr::Var(c) = &**a {
+                return Some((c, b));
+            }
+        }
+        None
+    }
+    match guard {
+        KExpr::Binary(BinOp::And, a, b) => {
+            let (c1, r1) = lt_parts(a)
+                .ok_or_else(|| ShapeError::new(format!("unrecognized guard `{a:?}`")))?;
+            let (c2, r2) = lt_parts(b)
+                .ok_or_else(|| ShapeError::new(format!("unrecognized guard `{b:?}`")))?;
+            if c1 != c2 {
+                return Err(ShapeError::new("conjunctive guard over two counters"));
+            }
+            match (r1, r2) {
+                (KExpr::Const(qbs_common::Value::Int(k)), KExpr::Size(s)) => match &**s {
+                    KExpr::Var(sv) => Ok((c1.clone(), Bound::ConstAndSize(*k, sv.clone()))),
+                    _ => Err(ShapeError::new("size() of a non-variable")),
+                },
+                (KExpr::Size(s), KExpr::Const(qbs_common::Value::Int(k))) => match &**s {
+                    KExpr::Var(sv) => Ok((c1.clone(), Bound::ConstAndSize(*k, sv.clone()))),
+                    _ => Err(ShapeError::new("size() of a non-variable")),
+                },
+                _ => Err(ShapeError::new("unrecognized conjunctive guard")),
+            }
+        }
+        _ => {
+            let (c, rhs) = lt_parts(guard)
+                .ok_or_else(|| ShapeError::new(format!("unrecognized guard `{guard:?}`")))?;
+            match rhs {
+                KExpr::Size(s) => match &**s {
+                    KExpr::Var(sv) => Ok((c.clone(), Bound::Size(sv.clone()))),
+                    _ => Err(ShapeError::new("size() of a non-variable")),
+                },
+                KExpr::Const(qbs_common::Value::Int(k)) => Ok((c.clone(), Bound::Const(*k))),
+                _ => Err(ShapeError::new("unrecognized loop bound")),
+            }
+        }
+    }
+}
+
+/// Finds the relation indexed by `get(src, counter)` in an expression.
+fn find_indexed_src(e: &KExpr, counter: &Ident, out: &mut Vec<Ident>) {
+    if let KExpr::Get(r, i) = e {
+        if let (KExpr::Var(src), KExpr::Var(c)) = (&**r, &**i) {
+            if c == counter {
+                out.push(src.clone());
+            }
+        }
+    }
+    for c in e.children() {
+        find_indexed_src(c, counter, out);
+    }
+}
+
+fn stmt_indexed_srcs(stmts: &[KStmt], counter: &Ident, out: &mut Vec<Ident>) {
+    for s in stmts {
+        match s {
+            KStmt::Assign(_, e) | KStmt::Assert(e) => find_indexed_src(e, counter, out),
+            KStmt::If(c, t, f) => {
+                find_indexed_src(c, counter, out);
+                stmt_indexed_srcs(t, counter, out);
+                stmt_indexed_srcs(f, counter, out);
+            }
+            KStmt::While(c, b) => {
+                find_indexed_src(c, counter, out);
+                stmt_indexed_srcs(b, counter, out);
+            }
+            KStmt::Skip => {}
+        }
+    }
+}
+
+struct Analyzer {
+    loops: Vec<LoopInfo>,
+    defs: Vec<(Ident, TorExpr)>,
+}
+
+impl Analyzer {
+    fn walk_block(
+        &mut self,
+        stmts: &[KStmt],
+        path: &[usize],
+        parent: Option<usize>,
+        in_loop: bool,
+    ) -> Result<(), ShapeError> {
+        for (idx, s) in stmts.iter().enumerate() {
+            let mut p = path.to_vec();
+            p.push(idx);
+            match s {
+                KStmt::Assign(v, e) if !in_loop => {
+                    let t = kexpr_to_tor(e)
+                        .map_err(|err| ShapeError::new(err.to_string()))?;
+                    self.defs.push((v.clone(), t));
+                }
+                KStmt::While(guard, body) => {
+                    self.walk_loop(guard, body, &p, parent)?;
+                }
+                KStmt::If(_, t, f) if !in_loop => {
+                    // Straight-line conditionals outside loops are rare in
+                    // fragments; we do not record their assignments as defs.
+                    let mut tp = p.clone();
+                    tp.push(0);
+                    self.walk_block(t, &tp, parent, in_loop)?;
+                    let mut fp = p.clone();
+                    fp.push(1);
+                    self.walk_block(f, &fp, parent, in_loop)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn walk_loop(
+        &mut self,
+        guard: &KExpr,
+        body: &[KStmt],
+        path: &[usize],
+        parent: Option<usize>,
+    ) -> Result<(), ShapeError> {
+        let (counter, bound) = parse_guard(guard)?;
+        // The counter must be incremented by one somewhere in the body.
+        let has_increment = body.iter().any(|s| {
+            matches!(
+                s,
+                KStmt::Assign(v, KExpr::Binary(BinOp::Add, a, b))
+                    if v == &counter
+                        && matches!(&**a, KExpr::Var(x) if x == &counter)
+                        && matches!(&**b, KExpr::Const(qbs_common::Value::Int(1)))
+            )
+        });
+        if !has_increment {
+            return Err(ShapeError::new(format!(
+                "loop counter `{counter}` is not incremented monotonically"
+            )));
+        }
+        // Source relation: from the bound, or from get(src, counter) uses.
+        let src = match &bound {
+            Bound::Size(s) | Bound::ConstAndSize(_, s) => s.clone(),
+            Bound::Const(_) => {
+                let mut idx = Vec::new();
+                stmt_indexed_srcs(body, &counter, &mut idx);
+                idx.sort();
+                idx.dedup();
+                match idx.len() {
+                    1 => idx.pop().expect("len checked"),
+                    0 => return Err(ShapeError::new("constant-bound loop scans no relation")),
+                    _ => return Err(ShapeError::new("loop indexes several relations")),
+                }
+            }
+        };
+
+        let me = self.loops.len();
+        self.loops.push(LoopInfo {
+            path: path.to_vec(),
+            counter: counter.clone(),
+            bound,
+            src,
+            // Product is filled in below.
+            product: Ident::new("$pending"),
+            kind: ProductKind::Nested,
+            parent,
+        });
+
+        // Classify body statements.
+        let mut product: Option<(Ident, ProductKind)> = None;
+        let mut saw_nested = false;
+        self.classify_body(body, path, me, &counter, &mut product, &mut saw_nested)?;
+
+        let (product, kind) = match product {
+            Some(p) => p,
+            None if saw_nested => {
+                // Product comes from the nested loop.
+                let child = self
+                    .loops
+                    .iter()
+                    .find(|l| l.parent == Some(me))
+                    .ok_or_else(|| ShapeError::new("nested loop vanished"))?;
+                (child.product.clone(), ProductKind::Nested)
+            }
+            None => return Err(ShapeError::new("loop accumulates nothing")),
+        };
+        self.loops[me].product = product;
+        self.loops[me].kind = kind;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn classify_body(
+        &mut self,
+        stmts: &[KStmt],
+        loop_path: &[usize],
+        me: usize,
+        counter: &Ident,
+        product: &mut Option<(Ident, ProductKind)>,
+        saw_nested: &mut bool,
+    ) -> Result<(), ShapeError> {
+        for (idx, s) in stmts.iter().enumerate() {
+            let mut p = loop_path.to_vec();
+            p.push(idx);
+            match s {
+                KStmt::Skip | KStmt::Assert(_) => {}
+                KStmt::Assign(v, e) => {
+                    if v == counter {
+                        continue;
+                    }
+                    // Inner-loop counter initializations (j := 0) are fine.
+                    if matches!(e, KExpr::Const(qbs_common::Value::Int(0)))
+                        && stmts.iter().any(|t| matches!(t, KStmt::While(..)))
+                    {
+                        continue;
+                    }
+                    let kind = match e {
+                        KExpr::Append(r, x) if matches!(&**r, KExpr::Var(rv) if rv == v) => {
+                            let elem = kexpr_to_tor(x)
+                                .map_err(|err| ShapeError::new(err.to_string()))?;
+                            ProductKind::Append { elem }
+                        }
+                        _ => {
+                            let update = kexpr_to_tor(e)
+                                .map_err(|err| ShapeError::new(err.to_string()))?;
+                            ProductKind::Scalar { update }
+                        }
+                    };
+                    match product {
+                        None => *product = Some((v.clone(), kind)),
+                        Some((pv, _)) if pv == v => {}
+                        Some((pv, _)) => {
+                            return Err(ShapeError::new(format!(
+                                "loop accumulates several variables (`{pv}` and `{v}`)"
+                            )))
+                        }
+                    }
+                }
+                KStmt::If(_, t, f) => {
+                    let mut tp = p.clone();
+                    tp.push(0);
+                    self.classify_body(t, &tp, me, counter, product, saw_nested)?;
+                    let mut fp = p.clone();
+                    fp.push(1);
+                    self.classify_body(f, &fp, me, counter, product, saw_nested)?;
+                }
+                KStmt::While(guard, body) => {
+                    *saw_nested = true;
+                    self.walk_loop(guard, body, &p, Some(me))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Analyzes a kernel program's loop structure.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when a loop falls outside the supported patterns —
+/// the fragment is then reported as a synthesis failure (`*` in the paper's
+/// Appendix A).
+pub fn analyze(prog: &KernelProgram) -> Result<Shape, ShapeError> {
+    let mut a = Analyzer { loops: Vec::new(), defs: Vec::new() };
+    a.walk_block(prog.body(), &[], None, false)?;
+    if a.loops.is_empty() {
+        // Straight-line fragments (e.g. `c := size(Query(...))`) are fine —
+        // synthesis only needs the postcondition.
+        return Ok(Shape { loops: a.loops, defs: a.defs });
+    }
+    Ok(Shape { loops: a.loops, defs: a.defs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema};
+    use qbs_tor::QuerySpec;
+
+    fn users_schema() -> qbs_common::SchemaRef {
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish()
+    }
+
+    fn selection_prog() -> KernelProgram {
+        KernelProgram::builder("sel")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign(
+                "users",
+                KExpr::query(QuerySpec::table_scan("users", users_schema())),
+            ))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::if_then(
+                        KExpr::cmp(
+                            CmpOp::Eq,
+                            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+                            KExpr::int(1),
+                        ),
+                        vec![KStmt::assign(
+                            "out",
+                            KExpr::append(
+                                KExpr::var("out"),
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                            ),
+                        )],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish()
+    }
+
+    #[test]
+    fn selection_loop_is_analyzed() {
+        let shape = analyze(&selection_prog()).unwrap();
+        assert_eq!(shape.loops.len(), 1);
+        let l = &shape.loops[0];
+        assert_eq!(l.counter, Ident::new("i"));
+        assert_eq!(l.bound, Bound::Size("users".into()));
+        assert_eq!(l.src, Ident::new("users"));
+        assert_eq!(l.product, Ident::new("out"));
+        assert!(matches!(l.kind, ProductKind::Append { .. }));
+        // Defs include out := [], users := Query, i := 0.
+        assert_eq!(shape.defs.len(), 3);
+    }
+
+    #[test]
+    fn non_monotonic_counter_is_rejected() {
+        let prog = KernelProgram::builder("bad")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign(
+                "users",
+                KExpr::query(QuerySpec::table_scan("users", users_schema())),
+            ))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(2)))],
+            ))
+            .result("out")
+            .finish();
+        assert!(analyze(&prog).is_err());
+    }
+
+    #[test]
+    fn const_and_size_guard() {
+        let prog = KernelProgram::builder("topk")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign(
+                "users",
+                KExpr::query(QuerySpec::table_scan("users", users_schema())),
+            ))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::and(
+                    KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::int(10)),
+                    KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                ),
+                vec![
+                    KStmt::assign(
+                        "out",
+                        KExpr::append(
+                            KExpr::var("out"),
+                            KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                        ),
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish();
+        let shape = analyze(&prog).unwrap();
+        assert_eq!(shape.loops[0].bound, Bound::ConstAndSize(10, "users".into()));
+    }
+
+    #[test]
+    fn nested_join_loops() {
+        let roles = Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .finish();
+        let prog = KernelProgram::builder("join")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign(
+                "users",
+                KExpr::query(QuerySpec::table_scan("users", users_schema())),
+            ))
+            .stmt(KStmt::assign("roles", KExpr::query(QuerySpec::table_scan("roles", roles))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::assign("j", KExpr::int(0)),
+                    KStmt::while_loop(
+                        KExpr::cmp(CmpOp::Lt, KExpr::var("j"), KExpr::size(KExpr::var("roles"))),
+                        vec![
+                            KStmt::if_then(
+                                KExpr::cmp(
+                                    CmpOp::Eq,
+                                    KExpr::field(
+                                        KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                        "roleId",
+                                    ),
+                                    KExpr::field(
+                                        KExpr::get(KExpr::var("roles"), KExpr::var("j")),
+                                        "roleId",
+                                    ),
+                                ),
+                                vec![KStmt::assign(
+                                    "out",
+                                    KExpr::append(
+                                        KExpr::var("out"),
+                                        KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                    ),
+                                )],
+                            ),
+                            KStmt::assign("j", KExpr::add(KExpr::var("j"), KExpr::int(1))),
+                        ],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish();
+        let shape = analyze(&prog).unwrap();
+        assert_eq!(shape.loops.len(), 2);
+        assert_eq!(shape.loops[0].kind, ProductKind::Nested);
+        assert_eq!(shape.loops[0].product, Ident::new("out"));
+        assert_eq!(shape.loops[1].parent, Some(0));
+        assert_eq!(shape.loops[1].src, Ident::new("roles"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Candidate template generation (paper Sec. 4.3–4.4).
+//!
+//! For each loop's accumulated product this module proposes TOR expressions
+//! of increasing relational-operator count. Level 1 contains expressions
+//! with at most one relational operator, later levels add operators and
+//! predicate conjuncts — the paper's incremental solving strategy. Only
+//! translatable shapes are produced (σ inside π inside sort/top, never
+//! nested σ), which is exactly the symmetry breaking of Sec. 4.5.
+
+use crate::mine::MinedAtoms;
+use crate::pattern::{Bound, ProductKind, Shape};
+use qbs_common::{FieldRef, Ident};
+use qbs_kernel::VarTypes;
+use qbs_tor::{AggKind, BinOp, CmpOp, JoinAtom, JoinPred, Pred, PredAtom, TorExpr, TorType};
+
+/// A candidate product expression with its complexity level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Template {
+    /// The expression, over `Var(src)` and earlier product variables.
+    pub expr: TorExpr,
+    /// Complexity level (relational operators + predicate conjuncts).
+    pub level: usize,
+    /// True when the product is scalar-valued (count/sum/max/min/flag).
+    pub scalar: bool,
+}
+
+/// Derives the projection field list from the appended element expression.
+///
+/// * `get(src, i)` appended whole → `None` for single-source loops (no π
+///   needed), or all fields of `src` qualified by `src` for joins;
+/// * `{n = get(src, i).f, …}` → the listed fields;
+/// * `get(src, i).f` (scalar append) → `[f]`.
+fn proj_of_elem(
+    elem: &TorExpr,
+    src: &Ident,
+    qualify: bool,
+    types: &VarTypes,
+) -> Option<Option<Vec<FieldRef>>> {
+    match elem {
+        TorExpr::Get(r, _) if matches!(&**r, TorExpr::Var(v) if v == src) => {
+            if qualify {
+                let TorType::Rel(schema) = types.get(src)? else { return None };
+                // Join-output columns are qualified by the *table* name
+                // (the schema name), not the program variable.
+                let q = schema.name().cloned().unwrap_or_else(|| src.clone());
+                Some(Some(
+                    schema
+                        .fields()
+                        .iter()
+                        .map(|f| FieldRef::qualified(q.clone(), f.name.clone()))
+                        .collect(),
+                ))
+            } else {
+                Some(None)
+            }
+        }
+        TorExpr::RecLit(fields) => {
+            let mut refs = Vec::with_capacity(fields.len());
+            for (_, fe) in fields {
+                match fe {
+                    TorExpr::Field(inner, f)
+                        if matches!(
+                            &**inner,
+                            TorExpr::Get(r, _) if matches!(&**r, TorExpr::Var(v) if v == src)
+                        ) =>
+                    {
+                        refs.push(if qualify {
+                            let q = match types.get(src) {
+                                Some(TorType::Rel(schema)) => {
+                                    schema.name().cloned().unwrap_or_else(|| src.clone())
+                                }
+                                _ => src.clone(),
+                            };
+                            FieldRef::qualified(q, f.name.clone())
+                        } else {
+                            f.clone()
+                        });
+                    }
+                    _ => return None,
+                }
+            }
+            Some(Some(refs))
+        }
+        TorExpr::Field(inner, f)
+            if matches!(
+                &**inner,
+                TorExpr::Get(r, _) if matches!(&**r, TorExpr::Var(v) if v == src)
+            ) =>
+        {
+            Some(Some(vec![if qualify {
+                FieldRef::qualified(src.clone(), f.name.clone())
+            } else {
+                f.clone()
+            }]))
+        }
+        _ => None,
+    }
+}
+
+/// Wraps `base` with selection/projection/top/unique layers.
+fn build(
+    base: TorExpr,
+    pred: Option<Pred>,
+    proj: Option<Vec<FieldRef>>,
+    topk: Option<i64>,
+    uniq: bool,
+) -> (TorExpr, usize) {
+    let mut level = 0;
+    let mut e = base;
+    if let Some(p) = pred {
+        level += p.atoms().len();
+        e = TorExpr::select(p, e);
+    }
+    if let Some(l) = proj {
+        level += 1;
+        e = TorExpr::proj(l, e);
+    }
+    if let Some(k) = topk {
+        level += 1;
+        e = TorExpr::top(e, TorExpr::int(k));
+    }
+    if uniq {
+        level += 1;
+        e = TorExpr::unique(e);
+    }
+    (e, level.max(1))
+}
+
+/// Non-empty subsets of the mined atoms, up to `max` conjuncts, in canonical
+/// order (symmetry breaking: one σ with a sorted conjunction, never σ∘σ).
+fn pred_choices(atoms: &[PredAtom], max: usize) -> Vec<Option<Pred>> {
+    let mut out = vec![None];
+    for a in atoms {
+        out.push(Some(Pred::new(vec![a.clone()])));
+    }
+    if max >= 2 {
+        for (i, a) in atoms.iter().enumerate() {
+            for b in atoms.iter().skip(i + 1) {
+                // Skip contradictory same-field pairs (a op c ∧ a op' c).
+                out.push(Some(Pred::new(vec![a.clone(), b.clone()])));
+            }
+        }
+    }
+    out
+}
+
+/// Candidate expressions for the product of loop `idx`, at levels
+/// `..=max_level`.
+pub fn product_templates(
+    shape: &Shape,
+    idx: usize,
+    mined: &MinedAtoms,
+    types: &VarTypes,
+    max_level: usize,
+) -> Vec<Template> {
+    let l = &shape.loops[idx];
+    let mut out = Vec::new();
+    match &l.kind {
+        ProductKind::Nested => {
+            let children = shape.children(idx);
+            if children.len() != 1 {
+                return out;
+            }
+            let inner = &shape.loops[children[0]];
+            let ProductKind::Append { elem } = &inner.kind else { return out };
+            let joins = mined.joins_for(&l.src, &inner.src);
+            let proj = proj_of_elem(elem, &l.src, true, types)
+                .or_else(|| proj_of_elem(elem, &inner.src, true, types));
+            let Some(proj) = proj else { return out };
+            for j in &joins {
+                let jp = JoinPred::new(vec![JoinAtom {
+                    left: j.left.clone(),
+                    op: j.op,
+                    right: j.right.clone(),
+                }]);
+                let join = TorExpr::join(jp, TorExpr::var(l.src.clone()), TorExpr::var(inner.src.clone()));
+                let (expr, level) = build(join, None, proj.clone(), None, false);
+                // A join counts as one more operator.
+                out.push(Template { expr, level: level + 1, scalar: false });
+            }
+        }
+        ProductKind::Append { elem } => {
+            let sels = mined.selections_for(&l.src);
+            let Some(proj) = proj_of_elem(elem, &l.src, false, types) else { return out };
+            let topk = match &l.bound {
+                Bound::Const(k) | Bound::ConstAndSize(k, _) => Some(*k),
+                Bound::Size(_) => None,
+            };
+            for pred in pred_choices(&sels, max_level.min(2)) {
+                for uniq in [false, true] {
+                    let (expr, level) =
+                        build(TorExpr::var(l.src.clone()), pred.clone(), proj.clone(), topk, uniq);
+                    out.push(Template { expr, level, scalar: false });
+                }
+            }
+        }
+        ProductKind::Scalar { update } => {
+            let sels = mined.selections_for(&l.src);
+            let product_ty = types.get(&l.product);
+            for pred in pred_choices(&sels, max_level.min(2)) {
+                let base = match &pred {
+                    Some(p) => TorExpr::select(p.clone(), TorExpr::var(l.src.clone())),
+                    None => TorExpr::var(l.src.clone()),
+                };
+                let extra = pred.as_ref().map(|p| p.atoms().len()).unwrap_or(0);
+                match update {
+                    // p := p + 1 → count.
+                    TorExpr::Binary(BinOp::Add, a, b)
+                        if matches!(&**a, TorExpr::Var(v) if v == &l.product)
+                            && matches!(&**b, TorExpr::Const(qbs_common::Value::Int(1))) =>
+                    {
+                        out.push(Template {
+                            expr: TorExpr::agg(AggKind::Count, base.clone()),
+                            level: 1 + extra,
+                            scalar: true,
+                        });
+                    }
+                    // p := p + elem.f → sum.
+                    TorExpr::Binary(BinOp::Add, a, b)
+                        if matches!(&**a, TorExpr::Var(v) if v == &l.product) =>
+                    {
+                        if let Some(Some(fs)) = proj_of_elem(b, &l.src, false, types) {
+                            out.push(Template {
+                                expr: TorExpr::agg(
+                                    AggKind::Sum,
+                                    TorExpr::proj(fs, base.clone()),
+                                ),
+                                level: 2 + extra,
+                                scalar: true,
+                            });
+                        }
+                    }
+                    // p := true → existence flag.
+                    TorExpr::Const(qbs_common::Value::Bool(true)) => {
+                        out.push(Template {
+                            expr: TorExpr::cmp(
+                                CmpOp::Gt,
+                                TorExpr::agg(AggKind::Count, base.clone()),
+                                TorExpr::int(0),
+                            ),
+                            level: 1 + extra,
+                            scalar: true,
+                        });
+                    }
+                    // p := elem.f → running max/min (try both).
+                    TorExpr::Field(..) => {
+                        if let Some(Some(fs)) = proj_of_elem(update, &l.src, false, types) {
+                            for kind in [AggKind::Max, AggKind::Min] {
+                                out.push(Template {
+                                    expr: TorExpr::agg(
+                                        kind,
+                                        TorExpr::proj(fs.clone(), base.clone()),
+                                    ),
+                                    level: 2 + extra,
+                                    scalar: true,
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let _ = product_ty;
+        }
+    }
+    out.retain(|t| t.level <= max_level);
+    out.sort_by_key(|t| t.level);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::mine;
+    use crate::pattern::analyze;
+    use qbs_common::{FieldType, Schema};
+    use qbs_kernel::{typecheck, KExpr, KStmt, KernelProgram};
+    use qbs_tor::{QuerySpec, TypeEnv};
+
+    fn selection_prog() -> KernelProgram {
+        let users = Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish();
+        KernelProgram::builder("sel")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::if_then(
+                        KExpr::cmp(
+                            CmpOp::Eq,
+                            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+                            KExpr::int(1),
+                        ),
+                        vec![KStmt::assign(
+                            "out",
+                            KExpr::append(
+                                KExpr::var("out"),
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                            ),
+                        )],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish()
+    }
+
+    #[test]
+    fn selection_templates_include_sigma() {
+        let prog = selection_prog();
+        let shape = analyze(&prog).unwrap();
+        let mined = mine(&prog, &shape);
+        let types = typecheck(&prog, &TypeEnv::new()).unwrap();
+        let ts = product_templates(&shape, 0, &mined, &types, 3);
+        assert!(!ts.is_empty());
+        // Level 1 contains the bare source and a single-atom selection.
+        assert!(ts.iter().any(|t| t.expr == TorExpr::var("users")));
+        assert!(ts.iter().any(|t| matches!(&t.expr, TorExpr::Select(p, _) if p.atoms().len() == 1)));
+        // No template nests selections (symmetry breaking).
+        for t in &ts {
+            if let TorExpr::Select(_, inner) = &t.expr {
+                assert!(!matches!(**inner, TorExpr::Select(..)));
+            }
+        }
+        // Levels are sorted ascending.
+        assert!(ts.windows(2).all(|w| w[0].level <= w[1].level));
+    }
+}

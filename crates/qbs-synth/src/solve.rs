@@ -1,0 +1,305 @@
+//! The synthesis driver: incremental template enumeration + CEGIS +
+//! symbolic proof (paper Sec. 4.2 / 4.5 / 5).
+
+use crate::derive::{derive_candidate, DerivedCandidate};
+use crate::mine::mine;
+use crate::pattern::analyze;
+use crate::postcond::{product_templates, Template};
+use qbs_common::Ident;
+use qbs_kernel::{typecheck, KExpr, KStmt, KernelProgram};
+use qbs_tor::{TorExpr, TorType, TypeEnv};
+use qbs_vcgen::generate;
+use qbs_verify::{
+    prove, BoundedChecker, BoundedConfig, Candidate, CexCache, CheckOutcome, ProofResult,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Tuning for one synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Maximum template complexity level (paper: most fragments need < 3
+    /// iterations).
+    pub max_level: usize,
+    /// Symmetry breaking (Sec. 4.5). Disabling it enlarges the candidate
+    /// space with semantically redundant permutations — used by the ablation
+    /// benchmark.
+    pub break_symmetries: bool,
+    /// Standard bounded-checking configuration.
+    pub bounded: BoundedConfig,
+    /// Extended configuration used when the prover cannot certify.
+    pub extended: BoundedConfig,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            max_level: 4,
+            break_symmetries: true,
+            bounded: BoundedConfig::default(),
+            extended: BoundedConfig::extended(),
+        }
+    }
+}
+
+/// How the accepted candidate was validated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProofStatus {
+    /// Every verification condition was certified by the symbolic prover.
+    Proved,
+    /// The prover could not certify at least one condition; the candidate
+    /// passed extended bounded checking instead (the paper's
+    /// increase-the-bound fallback).
+    ExtendedBounded,
+}
+
+/// Search statistics (reported in the corpus tables).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SynthStats {
+    /// Complexity level of the accepted candidate (the paper's "iterations").
+    pub levels_used: usize,
+    /// Total candidates submitted to checking.
+    pub candidates_tried: usize,
+    /// Candidates rejected by the counterexample cache alone.
+    pub cache_hits: usize,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+/// A successful synthesis.
+#[derive(Clone, Debug)]
+pub struct SynthOutcome {
+    /// The accepted assignment for all unknowns.
+    pub candidate: Candidate,
+    /// Postcondition right-hand side over sources and parameters — the
+    /// expression handed to the SQL translator.
+    pub post_rhs: TorExpr,
+    /// True when the result is scalar-valued.
+    pub post_scalar: bool,
+    /// Validation level achieved.
+    pub proof: ProofStatus,
+    /// Search statistics.
+    pub stats: SynthStats,
+}
+
+/// Why synthesis failed.
+#[derive(Clone, Debug)]
+pub enum SynthFailure {
+    /// The fragment shape or VC generation is outside the supported
+    /// fragment (status `*` in the paper's Appendix A).
+    Unsupported(String),
+    /// The template space was exhausted without a valid candidate.
+    NoCandidate(SynthStats),
+}
+
+impl fmt::Display for SynthFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthFailure::Unsupported(r) => write!(f, "unsupported fragment: {r}"),
+            SynthFailure::NoCandidate(s) => {
+                write!(f, "no valid candidate found ({} tried)", s.candidates_tried)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthFailure {}
+
+fn find_sources(prog: &KernelProgram) -> Vec<qbs_verify::SourceSpec> {
+    fn walk(stmts: &[KStmt], out: &mut Vec<qbs_verify::SourceSpec>) {
+        for s in stmts {
+            match s {
+                KStmt::Assign(v, KExpr::Query(spec)) => out.push(qbs_verify::SourceSpec {
+                    var: v.clone(),
+                    table: spec.table.clone(),
+                    schema: spec.schema.clone(),
+                }),
+                KStmt::If(_, t, f) => {
+                    walk(t, out);
+                    walk(f, out);
+                }
+                KStmt::While(_, b) => walk(b, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(prog.body(), &mut out);
+    out.sort_by(|a, b| a.var.cmp(&b.var));
+    out.dedup();
+    out
+}
+
+/// Synthesizes invariants and a postcondition for a kernel program.
+///
+/// `params` supplies the types of the fragment's scalar parameters.
+///
+/// # Errors
+///
+/// [`SynthFailure::Unsupported`] when the fragment shape cannot be analyzed
+/// (custom comparators, non-monotonic loops, …); [`SynthFailure::NoCandidate`]
+/// when the bounded template space contains no valid candidate — both map to
+/// the paper's `*` status.
+pub fn synthesize(
+    prog: &KernelProgram,
+    params: &TypeEnv,
+    config: &SynthConfig,
+) -> Result<SynthOutcome, SynthFailure> {
+    let start = Instant::now();
+    let types =
+        typecheck(prog, params).map_err(|e| SynthFailure::Unsupported(e.to_string()))?;
+    let vcs = generate(prog).map_err(|e| SynthFailure::Unsupported(e.to_string()))?;
+    let shape = analyze(prog).map_err(|e| SynthFailure::Unsupported(e.to_string()))?;
+
+    // Depth > 2 nesting is outside the template language.
+    for l in &shape.loops {
+        if let Some(p) = l.parent {
+            if shape.loops[p].parent.is_some() {
+                return Err(SynthFailure::Unsupported(
+                    "loops nested more than two deep".to_string(),
+                ));
+            }
+        }
+    }
+
+    let mined = mine(prog, &shape);
+    let tenv = types.to_type_env();
+
+    let param_types: Vec<(Ident, TorType)> = prog
+        .params()
+        .iter()
+        .map(|p| {
+            (p.clone(), params.get(p).cloned().unwrap_or(TorType::Int))
+        })
+        .collect();
+    let sources = find_sources(prog);
+    let checker = BoundedChecker::new(&sources, &param_types, tenv.clone(), &config.bounded);
+    let mut extended: Option<BoundedChecker> = None;
+    let mut cache = CexCache::new();
+    let mut stats = SynthStats::default();
+
+    // Template units: one per outermost loop (nested pairs share the outer
+    // unit), in program order.
+    let units: Vec<usize> = shape
+        .loops
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.parent.is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    // All templates per unit, up to the max level.
+    let unit_templates: Vec<Vec<Template>> = units
+        .iter()
+        .map(|&u| {
+            let mut ts = product_templates(&shape, u, &mined, &types, config.max_level);
+            if !config.break_symmetries {
+                ts = inflate_symmetries(ts);
+            }
+            ts
+        })
+        .collect();
+    if units.iter().zip(&unit_templates).any(|(_, ts)| ts.is_empty()) && !units.is_empty() {
+        return Err(SynthFailure::Unsupported(
+            "no templates for a loop product".to_string(),
+        ));
+    }
+
+    // Joint choices ordered by total level (incremental solving).
+    let mut joints: Vec<(usize, BTreeMap<usize, Template>)> = Vec::new();
+    if units.is_empty() {
+        joints.push((1, BTreeMap::new()));
+    } else {
+        let mut cur: Vec<(usize, BTreeMap<usize, Template>)> = vec![(0, BTreeMap::new())];
+        for (&u, ts) in units.iter().zip(&unit_templates) {
+            let mut next = Vec::with_capacity(cur.len() * ts.len());
+            for (lvl, partial) in &cur {
+                for t in ts {
+                    let mut m = partial.clone();
+                    m.insert(u, t.clone());
+                    next.push((lvl + t.level, m));
+                }
+            }
+            cur = next;
+        }
+        joints = cur;
+    }
+    joints.sort_by_key(|(lvl, _)| *lvl);
+
+    for (lvl, choice) in &joints {
+        if *lvl > config.max_level * units.len().max(1) {
+            break;
+        }
+        let Some(DerivedCandidate { candidate, post_rhs, post_scalar }) =
+            derive_candidate(&shape, choice, prog, &vcs, &types)
+        else {
+            continue;
+        };
+        stats.candidates_tried += 1;
+        if cache.screen(&vcs.conditions, &vcs.unknowns, &candidate).is_some() {
+            stats.cache_hits += 1;
+            continue;
+        }
+        match checker.check(&vcs, &candidate) {
+            CheckOutcome::Fail { env, .. } => {
+                cache.push(env);
+                continue;
+            }
+            CheckOutcome::Pass => {}
+        }
+        // Symbolic proof of every condition.
+        let all_proved = vcs
+            .conditions
+            .iter()
+            .all(|vc| matches!(prove(vc, &candidate, &vcs.unknowns, &tenv), ProofResult::Proved));
+        let proof = if all_proved {
+            ProofStatus::Proved
+        } else {
+            // Fall back to extended bounded checking.
+            let ext = extended.get_or_insert_with(|| {
+                BoundedChecker::new(&sources, &param_types, tenv.clone(), &config.extended)
+            });
+            match ext.check(&vcs, &candidate) {
+                CheckOutcome::Pass => ProofStatus::ExtendedBounded,
+                CheckOutcome::Fail { env, .. } => {
+                    cache.push(env);
+                    continue;
+                }
+            }
+        };
+        stats.levels_used = *lvl;
+        stats.elapsed = start.elapsed();
+        return Ok(SynthOutcome { candidate, post_rhs, post_scalar, proof, stats });
+    }
+
+    stats.elapsed = start.elapsed();
+    Err(SynthFailure::NoCandidate(stats))
+}
+
+/// Without symmetry breaking the candidate space also contains redundant
+/// permutations of predicate conjunctions (the `σφ2(σφ1(r))` vs
+/// `σφ1(σφ2(r))` example of Sec. 4.5). Used by the ablation benchmark.
+fn inflate_symmetries(ts: Vec<Template>) -> Vec<Template> {
+    let mut out = Vec::with_capacity(ts.len() * 2);
+    for t in ts {
+        if let TorExpr::Select(p, inner) = &t.expr {
+            if p.atoms().len() == 2 {
+                // Permuted conjunction.
+                let perm = qbs_tor::Pred::new(vec![p.atoms()[1].clone(), p.atoms()[0].clone()]);
+                out.push(Template {
+                    expr: TorExpr::select(perm, (**inner).clone()),
+                    ..t.clone()
+                });
+                // Nested selections.
+                let nested = TorExpr::select(
+                    qbs_tor::Pred::new(vec![p.atoms()[1].clone()]),
+                    TorExpr::select(qbs_tor::Pred::new(vec![p.atoms()[0].clone()]), (**inner).clone()),
+                );
+                out.push(Template { expr: nested, ..t.clone() });
+            }
+        }
+        out.push(t);
+    }
+    out
+}

@@ -1,0 +1,361 @@
+//! End-to-end synthesis tests over the paper's fragment idioms: selection,
+//! projection, the Fig. 1 nested-loop join, aggregates, existence checks,
+//! and the Sec. 7.3 sorted-relation idiom.
+
+use qbs_common::{FieldType, Schema, SchemaRef};
+use qbs_kernel::{KExpr, KStmt, KernelProgram};
+use qbs_synth::{synthesize, ProofStatus, SynthConfig, SynthFailure};
+use qbs_tor::{CmpOp, QuerySpec, TorExpr, TypeEnv};
+
+fn users_schema() -> SchemaRef {
+    Schema::builder("users")
+        .field("id", FieldType::Int)
+        .field("roleId", FieldType::Int)
+        .finish()
+}
+
+fn roles_schema() -> SchemaRef {
+    Schema::builder("roles")
+        .field("roleId", FieldType::Int)
+        .field("label", FieldType::Str)
+        .finish()
+}
+
+fn counter_loop(guard: KExpr, mut body: Vec<KStmt>, counter: &str) -> KStmt {
+    body.push(KStmt::assign(counter, KExpr::add(KExpr::var(counter), KExpr::int(1))));
+    KStmt::while_loop(guard, body)
+}
+
+fn size_guard(counter: &str, src: &str) -> KExpr {
+    KExpr::cmp(CmpOp::Lt, KExpr::var(counter), KExpr::size(KExpr::var(src)))
+}
+
+fn elem_field(src: &str, counter: &str, field: &str) -> KExpr {
+    KExpr::field(KExpr::get(KExpr::var(src), KExpr::var(counter)), field)
+}
+
+fn append_elem(out: &str, src: &str, counter: &str) -> KStmt {
+    KStmt::assign(
+        out,
+        KExpr::append(KExpr::var(out), KExpr::get(KExpr::var(src), KExpr::var(counter))),
+    )
+}
+
+/// Category A: selection of records.
+#[test]
+fn synthesizes_selection() {
+    let prog = KernelProgram::builder("selection")
+        .stmt(KStmt::assign("out", KExpr::EmptyList))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::if_then(
+                KExpr::cmp(CmpOp::Eq, elem_field("users", "i", "roleId"), KExpr::int(1)),
+                vec![append_elem("out", "users", "i")],
+            )],
+            "i",
+        ))
+        .result("out")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    assert_eq!(out.proof, ProofStatus::Proved, "selection should be fully proved");
+    assert!(matches!(out.post_rhs, TorExpr::Select(..)), "got {}", out.post_rhs);
+}
+
+/// Category A with a parameter: WHERE field = ?.
+#[test]
+fn synthesizes_parameterized_selection() {
+    let prog = KernelProgram::builder("param_sel")
+        .param("uid")
+        .stmt(KStmt::assign("out", KExpr::EmptyList))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::if_then(
+                KExpr::cmp(CmpOp::Eq, elem_field("users", "i", "id"), KExpr::var("uid")),
+                vec![append_elem("out", "users", "i")],
+            )],
+            "i",
+        ))
+        .result("out")
+        .finish();
+    let mut params = TypeEnv::new();
+    params.bind_int("uid");
+    let out = synthesize(&prog, &params, &SynthConfig::default()).expect("synthesis");
+    assert_eq!(out.proof, ProofStatus::Proved);
+}
+
+/// Projection: out := list of ids (scalar appends).
+#[test]
+fn synthesizes_projection() {
+    let prog = KernelProgram::builder("projection")
+        .stmt(KStmt::assign("out", KExpr::EmptyList))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::assign(
+                "out",
+                KExpr::append(KExpr::var("out"), elem_field("users", "i", "id")),
+            )],
+            "i",
+        ))
+        .result("out")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    assert_eq!(out.proof, ProofStatus::Proved);
+    assert!(matches!(out.post_rhs, TorExpr::Proj(..)), "got {}", out.post_rhs);
+}
+
+/// The running example (Fig. 1): nested-loop join with projection.
+#[test]
+fn synthesizes_join_running_example() {
+    let prog = KernelProgram::builder("getRoleUser")
+        .stmt(KStmt::assign("listUsers", KExpr::EmptyList))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("roles", KExpr::query(QuerySpec::table_scan("roles", roles_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![
+                KStmt::assign("j", KExpr::int(0)),
+                counter_loop(
+                    size_guard("j", "roles"),
+                    vec![KStmt::if_then(
+                        KExpr::cmp(
+                            CmpOp::Eq,
+                            elem_field("users", "i", "roleId"),
+                            elem_field("roles", "j", "roleId"),
+                        ),
+                        vec![append_elem("listUsers", "users", "i")],
+                    )],
+                    "j",
+                ),
+            ],
+            "i",
+        ))
+        .result("listUsers")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    assert_eq!(out.proof, ProofStatus::Proved, "join should be fully proved");
+    // Postcondition: π_ℓ(⋈_φ(users, roles)) — the paper's Fig. 3.
+    match &out.post_rhs {
+        TorExpr::Proj(fields, inner) => {
+            assert_eq!(fields.len(), 2, "all user fields projected");
+            assert!(matches!(**inner, TorExpr::Join(..)), "got {inner}");
+        }
+        other => panic!("expected projection of a join, got {other}"),
+    }
+}
+
+/// Category M/J: count of matching records.
+#[test]
+fn synthesizes_count() {
+    let prog = KernelProgram::builder("count")
+        .stmt(KStmt::assign("c", KExpr::int(0)))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::if_then(
+                KExpr::cmp(CmpOp::Eq, elem_field("users", "i", "roleId"), KExpr::int(1)),
+                vec![KStmt::assign("c", KExpr::add(KExpr::var("c"), KExpr::int(1)))],
+            )],
+            "i",
+        ))
+        .result("c")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    assert_eq!(out.proof, ProofStatus::Proved);
+    assert!(out.post_scalar);
+    assert!(matches!(out.post_rhs, TorExpr::Agg(qbs_tor::AggKind::Count, _)));
+}
+
+/// Category H: existence check via a boolean flag.
+#[test]
+fn synthesizes_existence_flag() {
+    let prog = KernelProgram::builder("exists")
+        .stmt(KStmt::assign("found", KExpr::bool(false)))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::if_then(
+                KExpr::cmp(CmpOp::Eq, elem_field("users", "i", "roleId"), KExpr::int(1)),
+                vec![KStmt::assign("found", KExpr::bool(true))],
+            )],
+            "i",
+        ))
+        .result("found")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    assert_eq!(out.proof, ProofStatus::Proved);
+    // found = (count(σ(users)) > 0) — translated to COUNT(*) > 0.
+    assert!(matches!(
+        out.post_rhs,
+        TorExpr::Binary(qbs_tor::BinOp::Cmp(CmpOp::Gt), _, _)
+    ));
+}
+
+/// Category O: running maximum.
+#[test]
+fn synthesizes_max() {
+    let prog = KernelProgram::builder("maximum")
+        .stmt(KStmt::assign("best", KExpr::int(i64::MIN)))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::if_then(
+                KExpr::cmp(CmpOp::Gt, elem_field("users", "i", "id"), KExpr::var("best")),
+                vec![KStmt::assign("best", elem_field("users", "i", "id"))],
+            )],
+            "i",
+        ))
+        .result("best")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    assert!(out.post_scalar);
+    assert!(matches!(out.post_rhs, TorExpr::Agg(qbs_tor::AggKind::Max, _)), "got {}", out.post_rhs);
+}
+
+/// Category D: projection into a set (DISTINCT).
+#[test]
+fn synthesizes_distinct_projection() {
+    let prog = KernelProgram::builder("distinct")
+        .stmt(KStmt::assign("tmp", KExpr::EmptyList))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::assign(
+                "tmp",
+                KExpr::append(KExpr::var("tmp"), elem_field("users", "i", "roleId")),
+            )],
+            "i",
+        ))
+        .stmt(KStmt::assign("out", KExpr::unique(KExpr::var("tmp"))))
+        .result("out")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    assert!(matches!(out.post_rhs, TorExpr::Unique(_)), "got {}", out.post_rhs);
+}
+
+/// Sec. 7.3: iterating over a sorted relation with a guarded top-k loop.
+#[test]
+fn synthesizes_sorted_top_k() {
+    let prog = KernelProgram::builder("sorted_topk")
+        .stmt(KStmt::assign("out", KExpr::EmptyList))
+        .stmt(KStmt::assign("records", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("sorted", KExpr::Sort(vec!["id".into()], Box::new(KExpr::var("records")))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            KExpr::and(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::int(10)),
+                size_guard("i", "sorted"),
+            ),
+            vec![append_elem("out", "sorted", "i")],
+            "i",
+        ))
+        .result("out")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    // out = top_10(sort_id(records)).
+    match &out.post_rhs {
+        TorExpr::Top(inner, k) => {
+            assert_eq!(**k, TorExpr::int(10));
+            assert!(matches!(**inner, TorExpr::Sort(..)), "got {inner}");
+        }
+        other => panic!("expected top of sort, got {other}"),
+    }
+}
+
+/// Sec. 7.3 negative case: a custom comparator defeats query inference.
+#[test]
+fn custom_comparator_fails() {
+    let prog = KernelProgram::builder("custom_sort")
+        .stmt(KStmt::assign("records", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("out", KExpr::SortCustom(Box::new(KExpr::var("records")))))
+        .result("out")
+        .finish();
+    match synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()) {
+        Err(SynthFailure::Unsupported(_)) => {}
+        other => panic!("expected unsupported, got {other:?}"),
+    }
+}
+
+/// Sort-merge join (Sec. 7.3): simultaneous-scan loops fall outside the
+/// invariant template language.
+#[test]
+fn sort_merge_join_fails() {
+    // while (i < size(r) && j < size(s)) { ... advance i or j ... } — the
+    // guard ranges over two counters, which the analyzer rejects.
+    let prog = KernelProgram::builder("sort_merge")
+        .stmt(KStmt::assign("out", KExpr::EmptyList))
+        .stmt(KStmt::assign("r", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("s", KExpr::query(QuerySpec::table_scan("roles", roles_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(KStmt::assign("j", KExpr::int(0)))
+        .stmt(KStmt::while_loop(
+            KExpr::and(size_guard("i", "r"), size_guard("j", "s")),
+            vec![KStmt::if_else(
+                KExpr::cmp(
+                    CmpOp::Lt,
+                    elem_field("r", "i", "roleId"),
+                    elem_field("s", "j", "roleId"),
+                ),
+                vec![KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1)))],
+                vec![KStmt::assign("j", KExpr::add(KExpr::var("j"), KExpr::int(1)))],
+            )],
+        ))
+        .result("out")
+        .finish();
+    assert!(synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).is_err());
+}
+
+/// Differential check: the synthesized query evaluates to the same list as
+/// the original program on random inputs.
+#[test]
+fn synthesized_query_agrees_with_interpreter() {
+    use qbs_common::{Record, Relation, Value};
+    use qbs_tor::{eval, Env};
+
+    let prog = KernelProgram::builder("selection")
+        .stmt(KStmt::assign("out", KExpr::EmptyList))
+        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::if_then(
+                KExpr::cmp(CmpOp::Eq, elem_field("users", "i", "roleId"), KExpr::int(1)),
+                vec![append_elem("out", "users", "i")],
+            )],
+            "i",
+        ))
+        .result("out")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+
+    let s = users_schema();
+    let rel = Relation::from_records(
+        s.clone(),
+        (0..20)
+            .map(|k| Record::new(s.clone(), vec![Value::from(k), Value::from(k % 3)]))
+            .collect(),
+    )
+    .unwrap();
+    let mut env = Env::new();
+    env.bind("users", rel.clone());
+    env.bind_table("users", rel);
+
+    let run = qbs_kernel::run(&prog, env.clone()).unwrap();
+    let query_result = eval(&out.post_rhs, &env).unwrap();
+    let original = run.result.as_relation().unwrap();
+    let inferred = query_result.as_relation().unwrap();
+    assert_eq!(original.len(), inferred.len());
+    for (a, b) in original.iter().zip(inferred.iter()) {
+        assert_eq!(a.values(), b.values());
+    }
+}

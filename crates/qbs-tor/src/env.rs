@@ -1,0 +1,171 @@
+//! Runtime values and evaluation environments.
+
+use qbs_common::{Ident, Record, Relation, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value of the TOR / kernel language: scalar, record, or ordered
+/// relation.
+#[derive(Clone, PartialEq)]
+pub enum DynValue {
+    /// A scalar.
+    Scalar(Value),
+    /// An immutable record.
+    Rec(Record),
+    /// An ordered relation.
+    Rel(Relation),
+}
+
+impl DynValue {
+    /// A short name of the runtime kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DynValue::Scalar(_) => "scalar",
+            DynValue::Rec(_) => "record",
+            DynValue::Rel(_) => "relation",
+        }
+    }
+
+    /// The scalar payload, if any.
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            DynValue::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer scalar.
+    pub fn as_int(&self) -> Option<i64> {
+        self.as_scalar().and_then(Value::as_int)
+    }
+
+    /// The boolean payload, if this is a boolean scalar.
+    pub fn as_bool(&self) -> Option<bool> {
+        self.as_scalar().and_then(Value::as_bool)
+    }
+
+    /// The record payload, if any.
+    pub fn as_record(&self) -> Option<&Record> {
+        match self {
+            DynValue::Rec(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The relation payload, if any.
+    pub fn as_relation(&self) -> Option<&Relation> {
+        match self {
+            DynValue::Rel(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for DynValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynValue::Scalar(v) => write!(f, "{v:?}"),
+            DynValue::Rec(r) => write!(f, "{r:?}"),
+            DynValue::Rel(r) => write!(f, "{r:?}"),
+        }
+    }
+}
+
+impl From<Value> for DynValue {
+    fn from(v: Value) -> Self {
+        DynValue::Scalar(v)
+    }
+}
+
+impl From<Record> for DynValue {
+    fn from(r: Record) -> Self {
+        DynValue::Rec(r)
+    }
+}
+
+impl From<Relation> for DynValue {
+    fn from(r: Relation) -> Self {
+        DynValue::Rel(r)
+    }
+}
+
+/// A variable store mapping program variables to runtime values.
+///
+/// # Example
+///
+/// ```
+/// use qbs_tor::{Env, DynValue};
+/// use qbs_common::Value;
+/// let mut env = Env::new();
+/// env.bind("i", Value::from(3));
+/// assert_eq!(env.get(&"i".into()).and_then(DynValue::as_int), Some(3));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Env {
+    vars: BTreeMap<Ident, DynValue>,
+    tables: BTreeMap<Ident, Relation>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Binds a database table, the target of `Query(...)` retrievals.
+    pub fn bind_table(&mut self, name: impl Into<Ident>, rel: Relation) {
+        self.tables.insert(name.into(), rel);
+    }
+
+    /// Looks up a table bound with [`Env::bind_table`].
+    pub fn table(&self, name: &Ident) -> Option<&Relation> {
+        self.tables.get(name)
+    }
+
+    /// Binds (or rebinds) a variable.
+    pub fn bind(&mut self, name: impl Into<Ident>, value: impl Into<DynValue>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &Ident) -> Option<&DynValue> {
+        self.vars.get(name)
+    }
+
+    /// Iterates over bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, &DynValue)> {
+        self.vars.iter()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_get() {
+        let mut e = Env::new();
+        e.bind("x", Value::from(true));
+        assert_eq!(e.get(&"x".into()).and_then(DynValue::as_bool), Some(true));
+        assert!(e.get(&"y".into()).is_none());
+    }
+
+    #[test]
+    fn rebinding_overwrites() {
+        let mut e = Env::new();
+        e.bind("x", Value::from(1));
+        e.bind("x", Value::from(2));
+        assert_eq!(e.get(&"x".into()).and_then(DynValue::as_int), Some(2));
+        assert_eq!(e.len(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Algebraic equivalences over TOR expressions (paper Thm. 2).
+//!
+//! [`normalize`] applies the *sound* subset of the Thm. 2 equivalences as
+//! directed rewrites until fixpoint:
+//!
+//! * `σ_φ2(σ_φ1(r)) = σ_φ1∧φ2(r)` — the symmetry the paper's synthesizer
+//!   breaks (Sec. 4.5): nested selections are never worth enumerating;
+//! * `π_ℓ2(π_ℓ1(r)) = π_ℓ1∘ℓ2(r)`;
+//! * `σ_φ(π_ℓ(r)) = π_ℓ(σ_φ′(r))` — selections pushed inside projections;
+//! * `σ_φ(sort_ℓ(r)) = sort_ℓ(σ_φ(r))` — selections pushed inside sorts
+//!   (sound because both sides preserve the relative order of survivors);
+//! * `top_e2(top_e1(r)) = top_min(e1,e2)(r)` for constant counts.
+//!
+//! The equivalence `top_e(σ_φ(r)) = σ_φ(top_e(r))` printed in the paper's
+//! Thm. 2 is **not** sound for ordered lists and is deliberately omitted; see
+//! `crate::trans` for how selections over limits are kept nested instead.
+
+use crate::expr::TorExpr;
+use crate::pred::{Operand, Pred, PredAtom, Probe};
+use crate::ty::{infer_type, TorType, TypeEnv};
+use qbs_common::{FieldRef, Value};
+
+/// Remaps the field references of `pred` (resolved against the output of
+/// `π_fields`) into references against the projection input.
+fn remap_pred(pred: &Pred, fields: &[FieldRef], out: &qbs_common::SchemaRef) -> Option<Pred> {
+    let mut atoms = Vec::with_capacity(pred.atoms().len());
+    for a in pred.atoms() {
+        let remap = |fr: &FieldRef| -> Option<FieldRef> {
+            out.index_of(fr).ok().map(|i| fields[i].clone())
+        };
+        match a {
+            PredAtom::Cmp { lhs, op, rhs } => {
+                let lhs = remap(lhs)?;
+                let rhs = match rhs {
+                    Operand::Field(fr) => Operand::Field(remap(fr)?),
+                    other => other.clone(),
+                };
+                atoms.push(PredAtom::Cmp { lhs, op: *op, rhs });
+            }
+            PredAtom::Contains { probe, rel } => {
+                let probe = match probe {
+                    Probe::Field(fr) => Probe::Field(remap(fr)?),
+                    Probe::Record => return None, // record probe is tied to the projected shape
+                };
+                atoms.push(PredAtom::Contains { probe, rel: rel.clone() });
+            }
+        }
+    }
+    Some(Pred::new(atoms))
+}
+
+fn rewrite_once(e: &TorExpr, tenv: &TypeEnv) -> Option<TorExpr> {
+    match e {
+        // σ_φ2(σ_φ1(r)) → σ_φ1∧φ2(r)
+        TorExpr::Select(p2, inner) => match &**inner {
+            TorExpr::Select(p1, r) => {
+                Some(TorExpr::select(p1.clone().and_pred(p2), (**r).clone()))
+            }
+            // σ_φ(π_ℓ(r)) → π_ℓ(σ_φ′(r))
+            TorExpr::Proj(fields, r) => {
+                let elem = match infer_type(r, tenv).ok()? {
+                    TorType::Rel(s) => s,
+                    _ => return None,
+                };
+                let out = elem.project(fields).ok()?.into_ref();
+                let p = remap_pred(p2, fields, &out)?;
+                Some(TorExpr::proj(fields.clone(), TorExpr::select(p, (**r).clone())))
+            }
+            // σ_φ(sort_ℓ(r)) → sort_ℓ(σ_φ(r))
+            TorExpr::Sort(fields, r) => Some(TorExpr::sort(
+                fields.clone(),
+                TorExpr::select(p2.clone(), (**r).clone()),
+            )),
+            _ => None,
+        },
+        // π_ℓ2(π_ℓ1(r)) → π_ℓ1∘ℓ2(r)
+        TorExpr::Proj(l2, inner) => match &**inner {
+            TorExpr::Proj(l1, r) => {
+                let elem = match infer_type(r, tenv).ok()? {
+                    TorType::Rel(s) => s,
+                    _ => return None,
+                };
+                let mid = elem.project(l1).ok()?.into_ref();
+                let mut composed = Vec::with_capacity(l2.len());
+                for f in l2 {
+                    composed.push(l1[mid.index_of(f).ok()?].clone());
+                }
+                Some(TorExpr::proj(composed, (**r).clone()))
+            }
+            _ => None,
+        },
+        // top_e2(top_e1(r)) → top_min(e1,e2)(r) for constants
+        TorExpr::Top(inner, e2) => match &**inner {
+            TorExpr::Top(r, e1) => match (&**e1, &**e2) {
+                (TorExpr::Const(Value::Int(a)), TorExpr::Const(Value::Int(b))) => {
+                    Some(TorExpr::top((**r).clone(), TorExpr::int((*a).min(*b))))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Rebuilds `e` with `f` applied to each immediate child, returning `None`
+/// when no child changed.
+fn map_children(e: &TorExpr, tenv: &TypeEnv) -> Option<TorExpr> {
+    use TorExpr::*;
+    let rec = |x: &TorExpr| normalize_inner(x, tenv);
+    match e {
+        Const(_) | EmptyList | Var(_) | Query(_) => None,
+        Field(x, f) => rec(x).map(|x| TorExpr::Field(Box::new(x), f.clone())),
+        Not(x) => rec(x).map(|x| Not(Box::new(x))),
+        Size(x) => rec(x).map(|x| Size(Box::new(x))),
+        Proj(l, x) => rec(x).map(|x| Proj(l.clone(), Box::new(x))),
+        Select(p, x) => rec(x).map(|x| Select(p.clone(), Box::new(x))),
+        Agg(k, x) => rec(x).map(|x| Agg(*k, Box::new(x))),
+        Sort(l, x) => rec(x).map(|x| Sort(l.clone(), Box::new(x))),
+        Unique(x) => rec(x).map(|x| Unique(Box::new(x))),
+        Binary(op, a, b) => {
+            let (na, nb) = (rec(a), rec(b));
+            if na.is_none() && nb.is_none() {
+                return None;
+            }
+            Some(Binary(
+                *op,
+                Box::new(na.unwrap_or_else(|| (**a).clone())),
+                Box::new(nb.unwrap_or_else(|| (**b).clone())),
+            ))
+        }
+        Get(a, b) => two(a, b, tenv, |a, b| Get(Box::new(a), Box::new(b))),
+        Top(a, b) => two(a, b, tenv, |a, b| Top(Box::new(a), Box::new(b))),
+        Join(p, a, b) => {
+            let p = p.clone();
+            two(a, b, tenv, move |a, b| Join(p.clone(), Box::new(a), Box::new(b)))
+        }
+        Append(a, b) => two(a, b, tenv, |a, b| Append(Box::new(a), Box::new(b))),
+        Concat(a, b) => two(a, b, tenv, |a, b| Concat(Box::new(a), Box::new(b))),
+        Contains(a, b) => two(a, b, tenv, |a, b| Contains(Box::new(a), Box::new(b))),
+        RecLit(fields) => {
+            let mut changed = false;
+            let mut out = Vec::with_capacity(fields.len());
+            for (n, e) in fields {
+                match rec(e) {
+                    Some(ne) => {
+                        changed = true;
+                        out.push((n.clone(), ne));
+                    }
+                    None => out.push((n.clone(), e.clone())),
+                }
+            }
+            changed.then_some(RecLit(out))
+        }
+    }
+}
+
+fn two(
+    a: &TorExpr,
+    b: &TorExpr,
+    tenv: &TypeEnv,
+    build: impl Fn(TorExpr, TorExpr) -> TorExpr,
+) -> Option<TorExpr> {
+    let (na, nb) = (normalize_inner(a, tenv), normalize_inner(b, tenv));
+    if na.is_none() && nb.is_none() {
+        return None;
+    }
+    Some(build(na.unwrap_or_else(|| a.clone()), nb.unwrap_or_else(|| b.clone())))
+}
+
+fn normalize_inner(e: &TorExpr, tenv: &TypeEnv) -> Option<TorExpr> {
+    let mut cur = e.clone();
+    let mut changed = false;
+    loop {
+        if let Some(next) = map_children(&cur, tenv) {
+            cur = next;
+            changed = true;
+            continue;
+        }
+        if let Some(next) = rewrite_once(&cur, tenv) {
+            cur = next;
+            changed = true;
+            continue;
+        }
+        break;
+    }
+    changed.then_some(cur)
+}
+
+/// Applies the Thm. 2 equivalences as directed rewrites until fixpoint.
+///
+/// The result is semantically equal to the input under [`crate::eval`]
+/// (checked by the property tests in this crate).
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::{Schema, FieldType};
+/// use qbs_tor::{normalize, CmpOp, Operand, Pred, QuerySpec, TorExpr, TypeEnv};
+///
+/// let s = Schema::builder("t").field("a", FieldType::Int).finish();
+/// let q = TorExpr::Query(QuerySpec::table_scan("t", s));
+/// let p1 = Pred::truth().and_cmp("a".into(), CmpOp::Gt, Operand::Const(0.into()));
+/// let p2 = Pred::truth().and_cmp("a".into(), CmpOp::Lt, Operand::Const(9.into()));
+/// let nested = TorExpr::select(p2, TorExpr::select(p1, q));
+/// let flat = normalize(&nested, &TypeEnv::new());
+/// assert!(matches!(flat, TorExpr::Select(p, _) if p.atoms().len() == 2));
+/// ```
+pub fn normalize(e: &TorExpr, tenv: &TypeEnv) -> TorExpr {
+    normalize_inner(e, tenv).unwrap_or_else(|| e.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, QuerySpec};
+    use qbs_common::{FieldType, Schema, SchemaRef};
+
+    fn t_schema() -> SchemaRef {
+        Schema::builder("t")
+            .field("a", FieldType::Int)
+            .field("b", FieldType::Int)
+            .finish()
+    }
+
+    fn q() -> TorExpr {
+        TorExpr::Query(QuerySpec::table_scan("t", t_schema()))
+    }
+
+    fn pa(op: CmpOp, c: i64) -> Pred {
+        Pred::truth().and_cmp("a".into(), op, Operand::Const(c.into()))
+    }
+
+    #[test]
+    fn nested_selects_fuse() {
+        let e = TorExpr::select(pa(CmpOp::Lt, 9), TorExpr::select(pa(CmpOp::Gt, 0), q()));
+        match normalize(&e, &TypeEnv::new()) {
+            TorExpr::Select(p, inner) => {
+                assert_eq!(p.atoms().len(), 2);
+                assert!(matches!(*inner, TorExpr::Query(_)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn select_pushes_through_projection() {
+        let e = TorExpr::select(pa(CmpOp::Gt, 0), TorExpr::proj(vec!["a".into()], q()));
+        match normalize(&e, &TypeEnv::new()) {
+            TorExpr::Proj(fields, inner) => {
+                assert_eq!(fields.len(), 1);
+                assert!(matches!(*inner, TorExpr::Select(..)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn projections_compose() {
+        let e = TorExpr::proj(vec!["a".into()], TorExpr::proj(vec!["b".into(), "a".into()], q()));
+        match normalize(&e, &TypeEnv::new()) {
+            TorExpr::Proj(fields, inner) => {
+                assert_eq!(fields, vec![FieldRef::from("a")]);
+                assert!(matches!(*inner, TorExpr::Query(_)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn tops_fuse_to_min() {
+        let e = TorExpr::top(TorExpr::top(q(), TorExpr::int(7)), TorExpr::int(3));
+        match normalize(&e, &TypeEnv::new()) {
+            TorExpr::Top(_, e) => assert_eq!(*e, TorExpr::int(3)),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn select_pushes_through_sort() {
+        let e = TorExpr::select(pa(CmpOp::Gt, 0), TorExpr::sort(vec!["b".into()], q()));
+        match normalize(&e, &TypeEnv::new()) {
+            TorExpr::Sort(_, inner) => assert!(matches!(*inner, TorExpr::Select(..))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn deep_rewrites_reach_fixpoint() {
+        // σ(σ(σ(q))) fuses to a single selection with three conjuncts.
+        let e = TorExpr::select(
+            pa(CmpOp::Lt, 9),
+            TorExpr::select(pa(CmpOp::Gt, 0), TorExpr::select(pa(CmpOp::Ne, 5), q())),
+        );
+        match normalize(&e, &TypeEnv::new()) {
+            TorExpr::Select(p, _) => assert_eq!(p.atoms().len(), 3),
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! Axiomatic evaluator for TOR expressions (paper Appendix C).
+//!
+//! The evaluator implements the recursive list axioms directly, so it serves
+//! as the executable semantics of the theory. It is shared by:
+//!
+//! * the **bounded verifier** (`qbs-verify`), which checks candidate
+//!   invariants/postconditions on exhaustively enumerated small relations;
+//! * the **differential tests**, which compare original kernel-program output
+//!   against the inferred TOR postcondition and the generated SQL.
+
+use crate::env::{DynValue, Env};
+use crate::expr::{AggKind, BinOp, QuerySpec, TorExpr};
+use crate::pred::{JoinPred, Operand, Pred, PredAtom, Probe};
+use qbs_common::{Record, Relation, Schema, Value};
+use std::fmt;
+
+/// Errors raised during evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A variable was not bound in the environment.
+    UnknownVar(qbs_common::Ident),
+    /// A `Query(...)` referenced a table not bound in the environment.
+    UnknownTable(qbs_common::Ident),
+    /// An operand had the wrong runtime kind (scalar/record/relation).
+    Kind {
+        /// Operation context.
+        context: &'static str,
+        /// What was expected.
+        expected: &'static str,
+        /// What was found.
+        found: &'static str,
+    },
+    /// `get` index outside the relation.
+    OutOfBounds {
+        /// Requested index.
+        index: i64,
+        /// Relation length.
+        len: usize,
+    },
+    /// Field resolution failure.
+    Common(qbs_common::CommonError),
+    /// Aggregate over a relation that is not a single int column.
+    BadAggregate(&'static str),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVar(v) => write!(f, "unknown variable `{v}`"),
+            EvalError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EvalError::Kind { context, expected, found } => {
+                write!(f, "kind error in {context}: expected {expected}, found {found}")
+            }
+            EvalError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for relation of length {len}")
+            }
+            EvalError::Common(e) => write!(f, "{e}"),
+            EvalError::BadAggregate(k) => {
+                write!(f, "{k} requires a relation with exactly one int column")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<qbs_common::CommonError> for EvalError {
+    fn from(e: qbs_common::CommonError) -> Self {
+        EvalError::Common(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, EvalError>;
+
+fn want_rel(v: DynValue, context: &'static str) -> Result<Relation> {
+    match v {
+        DynValue::Rel(r) => Ok(r),
+        other => Err(EvalError::Kind { context, expected: "relation", found: other.kind() }),
+    }
+}
+
+fn want_int(v: DynValue, context: &'static str) -> Result<i64> {
+    match v {
+        DynValue::Scalar(Value::Int(i)) => Ok(i),
+        other => Err(EvalError::Kind { context, expected: "int", found: other.kind() }),
+    }
+}
+
+fn want_bool(v: DynValue, context: &'static str) -> Result<bool> {
+    match v {
+        DynValue::Scalar(Value::Bool(b)) => Ok(b),
+        other => Err(EvalError::Kind { context, expected: "bool", found: other.kind() }),
+    }
+}
+
+/// Evaluates a selection predicate on one record.
+fn eval_pred(p: &Pred, rec: &Record, env: &Env) -> Result<bool> {
+    for atom in p.atoms() {
+        match atom {
+            PredAtom::Cmp { lhs, op, rhs } => {
+                let l = rec.get(lhs)?.clone();
+                let r = match rhs {
+                    Operand::Const(v) => v.clone(),
+                    Operand::Field(fr) => rec.get(fr)?.clone(),
+                    Operand::Param(p) => match env.get(p) {
+                        Some(DynValue::Scalar(v)) => v.clone(),
+                        Some(other) => {
+                            return Err(EvalError::Kind {
+                                context: "predicate parameter",
+                                expected: "scalar",
+                                found: other.kind(),
+                            })
+                        }
+                        None => return Err(EvalError::UnknownVar(p.clone())),
+                    },
+                };
+                if !op.test(l.total_cmp(&r)) {
+                    return Ok(false);
+                }
+            }
+            PredAtom::Contains { probe, rel } => {
+                let relation = want_rel(eval(rel, env)?, "contains")?;
+                let found = match probe {
+                    Probe::Record => relation.iter().any(|other| records_equal(rec, other)),
+                    Probe::Field(fr) => {
+                        let v = rec.get(fr)?;
+                        relation.iter().any(|other| other.value_at(0) == v)
+                    }
+                };
+                if !found {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Record equality by field values (schemas may differ in qualifiers, e.g. a
+/// projected copy versus the original).
+fn records_equal(a: &Record, b: &Record) -> bool {
+    a.values() == b.values()
+}
+
+fn eval_join_pred(p: &JoinPred, l: &Record, r: &Record) -> Result<bool> {
+    for atom in p.atoms() {
+        let lv = l.get(&atom.left)?;
+        let rv = r.get(&atom.right)?;
+        if !atom.op.test(lv.total_cmp(rv)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn eval_join(p: &JoinPred, left: &Relation, right: &Relation) -> Result<Relation> {
+    let joined = Schema::join(left.schema(), right.schema()).into_ref();
+    let mut rows = Vec::new();
+    // Axiom order: for each record of r1 (in order), pair with each matching
+    // record of r2 (in order) — cat(⋈′(h, r2), ⋈(t, r2)).
+    for l in left {
+        for r in right {
+            if eval_join_pred(p, l, r)? {
+                rows.push(l.join(r, &joined));
+            }
+        }
+    }
+    Relation::from_records(joined, rows).map_err(EvalError::from)
+}
+
+fn eval_agg(kind: AggKind, rel: &Relation) -> Result<Value> {
+    if kind == AggKind::Count {
+        return Ok(Value::from(rel.len() as i64));
+    }
+    if rel.schema().arity() != 1 || rel.schema().fields()[0].ty != qbs_common::FieldType::Int {
+        return Err(EvalError::BadAggregate(kind.sql()));
+    }
+    let nums = rel.iter().map(|r| r.value_at(0).as_int().expect("typed int column"));
+    Ok(Value::from(match kind {
+        AggKind::Sum => nums.sum::<i64>(),
+        // The paper defines max([]) = -∞ and min([]) = +∞; we represent the
+        // infinities by the extreme i64 values.
+        AggKind::Max => nums.fold(i64::MIN, i64::max),
+        AggKind::Min => nums.fold(i64::MAX, i64::min),
+        AggKind::Count => unreachable!("handled above"),
+    }))
+}
+
+/// Evaluates a TOR expression in `env`.
+///
+/// `Query(...)` nodes read tables bound with [`Env::bind_table`].
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] for unbound variables/tables, kind mismatches,
+/// `get` out of bounds, unresolvable fields, or malformed aggregates. The
+/// bounded verifier treats an erroring formula as *falsified* — a candidate
+/// invariant that dereferences out of range is simply wrong.
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::{Schema, FieldType, Record, Relation, Value};
+/// use qbs_tor::{eval, Env, TorExpr, DynValue};
+///
+/// let s = Schema::builder("t").field("a", FieldType::Int).finish();
+/// let rel = Relation::from_records(
+///     s.clone(),
+///     vec![Record::new(s.clone(), vec![Value::from(5)])],
+/// ).unwrap();
+/// let mut env = Env::new();
+/// env.bind("r", rel);
+/// let v = eval(&TorExpr::size(TorExpr::var("r")), &env).unwrap();
+/// assert_eq!(v.as_int(), Some(1));
+/// ```
+pub fn eval(e: &TorExpr, env: &Env) -> Result<DynValue> {
+    use TorExpr::*;
+    match e {
+        Const(v) => Ok(DynValue::Scalar(v.clone())),
+        EmptyList => {
+            // The bare empty list has no schema; producers should prefer
+            // `Relation::empty`. We give it the empty anonymous schema, and
+            // relation equality against it is value-based (see `Formula`
+            // handling in qbs-verify, which compares via records).
+            Ok(DynValue::Rel(Relation::empty(Schema::anonymous().finish())))
+        }
+        Var(v) => env.get(v).cloned().ok_or_else(|| EvalError::UnknownVar(v.clone())),
+        Field(rec, fr) => match eval(rec, env)? {
+            DynValue::Rec(r) => Ok(DynValue::Scalar(r.get(fr)?.clone())),
+            other => Err(EvalError::Kind {
+                context: "field access",
+                expected: "record",
+                found: other.kind(),
+            }),
+        },
+        Binary(op, a, b) => match op {
+            BinOp::And => {
+                if !want_bool(eval(a, env)?, "∧")? {
+                    return Ok(DynValue::Scalar(Value::from(false)));
+                }
+                Ok(DynValue::Scalar(Value::from(want_bool(eval(b, env)?, "∧")?)))
+            }
+            BinOp::Or => {
+                if want_bool(eval(a, env)?, "∨")? {
+                    return Ok(DynValue::Scalar(Value::from(true)));
+                }
+                Ok(DynValue::Scalar(Value::from(want_bool(eval(b, env)?, "∨")?)))
+            }
+            BinOp::Add => {
+                let x = want_int(eval(a, env)?, "+")?;
+                let y = want_int(eval(b, env)?, "+")?;
+                Ok(DynValue::Scalar(Value::from(x.wrapping_add(y))))
+            }
+            BinOp::Sub => {
+                let x = want_int(eval(a, env)?, "-")?;
+                let y = want_int(eval(b, env)?, "-")?;
+                Ok(DynValue::Scalar(Value::from(x.wrapping_sub(y))))
+            }
+            BinOp::Cmp(c) => {
+                let x = eval(a, env)?;
+                let y = eval(b, env)?;
+                match (x, y) {
+                    (DynValue::Scalar(x), DynValue::Scalar(y)) => {
+                        Ok(DynValue::Scalar(Value::from(c.test(x.total_cmp(&y)))))
+                    }
+                    (x, y) => Err(EvalError::Kind {
+                        context: "comparison",
+                        expected: "scalar",
+                        found: if x.as_scalar().is_some() { y.kind() } else { x.kind() },
+                    }),
+                }
+            }
+        },
+        Not(x) => Ok(DynValue::Scalar(Value::from(!want_bool(eval(x, env)?, "¬")?))),
+        Query(QuerySpec { table, .. }) => env
+            .table(table)
+            .cloned()
+            .map(DynValue::Rel)
+            .ok_or_else(|| EvalError::UnknownTable(table.clone())),
+        Size(r) => {
+            let rel = want_rel(eval(r, env)?, "size")?;
+            Ok(DynValue::Scalar(Value::from(rel.len() as i64)))
+        }
+        Get(r, i) => {
+            let rel = want_rel(eval(r, env)?, "get")?;
+            let idx = want_int(eval(i, env)?, "get index")?;
+            if idx < 0 || idx as usize >= rel.len() {
+                return Err(EvalError::OutOfBounds { index: idx, len: rel.len() });
+            }
+            Ok(DynValue::Rec(rel.get(idx as usize).expect("bounds checked").clone()))
+        }
+        Top(r, i) => {
+            let rel = want_rel(eval(r, env)?, "top")?;
+            let idx = want_int(eval(i, env)?, "top count")?;
+            Ok(DynValue::Rel(rel.top(idx.max(0) as usize)))
+        }
+        Proj(fields, r) => {
+            let rel = want_rel(eval(r, env)?, "projection")?;
+            let out = rel.schema().project(fields)?.into_ref();
+            let mut rows = Vec::with_capacity(rel.len());
+            for rec in &rel {
+                rows.push(rec.project(fields, &out)?);
+            }
+            Ok(DynValue::Rel(Relation::from_records(out, rows)?))
+        }
+        Select(p, r) => {
+            let rel = want_rel(eval(r, env)?, "selection")?;
+            let mut rows = Vec::new();
+            for rec in &rel {
+                if eval_pred(p, rec, env)? {
+                    rows.push(rec.clone());
+                }
+            }
+            Ok(DynValue::Rel(Relation::from_records(rel.schema().clone(), rows)?))
+        }
+        Join(p, a, b) => {
+            let left = match eval(a, env)? {
+                DynValue::Rel(r) => r,
+                // ⋈′(e, r2): a single record joins as a singleton relation.
+                DynValue::Rec(rec) => {
+                    Relation::from_records(rec.schema().clone(), vec![rec])?
+                }
+                other => {
+                    return Err(EvalError::Kind {
+                        context: "join",
+                        expected: "relation or record",
+                        found: other.kind(),
+                    })
+                }
+            };
+            let right = want_rel(eval(b, env)?, "join")?;
+            Ok(DynValue::Rel(eval_join(p, &left, &right)?))
+        }
+        Agg(kind, r) => {
+            let rel = want_rel(eval(r, env)?, "aggregate")?;
+            Ok(DynValue::Scalar(eval_agg(*kind, &rel)?))
+        }
+        Append(r, x) => {
+            let rel = want_rel(eval(r, env)?, "append")?;
+            let rec = match eval(x, env)? {
+                DynValue::Rec(rec) => rec,
+                // Scalar appends build single-column lists (mirrors the
+                // kernel interpreter, which models Java lists of scalars as
+                // single-column relations).
+                DynValue::Scalar(v) => {
+                    let ty = match &v {
+                        Value::Bool(_) => qbs_common::FieldType::Bool,
+                        Value::Int(_) => qbs_common::FieldType::Int,
+                        Value::Str(_) => qbs_common::FieldType::Str,
+                    };
+                    let schema = Schema::anonymous().field("val", ty).finish();
+                    Record::new(schema, vec![v])
+                }
+                other => {
+                    return Err(EvalError::Kind {
+                        context: "append",
+                        expected: "record or scalar",
+                        found: other.kind(),
+                    })
+                }
+            };
+            // Appending to the untyped empty list adopts the record's schema.
+            if rel.is_empty() && rel.schema().arity() == 0 {
+                return Ok(DynValue::Rel(Relation::from_records(
+                    rec.schema().clone(),
+                    vec![rec],
+                )?));
+            }
+            // Appends across qualifier-differing schemas of equal shape are
+            // value-compatible; rebuild the record under the list's schema.
+            if rel.schema() != rec.schema() && rel.schema().arity() == rec.schema().arity() {
+                let rec = Record::new(rel.schema().clone(), rec.values().to_vec());
+                return Ok(DynValue::Rel(rel.append(rec)?));
+            }
+            Ok(DynValue::Rel(rel.append(rec)?))
+        }
+        Concat(a, b) => {
+            let x = want_rel(eval(a, env)?, "concat")?;
+            let y = want_rel(eval(b, env)?, "concat")?;
+            // Concatenating with the schemaless empty list is identity.
+            if x.is_empty() && x.schema().arity() == 0 {
+                return Ok(DynValue::Rel(y));
+            }
+            if y.is_empty() && y.schema().arity() == 0 {
+                return Ok(DynValue::Rel(x));
+            }
+            Ok(DynValue::Rel(x.concat(&y)?))
+        }
+        Sort(fields, r) => {
+            let rel = want_rel(eval(r, env)?, "sort")?;
+            Ok(DynValue::Rel(rel.sorted_by(fields)?))
+        }
+        Unique(r) => {
+            let rel = want_rel(eval(r, env)?, "unique")?;
+            Ok(DynValue::Rel(rel.unique()))
+        }
+        Contains(x, r) => {
+            let rel = want_rel(eval(r, env)?, "contains")?;
+            let found = match eval(x, env)? {
+                DynValue::Rec(rec) => rel.iter().any(|other| records_equal(&rec, other)),
+                DynValue::Scalar(v) => {
+                    if rel.schema().arity() != 1 {
+                        return Err(EvalError::Kind {
+                            context: "contains",
+                            expected: "single-column relation",
+                            found: "wider relation",
+                        });
+                    }
+                    rel.iter().any(|other| other.value_at(0) == &v)
+                }
+                other => {
+                    return Err(EvalError::Kind {
+                        context: "contains",
+                        expected: "record or scalar",
+                        found: other.kind(),
+                    })
+                }
+            };
+            Ok(DynValue::Scalar(Value::from(found)))
+        }
+        RecLit(fields) => {
+            let mut b = Schema::anonymous();
+            let mut values = Vec::with_capacity(fields.len());
+            for (name, fe) in fields {
+                let v = match eval(fe, env)? {
+                    DynValue::Scalar(v) => v,
+                    other => {
+                        return Err(EvalError::Kind {
+                            context: "record literal",
+                            expected: "scalar",
+                            found: other.kind(),
+                        })
+                    }
+                };
+                let ty = match &v {
+                    Value::Bool(_) => qbs_common::FieldType::Bool,
+                    Value::Int(_) => qbs_common::FieldType::Int,
+                    Value::Str(_) => qbs_common::FieldType::Str,
+                };
+                b = b.field(name.as_str(), ty);
+                values.push(v);
+            }
+            Ok(DynValue::Rec(Record::new(b.finish(), values)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::CmpOp;
+    use super::*;
+    use qbs_common::{FieldType, SchemaRef};
+
+    fn users_schema() -> SchemaRef {
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish()
+    }
+
+    fn roles_schema() -> SchemaRef {
+        Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("label", FieldType::Str)
+            .finish()
+    }
+
+    fn env() -> Env {
+        let us = users_schema();
+        let rs = roles_schema();
+        let users = Relation::from_records(
+            us.clone(),
+            vec![
+                Record::new(us.clone(), vec![1.into(), 10.into()]),
+                Record::new(us.clone(), vec![2.into(), 20.into()]),
+                Record::new(us.clone(), vec![3.into(), 10.into()]),
+            ],
+        )
+        .unwrap();
+        let roles = Relation::from_records(
+            rs.clone(),
+            vec![
+                Record::new(rs.clone(), vec![10.into(), "admin".into()]),
+                Record::new(rs.clone(), vec![30.into(), "guest".into()]),
+            ],
+        )
+        .unwrap();
+        let mut e = Env::new();
+        e.bind("users", users.clone());
+        e.bind("roles", roles);
+        e.bind_table("users", users);
+        e
+    }
+
+    #[test]
+    fn join_order_follows_axioms() {
+        // ⋈ iterates left in order, pairing with matching right records:
+        // users 1 and 3 match role 10; output order must be [1, 3].
+        let e = TorExpr::join(
+            JoinPred::eq("roleId", "roleId"),
+            TorExpr::var("users"),
+            TorExpr::var("roles"),
+        );
+        let out = eval(&e, &env()).unwrap();
+        let rel = out.as_relation().unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.get(0).unwrap().get(&"users.id".into()).unwrap(), &Value::from(1));
+        assert_eq!(rel.get(1).unwrap().get(&"users.id".into()).unwrap(), &Value::from(3));
+    }
+
+    #[test]
+    fn join_with_record_left_is_singleton() {
+        let rec = TorExpr::get(TorExpr::var("users"), TorExpr::int(0));
+        let e = TorExpr::join(JoinPred::eq("roleId", "roleId"), rec, TorExpr::var("roles"));
+        let out = eval(&e, &env()).unwrap();
+        assert_eq!(out.as_relation().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn select_filters_in_order() {
+        let p = Pred::truth().and_cmp("roleId".into(), CmpOp::Eq, Operand::Const(10.into()));
+        let e = TorExpr::select(p, TorExpr::var("users"));
+        let out = eval(&e, &env()).unwrap();
+        let rel = out.as_relation().unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.get(0).unwrap().value_at(0), &Value::from(1));
+    }
+
+    #[test]
+    fn top_and_get_axioms() {
+        let top1 = eval(&TorExpr::top(TorExpr::var("users"), TorExpr::int(1)), &env()).unwrap();
+        assert_eq!(top1.as_relation().unwrap().len(), 1);
+        let g = eval(&TorExpr::get(TorExpr::var("users"), TorExpr::int(2)), &env()).unwrap();
+        assert_eq!(g.as_record().unwrap().value_at(0), &Value::from(3));
+        let oob = eval(&TorExpr::get(TorExpr::var("users"), TorExpr::int(5)), &env());
+        assert!(matches!(oob, Err(EvalError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn aggregates_on_projection() {
+        let ids = TorExpr::proj(vec!["id".into()], TorExpr::var("users"));
+        let e = env();
+        assert_eq!(eval(&TorExpr::agg(AggKind::Sum, ids.clone()), &e).unwrap().as_int(), Some(6));
+        assert_eq!(eval(&TorExpr::agg(AggKind::Max, ids.clone()), &e).unwrap().as_int(), Some(3));
+        assert_eq!(eval(&TorExpr::agg(AggKind::Min, ids.clone()), &e).unwrap().as_int(), Some(1));
+        assert_eq!(
+            eval(&TorExpr::agg(AggKind::Count, TorExpr::var("users")), &e).unwrap().as_int(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn empty_aggregates_use_extremes() {
+        let p = Pred::truth().and_cmp("id".into(), CmpOp::Gt, Operand::Const(100.into()));
+        let none = TorExpr::proj(vec!["id".into()], TorExpr::select(p, TorExpr::var("users")));
+        let e = env();
+        assert_eq!(eval(&TorExpr::agg(AggKind::Sum, none.clone()), &e).unwrap().as_int(), Some(0));
+        assert_eq!(
+            eval(&TorExpr::agg(AggKind::Max, none.clone()), &e).unwrap().as_int(),
+            Some(i64::MIN)
+        );
+        assert_eq!(
+            eval(&TorExpr::agg(AggKind::Min, none), &e).unwrap().as_int(),
+            Some(i64::MAX)
+        );
+    }
+
+    #[test]
+    fn query_reads_bound_table() {
+        let q = TorExpr::Query(QuerySpec::table_scan("users", users_schema()));
+        let out = eval(&q, &env()).unwrap();
+        assert_eq!(out.as_relation().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn contains_scalar_and_record() {
+        let e = env();
+        let ids = TorExpr::proj(vec!["id".into()], TorExpr::var("users"));
+        let yes = TorExpr::contains(TorExpr::int(2), ids.clone());
+        assert_eq!(eval(&yes, &e).unwrap().as_bool(), Some(true));
+        let no = TorExpr::contains(TorExpr::int(9), ids);
+        assert_eq!(eval(&no, &e).unwrap().as_bool(), Some(false));
+        let rec = TorExpr::get(TorExpr::var("users"), TorExpr::int(0));
+        let yes = TorExpr::contains(rec, TorExpr::var("users"));
+        assert_eq!(eval(&yes, &e).unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn unique_after_projection() {
+        let e = env();
+        let p = TorExpr::unique(TorExpr::proj(vec!["roleId".into()], TorExpr::var("users")));
+        let out = eval(&p, &e).unwrap();
+        let rel = out.as_relation().unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.get(0).unwrap().value_at(0), &Value::from(10));
+    }
+
+    #[test]
+    fn and_short_circuits_errors() {
+        // i < size(users) ∧ get_i(...) with i out of range: the guard makes
+        // the whole conjunction false instead of erroring.
+        let e = env();
+        let guard = TorExpr::cmp(
+            CmpOp::Lt,
+            TorExpr::int(5),
+            TorExpr::size(TorExpr::var("users")),
+        );
+        let body = TorExpr::cmp(
+            CmpOp::Eq,
+            TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::int(5)), "id"),
+            TorExpr::int(0),
+        );
+        let both = TorExpr::binary(BinOp::And, guard, body);
+        assert_eq!(eval(&both, &e).unwrap().as_bool(), Some(false));
+    }
+}

@@ -1,0 +1,475 @@
+//! TOR expression AST (paper Fig. 6).
+
+use crate::pred::{JoinPred, Pred};
+use qbs_common::{FieldRef, Ident, SchemaRef, Value};
+use std::fmt;
+
+/// Comparison operators usable in predicates and scalar expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to an [`std::cmp::Ordering`].
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The comparison with swapped operands (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`!(a op b)` ⇔ `a op.negate() b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary operators on scalar TOR expressions.
+///
+/// The paper's grammar lists `∧ ∨ > =`; we additionally carry the remaining
+/// comparisons and `+`/`-`, which the verification conditions need for index
+/// arithmetic (`iInv(i, j + 1, …)`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// A comparison.
+    Cmp(CmpOp),
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinOp::And => write!(f, "∧"),
+            BinOp::Or => write!(f, "∨"),
+            BinOp::Add => write!(f, "+"),
+            BinOp::Sub => write!(f, "-"),
+            BinOp::Cmp(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Aggregate operators (`sum`, `max`, `min`, plus `size`/`COUNT` which the
+/// translation rules treat as an aggregate).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AggKind {
+    /// `sum` — input relation must have a single numeric field.
+    Sum,
+    /// `max` — `max([]) = -∞` (represented as `i64::MIN`).
+    Max,
+    /// `min` — `min([]) = +∞` (represented as `i64::MAX`).
+    Min,
+    /// `size` / SQL `COUNT`.
+    Count,
+}
+
+impl AggKind {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggKind::Sum => "SUM",
+            AggKind::Max => "MAX",
+            AggKind::Min => "MIN",
+            AggKind::Count => "COUNT",
+        }
+    }
+}
+
+impl fmt::Display for AggKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggKind::Sum => "sum",
+            AggKind::Max => "max",
+            AggKind::Min => "min",
+            AggKind::Count => "size",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A base database retrieval: `Query(...)` in the paper.
+///
+/// The retrieval names a table and carries its schema so that TOR expressions
+/// are self-describing. `sql` optionally records the original embedded query
+/// string from the source program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QuerySpec {
+    /// Table being scanned.
+    pub table: Ident,
+    /// Schema of the produced records.
+    pub schema: SchemaRef,
+    /// Original SQL text, when the source used an embedded query.
+    pub sql: Option<String>,
+}
+
+impl QuerySpec {
+    /// A full-table retrieval.
+    pub fn table_scan(table: impl Into<Ident>, schema: SchemaRef) -> Self {
+        QuerySpec { table: table.into(), schema, sql: None }
+    }
+}
+
+/// A TOR expression (paper Fig. 6).
+///
+/// Expressions denote scalars, records, or ordered relations; [`crate::infer_type`]
+/// recovers which. Constructors are provided for ergonomic building; see the
+/// crate-level example.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TorExpr {
+    /// A scalar constant.
+    Const(Value),
+    /// The empty list `[ ]`.
+    EmptyList,
+    /// A program variable (scalar-, record-, or relation-typed).
+    Var(Ident),
+    /// Field access on a record-typed expression: `e.f`.
+    Field(Box<TorExpr>, FieldRef),
+    /// Binary scalar operation.
+    Binary(BinOp, Box<TorExpr>, Box<TorExpr>),
+    /// Logical negation.
+    Not(Box<TorExpr>),
+    /// Database retrieval `Query(...)`.
+    Query(QuerySpec),
+    /// `size(e)` — length of a relation.
+    Size(Box<TorExpr>),
+    /// `get_es(er)` — the record of `er` at index `es`.
+    Get(Box<TorExpr>, Box<TorExpr>),
+    /// `top_es(er)` — the first `es` records of `er`.
+    Top(Box<TorExpr>, Box<TorExpr>),
+    /// `π_[f…](e)` — ordered projection.
+    Proj(Vec<FieldRef>, Box<TorExpr>),
+    /// `σ_φ(e)` — ordered selection.
+    Select(Pred, Box<TorExpr>),
+    /// `⋈_φ(e1, e2)` — ordered join. A record-typed left operand is treated
+    /// as a singleton relation (the paper's `⋈′` form used in invariants).
+    Join(JoinPred, Box<TorExpr>, Box<TorExpr>),
+    /// Aggregate over a relation. For `Sum`/`Max`/`Min` the input must have
+    /// exactly one numeric field (paper's convention); `Count` is `size`.
+    Agg(AggKind, Box<TorExpr>),
+    /// `append(er, es)` — append record `es` to relation `er`.
+    Append(Box<TorExpr>, Box<TorExpr>),
+    /// Concatenation of two relations (the paper overloads `append` for this
+    /// in invariants, e.g. the inner-loop invariant of Fig. 12).
+    Concat(Box<TorExpr>, Box<TorExpr>),
+    /// `sort_[f…](e)` — stable sort by fields.
+    Sort(Vec<FieldRef>, Box<TorExpr>),
+    /// `unique(e)` — duplicate elimination preserving first occurrences.
+    Unique(Box<TorExpr>),
+    /// `contains(e, er)` — membership of a record (or scalar, for
+    /// single-field relations) in a relation.
+    Contains(Box<TorExpr>, Box<TorExpr>),
+    /// Record construction `{fi = ei}` (paper Fig. 6 expression grammar).
+    /// Appears in invariants when loops append freshly built records.
+    RecLit(Vec<(Ident, TorExpr)>),
+}
+
+impl TorExpr {
+    /// A variable reference.
+    pub fn var(name: impl Into<Ident>) -> TorExpr {
+        TorExpr::Var(name.into())
+    }
+
+    /// An integer constant.
+    pub fn int(i: i64) -> TorExpr {
+        TorExpr::Const(Value::from(i))
+    }
+
+    /// A boolean constant.
+    pub fn bool(b: bool) -> TorExpr {
+        TorExpr::Const(Value::from(b))
+    }
+
+    /// `size(e)`.
+    pub fn size(e: TorExpr) -> TorExpr {
+        TorExpr::Size(Box::new(e))
+    }
+
+    /// `get_idx(rel)`.
+    pub fn get(rel: TorExpr, idx: TorExpr) -> TorExpr {
+        TorExpr::Get(Box::new(rel), Box::new(idx))
+    }
+
+    /// `top_idx(rel)`.
+    pub fn top(rel: TorExpr, idx: TorExpr) -> TorExpr {
+        TorExpr::Top(Box::new(rel), Box::new(idx))
+    }
+
+    /// `π_fields(e)`.
+    pub fn proj(fields: Vec<FieldRef>, e: TorExpr) -> TorExpr {
+        TorExpr::Proj(fields, Box::new(e))
+    }
+
+    /// `σ_pred(e)`.
+    pub fn select(pred: Pred, e: TorExpr) -> TorExpr {
+        TorExpr::Select(pred, Box::new(e))
+    }
+
+    /// `⋈_pred(l, r)`.
+    pub fn join(pred: JoinPred, l: TorExpr, r: TorExpr) -> TorExpr {
+        TorExpr::Join(pred, Box::new(l), Box::new(r))
+    }
+
+    /// `agg(e)`.
+    pub fn agg(kind: AggKind, e: TorExpr) -> TorExpr {
+        TorExpr::Agg(kind, Box::new(e))
+    }
+
+    /// `sort_fields(e)`.
+    pub fn sort(fields: Vec<FieldRef>, e: TorExpr) -> TorExpr {
+        TorExpr::Sort(fields, Box::new(e))
+    }
+
+    /// `unique(e)`.
+    pub fn unique(e: TorExpr) -> TorExpr {
+        TorExpr::Unique(Box::new(e))
+    }
+
+    /// `append(rel, rec)`.
+    pub fn append(rel: TorExpr, rec: TorExpr) -> TorExpr {
+        TorExpr::Append(Box::new(rel), Box::new(rec))
+    }
+
+    /// Relation concatenation.
+    pub fn concat(a: TorExpr, b: TorExpr) -> TorExpr {
+        TorExpr::Concat(Box::new(a), Box::new(b))
+    }
+
+    /// `contains(elem, rel)`.
+    pub fn contains(elem: TorExpr, rel: TorExpr) -> TorExpr {
+        TorExpr::Contains(Box::new(elem), Box::new(rel))
+    }
+
+    /// `e.field`.
+    pub fn field(e: TorExpr, fref: impl Into<FieldRef>) -> TorExpr {
+        TorExpr::Field(Box::new(e), fref.into())
+    }
+
+    /// Binary operation.
+    pub fn binary(op: BinOp, a: TorExpr, b: TorExpr) -> TorExpr {
+        TorExpr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a cmp b`.
+    pub fn cmp(op: CmpOp, a: TorExpr, b: TorExpr) -> TorExpr {
+        TorExpr::binary(BinOp::Cmp(op), a, b)
+    }
+
+    /// `a + b`.
+    pub fn add(a: TorExpr, b: TorExpr) -> TorExpr {
+        TorExpr::binary(BinOp::Add, a, b)
+    }
+
+    /// The number of relational operators in the expression — the paper's
+    /// measure of template complexity (Sec. 4.5 grows this incrementally).
+    pub fn relational_ops(&self) -> usize {
+        use TorExpr::*;
+        let inner: usize = self.children().iter().map(|c| c.relational_ops()).sum();
+        let own = match self {
+            Proj(..) | Select(..) | Join(..) | Agg(..) | Sort(..) | Unique(..) | Top(..)
+            | Get(..) | Contains(..) => 1,
+            _ => 0,
+        };
+        own + inner
+    }
+
+    /// Immediate subexpressions (predicate-internal expressions excluded).
+    pub fn children(&self) -> Vec<&TorExpr> {
+        use TorExpr::*;
+        match self {
+            Const(_) | EmptyList | Var(_) | Query(_) => vec![],
+            Field(e, _) | Not(e) | Size(e) | Proj(_, e) | Select(_, e) | Agg(_, e)
+            | Sort(_, e) | Unique(e) => vec![e],
+            Binary(_, a, b) | Get(a, b) | Top(a, b) | Join(_, a, b) | Append(a, b)
+            | Concat(a, b) | Contains(a, b) => {
+                vec![a, b]
+            }
+            RecLit(fields) => fields.iter().map(|(_, e)| e).collect(),
+        }
+    }
+
+    /// All free program variables referenced by the expression (including
+    /// inside predicates).
+    pub fn free_vars(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        self.collect_free_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_free_vars(&self, out: &mut Vec<Ident>) {
+        if let TorExpr::Var(v) = self {
+            out.push(v.clone());
+        }
+        if let TorExpr::Select(p, _) = self {
+            p.collect_free_vars(out);
+        }
+        for c in self.children() {
+            c.collect_free_vars(out);
+        }
+    }
+}
+
+impl fmt::Display for TorExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TorExpr::*;
+        match self {
+            Const(v) => write!(f, "{v:?}"),
+            EmptyList => write!(f, "[]"),
+            Var(v) => write!(f, "{v}"),
+            Field(e, fr) => write!(f, "{e}.{fr}"),
+            Binary(op, a, b) => write!(f, "({a} {op} {b})"),
+            Not(e) => write!(f, "¬{e}"),
+            Query(q) => write!(f, "Query({})", q.table),
+            Size(e) => write!(f, "size({e})"),
+            Get(r, i) => write!(f, "get[{i}]({r})"),
+            Top(r, i) => write!(f, "top[{i}]({r})"),
+            Proj(fs, e) => {
+                write!(f, "π[")?;
+                for (i, fr) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{fr}")?;
+                }
+                write!(f, "]({e})")
+            }
+            Select(p, e) => write!(f, "σ[{p}]({e})"),
+            Join(p, a, b) => write!(f, "⋈[{p}]({a}, {b})"),
+            Agg(k, e) => write!(f, "{k}({e})"),
+            Append(r, x) => write!(f, "append({r}, {x})"),
+            Concat(a, b) => write!(f, "cat({a}, {b})"),
+            Sort(fs, e) => {
+                write!(f, "sort[")?;
+                for (i, fr) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{fr}")?;
+                }
+                write!(f, "]({e})")
+            }
+            Unique(e) => write!(f, "unique({e})"),
+            Contains(x, r) => write!(f, "contains({x}, {r})"),
+            RecLit(fields) => {
+                write!(f, "{{")?;
+                for (i, (n, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n} = {e}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_test_and_negate() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.test(Equal));
+        assert!(CmpOp::Le.test(Less));
+        assert!(!CmpOp::Le.test(Greater));
+        assert!(CmpOp::Le.negate().test(Greater));
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+    }
+
+    #[test]
+    fn relational_op_count() {
+        let e = TorExpr::proj(
+            vec!["a".into()],
+            TorExpr::select(Pred::truth(), TorExpr::var("r")),
+        );
+        assert_eq!(e.relational_ops(), 2);
+        assert_eq!(TorExpr::var("r").relational_ops(), 0);
+    }
+
+    #[test]
+    fn free_vars_dedup_and_sort() {
+        let e = TorExpr::concat(
+            TorExpr::var("b"),
+            TorExpr::top(TorExpr::var("a"), TorExpr::var("b")),
+        );
+        let fv = e.free_vars();
+        assert_eq!(fv, vec![Ident::new("a"), Ident::new("b")]);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let e = TorExpr::size(TorExpr::var("users"));
+        assert_eq!(e.to_string(), "size(users)");
+    }
+}

@@ -1,0 +1,276 @@
+//! Selection and join predicates (the `ϕσ` and `ϕ⋈` functions of Fig. 6).
+
+use crate::expr::{CmpOp, TorExpr};
+use qbs_common::{FieldRef, Ident, Value};
+use std::fmt;
+
+/// The right-hand side of a field comparison in a selection predicate.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Operand {
+    /// A literal constant (`e.fi op c`).
+    Const(Value),
+    /// Another field of the same record (`e.fi op e.fj`).
+    Field(FieldRef),
+    /// A program variable treated as a runtime constant — the paper's
+    /// selections "that involve program variables that are passed into the
+    /// method". Becomes a bind parameter in the generated SQL.
+    Param(Ident),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(v) => write!(f, "{v:?}"),
+            Operand::Field(fr) => write!(f, "e.{fr}"),
+            Operand::Param(p) => write!(f, "${p}"),
+        }
+    }
+}
+
+/// What is probed for membership by a `contains` atom.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Probe {
+    /// The whole current record (`contains(e, er)`).
+    Record,
+    /// A single field of the current record (the paper's "e or one of e's
+    /// fields is contained in the second \[relation\]").
+    Field(FieldRef),
+}
+
+impl fmt::Display for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Probe::Record => write!(f, "e"),
+            Probe::Field(fr) => write!(f, "e.{fr}"),
+        }
+    }
+}
+
+/// One conjunct of a selection predicate.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PredAtom {
+    /// `e.fi op rhs`.
+    Cmp {
+        /// Field of the record under test.
+        lhs: FieldRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant, sibling field, or program parameter.
+        rhs: Operand,
+    },
+    /// `contains(probe, rel)` — membership in another relation.
+    Contains {
+        /// The record or record field probed.
+        probe: Probe,
+        /// The relation searched (an arbitrary TOR expression).
+        rel: Box<TorExpr>,
+    },
+}
+
+impl fmt::Display for PredAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredAtom::Cmp { lhs, op, rhs } => write!(f, "e.{lhs} {op} {rhs}"),
+            PredAtom::Contains { probe, rel } => write!(f, "contains({probe}, {rel})"),
+        }
+    }
+}
+
+/// A selection function `ϕσ`: a conjunction of [`PredAtom`]s.
+///
+/// The empty conjunction is `True` (selects everything).
+///
+/// # Example
+///
+/// ```
+/// use qbs_tor::{Pred, CmpOp, Operand};
+/// let p = Pred::truth().and_cmp("status".into(), CmpOp::Eq, Operand::Const(0.into()));
+/// assert_eq!(p.atoms().len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Pred {
+    atoms: Vec<PredAtom>,
+}
+
+impl Pred {
+    /// The always-true predicate (empty conjunction).
+    pub fn truth() -> Pred {
+        Pred { atoms: Vec::new() }
+    }
+
+    /// A predicate from conjuncts.
+    pub fn new(atoms: Vec<PredAtom>) -> Pred {
+        Pred { atoms }
+    }
+
+    /// The conjuncts.
+    pub fn atoms(&self) -> &[PredAtom] {
+        &self.atoms
+    }
+
+    /// True when this is the empty conjunction.
+    pub fn is_truth(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Conjoins another atom.
+    pub fn and(mut self, atom: PredAtom) -> Pred {
+        self.atoms.push(atom);
+        self
+    }
+
+    /// Convenience: conjoin a field comparison.
+    pub fn and_cmp(self, lhs: FieldRef, op: CmpOp, rhs: Operand) -> Pred {
+        self.and(PredAtom::Cmp { lhs, op, rhs })
+    }
+
+    /// Conjunction of two predicates (`σϕ2(σϕ1(r)) = σϕ1∧ϕ2(r)`).
+    pub fn and_pred(mut self, other: &Pred) -> Pred {
+        self.atoms.extend(other.atoms.iter().cloned());
+        self
+    }
+
+    /// Collects free program variables (parameters and variables inside
+    /// `contains` relations).
+    pub fn collect_free_vars(&self, out: &mut Vec<Ident>) {
+        for a in &self.atoms {
+            match a {
+                PredAtom::Cmp { rhs: Operand::Param(p), .. } => out.push(p.clone()),
+                PredAtom::Cmp { .. } => {}
+                PredAtom::Contains { rel, .. } => {
+                    out.extend(rel.free_vars());
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "True");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One conjunct of a join predicate: `e1.fi op e2.fj`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JoinAtom {
+    /// Field of the left record.
+    pub left: FieldRef,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Field of the right record.
+    pub right: FieldRef,
+}
+
+impl fmt::Display for JoinAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l.{} {} r.{}", self.left, self.op, self.right)
+    }
+}
+
+/// A join function `ϕ⋈`: a conjunction of [`JoinAtom`]s; empty = cross
+/// product (`⋈_True`).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct JoinPred {
+    atoms: Vec<JoinAtom>,
+}
+
+impl JoinPred {
+    /// The always-true join predicate (cross product).
+    pub fn truth() -> JoinPred {
+        JoinPred { atoms: Vec::new() }
+    }
+
+    /// A join predicate from conjuncts.
+    pub fn new(atoms: Vec<JoinAtom>) -> JoinPred {
+        JoinPred { atoms }
+    }
+
+    /// Convenience: a single-equality join predicate.
+    pub fn eq(left: impl Into<FieldRef>, right: impl Into<FieldRef>) -> JoinPred {
+        JoinPred {
+            atoms: vec![JoinAtom { left: left.into(), op: CmpOp::Eq, right: right.into() }],
+        }
+    }
+
+    /// The conjuncts.
+    pub fn atoms(&self) -> &[JoinAtom] {
+        &self.atoms
+    }
+
+    /// True when this is a cross product.
+    pub fn is_truth(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// True when every conjunct is an equality — the planner's condition for
+    /// choosing a hash join.
+    pub fn is_equi(&self) -> bool {
+        !self.atoms.is_empty() && self.atoms.iter().all(|a| a.op == CmpOp::Eq)
+    }
+}
+
+impl fmt::Display for JoinPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "True");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_is_empty_conjunction() {
+        assert!(Pred::truth().is_truth());
+        assert!(JoinPred::truth().is_truth());
+        assert_eq!(Pred::truth().to_string(), "True");
+    }
+
+    #[test]
+    fn and_pred_concatenates() {
+        let a = Pred::truth().and_cmp("x".into(), CmpOp::Eq, Operand::Const(1.into()));
+        let b = Pred::truth().and_cmp("y".into(), CmpOp::Gt, Operand::Const(2.into()));
+        let c = a.and_pred(&b);
+        assert_eq!(c.atoms().len(), 2);
+    }
+
+    #[test]
+    fn equi_join_detection() {
+        let j = JoinPred::eq("roleId", "roleId");
+        assert!(j.is_equi());
+        let c = JoinPred::new(vec![JoinAtom {
+            left: "a".into(),
+            op: CmpOp::Lt,
+            right: "b".into(),
+        }]);
+        assert!(!c.is_equi());
+        assert!(!JoinPred::truth().is_equi());
+    }
+
+    #[test]
+    fn pred_free_vars_include_params() {
+        let p = Pred::truth().and_cmp("x".into(), CmpOp::Eq, Operand::Param("uid".into()));
+        let mut vs = Vec::new();
+        p.collect_free_vars(&mut vs);
+        assert_eq!(vs, vec![Ident::new("uid")]);
+    }
+}

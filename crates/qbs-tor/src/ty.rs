@@ -1,0 +1,501 @@
+//! Static types of TOR expressions and schema-aware type inference.
+//!
+//! The synthesizer's enumerator is type-directed: it only builds candidate
+//! expressions that type-check against the schemas of the relations in scope,
+//! which prunes the template space dramatically (paper Sec. 4.3 restricts
+//! candidate expressions to "the same static type as lv").
+
+use crate::expr::{AggKind, BinOp, CmpOp, QuerySpec, TorExpr};
+use crate::pred::{Operand, Pred, PredAtom, Probe};
+use qbs_common::{FieldType, Ident, Schema, SchemaRef};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The type of a TOR expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TorType {
+    /// Boolean scalar.
+    Bool,
+    /// Integer scalar.
+    Int,
+    /// String scalar.
+    Str,
+    /// A record with the given schema.
+    Record(SchemaRef),
+    /// An ordered relation with the given schema.
+    Rel(SchemaRef),
+}
+
+impl TorType {
+    /// The scalar type corresponding to a field type.
+    pub fn from_field(ft: FieldType) -> TorType {
+        match ft {
+            FieldType::Bool => TorType::Bool,
+            FieldType::Int => TorType::Int,
+            FieldType::Str => TorType::Str,
+        }
+    }
+
+    /// True for `Bool`/`Int`/`Str`.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, TorType::Bool | TorType::Int | TorType::Str)
+    }
+
+    /// The relation schema, if this is a relation type.
+    pub fn rel_schema(&self) -> Option<&SchemaRef> {
+        match self {
+            TorType::Rel(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TorType::Bool => write!(f, "bool"),
+            TorType::Int => write!(f, "int"),
+            TorType::Str => write!(f, "str"),
+            TorType::Record(s) => write!(f, "record{}", s.describe()),
+            TorType::Rel(s) => write!(f, "rel{}", s.describe()),
+        }
+    }
+}
+
+/// Errors produced by [`infer_type`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeError {
+    /// Variable not bound in the type environment.
+    UnknownVar(Ident),
+    /// An operand had an unexpected type.
+    Mismatch {
+        /// Where the mismatch occurred.
+        context: String,
+        /// Expected description.
+        expected: String,
+        /// Found type.
+        found: String,
+    },
+    /// A field reference failed to resolve.
+    Field(qbs_common::CommonError),
+    /// The expression's type cannot be determined (e.g. the empty list).
+    CannotInfer(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownVar(v) => write!(f, "unknown variable `{v}`"),
+            TypeError::Mismatch { context, expected, found } => {
+                write!(f, "type error in {context}: expected {expected}, found {found}")
+            }
+            TypeError::Field(e) => write!(f, "{e}"),
+            TypeError::CannotInfer(what) => write!(f, "cannot infer type of {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<qbs_common::CommonError> for TypeError {
+    fn from(e: qbs_common::CommonError) -> Self {
+        TypeError::Field(e)
+    }
+}
+
+/// Maps program variables to TOR types.
+#[derive(Clone, Debug, Default)]
+pub struct TypeEnv {
+    vars: BTreeMap<Ident, TorType>,
+}
+
+impl TypeEnv {
+    /// An empty environment.
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    /// Binds a variable to an arbitrary type.
+    pub fn bind(&mut self, name: impl Into<Ident>, ty: TorType) {
+        self.vars.insert(name.into(), ty);
+    }
+
+    /// Binds a relation-typed variable.
+    pub fn bind_rel(&mut self, name: impl Into<Ident>, schema: SchemaRef) {
+        self.bind(name, TorType::Rel(schema));
+    }
+
+    /// Binds an integer variable.
+    pub fn bind_int(&mut self, name: impl Into<Ident>) {
+        self.bind(name, TorType::Int);
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &Ident) -> Option<&TorType> {
+        self.vars.get(name)
+    }
+
+    /// Iterates over all bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, &TorType)> {
+        self.vars.iter()
+    }
+}
+
+fn mismatch(context: &str, expected: &str, found: &TorType) -> TypeError {
+    TypeError::Mismatch {
+        context: context.to_string(),
+        expected: expected.to_string(),
+        found: found.to_string(),
+    }
+}
+
+fn rel_of(e: &TorExpr, tenv: &TypeEnv, context: &str) -> Result<SchemaRef, TypeError> {
+    match infer_type(e, tenv)? {
+        TorType::Rel(s) => Ok(s),
+        other => Err(mismatch(context, "relation", &other)),
+    }
+}
+
+fn int_of(e: &TorExpr, tenv: &TypeEnv, context: &str) -> Result<(), TypeError> {
+    match infer_type(e, tenv)? {
+        TorType::Int => Ok(()),
+        other => Err(mismatch(context, "int", &other)),
+    }
+}
+
+/// Checks a selection predicate against the element schema; returns `Ok` when
+/// every atom resolves and compares compatible types.
+fn check_pred(p: &Pred, elem: &SchemaRef, tenv: &TypeEnv) -> Result<(), TypeError> {
+    for atom in p.atoms() {
+        match atom {
+            PredAtom::Cmp { lhs, op, rhs } => {
+                let lty = TorType::from_field(elem.field(lhs)?.ty);
+                let rty = match rhs {
+                    Operand::Const(v) => match v {
+                        qbs_common::Value::Bool(_) => TorType::Bool,
+                        qbs_common::Value::Int(_) => TorType::Int,
+                        qbs_common::Value::Str(_) => TorType::Str,
+                    },
+                    Operand::Field(fr) => TorType::from_field(elem.field(fr)?.ty),
+                    Operand::Param(v) => tenv
+                        .get(v)
+                        .cloned()
+                        .ok_or_else(|| TypeError::UnknownVar(v.clone()))?,
+                };
+                if lty != rty {
+                    return Err(mismatch(&format!("predicate `{atom}`"), &lty.to_string(), &rty));
+                }
+                if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+                    && lty == TorType::Bool
+                {
+                    return Err(mismatch(&format!("predicate `{atom}`"), "ordered type", &lty));
+                }
+            }
+            PredAtom::Contains { probe, rel } => {
+                let rs = rel_of(rel, tenv, "contains")?;
+                match probe {
+                    Probe::Record => {
+                        // Record membership requires compatible arity; exact
+                        // schema equality is checked dynamically.
+                        if rs.arity() != elem.arity() {
+                            return Err(TypeError::Mismatch {
+                                context: format!("predicate `{atom}`"),
+                                expected: format!("relation of arity {}", elem.arity()),
+                                found: format!("relation of arity {}", rs.arity()),
+                            });
+                        }
+                    }
+                    Probe::Field(fr) => {
+                        let fty = elem.field(fr)?.ty;
+                        if rs.arity() != 1 {
+                            return Err(TypeError::Mismatch {
+                                context: format!("predicate `{atom}`"),
+                                expected: "single-column relation".to_string(),
+                                found: format!("relation of arity {}", rs.arity()),
+                            });
+                        }
+                        if rs.fields()[0].ty != fty {
+                            return Err(TypeError::Mismatch {
+                                context: format!("predicate `{atom}`"),
+                                expected: fty.to_string(),
+                                found: rs.fields()[0].ty.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Infers the type of a TOR expression under `tenv`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when the expression is ill-typed, references
+/// unknown variables/fields, or (for the bare empty list) has no principal
+/// type.
+pub fn infer_type(e: &TorExpr, tenv: &TypeEnv) -> Result<TorType, TypeError> {
+    use TorExpr::*;
+    match e {
+        Const(v) => Ok(match v {
+            qbs_common::Value::Bool(_) => TorType::Bool,
+            qbs_common::Value::Int(_) => TorType::Int,
+            qbs_common::Value::Str(_) => TorType::Str,
+        }),
+        EmptyList => Err(TypeError::CannotInfer("the empty list".to_string())),
+        Var(v) => tenv.get(v).cloned().ok_or_else(|| TypeError::UnknownVar(v.clone())),
+        Field(rec, fr) => match infer_type(rec, tenv)? {
+            TorType::Record(s) => Ok(TorType::from_field(s.field(fr)?.ty)),
+            other => Err(mismatch("field access", "record", &other)),
+        },
+        Binary(op, a, b) => {
+            let ta = infer_type(a, tenv)?;
+            let tb = infer_type(b, tenv)?;
+            match op {
+                BinOp::And | BinOp::Or => {
+                    if ta == TorType::Bool && tb == TorType::Bool {
+                        Ok(TorType::Bool)
+                    } else {
+                        Err(mismatch("logical operator", "bool", if ta == TorType::Bool { &tb } else { &ta }))
+                    }
+                }
+                BinOp::Add | BinOp::Sub => {
+                    if ta == TorType::Int && tb == TorType::Int {
+                        Ok(TorType::Int)
+                    } else {
+                        Err(mismatch("arithmetic", "int", if ta == TorType::Int { &tb } else { &ta }))
+                    }
+                }
+                BinOp::Cmp(_) => {
+                    if ta == tb && ta.is_scalar() {
+                        Ok(TorType::Bool)
+                    } else {
+                        Err(mismatch("comparison", &ta.to_string(), &tb))
+                    }
+                }
+            }
+        }
+        Not(x) => match infer_type(x, tenv)? {
+            TorType::Bool => Ok(TorType::Bool),
+            other => Err(mismatch("negation", "bool", &other)),
+        },
+        Query(QuerySpec { schema, .. }) => Ok(TorType::Rel(schema.clone())),
+        Size(r) => {
+            rel_of(r, tenv, "size")?;
+            Ok(TorType::Int)
+        }
+        Get(r, i) => {
+            let s = rel_of(r, tenv, "get")?;
+            int_of(i, tenv, "get index")?;
+            Ok(TorType::Record(s))
+        }
+        Top(r, i) => {
+            let s = rel_of(r, tenv, "top")?;
+            int_of(i, tenv, "top count")?;
+            Ok(TorType::Rel(s))
+        }
+        Proj(fields, r) => {
+            let s = rel_of(r, tenv, "projection")?;
+            Ok(TorType::Rel(s.project(fields)?.into_ref()))
+        }
+        Select(p, r) => {
+            let s = rel_of(r, tenv, "selection")?;
+            check_pred(p, &s, tenv)?;
+            Ok(TorType::Rel(s))
+        }
+        Join(p, a, b) => {
+            // A record-typed left operand is the paper's ⋈′ (singleton) form.
+            let ls = match infer_type(a, tenv)? {
+                TorType::Rel(s) | TorType::Record(s) => s,
+                other => return Err(mismatch("join", "relation or record", &other)),
+            };
+            let rs = rel_of(b, tenv, "join")?;
+            for atom in p.atoms() {
+                let lf = ls.field(&atom.left)?;
+                let rf = rs.field(&atom.right)?;
+                if lf.ty != rf.ty {
+                    return Err(TypeError::Mismatch {
+                        context: format!("join predicate `{atom}`"),
+                        expected: lf.ty.to_string(),
+                        found: rf.ty.to_string(),
+                    });
+                }
+            }
+            Ok(TorType::Rel(Schema::join(&ls, &rs).into_ref()))
+        }
+        Agg(kind, r) => {
+            let s = rel_of(r, tenv, "aggregate")?;
+            match kind {
+                AggKind::Count => Ok(TorType::Int),
+                AggKind::Sum | AggKind::Max | AggKind::Min => {
+                    if s.arity() == 1 && s.fields()[0].ty == FieldType::Int {
+                        Ok(TorType::Int)
+                    } else {
+                        Err(TypeError::Mismatch {
+                            context: format!("{kind}"),
+                            expected: "single int-column relation".to_string(),
+                            found: s.describe(),
+                        })
+                    }
+                }
+            }
+        }
+        Append(r, x) => {
+            let s = rel_of(r, tenv, "append")?;
+            match infer_type(x, tenv)? {
+                TorType::Record(rs) if rs == s => Ok(TorType::Rel(s)),
+                other => Err(mismatch("append", "record of same schema", &other)),
+            }
+        }
+        Concat(a, b) => {
+            let sa = rel_of(a, tenv, "concat")?;
+            let sb = rel_of(b, tenv, "concat")?;
+            if sa == sb {
+                Ok(TorType::Rel(sa))
+            } else {
+                Err(TypeError::Mismatch {
+                    context: "concat".to_string(),
+                    expected: sa.describe(),
+                    found: sb.describe(),
+                })
+            }
+        }
+        Sort(fields, r) => {
+            let s = rel_of(r, tenv, "sort")?;
+            for f in fields {
+                s.field(f)?;
+            }
+            Ok(TorType::Rel(s))
+        }
+        Unique(r) => Ok(TorType::Rel(rel_of(r, tenv, "unique")?)),
+        Contains(x, r) => {
+            let s = rel_of(r, tenv, "contains")?;
+            match infer_type(x, tenv)? {
+                TorType::Record(_) => Ok(TorType::Bool),
+                t if t.is_scalar() && s.arity() == 1 => Ok(TorType::Bool),
+                other => Err(mismatch("contains", "record or scalar", &other)),
+            }
+        }
+        RecLit(fields) => {
+            let mut b = Schema::anonymous();
+            for (name, fe) in fields {
+                let ft = match infer_type(fe, tenv)? {
+                    TorType::Bool => FieldType::Bool,
+                    TorType::Int => FieldType::Int,
+                    TorType::Str => FieldType::Str,
+                    other => {
+                        return Err(mismatch(
+                            &format!("record literal field `{name}`"),
+                            "scalar",
+                            &other,
+                        ))
+                    }
+                };
+                b = b.field(name.as_str(), ft);
+            }
+            Ok(TorType::Record(b.finish()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::JoinPred;
+    use qbs_common::Schema;
+
+    fn tenv() -> (TypeEnv, SchemaRef, SchemaRef) {
+        let users = Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish();
+        let roles = Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("label", FieldType::Str)
+            .finish();
+        let mut t = TypeEnv::new();
+        t.bind_rel("users", users.clone());
+        t.bind_rel("roles", roles.clone());
+        t.bind_int("i");
+        (t, users, roles)
+    }
+
+    #[test]
+    fn size_and_get_and_top() {
+        let (t, users, _) = tenv();
+        assert_eq!(infer_type(&TorExpr::size(TorExpr::var("users")), &t).unwrap(), TorType::Int);
+        assert_eq!(
+            infer_type(&TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), &t).unwrap(),
+            TorType::Record(users.clone())
+        );
+        assert_eq!(
+            infer_type(&TorExpr::top(TorExpr::var("users"), TorExpr::var("i")), &t).unwrap(),
+            TorType::Rel(users)
+        );
+    }
+
+    #[test]
+    fn join_concatenates_schemas() {
+        let (t, ..) = tenv();
+        let j = TorExpr::join(
+            JoinPred::eq("roleId", "roleId"),
+            TorExpr::var("users"),
+            TorExpr::var("roles"),
+        );
+        match infer_type(&j, &t).unwrap() {
+            TorType::Rel(s) => {
+                assert_eq!(s.arity(), 4);
+                assert!(s.index_of(&"users.roleId".into()).is_ok());
+            }
+            other => panic!("expected relation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn projection_narrows_schema() {
+        let (t, ..) = tenv();
+        let p = TorExpr::proj(vec!["id".into()], TorExpr::var("users"));
+        match infer_type(&p, &t).unwrap() {
+            TorType::Rel(s) => assert_eq!(s.arity(), 1),
+            other => panic!("expected relation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn agg_requires_single_int_column() {
+        let (t, ..) = tenv();
+        let bad = TorExpr::agg(AggKind::Max, TorExpr::var("users"));
+        assert!(infer_type(&bad, &t).is_err());
+        let good = TorExpr::agg(
+            AggKind::Max,
+            TorExpr::proj(vec!["id".into()], TorExpr::var("users")),
+        );
+        assert_eq!(infer_type(&good, &t).unwrap(), TorType::Int);
+        assert_eq!(
+            infer_type(&TorExpr::agg(AggKind::Count, TorExpr::var("users")), &t).unwrap(),
+            TorType::Int
+        );
+    }
+
+    #[test]
+    fn join_type_error_on_mismatched_fields() {
+        let (t, ..) = tenv();
+        let j = TorExpr::join(
+            JoinPred::eq("roleId", "label"),
+            TorExpr::var("users"),
+            TorExpr::var("roles"),
+        );
+        assert!(infer_type(&j, &t).is_err());
+    }
+
+    #[test]
+    fn unknown_var_is_reported() {
+        let t = TypeEnv::new();
+        assert!(matches!(
+            infer_type(&TorExpr::var("nope"), &t),
+            Err(TypeError::UnknownVar(_))
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! Conversion from kernel expressions to TOR expressions.
+//!
+//! Verification conditions speak TOR; the kernel program's guards and
+//! assignment right-hand sides are converted node-for-node. The mapping is
+//! total except for constructs that have no TOR counterpart.
+
+use qbs_kernel::KExpr;
+use qbs_tor::TorExpr;
+use std::fmt;
+
+/// Conversion failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvertError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot convert to TOR: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Converts a kernel expression into the equivalent TOR expression.
+///
+/// # Errors
+///
+/// Currently total — every kernel construct has a TOR counterpart — but the
+/// `Result` is kept for forward compatibility with kernel extensions.
+///
+/// # Example
+///
+/// ```
+/// use qbs_kernel::KExpr;
+/// use qbs_vcgen::kexpr_to_tor;
+/// use qbs_tor::TorExpr;
+///
+/// let k = KExpr::size(KExpr::var("users"));
+/// assert_eq!(kexpr_to_tor(&k).unwrap(), TorExpr::size(TorExpr::var("users")));
+/// ```
+pub fn kexpr_to_tor(e: &KExpr) -> Result<TorExpr, ConvertError> {
+    Ok(match e {
+        KExpr::Const(v) => TorExpr::Const(v.clone()),
+        KExpr::EmptyList => TorExpr::EmptyList,
+        KExpr::Var(v) => TorExpr::Var(v.clone()),
+        KExpr::Field(x, name) => {
+            TorExpr::Field(Box::new(kexpr_to_tor(x)?), name.as_str().into())
+        }
+        KExpr::RecordLit(fields) => TorExpr::RecLit(
+            fields
+                .iter()
+                .map(|(n, fe)| Ok((n.clone(), kexpr_to_tor(fe)?)))
+                .collect::<Result<Vec<_>, ConvertError>>()?,
+        ),
+        KExpr::Binary(op, a, b) => {
+            TorExpr::Binary(*op, Box::new(kexpr_to_tor(a)?), Box::new(kexpr_to_tor(b)?))
+        }
+        KExpr::Not(x) => TorExpr::Not(Box::new(kexpr_to_tor(x)?)),
+        KExpr::Query(spec) => TorExpr::Query(spec.clone()),
+        KExpr::Size(x) => TorExpr::Size(Box::new(kexpr_to_tor(x)?)),
+        KExpr::Get(r, i) => {
+            TorExpr::Get(Box::new(kexpr_to_tor(r)?), Box::new(kexpr_to_tor(i)?))
+        }
+        KExpr::Append(r, x) => {
+            TorExpr::Append(Box::new(kexpr_to_tor(r)?), Box::new(kexpr_to_tor(x)?))
+        }
+        KExpr::Unique(x) => TorExpr::Unique(Box::new(kexpr_to_tor(x)?)),
+        // Kernel `contains(rel, elem)` — TOR argument order is (elem, rel).
+        KExpr::Contains(r, x) => {
+            TorExpr::Contains(Box::new(kexpr_to_tor(x)?), Box::new(kexpr_to_tor(r)?))
+        }
+        KExpr::Sort(fields, r) => TorExpr::Sort(fields.clone(), Box::new(kexpr_to_tor(r)?)),
+        // In-place removal has no TOR counterpart (category N fails).
+        KExpr::Remove(..) => {
+            return Err(ConvertError {
+                message: "in-place removal is not expressible in TOR".to_string(),
+            })
+        }
+        // An opaque comparator has no TOR counterpart: query inference on the
+        // fragment fails, reproducing the paper's category-K failures.
+        KExpr::SortCustom(_) => {
+            return Err(ConvertError {
+                message: "sort with a custom comparator is not expressible in TOR".to_string(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_tor::CmpOp;
+
+    #[test]
+    fn contains_swaps_argument_order() {
+        let k = KExpr::contains(KExpr::var("xs"), KExpr::var("x"));
+        assert_eq!(
+            kexpr_to_tor(&k).unwrap(),
+            TorExpr::contains(TorExpr::var("x"), TorExpr::var("xs"))
+        );
+    }
+
+    #[test]
+    fn nested_structure_is_preserved() {
+        let k = KExpr::cmp(
+            CmpOp::Eq,
+            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+            KExpr::int(3),
+        );
+        let t = kexpr_to_tor(&k).unwrap();
+        assert_eq!(
+            t,
+            TorExpr::cmp(
+                CmpOp::Eq,
+                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::int(3),
+            )
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! The formula language of verification conditions.
+
+use qbs_common::Ident;
+use qbs_tor::{Operand, Pred, PredAtom, TorExpr};
+use std::fmt;
+
+/// Identifies an unknown predicate (a loop invariant or the postcondition).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct UnknownId(pub usize);
+
+/// Metadata about an unknown predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnknownInfo {
+    /// Identifier.
+    pub id: UnknownId,
+    /// Display name (`outerLoopInvariant`, `postCondition`, …).
+    pub name: String,
+    /// Formal parameters — the program variables in scope at the loop head
+    /// (or at fragment exit for the postcondition), in a fixed order.
+    pub params: Vec<Ident>,
+    /// True when this is the postcondition unknown.
+    pub is_postcondition: bool,
+    /// For loop invariants: the path of the `while` statement in the program
+    /// body (indexes into nested statement blocks). `None` for the
+    /// postcondition. Used by the synthesizer to pair invariants with loops.
+    pub loop_path: Option<Vec<usize>>,
+}
+
+/// A verification-condition formula over TOR expressions and unknown
+/// predicate applications.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// A boolean-typed TOR expression (guards, scalar comparisons).
+    Atom(TorExpr),
+    /// Order-sensitive equality of two relation-typed TOR expressions.
+    RelEq(TorExpr, TorExpr),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Implication `hypothesis → conclusion`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Application of an unknown predicate to argument expressions.
+    Unknown(UnknownId, Vec<TorExpr>),
+}
+
+impl Formula {
+    /// Conjunction that drops `True` conjuncts and flattens nested
+    /// conjunctions.
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        let mut work: Vec<Formula> = parts.into_iter().rev().collect();
+        while let Some(p) = work.pop() {
+            match p {
+                Formula::True => {}
+                Formula::And(inner) => work.extend(inner.into_iter().rev()),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::And(flat),
+        }
+    }
+
+    /// Implication that simplifies a `True` hypothesis.
+    pub fn implies(hyp: Formula, concl: Formula) -> Formula {
+        match hyp {
+            Formula::True => concl,
+            h => Formula::Implies(Box::new(h), Box::new(concl)),
+        }
+    }
+
+    /// Substitutes `expr` for every free occurrence of variable `var`.
+    pub fn subst(&self, var: &Ident, expr: &TorExpr) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(e) => Formula::Atom(subst_expr(e, var, expr)),
+            Formula::RelEq(a, b) => {
+                Formula::RelEq(subst_expr(a, var, expr), subst_expr(b, var, expr))
+            }
+            Formula::And(parts) => {
+                Formula::And(parts.iter().map(|p| p.subst(var, expr)).collect())
+            }
+            Formula::Or(parts) => Formula::Or(parts.iter().map(|p| p.subst(var, expr)).collect()),
+            Formula::Not(f) => Formula::Not(Box::new(f.subst(var, expr))),
+            Formula::Implies(h, c) => Formula::Implies(
+                Box::new(h.subst(var, expr)),
+                Box::new(c.subst(var, expr)),
+            ),
+            Formula::Unknown(id, args) => Formula::Unknown(
+                *id,
+                args.iter().map(|a| subst_expr(a, var, expr)).collect(),
+            ),
+        }
+    }
+
+    /// The unknown predicates applied anywhere in this formula.
+    pub fn unknowns(&self) -> Vec<UnknownId> {
+        let mut out = Vec::new();
+        self.collect_unknowns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_unknowns(&self, out: &mut Vec<UnknownId>) {
+        match self {
+            Formula::Unknown(id, _) => out.push(*id),
+            Formula::And(ps) | Formula::Or(ps) => {
+                for p in ps {
+                    p.collect_unknowns(out);
+                }
+            }
+            Formula::Not(f) => f.collect_unknowns(out),
+            Formula::Implies(h, c) => {
+                h.collect_unknowns(out);
+                c.collect_unknowns(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Capture-free substitution of `expr` for variable `var` inside a TOR
+/// expression (TOR has no binders; predicates carry `Param` references which
+/// are substituted when the replacement is a constant or another variable).
+pub fn subst_expr(e: &TorExpr, var: &Ident, expr: &TorExpr) -> TorExpr {
+    use TorExpr::*;
+    match e {
+        Var(v) if v == var => expr.clone(),
+        Const(_) | EmptyList | Var(_) | Query(_) => e.clone(),
+        Field(x, f) => TorExpr::Field(Box::new(subst_expr(x, var, expr)), f.clone()),
+        Binary(op, a, b) => TorExpr::Binary(
+            *op,
+            Box::new(subst_expr(a, var, expr)),
+            Box::new(subst_expr(b, var, expr)),
+        ),
+        Not(x) => TorExpr::Not(Box::new(subst_expr(x, var, expr))),
+        Size(x) => TorExpr::Size(Box::new(subst_expr(x, var, expr))),
+        Get(a, b) => TorExpr::Get(
+            Box::new(subst_expr(a, var, expr)),
+            Box::new(subst_expr(b, var, expr)),
+        ),
+        Top(a, b) => TorExpr::Top(
+            Box::new(subst_expr(a, var, expr)),
+            Box::new(subst_expr(b, var, expr)),
+        ),
+        Proj(l, x) => TorExpr::Proj(l.clone(), Box::new(subst_expr(x, var, expr))),
+        Select(p, x) => {
+            TorExpr::Select(subst_pred(p, var, expr), Box::new(subst_expr(x, var, expr)))
+        }
+        Join(p, a, b) => TorExpr::Join(
+            p.clone(),
+            Box::new(subst_expr(a, var, expr)),
+            Box::new(subst_expr(b, var, expr)),
+        ),
+        Agg(k, x) => TorExpr::Agg(*k, Box::new(subst_expr(x, var, expr))),
+        Append(a, b) => TorExpr::Append(
+            Box::new(subst_expr(a, var, expr)),
+            Box::new(subst_expr(b, var, expr)),
+        ),
+        Concat(a, b) => TorExpr::Concat(
+            Box::new(subst_expr(a, var, expr)),
+            Box::new(subst_expr(b, var, expr)),
+        ),
+        Sort(l, x) => TorExpr::Sort(l.clone(), Box::new(subst_expr(x, var, expr))),
+        Unique(x) => TorExpr::Unique(Box::new(subst_expr(x, var, expr))),
+        Contains(a, b) => TorExpr::Contains(
+            Box::new(subst_expr(a, var, expr)),
+            Box::new(subst_expr(b, var, expr)),
+        ),
+        RecLit(fields) => TorExpr::RecLit(
+            fields
+                .iter()
+                .map(|(n, fe)| (n.clone(), subst_expr(fe, var, expr)))
+                .collect(),
+        ),
+    }
+}
+
+fn subst_pred(p: &Pred, var: &Ident, expr: &TorExpr) -> Pred {
+    let atoms = p
+        .atoms()
+        .iter()
+        .map(|a| match a {
+            PredAtom::Cmp { lhs, op, rhs: Operand::Param(v) } if v == var => {
+                let rhs = match expr {
+                    TorExpr::Const(c) => Operand::Const(c.clone()),
+                    TorExpr::Var(nv) => Operand::Param(nv.clone()),
+                    // Parameters only ever stand for scalars that are never
+                    // reassigned in fragments; substituting anything more
+                    // complex would indicate a pipeline bug, so keep the atom.
+                    _ => Operand::Param(v.clone()),
+                };
+                PredAtom::Cmp { lhs: lhs.clone(), op: *op, rhs }
+            }
+            PredAtom::Contains { probe, rel } => PredAtom::Contains {
+                probe: probe.clone(),
+                rel: Box::new(subst_expr(rel, var, expr)),
+            },
+            other => other.clone(),
+        })
+        .collect();
+    Pred::new(atoms)
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(e) => write!(f, "{e}"),
+            Formula::RelEq(a, b) => write!(f, "{a} = {b}"),
+            Formula::And(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "({p})")?;
+                }
+                Ok(())
+            }
+            Formula::Or(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "({p})")?;
+                }
+                Ok(())
+            }
+            Formula::Not(x) => write!(f, "¬({x})"),
+            Formula::Implies(h, c) => write!(f, "({h}) → ({c})"),
+            Formula::Unknown(id, args) => {
+                write!(f, "U{}(", id.0)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_tor::CmpOp;
+
+    #[test]
+    fn substitution_rewrites_unknown_args() {
+        let f = Formula::Unknown(UnknownId(0), vec![TorExpr::var("i"), TorExpr::var("out")]);
+        let g = f.subst(&"i".into(), &TorExpr::add(TorExpr::var("i"), TorExpr::int(1)));
+        match g {
+            Formula::Unknown(_, args) => {
+                assert_eq!(args[0], TorExpr::add(TorExpr::var("i"), TorExpr::int(1)));
+                assert_eq!(args[1], TorExpr::var("out"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn and_flattens() {
+        let f = Formula::and(vec![
+            Formula::True,
+            Formula::And(vec![Formula::False, Formula::True]),
+            Formula::Atom(TorExpr::bool(true)),
+        ]);
+        match f {
+            Formula::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn subst_respects_shadow_free_semantics() {
+        let e = TorExpr::cmp(
+            CmpOp::Lt,
+            TorExpr::var("i"),
+            TorExpr::size(TorExpr::var("users")),
+        );
+        let s = subst_expr(&e, &"i".into(), &TorExpr::int(0));
+        assert_eq!(
+            s,
+            TorExpr::cmp(CmpOp::Lt, TorExpr::int(0), TorExpr::size(TorExpr::var("users")))
+        );
+    }
+
+    #[test]
+    fn unknowns_are_collected() {
+        let f = Formula::implies(
+            Formula::Unknown(UnknownId(1), vec![]),
+            Formula::Or(vec![
+                Formula::Unknown(UnknownId(0), vec![]),
+                Formula::Unknown(UnknownId(1), vec![]),
+            ]),
+        );
+        assert_eq!(f.unknowns(), vec![UnknownId(0), UnknownId(1)]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Weakest-precondition computation with unknown predicates.
+
+use crate::convert::{kexpr_to_tor, ConvertError};
+use crate::formula::{Formula, UnknownId, UnknownInfo};
+use qbs_common::Ident;
+use qbs_kernel::{KStmt, KernelProgram};
+use qbs_tor::TorExpr;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors from VC generation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VcError {
+    /// A kernel expression had no TOR counterpart.
+    Convert(ConvertError),
+}
+
+impl fmt::Display for VcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcError::Convert(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VcError {}
+
+impl From<ConvertError> for VcError {
+    fn from(e: ConvertError) -> Self {
+        VcError::Convert(e)
+    }
+}
+
+/// The generated verification conditions for a kernel program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VcSet {
+    /// Conditions, each of which must be valid for all input stores.
+    pub conditions: Vec<Formula>,
+    /// The unknown predicates (loop invariants + postcondition).
+    pub unknowns: Vec<UnknownInfo>,
+    /// Which unknown is the postcondition.
+    pub post_id: UnknownId,
+    /// The program's source relations — variables assigned directly from
+    /// `Query(...)` retrievals (candidate bases for the synthesizer).
+    pub sources: Vec<Ident>,
+}
+
+impl VcSet {
+    /// Looks up unknown metadata.
+    pub fn unknown(&self, id: UnknownId) -> &UnknownInfo {
+        &self.unknowns[id.0]
+    }
+
+    /// The loop-invariant unknowns, outermost first.
+    pub fn invariants(&self) -> impl Iterator<Item = &UnknownInfo> {
+        self.unknowns.iter().filter(|u| !u.is_postcondition)
+    }
+}
+
+struct Gen {
+    unknowns: Vec<UnknownInfo>,
+    conditions: Vec<Formula>,
+}
+
+impl Gen {
+    fn fresh_unknown(
+        &mut self,
+        name: String,
+        params: Vec<Ident>,
+        is_post: bool,
+        loop_path: Option<Vec<usize>>,
+    ) -> UnknownId {
+        let id = UnknownId(self.unknowns.len());
+        self.unknowns.push(UnknownInfo { id, name, params, is_postcondition: is_post, loop_path });
+        id
+    }
+
+    /// Backwards weakest-precondition over a statement block.
+    ///
+    /// `defined` is the set of variables defined *before* the block runs —
+    /// used to scope loop-invariant parameters the way the paper does
+    /// ("parameterized by the current program variables that are in scope").
+    fn wp_block(
+        &mut self,
+        stmts: &[KStmt],
+        mut post: Formula,
+        defined: &BTreeSet<Ident>,
+        ambient: &[Ident],
+        depth: usize,
+        path: &[usize],
+    ) -> Result<Formula, VcError> {
+        // Compute the defined-set before each statement (forward pass).
+        let mut defined_before: Vec<BTreeSet<Ident>> = Vec::with_capacity(stmts.len());
+        let mut cur = defined.clone();
+        for s in stmts {
+            defined_before.push(cur.clone());
+            s.assigned_vars().into_iter().for_each(|v| {
+                cur.insert(v);
+            });
+        }
+        for (idx, s) in stmts.iter().enumerate().rev() {
+            let mut p = path.to_vec();
+            p.push(idx);
+            post = self.wp_stmt(s, post, &defined_before[idx], ambient, depth, &p)?;
+        }
+        Ok(post)
+    }
+
+    fn wp_stmt(
+        &mut self,
+        s: &KStmt,
+        post: Formula,
+        defined: &BTreeSet<Ident>,
+        ambient: &[Ident],
+        depth: usize,
+        path: &[usize],
+    ) -> Result<Formula, VcError> {
+        match s {
+            KStmt::Skip => Ok(post),
+            KStmt::Assign(v, e) => Ok(post.subst(v, &kexpr_to_tor(e)?)),
+            KStmt::Assert(e) => Ok(Formula::and(vec![Formula::Atom(kexpr_to_tor(e)?), post])),
+            KStmt::If(c, t, f) => {
+                let cond = kexpr_to_tor(c)?;
+                // Disambiguate the two branches in statement paths.
+                let mut tp = path.to_vec();
+                tp.push(0);
+                let mut fp = path.to_vec();
+                fp.push(1);
+                let wt = self.wp_block(t, post.clone(), defined, ambient, depth, &tp)?;
+                let wf = self.wp_block(f, post, defined, ambient, depth, &fp)?;
+                Ok(Formula::and(vec![
+                    Formula::implies(Formula::Atom(cond.clone()), wt),
+                    Formula::implies(Formula::Not(Box::new(Formula::Atom(cond))), wf),
+                ]))
+            }
+            KStmt::While(c, body) => {
+                let cond = kexpr_to_tor(c)?;
+                // Invariant parameters: variables in scope at the loop head
+                // plus variables the loop itself modifies, plus ambient
+                // parameters (sources and fragment parameters).
+                let mut params: BTreeSet<Ident> = defined.clone();
+                params.extend(s.assigned_vars());
+                params.extend(ambient.iter().cloned());
+                let params: Vec<Ident> = params.into_iter().collect();
+                let name = if depth == 0 {
+                    "outerLoopInvariant".to_string()
+                } else {
+                    format!("loopInvariant#{depth}")
+                };
+                let id = self.fresh_unknown(name, params.clone(), false, Some(path.to_vec()));
+                let inv = Formula::Unknown(
+                    id,
+                    params.iter().map(|p| TorExpr::Var(p.clone())).collect(),
+                );
+                // Preservation: I ∧ c → wp(body, I).
+                let wp_body = self.wp_block(body, inv.clone(), defined, ambient, depth + 1, path)?;
+                self.conditions.push(Formula::implies(
+                    Formula::and(vec![inv.clone(), Formula::Atom(cond.clone())]),
+                    wp_body,
+                ));
+                // Exit: I ∧ ¬c → post.
+                self.conditions.push(Formula::implies(
+                    Formula::and(vec![
+                        inv.clone(),
+                        Formula::Not(Box::new(Formula::Atom(cond))),
+                    ]),
+                    post,
+                ));
+                // The loop's precondition is the invariant itself.
+                Ok(inv)
+            }
+        }
+    }
+}
+
+/// Finds variables assigned directly from `Query(...)` retrievals — the
+/// candidate source relations of the synthesis templates.
+fn find_sources(stmts: &[KStmt], out: &mut Vec<Ident>) {
+    for s in stmts {
+        match s {
+            KStmt::Assign(v, qbs_kernel::KExpr::Query(_)) => out.push(v.clone()),
+            KStmt::If(_, t, f) => {
+                find_sources(t, out);
+                find_sources(f, out);
+            }
+            KStmt::While(_, body) => find_sources(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Computes the verification conditions of a kernel program with unknown
+/// loop invariants and postcondition (paper Sec. 4.1, Fig. 11).
+///
+/// The postcondition unknown is parameterized by the result variable, the
+/// source relations, and the fragment parameters; each loop invariant by the
+/// variables in scope at its head.
+///
+/// # Errors
+///
+/// Returns [`VcError`] when a kernel expression cannot be expressed in TOR.
+pub fn generate(prog: &KernelProgram) -> Result<VcSet, VcError> {
+    let mut sources = Vec::new();
+    find_sources(prog.body(), &mut sources);
+    sources.sort();
+    sources.dedup();
+
+    let mut ambient: Vec<Ident> = sources.clone();
+    ambient.extend(prog.params().iter().cloned());
+    ambient.sort();
+    ambient.dedup();
+
+    let mut gen = Gen { unknowns: Vec::new(), conditions: Vec::new() };
+
+    let mut post_params = vec![prog.result_var().clone()];
+    post_params.extend(ambient.iter().cloned());
+    post_params.dedup();
+    let post_id = gen.fresh_unknown("postCondition".to_string(), post_params.clone(), true, None);
+    let post = Formula::Unknown(
+        post_id,
+        post_params.iter().map(|p| TorExpr::Var(p.clone())).collect(),
+    );
+
+    let defined: BTreeSet<Ident> = prog.params().iter().cloned().collect();
+    let entry = gen.wp_block(prog.body(), post, &defined, &ambient, 0, &[])?;
+    // The entry condition must hold unconditionally.
+    let mut conditions = vec![entry];
+    conditions.extend(gen.conditions);
+    Ok(VcSet { conditions, unknowns: gen.unknowns, post_id, sources })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema};
+    use qbs_kernel::KExpr;
+    use qbs_tor::{CmpOp, QuerySpec};
+
+    /// The paper's running example in kernel form (Fig. 2).
+    fn running_example() -> KernelProgram {
+        let users = Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish();
+        let roles = Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("name", FieldType::Str)
+            .finish();
+        KernelProgram::builder("getRoleUser")
+            .stmt(KStmt::assign("listUsers", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users))))
+            .stmt(KStmt::assign("roles", KExpr::query(QuerySpec::table_scan("roles", roles))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::assign("j", KExpr::int(0)),
+                    KStmt::while_loop(
+                        KExpr::cmp(CmpOp::Lt, KExpr::var("j"), KExpr::size(KExpr::var("roles"))),
+                        vec![
+                            KStmt::if_then(
+                                KExpr::cmp(
+                                    CmpOp::Eq,
+                                    KExpr::field(
+                                        KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                        "roleId",
+                                    ),
+                                    KExpr::field(
+                                        KExpr::get(KExpr::var("roles"), KExpr::var("j")),
+                                        "roleId",
+                                    ),
+                                ),
+                                vec![KStmt::assign(
+                                    "listUsers",
+                                    KExpr::append(
+                                        KExpr::var("listUsers"),
+                                        KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                    ),
+                                )],
+                            ),
+                            KStmt::assign("j", KExpr::add(KExpr::var("j"), KExpr::int(1))),
+                        ],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("listUsers")
+            .finish()
+    }
+
+    #[test]
+    fn running_example_matches_fig11_shape() {
+        let vc = generate(&running_example()).unwrap();
+        // Postcondition + two loop invariants.
+        assert_eq!(vc.unknowns.len(), 3);
+        assert_eq!(vc.sources, vec![Ident::new("roles"), Ident::new("users")]);
+        // Entry + (preservation, exit) per loop = 5 conditions (Fig. 11).
+        assert_eq!(vc.conditions.len(), 5);
+        // The entry condition instantiates the outer invariant at i = 0 and
+        // listUsers = [].
+        match &vc.conditions[0] {
+            Formula::Unknown(_, args) => {
+                assert!(args.contains(&TorExpr::int(0)), "i ↦ 0 in {args:?}");
+                assert!(args.contains(&TorExpr::EmptyList), "listUsers ↦ [] in {args:?}");
+            }
+            other => panic!("unexpected entry condition {other}"),
+        }
+    }
+
+    #[test]
+    fn inner_invariant_sees_outer_counter() {
+        let vc = generate(&running_example()).unwrap();
+        let inner = vc
+            .unknowns
+            .iter()
+            .find(|u| u.name == "loopInvariant#1")
+            .expect("inner invariant exists");
+        assert!(inner.params.contains(&Ident::new("i")));
+        assert!(inner.params.contains(&Ident::new("j")));
+        assert!(inner.params.contains(&Ident::new("listUsers")));
+    }
+
+    #[test]
+    fn preservation_substitutes_increment() {
+        let vc = generate(&running_example()).unwrap();
+        // Find a condition whose conclusion references j + 1 (inner
+        // preservation after the j := j + 1 substitution).
+        let found = vc.conditions.iter().any(|c| {
+            format!("{c}").contains("(j + 1)")
+        });
+        assert!(found, "expected an inner preservation condition mentioning j + 1");
+    }
+
+    #[test]
+    fn straight_line_program_has_single_condition() {
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("x", KExpr::int(1)))
+            .result("x")
+            .finish();
+        let vc = generate(&prog).unwrap();
+        assert_eq!(vc.conditions.len(), 1);
+        match &vc.conditions[0] {
+            Formula::Unknown(id, args) => {
+                assert_eq!(*id, vc.post_id);
+                assert_eq!(args[0], TorExpr::int(1));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

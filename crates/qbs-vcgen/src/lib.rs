@@ -1,0 +1,40 @@
+//! Verification-condition generation for kernel programs (paper Sec. 4.1).
+//!
+//! Following standard Hoare-style weakest-precondition computation, the
+//! generator walks the kernel program backwards. The twist (paper): both the
+//! postcondition and every loop invariant are **unknown predicates** over the
+//! program variables in scope — represented here as [`Formula::Unknown`]
+//! applications whose arguments are updated by assignment substitution.
+//!
+//! For the paper's running example (Fig. 1/2) the generator produces exactly
+//! the conditions of Fig. 11: initiation, preservation, and exit conditions
+//! for the two nested loops, plus the top-level entry condition.
+//!
+//! # Example
+//!
+//! ```
+//! use qbs_kernel::{KernelProgram, KExpr, KStmt};
+//! use qbs_vcgen::generate;
+//!
+//! let prog = KernelProgram::builder("f")
+//!     .stmt(KStmt::assign("x", KExpr::int(0)))
+//!     .stmt(KStmt::while_loop(
+//!         KExpr::cmp(qbs_tor::CmpOp::Lt, KExpr::var("x"), KExpr::int(3)),
+//!         vec![KStmt::assign("x", KExpr::add(KExpr::var("x"), KExpr::int(1)))],
+//!     ))
+//!     .result("x")
+//!     .finish();
+//! let vc = generate(&prog).unwrap();
+//! // One loop → one invariant unknown + the postcondition unknown.
+//! assert_eq!(vc.unknowns.len(), 2);
+//! // Entry, preservation, exit.
+//! assert_eq!(vc.conditions.len(), 3);
+//! ```
+
+mod convert;
+mod formula;
+mod gen;
+
+pub use convert::{kexpr_to_tor, ConvertError};
+pub use formula::{subst_expr, Formula, UnknownId, UnknownInfo};
+pub use gen::{generate, VcError, VcSet};

@@ -1,0 +1,646 @@
+//! Bounded model checking of verification conditions over small stores.
+//!
+//! This plays the role of SKETCH's bounded checking in the paper's CEGIS
+//! loop (Sec. 4.2): candidates are screened against a **counterexample
+//! cache**, then checked exhaustively over all small source relations (sizes
+//! `0..=max_rel_size`, field values from a small domain) plus a layer of
+//! randomly sampled larger stores. Intermediate lists and accumulators are
+//! never enumerated — they are *derived* from the candidate's `lv = e`
+//! conjuncts via directed hypothesis binding (see [`crate::evalf`]), so the
+//! check walks exactly the reachable states.
+
+use crate::candidate::Candidate;
+use crate::evalf::holds;
+use qbs_common::{FieldType, Ident, Record, Relation, SchemaRef, Value};
+use qbs_tor::{Env, TorExpr, TorType, TypeEnv};
+use qbs_vcgen::{Formula, UnknownInfo, VcSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A source relation of the fragment: the program variable, the table it
+/// scans, and the row schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SourceSpec {
+    /// Program variable holding the retrieval result.
+    pub var: Ident,
+    /// Table name (bound for `Query(...)` nodes too).
+    pub table: Ident,
+    /// Row schema.
+    pub schema: SchemaRef,
+}
+
+/// Tuning knobs for the bounded checker.
+#[derive(Clone, Debug)]
+pub struct BoundedConfig {
+    /// Maximum relation size enumerated exhaustively.
+    pub max_rel_size: usize,
+    /// Domain of integer fields in exhaustive stores.
+    pub int_domain: Vec<i64>,
+    /// Domain of string fields.
+    pub str_domain: Vec<&'static str>,
+    /// Cap on the number of exhaustive store combinations (excess is
+    /// sampled).
+    pub max_stores: usize,
+    /// Extra randomly sampled stores with larger relations/domains.
+    pub fuzz_stores: usize,
+    /// Maximum relation size in fuzz stores.
+    pub fuzz_rel_size: usize,
+    /// RNG seed (fixed for determinism).
+    pub seed: u64,
+}
+
+impl Default for BoundedConfig {
+    fn default() -> Self {
+        BoundedConfig {
+            max_rel_size: 2,
+            int_domain: vec![0, 1],
+            str_domain: vec!["a", "b"],
+            max_stores: 220,
+            fuzz_stores: 60,
+            fuzz_rel_size: 4,
+            seed: 0x9b5,
+        }
+    }
+}
+
+impl BoundedConfig {
+    /// The extended configuration used when a candidate passes the standard
+    /// bound but the symbolic prover cannot certify it (paper Sec. 5: "repeat
+    /// the synthesis process after increasing the maximum relation size").
+    pub fn extended() -> Self {
+        BoundedConfig {
+            max_rel_size: 3,
+            int_domain: vec![0, 1, 2],
+            str_domain: vec!["a", "b", "c"],
+            max_stores: 600,
+            fuzz_stores: 300,
+            fuzz_rel_size: 6,
+            seed: 0x517,
+        }
+    }
+}
+
+/// Result of a bounded check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckOutcome {
+    /// Every condition held on every store.
+    Pass,
+    /// A condition failed; the environment is the counterexample.
+    Fail {
+        /// Index into the VC list.
+        vc_index: usize,
+        /// The falsifying store (with enumerated scalars bound).
+        env: Env,
+    },
+}
+
+/// Cache of stores that falsified earlier candidates — the CEGIS memory.
+#[derive(Clone, Debug, Default)]
+pub struct CexCache {
+    envs: Vec<Env>,
+}
+
+impl CexCache {
+    /// An empty cache.
+    pub fn new() -> CexCache {
+        CexCache::default()
+    }
+
+    /// Records a counterexample.
+    pub fn push(&mut self, env: Env) {
+        if self.envs.len() < 512 && !self.envs.contains(&env) {
+            self.envs.push(env);
+        }
+    }
+
+    /// Number of cached counterexamples.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// True when no counterexamples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// Screens a candidate against the cache; returns the first falsified
+    /// VC, if any. Much cheaper than a full bounded check.
+    pub fn screen(
+        &self,
+        vcs: &[Formula],
+        unknowns: &[UnknownInfo],
+        candidate: &Candidate,
+    ) -> Option<usize> {
+        for env in &self.envs {
+            for (i, vc) in vcs.iter().enumerate() {
+                if !holds(vc, env, candidate, unknowns) {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Bounded checker for one fragment's verification conditions.
+#[derive(Clone, Debug)]
+pub struct BoundedChecker {
+    stores: Vec<Env>,
+    tenv: TypeEnv,
+    max_counter: i64,
+}
+
+fn all_records(schema: &SchemaRef, ints: &[i64], strs: &[&'static str]) -> Vec<Record> {
+    let mut rows: Vec<Vec<Value>> = vec![vec![]];
+    for f in schema.fields() {
+        let domain: Vec<Value> = match f.ty {
+            FieldType::Bool => vec![Value::from(false), Value::from(true)],
+            FieldType::Int => ints.iter().map(|&i| Value::from(i)).collect(),
+            FieldType::Str => strs.iter().map(|&s| Value::from(s)).collect(),
+        };
+        let mut next = Vec::with_capacity(rows.len() * domain.len());
+        for row in &rows {
+            for v in &domain {
+                let mut r = row.clone();
+                r.push(v.clone());
+                next.push(r);
+            }
+        }
+        rows = next;
+    }
+    rows.into_iter().map(|vals| Record::new(schema.clone(), vals)).collect()
+}
+
+fn all_relations(
+    schema: &SchemaRef,
+    max_size: usize,
+    ints: &[i64],
+    strs: &[&'static str],
+) -> Vec<Relation> {
+    let records = all_records(schema, ints, strs);
+    let mut rels: Vec<Vec<Record>> = vec![vec![]];
+    let mut out: Vec<Relation> = vec![Relation::empty(schema.clone())];
+    for _ in 0..max_size {
+        let mut next = Vec::new();
+        for prefix in &rels {
+            for r in &records {
+                let mut v = prefix.clone();
+                v.push(r.clone());
+                out.push(
+                    Relation::from_records(schema.clone(), v.clone()).expect("schema matches"),
+                );
+                next.push(v);
+            }
+        }
+        rels = next;
+    }
+    out
+}
+
+fn random_relation(
+    schema: &SchemaRef,
+    max_size: usize,
+    rng: &mut StdRng,
+) -> Relation {
+    let size = rng.gen_range(0..=max_size);
+    let recs = (0..size)
+        .map(|_| {
+            let vals = schema
+                .fields()
+                .iter()
+                .map(|f| match f.ty {
+                    FieldType::Bool => Value::from(rng.gen_bool(0.5)),
+                    FieldType::Int => Value::from(rng.gen_range(0..4i64)),
+                    FieldType::Str => {
+                        Value::from(["a", "b", "c", "d"][rng.gen_range(0..4usize)])
+                    }
+                })
+                .collect();
+            Record::new(schema.clone(), vals)
+        })
+        .collect();
+    Relation::from_records(schema.clone(), recs).expect("schema matches")
+}
+
+impl BoundedChecker {
+    /// Builds the store set for a fragment.
+    ///
+    /// `params` are the fragment's scalar parameters (enumerated over small
+    /// domains); `tenv` supplies types for enumerated scalar variables.
+    pub fn new(
+        sources: &[SourceSpec],
+        params: &[(Ident, TorType)],
+        tenv: TypeEnv,
+        config: &BoundedConfig,
+    ) -> BoundedChecker {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Per-source exhaustive relation pools.
+        let pools: Vec<Vec<Relation>> = sources
+            .iter()
+            .map(|s| {
+                all_relations(&s.schema, config.max_rel_size, &config.int_domain, &config.str_domain)
+            })
+            .collect();
+        let total: usize = pools.iter().map(Vec::len).product::<usize>().max(1);
+
+        let mut stores = Vec::new();
+        let mut param_values: Vec<Vec<Value>> = Vec::new();
+        for (_, ty) in params {
+            param_values.push(match ty {
+                TorType::Bool => vec![Value::from(false), Value::from(true)],
+                TorType::Str => {
+                    config.str_domain.iter().map(|&s| Value::from(s)).collect()
+                }
+                _ => config.int_domain.iter().map(|&i| Value::from(i)).collect(),
+            });
+        }
+        let param_combos = cartesian(&param_values);
+
+        let push_store = |rels: Vec<Relation>, stores: &mut Vec<Env>| {
+            for combo in &param_combos {
+                let mut env = Env::new();
+                for (s, rel) in sources.iter().zip(&rels) {
+                    env.bind(s.var.clone(), rel.clone());
+                    env.bind_table(s.table.clone(), rel.clone());
+                }
+                for ((p, _), v) in params.iter().zip(combo) {
+                    env.bind(p.clone(), v.clone());
+                }
+                stores.push(env);
+            }
+        };
+
+        if total <= config.max_stores {
+            // Full cartesian product of source pools.
+            let idxs = pools.iter().map(Vec::len).collect::<Vec<_>>();
+            let mut cur = vec![0usize; pools.len()];
+            loop {
+                let rels: Vec<Relation> =
+                    pools.iter().zip(&cur).map(|(p, &i)| p[i].clone()).collect();
+                push_store(rels, &mut stores);
+                // Advance the odometer.
+                let mut k = 0;
+                loop {
+                    if k == cur.len() {
+                        break;
+                    }
+                    cur[k] += 1;
+                    if cur[k] < idxs[k] {
+                        break;
+                    }
+                    cur[k] = 0;
+                    k += 1;
+                }
+                if k == cur.len() {
+                    break;
+                }
+                if cur.iter().all(|&c| c == 0) {
+                    break;
+                }
+            }
+        } else {
+            // Deterministic inclusion of the all-empty store plus samples.
+            push_store(
+                sources.iter().map(|s| Relation::empty(s.schema.clone())).collect(),
+                &mut stores,
+            );
+            for _ in 0..config.max_stores {
+                let rels: Vec<Relation> = pools
+                    .iter()
+                    .map(|p| p[rng.gen_range(0..p.len())].clone())
+                    .collect();
+                push_store(rels, &mut stores);
+            }
+        }
+
+        // Fuzz layer: larger relations, wider domains.
+        for _ in 0..config.fuzz_stores {
+            let rels: Vec<Relation> = sources
+                .iter()
+                .map(|s| random_relation(&s.schema, config.fuzz_rel_size, &mut rng))
+                .collect();
+            push_store(rels, &mut stores);
+        }
+
+        let max_counter = (config.fuzz_rel_size.max(config.max_rel_size) + 1) as i64;
+        BoundedChecker { stores, tenv, max_counter }
+    }
+
+    /// The number of base stores.
+    pub fn store_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Checks every VC of `vcs` against every store, enumerating any free
+    /// scalar variables not derived by the candidate's equality conjuncts.
+    ///
+    /// On failure the falsifying environment should be fed to a [`CexCache`].
+    pub fn check(
+        &self,
+        vcs: &VcSet,
+        candidate: &Candidate,
+    ) -> CheckOutcome {
+        for (i, vc) in vcs.conditions.iter().enumerate() {
+            // Scalar variables to enumerate: free in the VC, not bound by
+            // the store, not derived by candidate equalities.
+            let free = formula_vars(vc);
+            for env in &self.stores {
+                let derived = derived_vars(vc, candidate, &vcs.unknowns, env);
+                let enumerated: Vec<Ident> = free
+                    .iter()
+                    .filter(|v| env.get(v).is_none() && !derived.contains(*v))
+                    .cloned()
+                    .collect();
+                let max_size = self
+                    .stores
+                    .first()
+                    .map(|_| self.max_counter)
+                    .unwrap_or(3);
+                let domains: Vec<Vec<Value>> = enumerated
+                    .iter()
+                    .map(|v| match self.tenv.get(v) {
+                        Some(TorType::Bool) => vec![Value::from(false), Value::from(true)],
+                        Some(TorType::Str) => vec![Value::from("a"), Value::from("b")],
+                        // Counters and other ints range over list indexes.
+                        _ => (0..=max_size).map(Value::from).collect(),
+                    })
+                    .collect();
+                for combo in cartesian(&domains) {
+                    let mut e = env.clone();
+                    for (v, val) in enumerated.iter().zip(&combo) {
+                        e.bind(v.clone(), val.clone());
+                    }
+                    if !holds(vc, &e, candidate, &vcs.unknowns) {
+                        return CheckOutcome::Fail { vc_index: i, env: e };
+                    }
+                }
+            }
+        }
+        CheckOutcome::Pass
+    }
+}
+
+/// Cartesian product of value domains (empty product = one empty combo).
+fn cartesian(domains: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = vec![vec![]];
+    for d in domains {
+        let mut next = Vec::with_capacity(out.len() * d.len());
+        for prefix in &out {
+            for v in d {
+                let mut c = prefix.clone();
+                c.push(v.clone());
+                next.push(c);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// All program variables appearing in a formula (through unknown arguments).
+fn formula_vars(f: &Formula) -> Vec<Ident> {
+    let mut out = Vec::new();
+    collect_formula_vars(f, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect_formula_vars(f: &Formula, out: &mut Vec<Ident>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Atom(e) => out.extend(e.free_vars()),
+        Formula::RelEq(a, b) => {
+            out.extend(a.free_vars());
+            out.extend(b.free_vars());
+        }
+        Formula::And(ps) | Formula::Or(ps) => {
+            for p in ps {
+                collect_formula_vars(p, out);
+            }
+        }
+        Formula::Not(x) => collect_formula_vars(x, out),
+        Formula::Implies(h, c) => {
+            collect_formula_vars(h, out);
+            collect_formula_vars(c, out);
+        }
+        Formula::Unknown(_, args) => {
+            for a in args {
+                out.extend(a.free_vars());
+            }
+        }
+    }
+}
+
+/// Variables that the candidate's hypothesis conjuncts would bind directedly
+/// (`v = e` with `v` unbound in the store): these are *derived*, never
+/// enumerated.
+fn derived_vars(
+    vc: &Formula,
+    candidate: &Candidate,
+    unknowns: &[UnknownInfo],
+    store: &Env,
+) -> BTreeSet<Ident> {
+    let mut out = BTreeSet::new();
+    if let Formula::Implies(h, _) = vc {
+        collect_derived(h, candidate, unknowns, store, &mut out);
+    }
+    out
+}
+
+fn collect_derived(
+    f: &Formula,
+    candidate: &Candidate,
+    unknowns: &[UnknownInfo],
+    store: &Env,
+    out: &mut BTreeSet<Ident>,
+) {
+    match f {
+        Formula::And(ps) => {
+            for p in ps {
+                collect_derived(p, candidate, unknowns, store, out);
+            }
+        }
+        Formula::Unknown(id, args) => {
+            let info = &unknowns[id.0];
+            if let Some(body) = candidate.instantiate(info, args) {
+                collect_derived(&body, candidate, unknowns, store, out);
+            }
+        }
+        Formula::RelEq(TorExpr::Var(v), _) if store.get(v).is_none() => {
+            out.insert(v.clone());
+        }
+        Formula::Atom(TorExpr::Binary(qbs_tor::BinOp::Cmp(qbs_tor::CmpOp::Eq), a, _)) => {
+            if let TorExpr::Var(v) = &**a {
+                if store.get(v).is_none() {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::Schema;
+    use qbs_tor::{CmpOp, Pred, Operand};
+    use qbs_vcgen::generate;
+    use qbs_kernel::{typecheck, KExpr, KStmt, KernelProgram};
+    use qbs_tor::QuerySpec;
+
+    fn users_schema() -> SchemaRef {
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish()
+    }
+
+    /// Selection fragment: out := all users with roleId = 1.
+    fn selection_program() -> KernelProgram {
+        KernelProgram::builder("sel")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign(
+                "users",
+                KExpr::query(QuerySpec::table_scan("users", users_schema())),
+            ))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::if_then(
+                        KExpr::cmp(
+                            CmpOp::Eq,
+                            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+                            KExpr::int(1),
+                        ),
+                        vec![KStmt::assign(
+                            "out",
+                            KExpr::append(
+                                KExpr::var("out"),
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                            ),
+                        )],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish()
+    }
+
+    fn roleid_pred() -> Pred {
+        Pred::truth().and_cmp("roleId".into(), CmpOp::Eq, Operand::Const(1.into()))
+    }
+
+    fn checker(prog: &KernelProgram) -> (BoundedChecker, qbs_vcgen::VcSet) {
+        let vcs = generate(prog).unwrap();
+        let types = typecheck(prog, &TypeEnv::new()).unwrap();
+        let sources = vec![SourceSpec {
+            var: "users".into(),
+            table: "users".into(),
+            schema: users_schema(),
+        }];
+        let c = BoundedChecker::new(&sources, &[], types.to_type_env(), &BoundedConfig::default());
+        (c, vcs)
+    }
+
+    /// The correct candidate for the selection fragment.
+    fn correct_candidate(vcs: &qbs_vcgen::VcSet) -> Candidate {
+        let inv = vcs.invariants().next().unwrap();
+        let post_id = vcs.post_id;
+        let mut cand = Candidate::new();
+        // Invariant: i ≤ size(users) ∧ out = σ(top_i(users)).
+        cand.set(
+            inv.id,
+            Formula::And(vec![
+                Formula::Atom(TorExpr::cmp(
+                    CmpOp::Le,
+                    TorExpr::var("i"),
+                    TorExpr::size(TorExpr::var("users")),
+                )),
+                Formula::RelEq(
+                    TorExpr::var("out"),
+                    TorExpr::select(
+                        roleid_pred(),
+                        TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+                    ),
+                ),
+            ]),
+        );
+        // Postcondition: out = σ(users).
+        cand.set(
+            post_id,
+            Formula::RelEq(
+                TorExpr::var("out"),
+                TorExpr::select(roleid_pred(), TorExpr::var("users")),
+            ),
+        );
+        cand
+    }
+
+    #[test]
+    fn correct_selection_candidate_passes() {
+        let prog = selection_program();
+        let (checker, vcs) = checker(&prog);
+        assert!(checker.store_count() > 0);
+        let cand = correct_candidate(&vcs);
+        assert_eq!(checker.check(&vcs, &cand), CheckOutcome::Pass);
+    }
+
+    #[test]
+    fn wrong_postcondition_is_refuted() {
+        let prog = selection_program();
+        let (checker, vcs) = checker(&prog);
+        let inv = vcs.invariants().next().unwrap().id;
+        let mut cand = correct_candidate(&vcs);
+        // Claim the loop copies everything (wrong: it filters).
+        cand.set(
+            vcs.post_id,
+            Formula::RelEq(TorExpr::var("out"), TorExpr::var("users")),
+        );
+        let _ = inv;
+        match checker.check(&vcs, &cand) {
+            CheckOutcome::Fail { .. } => {}
+            CheckOutcome::Pass => panic!("wrong candidate must be refuted"),
+        }
+    }
+
+    #[test]
+    fn weak_invariant_fails_preservation_or_exit() {
+        let prog = selection_program();
+        let (checker, vcs) = checker(&prog);
+        let inv = vcs.invariants().next().unwrap().id;
+        let mut cand = correct_candidate(&vcs);
+        // Invariant claims out stays empty (falsified once a row matches).
+        cand.set(inv, Formula::RelEq(TorExpr::var("out"), TorExpr::EmptyList));
+        match checker.check(&vcs, &cand) {
+            CheckOutcome::Fail { .. } => {}
+            CheckOutcome::Pass => panic!("weak invariant must be refuted"),
+        }
+    }
+
+    #[test]
+    fn cex_cache_screens_known_bad_candidates() {
+        let prog = selection_program();
+        let (checker, vcs) = checker(&prog);
+        let mut cand = correct_candidate(&vcs);
+        cand.set(
+            vcs.post_id,
+            Formula::RelEq(TorExpr::var("out"), TorExpr::var("users")),
+        );
+        let mut cache = CexCache::new();
+        match checker.check(&vcs, &cand) {
+            CheckOutcome::Fail { env, .. } => cache.push(env),
+            CheckOutcome::Pass => panic!("expected failure"),
+        }
+        assert_eq!(cache.len(), 1);
+        // The same wrong candidate is now rejected by the cache alone.
+        assert!(cache.screen(&vcs.conditions, &vcs.unknowns, &cand).is_some());
+        // The correct candidate passes the cache screen.
+        let good = correct_candidate(&vcs);
+        assert!(cache.screen(&vcs.conditions, &vcs.unknowns, &good).is_none());
+    }
+}

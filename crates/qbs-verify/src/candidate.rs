@@ -1,0 +1,154 @@
+//! Candidate assignments for the unknown predicates.
+
+use qbs_common::Ident;
+use qbs_tor::TorExpr;
+use qbs_vcgen::{Formula, UnknownId, UnknownInfo};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A candidate assignment: one concrete [`Formula`] body per unknown
+/// predicate, written over the unknown's formal parameters.
+///
+/// The synthesizer proposes candidates; the bounded checker and the prover
+/// validate them by instantiating each unknown application with the body.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Candidate {
+    bodies: BTreeMap<UnknownId, Formula>,
+}
+
+impl Candidate {
+    /// An empty candidate (no unknowns filled).
+    pub fn new() -> Candidate {
+        Candidate::default()
+    }
+
+    /// Sets the body for an unknown.
+    pub fn set(&mut self, id: UnknownId, body: Formula) {
+        self.bodies.insert(id, body);
+    }
+
+    /// Builder-style [`Candidate::set`].
+    pub fn with(mut self, id: UnknownId, body: Formula) -> Candidate {
+        self.set(id, body);
+        self
+    }
+
+    /// The body assigned to `id`, if any.
+    pub fn body(&self, id: UnknownId) -> Option<&Formula> {
+        self.bodies.get(&id)
+    }
+
+    /// Instantiates the body of unknown `id` by substituting the actual
+    /// `args` for the unknown's formal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count differs from the parameter count — the
+    /// VC generator and synthesizer always agree on arity.
+    pub fn instantiate(&self, info: &UnknownInfo, args: &[TorExpr]) -> Option<Formula> {
+        let body = self.bodies.get(&info.id)?;
+        assert_eq!(
+            info.params.len(),
+            args.len(),
+            "unknown {} arity mismatch",
+            info.name
+        );
+        // Two-phase substitution through fresh names prevents capture when an
+        // argument expression mentions a formal parameter name.
+        let fresh: Vec<Ident> = info
+            .params
+            .iter()
+            .enumerate()
+            .map(|(k, p)| Ident::new(format!("$arg{k}${p}")))
+            .collect();
+        let mut f = body.clone();
+        for (p, tmp) in info.params.iter().zip(&fresh) {
+            f = f.subst(p, &TorExpr::Var(tmp.clone()));
+        }
+        for (tmp, a) in fresh.iter().zip(args) {
+            f = f.subst(tmp, a);
+        }
+        Some(f)
+    }
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, body) in &self.bodies {
+            writeln!(f, "U{} := {body}", id.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(id: usize, params: &[&str]) -> UnknownInfo {
+        UnknownInfo {
+            id: UnknownId(id),
+            name: format!("U{id}"),
+            params: params.iter().map(|p| Ident::new(p)).collect(),
+            is_postcondition: false,
+            loop_path: None,
+        }
+    }
+
+    #[test]
+    fn instantiate_substitutes_all_params() {
+        let cand = Candidate::new().with(
+            UnknownId(0),
+            Formula::RelEq(
+                TorExpr::var("out"),
+                TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+            ),
+        );
+        let inst = cand
+            .instantiate(
+                &info(0, &["i", "out", "users"]),
+                &[
+                    TorExpr::add(TorExpr::var("i"), TorExpr::int(1)),
+                    TorExpr::var("out"),
+                    TorExpr::var("users"),
+                ],
+            )
+            .unwrap();
+        match inst {
+            Formula::RelEq(lhs, rhs) => {
+                assert_eq!(lhs, TorExpr::var("out"));
+                assert_eq!(
+                    rhs,
+                    TorExpr::top(
+                        TorExpr::var("users"),
+                        TorExpr::add(TorExpr::var("i"), TorExpr::int(1))
+                    )
+                );
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn instantiate_is_capture_free_under_swap() {
+        // Body: x = y; instantiate with args (y, x): must become y = x, not
+        // x = x or y = y.
+        let cand = Candidate::new().with(
+            UnknownId(0),
+            Formula::RelEq(TorExpr::var("x"), TorExpr::var("y")),
+        );
+        let inst = cand
+            .instantiate(&info(0, &["x", "y"]), &[TorExpr::var("y"), TorExpr::var("x")])
+            .unwrap();
+        assert_eq!(
+            inst,
+            Formula::RelEq(TorExpr::var("y"), TorExpr::var("x"))
+        );
+    }
+
+    #[test]
+    fn missing_body_yields_none() {
+        let cand = Candidate::new();
+        assert!(cand.instantiate(&info(0, &[]), &[]).is_none());
+    }
+}

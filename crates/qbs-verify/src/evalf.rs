@@ -1,0 +1,307 @@
+//! Concrete evaluation of VC formulas with candidate instantiation and
+//! directed hypothesis binding.
+
+use crate::candidate::Candidate;
+use qbs_tor::{eval, DynValue, Env, EvalError, TorExpr};
+use qbs_vcgen::{Formula, UnknownInfo};
+
+/// Value-based equality of runtime values: relations compare row-by-row on
+/// field *values* (projected copies may differ in schema qualifiers), and an
+/// empty relation equals the schemaless empty list.
+fn dyn_eq(a: &DynValue, b: &DynValue) -> bool {
+    match (a, b) {
+        (DynValue::Scalar(x), DynValue::Scalar(y)) => x == y,
+        (DynValue::Rec(x), DynValue::Rec(y)) => x.values() == y.values(),
+        (DynValue::Rel(x), DynValue::Rel(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y.iter()).all(|(r, s)| r.values() == s.values())
+        }
+        _ => false,
+    }
+}
+
+/// Evaluates a formula to a boolean in `env`, instantiating unknown
+/// applications from `candidate`.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from TOR evaluation; callers decide whether an
+/// erroring sub-formula means "hypothesis unreachable" (vacuously true) or
+/// "candidate wrong" (false).
+pub fn eval_formula(
+    f: &Formula,
+    env: &Env,
+    candidate: &Candidate,
+    unknowns: &[UnknownInfo],
+) -> Result<bool, EvalError> {
+    match f {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Atom(e) => match eval(e, env)? {
+            DynValue::Scalar(qbs_common::Value::Bool(b)) => Ok(b),
+            other => Err(EvalError::Kind {
+                context: "formula atom",
+                expected: "bool",
+                found: other.kind(),
+            }),
+        },
+        Formula::RelEq(a, b) => {
+            let x = eval(a, env)?;
+            let y = eval(b, env)?;
+            Ok(dyn_eq(&x, &y))
+        }
+        Formula::And(parts) => {
+            for p in parts {
+                if !eval_formula(p, env, candidate, unknowns)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(parts) => {
+            // A disjunct that errors cannot be the witness; keep trying the
+            // others (this matters for preservation VCs whose branches touch
+            // get_i with i possibly out of range).
+            let mut saw_error = None;
+            for p in parts {
+                match eval_formula(p, env, candidate, unknowns) {
+                    Ok(true) => return Ok(true),
+                    Ok(false) => {}
+                    Err(e) => saw_error = Some(e),
+                }
+            }
+            match saw_error {
+                Some(e) => Err(e),
+                None => Ok(false),
+            }
+        }
+        Formula::Not(x) => Ok(!eval_formula(x, env, candidate, unknowns)?),
+        Formula::Implies(h, c) => {
+            // An erroring hypothesis marks an unreachable state: vacuous.
+            match eval_formula(h, env, candidate, unknowns) {
+                Ok(true) => eval_formula(c, env, candidate, unknowns),
+                Ok(false) | Err(_) => Ok(true),
+            }
+        }
+        Formula::Unknown(id, args) => {
+            let info = &unknowns[id.0];
+            match candidate.instantiate(info, args) {
+                Some(body) => eval_formula(&body, env, candidate, unknowns),
+                // An unfilled unknown is treated as `true` (no constraint).
+                None => Ok(true),
+            }
+        }
+    }
+}
+
+/// Evaluates a *hypothesis* formula with **directed binding**: conjuncts of
+/// the shape `v = e` (relation or scalar) where `v` is currently unbound are
+/// turned into bindings `v := eval(e)` instead of tests. This lets the
+/// bounded checker construct exactly the stores reachable under a candidate
+/// invariant rather than enumerating all possible intermediate lists.
+///
+/// Returns `Ok(true)` and extends `env` when the hypothesis is satisfiable
+/// under the bindings; `Ok(false)` when some conjunct refutes it; an error
+/// marks an unreachable state.
+pub fn bind_hypothesis(
+    f: &Formula,
+    env: &mut Env,
+    candidate: &Candidate,
+    unknowns: &[UnknownInfo],
+) -> Result<bool, EvalError> {
+    match f {
+        Formula::And(parts) => {
+            for p in parts {
+                if !bind_hypothesis(p, env, candidate, unknowns)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Unknown(id, args) => {
+            let info = &unknowns[id.0];
+            match candidate.instantiate(info, args) {
+                Some(body) => bind_hypothesis(&body, env, candidate, unknowns),
+                None => Ok(true),
+            }
+        }
+        Formula::RelEq(a, b) => {
+            if let TorExpr::Var(v) = a {
+                if env.get(v).is_none() {
+                    let val = eval(b, env)?;
+                    env.bind(v.clone(), val);
+                    return Ok(true);
+                }
+            }
+            eval_formula(f, env, candidate, unknowns)
+        }
+        Formula::Atom(TorExpr::Binary(qbs_tor::BinOp::Cmp(qbs_tor::CmpOp::Eq), a, b)) => {
+            if let TorExpr::Var(v) = &**a {
+                if env.get(v).is_none() {
+                    let val = eval(b, env)?;
+                    env.bind(v.clone(), val);
+                    return Ok(true);
+                }
+            }
+            eval_formula(f, env, candidate, unknowns)
+        }
+        other => eval_formula(other, env, candidate, unknowns),
+    }
+}
+
+/// Checks a full verification condition on one store: hypotheses are bound
+/// directedly, then the conclusion is evaluated.
+///
+/// Returns `true` when the condition holds on this store (including
+/// vacuously).
+pub fn holds(
+    vc: &Formula,
+    base_env: &Env,
+    candidate: &Candidate,
+    unknowns: &[UnknownInfo],
+) -> bool {
+    match vc {
+        Formula::Implies(h, c) => {
+            let mut env = base_env.clone();
+            match bind_hypothesis(h, &mut env, candidate, unknowns) {
+                Ok(true) => eval_formula(c, &env, candidate, unknowns).unwrap_or(false),
+                // Unsatisfiable or unreachable hypothesis: vacuous.
+                Ok(false) | Err(_) => true,
+            }
+        }
+        other => eval_formula(other, base_env, candidate, unknowns).unwrap_or(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Record, Relation, Schema, SchemaRef};
+    use qbs_tor::CmpOp;
+    use qbs_vcgen::UnknownId;
+
+    fn users_schema() -> SchemaRef {
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish()
+    }
+
+    fn users_rel(n: i64) -> Relation {
+        let s = users_schema();
+        let recs = (0..n)
+            .map(|i| Record::new(s.clone(), vec![i.into(), (i % 2).into()]))
+            .collect();
+        Relation::from_records(s, recs).unwrap()
+    }
+
+    fn unknown_infos() -> Vec<UnknownInfo> {
+        vec![UnknownInfo {
+            id: UnknownId(0),
+            name: "inv".into(),
+            params: vec!["i".into(), "out".into(), "users".into()],
+            is_postcondition: false,
+            loop_path: None,
+        }]
+    }
+
+    #[test]
+    fn releq_compares_by_values() {
+        let mut env = Env::new();
+        env.bind("users", users_rel(2));
+        let f = Formula::RelEq(
+            TorExpr::proj(vec!["id".into()], TorExpr::var("users")),
+            TorExpr::proj(vec!["id".into()], TorExpr::var("users")),
+        );
+        assert!(eval_formula(&f, &env, &Candidate::new(), &[]).unwrap());
+    }
+
+    #[test]
+    fn empty_list_equals_empty_relation() {
+        let mut env = Env::new();
+        env.bind("users", users_rel(0));
+        let f = Formula::RelEq(TorExpr::EmptyList, TorExpr::var("users"));
+        assert!(eval_formula(&f, &env, &Candidate::new(), &[]).unwrap());
+    }
+
+    #[test]
+    fn directed_binding_constructs_intermediate_lists() {
+        // Hypothesis: inv(i, out, users) where inv says out = top_i(users).
+        // `out` is unbound: binding must construct it, then the conclusion
+        // size(out) = i must hold.
+        let cand = Candidate::new().with(
+            UnknownId(0),
+            Formula::RelEq(
+                TorExpr::var("out"),
+                TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+            ),
+        );
+        let vc = Formula::Implies(
+            Box::new(Formula::Unknown(
+                UnknownId(0),
+                vec![TorExpr::var("i"), TorExpr::var("out"), TorExpr::var("users")],
+            )),
+            Box::new(Formula::Atom(TorExpr::cmp(
+                CmpOp::Eq,
+                TorExpr::size(TorExpr::var("out")),
+                TorExpr::var("i"),
+            ))),
+        );
+        let mut env = Env::new();
+        env.bind("users", users_rel(3));
+        env.bind("i", qbs_common::Value::from(2));
+        assert!(holds(&vc, &env, &cand, &unknown_infos()));
+    }
+
+    #[test]
+    fn failing_conclusion_is_detected() {
+        let cand = Candidate::new().with(
+            UnknownId(0),
+            Formula::RelEq(
+                TorExpr::var("out"),
+                TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+            ),
+        );
+        let vc = Formula::Implies(
+            Box::new(Formula::Unknown(
+                UnknownId(0),
+                vec![TorExpr::var("i"), TorExpr::var("out"), TorExpr::var("users")],
+            )),
+            Box::new(Formula::Atom(TorExpr::cmp(
+                CmpOp::Eq,
+                TorExpr::size(TorExpr::var("out")),
+                TorExpr::int(99),
+            ))),
+        );
+        let mut env = Env::new();
+        env.bind("users", users_rel(3));
+        env.bind("i", qbs_common::Value::from(2));
+        assert!(!holds(&vc, &env, &cand, &unknown_infos()));
+    }
+
+    #[test]
+    fn erroring_hypothesis_is_vacuous() {
+        // i out of range makes the hypothesis unreachable: VC holds.
+        let cand = Candidate::new().with(
+            UnknownId(0),
+            Formula::RelEq(
+                TorExpr::var("out"),
+                TorExpr::Append(
+                    Box::new(TorExpr::EmptyList),
+                    Box::new(TorExpr::get(TorExpr::var("users"), TorExpr::var("i"))),
+                ),
+            ),
+        );
+        let vc = Formula::Implies(
+            Box::new(Formula::Unknown(
+                UnknownId(0),
+                vec![TorExpr::var("i"), TorExpr::var("out"), TorExpr::var("users")],
+            )),
+            Box::new(Formula::False),
+        );
+        let mut env = Env::new();
+        env.bind("users", users_rel(1));
+        env.bind("i", qbs_common::Value::from(7));
+        assert!(holds(&vc, &env, &cand, &unknown_infos()));
+    }
+}

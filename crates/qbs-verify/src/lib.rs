@@ -1,0 +1,36 @@
+//! Validation of candidate invariants and postconditions (paper Sec. 4.2
+//! and Sec. 5).
+//!
+//! The paper uses two engines: SKETCH's counterexample-guided bounded
+//! checking during synthesis, and Z3 (armed with the TOR axioms) for final
+//! validation. This crate supplies both roles with self-contained
+//! implementations:
+//!
+//! * [`BoundedChecker`] — exhaustive/sampled checking of the verification
+//!   conditions over small concrete stores, with **directed hypothesis
+//!   binding**: variables constrained by a candidate invariant's `lv = e`
+//!   conjuncts are *computed* rather than enumerated, so the check explores
+//!   exactly the reachable part of the space. A counterexample cache turns
+//!   candidate screening into the CEGIS loop of the paper.
+//! * [`prove`] — a symbolic prover that discharges the same verification
+//!   conditions for *unbounded* stores by structural-induction rewriting
+//!   with the TOR axioms (Appendix C) and the Thm. 2 equivalences: `top`
+//!   unfolding, `append`/`cat` homomorphisms through `π`/`σ`/`⋈`, and
+//!   hypothesis-driven predicate reduction.
+//!
+//! A candidate is **accepted** when the bounded checker passes and the
+//! prover certifies every condition; candidates the prover cannot certify
+//! can still be accepted under an *extended* bound, and the result records
+//! which guarantee was obtained (mirroring the paper's bounded-then-prove
+//! pipeline).
+
+mod bounded;
+mod candidate;
+mod evalf;
+mod prover;
+mod sterm;
+
+pub use bounded::{BoundedChecker, BoundedConfig, CexCache, CheckOutcome, SourceSpec};
+pub use candidate::Candidate;
+pub use evalf::{eval_formula, holds};
+pub use prover::{prove, ProofResult};

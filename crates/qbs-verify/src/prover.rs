@@ -1,0 +1,1360 @@
+//! Symbolic prover for verification conditions over unbounded stores.
+//!
+//! The paper validates synthesized invariants with Z3 plus the TOR axioms
+//! (Sec. 5). This module plays that role with a self-contained rewrite
+//! engine: the VC (with the candidate substituted) is converted into the
+//! symbolic term language of [`crate::sterm`], hypotheses become variable
+//! *definitions* (`out = σ(top_i(users))`) and *facts* (`i < size(users)`,
+//! branch conditions), and both sides of each equality are normalized into a
+//! canonical segment form. The crucial rewrites are structural-induction
+//! steps justified by the Appendix C axioms:
+//!
+//! * `top_{i+1}(r) → cat(top_i(r), [get_i(r)])` under the fact `i < size(r)`;
+//! * `top_i(r) → r` under `i ≥ size(r)`;
+//! * homomorphic distribution of `σ`/`π`/`⋈` over `cat` and singletons;
+//! * hypothesis-driven reduction of predicates applied to single records;
+//! * aggregate unfolding (`max(cat(a, [x]))` decided by comparing `x` with
+//!   `max(a)` under the collected facts).
+//!
+//! A `Proved` result certifies the condition for **all** stores; `Unknown`
+//! sends the pipeline back to extended bounded checking (mirroring the
+//! paper's prover-timeout path).
+
+use crate::candidate::Candidate;
+use crate::sterm::{rel_term, scal_term, RecT, RelT, ScalOrRec, ScalT};
+use qbs_common::{Ident, Value};
+use qbs_tor::{
+    AggKind, CmpOp, JoinPred, Operand, Pred, PredAtom, Probe, TorExpr, TorType, TypeEnv,
+};
+use qbs_vcgen::{subst_expr, Formula, UnknownInfo};
+
+/// Outcome of a proof attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProofResult {
+    /// The condition is valid for all stores.
+    Proved,
+    /// The prover could not certify the condition (with a reason for
+    /// diagnostics). Not a refutation.
+    Unknown(String),
+}
+
+impl ProofResult {
+    /// True for [`ProofResult::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, ProofResult::Proved)
+    }
+}
+
+/// Collected hypotheses: definitions and comparison facts.
+#[derive(Clone, Debug, Default)]
+struct Hyps {
+    /// Definitions `v := e` (applied as substitutions, in order).
+    defs: Vec<(Ident, TorExpr)>,
+    /// Comparison facts over *converted, def-substituted* terms.
+    facts: Vec<(ScalT, CmpOp, ScalT)>,
+    /// Boolean-term facts (`contains(...)` etc.) with their truth value.
+    bool_facts: Vec<(ScalT, bool)>,
+}
+
+impl Hyps {
+    fn apply_defs(&self, e: &TorExpr) -> TorExpr {
+        let mut cur = e.clone();
+        // Definitions are collected in dependency order (hypothesis order);
+        // apply repeatedly so defs referencing earlier defs resolve.
+        for _ in 0..2 {
+            for (v, def) in &self.defs {
+                cur = subst_expr(&cur, v, def);
+            }
+        }
+        cur
+    }
+
+    fn add_def(&mut self, v: Ident, e: TorExpr) {
+        let e = self.apply_defs(&e);
+        self.defs.push((v, e));
+    }
+
+    fn add_fact(&mut self, a: ScalT, op: CmpOp, b: ScalT) {
+        self.facts.push((a, op, b));
+    }
+
+    fn add_bool_fact(&mut self, t: ScalT, truth: bool) {
+        self.bool_facts.push((t, truth));
+    }
+}
+
+/// Does `have` (a true fact `x have y`) imply `want` (`x want y`)?
+fn cmp_implies(have: CmpOp, want: CmpOp) -> bool {
+    use CmpOp::*;
+    match have {
+        Eq => matches!(want, Eq | Le | Ge),
+        Ne => matches!(want, Ne),
+        Lt => matches!(want, Lt | Le | Ne),
+        Le => matches!(want, Le),
+        Gt => matches!(want, Gt | Ge | Ne),
+        Ge => matches!(want, Ge),
+    }
+}
+
+struct Prover<'a> {
+    hyps: Hyps,
+    tenv: &'a TypeEnv,
+}
+
+impl<'a> Prover<'a> {
+    // ---------- scalar decision procedure ----------
+
+    fn nonneg(&self, t: &ScalT) -> bool {
+        match t {
+            ScalT::Const(Value::Int(i)) => *i >= 0,
+            ScalT::Size(_) => true,
+            ScalT::Agg(AggKind::Count, _) => true,
+            ScalT::Add(a, b) => self.nonneg(a) && self.nonneg(b),
+            _ => self.decide(t, CmpOp::Ge, &ScalT::int(0)).unwrap_or(false),
+        }
+    }
+
+    /// Tries to decide `a op b` from constants, syntax, and facts.
+    fn decide(&self, a: &ScalT, op: CmpOp, b: &ScalT) -> Option<bool> {
+        // Constant arithmetic.
+        if let (ScalT::Const(x), ScalT::Const(y)) = (a, b) {
+            return Some(op.test(x.total_cmp(y)));
+        }
+        // Syntactic equality.
+        if a == b {
+            return Some(matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge));
+        }
+        // Fact lookup (direct and flipped).
+        for (x, fop, y) in &self.hyps.facts {
+            if x == a && y == b && cmp_implies(*fop, op) {
+                return Some(true);
+            }
+            if x == b && y == a && cmp_implies(fop.flip(), op) {
+                return Some(true);
+            }
+            // Refutation: a fact implying the negation.
+            if x == a && y == b && cmp_implies(*fop, op.negate()) {
+                return Some(false);
+            }
+            if x == b && y == a && cmp_implies(fop.flip(), op.negate()) {
+                return Some(false);
+            }
+        }
+        // (x + 1 ≤ b) ⇐ (x < b);  (x + 1 > 0) ⇐ x ≥ 0.
+        if let ScalT::Add(x, one) = a {
+            if one.is_int(1) {
+                if matches!(op, CmpOp::Le) && self.decide(x, CmpOp::Lt, b) == Some(true) {
+                    return Some(true);
+                }
+                if matches!(op, CmpOp::Gt) && b.is_int(0) && self.nonneg(x) {
+                    return Some(true);
+                }
+                if matches!(op, CmpOp::Ge) && b.is_int(0) && self.nonneg(x) {
+                    return Some(true);
+                }
+            }
+        }
+        // size(r) ≥ 0 and friends.
+        if matches!(op, CmpOp::Ge) && b.is_int(0) && self.nonneg(a) {
+            return Some(true);
+        }
+        if matches!(op, CmpOp::Le) && a.is_int(0) && self.nonneg(b) {
+            return Some(true);
+        }
+        // a = b from a ≤ b ∧ a ≥ b.
+        if matches!(op, CmpOp::Eq)
+            && self.decide(a, CmpOp::Le, b) == Some(true)
+            && self.decide(a, CmpOp::Ge, b) == Some(true)
+        {
+            return Some(true);
+        }
+        // One-step transitivity through a fact: a ≤ t ∧ t ≤ b ⟹ a ≤ b.
+        if matches!(op, CmpOp::Le | CmpOp::Ge) {
+            let fwd = if op == CmpOp::Le { CmpOp::Le } else { CmpOp::Ge };
+            for (x, fop, y) in &self.hyps.facts {
+                let mid = if x == a && cmp_implies(*fop, fwd) {
+                    Some(y)
+                } else if y == a && cmp_implies(fop.flip(), fwd) {
+                    Some(x)
+                } else {
+                    None
+                };
+                if let Some(mid) = mid {
+                    if mid != a && self.decide_facts_only(mid, fwd, b) == Some(true) {
+                        return Some(true);
+                    }
+                }
+            }
+        }
+        // Boolean term equality: (x) = (y) where both decide.
+        if matches!(op, CmpOp::Eq) {
+            if let (Some(x), Some(y)) = (self.decide_bool(a), self.decide_bool(b)) {
+                return Some(x == y);
+            }
+        }
+        None
+    }
+
+    /// Fact-table-only decision (no derived rules) — used as the second hop
+    /// of the transitivity check to keep recursion bounded.
+    fn decide_facts_only(&self, a: &ScalT, op: CmpOp, b: &ScalT) -> Option<bool> {
+        if let (ScalT::Const(x), ScalT::Const(y)) = (a, b) {
+            return Some(op.test(x.total_cmp(y)));
+        }
+        if a == b {
+            return Some(matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge));
+        }
+        for (x, fop, y) in &self.hyps.facts {
+            if x == a && y == b && cmp_implies(*fop, op) {
+                return Some(true);
+            }
+            if x == b && y == a && cmp_implies(fop.flip(), op) {
+                return Some(true);
+            }
+        }
+        None
+    }
+
+    /// The integer constant a term is pinned to by the facts, if any.
+    fn const_of(&self, t: &ScalT) -> Option<i64> {
+        if let ScalT::Const(Value::Int(i)) = t {
+            return Some(*i);
+        }
+        for (x, fop, y) in &self.hyps.facts {
+            if x == t && *fop == CmpOp::Eq {
+                if let ScalT::Const(Value::Int(i)) = y {
+                    return Some(*i);
+                }
+            }
+            if y == t && *fop == CmpOp::Eq {
+                if let ScalT::Const(Value::Int(i)) = x {
+                    return Some(*i);
+                }
+            }
+        }
+        // a ≤ c ∧ a ≥ c pins a to c.
+        for (x, fop, y) in &self.hyps.facts {
+            let c = match (x == t, y == t) {
+                (true, _) => {
+                    if let ScalT::Const(Value::Int(i)) = y { Some((*i, *fop)) } else { None }
+                }
+                (_, true) => {
+                    if let ScalT::Const(Value::Int(i)) = x { Some((*i, fop.flip())) } else { None }
+                }
+                _ => None,
+            };
+            if let Some((c, o)) = c {
+                if cmp_implies(o, CmpOp::Le)
+                    && self.decide_facts_only(t, CmpOp::Ge, &ScalT::int(c)) == Some(true)
+                {
+                    return Some(c);
+                }
+                if cmp_implies(o, CmpOp::Ge)
+                    && self.decide_facts_only(t, CmpOp::Le, &ScalT::int(c)) == Some(true)
+                {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Tries to decide a boolean-valued scalar term.
+    fn decide_bool(&self, t: &ScalT) -> Option<bool> {
+        match t {
+            ScalT::Const(Value::Bool(b)) => Some(*b),
+            ScalT::Cmp(a, op, b) => self.decide(a, *op, b),
+            ScalT::NotT(x) => self.decide_bool(x).map(|b| !b),
+            ScalT::ContainsT(_, rel) if matches!(**rel, RelT::Empty) => Some(false),
+            other => {
+                for (fact, truth) in &self.hyps.bool_facts {
+                    if fact == other {
+                        return Some(*truth);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    // ---------- record helpers ----------
+
+    /// The qualified field list of a record term, when its schema is known.
+    fn rec_fields(&self, r: &RecT) -> Option<Vec<qbs_common::Field>> {
+        match r {
+            RecT::Get(rel, _) => self.rel_fields(rel),
+            RecT::Pair(a, b) => {
+                let mut f = self.rec_fields(a)?;
+                f.extend(self.rec_fields(b)?);
+                Some(f)
+            }
+            RecT::Lit(_) | RecT::ProjRec(..) => None,
+        }
+    }
+
+    fn rel_fields(&self, r: &RelT) -> Option<Vec<qbs_common::Field>> {
+        match r {
+            RelT::Base(v) => match self.tenv.get(v) {
+                Some(TorType::Rel(s)) => {
+                    // Unqualified fields are attributed to the backing table
+                    // (the schema name) when known, matching the qualifiers
+                    // the synthesizer puts on join projections.
+                    let q = s.name().cloned().unwrap_or_else(|| v.clone());
+                    Some(
+                        s.fields()
+                            .iter()
+                            .map(|f| {
+                                let mut f = f.clone();
+                                if f.qualifier.is_none() {
+                                    f.qualifier = Some(q.clone());
+                                }
+                                f
+                            })
+                            .collect(),
+                    )
+                }
+                _ => None,
+            },
+            RelT::Top(inner, _) | RelT::Select(_, inner) | RelT::Sort(_, inner)
+            | RelT::Unique(inner) => self.rel_fields(inner),
+            RelT::Cat(a, _) => self.rel_fields(a),
+            RelT::Single(rec) => self.rec_fields(rec),
+            RelT::Join(_, a, b) => {
+                let mut f = self.rel_fields(a)?;
+                f.extend(self.rel_fields(b)?);
+                Some(f)
+            }
+            RelT::Proj(l, inner) => {
+                let base = self.rel_fields(inner)?;
+                let mut out = Vec::with_capacity(l.len());
+                for fref in l {
+                    let idx = resolve_field(&base, fref)?;
+                    out.push(base[idx].clone());
+                }
+                Some(out)
+            }
+            RelT::Empty => None,
+        }
+    }
+
+    /// Field access on a record term, resolved through pairs.
+    fn field_of(&self, rec: &RecT, fref: &qbs_common::FieldRef) -> ScalT {
+        match rec {
+            RecT::Pair(a, b) => {
+                if let Some(fa) = self.rec_fields(a) {
+                    if resolve_field(&fa, fref).is_some() {
+                        return self.field_of(a, fref);
+                    }
+                }
+                if let Some(fb) = self.rec_fields(b) {
+                    if resolve_field(&fb, fref).is_some() {
+                        return self.field_of(b, fref);
+                    }
+                }
+                ScalT::Field(Box::new(rec.clone()), fref.clone())
+            }
+            RecT::Lit(fields) => {
+                for (n, v) in fields {
+                    if *n == fref.name {
+                        return v.clone();
+                    }
+                }
+                ScalT::Field(Box::new(rec.clone()), fref.clone())
+            }
+            _ => ScalT::Field(Box::new(rec.clone()), fref.clone()),
+        }
+    }
+
+    /// Canonical record form: `ProjRec` is expanded into a `Lit` of resolved
+    /// field terms; a `Lit` that spells out *all* fields of an underlying
+    /// record in order eta-contracts back to that record.
+    fn normalize_rec(&self, rec: &RecT) -> RecT {
+        match rec {
+            RecT::Get(rel, i) => {
+                RecT::Get(Box::new(self.normalize_rel(rel)), self.normalize_scal(i))
+            }
+            RecT::Pair(a, b) => RecT::Pair(
+                Box::new(self.normalize_rec(a)),
+                Box::new(self.normalize_rec(b)),
+            ),
+            RecT::ProjRec(l, inner) => {
+                let inner = self.normalize_rec(inner);
+                let lit = RecT::Lit(
+                    l.iter()
+                        .map(|fref| (fref.name.clone(), self.normalize_scal(&self.field_of(&inner, fref))))
+                        .collect(),
+                );
+                self.canonical_lit(self.eta_contract(lit))
+            }
+            RecT::Lit(fields) => self.canonical_lit(self.eta_contract(RecT::Lit(
+                fields
+                    .iter()
+                    .map(|(n, v)| (n.clone(), self.normalize_scal(v)))
+                    .collect(),
+            ))),
+        }
+    }
+
+    /// Record literals compare by field *values* in order (the runtime
+    /// semantics ignores the names a literal happens to carry), so the
+    /// canonical form renames literal fields positionally.
+    fn canonical_lit(&self, rec: RecT) -> RecT {
+        match rec {
+            RecT::Lit(fields) => RecT::Lit(
+                fields
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, (_, v))| (qbs_common::Ident::new(format!("_{k}")), v))
+                    .collect(),
+            ),
+            other => other,
+        }
+    }
+
+    /// `{f1 = x.f1, …, fn = x.fn}` over all fields of `x` (in order) is `x`.
+    fn eta_contract(&self, lit: RecT) -> RecT {
+        let RecT::Lit(fields) = &lit else { return lit };
+        // All values must be fields of one and the same record term.
+        let mut base: Option<&RecT> = None;
+        let mut refs = Vec::with_capacity(fields.len());
+        for (_, v) in fields {
+            match v {
+                ScalT::Field(r, fref) => {
+                    match base {
+                        None => base = Some(r),
+                        Some(b) if *b == **r => {}
+                        _ => return lit.clone(),
+                    }
+                    refs.push(fref.clone());
+                }
+                _ => return lit.clone(),
+            }
+        }
+        let Some(base) = base else { return lit };
+        let Some(all) = self.rec_fields(base) else { return lit.clone() };
+        if all.len() != refs.len() {
+            return lit.clone();
+        }
+        for (k, fref) in refs.iter().enumerate() {
+            match resolve_field(&all, fref) {
+                Some(idx) if idx == k => {}
+                _ => return lit.clone(),
+            }
+        }
+        base.clone()
+    }
+
+    // ---------- predicate truth under hypotheses ----------
+
+    fn pred_truth(&self, p: &Pred, rec: &RecT) -> Option<bool> {
+        let mut all_true = true;
+        for atom in p.atoms() {
+            match atom {
+                PredAtom::Cmp { lhs, op, rhs } => {
+                    let l = self.normalize_scal(&self.field_of(rec, lhs));
+                    let r = match rhs {
+                        Operand::Const(v) => ScalT::Const(v.clone()),
+                        Operand::Field(fr) => self.normalize_scal(&self.field_of(rec, fr)),
+                        Operand::Param(v) => ScalT::Var(v.clone()),
+                    };
+                    match self.decide(&l, *op, &r) {
+                        Some(true) => {}
+                        Some(false) => return Some(false),
+                        None => all_true = false,
+                    }
+                }
+                PredAtom::Contains { probe, rel } => {
+                    let rel_e = self.hyps.apply_defs(rel);
+                    let Ok(rt) = rel_term(&rel_e) else { return None };
+                    let rt = self.normalize_rel(&rt);
+                    let probe_t = match probe {
+                        Probe::Record => ScalOrRec::Rec(rec.clone()),
+                        Probe::Field(fr) => {
+                            ScalOrRec::Scal(self.normalize_scal(&self.field_of(rec, fr)))
+                        }
+                    };
+                    let t = ScalT::ContainsT(Box::new(probe_t), Box::new(rt));
+                    match self.decide_bool(&t) {
+                        Some(true) => {}
+                        Some(false) => return Some(false),
+                        None => all_true = false,
+                    }
+                }
+            }
+        }
+        if all_true {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    fn join_truth(&self, p: &JoinPred, x: &RecT, y: &RecT) -> Option<bool> {
+        let mut all_true = true;
+        for atom in p.atoms() {
+            let l = self.normalize_scal(&self.field_of(x, &atom.left));
+            let r = self.normalize_scal(&self.field_of(y, &atom.right));
+            match self.decide(&l, atom.op, &r) {
+                Some(true) => {}
+                Some(false) => return Some(false),
+                None => all_true = false,
+            }
+        }
+        if all_true {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    // ---------- relation normalization ----------
+
+    fn normalize_rel(&self, t: &RelT) -> RelT {
+        let mut cur = t.clone();
+        for _ in 0..64 {
+            let next = self.step_rel(&cur);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    fn step_rel(&self, t: &RelT) -> RelT {
+        use RelT::*;
+        match t {
+            Empty | Base(_) => t.clone(),
+            Single(r) => Single(self.normalize_rec(r)),
+            Cat(a, b) => {
+                let a = self.step_rel(a);
+                let b = self.step_rel(b);
+                match (a, b) {
+                    (Empty, x) | (x, Empty) => x,
+                    // Right-nest.
+                    (Cat(x, y), z) => Cat(x, Box::new(Cat(y, Box::new(z)))),
+                    (x, y) => Cat(Box::new(x), Box::new(y)),
+                }
+            }
+            Top(r, i) => {
+                let r = self.step_rel(r);
+                let i = self.normalize_scal(i);
+                if i.is_int(0) {
+                    return Empty;
+                }
+                // Decide size comparisons against both the raw and the
+                // normalized size term (e.g. size(sort(x)) = size(x)).
+                let raw_sz = ScalT::Size(Box::new(r.clone()));
+                let norm_sz = self.normalize_scal(&raw_sz);
+                let ge_size = self.decide(&i, CmpOp::Ge, &raw_sz) == Some(true)
+                    || self.decide(&i, CmpOp::Ge, &norm_sz) == Some(true);
+                // top_i(r) = r when i ≥ size(r).
+                if ge_size {
+                    return r;
+                }
+                // top_{j+1}(r) = cat(top_j(r), [get_j(r)]) when j < size(r).
+                if let ScalT::Add(j, one) = &i {
+                    if one.is_int(1)
+                        && (self.decide(j, CmpOp::Lt, &raw_sz) == Some(true)
+                            || self.decide(j, CmpOp::Lt, &norm_sz) == Some(true))
+                    {
+                        return Cat(
+                            Box::new(Top(Box::new(r.clone()), (**j).clone())),
+                            Box::new(Single(RecT::Get(Box::new(r), (**j).clone()))),
+                        );
+                    }
+                }
+                Top(Box::new(r), i)
+            }
+            Select(p, r) => {
+                let r = self.step_rel(r);
+                match r {
+                    Empty => Empty,
+                    Cat(a, b) => Cat(
+                        Box::new(Select(p.clone(), a)),
+                        Box::new(Select(p.clone(), b)),
+                    ),
+                    Single(rec) => match self.pred_truth(p, &rec) {
+                        Some(true) => Single(rec),
+                        Some(false) => Empty,
+                        None => Select(p.clone(), Box::new(Single(rec))),
+                    },
+                    other => Select(p.clone(), Box::new(other)),
+                }
+            }
+            Proj(l, r) => {
+                let r = self.step_rel(r);
+                match r {
+                    Empty => Empty,
+                    Cat(a, b) => {
+                        Cat(Box::new(Proj(l.clone(), a)), Box::new(Proj(l.clone(), b)))
+                    }
+                    Single(rec) => {
+                        Single(self.normalize_rec(&RecT::ProjRec(l.clone(), Box::new(rec))))
+                    }
+                    other => Proj(l.clone(), Box::new(other)),
+                }
+            }
+            Join(p, a, b) => {
+                let a = self.step_rel(a);
+                let b = self.step_rel(b);
+                match (a, b) {
+                    (Empty, _) | (_, Empty) => Empty,
+                    (Cat(x, y), r) => Cat(
+                        Box::new(Join(p.clone(), x, Box::new(r.clone()))),
+                        Box::new(Join(p.clone(), y, Box::new(r))),
+                    ),
+                    (Single(x), Cat(u, v)) => Cat(
+                        Box::new(Join(p.clone(), Box::new(Single(x.clone())), u)),
+                        Box::new(Join(p.clone(), Box::new(Single(x)), v)),
+                    ),
+                    (Single(x), Single(y)) => match self.join_truth(p, &x, &y) {
+                        Some(true) => Single(RecT::Pair(Box::new(x), Box::new(y))),
+                        Some(false) => Empty,
+                        None => Join(
+                            p.clone(),
+                            Box::new(Single(x)),
+                            Box::new(Single(y)),
+                        ),
+                    },
+                    (x, y) => Join(p.clone(), Box::new(x), Box::new(y)),
+                }
+            }
+            Sort(l, r) => {
+                let r = self.step_rel(r);
+                if r == Empty {
+                    Empty
+                } else {
+                    Sort(l.clone(), Box::new(r))
+                }
+            }
+            Unique(r) => {
+                let r = self.step_rel(r);
+                if r == Empty {
+                    Empty
+                } else {
+                    Unique(Box::new(r))
+                }
+            }
+        }
+    }
+
+    // ---------- scalar normalization ----------
+
+    fn normalize_scal(&self, t: &ScalT) -> ScalT {
+        let mut cur = t.clone();
+        for _ in 0..64 {
+            let next = self.step_scal(&cur);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// The single-column value carried by a record term (used by aggregate
+    /// unfolding over single-column relations).
+    fn single_value(&self, rec: &RecT) -> Option<ScalT> {
+        match rec {
+            RecT::Lit(fields) if fields.len() == 1 => Some(fields[0].1.clone()),
+            RecT::ProjRec(l, inner) if l.len() == 1 => Some(self.field_of(inner, &l[0])),
+            _ => None,
+        }
+    }
+
+    fn step_scal(&self, t: &ScalT) -> ScalT {
+        use ScalT::*;
+        match t {
+            Const(_) => t.clone(),
+            Var(_) => match self.const_of(t) {
+                Some(c) => ScalT::int(c),
+                None => t.clone(),
+            },
+            Add(a, b) => {
+                let a = self.step_scal(a);
+                let b = self.step_scal(b);
+                match (&a, &b) {
+                    (Const(Value::Int(x)), Const(Value::Int(y))) => ScalT::int(x + y),
+                    (x, c) if c.is_int(0) => x.clone(),
+                    (c, x) if c.is_int(0) => x.clone(),
+                    _ => Add(Box::new(a), Box::new(b)),
+                }
+            }
+            Sub(a, b) => {
+                let a = self.step_scal(a);
+                let b = self.step_scal(b);
+                match (&a, &b) {
+                    (Const(Value::Int(x)), Const(Value::Int(y))) => ScalT::int(x - y),
+                    (x, c) if c.is_int(0) => x.clone(),
+                    _ => Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            Size(r) => {
+                let r = self.normalize_rel(r);
+                match r {
+                    RelT::Empty => ScalT::int(0),
+                    RelT::Single(_) => ScalT::int(1),
+                    RelT::Cat(a, b) => self.step_scal(&Add(
+                        Box::new(Size(a)),
+                        Box::new(Size(b)),
+                    )),
+                    RelT::Top(inner, i) => {
+                        // size(top_i(r)) = i when 0 ≤ i ≤ size(r).
+                        let sz = Size(inner.clone());
+                        if self.nonneg(&i)
+                            && self.decide(&i, CmpOp::Le, &sz) == Some(true)
+                        {
+                            i
+                        } else {
+                            Size(Box::new(RelT::Top(inner, i)))
+                        }
+                    }
+                    RelT::Sort(_, inner) => Size(inner),
+                    other => Size(Box::new(other)),
+                }
+            }
+            Field(rec, fref) => {
+                let rec = self.normalize_rec(rec);
+                self.field_of(&rec, fref)
+            }
+            Agg(kind, r) => {
+                let r = self.normalize_rel(r);
+                if *kind == AggKind::Count {
+                    return self.step_scal(&Size(Box::new(r)));
+                }
+                match &r {
+                    RelT::Empty => match kind {
+                        AggKind::Sum => ScalT::int(0),
+                        AggKind::Max => ScalT::int(i64::MIN),
+                        AggKind::Min => ScalT::int(i64::MAX),
+                        AggKind::Count => unreachable!("handled above"),
+                    },
+                    RelT::Single(rec) => match self.single_value(rec) {
+                        Some(v) => v,
+                        None => Agg(*kind, Box::new(r.clone())),
+                    },
+                    RelT::Cat(a, b) => {
+                        // Right-nested: b is a single or further cat; handle
+                        // cat(a, [x]).
+                        if let RelT::Single(rec) = &**b {
+                            if let Some(v) = self.single_value(rec) {
+                                let rest = Agg(*kind, a.clone());
+                                let rest_n = self.normalize_scal(&rest);
+                                return match kind {
+                                    AggKind::Sum => self.step_scal(&Add(
+                                        Box::new(rest_n),
+                                        Box::new(v),
+                                    )),
+                                    AggKind::Max => {
+                                        match self.decide(&v, CmpOp::Gt, &rest_n) {
+                                            Some(true) => v,
+                                            Some(false) => rest_n,
+                                            None => Agg(*kind, Box::new(r.clone())),
+                                        }
+                                    }
+                                    AggKind::Min => {
+                                        match self.decide(&v, CmpOp::Lt, &rest_n) {
+                                            Some(true) => v,
+                                            Some(false) => rest_n,
+                                            None => Agg(*kind, Box::new(r.clone())),
+                                        }
+                                    }
+                                    AggKind::Count => unreachable!("handled above"),
+                                };
+                            }
+                        }
+                        Agg(*kind, Box::new(r.clone()))
+                    }
+                    _ => Agg(*kind, Box::new(r.clone())),
+                }
+            }
+            Cmp(a, op, b) => {
+                let a = self.step_scal(a);
+                let b = self.step_scal(b);
+                match self.decide(&a, *op, &b) {
+                    Some(v) => Const(Value::from(v)),
+                    None => Cmp(Box::new(a), *op, Box::new(b)),
+                }
+            }
+            ContainsT(p, r) => {
+                let r = self.normalize_rel(r);
+                let p = match &**p {
+                    ScalOrRec::Scal(s) => ScalOrRec::Scal(self.normalize_scal(s)),
+                    ScalOrRec::Rec(rec) => ScalOrRec::Rec(self.normalize_rec(rec)),
+                };
+                if r == RelT::Empty {
+                    return Const(Value::from(false));
+                }
+                ContainsT(Box::new(p), Box::new(r))
+            }
+            NotT(x) => {
+                let x = self.step_scal(x);
+                match x {
+                    Const(Value::Bool(b)) => Const(Value::from(!b)),
+                    other => NotT(Box::new(other)),
+                }
+            }
+        }
+    }
+
+    // ---------- formula proof ----------
+
+    fn collect_hyp(&mut self, f: &Formula) {
+        match f {
+            Formula::And(ps) => {
+                for p in ps {
+                    self.collect_hyp(p);
+                }
+            }
+            Formula::RelEq(TorExpr::Var(v), e) => {
+                self.hyps.add_def(v.clone(), e.clone());
+            }
+            Formula::RelEq(e, TorExpr::Var(v)) => {
+                self.hyps.add_def(v.clone(), e.clone());
+            }
+            Formula::Atom(e) => self.collect_atom(e, true),
+            Formula::Not(inner) => {
+                if let Formula::Atom(e) = &**inner {
+                    self.collect_atom(e, false);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn collect_atom(&mut self, e: &TorExpr, truth: bool) {
+        let e = self.hyps.apply_defs(e);
+        match &e {
+            TorExpr::Binary(qbs_tor::BinOp::Cmp(CmpOp::Eq), a, b) if truth => {
+                // Record the equality as a fact either way — predicate
+                // parameters (`Operand::Param`) query it with the variable
+                // still in place.
+                if let (Ok(x), Ok(y)) = (scal_term(a), scal_term(b)) {
+                    let x = self.normalize_scal(&x);
+                    let y = self.normalize_scal(&y);
+                    self.hyps.add_fact(x, CmpOp::Eq, y);
+                }
+                // And as a scalar definition when one side is a variable.
+                if let TorExpr::Var(v) = &**a {
+                    self.hyps.add_def(v.clone(), (**b).clone());
+                } else if let TorExpr::Var(v) = &**b {
+                    self.hyps.add_def(v.clone(), (**a).clone());
+                }
+            }
+            TorExpr::Binary(qbs_tor::BinOp::Cmp(op), a, b) => {
+                if let (Ok(x), Ok(y)) = (scal_term(a), scal_term(b)) {
+                    let x = self.normalize_scal(&x);
+                    let y = self.normalize_scal(&y);
+                    let op = if truth { *op } else { op.negate() };
+                    self.hyps.add_fact(x, op, y);
+                }
+            }
+            TorExpr::Binary(qbs_tor::BinOp::And, a, b) if truth => {
+                self.collect_atom(a, true);
+                self.collect_atom(b, true);
+            }
+            TorExpr::Not(x) => self.collect_atom(x, !truth),
+            TorExpr::Contains(..) => {
+                if let Ok(t) = scal_term(&e) {
+                    let t = self.normalize_scal(&t);
+                    self.hyps.add_bool_fact(t, truth);
+                }
+            }
+            _ => {
+                if let Ok(t) = scal_term(&e) {
+                    let t = self.normalize_scal(&t);
+                    self.hyps.add_bool_fact(t, truth);
+                }
+            }
+        }
+    }
+
+    fn prove_formula(&mut self, f: &Formula) -> ProofResult {
+        match f {
+            Formula::True => ProofResult::Proved,
+            Formula::False => ProofResult::Unknown("conclusion is false".into()),
+            Formula::And(ps) => {
+                for p in ps {
+                    let r = self.prove_formula(p);
+                    if !r.is_proved() {
+                        return r;
+                    }
+                }
+                ProofResult::Proved
+            }
+            Formula::Or(ps) => {
+                let mut last = ProofResult::Unknown("empty disjunction".into());
+                for p in ps {
+                    let mut sub = Prover { hyps: self.hyps.clone(), tenv: self.tenv };
+                    last = sub.prove_formula(p);
+                    if last.is_proved() {
+                        return last;
+                    }
+                }
+                last
+            }
+            Formula::Implies(h, c) => {
+                // Case split: each ¬(a ∧ b) hypothesis (a negated compound
+                // loop guard) becomes the cases ¬a and ¬b; the conclusion
+                // must hold in every case.
+                for variant in split_cases(h, 2) {
+                    let mut sub = Prover { hyps: self.hyps.clone(), tenv: self.tenv };
+                    sub.collect_hyp(&variant);
+                    // A contradictory hypothesis set proves this case.
+                    if sub.hyp_contradiction() {
+                        continue;
+                    }
+                    let r = sub.prove_formula(c);
+                    if !r.is_proved() {
+                        return r;
+                    }
+                }
+                ProofResult::Proved
+            }
+            Formula::Not(inner) => match &**inner {
+                Formula::Atom(e) => {
+                    let e = self.hyps.apply_defs(e);
+                    match scal_term(&e) {
+                        Ok(t) => {
+                            let t = self.normalize_scal(&t);
+                            match self.decide_bool(&t) {
+                                Some(false) => ProofResult::Proved,
+                                Some(true) => {
+                                    ProofResult::Unknown(format!("`{t}` is true, not false"))
+                                }
+                                None => ProofResult::Unknown(format!("cannot decide ¬({t})")),
+                            }
+                        }
+                        Err(e) => ProofResult::Unknown(e.to_string()),
+                    }
+                }
+                _ => ProofResult::Unknown("negation of a non-atom".into()),
+            },
+            Formula::Atom(e) => {
+                let e = self.hyps.apply_defs(e);
+                match scal_term(&e) {
+                    Ok(t) => {
+                        let t = self.normalize_scal(&t);
+                        match self.decide_bool(&t) {
+                            Some(true) => ProofResult::Proved,
+                            Some(false) => {
+                                ProofResult::Unknown(format!("atom `{t}` is false"))
+                            }
+                            None => ProofResult::Unknown(format!("cannot decide `{t}`")),
+                        }
+                    }
+                    Err(e) => ProofResult::Unknown(e.to_string()),
+                }
+            }
+            Formula::RelEq(a, b) => {
+                let a = self.hyps.apply_defs(a);
+                let b = self.hyps.apply_defs(b);
+                match (rel_term(&a), rel_term(&b)) {
+                    (Ok(x), Ok(y)) => {
+                        let x = self.normalize_rel(&x);
+                        let y = self.normalize_rel(&y);
+                        if segments(&x) == segments(&y) {
+                            ProofResult::Proved
+                        } else {
+                            ProofResult::Unknown(format!(
+                                "normal forms differ: `{x}` vs `{y}`"
+                            ))
+                        }
+                    }
+                    (Err(e), _) | (_, Err(e)) => ProofResult::Unknown(e.to_string()),
+                }
+            }
+            Formula::Unknown(..) => {
+                ProofResult::Unknown("unfilled unknown predicate in conclusion".into())
+            }
+        }
+    }
+
+    /// Detects directly contradictory hypotheses (e.g. `i < size` and
+    /// `i ≥ size` in an unreachable branch).
+    fn hyp_contradiction(&self) -> bool {
+        for (a, op, b) in &self.hyps.facts {
+            // Use only the *other* facts to decide, to avoid the fact
+            // trivially validating itself.
+            let others: Vec<_> = self
+                .hyps
+                .facts
+                .iter()
+                .filter(|f| (&f.0, &f.1, &f.2) != (a, op, b))
+                .cloned()
+                .collect();
+            let sub = Prover {
+                hyps: Hyps { defs: Vec::new(), facts: others, bool_facts: self.hyps.bool_facts.clone() },
+                tenv: self.tenv,
+            };
+            if sub.decide(a, *op, b) == Some(false) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+
+/// Resolves a field reference against a qualified field list.
+fn resolve_field(fields: &[qbs_common::Field], fref: &qbs_common::FieldRef) -> Option<usize> {
+    let mut found = None;
+    for (i, f) in fields.iter().enumerate() {
+        if f.matches(fref) {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+/// Flattens a normalized relation term into its segment list for comparison.
+fn segments(t: &RelT) -> Vec<RelT> {
+    let mut out = Vec::new();
+    fn walk(t: &RelT, out: &mut Vec<RelT>) {
+        match t {
+            RelT::Cat(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            RelT::Empty => {}
+            other => out.push(other.clone()),
+        }
+    }
+    walk(t, &mut out);
+    out
+}
+
+/// Expands `¬(a ∧ b)` hypotheses into the case list `[¬a, ¬b]`, returning
+/// every variant of the hypothesis (cartesian over at most `depth` splits).
+fn split_cases(h: &Formula, depth: usize) -> Vec<Formula> {
+    if depth == 0 {
+        return vec![h.clone()];
+    }
+    // Find one splittable conjunct.
+    fn split_one(f: &Formula) -> Option<Vec<Formula>> {
+        match f {
+            Formula::Not(inner) => {
+                if let Formula::Atom(TorExpr::Binary(qbs_tor::BinOp::And, a, b)) = &**inner {
+                    return Some(vec![
+                        Formula::Not(Box::new(Formula::Atom((**a).clone()))),
+                        Formula::Not(Box::new(Formula::Atom((**b).clone()))),
+                    ]);
+                }
+                None
+            }
+            Formula::And(parts) => {
+                for (k, p) in parts.iter().enumerate() {
+                    if let Some(variants) = split_one(p) {
+                        return Some(
+                            variants
+                                .into_iter()
+                                .map(|v| {
+                                    let mut ps = parts.clone();
+                                    ps[k] = v;
+                                    Formula::And(ps)
+                                })
+                                .collect(),
+                        );
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+    match split_one(h) {
+        None => vec![h.clone()],
+        Some(variants) => variants
+            .into_iter()
+            .flat_map(|v| split_cases(&v, depth - 1))
+            .collect(),
+    }
+}
+
+/// Substitutes the candidate bodies for every unknown application.
+fn instantiate(f: &Formula, candidate: &Candidate, unknowns: &[UnknownInfo]) -> Formula {
+    match f {
+        Formula::Unknown(id, args) => candidate
+            .instantiate(&unknowns[id.0], args)
+            .map(|body| instantiate(&body, candidate, unknowns))
+            .unwrap_or(Formula::True),
+        Formula::And(ps) => {
+            Formula::And(ps.iter().map(|p| instantiate(p, candidate, unknowns)).collect())
+        }
+        Formula::Or(ps) => {
+            Formula::Or(ps.iter().map(|p| instantiate(p, candidate, unknowns)).collect())
+        }
+        Formula::Not(x) => Formula::Not(Box::new(instantiate(x, candidate, unknowns))),
+        Formula::Implies(h, c) => Formula::Implies(
+            Box::new(instantiate(h, candidate, unknowns)),
+            Box::new(instantiate(c, candidate, unknowns)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Attempts a symbolic proof of one verification condition under a candidate
+/// assignment.
+///
+/// `tenv` supplies the schemas of source relations (needed to eta-contract
+/// full projections and resolve fields through join pairs).
+///
+/// A [`ProofResult::Proved`] certifies validity for all stores; `Unknown`
+/// is *not* a refutation — the pipeline falls back to extended bounded
+/// checking, as the paper falls back on prover timeout (Sec. 5).
+pub fn prove(
+    vc: &Formula,
+    candidate: &Candidate,
+    unknowns: &[UnknownInfo],
+    tenv: &TypeEnv,
+) -> ProofResult {
+    let concrete = instantiate(vc, candidate, unknowns);
+    let mut prover = Prover { hyps: Hyps::default(), tenv };
+    prover.prove_formula(&concrete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema};
+    use qbs_tor::Operand;
+
+    fn tenv() -> TypeEnv {
+        let users = Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish();
+        let roles = Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("label", FieldType::Str)
+            .finish();
+        let mut t = TypeEnv::new();
+        t.bind_rel("users", users.clone());
+        t.bind_rel("roles", roles);
+        t.bind_int("i");
+        t.bind_int("j");
+        t
+    }
+
+    fn sel_pred() -> Pred {
+        Pred::truth().and_cmp("roleId".into(), CmpOp::Eq, Operand::Const(1.into()))
+    }
+
+    /// σφ(top_0(users)) = [] — the entry condition of a selection loop.
+    #[test]
+    fn proves_entry_condition() {
+        let vc = Formula::RelEq(
+            TorExpr::EmptyList,
+            TorExpr::select(sel_pred(), TorExpr::top(TorExpr::var("users"), TorExpr::int(0))),
+        );
+        let r = prove(&vc, &Candidate::new(), &[], &tenv());
+        assert!(r.is_proved(), "{r:?}");
+    }
+
+    /// Preservation, matching branch: given out = σφ(top_i(users)),
+    /// i < size(users), and φ(users[i]), show
+    /// append(out, users[i]) = σφ(top_{i+1}(users)).
+    #[test]
+    fn proves_selection_preservation_true_branch() {
+        let hyp = Formula::And(vec![
+            Formula::RelEq(
+                TorExpr::var("out"),
+                TorExpr::select(sel_pred(), TorExpr::top(TorExpr::var("users"), TorExpr::var("i"))),
+            ),
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Lt,
+                TorExpr::var("i"),
+                TorExpr::size(TorExpr::var("users")),
+            )),
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Eq,
+                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::int(1),
+            )),
+        ]);
+        let concl = Formula::RelEq(
+            TorExpr::append(
+                TorExpr::var("out"),
+                TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+            ),
+            TorExpr::select(
+                sel_pred(),
+                TorExpr::top(
+                    TorExpr::var("users"),
+                    TorExpr::add(TorExpr::var("i"), TorExpr::int(1)),
+                ),
+            ),
+        );
+        let vc = Formula::Implies(Box::new(hyp), Box::new(concl));
+        let r = prove(&vc, &Candidate::new(), &[], &tenv());
+        assert!(r.is_proved(), "{r:?}");
+    }
+
+    /// Preservation, non-matching branch: out unchanged.
+    #[test]
+    fn proves_selection_preservation_false_branch() {
+        let hyp = Formula::And(vec![
+            Formula::RelEq(
+                TorExpr::var("out"),
+                TorExpr::select(sel_pred(), TorExpr::top(TorExpr::var("users"), TorExpr::var("i"))),
+            ),
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Lt,
+                TorExpr::var("i"),
+                TorExpr::size(TorExpr::var("users")),
+            )),
+            Formula::Not(Box::new(Formula::Atom(TorExpr::cmp(
+                CmpOp::Eq,
+                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::int(1),
+            )))),
+        ]);
+        let concl = Formula::RelEq(
+            TorExpr::var("out"),
+            TorExpr::select(
+                sel_pred(),
+                TorExpr::top(
+                    TorExpr::var("users"),
+                    TorExpr::add(TorExpr::var("i"), TorExpr::int(1)),
+                ),
+            ),
+        );
+        let vc = Formula::Implies(Box::new(hyp), Box::new(concl));
+        let r = prove(&vc, &Candidate::new(), &[], &tenv());
+        assert!(r.is_proved(), "{r:?}");
+    }
+
+    /// Exit: i ≤ size ∧ ¬(i < size) ⟹ σφ(top_i(users)) = σφ(users).
+    #[test]
+    fn proves_selection_exit() {
+        let hyp = Formula::And(vec![
+            Formula::RelEq(
+                TorExpr::var("out"),
+                TorExpr::select(sel_pred(), TorExpr::top(TorExpr::var("users"), TorExpr::var("i"))),
+            ),
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Le,
+                TorExpr::var("i"),
+                TorExpr::size(TorExpr::var("users")),
+            )),
+            Formula::Not(Box::new(Formula::Atom(TorExpr::cmp(
+                CmpOp::Lt,
+                TorExpr::var("i"),
+                TorExpr::size(TorExpr::var("users")),
+            )))),
+        ]);
+        let concl = Formula::RelEq(
+            TorExpr::var("out"),
+            TorExpr::select(sel_pred(), TorExpr::var("users")),
+        );
+        let vc = Formula::Implies(Box::new(hyp), Box::new(concl));
+        let r = prove(&vc, &Candidate::new(), &[], &tenv());
+        assert!(r.is_proved(), "{r:?}");
+    }
+
+    /// A wrong equality is not proved.
+    #[test]
+    fn does_not_prove_wrong_equality() {
+        let vc = Formula::RelEq(TorExpr::var("users"), TorExpr::var("roles"));
+        let r = prove(&vc, &Candidate::new(), &[], &tenv());
+        assert!(!r.is_proved());
+    }
+
+    /// Projection eta-contraction: π over all user fields of the join pair
+    /// collapses to the user record.
+    #[test]
+    fn proves_join_projection_eta() {
+        use qbs_tor::JoinPred;
+        // append(out, users[i]) = out ++ [π_ℓ(pair)] where ℓ = all user
+        // fields — i.e. π_ℓ(⋈′(users[i], roles)) appends projected pairs that
+        // eta-contract to the user record when the join predicate holds.
+        let hyp = Formula::And(vec![
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Lt,
+                TorExpr::var("j"),
+                TorExpr::size(TorExpr::var("roles")),
+            )),
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Eq,
+                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::field(TorExpr::get(TorExpr::var("roles"), TorExpr::var("j")), "roleId"),
+            )),
+        ]);
+        let proj_fields = vec!["users.id".into(), "users.roleId".into()];
+        let lhs = TorExpr::append(
+            TorExpr::proj(
+                proj_fields.clone(),
+                TorExpr::join(
+                    JoinPred::eq("roleId", "roleId"),
+                    TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+                    TorExpr::top(TorExpr::var("roles"), TorExpr::var("j")),
+                ),
+            ),
+            TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+        );
+        let rhs = TorExpr::proj(
+            proj_fields,
+            TorExpr::join(
+                JoinPred::eq("roleId", "roleId"),
+                TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+                TorExpr::top(
+                    TorExpr::var("roles"),
+                    TorExpr::add(TorExpr::var("j"), TorExpr::int(1)),
+                ),
+            ),
+        );
+        let vc = Formula::Implies(Box::new(hyp), Box::new(Formula::RelEq(lhs, rhs)));
+        let r = prove(&vc, &Candidate::new(), &[], &tenv());
+        assert!(r.is_proved(), "{r:?}");
+    }
+
+    /// Aggregate preservation: c = size(σφ(top_i)) and a matching row imply
+    /// c + 1 = size(σφ(top_{i+1})).
+    #[test]
+    fn proves_count_preservation() {
+        let hyp = Formula::And(vec![
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Eq,
+                TorExpr::var("c"),
+                TorExpr::agg(
+                    AggKind::Count,
+                    TorExpr::select(
+                        sel_pred(),
+                        TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+                    ),
+                ),
+            )),
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Lt,
+                TorExpr::var("i"),
+                TorExpr::size(TorExpr::var("users")),
+            )),
+            Formula::Atom(TorExpr::cmp(
+                CmpOp::Eq,
+                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::int(1),
+            )),
+        ]);
+        let concl = Formula::Atom(TorExpr::cmp(
+            CmpOp::Eq,
+            TorExpr::add(TorExpr::var("c"), TorExpr::int(1)),
+            TorExpr::agg(
+                AggKind::Count,
+                TorExpr::select(
+                    sel_pred(),
+                    TorExpr::top(
+                        TorExpr::var("users"),
+                        TorExpr::add(TorExpr::var("i"), TorExpr::int(1)),
+                    ),
+                ),
+            ),
+        ));
+        let vc = Formula::Implies(Box::new(hyp), Box::new(concl));
+        let r = prove(&vc, &Candidate::new(), &[], &tenv());
+        assert!(r.is_proved(), "{r:?}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Symbolic term language for the rewrite prover.
+//!
+//! The prover normalizes TOR expressions over *symbolic* relations and index
+//! variables into a canonical "segment" form built from `Empty`, `Single`,
+//! and right-nested `Cat`, with `π`/`σ`/`⋈` distributed over segments. The
+//! key unfolding — `top_{i+1}(r) = cat(top_i(r), [get_i(r)])` under the
+//! hypothesis `i < size(r)` — is what lets structural induction on loop
+//! counters go through (the same role the TOR axioms play for Z3 in the
+//! paper, Sec. 5).
+
+use qbs_common::{FieldRef, Ident, Value};
+use qbs_tor::{AggKind, BinOp, CmpOp, JoinPred, Pred, TorExpr};
+use std::fmt;
+
+/// A symbolic relation-valued term.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RelT {
+    /// The empty relation.
+    Empty,
+    /// A symbolic base relation (source variable or table).
+    Base(Ident),
+    /// A one-record relation.
+    Single(RecT),
+    /// Concatenation (right-nested in normal form).
+    Cat(Box<RelT>, Box<RelT>),
+    /// `top_idx(rel)`.
+    Top(Box<RelT>, ScalT),
+    /// `σ_pred(rel)`.
+    Select(Pred, Box<RelT>),
+    /// `π_fields(rel)`.
+    Proj(Vec<FieldRef>, Box<RelT>),
+    /// `⋈_pred(l, r)`.
+    Join(JoinPred, Box<RelT>, Box<RelT>),
+    /// `sort_fields(rel)` — uninterpreted wrapper.
+    Sort(Vec<FieldRef>, Box<RelT>),
+    /// `unique(rel)` — uninterpreted wrapper.
+    Unique(Box<RelT>),
+}
+
+/// A symbolic record-valued term.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RecT {
+    /// `get_idx(rel)`.
+    Get(Box<RelT>, ScalT),
+    /// The pairing produced by a join.
+    Pair(Box<RecT>, Box<RecT>),
+    /// Record-level projection (the image of a `π` on one record).
+    ProjRec(Vec<FieldRef>, Box<RecT>),
+    /// A record literal with scalar term fields.
+    Lit(Vec<(Ident, ScalT)>),
+}
+
+/// A symbolic scalar-valued term.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScalT {
+    /// Constant.
+    Const(Value),
+    /// Scalar program variable.
+    Var(Ident),
+    /// Addition.
+    Add(Box<ScalT>, Box<ScalT>),
+    /// Subtraction.
+    Sub(Box<ScalT>, Box<ScalT>),
+    /// `size(rel)`.
+    Size(Box<RelT>),
+    /// Field of a record term.
+    Field(Box<RecT>, FieldRef),
+    /// Aggregate over a relation term.
+    Agg(AggKind, Box<RelT>),
+    /// A comparison as a boolean-valued scalar.
+    Cmp(Box<ScalT>, CmpOp, Box<ScalT>),
+    /// Membership as a boolean-valued scalar.
+    ContainsT(Box<ScalOrRec>, Box<RelT>),
+    /// Logical negation of a boolean term.
+    NotT(Box<ScalT>),
+}
+
+/// Either a scalar or a record — the probe of a `contains`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScalOrRec {
+    /// Scalar probe.
+    Scal(ScalT),
+    /// Record probe.
+    Rec(RecT),
+}
+
+impl ScalT {
+    /// Integer constant helper.
+    pub fn int(i: i64) -> ScalT {
+        ScalT::Const(Value::from(i))
+    }
+
+    /// Is this the integer constant `i`?
+    pub fn is_int(&self, i: i64) -> bool {
+        matches!(self, ScalT::Const(Value::Int(x)) if *x == i)
+    }
+}
+
+/// Conversion failure: the expression uses a construct the prover does not
+/// model symbolically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnsupportedTerm(pub String);
+
+impl fmt::Display for UnsupportedTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prover cannot model `{}`", self.0)
+    }
+}
+
+/// Converts a relation-typed TOR expression into a symbolic relation term.
+pub fn rel_term(e: &TorExpr) -> Result<RelT, UnsupportedTerm> {
+    Ok(match e {
+        TorExpr::EmptyList => RelT::Empty,
+        TorExpr::Var(v) => RelT::Base(v.clone()),
+        TorExpr::Query(q) => RelT::Base(q.table.clone()),
+        TorExpr::Top(r, i) => RelT::Top(Box::new(rel_term(r)?), scal_term(i)?),
+        TorExpr::Select(p, r) => RelT::Select(p.clone(), Box::new(rel_term(r)?)),
+        TorExpr::Proj(l, r) => RelT::Proj(l.clone(), Box::new(rel_term(r)?)),
+        TorExpr::Join(p, a, b) => {
+            // A record-typed left operand (⋈′) becomes a singleton.
+            let left = match rec_term(a) {
+                Ok(rec) => RelT::Single(rec),
+                Err(_) => rel_term(a)?,
+            };
+            RelT::Join(p.clone(), Box::new(left), Box::new(rel_term(b)?))
+        }
+        TorExpr::Sort(l, r) => RelT::Sort(l.clone(), Box::new(rel_term(r)?)),
+        TorExpr::Unique(r) => RelT::Unique(Box::new(rel_term(r)?)),
+        TorExpr::Append(r, x) => {
+            // Scalar appends model single-column lists (kernel semantics):
+            // the element becomes a one-field literal record.
+            let rec = match rec_term(x) {
+                Ok(rec) => rec,
+                Err(_) => RecT::Lit(vec![(Ident::new("val"), scal_term(x)?)]),
+            };
+            RelT::Cat(Box::new(rel_term(r)?), Box::new(RelT::Single(rec)))
+        }
+        TorExpr::Concat(a, b) => RelT::Cat(Box::new(rel_term(a)?), Box::new(rel_term(b)?)),
+        other => return Err(UnsupportedTerm(format!("{other}"))),
+    })
+}
+
+/// Converts a record-typed TOR expression into a symbolic record term.
+pub fn rec_term(e: &TorExpr) -> Result<RecT, UnsupportedTerm> {
+    Ok(match e {
+        TorExpr::Get(r, i) => RecT::Get(Box::new(rel_term(r)?), scal_term(i)?),
+        TorExpr::RecLit(fields) => RecT::Lit(
+            fields
+                .iter()
+                .map(|(n, fe)| Ok((n.clone(), scal_term(fe)?)))
+                .collect::<Result<Vec<_>, UnsupportedTerm>>()?,
+        ),
+        other => return Err(UnsupportedTerm(format!("{other}"))),
+    })
+}
+
+/// Converts a scalar-typed TOR expression into a symbolic scalar term.
+pub fn scal_term(e: &TorExpr) -> Result<ScalT, UnsupportedTerm> {
+    Ok(match e {
+        TorExpr::Const(v) => ScalT::Const(v.clone()),
+        TorExpr::Var(v) => ScalT::Var(v.clone()),
+        TorExpr::Binary(BinOp::Add, a, b) => {
+            ScalT::Add(Box::new(scal_term(a)?), Box::new(scal_term(b)?))
+        }
+        TorExpr::Binary(BinOp::Sub, a, b) => {
+            ScalT::Sub(Box::new(scal_term(a)?), Box::new(scal_term(b)?))
+        }
+        TorExpr::Binary(BinOp::Cmp(op), a, b) => {
+            ScalT::Cmp(Box::new(scal_term(a)?), *op, Box::new(scal_term(b)?))
+        }
+        TorExpr::Binary(op, ..) => {
+            return Err(UnsupportedTerm(format!("operator {op} in scalar position")))
+        }
+        TorExpr::Not(x) => ScalT::NotT(Box::new(scal_term(x)?)),
+        TorExpr::Size(r) => ScalT::Size(Box::new(rel_term(r)?)),
+        TorExpr::Field(rec, f) => ScalT::Field(Box::new(rec_term(rec)?), f.clone()),
+        TorExpr::Agg(k, r) => ScalT::Agg(*k, Box::new(rel_term(r)?)),
+        TorExpr::Contains(x, r) => {
+            let probe = match scal_term(x) {
+                Ok(s) => ScalOrRec::Scal(s),
+                Err(_) => ScalOrRec::Rec(rec_term(x)?),
+            };
+            ScalT::ContainsT(Box::new(probe), Box::new(rel_term(r)?))
+        }
+        other => return Err(UnsupportedTerm(format!("{other}"))),
+    })
+}
+
+impl fmt::Display for RelT {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelT::Empty => write!(f, "[]"),
+            RelT::Base(v) => write!(f, "{v}"),
+            RelT::Single(r) => write!(f, "[{r}]"),
+            RelT::Cat(a, b) => write!(f, "cat({a}, {b})"),
+            RelT::Top(r, i) => write!(f, "top[{i}]({r})"),
+            RelT::Select(p, r) => write!(f, "σ[{p}]({r})"),
+            RelT::Proj(l, r) => write!(f, "π[{}]({r})", fields(l)),
+            RelT::Join(p, a, b) => write!(f, "⋈[{p}]({a}, {b})"),
+            RelT::Sort(l, r) => write!(f, "sort[{}]({r})", fields(l)),
+            RelT::Unique(r) => write!(f, "unique({r})"),
+        }
+    }
+}
+
+fn fields(l: &[FieldRef]) -> String {
+    l.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(",")
+}
+
+impl fmt::Display for RecT {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecT::Get(r, i) => write!(f, "get[{i}]({r})"),
+            RecT::Pair(a, b) => write!(f, "({a}, {b})"),
+            RecT::ProjRec(l, r) => write!(f, "π[{}]({r})", fields(l)),
+            RecT::Lit(fs) => {
+                write!(f, "{{")?;
+                for (i, (n, e)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n} = {e}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScalT {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalT::Const(v) => write!(f, "{v:?}"),
+            ScalT::Var(v) => write!(f, "{v}"),
+            ScalT::Add(a, b) => write!(f, "({a} + {b})"),
+            ScalT::Sub(a, b) => write!(f, "({a} - {b})"),
+            ScalT::Size(r) => write!(f, "size({r})"),
+            ScalT::Field(r, fr) => write!(f, "{r}.{fr}"),
+            ScalT::Agg(k, r) => write!(f, "{k}({r})"),
+            ScalT::Cmp(a, op, b) => write!(f, "({a} {op} {b})"),
+            ScalT::ContainsT(p, r) => match &**p {
+                ScalOrRec::Scal(s) => write!(f, "contains({s}, {r})"),
+                ScalOrRec::Rec(rec) => write!(f, "contains({rec}, {r})"),
+            },
+            ScalT::NotT(x) => write!(f, "¬{x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_top_select_chain() {
+        let e = TorExpr::select(
+            Pred::truth(),
+            TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+        );
+        let t = rel_term(&e).unwrap();
+        assert_eq!(
+            t,
+            RelT::Select(
+                Pred::truth(),
+                Box::new(RelT::Top(Box::new(RelT::Base("users".into())), ScalT::Var("i".into())))
+            )
+        );
+    }
+
+    #[test]
+    fn append_becomes_cat_single() {
+        let e = TorExpr::append(
+            TorExpr::var("out"),
+            TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+        );
+        match rel_term(&e).unwrap() {
+            RelT::Cat(a, b) => {
+                assert_eq!(*a, RelT::Base("out".into()));
+                assert!(matches!(*b, RelT::Single(RecT::Get(..))));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn record_left_join_becomes_singleton() {
+        let e = TorExpr::join(
+            JoinPred::eq("a", "a"),
+            TorExpr::get(TorExpr::var("u"), TorExpr::var("i")),
+            TorExpr::var("r"),
+        );
+        match rel_term(&e).unwrap() {
+            RelT::Join(_, l, _) => assert!(matches!(*l, RelT::Single(_))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_reports_cleanly() {
+        let e = TorExpr::var("x");
+        // A variable is fine as a relation but a `get` of it is not a
+        // relation term.
+        assert!(rel_term(&TorExpr::get(e, TorExpr::int(0))).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Pipeline reports: per-fragment outcomes and aggregate counts.
+
+use qbs_kernel::KernelProgram;
+use qbs_sql::SqlQuery;
+use qbs_synth::{ProofStatus, SynthStats};
+use qbs_tor::TorExpr;
+use std::fmt;
+
+/// The outcome for one code fragment, matching the paper's Appendix A
+/// statuses.
+#[derive(Clone, Debug)]
+pub enum FragmentStatus {
+    /// `X` — the fragment was converted to SQL.
+    Translated {
+        /// The generated query.
+        sql: SqlQuery,
+        /// The verified postcondition right-hand side (TOR).
+        post: TorExpr,
+        /// How the candidate was validated.
+        proof: ProofStatus,
+        /// Synthesis search statistics.
+        stats: SynthStats,
+    },
+    /// `†` — rejected by preprocessing (arrays, updates, type-based
+    /// operations, escaping data).
+    Rejected {
+        /// Reason.
+        reason: String,
+    },
+    /// `*` — QBS failed to find invariants / a translatable postcondition.
+    Failed {
+        /// Reason.
+        reason: String,
+    },
+}
+
+impl FragmentStatus {
+    /// The paper's status glyph.
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            FragmentStatus::Translated { .. } => "X",
+            FragmentStatus::Rejected { .. } => "†",
+            FragmentStatus::Failed { .. } => "*",
+        }
+    }
+}
+
+/// Report for one fragment.
+#[derive(Clone, Debug)]
+pub struct FragmentReport {
+    /// Originating method name.
+    pub method: String,
+    /// Outcome.
+    pub status: FragmentStatus,
+    /// The kernel program (absent for rejected fragments).
+    pub kernel: Option<KernelProgram>,
+}
+
+impl FragmentReport {
+    /// Renders the transformed method body for translated fragments —
+    /// the paper's Fig. 3 output.
+    pub fn patched_source(&self) -> Option<String> {
+        match &self.status {
+            FragmentStatus::Translated { sql, .. } => Some(match sql {
+                SqlQuery::Select(_) => format!(
+                    "{{\n    List result = db.executeQuery(\n        \"{sql}\");\n    return result;\n}}"
+                ),
+                SqlQuery::Scalar(_) => format!(
+                    "{{\n    return db.executeScalar(\n        \"{sql}\");\n}}"
+                ),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate counts in the shape of the paper's Fig. 13 table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Fragments examined.
+    pub total: usize,
+    /// Converted to SQL (`X`).
+    pub translated: usize,
+    /// Rejected by preprocessing (`†`).
+    pub rejected: usize,
+    /// Failed synthesis (`*`).
+    pub failed: usize,
+}
+
+impl fmt::Display for StatusCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fragments: {} translated, {} rejected, {} failed",
+            self.total, self.translated, self.rejected, self.failed
+        )
+    }
+}
+
+/// The full pipeline report.
+#[derive(Clone, Debug, Default)]
+pub struct QbsReport {
+    /// Per-fragment outcomes, in source order.
+    pub fragments: Vec<FragmentReport>,
+}
+
+impl QbsReport {
+    /// Aggregate counts (the Fig. 13 row for this input).
+    pub fn counts(&self) -> StatusCounts {
+        let mut c = StatusCounts { total: self.fragments.len(), ..StatusCounts::default() };
+        for fr in &self.fragments {
+            match fr.status {
+                FragmentStatus::Translated { .. } => c.translated += 1,
+                FragmentStatus::Rejected { .. } => c.rejected += 1,
+                FragmentStatus::Failed { .. } => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// The report for a specific method.
+    pub fn fragment(&self, method: &str) -> Option<&FragmentReport> {
+        self.fragments.iter().find(|f| f.method == method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_aggregate_by_status() {
+        let mk = |status| FragmentReport { method: "m".into(), status, kernel: None };
+        let report = QbsReport {
+            fragments: vec![
+                mk(FragmentStatus::Rejected { reason: "x".into() }),
+                mk(FragmentStatus::Failed { reason: "y".into() }),
+                mk(FragmentStatus::Failed { reason: "z".into() }),
+            ],
+        };
+        let c = report.counts();
+        assert_eq!(c.total, 3);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.failed, 2);
+        assert_eq!(c.translated, 0);
+        assert_eq!(c.to_string(), "3 fragments: 0 translated, 1 rejected, 2 failed");
+    }
+}

@@ -1,0 +1,34 @@
+//! Sec. 7.3 — advanced idioms: hash joins translate, sort-merge joins do
+//! not; guarded top-k over a sorted relation translates, the primary-key
+//! guard variant does not.
+//!
+//! ```sh
+//! cargo run --example advanced_idioms
+//! ```
+
+use qbs::{FragmentStatus, Pipeline};
+use qbs_corpus::advanced_idioms;
+
+fn main() {
+    for case in advanced_idioms() {
+        println!("=== {} ===", case.name);
+        println!("paper: {}", case.paper_expectation);
+        let report = Pipeline::new(case.model())
+            .run_source(&case.source)
+            .expect("advanced idiom parses");
+        match &report.fragments[0].status {
+            FragmentStatus::Translated { sql, proof, .. } => {
+                println!("outcome: TRANSLATED ({proof:?})");
+                println!("sql:     {sql}");
+            }
+            FragmentStatus::Failed { reason } => {
+                println!("outcome: NOT TRANSLATED — {reason}");
+            }
+            FragmentStatus::Rejected { reason } => {
+                println!("outcome: REJECTED — {reason}");
+            }
+        }
+        let expected = if case.should_translate { "translated" } else { "not translated" };
+        println!("expected per paper: {expected}\n");
+    }
+}

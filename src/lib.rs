@@ -1,0 +1,28 @@
+//! Umbrella crate for the QBS reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the `qbs` crate and the substrate crates it builds on;
+//! this module simply re-exports them under one roof so examples can write
+//! `use qbs_suite::prelude::*`.
+
+/// Convenience re-exports of the most commonly used QBS types.
+pub mod prelude {
+    pub use qbs::{Pipeline, PipelineConfig, QbsReport};
+    pub use qbs_common::{Record, Relation, Schema, Value};
+    pub use qbs_db::Database;
+    pub use qbs_orm::{FetchMode, Session};
+}
+
+pub use qbs;
+pub use qbs_common;
+pub use qbs_corpus;
+pub use qbs_db;
+pub use qbs_front;
+pub use qbs_kernel;
+pub use qbs_orm;
+pub use qbs_sql;
+pub use qbs_synth;
+pub use qbs_tor;
+pub use qbs_vcgen;
+pub use qbs_verify;

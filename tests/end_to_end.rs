@@ -1,0 +1,151 @@
+//! Repository-level integration tests: for every translated corpus
+//! fragment, the **original imperative code** (run under the kernel
+//! interpreter) and the **generated SQL** (run by the database engine) must
+//! produce identical results — the paper's soundness claim, checked
+//! differentially on populated databases.
+
+use qbs::{FragmentStatus, Pipeline};
+use qbs_corpus::{all_fragments, populate_itracker, populate_wilos, App, ExpectedStatus, WilosConfig};
+use qbs_db::{Database, Params, QueryOutput};
+use qbs_tor::{DynValue, Env};
+
+/// Binds every database table into a kernel interpreter environment.
+fn env_of(db: &Database) -> Env {
+    let mut env = Env::new();
+    for name in db.table_names() {
+        let table = db.table(name).expect("listed table");
+        let schema = table.schema().clone();
+        let records = table
+            .rows()
+            .iter()
+            .map(|r| qbs_common::Record::new(schema.clone(), r.clone()))
+            .collect();
+        let rel = qbs_common::Relation::from_records(schema, records).expect("table rows");
+        env.bind_table(name.clone(), rel);
+    }
+    env
+}
+
+#[test]
+fn original_code_and_generated_sql_agree_on_every_translated_fragment() {
+    let wilos_db = populate_wilos(&WilosConfig {
+        users: 80,
+        roles: 12,
+        projects: 60,
+        ..WilosConfig::default()
+    });
+    let itracker_db = populate_itracker(70, 3);
+
+    for frag in all_fragments() {
+        if frag.expected != ExpectedStatus::Translated {
+            continue;
+        }
+        let pipeline = Pipeline::new(frag.model());
+        let report = pipeline.run_source(&frag.source).expect("parses");
+        let fr = &report.fragments[0];
+        let FragmentStatus::Translated { sql, .. } = &fr.status else {
+            panic!("fragment {} must translate", frag.id);
+        };
+        let kernel = fr.kernel.as_ref().expect("translated fragments lower");
+
+        let db = match frag.app {
+            App::Wilos => &wilos_db,
+            App::Itracker => &itracker_db,
+        };
+
+        // Original semantics: interpret the lowered fragment.
+        let run = qbs_kernel::run(kernel, env_of(db))
+            .unwrap_or_else(|e| panic!("fragment {} interpretation failed: {e}", frag.id));
+
+        // Transformed semantics: execute the SQL.
+        let out = db
+            .execute(sql, &Params::new())
+            .unwrap_or_else(|e| panic!("fragment {} SQL failed: {e}", frag.id));
+
+        match (run.result, out) {
+            (DynValue::Rel(orig), QueryOutput::Rows(sqlout)) => {
+                assert_eq!(
+                    orig.len(),
+                    sqlout.rows.len(),
+                    "fragment {}: row count (original {} vs sql {})\nsql: {sql}",
+                    frag.id,
+                    orig.len(),
+                    sqlout.rows.len()
+                );
+                for (k, (a, b)) in orig.iter().zip(sqlout.rows.iter()).enumerate() {
+                    assert_eq!(
+                        a.values(),
+                        b.values(),
+                        "fragment {}: row {k} differs\nsql: {sql}",
+                        frag.id
+                    );
+                }
+            }
+            (DynValue::Scalar(orig), QueryOutput::Scalar { value, .. }) => {
+                assert_eq!(orig, value, "fragment {}: scalar result\nsql: {sql}", frag.id);
+            }
+            (orig, out) => panic!(
+                "fragment {}: result kind mismatch (original {orig:?} vs sql {out:?})",
+                frag.id
+            ),
+        }
+    }
+}
+
+#[test]
+fn advanced_idioms_agree_differentially() {
+    use qbs_corpus::advanced_idioms;
+    let db = populate_wilos(&WilosConfig {
+        users: 50,
+        roles: 10,
+        projects: 20,
+        ..WilosConfig::default()
+    });
+    for case in advanced_idioms() {
+        if !case.should_translate {
+            continue;
+        }
+        let report = Pipeline::new(case.model()).run_source(&case.source).expect("parses");
+        let fr = &report.fragments[0];
+        let FragmentStatus::Translated { sql, .. } = &fr.status else {
+            panic!("{} must translate", case.name);
+        };
+        let kernel = fr.kernel.as_ref().expect("lowers");
+        let run = qbs_kernel::run(kernel, env_of(&db)).expect("interpretation");
+        let QueryOutput::Rows(out) = db.execute(sql, &Params::new()).expect("sql") else {
+            panic!("{} should be relational", case.name)
+        };
+        let orig = run.result.as_relation().expect("relation result").clone();
+        assert_eq!(orig.len(), out.rows.len(), "{}: row count", case.name);
+        for (a, b) in orig.iter().zip(out.rows.iter()) {
+            assert_eq!(a.values(), b.values(), "{}: row values", case.name);
+        }
+    }
+}
+
+#[test]
+fn fig14_modes_agree_on_results_across_sizes() {
+    use qbs_corpus::{
+        aggregation_pageload, inferred_sql, join_pageload, selection_pageload, Mode,
+    };
+    for n in [100usize, 400] {
+        let db = populate_wilos(&WilosConfig {
+            users: n,
+            roles: 10,
+            projects: n,
+            ..WilosConfig::default()
+        });
+        let sel = inferred_sql(40);
+        let (a, _) = selection_pageload(&db, Mode::OriginalLazy, &sel);
+        let (b, _) = selection_pageload(&db, Mode::InferredLazy, &sel);
+        assert_eq!(a, b, "selection rows at n={n}");
+        let join = inferred_sql(46);
+        let (a, _) = join_pageload(&db, Mode::OriginalLazy, &join);
+        let (b, _) = join_pageload(&db, Mode::InferredLazy, &join);
+        assert_eq!(a, b, "join rows at n={n}");
+        let agg = inferred_sql(38);
+        let (a, _) = aggregation_pageload(&db, Mode::OriginalLazy, &agg);
+        let (b, _) = aggregation_pageload(&db, Mode::InferredLazy, &agg);
+        assert_eq!(a, b, "manager count at n={n}");
+    }
+}

@@ -1,0 +1,343 @@
+//! The corpus-scale batch driver: a work-stealing worker pool over
+//! `std::thread::scope`, wired to the fingerprint cache and the shared
+//! counterexample pool.
+
+use crate::fingerprint::{canonical, shape_key};
+use crate::memo::{Claim, FingerprintCache};
+use crate::pool::CexPool;
+use crate::report::{BatchReport, FragmentResult};
+use qbs::{FragmentStatus, Pipeline, PipelineConfig};
+use qbs_corpus::CorpusFragment;
+use qbs_front::{compile_source, DataModel};
+use qbs_kernel::KernelProgram;
+use qbs_synth::SynthHooks;
+use qbs_tor::Env;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Batch tuning.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Worker threads. `0` means one per available CPU.
+    pub workers: usize,
+    /// Memoize fragment outcomes by structural fingerprint.
+    pub memoize: bool,
+    /// Share counterexamples between fragments of the same template shape.
+    pub share_counterexamples: bool,
+    /// Per-fragment pipeline configuration.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            workers: 0,
+            memoize: true,
+            share_counterexamples: true,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A configuration pinned to `workers` threads.
+    pub fn with_workers(workers: usize) -> BatchConfig {
+        BatchConfig { workers, ..BatchConfig::default() }
+    }
+
+    fn effective_workers(&self, jobs: usize) -> usize {
+        let hw = thread::available_parallelism().map(usize::from).unwrap_or(1);
+        let requested = if self.workers == 0 { hw } else { self.workers };
+        requested.min(jobs).max(1)
+    }
+}
+
+/// One unit of batch work: a MiniJava source over an object-relational
+/// model.
+#[derive(Clone, Debug)]
+pub struct BatchInput {
+    /// Display name used in the report.
+    pub name: String,
+    /// The object-relational model for this source.
+    pub model: DataModel,
+    /// MiniJava source text; every method becomes a fragment.
+    pub source: String,
+}
+
+impl BatchInput {
+    /// A named input.
+    pub fn new(
+        name: impl Into<String>,
+        model: DataModel,
+        source: impl Into<String>,
+    ) -> BatchInput {
+        BatchInput { name: name.into(), model, source: source.into() }
+    }
+}
+
+impl From<&CorpusFragment> for BatchInput {
+    fn from(frag: &CorpusFragment) -> BatchInput {
+        BatchInput::new(
+            format!("{}#{}", frag.app.name(), frag.id),
+            frag.model(),
+            frag.source.clone(),
+        )
+    }
+}
+
+/// The whole Appendix A corpus as batch inputs, in fragment order.
+pub fn corpus_inputs() -> Vec<BatchInput> {
+    qbs_corpus::all_fragments().iter().map(BatchInput::from).collect()
+}
+
+/// A reusable batch driver.
+///
+/// The fingerprint cache and counterexample pool live on the runner, not
+/// on a single run, so successive [`run`](BatchRunner::run) calls reuse
+/// each other's work: re-running a corpus is pure cache lookups.
+#[derive(Debug, Default)]
+pub struct BatchRunner {
+    config: BatchConfig,
+    memo: FingerprintCache,
+    pool: CexPool,
+}
+
+impl BatchRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: BatchConfig) -> BatchRunner {
+        BatchRunner { config, memo: FingerprintCache::new(), pool: CexPool::new() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// The fingerprint cache (persists across runs).
+    pub fn memo(&self) -> &FingerprintCache {
+        &self.memo
+    }
+
+    /// The counterexample pool (persists across runs).
+    pub fn pool(&self) -> &CexPool {
+        &self.pool
+    }
+
+    /// Runs every input through the QBS pipeline, fanning the batch across
+    /// the worker pool.
+    ///
+    /// The unit of scheduling is the *fragment*, not the input: sources
+    /// are compiled up front (cheap) and every kernel program becomes one
+    /// job, so a single source with many methods parallelizes just as
+    /// well as many single-method sources. Workers steal the next
+    /// unclaimed job from a shared queue; a job whose identical twin is
+    /// already in flight on another worker is deferred — the worker keeps
+    /// pulling fresh work and the duplicate resolves from the cache once
+    /// the queue is drained. Results are reported in input order
+    /// regardless of completion order, and are identical to a sequential
+    /// loop over [`Pipeline::infer`] — see [`CexPool`] for why sharing
+    /// does not perturb outcomes.
+    pub fn run(&self, inputs: &[BatchInput]) -> BatchReport {
+        let started = Instant::now();
+
+        // Phase 1 — compile every input. Parse errors and preprocessing
+        // rejections resolve immediately; fragments with kernels become
+        // jobs for the worker pool.
+        let mut results: Vec<Mutex<Option<FragmentResult>>> = Vec::new();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut pipelines: Vec<Pipeline> = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            pipelines.push(
+                Pipeline::new(input.model.clone()).with_config(self.config.pipeline.clone()),
+            );
+            let compiled_at = Instant::now();
+            // `elapsed` measures per-fragment processing (synthesis) time;
+            // compile time is charged once, to the parse-error result when
+            // compilation fails, and to nothing otherwise — rejections are
+            // decided during compilation, so charging each one the whole
+            // source's compile time would multiply-count it in `cpu_time`.
+            let resolved = |method: String, status: FragmentStatus, elapsed: Duration| {
+                Mutex::new(Some(FragmentResult {
+                    input: input.name.clone(),
+                    method,
+                    status,
+                    memo_hit: false,
+                    cexes_seeded: 0,
+                    elapsed,
+                }))
+            };
+            match compile_source(&input.source, &input.model) {
+                Err(e) => results.push(resolved(
+                    "<source>".into(),
+                    FragmentStatus::Failed { reason: e.to_string() },
+                    compiled_at.elapsed(),
+                )),
+                Ok(fragments) => {
+                    for frag in fragments {
+                        match frag.kernel {
+                            Err(reject) => results.push(resolved(
+                                frag.method,
+                                FragmentStatus::Rejected { reason: reject.reason },
+                                Duration::ZERO,
+                            )),
+                            Ok(kernel) => {
+                                jobs.push(Job {
+                                    slot: results.len(),
+                                    input: input.name.clone(),
+                                    method: frag.method,
+                                    kernel,
+                                    pipeline: pipelines.len() - 1,
+                                });
+                                results.push(Mutex::new(None));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — fan the jobs across the worker pool.
+        let next = AtomicUsize::new(0);
+        let deferred: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
+        let workers = self.config.effective_workers(jobs.len());
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(j) else { break };
+                        match self.run_job(&pipelines[job.pipeline], job, false) {
+                            Some(result) => {
+                                *results[job.slot].lock().expect("slot lock") = Some(result)
+                            }
+                            // Twin in flight elsewhere: defer, keep working.
+                            None => deferred.lock().expect("deferred lock").push_back(j),
+                        }
+                    }
+                    // No fresh work left: resolve deferred duplicates,
+                    // blocking on their owners (or adopting the search if
+                    // an owner abandoned it).
+                    loop {
+                        let popped = deferred.lock().expect("deferred lock").pop_front();
+                        let Some(j) = popped else { break };
+                        let job = &jobs[j];
+                        let result = self
+                            .run_job(&pipelines[job.pipeline], job, true)
+                            .expect("blocking claims always resolve");
+                        *results[job.slot].lock().expect("slot lock") = Some(result);
+                    }
+                });
+            }
+        });
+
+        let fragments: Vec<FragmentResult> = results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot lock").expect("all slots resolved"))
+            .collect();
+        let cpu_time = fragments.iter().map(|f| f.elapsed).sum();
+        BatchReport {
+            fragments,
+            wall_clock: started.elapsed(),
+            cpu_time,
+            workers,
+            pool_shapes: self.pool.shapes(),
+            pool_cexes: self.pool.len(),
+        }
+    }
+
+    /// Runs one job with fingerprint memoization and counterexample
+    /// sharing.
+    ///
+    /// `block` controls duplicate handling: on the first pass
+    /// (`block = false`) an in-flight twin makes this return `None` so
+    /// the worker can defer the job and keep pulling fresh work; on the
+    /// drain pass (`block = true`) the claim waits for the owner — or
+    /// adopts the computation if the owner abandoned it — and always
+    /// resolves.
+    fn run_job(&self, pipeline: &Pipeline, job: &Job, block: bool) -> Option<FragmentResult> {
+        let config = &self.config.pipeline;
+        let result = |status, memo_hit, cexes_seeded, elapsed| FragmentResult {
+            input: job.input.clone(),
+            method: job.method.clone(),
+            status,
+            memo_hit,
+            cexes_seeded,
+            elapsed,
+        };
+        let ticket = if self.config.memoize {
+            let problem = canonical(&job.kernel, config);
+            let claim = if block {
+                self.memo.claim(&problem)
+            } else {
+                self.memo.try_claim(&problem)?
+            };
+            match claim {
+                // A cached outcome costs (almost) nothing; charging the
+                // lookup or the wait here would double-count the owner's
+                // search in `cpu_time`.
+                Claim::Hit(status) => return Some(result(status, true, 0, Duration::ZERO)),
+                Claim::Compute(ticket) => Some(ticket),
+            }
+        } else {
+            None
+        };
+        let started = Instant::now();
+        // Only render the shape key when sharing is on — it is another
+        // full pretty-print of the kernel.
+        let shape = self.config.share_counterexamples.then(|| shape_key(&job.kernel, config));
+        let seeds = match &shape {
+            Some(shape) => self.pool.seeds(shape),
+            None => Vec::new(),
+        };
+        let mut record = |env: &Env| {
+            if let Some(shape) = &shape {
+                self.pool.record(shape, env);
+            }
+        };
+        let hooks = SynthHooks {
+            seed_cexes: &seeds,
+            on_cex: shape.is_some().then_some(&mut record as &mut dyn FnMut(&Env)),
+        };
+        let status = pipeline.infer_hooked(&job.kernel, hooks);
+        if let Some(ticket) = ticket {
+            ticket.fill(status.clone());
+        }
+        Some(result(status, false, seeds.len(), started.elapsed()))
+    }
+}
+
+/// One schedulable unit: a compiled kernel program bound to its input's
+/// pipeline and its slot in the result vector.
+struct Job {
+    slot: usize,
+    input: String,
+    method: String,
+    kernel: KernelProgram,
+    pipeline: usize,
+}
+
+/// Batch entry point on [`Pipeline`] — `pipeline.run_batch(&sources, &config)`.
+pub trait RunBatch {
+    /// Runs many MiniJava sources (sharing this pipeline's model and
+    /// configuration) through the pipeline concurrently.
+    fn run_batch(&self, sources: &[String], config: &BatchConfig) -> BatchReport;
+}
+
+impl RunBatch for Pipeline {
+    fn run_batch(&self, sources: &[String], config: &BatchConfig) -> BatchReport {
+        let inputs: Vec<BatchInput> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, src)| {
+                BatchInput::new(format!("src{i}"), self.model().clone(), src.clone())
+            })
+            .collect();
+        // The pipeline's own configuration governs synthesis; the batch
+        // config contributes the batch-level knobs.
+        let config = BatchConfig { pipeline: self.config().clone(), ..config.clone() };
+        BatchRunner::new(config).run(&inputs)
+    }
+}

@@ -1,0 +1,203 @@
+//! Stable structural fingerprints of synthesis problems.
+//!
+//! Two hashes are derived from a kernel program plus the pipeline
+//! configuration:
+//!
+//! * [`fingerprint`] — identity of the *exact* synthesis problem. Two
+//!   fragments with equal fingerprints run the identical search and produce
+//!   the identical [`FragmentStatus`](qbs::FragmentStatus), so the batch
+//!   driver memoizes on it.
+//! * [`shape_key`] — identity of the *template shape*: the kernel program
+//!   with predicate literals masked out. Fragments with equal shape keys
+//!   have the same loop structure, variables, source relations, schemas,
+//!   and checker configuration, which means their bounded checkers
+//!   enumerate the identical store sets — the precondition for soundly
+//!   sharing counterexamples between them (see [`crate::CexPool`]).
+//!
+//! Both hashes are computed over the kernel pretty-printer's canonical
+//! rendering (stable across runs) plus the `Debug` rendering of the
+//! configuration (stable too: every container in `PipelineConfig` is
+//! ordered).
+
+use qbs::PipelineConfig;
+use qbs_kernel::{pretty, KExpr, KStmt, KernelProgram};
+use std::fmt;
+
+/// A 64-bit structural fingerprint of one synthesis problem.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a over a byte stream — small, dependency-free, and stable.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn config_repr(config: &PipelineConfig) -> String {
+    // `Debug` is stable here: SynthConfig holds scalars and Vecs, and
+    // TypeEnv is a BTreeMap.
+    format!("{:?}|{:?}", config.synth, config.param_types)
+}
+
+/// The row schemas of every `Query(...)` retrieval in the program.
+///
+/// The pretty-printer renders a retrieval as just its table name, but the
+/// synthesis problem also depends on the table's columns and types — two
+/// models can both define a `users` table with different schemas. Without
+/// this, such fragments would collide in the memoization cache (returning
+/// SQL for the wrong schema) and in the counterexample pool (seeding
+/// environments whose records have the wrong shape).
+fn sources_repr(kernel: &KernelProgram) -> String {
+    fn walk(stmts: &[KStmt], out: &mut Vec<String>) {
+        for s in stmts {
+            match s {
+                KStmt::Assign(_, KExpr::Query(spec)) => {
+                    out.push(format!("{}:{:?}", spec.table, spec.schema));
+                }
+                KStmt::If(_, t, f) => {
+                    walk(t, out);
+                    walk(f, out);
+                }
+                KStmt::While(_, b) => walk(b, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(kernel.body(), &mut out);
+    out.sort();
+    out.dedup();
+    out.join(";")
+}
+
+/// The canonical identity of a synthesis problem: kernel program text +
+/// source schemas + full configuration.
+///
+/// The caches key on this string, not on its hash — a 64-bit digest
+/// collision in a long-lived cache would silently return another
+/// fragment's SQL, so hashes are display-only ([`fingerprint`]).
+pub fn canonical(kernel: &KernelProgram, config: &PipelineConfig) -> String {
+    format!("{}\0{}\0{}", pretty(kernel), sources_repr(kernel), config_repr(config))
+}
+
+/// The memoization fingerprint — a compact digest of [`canonical`] for
+/// reports and logs. Never used as a cache key.
+pub fn fingerprint(kernel: &KernelProgram, config: &PipelineConfig) -> Fingerprint {
+    Fingerprint(fnv1a(canonical(kernel, config).bytes()))
+}
+
+/// The counterexample-sharing key: kernel program with literals and the
+/// program name masked, plus source schemas and full configuration.
+///
+/// The program name is masked because it carries no semantic weight — two
+/// methods differing only in name (and predicate constants) pose the same
+/// store configuration to the bounded checker. Like [`canonical`], the
+/// full text is the key; nothing hashes it down.
+pub fn shape_key(kernel: &KernelProgram, config: &PipelineConfig) -> String {
+    let text = pretty(kernel);
+    // The pretty header is `fragment <name>(<params>) {`; drop the name so
+    // `variant1` and `variant2` share a shape. Parameters stay — they are
+    // part of the variable structure.
+    let masked = match text.split_once('(') {
+        Some((_, rest)) => format!("fragment #({}", mask_literals(rest)),
+        None => mask_literals(&text),
+    };
+    format!("{}\0{}\0{}", masked, sources_repr(kernel), config_repr(config))
+}
+
+/// Replaces integer and string literals by `#`, leaving identifiers (which
+/// may contain digits) untouched. `users.roleId == 1` and
+/// `users.roleId == 2` mask to the same text; `x1` and `x2` do not.
+fn mask_literals(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    let mut prev_word_char = false;
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            // String literal: consume to the closing quote, honoring
+            // backslash escapes (the pretty-printer renders strings with
+            // `Debug`, so an embedded quote appears as `\"`).
+            out.push_str("\"#\"");
+            while let Some(d) = chars.next() {
+                match d {
+                    '\\' => {
+                        chars.next();
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+            prev_word_char = false;
+        } else if c.is_ascii_digit() && !prev_word_char {
+            // Integer literal: consume the digit run (and a fraction part,
+            // defensively).
+            while chars.peek().is_some_and(|d| d.is_ascii_digit() || *d == '.') {
+                chars.next();
+            }
+            out.push('#');
+            prev_word_char = false;
+        } else {
+            out.push(c);
+            prev_word_char = c.is_alphanumeric() || c == '_';
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_literals_but_keeps_identifiers() {
+        assert_eq!(mask_literals("out.roleId == 1;"), "out.roleId == #;");
+        assert_eq!(mask_literals("x1 := x2 + 37"), "x1 := x2 + #");
+        assert_eq!(mask_literals("s == \"draft\""), "s == \"#\"");
+        assert_eq!(mask_literals("v := -12"), "v := -#");
+        // Escaped quotes stay inside the literal; following code survives.
+        assert_eq!(mask_literals(r#"s == "a\"b"; t := 3"#), "s == \"#\"; t := #");
+    }
+
+    #[test]
+    fn masking_is_idempotent() {
+        let t = "fragment f(a) { x := 12; y := \"ab\"; }";
+        assert_eq!(mask_literals(&mask_literals(t)), mask_literals(t));
+    }
+
+    #[test]
+    fn same_table_name_different_schema_does_not_collide() {
+        use qbs_common::{FieldType, Schema};
+        use qbs_kernel::{KExpr, KStmt, KernelProgram};
+        use qbs_tor::QuerySpec;
+
+        let program = |schema| {
+            KernelProgram::builder("f")
+                .stmt(KStmt::assign("xs", KExpr::query(QuerySpec::table_scan("users", schema))))
+                .result("xs")
+                .finish()
+        };
+        let a = program(Schema::builder("users").field("id", FieldType::Int).finish());
+        let b = program(
+            Schema::builder("users")
+                .field("id", FieldType::Int)
+                .field("name", FieldType::Str)
+                .finish(),
+        );
+        let config = PipelineConfig::default();
+        // Identical pretty text (retrievals print as just the table name),
+        // but the synthesis problems differ — the hashes must too.
+        assert_eq!(pretty(&a), pretty(&b));
+        assert_ne!(fingerprint(&a, &config), fingerprint(&b, &config));
+        assert_ne!(shape_key(&a, &config), shape_key(&b, &config));
+    }
+}

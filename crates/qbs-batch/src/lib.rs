@@ -1,0 +1,57 @@
+//! Corpus-scale batch synthesis: run many QBS fragments concurrently and
+//! reuse search state across them.
+//!
+//! The paper reports seconds-per-fragment synthesis cost with fragments
+//! run one at a time; real applications (wilos, itracker) contribute
+//! dozens of fragments per corpus. This crate adds the layer between the
+//! per-fragment [`Pipeline`](qbs::Pipeline) and whole-corpus workloads:
+//!
+//! * **a work-stealing worker pool** ([`BatchRunner`]) on
+//!   `std::thread::scope` — sources compile up front and every kernel
+//!   fragment becomes one job; workers claim the next unprocessed job
+//!   from a shared queue (deferring jobs whose identical twin is already
+//!   in flight), so stragglers never serialize the corpus;
+//! * **fragment fingerprinting** ([`fingerprint`]) — a stable structural
+//!   hash of the kernel program and pipeline configuration feeding a
+//!   [`FingerprintCache`], so duplicate idioms and re-runs return
+//!   instantly;
+//! * **a shared counterexample pool** ([`CexPool`]) — counterexamples
+//!   mined while CEGIS-refuting one fragment pre-seed the
+//!   [`CexCache`](qbs_verify::CexCache) of later fragments with the same
+//!   template [`shape_key`], skipping bounded checks that would only
+//!   re-discover known refutations;
+//! * **corpus-level reporting** ([`BatchReport`]) — per-fragment outcomes
+//!   plus translated/rejected/failed counts, the template-level histogram,
+//!   wall-clock vs. CPU time, and cache statistics.
+//!
+//! Batch outcomes are **identical** to a sequential loop over
+//! [`Pipeline::infer`](qbs::Pipeline::infer): memoization replays a
+//! deterministic search's result, and pooled counterexamples can only
+//! fast-reject candidates the receiving fragment's own checking would
+//! reject (see [`CexPool`] for the argument).
+//!
+//! # Example
+//!
+//! ```
+//! use qbs_batch::{corpus_inputs, BatchConfig, BatchRunner};
+//!
+//! let runner = BatchRunner::new(BatchConfig::with_workers(2));
+//! let inputs = corpus_inputs();
+//! let report = runner.run(&inputs[..4]);
+//! assert_eq!(report.counts().total, 4);
+//! // A second run over the same inputs is answered from the cache.
+//! let again = runner.run(&inputs[..4]);
+//! assert_eq!(again.memo_hits(), 4);
+//! ```
+
+mod driver;
+mod fingerprint;
+mod memo;
+mod pool;
+mod report;
+
+pub use driver::{corpus_inputs, BatchConfig, BatchInput, BatchRunner, RunBatch};
+pub use fingerprint::{fingerprint, shape_key, Fingerprint};
+pub use memo::{Claim, ComputeTicket, FingerprintCache};
+pub use pool::CexPool;
+pub use report::{BatchReport, FragmentResult};

@@ -1,0 +1,258 @@
+//! Fingerprint-keyed memoization of fragment outcomes.
+
+use qbs::FragmentStatus;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// What a cache claim resolved to.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Hit is the common case; boxing would just add a hop
+pub enum Claim<'a> {
+    /// The outcome is known (possibly after waiting for another worker's
+    /// in-flight computation of the same problem).
+    Hit(FragmentStatus),
+    /// This worker owns the computation: it must
+    /// [`fill`](ComputeTicket::fill) the ticket with the outcome when
+    /// done. Dropping the ticket unfilled (e.g. on panic) releases the
+    /// claim and wakes waiters so another worker can retry.
+    Compute(ComputeTicket<'a>),
+}
+
+/// Ownership of one in-flight computation — see [`Claim::Compute`].
+#[derive(Debug)]
+pub struct ComputeTicket<'a> {
+    cache: &'a FingerprintCache,
+    key: String,
+    filled: bool,
+}
+
+impl ComputeTicket<'_> {
+    /// Publishes the outcome, waking any workers blocked on this
+    /// fingerprint.
+    pub fn fill(mut self, status: FragmentStatus) {
+        self.cache.lock_map().insert(std::mem::take(&mut self.key), Slot::Done(status));
+        self.cache.done.notify_all();
+        self.filled = true;
+    }
+}
+
+impl Drop for ComputeTicket<'_> {
+    fn drop(&mut self) {
+        if self.filled {
+            return;
+        }
+        // The owner is abandoning the claim (most likely unwinding from a
+        // panic in synthesis). Remove the Pending slot and wake waiters so
+        // they can claim the computation themselves instead of blocking
+        // forever.
+        let mut map = self.cache.lock_map();
+        if matches!(map.get(&self.key), Some(Slot::Pending)) {
+            map.remove(&self.key);
+        }
+        drop(map);
+        self.cache.done.notify_all();
+    }
+}
+
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Done is the long-lived state
+enum Slot {
+    /// A worker is computing this problem right now.
+    Pending,
+    /// The computed outcome.
+    Done(FragmentStatus),
+}
+
+/// A concurrent, single-flight cache mapping synthesis-problem
+/// fingerprints to their outcomes.
+///
+/// Entries are keyed by the full [`canonical`](crate::canonical) problem
+/// text (kernel program + source schemas + configuration), not by a
+/// digest, so distinct problems can never collide. Because the key
+/// identifies the exact synthesis problem and the search is
+/// deterministic, a cached status can be returned verbatim: re-running
+/// the pipeline would reproduce it bit for bit.
+///
+/// The cache is **single-flight**: when two workers claim the same
+/// fingerprint concurrently, one computes and the other blocks until the
+/// result lands, rather than duplicating a potentially seconds-long
+/// search. The cache is shared by all workers of a batch run and persists
+/// across runs of the same [`BatchRunner`](crate::BatchRunner), so a
+/// second corpus pass is pure lookups.
+#[derive(Debug, Default)]
+pub struct FingerprintCache {
+    map: Mutex<HashMap<String, Slot>>,
+    done: Condvar,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl FingerprintCache {
+    /// An empty cache.
+    pub fn new() -> FingerprintCache {
+        FingerprintCache::default()
+    }
+
+    /// Locks the slot map, recovering from poisoning (a worker that
+    /// panicked while holding the lock cannot corrupt a `HashMap` insert/
+    /// remove in a way readers would observe).
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Non-blocking [`claim`](FingerprintCache::claim): returns `None`
+    /// instead of waiting when another worker is computing this problem.
+    ///
+    /// Batch workers use this on their first pass so they can defer an
+    /// in-flight duplicate and keep pulling fresh work instead of
+    /// sleeping behind it.
+    pub fn try_claim(&self, key: &str) -> Option<Claim<'_>> {
+        let mut map = self.lock_map();
+        match map.get(key) {
+            None => {
+                map.insert(key.to_string(), Slot::Pending);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Some(Claim::Compute(ComputeTicket {
+                    cache: self,
+                    key: key.to_string(),
+                    filled: false,
+                }))
+            }
+            Some(Slot::Done(status)) => {
+                let status = status.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Claim::Hit(status))
+            }
+            Some(Slot::Pending) => None,
+        }
+    }
+
+    /// Resolves a canonical problem key: a [`Claim::Hit`] with the cached
+    /// outcome (blocking while another worker computes it), or a
+    /// [`Claim::Compute`] ticket making this caller responsible for
+    /// filling it.
+    pub fn claim(&self, key: &str) -> Claim<'_> {
+        let mut map = self.lock_map();
+        loop {
+            match map.get(key) {
+                None => {
+                    map.insert(key.to_string(), Slot::Pending);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Compute(ComputeTicket {
+                        cache: self,
+                        key: key.to_string(),
+                        filled: false,
+                    });
+                }
+                Some(Slot::Done(status)) => {
+                    let status = status.clone();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Hit(status);
+                }
+                Some(Slot::Pending) => {
+                    map = self.done.wait(map).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking peek at a completed outcome.
+    pub fn get(&self, key: &str) -> Option<FragmentStatus> {
+        match self.lock_map().get(key) {
+            Some(Slot::Done(status)) => Some(status.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of problems cached or in flight.
+    pub fn len(&self) -> usize {
+        self.lock_map().len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime claims answered from the cache (including after waiting).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime claims that had to compute.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+    use std::time::Duration;
+
+    fn failed(reason: &str) -> FragmentStatus {
+        FragmentStatus::Failed { reason: reason.into() }
+    }
+
+    #[test]
+    fn claim_then_fill_then_hit() {
+        let cache = FingerprintCache::new();
+        let fp = "problem-42";
+        match cache.claim(fp) {
+            Claim::Compute(ticket) => {
+                assert!(cache.get(fp).is_none(), "pending entries are not done");
+                ticket.fill(failed("x"));
+            }
+            Claim::Hit(_) => panic!("fresh cache cannot hit"),
+        }
+        assert!(matches!(cache.claim(fp), Claim::Hit(FragmentStatus::Failed { .. })));
+        assert!(cache.get(fp).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_duplicate_waits_for_single_flight() {
+        let cache = FingerprintCache::new();
+        let fp = "problem-7";
+        let Claim::Compute(ticket) = cache.claim(fp) else { panic!("fresh cache cannot hit") };
+        let filled = AtomicBool::new(false);
+        thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                // Blocks until the owner fills, then observes the result.
+                let claim = cache.claim(fp);
+                assert!(filled.load(Ordering::SeqCst), "woke before fill");
+                assert!(matches!(claim, Claim::Hit(_)));
+            });
+            thread::sleep(Duration::from_millis(50));
+            filled.store(true, Ordering::SeqCst);
+            ticket.fill(failed("done"));
+            waiter.join().expect("waiter");
+        });
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn abandoned_ticket_releases_claim_to_waiters() {
+        let cache = FingerprintCache::new();
+        let fp = "problem-9";
+        let Claim::Compute(ticket) = cache.claim(fp) else { panic!("fresh cache cannot hit") };
+        thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                // The owner abandons (simulating a panic); the waiter must
+                // wake up owning the computation instead of hanging.
+                match cache.claim(fp) {
+                    Claim::Compute(ticket) => ticket.fill(failed("recovered")),
+                    Claim::Hit(_) => panic!("nothing was filled yet"),
+                }
+            });
+            thread::sleep(Duration::from_millis(50));
+            drop(ticket); // abandon without filling
+            waiter.join().expect("waiter");
+        });
+        assert!(matches!(cache.claim(fp), Claim::Hit(FragmentStatus::Failed { .. })));
+    }
+}

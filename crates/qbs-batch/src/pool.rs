@@ -1,0 +1,111 @@
+//! The shared counterexample pool.
+
+use qbs_tor::Env;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Per-shape cap on retained counterexamples. Screening cost is linear in
+/// the seed count, so an unbounded pool would eventually cost more than the
+/// bounded checks it avoids.
+const PER_SHAPE_CAP: usize = 64;
+
+/// A concurrent pool of counterexample environments, keyed by template
+/// shape.
+///
+/// Counterexamples mined while CEGIS-refuting one fragment are recorded
+/// under the fragment's [`shape_key`](crate::shape_key); later fragments
+/// with the same shape seed their [`CexCache`](qbs_verify::CexCache) from
+/// the pool and skip the bounded checks that would re-discover the same
+/// refutations.
+///
+/// # Why sharing preserves determinism
+///
+/// Screening uses [`refutes`](qbs_verify::refutes): a seeded environment
+/// can only reject a candidate by *provably falsifying* one of the
+/// fragment's verification conditions on a concrete store — environments
+/// that merely fail to evaluate (mined under a candidate with different
+/// derived variables) reject nothing. Fragments with equal shape keys run
+/// their bounded and extended checkers over the identical store sets
+/// (stores depend on sources, schemas, parameter types, and
+/// configuration — all part of the key — and never on the predicate
+/// literals the key masks). So any pooled environment is drawn from store
+/// sets the receiving fragment itself explores: a candidate it genuinely
+/// refutes would also have been refuted by the fragment's own checking
+/// (and a prover-certified candidate can never be falsified by a valid
+/// store in the first place). The accepted candidate — and the generated
+/// SQL — is therefore identical with or without seeding, regardless of
+/// worker interleaving; only the amount of checking work changes.
+#[derive(Debug, Default)]
+pub struct CexPool {
+    by_shape: Mutex<HashMap<String, Vec<Env>>>,
+}
+
+impl CexPool {
+    /// An empty pool.
+    pub fn new() -> CexPool {
+        CexPool::default()
+    }
+
+    /// Counterexamples recorded so far for a template shape.
+    pub fn seeds(&self, shape: &str) -> Vec<Env> {
+        self.by_shape.lock().expect("pool lock").get(shape).cloned().unwrap_or_default()
+    }
+
+    /// Records a counterexample mined for a template shape. Duplicates are
+    /// dropped; each shape retains at most [`PER_SHAPE_CAP`] environments.
+    pub fn record(&self, shape: &str, env: &Env) {
+        let mut map = self.by_shape.lock().expect("pool lock");
+        let envs = map.entry(shape.to_string()).or_default();
+        if envs.len() < PER_SHAPE_CAP && !envs.contains(env) {
+            envs.push(env.clone());
+        }
+    }
+
+    /// Number of distinct template shapes seen.
+    pub fn shapes(&self) -> usize {
+        self.by_shape.lock().expect("pool lock").len()
+    }
+
+    /// Total counterexamples retained across all shapes.
+    pub fn len(&self) -> usize {
+        self.by_shape.lock().expect("pool lock").values().map(Vec::len).sum()
+    }
+
+    /// True when no counterexample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_shape_and_dedups() {
+        let pool = CexPool::new();
+        let mut env = Env::new();
+        env.bind("i", qbs_common::Value::from(1i64));
+        pool.record("s7", &env);
+        pool.record("s7", &env);
+        let mut other = Env::new();
+        other.bind("i", qbs_common::Value::from(2i64));
+        pool.record("s7", &other);
+        pool.record("s9", &env);
+        assert_eq!(pool.seeds("s7").len(), 2);
+        assert_eq!(pool.seeds("s9").len(), 1);
+        assert_eq!(pool.seeds("s8").len(), 0);
+        assert_eq!((pool.shapes(), pool.len()), (2, 3));
+    }
+
+    #[test]
+    fn caps_per_shape() {
+        let pool = CexPool::new();
+        for i in 0..200i64 {
+            let mut env = Env::new();
+            env.bind("i", qbs_common::Value::from(i));
+            pool.record("s1", &env);
+        }
+        assert_eq!(pool.len(), PER_SHAPE_CAP);
+    }
+}

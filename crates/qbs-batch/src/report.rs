@@ -1,0 +1,222 @@
+//! Corpus-level aggregation of per-fragment outcomes.
+
+use qbs::{FragmentStatus, StatusCounts};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// The outcome of one fragment within a batch run.
+#[derive(Clone, Debug)]
+pub struct FragmentResult {
+    /// Name of the batch input the fragment came from.
+    pub input: String,
+    /// Method name inside the input source.
+    pub method: String,
+    /// Pipeline outcome.
+    pub status: FragmentStatus,
+    /// True when the status came from the fingerprint cache instead of a
+    /// fresh synthesis run.
+    pub memo_hit: bool,
+    /// Counterexamples seeded from the shared pool before the search.
+    pub cexes_seeded: usize,
+    /// Wall-clock time this fragment took on its worker.
+    pub elapsed: Duration,
+}
+
+/// Aggregate report for one batch run — the corpus-level analogue of
+/// [`QbsReport`](qbs::QbsReport).
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-fragment results, in input order.
+    pub fragments: Vec<FragmentResult>,
+    /// End-to-end wall-clock time of the batch.
+    pub wall_clock: Duration,
+    /// Sum of per-fragment time as observed on each worker — roughly what
+    /// a sequential run would cost. With more workers than cores, OS
+    /// timeslicing inflates the per-fragment observations, so treat this
+    /// as an upper bound on pure compute time.
+    pub cpu_time: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Distinct template shapes in the counterexample pool after the run.
+    pub pool_shapes: usize,
+    /// Counterexamples retained in the pool after the run.
+    pub pool_cexes: usize,
+}
+
+impl BatchReport {
+    /// Aggregate status counts (the Fig. 13 row for the whole batch).
+    pub fn counts(&self) -> StatusCounts {
+        let mut c = StatusCounts { total: self.fragments.len(), ..StatusCounts::default() };
+        for fr in &self.fragments {
+            match fr.status {
+                FragmentStatus::Translated { .. } => c.translated += 1,
+                FragmentStatus::Rejected { .. } => c.rejected += 1,
+                FragmentStatus::Failed { .. } => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// Histogram of template complexity levels over translated fragments
+    /// (the paper's "iterations needed" distribution).
+    pub fn level_histogram(&self) -> BTreeMap<usize, usize> {
+        let mut h = BTreeMap::new();
+        for fr in &self.fragments {
+            if let FragmentStatus::Translated { stats, .. } = &fr.status {
+                *h.entry(stats.levels_used).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+
+    /// Fragments answered from the fingerprint cache.
+    pub fn memo_hits(&self) -> usize {
+        self.fragments.iter().filter(|f| f.memo_hit).count()
+    }
+
+    /// Fraction of fragments answered from the fingerprint cache.
+    pub fn memo_hit_rate(&self) -> f64 {
+        if self.fragments.is_empty() {
+            return 0.0;
+        }
+        self.memo_hits() as f64 / self.fragments.len() as f64
+    }
+
+    /// Total counterexamples seeded from the shared pool.
+    pub fn cexes_seeded(&self) -> usize {
+        self.fragments.iter().map(|f| f.cexes_seeded).sum()
+    }
+
+    /// Total candidates tried by *successful* searches (0 for memo hits:
+    /// no search ran).
+    ///
+    /// Failed fragments exhaust their candidate space but the pipeline
+    /// folds their statistics into the failure reason, so their effort is
+    /// not included here; treat this as a lower bound on total search
+    /// work. It is still an exact zero-work indicator for fully memoized
+    /// runs, which is what the cache tests rely on.
+    pub fn candidates_tried(&self) -> usize {
+        self.fragments
+            .iter()
+            .filter(|f| !f.memo_hit)
+            .map(|f| match &f.status {
+                FragmentStatus::Translated { stats, .. } => stats.candidates_tried,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// CPU-time over wall-clock — the effective speedup versus running
+    /// the same per-fragment work sequentially (see [`BatchReport::cpu_time`]
+    /// for the measurement caveat).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_clock.is_zero() {
+            return 1.0;
+        }
+        self.cpu_time.as_secs_f64() / self.wall_clock.as_secs_f64()
+    }
+
+    /// The result for a given (input, method) pair.
+    pub fn fragment(&self, input: &str, method: &str) -> Option<&FragmentResult> {
+        self.fragments.iter().find(|f| f.input == input && f.method == method)
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "batch of {}", self.counts())?;
+        writeln!(
+            f,
+            "workers: {}  wall-clock: {:.2}s  cpu: {:.2}s  speedup: {:.2}x",
+            self.workers,
+            self.wall_clock.as_secs_f64(),
+            self.cpu_time.as_secs_f64(),
+            self.speedup(),
+        )?;
+        writeln!(
+            f,
+            "fingerprint cache: {}/{} hits ({:.0}%)",
+            self.memo_hits(),
+            self.fragments.len(),
+            self.memo_hit_rate() * 100.0,
+        )?;
+        writeln!(
+            f,
+            "cex pool: {} shapes, {} counterexamples retained, {} seeded into searches",
+            self.pool_shapes,
+            self.pool_cexes,
+            self.cexes_seeded(),
+        )?;
+        let hist = self.level_histogram();
+        if !hist.is_empty() {
+            write!(f, "levels:")?;
+            for (level, count) in hist {
+                write!(f, " {level}\u{2192}{count}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_synth::SynthStats;
+
+    fn translated(levels: usize) -> FragmentStatus {
+        FragmentStatus::Translated {
+            sql: qbs_sql::parse_query("SELECT id FROM t")
+                .map(qbs_sql::SqlQuery::Select)
+                .unwrap(),
+            post: qbs_tor::TorExpr::var("out"),
+            proof: qbs_synth::ProofStatus::Proved,
+            stats: SynthStats {
+                levels_used: levels,
+                candidates_tried: 3,
+                ..SynthStats::default()
+            },
+        }
+    }
+
+    fn result(status: FragmentStatus, memo_hit: bool) -> FragmentResult {
+        FragmentResult {
+            input: "in".into(),
+            method: "m".into(),
+            status,
+            memo_hit,
+            cexes_seeded: 2,
+            elapsed: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn aggregates_counts_levels_and_rates() {
+        let report = BatchReport {
+            fragments: vec![
+                result(translated(1), false),
+                result(translated(1), true),
+                result(translated(3), false),
+                result(FragmentStatus::Rejected { reason: "r".into() }, false),
+                result(FragmentStatus::Failed { reason: "f".into() }, false),
+            ],
+            wall_clock: Duration::from_millis(25),
+            cpu_time: Duration::from_millis(50),
+            workers: 2,
+            pool_shapes: 1,
+            pool_cexes: 4,
+        };
+        let c = report.counts();
+        assert_eq!((c.total, c.translated, c.rejected, c.failed), (5, 3, 1, 1));
+        assert_eq!(report.level_histogram(), BTreeMap::from([(1, 2), (3, 1)]));
+        assert_eq!(report.memo_hits(), 1);
+        assert!((report.memo_hit_rate() - 0.2).abs() < 1e-9);
+        assert_eq!(report.cexes_seeded(), 10);
+        assert_eq!(report.candidates_tried(), 6);
+        assert!((report.speedup() - 2.0).abs() < 0.01);
+        let text = report.to_string();
+        assert!(text.contains("speedup"), "{text}");
+        assert!(text.contains("fingerprint cache: 1/5"), "{text}");
+    }
+}

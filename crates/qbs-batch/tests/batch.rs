@@ -1,0 +1,164 @@
+//! Batch-driver guarantees: parallel corpus runs are observationally
+//! identical to a sequential loop over `Pipeline::infer`, and re-runs are
+//! answered entirely from the fingerprint cache.
+
+use qbs::{FragmentStatus, Pipeline};
+use qbs_batch::{corpus_inputs, BatchConfig, BatchInput, BatchRunner, RunBatch};
+use qbs_corpus::{all_fragments, wilos_model, ExpectedStatus};
+
+/// Status glyph plus the observable payload (generated SQL for translated
+/// fragments), ignoring search statistics and timings.
+fn observable(status: &FragmentStatus) -> String {
+    match status {
+        FragmentStatus::Translated { sql, .. } => format!("X {sql}"),
+        FragmentStatus::Rejected { .. } => "†".to_string(),
+        FragmentStatus::Failed { .. } => "*".to_string(),
+    }
+}
+
+/// The tentpole determinism guarantee: a parallel `run` over the whole
+/// 49-fragment corpus — memoization and counterexample sharing enabled —
+/// produces the same per-fragment statuses and SQL as a sequential loop
+/// over `Pipeline::run_source` / `Pipeline::infer`.
+#[test]
+fn parallel_batch_matches_sequential_infer() {
+    let inputs = corpus_inputs();
+    let runner = BatchRunner::new(BatchConfig {
+        workers: 4,
+        memoize: true,
+        share_counterexamples: true,
+        ..BatchConfig::default()
+    });
+    let report = runner.run(&inputs);
+    assert_eq!(report.fragments.len(), 49, "one result per corpus fragment");
+    assert_eq!(report.workers, 4);
+
+    for (result, frag) in report.fragments.iter().zip(all_fragments()) {
+        let sequential = Pipeline::new(frag.model())
+            .run_source(&frag.source)
+            .expect("corpus fragments parse");
+        assert_eq!(sequential.fragments.len(), 1, "fragment {}", frag.id);
+        assert_eq!(
+            observable(&result.status),
+            observable(&sequential.fragments[0].status),
+            "fragment {} diverged between batch and sequential runs",
+            frag.id,
+        );
+    }
+
+    // And the batch reproduces the paper's Fig. 13 totals.
+    let counts = report.counts();
+    assert_eq!(
+        (counts.total, counts.translated, counts.rejected, counts.failed),
+        (49, 33, 9, 7),
+    );
+}
+
+/// A second run over the same inputs must be pure fingerprint-cache hits:
+/// 100% hit rate and zero new candidates tried. (Rejected fragments never
+/// reach synthesis, so the corpus is filtered to fragments with kernels.)
+#[test]
+fn second_batch_run_is_pure_cache_hits() {
+    let fragments = all_fragments();
+    let inputs: Vec<BatchInput> = fragments
+        .iter()
+        .filter(|f| f.expected != ExpectedStatus::Rejected)
+        .take(12)
+        .map(BatchInput::from)
+        .collect();
+    let runner = BatchRunner::new(BatchConfig::with_workers(2));
+
+    let first = runner.run(&inputs);
+    assert_eq!(first.memo_hits(), 0, "fresh cache cannot hit");
+
+    let second = runner.run(&inputs);
+    assert_eq!(second.memo_hits(), inputs.len(), "every fragment must hit the cache");
+    assert!((second.memo_hit_rate() - 1.0).abs() < f64::EPSILON);
+    assert_eq!(second.candidates_tried(), 0, "no new synthesis may run");
+    for (a, b) in first.fragments.iter().zip(&second.fragments) {
+        assert_eq!(observable(&a.status), observable(&b.status));
+    }
+}
+
+/// Counterexamples recorded for one fragment seed later same-shape
+/// fragments, and seeding does not change what is synthesized.
+#[test]
+fn same_shape_fragments_share_counterexamples() {
+    let variant = |k: usize| {
+        let source = format!(
+            r#"
+class S {{
+    public List<Project> variant{k}() {{
+        List<Project> ps = projectDao.getProjects();
+        List<Project> out = new ArrayList<Project>();
+        for (Project p : ps) {{
+            if (p.managerId == {k}) {{
+                out.add(p);
+            }}
+        }}
+        return out;
+    }}
+}}
+"#
+        );
+        BatchInput::new(format!("variant{k}"), wilos_model(), source)
+    };
+    let inputs: Vec<BatchInput> = (1..=3).map(variant).collect();
+
+    let shared = BatchRunner::new(BatchConfig {
+        workers: 1,
+        memoize: false,
+        share_counterexamples: true,
+        ..BatchConfig::default()
+    });
+    let report = shared.run(&inputs);
+    assert_eq!(report.pool_shapes, 1, "constant variants must share one shape");
+    assert!(report.cexes_seeded() > 0, "later variants must be seeded from the pool");
+
+    let isolated = BatchRunner::new(BatchConfig {
+        workers: 1,
+        memoize: false,
+        share_counterexamples: false,
+        ..BatchConfig::default()
+    });
+    let baseline = isolated.run(&inputs);
+    for (a, b) in report.fragments.iter().zip(&baseline.fragments) {
+        assert_eq!(observable(&a.status), observable(&b.status));
+        assert!(matches!(a.status, FragmentStatus::Translated { .. }), "{}", a.input);
+    }
+}
+
+/// The `Pipeline::run_batch` entry point fans sources over the pipeline's
+/// own model and configuration — and parallelizes at fragment
+/// granularity, so a single source with several methods still uses every
+/// worker.
+#[test]
+fn run_batch_entry_point_on_pipeline() {
+    let method = |k: usize| {
+        format!(
+            r#"
+    public List<Project> f{k}() {{
+        List<Project> ps = projectDao.getProjects();
+        List<Project> out = new ArrayList<Project>();
+        for (Project p : ps) {{
+            if (p.managerId == {k}) {{ out.add(p); }}
+        }}
+        return out;
+    }}
+"#
+        )
+    };
+    // One source, two methods: with input-level scheduling this would be
+    // a single job; fragment-level scheduling makes it two.
+    let sources = vec![format!("class S {{\n{}{}\n}}", method(1), method(2))];
+    let pipeline = Pipeline::new(wilos_model());
+    let report = pipeline.run_batch(&sources, &BatchConfig::with_workers(2));
+    let counts = report.counts();
+    assert_eq!((counts.total, counts.translated), (2, 2));
+    assert_eq!(report.workers, 2, "both workers must be usable for one two-method source");
+    let sql = match &report.fragments[1].status {
+        FragmentStatus::Translated { sql, .. } => sql.to_string(),
+        other => panic!("expected translation, got {other:?}"),
+    };
+    assert!(sql.contains("managerId = 2"), "{sql}");
+}

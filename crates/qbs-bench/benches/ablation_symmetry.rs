@@ -40,9 +40,7 @@ fn bench(c: &mut Criterion) {
     for (label, break_symmetries) in [("on", true), ("off", false)] {
         let config = SynthConfig { break_symmetries, ..SynthConfig::default() };
         g.bench_function(label, |b| {
-            b.iter(|| {
-                synthesize(&kernel, &TypeEnv::new(), &config).expect("synthesizes")
-            });
+            b.iter(|| synthesize(&kernel, &TypeEnv::new(), &config).expect("synthesizes"));
         });
     }
     g.finish();

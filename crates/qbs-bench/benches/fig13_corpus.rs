@@ -1,9 +1,9 @@
 //! Fig. 13 / Appendix A — synthesis cost per fragment idiom.
 //!
-//! The paper reports per-fragment synthesis times (19s–310s on their SKETCH
-//! + Z3 stack); this bench regenerates the same column for representative
-//! fragments of each operation category on our enumerative CEGIS + rewrite
-//! prover stack.
+//! The paper reports per-fragment synthesis times (19s–310s on their
+//! SKETCH/Z3 stack); this bench regenerates the same column for
+//! representative fragments of each operation category on our enumerative
+//! CEGIS and rewrite-prover stack.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qbs_bench::{fragment, translate};

@@ -4,13 +4,16 @@
 //!
 //! * `fig13_corpus` — synthesis cost per fragment idiom (the Appendix A
 //!   "time (s)" column);
+//! * `fig13_batch` — corpus-scale runs: sequential `Pipeline` loop vs. the
+//!   `qbs-batch` worker pool with fingerprint memoization and
+//!   counterexample sharing;
 //! * `fig14_selection`, `fig14_join`, `fig14_aggregation` — page-load
 //!   comparisons of original vs. inferred code (Fig. 14a–d);
 //! * `ablation_symmetry` — solving cost with and without the symmetry
 //!   breaking of Sec. 4.5.
 
 use qbs::Pipeline;
-use qbs_corpus::{all_fragments, CorpusFragment};
+use qbs_corpus::{all_fragments, CorpusFragment, ExpectedStatus};
 
 /// Fetches a corpus fragment by Appendix A number.
 ///
@@ -24,20 +27,57 @@ pub fn fragment(id: usize) -> CorpusFragment {
         .unwrap_or_else(|| panic!("fragment {id} exists"))
 }
 
-/// Runs the full pipeline on a fragment and asserts it translates.
+/// Runs the full pipeline on a fragment and checks the outcome against the
+/// fragment's expected Appendix A status.
+///
+/// Fragments the paper itself reports as rejected (`†`) or failed (`*`) —
+/// e.g. the category-B/C idioms outside the template language — are *not*
+/// required to translate; benches timing such fragments measure the cost
+/// of the (legitimate) rejection or failure path instead of aborting the
+/// whole run.
 ///
 /// # Panics
 ///
-/// Panics when the fragment does not translate.
+/// Panics only when the outcome *disagrees* with the paper's expected
+/// status (a translation regression, or an unexpected translation).
 pub fn translate(frag: &CorpusFragment) -> qbs::FragmentStatus {
-    let report = Pipeline::new(frag.model())
-        .run_source(&frag.source)
-        .expect("corpus fragments parse");
+    let report =
+        Pipeline::new(frag.model()).run_source(&frag.source).expect("corpus fragments parse");
     let status = report.fragments.into_iter().next().expect("one fragment").status;
-    assert!(
-        matches!(status, qbs::FragmentStatus::Translated { .. }),
-        "fragment {} must translate",
-        frag.id
+    let got = match status {
+        qbs::FragmentStatus::Translated { .. } => ExpectedStatus::Translated,
+        qbs::FragmentStatus::Rejected { .. } => ExpectedStatus::Rejected,
+        qbs::FragmentStatus::Failed { .. } => ExpectedStatus::Failed,
+    };
+    assert_eq!(
+        got,
+        frag.expected,
+        "fragment {} must reproduce its Appendix A status ({})",
+        frag.id,
+        frag.expected.glyph(),
     );
     status
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_accepts_expected_failures() {
+        // Fragment #3 is a category-L failure (`*`) in the paper; the old
+        // harness aborted on it, the fixed one returns the failure status.
+        let frag = fragment(3);
+        assert_eq!(frag.expected, ExpectedStatus::Failed);
+        let status = translate(&frag);
+        assert!(matches!(status, qbs::FragmentStatus::Failed { .. }));
+    }
+
+    #[test]
+    fn translate_still_asserts_translations() {
+        let frag = fragment(40);
+        assert_eq!(frag.expected, ExpectedStatus::Translated);
+        let status = translate(&frag);
+        assert!(matches!(status, qbs::FragmentStatus::Translated { .. }));
+    }
 }

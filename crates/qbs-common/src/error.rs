@@ -68,7 +68,8 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = CommonError::UnknownField { field: "x".into(), schema: "t(a: int)".into() };
         assert_eq!(e.to_string(), "unknown field `x` in schema t(a: int)");
-        let e = CommonError::TypeMismatch { expected: "int", found: "str", context: "sum".into() };
+        let e =
+            CommonError::TypeMismatch { expected: "int", found: "str", context: "sum".into() };
         assert!(e.to_string().contains("sum"));
     }
 }

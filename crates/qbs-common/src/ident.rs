@@ -103,7 +103,7 @@ mod tests {
 
     #[test]
     fn ident_ordering_is_lexicographic() {
-        let mut v = vec![Ident::new("b"), Ident::new("a")];
+        let mut v = [Ident::new("b"), Ident::new("a")];
         v.sort();
         assert_eq!(v[0], "a");
     }

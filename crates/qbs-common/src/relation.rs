@@ -186,10 +186,7 @@ mod tests {
     use crate::{FieldType, Schema, Value};
 
     fn schema() -> SchemaRef {
-        Schema::builder("t")
-            .field("a", FieldType::Int)
-            .field("b", FieldType::Str)
-            .finish()
+        Schema::builder("t").field("a", FieldType::Int).field("b", FieldType::Str).finish()
     }
 
     fn rec(s: &SchemaRef, a: i64, b: &str) -> Record {
@@ -208,8 +205,10 @@ mod tests {
     #[test]
     fn equality_is_order_sensitive() {
         let s = schema();
-        let r1 = Relation::from_records(s.clone(), vec![rec(&s, 1, "a"), rec(&s, 2, "b")]).unwrap();
-        let r2 = Relation::from_records(s.clone(), vec![rec(&s, 2, "b"), rec(&s, 1, "a")]).unwrap();
+        let r1 =
+            Relation::from_records(s.clone(), vec![rec(&s, 1, "a"), rec(&s, 2, "b")]).unwrap();
+        let r2 =
+            Relation::from_records(s.clone(), vec![rec(&s, 2, "b"), rec(&s, 1, "a")]).unwrap();
         assert_ne!(r1, r2, "same contents, different order must differ");
     }
 

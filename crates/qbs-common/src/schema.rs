@@ -45,7 +45,11 @@ impl Field {
     }
 
     /// Creates a field qualified by a table/class name.
-    pub fn qualified(qualifier: impl Into<Ident>, name: impl Into<Ident>, ty: FieldType) -> Self {
+    pub fn qualified(
+        qualifier: impl Into<Ident>,
+        name: impl Into<Ident>,
+        ty: FieldType,
+    ) -> Self {
         Field { qualifier: Some(qualifier.into()), name: name.into(), ty }
     }
 
@@ -183,7 +187,10 @@ impl Schema {
                 found = Some(i);
             }
         }
-        found.ok_or_else(|| CommonError::UnknownField { field: fref.clone(), schema: self.describe() })
+        found.ok_or_else(|| CommonError::UnknownField {
+            field: fref.clone(),
+            schema: self.describe(),
+        })
     }
 
     /// Resolves a field reference to the field itself.
@@ -307,10 +314,7 @@ mod tests {
     #[test]
     fn unknown_field_is_error() {
         let s = users();
-        assert!(matches!(
-            s.index_of(&"missing".into()),
-            Err(CommonError::UnknownField { .. })
-        ));
+        assert!(matches!(s.index_of(&"missing".into()), Err(CommonError::UnknownField { .. })));
     }
 
     #[test]

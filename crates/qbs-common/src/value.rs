@@ -85,7 +85,7 @@ impl Value {
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 

@@ -53,11 +53,8 @@ pub fn populate_wilos(cfg: &WilosConfig) -> Database {
 
     let roles = cfg.roles.max(1);
     for r in 0..roles {
-        db.insert("roles", vec![
-            Value::from(r as i64),
-            Value::from(format!("role{r}")),
-        ])
-        .expect("insert");
+        db.insert("roles", vec![Value::from(r as i64), Value::from(format!("role{r}"))])
+            .expect("insert");
     }
     let managers = (cfg.users as f64 * cfg.manager_fraction) as usize;
     for u in 0..cfg.users {
@@ -73,43 +70,58 @@ pub fn populate_wilos(cfg: &WilosConfig) -> Database {
                 r
             }
         };
-        db.insert("users", vec![
-            Value::from(u as i64),
-            Value::from(role),
-            Value::from(u % 2 == 0),
-            Value::from(format!("user{u}")),
-        ])
+        db.insert(
+            "users",
+            vec![
+                Value::from(u as i64),
+                Value::from(role),
+                Value::from(u % 2 == 0),
+                Value::from(format!("user{u}")),
+            ],
+        )
         .expect("insert");
         for k in 0..cfg.assoc_per_parent {
-            db.insert("participants", vec![
-                Value::from((u * cfg.assoc_per_parent + k) as i64),
-                Value::from((u % (cfg.projects.max(1))) as i64),
-                Value::from(role),
-            ])
+            db.insert(
+                "participants",
+                vec![
+                    Value::from((u * cfg.assoc_per_parent + k) as i64),
+                    Value::from((u % (cfg.projects.max(1))) as i64),
+                    Value::from(role),
+                ],
+            )
             .expect("insert");
         }
     }
     let unfinished = (cfg.projects as f64 * cfg.unfinished_fraction) as usize;
     for p in 0..cfg.projects {
-        db.insert("projects", vec![
-            Value::from(p as i64),
-            Value::from(rng.gen_range(0..cfg.users.max(1)) as i64),
-            Value::from(p >= unfinished),
-            Value::from(format!("project{p}")),
-        ])
+        db.insert(
+            "projects",
+            vec![
+                Value::from(p as i64),
+                Value::from(rng.gen_range(0..cfg.users.max(1)) as i64),
+                Value::from(p >= unfinished),
+                Value::from(format!("project{p}")),
+            ],
+        )
         .expect("insert");
         for k in 0..cfg.assoc_per_parent {
-            db.insert("activities", vec![
-                Value::from((p * cfg.assoc_per_parent + k) as i64),
-                Value::from(p as i64),
-                Value::from((k % 3) as i64),
-            ])
+            db.insert(
+                "activities",
+                vec![
+                    Value::from((p * cfg.assoc_per_parent + k) as i64),
+                    Value::from(p as i64),
+                    Value::from((k % 3) as i64),
+                ],
+            )
             .expect("insert");
-            db.insert("workproducts", vec![
-                Value::from((p * cfg.assoc_per_parent + k) as i64),
-                Value::from(p as i64),
-                Value::from((k % 2) as i64),
-            ])
+            db.insert(
+                "workproducts",
+                vec![
+                    Value::from((p * cfg.assoc_per_parent + k) as i64),
+                    Value::from(p as i64),
+                    Value::from((k % 2) as i64),
+                ],
+            )
             .expect("insert");
         }
     }
@@ -131,35 +143,43 @@ pub fn populate_itracker(rows: usize, seed: u64) -> Database {
     db.create_table(schema::itusers_schema()).expect("fresh db");
     db.create_table(schema::notifications_schema()).expect("fresh db");
     for i in 0..rows {
-        db.insert("issues", vec![
-            Value::from(i as i64),
-            Value::from((i % 10) as i64),
-            Value::from(rng.gen_range(0..4i64)),
-            Value::from(rng.gen_range(0..5i64)),
-            Value::from((i % 7) as i64),
-        ])
+        db.insert(
+            "issues",
+            vec![
+                Value::from(i as i64),
+                Value::from((i % 10) as i64),
+                Value::from(rng.gen_range(0..4i64)),
+                Value::from(rng.gen_range(0..5i64)),
+                Value::from((i % 7) as i64),
+            ],
+        )
         .expect("insert");
-        db.insert("notifications", vec![
-            Value::from(i as i64),
-            Value::from((i % 13) as i64),
-            Value::from((i % 5) as i64),
-        ])
+        db.insert(
+            "notifications",
+            vec![
+                Value::from(i as i64),
+                Value::from((i % 13) as i64),
+                Value::from((i % 5) as i64),
+            ],
+        )
         .expect("insert");
     }
     for p in 0..10usize {
-        db.insert("itprojects", vec![
-            Value::from(p as i64),
-            Value::from((p % 2) as i64),
-            Value::from(format!("proj{p}")),
-        ])
+        db.insert(
+            "itprojects",
+            vec![
+                Value::from(p as i64),
+                Value::from((p % 2) as i64),
+                Value::from(format!("proj{p}")),
+            ],
+        )
         .expect("insert");
     }
     for u in 0..7usize {
-        db.insert("itusers", vec![
-            Value::from(u as i64),
-            Value::from(u == 0),
-            Value::from(format!("dev{u}")),
-        ])
+        db.insert(
+            "itusers",
+            vec![Value::from(u as i64), Value::from(u == 0), Value::from(format!("dev{u}"))],
+        )
         .expect("insert");
     }
     db

@@ -34,7 +34,21 @@ impl App {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[allow(missing_docs)]
 pub enum Category {
-    A, B, C, D, E, F, G, H, I, J, K, L, M, N, O,
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+    G,
+    H,
+    I,
+    J,
+    K,
+    L,
+    M,
+    N,
+    O,
 }
 
 impl Category {
@@ -123,7 +137,15 @@ fn wrap(id: usize, class: &str, ret: &str, body: &str) -> String {
 }
 
 /// Category A: selection by an integer field.
-fn sel(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+fn sel(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+    v: i64,
+) -> String {
     wrap(
         id,
         class,
@@ -140,7 +162,15 @@ fn sel(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, 
 }
 
 /// Category A with a boolean field selection.
-fn sel_bool(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: bool) -> String {
+fn sel_bool(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+    v: bool,
+) -> String {
     wrap(
         id,
         class,
@@ -222,7 +252,14 @@ fn size_literal(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> S
 }
 
 /// Category C: sort by a field, then take the last element.
-fn sort_last(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str) -> String {
+fn sort_last(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+) -> String {
     wrap(
         id,
         class,
@@ -236,7 +273,14 @@ fn sort_last(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: 
 }
 
 /// Category D: distinct projection into a set.
-fn distinct_proj(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str) -> String {
+fn distinct_proj(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+) -> String {
     wrap(
         id,
         class,
@@ -253,7 +297,14 @@ fn distinct_proj(id: usize, class: &str, dao: &str, ent: &str, getter: &str, fie
 }
 
 /// Rejected D variant: the projected set is stored into an array.
-fn distinct_array(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str) -> String {
+fn distinct_array(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+) -> String {
     wrap(
         id,
         class,
@@ -270,6 +321,7 @@ fn distinct_array(id: usize, class: &str, dao: &str, ent: &str, getter: &str, fi
 }
 
 /// Category E: nested-loop join with projection (the running example shape).
+#[allow(clippy::too_many_arguments)] // mirrors the Appendix A table columns
 fn join_nested(
     id: usize,
     class: &str,
@@ -303,6 +355,7 @@ fn join_nested(
 }
 
 /// Category F: join via `contains` over a projected key list.
+#[allow(clippy::too_many_arguments)] // mirrors the Appendix A table columns
 fn contains_join(
     id: usize,
     class: &str,
@@ -355,7 +408,15 @@ fn type_based(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> Str
 }
 
 /// Category H: existence check via an early constant return.
-fn exists(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+fn exists(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+    v: i64,
+) -> String {
     wrap(
         id,
         class,
@@ -371,7 +432,15 @@ fn exists(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &st
 }
 
 /// Category I: select a single record out of several matches — fails.
-fn single_record(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+fn single_record(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+    v: i64,
+) -> String {
     wrap(
         id,
         class,
@@ -388,7 +457,15 @@ fn single_record(id: usize, class: &str, dao: &str, ent: &str, getter: &str, fie
 }
 
 /// Category J/M: filtered count.
-fn count_filtered(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+fn count_filtered(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+    v: i64,
+) -> String {
     wrap(
         id,
         class,
@@ -420,7 +497,15 @@ fn custom_sort(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> St
 
 /// Category L: projection into an indexed structure, modeled as a
 /// two-accumulator loop (outside the template language) — fails.
-fn array_proj(id: usize, class: &str, dao: &str, ent: &str, getter: &str, f1: &str, f2: &str) -> String {
+fn array_proj(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    f1: &str,
+    f2: &str,
+) -> String {
     wrap(
         id,
         class,
@@ -452,7 +537,15 @@ fn size_only(id: usize, class: &str, dao: &str, ent: &str, getter: &str) -> Stri
 }
 
 /// Category N: in-place removal — fails.
-fn remove_inplace(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str, v: i64) -> String {
+fn remove_inplace(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+    v: i64,
+) -> String {
     wrap(
         id,
         class,
@@ -468,7 +561,14 @@ fn remove_inplace(id: usize, class: &str, dao: &str, ent: &str, getter: &str, fi
 }
 
 /// Category O: running maximum.
-fn running_max(id: usize, class: &str, dao: &str, ent: &str, getter: &str, field: &str) -> String {
+fn running_max(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    field: &str,
+) -> String {
     wrap(
         id,
         class,
@@ -502,120 +602,698 @@ pub fn all_fragments() -> Vec<CorpusFragment> {
 
     vec![
         // ---- itracker (1–16) ----
-        mk(1, IT, "EditProjectFormActionUtil", 219, C::F, X,
-            contains_join(1, "EditProjectFormActionUtil", "issueDao", "Issue", "getIssues", "projectId",
-                "itProjectDao", "ItProject", "getItProjects", "id")),
-        mk(2, IT, "IssueServiceImpl", 1437, C::D, X,
-            distinct_proj(2, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "ownerId")),
-        mk(3, IT, "IssueServiceImpl", 1456, C::L, F,
-            array_proj(3, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "id", "severity")),
-        mk(4, IT, "IssueServiceImpl", 1567, C::C, F,
-            sort_last(4, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "severity")),
-        mk(5, IT, "IssueServiceImpl", 1583, C::M, X,
-            size_only(5, "IssueServiceImpl", "issueDao", "Issue", "getIssues")),
-        mk(6, IT, "IssueServiceImpl", 1592, C::M, X,
-            count_filtered(6, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "status", 1)),
-        mk(7, IT, "IssueServiceImpl", 1601, C::M, X,
-            count_filtered(7, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "severity", 3)),
-        mk(8, IT, "IssueServiceImpl", 1422, C::D, X,
-            distinct_proj(8, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "projectId")),
-        mk(9, IT, "ListProjectsAction", 77, C::N, F,
-            remove_inplace(9, "ListProjectsAction", "itProjectDao", "ItProject", "getItProjects", "status", 0)),
-        mk(10, IT, "MoveIssueFormAction", 144, C::K, F,
-            custom_sort(10, "MoveIssueFormAction", "issueDao", "Issue", "getIssues")),
-        mk(11, IT, "NotificationServiceImpl", 568, C::O, X,
-            running_max(11, "NotificationServiceImpl", "notificationDao", "Notification", "getNotifications", "id")),
-        mk(12, IT, "NotificationServiceImpl", 848, C::A, X,
-            sel(12, "NotificationServiceImpl", "notificationDao", "Notification", "getNotifications", "issueId", 1)),
-        mk(13, IT, "NotificationServiceImpl", 941, C::H, X,
-            exists(13, "NotificationServiceImpl", "notificationDao", "Notification", "getNotifications", "userId", 2)),
-        mk(14, IT, "NotificationServiceImpl", 244, C::O, X,
-            running_max(14, "NotificationServiceImpl", "notificationDao", "Notification", "getNotifications", "issueId")),
-        mk(15, IT, "UserServiceImpl", 155, C::M, X,
-            size_only(15, "UserServiceImpl", "itUserDao", "ItUser", "getItUsers")),
-        mk(16, IT, "UserServiceImpl", 412, C::A, X,
-            sel_bool(16, "UserServiceImpl", "itUserDao", "ItUser", "getItUsers", "superuser", true)),
+        mk(
+            1,
+            IT,
+            "EditProjectFormActionUtil",
+            219,
+            C::F,
+            X,
+            contains_join(
+                1,
+                "EditProjectFormActionUtil",
+                "issueDao",
+                "Issue",
+                "getIssues",
+                "projectId",
+                "itProjectDao",
+                "ItProject",
+                "getItProjects",
+                "id",
+            ),
+        ),
+        mk(
+            2,
+            IT,
+            "IssueServiceImpl",
+            1437,
+            C::D,
+            X,
+            distinct_proj(2, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "ownerId"),
+        ),
+        mk(
+            3,
+            IT,
+            "IssueServiceImpl",
+            1456,
+            C::L,
+            F,
+            array_proj(
+                3,
+                "IssueServiceImpl",
+                "issueDao",
+                "Issue",
+                "getIssues",
+                "id",
+                "severity",
+            ),
+        ),
+        mk(
+            4,
+            IT,
+            "IssueServiceImpl",
+            1567,
+            C::C,
+            F,
+            sort_last(4, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "severity"),
+        ),
+        mk(
+            5,
+            IT,
+            "IssueServiceImpl",
+            1583,
+            C::M,
+            X,
+            size_only(5, "IssueServiceImpl", "issueDao", "Issue", "getIssues"),
+        ),
+        mk(
+            6,
+            IT,
+            "IssueServiceImpl",
+            1592,
+            C::M,
+            X,
+            count_filtered(
+                6,
+                "IssueServiceImpl",
+                "issueDao",
+                "Issue",
+                "getIssues",
+                "status",
+                1,
+            ),
+        ),
+        mk(
+            7,
+            IT,
+            "IssueServiceImpl",
+            1601,
+            C::M,
+            X,
+            count_filtered(
+                7,
+                "IssueServiceImpl",
+                "issueDao",
+                "Issue",
+                "getIssues",
+                "severity",
+                3,
+            ),
+        ),
+        mk(
+            8,
+            IT,
+            "IssueServiceImpl",
+            1422,
+            C::D,
+            X,
+            distinct_proj(8, "IssueServiceImpl", "issueDao", "Issue", "getIssues", "projectId"),
+        ),
+        mk(
+            9,
+            IT,
+            "ListProjectsAction",
+            77,
+            C::N,
+            F,
+            remove_inplace(
+                9,
+                "ListProjectsAction",
+                "itProjectDao",
+                "ItProject",
+                "getItProjects",
+                "status",
+                0,
+            ),
+        ),
+        mk(
+            10,
+            IT,
+            "MoveIssueFormAction",
+            144,
+            C::K,
+            F,
+            custom_sort(10, "MoveIssueFormAction", "issueDao", "Issue", "getIssues"),
+        ),
+        mk(
+            11,
+            IT,
+            "NotificationServiceImpl",
+            568,
+            C::O,
+            X,
+            running_max(
+                11,
+                "NotificationServiceImpl",
+                "notificationDao",
+                "Notification",
+                "getNotifications",
+                "id",
+            ),
+        ),
+        mk(
+            12,
+            IT,
+            "NotificationServiceImpl",
+            848,
+            C::A,
+            X,
+            sel(
+                12,
+                "NotificationServiceImpl",
+                "notificationDao",
+                "Notification",
+                "getNotifications",
+                "issueId",
+                1,
+            ),
+        ),
+        mk(
+            13,
+            IT,
+            "NotificationServiceImpl",
+            941,
+            C::H,
+            X,
+            exists(
+                13,
+                "NotificationServiceImpl",
+                "notificationDao",
+                "Notification",
+                "getNotifications",
+                "userId",
+                2,
+            ),
+        ),
+        mk(
+            14,
+            IT,
+            "NotificationServiceImpl",
+            244,
+            C::O,
+            X,
+            running_max(
+                14,
+                "NotificationServiceImpl",
+                "notificationDao",
+                "Notification",
+                "getNotifications",
+                "issueId",
+            ),
+        ),
+        mk(
+            15,
+            IT,
+            "UserServiceImpl",
+            155,
+            C::M,
+            X,
+            size_only(15, "UserServiceImpl", "itUserDao", "ItUser", "getItUsers"),
+        ),
+        mk(
+            16,
+            IT,
+            "UserServiceImpl",
+            412,
+            C::A,
+            X,
+            sel_bool(
+                16,
+                "UserServiceImpl",
+                "itUserDao",
+                "ItUser",
+                "getItUsers",
+                "superuser",
+                true,
+            ),
+        ),
         // ---- wilos (17–49) ----
-        mk(17, WI, "ActivityService", 401, C::A, R,
-            sel_array(17, "ActivityService", "activityDao", "Activity", "getActivities")),
-        mk(18, WI, "ActivityService", 328, C::A, R,
-            sel_update(18, "ActivityService", "activityDao", "Activity", "getActivities")),
-        mk(19, WI, "AffectedtoDao", 13, C::B, X,
-            size_literal(19, "AffectedtoDao", "participantDao", "Participant", "getParticipants")),
-        mk(20, WI, "ConcreteActivityDao", 139, C::C, F,
-            sort_last(20, "ConcreteActivityDao", "activityDao", "Activity", "getActivities", "id")),
-        mk(21, WI, "ConcreteActivityService", 133, C::D, R,
-            distinct_array(21, "ConcreteActivityService", "activityDao", "Activity", "getActivities", "projectId")),
-        mk(22, WI, "ConcreteRoleAffectationService", 55, C::E, X,
-            join_nested(22, "ConcreteRoleAffectationService",
-                "userDao", "User", "getUsers", "roleId",
-                "roleDao", "Role", "getRoles", "roleId")),
-        mk(23, WI, "ConcreteRoleDescriptorService", 181, C::F, X,
-            contains_join(23, "ConcreteRoleDescriptorService",
-                "participantDao", "Participant", "getParticipants", "roleId",
-                "roleDao", "Role", "getRoles", "roleId")),
-        mk(24, WI, "ConcreteWorkBreakdownElementService", 55, C::G, R,
-            type_based(24, "ConcreteWorkBreakdownElementService", "activityDao", "Activity", "getActivities")),
-        mk(25, WI, "ConcreteWorkProductDescriptorService", 236, C::F, X,
-            contains_join(25, "ConcreteWorkProductDescriptorService",
-                "workProductDao", "WorkProduct", "getWorkProducts", "projectId",
-                "projectDao", "Project", "getProjects", "id")),
-        mk(26, WI, "GuidanceService", 140, C::A, R,
-            sel_escape(26, "GuidanceService", "activityDao", "Activity", "getActivities")),
-        mk(27, WI, "GuidanceService", 154, C::A, R,
-            sel_array(27, "GuidanceService", "workProductDao", "WorkProduct", "getWorkProducts")),
-        mk(28, WI, "IterationService", 103, C::A, R,
-            sel_update(28, "IterationService", "activityDao", "Activity", "getActivities")),
-        mk(29, WI, "LoginService", 103, C::H, X,
-            exists(29, "LoginService", "userDao", "User", "getUsers", "id", 7)),
-        mk(30, WI, "LoginService", 83, C::H, X,
-            exists(30, "LoginService", "userDao", "User", "getUsers", "roleId", 1)),
-        mk(31, WI, "ParticipantBean", 1079, C::B, X,
-            size_literal(31, "ParticipantBean", "participantDao", "Participant", "getParticipants")),
-        mk(32, WI, "ParticipantBean", 681, C::H, X,
-            exists(32, "ParticipantBean", "participantDao", "Participant", "getParticipants", "projectId", 3)),
-        mk(33, WI, "ParticipantService", 146, C::E, X,
-            join_nested(33, "ParticipantService",
-                "participantDao", "Participant", "getParticipants", "projectId",
-                "projectDao", "Project", "getProjects", "id")),
-        mk(34, WI, "ParticipantService", 119, C::E, X,
-            join_nested(34, "ParticipantService",
-                "participantDao", "Participant", "getParticipants", "roleId",
-                "roleDao", "Role", "getRoles", "roleId")),
-        mk(35, WI, "ParticipantService", 266, C::F, X,
-            contains_join(35, "ParticipantService",
-                "userDao", "User", "getUsers", "roleId",
-                "roleDao", "Role", "getRoles", "roleId")),
-        mk(36, WI, "PhaseService", 98, C::A, R,
-            sel_update(36, "PhaseService", "activityDao", "Activity", "getActivities")),
-        mk(37, WI, "ProcessBean", 248, C::H, X,
-            exists(37, "ProcessBean", "activityDao", "Activity", "getActivities", "kind", 2)),
-        mk(38, WI, "ProcessManagerBean", 243, C::B, X,
-            count_filtered(38, "ProcessManagerBean", "userDao", "User", "getUsers", "roleId", 5)),
-        mk(39, WI, "ProjectService", 266, C::K, F,
-            custom_sort(39, "ProjectService", "projectDao", "Project", "getProjects")),
-        mk(40, WI, "ProjectService", 297, C::A, X,
-            sel_bool(40, "ProjectService", "projectDao", "Project", "getProjects", "finished", false)),
-        mk(41, WI, "ProjectService", 338, C::G, R,
-            type_based(41, "ProjectService", "projectDao", "Project", "getProjects")),
-        mk(42, WI, "ProjectService", 394, C::A, X,
-            sel(42, "ProjectService", "projectDao", "Project", "getProjects", "managerId", 4)),
-        mk(43, WI, "ProjectService", 410, C::A, X,
-            sel_bool(43, "ProjectService", "projectDao", "Project", "getProjects", "finished", true)),
-        mk(44, WI, "ProjectService", 248, C::H, X,
-            exists(44, "ProjectService", "projectDao", "Project", "getProjects", "managerId", 9)),
-        mk(45, WI, "RoleDao", 15, C::I, F,
-            single_record(45, "RoleDao", "roleDao", "Role", "getRoles", "roleId", 2)),
-        mk(46, WI, "RoleService", 15, C::E, X,
-            join_nested(46, "RoleService",
-                "userDao", "User", "getUsers", "roleId",
-                "roleDao", "Role", "getRoles", "roleId")),
-        mk(47, WI, "WilosUserBean", 717, C::B, X,
-            size_literal(47, "WilosUserBean", "userDao", "User", "getUsers")),
-        mk(48, WI, "WorkProductsExpTableBean", 990, C::B, X,
-            size_literal(48, "WorkProductsExpTableBean", "workProductDao", "WorkProduct", "getWorkProducts")),
-        mk(49, WI, "WorkProductsExpTableBean", 974, C::J, X,
-            count_filtered(49, "WorkProductsExpTableBean", "workProductDao", "WorkProduct", "getWorkProducts", "state", 1)),
+        mk(
+            17,
+            WI,
+            "ActivityService",
+            401,
+            C::A,
+            R,
+            sel_array(17, "ActivityService", "activityDao", "Activity", "getActivities"),
+        ),
+        mk(
+            18,
+            WI,
+            "ActivityService",
+            328,
+            C::A,
+            R,
+            sel_update(18, "ActivityService", "activityDao", "Activity", "getActivities"),
+        ),
+        mk(
+            19,
+            WI,
+            "AffectedtoDao",
+            13,
+            C::B,
+            X,
+            size_literal(
+                19,
+                "AffectedtoDao",
+                "participantDao",
+                "Participant",
+                "getParticipants",
+            ),
+        ),
+        mk(
+            20,
+            WI,
+            "ConcreteActivityDao",
+            139,
+            C::C,
+            F,
+            sort_last(
+                20,
+                "ConcreteActivityDao",
+                "activityDao",
+                "Activity",
+                "getActivities",
+                "id",
+            ),
+        ),
+        mk(
+            21,
+            WI,
+            "ConcreteActivityService",
+            133,
+            C::D,
+            R,
+            distinct_array(
+                21,
+                "ConcreteActivityService",
+                "activityDao",
+                "Activity",
+                "getActivities",
+                "projectId",
+            ),
+        ),
+        mk(
+            22,
+            WI,
+            "ConcreteRoleAffectationService",
+            55,
+            C::E,
+            X,
+            join_nested(
+                22,
+                "ConcreteRoleAffectationService",
+                "userDao",
+                "User",
+                "getUsers",
+                "roleId",
+                "roleDao",
+                "Role",
+                "getRoles",
+                "roleId",
+            ),
+        ),
+        mk(
+            23,
+            WI,
+            "ConcreteRoleDescriptorService",
+            181,
+            C::F,
+            X,
+            contains_join(
+                23,
+                "ConcreteRoleDescriptorService",
+                "participantDao",
+                "Participant",
+                "getParticipants",
+                "roleId",
+                "roleDao",
+                "Role",
+                "getRoles",
+                "roleId",
+            ),
+        ),
+        mk(
+            24,
+            WI,
+            "ConcreteWorkBreakdownElementService",
+            55,
+            C::G,
+            R,
+            type_based(
+                24,
+                "ConcreteWorkBreakdownElementService",
+                "activityDao",
+                "Activity",
+                "getActivities",
+            ),
+        ),
+        mk(
+            25,
+            WI,
+            "ConcreteWorkProductDescriptorService",
+            236,
+            C::F,
+            X,
+            contains_join(
+                25,
+                "ConcreteWorkProductDescriptorService",
+                "workProductDao",
+                "WorkProduct",
+                "getWorkProducts",
+                "projectId",
+                "projectDao",
+                "Project",
+                "getProjects",
+                "id",
+            ),
+        ),
+        mk(
+            26,
+            WI,
+            "GuidanceService",
+            140,
+            C::A,
+            R,
+            sel_escape(26, "GuidanceService", "activityDao", "Activity", "getActivities"),
+        ),
+        mk(
+            27,
+            WI,
+            "GuidanceService",
+            154,
+            C::A,
+            R,
+            sel_array(
+                27,
+                "GuidanceService",
+                "workProductDao",
+                "WorkProduct",
+                "getWorkProducts",
+            ),
+        ),
+        mk(
+            28,
+            WI,
+            "IterationService",
+            103,
+            C::A,
+            R,
+            sel_update(28, "IterationService", "activityDao", "Activity", "getActivities"),
+        ),
+        mk(
+            29,
+            WI,
+            "LoginService",
+            103,
+            C::H,
+            X,
+            exists(29, "LoginService", "userDao", "User", "getUsers", "id", 7),
+        ),
+        mk(
+            30,
+            WI,
+            "LoginService",
+            83,
+            C::H,
+            X,
+            exists(30, "LoginService", "userDao", "User", "getUsers", "roleId", 1),
+        ),
+        mk(
+            31,
+            WI,
+            "ParticipantBean",
+            1079,
+            C::B,
+            X,
+            size_literal(
+                31,
+                "ParticipantBean",
+                "participantDao",
+                "Participant",
+                "getParticipants",
+            ),
+        ),
+        mk(
+            32,
+            WI,
+            "ParticipantBean",
+            681,
+            C::H,
+            X,
+            exists(
+                32,
+                "ParticipantBean",
+                "participantDao",
+                "Participant",
+                "getParticipants",
+                "projectId",
+                3,
+            ),
+        ),
+        mk(
+            33,
+            WI,
+            "ParticipantService",
+            146,
+            C::E,
+            X,
+            join_nested(
+                33,
+                "ParticipantService",
+                "participantDao",
+                "Participant",
+                "getParticipants",
+                "projectId",
+                "projectDao",
+                "Project",
+                "getProjects",
+                "id",
+            ),
+        ),
+        mk(
+            34,
+            WI,
+            "ParticipantService",
+            119,
+            C::E,
+            X,
+            join_nested(
+                34,
+                "ParticipantService",
+                "participantDao",
+                "Participant",
+                "getParticipants",
+                "roleId",
+                "roleDao",
+                "Role",
+                "getRoles",
+                "roleId",
+            ),
+        ),
+        mk(
+            35,
+            WI,
+            "ParticipantService",
+            266,
+            C::F,
+            X,
+            contains_join(
+                35,
+                "ParticipantService",
+                "userDao",
+                "User",
+                "getUsers",
+                "roleId",
+                "roleDao",
+                "Role",
+                "getRoles",
+                "roleId",
+            ),
+        ),
+        mk(
+            36,
+            WI,
+            "PhaseService",
+            98,
+            C::A,
+            R,
+            sel_update(36, "PhaseService", "activityDao", "Activity", "getActivities"),
+        ),
+        mk(
+            37,
+            WI,
+            "ProcessBean",
+            248,
+            C::H,
+            X,
+            exists(37, "ProcessBean", "activityDao", "Activity", "getActivities", "kind", 2),
+        ),
+        mk(
+            38,
+            WI,
+            "ProcessManagerBean",
+            243,
+            C::B,
+            X,
+            count_filtered(
+                38,
+                "ProcessManagerBean",
+                "userDao",
+                "User",
+                "getUsers",
+                "roleId",
+                5,
+            ),
+        ),
+        mk(
+            39,
+            WI,
+            "ProjectService",
+            266,
+            C::K,
+            F,
+            custom_sort(39, "ProjectService", "projectDao", "Project", "getProjects"),
+        ),
+        mk(
+            40,
+            WI,
+            "ProjectService",
+            297,
+            C::A,
+            X,
+            sel_bool(
+                40,
+                "ProjectService",
+                "projectDao",
+                "Project",
+                "getProjects",
+                "finished",
+                false,
+            ),
+        ),
+        mk(
+            41,
+            WI,
+            "ProjectService",
+            338,
+            C::G,
+            R,
+            type_based(41, "ProjectService", "projectDao", "Project", "getProjects"),
+        ),
+        mk(
+            42,
+            WI,
+            "ProjectService",
+            394,
+            C::A,
+            X,
+            sel(42, "ProjectService", "projectDao", "Project", "getProjects", "managerId", 4),
+        ),
+        mk(
+            43,
+            WI,
+            "ProjectService",
+            410,
+            C::A,
+            X,
+            sel_bool(
+                43,
+                "ProjectService",
+                "projectDao",
+                "Project",
+                "getProjects",
+                "finished",
+                true,
+            ),
+        ),
+        mk(
+            44,
+            WI,
+            "ProjectService",
+            248,
+            C::H,
+            X,
+            exists(
+                44,
+                "ProjectService",
+                "projectDao",
+                "Project",
+                "getProjects",
+                "managerId",
+                9,
+            ),
+        ),
+        mk(
+            45,
+            WI,
+            "RoleDao",
+            15,
+            C::I,
+            F,
+            single_record(45, "RoleDao", "roleDao", "Role", "getRoles", "roleId", 2),
+        ),
+        mk(
+            46,
+            WI,
+            "RoleService",
+            15,
+            C::E,
+            X,
+            join_nested(
+                46,
+                "RoleService",
+                "userDao",
+                "User",
+                "getUsers",
+                "roleId",
+                "roleDao",
+                "Role",
+                "getRoles",
+                "roleId",
+            ),
+        ),
+        mk(
+            47,
+            WI,
+            "WilosUserBean",
+            717,
+            C::B,
+            X,
+            size_literal(47, "WilosUserBean", "userDao", "User", "getUsers"),
+        ),
+        mk(
+            48,
+            WI,
+            "WorkProductsExpTableBean",
+            990,
+            C::B,
+            X,
+            size_literal(
+                48,
+                "WorkProductsExpTableBean",
+                "workProductDao",
+                "WorkProduct",
+                "getWorkProducts",
+            ),
+        ),
+        mk(
+            49,
+            WI,
+            "WorkProductsExpTableBean",
+            974,
+            C::J,
+            X,
+            count_filtered(
+                49,
+                "WorkProductsExpTableBean",
+                "workProductDao",
+                "WorkProduct",
+                "getWorkProducts",
+                "state",
+                1,
+            ),
+        ),
     ]
 }
 

@@ -137,14 +137,12 @@ pub fn itracker_model() -> DataModel {
 /// activities and work products — giving the eager mode its extra cost.
 pub fn wilos_registry() -> Registry {
     let mut r = Registry::new();
-    r.register(
-        EntityDef::new("User", "users").with_association(
-            "participations",
-            "Participant",
-            "roleId",
-            "roleId",
-        ),
-    );
+    r.register(EntityDef::new("User", "users").with_association(
+        "participations",
+        "Participant",
+        "roleId",
+        "roleId",
+    ));
     r.register(EntityDef::new("Role", "roles"));
     r.register(
         EntityDef::new("Project", "projects")

@@ -67,9 +67,8 @@ pub fn inferred_sql(fragment_id: usize) -> SqlQuery {
         .into_iter()
         .find(|f| f.id == fragment_id)
         .unwrap_or_else(|| panic!("fragment {fragment_id} exists"));
-    let report = Pipeline::new(frag.model())
-        .run_source(&frag.source)
-        .expect("corpus fragments parse");
+    let report =
+        Pipeline::new(frag.model()).run_source(&frag.source).expect("corpus fragments parse");
     match report.fragments.into_iter().next().expect("one fragment").status {
         FragmentStatus::Translated { sql, .. } => sql,
         other => panic!("fragment {fragment_id} did not translate: {other:?}"),
@@ -83,13 +82,11 @@ fn eager_load(db: &Database, session: &Session<'_>, objs: &[OrmObject]) -> usize
     let mut loaded = 0;
     for o in objs {
         if let Ok(id) = o.get("id") {
-            let kids = session
-                .find_where("Activity", "projectId", id.clone())
-                .unwrap_or_default();
+            let kids =
+                session.find_where("Activity", "projectId", id.clone()).unwrap_or_default();
             loaded += kids.len();
-            let wps = session
-                .find_where("WorkProduct", "projectId", id.clone())
-                .unwrap_or_default();
+            let wps =
+                session.find_where("WorkProduct", "projectId", id.clone()).unwrap_or_default();
             loaded += wps.len();
         }
     }

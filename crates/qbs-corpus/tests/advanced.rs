@@ -22,10 +22,8 @@ fn advanced_idioms_match_the_paper() {
 
 #[test]
 fn sorted_top_k_produces_order_by_limit() {
-    let case = advanced_idioms()
-        .into_iter()
-        .find(|c| c.name == "sorted_top_k")
-        .expect("case exists");
+    let case =
+        advanced_idioms().into_iter().find(|c| c.name == "sorted_top_k").expect("case exists");
     let report = Pipeline::new(case.model()).run_source(&case.source).unwrap();
     match &report.fragments[0].status {
         FragmentStatus::Translated { sql, .. } => {
@@ -39,10 +37,8 @@ fn sorted_top_k_produces_order_by_limit() {
 
 #[test]
 fn hash_join_produces_in_subquery() {
-    let case = advanced_idioms()
-        .into_iter()
-        .find(|c| c.name == "hash_join")
-        .expect("case exists");
+    let case =
+        advanced_idioms().into_iter().find(|c| c.name == "hash_join").expect("case exists");
     let report = Pipeline::new(case.model()).run_source(&case.source).unwrap();
     match &report.fragments[0].status {
         FragmentStatus::Translated { sql, .. } => {

@@ -104,11 +104,8 @@ fn translated_fragments_execute_against_populated_databases() {
     use qbs_corpus::{populate_itracker, populate_wilos, WilosConfig};
     use qbs_db::Params;
 
-    let wilos_db = populate_wilos(&WilosConfig {
-        users: 60,
-        projects: 40,
-        ..WilosConfig::default()
-    });
+    let wilos_db =
+        populate_wilos(&WilosConfig { users: 60, projects: 40, ..WilosConfig::default() });
     let itracker_db = populate_itracker(50, 7);
 
     for frag in all_fragments() {

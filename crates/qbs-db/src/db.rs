@@ -153,10 +153,7 @@ impl Database {
         ctx: &EvalCtx<'_>,
         stats: &mut ExecStats,
     ) -> Result<Frame, DbError> {
-        let table = self
-            .tables
-            .get(name)
-            .ok_or_else(|| DbError::UnknownTable(name.clone()))?;
+        let table = self.tables.get(name).ok_or_else(|| DbError::UnknownTable(name.clone()))?;
         let mut cols: Vec<exec::FrameCol> = table
             .schema()
             .fields()
@@ -220,7 +217,11 @@ impl Database {
     /// # Errors
     ///
     /// Propagates unknown tables/columns and evaluation failures.
-    pub fn execute_select(&self, q: &SqlSelect, params: &Params) -> Result<SelectOutput, DbError> {
+    pub fn execute_select(
+        &self,
+        q: &SqlSelect,
+        params: &Params,
+    ) -> Result<SelectOutput, DbError> {
         let mut stats = ExecStats::default();
         let frame = self.run_select(q, params, &mut stats)?;
         // Build the output relation: anonymous schema over the frame columns.
@@ -238,11 +239,7 @@ impl Database {
             b = b.push(qbs_common::Field::qualified(c.alias.clone(), c.name.clone(), ty));
         }
         let schema = b.finish();
-        let records = frame
-            .rows
-            .into_iter()
-            .map(|r| Record::new(schema.clone(), r))
-            .collect();
+        let records = frame.rows.into_iter().map(|r| Record::new(schema.clone(), r)).collect();
         let rows = Relation::from_records(schema, records)
             .map_err(|e| DbError::Schema(e.to_string()))?;
         Ok(SelectOutput { rows, stats })
@@ -257,8 +254,7 @@ impl Database {
         let db = self;
         let sub = |s: &SqlSelect| -> Result<Frame, exec::ExecError> {
             let mut st = ExecStats::default();
-            db.run_select(s, params, &mut st)
-                .map_err(|e| exec::ExecError::new(e.to_string()))
+            db.run_select(s, params, &mut st).map_err(|e| exec::ExecError::new(e.to_string()))
         };
         let ctx = EvalCtx { params, subquery: &sub };
 
@@ -278,8 +274,7 @@ impl Database {
                 aliases_of(&c, &mut used);
                 // Unqualified predicates are pushable when there is only one
                 // FROM item to attribute them to.
-                let pushable =
-                    used.is_subset(&mine) && (!used.is_empty() || q.from.len() == 1);
+                let pushable = used.is_subset(&mine) && (!used.is_empty() || q.from.len() == 1);
                 if pushable {
                     pushed.push(c);
                 } else {
@@ -323,9 +318,8 @@ impl Database {
 
         // Fold joins left to right.
         let mut iter = frames.into_iter();
-        let (first_alias, mut acc) = iter
-            .next()
-            .ok_or_else(|| DbError::Exec("query without FROM".to_string()))?;
+        let (first_alias, mut acc) =
+            iter.next().ok_or_else(|| DbError::Exec("query without FROM".to_string()))?;
         let mut joined: BTreeSet<Ident> = BTreeSet::new();
         joined.insert(first_alias);
         for (alias, right) in iter {
@@ -398,7 +392,6 @@ impl Database {
                             alias: item
                                 .alias
                                 .clone()
-                                .map(|a| a.clone())
                                 .unwrap_or_else(|| acc.cols[i].alias.clone()),
                             name: item.alias.clone().unwrap_or_else(|| name.clone()),
                         });
@@ -478,9 +471,12 @@ impl Database {
                 let value = match &s.compare {
                     None => value,
                     Some((op, rhs)) => {
-                        let no_sub = |_: &qbs_sql::SqlSelect| -> Result<Frame, exec::ExecError> {
-                            Err(exec::ExecError::new("no sub-queries in scalar comparisons"))
-                        };
+                        let no_sub =
+                            |_: &qbs_sql::SqlSelect| -> Result<Frame, exec::ExecError> {
+                                Err(exec::ExecError::new(
+                                    "no sub-queries in scalar comparisons",
+                                ))
+                            };
                         let ctx = EvalCtx { params, subquery: &no_sub };
                         let empty = Frame::new(vec![]);
                         let r = eval_expr(rhs, &empty, &[], &ctx)?;
@@ -496,9 +492,9 @@ impl Database {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qbs_tor::CmpOp;
     use crate::planner::{explain, JoinAlgorithm};
     use qbs_sql::parse_query;
+    use qbs_tor::CmpOp;
 
     fn setup() -> Database {
         let mut db = Database::new();
@@ -559,11 +555,7 @@ mod tests {
         assert_eq!(out.rows.len(), 6);
         assert_eq!(out.stats.joins, vec!["hash"]);
         // users in insertion order: ids 0..6.
-        let ids: Vec<i64> = out
-            .rows
-            .iter()
-            .map(|r| r.value_at(0).as_int().unwrap())
-            .collect();
+        let ids: Vec<i64> = out.rows.iter().map(|r| r.value_at(0).as_int().unwrap()).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
     }
 
@@ -571,10 +563,9 @@ mod tests {
     fn explain_reports_hash_join_and_index() {
         let mut db = setup();
         db.create_index("users", "roleId").unwrap();
-        let q = parse_query(
-            "SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId")
+                .unwrap();
         let plan = explain(&q, &db);
         assert_eq!(plan.joins, vec![JoinAlgorithm::Hash]);
         let q2 = parse_query("SELECT id FROM users WHERE roleId = 2").unwrap();
@@ -588,7 +579,8 @@ mod tests {
         let q = parse_query("SELECT DISTINCT roleId FROM users ORDER BY roleId DESC LIMIT 2");
         // The parser has no DISTINCT support; build by hand.
         drop(q);
-        let mut q = parse_query("SELECT roleId FROM users ORDER BY roleId DESC LIMIT 2").unwrap();
+        let mut q =
+            parse_query("SELECT roleId FROM users ORDER BY roleId DESC LIMIT 2").unwrap();
         q.distinct = true;
         let out = db.execute_select(&q, &Params::new()).unwrap();
         assert_eq!(out.rows.len(), 2);
@@ -609,10 +601,8 @@ mod tests {
             QueryOutput::Scalar { value, .. } => assert_eq!(value, Value::from(2)),
             other => panic!("unexpected {other:?}"),
         }
-        let exists = qbs_sql::SqlScalar {
-            compare: Some((CmpOp::Gt, SqlExpr::int(0))),
-            ..scalar
-        };
+        let exists =
+            qbs_sql::SqlScalar { compare: Some((CmpOp::Gt, SqlExpr::int(0))), ..scalar };
         match db.execute(&SqlQuery::Scalar(exists), &Params::new()).unwrap() {
             QueryOutput::Scalar { value, .. } => assert_eq!(value, Value::from(true)),
             other => panic!("unexpected {other:?}"),
@@ -646,9 +636,6 @@ mod tests {
     fn unknown_table_is_reported() {
         let db = setup();
         let q = parse_query("SELECT * FROM missing").unwrap();
-        assert!(matches!(
-            db.execute_select(&q, &Params::new()),
-            Err(DbError::UnknownTable(_))
-        ));
+        assert!(matches!(db.execute_select(&q, &Params::new()), Err(DbError::UnknownTable(_))));
     }
 }

@@ -97,15 +97,14 @@ pub(crate) fn eval_expr(
     ctx: &EvalCtx<'_>,
 ) -> Result<Value, ExecError> {
     match e {
-        SqlExpr::Column { qualifier, name } => frame
-            .resolve(qualifier.as_ref(), name)
-            .map(|i| row[i].clone())
-            .ok_or_else(|| {
+        SqlExpr::Column { qualifier, name } => {
+            frame.resolve(qualifier.as_ref(), name).map(|i| row[i].clone()).ok_or_else(|| {
                 ExecError::new(format!(
                     "unresolved column {}{name}",
                     qualifier.as_ref().map(|q| format!("{q}.")).unwrap_or_default()
                 ))
-            }),
+            })
+        }
         SqlExpr::Lit(v) => Ok(v.clone()),
         SqlExpr::Param(p) => ctx
             .params
@@ -281,13 +280,8 @@ pub(crate) fn distinct(frame: Frame) -> Frame {
             keep[i] = true;
         }
     }
-    let rows = frame
-        .rows
-        .iter()
-        .zip(&keep)
-        .filter(|(_, &k)| k)
-        .map(|(r, _)| r.clone())
-        .collect();
+    let rows =
+        frame.rows.iter().zip(&keep).filter(|(_, &k)| k).map(|(r, _)| r.clone()).collect();
     Frame { cols: frame.cols, rows }
 }
 
@@ -315,7 +309,11 @@ mod tests {
         };
         let right = Frame {
             cols: vec![fc("r", "k"), fc("r", "y")],
-            rows: vec![vec![1.into(), 100.into()], vec![1.into(), 200.into()], vec![3.into(), 300.into()]],
+            rows: vec![
+                vec![1.into(), 100.into()],
+                vec![1.into(), 200.into()],
+                vec![3.into(), 300.into()],
+            ],
         };
         (left, right)
     }

@@ -158,9 +158,7 @@ pub fn explain(q: &SqlSelect, db: &crate::Database) -> Plan {
         }
         let mut right = BTreeSet::new();
         right.insert(alias.clone());
-        let has_equi = remaining
-            .iter()
-            .any(|c| equi_join_keys(c, &joined, &right).is_some());
+        let has_equi = remaining.iter().any(|c| equi_join_keys(c, &joined, &right).is_some());
         plan.joins.push(if has_equi { JoinAlgorithm::Hash } else { JoinAlgorithm::NestedLoop });
         // Consume the predicates that connect this step.
         remaining.retain(|c| {

@@ -93,9 +93,7 @@ impl Table {
     /// Row ids (in insertion order) whose `column` equals `value`, when an
     /// index exists.
     pub fn index_lookup(&self, column: &Ident, value: &Value) -> Option<&[usize]> {
-        self.indexes
-            .get(column)
-            .map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
+        self.indexes.get(column).map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
     }
 
     /// True when `column` has a hash index.
@@ -111,10 +109,7 @@ mod tests {
 
     fn table() -> Table {
         Table::new(
-            Schema::builder("t")
-                .field("a", FieldType::Int)
-                .field("b", FieldType::Str)
-                .finish(),
+            Schema::builder("t").field("a", FieldType::Int).field("b", FieldType::Str).finish(),
         )
     }
 

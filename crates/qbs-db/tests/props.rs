@@ -9,17 +9,11 @@ use qbs_sql::{sql_of, SqlQuery};
 use qbs_tor::{eval, trans, CmpOp, Env, JoinPred, Operand, Pred, QuerySpec, TorExpr, TypeEnv};
 
 fn t_schema() -> SchemaRef {
-    Schema::builder("t")
-        .field("a", FieldType::Int)
-        .field("b", FieldType::Int)
-        .finish()
+    Schema::builder("t").field("a", FieldType::Int).field("b", FieldType::Int).finish()
 }
 
 fn u_schema() -> SchemaRef {
-    Schema::builder("u")
-        .field("a", FieldType::Int)
-        .field("c", FieldType::Int)
-        .finish()
+    Schema::builder("u").field("a", FieldType::Int).field("c", FieldType::Int).finish()
 }
 
 prop_compose! {
@@ -37,7 +31,9 @@ fn setup(trows: &[(i64, i64)], urows: &[(i64, i64)]) -> (Database, Env) {
         Relation::from_records(
             schema.clone(),
             rows.iter()
-                .map(|&(x, y)| Record::new(schema.clone(), vec![Value::from(x), Value::from(y)]))
+                .map(|&(x, y)| {
+                    Record::new(schema.clone(), vec![Value::from(x), Value::from(y)])
+                })
                 .collect(),
         )
         .unwrap()

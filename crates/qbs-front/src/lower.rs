@@ -152,7 +152,9 @@ impl<'a> Lowerer<'a> {
                 }
                 return self.reject(format!("constructor `new {class}(…)`"));
             }
-            Expr::Call { recv, name, args } => return self.lower_call(recv.as_deref(), name, args),
+            Expr::Call { recv, name, args } => {
+                return self.lower_call(recv.as_deref(), name, args)
+            }
         })
     }
 
@@ -173,21 +175,18 @@ impl<'a> Lowerer<'a> {
         }
         match (recv, name, args.len()) {
             (Some(r), "size", 0) => Ok(KExpr::size(self.lower_expr(r)?)),
-            (Some(r), "isEmpty", 0) => Ok(KExpr::cmp(
-                CmpOp::Eq,
-                KExpr::size(self.lower_expr(r)?),
-                KExpr::int(0),
-            )),
-            (Some(r), "get", 1) => Ok(KExpr::get(self.lower_expr(r)?, self.lower_expr(&args[0])?)),
-            (Some(r), "contains", 1) => Ok(KExpr::contains(
-                self.lower_expr(r)?,
-                self.lower_expr(&args[0])?,
-            )),
-            (Some(r), "equals", 1) => Ok(KExpr::cmp(
-                CmpOp::Eq,
-                self.lower_expr(r)?,
-                self.lower_expr(&args[0])?,
-            )),
+            (Some(r), "isEmpty", 0) => {
+                Ok(KExpr::cmp(CmpOp::Eq, KExpr::size(self.lower_expr(r)?), KExpr::int(0)))
+            }
+            (Some(r), "get", 1) => {
+                Ok(KExpr::get(self.lower_expr(r)?, self.lower_expr(&args[0])?))
+            }
+            (Some(r), "contains", 1) => {
+                Ok(KExpr::contains(self.lower_expr(r)?, self.lower_expr(&args[0])?))
+            }
+            (Some(r), "equals", 1) => {
+                Ok(KExpr::cmp(CmpOp::Eq, self.lower_expr(r)?, self.lower_expr(&args[0])?))
+            }
             // Getter-style field access: `u.getRoleId()`.
             (Some(r), getter, 0) if getter.starts_with("get") && getter.len() > 3 => {
                 let mut field = getter[3..].to_string();
@@ -261,7 +260,8 @@ impl<'a> Lowerer<'a> {
                     None => {}
                     Some(Expr::Call { recv: Some(r), name: m, args })
                         if matches!(&**r, Expr::Var(rv)
-                            if self.model.dao_target(rv, m).is_some()) && args.is_empty() =>
+                            if self.model.dao_target(rv, m).is_some())
+                            && args.is_empty() =>
                     {
                         let k = self.lower_call(Some(r), m, args)?;
                         out.push(KStmt::assign(name.as_str(), k));
@@ -316,7 +316,8 @@ impl<'a> Lowerer<'a> {
                 }
                 let counter = self.fresh_counter();
                 out.push(KStmt::assign(counter.clone(), KExpr::int(0)));
-                let elem = KExpr::get(KExpr::var(list_var.clone()), KExpr::var(counter.clone()));
+                let elem =
+                    KExpr::get(KExpr::var(list_var.clone()), KExpr::var(counter.clone()));
                 let shadow = self.record_subst.insert(var.clone(), elem);
                 // The element is persistent data when the list is.
                 self.tainted.insert(var.clone());
@@ -396,9 +397,8 @@ impl<'a> Lowerer<'a> {
                     .unwrap_or_else(|| KExpr::var(list.as_str()));
                 let sorted = match args.get(1) {
                     None => {
-                        return self.reject(
-                            "sort without a comparator needs entity ordering metadata",
-                        )
+                        return self
+                            .reject("sort without a comparator needs entity ordering metadata")
                     }
                     // Field comparator, written as a string literal.
                     Some(Expr::StrLit(field)) => {
@@ -438,7 +438,9 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             (Some(Expr::Var(dao)), m, _)
-                if m.starts_with("save") || m.starts_with("update") || m.starts_with("delete") =>
+                if m.starts_with("save")
+                    || m.starts_with("update")
+                    || m.starts_with("delete") =>
             {
                 let _ = dao;
                 self.reject("relational update operation (DAO write)")
@@ -451,9 +453,7 @@ impl<'a> Lowerer<'a> {
                 // Unknown callee: if it consumes tainted data, the value
                 // escapes mid-fragment (paper's escapement analysis).
                 if args.iter().any(|a| self.is_tainted(a)) {
-                    self.reject(format!(
-                        "persistent data escapes to unknown callee `{name}`"
-                    ))
+                    self.reject(format!("persistent data escapes to unknown callee `{name}`"))
                 } else {
                     // Harmless effect (logging etc.).
                     Ok(())
@@ -472,7 +472,11 @@ fn inline_method(program: &Program, m: &Method, depth: usize) -> Method {
     let mut body = Vec::new();
     for s in &m.body {
         match s {
-            Stmt::Decl { ty, name, init: Some(Expr::Call { recv: None, name: callee, args }) } => {
+            Stmt::Decl {
+                ty,
+                name,
+                init: Some(Expr::Call { recv: None, name: callee, args }),
+            } => {
                 if let Some(helper) = program.method(callee) {
                     let helper = inline_method(program, helper, depth - 1);
                     // Bind parameters.
@@ -511,8 +515,7 @@ fn inline_method(program: &Program, m: &Method, depth: usize) -> Method {
 
 /// Prefixes helper locals/params with the callee name to avoid capture.
 fn rename_vars(stmts: &[Stmt], helper: &Method, prefix: &str) -> Vec<Stmt> {
-    let mut names: BTreeSet<String> =
-        helper.params.iter().map(|(_, n)| n.clone()).collect();
+    let mut names: BTreeSet<String> = helper.params.iter().map(|(_, n)| n.clone()).collect();
     collect_locals(stmts, &mut names);
     stmts.iter().map(|s| rename_stmt(s, &names, prefix)).collect()
 }
@@ -552,29 +555,21 @@ fn rename_stmt(s: &Stmt, names: &BTreeSet<String>, prefix: &str) -> Stmt {
         }
     };
     match s {
-        Stmt::Decl { ty, name, init } => Stmt::Decl {
-            ty: ty.clone(),
-            name: rn(name),
-            init: init.as_ref().map(re),
-        },
+        Stmt::Decl { ty, name, init } => {
+            Stmt::Decl { ty: ty.clone(), name: rn(name), init: init.as_ref().map(re) }
+        }
         Stmt::Assign { target, value } => Stmt::Assign { target: re(target), value: re(value) },
         Stmt::If { cond, then_branch, else_branch } => Stmt::If {
             cond: re(cond),
             then_branch: rb(then_branch),
             else_branch: rb(else_branch),
         },
-        Stmt::ForEach { ty, var, iter, body } => Stmt::ForEach {
-            ty: ty.clone(),
-            var: rn(var),
-            iter: re(iter),
-            body: rb(body),
-        },
-        Stmt::For { var, init, cond, body } => Stmt::For {
-            var: rn(var),
-            init: re(init),
-            cond: re(cond),
-            body: rb(body),
-        },
+        Stmt::ForEach { ty, var, iter, body } => {
+            Stmt::ForEach { ty: ty.clone(), var: rn(var), iter: re(iter), body: rb(body) }
+        }
+        Stmt::For { var, init, cond, body } => {
+            Stmt::For { var: rn(var), init: re(init), cond: re(cond), body: rb(body) }
+        }
         Stmt::While { cond, body } => Stmt::While { cond: re(cond), body: rb(body) },
         Stmt::Return(e) => Stmt::Return(e.as_ref().map(re)),
         Stmt::ExprStmt(e) => Stmt::ExprStmt(re(e)),
@@ -630,22 +625,16 @@ fn rewrite_early_returns(stmts: &mut Vec<Stmt>, result_var: &str) -> LowerResult
             Stmt::ForEach { body, .. } | Stmt::For { body, .. } | Stmt::While { body, .. } => {
                 changed |= rewrite_early_returns(body, result_var)?;
             }
-            Stmt::Return(Some(e)) => {
-                match e {
-                    Expr::BoolLit(_) | Expr::IntLit(_) | Expr::StrLit(_) => {
-                        *s = Stmt::Assign {
-                            target: Expr::Var(result_var.to_string()),
-                            value: e.clone(),
-                        };
-                        changed = true;
-                    }
-                    _ => {
-                        return Err(RejectReason::new(
-                            "early return of a non-constant value",
-                        ))
-                    }
+            Stmt::Return(Some(e)) => match e {
+                Expr::BoolLit(_) | Expr::IntLit(_) | Expr::StrLit(_) => {
+                    *s = Stmt::Assign {
+                        target: Expr::Var(result_var.to_string()),
+                        value: e.clone(),
+                    };
+                    changed = true;
                 }
-            }
+                _ => return Err(RejectReason::new("early return of a non-constant value")),
+            },
             _ => {}
         }
     }
@@ -653,7 +642,11 @@ fn rewrite_early_returns(stmts: &mut Vec<Stmt>, result_var: &str) -> LowerResult
 }
 
 /// Compiles one (already inlined) method into a kernel program.
-fn lower_method(m: &Method, model: &DataModel, program: &Program) -> LowerResult<KernelProgram> {
+fn lower_method(
+    m: &Method,
+    model: &DataModel,
+    program: &Program,
+) -> LowerResult<KernelProgram> {
     let _ = program;
     let mut lw = Lowerer {
         model,
@@ -863,11 +856,7 @@ mod tests {
             );
             let frags = compile_source(&src, &model()).unwrap();
             let err = frags[0].kernel.as_ref().unwrap_err();
-            assert!(
-                err.reason.contains(needle),
-                "expected `{needle}` in `{}`",
-                err.reason
-            );
+            assert!(err.reason.contains(needle), "expected `{needle}` in `{}`", err.reason);
         }
     }
 

@@ -34,15 +34,13 @@ impl DataModel {
 
     /// Registers an entity class backed by `table` with the given schema.
     pub fn add_entity(&mut self, class: &str, table: &str, schema: SchemaRef) {
-        self.entities
-            .insert(class.to_string(), EntityInfo { table: table.into(), schema });
+        self.entities.insert(class.to_string(), EntityInfo { table: table.into(), schema });
     }
 
     /// Registers a DAO retrieval: `recv.method()` returns all instances of
     /// `entity`.
     pub fn add_dao(&mut self, recv: &str, method: &str, entity: &str) {
-        self.daos
-            .insert((recv.to_string(), method.to_string()), entity.to_string());
+        self.daos.insert((recv.to_string(), method.to_string()), entity.to_string());
     }
 
     /// Looks up an entity class.

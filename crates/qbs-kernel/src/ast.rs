@@ -118,6 +118,7 @@ impl KExpr {
     }
 
     /// Addition.
+    #[allow(clippy::should_implement_trait)] // constructor, not arithmetic on KExpr
     pub fn add(a: KExpr, b: KExpr) -> KExpr {
         KExpr::binary(BinOp::Add, a, b)
     }
@@ -128,6 +129,7 @@ impl KExpr {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)] // constructor, not an operator on KExpr
     pub fn not(e: KExpr) -> KExpr {
         KExpr::Not(Box::new(e))
     }
@@ -351,11 +353,7 @@ mod tests {
 
     #[test]
     fn free_vars_of_expressions() {
-        let e = KExpr::cmp(
-            CmpOp::Lt,
-            KExpr::var("i"),
-            KExpr::size(KExpr::var("users")),
-        );
+        let e = KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users")));
         assert_eq!(e.free_vars(), vec![Ident::new("i"), Ident::new("users")]);
     }
 

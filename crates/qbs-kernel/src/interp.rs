@@ -173,10 +173,12 @@ pub(crate) fn eval_expr(e: &KExpr, env: &Env) -> Result<DynValue> {
                 Ok(DynValue::Scalar(Value::from(want_bool(eval_expr(b, env)?, "∨")?)))
             }
             BinOp::Add => Ok(DynValue::Scalar(Value::from(
-                want_int(eval_expr(a, env)?, "+")?.wrapping_add(want_int(eval_expr(b, env)?, "+")?),
+                want_int(eval_expr(a, env)?, "+")?
+                    .wrapping_add(want_int(eval_expr(b, env)?, "+")?),
             ))),
             BinOp::Sub => Ok(DynValue::Scalar(Value::from(
-                want_int(eval_expr(a, env)?, "-")?.wrapping_sub(want_int(eval_expr(b, env)?, "-")?),
+                want_int(eval_expr(a, env)?, "-")?
+                    .wrapping_sub(want_int(eval_expr(b, env)?, "-")?),
             ))),
             BinOp::Cmp(c) => {
                 let x = eval_expr(a, env)?;
@@ -246,9 +248,7 @@ pub(crate) fn eval_expr(e: &KExpr, env: &Env) -> Result<DynValue> {
             for rec in rel.iter() {
                 let matches = match &target {
                     DynValue::Rec(t) => values_equal(t, rec),
-                    DynValue::Scalar(v) => {
-                        rel.schema().arity() == 1 && rec.value_at(0) == v
-                    }
+                    DynValue::Scalar(v) => rel.schema().arity() == 1 && rec.value_at(0) == v,
                     DynValue::Rel(_) => false,
                 };
                 if matches && !removed {
@@ -258,8 +258,7 @@ pub(crate) fn eval_expr(e: &KExpr, env: &Env) -> Result<DynValue> {
                 rows.push(rec.clone());
             }
             Ok(DynValue::Rel(
-                Relation::from_records(rel.schema().clone(), rows)
-                    .expect("schema unchanged"),
+                Relation::from_records(rel.schema().clone(), rows).expect("schema unchanged"),
             ))
         }
         SortCustom(r) => {
@@ -407,7 +406,10 @@ mod tests {
                     KStmt::if_then(
                         KExpr::cmp(
                             CmpOp::Eq,
-                            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+                            KExpr::field(
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                "roleId",
+                            ),
                             KExpr::int(10),
                         ),
                         vec![KStmt::assign(

@@ -161,13 +161,17 @@ impl Checker {
             Not(x) => match self.infer(x)? {
                 ITy::Known(TorType::Bool) => ITy::Known(TorType::Bool),
                 other => {
-                    return Err(TypecheckError::new(format!("negation of non-bool ({other:?})")))
+                    return Err(TypecheckError::new(format!(
+                        "negation of non-bool ({other:?})"
+                    )))
                 }
             },
             Query(spec) => ITy::Known(TorType::Rel(spec.schema.clone())),
             Size(r) => match self.infer(r)? {
                 ITy::Known(TorType::Rel(_)) | ITy::PendingList => ITy::Known(TorType::Int),
-                other => return Err(TypecheckError::new(format!("size of non-list ({other:?})"))),
+                other => {
+                    return Err(TypecheckError::new(format!("size of non-list ({other:?})")))
+                }
             },
             Get(r, i) => {
                 match self.infer(i)? {
@@ -233,17 +237,23 @@ impl Checker {
                     }
                     ITy::Known(TorType::Rel(s))
                 }
-                other => return Err(TypecheckError::new(format!("sort of non-list ({other:?})"))),
+                other => {
+                    return Err(TypecheckError::new(format!("sort of non-list ({other:?})")))
+                }
             },
             Remove(r, _) => match self.infer(r)? {
                 t @ (ITy::Known(TorType::Rel(_)) | ITy::PendingList) => t,
                 other => {
-                    return Err(TypecheckError::new(format!("remove from non-list ({other:?})")))
+                    return Err(TypecheckError::new(format!(
+                        "remove from non-list ({other:?})"
+                    )))
                 }
             },
             SortCustom(r) => match self.infer(r)? {
                 t @ (ITy::Known(TorType::Rel(_)) | ITy::PendingList) => t,
-                other => return Err(TypecheckError::new(format!("sort of non-list ({other:?})"))),
+                other => {
+                    return Err(TypecheckError::new(format!("sort of non-list ({other:?})")))
+                }
             },
             Contains(r, x) => {
                 match self.infer(r)? {
@@ -315,16 +325,14 @@ impl Checker {
                     changed |= self.check_stmt(s)?;
                 }
             }
-            KStmt::Assert(e) => {
-                match self.infer(e)? {
-                    ITy::Known(TorType::Bool) => {}
-                    other => {
-                        return Err(TypecheckError::new(format!(
-                            "assert must be bool, got {other:?}"
-                        )))
-                    }
+            KStmt::Assert(e) => match self.infer(e)? {
+                ITy::Known(TorType::Bool) => {}
+                other => {
+                    return Err(TypecheckError::new(format!(
+                        "assert must be bool, got {other:?}"
+                    )))
                 }
-            }
+            },
         }
         Ok(changed)
     }

@@ -8,10 +8,7 @@ use qbs_kernel::{run, KExpr, KStmt, KernelProgram};
 use qbs_tor::{eval, AggKind, CmpOp, Env, Operand, Pred, QuerySpec, TorExpr};
 
 fn schema() -> SchemaRef {
-    Schema::builder("t")
-        .field("a", FieldType::Int)
-        .field("b", FieldType::Int)
-        .finish()
+    Schema::builder("t").field("a", FieldType::Int).field("b", FieldType::Int).finish()
 }
 
 prop_compose! {

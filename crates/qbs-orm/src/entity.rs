@@ -81,14 +81,12 @@ mod tests {
     #[test]
     fn registry_round_trip() {
         let mut r = Registry::new();
-        r.register(
-            EntityDef::new("Project", "projects").with_association(
-                "tasks",
-                "Task",
-                "projectId",
-                "id",
-            ),
-        );
+        r.register(EntityDef::new("Project", "projects").with_association(
+            "tasks",
+            "Task",
+            "projectId",
+            "id",
+        ));
         let p = r.entity("Project").unwrap();
         assert_eq!(p.table, "projects");
         assert_eq!(p.associations.len(), 1);

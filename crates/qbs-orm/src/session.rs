@@ -232,10 +232,12 @@ mod tests {
             }
         }
         let mut reg = Registry::new();
-        reg.register(
-            EntityDef::new("Project", "projects")
-                .with_association("tasks", "Task", "projectId", "id"),
-        );
+        reg.register(EntityDef::new("Project", "projects").with_association(
+            "tasks",
+            "Task",
+            "projectId",
+            "id",
+        ));
         reg.register(EntityDef::new("Task", "tasks"));
         (db, reg)
     }

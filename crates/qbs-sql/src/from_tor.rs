@@ -86,7 +86,8 @@ fn flatten_base(base: &BaseExpr, flat: &mut Flat) -> Result<()> {
                 item.alias = Some(Ident::new(format!("c{k}")));
             }
             let n = renamed.columns.len();
-            flat.from.push(FromItem::Subquery { query: Box::new(renamed), alias: alias.clone() });
+            flat.from
+                .push(FromItem::Subquery { query: Box::new(renamed), alias: alias.clone() });
             for k in 0..n {
                 flat.cols.push(SqlExpr::qcol(alias.clone(), format!("c{k}").as_str()));
             }
@@ -128,9 +129,7 @@ fn atom_expr(atom: &PosAtom, cols: &[SqlExpr]) -> Result<SqlExpr> {
                     })?;
                     SqlExpr::InSubquery(Box::new(l), Box::new(sub))
                 }
-                PosProbe::Record => {
-                    SqlExpr::RowInSubquery(cols.to_vec(), Box::new(sub))
-                }
+                PosProbe::Record => SqlExpr::RowInSubquery(cols.to_vec(), Box::new(sub)),
             }
         }
     })
@@ -181,10 +180,7 @@ fn sorted_select(
         .collect::<Result<_>>()?;
 
     let where_clause = SqlExpr::and(
-        s.filter
-            .iter()
-            .map(|a| atom_expr(a, &flat.cols))
-            .collect::<Result<Vec<_>>>()?,
+        s.filter.iter().map(|a| atom_expr(a, &flat.cols)).collect::<Result<Vec<_>>>()?,
     );
 
     // ORDER BY: resolve the Fig. 9 field list. Rowid fields resolve against
@@ -214,40 +210,31 @@ fn sorted_select(
         }
     }
 
-    Ok(SqlSelect {
-        distinct: false,
-        columns,
-        from: flat.from,
-        where_clause,
-        order_by,
-        limit,
-    })
+    Ok(SqlSelect { distinct: false, columns, from: flat.from, where_clause, order_by, limit })
 }
 
 fn scalar_of(s: &ScalarQuery) -> Result<SqlScalar> {
     // The aggregated input is rendered without ORDER BY (aggregates are
     // order-insensitive; Fig. 9 gives Order(agg(e)) = []).
     let inner = select_of(&s.input, None, false)?;
-    let column = match s.agg {
-        qbs_tor::AggKind::Count => None,
-        _ => Some(
-            inner
-                .columns
-                .first()
-                .map(|c| c.expr.clone())
-                .ok_or_else(|| SqlGenError::Internal("aggregate over zero columns".into()))?,
-        ),
-    };
-    let compare = match &s.compare {
-        None => None,
-        Some((op, rhs)) => Some((
+    let column =
+        match s.agg {
+            qbs_tor::AggKind::Count => None,
+            _ => {
+                Some(inner.columns.first().map(|c| c.expr.clone()).ok_or_else(|| {
+                    SqlGenError::Internal("aggregate over zero columns".into())
+                })?)
+            }
+        };
+    let compare = s.compare.as_ref().map(|(op, rhs)| {
+        (
             *op,
             match rhs {
                 qbs_tor::ScalarRhs::Const(v) => SqlExpr::Lit(v.clone()),
                 qbs_tor::ScalarRhs::Param(p) => SqlExpr::Param(p.clone()),
             },
-        )),
-    };
+        )
+    });
     Ok(SqlScalar { agg: s.agg, column, query: inner, compare })
 }
 
@@ -321,10 +308,7 @@ mod tests {
     #[test]
     fn distinct_projection() {
         let e = TorExpr::unique(TorExpr::proj(vec!["roleId".into()], q("users", users())));
-        assert_eq!(
-            gen(&e),
-            "SELECT DISTINCT users.roleId FROM users ORDER BY users.rowid"
-        );
+        assert_eq!(gen(&e), "SELECT DISTINCT users.roleId FROM users ORDER BY users.rowid");
     }
 
     #[test]
@@ -341,10 +325,7 @@ mod tests {
             TorExpr::agg(qbs_tor::AggKind::Count, TorExpr::select(p, q("users", users()))),
             TorExpr::int(0),
         );
-        assert_eq!(
-            gen(&e),
-            "SELECT COUNT(*) > 0 FROM users WHERE users.roleId = 1"
-        );
+        assert_eq!(gen(&e), "SELECT COUNT(*) > 0 FROM users WHERE users.roleId = 1");
     }
 
     #[test]

@@ -33,9 +33,7 @@ mod from_tor;
 mod parse;
 mod print;
 
-pub use ast::{
-    FromItem, OrderKey, SelectItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect,
-};
+pub use ast::{FromItem, OrderKey, SelectItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect};
 pub use from_tor::{sql_of, SqlGenError};
 pub use parse::{parse_query, ParseError};
 pub use print::{print_query, print_select};

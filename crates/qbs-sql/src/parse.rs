@@ -182,7 +182,10 @@ pub fn parse_query(input: &str) -> Result<SqlSelect, ParseError> {
     let mut from = Vec::new();
     loop {
         let table = t.next().ok_or_else(|| ParseError::new("missing table name"))?;
-        from.push(FromItem::Table { name: table.as_str().into(), alias: table.as_str().into() });
+        from.push(FromItem::Table {
+            name: table.as_str().into(),
+            alias: table.as_str().into(),
+        });
         if t.peek() == Some(",") {
             t.next();
             continue;

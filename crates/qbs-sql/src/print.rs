@@ -29,9 +29,7 @@ fn expr(e: &SqlExpr, out: &mut String) {
             let _ = write!(out, " {} ", op.sql());
             expr(b, out);
         }
-        SqlExpr::And(parts) =>
-
- {
+        SqlExpr::And(parts) => {
             for (i, p) in parts.iter().enumerate() {
                 if i > 0 {
                     out.push_str(" AND ");

@@ -77,9 +77,7 @@ fn expand(
 /// templates of constant-bound loops.
 fn stage_own(expr: &TorExpr, l: &LoopInfo) -> TorExpr {
     match (&l.bound, expr) {
-        (Bound::Const(k) | Bound::ConstAndSize(k, _), TorExpr::Top(inner, count))
-            if matches!(&**count, TorExpr::Const(qbs_common::Value::Int(c)) if c == k) =>
-        {
+        (Bound::Const(k) | Bound::ConstAndSize(k, _), TorExpr::Top(inner, count)) if matches!(&**count, TorExpr::Const(qbs_common::Value::Int(c)) if c == k) => {
             TorExpr::Top(inner.clone(), Box::new(TorExpr::var(l.counter.clone())))
         }
         _ => subst_expr(
@@ -94,11 +92,9 @@ fn bound_conjuncts(l: &LoopInfo, strict: bool) -> Vec<Formula> {
     let op = if strict { CmpOp::Lt } else { CmpOp::Le };
     let c = TorExpr::var(l.counter.clone());
     match &l.bound {
-        Bound::Size(s) => vec![Formula::Atom(TorExpr::cmp(
-            op,
-            c,
-            TorExpr::size(TorExpr::var(s.clone())),
-        ))],
+        Bound::Size(s) => {
+            vec![Formula::Atom(TorExpr::cmp(op, c, TorExpr::size(TorExpr::var(s.clone()))))]
+        }
         Bound::Const(k) => vec![Formula::Atom(TorExpr::cmp(op, c, TorExpr::int(*k)))],
         Bound::ConstAndSize(k, s) => vec![
             Formula::Atom(TorExpr::cmp(op, c.clone(), TorExpr::int(*k))),
@@ -152,10 +148,7 @@ pub fn derive_candidate(
     // Postcondition: resolve the result variable. Whether the result is
     // scalar comes from its inferred kernel type.
     let result = prog.result_var();
-    let post_scalar = types
-        .get(result)
-        .map(|t| t.is_scalar())
-        .unwrap_or(false);
+    let post_scalar = types.get(result).map(|t| t.is_scalar()).unwrap_or(false);
     let post_rhs_raw = if let Some(e) = products.get(result) {
         e.clone()
     } else if let Some((_, def)) = shape.defs.iter().find(|(v, _)| v == result) {
@@ -173,11 +166,7 @@ pub fn derive_candidate(
     // Loop invariants.
     for info in vcs.invariants() {
         let path = info.loop_path.as_ref()?;
-        let (m, l) = shape
-            .loops
-            .iter()
-            .enumerate()
-            .find(|(_, l)| &l.path == path)?;
+        let (m, l) = shape.loops.iter().enumerate().find(|(_, l)| &l.path == path)?;
         let mut conjuncts: Vec<Formula> = Vec::new();
 
         // Carried definitions in scope (sorted views etc.).
@@ -278,7 +267,11 @@ mod tests {
                 vec![
                     KStmt::assign("j", KExpr::int(0)),
                     KStmt::while_loop(
-                        KExpr::cmp(CmpOp::Lt, KExpr::var("j"), KExpr::size(KExpr::var("roles"))),
+                        KExpr::cmp(
+                            CmpOp::Lt,
+                            KExpr::var("j"),
+                            KExpr::size(KExpr::var("roles")),
+                        ),
                         vec![
                             KStmt::if_then(
                                 KExpr::cmp(
@@ -325,10 +318,7 @@ mod tests {
         // Postcondition: out = π(⋈(users, roles)).
         assert!(matches!(derived.post_rhs, TorExpr::Proj(_, _)));
         // The inner invariant contains a concatenation (Fig. 12).
-        let inner = vcs
-            .invariants()
-            .find(|u| u.name.contains('#'))
-            .expect("inner invariant");
+        let inner = vcs.invariants().find(|u| u.name.contains('#')).expect("inner invariant");
         let body = derived.candidate.body(inner.id).unwrap();
         assert!(format!("{body}").contains("cat("), "inner invariant: {body}");
     }

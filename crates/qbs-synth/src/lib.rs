@@ -37,4 +37,7 @@ pub use derive::derive_candidate;
 pub use mine::{mine, MinedAtoms};
 pub use pattern::{analyze, Bound, LoopInfo, ProductKind, Shape, ShapeError};
 pub use postcond::{product_templates, Template};
-pub use solve::{synthesize, ProofStatus, SynthConfig, SynthFailure, SynthOutcome, SynthStats};
+pub use solve::{
+    synthesize, synthesize_with_hooks, ProofStatus, SynthConfig, SynthFailure, SynthHooks,
+    SynthOutcome, SynthStats,
+};

@@ -40,11 +40,7 @@ pub struct MinedAtoms {
 impl MinedAtoms {
     /// Selection atoms applying to `src`.
     pub fn selections_for(&self, src: &Ident) -> Vec<PredAtom> {
-        self.selections
-            .iter()
-            .filter(|(s, _)| s == src)
-            .map(|(_, a)| a.clone())
-            .collect()
+        self.selections.iter().filter(|(s, _)| s == src).map(|(_, a)| a.clone()).collect()
     }
 
     /// Join atoms between `left` and `right` (in either orientation,
@@ -69,10 +65,7 @@ impl MinedAtoms {
 }
 
 /// `Field(Get(Var s, Var c), f)` where `c` is the counter of a loop over `s`.
-fn elem_field<'e>(
-    e: &'e TorExpr,
-    shape: &Shape,
-) -> Option<(Ident, qbs_common::FieldRef)> {
+fn elem_field(e: &TorExpr, shape: &Shape) -> Option<(Ident, qbs_common::FieldRef)> {
     if let TorExpr::Field(inner, f) = e {
         if let TorExpr::Get(r, i) = &**inner {
             if let (TorExpr::Var(src), TorExpr::Var(c)) = (&**r, &**i) {
@@ -113,36 +106,28 @@ fn mine_condition(cond: &TorExpr, shape: &Shape, prog: &KernelProgram, out: &mut
                 }
                 (Some((s, f)), Some((_, g))) => {
                     // Field-to-field on the same source.
-                    out.selections.push((
-                        s,
-                        PredAtom::Cmp { lhs: f, op: *op, rhs: Operand::Field(g) },
-                    ));
+                    out.selections
+                        .push((s, PredAtom::Cmp { lhs: f, op: *op, rhs: Operand::Field(g) }));
                 }
                 (Some((s, f)), None) => {
                     if let Some(rhs) = operand_of(b, prog) {
-                        out.selections.push((s.clone(), PredAtom::Cmp {
-                            lhs: f.clone(),
-                            op: *op,
-                            rhs: rhs.clone(),
-                        }));
-                        // Also mine the negation for else-gated appends.
                         out.selections.push((
-                            s,
-                            PredAtom::Cmp { lhs: f, op: op.negate(), rhs },
+                            s.clone(),
+                            PredAtom::Cmp { lhs: f.clone(), op: *op, rhs: rhs.clone() },
                         ));
+                        // Also mine the negation for else-gated appends.
+                        out.selections
+                            .push((s, PredAtom::Cmp { lhs: f, op: op.negate(), rhs }));
                     }
                 }
                 (None, Some((s, f))) => {
                     if let Some(rhs) = operand_of(a, prog) {
-                        out.selections.push((s.clone(), PredAtom::Cmp {
-                            lhs: f.clone(),
-                            op: op.flip(),
-                            rhs: rhs.clone(),
-                        }));
                         out.selections.push((
-                            s,
-                            PredAtom::Cmp { lhs: f, op: op.flip().negate(), rhs },
+                            s.clone(),
+                            PredAtom::Cmp { lhs: f.clone(), op: op.flip(), rhs: rhs.clone() },
                         ));
+                        out.selections
+                            .push((s, PredAtom::Cmp { lhs: f, op: op.flip().negate(), rhs }));
                     }
                 }
                 (None, None) => {}
@@ -151,10 +136,8 @@ fn mine_condition(cond: &TorExpr, shape: &Shape, prog: &KernelProgram, out: &mut
         TorExpr::Contains(x, rel) => {
             // contains(elem-or-field, otherList)
             if let Some((s, f)) = elem_field(x, shape) {
-                out.selections.push((
-                    s,
-                    PredAtom::Contains { probe: Probe::Field(f), rel: rel.clone() },
-                ));
+                out.selections
+                    .push((s, PredAtom::Contains { probe: Probe::Field(f), rel: rel.clone() }));
             } else if let TorExpr::Get(r, i) = &**x {
                 if let (TorExpr::Var(src), TorExpr::Var(c)) = (&**r, &**i) {
                     if shape.loops.iter().any(|l| &l.src == src && &l.counter == c) {
@@ -208,8 +191,8 @@ pub fn mine(prog: &KernelProgram, shape: &Shape) -> MinedAtoms {
 mod tests {
     use super::*;
     use crate::pattern::analyze;
-    use qbs_kernel::KExpr;
     use qbs_common::{FieldType, Schema};
+    use qbs_kernel::KExpr;
     use qbs_tor::QuerySpec;
 
     fn prog_with_cond(cond: KExpr) -> KernelProgram {
@@ -252,10 +235,9 @@ mod tests {
         let shape = analyze(&prog).unwrap();
         let atoms = mine(&prog, &shape);
         let sels = atoms.selections_for(&"users".into());
-        assert!(sels.iter().any(|a| matches!(
-            a,
-            PredAtom::Cmp { op: CmpOp::Eq, rhs: Operand::Const(_), .. }
-        )));
+        assert!(sels
+            .iter()
+            .any(|a| matches!(a, PredAtom::Cmp { op: CmpOp::Eq, rhs: Operand::Const(_), .. })));
         // The negation is mined too.
         assert!(sels.iter().any(|a| matches!(a, PredAtom::Cmp { op: CmpOp::Ne, .. })));
     }

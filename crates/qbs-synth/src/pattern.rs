@@ -225,8 +225,7 @@ impl Analyzer {
             p.push(idx);
             match s {
                 KStmt::Assign(v, e) if !in_loop => {
-                    let t = kexpr_to_tor(e)
-                        .map_err(|err| ShapeError::new(err.to_string()))?;
+                    let t = kexpr_to_tor(e).map_err(|err| ShapeError::new(err.to_string()))?;
                     self.defs.push((v.clone(), t));
                 }
                 KStmt::While(guard, body) => {
@@ -432,7 +431,10 @@ mod tests {
                     KStmt::if_then(
                         KExpr::cmp(
                             CmpOp::Eq,
-                            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+                            KExpr::field(
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                "roleId",
+                            ),
                             KExpr::int(1),
                         ),
                         vec![KStmt::assign(
@@ -515,9 +517,7 @@ mod tests {
 
     #[test]
     fn nested_join_loops() {
-        let roles = Schema::builder("roles")
-            .field("roleId", FieldType::Int)
-            .finish();
+        let roles = Schema::builder("roles").field("roleId", FieldType::Int).finish();
         let prog = KernelProgram::builder("join")
             .stmt(KStmt::assign("out", KExpr::EmptyList))
             .stmt(KStmt::assign(
@@ -531,7 +531,11 @@ mod tests {
                 vec![
                     KStmt::assign("j", KExpr::int(0)),
                     KStmt::while_loop(
-                        KExpr::cmp(CmpOp::Lt, KExpr::var("j"), KExpr::size(KExpr::var("roles"))),
+                        KExpr::cmp(
+                            CmpOp::Lt,
+                            KExpr::var("j"),
+                            KExpr::size(KExpr::var("roles")),
+                        ),
                         vec![
                             KStmt::if_then(
                                 KExpr::cmp(

@@ -173,7 +173,11 @@ pub fn product_templates(
                     op: j.op,
                     right: j.right.clone(),
                 }]);
-                let join = TorExpr::join(jp, TorExpr::var(l.src.clone()), TorExpr::var(inner.src.clone()));
+                let join = TorExpr::join(
+                    jp,
+                    TorExpr::var(l.src.clone()),
+                    TorExpr::var(inner.src.clone()),
+                );
                 let (expr, level) = build(join, None, proj.clone(), None, false);
                 // A join counts as one more operator.
                 out.push(Template { expr, level: level + 1, scalar: false });
@@ -188,8 +192,13 @@ pub fn product_templates(
             };
             for pred in pred_choices(&sels, max_level.min(2)) {
                 for uniq in [false, true] {
-                    let (expr, level) =
-                        build(TorExpr::var(l.src.clone()), pred.clone(), proj.clone(), topk, uniq);
+                    let (expr, level) = build(
+                        TorExpr::var(l.src.clone()),
+                        pred.clone(),
+                        proj.clone(),
+                        topk,
+                        uniq,
+                    );
                     out.push(Template { expr, level, scalar: false });
                 }
             }
@@ -216,9 +225,7 @@ pub fn product_templates(
                         });
                     }
                     // p := p + elem.f → sum.
-                    TorExpr::Binary(BinOp::Add, a, b)
-                        if matches!(&**a, TorExpr::Var(v) if v == &l.product) =>
-                    {
+                    TorExpr::Binary(BinOp::Add, a, b) if matches!(&**a, TorExpr::Var(v) if v == &l.product) => {
                         if let Some(Some(fs)) = proj_of_elem(b, &l.src, false, types) {
                             out.push(Template {
                                 expr: TorExpr::agg(
@@ -292,7 +299,10 @@ mod tests {
                     KStmt::if_then(
                         KExpr::cmp(
                             CmpOp::Eq,
-                            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+                            KExpr::field(
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                "roleId",
+                            ),
                             KExpr::int(1),
                         ),
                         vec![KStmt::assign(
@@ -320,7 +330,9 @@ mod tests {
         assert!(!ts.is_empty());
         // Level 1 contains the bare source and a single-atom selection.
         assert!(ts.iter().any(|t| t.expr == TorExpr::var("users")));
-        assert!(ts.iter().any(|t| matches!(&t.expr, TorExpr::Select(p, _) if p.atoms().len() == 1)));
+        assert!(ts
+            .iter()
+            .any(|t| matches!(&t.expr, TorExpr::Select(p, _) if p.atoms().len() == 1)));
         // No template nests selections (symmetry breaking).
         for t in &ts {
             if let TorExpr::Select(_, inner) = &t.expr {

@@ -7,7 +7,7 @@ use crate::pattern::analyze;
 use crate::postcond::{product_templates, Template};
 use qbs_common::Ident;
 use qbs_kernel::{typecheck, KExpr, KStmt, KernelProgram};
-use qbs_tor::{TorExpr, TorType, TypeEnv};
+use qbs_tor::{Env, TorExpr, TorType, TypeEnv};
 use qbs_vcgen::generate;
 use qbs_verify::{
     prove, BoundedChecker, BoundedConfig, Candidate, CexCache, CheckOutcome, ProofResult,
@@ -63,8 +63,29 @@ pub struct SynthStats {
     pub candidates_tried: usize,
     /// Candidates rejected by the counterexample cache alone.
     pub cache_hits: usize,
+    /// Counterexamples pre-seeded into the cache by a batch driver before
+    /// the search started (0 for stand-alone runs).
+    pub cexes_seeded: usize,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
+}
+
+/// Hooks for sharing CEGIS state across related synthesis runs.
+///
+/// A corpus-scale driver synthesizing many fragments of the same template
+/// shape can pre-seed each run's [`CexCache`] with counterexamples mined by
+/// earlier runs (`seed_cexes`) and harvest the ones this run mines
+/// (`on_cex`). Seeding is purely an accelerator: a seeded environment can
+/// only reject candidates the fragment's own bounded/extended checking
+/// would reject anyway (provided the seeds come from a fragment with the
+/// identical store configuration), so the accepted candidate — and hence
+/// the generated SQL — is unchanged.
+#[derive(Default)]
+pub struct SynthHooks<'a> {
+    /// Counterexamples to pre-seed the CEGIS cache with.
+    pub seed_cexes: &'a [Env],
+    /// Invoked once per freshly mined counterexample.
+    pub on_cex: Option<&'a mut dyn FnMut(&Env)>,
 }
 
 /// A successful synthesis.
@@ -146,6 +167,21 @@ pub fn synthesize(
     params: &TypeEnv,
     config: &SynthConfig,
 ) -> Result<SynthOutcome, SynthFailure> {
+    synthesize_with_hooks(prog, params, config, SynthHooks::default())
+}
+
+/// [`synthesize`] with cross-run CEGIS sharing hooks — the entry point used
+/// by corpus-scale batch drivers.
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize`].
+pub fn synthesize_with_hooks(
+    prog: &KernelProgram,
+    params: &TypeEnv,
+    config: &SynthConfig,
+    mut hooks: SynthHooks<'_>,
+) -> Result<SynthOutcome, SynthFailure> {
     let start = Instant::now();
     let types =
         typecheck(prog, params).map_err(|e| SynthFailure::Unsupported(e.to_string()))?;
@@ -169,15 +205,16 @@ pub fn synthesize(
     let param_types: Vec<(Ident, TorType)> = prog
         .params()
         .iter()
-        .map(|p| {
-            (p.clone(), params.get(p).cloned().unwrap_or(TorType::Int))
-        })
+        .map(|p| (p.clone(), params.get(p).cloned().unwrap_or(TorType::Int)))
         .collect();
     let sources = find_sources(prog);
     let checker = BoundedChecker::new(&sources, &param_types, tenv.clone(), &config.bounded);
     let mut extended: Option<BoundedChecker> = None;
     let mut cache = CexCache::new();
-    let mut stats = SynthStats::default();
+    let mut stats = SynthStats {
+        cexes_seeded: cache.seed(hooks.seed_cexes.iter().cloned()),
+        ..SynthStats::default()
+    };
 
     // Template units: one per outermost loop (nested pairs share the outer
     // unit), in program order.
@@ -201,9 +238,7 @@ pub fn synthesize(
         })
         .collect();
     if units.iter().zip(&unit_templates).any(|(_, ts)| ts.is_empty()) && !units.is_empty() {
-        return Err(SynthFailure::Unsupported(
-            "no templates for a loop product".to_string(),
-        ));
+        return Err(SynthFailure::Unsupported("no templates for a loop product".to_string()));
     }
 
     // Joint choices ordered by total level (incremental solving).
@@ -243,16 +278,18 @@ pub fn synthesize(
         }
         match checker.check(&vcs, &candidate) {
             CheckOutcome::Fail { env, .. } => {
+                if let Some(on_cex) = hooks.on_cex.as_mut() {
+                    on_cex(&env);
+                }
                 cache.push(env);
                 continue;
             }
             CheckOutcome::Pass => {}
         }
         // Symbolic proof of every condition.
-        let all_proved = vcs
-            .conditions
-            .iter()
-            .all(|vc| matches!(prove(vc, &candidate, &vcs.unknowns, &tenv), ProofResult::Proved));
+        let all_proved = vcs.conditions.iter().all(|vc| {
+            matches!(prove(vc, &candidate, &vcs.unknowns, &tenv), ProofResult::Proved)
+        });
         let proof = if all_proved {
             ProofStatus::Proved
         } else {
@@ -263,6 +300,9 @@ pub fn synthesize(
             match ext.check(&vcs, &candidate) {
                 CheckOutcome::Pass => ProofStatus::ExtendedBounded,
                 CheckOutcome::Fail { env, .. } => {
+                    if let Some(on_cex) = hooks.on_cex.as_mut() {
+                        on_cex(&env);
+                    }
                     cache.push(env);
                     continue;
                 }
@@ -294,7 +334,10 @@ fn inflate_symmetries(ts: Vec<Template>) -> Vec<Template> {
                 // Nested selections.
                 let nested = TorExpr::select(
                     qbs_tor::Pred::new(vec![p.atoms()[1].clone()]),
-                    TorExpr::select(qbs_tor::Pred::new(vec![p.atoms()[0].clone()]), (**inner).clone()),
+                    TorExpr::select(
+                        qbs_tor::Pred::new(vec![p.atoms()[0].clone()]),
+                        (**inner).clone(),
+                    ),
                 );
                 out.push(Template { expr: nested, ..t.clone() });
             }

@@ -46,7 +46,10 @@ fn append_elem(out: &str, src: &str, counter: &str) -> KStmt {
 fn synthesizes_selection() {
     let prog = KernelProgram::builder("selection")
         .stmt(KStmt::assign("out", KExpr::EmptyList))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),
@@ -69,7 +72,10 @@ fn synthesizes_parameterized_selection() {
     let prog = KernelProgram::builder("param_sel")
         .param("uid")
         .stmt(KStmt::assign("out", KExpr::EmptyList))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),
@@ -92,7 +98,10 @@ fn synthesizes_parameterized_selection() {
 fn synthesizes_projection() {
     let prog = KernelProgram::builder("projection")
         .stmt(KStmt::assign("out", KExpr::EmptyList))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),
@@ -114,8 +123,14 @@ fn synthesizes_projection() {
 fn synthesizes_join_running_example() {
     let prog = KernelProgram::builder("getRoleUser")
         .stmt(KStmt::assign("listUsers", KExpr::EmptyList))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
-        .stmt(KStmt::assign("roles", KExpr::query(QuerySpec::table_scan("roles", roles_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
+        .stmt(KStmt::assign(
+            "roles",
+            KExpr::query(QuerySpec::table_scan("roles", roles_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),
@@ -155,7 +170,10 @@ fn synthesizes_join_running_example() {
 fn synthesizes_count() {
     let prog = KernelProgram::builder("count")
         .stmt(KStmt::assign("c", KExpr::int(0)))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),
@@ -178,7 +196,10 @@ fn synthesizes_count() {
 fn synthesizes_existence_flag() {
     let prog = KernelProgram::builder("exists")
         .stmt(KStmt::assign("found", KExpr::bool(false)))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),
@@ -193,10 +214,7 @@ fn synthesizes_existence_flag() {
     let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
     assert_eq!(out.proof, ProofStatus::Proved);
     // found = (count(σ(users)) > 0) — translated to COUNT(*) > 0.
-    assert!(matches!(
-        out.post_rhs,
-        TorExpr::Binary(qbs_tor::BinOp::Cmp(CmpOp::Gt), _, _)
-    ));
+    assert!(matches!(out.post_rhs, TorExpr::Binary(qbs_tor::BinOp::Cmp(CmpOp::Gt), _, _)));
 }
 
 /// Category O: running maximum.
@@ -204,7 +222,10 @@ fn synthesizes_existence_flag() {
 fn synthesizes_max() {
     let prog = KernelProgram::builder("maximum")
         .stmt(KStmt::assign("best", KExpr::int(i64::MIN)))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),
@@ -218,7 +239,11 @@ fn synthesizes_max() {
         .finish();
     let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
     assert!(out.post_scalar);
-    assert!(matches!(out.post_rhs, TorExpr::Agg(qbs_tor::AggKind::Max, _)), "got {}", out.post_rhs);
+    assert!(
+        matches!(out.post_rhs, TorExpr::Agg(qbs_tor::AggKind::Max, _)),
+        "got {}",
+        out.post_rhs
+    );
 }
 
 /// Category D: projection into a set (DISTINCT).
@@ -226,7 +251,10 @@ fn synthesizes_max() {
 fn synthesizes_distinct_projection() {
     let prog = KernelProgram::builder("distinct")
         .stmt(KStmt::assign("tmp", KExpr::EmptyList))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),
@@ -248,8 +276,14 @@ fn synthesizes_distinct_projection() {
 fn synthesizes_sorted_top_k() {
     let prog = KernelProgram::builder("sorted_topk")
         .stmt(KStmt::assign("out", KExpr::EmptyList))
-        .stmt(KStmt::assign("records", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
-        .stmt(KStmt::assign("sorted", KExpr::Sort(vec!["id".into()], Box::new(KExpr::var("records")))))
+        .stmt(KStmt::assign(
+            "records",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
+        .stmt(KStmt::assign(
+            "sorted",
+            KExpr::Sort(vec!["id".into()], Box::new(KExpr::var("records"))),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             KExpr::and(
@@ -276,7 +310,10 @@ fn synthesizes_sorted_top_k() {
 #[test]
 fn custom_comparator_fails() {
     let prog = KernelProgram::builder("custom_sort")
-        .stmt(KStmt::assign("records", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "records",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("out", KExpr::SortCustom(Box::new(KExpr::var("records")))))
         .result("out")
         .finish();
@@ -324,7 +361,10 @@ fn synthesized_query_agrees_with_interpreter() {
 
     let prog = KernelProgram::builder("selection")
         .stmt(KStmt::assign("out", KExpr::EmptyList))
-        .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users_schema()))))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
         .stmt(KStmt::assign("i", KExpr::int(0)))
         .stmt(counter_loop(
             size_guard("i", "users"),

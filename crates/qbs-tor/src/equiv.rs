@@ -67,10 +67,9 @@ fn rewrite_once(e: &TorExpr, tenv: &TypeEnv) -> Option<TorExpr> {
                 Some(TorExpr::proj(fields.clone(), TorExpr::select(p, (**r).clone())))
             }
             // σ_φ(sort_ℓ(r)) → sort_ℓ(σ_φ(r))
-            TorExpr::Sort(fields, r) => Some(TorExpr::sort(
-                fields.clone(),
-                TorExpr::select(p2.clone(), (**r).clone()),
-            )),
+            TorExpr::Sort(fields, r) => {
+                Some(TorExpr::sort(fields.clone(), TorExpr::select(p2.clone(), (**r).clone())))
+            }
             _ => None,
         },
         // π_ℓ2(π_ℓ1(r)) → π_ℓ1∘ℓ2(r)
@@ -217,10 +216,7 @@ mod tests {
     use qbs_common::{FieldType, Schema, SchemaRef};
 
     fn t_schema() -> SchemaRef {
-        Schema::builder("t")
-            .field("a", FieldType::Int)
-            .field("b", FieldType::Int)
-            .finish()
+        Schema::builder("t").field("a", FieldType::Int).field("b", FieldType::Int).finish()
     }
 
     fn q() -> TorExpr {
@@ -257,7 +253,8 @@ mod tests {
 
     #[test]
     fn projections_compose() {
-        let e = TorExpr::proj(vec!["a".into()], TorExpr::proj(vec!["b".into(), "a".into()], q()));
+        let e =
+            TorExpr::proj(vec!["a".into()], TorExpr::proj(vec!["b".into(), "a".into()], q()));
         match normalize(&e, &TypeEnv::new()) {
             TorExpr::Proj(fields, inner) => {
                 assert_eq!(fields, vec![FieldRef::from("a")]);

@@ -317,9 +317,7 @@ pub fn eval(e: &TorExpr, env: &Env) -> Result<DynValue> {
             let left = match eval(a, env)? {
                 DynValue::Rel(r) => r,
                 // ⋈′(e, r2): a single record joins as a singleton relation.
-                DynValue::Rec(rec) => {
-                    Relation::from_records(rec.schema().clone(), vec![rec])?
-                }
+                DynValue::Rec(rec) => Relation::from_records(rec.schema().clone(), vec![rec])?,
                 other => {
                     return Err(EvalError::Kind {
                         context: "join",
@@ -447,8 +445,8 @@ pub fn eval(e: &TorExpr, env: &Env) -> Result<DynValue> {
 
 #[cfg(test)]
 mod tests {
-    use crate::expr::CmpOp;
     use super::*;
+    use crate::expr::CmpOp;
     use qbs_common::{FieldType, SchemaRef};
 
     fn users_schema() -> SchemaRef {
@@ -540,9 +538,18 @@ mod tests {
     fn aggregates_on_projection() {
         let ids = TorExpr::proj(vec!["id".into()], TorExpr::var("users"));
         let e = env();
-        assert_eq!(eval(&TorExpr::agg(AggKind::Sum, ids.clone()), &e).unwrap().as_int(), Some(6));
-        assert_eq!(eval(&TorExpr::agg(AggKind::Max, ids.clone()), &e).unwrap().as_int(), Some(3));
-        assert_eq!(eval(&TorExpr::agg(AggKind::Min, ids.clone()), &e).unwrap().as_int(), Some(1));
+        assert_eq!(
+            eval(&TorExpr::agg(AggKind::Sum, ids.clone()), &e).unwrap().as_int(),
+            Some(6)
+        );
+        assert_eq!(
+            eval(&TorExpr::agg(AggKind::Max, ids.clone()), &e).unwrap().as_int(),
+            Some(3)
+        );
+        assert_eq!(
+            eval(&TorExpr::agg(AggKind::Min, ids.clone()), &e).unwrap().as_int(),
+            Some(1)
+        );
         assert_eq!(
             eval(&TorExpr::agg(AggKind::Count, TorExpr::var("users")), &e).unwrap().as_int(),
             Some(3)
@@ -554,7 +561,10 @@ mod tests {
         let p = Pred::truth().and_cmp("id".into(), CmpOp::Gt, Operand::Const(100.into()));
         let none = TorExpr::proj(vec!["id".into()], TorExpr::select(p, TorExpr::var("users")));
         let e = env();
-        assert_eq!(eval(&TorExpr::agg(AggKind::Sum, none.clone()), &e).unwrap().as_int(), Some(0));
+        assert_eq!(
+            eval(&TorExpr::agg(AggKind::Sum, none.clone()), &e).unwrap().as_int(),
+            Some(0)
+        );
         assert_eq!(
             eval(&TorExpr::agg(AggKind::Max, none.clone()), &e).unwrap().as_int(),
             Some(i64::MIN)
@@ -600,11 +610,8 @@ mod tests {
         // i < size(users) ∧ get_i(...) with i out of range: the guard makes
         // the whole conjunction false instead of erroring.
         let e = env();
-        let guard = TorExpr::cmp(
-            CmpOp::Lt,
-            TorExpr::int(5),
-            TorExpr::size(TorExpr::var("users")),
-        );
+        let guard =
+            TorExpr::cmp(CmpOp::Lt, TorExpr::int(5), TorExpr::size(TorExpr::var("users")));
         let body = TorExpr::cmp(
             CmpOp::Eq,
             TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::int(5)), "id"),

@@ -323,6 +323,7 @@ impl TorExpr {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)] // constructor, not arithmetic on TorExpr
     pub fn add(a: TorExpr, b: TorExpr) -> TorExpr {
         TorExpr::binary(BinOp::Add, a, b)
     }
@@ -345,10 +346,21 @@ impl TorExpr {
         use TorExpr::*;
         match self {
             Const(_) | EmptyList | Var(_) | Query(_) => vec![],
-            Field(e, _) | Not(e) | Size(e) | Proj(_, e) | Select(_, e) | Agg(_, e)
-            | Sort(_, e) | Unique(e) => vec![e],
-            Binary(_, a, b) | Get(a, b) | Top(a, b) | Join(_, a, b) | Append(a, b)
-            | Concat(a, b) | Contains(a, b) => {
+            Field(e, _)
+            | Not(e)
+            | Size(e)
+            | Proj(_, e)
+            | Select(_, e)
+            | Agg(_, e)
+            | Sort(_, e)
+            | Unique(e) => vec![e],
+            Binary(_, a, b)
+            | Get(a, b)
+            | Top(a, b)
+            | Join(_, a, b)
+            | Append(a, b)
+            | Concat(a, b)
+            | Contains(a, b) => {
                 vec![a, b]
             }
             RecLit(fields) => fields.iter().map(|(_, e)| e).collect(),
@@ -449,10 +461,8 @@ mod tests {
 
     #[test]
     fn relational_op_count() {
-        let e = TorExpr::proj(
-            vec!["a".into()],
-            TorExpr::select(Pred::truth(), TorExpr::var("r")),
-        );
+        let e =
+            TorExpr::proj(vec!["a".into()], TorExpr::select(Pred::truth(), TorExpr::var("r")));
         assert_eq!(e.relational_ops(), 2);
         assert_eq!(TorExpr::var("r").relational_ops(), 0);
     }

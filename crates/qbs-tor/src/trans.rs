@@ -279,7 +279,9 @@ fn to_sorted(t: TransExpr) -> Result<SortedExpr> {
     match t {
         TransExpr::Sorted(s) => Ok(s),
         TransExpr::Top(s, e) => Ok(SortedExpr::identity(BaseExpr::Top(Box::new(s), e))),
-        TransExpr::Unique(_) => not_translatable("unique may only appear at the outermost level"),
+        TransExpr::Unique(_) => {
+            not_translatable("unique may only appear at the outermost level")
+        }
     }
 }
 
@@ -344,7 +346,9 @@ pub fn trans_rel(e: &TorExpr, tenv: &TypeEnv) -> Result<TransExpr> {
         TorExpr::Select(pred, inner) => {
             let elem = match infer_type(inner, tenv)? {
                 TorType::Rel(s) => s,
-                other => return not_translatable(format!("selection over non-relation ({other})")),
+                other => {
+                    return not_translatable(format!("selection over non-relation ({other})"))
+                }
             };
             match trans_rel(inner, tenv)? {
                 TransExpr::Sorted(mut s) => {
@@ -368,7 +372,11 @@ pub fn trans_rel(e: &TorExpr, tenv: &TypeEnv) -> Result<TransExpr> {
         TorExpr::Join(pred, l, r) => {
             let (ls, rs) = match (infer_type(l, tenv)?, infer_type(r, tenv)?) {
                 (TorType::Rel(a), TorType::Rel(b)) => (a, b),
-                _ => return not_translatable("join of non-relations (record joins are invariant-only)"),
+                _ => {
+                    return not_translatable(
+                        "join of non-relations (record joins are invariant-only)",
+                    )
+                }
             };
             let sl = to_sorted(trans_rel(l, tenv)?)?;
             let sr = to_sorted(trans_rel(r, tenv)?)?;
@@ -424,7 +432,9 @@ pub fn trans_rel(e: &TorExpr, tenv: &TypeEnv) -> Result<TransExpr> {
                     sort.extend(s.sort.iter().copied());
                     Ok(TransExpr::Sorted(SortedExpr { sort, ..s }))
                 }
-                TransExpr::Unique(_) => not_translatable("sort over unique is outside the grammar"),
+                TransExpr::Unique(_) => {
+                    not_translatable("sort over unique is outside the grammar")
+                }
             }
         }
         TorExpr::Unique(inner) => Ok(TransExpr::Unique(Box::new(trans_rel(inner, tenv)?))),
@@ -477,9 +487,7 @@ pub fn trans(e: &TorExpr, tenv: &TypeEnv) -> Result<TransResult> {
             let rhs = match rhs {
                 TorExpr::Const(v) => ScalarRhs::Const(v.clone()),
                 TorExpr::Var(v) => ScalarRhs::Param(v.clone()),
-                other => {
-                    return not_translatable(format!("comparison right side `{other}`"))
-                }
+                other => return not_translatable(format!("comparison right side `{other}`")),
             };
             match trans(agg_side, tenv)? {
                 TransResult::Scalar(mut s) if s.compare.is_none() => {
@@ -578,10 +586,7 @@ mod tests {
     fn select_then_project_compose() {
         let tenv = TypeEnv::new();
         let p = Pred::truth().and_cmp("roleId".into(), CmpOp::Eq, Operand::Const(10.into()));
-        let e = TorExpr::proj(
-            vec!["id".into()],
-            TorExpr::select(p, q("users", users())),
-        );
+        let e = TorExpr::proj(vec!["id".into()], TorExpr::select(p, q("users", users())));
         match trans_rel(&e, &tenv).unwrap() {
             TransExpr::Sorted(s) => {
                 assert_eq!(s.proj, vec![0]);
@@ -632,7 +637,8 @@ mod tests {
     #[test]
     fn top_of_top_takes_min_of_constants() {
         let tenv = TypeEnv::new();
-        let e = TorExpr::top(TorExpr::top(q("users", users()), TorExpr::int(7)), TorExpr::int(3));
+        let e =
+            TorExpr::top(TorExpr::top(q("users", users()), TorExpr::int(7)), TorExpr::int(3));
         match trans_rel(&e, &tenv).unwrap() {
             TransExpr::Top(_, e) => assert_eq!(*e, TorExpr::int(3)),
             other => panic!("unexpected {other:?}"),
@@ -696,10 +702,10 @@ mod tests {
         );
         let t = trans_rel(&e, &tenv).unwrap();
         let ord = order_fields(&t);
-        assert_eq!(ord, vec![
-            FieldRef::qualified("users", ROWID),
-            FieldRef::qualified("roles", ROWID),
-        ]);
+        assert_eq!(
+            ord,
+            vec![FieldRef::qualified("users", ROWID), FieldRef::qualified("roles", ROWID),]
+        );
     }
 
     #[test]

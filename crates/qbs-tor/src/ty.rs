@@ -177,13 +177,16 @@ fn check_pred(p: &Pred, elem: &SchemaRef, tenv: &TypeEnv) -> Result<(), TypeErro
                         qbs_common::Value::Str(_) => TorType::Str,
                     },
                     Operand::Field(fr) => TorType::from_field(elem.field(fr)?.ty),
-                    Operand::Param(v) => tenv
-                        .get(v)
-                        .cloned()
-                        .ok_or_else(|| TypeError::UnknownVar(v.clone()))?,
+                    Operand::Param(v) => {
+                        tenv.get(v).cloned().ok_or_else(|| TypeError::UnknownVar(v.clone()))?
+                    }
                 };
                 if lty != rty {
-                    return Err(mismatch(&format!("predicate `{atom}`"), &lty.to_string(), &rty));
+                    return Err(mismatch(
+                        &format!("predicate `{atom}`"),
+                        &lty.to_string(),
+                        &rty,
+                    ));
                 }
                 if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
                     && lty == TorType::Bool
@@ -258,14 +261,22 @@ pub fn infer_type(e: &TorExpr, tenv: &TypeEnv) -> Result<TorType, TypeError> {
                     if ta == TorType::Bool && tb == TorType::Bool {
                         Ok(TorType::Bool)
                     } else {
-                        Err(mismatch("logical operator", "bool", if ta == TorType::Bool { &tb } else { &ta }))
+                        Err(mismatch(
+                            "logical operator",
+                            "bool",
+                            if ta == TorType::Bool { &tb } else { &ta },
+                        ))
                     }
                 }
                 BinOp::Add | BinOp::Sub => {
                     if ta == TorType::Int && tb == TorType::Int {
                         Ok(TorType::Int)
                     } else {
-                        Err(mismatch("arithmetic", "int", if ta == TorType::Int { &tb } else { &ta }))
+                        Err(mismatch(
+                            "arithmetic",
+                            "int",
+                            if ta == TorType::Int { &tb } else { &ta },
+                        ))
                     }
                 }
                 BinOp::Cmp(_) => {
@@ -425,7 +436,10 @@ mod tests {
     #[test]
     fn size_and_get_and_top() {
         let (t, users, _) = tenv();
-        assert_eq!(infer_type(&TorExpr::size(TorExpr::var("users")), &t).unwrap(), TorType::Int);
+        assert_eq!(
+            infer_type(&TorExpr::size(TorExpr::var("users")), &t).unwrap(),
+            TorType::Int
+        );
         assert_eq!(
             infer_type(&TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), &t).unwrap(),
             TorType::Record(users.clone())
@@ -468,10 +482,8 @@ mod tests {
         let (t, ..) = tenv();
         let bad = TorExpr::agg(AggKind::Max, TorExpr::var("users"));
         assert!(infer_type(&bad, &t).is_err());
-        let good = TorExpr::agg(
-            AggKind::Max,
-            TorExpr::proj(vec!["id".into()], TorExpr::var("users")),
-        );
+        let good =
+            TorExpr::agg(AggKind::Max, TorExpr::proj(vec!["id".into()], TorExpr::var("users")));
         assert_eq!(infer_type(&good, &t).unwrap(), TorType::Int);
         assert_eq!(
             infer_type(&TorExpr::agg(AggKind::Count, TorExpr::var("users")), &t).unwrap(),
@@ -493,9 +505,6 @@ mod tests {
     #[test]
     fn unknown_var_is_reported() {
         let t = TypeEnv::new();
-        assert!(matches!(
-            infer_type(&TorExpr::var("nope"), &t),
-            Err(TypeError::UnknownVar(_))
-        ));
+        assert!(matches!(infer_type(&TorExpr::var("nope"), &t), Err(TypeError::UnknownVar(_))));
     }
 }

@@ -8,17 +8,11 @@ use qbs_tor::{
 };
 
 fn t_schema() -> SchemaRef {
-    Schema::builder("t")
-        .field("a", FieldType::Int)
-        .field("b", FieldType::Int)
-        .finish()
+    Schema::builder("t").field("a", FieldType::Int).field("b", FieldType::Int).finish()
 }
 
 fn u_schema() -> SchemaRef {
-    Schema::builder("u")
-        .field("a", FieldType::Int)
-        .field("c", FieldType::Int)
-        .finish()
+    Schema::builder("u").field("a", FieldType::Int).field("c", FieldType::Int).finish()
 }
 
 prop_compose! {

@@ -114,7 +114,10 @@ mod tests {
             t,
             TorExpr::cmp(
                 CmpOp::Eq,
-                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::field(
+                    TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+                    "roleId"
+                ),
                 TorExpr::int(3),
             )
         );

@@ -90,16 +90,16 @@ impl Formula {
             Formula::And(parts) => {
                 Formula::And(parts.iter().map(|p| p.subst(var, expr)).collect())
             }
-            Formula::Or(parts) => Formula::Or(parts.iter().map(|p| p.subst(var, expr)).collect()),
+            Formula::Or(parts) => {
+                Formula::Or(parts.iter().map(|p| p.subst(var, expr)).collect())
+            }
             Formula::Not(f) => Formula::Not(Box::new(f.subst(var, expr))),
-            Formula::Implies(h, c) => Formula::Implies(
-                Box::new(h.subst(var, expr)),
-                Box::new(c.subst(var, expr)),
-            ),
-            Formula::Unknown(id, args) => Formula::Unknown(
-                *id,
-                args.iter().map(|a| subst_expr(a, var, expr)).collect(),
-            ),
+            Formula::Implies(h, c) => {
+                Formula::Implies(Box::new(h.subst(var, expr)), Box::new(c.subst(var, expr)))
+            }
+            Formula::Unknown(id, args) => {
+                Formula::Unknown(*id, args.iter().map(|a| subst_expr(a, var, expr)).collect())
+            }
         }
     }
 
@@ -146,14 +146,12 @@ pub fn subst_expr(e: &TorExpr, var: &Ident, expr: &TorExpr) -> TorExpr {
         ),
         Not(x) => TorExpr::Not(Box::new(subst_expr(x, var, expr))),
         Size(x) => TorExpr::Size(Box::new(subst_expr(x, var, expr))),
-        Get(a, b) => TorExpr::Get(
-            Box::new(subst_expr(a, var, expr)),
-            Box::new(subst_expr(b, var, expr)),
-        ),
-        Top(a, b) => TorExpr::Top(
-            Box::new(subst_expr(a, var, expr)),
-            Box::new(subst_expr(b, var, expr)),
-        ),
+        Get(a, b) => {
+            TorExpr::Get(Box::new(subst_expr(a, var, expr)), Box::new(subst_expr(b, var, expr)))
+        }
+        Top(a, b) => {
+            TorExpr::Top(Box::new(subst_expr(a, var, expr)), Box::new(subst_expr(b, var, expr)))
+        }
         Proj(l, x) => TorExpr::Proj(l.clone(), Box::new(subst_expr(x, var, expr))),
         Select(p, x) => {
             TorExpr::Select(subst_pred(p, var, expr), Box::new(subst_expr(x, var, expr)))
@@ -179,10 +177,7 @@ pub fn subst_expr(e: &TorExpr, var: &Ident, expr: &TorExpr) -> TorExpr {
             Box::new(subst_expr(b, var, expr)),
         ),
         RecLit(fields) => TorExpr::RecLit(
-            fields
-                .iter()
-                .map(|(n, fe)| (n.clone(), subst_expr(fe, var, expr)))
-                .collect(),
+            fields.iter().map(|(n, fe)| (n.clone(), subst_expr(fe, var, expr))).collect(),
         ),
     }
 }
@@ -287,11 +282,8 @@ mod tests {
 
     #[test]
     fn subst_respects_shadow_free_semantics() {
-        let e = TorExpr::cmp(
-            CmpOp::Lt,
-            TorExpr::var("i"),
-            TorExpr::size(TorExpr::var("users")),
-        );
+        let e =
+            TorExpr::cmp(CmpOp::Lt, TorExpr::var("i"), TorExpr::size(TorExpr::var("users")));
         let s = subst_expr(&e, &"i".into(), &TorExpr::int(0));
         assert_eq!(
             s,

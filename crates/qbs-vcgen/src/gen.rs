@@ -71,7 +71,13 @@ impl Gen {
         loop_path: Option<Vec<usize>>,
     ) -> UnknownId {
         let id = UnknownId(self.unknowns.len());
-        self.unknowns.push(UnknownInfo { id, name, params, is_postcondition: is_post, loop_path });
+        self.unknowns.push(UnknownInfo {
+            id,
+            name,
+            params,
+            is_postcondition: is_post,
+            loop_path,
+        });
         id
     }
 
@@ -153,7 +159,8 @@ impl Gen {
                     params.iter().map(|p| TorExpr::Var(p.clone())).collect(),
                 );
                 // Preservation: I ∧ c → wp(body, I).
-                let wp_body = self.wp_block(body, inv.clone(), defined, ambient, depth + 1, path)?;
+                let wp_body =
+                    self.wp_block(body, inv.clone(), defined, ambient, depth + 1, path)?;
                 self.conditions.push(Formula::implies(
                     Formula::and(vec![inv.clone(), Formula::Atom(cond.clone())]),
                     wp_body,
@@ -215,7 +222,8 @@ pub fn generate(prog: &KernelProgram) -> Result<VcSet, VcError> {
     let mut post_params = vec![prog.result_var().clone()];
     post_params.extend(ambient.iter().cloned());
     post_params.dedup();
-    let post_id = gen.fresh_unknown("postCondition".to_string(), post_params.clone(), true, None);
+    let post_id =
+        gen.fresh_unknown("postCondition".to_string(), post_params.clone(), true, None);
     let post = Formula::Unknown(
         post_id,
         post_params.iter().map(|p| TorExpr::Var(p.clone())).collect(),
@@ -256,7 +264,11 @@ mod tests {
                 vec![
                     KStmt::assign("j", KExpr::int(0)),
                     KStmt::while_loop(
-                        KExpr::cmp(CmpOp::Lt, KExpr::var("j"), KExpr::size(KExpr::var("roles"))),
+                        KExpr::cmp(
+                            CmpOp::Lt,
+                            KExpr::var("j"),
+                            KExpr::size(KExpr::var("roles")),
+                        ),
                         vec![
                             KStmt::if_then(
                                 KExpr::cmp(
@@ -325,9 +337,7 @@ mod tests {
         let vc = generate(&running_example()).unwrap();
         // Find a condition whose conclusion references j + 1 (inner
         // preservation after the j := j + 1 substitution).
-        let found = vc.conditions.iter().any(|c| {
-            format!("{c}").contains("(j + 1)")
-        });
+        let found = vc.conditions.iter().any(|c| format!("{c}").contains("(j + 1)"));
         assert!(found, "expected an inner preservation condition mentioning j + 1");
     }
 

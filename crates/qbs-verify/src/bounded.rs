@@ -10,7 +10,7 @@
 //! check walks exactly the reachable states.
 
 use crate::candidate::Candidate;
-use crate::evalf::holds;
+use crate::evalf::{holds, refutes};
 use qbs_common::{FieldType, Ident, Record, Relation, SchemaRef, Value};
 use qbs_tor::{Env, TorExpr, TorType, TypeEnv};
 use qbs_vcgen::{Formula, UnknownInfo, VcSet};
@@ -114,6 +114,23 @@ impl CexCache {
         }
     }
 
+    /// Pre-seeds the cache with counterexamples mined elsewhere — the hook
+    /// batch drivers use to share CEGIS state across fragments with the
+    /// same template shape. Duplicates are dropped; returns how many
+    /// environments were actually added.
+    pub fn seed(&mut self, envs: impl IntoIterator<Item = Env>) -> usize {
+        let before = self.envs.len();
+        for env in envs {
+            self.push(env);
+        }
+        self.envs.len() - before
+    }
+
+    /// The cached counterexample environments, oldest first.
+    pub fn envs(&self) -> &[Env] {
+        &self.envs
+    }
+
     /// Number of cached counterexamples.
     pub fn len(&self) -> usize {
         self.envs.len()
@@ -124,8 +141,16 @@ impl CexCache {
         self.envs.is_empty()
     }
 
-    /// Screens a candidate against the cache; returns the first falsified
-    /// VC, if any. Much cheaper than a full bounded check.
+    /// Screens a candidate against the cache; returns the first *provably
+    /// falsified* VC, if any. Much cheaper than a full bounded check.
+    ///
+    /// Screening uses [`refutes`](crate::refutes), not `!holds`: an
+    /// environment that merely fails to evaluate under this candidate
+    /// (because it was mined under a candidate with different derived
+    /// variables, possibly in another fragment) rejects nothing — the
+    /// candidate proceeds to the authoritative bounded check instead.
+    /// This is what makes pre-seeding the cache from other fragments a
+    /// pure accelerator that cannot change which candidate is accepted.
     pub fn screen(
         &self,
         vcs: &[Formula],
@@ -134,7 +159,7 @@ impl CexCache {
     ) -> Option<usize> {
         for env in &self.envs {
             for (i, vc) in vcs.iter().enumerate() {
-                if !holds(vc, env, candidate, unknowns) {
+                if refutes(vc, env, candidate, unknowns) {
                     return Some(i);
                 }
             }
@@ -198,11 +223,7 @@ fn all_relations(
     out
 }
 
-fn random_relation(
-    schema: &SchemaRef,
-    max_size: usize,
-    rng: &mut StdRng,
-) -> Relation {
+fn random_relation(schema: &SchemaRef, max_size: usize, rng: &mut StdRng) -> Relation {
     let size = rng.gen_range(0..=max_size);
     let recs = (0..size)
         .map(|_| {
@@ -239,7 +260,12 @@ impl BoundedChecker {
         let pools: Vec<Vec<Relation>> = sources
             .iter()
             .map(|s| {
-                all_relations(&s.schema, config.max_rel_size, &config.int_domain, &config.str_domain)
+                all_relations(
+                    &s.schema,
+                    config.max_rel_size,
+                    &config.int_domain,
+                    &config.str_domain,
+                )
             })
             .collect();
         let total: usize = pools.iter().map(Vec::len).product::<usize>().max(1);
@@ -249,9 +275,7 @@ impl BoundedChecker {
         for (_, ty) in params {
             param_values.push(match ty {
                 TorType::Bool => vec![Value::from(false), Value::from(true)],
-                TorType::Str => {
-                    config.str_domain.iter().map(|&s| Value::from(s)).collect()
-                }
+                TorType::Str => config.str_domain.iter().map(|&s| Value::from(s)).collect(),
                 _ => config.int_domain.iter().map(|&i| Value::from(i)).collect(),
             });
         }
@@ -306,10 +330,8 @@ impl BoundedChecker {
                 &mut stores,
             );
             for _ in 0..config.max_stores {
-                let rels: Vec<Relation> = pools
-                    .iter()
-                    .map(|p| p[rng.gen_range(0..p.len())].clone())
-                    .collect();
+                let rels: Vec<Relation> =
+                    pools.iter().map(|p| p[rng.gen_range(0..p.len())].clone()).collect();
                 push_store(rels, &mut stores);
             }
         }
@@ -336,11 +358,7 @@ impl BoundedChecker {
     /// scalar variables not derived by the candidate's equality conjuncts.
     ///
     /// On failure the falsifying environment should be fed to a [`CexCache`].
-    pub fn check(
-        &self,
-        vcs: &VcSet,
-        candidate: &Candidate,
-    ) -> CheckOutcome {
+    pub fn check(&self, vcs: &VcSet, candidate: &Candidate) -> CheckOutcome {
         for (i, vc) in vcs.conditions.iter().enumerate() {
             // Scalar variables to enumerate: free in the VC, not bound by
             // the store, not derived by candidate equalities.
@@ -352,11 +370,7 @@ impl BoundedChecker {
                     .filter(|v| env.get(v).is_none() && !derived.contains(*v))
                     .cloned()
                     .collect();
-                let max_size = self
-                    .stores
-                    .first()
-                    .map(|_| self.max_counter)
-                    .unwrap_or(3);
+                let max_size = self.stores.first().map(|_| self.max_counter).unwrap_or(3);
                 let domains: Vec<Vec<Value>> = enumerated
                     .iter()
                     .map(|v| match self.tenv.get(v) {
@@ -486,10 +500,10 @@ fn collect_derived(
 mod tests {
     use super::*;
     use qbs_common::Schema;
-    use qbs_tor::{CmpOp, Pred, Operand};
-    use qbs_vcgen::generate;
     use qbs_kernel::{typecheck, KExpr, KStmt, KernelProgram};
     use qbs_tor::QuerySpec;
+    use qbs_tor::{CmpOp, Operand, Pred};
+    use qbs_vcgen::generate;
 
     fn users_schema() -> SchemaRef {
         Schema::builder("users")
@@ -513,7 +527,10 @@ mod tests {
                     KStmt::if_then(
                         KExpr::cmp(
                             CmpOp::Eq,
-                            KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+                            KExpr::field(
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                "roleId",
+                            ),
                             KExpr::int(1),
                         ),
                         vec![KStmt::assign(
@@ -543,7 +560,8 @@ mod tests {
             table: "users".into(),
             schema: users_schema(),
         }];
-        let c = BoundedChecker::new(&sources, &[], types.to_type_env(), &BoundedConfig::default());
+        let c =
+            BoundedChecker::new(&sources, &[], types.to_type_env(), &BoundedConfig::default());
         (c, vcs)
     }
 
@@ -597,10 +615,7 @@ mod tests {
         let inv = vcs.invariants().next().unwrap().id;
         let mut cand = correct_candidate(&vcs);
         // Claim the loop copies everything (wrong: it filters).
-        cand.set(
-            vcs.post_id,
-            Formula::RelEq(TorExpr::var("out"), TorExpr::var("users")),
-        );
+        cand.set(vcs.post_id, Formula::RelEq(TorExpr::var("out"), TorExpr::var("users")));
         let _ = inv;
         match checker.check(&vcs, &cand) {
             CheckOutcome::Fail { .. } => {}
@@ -627,10 +642,7 @@ mod tests {
         let prog = selection_program();
         let (checker, vcs) = checker(&prog);
         let mut cand = correct_candidate(&vcs);
-        cand.set(
-            vcs.post_id,
-            Formula::RelEq(TorExpr::var("out"), TorExpr::var("users")),
-        );
+        cand.set(vcs.post_id, Formula::RelEq(TorExpr::var("out"), TorExpr::var("users")));
         let mut cache = CexCache::new();
         match checker.check(&vcs, &cand) {
             CheckOutcome::Fail { env, .. } => cache.push(env),

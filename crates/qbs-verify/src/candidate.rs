@@ -47,12 +47,7 @@ impl Candidate {
     /// VC generator and synthesizer always agree on arity.
     pub fn instantiate(&self, info: &UnknownInfo, args: &[TorExpr]) -> Option<Formula> {
         let body = self.bodies.get(&info.id)?;
-        assert_eq!(
-            info.params.len(),
-            args.len(),
-            "unknown {} arity mismatch",
-            info.name
-        );
+        assert_eq!(info.params.len(), args.len(), "unknown {} arity mismatch", info.name);
         // Two-phase substitution through fresh names prevents capture when an
         // argument expression mentions a formal parameter name.
         let fresh: Vec<Ident> = info
@@ -89,7 +84,7 @@ mod tests {
         UnknownInfo {
             id: UnknownId(id),
             name: format!("U{id}"),
-            params: params.iter().map(|p| Ident::new(p)).collect(),
+            params: params.iter().map(Ident::new).collect(),
             is_postcondition: false,
             loop_path: None,
         }
@@ -133,17 +128,12 @@ mod tests {
     fn instantiate_is_capture_free_under_swap() {
         // Body: x = y; instantiate with args (y, x): must become y = x, not
         // x = x or y = y.
-        let cand = Candidate::new().with(
-            UnknownId(0),
-            Formula::RelEq(TorExpr::var("x"), TorExpr::var("y")),
-        );
+        let cand = Candidate::new()
+            .with(UnknownId(0), Formula::RelEq(TorExpr::var("x"), TorExpr::var("y")));
         let inst = cand
             .instantiate(&info(0, &["x", "y"]), &[TorExpr::var("y"), TorExpr::var("x")])
             .unwrap();
-        assert_eq!(
-            inst,
-            Formula::RelEq(TorExpr::var("y"), TorExpr::var("x"))
-        );
+        assert_eq!(inst, Formula::RelEq(TorExpr::var("y"), TorExpr::var("x")));
     }
 
     #[test]

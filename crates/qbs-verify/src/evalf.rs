@@ -13,8 +13,7 @@ fn dyn_eq(a: &DynValue, b: &DynValue) -> bool {
         (DynValue::Scalar(x), DynValue::Scalar(y)) => x == y,
         (DynValue::Rec(x), DynValue::Rec(y)) => x.values() == y.values(),
         (DynValue::Rel(x), DynValue::Rel(y)) => {
-            x.len() == y.len()
-                && x.iter().zip(y.iter()).all(|(r, s)| r.values() == s.values())
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(r, s)| r.values() == s.values())
         }
         _ => false,
     }
@@ -173,6 +172,36 @@ pub fn holds(
     }
 }
 
+/// Checks whether a store *provably falsifies* a verification condition:
+/// hypotheses bind and hold, and the conclusion evaluates cleanly to
+/// `false`.
+///
+/// This is strictly stronger than `!holds(..)`: an evaluation error (e.g.
+/// a variable the store does not bind and the candidate does not derive)
+/// refutes nothing. Counterexample screening uses this form so that an
+/// environment mined under one candidate — or seeded from another
+/// fragment by a batch driver — can only reject candidates it genuinely
+/// falsifies, never ones it merely fails to evaluate.
+pub fn refutes(
+    vc: &Formula,
+    base_env: &Env,
+    candidate: &Candidate,
+    unknowns: &[UnknownInfo],
+) -> bool {
+    match vc {
+        Formula::Implies(h, c) => {
+            let mut env = base_env.clone();
+            match bind_hypothesis(h, &mut env, candidate, unknowns) {
+                Ok(true) => matches!(eval_formula(c, &env, candidate, unknowns), Ok(false)),
+                // Unsatisfiable, unreachable, or unevaluable hypothesis:
+                // nothing is falsified.
+                Ok(false) | Err(_) => false,
+            }
+        }
+        other => matches!(eval_formula(other, base_env, candidate, unknowns), Ok(false)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,9 +218,8 @@ mod tests {
 
     fn users_rel(n: i64) -> Relation {
         let s = users_schema();
-        let recs = (0..n)
-            .map(|i| Record::new(s.clone(), vec![i.into(), (i % 2).into()]))
-            .collect();
+        let recs =
+            (0..n).map(|i| Record::new(s.clone(), vec![i.into(), (i % 2).into()])).collect();
         Relation::from_records(s, recs).unwrap()
     }
 

@@ -32,5 +32,5 @@ mod sterm;
 
 pub use bounded::{BoundedChecker, BoundedConfig, CexCache, CheckOutcome, SourceSpec};
 pub use candidate::Candidate;
-pub use evalf::{eval_formula, holds};
+pub use evalf::{eval_formula, holds, refutes};
 pub use prover::{prove, ProofResult};

@@ -236,10 +236,18 @@ impl<'a> Prover<'a> {
         for (x, fop, y) in &self.hyps.facts {
             let c = match (x == t, y == t) {
                 (true, _) => {
-                    if let ScalT::Const(Value::Int(i)) = y { Some((*i, *fop)) } else { None }
+                    if let ScalT::Const(Value::Int(i)) = y {
+                        Some((*i, *fop))
+                    } else {
+                        None
+                    }
                 }
                 (_, true) => {
-                    if let ScalT::Const(Value::Int(i)) = x { Some((*i, fop.flip())) } else { None }
+                    if let ScalT::Const(Value::Int(i)) = x {
+                        Some((*i, fop.flip()))
+                    } else {
+                        None
+                    }
                 }
                 _ => None,
             };
@@ -315,7 +323,9 @@ impl<'a> Prover<'a> {
                 }
                 _ => None,
             },
-            RelT::Top(inner, _) | RelT::Select(_, inner) | RelT::Sort(_, inner)
+            RelT::Top(inner, _)
+            | RelT::Select(_, inner)
+            | RelT::Sort(_, inner)
             | RelT::Unique(inner) => self.rel_fields(inner),
             RelT::Cat(a, _) => self.rel_fields(a),
             RelT::Single(rec) => self.rec_fields(rec),
@@ -373,24 +383,25 @@ impl<'a> Prover<'a> {
             RecT::Get(rel, i) => {
                 RecT::Get(Box::new(self.normalize_rel(rel)), self.normalize_scal(i))
             }
-            RecT::Pair(a, b) => RecT::Pair(
-                Box::new(self.normalize_rec(a)),
-                Box::new(self.normalize_rec(b)),
-            ),
+            RecT::Pair(a, b) => {
+                RecT::Pair(Box::new(self.normalize_rec(a)), Box::new(self.normalize_rec(b)))
+            }
             RecT::ProjRec(l, inner) => {
                 let inner = self.normalize_rec(inner);
                 let lit = RecT::Lit(
                     l.iter()
-                        .map(|fref| (fref.name.clone(), self.normalize_scal(&self.field_of(&inner, fref))))
+                        .map(|fref| {
+                            (
+                                fref.name.clone(),
+                                self.normalize_scal(&self.field_of(&inner, fref)),
+                            )
+                        })
                         .collect(),
                 );
                 self.canonical_lit(self.eta_contract(lit))
             }
             RecT::Lit(fields) => self.canonical_lit(self.eta_contract(RecT::Lit(
-                fields
-                    .iter()
-                    .map(|(n, v)| (n.clone(), self.normalize_scal(v)))
-                    .collect(),
+                fields.iter().map(|(n, v)| (n.clone(), self.normalize_scal(v))).collect(),
             ))),
         }
     }
@@ -570,10 +581,9 @@ impl<'a> Prover<'a> {
                 let r = self.step_rel(r);
                 match r {
                     Empty => Empty,
-                    Cat(a, b) => Cat(
-                        Box::new(Select(p.clone(), a)),
-                        Box::new(Select(p.clone(), b)),
-                    ),
+                    Cat(a, b) => {
+                        Cat(Box::new(Select(p.clone(), a)), Box::new(Select(p.clone(), b)))
+                    }
                     Single(rec) => match self.pred_truth(p, &rec) {
                         Some(true) => Single(rec),
                         Some(false) => Empty,
@@ -611,11 +621,7 @@ impl<'a> Prover<'a> {
                     (Single(x), Single(y)) => match self.join_truth(p, &x, &y) {
                         Some(true) => Single(RecT::Pair(Box::new(x), Box::new(y))),
                         Some(false) => Empty,
-                        None => Join(
-                            p.clone(),
-                            Box::new(Single(x)),
-                            Box::new(Single(y)),
-                        ),
+                        None => Join(p.clone(), Box::new(Single(x)), Box::new(Single(y))),
                     },
                     (x, y) => Join(p.clone(), Box::new(x), Box::new(y)),
                 }
@@ -695,16 +701,13 @@ impl<'a> Prover<'a> {
                 match r {
                     RelT::Empty => ScalT::int(0),
                     RelT::Single(_) => ScalT::int(1),
-                    RelT::Cat(a, b) => self.step_scal(&Add(
-                        Box::new(Size(a)),
-                        Box::new(Size(b)),
-                    )),
+                    RelT::Cat(a, b) => {
+                        self.step_scal(&Add(Box::new(Size(a)), Box::new(Size(b))))
+                    }
                     RelT::Top(inner, i) => {
                         // size(top_i(r)) = i when 0 ≤ i ≤ size(r).
                         let sz = Size(inner.clone());
-                        if self.nonneg(&i)
-                            && self.decide(&i, CmpOp::Le, &sz) == Some(true)
-                        {
+                        if self.nonneg(&i) && self.decide(&i, CmpOp::Le, &sz) == Some(true) {
                             i
                         } else {
                             Size(Box::new(RelT::Top(inner, i)))
@@ -742,24 +745,19 @@ impl<'a> Prover<'a> {
                                 let rest = Agg(*kind, a.clone());
                                 let rest_n = self.normalize_scal(&rest);
                                 return match kind {
-                                    AggKind::Sum => self.step_scal(&Add(
-                                        Box::new(rest_n),
-                                        Box::new(v),
-                                    )),
-                                    AggKind::Max => {
-                                        match self.decide(&v, CmpOp::Gt, &rest_n) {
-                                            Some(true) => v,
-                                            Some(false) => rest_n,
-                                            None => Agg(*kind, Box::new(r.clone())),
-                                        }
+                                    AggKind::Sum => {
+                                        self.step_scal(&Add(Box::new(rest_n), Box::new(v)))
                                     }
-                                    AggKind::Min => {
-                                        match self.decide(&v, CmpOp::Lt, &rest_n) {
-                                            Some(true) => v,
-                                            Some(false) => rest_n,
-                                            None => Agg(*kind, Box::new(r.clone())),
-                                        }
-                                    }
+                                    AggKind::Max => match self.decide(&v, CmpOp::Gt, &rest_n) {
+                                        Some(true) => v,
+                                        Some(false) => rest_n,
+                                        None => Agg(*kind, Box::new(r.clone())),
+                                    },
+                                    AggKind::Min => match self.decide(&v, CmpOp::Lt, &rest_n) {
+                                        Some(true) => v,
+                                        Some(false) => rest_n,
+                                        None => Agg(*kind, Box::new(r.clone())),
+                                    },
                                     AggKind::Count => unreachable!("handled above"),
                                 };
                             }
@@ -938,9 +936,7 @@ impl<'a> Prover<'a> {
                         let t = self.normalize_scal(&t);
                         match self.decide_bool(&t) {
                             Some(true) => ProofResult::Proved,
-                            Some(false) => {
-                                ProofResult::Unknown(format!("atom `{t}` is false"))
-                            }
+                            Some(false) => ProofResult::Unknown(format!("atom `{t}` is false")),
                             None => ProofResult::Unknown(format!("cannot decide `{t}`")),
                         }
                     }
@@ -957,9 +953,7 @@ impl<'a> Prover<'a> {
                         if segments(&x) == segments(&y) {
                             ProofResult::Proved
                         } else {
-                            ProofResult::Unknown(format!(
-                                "normal forms differ: `{x}` vs `{y}`"
-                            ))
+                            ProofResult::Unknown(format!("normal forms differ: `{x}` vs `{y}`"))
                         }
                     }
                     (Err(e), _) | (_, Err(e)) => ProofResult::Unknown(e.to_string()),
@@ -985,7 +979,11 @@ impl<'a> Prover<'a> {
                 .cloned()
                 .collect();
             let sub = Prover {
-                hyps: Hyps { defs: Vec::new(), facts: others, bool_facts: self.hyps.bool_facts.clone() },
+                hyps: Hyps {
+                    defs: Vec::new(),
+                    facts: others,
+                    bool_facts: self.hyps.bool_facts.clone(),
+                },
                 tenv: self.tenv,
             };
             if sub.decide(a, *op, b) == Some(false) {
@@ -995,7 +993,6 @@ impl<'a> Prover<'a> {
         false
     }
 }
-
 
 /// Resolves a field reference against a qualified field list.
 fn resolve_field(fields: &[qbs_common::Field], fref: &qbs_common::FieldRef) -> Option<usize> {
@@ -1068,10 +1065,9 @@ fn split_cases(h: &Formula, depth: usize) -> Vec<Formula> {
     }
     match split_one(h) {
         None => vec![h.clone()],
-        Some(variants) => variants
-            .into_iter()
-            .flat_map(|v| split_cases(&v, depth - 1))
-            .collect(),
+        Some(variants) => {
+            variants.into_iter().flat_map(|v| split_cases(&v, depth - 1)).collect()
+        }
     }
 }
 
@@ -1163,7 +1159,10 @@ mod tests {
         let hyp = Formula::And(vec![
             Formula::RelEq(
                 TorExpr::var("out"),
-                TorExpr::select(sel_pred(), TorExpr::top(TorExpr::var("users"), TorExpr::var("i"))),
+                TorExpr::select(
+                    sel_pred(),
+                    TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+                ),
             ),
             Formula::Atom(TorExpr::cmp(
                 CmpOp::Lt,
@@ -1172,7 +1171,10 @@ mod tests {
             )),
             Formula::Atom(TorExpr::cmp(
                 CmpOp::Eq,
-                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::field(
+                    TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+                    "roleId",
+                ),
                 TorExpr::int(1),
             )),
         ]);
@@ -1200,7 +1202,10 @@ mod tests {
         let hyp = Formula::And(vec![
             Formula::RelEq(
                 TorExpr::var("out"),
-                TorExpr::select(sel_pred(), TorExpr::top(TorExpr::var("users"), TorExpr::var("i"))),
+                TorExpr::select(
+                    sel_pred(),
+                    TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+                ),
             ),
             Formula::Atom(TorExpr::cmp(
                 CmpOp::Lt,
@@ -1209,7 +1214,10 @@ mod tests {
             )),
             Formula::Not(Box::new(Formula::Atom(TorExpr::cmp(
                 CmpOp::Eq,
-                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::field(
+                    TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+                    "roleId",
+                ),
                 TorExpr::int(1),
             )))),
         ]);
@@ -1234,7 +1242,10 @@ mod tests {
         let hyp = Formula::And(vec![
             Formula::RelEq(
                 TorExpr::var("out"),
-                TorExpr::select(sel_pred(), TorExpr::top(TorExpr::var("users"), TorExpr::var("i"))),
+                TorExpr::select(
+                    sel_pred(),
+                    TorExpr::top(TorExpr::var("users"), TorExpr::var("i")),
+                ),
             ),
             Formula::Atom(TorExpr::cmp(
                 CmpOp::Le,
@@ -1280,8 +1291,14 @@ mod tests {
             )),
             Formula::Atom(TorExpr::cmp(
                 CmpOp::Eq,
-                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
-                TorExpr::field(TorExpr::get(TorExpr::var("roles"), TorExpr::var("j")), "roleId"),
+                TorExpr::field(
+                    TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+                    "roleId",
+                ),
+                TorExpr::field(
+                    TorExpr::get(TorExpr::var("roles"), TorExpr::var("j")),
+                    "roleId",
+                ),
             )),
         ]);
         let proj_fields = vec!["users.id".into(), "users.roleId".into()];
@@ -1335,7 +1352,10 @@ mod tests {
             )),
             Formula::Atom(TorExpr::cmp(
                 CmpOp::Eq,
-                TorExpr::field(TorExpr::get(TorExpr::var("users"), TorExpr::var("i")), "roleId"),
+                TorExpr::field(
+                    TorExpr::get(TorExpr::var("users"), TorExpr::var("i")),
+                    "roleId",
+                ),
                 TorExpr::int(1),
             )),
         ]);

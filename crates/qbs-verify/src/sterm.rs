@@ -262,7 +262,10 @@ mod tests {
             t,
             RelT::Select(
                 Pred::truth(),
-                Box::new(RelT::Top(Box::new(RelT::Base("users".into())), ScalT::Var("i".into())))
+                Box::new(RelT::Top(
+                    Box::new(RelT::Base("users".into())),
+                    ScalT::Var("i".into())
+                ))
             )
         );
     }

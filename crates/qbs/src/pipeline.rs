@@ -3,7 +3,7 @@
 use crate::report::{FragmentReport, FragmentStatus, QbsReport};
 use qbs_front::{compile_source, DataModel, ParseError};
 use qbs_kernel::{KExpr, KStmt, KernelProgram};
-use qbs_synth::{synthesize, SynthConfig, SynthFailure};
+use qbs_synth::{synthesize_with_hooks, SynthConfig, SynthFailure, SynthHooks};
 use qbs_tor::{QuerySpec, TorExpr, TypeEnv};
 use qbs_vcgen::subst_expr;
 
@@ -41,6 +41,11 @@ impl Pipeline {
         &self.model
     }
 
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
     /// Runs the full pipeline on MiniJava source.
     ///
     /// # Errors
@@ -52,9 +57,7 @@ impl Pipeline {
         let mut report = QbsReport::default();
         for frag in fragments {
             let (status, kernel) = match frag.kernel {
-                Err(reject) => {
-                    (FragmentStatus::Rejected { reason: reject.reason }, None)
-                }
+                Err(reject) => (FragmentStatus::Rejected { reason: reject.reason }, None),
                 Ok(kernel) => (self.infer(&kernel), Some(kernel)),
             };
             report.fragments.push(FragmentReport { method: frag.method, status, kernel });
@@ -65,11 +68,28 @@ impl Pipeline {
     /// Runs query inference on a single kernel program (the paper's QBS
     /// algorithm proper).
     pub fn infer(&self, kernel: &KernelProgram) -> FragmentStatus {
-        let outcome = match synthesize(kernel, &self.config.param_types, &self.config.synth) {
+        self.infer_hooked(kernel, SynthHooks::default())
+    }
+
+    /// [`Pipeline::infer`] with cross-run CEGIS sharing hooks.
+    ///
+    /// Batch drivers use this to seed the synthesizer's counterexample
+    /// cache with environments mined while refuting other fragments of the
+    /// same template shape, and to harvest the counterexamples this run
+    /// mines. Stand-alone callers should use [`Pipeline::infer`].
+    pub fn infer_hooked(
+        &self,
+        kernel: &KernelProgram,
+        hooks: SynthHooks<'_>,
+    ) -> FragmentStatus {
+        let outcome = match synthesize_with_hooks(
+            kernel,
+            &self.config.param_types,
+            &self.config.synth,
+            hooks,
+        ) {
             Ok(o) => o,
-            Err(SynthFailure::Unsupported(reason)) => {
-                return FragmentStatus::Failed { reason }
-            }
+            Err(SynthFailure::Unsupported(reason)) => return FragmentStatus::Failed { reason },
             Err(SynthFailure::NoCandidate(stats)) => {
                 return FragmentStatus::Failed {
                     reason: format!(
@@ -193,10 +213,7 @@ mod tests {
             }
             other => panic!("expected translation, got {other:?}"),
         }
-        assert!(report.fragments[0]
-            .patched_source()
-            .unwrap()
-            .contains("db.executeQuery"));
+        assert!(report.fragments[0].patched_source().unwrap().contains("db.executeQuery"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::fmt;
 /// The outcome for one code fragment, matching the paper's Appendix A
 /// statuses.
 #[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // Translated carries the full result payload by design
 pub enum FragmentStatus {
     /// `X` — the fragment was converted to SQL.
     Translated {

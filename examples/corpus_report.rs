@@ -1,34 +1,35 @@
 //! Regenerates the paper's Fig. 13 table and the Appendix A per-fragment
-//! table by running the full QBS pipeline over the 49-fragment corpus.
+//! table by running the full QBS pipeline over the 49-fragment corpus —
+//! through the `qbs-batch` driver, so the corpus is synthesized by a
+//! worker pool with fingerprint memoization and counterexample sharing.
 //!
 //! ```sh
 //! cargo run --release --example corpus_report
 //! ```
 
-use qbs::{FragmentStatus, Pipeline};
+use qbs::FragmentStatus;
+use qbs_batch::{corpus_inputs, BatchConfig, BatchRunner};
 use qbs_corpus::{all_fragments, App};
-use std::time::Instant;
 
 fn main() {
-    let mut rows = Vec::new();
-    for frag in all_fragments() {
-        let started = Instant::now();
-        let report = Pipeline::new(frag.model())
-            .run_source(&frag.source)
-            .expect("corpus fragments parse");
-        let elapsed = started.elapsed();
-        let status = &report.fragments[0].status;
-        let (glyph, time) = match status {
-            FragmentStatus::Translated { stats, .. } => ("X", Some(stats.elapsed)),
-            FragmentStatus::Rejected { .. } => ("†", None),
-            FragmentStatus::Failed { .. } => ("*", None),
-        };
-        rows.push((frag, glyph, time, elapsed, status.clone()));
-    }
+    let fragments = all_fragments();
+    let inputs = corpus_inputs();
+    let runner = BatchRunner::new(BatchConfig::default());
+    let report = runner.run(&inputs);
+    assert_eq!(report.fragments.len(), fragments.len(), "one result per fragment");
 
     println!("Appendix A — per-fragment results");
-    println!("{:>3}  {:8} {:-38} {:>5} {:>4} {:>6} {:>9}", "#", "app", "class", "line", "op", "status", "time");
-    for (frag, glyph, time, _total, _) in &rows {
+    println!(
+        "{:>3}  {:8} {:-38} {:>5} {:>4} {:>6} {:>9}",
+        "#", "app", "class", "line", "op", "status", "time"
+    );
+    for (frag, result) in fragments.iter().zip(&report.fragments) {
+        let time = match &result.status {
+            FragmentStatus::Translated { stats, .. } => {
+                format!("{:.2}s", stats.elapsed.as_secs_f64())
+            }
+            _ => "-".into(),
+        };
         println!(
             "{:>3}  {:8} {:-38} {:>5} {:>4?} {:>6} {:>9}",
             frag.id,
@@ -36,42 +37,60 @@ fn main() {
             frag.class_name,
             frag.line,
             frag.category,
-            glyph,
-            time.map(|t| format!("{:.2}s", t.as_secs_f64())).unwrap_or_else(|| "-".into()),
+            result.status.glyph(),
+            time,
         );
     }
 
     println!("\nFig. 13 — real-world code fragments");
-    println!("{:10} {:>12} {:>11} {:>9} {:>7}", "App", "# fragments", "translated", "rejected", "failed");
+    println!(
+        "{:10} {:>12} {:>11} {:>9} {:>7}",
+        "App", "# fragments", "translated", "rejected", "failed"
+    );
     for app in [App::Wilos, App::Itracker] {
         let (mut t, mut x, mut r, mut f) = (0, 0, 0, 0);
-        for (frag, glyph, ..) in &rows {
+        for (frag, result) in fragments.iter().zip(&report.fragments) {
             if frag.app != app {
                 continue;
             }
             t += 1;
-            match *glyph {
-                "X" => x += 1,
-                "†" => r += 1,
-                _ => f += 1,
+            match result.status {
+                FragmentStatus::Translated { .. } => x += 1,
+                FragmentStatus::Rejected { .. } => r += 1,
+                FragmentStatus::Failed { .. } => f += 1,
             }
         }
         println!("{:10} {t:>12} {x:>11} {r:>9} {f:>7}", app.name());
     }
-    let (t, x, r, f) = rows.iter().fold((0, 0, 0, 0), |(t, x, r, f), (_, g, ..)| {
-        (t + 1, x + usize::from(*g == "X"), r + usize::from(*g == "†"), f + usize::from(*g == "*"))
-    });
-    println!("{:10} {t:>12} {x:>11} {r:>9} {f:>7}", "Total");
+    let c = report.counts();
+    println!(
+        "{:10} {:>12} {:>11} {:>9} {:>7}",
+        "Total", c.total, c.translated, c.rejected, c.failed
+    );
     println!("\npaper reference: wilos 33/21/9/3, itracker 16/12/0/4, total 49/33/9/7");
+
+    // Corpus-level batch statistics (workers, wall vs. CPU, caches).
+    println!("\nBatch summary");
+    print!("{report}");
+
+    // A second pass over the same corpus is answered from the fingerprint
+    // cache without re-running a single search.
+    let second = runner.run(&inputs);
+    println!(
+        "\nSecond pass: {}/{} fingerprint hits in {:.3}s (first pass {:.2}s)",
+        second.memo_hits(),
+        second.fragments.len(),
+        second.wall_clock.as_secs_f64(),
+        report.wall_clock.as_secs_f64(),
+    );
 
     // A sample of the generated SQL.
     println!("\nSample translations:");
-    for (frag, ..) in rows.iter().take(49) {
+    for (frag, result) in fragments.iter().zip(&report.fragments) {
         if ![1, 22, 38, 40].contains(&frag.id) {
             continue;
         }
-        let report = Pipeline::new(frag.model()).run_source(&frag.source).expect("parses");
-        if let FragmentStatus::Translated { sql, .. } = &report.fragments[0].status {
+        if let FragmentStatus::Translated { sql, .. } = &result.status {
             println!("  #{:<3} {}", frag.id, sql);
         }
     }

@@ -7,8 +7,8 @@
 //! ```
 
 use qbs_corpus::{
-    aggregation_pageload, inferred_sql, join_pageload, populate_wilos, selection_pageload, Mode,
-    WilosConfig,
+    aggregation_pageload, inferred_sql, join_pageload, populate_wilos, selection_pageload,
+    Mode, WilosConfig,
 };
 use std::env;
 

@@ -9,12 +9,14 @@
 /// Convenience re-exports of the most commonly used QBS types.
 pub mod prelude {
     pub use qbs::{Pipeline, PipelineConfig, QbsReport};
+    pub use qbs_batch::{BatchConfig, BatchReport, BatchRunner, RunBatch};
     pub use qbs_common::{Record, Relation, Schema, Value};
     pub use qbs_db::Database;
     pub use qbs_orm::{FetchMode, Session};
 }
 
 pub use qbs;
+pub use qbs_batch;
 pub use qbs_common;
 pub use qbs_corpus;
 pub use qbs_db;

@@ -5,7 +5,9 @@
 //! differentially on populated databases.
 
 use qbs::{FragmentStatus, Pipeline};
-use qbs_corpus::{all_fragments, populate_itracker, populate_wilos, App, ExpectedStatus, WilosConfig};
+use qbs_corpus::{
+    all_fragments, populate_itracker, populate_wilos, App, ExpectedStatus, WilosConfig,
+};
 use qbs_db::{Database, Params, QueryOutput};
 use qbs_tor::{DynValue, Env};
 

@@ -1,0 +1,211 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of the criterion API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple: after a warm-up iteration each
+//! benchmark runs `sample_size` timed iterations and reports min / mean /
+//! max wall-clock time per iteration. `QBS_BENCH_SAMPLES` overrides the
+//! sample count globally (handy for smoke-testing bench binaries in CI).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 20 }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let mut g = self.benchmark_group(label.clone());
+        g.bench_function(label, f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = effective_samples(self.sample_size);
+        let mut b = Bencher { samples, timings: Vec::with_capacity(samples) };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b.timings);
+        self
+    }
+
+    /// Benchmarks a closure over one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = effective_samples(self.sample_size);
+        let mut b = Bencher { samples, timings: Vec::with_capacity(samples) };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b.timings);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group by function name and parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples (after one
+    /// untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn effective_samples(configured: usize) -> usize {
+    std::env::var("QBS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(configured)
+}
+
+fn report(group: &str, id: &str, timings: &[Duration]) {
+    if timings.is_empty() {
+        println!("  {id:40} (no samples)");
+        return;
+    }
+    let total: Duration = timings.iter().sum();
+    let mean = total / timings.len() as u32;
+    let min = timings.iter().min().expect("non-empty");
+    let max = timings.iter().max().expect("non-empty");
+    println!(
+        "  {group}/{id:40} time: [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        timings.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("counting", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        // warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_slash_param() {
+        assert_eq!(BenchmarkId::new("mode", 500).to_string(), "mode/500");
+    }
+}

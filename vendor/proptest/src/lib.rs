@@ -1,0 +1,192 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the subset of proptest the test suites use: the [`proptest!`] and
+//! [`prop_compose!`] macros, `prop_assert!`/`prop_assert_eq!`, range and
+//! tuple strategies, `prop::collection::vec`, and `prop::option::of`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated inputs' debug description left to the assertion message.
+//! Generation is deterministic — each test function derives its RNG seed
+//! from the test name, so failures reproduce exactly.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` — strategies over collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// `prop::option` — strategies over `Option`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` or `Some(inner)` with equal weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+}
+
+/// Defines property tests: each function runs its body over
+/// `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = outcome {
+                    panic!("proptest case {}/{} of `{}` failed: {}",
+                        case + 1, config.cases, stringify!($name), e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Composes strategies into a named strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+            ($($arg:ident in $strat:expr),+ $(,)?)
+            -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)+);
+    }};
+}
+
+/// Fails the current test case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn small_even()(n in 0i64..50) -> i64 { n * 2 }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0i64..10, y in 1usize..4) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!((1..4).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0i64..3, 0i64..3), 0..6)) {
+            prop_assert!(v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 3 && b < 3);
+            }
+        }
+
+        #[test]
+        fn option_and_composed(o in prop::option::of(small_even()), e in small_even()) {
+            if let Some(x) = o {
+                prop_assert_eq!(x % 2, 0);
+            }
+            prop_assert_eq!(e % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0i64..5) {
+                prop_assert!(x < 3, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,107 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrink tree — `generate` draws a single
+/// value from the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy backed by a generation closure — what [`prop_compose!`]
+/// expands to.
+///
+/// [`prop_compose!`]: crate::prop_compose
+pub struct FnStrategy<F>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $draw:ident),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.$draw(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64 => draw_i64, usize => draw_usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategy for `Vec`s — see [`crate::collection::vec`].
+pub struct VecStrategy<S: Strategy> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.draw_usize(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `Option`s — see [`crate::option::of`].
+pub struct OptionStrategy<S: Strategy> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.draw_bool() {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Test-runner configuration, RNG, and case errors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; 64 keeps the exhaustive-evaluator
+        // properties in this workspace fast while still covering the small
+        // value domains they draw from.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// An RNG seeded from the test name, so every run of a given property
+    /// sees the same cases.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform draw from an i64 range.
+    pub fn draw_i64(&mut self, range: Range<i64>) -> i64 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform draw from a usize range.
+    pub fn draw_usize(&mut self, range: Range<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// Fair coin flip.
+    pub fn draw_bool(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+}
+
+/// Why a test case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}

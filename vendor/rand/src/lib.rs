@@ -1,0 +1,127 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the `rand` API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! convenience methods `gen_range` / `gen_bool`. The generator is a
+//! SplitMix64 — statistically fine for test-store sampling and data
+//! generation, and fully deterministic for a given seed, which is all the
+//! workspace requires.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range type a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i64, u64, i32, u32, usize, u8);
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            let mut rng = StdRng { state };
+            // Warm up so small seeds decorrelate.
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0..4i64);
+            assert!((0..4).contains(&x));
+            let y = rng.gen_range(0..=6usize);
+            assert!(y <= 6);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trues = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+}

@@ -1,12 +1,12 @@
 //! The corpus-scale batch driver: a work-stealing worker pool over
 //! `std::thread::scope`, wired to the fingerprint cache and the shared
-//! counterexample pool.
+//! counterexample pool, driving [`QbsEngine`] sessions.
 
 use crate::fingerprint::{canonical, shape_key};
 use crate::memo::{Claim, FingerprintCache};
 use crate::pool::CexPool;
 use crate::report::{BatchReport, FragmentResult};
-use qbs::{FragmentStatus, Pipeline, PipelineConfig};
+use qbs::{EngineConfig, EngineObserver, FragmentStatus, PipelineEvent, QbsEngine, StageTimer};
 use qbs_corpus::CorpusFragment;
 use qbs_front::{compile_source, DataModel};
 use qbs_kernel::KernelProgram;
@@ -27,25 +27,37 @@ pub struct BatchConfig {
     pub memoize: bool,
     /// Share counterexamples between fragments of the same template shape.
     pub share_counterexamples: bool,
-    /// Per-fragment pipeline configuration.
-    pub pipeline: PipelineConfig,
+    /// Per-fragment engine configuration.
+    pub engine: EngineConfig,
 }
 
 impl Default for BatchConfig {
     fn default() -> BatchConfig {
-        BatchConfig {
-            workers: 0,
-            memoize: true,
-            share_counterexamples: true,
-            pipeline: PipelineConfig::default(),
-        }
+        BatchConfig::new()
     }
 }
 
 impl BatchConfig {
+    /// The default configuration: per-CPU workers, memoization and
+    /// counterexample sharing on.
+    pub fn new() -> BatchConfig {
+        BatchConfig {
+            workers: 0,
+            memoize: true,
+            share_counterexamples: true,
+            engine: EngineConfig::default(),
+        }
+    }
+
     /// A configuration pinned to `workers` threads.
     pub fn with_workers(workers: usize) -> BatchConfig {
-        BatchConfig { workers, ..BatchConfig::default() }
+        BatchConfig { workers, ..BatchConfig::new() }
+    }
+
+    /// Sets the per-fragment engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> BatchConfig {
+        self.engine = engine;
+        self
     }
 
     fn effective_workers(&self, jobs: usize) -> usize {
@@ -98,11 +110,17 @@ pub fn corpus_inputs() -> Vec<BatchInput> {
 /// The fingerprint cache and counterexample pool live on the runner, not
 /// on a single run, so successive [`run`](BatchRunner::run) calls reuse
 /// each other's work: re-running a corpus is pure cache lookups.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BatchRunner {
     config: BatchConfig,
     memo: FingerprintCache,
     pool: CexPool,
+}
+
+impl Default for BatchRunner {
+    fn default() -> BatchRunner {
+        BatchRunner::new(BatchConfig::new())
+    }
 }
 
 impl BatchRunner {
@@ -126,8 +144,34 @@ impl BatchRunner {
         &self.pool
     }
 
-    /// Runs every input through the QBS pipeline, fanning the batch across
+    /// Runs every input through the QBS engine, fanning the batch across
     /// the worker pool.
+    ///
+    /// Every job carries a [`StageTimer`] observer to populate
+    /// [`FragmentResult::stage_times`], so sessions always run observed;
+    /// the cost (an extra VC-generation pass plus per-candidate event
+    /// construction) is well under 2% of corpus synthesis time.
+    pub fn run(&self, inputs: &[BatchInput]) -> BatchReport {
+        self.run_observed(inputs, || |_: &PipelineEvent| {})
+    }
+
+    /// [`run`](BatchRunner::run) with an observer per engine session.
+    ///
+    /// `make_observer` is called once per fragment job, on the worker
+    /// thread that processes it; use a shared-handle observer
+    /// ([`qbs::EventLog`], [`qbs::StageTimer`]) to aggregate across the
+    /// whole batch:
+    ///
+    /// ```
+    /// use qbs::EventLog;
+    /// use qbs_batch::{corpus_inputs, BatchConfig, BatchRunner};
+    ///
+    /// let log = EventLog::new();
+    /// let runner = BatchRunner::new(BatchConfig::with_workers(2));
+    /// let report = runner.run_observed(&corpus_inputs()[..2], || log.observer());
+    /// assert_eq!(report.counts().total, 2);
+    /// assert!(!log.is_empty());
+    /// ```
     ///
     /// The unit of scheduling is the *fragment*, not the input: sources
     /// are compiled up front (cheap) and every kernel program becomes one
@@ -138,9 +182,13 @@ impl BatchRunner {
     /// pulling fresh work and the duplicate resolves from the cache once
     /// the queue is drained. Results are reported in input order
     /// regardless of completion order, and are identical to a sequential
-    /// loop over [`Pipeline::infer`] — see [`CexPool`] for why sharing
-    /// does not perturb outcomes.
-    pub fn run(&self, inputs: &[BatchInput]) -> BatchReport {
+    /// loop over [`qbs::Session::infer`] — see [`CexPool`] for why
+    /// sharing does not perturb outcomes.
+    pub fn run_observed<O, F>(&self, inputs: &[BatchInput], make_observer: F) -> BatchReport
+    where
+        O: EngineObserver + 'static,
+        F: Fn() -> O + Sync,
+    {
         let started = Instant::now();
 
         // Phase 1 — compile every input. Parse errors and preprocessing
@@ -148,10 +196,12 @@ impl BatchRunner {
         // jobs for the worker pool.
         let mut results: Vec<Mutex<Option<FragmentResult>>> = Vec::new();
         let mut jobs: Vec<Job> = Vec::new();
-        let mut pipelines: Vec<Pipeline> = Vec::with_capacity(inputs.len());
+        let mut engines: Vec<QbsEngine> = Vec::with_capacity(inputs.len());
         for input in inputs {
-            pipelines.push(
-                Pipeline::new(input.model.clone()).with_config(self.config.pipeline.clone()),
+            engines.push(
+                QbsEngine::builder(input.model.clone())
+                    .config(self.config.engine.clone())
+                    .build(),
             );
             let compiled_at = Instant::now();
             // `elapsed` measures per-fragment processing (synthesis) time;
@@ -167,6 +217,7 @@ impl BatchRunner {
                     memo_hit: false,
                     cexes_seeded: 0,
                     elapsed,
+                    stage_times: Default::default(),
                 }))
             };
             match compile_source(&input.source, &input.model) {
@@ -189,7 +240,7 @@ impl BatchRunner {
                                     input: input.name.clone(),
                                     method: frag.method,
                                     kernel,
-                                    pipeline: pipelines.len() - 1,
+                                    engine: engines.len() - 1,
                                 });
                                 results.push(Mutex::new(None));
                             }
@@ -209,7 +260,7 @@ impl BatchRunner {
                     loop {
                         let j = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(j) else { break };
-                        match self.run_job(&pipelines[job.pipeline], job, false) {
+                        match self.run_job(&engines[job.engine], job, false, &make_observer) {
                             Some(result) => {
                                 *results[job.slot].lock().expect("slot lock") = Some(result)
                             }
@@ -225,7 +276,7 @@ impl BatchRunner {
                         let Some(j) = popped else { break };
                         let job = &jobs[j];
                         let result = self
-                            .run_job(&pipelines[job.pipeline], job, true)
+                            .run_job(&engines[job.engine], job, true, &make_observer)
                             .expect("blocking claims always resolve");
                         *results[job.slot].lock().expect("slot lock") = Some(result);
                     }
@@ -257,8 +308,20 @@ impl BatchRunner {
     /// drain pass (`block = true`) the claim waits for the owner — or
     /// adopts the computation if the owner abandoned it — and always
     /// resolves.
-    fn run_job(&self, pipeline: &Pipeline, job: &Job, block: bool) -> Option<FragmentResult> {
-        let config = &self.config.pipeline;
+    fn run_job<O, F>(
+        &self,
+        engine: &QbsEngine,
+        job: &Job,
+        block: bool,
+        make_observer: &F,
+    ) -> Option<FragmentResult>
+    where
+        O: EngineObserver + 'static,
+        F: Fn() -> O + Sync,
+    {
+        let config = &self.config.engine;
+        let timer = StageTimer::new();
+        let session = engine.session().observe(timer.observer()).observe(make_observer());
         let result = |status, memo_hit, cexes_seeded, elapsed| FragmentResult {
             input: job.input.clone(),
             method: job.method.clone(),
@@ -266,6 +329,7 @@ impl BatchRunner {
             memo_hit,
             cexes_seeded,
             elapsed,
+            stage_times: timer.timings_for(job.kernel.name().as_str()),
         };
         let ticket = if self.config.memoize {
             let problem = canonical(&job.kernel, config);
@@ -278,7 +342,10 @@ impl BatchRunner {
                 // A cached outcome costs (almost) nothing; charging the
                 // lookup or the wait here would double-count the owner's
                 // search in `cpu_time`.
-                Claim::Hit(status) => return Some(result(status, true, 0, Duration::ZERO)),
+                Claim::Hit(status) => {
+                    session.emit(PipelineEvent::CacheHit { method: job.method.clone() });
+                    return Some(result(status, true, 0, Duration::ZERO));
+                }
                 Claim::Compute(ticket) => Some(ticket),
             }
         } else {
@@ -300,33 +367,44 @@ impl BatchRunner {
         let hooks = SynthHooks {
             seed_cexes: &seeds,
             on_cex: shape.is_some().then_some(&mut record as &mut dyn FnMut(&Env)),
+            ..SynthHooks::default()
         };
-        let status = pipeline.infer_hooked(&job.kernel, hooks);
+        let status = session.infer_hooked(&job.kernel, hooks);
         if let Some(ticket) = ticket {
-            ticket.fill(status.clone());
+            if status.is_interrupted() {
+                // An interrupted search (cancellation, exhausted budget)
+                // is timing-dependent — the same fragment may succeed on
+                // an idle machine. Abandon the claim instead of caching
+                // it; any waiting twin adopts the computation and gets
+                // its own fresh verdict.
+                drop(ticket);
+            } else {
+                ticket.fill(status.clone());
+            }
         }
         Some(result(status, false, seeds.len(), started.elapsed()))
     }
 }
 
 /// One schedulable unit: a compiled kernel program bound to its input's
-/// pipeline and its slot in the result vector.
+/// engine and its slot in the result vector.
 struct Job {
     slot: usize,
     input: String,
     method: String,
     kernel: KernelProgram,
-    pipeline: usize,
+    engine: usize,
 }
 
-/// Batch entry point on [`Pipeline`] — `pipeline.run_batch(&sources, &config)`.
+/// Batch entry point on [`QbsEngine`] —
+/// `engine.run_batch(&sources, &config)`.
 pub trait RunBatch {
-    /// Runs many MiniJava sources (sharing this pipeline's model and
+    /// Runs many MiniJava sources (sharing this engine's model and
     /// configuration) through the pipeline concurrently.
     fn run_batch(&self, sources: &[String], config: &BatchConfig) -> BatchReport;
 }
 
-impl RunBatch for Pipeline {
+impl RunBatch for QbsEngine {
     fn run_batch(&self, sources: &[String], config: &BatchConfig) -> BatchReport {
         let inputs: Vec<BatchInput> = sources
             .iter()
@@ -335,9 +413,19 @@ impl RunBatch for Pipeline {
                 BatchInput::new(format!("src{i}"), self.model().clone(), src.clone())
             })
             .collect();
-        // The pipeline's own configuration governs synthesis; the batch
+        // The engine's own configuration governs synthesis; the batch
         // config contributes the batch-level knobs.
-        let config = BatchConfig { pipeline: self.config().clone(), ..config.clone() };
+        let config = BatchConfig { engine: self.config().clone(), ..config.clone() };
         BatchRunner::new(config).run(&inputs)
+    }
+}
+
+#[allow(deprecated)]
+impl RunBatch for qbs::Pipeline {
+    fn run_batch(&self, sources: &[String], config: &BatchConfig) -> BatchReport {
+        let engine = QbsEngine::builder(self.model().clone())
+            .config(self.config().clone().into())
+            .build();
+        engine.run_batch(sources, config)
     }
 }

@@ -16,10 +16,10 @@
 //!
 //! Both hashes are computed over the kernel pretty-printer's canonical
 //! rendering (stable across runs) plus the `Debug` rendering of the
-//! configuration (stable too: every container in `PipelineConfig` is
+//! configuration (stable too: every container in `EngineConfig` is
 //! ordered).
 
-use qbs::PipelineConfig;
+use qbs::EngineConfig;
 use qbs_kernel::{pretty, KExpr, KStmt, KernelProgram};
 use std::fmt;
 
@@ -43,10 +43,15 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     h
 }
 
-fn config_repr(config: &PipelineConfig) -> String {
+fn config_repr(config: &EngineConfig) -> String {
     // `Debug` is stable here: SynthConfig holds scalars and Vecs, and
-    // TypeEnv is a BTreeMap.
-    format!("{:?}|{:?}", config.synth, config.param_types)
+    // TypeEnv is a BTreeMap. Budgets are part of the problem identity
+    // (they can change outcomes); the dialect is not — it only affects
+    // how the stored SQL AST is *printed*, never what is synthesized.
+    format!(
+        "{:?}|{:?}|{:?}|{:?}",
+        config.synth, config.param_types, config.time_budget, config.iteration_budget
+    )
 }
 
 /// The row schemas of every `Query(...)` retrieval in the program.
@@ -86,13 +91,13 @@ fn sources_repr(kernel: &KernelProgram) -> String {
 /// The caches key on this string, not on its hash — a 64-bit digest
 /// collision in a long-lived cache would silently return another
 /// fragment's SQL, so hashes are display-only ([`fingerprint`]).
-pub fn canonical(kernel: &KernelProgram, config: &PipelineConfig) -> String {
+pub fn canonical(kernel: &KernelProgram, config: &EngineConfig) -> String {
     format!("{}\0{}\0{}", pretty(kernel), sources_repr(kernel), config_repr(config))
 }
 
 /// The memoization fingerprint — a compact digest of [`canonical`] for
 /// reports and logs. Never used as a cache key.
-pub fn fingerprint(kernel: &KernelProgram, config: &PipelineConfig) -> Fingerprint {
+pub fn fingerprint(kernel: &KernelProgram, config: &EngineConfig) -> Fingerprint {
     Fingerprint(fnv1a(canonical(kernel, config).bytes()))
 }
 
@@ -103,7 +108,7 @@ pub fn fingerprint(kernel: &KernelProgram, config: &PipelineConfig) -> Fingerpri
 /// methods differing only in name (and predicate constants) pose the same
 /// store configuration to the bounded checker. Like [`canonical`], the
 /// full text is the key; nothing hashes it down.
-pub fn shape_key(kernel: &KernelProgram, config: &PipelineConfig) -> String {
+pub fn shape_key(kernel: &KernelProgram, config: &EngineConfig) -> String {
     let text = pretty(kernel);
     // The pretty header is `fragment <name>(<params>) {`; drop the name so
     // `variant1` and `variant2` share a shape. Parameters stay — they are
@@ -193,7 +198,7 @@ mod tests {
                 .field("name", FieldType::Str)
                 .finish(),
         );
-        let config = PipelineConfig::default();
+        let config = EngineConfig::default();
         // Identical pretty text (retrievals print as just the table name),
         // but the synthesis problems differ — the hashes must too.
         assert_eq!(pretty(&a), pretty(&b));

@@ -3,8 +3,9 @@
 //!
 //! The paper reports seconds-per-fragment synthesis cost with fragments
 //! run one at a time; real applications (wilos, itracker) contribute
-//! dozens of fragments per corpus. This crate adds the layer between the
-//! per-fragment [`Pipeline`](qbs::Pipeline) and whole-corpus workloads:
+//! dozens of fragments per corpus. This crate adds the layer between
+//! per-fragment [`QbsEngine`](qbs::QbsEngine) sessions and whole-corpus
+//! workloads:
 //!
 //! * **a work-stealing worker pool** ([`BatchRunner`]) on
 //!   `std::thread::scope` — sources compile up front and every kernel
@@ -22,10 +23,16 @@
 //!   re-discover known refutations;
 //! * **corpus-level reporting** ([`BatchReport`]) — per-fragment outcomes
 //!   plus translated/rejected/failed counts, the template-level histogram,
-//!   wall-clock vs. CPU time, and cache statistics.
+//!   wall-clock vs. CPU time, per-stage timings observed from engine
+//!   [`PipelineEvent`](qbs::PipelineEvent)s, and cache statistics.
+//!
+//! Each job runs in its own engine [`Session`](qbs::Session) with a
+//! [`StageTimer`](qbs::StageTimer) observer attached; pass your own
+//! observer factory to [`BatchRunner::run_observed`] to watch the whole
+//! batch's event stream.
 //!
 //! Batch outcomes are **identical** to a sequential loop over
-//! [`Pipeline::infer`](qbs::Pipeline::infer): memoization replays a
+//! [`Session::infer`](qbs::Session::infer): memoization replays a
 //! deterministic search's result, and pooled counterexamples can only
 //! fast-reject candidates the receiving fragment's own checking would
 //! reject (see [`CexPool`] for the argument).
@@ -51,7 +58,7 @@ mod pool;
 mod report;
 
 pub use driver::{corpus_inputs, BatchConfig, BatchInput, BatchRunner, RunBatch};
-pub use fingerprint::{fingerprint, shape_key, Fingerprint};
+pub use fingerprint::{canonical, fingerprint, shape_key, Fingerprint};
 pub use memo::{Claim, ComputeTicket, FingerprintCache};
 pub use pool::CexPool;
 pub use report::{BatchReport, FragmentResult};

@@ -52,7 +52,7 @@ impl CexPool {
     }
 
     /// Records a counterexample mined for a template shape. Duplicates are
-    /// dropped; each shape retains at most [`PER_SHAPE_CAP`] environments.
+    /// dropped; each shape retains at most `PER_SHAPE_CAP` (64) environments.
     pub fn record(&self, shape: &str, env: &Env) {
         let mut map = self.by_shape.lock().expect("pool lock");
         let envs = map.entry(shape.to_string()).or_default();

@@ -1,6 +1,6 @@
 //! Corpus-level aggregation of per-fragment outcomes.
 
-use qbs::{FragmentStatus, StatusCounts};
+use qbs::{FragmentStatus, Stage, StatusCounts};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -21,6 +21,10 @@ pub struct FragmentResult {
     pub cexes_seeded: usize,
     /// Wall-clock time this fragment took on its worker.
     pub elapsed: Duration,
+    /// Per-stage wall-clock, observed from the engine's
+    /// [`StageFinished`](qbs::PipelineEvent::StageFinished) events (empty
+    /// for memo hits and rejected fragments: no stages ran).
+    pub stage_times: BTreeMap<Stage, Duration>,
 }
 
 /// Aggregate report for one batch run — the corpus-level analogue of
@@ -88,6 +92,18 @@ impl BatchReport {
         self.fragments.iter().map(|f| f.cexes_seeded).sum()
     }
 
+    /// Total wall-clock per pipeline stage, summed over all fragments
+    /// that ran (memo hits contribute nothing: no stages ran).
+    pub fn stage_totals(&self) -> BTreeMap<Stage, Duration> {
+        let mut out = BTreeMap::new();
+        for fr in &self.fragments {
+            for (stage, d) in &fr.stage_times {
+                *out.entry(*stage).or_default() += *d;
+            }
+        }
+        out
+    }
+
     /// Total candidates tried by *successful* searches (0 for memo hits:
     /// no search ran).
     ///
@@ -148,6 +164,14 @@ impl fmt::Display for BatchReport {
             self.pool_cexes,
             self.cexes_seeded(),
         )?;
+        let stages = self.stage_totals();
+        if !stages.is_empty() {
+            write!(f, "stage time:")?;
+            for (stage, d) in stages {
+                write!(f, " {stage} {:.2}s", d.as_secs_f64())?;
+            }
+            writeln!(f)?;
+        }
         let hist = self.level_histogram();
         if !hist.is_empty() {
             write!(f, "levels:")?;
@@ -188,6 +212,10 @@ mod tests {
             memo_hit,
             cexes_seeded: 2,
             elapsed: Duration::from_millis(10),
+            stage_times: BTreeMap::from([
+                (Stage::Synthesized, Duration::from_millis(8)),
+                (Stage::Translated, Duration::from_millis(1)),
+            ]),
         }
     }
 
@@ -218,5 +246,7 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("speedup"), "{text}");
         assert!(text.contains("fingerprint cache: 1/5"), "{text}");
+        assert_eq!(report.stage_totals()[&Stage::Synthesized], Duration::from_millis(8 * 5));
+        assert!(text.contains("stage time:"), "{text}");
     }
 }

@@ -1,8 +1,8 @@
 //! Batch-driver guarantees: parallel corpus runs are observationally
-//! identical to a sequential loop over `Pipeline::infer`, and re-runs are
+//! identical to a sequential loop over `Session::infer`, and re-runs are
 //! answered entirely from the fingerprint cache.
 
-use qbs::{FragmentStatus, Pipeline};
+use qbs::{FragmentStatus, QbsEngine};
 use qbs_batch::{corpus_inputs, BatchConfig, BatchInput, BatchRunner, RunBatch};
 use qbs_corpus::{all_fragments, wilos_model, ExpectedStatus};
 
@@ -19,7 +19,7 @@ fn observable(status: &FragmentStatus) -> String {
 /// The tentpole determinism guarantee: a parallel `run` over the whole
 /// 49-fragment corpus — memoization and counterexample sharing enabled —
 /// produces the same per-fragment statuses and SQL as a sequential loop
-/// over `Pipeline::run_source` / `Pipeline::infer`.
+/// over `QbsEngine::run_source` / `Session::infer`.
 #[test]
 fn parallel_batch_matches_sequential_infer() {
     let inputs = corpus_inputs();
@@ -34,7 +34,7 @@ fn parallel_batch_matches_sequential_infer() {
     assert_eq!(report.workers, 4);
 
     for (result, frag) in report.fragments.iter().zip(all_fragments()) {
-        let sequential = Pipeline::new(frag.model())
+        let sequential = QbsEngine::new(frag.model())
             .run_source(&frag.source)
             .expect("corpus fragments parse");
         assert_eq!(sequential.fragments.len(), 1, "fragment {}", frag.id);
@@ -128,12 +128,35 @@ class S {{
     }
 }
 
-/// The `Pipeline::run_batch` entry point fans sources over the pipeline's
+/// Interrupted searches (exhausted budgets, cancellation) are
+/// timing-dependent and must never be memoized: a later run on the same
+/// runner — or a duplicate idiom in the same run — must get a fresh
+/// search, not a replay of a transient failure.
+#[test]
+fn interrupted_outcomes_are_not_memoized() {
+    use qbs::EngineConfig;
+    let inputs = corpus_inputs();
+    let starved = BatchRunner::new(
+        BatchConfig::with_workers(1)
+            .with_engine(EngineConfig::default().with_iteration_budget(0)),
+    );
+    let first = starved.run(&inputs[..2]);
+    for fr in &first.fragments {
+        assert!(fr.status.is_interrupted(), "{}: {:?}", fr.input, fr.status);
+    }
+    // Nothing was cached, so a second pass re-runs (and re-fails) rather
+    // than replaying the interrupted verdicts from the cache.
+    let second = starved.run(&inputs[..2]);
+    assert_eq!(second.memo_hits(), 0, "interrupted verdicts must not be cache hits");
+    assert_eq!(starved.memo().hits(), 0);
+}
+
+/// The `QbsEngine::run_batch` entry point fans sources over the engine's
 /// own model and configuration — and parallelizes at fragment
 /// granularity, so a single source with several methods still uses every
 /// worker.
 #[test]
-fn run_batch_entry_point_on_pipeline() {
+fn run_batch_entry_point_on_engine() {
     let method = |k: usize| {
         format!(
             r#"
@@ -151,8 +174,8 @@ fn run_batch_entry_point_on_pipeline() {
     // One source, two methods: with input-level scheduling this would be
     // a single job; fragment-level scheduling makes it two.
     let sources = vec![format!("class S {{\n{}{}\n}}", method(1), method(2))];
-    let pipeline = Pipeline::new(wilos_model());
-    let report = pipeline.run_batch(&sources, &BatchConfig::with_workers(2));
+    let engine = QbsEngine::new(wilos_model());
+    let report = engine.run_batch(&sources, &BatchConfig::with_workers(2));
     let counts = report.counts();
     assert_eq!((counts.total, counts.translated), (2, 2));
     assert_eq!(report.workers, 2, "both workers must be usable for one two-method source");

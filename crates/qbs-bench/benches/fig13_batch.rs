@@ -10,7 +10,7 @@
 //! are built for:
 //!
 //! * `sequential_infer_loop` — the baseline: a plain loop running
-//!   `Pipeline::run_source` on every input, no reuse;
+//!   `QbsEngine::run_source` on every input, no reuse;
 //! * `batch/workers/N` — a fresh `BatchRunner` per iteration with
 //!   memoization and counterexample sharing on. Duplicate fragments are
 //!   answered from the fingerprint cache, and on multi-core hosts the
@@ -21,7 +21,7 @@
 //! threads the gap widens further.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qbs::Pipeline;
+use qbs::QbsEngine;
 use qbs_batch::{corpus_inputs, BatchConfig, BatchInput, BatchRunner};
 
 /// The corpus "deployed twice": every fragment appears once under its own
@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("sequential_infer_loop", |b| {
         b.iter(|| {
             for input in &inputs {
-                let report = Pipeline::new(input.model.clone())
+                let report = QbsEngine::new(input.model.clone())
                     .run_source(&input.source)
                     .expect("corpus fragments parse");
                 criterion::black_box(report);

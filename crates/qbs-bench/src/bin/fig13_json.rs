@@ -1,0 +1,88 @@
+//! Emits `BENCH_fig13.json`: per-fragment statuses plus per-stage
+//! wall-clock for the whole 49-fragment Appendix A corpus, measured from
+//! the engine's pipeline events through the batch driver.
+//!
+//! CI runs this in the bench smoke step so the corpus-scale performance
+//! trajectory is tracked across commits.
+//!
+//! ```sh
+//! cargo run --release -p qbs-bench --bin fig13_json [output-path]
+//! ```
+
+use qbs::FragmentStatus;
+use qbs_batch::{corpus_inputs, BatchConfig, BatchRunner};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn secs(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6).round() / 1e6
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fig13.json".to_string());
+    let inputs = corpus_inputs();
+    let runner = BatchRunner::new(BatchConfig::new());
+    let report = runner.run(&inputs);
+    let counts = report.counts();
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"fig13_corpus\",");
+    let _ = writeln!(out, "  \"fragments\": {},", counts.total);
+    let _ = writeln!(out, "  \"translated\": {},", counts.translated);
+    let _ = writeln!(out, "  \"rejected\": {},", counts.rejected);
+    let _ = writeln!(out, "  \"failed\": {},", counts.failed);
+    let _ = writeln!(out, "  \"workers\": {},", report.workers);
+    let _ = writeln!(out, "  \"wall_clock_s\": {},", secs(report.wall_clock));
+    let _ = writeln!(out, "  \"cpu_time_s\": {},", secs(report.cpu_time));
+
+    let _ = writeln!(out, "  \"stage_totals_s\": {{");
+    let totals: Vec<(String, f64)> = report
+        .stage_totals()
+        .into_iter()
+        .map(|(stage, d)| (stage.name().to_string(), secs(d)))
+        .collect();
+    for (i, (stage, s)) in totals.iter().enumerate() {
+        let comma = if i + 1 < totals.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{stage}\": {s}{comma}");
+    }
+    let _ = writeln!(out, "  }},");
+
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, fr) in report.fragments.iter().enumerate() {
+        let comma = if i + 1 < report.fragments.len() { "," } else { "" };
+        let sql = match &fr.status {
+            FragmentStatus::Translated { sql, .. } => {
+                format!(", \"sql\": \"{}\"", json_escape(&sql.to_string()))
+            }
+            _ => String::new(),
+        };
+        let mut stages = String::new();
+        for (k, (stage, d)) in fr.stage_times.iter().enumerate() {
+            let c = if k + 1 < fr.stage_times.len() { ", " } else { "" };
+            let _ = write!(stages, "\"{}\": {}{c}", stage.name(), secs(*d));
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"input\": \"{}\", \"method\": \"{}\", \"status\": \"{}\", \
+             \"elapsed_s\": {}, \"stages_s\": {{{stages}}}{sql}}}{comma}",
+            json_escape(&fr.input),
+            json_escape(&fr.method),
+            fr.status.glyph(),
+            secs(fr.elapsed),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "wrote {path}: {} fragments ({} translated) in {:.2}s wall-clock",
+        counts.total,
+        counts.translated,
+        report.wall_clock.as_secs_f64()
+    );
+}

@@ -4,7 +4,7 @@
 //!
 //! * `fig13_corpus` — synthesis cost per fragment idiom (the Appendix A
 //!   "time (s)" column);
-//! * `fig13_batch` — corpus-scale runs: sequential `Pipeline` loop vs. the
+//! * `fig13_batch` — corpus-scale runs: a sequential engine loop vs. the
 //!   `qbs-batch` worker pool with fingerprint memoization and
 //!   counterexample sharing;
 //! * `fig14_selection`, `fig14_join`, `fig14_aggregation` — page-load
@@ -12,7 +12,7 @@
 //! * `ablation_symmetry` — solving cost with and without the symmetry
 //!   breaking of Sec. 4.5.
 
-use qbs::Pipeline;
+use qbs::QbsEngine;
 use qbs_corpus::{all_fragments, CorpusFragment, ExpectedStatus};
 
 /// Fetches a corpus fragment by Appendix A number.
@@ -42,7 +42,7 @@ pub fn fragment(id: usize) -> CorpusFragment {
 /// status (a translation regression, or an unexpected translation).
 pub fn translate(frag: &CorpusFragment) -> qbs::FragmentStatus {
     let report =
-        Pipeline::new(frag.model()).run_source(&frag.source).expect("corpus fragments parse");
+        QbsEngine::new(frag.model()).run_source(&frag.source).expect("corpus fragments parse");
     let status = report.fragments.into_iter().next().expect("one fragment").status;
     let got = match status {
         qbs::FragmentStatus::Translated { .. } => ExpectedStatus::Translated,

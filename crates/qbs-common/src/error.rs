@@ -1,7 +1,16 @@
 //! Error types shared across the workspace.
+//!
+//! [`CommonError`] covers the substrate types of this crate; [`QbsError`]
+//! is the **unified public failure type** of the whole pipeline — every
+//! crate-level error (frontend parse errors, synthesis failures, SQL
+//! generation errors, …) converts into one of its variants, carrying the
+//! original error as a [`source`](std::error::Error::source) so callers can
+//! still downcast when they need the specifics.
 
 use crate::FieldRef;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Result alias for this crate.
 pub type Result<T, E = CommonError> = std::result::Result<T, E>;
@@ -60,6 +69,188 @@ impl fmt::Display for CommonError {
 
 impl std::error::Error for CommonError {}
 
+/// A shared, cloneable boxed error used for source-chaining in
+/// [`QbsError`].
+pub type ErrorSource = Arc<dyn std::error::Error + Send + Sync + 'static>;
+
+/// The unified failure type of the QBS pipeline.
+///
+/// Every stage of the engine reports its failures through this one enum:
+/// frontend parse errors, unsupported fragment shapes, exhausted synthesis
+/// searches, untranslatable postconditions, and the engine's own control
+/// outcomes (cancellation, exceeded budgets). Per-crate error types
+/// (`qbs_front::ParseError`, `qbs_synth::SynthFailure`,
+/// `qbs_sql::SqlGenError`, …) convert into it via `From` impls defined in
+/// their owning crates, preserving the original error as the
+/// [`source`](std::error::Error::source).
+///
+/// The enum is `#[non_exhaustive]`: downstream matches need a wildcard arm
+/// so future stages can add failure modes without a breaking release.
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::QbsError;
+/// use std::error::Error;
+///
+/// let inner = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+/// let err = QbsError::parse(inner);
+/// assert!(err.to_string().contains("boom"));
+/// assert!(err.source().is_some()); // the io::Error is chained
+/// match err {
+///     QbsError::Parse { .. } => {}
+///     other => panic!("unexpected {other}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum QbsError {
+    /// The input source (MiniJava or embedded SQL) is malformed.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// The originating parser error, when available.
+        source: Option<ErrorSource>,
+    },
+    /// The fragment shape is outside what the pipeline supports (the
+    /// paper's preprocessing rejections and analysis failures).
+    Unsupported {
+        /// Why the fragment cannot be processed.
+        reason: String,
+        /// The originating analysis error, when available.
+        source: Option<ErrorSource>,
+    },
+    /// The synthesizer exhausted its template space without a valid
+    /// candidate.
+    Synthesis {
+        /// Description of the failed search.
+        reason: String,
+        /// Candidates submitted to checking before giving up.
+        candidates_tried: usize,
+        /// The originating synthesis error, when available.
+        source: Option<ErrorSource>,
+    },
+    /// A verified postcondition could not be rendered as SQL.
+    Translation {
+        /// Why translation failed.
+        reason: String,
+        /// The originating translation error, when available.
+        source: Option<ErrorSource>,
+    },
+    /// The session was cooperatively cancelled via its cancel token.
+    Cancelled,
+    /// A per-fragment wall-clock budget ran out mid-search.
+    TimeBudgetExceeded {
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// A per-fragment candidate budget ran out mid-search.
+    IterationBudgetExceeded {
+        /// The configured budget (candidates tried).
+        budget: usize,
+    },
+    /// An internal invariant was violated — a bug, not a user error.
+    Internal {
+        /// Description of the inconsistency.
+        message: String,
+    },
+}
+
+impl QbsError {
+    /// A [`QbsError::Parse`] chaining the given error.
+    pub fn parse(err: impl std::error::Error + Send + Sync + 'static) -> QbsError {
+        QbsError::Parse { message: err.to_string(), source: Some(Arc::new(err)) }
+    }
+
+    /// A [`QbsError::Unsupported`] chaining the given error.
+    pub fn unsupported(err: impl std::error::Error + Send + Sync + 'static) -> QbsError {
+        QbsError::Unsupported { reason: err.to_string(), source: Some(Arc::new(err)) }
+    }
+
+    /// A [`QbsError::Unsupported`] from a bare reason.
+    pub fn unsupported_reason(reason: impl Into<String>) -> QbsError {
+        QbsError::Unsupported { reason: reason.into(), source: None }
+    }
+
+    /// A [`QbsError::Synthesis`] chaining the given error.
+    pub fn synthesis(
+        err: impl std::error::Error + Send + Sync + 'static,
+        candidates_tried: usize,
+    ) -> QbsError {
+        QbsError::Synthesis {
+            reason: err.to_string(),
+            candidates_tried,
+            source: Some(Arc::new(err)),
+        }
+    }
+
+    /// A [`QbsError::Translation`] chaining the given error.
+    pub fn translation(err: impl std::error::Error + Send + Sync + 'static) -> QbsError {
+        QbsError::Translation { reason: err.to_string(), source: Some(Arc::new(err)) }
+    }
+
+    /// A [`QbsError::Internal`] from a message.
+    pub fn internal(message: impl Into<String>) -> QbsError {
+        QbsError::Internal { message: message.into() }
+    }
+
+    /// True for the engine's control outcomes (cancellation / budget
+    /// exhaustion) as opposed to genuine analysis failures.
+    pub fn is_interrupt(&self) -> bool {
+        matches!(
+            self,
+            QbsError::Cancelled
+                | QbsError::TimeBudgetExceeded { .. }
+                | QbsError::IterationBudgetExceeded { .. }
+        )
+    }
+}
+
+impl fmt::Display for QbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QbsError::Parse { message, .. } => write!(f, "parse error: {message}"),
+            QbsError::Unsupported { reason, .. } => {
+                write!(f, "unsupported fragment: {reason}")
+            }
+            QbsError::Synthesis { reason, candidates_tried, .. } => {
+                write!(f, "synthesis failed after {candidates_tried} candidates: {reason}")
+            }
+            QbsError::Translation { reason, .. } => {
+                write!(f, "sql translation failed: {reason}")
+            }
+            QbsError::Cancelled => write!(f, "session cancelled"),
+            QbsError::TimeBudgetExceeded { budget } => {
+                write!(f, "time budget of {budget:?} exceeded")
+            }
+            QbsError::IterationBudgetExceeded { budget } => {
+                write!(f, "iteration budget of {budget} candidates exceeded")
+            }
+            QbsError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QbsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QbsError::Parse { source, .. }
+            | QbsError::Unsupported { source, .. }
+            | QbsError::Synthesis { source, .. }
+            | QbsError::Translation { source, .. } => {
+                source.as_ref().map(|s| &**s as &(dyn std::error::Error + 'static))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl From<CommonError> for QbsError {
+    fn from(err: CommonError) -> QbsError {
+        QbsError::Unsupported { reason: err.to_string(), source: Some(Arc::new(err)) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +262,30 @@ mod tests {
         let e =
             CommonError::TypeMismatch { expected: "int", found: "str", context: "sum".into() };
         assert!(e.to_string().contains("sum"));
+    }
+
+    #[test]
+    fn qbs_error_chains_sources() {
+        use std::error::Error;
+        let inner = CommonError::AmbiguousField { field: "x".into() };
+        let e = QbsError::from(inner.clone());
+        assert!(e.to_string().contains("ambiguous"), "{e}");
+        let src = e.source().expect("chained source");
+        assert_eq!(src.to_string(), inner.to_string());
+        assert!(!e.is_interrupt());
+    }
+
+    #[test]
+    fn qbs_error_interrupts_have_no_source() {
+        use std::error::Error;
+        for e in [
+            QbsError::Cancelled,
+            QbsError::TimeBudgetExceeded { budget: std::time::Duration::from_secs(1) },
+            QbsError::IterationBudgetExceeded { budget: 10 },
+        ] {
+            assert!(e.is_interrupt(), "{e}");
+            assert!(e.source().is_none());
+        }
+        assert_eq!(QbsError::Cancelled.to_string(), "session cancelled");
     }
 }

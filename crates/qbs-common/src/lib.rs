@@ -28,7 +28,7 @@ mod relation;
 mod schema;
 mod value;
 
-pub use error::{CommonError, Result};
+pub use error::{CommonError, ErrorSource, QbsError, Result};
 pub use ident::Ident;
 pub use record::Record;
 pub use relation::Relation;

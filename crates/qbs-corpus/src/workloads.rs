@@ -8,7 +8,7 @@
 
 use crate::fragments::all_fragments;
 use crate::schema::wilos_registry;
-use qbs::{FragmentStatus, Pipeline};
+use qbs::{FragmentStatus, QbsEngine};
 use qbs_common::Value;
 use qbs_db::{Database, Params, QueryOutput};
 use qbs_orm::{FetchMode, OrmObject, Session};
@@ -68,7 +68,7 @@ pub fn inferred_sql(fragment_id: usize) -> SqlQuery {
         .find(|f| f.id == fragment_id)
         .unwrap_or_else(|| panic!("fragment {fragment_id} exists"));
     let report =
-        Pipeline::new(frag.model()).run_source(&frag.source).expect("corpus fragments parse");
+        QbsEngine::new(frag.model()).run_source(&frag.source).expect("corpus fragments parse");
     match report.fragments.into_iter().next().expect("one fragment").status {
         FragmentStatus::Translated { sql, .. } => sql,
         other => panic!("fragment {fragment_id} did not translate: {other:?}"),

@@ -1,13 +1,13 @@
 //! Reproduction of the Sec. 7.3 advanced idioms: which synthetic fragments
 //! QBS translates and which defeat query inference.
 
-use qbs::{FragmentStatus, Pipeline};
+use qbs::{FragmentStatus, QbsEngine};
 use qbs_corpus::advanced_idioms;
 
 #[test]
 fn advanced_idioms_match_the_paper() {
     for case in advanced_idioms() {
-        let report = Pipeline::new(case.model())
+        let report = QbsEngine::new(case.model())
             .run_source(&case.source)
             .unwrap_or_else(|e| panic!("{}: parse failure {e}", case.name));
         let status = &report.fragments[0].status;
@@ -24,7 +24,7 @@ fn advanced_idioms_match_the_paper() {
 fn sorted_top_k_produces_order_by_limit() {
     let case =
         advanced_idioms().into_iter().find(|c| c.name == "sorted_top_k").expect("case exists");
-    let report = Pipeline::new(case.model()).run_source(&case.source).unwrap();
+    let report = QbsEngine::new(case.model()).run_source(&case.source).unwrap();
     match &report.fragments[0].status {
         FragmentStatus::Translated { sql, .. } => {
             let text = sql.to_string();
@@ -39,7 +39,7 @@ fn sorted_top_k_produces_order_by_limit() {
 fn hash_join_produces_in_subquery() {
     let case =
         advanced_idioms().into_iter().find(|c| c.name == "hash_join").expect("case exists");
-    let report = Pipeline::new(case.model()).run_source(&case.source).unwrap();
+    let report = QbsEngine::new(case.model()).run_source(&case.source).unwrap();
     match &report.fragments[0].status {
         FragmentStatus::Translated { sql, .. } => {
             let text = sql.to_string();

@@ -1,12 +1,12 @@
 //! Reproduction of the paper's Fig. 13 table and Appendix A statuses: run
 //! the full QBS pipeline over all 49 corpus fragments and compare outcomes.
 
-use qbs::{FragmentStatus, Pipeline};
+use qbs::{FragmentStatus, QbsEngine};
 use qbs_corpus::{all_fragments, App, ExpectedStatus};
 
 fn status_of(frag: &qbs_corpus::CorpusFragment) -> FragmentStatus {
-    let pipeline = Pipeline::new(frag.model());
-    let report = pipeline
+    let engine = QbsEngine::new(frag.model());
+    let report = engine
         .run_source(&frag.source)
         .unwrap_or_else(|e| panic!("fragment {} failed to parse: {e}", frag.id));
     assert_eq!(

@@ -206,7 +206,7 @@ impl Database {
             }
         }
         if !residual.is_empty() {
-            let pred = SqlExpr::and(residual).expect("non-empty");
+            let pred = SqlExpr::conjoin(residual);
             frame = filter(frame, &pred, ctx)?;
         }
         Ok(frame)
@@ -307,7 +307,7 @@ impl Database {
                     let mut f = Frame::new(cols);
                     f.rows = inner.rows;
                     if !pushed.is_empty() {
-                        let pred = SqlExpr::and(pushed).expect("non-empty");
+                        let pred = SqlExpr::conjoin(pushed);
                         f = filter(f, &pred, &ctx)?;
                     }
                     f
@@ -348,7 +348,7 @@ impl Database {
                 }
             }
             remaining = rest;
-            let residual = SqlExpr::and(connecting);
+            let residual = (!connecting.is_empty()).then(|| SqlExpr::conjoin(connecting));
             acc = match key {
                 Some((lk, rk)) => {
                     hash_join(acc, right, &lk, &rk, residual.as_ref(), &ctx, stats)?
@@ -359,7 +359,8 @@ impl Database {
         }
 
         // Leftover predicates (alias-free literals etc.).
-        if let Some(pred) = SqlExpr::and(remaining) {
+        if !remaining.is_empty() {
+            let pred = SqlExpr::conjoin(remaining);
             acc = filter(acc, &pred, &ctx)?;
         }
 

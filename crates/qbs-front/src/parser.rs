@@ -25,6 +25,17 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for qbs_common::QbsError {
+    fn from(e: ParseError) -> qbs_common::QbsError {
+        // Keep the bare message: QbsError's Display adds its own
+        // "parse error:" prefix.
+        qbs_common::QbsError::Parse {
+            message: e.message.clone(),
+            source: Some(std::sync::Arc::new(e)),
+        }
+    }
+}
+
 impl From<crate::lexer::LexError> for ParseError {
     fn from(e: crate::lexer::LexError) -> Self {
         ParseError::new(e.to_string())

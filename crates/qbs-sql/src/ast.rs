@@ -53,8 +53,18 @@ impl SqlExpr {
         SqlExpr::Cmp(Box::new(a), op, Box::new(b))
     }
 
-    /// Conjunction that flattens nested `And`s and drops duplicates.
-    pub fn and(parts: Vec<SqlExpr>) -> Option<SqlExpr> {
+    /// The literal `TRUE` (the unit of conjunction).
+    pub fn truth() -> SqlExpr {
+        SqlExpr::Lit(Value::from(true))
+    }
+
+    /// Conjunction that flattens nested `And`s and collapses trivial
+    /// cases: the empty conjunction is `TRUE`, a singleton is the
+    /// conjunct itself.
+    ///
+    /// For an *optional* `WHERE` clause, wrap the call:
+    /// `(!parts.is_empty()).then(|| SqlExpr::conjoin(parts))`.
+    pub fn conjoin(parts: Vec<SqlExpr>) -> SqlExpr {
         let mut flat = Vec::new();
         for p in parts {
             match p {
@@ -63,9 +73,9 @@ impl SqlExpr {
             }
         }
         match flat.len() {
-            0 => None,
-            1 => Some(flat.pop().expect("len checked")),
-            _ => Some(SqlExpr::And(flat)),
+            0 => SqlExpr::truth(),
+            1 => flat.pop().expect("len checked"),
+            _ => SqlExpr::And(flat),
         }
     }
 }
@@ -188,15 +198,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn and_flattens_and_collapses() {
-        let e = SqlExpr::and(vec![
+    fn conjoin_flattens_and_collapses() {
+        let e = SqlExpr::conjoin(vec![
             SqlExpr::cmp(SqlExpr::col("a"), CmpOp::Eq, SqlExpr::int(1)),
             SqlExpr::And(vec![SqlExpr::cmp(SqlExpr::col("b"), CmpOp::Gt, SqlExpr::int(2))]),
         ]);
         match e {
-            Some(SqlExpr::And(parts)) => assert_eq!(parts.len(), 2),
+            SqlExpr::And(parts) => assert_eq!(parts.len(), 2),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(SqlExpr::and(vec![]).is_none());
+        // The empty conjunction is TRUE; a singleton is itself.
+        assert_eq!(SqlExpr::conjoin(vec![]), SqlExpr::truth());
+        let one = SqlExpr::cmp(SqlExpr::col("a"), CmpOp::Eq, SqlExpr::int(1));
+        assert_eq!(SqlExpr::conjoin(vec![one.clone()]), one);
     }
 }

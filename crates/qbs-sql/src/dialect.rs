@@ -1,0 +1,322 @@
+//! SQL dialects: backend-specific rendering rules.
+//!
+//! The pipeline's SQL AST is backend-neutral; a [`SqlDialect`] decides how
+//! it is *spelled* — identifier quoting, boolean literals, string escaping,
+//! bind-parameter style, and the `LIMIT`/`TOP` placement. Four dialects
+//! ship with the crate:
+//!
+//! | dialect | idents | booleans | params | limit |
+//! |---|---|---|---|---|
+//! | [`Generic`] | bare | `true`/`false` | `:name` | `LIMIT` |
+//! | [`Postgres`] | `"double"` | `TRUE`/`FALSE` | `$1`, `$2`, … | `LIMIT` |
+//! | [`MySql`] | `` `backtick` `` | `TRUE`/`FALSE` | `?` | `LIMIT` |
+//! | [`Sqlite`] | `"double"` | `1`/`0` | `:name` | `LIMIT` |
+//!
+//! [`Generic`] reproduces the paper's report output byte for byte and is
+//! the only dialect whose output [`crate::parse`] reads back.
+//!
+//! # Example
+//!
+//! ```
+//! use qbs_sql::{parse_query, render_select, Dialect};
+//!
+//! let q = parse_query("SELECT users.id FROM users WHERE users.roleId = :r LIMIT 3").unwrap();
+//! assert_eq!(
+//!     render_select(&q, Dialect::Generic),
+//!     "SELECT users.id FROM users WHERE users.roleId = :r LIMIT 3",
+//! );
+//! assert_eq!(
+//!     render_select(&q, Dialect::Postgres),
+//!     "SELECT \"users\".\"id\" FROM \"users\" WHERE \"users\".\"roleId\" = $1 LIMIT 3",
+//! );
+//! assert_eq!(
+//!     render_select(&q, Dialect::MySql),
+//!     "SELECT `users`.`id` FROM `users` WHERE `users`.`roleId` = ? LIMIT 3",
+//! );
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Where the row-count bound is spelled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LimitStyle {
+    /// Trailing `LIMIT n` (all four shipped dialects).
+    #[default]
+    Limit,
+    /// `SELECT TOP n …` (SQL-Server style; available to custom dialects).
+    Top,
+}
+
+/// How bind parameters are spelled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamStyle {
+    /// A named placeholder with the given sigil, e.g. `:uid`.
+    Named(char),
+    /// Numbered placeholders `$1`, `$2`, … assigned in order of first
+    /// appearance; repeated parameters reuse their number.
+    Dollar,
+    /// Anonymous `?` placeholders, one per occurrence, bound in query
+    /// order.
+    Question,
+}
+
+/// Backend-specific SQL rendering rules.
+///
+/// Implementations are stateless; all methods have sensible defaults, so a
+/// custom dialect only overrides where it deviates. The renderer
+/// ([`crate::render_query`]) consults the dialect for every identifier,
+/// literal, and parameter it writes.
+pub trait SqlDialect {
+    /// Human-readable dialect name (used in reports and errors).
+    fn name(&self) -> &'static str;
+
+    /// Writes an identifier (table, alias, or column name), quoted
+    /// according to the dialect. The default writes it bare.
+    fn write_ident(&self, ident: &str, out: &mut String) {
+        out.push_str(ident);
+    }
+
+    /// The spelling of a boolean literal.
+    fn bool_literal(&self, value: bool) -> &'static str {
+        if value {
+            "true"
+        } else {
+            "false"
+        }
+    }
+
+    /// Writes a string literal, escaping embedded quote characters. The
+    /// default doubles single quotes (`'o''brien'`).
+    fn write_string(&self, s: &str, out: &mut String) {
+        out.push('\'');
+        out.push_str(&s.replace('\'', "''"));
+        out.push('\'');
+    }
+
+    /// Where the row-count bound is spelled.
+    fn limit_style(&self) -> LimitStyle {
+        LimitStyle::Limit
+    }
+
+    /// How bind parameters are spelled.
+    fn param_style(&self) -> ParamStyle {
+        ParamStyle::Named(':')
+    }
+}
+
+/// Writes `ident` wrapped in `quote`, doubling any embedded quote
+/// character.
+fn write_quoted(ident: &str, quote: char, out: &mut String) {
+    out.push(quote);
+    for c in ident.chars() {
+        out.push(c);
+        if c == quote {
+            out.push(quote);
+        }
+    }
+    out.push(quote);
+}
+
+/// The backend-neutral dialect: bare identifiers, `:name` parameters,
+/// `true`/`false` booleans, trailing `LIMIT`. Matches the paper's report
+/// output and round-trips through [`crate::parse`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Generic;
+
+impl SqlDialect for Generic {
+    fn name(&self) -> &'static str {
+        "generic"
+    }
+}
+
+/// PostgreSQL: double-quoted identifiers, `$n` positional parameters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Postgres;
+
+impl SqlDialect for Postgres {
+    fn name(&self) -> &'static str {
+        "postgres"
+    }
+
+    fn write_ident(&self, ident: &str, out: &mut String) {
+        write_quoted(ident, '"', out);
+    }
+
+    fn bool_literal(&self, value: bool) -> &'static str {
+        if value {
+            "TRUE"
+        } else {
+            "FALSE"
+        }
+    }
+
+    fn param_style(&self) -> ParamStyle {
+        ParamStyle::Dollar
+    }
+}
+
+/// MySQL: backtick-quoted identifiers, `?` parameters, backslash-aware
+/// string escaping.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MySql;
+
+impl SqlDialect for MySql {
+    fn name(&self) -> &'static str {
+        "mysql"
+    }
+
+    fn write_ident(&self, ident: &str, out: &mut String) {
+        write_quoted(ident, '`', out);
+    }
+
+    fn bool_literal(&self, value: bool) -> &'static str {
+        if value {
+            "TRUE"
+        } else {
+            "FALSE"
+        }
+    }
+
+    fn write_string(&self, s: &str, out: &mut String) {
+        // MySQL treats backslash as an escape character inside string
+        // literals (unless NO_BACKSLASH_ESCAPES is set), so both quotes
+        // and backslashes are doubled.
+        out.push('\'');
+        for c in s.chars() {
+            match c {
+                '\'' => out.push_str("''"),
+                '\\' => out.push_str("\\\\"),
+                other => out.push(other),
+            }
+        }
+        out.push('\'');
+    }
+
+    fn param_style(&self) -> ParamStyle {
+        ParamStyle::Question
+    }
+}
+
+/// SQLite: double-quoted identifiers, `:name` parameters, `1`/`0`
+/// booleans (SQLite has no boolean type).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sqlite;
+
+impl SqlDialect for Sqlite {
+    fn name(&self) -> &'static str {
+        "sqlite"
+    }
+
+    fn write_ident(&self, ident: &str, out: &mut String) {
+        write_quoted(ident, '"', out);
+    }
+
+    fn bool_literal(&self, value: bool) -> &'static str {
+        if value {
+            "1"
+        } else {
+            "0"
+        }
+    }
+}
+
+/// Selector for the shipped dialects — the value engines and configs carry.
+///
+/// For a custom backend, implement [`SqlDialect`] directly and call the
+/// `render_*` functions with it; `Dialect` only enumerates the built-ins.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Dialect {
+    /// [`Generic`].
+    #[default]
+    Generic,
+    /// [`Postgres`].
+    Postgres,
+    /// [`MySql`].
+    MySql,
+    /// [`Sqlite`].
+    Sqlite,
+}
+
+impl Dialect {
+    /// All shipped dialects, in declaration order.
+    pub const ALL: [Dialect; 4] =
+        [Dialect::Generic, Dialect::Postgres, Dialect::MySql, Dialect::Sqlite];
+
+    /// The rendering rules for this dialect.
+    pub fn rules(self) -> &'static dyn SqlDialect {
+        match self {
+            Dialect::Generic => &Generic,
+            Dialect::Postgres => &Postgres,
+            Dialect::MySql => &MySql,
+            Dialect::Sqlite => &Sqlite,
+        }
+    }
+
+    /// The dialect's name (`"generic"`, `"postgres"`, …).
+    pub fn name(self) -> &'static str {
+        self.rules().name()
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Dialect {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Dialect, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "generic" => Ok(Dialect::Generic),
+            "postgres" | "postgresql" | "pg" => Ok(Dialect::Postgres),
+            "mysql" | "mariadb" => Ok(Dialect::MySql),
+            "sqlite" | "sqlite3" => Ok(Dialect::Sqlite),
+            other => Err(format!("unknown SQL dialect `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dialect_names_and_parsing() {
+        for d in Dialect::ALL {
+            assert_eq!(d.name().parse::<Dialect>().unwrap(), d);
+            assert_eq!(d.to_string(), d.name());
+        }
+        assert_eq!("pg".parse::<Dialect>().unwrap(), Dialect::Postgres);
+        assert!("oracle".parse::<Dialect>().is_err());
+    }
+
+    #[test]
+    fn quoting_doubles_embedded_quote_chars() {
+        let mut s = String::new();
+        Postgres.write_ident("we\"ird", &mut s);
+        assert_eq!(s, "\"we\"\"ird\"");
+        let mut s = String::new();
+        MySql.write_ident("ta`ble", &mut s);
+        assert_eq!(s, "`ta``ble`");
+    }
+
+    #[test]
+    fn string_escaping_per_dialect() {
+        let mut s = String::new();
+        Generic.write_string("o'brien", &mut s);
+        assert_eq!(s, "'o''brien'");
+        let mut s = String::new();
+        MySql.write_string("a\\b'c", &mut s);
+        assert_eq!(s, "'a\\\\b''c'");
+    }
+
+    #[test]
+    fn bool_literals_per_dialect() {
+        assert_eq!(Generic.bool_literal(true), "true");
+        assert_eq!(Postgres.bool_literal(false), "FALSE");
+        assert_eq!(Sqlite.bool_literal(true), "1");
+    }
+}

@@ -33,6 +33,12 @@ impl fmt::Display for SqlGenError {
 
 impl std::error::Error for SqlGenError {}
 
+impl From<SqlGenError> for qbs_common::QbsError {
+    fn from(e: SqlGenError) -> qbs_common::QbsError {
+        qbs_common::QbsError::translation(e)
+    }
+}
+
 type Result<T> = std::result::Result<T, SqlGenError>;
 
 /// Context while flattening a base: one [`SqlExpr`] per base column, plus
@@ -179,9 +185,9 @@ fn sorted_select(
         })
         .collect::<Result<_>>()?;
 
-    let where_clause = SqlExpr::and(
-        s.filter.iter().map(|a| atom_expr(a, &flat.cols)).collect::<Result<Vec<_>>>()?,
-    );
+    let atoms =
+        s.filter.iter().map(|a| atom_expr(a, &flat.cols)).collect::<Result<Vec<_>>>()?;
+    let where_clause = (!atoms.is_empty()).then(|| SqlExpr::conjoin(atoms));
 
     // ORDER BY: resolve the Fig. 9 field list. Rowid fields resolve against
     // the table aliases; ordinary fields against the base schema.

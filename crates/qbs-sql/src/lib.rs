@@ -29,11 +29,18 @@
 //! ```
 
 mod ast;
+mod dialect;
 mod from_tor;
 mod parse;
 mod print;
 
 pub use ast::{FromItem, OrderKey, SelectItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect};
+pub use dialect::{
+    Dialect, Generic, LimitStyle, MySql, ParamStyle, Postgres, SqlDialect, Sqlite,
+};
 pub use from_tor::{sql_of, SqlGenError};
-pub use parse::{parse_query, ParseError};
-pub use print::{print_query, print_select};
+pub use parse::{parse, parse_query, ParseError};
+pub use print::{
+    print_query, print_select, render_query, render_query_with, render_query_with_params,
+    render_select,
+};

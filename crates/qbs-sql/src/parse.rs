@@ -1,11 +1,24 @@
-//! A small parser for the embedded `Query("SELECT …")` strings found in
-//! application sources. Covers single-table selects with optional `WHERE`
-//! conjunctions, `ORDER BY`, and `LIMIT` — the shapes ORM-generated base
-//! queries take.
+//! A parser for the generic SQL dialect.
+//!
+//! Two entry points:
+//!
+//! * [`parse_query`] — the historical API for the embedded
+//!   `Query("SELECT …")` strings found in application sources (relational
+//!   selects only);
+//! * [`parse`] — the full surface the generic printer emits: relational
+//!   and scalar (aggregate) queries, `DISTINCT`, multi-table `FROM` with
+//!   aliases and sub-queries, `WHERE` conjunctions with `IN`/row-`IN`
+//!   sub-queries, `ORDER BY`, and `LIMIT`. Together with
+//!   [`print_query`](crate::print_query) this gives the generic dialect a
+//!   round-trip property: printing a parsed query and re-parsing it is a
+//!   fixpoint.
+//!
+//! `OR`/`NOT` never appear in pipeline output (postconditions are
+//! conjunctions of atoms) and are not parsed.
 
-use crate::ast::{FromItem, OrderKey, SelectItem, SqlExpr, SqlSelect};
+use crate::ast::{FromItem, OrderKey, SelectItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect};
 use qbs_common::Value;
-use qbs_tor::CmpOp;
+use qbs_tor::{AggKind, CmpOp};
 use std::fmt;
 
 /// A parse failure with a human-readable message.
@@ -28,6 +41,16 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+impl From<ParseError> for qbs_common::QbsError {
+    fn from(e: ParseError) -> qbs_common::QbsError {
+        // Keep the bare message: QbsError's Display adds its own prefix.
+        qbs_common::QbsError::Parse {
+            message: e.message.clone(),
+            source: Some(std::sync::Arc::new(e)),
+        }
+    }
+}
 
 struct Tokens {
     toks: Vec<String>,
@@ -85,6 +108,10 @@ impl Tokens {
         self.toks.get(self.pos).map(String::as_str)
     }
 
+    fn peek2(&self) -> Option<&str> {
+        self.toks.get(self.pos + 1).map(String::as_str)
+    }
+
     fn next(&mut self) -> Option<String> {
         let t = self.toks.get(self.pos).cloned();
         if t.is_some() {
@@ -137,12 +164,56 @@ fn column_expr(name: &str) -> SqlExpr {
     }
 }
 
-/// Parses an embedded SQL query string.
+fn parse_agg(tok: &str) -> Option<AggKind> {
+    match tok.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(AggKind::Count),
+        "SUM" => Some(AggKind::Sum),
+        "MAX" => Some(AggKind::Max),
+        "MIN" => Some(AggKind::Min),
+        _ => None,
+    }
+}
+
+/// A scalar operand: bind parameter, literal, or column reference.
+fn scalar_operand(tok: &str) -> SqlExpr {
+    if let Some(p) = tok.strip_prefix(':') {
+        SqlExpr::Param(p.into())
+    } else if let Some(v) = parse_value(tok) {
+        SqlExpr::Lit(v)
+    } else {
+        column_expr(tok)
+    }
+}
+
+/// Parses any query — relational or scalar — in the generic dialect.
 ///
 /// # Errors
 ///
-/// Returns [`ParseError`] for queries outside the supported single-table
-/// subset.
+/// Returns [`ParseError`] for text outside the generic-dialect surface
+/// (`OR`/`NOT`, `GROUP BY`, non-`SELECT` statements, …).
+///
+/// # Example
+///
+/// ```
+/// use qbs_sql::{parse, print_query};
+/// let q = parse("SELECT COUNT(*) > 0 FROM users WHERE users.roleId = 1").unwrap();
+/// assert_eq!(print_query(&q), "SELECT COUNT(*) > 0 FROM users WHERE users.roleId = 1");
+/// ```
+pub fn parse(input: &str) -> Result<SqlQuery, ParseError> {
+    let mut t = Tokens::new(input);
+    let q = parse_any(&mut t)?;
+    if let Some(extra) = t.peek() {
+        return Err(ParseError::new(format!("trailing input at `{extra}`")));
+    }
+    Ok(q)
+}
+
+/// Parses an embedded relational SQL query string (the historical API —
+/// scalar queries are rejected).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unsupported or scalar queries.
 ///
 /// # Example
 ///
@@ -155,8 +226,45 @@ fn column_expr(name: &str) -> SqlExpr {
 /// assert_eq!(q.order_by.len(), 1);
 /// ```
 pub fn parse_query(input: &str) -> Result<SqlSelect, ParseError> {
-    let mut t = Tokens::new(input);
+    match parse(input)? {
+        SqlQuery::Select(s) => Ok(s),
+        SqlQuery::Scalar(_) => {
+            Err(ParseError::new("scalar query where a relational one was expected"))
+        }
+    }
+}
+
+fn parse_any(t: &mut Tokens) -> Result<SqlQuery, ParseError> {
     t.expect_kw("SELECT")?;
+    let mut distinct = false;
+    if t.peek_kw("DISTINCT") {
+        t.next();
+        distinct = true;
+    }
+    // An aggregate head (`COUNT(` …) means a scalar query.
+    if let (Some(tok), Some("(")) = (t.peek(), t.peek2()) {
+        if let Some(agg) = parse_agg(tok) {
+            return parse_scalar(t, agg, distinct).map(SqlQuery::Scalar);
+        }
+    }
+    parse_select_body(t, distinct).map(SqlQuery::Select)
+}
+
+/// Parses a parenthesized relational sub-query: `( SELECT … )`.
+fn parse_subquery(t: &mut Tokens) -> Result<SqlSelect, ParseError> {
+    t.expect_kw("(")?;
+    let q = match parse_any(t)? {
+        SqlQuery::Select(s) => s,
+        SqlQuery::Scalar(_) => {
+            return Err(ParseError::new("scalar query cannot appear as a sub-query"))
+        }
+    };
+    t.expect_kw(")")?;
+    Ok(q)
+}
+
+/// The select list + tail of a relational query, after `SELECT [DISTINCT]`.
+fn parse_select_body(t: &mut Tokens, distinct: bool) -> Result<SqlSelect, ParseError> {
     let mut columns = Vec::new();
     let mut star = false;
     loop {
@@ -168,7 +276,14 @@ pub fn parse_query(input: &str) -> Result<SqlSelect, ParseError> {
                 return Err(ParseError::new("empty select list"));
             }
             Some(tok) => {
-                columns.push(SelectItem { expr: column_expr(&tok), alias: None });
+                let alias = if t.peek_kw("AS") {
+                    t.next();
+                    let a = t.next().ok_or_else(|| ParseError::new("missing column alias"))?;
+                    Some(a.as_str().into())
+                } else {
+                    None
+                };
+                columns.push(SelectItem { expr: column_expr(&tok), alias });
             }
             None => return Err(ParseError::new("unexpected end of input")),
         }
@@ -179,13 +294,73 @@ pub fn parse_query(input: &str) -> Result<SqlSelect, ParseError> {
         break;
     }
     t.expect_kw("FROM")?;
+    let mut q = parse_tail(t)?;
+    q.distinct = distinct;
+    if star {
+        q.columns.clear();
+    } else {
+        q.columns = columns;
+    }
+    Ok(q)
+}
+
+/// A scalar (aggregate) query, after `SELECT [DISTINCT] AGG` with `(`
+/// pending.
+fn parse_scalar(t: &mut Tokens, agg: AggKind, distinct: bool) -> Result<SqlScalar, ParseError> {
+    t.next(); // the aggregate keyword
+    t.expect_kw("(")?;
+    let mut inner_distinct = distinct;
+    if t.peek_kw("DISTINCT") {
+        t.next();
+        inner_distinct = true;
+    }
+    let column = match t.next() {
+        Some(tok) if tok == "*" => None,
+        Some(tok) => Some(column_expr(&tok)),
+        None => return Err(ParseError::new("unexpected end of aggregate")),
+    };
+    t.expect_kw(")")?;
+    let compare = match t.peek().and_then(parse_cmp) {
+        Some(op) => {
+            t.next();
+            let rhs =
+                t.next().ok_or_else(|| ParseError::new("missing aggregate comparison"))?;
+            Some((op, scalar_operand(&rhs)))
+        }
+        None => None,
+    };
+    t.expect_kw("FROM")?;
+    let mut query = parse_tail(t)?;
+    query.distinct = inner_distinct;
+    Ok(SqlScalar { agg, column, query, compare })
+}
+
+/// The `FROM … [WHERE …] [ORDER BY …] [LIMIT …]` tail. Returns a select
+/// with an empty column list; the caller fills it.
+fn parse_tail(t: &mut Tokens) -> Result<SqlSelect, ParseError> {
     let mut from = Vec::new();
     loop {
-        let table = t.next().ok_or_else(|| ParseError::new("missing table name"))?;
-        from.push(FromItem::Table {
-            name: table.as_str().into(),
-            alias: table.as_str().into(),
-        });
+        if t.peek() == Some("(") {
+            let sub = parse_subquery(t)?;
+            t.expect_kw("AS")?;
+            let alias = t.next().ok_or_else(|| ParseError::new("missing sub-query alias"))?;
+            from.push(FromItem::Subquery {
+                query: Box::new(sub),
+                alias: alias.as_str().into(),
+            });
+        } else {
+            let table = t.next().ok_or_else(|| ParseError::new("missing table name"))?;
+            let alias = if t.peek_kw("AS") {
+                t.next();
+                t.next().ok_or_else(|| ParseError::new("missing table alias"))?
+            } else {
+                table.clone()
+            };
+            from.push(FromItem::Table {
+                name: table.as_str().into(),
+                alias: alias.as_str().into(),
+            });
+        }
         if t.peek() == Some(",") {
             t.next();
             continue;
@@ -198,27 +373,14 @@ pub fn parse_query(input: &str) -> Result<SqlSelect, ParseError> {
         t.next();
         let mut conjuncts = Vec::new();
         loop {
-            let col = t.next().ok_or_else(|| ParseError::new("missing column in WHERE"))?;
-            let op = t
-                .next()
-                .and_then(|o| parse_cmp(&o))
-                .ok_or_else(|| ParseError::new("bad comparison operator"))?;
-            let rhs_tok = t.next().ok_or_else(|| ParseError::new("missing value in WHERE"))?;
-            let rhs = if let Some(p) = rhs_tok.strip_prefix(':') {
-                SqlExpr::Param(p.into())
-            } else if let Some(v) = parse_value(&rhs_tok) {
-                SqlExpr::Lit(v)
-            } else {
-                column_expr(&rhs_tok)
-            };
-            conjuncts.push(SqlExpr::cmp(column_expr(&col), op, rhs));
+            conjuncts.push(parse_atom(t)?);
             if t.peek_kw("AND") {
                 t.next();
                 continue;
             }
             break;
         }
-        where_clause = SqlExpr::and(conjuncts);
+        where_clause = (!conjuncts.is_empty()).then(|| SqlExpr::conjoin(conjuncts));
     }
 
     let mut order_by = Vec::new();
@@ -248,24 +410,54 @@ pub fn parse_query(input: &str) -> Result<SqlSelect, ParseError> {
     let mut limit = None;
     if t.peek_kw("LIMIT") {
         t.next();
-        let n = t
-            .next()
-            .and_then(|tok| tok.parse::<i64>().ok())
-            .ok_or_else(|| ParseError::new("bad LIMIT"))?;
-        limit = Some(SqlExpr::int(n));
+        let tok = t.next().ok_or_else(|| ParseError::new("bad LIMIT"))?;
+        limit = Some(if let Some(p) = tok.strip_prefix(':') {
+            SqlExpr::Param(p.into())
+        } else {
+            SqlExpr::int(tok.parse::<i64>().map_err(|_| ParseError::new("bad LIMIT"))?)
+        });
     }
 
-    if let Some(extra) = t.peek() {
-        return Err(ParseError::new(format!("trailing input at `{extra}`")));
-    }
-    let mut q = SqlSelect::new(columns, from);
-    if star {
-        q.columns.clear();
-    }
+    let mut q = SqlSelect::new(Vec::new(), from);
     q.where_clause = where_clause;
     q.order_by = order_by;
     q.limit = limit;
     Ok(q)
+}
+
+/// One `WHERE` conjunct: a comparison, an `IN` sub-query, or a row-`IN`
+/// sub-query.
+fn parse_atom(t: &mut Tokens) -> Result<SqlExpr, ParseError> {
+    if t.peek() == Some("(") {
+        // (a, b, …) IN (SELECT …)
+        t.next();
+        let mut cols = Vec::new();
+        loop {
+            let c = t.next().ok_or_else(|| ParseError::new("missing column in row-IN"))?;
+            cols.push(column_expr(&c));
+            if t.peek() == Some(",") {
+                t.next();
+                continue;
+            }
+            break;
+        }
+        t.expect_kw(")")?;
+        t.expect_kw("IN")?;
+        let sub = parse_subquery(t)?;
+        return Ok(SqlExpr::RowInSubquery(cols, Box::new(sub)));
+    }
+    let col = t.next().ok_or_else(|| ParseError::new("missing column in WHERE"))?;
+    if t.peek_kw("IN") {
+        t.next();
+        let sub = parse_subquery(t)?;
+        return Ok(SqlExpr::InSubquery(Box::new(column_expr(&col)), Box::new(sub)));
+    }
+    let op = t
+        .next()
+        .and_then(|o| parse_cmp(&o))
+        .ok_or_else(|| ParseError::new("bad comparison operator"))?;
+    let rhs_tok = t.next().ok_or_else(|| ParseError::new("missing value in WHERE"))?;
+    Ok(SqlExpr::cmp(column_expr(&col), op, scalar_operand(&rhs_tok)))
 }
 
 #[cfg(test)]

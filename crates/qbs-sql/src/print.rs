@@ -1,164 +1,299 @@
-//! SQL pretty printing.
+//! SQL rendering, parameterized by dialect.
+//!
+//! [`render_query`] / [`render_select`] spell a query under any
+//! [`Dialect`]; [`print_query`] / [`print_select`] keep the historical
+//! names and render under [`Dialect::Generic`], whose output is byte-for-
+//! byte the paper's report format. [`render_query_with_params`] also
+//! returns the bind order for positional parameter styles.
 
 use crate::ast::{FromItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect};
+use crate::dialect::{Dialect, LimitStyle, ParamStyle, SqlDialect};
+use qbs_common::Ident;
 use std::fmt::Write;
 
-fn expr(e: &SqlExpr, out: &mut String) {
-    match e {
-        SqlExpr::Column { qualifier, name } => match qualifier {
-            Some(q) => {
-                let _ = write!(out, "{q}.{name}");
-            }
-            None => {
-                let _ = write!(out, "{name}");
-            }
-        },
-        SqlExpr::Lit(v) => match v {
-            qbs_common::Value::Str(s) => {
-                let _ = write!(out, "'{}'", s.replace('\'', "''"));
-            }
-            other => {
-                let _ = write!(out, "{other}");
-            }
-        },
-        SqlExpr::Param(p) => {
-            let _ = write!(out, ":{p}");
-        }
-        SqlExpr::Cmp(a, op, b) => {
-            expr(a, out);
-            let _ = write!(out, " {} ", op.sql());
-            expr(b, out);
-        }
-        SqlExpr::And(parts) => {
-            for (i, p) in parts.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(" AND ");
-                }
-                expr(p, out);
-            }
-        }
-        SqlExpr::Or(parts) => {
-            out.push('(');
-            for (i, p) in parts.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(" OR ");
-                }
-                expr(p, out);
-            }
-            out.push(')');
-        }
-        SqlExpr::Not(x) => {
-            out.push_str("NOT (");
-            expr(x, out);
-            out.push(')');
-        }
-        SqlExpr::InSubquery(x, q) => {
-            expr(x, out);
-            out.push_str(" IN (");
-            out.push_str(&print_select(q));
-            out.push(')');
-        }
-        SqlExpr::RowInSubquery(xs, q) => {
-            out.push('(');
-            for (i, x) in xs.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(", ");
-                }
-                expr(x, out);
-            }
-            out.push_str(") IN (");
-            out.push_str(&print_select(q));
-            out.push(')');
-        }
-    }
+/// Stateful writer: output buffer plus the parameter bind order.
+struct Renderer<'d> {
+    dialect: &'d dyn SqlDialect,
+    out: String,
+    params: Vec<Ident>,
 }
 
-/// Renders a relational query.
-pub fn print_select(q: &SqlSelect) -> String {
-    let mut out = String::from("SELECT ");
-    if q.distinct {
-        out.push_str("DISTINCT ");
+impl<'d> Renderer<'d> {
+    fn new(dialect: &'d dyn SqlDialect) -> Renderer<'d> {
+        Renderer { dialect, out: String::new(), params: Vec::new() }
     }
-    if q.columns.is_empty() {
-        out.push('*');
+
+    fn ident(&mut self, ident: &Ident) {
+        self.dialect.write_ident(ident.as_str(), &mut self.out);
     }
-    for (i, c) in q.columns.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        expr(&c.expr, &mut out);
-        if let Some(a) = &c.alias {
-            let _ = write!(out, " AS {a}");
+
+    fn param(&mut self, name: &Ident) {
+        match self.dialect.param_style() {
+            ParamStyle::Named(sigil) => {
+                self.out.push(sigil);
+                self.out.push_str(name.as_str());
+                self.params.push(name.clone());
+            }
+            ParamStyle::Dollar => {
+                let idx = match self.params.iter().position(|p| p == name) {
+                    Some(i) => i,
+                    None => {
+                        self.params.push(name.clone());
+                        self.params.len() - 1
+                    }
+                };
+                let _ = write!(self.out, "${}", idx + 1);
+            }
+            ParamStyle::Question => {
+                self.params.push(name.clone());
+                self.out.push('?');
+            }
         }
     }
-    out.push_str(" FROM ");
-    for (i, f) in q.from.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        match f {
-            FromItem::Table { name, alias } => {
-                if name == alias {
-                    let _ = write!(out, "{name}");
-                } else {
-                    let _ = write!(out, "{name} AS {alias}");
+
+    fn expr(&mut self, e: &SqlExpr) {
+        match e {
+            SqlExpr::Column { qualifier, name } => {
+                if let Some(q) = qualifier {
+                    self.ident(q);
+                    self.out.push('.');
+                }
+                self.ident(name);
+            }
+            SqlExpr::Lit(v) => match v {
+                qbs_common::Value::Str(s) => self.dialect.write_string(s, &mut self.out),
+                qbs_common::Value::Bool(b) => {
+                    self.out.push_str(self.dialect.bool_literal(*b));
+                }
+                other => {
+                    let _ = write!(self.out, "{other}");
+                }
+            },
+            SqlExpr::Param(p) => self.param(p),
+            SqlExpr::Cmp(a, op, b) => {
+                self.expr(a);
+                let _ = write!(self.out, " {} ", op.sql());
+                self.expr(b);
+            }
+            SqlExpr::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(" AND ");
+                    }
+                    self.expr(p);
                 }
             }
-            FromItem::Subquery { query, alias } => {
-                let _ = write!(out, "({}) AS {alias}", print_select(query));
+            SqlExpr::Or(parts) => {
+                self.out.push('(');
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(" OR ");
+                    }
+                    self.expr(p);
+                }
+                self.out.push(')');
+            }
+            SqlExpr::Not(x) => {
+                self.out.push_str("NOT (");
+                self.expr(x);
+                self.out.push(')');
+            }
+            SqlExpr::InSubquery(x, q) => {
+                self.expr(x);
+                self.out.push_str(" IN (");
+                self.select(q);
+                self.out.push(')');
+            }
+            SqlExpr::RowInSubquery(xs, q) => {
+                self.out.push('(');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(x);
+                }
+                self.out.push_str(") IN (");
+                self.select(q);
+                self.out.push(')');
             }
         }
     }
-    if let Some(w) = &q.where_clause {
-        out.push_str(" WHERE ");
-        expr(w, &mut out);
-    }
-    if !q.order_by.is_empty() {
-        out.push_str(" ORDER BY ");
-        for (i, k) in q.order_by.iter().enumerate() {
+
+    fn select(&mut self, q: &SqlSelect) {
+        self.out.push_str("SELECT ");
+        if q.distinct {
+            self.out.push_str("DISTINCT ");
+        }
+        let top_limit = (self.dialect.limit_style() == LimitStyle::Top)
+            .then_some(q.limit.as_ref())
+            .flatten();
+        if let Some(l) = top_limit {
+            self.out.push_str("TOP ");
+            self.expr(l);
+            self.out.push(' ');
+        }
+        if q.columns.is_empty() {
+            self.out.push('*');
+        }
+        for (i, c) in q.columns.iter().enumerate() {
             if i > 0 {
-                out.push_str(", ");
+                self.out.push_str(", ");
             }
-            expr(&k.expr, &mut out);
-            if !k.asc {
-                out.push_str(" DESC");
+            self.expr(&c.expr);
+            if let Some(a) = &c.alias {
+                self.out.push_str(" AS ");
+                self.ident(a);
+            }
+        }
+        self.select_tail(q, top_limit.is_none());
+    }
+
+    /// The `FROM … WHERE … ORDER BY … LIMIT` tail, shared by relational
+    /// and scalar queries.
+    fn select_tail(&mut self, q: &SqlSelect, trailing_limit: bool) {
+        self.out.push_str(" FROM ");
+        for (i, f) in q.from.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            match f {
+                FromItem::Table { name, alias } => {
+                    self.ident(name);
+                    if name != alias {
+                        self.out.push_str(" AS ");
+                        self.ident(alias);
+                    }
+                }
+                FromItem::Subquery { query, alias } => {
+                    self.out.push('(');
+                    self.select(query);
+                    self.out.push_str(") AS ");
+                    self.ident(alias);
+                }
+            }
+        }
+        if let Some(w) = &q.where_clause {
+            self.out.push_str(" WHERE ");
+            self.expr(w);
+        }
+        if !q.order_by.is_empty() {
+            self.out.push_str(" ORDER BY ");
+            for (i, k) in q.order_by.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.expr(&k.expr);
+                if !k.asc {
+                    self.out.push_str(" DESC");
+                }
+            }
+        }
+        if trailing_limit {
+            if let Some(l) = &q.limit {
+                self.out.push_str(" LIMIT ");
+                self.expr(l);
             }
         }
     }
-    if let Some(l) = &q.limit {
-        out.push_str(" LIMIT ");
-        expr(l, &mut out);
+
+    fn scalar(&mut self, q: &SqlScalar) {
+        if q.query.distinct && q.column.is_none() {
+            // An aggregate over distinct *rows* needs an explicit
+            // sub-query; `COUNT(DISTINCT *)` is not SQL.
+            self.out.push_str("SELECT ");
+            let _ = write!(self.out, "{}(*)", q.agg.sql());
+            self.compare(q);
+            self.out.push_str(" FROM (");
+            self.select(&q.query);
+            self.out.push_str(") AS ");
+            self.ident(&Ident::new("distinct_rows"));
+            return;
+        }
+        self.out.push_str("SELECT ");
+        // The limit bounds the (single-row) aggregate result; Top-style
+        // dialects hoist it into the head, like the relational path.
+        let top_limit = (self.dialect.limit_style() == LimitStyle::Top)
+            .then_some(q.query.limit.as_ref())
+            .flatten();
+        if let Some(l) = top_limit {
+            self.out.push_str("TOP ");
+            self.expr(l);
+            self.out.push(' ');
+        }
+        let _ = write!(self.out, "{}(", q.agg.sql());
+        if q.query.distinct {
+            self.out.push_str("DISTINCT ");
+        }
+        match &q.column {
+            Some(c) => self.expr(c),
+            None => self.out.push('*'),
+        }
+        self.out.push(')');
+        self.compare(q);
+        // Aggregates are order-insensitive; the inner query carries no
+        // ORDER BY (Fig. 9 gives `Order(agg(e)) = []`), so the tail is
+        // only FROM/WHERE/LIMIT.
+        self.select_tail(&q.query, top_limit.is_none());
     }
-    out
+
+    fn compare(&mut self, q: &SqlScalar) {
+        if let Some((op, rhs)) = &q.compare {
+            let _ = write!(self.out, " {} ", op.sql());
+            self.expr(rhs);
+        }
+    }
+
+    fn query(&mut self, q: &SqlQuery) {
+        match q {
+            SqlQuery::Select(s) => self.select(s),
+            SqlQuery::Scalar(s) => self.scalar(s),
+        }
+    }
 }
 
-fn print_scalar(q: &SqlScalar) -> String {
-    let mut out = String::from("SELECT ");
-    let _ = write!(out, "{}(", q.agg.sql());
-    match &q.column {
-        Some(c) => expr(c, &mut out),
-        None => out.push('*'),
-    }
-    out.push(')');
-    if let Some((op, rhs)) = &q.compare {
-        let _ = write!(out, " {} ", op.sql());
-        expr(rhs, &mut out);
-    }
-    out.push_str(" FROM ");
-    // Reuse the select printer for FROM/WHERE by printing a dummy select and
-    // stripping its head.
-    let inner = print_select(&SqlSelect { columns: vec![], ..q.query.clone() });
-    let from = inner.strip_prefix("SELECT * FROM ").unwrap_or(&inner);
-    out.push_str(from);
-    out
+/// Renders a relational query under the given dialect.
+pub fn render_select(q: &SqlSelect, dialect: Dialect) -> String {
+    let mut r = Renderer::new(dialect.rules());
+    r.select(q);
+    r.out
 }
 
-/// Renders any query.
+/// Renders any query under the given dialect.
+pub fn render_query(q: &SqlQuery, dialect: Dialect) -> String {
+    let mut r = Renderer::new(dialect.rules());
+    r.query(q);
+    r.out
+}
+
+/// Renders any query under a custom [`SqlDialect`] implementation.
+pub fn render_query_with(q: &SqlQuery, dialect: &dyn SqlDialect) -> String {
+    let mut r = Renderer::new(dialect);
+    r.query(q);
+    r.out
+}
+
+/// Renders any query and returns the bind-parameter order alongside the
+/// text.
+///
+/// For [`ParamStyle::Dollar`] the list holds each distinct parameter once,
+/// in first-appearance order (`$1` binds the first entry); for
+/// [`ParamStyle::Question`] and [`ParamStyle::Named`] it holds one entry
+/// per placeholder occurrence, in query order.
+pub fn render_query_with_params(q: &SqlQuery, dialect: Dialect) -> (String, Vec<Ident>) {
+    let mut r = Renderer::new(dialect.rules());
+    r.query(q);
+    (r.out, r.params)
+}
+
+/// Renders a relational query in the generic dialect (the paper's report
+/// format).
+pub fn print_select(q: &SqlSelect) -> String {
+    render_select(q, Dialect::Generic)
+}
+
+/// Renders any query in the generic dialect.
 pub fn print_query(q: &SqlQuery) -> String {
-    match q {
-        SqlQuery::Select(s) => print_select(s),
-        SqlQuery::Scalar(s) => print_scalar(s),
-    }
+    render_query(q, Dialect::Generic)
 }
 
 #[cfg(test)]
@@ -189,6 +324,16 @@ mod tests {
             print_select(&q),
             "SELECT users.id FROM users WHERE users.roleId = 3 ORDER BY users.rowid LIMIT 10"
         );
+        assert_eq!(
+            render_select(&q, Dialect::Postgres),
+            "SELECT \"users\".\"id\" FROM \"users\" WHERE \"users\".\"roleId\" = 3 \
+             ORDER BY \"users\".\"rowid\" LIMIT 10"
+        );
+        assert_eq!(
+            render_select(&q, Dialect::MySql),
+            "SELECT `users`.`id` FROM `users` WHERE `users`.`roleId` = 3 \
+             ORDER BY `users`.`rowid` LIMIT 10"
+        );
     }
 
     #[test]
@@ -204,9 +349,15 @@ mod tests {
 
     #[test]
     fn renders_string_literals_escaped() {
-        let mut s = String::new();
-        expr(&SqlExpr::Lit("o'brien".into()), &mut s);
-        assert_eq!(s, "'o''brien'");
+        let q = SqlQuery::Select(SqlSelect {
+            distinct: false,
+            columns: vec![SelectItem { expr: SqlExpr::Lit("o'brien".into()), alias: None }],
+            from: users_from(),
+            where_clause: None,
+            order_by: vec![],
+            limit: None,
+        });
+        assert!(render_query(&q, Dialect::Generic).contains("'o''brien'"));
     }
 
     #[test]
@@ -215,11 +366,81 @@ mod tests {
             vec![SelectItem { expr: SqlExpr::qcol("roles", "roleId"), alias: None }],
             vec![FromItem::Table { name: "roles".into(), alias: "roles".into() }],
         );
-        let mut s = String::new();
-        expr(
-            &SqlExpr::InSubquery(Box::new(SqlExpr::qcol("users", "roleId")), Box::new(sub)),
-            &mut s,
+        let q = SqlQuery::Select(SqlSelect {
+            distinct: false,
+            columns: vec![SelectItem { expr: SqlExpr::qcol("users", "roleId"), alias: None }],
+            from: users_from(),
+            where_clause: Some(SqlExpr::InSubquery(
+                Box::new(SqlExpr::qcol("users", "roleId")),
+                Box::new(sub),
+            )),
+            order_by: vec![],
+            limit: None,
+        });
+        assert!(render_query(&q, Dialect::Generic)
+            .contains("users.roleId IN (SELECT roles.roleId FROM roles)"));
+    }
+
+    #[test]
+    fn positional_params_number_by_first_appearance() {
+        // WHERE a = :x AND b = :y AND c = :x
+        let w = SqlExpr::conjoin(vec![
+            SqlExpr::cmp(SqlExpr::col("a"), CmpOp::Eq, SqlExpr::Param("x".into())),
+            SqlExpr::cmp(SqlExpr::col("b"), CmpOp::Eq, SqlExpr::Param("y".into())),
+            SqlExpr::cmp(SqlExpr::col("c"), CmpOp::Eq, SqlExpr::Param("x".into())),
+        ]);
+        let q = SqlQuery::Select(SqlSelect {
+            distinct: false,
+            columns: vec![SelectItem { expr: SqlExpr::col("a"), alias: None }],
+            from: vec![FromItem::Table { name: "t".into(), alias: "t".into() }],
+            where_clause: Some(w),
+            order_by: vec![],
+            limit: None,
+        });
+        let (text, params) = render_query_with_params(&q, Dialect::Postgres);
+        assert!(text.contains("= $1") && text.contains("= $2"), "{text}");
+        assert!(text.matches("$1").count() == 2, "repeated param reuses $1: {text}");
+        assert_eq!(params, vec![qbs_common::Ident::from("x"), "y".into()]);
+
+        let (text, params) = render_query_with_params(&q, Dialect::MySql);
+        assert_eq!(text.matches('?').count(), 3, "{text}");
+        assert_eq!(params.len(), 3);
+    }
+
+    #[test]
+    fn top_style_dialects_hoist_the_limit() {
+        struct MsSqlish;
+        impl SqlDialect for MsSqlish {
+            fn name(&self) -> &'static str {
+                "mssqlish"
+            }
+            fn limit_style(&self) -> LimitStyle {
+                LimitStyle::Top
+            }
+        }
+        let q = SqlQuery::Select(SqlSelect {
+            distinct: false,
+            columns: vec![SelectItem { expr: SqlExpr::col("id"), alias: None }],
+            from: vec![FromItem::Table { name: "t".into(), alias: "t".into() }],
+            where_clause: None,
+            order_by: vec![],
+            limit: Some(SqlExpr::int(5)),
+        });
+        assert_eq!(render_query_with(&q, &MsSqlish), "SELECT TOP 5 id FROM t");
+
+        // Scalar queries hoist the limit the same way.
+        let mut inner = SqlSelect::new(
+            vec![],
+            vec![FromItem::Table { name: "t".into(), alias: "t".into() }],
         );
-        assert_eq!(s, "users.roleId IN (SELECT roles.roleId FROM roles)");
+        inner.limit = Some(SqlExpr::int(2));
+        let s = SqlQuery::Scalar(SqlScalar {
+            agg: AggKind::Count,
+            column: None,
+            query: inner,
+            compare: None,
+        });
+        assert_eq!(render_query_with(&s, &MsSqlish), "SELECT TOP 2 COUNT(*) FROM t");
+        assert_eq!(print_query(&s), "SELECT COUNT(*) FROM t LIMIT 2");
     }
 }

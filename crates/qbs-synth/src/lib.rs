@@ -38,6 +38,6 @@ pub use mine::{mine, MinedAtoms};
 pub use pattern::{analyze, Bound, LoopInfo, ProductKind, Shape, ShapeError};
 pub use postcond::{product_templates, Template};
 pub use solve::{
-    synthesize, synthesize_with_hooks, ProofStatus, SynthConfig, SynthFailure, SynthHooks,
-    SynthOutcome, SynthStats,
+    synthesize, synthesize_with_hooks, Interrupt, InterruptCheck, ProofStatus, SynthConfig,
+    SynthFailure, SynthHooks, SynthOutcome, SynthStats,
 };

@@ -43,6 +43,32 @@ impl Default for SynthConfig {
     }
 }
 
+impl SynthConfig {
+    /// Sets the maximum template complexity level.
+    pub fn with_max_level(mut self, max_level: usize) -> SynthConfig {
+        self.max_level = max_level;
+        self
+    }
+
+    /// Enables or disables symmetry breaking.
+    pub fn with_break_symmetries(mut self, on: bool) -> SynthConfig {
+        self.break_symmetries = on;
+        self
+    }
+
+    /// Sets the standard bounded-checking configuration.
+    pub fn with_bounded(mut self, bounded: BoundedConfig) -> SynthConfig {
+        self.bounded = bounded;
+        self
+    }
+
+    /// Sets the extended bounded-checking configuration.
+    pub fn with_extended(mut self, extended: BoundedConfig) -> SynthConfig {
+        self.extended = extended;
+        self
+    }
+}
+
 /// How the accepted candidate was validated.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ProofStatus {
@@ -66,8 +92,13 @@ pub struct SynthStats {
     /// Counterexamples pre-seeded into the cache by a batch driver before
     /// the search started (0 for stand-alone runs).
     pub cexes_seeded: usize,
+    /// Counterexamples mined by this search's own bounded checking.
+    pub cexes_found: usize,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
+    /// Portion of `elapsed` spent certifying candidates that survived
+    /// CEGIS screening (symbolic proof + extended bounded checking).
+    pub proof_elapsed: Duration,
 }
 
 /// Hooks for sharing CEGIS state across related synthesis runs.
@@ -86,6 +117,54 @@ pub struct SynthHooks<'a> {
     pub seed_cexes: &'a [Env],
     /// Invoked once per freshly mined counterexample.
     pub on_cex: Option<&'a mut dyn FnMut(&Env)>,
+    /// Invoked after every candidate submitted to checking, with the
+    /// running statistics — observers use this to surface CEGIS progress.
+    pub on_iteration: Option<&'a mut dyn FnMut(&SynthStats)>,
+    /// Polled before each candidate. Returning `Some` stops the search
+    /// with [`SynthFailure::Interrupted`] — engines implement cooperative
+    /// cancellation and per-fragment time/iteration budgets with this.
+    pub interrupt: Option<&'a InterruptCheck<'a>>,
+}
+
+/// The polling predicate installed via [`SynthHooks::interrupt`].
+pub type InterruptCheck<'a> = dyn Fn(&SynthStats) -> Option<Interrupt> + 'a;
+
+/// Why a search was stopped from the outside (see
+/// [`SynthHooks::interrupt`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Interrupt {
+    /// The driving session was cancelled.
+    Cancelled,
+    /// The per-fragment wall-clock budget ran out.
+    TimeBudget(Duration),
+    /// The per-fragment candidate budget ran out.
+    IterationBudget(usize),
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::TimeBudget(d) => write!(f, "time budget of {d:?} exceeded"),
+            Interrupt::IterationBudget(n) => {
+                write!(f, "iteration budget of {n} candidates exceeded")
+            }
+        }
+    }
+}
+
+impl From<Interrupt> for qbs_common::QbsError {
+    fn from(i: Interrupt) -> qbs_common::QbsError {
+        match i {
+            Interrupt::Cancelled => qbs_common::QbsError::Cancelled,
+            Interrupt::TimeBudget(budget) => {
+                qbs_common::QbsError::TimeBudgetExceeded { budget }
+            }
+            Interrupt::IterationBudget(budget) => {
+                qbs_common::QbsError::IterationBudgetExceeded { budget }
+            }
+        }
+    }
 }
 
 /// A successful synthesis.
@@ -112,6 +191,14 @@ pub enum SynthFailure {
     Unsupported(String),
     /// The template space was exhausted without a valid candidate.
     NoCandidate(SynthStats),
+    /// The search was stopped by [`SynthHooks::interrupt`] before the
+    /// template space was exhausted.
+    Interrupted {
+        /// Why the search was stopped.
+        interrupt: Interrupt,
+        /// Statistics at the moment of interruption.
+        stats: SynthStats,
+    },
 }
 
 impl fmt::Display for SynthFailure {
@@ -121,11 +208,43 @@ impl fmt::Display for SynthFailure {
             SynthFailure::NoCandidate(s) => {
                 write!(f, "no valid candidate found ({} tried)", s.candidates_tried)
             }
+            SynthFailure::Interrupted { interrupt, stats } => {
+                write!(f, "search interrupted ({interrupt}; {} tried)", stats.candidates_tried)
+            }
         }
     }
 }
 
 impl std::error::Error for SynthFailure {}
+
+impl From<SynthFailure> for qbs_common::QbsError {
+    fn from(err: SynthFailure) -> qbs_common::QbsError {
+        match &err {
+            SynthFailure::Unsupported(_) => qbs_common::QbsError::unsupported(err),
+            SynthFailure::NoCandidate(stats) => {
+                let tried = stats.candidates_tried;
+                qbs_common::QbsError::synthesis(err, tried)
+            }
+            SynthFailure::Interrupted { interrupt, .. } => (*interrupt).into(),
+        }
+    }
+}
+
+impl From<crate::ShapeError> for qbs_common::QbsError {
+    fn from(err: crate::ShapeError) -> qbs_common::QbsError {
+        qbs_common::QbsError::unsupported(err)
+    }
+}
+
+/// Delivers a per-candidate progress snapshot (with a live `elapsed`) to
+/// the iteration hook, if one is installed.
+fn notify_iteration(hooks: &mut SynthHooks<'_>, stats: &SynthStats, start: Instant) {
+    if let Some(f) = hooks.on_iteration.as_mut() {
+        let mut snapshot = stats.clone();
+        snapshot.elapsed = start.elapsed();
+        f(&snapshot);
+    }
+}
 
 fn find_sources(prog: &KernelProgram) -> Vec<qbs_verify::SourceSpec> {
     fn walk(stmts: &[KStmt], out: &mut Vec<qbs_verify::SourceSpec>) {
@@ -266,14 +385,20 @@ pub fn synthesize_with_hooks(
         if *lvl > config.max_level * units.len().max(1) {
             break;
         }
+        if let Some(interrupt) = hooks.interrupt.and_then(|f| f(&stats)) {
+            stats.elapsed = start.elapsed();
+            return Err(SynthFailure::Interrupted { interrupt, stats });
+        }
         let Some(DerivedCandidate { candidate, post_rhs, post_scalar }) =
             derive_candidate(&shape, choice, prog, &vcs, &types)
         else {
             continue;
         };
         stats.candidates_tried += 1;
+        stats.levels_used = *lvl;
         if cache.screen(&vcs.conditions, &vcs.unknowns, &candidate).is_some() {
             stats.cache_hits += 1;
+            notify_iteration(&mut hooks, &stats, start);
             continue;
         }
         match checker.check(&vcs, &candidate) {
@@ -281,38 +406,47 @@ pub fn synthesize_with_hooks(
                 if let Some(on_cex) = hooks.on_cex.as_mut() {
                     on_cex(&env);
                 }
+                stats.cexes_found += 1;
                 cache.push(env);
+                notify_iteration(&mut hooks, &stats, start);
                 continue;
             }
             CheckOutcome::Pass => {}
         }
         // Symbolic proof of every condition.
+        let proof_started = Instant::now();
         let all_proved = vcs.conditions.iter().all(|vc| {
             matches!(prove(vc, &candidate, &vcs.unknowns, &tenv), ProofResult::Proved)
         });
         let proof = if all_proved {
+            stats.proof_elapsed += proof_started.elapsed();
             ProofStatus::Proved
         } else {
             // Fall back to extended bounded checking.
             let ext = extended.get_or_insert_with(|| {
                 BoundedChecker::new(&sources, &param_types, tenv.clone(), &config.extended)
             });
-            match ext.check(&vcs, &candidate) {
+            let outcome = ext.check(&vcs, &candidate);
+            stats.proof_elapsed += proof_started.elapsed();
+            match outcome {
                 CheckOutcome::Pass => ProofStatus::ExtendedBounded,
                 CheckOutcome::Fail { env, .. } => {
                     if let Some(on_cex) = hooks.on_cex.as_mut() {
                         on_cex(&env);
                     }
+                    stats.cexes_found += 1;
                     cache.push(env);
+                    notify_iteration(&mut hooks, &stats, start);
                     continue;
                 }
             }
         };
-        stats.levels_used = *lvl;
         stats.elapsed = start.elapsed();
+        notify_iteration(&mut hooks, &stats, start);
         return Ok(SynthOutcome { candidate, post_rhs, post_scalar, proof, stats });
     }
 
+    stats.levels_used = 0;
     stats.elapsed = start.elapsed();
     Err(SynthFailure::NoCandidate(stats))
 }

@@ -1,0 +1,563 @@
+//! The staged, observable QBS engine.
+//!
+//! [`QbsEngine`] is the top-level entry point: built once per
+//! object-relational model via [`QbsEngine::builder`], it hands out
+//! [`Session`]s that run fragments through the explicit stages of paper
+//! Fig. 5 (`Lowered → VcGen → Synthesized → Verified → Translated`),
+//! emitting [`PipelineEvent`]s to registered observers and honoring
+//! cooperative cancellation and per-fragment time/iteration budgets.
+
+use crate::event::{CancelToken, EngineObserver, PipelineEvent, Stage};
+use crate::report::{FragmentReport, FragmentStatus, QbsReport, INTERRUPTED_PREFIX};
+use qbs_common::QbsError;
+use qbs_front::{compile_source, DataModel};
+use qbs_kernel::{KExpr, KStmt, KernelProgram};
+use qbs_sql::{render_query, Dialect, SqlQuery};
+use qbs_synth::{synthesize_with_hooks, Interrupt, SynthConfig, SynthFailure, SynthHooks};
+use qbs_tor::{QuerySpec, TorExpr, TypeEnv};
+use qbs_vcgen::subst_expr;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// Complete engine tuning: synthesis knobs, fragment parameter types, the
+/// SQL dialect for rendered output, and per-fragment budgets.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Synthesizer configuration.
+    pub synth: SynthConfig,
+    /// Types of fragment parameters (defaults to `Int`).
+    pub param_types: TypeEnv,
+    /// Dialect used by [`Session::sql_text`] /
+    /// [`QbsEngine::render_sql`]. Does **not** affect the stored SQL AST.
+    pub dialect: Dialect,
+    /// Per-fragment wall-clock budget for the synthesis search.
+    pub time_budget: Option<Duration>,
+    /// Per-fragment candidate budget for the synthesis search.
+    pub iteration_budget: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Sets the synthesizer configuration.
+    pub fn with_synth(mut self, synth: SynthConfig) -> EngineConfig {
+        self.synth = synth;
+        self
+    }
+
+    /// Sets the fragment parameter types.
+    pub fn with_param_types(mut self, param_types: TypeEnv) -> EngineConfig {
+        self.param_types = param_types;
+        self
+    }
+
+    /// Sets the SQL dialect for rendered output.
+    pub fn with_dialect(mut self, dialect: Dialect) -> EngineConfig {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Sets the per-fragment wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> EngineConfig {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets the per-fragment candidate budget.
+    pub fn with_iteration_budget(mut self, budget: usize) -> EngineConfig {
+        self.iteration_budget = Some(budget);
+        self
+    }
+}
+
+/// Builder for [`QbsEngine`] — see [`QbsEngine::builder`].
+#[derive(Clone, Debug)]
+pub struct QbsEngineBuilder {
+    model: DataModel,
+    config: EngineConfig,
+}
+
+impl QbsEngineBuilder {
+    /// Sets the synthesizer configuration.
+    pub fn synth(mut self, synth: SynthConfig) -> QbsEngineBuilder {
+        self.config.synth = synth;
+        self
+    }
+
+    /// Sets the fragment parameter types.
+    pub fn param_types(mut self, param_types: TypeEnv) -> QbsEngineBuilder {
+        self.config.param_types = param_types;
+        self
+    }
+
+    /// Sets the SQL dialect for rendered output.
+    pub fn dialect(mut self, dialect: Dialect) -> QbsEngineBuilder {
+        self.config.dialect = dialect;
+        self
+    }
+
+    /// Bounds each fragment's synthesis search by wall-clock time;
+    /// exceeding it fails the fragment (not the whole run).
+    pub fn time_budget(mut self, budget: Duration) -> QbsEngineBuilder {
+        self.config.time_budget = Some(budget);
+        self
+    }
+
+    /// Bounds each fragment's synthesis search by candidates tried.
+    pub fn iteration_budget(mut self, budget: usize) -> QbsEngineBuilder {
+        self.config.iteration_budget = Some(budget);
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: EngineConfig) -> QbsEngineBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> QbsEngine {
+        QbsEngine { model: self.model, config: self.config }
+    }
+}
+
+/// The QBS engine: frontend → VC generation → synthesis → verification →
+/// SQL, as a reusable, observable service over one object-relational
+/// model.
+///
+/// # Example
+///
+/// ```
+/// use qbs::{FragmentStatus, QbsEngine};
+/// use qbs_common::{FieldType, Schema};
+/// use qbs_front::DataModel;
+/// use qbs_sql::Dialect;
+///
+/// let mut model = DataModel::new();
+/// model.add_entity(
+///     "User",
+///     "users",
+///     Schema::builder("users").field("roleId", FieldType::Int).finish(),
+/// );
+/// model.add_dao("userDao", "getUsers", "User");
+///
+/// let engine = QbsEngine::builder(model).dialect(Dialect::Postgres).build();
+/// let report = engine
+///     .run_source(
+///         r#"class S {
+///             public List<User> admins() {
+///                 List<User> users = userDao.getUsers();
+///                 List<User> out = new ArrayList<User>();
+///                 for (User u : users) {
+///                     if (u.roleId == 1) { out.add(u); }
+///                 }
+///                 return out;
+///             }
+///         }"#,
+///     )
+///     .unwrap();
+/// let FragmentStatus::Translated { sql, .. } = &report.fragments[0].status else {
+///     panic!("expected translation");
+/// };
+/// assert!(engine.render_sql(sql).contains("\"users\".\"roleId\" = 1"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct QbsEngine {
+    model: DataModel,
+    config: EngineConfig,
+}
+
+impl QbsEngine {
+    /// Starts a builder over the given object-relational model.
+    pub fn builder(model: DataModel) -> QbsEngineBuilder {
+        QbsEngineBuilder { model, config: EngineConfig::default() }
+    }
+
+    /// An engine with the default configuration.
+    pub fn new(model: DataModel) -> QbsEngine {
+        QbsEngine::builder(model).build()
+    }
+
+    /// The object-relational model.
+    pub fn model(&self) -> &DataModel {
+        &self.model
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Opens a session: the unit of observation and cancellation.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            engine: self,
+            observers: RefCell::new(Vec::new()),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Convenience: runs MiniJava source through a throwaway session.
+    ///
+    /// # Errors
+    ///
+    /// [`QbsError::Parse`] when the source is malformed (analysis and
+    /// synthesis outcomes are reported per fragment), or
+    /// [`QbsError::Cancelled`] — unreachable here since the throwaway
+    /// session's token is never shared.
+    pub fn run_source(&self, src: &str) -> Result<QbsReport, QbsError> {
+        self.session().run_source(src)
+    }
+
+    /// Renders a query under the engine's configured [`Dialect`].
+    pub fn render_sql(&self, sql: &SqlQuery) -> String {
+        render_query(sql, self.config.dialect)
+    }
+}
+
+/// One engine run context: holds the registered observers and the
+/// cancellation token. Sessions are cheap; create one per logical run.
+///
+/// All methods take `&self`; observer dispatch is interior-mutable so
+/// event emission can happen from within synthesis callbacks.
+pub struct Session<'e> {
+    engine: &'e QbsEngine,
+    observers: RefCell<Vec<Box<dyn EngineObserver>>>,
+    cancel: CancelToken,
+}
+
+impl<'e> Session<'e> {
+    /// Adds an observer (builder style).
+    pub fn observe(self, observer: impl EngineObserver + 'static) -> Session<'e> {
+        self.add_observer(observer);
+        self
+    }
+
+    /// Adds an observer.
+    pub fn add_observer(&self, observer: impl EngineObserver + 'static) {
+        self.observers.borrow_mut().push(Box::new(observer));
+    }
+
+    /// The engine this session runs on.
+    pub fn engine(&self) -> &QbsEngine {
+        self.engine
+    }
+
+    /// A clone of this session's cancellation token; cancel it from any
+    /// thread to stop the session at the next candidate boundary.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Renders a query under the engine's configured [`Dialect`].
+    pub fn sql_text(&self, sql: &SqlQuery) -> String {
+        self.engine.render_sql(sql)
+    }
+
+    /// Emits an externally produced event to this session's observers —
+    /// drivers layered on top of the engine (e.g. `qbs-batch`) use this
+    /// to surface their own steps (cache hits) in the same stream.
+    pub fn emit(&self, event: PipelineEvent) {
+        for obs in self.observers.borrow_mut().iter_mut() {
+            obs.on_event(&event);
+        }
+    }
+
+    /// Emits lazily: the event is only constructed when observers exist.
+    fn emit_with(&self, make: impl FnOnce() -> PipelineEvent) {
+        if self.observers.borrow().is_empty() {
+            return;
+        }
+        let event = make();
+        self.emit(event);
+    }
+
+    /// Runs the full pipeline on MiniJava source.
+    ///
+    /// # Errors
+    ///
+    /// [`QbsError::Parse`] when the source is malformed, and
+    /// [`QbsError::Cancelled`] when this session's token is cancelled
+    /// mid-run. Analysis and synthesis outcomes — including per-fragment
+    /// budget exhaustion — are reported per fragment in the
+    /// [`QbsReport`], mirroring the paper's Appendix A statuses.
+    pub fn run_source(&self, src: &str) -> Result<QbsReport, QbsError> {
+        let lower_started = Instant::now();
+        self.emit_with(|| PipelineEvent::StageStarted {
+            method: "<source>".into(),
+            stage: Stage::Lowered,
+        });
+        let fragments = compile_source(src, &self.engine.model)?;
+        self.emit_with(|| PipelineEvent::StageFinished {
+            method: "<source>".into(),
+            stage: Stage::Lowered,
+            elapsed: lower_started.elapsed(),
+        });
+        let mut report = QbsReport::default();
+        for frag in fragments {
+            if self.cancel.is_cancelled() {
+                return Err(QbsError::Cancelled);
+            }
+            let (status, kernel) = match frag.kernel {
+                Err(reject) => {
+                    self.emit_with(|| PipelineEvent::FragmentStarted {
+                        method: frag.method.clone(),
+                    });
+                    let status = FragmentStatus::Rejected { reason: reject.reason };
+                    self.emit_with(|| PipelineEvent::FragmentFinished {
+                        method: frag.method.clone(),
+                        glyph: status.glyph(),
+                        elapsed: Duration::ZERO,
+                    });
+                    (status, None)
+                }
+                Ok(kernel) => (
+                    self.infer_named(&kernel, &frag.method, SynthHooks::default()),
+                    Some(kernel),
+                ),
+            };
+            report.fragments.push(FragmentReport { method: frag.method, status, kernel });
+        }
+        if self.cancel.is_cancelled() {
+            return Err(QbsError::Cancelled);
+        }
+        Ok(report)
+    }
+
+    /// Runs query inference on a single kernel program (the paper's QBS
+    /// algorithm proper). Cancellation and exhausted budgets surface as
+    /// [`FragmentStatus::Failed`].
+    pub fn infer(&self, kernel: &KernelProgram) -> FragmentStatus {
+        self.infer_named(kernel, kernel.name().as_str(), SynthHooks::default())
+    }
+
+    /// [`Session::infer`] with cross-run CEGIS sharing hooks — the entry
+    /// point used by corpus-scale batch drivers. The engine composes its
+    /// own observation/budget hooks with the caller's.
+    pub fn infer_hooked(
+        &self,
+        kernel: &KernelProgram,
+        hooks: SynthHooks<'_>,
+    ) -> FragmentStatus {
+        self.infer_named(kernel, kernel.name().as_str(), hooks)
+    }
+
+    fn infer_named(
+        &self,
+        kernel: &KernelProgram,
+        method: &str,
+        hooks: SynthHooks<'_>,
+    ) -> FragmentStatus {
+        let fragment_started = Instant::now();
+        self.emit_with(|| PipelineEvent::FragmentStarted { method: method.to_string() });
+        let status = self.infer_stages(kernel, method, hooks, fragment_started);
+        self.emit_with(|| PipelineEvent::FragmentFinished {
+            method: method.to_string(),
+            glyph: status.glyph(),
+            elapsed: fragment_started.elapsed(),
+        });
+        status
+    }
+
+    fn infer_stages(
+        &self,
+        kernel: &KernelProgram,
+        method: &str,
+        hooks: SynthHooks<'_>,
+        started: Instant,
+    ) -> FragmentStatus {
+        let config = &self.engine.config;
+
+        // ── VcGen ───────────────────────────────────────────────────────
+        // Generated here purely for observability (counts + timing), so
+        // the work is skipped when nobody listens; the synthesizer
+        // re-derives the conditions internally, and any error surfaces
+        // through the search below with the historical failure text.
+        if !self.observers.borrow().is_empty() {
+            let vcgen_started = Instant::now();
+            self.emit(PipelineEvent::StageStarted {
+                method: method.to_string(),
+                stage: Stage::VcGen,
+            });
+            if let Ok(vcs) = qbs_vcgen::generate(kernel) {
+                self.emit(PipelineEvent::VcsGenerated {
+                    method: method.to_string(),
+                    conditions: vcs.conditions.len(),
+                    unknowns: vcs.unknowns.len(),
+                });
+            }
+            self.emit(PipelineEvent::StageFinished {
+                method: method.to_string(),
+                stage: Stage::VcGen,
+                elapsed: vcgen_started.elapsed(),
+            });
+        }
+
+        // ── Synthesized + Verified ──────────────────────────────────────
+        let synth_started = Instant::now();
+        self.emit_with(|| PipelineEvent::StageStarted {
+            method: method.to_string(),
+            stage: Stage::Synthesized,
+        });
+        let cancel = self.cancel.clone();
+        let caller_interrupt = hooks.interrupt;
+        let interrupt = move |stats: &qbs_synth::SynthStats| -> Option<Interrupt> {
+            if cancel.is_cancelled() {
+                return Some(Interrupt::Cancelled);
+            }
+            if let Some(budget) = config.time_budget {
+                if started.elapsed() > budget {
+                    return Some(Interrupt::TimeBudget(budget));
+                }
+            }
+            if let Some(budget) = config.iteration_budget {
+                if stats.candidates_tried >= budget {
+                    return Some(Interrupt::IterationBudget(budget));
+                }
+            }
+            caller_interrupt.and_then(|f| f(stats))
+        };
+        let mut caller_iter = hooks.on_iteration;
+        let mut on_iteration = |stats: &qbs_synth::SynthStats| {
+            self.emit_with(|| PipelineEvent::CegisIteration {
+                method: method.to_string(),
+                level: stats.levels_used,
+                candidates_tried: stats.candidates_tried,
+                cache_hits: stats.cache_hits,
+            });
+            if let Some(f) = caller_iter.as_mut() {
+                f(stats);
+            }
+        };
+        let mut caller_cex = hooks.on_cex;
+        let mut on_cex = |env: &qbs_tor::Env| {
+            self.emit_with(|| PipelineEvent::CounterexampleFound {
+                method: method.to_string(),
+            });
+            if let Some(f) = caller_cex.as_mut() {
+                f(env);
+            }
+        };
+        let merged = SynthHooks {
+            seed_cexes: hooks.seed_cexes,
+            on_cex: Some(&mut on_cex),
+            on_iteration: Some(&mut on_iteration),
+            interrupt: Some(&interrupt),
+        };
+        let outcome =
+            match synthesize_with_hooks(kernel, &config.param_types, &config.synth, merged) {
+                Ok(o) => o,
+                Err(err) => {
+                    // Balance the StageStarted above: a failing fragment
+                    // still closes the stage it failed in.
+                    self.emit_with(|| PipelineEvent::StageFinished {
+                        method: method.to_string(),
+                        stage: Stage::Synthesized,
+                        elapsed: synth_started.elapsed(),
+                    });
+                    return FragmentStatus::Failed {
+                        reason: match err {
+                            SynthFailure::Unsupported(reason) => reason,
+                            SynthFailure::NoCandidate(stats) => format!(
+                                "no valid invariants/postcondition found ({} candidates tried)",
+                                stats.candidates_tried
+                            ),
+                            SynthFailure::Interrupted { interrupt, stats } => format!(
+                                "{INTERRUPTED_PREFIX}: {interrupt} ({} candidates tried)",
+                                stats.candidates_tried
+                            ),
+                        },
+                    };
+                }
+            };
+        self.emit_with(|| PipelineEvent::StageFinished {
+            method: method.to_string(),
+            stage: Stage::Synthesized,
+            elapsed: outcome.stats.elapsed.saturating_sub(outcome.stats.proof_elapsed),
+        });
+        // Verification interleaves with the search, so its Started/
+        // Finished pair is emitted retrospectively, carrying the time the
+        // search spent certifying candidates.
+        self.emit_with(|| PipelineEvent::StageStarted {
+            method: method.to_string(),
+            stage: Stage::Verified,
+        });
+        self.emit_with(|| PipelineEvent::StageFinished {
+            method: method.to_string(),
+            stage: Stage::Verified,
+            elapsed: outcome.stats.proof_elapsed,
+        });
+
+        // ── Translated ──────────────────────────────────────────────────
+        let translate_started = Instant::now();
+        self.emit_with(|| PipelineEvent::StageStarted {
+            method: method.to_string(),
+            stage: Stage::Translated,
+        });
+        let status = translate(kernel, &outcome, &config.param_types);
+        self.emit_with(|| PipelineEvent::StageFinished {
+            method: method.to_string(),
+            stage: Stage::Translated,
+            elapsed: translate_started.elapsed(),
+        });
+        status
+    }
+}
+
+/// The Translated stage: substitute sources into the verified
+/// postcondition, translate to TOR's relational subset, and render SQL.
+fn translate(
+    kernel: &KernelProgram,
+    outcome: &qbs_synth::SynthOutcome,
+    param_types: &TypeEnv,
+) -> FragmentStatus {
+    // Replace source variables by their defining Query(...) retrievals so
+    // the postcondition is self-contained, then translate to SQL.
+    let post = substitute_sources(&outcome.post_rhs, kernel);
+    let types = match qbs_kernel::typecheck(kernel, param_types) {
+        Ok(t) => t,
+        Err(e) => return FragmentStatus::Failed { reason: e.to_string() },
+    };
+    let trans = match qbs_tor::trans(&post, &types.to_type_env()) {
+        Ok(t) => t,
+        Err(e) => {
+            // Verified but untranslatable (e.g. a bare `get` of a sorted
+            // relation — the paper's category-C failures).
+            return FragmentStatus::Failed {
+                reason: format!("postcondition not translatable to SQL: {e}"),
+            };
+        }
+    };
+    match qbs_sql::sql_of(&trans) {
+        Ok(sql) => FragmentStatus::Translated {
+            sql,
+            post,
+            proof: outcome.proof,
+            stats: outcome.stats.clone(),
+        },
+        Err(e) => FragmentStatus::Failed { reason: e.to_string() },
+    }
+}
+
+/// Substitutes `Var(v)` by `Query(...)` for every source assignment
+/// `v := Query(...)` in the program.
+fn substitute_sources(post: &TorExpr, kernel: &KernelProgram) -> TorExpr {
+    fn collect(stmts: &[KStmt], out: &mut Vec<(qbs_common::Ident, QuerySpec)>) {
+        for s in stmts {
+            match s {
+                KStmt::Assign(v, KExpr::Query(spec)) => out.push((v.clone(), spec.clone())),
+                KStmt::If(_, t, f) => {
+                    collect(t, out);
+                    collect(f, out);
+                }
+                KStmt::While(_, b) => collect(b, out),
+                _ => {}
+            }
+        }
+    }
+    let mut sources = Vec::new();
+    collect(kernel.body(), &mut sources);
+    let mut cur = post.clone();
+    for (v, spec) in sources {
+        cur = subst_expr(&cur, &v, &TorExpr::Query(spec));
+    }
+    cur
+}

@@ -1,0 +1,339 @@
+//! Pipeline observability: stages, events, observers, and cancellation.
+//!
+//! A [`Session`](crate::Session) emits [`PipelineEvent`]s as fragments
+//! move through the engine's stages. Anything implementing
+//! [`EngineObserver`] (including plain `FnMut(&PipelineEvent)` closures)
+//! can subscribe; [`EventLog`] and [`StageTimer`] are ready-made observers
+//! for the two common needs — capturing the event stream and aggregating
+//! per-stage wall-clock time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The engine's pipeline stages, in execution order (paper Fig. 5).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Stage {
+    /// Frontend: parse, inline, and lower to the kernel language.
+    Lowered,
+    /// Verification-condition generation with unknown invariants.
+    VcGen,
+    /// CEGIS template search up to a bounded-checking pass.
+    Synthesized,
+    /// Certification of the accepted candidate (symbolic proof or
+    /// extended bounded checking).
+    Verified,
+    /// TOR-to-SQL translation of the verified postcondition.
+    Translated,
+}
+
+impl Stage {
+    /// All stages, in execution order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Lowered, Stage::VcGen, Stage::Synthesized, Stage::Verified, Stage::Translated];
+
+    /// Lower-case stage name (used in reports and JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Lowered => "lowered",
+            Stage::VcGen => "vcgen",
+            Stage::Synthesized => "synthesized",
+            Stage::Verified => "verified",
+            Stage::Translated => "translated",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observable step of a session run.
+///
+/// The enum is `#[non_exhaustive]`: observers must tolerate (and a
+/// wildcard-match) event kinds added later.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum PipelineEvent {
+    /// Query inference started for a fragment.
+    FragmentStarted {
+        /// Method name (or `"<source>"` for whole-source work).
+        method: String,
+    },
+    /// A stage began.
+    StageStarted {
+        /// Fragment method name.
+        method: String,
+        /// The stage.
+        stage: Stage,
+    },
+    /// A stage completed.
+    StageFinished {
+        /// Fragment method name.
+        method: String,
+        /// The stage.
+        stage: Stage,
+        /// Wall-clock time spent in the stage.
+        elapsed: Duration,
+    },
+    /// Verification conditions were generated.
+    VcsGenerated {
+        /// Fragment method name.
+        method: String,
+        /// Number of conditions.
+        conditions: usize,
+        /// Number of unknown predicates.
+        unknowns: usize,
+    },
+    /// One CEGIS candidate was screened/checked.
+    CegisIteration {
+        /// Fragment method name.
+        method: String,
+        /// Complexity level of the candidate.
+        level: usize,
+        /// Candidates tried so far (including this one).
+        candidates_tried: usize,
+        /// Candidates rejected by the counterexample cache so far.
+        cache_hits: usize,
+    },
+    /// Bounded checking refuted a candidate and mined a counterexample.
+    CounterexampleFound {
+        /// Fragment method name.
+        method: String,
+    },
+    /// A batch driver answered this fragment from its memoization cache
+    /// without running a search.
+    CacheHit {
+        /// Fragment method name.
+        method: String,
+    },
+    /// Query inference finished for a fragment.
+    FragmentFinished {
+        /// Fragment method name.
+        method: String,
+        /// The paper's status glyph (`X`, `†`, `*`).
+        glyph: &'static str,
+        /// End-to-end wall-clock time for the fragment.
+        elapsed: Duration,
+    },
+}
+
+impl PipelineEvent {
+    /// The method the event concerns.
+    pub fn method(&self) -> &str {
+        match self {
+            PipelineEvent::FragmentStarted { method }
+            | PipelineEvent::StageStarted { method, .. }
+            | PipelineEvent::StageFinished { method, .. }
+            | PipelineEvent::VcsGenerated { method, .. }
+            | PipelineEvent::CegisIteration { method, .. }
+            | PipelineEvent::CounterexampleFound { method }
+            | PipelineEvent::CacheHit { method }
+            | PipelineEvent::FragmentFinished { method, .. } => method,
+        }
+    }
+}
+
+/// A subscriber to a session's [`PipelineEvent`] stream.
+///
+/// Implemented for free by `FnMut(&PipelineEvent)` closures:
+///
+/// ```
+/// use qbs::{PipelineEvent, QbsEngine};
+/// use qbs_front::DataModel;
+///
+/// let engine = QbsEngine::new(DataModel::new());
+/// let session = engine
+///     .session()
+///     .observe(|e: &PipelineEvent| eprintln!("{} -> {e:?}", e.method()));
+/// # let _ = session;
+/// ```
+pub trait EngineObserver: Send {
+    /// Called once per event, in emission order.
+    fn on_event(&mut self, event: &PipelineEvent);
+}
+
+impl<F: FnMut(&PipelineEvent) + Send> EngineObserver for F {
+    fn on_event(&mut self, event: &PipelineEvent) {
+        self(event)
+    }
+}
+
+/// A shared, thread-safe event recorder.
+///
+/// Clone the log, hand [`EventLog::observer`] to a session, and read
+/// [`EventLog::events`] afterwards — clones share the same buffer.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    events: Arc<Mutex<Vec<PipelineEvent>>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// An observer that appends every event to this log.
+    pub fn observer(&self) -> impl EngineObserver {
+        let events = Arc::clone(&self.events);
+        move |e: &PipelineEvent| events.lock().expect("event log lock").push(e.clone())
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<PipelineEvent> {
+        self.events.lock().expect("event log lock").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log lock").len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-stage wall-clock aggregation over [`PipelineEvent::StageFinished`]
+/// events.
+///
+/// Clone the timer, hand [`StageTimer::observer`] to a session, and read
+/// [`StageTimer::totals`] (whole run) or [`StageTimer::by_method`]
+/// afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimer {
+    times: Arc<Mutex<BTreeMap<String, BTreeMap<Stage, Duration>>>>,
+}
+
+impl StageTimer {
+    /// An empty timer.
+    pub fn new() -> StageTimer {
+        StageTimer::default()
+    }
+
+    /// An observer accumulating stage durations into this timer.
+    pub fn observer(&self) -> impl EngineObserver {
+        let times = Arc::clone(&self.times);
+        move |e: &PipelineEvent| {
+            if let PipelineEvent::StageFinished { method, stage, elapsed } = e {
+                *times
+                    .lock()
+                    .expect("stage timer lock")
+                    .entry(method.clone())
+                    .or_default()
+                    .entry(*stage)
+                    .or_default() += *elapsed;
+            }
+        }
+    }
+
+    /// Total time per stage, summed over all methods.
+    pub fn totals(&self) -> BTreeMap<Stage, Duration> {
+        let mut out = BTreeMap::new();
+        for per_stage in self.times.lock().expect("stage timer lock").values() {
+            for (stage, d) in per_stage {
+                *out.entry(*stage).or_default() += *d;
+            }
+        }
+        out
+    }
+
+    /// Per-method stage timings.
+    pub fn by_method(&self) -> BTreeMap<String, BTreeMap<Stage, Duration>> {
+        self.times.lock().expect("stage timer lock").clone()
+    }
+
+    /// The stage timings recorded for one method.
+    pub fn timings_for(&self, method: &str) -> BTreeMap<Stage, Duration> {
+        self.times.lock().expect("stage timer lock").get(method).cloned().unwrap_or_default()
+    }
+}
+
+/// A cooperative cancellation token.
+///
+/// Clone the token out of a session (they share state), hand the clone to
+/// another thread, and call [`CancelToken::cancel`]; the session stops at
+/// the next candidate boundary with
+/// [`QbsError::Cancelled`](qbs_common::QbsError::Cancelled).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] was called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_records_and_snapshots() {
+        let log = EventLog::new();
+        let mut obs = log.observer();
+        obs.on_event(&PipelineEvent::FragmentStarted { method: "m".into() });
+        obs.on_event(&PipelineEvent::CacheHit { method: "m".into() });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[1].method(), "m");
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn stage_timer_accumulates_per_method_and_overall() {
+        let timer = StageTimer::new();
+        let mut obs = timer.observer();
+        for (m, stage, ms) in [
+            ("a", Stage::Synthesized, 10),
+            ("a", Stage::Synthesized, 5),
+            ("a", Stage::Translated, 1),
+            ("b", Stage::Synthesized, 2),
+        ] {
+            obs.on_event(&PipelineEvent::StageFinished {
+                method: m.into(),
+                stage,
+                elapsed: Duration::from_millis(ms),
+            });
+        }
+        let totals = timer.totals();
+        assert_eq!(totals[&Stage::Synthesized], Duration::from_millis(17));
+        assert_eq!(totals[&Stage::Translated], Duration::from_millis(1));
+        assert_eq!(timer.timings_for("a")[&Stage::Synthesized], Duration::from_millis(15));
+        assert!(timer.timings_for("zzz").is_empty());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_between_clones() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_cancelled());
+        t2.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn stages_are_ordered_and_named() {
+        assert!(Stage::Lowered < Stage::Translated);
+        assert_eq!(Stage::VcGen.to_string(), "vcgen");
+        assert_eq!(Stage::ALL.len(), 5);
+    }
+}

@@ -1,25 +1,33 @@
-//! QBS — Query By Synthesis: the end-to-end pipeline (paper Fig. 5).
+//! QBS — Query By Synthesis: the end-to-end pipeline (paper Fig. 5) as a
+//! staged, observable engine.
 //!
 //! Given MiniJava application source and its object-relational
-//! [`DataModel`](qbs_front::DataModel), the pipeline:
+//! [`DataModel`](qbs_front::DataModel), a [`QbsEngine`] [`Session`] runs
+//! each code fragment through explicit stages:
 //!
-//! 1. identifies and inlines entry-point methods touching persistent data
-//!    and lowers each code fragment to the kernel language (`qbs-front`);
-//! 2. computes verification conditions with unknown invariants and
-//!    postcondition (`qbs-vcgen`);
-//! 3. synthesizes invariants + postcondition by incremental template
-//!    enumeration with CEGIS and validates them with the symbolic prover /
-//!    extended bounded checking (`qbs-synth`, `qbs-verify`);
-//! 4. translates the verified postcondition into SQL (`qbs-tor::trans` +
-//!    `qbs-sql`) and renders the patched method body (paper Fig. 3).
+//! 1. **Lowered** — identifies and inlines entry-point methods touching
+//!    persistent data and lowers each fragment to the kernel language
+//!    (`qbs-front`);
+//! 2. **VcGen** — computes verification conditions with unknown
+//!    invariants and postcondition (`qbs-vcgen`);
+//! 3. **Synthesized** — fills the unknowns by incremental template
+//!    enumeration with CEGIS (`qbs-synth`);
+//! 4. **Verified** — certifies the accepted candidate with the symbolic
+//!    prover / extended bounded checking (`qbs-verify`);
+//! 5. **Translated** — renders the verified postcondition as SQL
+//!    (`qbs-tor::trans` + `qbs-sql`) under a configurable [`Dialect`].
 //!
+//! Each stage boundary emits a [`PipelineEvent`] to registered
+//! [`EngineObserver`]s; sessions support cooperative cancellation
+//! ([`CancelToken`]) and per-fragment time/iteration budgets. All public
+//! failures are the unified [`QbsError`].
 //! Fragment outcomes mirror the paper's Appendix A statuses: **translated**
 //! (`X`), **rejected** by preprocessing (`†`), or **failed** synthesis (`*`).
 //!
 //! # Example
 //!
 //! ```
-//! use qbs::{Pipeline, FragmentStatus};
+//! use qbs::{FragmentStatus, QbsEngine, StageTimer};
 //! use qbs_front::DataModel;
 //! use qbs_common::{Schema, FieldType};
 //!
@@ -46,17 +54,32 @@
 //!     }
 //! }
 //! "#;
-//! let report = Pipeline::new(model).run_source(src).unwrap();
+//! let engine = QbsEngine::new(model);
+//! let timer = StageTimer::new();
+//! let session = engine.session().observe(timer.observer());
+//! let report = session.run_source(src).unwrap();
 //! match &report.fragments[0].status {
 //!     FragmentStatus::Translated { sql, .. } => {
 //!         assert!(sql.to_string().contains("WHERE users.roleId = 1"));
 //!     }
 //!     other => panic!("expected translation, got {other:?}"),
 //! }
+//! // Per-stage wall-clock observed through events:
+//! assert!(timer.totals().contains_key(&qbs::Stage::Synthesized));
 //! ```
 
+mod engine;
+mod event;
 mod pipeline;
 mod report;
 
+pub use engine::{EngineConfig, QbsEngine, QbsEngineBuilder, Session};
+pub use event::{CancelToken, EngineObserver, EventLog, PipelineEvent, Stage, StageTimer};
+#[allow(deprecated)]
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use report::{FragmentReport, FragmentStatus, QbsReport, StatusCounts};
+
+// Re-exported so engine consumers can name every type in the public API
+// without extra dependencies.
+pub use qbs_common::QbsError;
+pub use qbs_sql::Dialect;

@@ -1,13 +1,19 @@
-//! Pipeline orchestration.
+//! The historical `Pipeline` API — now a thin, deprecated shim over
+//! [`QbsEngine`].
 
-use crate::report::{FragmentReport, FragmentStatus, QbsReport};
+#![allow(deprecated)]
+
+use crate::engine::{EngineConfig, QbsEngine};
+use crate::report::{FragmentStatus, QbsReport};
 use qbs_front::{compile_source, DataModel, ParseError};
-use qbs_kernel::{KExpr, KStmt, KernelProgram};
-use qbs_synth::{synthesize_with_hooks, SynthConfig, SynthFailure, SynthHooks};
-use qbs_tor::{QuerySpec, TorExpr, TypeEnv};
-use qbs_vcgen::subst_expr;
+use qbs_kernel::KernelProgram;
+use qbs_synth::{SynthConfig, SynthHooks};
+use qbs_tor::TypeEnv;
 
-/// Pipeline tuning.
+/// Pipeline tuning (the pre-engine configuration surface).
+///
+/// [`EngineConfig`] supersedes this with dialect and budget knobs; the
+/// two convert into each other loss-free on the shared fields.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineConfig {
     /// Synthesizer configuration.
@@ -16,10 +22,52 @@ pub struct PipelineConfig {
     pub param_types: TypeEnv,
 }
 
+impl PipelineConfig {
+    /// Sets the synthesizer configuration.
+    pub fn with_synth(mut self, synth: SynthConfig) -> PipelineConfig {
+        self.synth = synth;
+        self
+    }
+
+    /// Sets the fragment parameter types.
+    pub fn with_param_types(mut self, param_types: TypeEnv) -> PipelineConfig {
+        self.param_types = param_types;
+        self
+    }
+}
+
+impl From<PipelineConfig> for EngineConfig {
+    fn from(config: PipelineConfig) -> EngineConfig {
+        EngineConfig::default().with_synth(config.synth).with_param_types(config.param_types)
+    }
+}
+
+impl From<EngineConfig> for PipelineConfig {
+    fn from(config: EngineConfig) -> PipelineConfig {
+        PipelineConfig { synth: config.synth, param_types: config.param_types }
+    }
+}
+
 /// The QBS pipeline: frontend → VC generation → synthesis → SQL.
+///
+/// Deprecated: this is a compatibility shim delegating to [`QbsEngine`];
+/// outcomes are identical (see the `engine_equivalence` integration
+/// test). Migrate:
+///
+/// | old | new |
+/// |---|---|
+/// | `Pipeline::new(model)` | `QbsEngine::new(model)` |
+/// | `.with_config(config)` | `QbsEngine::builder(model).synth(…).param_types(…).build()` |
+/// | `.run_source(src)` | `engine.run_source(src)` (returns `QbsError`) |
+/// | `.infer(kernel)` | `engine.session().infer(kernel)` |
+/// | `.infer_hooked(kernel, hooks)` | `engine.session().infer_hooked(kernel, hooks)` |
+#[deprecated(
+    since = "0.2.0",
+    note = "use QbsEngine::builder(model).build() and Session instead"
+)]
 #[derive(Clone, Debug)]
 pub struct Pipeline {
-    model: DataModel,
+    engine: QbsEngine,
     config: PipelineConfig,
 }
 
@@ -27,18 +75,20 @@ impl Pipeline {
     /// A pipeline over the given object-relational model with default
     /// configuration.
     pub fn new(model: DataModel) -> Pipeline {
-        Pipeline { model, config: PipelineConfig::default() }
+        Pipeline { engine: QbsEngine::new(model), config: PipelineConfig::default() }
     }
 
     /// Overrides the configuration.
-    pub fn with_config(mut self, config: PipelineConfig) -> Pipeline {
-        self.config = config;
-        self
+    pub fn with_config(self, config: PipelineConfig) -> Pipeline {
+        let engine = QbsEngine::builder(self.engine.model().clone())
+            .config(config.clone().into())
+            .build();
+        Pipeline { engine, config }
     }
 
     /// The object-relational model.
     pub fn model(&self) -> &DataModel {
-        &self.model
+        self.engine.model()
     }
 
     /// The configuration.
@@ -53,104 +103,39 @@ impl Pipeline {
     /// Returns the parse error when the source is malformed; analysis and
     /// synthesis outcomes are reported per fragment.
     pub fn run_source(&self, src: &str) -> Result<QbsReport, ParseError> {
-        let fragments = compile_source(src, &self.model)?;
+        // Parse here to preserve the historical `ParseError` signature;
+        // fragments then go through the engine exactly as
+        // `Session::run_source` would send them.
+        let fragments = compile_source(src, self.engine.model())?;
+        let session = self.engine.session();
         let mut report = QbsReport::default();
         for frag in fragments {
             let (status, kernel) = match frag.kernel {
                 Err(reject) => (FragmentStatus::Rejected { reason: reject.reason }, None),
-                Ok(kernel) => (self.infer(&kernel), Some(kernel)),
+                Ok(kernel) => (session.infer(&kernel), Some(kernel)),
             };
-            report.fragments.push(FragmentReport { method: frag.method, status, kernel });
+            report.fragments.push(crate::report::FragmentReport {
+                method: frag.method,
+                status,
+                kernel,
+            });
         }
         Ok(report)
     }
 
-    /// Runs query inference on a single kernel program (the paper's QBS
-    /// algorithm proper).
+    /// Runs query inference on a single kernel program.
     pub fn infer(&self, kernel: &KernelProgram) -> FragmentStatus {
-        self.infer_hooked(kernel, SynthHooks::default())
+        self.engine.session().infer(kernel)
     }
 
     /// [`Pipeline::infer`] with cross-run CEGIS sharing hooks.
-    ///
-    /// Batch drivers use this to seed the synthesizer's counterexample
-    /// cache with environments mined while refuting other fragments of the
-    /// same template shape, and to harvest the counterexamples this run
-    /// mines. Stand-alone callers should use [`Pipeline::infer`].
     pub fn infer_hooked(
         &self,
         kernel: &KernelProgram,
         hooks: SynthHooks<'_>,
     ) -> FragmentStatus {
-        let outcome = match synthesize_with_hooks(
-            kernel,
-            &self.config.param_types,
-            &self.config.synth,
-            hooks,
-        ) {
-            Ok(o) => o,
-            Err(SynthFailure::Unsupported(reason)) => return FragmentStatus::Failed { reason },
-            Err(SynthFailure::NoCandidate(stats)) => {
-                return FragmentStatus::Failed {
-                    reason: format!(
-                        "no valid invariants/postcondition found ({} candidates tried)",
-                        stats.candidates_tried
-                    ),
-                }
-            }
-        };
-        // Replace source variables by their defining Query(...) retrievals so
-        // the postcondition is self-contained, then translate to SQL.
-        let post = substitute_sources(&outcome.post_rhs, kernel);
-        let types = match qbs_kernel::typecheck(kernel, &self.config.param_types) {
-            Ok(t) => t,
-            Err(e) => return FragmentStatus::Failed { reason: e.to_string() },
-        };
-        let trans = match qbs_tor::trans(&post, &types.to_type_env()) {
-            Ok(t) => t,
-            Err(e) => {
-                // Verified but untranslatable (e.g. a bare `get` of a sorted
-                // relation — the paper's category-C failures).
-                return FragmentStatus::Failed {
-                    reason: format!("postcondition not translatable to SQL: {e}"),
-                };
-            }
-        };
-        match qbs_sql::sql_of(&trans) {
-            Ok(sql) => FragmentStatus::Translated {
-                sql,
-                post,
-                proof: outcome.proof,
-                stats: outcome.stats,
-            },
-            Err(e) => FragmentStatus::Failed { reason: e.to_string() },
-        }
+        self.engine.session().infer_hooked(kernel, hooks)
     }
-}
-
-/// Substitutes `Var(v)` by `Query(...)` for every source assignment
-/// `v := Query(...)` in the program.
-fn substitute_sources(post: &TorExpr, kernel: &KernelProgram) -> TorExpr {
-    fn collect(stmts: &[KStmt], out: &mut Vec<(qbs_common::Ident, QuerySpec)>) {
-        for s in stmts {
-            match s {
-                KStmt::Assign(v, KExpr::Query(spec)) => out.push((v.clone(), spec.clone())),
-                KStmt::If(_, t, f) => {
-                    collect(t, out);
-                    collect(f, out);
-                }
-                KStmt::While(_, b) => collect(b, out),
-                _ => {}
-            }
-        }
-    }
-    let mut sources = Vec::new();
-    collect(kernel.body(), &mut sources);
-    let mut cur = post.clone();
-    for (v, spec) in sources {
-        cur = subst_expr(&cur, &v, &TorExpr::Query(spec));
-    }
-    cur
 }
 
 #[cfg(test)]
@@ -237,5 +222,15 @@ mod tests {
         assert_eq!(c.total, 2);
         assert_eq!(c.rejected, 1);
         assert_eq!(c.failed, 1);
+    }
+
+    #[test]
+    fn config_round_trips_through_engine_config() {
+        let config =
+            PipelineConfig::default().with_synth(SynthConfig::default().with_max_level(2));
+        let engine: EngineConfig = config.clone().into();
+        assert_eq!(engine.synth.max_level, 2);
+        let back: PipelineConfig = engine.into();
+        assert_eq!(back.synth.max_level, 2);
     }
 }

@@ -35,6 +35,11 @@ pub enum FragmentStatus {
     },
 }
 
+/// Failure-reason prefix the engine uses for interrupted searches —
+/// shared with [`FragmentStatus::is_interrupted`] so the two can never
+/// drift apart.
+pub(crate) const INTERRUPTED_PREFIX: &str = "synthesis interrupted";
+
 impl FragmentStatus {
     /// The paper's status glyph.
     pub fn glyph(&self) -> &'static str {
@@ -43,6 +48,17 @@ impl FragmentStatus {
             FragmentStatus::Rejected { .. } => "†",
             FragmentStatus::Failed { .. } => "*",
         }
+    }
+
+    /// True when the fragment failed because the engine interrupted the
+    /// search (cancellation or an exhausted time/iteration budget) rather
+    /// than because the search itself concluded.
+    ///
+    /// Interrupted outcomes are timing-dependent: the same fragment may
+    /// succeed on a less loaded machine. Drivers that cache outcomes by
+    /// problem fingerprint (e.g. `qbs-batch`) must not memoize them.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, FragmentStatus::Failed { reason } if reason.starts_with(INTERRUPTED_PREFIX))
     }
 }
 

@@ -1,0 +1,218 @@
+//! Engine-level behavior: staged events, budgets, cancellation, and
+//! dialect rendering.
+
+use qbs::{
+    Dialect, EventLog, FragmentStatus, PipelineEvent, QbsEngine, QbsError, Stage, StageTimer,
+};
+use qbs_common::{FieldType, Schema};
+use qbs_front::DataModel;
+use std::time::Duration;
+
+fn model() -> DataModel {
+    let mut m = DataModel::new();
+    m.add_entity(
+        "User",
+        "users",
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish(),
+    );
+    m.add_dao("userDao", "getUsers", "User");
+    m
+}
+
+const SELECTION: &str = r#"
+class S {
+    public List<User> admins() {
+        List<User> users = userDao.getUsers();
+        List<User> out = new ArrayList<User>();
+        for (User u : users) {
+            if (u.roleId == 1) { out.add(u); }
+        }
+        return out;
+    }
+}
+"#;
+
+#[test]
+fn events_cover_every_stage_in_order() {
+    let engine = QbsEngine::new(model());
+    let log = EventLog::new();
+    let timer = StageTimer::new();
+    let session = engine.session().observe(log.observer()).observe(timer.observer());
+    let report = session.run_source(SELECTION).expect("parses");
+    assert_eq!(report.counts().translated, 1);
+
+    let events = log.events();
+    let stages: Vec<Stage> = events
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::StageFinished { stage, .. } => Some(*stage),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        stages,
+        vec![
+            Stage::Lowered,
+            Stage::VcGen,
+            Stage::Synthesized,
+            Stage::Verified,
+            Stage::Translated,
+        ],
+        "stage order"
+    );
+    assert!(
+        events.iter().any(|e| matches!(e, PipelineEvent::CegisIteration { .. })),
+        "iteration events must be emitted"
+    );
+    assert!(
+        events.iter().any(
+            |e| matches!(e, PipelineEvent::VcsGenerated { conditions, .. } if *conditions > 0)
+        ),
+        "vcgen counts must be emitted"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            PipelineEvent::FragmentFinished { glyph: "X", method, .. } if method == "admins"
+        )),
+        "fragment completion must carry the status glyph"
+    );
+    // The timer observed the same stream.
+    let timings = timer.timings_for("admins");
+    assert!(timings.contains_key(&Stage::Synthesized), "{timings:?}");
+}
+
+#[test]
+fn stage_events_are_balanced_even_on_failure() {
+    // A fragment the paper's pipeline fails on (custom comparator sort).
+    let failing = r#"
+class S {
+    public int failing() {
+        List<User> users = userDao.getUsers();
+        Collections.sort(users, new ByName());
+        return users.size();
+    }
+}
+"#;
+    for (src, budget) in [(SELECTION, Some(0)), (failing, None)] {
+        let mut builder = QbsEngine::builder(model());
+        if let Some(n) = budget {
+            builder = builder.iteration_budget(n);
+        }
+        let engine = builder.build();
+        let log = EventLog::new();
+        let session = engine.session().observe(log.observer());
+        let report = session.run_source(src).expect("parses");
+        assert_eq!(report.counts().failed, 1);
+        let mut open: Vec<Stage> = Vec::new();
+        for e in log.events() {
+            match e {
+                PipelineEvent::StageStarted { stage, .. } => open.push(stage),
+                PipelineEvent::StageFinished { stage, .. } => {
+                    assert_eq!(open.pop(), Some(stage), "finish must match last start");
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "every StageStarted must be closed: {open:?}");
+    }
+}
+
+#[test]
+fn interrupted_failures_are_distinguishable() {
+    let engine = QbsEngine::builder(model()).iteration_budget(0).build();
+    let report = engine.run_source(SELECTION).expect("parses");
+    assert!(report.fragments[0].status.is_interrupted());
+
+    // A genuine (search-concluded) failure is not "interrupted".
+    let engine = QbsEngine::new(model());
+    let report = engine
+        .run_source(
+            r#"
+class S {
+    public int failing() {
+        List<User> users = userDao.getUsers();
+        Collections.sort(users, new ByName());
+        return users.size();
+    }
+}
+"#,
+        )
+        .expect("parses");
+    assert_eq!(report.counts().failed, 1);
+    assert!(!report.fragments[0].status.is_interrupted());
+}
+
+#[test]
+fn iteration_budget_fails_the_fragment_not_the_run() {
+    let engine = QbsEngine::builder(model()).iteration_budget(0).build();
+    let report = engine.run_source(SELECTION).expect("parse still succeeds");
+    match &report.fragments[0].status {
+        FragmentStatus::Failed { reason } => {
+            assert!(reason.contains("iteration budget"), "{reason}");
+        }
+        other => panic!("expected budget failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn time_budget_of_zero_fails_immediately() {
+    let engine = QbsEngine::builder(model()).time_budget(Duration::ZERO).build();
+    let status = engine.session().infer(
+        &qbs_front::compile_source(SELECTION, engine.model())
+            .unwrap()
+            .remove(0)
+            .kernel
+            .unwrap(),
+    );
+    match status {
+        FragmentStatus::Failed { reason } => {
+            assert!(reason.contains("time budget"), "{reason}");
+        }
+        other => panic!("expected budget failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancelled_sessions_stop_with_the_unified_error() {
+    let engine = QbsEngine::new(model());
+    let session = engine.session();
+    session.cancel_token().cancel();
+    match session.run_source(SELECTION) {
+        Err(QbsError::Cancelled) => {}
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_failures_surface_as_unified_errors_with_sources() {
+    use std::error::Error;
+    let engine = QbsEngine::new(model());
+    let err = engine.run_source("class {{{").expect_err("malformed source");
+    match &err {
+        QbsError::Parse { source, .. } => {
+            assert!(source.is_some(), "original ParseError must be chained");
+        }
+        other => panic!("expected parse error, got {other}"),
+    }
+    assert!(err.source().is_some());
+    assert!(!err.is_interrupt());
+}
+
+#[test]
+fn engine_renders_sql_under_its_configured_dialect() {
+    let engine = QbsEngine::builder(model()).dialect(Dialect::MySql).build();
+    let report = engine.run_source(SELECTION).expect("parses");
+    let FragmentStatus::Translated { sql, .. } = &report.fragments[0].status else {
+        panic!("expected translation");
+    };
+    let text = engine.render_sql(sql);
+    assert!(text.contains("`users`.`roleId` = 1"), "{text}");
+    // The session exposes the same rendering.
+    assert_eq!(engine.session().sql_text(sql), text);
+    // The stored AST itself stays dialect-neutral.
+    assert!(sql.to_string().contains("users.roleId = 1"));
+}

@@ -6,14 +6,14 @@
 //! cargo run --example advanced_idioms
 //! ```
 
-use qbs::{FragmentStatus, Pipeline};
+use qbs::{FragmentStatus, QbsEngine};
 use qbs_corpus::advanced_idioms;
 
 fn main() {
     for case in advanced_idioms() {
         println!("=== {} ===", case.name);
         println!("paper: {}", case.paper_expectation);
-        let report = Pipeline::new(case.model())
+        let report = QbsEngine::new(case.model())
             .run_source(&case.source)
             .expect("advanced idiom parses");
         match &report.fragments[0].status {

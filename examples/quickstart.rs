@@ -1,13 +1,15 @@
-//! Quickstart: run QBS on the paper's running example (Fig. 1) and print
-//! the inferred query and the transformed method (Fig. 3).
+//! Quickstart: run QBS on the paper's running example (Fig. 1) through
+//! the staged engine, watch the pipeline via an observer, and print the
+//! inferred query (Fig. 3) under several SQL dialects.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use qbs::{FragmentStatus, Pipeline};
+use qbs::{FragmentStatus, PipelineEvent, QbsEngine, StageTimer};
 use qbs_common::{FieldType, Schema};
 use qbs_front::DataModel;
+use qbs_sql::{render_query, Dialect};
 
 fn main() {
     // The object-relational configuration the paper's preprocessor reads
@@ -54,11 +56,22 @@ class UserService {
     println!("── input (paper Fig. 1) ──────────────────────────────────");
     println!("{source}");
 
-    let report = Pipeline::new(model).run_source(source).expect("source parses");
+    // The engine is built once per model; each run opens a session.
+    // Observers see every stage boundary and CEGIS iteration.
+    let engine = QbsEngine::builder(model).build();
+    let timer = StageTimer::new();
+    let session = engine.session().observe(timer.observer()).observe(|e: &PipelineEvent| {
+        if let PipelineEvent::StageFinished { method, stage, elapsed } = e {
+            println!("  [stage] {method}: {stage} in {elapsed:?}");
+        }
+    });
+
+    println!("── pipeline stages ───────────────────────────────────────");
+    let report = session.run_source(source).expect("source parses");
     let frag = &report.fragments[0];
 
     if let Some(kernel) = &frag.kernel {
-        println!("── kernel language (paper Fig. 2) ────────────────────────");
+        println!("\n── kernel language (paper Fig. 2) ────────────────────────");
         println!("{}", qbs_kernel::pretty(kernel));
     }
 
@@ -67,13 +80,16 @@ class UserService {
             println!("── inferred postcondition (paper Fig. 3, top) ────────────");
             println!("listUsers = {post}\n");
             println!("── generated SQL (paper Fig. 3, bottom) ──────────────────");
-            println!("{sql}\n");
-            println!("── transformed method ────────────────────────────────────");
+            for dialect in Dialect::ALL {
+                println!("{:>9}: {}", dialect.name(), render_query(sql, dialect));
+            }
+            println!("\n── transformed method ────────────────────────────────────");
             println!("{}", frag.patched_source().expect("translated"));
             println!(
                 "\nvalidated: {proof:?}; {} candidates tried in {:?}",
                 stats.candidates_tried, stats.elapsed
             );
+            println!("per-stage wall-clock: {:?}", timer.timings_for("getRoleUser"));
         }
         other => println!("fragment was not translated: {other:?}"),
     }

@@ -7,12 +7,20 @@
 //! `use qbs_suite::prelude::*`.
 
 /// Convenience re-exports of the most commonly used QBS types.
+///
+/// `qbs::Session` (an engine run context) is not re-exported here because
+/// `qbs_orm::Session` (a Hibernate-style ORM session) owns the name; reach
+/// engine sessions through [`qbs::QbsEngine::session`].
 pub mod prelude {
-    pub use qbs::{Pipeline, PipelineConfig, QbsReport};
+    pub use qbs::{
+        CancelToken, EngineConfig, EngineObserver, EventLog, PipelineEvent, QbsEngine,
+        QbsError, QbsReport, Stage, StageTimer,
+    };
     pub use qbs_batch::{BatchConfig, BatchReport, BatchRunner, RunBatch};
     pub use qbs_common::{Record, Relation, Schema, Value};
     pub use qbs_db::Database;
     pub use qbs_orm::{FetchMode, Session};
+    pub use qbs_sql::Dialect;
 }
 
 pub use qbs;

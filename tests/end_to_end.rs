@@ -4,7 +4,7 @@
 //! produce identical results — the paper's soundness claim, checked
 //! differentially on populated databases.
 
-use qbs::{FragmentStatus, Pipeline};
+use qbs::{FragmentStatus, QbsEngine};
 use qbs_corpus::{
     all_fragments, populate_itracker, populate_wilos, App, ExpectedStatus, WilosConfig,
 };
@@ -42,8 +42,8 @@ fn original_code_and_generated_sql_agree_on_every_translated_fragment() {
         if frag.expected != ExpectedStatus::Translated {
             continue;
         }
-        let pipeline = Pipeline::new(frag.model());
-        let report = pipeline.run_source(&frag.source).expect("parses");
+        let engine = QbsEngine::new(frag.model());
+        let report = engine.run_source(&frag.source).expect("parses");
         let fr = &report.fragments[0];
         let FragmentStatus::Translated { sql, .. } = &fr.status else {
             panic!("fragment {} must translate", frag.id);
@@ -107,7 +107,7 @@ fn advanced_idioms_agree_differentially() {
         if !case.should_translate {
             continue;
         }
-        let report = Pipeline::new(case.model()).run_source(&case.source).expect("parses");
+        let report = QbsEngine::new(case.model()).run_source(&case.source).expect("parses");
         let fr = &report.fragments[0];
         let FragmentStatus::Translated { sql, .. } = &fr.status else {
             panic!("{} must translate", case.name);

@@ -1,0 +1,80 @@
+//! The deprecated `Pipeline` shim must be observationally identical to
+//! `QbsEngine`: same reports, byte for byte, once wall-clock noise
+//! (search durations) is zeroed out.
+
+#![allow(deprecated)]
+
+use qbs::{FragmentStatus, Pipeline, QbsEngine, QbsReport};
+use qbs_corpus::all_fragments;
+
+/// Renders a report with the two wall-clock fields zeroed — everything
+/// else (statuses, reasons, SQL, postconditions, proof statuses, search
+/// statistics, kernels) must match byte for byte.
+fn canonical_text(mut report: QbsReport) -> String {
+    for fr in &mut report.fragments {
+        if let FragmentStatus::Translated { stats, .. } = &mut fr.status {
+            stats.elapsed = Default::default();
+            stats.proof_elapsed = Default::default();
+        }
+    }
+    format!("{report:#?}")
+}
+
+#[test]
+fn pipeline_shim_reports_are_byte_identical_to_engine_reports() {
+    // A slice of the corpus covering all three outcomes (translated,
+    // rejected, failed) across both apps, plus the two-method running
+    // example below.
+    let fragments = all_fragments();
+    let sample: Vec<_> = fragments.iter().step_by(4).collect();
+    assert!(sample.len() >= 10, "representative sample");
+
+    for frag in sample {
+        let old = Pipeline::new(frag.model())
+            .run_source(&frag.source)
+            .expect("corpus fragments parse");
+        let new = QbsEngine::new(frag.model())
+            .run_source(&frag.source)
+            .expect("corpus fragments parse");
+        assert_eq!(
+            canonical_text(old),
+            canonical_text(new),
+            "fragment {} diverged between Pipeline and QbsEngine",
+            frag.id,
+        );
+    }
+}
+
+#[test]
+fn shim_and_engine_agree_on_multi_method_sources() {
+    let mut model = qbs_front::DataModel::new();
+    model.add_entity(
+        "User",
+        "users",
+        qbs_common::Schema::builder("users")
+            .field("id", qbs_common::FieldType::Int)
+            .field("roleId", qbs_common::FieldType::Int)
+            .finish(),
+    );
+    model.add_dao("userDao", "getUsers", "User");
+    let src = r#"
+    class S {
+        public List<User> ok() {
+            List<User> users = userDao.getUsers();
+            List<User> out = new ArrayList<User>();
+            for (User u : users) {
+                if (u.roleId == 1) { out.add(u); }
+            }
+            return out;
+        }
+        public int rejected() {
+            List<User> users = userDao.getUsers();
+            for (User u : users) { u.setName("x"); }
+            return 0;
+        }
+    }
+    "#;
+    let old = Pipeline::new(model.clone()).run_source(src).expect("parses");
+    let new = QbsEngine::new(model).run_source(src).expect("parses");
+    assert_eq!(canonical_text(old), canonical_text(new));
+}

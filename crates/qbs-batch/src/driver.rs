@@ -60,7 +60,7 @@ impl BatchConfig {
         self
     }
 
-    fn effective_workers(&self, jobs: usize) -> usize {
+    pub(crate) fn effective_workers(&self, jobs: usize) -> usize {
         let hw = thread::available_parallelism().map(usize::from).unwrap_or(1);
         let requested = if self.workers == 0 { hw } else { self.workers };
         requested.min(jobs).max(1)
@@ -218,6 +218,8 @@ impl BatchRunner {
                     cexes_seeded: 0,
                     elapsed,
                     stage_times: Default::default(),
+                    kernel: None,
+                    verdicts: Vec::new(),
                 }))
             };
             match compile_source(&input.source, &input.model) {
@@ -250,7 +252,50 @@ impl BatchRunner {
             }
         }
 
-        // Phase 2 — fan the jobs across the worker pool.
+        self.fan_out(results, &jobs, &engines, started, &make_observer)
+    }
+
+    /// Runs raw kernel programs through the pipeline — the entry point for
+    /// fuzzed fragments, which are generated as kernel ASTs and have no
+    /// MiniJava source. Memoization and counterexample sharing apply
+    /// exactly as for compiled inputs.
+    pub fn run_kernels(&self, kernels: &[(String, KernelProgram)]) -> BatchReport {
+        let started = Instant::now();
+        // Kernel-level inference never consults the object-relational
+        // model (the kernel carries its table schemas), so one engine
+        // serves all jobs.
+        let engines = vec![QbsEngine::builder(DataModel::new())
+            .config(self.config.engine.clone())
+            .build()];
+        let mut results: Vec<Mutex<Option<FragmentResult>>> = Vec::new();
+        let mut jobs: Vec<Job> = Vec::new();
+        for (name, kernel) in kernels {
+            jobs.push(Job {
+                slot: results.len(),
+                input: name.clone(),
+                method: kernel.name().to_string(),
+                kernel: kernel.clone(),
+                engine: 0,
+            });
+            results.push(Mutex::new(None));
+        }
+        self.fan_out(results, &jobs, &engines, started, &|| |_: &PipelineEvent| {})
+    }
+
+    /// Phase 2 of every run: fan the jobs across the worker pool and
+    /// assemble the report.
+    fn fan_out<O, F>(
+        &self,
+        results: Vec<Mutex<Option<FragmentResult>>>,
+        jobs: &[Job],
+        engines: &[QbsEngine],
+        started: Instant,
+        make_observer: &F,
+    ) -> BatchReport
+    where
+        O: EngineObserver + 'static,
+        F: Fn() -> O + Sync,
+    {
         let next = AtomicUsize::new(0);
         let deferred: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
         let workers = self.config.effective_workers(jobs.len());
@@ -260,7 +305,7 @@ impl BatchRunner {
                     loop {
                         let j = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(j) else { break };
-                        match self.run_job(&engines[job.engine], job, false, &make_observer) {
+                        match self.run_job(&engines[job.engine], job, false, make_observer) {
                             Some(result) => {
                                 *results[job.slot].lock().expect("slot lock") = Some(result)
                             }
@@ -276,7 +321,7 @@ impl BatchRunner {
                         let Some(j) = popped else { break };
                         let job = &jobs[j];
                         let result = self
-                            .run_job(&engines[job.engine], job, true, &make_observer)
+                            .run_job(&engines[job.engine], job, true, make_observer)
                             .expect("blocking claims always resolve");
                         *results[job.slot].lock().expect("slot lock") = Some(result);
                     }
@@ -296,6 +341,7 @@ impl BatchRunner {
             workers,
             pool_shapes: self.pool.shapes(),
             pool_cexes: self.pool.len(),
+            oracle: None,
         }
     }
 
@@ -330,6 +376,8 @@ impl BatchRunner {
             cexes_seeded,
             elapsed,
             stage_times: timer.timings_for(job.kernel.name().as_str()),
+            kernel: Some(job.kernel.clone()),
+            verdicts: Vec::new(),
         };
         let ticket = if self.config.memoize {
             let problem = canonical(&job.kernel, config);

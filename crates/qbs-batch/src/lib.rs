@@ -54,11 +54,13 @@
 mod driver;
 mod fingerprint;
 mod memo;
+mod oracle;
 mod pool;
 mod report;
 
 pub use driver::{corpus_inputs, BatchConfig, BatchInput, BatchRunner, RunBatch};
 pub use fingerprint::{canonical, fingerprint, shape_key, Fingerprint};
 pub use memo::{Claim, ComputeTicket, FingerprintCache};
+pub use oracle::OracleConfig;
 pub use pool::CexPool;
-pub use report::{BatchReport, FragmentResult};
+pub use report::{BatchReport, FragmentResult, OracleSummary};

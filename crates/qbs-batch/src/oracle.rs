@@ -1,0 +1,191 @@
+//! Batch oracle mode: run a corpus (plus fuzzed fragments) through
+//! synthesis, then differentially check every translated fragment against
+//! several independently seeded databases, in parallel.
+
+use crate::driver::{BatchInput, BatchRunner};
+use crate::report::{BatchReport, OracleSummary};
+use qbs::FragmentStatus;
+use qbs_db::{Database, Params};
+use qbs_oracle::{genfrag, OracleVerdict};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+/// Tuning for an oracle-mode batch run.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Seeds of the universe databases every translated fragment is
+    /// checked on ([`qbs_corpus::populate_universe`]); one verdict per
+    /// seed.
+    pub db_seeds: Vec<u64>,
+    /// Random fragments to generate and append to the batch.
+    pub fuzz_count: usize,
+    /// Seed for the fragment fuzzer ([`genfrag::generate`]).
+    pub fuzz_seed: u64,
+    /// Delta-debug mismatch witnesses down to (near-)minimal databases.
+    /// Agreeing runs never pay this cost.
+    pub minimize: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            db_seeds: vec![1, 2, 3],
+            fuzz_count: 0,
+            fuzz_seed: 0xd1ff_5eed,
+            minimize: true,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// Sets the database seeds.
+    pub fn with_db_seeds(mut self, seeds: Vec<u64>) -> OracleConfig {
+        self.db_seeds = seeds;
+        self
+    }
+
+    /// Enables the fuzzer with `count` fragments from `seed`.
+    pub fn with_fuzz(mut self, count: usize, seed: u64) -> OracleConfig {
+        self.fuzz_count = count;
+        self.fuzz_seed = seed;
+        self
+    }
+}
+
+impl BatchRunner {
+    /// Runs `inputs` (plus [`OracleConfig::fuzz_count`] generated
+    /// fragments) through the synthesis pipeline, then checks every
+    /// translated fragment differentially on every seeded database. The
+    /// report carries one [`OracleVerdict`] per `(fragment, seed)` in
+    /// [`FragmentResult::verdicts`](crate::FragmentResult) and the rolled-
+    /// up [`OracleSummary`] in [`BatchReport::oracle`].
+    pub fn run_oracle(&self, inputs: &[BatchInput], oracle: &OracleConfig) -> BatchReport {
+        let mut report = self.run(inputs);
+        let mut fuzz_fragments = 0;
+        if oracle.fuzz_count > 0 {
+            let fuzzed: Vec<(String, qbs_kernel::KernelProgram)> =
+                genfrag::generate(oracle.fuzz_seed, oracle.fuzz_count)
+                    .into_iter()
+                    .map(|f| (f.name, f.kernel))
+                    .collect();
+            let fuzz_report = self.run_kernels(&fuzzed);
+            fuzz_fragments = fuzz_report.fragments.len();
+            report.wall_clock += fuzz_report.wall_clock;
+            report.cpu_time += fuzz_report.cpu_time;
+            report.fragments.extend(fuzz_report.fragments);
+            report.pool_shapes = fuzz_report.pool_shapes;
+            report.pool_cexes = fuzz_report.pool_cexes;
+        }
+        self.attach_verdicts(&mut report, oracle, fuzz_fragments);
+        report
+    }
+
+    /// The differential phase alone: fills
+    /// [`FragmentResult::verdicts`](crate::FragmentResult) and
+    /// [`BatchReport::oracle`] on an existing synthesis report.
+    fn attach_verdicts(
+        &self,
+        report: &mut BatchReport,
+        oracle: &OracleConfig,
+        fuzz_fragments: usize,
+    ) {
+        let started = Instant::now();
+        let dbs: Vec<Database> =
+            oracle.db_seeds.iter().map(|s| qbs_corpus::populate_universe(*s)).collect();
+
+        // One check job per (translated fragment, seed).
+        let checkable: Vec<usize> = report
+            .fragments
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                matches!(f.status, FragmentStatus::Translated { .. }) && f.kernel.is_some()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let jobs: Vec<(usize, usize)> =
+            checkable.iter().flat_map(|&fi| (0..dbs.len()).map(move |si| (fi, si))).collect();
+        let verdicts: Vec<Mutex<Option<OracleVerdict>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let params = Params::new();
+
+        let next = AtomicUsize::new(0);
+        let fragments = &report.fragments;
+        let workers = self.config().effective_workers(jobs.len());
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(fi, si)) = jobs.get(j) else { break };
+                    let fr = &fragments[fi];
+                    let sql = fr.status.sql().expect("checkable fragments are translated");
+                    let kernel = fr.kernel.as_ref().expect("checkable fragments lower");
+                    let verdict = if oracle.minimize {
+                        qbs_oracle::check(kernel, sql, &dbs[si], &params)
+                    } else {
+                        qbs_oracle::check_unminimized(kernel, sql, &dbs[si], &params)
+                    };
+                    *verdicts[j].lock().expect("verdict lock") = Some(verdict);
+                });
+            }
+        });
+
+        for (&(fi, _), slot) in jobs.iter().zip(verdicts) {
+            let verdict = slot.into_inner().expect("verdict lock").expect("all jobs ran");
+            report.fragments[fi].verdicts.push(verdict);
+        }
+        report.oracle = Some(OracleSummary {
+            db_seeds: oracle.db_seeds.clone(),
+            counts: report.oracle_counts(),
+            checked_fragments: checkable.len(),
+            fuzz_fragments,
+            fuzz_seed: oracle.fuzz_seed,
+            elapsed: started.elapsed(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::corpus_inputs;
+    use crate::BatchConfig;
+
+    #[test]
+    fn oracle_mode_checks_translated_fragments_on_every_seed() {
+        let runner = BatchRunner::new(BatchConfig::new());
+        // A small slice keeps this a unit test; the whole-corpus oracle
+        // run lives in the repository-level integration tests.
+        let inputs = &corpus_inputs()[..6];
+        let config = OracleConfig::default().with_db_seeds(vec![1, 9]);
+        let report = runner.run_oracle(inputs, &config);
+        let summary = report.oracle.as_ref().expect("oracle summary");
+        assert_eq!(summary.db_seeds, vec![1, 9]);
+        assert_eq!(summary.counts.mismatch, 0, "{report}");
+        for fr in &report.fragments {
+            match &fr.status {
+                FragmentStatus::Translated { .. } => {
+                    assert_eq!(fr.verdicts.len(), 2, "{}", fr.method);
+                    assert!(fr.verdicts.iter().all(OracleVerdict::is_agree), "{}", fr.method);
+                }
+                _ => assert!(fr.verdicts.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzed_fragments_join_the_batch_and_agree() {
+        let runner = BatchRunner::new(BatchConfig::new());
+        let config = OracleConfig::default().with_db_seeds(vec![5]).with_fuzz(12, 0xfeed);
+        let report = runner.run_oracle(&[], &config);
+        assert_eq!(report.fragments.len(), 12);
+        let summary = report.oracle.as_ref().expect("oracle summary");
+        assert_eq!(summary.fuzz_fragments, 12);
+        assert_eq!(summary.counts.mismatch, 0, "{report}");
+        // At least some random fragments must make it through synthesis —
+        // otherwise the fuzzer exercises nothing.
+        assert!(summary.checked_fragments > 0, "{report}");
+    }
+}

@@ -1,6 +1,8 @@
 //! Corpus-level aggregation of per-fragment outcomes.
 
 use qbs::{FragmentStatus, Stage, StatusCounts};
+use qbs_kernel::KernelProgram;
+use qbs_oracle::{OracleCounts, OracleVerdict};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -25,6 +27,12 @@ pub struct FragmentResult {
     /// [`StageFinished`](qbs::PipelineEvent::StageFinished) events (empty
     /// for memo hits and rejected fragments: no stages ran).
     pub stage_times: BTreeMap<Stage, Duration>,
+    /// The lowered kernel program (absent for rejected fragments and parse
+    /// errors) — what the differential oracle interprets.
+    pub kernel: Option<KernelProgram>,
+    /// Differential verdicts, one per oracle database seed (empty unless
+    /// the batch ran in oracle mode and the fragment translated).
+    pub verdicts: Vec<OracleVerdict>,
 }
 
 /// Aggregate report for one batch run — the corpus-level analogue of
@@ -46,6 +54,40 @@ pub struct BatchReport {
     pub pool_shapes: usize,
     /// Counterexamples retained in the pool after the run.
     pub pool_cexes: usize,
+    /// Differential-oracle summary (present when the batch ran in oracle
+    /// mode — see `BatchRunner::run_oracle`).
+    pub oracle: Option<OracleSummary>,
+}
+
+/// Aggregate differential-oracle outcome for a batch run.
+#[derive(Clone, Debug)]
+pub struct OracleSummary {
+    /// Database seeds every translated fragment was checked on.
+    pub db_seeds: Vec<u64>,
+    /// Verdict counts across all (fragment, seed) checks.
+    pub counts: OracleCounts,
+    /// Translated fragments that were differentially checked.
+    pub checked_fragments: usize,
+    /// Fuzzed fragments appended to the batch (0 for corpus-only runs).
+    pub fuzz_fragments: usize,
+    /// The fuzzer seed (meaningful when `fuzz_fragments > 0`).
+    pub fuzz_seed: u64,
+    /// Wall-clock of the differential phase.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for OracleSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "oracle: {} over {} fragments × {} seeds ({} fuzzed, {:.2}s)",
+            self.counts,
+            self.checked_fragments,
+            self.db_seeds.len(),
+            self.fuzz_fragments,
+            self.elapsed.as_secs_f64(),
+        )
+    }
 }
 
 impl BatchReport {
@@ -137,6 +179,19 @@ impl BatchReport {
     pub fn fragment(&self, input: &str, method: &str) -> Option<&FragmentResult> {
         self.fragments.iter().find(|f| f.input == input && f.method == method)
     }
+
+    /// Verdict counts across every differential check in the run (all
+    /// zeros unless the batch ran in oracle mode).
+    pub fn oracle_counts(&self) -> OracleCounts {
+        OracleCounts::of(self.fragments.iter().flat_map(|f| f.verdicts.iter()))
+    }
+
+    /// Every mismatch witness found, with its fragment result.
+    pub fn mismatches(&self) -> impl Iterator<Item = (&FragmentResult, &OracleVerdict)> {
+        self.fragments
+            .iter()
+            .flat_map(|f| f.verdicts.iter().filter(|v| v.is_mismatch()).map(move |v| (f, v)))
+    }
 }
 
 impl fmt::Display for BatchReport {
@@ -180,6 +235,9 @@ impl fmt::Display for BatchReport {
             }
             writeln!(f)?;
         }
+        if let Some(oracle) = &self.oracle {
+            writeln!(f, "{oracle}")?;
+        }
         Ok(())
     }
 }
@@ -216,6 +274,8 @@ mod tests {
                 (Stage::Synthesized, Duration::from_millis(8)),
                 (Stage::Translated, Duration::from_millis(1)),
             ]),
+            kernel: None,
+            verdicts: Vec::new(),
         }
     }
 
@@ -234,6 +294,7 @@ mod tests {
             workers: 2,
             pool_shapes: 1,
             pool_cexes: 4,
+            oracle: None,
         };
         let c = report.counts();
         assert_eq!((c.total, c.translated, c.rejected, c.failed), (5, 3, 1, 1));

@@ -39,11 +39,26 @@ impl Default for WilosConfig {
     }
 }
 
+impl WilosConfig {
+    /// The same sizing with a different RNG seed — the multi-seed
+    /// population hook the differential oracle uses to re-run every
+    /// fragment on several independently generated databases.
+    pub fn with_seed(mut self, seed: u64) -> WilosConfig {
+        self.seed = seed;
+        self
+    }
+}
+
 /// Populates a Wilos database. Indexes are created on the join/selection
 /// key columns, as Hibernate would (paper Sec. 7.2).
 pub fn populate_wilos(cfg: &WilosConfig) -> Database {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut db = Database::new();
+    populate_wilos_into(&mut db, cfg);
+    db
+}
+
+fn populate_wilos_into(db: &mut Database, cfg: &WilosConfig) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
     db.create_table(schema::users_schema()).expect("fresh db");
     db.create_table(schema::roles_schema()).expect("fresh db");
     db.create_table(schema::projects_schema()).expect("fresh db");
@@ -131,13 +146,17 @@ pub fn populate_wilos(cfg: &WilosConfig) -> Database {
     db.create_index("participants", "roleId").expect("index");
     db.create_index("activities", "projectId").expect("index");
     db.create_index("workproducts", "projectId").expect("index");
-    db
 }
 
 /// Populates an itracker database (sized for correctness tests).
 pub fn populate_itracker(rows: usize, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
+    populate_itracker_into(&mut db, rows, seed);
+    db
+}
+
+fn populate_itracker_into(db: &mut Database, rows: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
     db.create_table(schema::issues_schema()).expect("fresh db");
     db.create_table(schema::itprojects_schema()).expect("fresh db");
     db.create_table(schema::itusers_schema()).expect("fresh db");
@@ -182,6 +201,27 @@ pub fn populate_itracker(rows: usize, seed: u64) -> Database {
         )
         .expect("insert");
     }
+}
+
+/// The differential-oracle universe: one database holding **both**
+/// applications' tables (their names are disjoint), deterministically
+/// populated from a single seed at a size where whole-corpus differential
+/// runs stay fast. Fragments from either app — and fuzzed fragments mixing
+/// tables of both — run against the same database.
+pub fn populate_universe(seed: u64) -> Database {
+    let mut db = Database::new();
+    populate_wilos_into(
+        &mut db,
+        &WilosConfig {
+            users: 60,
+            roles: 12,
+            projects: 48,
+            unfinished_fraction: 0.25,
+            ..WilosConfig::default()
+        }
+        .with_seed(seed),
+    );
+    populate_itracker_into(&mut db, 56, seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
     db
 }
 

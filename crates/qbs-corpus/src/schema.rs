@@ -100,6 +100,24 @@ pub fn notifications_schema() -> SchemaRef {
         .finish()
 }
 
+/// Every table schema of the differential-oracle universe (both
+/// applications; their table names are disjoint), in a stable order — the
+/// catalog the random-fragment generator types its programs against.
+pub fn universe_schemas() -> Vec<SchemaRef> {
+    vec![
+        users_schema(),
+        roles_schema(),
+        projects_schema(),
+        participants_schema(),
+        activities_schema(),
+        workproducts_schema(),
+        issues_schema(),
+        itprojects_schema(),
+        itusers_schema(),
+        notifications_schema(),
+    ]
+}
+
 /// The Wilos object-relational model (entities + DAO methods).
 pub fn wilos_model() -> DataModel {
     let mut m = DataModel::new();

@@ -1,0 +1,69 @@
+//! Determinism of the data generators: the differential oracle re-runs
+//! every fragment on "the same" seeded database across processes, threads,
+//! and CI machines, so a given seed must reproduce the database byte for
+//! byte — regardless of who generates it or how many threads are around.
+
+use qbs_corpus::{populate_itracker, populate_universe, populate_wilos, WilosConfig};
+use qbs_db::Database;
+use std::thread;
+
+/// A canonical text dump: table schemas plus every row in insertion order.
+fn dump(db: &Database) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for name in db.table_names() {
+        let t = db.table(name).expect("listed table");
+        let _ = writeln!(out, "{} indexes={:?}", t.schema().describe(), t.indexed_columns());
+        for row in t.rows() {
+            let _ = writeln!(out, "{row:?}");
+        }
+    }
+    out
+}
+
+fn cfg(seed: u64) -> WilosConfig {
+    WilosConfig { users: 40, roles: 8, projects: 30, ..WilosConfig::default() }.with_seed(seed)
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_runs() {
+    assert_eq!(dump(&populate_wilos(&cfg(7))), dump(&populate_wilos(&cfg(7))));
+    assert_eq!(dump(&populate_itracker(50, 9)), dump(&populate_itracker(50, 9)));
+    assert_eq!(dump(&populate_universe(3)), dump(&populate_universe(3)));
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(dump(&populate_wilos(&cfg(1))), dump(&populate_wilos(&cfg(2))));
+    assert_ne!(dump(&populate_universe(1)), dump(&populate_universe(2)));
+}
+
+#[test]
+fn generation_is_thread_count_independent() {
+    let baseline_wilos = dump(&populate_wilos(&cfg(11)));
+    let baseline_universe = dump(&populate_universe(11));
+    for threads in [1usize, 2, 8] {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                thread::spawn(|| {
+                    (dump(&populate_wilos(&cfg(11))), dump(&populate_universe(11)))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (w, u) = h.join().expect("generator thread");
+            assert_eq!(w, baseline_wilos, "wilos dump differs at {threads} threads");
+            assert_eq!(u, baseline_universe, "universe dump differs at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn with_seed_only_changes_the_seed() {
+    let a = WilosConfig::default();
+    let b = WilosConfig::default().with_seed(99);
+    assert_eq!(a.users, b.users);
+    assert_eq!(a.roles, b.roles);
+    assert_eq!(a.projects, b.projects);
+    assert_eq!(b.seed, 99);
+}

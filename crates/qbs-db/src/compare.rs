@@ -1,0 +1,193 @@
+//! Result-set comparison under TOR semantics.
+//!
+//! The QBS soundness claim is stated over *ordered* relations: where the
+//! translated query carries an `ORDER BY` derived from the paper's `Order`
+//! function (Fig. 9), the original fragment and the SQL must agree row for
+//! row. Queries whose order is not pinned (e.g. an aggregate's input) only
+//! promise the same *multiset* of rows. This module provides both
+//! equivalences so differential oracles can pick the right one per query.
+
+use qbs_common::{Relation, Value};
+use std::cmp::Ordering;
+
+/// Which equality a comparison runs under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RowsEquivalence {
+    /// Row-for-row equality including order (proven-order queries).
+    Ordered,
+    /// Equality of the row multiset, ignoring order.
+    Multiset,
+}
+
+/// The first point of disagreement between two row sets, for witness
+/// reports.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RowsDiff {
+    /// The sides have different cardinalities.
+    Cardinality {
+        /// Rows on the left side.
+        left: usize,
+        /// Rows on the right side.
+        right: usize,
+    },
+    /// Under [`RowsEquivalence::Ordered`]: the first differing position.
+    RowAt {
+        /// Position of the first differing row.
+        index: usize,
+        /// Left row values.
+        left: Vec<Value>,
+        /// Right row values.
+        right: Vec<Value>,
+    },
+    /// Under [`RowsEquivalence::Multiset`]: a row whose multiplicities
+    /// differ.
+    Multiplicity {
+        /// The row in question.
+        row: Vec<Value>,
+        /// Occurrences on the left side.
+        left: usize,
+        /// Occurrences on the right side.
+        right: usize,
+    },
+}
+
+impl std::fmt::Display for RowsDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RowsDiff::Cardinality { left, right } => {
+                write!(f, "cardinality differs: {left} rows vs {right} rows")
+            }
+            RowsDiff::RowAt { index, left, right } => {
+                write!(f, "row {index} differs: {left:?} vs {right:?}")
+            }
+            RowsDiff::Multiplicity { row, left, right } => {
+                write!(f, "row {row:?} occurs {left} time(s) vs {right} time(s)")
+            }
+        }
+    }
+}
+
+fn cmp_rows(a: &[Value], b: &[Value]) -> Ordering {
+    a.len().cmp(&b.len()).then_with(|| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
+    })
+}
+
+/// Compares two relations row-wise under the given equivalence, ignoring
+/// schemas (the two sides qualify their columns differently — the
+/// interpreter under entity schemas, the executor under table aliases).
+///
+/// Returns `None` on agreement, or the first [`RowsDiff`] found.
+pub fn rows_diff(left: &Relation, right: &Relation, eq: RowsEquivalence) -> Option<RowsDiff> {
+    if left.len() != right.len() {
+        return Some(RowsDiff::Cardinality { left: left.len(), right: right.len() });
+    }
+    match eq {
+        RowsEquivalence::Ordered => {
+            for (i, (a, b)) in left.iter().zip(right.iter()).enumerate() {
+                if a.values() != b.values() {
+                    return Some(RowsDiff::RowAt {
+                        index: i,
+                        left: a.values().to_vec(),
+                        right: b.values().to_vec(),
+                    });
+                }
+            }
+            None
+        }
+        RowsEquivalence::Multiset => {
+            let mut l: Vec<Vec<Value>> = left.iter().map(|r| r.values().to_vec()).collect();
+            let mut r: Vec<Vec<Value>> = right.iter().map(|r| r.values().to_vec()).collect();
+            l.sort_by(|a, b| cmp_rows(a, b));
+            r.sort_by(|a, b| cmp_rows(a, b));
+            for (a, b) in l.iter().zip(r.iter()) {
+                if a != b {
+                    // Count multiplicities of the first divergent row.
+                    let count = |side: &[Vec<Value>], row: &[Value]| {
+                        side.iter().filter(|x| x.as_slice() == row).count()
+                    };
+                    return Some(RowsDiff::Multiplicity {
+                        row: a.clone(),
+                        left: count(&l, a),
+                        right: count(&r, a),
+                    });
+                }
+            }
+            None
+        }
+    }
+}
+
+/// True when the two relations agree under the given equivalence.
+pub fn rows_agree(left: &Relation, right: &Relation, eq: RowsEquivalence) -> bool {
+    rows_diff(left, right, eq).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Record, Schema};
+
+    fn rel(rows: &[(i64, i64)]) -> Relation {
+        let s =
+            Schema::builder("t").field("a", FieldType::Int).field("b", FieldType::Int).finish();
+        Relation::from_records(
+            s.clone(),
+            rows.iter()
+                .map(|(a, b)| Record::new(s.clone(), vec![Value::from(*a), Value::from(*b)]))
+                .collect(),
+        )
+        .expect("schema matches")
+    }
+
+    #[test]
+    fn ordered_catches_reordering_multiset_does_not() {
+        let a = rel(&[(1, 2), (3, 4)]);
+        let b = rel(&[(3, 4), (1, 2)]);
+        assert!(matches!(
+            rows_diff(&a, &b, RowsEquivalence::Ordered),
+            Some(RowsDiff::RowAt { index: 0, .. })
+        ));
+        assert!(rows_agree(&a, &b, RowsEquivalence::Multiset));
+    }
+
+    #[test]
+    fn multiset_catches_multiplicity_changes() {
+        let a = rel(&[(1, 2), (1, 2), (3, 4)]);
+        let b = rel(&[(1, 2), (3, 4), (3, 4)]);
+        let diff = rows_diff(&a, &b, RowsEquivalence::Multiset).expect("differs");
+        assert!(matches!(diff, RowsDiff::Multiplicity { .. }), "{diff}");
+    }
+
+    #[test]
+    fn cardinality_reported_first() {
+        let a = rel(&[(1, 2)]);
+        let b = rel(&[]);
+        for eq in [RowsEquivalence::Ordered, RowsEquivalence::Multiset] {
+            assert_eq!(
+                rows_diff(&a, &b, eq),
+                Some(RowsDiff::Cardinality { left: 1, right: 0 })
+            );
+        }
+    }
+
+    #[test]
+    fn agreement_across_different_schemas() {
+        // Same values, schemas qualified differently: still equal.
+        let a = rel(&[(1, 2)]);
+        let s = Schema::builder("other")
+            .field("x", FieldType::Int)
+            .field("y", FieldType::Int)
+            .finish();
+        let b = Relation::from_records(
+            s.clone(),
+            vec![Record::new(s.clone(), vec![1.into(), 2.into()])],
+        )
+        .unwrap();
+        assert!(rows_agree(&a, &b, RowsEquivalence::Ordered));
+    }
+}

@@ -141,6 +141,18 @@ impl Database {
         self.tables.keys()
     }
 
+    /// A kernel-interpreter environment with every table bound as an
+    /// ordered relation — the bridge that lets the original imperative
+    /// fragment and the SQL executor run against the *same* data (the
+    /// differential-oracle setup).
+    pub fn env(&self) -> qbs_tor::Env {
+        let mut env = qbs_tor::Env::new();
+        for (name, table) in &self.tables {
+            env.bind_table(name.clone(), table.relation());
+        }
+        env
+    }
+
     /// Scans a table into a frame (columns qualified by `alias`, plus the
     /// hidden `rowid`), applying pushed-down predicates — via the hash index
     /// when an equality predicate matches an indexed column.

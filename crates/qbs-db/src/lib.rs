@@ -40,11 +40,13 @@
 //! assert_eq!(out.rows.len(), 1);
 //! ```
 
+mod compare;
 mod db;
 mod exec;
 mod planner;
 mod storage;
 
+pub use compare::{rows_agree, rows_diff, RowsDiff, RowsEquivalence};
 pub use db::{Database, DbError, Params, QueryOutput};
 pub use exec::{ExecStats, Frame, FrameCol};
 pub use planner::{explain, JoinAlgorithm, Plan};

@@ -100,6 +100,29 @@ impl Table {
     pub fn has_index(&self, column: &Ident) -> bool {
         self.indexes.contains_key(column)
     }
+
+    /// The indexed columns, in schema order (the iteration order of the
+    /// internal map is not deterministic, so callers get a stable list).
+    pub fn indexed_columns(&self) -> Vec<Ident> {
+        self.schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .filter(|c| self.indexes.contains_key(c))
+            .collect()
+    }
+
+    /// The stored rows as an ordered [`Relation`](qbs_common::Relation)
+    /// under the table's schema — the view the kernel interpreter consumes.
+    pub fn relation(&self) -> qbs_common::Relation {
+        let records = self
+            .rows
+            .iter()
+            .map(|r| qbs_common::Record::new(self.schema.clone(), r.clone()))
+            .collect();
+        qbs_common::Relation::from_records(self.schema.clone(), records)
+            .expect("stored rows satisfy the table schema")
+    }
 }
 
 #[cfg(test)]

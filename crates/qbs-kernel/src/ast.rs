@@ -283,6 +283,48 @@ impl KernelProgram {
         out.dedup();
         out
     }
+
+    /// Every literal constant appearing in the program (sorted, deduped).
+    ///
+    /// Bounded verification must include these values in its store
+    /// domains: a predicate over a constant the test stores never take is
+    /// untestable at the bound, so a candidate dropping that conjunct
+    /// would pass unchecked.
+    pub fn literals(&self) -> Vec<Value> {
+        fn walk_expr(e: &KExpr, out: &mut Vec<Value>) {
+            if let KExpr::Const(v) = e {
+                out.push(v.clone());
+            }
+            for c in e.children() {
+                walk_expr(c, out);
+            }
+        }
+        fn walk_stmt(s: &KStmt, out: &mut Vec<Value>) {
+            match s {
+                KStmt::Skip => {}
+                KStmt::Assign(_, e) | KStmt::Assert(e) => walk_expr(e, out),
+                KStmt::If(c, t, f) => {
+                    walk_expr(c, out);
+                    for s in t.iter().chain(f) {
+                        walk_stmt(s, out);
+                    }
+                }
+                KStmt::While(c, b) => {
+                    walk_expr(c, out);
+                    for s in b {
+                        walk_stmt(s, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for s in &self.body {
+            walk_stmt(s, &mut out);
+        }
+        out.sort_by(|a, b| a.total_cmp(b));
+        out.dedup();
+        out
+    }
 }
 
 /// Builder for [`KernelProgram`].

@@ -120,8 +120,17 @@ fn values_equal(a: &Record, b: &Record) -> bool {
     a.values() == b.values()
 }
 
-/// Evaluates a kernel expression.
-pub(crate) fn eval_expr(e: &KExpr, env: &Env) -> Result<DynValue> {
+/// Evaluates a kernel expression in an environment.
+///
+/// This is the reusable evaluation entry point for differential oracles:
+/// bind a database's tables into the [`Env`] (e.g. via `qbs_db`'s
+/// `Database::env`) and evaluate any fragment expression against the same
+/// data the SQL executor sees.
+///
+/// # Errors
+///
+/// Propagates any [`InterpError`] (unbound names, kind errors, bounds).
+pub fn eval_expr(e: &KExpr, env: &Env) -> Result<DynValue> {
     use KExpr::*;
     match e {
         Const(v) => Ok(DynValue::Scalar(v.clone())),

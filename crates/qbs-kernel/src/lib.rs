@@ -70,6 +70,6 @@ mod pretty;
 mod typeck;
 
 pub use ast::{KExpr, KStmt, KernelProgram, KernelProgramBuilder};
-pub use interp::{run, InterpError, RunResult};
+pub use interp::{eval_expr, run, InterpError, RunResult};
 pub use pretty::pretty;
 pub use typeck::{typecheck, TypecheckError, VarTypes};

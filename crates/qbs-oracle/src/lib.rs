@@ -1,0 +1,55 @@
+//! Differential execution oracle for QBS translations.
+//!
+//! `qbs-verify` certifies semantic preservation *symbolically* (invariants
+//! and postconditions over the TOR axioms). This crate adds the concrete
+//! counterpart: for any fragment, it
+//!
+//! 1. **interprets** the original imperative kernel program
+//!    ([`qbs_kernel::run`]) against an in-memory [`Database`]'s relations,
+//! 2. **executes** the synthesized SQL on the *same* database through
+//!    `qbs-db`'s planner/executor, and
+//! 3. **compares** the results under the correct TOR semantics — ordered
+//!    equality where the query pins order with `ORDER BY`, multiset
+//!    equality otherwise — yielding an [`OracleVerdict`]:
+//!    [`Agree`](OracleVerdict::Agree),
+//!    [`Mismatch`](OracleVerdict::Mismatch) with a delta-debugged witness
+//!    database, or [`Inconclusive`](OracleVerdict::Inconclusive).
+//!
+//! On top of the checker, [`genfrag`] generates random well-typed kernel
+//! fragments (filter / projection / aggregate / distinct / nested-loop
+//! join shapes over the corpus schemas) from a seed, so the oracle extends
+//! beyond the fixed 49-fragment corpus to arbitrarily many fuzzed
+//! workloads. `qbs-batch` wires both into a parallel corpus-scale oracle
+//! mode.
+//!
+//! # Example
+//!
+//! ```
+//! use qbs::{FragmentStatus, QbsEngine};
+//! use qbs_corpus::{all_fragments, populate_universe, ExpectedStatus};
+//! use qbs_db::Params;
+//!
+//! let frag = all_fragments().into_iter().find(|f| f.id == 40).unwrap();
+//! assert_eq!(frag.expected, ExpectedStatus::Translated);
+//! let report = QbsEngine::new(frag.model()).run_source(&frag.source).unwrap();
+//! let fr = &report.fragments[0];
+//! let FragmentStatus::Translated { sql, .. } = &fr.status else { panic!() };
+//!
+//! let db = populate_universe(1);
+//! let verdict = qbs_oracle::check(
+//!     fr.kernel.as_ref().unwrap(),
+//!     sql,
+//!     &db,
+//!     &Params::new(),
+//! );
+//! assert!(verdict.is_agree(), "{verdict}");
+//! ```
+//!
+//! [`Database`]: qbs_db::Database
+
+pub mod genfrag;
+mod oracle;
+mod verdict;
+
+pub use oracle::{check, check_unminimized, minimize, proven_equivalence};
+pub use verdict::{dump_database, MismatchWitness, OracleCounts, OracleVerdict};

@@ -1,0 +1,391 @@
+//! The differential check: interpret the original kernel program and
+//! execute the synthesized SQL on the same database, then compare under
+//! the correct TOR equivalence.
+
+use crate::verdict::{MismatchWitness, OracleVerdict};
+use qbs_common::Ident;
+use qbs_db::{rows_diff, Database, Params, QueryOutput, RowsEquivalence};
+use qbs_kernel::KernelProgram;
+use qbs_sql::SqlQuery;
+use qbs_tor::DynValue;
+
+/// Cap on re-executions spent minimizing one witness; minimization is
+/// best-effort and stops early on huge databases rather than stalling the
+/// oracle run.
+const MINIMIZE_BUDGET: usize = 512;
+
+/// How many result rows a witness dump includes before truncating.
+const DUMP_ROWS: usize = 12;
+
+/// The raw outcome of running both sides once, before any witness
+/// minimization.
+enum Outcome {
+    Agree { rows: usize, equivalence: RowsEquivalence },
+    Diff { diff: String, original: String, translated: String },
+    Inconclusive(String),
+}
+
+fn dump_dyn(v: &DynValue) -> String {
+    match v {
+        DynValue::Scalar(s) => format!("{s:?}"),
+        DynValue::Rec(r) => format!("{:?}", r.values()),
+        DynValue::Rel(rel) => dump_rows(rel.iter().map(|r| r.values().to_vec())),
+    }
+}
+
+fn dump_rows(rows: impl IntoIterator<Item = Vec<qbs_common::Value>>) -> String {
+    let mut all: Vec<String> = rows.into_iter().map(|r| format!("{r:?}")).collect();
+    let n = all.len();
+    if n > DUMP_ROWS {
+        all.truncate(DUMP_ROWS);
+        all.push(format!("… ({} more)", n - DUMP_ROWS));
+    }
+    format!("[{}] {}", n, all.join(", "))
+}
+
+/// The row equivalence a query's results must be compared under: ordered
+/// when the SQL pins order with an `ORDER BY` (the paper's `Order`
+/// function proved the fragment's order), multiset otherwise.
+pub fn proven_equivalence(sql: &SqlQuery) -> RowsEquivalence {
+    match sql {
+        SqlQuery::Select(s) if !s.order_by.is_empty() => RowsEquivalence::Ordered,
+        SqlQuery::Select(_) => RowsEquivalence::Multiset,
+        // Scalars have no row order to compare.
+        SqlQuery::Scalar(_) => RowsEquivalence::Ordered,
+    }
+}
+
+fn run_both(kernel: &KernelProgram, sql: &SqlQuery, db: &Database, params: &Params) -> Outcome {
+    // Original semantics: the kernel interpreter over the database's
+    // relations, with bind parameters as scalar variables.
+    let mut env = db.env();
+    for (name, value) in params {
+        env.bind(name.clone(), value.clone());
+    }
+    let run = match qbs_kernel::run(kernel, env) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Inconclusive(format!("interpreter failed: {e}")),
+    };
+
+    // Transformed semantics: the SQL executor on the same database.
+    let out = match db.execute(sql, params) {
+        Ok(o) => o,
+        Err(e) => return Outcome::Inconclusive(format!("sql execution failed: {e}")),
+    };
+
+    let equivalence = proven_equivalence(sql);
+    match (&run.result, &out) {
+        (DynValue::Rel(orig), QueryOutput::Rows(sqlout)) => {
+            match rows_diff(orig, &sqlout.rows, equivalence) {
+                None => Outcome::Agree { rows: orig.len(), equivalence },
+                Some(d) => Outcome::Diff {
+                    diff: d.to_string(),
+                    original: dump_dyn(&run.result),
+                    translated: dump_rows(sqlout.rows.iter().map(|r| r.values().to_vec())),
+                },
+            }
+        }
+        (DynValue::Scalar(orig), QueryOutput::Scalar { value, .. }) => {
+            if orig == value {
+                Outcome::Agree { rows: 1, equivalence: RowsEquivalence::Ordered }
+            } else {
+                Outcome::Diff {
+                    diff: format!("scalar differs: {orig:?} vs {value:?}"),
+                    original: format!("{orig:?}"),
+                    translated: format!("{value:?}"),
+                }
+            }
+        }
+        // A record-valued fragment against a one-row result set compares
+        // by that row.
+        (DynValue::Rec(rec), QueryOutput::Rows(sqlout)) => {
+            let matches = sqlout.rows.len() == 1
+                && sqlout.rows.get(0).is_some_and(|r| r.values() == rec.values());
+            if matches {
+                Outcome::Agree { rows: 1, equivalence: RowsEquivalence::Ordered }
+            } else {
+                Outcome::Diff {
+                    diff: format!("record result vs {} SQL rows", sqlout.rows.len()),
+                    original: dump_dyn(&run.result),
+                    translated: dump_rows(sqlout.rows.iter().map(|r| r.values().to_vec())),
+                }
+            }
+        }
+        (orig, out) => {
+            let translated = match out {
+                QueryOutput::Rows(r) => dump_rows(r.rows.iter().map(|x| x.values().to_vec())),
+                QueryOutput::Scalar { value, .. } => format!("{value:?}"),
+            };
+            Outcome::Diff {
+                diff: format!("result kinds differ: {} vs SQL", orig.kind()),
+                original: dump_dyn(orig),
+                translated,
+            }
+        }
+    }
+}
+
+/// Runs the differential check and, on mismatch, minimizes the witness
+/// database before reporting.
+///
+/// The fragment's `Query(...)` retrievals resolve against `db`'s tables;
+/// `params` supplies values for both the kernel's parameters and the SQL's
+/// bind parameters (the engine keeps their names aligned).
+pub fn check(
+    kernel: &KernelProgram,
+    sql: &SqlQuery,
+    db: &Database,
+    params: &Params,
+) -> OracleVerdict {
+    match run_both(kernel, sql, db, params) {
+        Outcome::Agree { rows, equivalence } => OracleVerdict::Agree { rows, equivalence },
+        Outcome::Inconclusive(reason) => OracleVerdict::Inconclusive { reason },
+        Outcome::Diff { .. } => {
+            let minimized = minimize(kernel, sql, db, params);
+            // Re-derive the divergence on the minimized database so the
+            // witness is self-contained.
+            match run_both(kernel, sql, &minimized, params) {
+                Outcome::Diff { diff, original, translated } => {
+                    OracleVerdict::Mismatch(Box::new(MismatchWitness {
+                        fragment: kernel.name().to_string(),
+                        sql: sql.to_string(),
+                        diff,
+                        original,
+                        translated,
+                        db: minimized,
+                    }))
+                }
+                // Unreachable by construction (minimize only commits
+                // mismatch-preserving reductions), kept total for safety.
+                _ => {
+                    let Outcome::Diff { diff, original, translated } =
+                        run_both(kernel, sql, db, params)
+                    else {
+                        return OracleVerdict::Inconclusive {
+                            reason: "mismatch did not reproduce".to_string(),
+                        };
+                    };
+                    OracleVerdict::Mismatch(Box::new(MismatchWitness {
+                        fragment: kernel.name().to_string(),
+                        sql: sql.to_string(),
+                        diff,
+                        original,
+                        translated,
+                        db: db.clone(),
+                    }))
+                }
+            }
+        }
+    }
+}
+
+/// Runs the differential check without witness minimization — the hot path
+/// for fuzzing loops where most verdicts are expected to agree.
+pub fn check_unminimized(
+    kernel: &KernelProgram,
+    sql: &SqlQuery,
+    db: &Database,
+    params: &Params,
+) -> OracleVerdict {
+    match run_both(kernel, sql, db, params) {
+        Outcome::Agree { rows, equivalence } => OracleVerdict::Agree { rows, equivalence },
+        Outcome::Inconclusive(reason) => OracleVerdict::Inconclusive { reason },
+        Outcome::Diff { diff, original, translated } => {
+            OracleVerdict::Mismatch(Box::new(MismatchWitness {
+                fragment: kernel.name().to_string(),
+                sql: sql.to_string(),
+                diff,
+                original,
+                translated,
+                db: db.clone(),
+            }))
+        }
+    }
+}
+
+/// Rebuilds `db` with `table` restricted to the rows whose positions are
+/// marked in `keep`; schemas and indexes carry over.
+fn retain_rows(db: &Database, table: &Ident, keep: &[bool]) -> Database {
+    let mut out = Database::new();
+    for name in db.table_names() {
+        let t = db.table(name).expect("listed table");
+        out.create_table(t.schema().clone()).expect("fresh database");
+        for (i, row) in t.rows().iter().enumerate() {
+            if name == table && !keep.get(i).copied().unwrap_or(true) {
+                continue;
+            }
+            out.insert(name.as_str(), row.clone()).expect("same schema");
+        }
+        for col in t.indexed_columns() {
+            out.create_index(name.as_str(), col.as_str()).expect("same schema");
+        }
+    }
+    out
+}
+
+/// Greedily shrinks the database while the fragment and its SQL still
+/// disagree — delta debugging over table rows, chunked from whole-table
+/// removals down to single rows, bounded by a fixed re-execution budget.
+///
+/// The result is a (near-)minimal database on which the mismatch still
+/// reproduces; on agreement or errors the input database is returned
+/// unchanged.
+pub fn minimize(
+    kernel: &KernelProgram,
+    sql: &SqlQuery,
+    db: &Database,
+    params: &Params,
+) -> Database {
+    let still_mismatch = |candidate: &Database| {
+        matches!(run_both(kernel, sql, candidate, params), Outcome::Diff { .. })
+    };
+    if !still_mismatch(db) {
+        return db.clone();
+    }
+    let mut budget = MINIMIZE_BUDGET;
+    let mut current = db.clone();
+    let tables: Vec<Ident> = current.table_names().cloned().collect();
+    for table in tables {
+        let mut chunk = current.table(&table).map(|t| t.len()).unwrap_or(0);
+        while chunk >= 1 && budget > 0 {
+            let len = current.table(&table).map(|t| t.len()).unwrap_or(0);
+            let mut start = 0;
+            while start < len && budget > 0 {
+                let len_now = current.table(&table).map(|t| t.len()).unwrap_or(0);
+                if start >= len_now {
+                    break;
+                }
+                let mut keep = vec![true; len_now];
+                for k in keep.iter_mut().skip(start).take(chunk) {
+                    *k = false;
+                }
+                let candidate = retain_rows(&current, &table, &keep);
+                budget -= 1;
+                if still_mismatch(&candidate) {
+                    // Commit the removal; the next chunk now starts at the
+                    // same position.
+                    current = candidate;
+                } else {
+                    start += chunk;
+                }
+            }
+            chunk /= 2;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema, Value};
+    use qbs_kernel::{KExpr, KStmt};
+    use qbs_tor::{CmpOp, QuerySpec};
+
+    fn users_db(role_pairs: &[(i64, i64)]) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::builder("users")
+                .field("id", FieldType::Int)
+                .field("roleId", FieldType::Int)
+                .finish(),
+        )
+        .unwrap();
+        for (id, role) in role_pairs {
+            db.insert("users", vec![Value::from(*id), Value::from(*role)]).unwrap();
+        }
+        db
+    }
+
+    fn selection_kernel_built(role: i64) -> KernelProgram {
+        let schema = Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish();
+        KernelProgram::builder("sel")
+            .stmt(KStmt::assign("out", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", schema))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::if_then(
+                        KExpr::cmp(
+                            CmpOp::Eq,
+                            KExpr::field(
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                "roleId",
+                            ),
+                            KExpr::int(role),
+                        ),
+                        vec![KStmt::assign(
+                            "out",
+                            KExpr::append(
+                                KExpr::var("out"),
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                            ),
+                        )],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("out")
+            .finish()
+    }
+
+    fn select_where_role(role: i64) -> SqlQuery {
+        qbs_sql::parse(&format!(
+            "SELECT users.id, users.roleId FROM users WHERE users.roleId = {role} \
+             ORDER BY users.rowid"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn correct_translation_agrees() {
+        let db = users_db(&[(1, 10), (2, 20), (3, 10)]);
+        let v = check(&selection_kernel_built(10), &select_where_role(10), &db, &Params::new());
+        match v {
+            OracleVerdict::Agree { rows, equivalence } => {
+                assert_eq!(rows, 2);
+                assert_eq!(equivalence, RowsEquivalence::Ordered);
+            }
+            other => panic!("expected agree, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_predicate_is_a_minimized_mismatch() {
+        let db = users_db(&[(0, 10), (1, 20), (2, 10), (3, 20), (4, 10), (5, 30)]);
+        // The "translation" filters role 20 while the source filters 10.
+        let v = check(&selection_kernel_built(10), &select_where_role(20), &db, &Params::new());
+        let OracleVerdict::Mismatch(w) = v else { panic!("expected mismatch, got {v}") };
+        // A single row with roleId ∈ {10, 20} suffices to show divergence;
+        // minimization must get there.
+        let users = w.db.table(&"users".into()).expect("witness keeps the table");
+        assert_eq!(users.len(), 1, "witness:\n{w}");
+        assert!(w.to_string().contains("sql:"), "{w}");
+    }
+
+    #[test]
+    fn unknown_table_is_inconclusive() {
+        let db = users_db(&[(1, 10)]);
+        let sql = qbs_sql::parse("SELECT missing.id FROM missing").unwrap();
+        let v = check(&selection_kernel_built(10), &sql, &db, &Params::new());
+        assert!(matches!(v, OracleVerdict::Inconclusive { .. }), "{v}");
+    }
+
+    #[test]
+    fn unordered_query_compares_as_multiset() {
+        let db = users_db(&[(1, 10), (2, 10)]);
+        // No ORDER BY: the oracle must not require row order.
+        let sql = qbs_sql::parse("SELECT users.id, users.roleId FROM users").unwrap();
+        let v = check(&selection_kernel_built(10), &sql, &db, &Params::new());
+        match v {
+            OracleVerdict::Agree { equivalence, .. } => {
+                assert_eq!(equivalence, RowsEquivalence::Multiset)
+            }
+            other => panic!("expected agree, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Oracle verdicts and mismatch witnesses.
+
+use qbs_db::{Database, RowsEquivalence};
+use std::fmt;
+
+/// The outcome of one differential check: original fragment vs. its
+/// synthesized SQL, executed on the same database.
+#[derive(Clone, Debug)]
+pub enum OracleVerdict {
+    /// Both sides produced the same result.
+    Agree {
+        /// Result cardinality (1 for scalar results).
+        rows: usize,
+        /// The equivalence the comparison ran under: [`Ordered`] when the
+        /// query's order is pinned by an `ORDER BY` (or the result is a
+        /// scalar), [`Multiset`] otherwise.
+        ///
+        /// [`Ordered`]: RowsEquivalence::Ordered
+        /// [`Multiset`]: RowsEquivalence::Multiset
+        equivalence: RowsEquivalence,
+    },
+    /// The sides disagree — a semantic-preservation violation, with a
+    /// minimized witness database that still exhibits the divergence.
+    Mismatch(Box<MismatchWitness>),
+    /// The check could not be completed (interpreter or executor error,
+    /// incomparable result kinds with an empty side, …). Inconclusive
+    /// verdicts are not failures, but a high rate signals oracle gaps.
+    Inconclusive {
+        /// Why the comparison was abandoned.
+        reason: String,
+    },
+}
+
+impl OracleVerdict {
+    /// Single-character tag for compact reports: `=`, `≠`, or `?`.
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            OracleVerdict::Agree { .. } => "=",
+            OracleVerdict::Mismatch(_) => "≠",
+            OracleVerdict::Inconclusive { .. } => "?",
+        }
+    }
+
+    /// True for [`OracleVerdict::Agree`].
+    pub fn is_agree(&self) -> bool {
+        matches!(self, OracleVerdict::Agree { .. })
+    }
+
+    /// True for [`OracleVerdict::Mismatch`].
+    pub fn is_mismatch(&self) -> bool {
+        matches!(self, OracleVerdict::Mismatch(_))
+    }
+}
+
+impl fmt::Display for OracleVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleVerdict::Agree { rows, equivalence } => {
+                let eq = match equivalence {
+                    RowsEquivalence::Ordered => "ordered",
+                    RowsEquivalence::Multiset => "multiset",
+                };
+                write!(f, "agree ({rows} rows, {eq})")
+            }
+            OracleVerdict::Mismatch(w) => write!(f, "MISMATCH: {}", w.diff),
+            OracleVerdict::Inconclusive { reason } => write!(f, "inconclusive: {reason}"),
+        }
+    }
+}
+
+/// A reproducible counterexample to semantic preservation: the fragment,
+/// the SQL, the point of divergence, and a minimized database on which the
+/// two sides still disagree.
+#[derive(Clone, Debug)]
+pub struct MismatchWitness {
+    /// Fragment (kernel program) name.
+    pub fragment: String,
+    /// The synthesized SQL, rendered in the generic dialect.
+    pub sql: String,
+    /// Human-readable description of the first divergence found on the
+    /// minimized database.
+    pub diff: String,
+    /// The original (interpreted) result on the minimized database.
+    pub original: String,
+    /// The translated (SQL) result on the minimized database.
+    pub translated: String,
+    /// The minimized database: row removal was driven to a fixpoint while
+    /// preserving the mismatch, so this is a near-minimal repro.
+    pub db: Database,
+}
+
+impl fmt::Display for MismatchWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fragment:   {}", self.fragment)?;
+        writeln!(f, "sql:        {}", self.sql)?;
+        writeln!(f, "diff:       {}", self.diff)?;
+        writeln!(f, "original:   {}", self.original)?;
+        writeln!(f, "translated: {}", self.translated)?;
+        writeln!(f, "witness database:")?;
+        f.write_str(&dump_database(&self.db))
+    }
+}
+
+/// Renders a database as a deterministic, diff-friendly text dump (used by
+/// witness files and the datagen determinism tests).
+pub fn dump_database(db: &Database) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for name in db.table_names() {
+        let table = db.table(name).expect("listed table");
+        let _ = writeln!(out, "  table {} ({} rows)", table.schema().describe(), table.len());
+        for row in table.rows() {
+            let _ = writeln!(out, "    {row:?}");
+        }
+    }
+    out
+}
+
+/// Aggregate verdict counts for a batch of checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleCounts {
+    /// Checks run.
+    pub total: usize,
+    /// `=` verdicts.
+    pub agree: usize,
+    /// `≠` verdicts.
+    pub mismatch: usize,
+    /// `?` verdicts.
+    pub inconclusive: usize,
+}
+
+impl OracleCounts {
+    /// Folds one verdict into the counts.
+    pub fn record(&mut self, v: &OracleVerdict) {
+        self.total += 1;
+        match v {
+            OracleVerdict::Agree { .. } => self.agree += 1,
+            OracleVerdict::Mismatch(_) => self.mismatch += 1,
+            OracleVerdict::Inconclusive { .. } => self.inconclusive += 1,
+        }
+    }
+
+    /// Accumulates verdicts from an iterator.
+    pub fn of<'a>(verdicts: impl IntoIterator<Item = &'a OracleVerdict>) -> OracleCounts {
+        let mut c = OracleCounts::default();
+        for v in verdicts {
+            c.record(v);
+        }
+        c
+    }
+}
+
+impl fmt::Display for OracleCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} checks: {} agree, {} mismatch, {} inconclusive",
+            self.total, self.agree, self.mismatch, self.inconclusive
+        )
+    }
+}

@@ -94,6 +94,30 @@ pub trait SqlDialect {
         out.push('\'');
     }
 
+    /// The inverse of [`write_string`](SqlDialect::write_string): recovers
+    /// the original string from a quoted literal, or `None` when the
+    /// literal is malformed under this dialect (unterminated, lone
+    /// embedded quote, trailing escape). Every dialect must satisfy
+    /// `unescape_string(write_string(s)) == Some(s)` for **all** strings —
+    /// the escaping property tests enforce this.
+    fn unescape_string(&self, lit: &str) -> Option<String> {
+        let inner = lit.strip_prefix('\'')?.strip_suffix('\'')?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\'' {
+                // Only a doubled quote may appear inside.
+                if chars.next() != Some('\'') {
+                    return None;
+                }
+                out.push('\'');
+            } else {
+                out.push(c);
+            }
+        }
+        Some(out)
+    }
+
     /// Where the row-count bound is spelled.
     fn limit_style(&self) -> LimitStyle {
         LimitStyle::Limit
@@ -191,6 +215,26 @@ impl SqlDialect for MySql {
             }
         }
         out.push('\'');
+    }
+
+    fn unescape_string(&self, lit: &str) -> Option<String> {
+        let inner = lit.strip_prefix('\'')?.strip_suffix('\'')?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\'' => {
+                    if chars.next() != Some('\'') {
+                        return None;
+                    }
+                    out.push('\'');
+                }
+                // Backslash escapes the next character.
+                '\\' => out.push(chars.next()?),
+                other => out.push(other),
+            }
+        }
+        Some(out)
     }
 
     fn param_style(&self) -> ParamStyle {

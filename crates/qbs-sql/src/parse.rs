@@ -70,11 +70,20 @@ impl Tokens {
             } else if c == '\'' {
                 chars.next();
                 let mut s = String::from("'");
-                for ch in chars.by_ref() {
+                while let Some(ch) = chars.next() {
                     if ch == '\'' {
-                        break;
+                        // A doubled quote is an escaped quote (the
+                        // printer's escaping); a lone quote closes the
+                        // literal.
+                        if chars.peek() == Some(&'\'') {
+                            chars.next();
+                            s.push('\'');
+                        } else {
+                            break;
+                        }
+                    } else {
+                        s.push(ch);
                     }
-                    s.push(ch);
                 }
                 toks.push(s);
             } else if "<>=!".contains(c) {

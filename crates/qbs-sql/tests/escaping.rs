@@ -1,0 +1,124 @@
+//! String-escaping properties: for every shipped dialect, adversarial
+//! string literals — embedded quotes, backslashes, NUL-adjacent control
+//! characters, non-ASCII — survive the `write_string` → `unescape_string`
+//! round trip; and the generic dialect additionally survives a full
+//! print → parse round trip through the tokenizer (which historically
+//! split `'o''brien'` into two tokens).
+
+use proptest::prelude::*;
+use qbs_sql::{
+    parse, print_query, Dialect, FromItem, SelectItem, SqlDialect, SqlExpr, SqlQuery, SqlSelect,
+};
+use qbs_tor::CmpOp;
+
+/// Characters chosen to break naive escaping: quote variants, backslashes,
+/// the empty-adjacent control range, separators the tokenizer treats
+/// specially, and multi-byte code points.
+const POOL: &[char] = &[
+    'a', 'b', '\'', '\'', '\\', '\\', '"', '`', '\u{1}', '\u{2}', '\u{7f}', ' ', ',', '(', ')',
+    '*', ':', '=', '<', '>', '.', 'é', 'Ω', '→', '愛', '\n', '\t',
+];
+
+prop_compose! {
+    fn adversarial_string()(idxs in prop::collection::vec(0usize..POOL.len(), 0..24)) -> String {
+        idxs.into_iter().map(|i| POOL[i]).collect()
+    }
+}
+
+fn select_with_literal(s: &str) -> SqlQuery {
+    SqlQuery::Select(SqlSelect {
+        distinct: false,
+        columns: vec![SelectItem { expr: SqlExpr::qcol("users", "id"), alias: None }],
+        from: vec![FromItem::Table { name: "users".into(), alias: "users".into() }],
+        where_clause: Some(SqlExpr::cmp(
+            SqlExpr::qcol("users", "login"),
+            CmpOp::Eq,
+            SqlExpr::Lit(s.into()),
+        )),
+        order_by: vec![],
+        limit: None,
+    })
+}
+
+proptest! {
+    /// `unescape_string ∘ write_string = id` under all four dialects.
+    #[test]
+    fn write_then_unescape_is_identity(s in adversarial_string()) {
+        for dialect in Dialect::ALL {
+            let rules = dialect.rules();
+            let mut lit = String::new();
+            rules.write_string(&s, &mut lit);
+            let back = rules.unescape_string(&lit);
+            prop_assert_eq!(
+                back.as_deref(),
+                Some(s.as_str()),
+                "dialect {}: literal {:?}",
+                dialect,
+                lit
+            );
+        }
+    }
+
+    /// The generic dialect's *full* printer→parser loop preserves string
+    /// literals inside WHERE clauses.
+    #[test]
+    fn generic_print_parse_preserves_literals(s in adversarial_string()) {
+        let q = select_with_literal(&s);
+        let text = print_query(&q);
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("re-parse of {text:?} failed: {e}"));
+        let SqlQuery::Select(sel) = back else { panic!("relational") };
+        let Some(SqlExpr::Cmp(_, _, rhs)) = sel.where_clause else {
+            panic!("where clause survived for {text:?}")
+        };
+        prop_assert_eq!(
+            *rhs,
+            SqlExpr::Lit(s.as_str().into()),
+            "round trip through {:?}",
+            text
+        );
+    }
+}
+
+#[test]
+fn known_adversarial_cases_round_trip() {
+    for s in [
+        "",
+        "'",
+        "''",
+        "o'brien",
+        "a\\",
+        "\\'",
+        "\\\\''",
+        "\u{1}\u{2}",
+        "naïve — 日本語",
+        "'; DROP TABLE users; --",
+    ] {
+        for dialect in Dialect::ALL {
+            let rules = dialect.rules();
+            let mut lit = String::new();
+            rules.write_string(s, &mut lit);
+            assert_eq!(
+                rules.unescape_string(&lit).as_deref(),
+                Some(s),
+                "dialect {dialect}: {lit:?}"
+            );
+        }
+        // Full parser loop under the generic dialect.
+        let text = print_query(&select_with_literal(s));
+        let back = parse(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        assert_eq!(print_query(&back), text, "fixpoint for {text:?}");
+    }
+}
+
+#[test]
+fn malformed_literals_are_rejected() {
+    for dialect in Dialect::ALL {
+        let rules = dialect.rules();
+        for bad in ["missing quotes", "'unterminated", "'lone ' quote'", "'"] {
+            assert_eq!(rules.unescape_string(bad), None, "dialect {dialect}: {bad:?}");
+        }
+    }
+    // MySQL additionally rejects a trailing half-escape.
+    assert_eq!(qbs_sql::MySql.unescape_string("'tail\\'"), None);
+}

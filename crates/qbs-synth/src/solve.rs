@@ -327,7 +327,13 @@ pub fn synthesize_with_hooks(
         .map(|p| (p.clone(), params.get(p).cloned().unwrap_or(TorType::Int)))
         .collect();
     let sources = find_sources(prog);
-    let checker = BoundedChecker::new(&sources, &param_types, tenv.clone(), &config.bounded);
+    // Bounded checking must exercise the fragment's own constants: a
+    // predicate like `roleId = 5` is untestable on stores whose integer
+    // domain is `{0, 1}`, and candidates mishandling it would slip
+    // through the bound.
+    let literals = prog.literals();
+    let bounded_config = config.bounded.clone().with_literals(&literals);
+    let checker = BoundedChecker::new(&sources, &param_types, tenv.clone(), &bounded_config);
     let mut extended: Option<BoundedChecker> = None;
     let mut cache = CexCache::new();
     let mut stats = SynthStats {
@@ -424,7 +430,10 @@ pub fn synthesize_with_hooks(
         } else {
             // Fall back to extended bounded checking.
             let ext = extended.get_or_insert_with(|| {
-                BoundedChecker::new(&sources, &param_types, tenv.clone(), &config.extended)
+                // Built lazily — most candidates never reach the fallback,
+                // so the literal-extended config is derived here too.
+                let extended_config = config.extended.clone().with_literals(&literals);
+                BoundedChecker::new(&sources, &param_types, tenv.clone(), &extended_config)
             });
             let outcome = ext.check(&vcs, &candidate);
             stats.proof_elapsed += proof_started.elapsed();

@@ -38,7 +38,7 @@ pub struct BoundedConfig {
     /// Domain of integer fields in exhaustive stores.
     pub int_domain: Vec<i64>,
     /// Domain of string fields.
-    pub str_domain: Vec<&'static str>,
+    pub str_domain: Vec<String>,
     /// Cap on the number of exhaustive store combinations (excess is
     /// sampled).
     pub max_stores: usize,
@@ -55,7 +55,7 @@ impl Default for BoundedConfig {
         BoundedConfig {
             max_rel_size: 2,
             int_domain: vec![0, 1],
-            str_domain: vec!["a", "b"],
+            str_domain: vec!["a".to_string(), "b".to_string()],
             max_stores: 220,
             fuzz_stores: 60,
             fuzz_rel_size: 4,
@@ -72,12 +72,48 @@ impl BoundedConfig {
         BoundedConfig {
             max_rel_size: 3,
             int_domain: vec![0, 1, 2],
-            str_domain: vec!["a", "b", "c"],
+            str_domain: vec!["a".to_string(), "b".to_string(), "c".to_string()],
             max_stores: 600,
             fuzz_stores: 300,
             fuzz_rel_size: 6,
             seed: 0x517,
         }
+    }
+
+    /// Unions the fragment's own literal constants into the store domains.
+    ///
+    /// Without this, a predicate comparing against a constant outside the
+    /// small base domain (e.g. `roleId = 5` under domain `{0, 1}`) is
+    /// never *exercised* by any store: candidates that drop or mangle such
+    /// a conjunct are indistinguishable from correct ones at the bound.
+    /// The differential oracle found exactly this on a fuzzed fragment
+    /// with a contradictory conjunction.
+    pub fn with_literals(mut self, literals: &[Value]) -> BoundedConfig {
+        for v in literals {
+            match v {
+                Value::Int(i) => {
+                    // The constant itself distinguishes `=`/`≠`/`≤`/`≥`
+                    // at the boundary; its neighbors are needed for the
+                    // strict orders — without a value above `c`, `x > c`
+                    // is indistinguishable from FALSE on every store.
+                    for n in [*i, i.saturating_sub(1), i.saturating_add(1)] {
+                        if !self.int_domain.contains(&n) {
+                            self.int_domain.push(n);
+                        }
+                    }
+                }
+                Value::Str(s) => {
+                    if !self.str_domain.iter().any(|x| x.as_str() == &**s) {
+                        self.str_domain.push(s.to_string());
+                    }
+                }
+                // Both booleans are always in every bool domain.
+                Value::Bool(_) => {}
+            }
+        }
+        self.int_domain.sort_unstable();
+        self.str_domain.sort();
+        self
     }
 }
 
@@ -176,13 +212,13 @@ pub struct BoundedChecker {
     max_counter: i64,
 }
 
-fn all_records(schema: &SchemaRef, ints: &[i64], strs: &[&'static str]) -> Vec<Record> {
+fn all_records(schema: &SchemaRef, ints: &[i64], strs: &[String]) -> Vec<Record> {
     let mut rows: Vec<Vec<Value>> = vec![vec![]];
     for f in schema.fields() {
         let domain: Vec<Value> = match f.ty {
             FieldType::Bool => vec![Value::from(false), Value::from(true)],
             FieldType::Int => ints.iter().map(|&i| Value::from(i)).collect(),
-            FieldType::Str => strs.iter().map(|&s| Value::from(s)).collect(),
+            FieldType::Str => strs.iter().map(|s| Value::from(s.as_str())).collect(),
         };
         let mut next = Vec::with_capacity(rows.len() * domain.len());
         for row in &rows {
@@ -201,15 +237,23 @@ fn all_relations(
     schema: &SchemaRef,
     max_size: usize,
     ints: &[i64],
-    strs: &[&'static str],
+    strs: &[String],
+    max_pool: usize,
 ) -> Vec<Relation> {
     let records = all_records(schema, ints, strs);
     let mut rels: Vec<Vec<Record>> = vec![vec![]];
     let mut out: Vec<Relation> = vec![Relation::empty(schema.clone())];
-    for _ in 0..max_size {
+    // Wide schemas over literal-extended domains make the full pool
+    // combinatorial (|records|^max_size); everything beyond `max_pool` is
+    // only ever *sampled* from, so stop materializing there. The random
+    // fuzz layer restores the diversity a truncated pool loses.
+    'grow: for _ in 0..max_size {
         let mut next = Vec::new();
         for prefix in &rels {
             for r in &records {
+                if out.len() >= max_pool {
+                    break 'grow;
+                }
                 let mut v = prefix.clone();
                 v.push(r.clone());
                 out.push(
@@ -223,7 +267,13 @@ fn all_relations(
     out
 }
 
-fn random_relation(schema: &SchemaRef, max_size: usize, rng: &mut StdRng) -> Relation {
+fn random_relation(
+    schema: &SchemaRef,
+    max_size: usize,
+    ints: &[i64],
+    strs: &[String],
+    rng: &mut StdRng,
+) -> Relation {
     let size = rng.gen_range(0..=max_size);
     let recs = (0..size)
         .map(|_| {
@@ -232,10 +282,8 @@ fn random_relation(schema: &SchemaRef, max_size: usize, rng: &mut StdRng) -> Rel
                 .iter()
                 .map(|f| match f.ty {
                     FieldType::Bool => Value::from(rng.gen_bool(0.5)),
-                    FieldType::Int => Value::from(rng.gen_range(0..4i64)),
-                    FieldType::Str => {
-                        Value::from(["a", "b", "c", "d"][rng.gen_range(0..4usize)])
-                    }
+                    FieldType::Int => Value::from(ints[rng.gen_range(0..ints.len())]),
+                    FieldType::Str => Value::from(strs[rng.gen_range(0..strs.len())].as_str()),
                 })
                 .collect();
             Record::new(schema.clone(), vals)
@@ -265,6 +313,7 @@ impl BoundedChecker {
                     config.max_rel_size,
                     &config.int_domain,
                     &config.str_domain,
+                    config.max_stores * 8,
                 )
             })
             .collect();
@@ -275,7 +324,9 @@ impl BoundedChecker {
         for (_, ty) in params {
             param_values.push(match ty {
                 TorType::Bool => vec![Value::from(false), Value::from(true)],
-                TorType::Str => config.str_domain.iter().map(|&s| Value::from(s)).collect(),
+                TorType::Str => {
+                    config.str_domain.iter().map(|s| Value::from(s.as_str())).collect()
+                }
                 _ => config.int_domain.iter().map(|&i| Value::from(i)).collect(),
             });
         }
@@ -336,11 +387,29 @@ impl BoundedChecker {
             }
         }
 
-        // Fuzz layer: larger relations, wider domains.
+        // Fuzz layer: larger relations, wider domains (the configured
+        // domains — which include the fragment's own literals — plus a
+        // spread of extra values).
+        let mut fuzz_ints: Vec<i64> = config.int_domain.clone();
+        fuzz_ints.extend((0..4).filter(|i| !config.int_domain.contains(i)));
+        let mut fuzz_strs: Vec<String> = config.str_domain.clone();
+        for s in ["c", "d"] {
+            if !fuzz_strs.iter().any(|x| x == s) {
+                fuzz_strs.push(s.to_string());
+            }
+        }
         for _ in 0..config.fuzz_stores {
             let rels: Vec<Relation> = sources
                 .iter()
-                .map(|s| random_relation(&s.schema, config.fuzz_rel_size, &mut rng))
+                .map(|s| {
+                    random_relation(
+                        &s.schema,
+                        config.fuzz_rel_size,
+                        &fuzz_ints,
+                        &fuzz_strs,
+                        &mut rng,
+                    )
+                })
                 .collect();
             push_store(rels, &mut stores);
         }

@@ -110,7 +110,11 @@ impl<'a> Prover<'a> {
             ScalT::Size(_) => true,
             ScalT::Agg(AggKind::Count, _) => true,
             ScalT::Add(a, b) => self.nonneg(a) && self.nonneg(b),
-            _ => self.decide(t, CmpOp::Ge, &ScalT::int(0)).unwrap_or(false),
+            // Fact-table lookup only: `decide` consults `nonneg` for its
+            // `≥ 0` rules, so re-entering the full procedure here would
+            // recurse forever on undecidable terms (found by the
+            // differential fuzzer on an unconditional count loop).
+            _ => self.decide_facts_only(t, CmpOp::Ge, &ScalT::int(0)).unwrap_or(false),
         }
     }
 

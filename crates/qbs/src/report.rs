@@ -50,6 +50,15 @@ impl FragmentStatus {
         }
     }
 
+    /// The generated query for translated fragments — what differential
+    /// oracles execute against the original kernel program.
+    pub fn sql(&self) -> Option<&SqlQuery> {
+        match self {
+            FragmentStatus::Translated { sql, .. } => Some(sql),
+            _ => None,
+        }
+    }
+
     /// True when the fragment failed because the engine interrupted the
     /// search (cancellation or an exhausted time/iteration budget) rather
     /// than because the search itself concluded.

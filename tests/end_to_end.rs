@@ -11,21 +11,10 @@ use qbs_corpus::{
 use qbs_db::{Database, Params, QueryOutput};
 use qbs_tor::{DynValue, Env};
 
-/// Binds every database table into a kernel interpreter environment.
+/// Binds every database table into a kernel interpreter environment (the
+/// same bridge the differential oracle uses — see [`Database::env`]).
 fn env_of(db: &Database) -> Env {
-    let mut env = Env::new();
-    for name in db.table_names() {
-        let table = db.table(name).expect("listed table");
-        let schema = table.schema().clone();
-        let records = table
-            .rows()
-            .iter()
-            .map(|r| qbs_common::Record::new(schema.clone(), r.clone()))
-            .collect();
-        let rel = qbs_common::Relation::from_records(schema, records).expect("table rows");
-        env.bind_table(name.clone(), rel);
-    }
-    env
+    db.env()
 }
 
 #[test]

@@ -1,0 +1,63 @@
+//! The ISSUE acceptance criteria for the differential oracle, as tests:
+//! every translated corpus fragment gets verdict Agree on ≥ 3 differently
+//! seeded databases, and a seeded fuzz run completes with zero Mismatch
+//! verdicts.
+
+use qbs::FragmentStatus;
+use qbs_batch::{corpus_inputs, BatchConfig, BatchRunner, OracleConfig};
+use qbs_oracle::OracleVerdict;
+
+#[test]
+fn whole_corpus_agrees_on_three_seeded_databases() {
+    let runner = BatchRunner::new(BatchConfig::new());
+    let config = OracleConfig::default().with_db_seeds(vec![1, 2, 3]);
+    let report = runner.run_oracle(&corpus_inputs(), &config);
+
+    let counts = report.counts();
+    assert_eq!(counts.total, 49, "whole corpus");
+    assert_eq!(counts.translated, 33, "the paper's 33 translated fragments");
+
+    let summary = report.oracle.as_ref().expect("oracle summary");
+    assert_eq!(summary.checked_fragments, 33);
+    assert_eq!(summary.counts.total, 33 * 3, "one check per fragment × seed");
+    assert_eq!(summary.counts.agree, 33 * 3, "{report}");
+    assert_eq!(summary.counts.mismatch, 0, "{report}");
+    assert_eq!(summary.counts.inconclusive, 0, "{report}");
+
+    for fr in &report.fragments {
+        match &fr.status {
+            FragmentStatus::Translated { .. } => {
+                assert_eq!(fr.verdicts.len(), 3, "{}", fr.method);
+                assert!(
+                    fr.verdicts.iter().all(OracleVerdict::is_agree),
+                    "{}: {:?}",
+                    fr.method,
+                    fr.verdicts
+                );
+            }
+            _ => assert!(fr.verdicts.is_empty(), "{}", fr.method),
+        }
+    }
+}
+
+#[test]
+fn seeded_fuzz_run_produces_zero_mismatches() {
+    let runner = BatchRunner::new(BatchConfig::new());
+    // CI runs 200 fragments through the oracle_json binary; this keeps the
+    // cargo-test variant quick while still covering every shape.
+    let config = OracleConfig::default().with_db_seeds(vec![4, 5]).with_fuzz(60, 0xace);
+    let report = runner.run_oracle(&[], &config);
+
+    assert_eq!(report.fragments.len(), 60);
+    let summary = report.oracle.as_ref().expect("oracle summary");
+    assert_eq!(summary.fuzz_fragments, 60);
+    assert_eq!(summary.counts.mismatch, 0, "{report}");
+    // The fuzzer must actually exercise the pipeline: a healthy majority
+    // of generated fragments synthesize and run differentially.
+    assert!(
+        summary.checked_fragments * 2 > report.fragments.len(),
+        "only {}/{} fuzzed fragments translated",
+        summary.checked_fragments,
+        report.fragments.len()
+    );
+}

@@ -1,0 +1,130 @@
+//! Plan assertions on the wilos and itracker schemas: the oracle and the
+//! Fig. 14 benchmarks assume the planner makes specific choices (index
+//! scans on indexed equality predicates, hash joins on equi-join keys);
+//! a planner regression would silently skew their timings. These tests pin
+//! the chosen plans.
+
+use qbs_corpus::{populate_itracker, populate_universe, populate_wilos, WilosConfig};
+use qbs_db::{explain, JoinAlgorithm, Params, QueryOutput};
+use qbs_sql::parse_query;
+
+fn wilos() -> qbs_db::Database {
+    populate_wilos(&WilosConfig {
+        users: 50,
+        roles: 10,
+        projects: 40,
+        ..WilosConfig::default()
+    })
+}
+
+#[test]
+fn wilos_indexed_equality_uses_index_scan() {
+    let db = wilos();
+    // `users.roleId` is indexed by the populator (as Hibernate would).
+    let q = parse_query("SELECT id FROM users WHERE roleId = 5").unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.index_scans, 1, "{plan:?}");
+    assert_eq!(plan.pushed_filters, 1, "{plan:?}");
+    assert!(plan.joins.is_empty(), "{plan:?}");
+
+    // The executor agrees with the plan.
+    let out = db.execute_select(&q, &Params::new()).unwrap();
+    assert!(out.stats.used_index);
+}
+
+#[test]
+fn wilos_unindexed_predicate_falls_back_to_scan() {
+    let db = wilos();
+    // `login` has no index: pushdown yes, index scan no.
+    let q = parse_query("SELECT id FROM users WHERE login = 'user3'").unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.index_scans, 0, "{plan:?}");
+    assert_eq!(plan.pushed_filters, 1, "{plan:?}");
+    let out = db.execute_select(&q, &Params::new()).unwrap();
+    assert!(!out.stats.used_index);
+    assert_eq!(out.rows.len(), 1);
+}
+
+#[test]
+fn wilos_equi_join_chooses_hash_join() {
+    let db = wilos();
+    let q = parse_query("SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId")
+        .unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.joins, vec![JoinAlgorithm::Hash], "{plan:?}");
+    let out = db.execute_select(&q, &Params::new()).unwrap();
+    assert_eq!(out.stats.joins, vec!["hash"]);
+}
+
+#[test]
+fn wilos_theta_join_falls_back_to_nested_loop() {
+    let db = wilos();
+    let q = parse_query("SELECT users.id FROM users, roles WHERE users.roleId < roles.roleId")
+        .unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.joins, vec![JoinAlgorithm::NestedLoop], "{plan:?}");
+}
+
+#[test]
+fn wilos_three_table_join_order_and_algorithms() {
+    let db = wilos();
+    // users ⋈ roles (equi) ⋈ participants (equi on roles): two hash steps,
+    // plus the indexed selection pushed to the users scan.
+    let q = parse_query(
+        "SELECT users.id FROM users, roles, participants \
+         WHERE users.roleId = roles.roleId AND participants.roleId = roles.roleId \
+         AND users.roleId = 5",
+    )
+    .unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.joins, vec![JoinAlgorithm::Hash, JoinAlgorithm::Hash], "{plan:?}");
+    assert_eq!(plan.index_scans, 1, "{plan:?}");
+}
+
+#[test]
+fn itracker_has_no_indexes_so_plans_scan() {
+    let db = populate_itracker(40, 2);
+    // The itracker populator builds no indexes: equality predicates push
+    // down but stay full scans.
+    let q = parse_query("SELECT id FROM issues WHERE status = 1").unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.pushed_filters, 1, "{plan:?}");
+    assert_eq!(plan.index_scans, 0, "{plan:?}");
+
+    let q = parse_query(
+        "SELECT issues.id FROM issues, itprojects WHERE issues.projectId = itprojects.id",
+    )
+    .unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.joins, vec![JoinAlgorithm::Hash], "{plan:?}");
+}
+
+#[test]
+fn universe_preserves_wilos_indexes_and_plans_match_execution() {
+    let db = populate_universe(4);
+    let q = parse_query("SELECT id FROM users WHERE roleId = 5").unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.index_scans, 1, "{plan:?}");
+
+    // explain() predicts exactly what the executor does, on both apps.
+    for (sql, algo) in [
+        ("SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId", "hash"),
+        ("SELECT users.id FROM users, roles WHERE users.roleId < roles.roleId", "nested-loop"),
+        (
+            "SELECT issues.id FROM issues, notifications \
+             WHERE issues.id = notifications.issueId",
+            "hash",
+        ),
+    ] {
+        let q = parse_query(sql).unwrap();
+        let plan = explain(&q, &db);
+        let out = db.execute(&qbs_sql::SqlQuery::Select(q), &Params::new()).unwrap();
+        let QueryOutput::Rows(out) = out else { panic!("relational") };
+        let expected = match plan.joins[0] {
+            JoinAlgorithm::Hash => "hash",
+            JoinAlgorithm::NestedLoop => "nested-loop",
+        };
+        assert_eq!(expected, algo, "{sql}");
+        assert_eq!(out.stats.joins, vec![algo], "{sql}");
+    }
+}

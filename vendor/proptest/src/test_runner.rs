@@ -43,6 +43,13 @@ impl TestRng {
             seed ^= u64::from(b);
             seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
         }
+        TestRng::with_seed(seed)
+    }
+
+    /// An RNG with an explicit seed — the entry point for callers that
+    /// drive strategies outside the `proptest!` macro (e.g. seeded
+    /// fuzzers that must reproduce a corpus from a CLI-provided seed).
+    pub fn with_seed(seed: u64) -> TestRng {
         TestRng { rng: StdRng::seed_from_u64(seed) }
     }
 

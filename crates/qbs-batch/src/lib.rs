@@ -63,4 +63,4 @@ pub use fingerprint::{canonical, fingerprint, shape_key, Fingerprint};
 pub use memo::{Claim, ComputeTicket, FingerprintCache};
 pub use oracle::OracleConfig;
 pub use pool::CexPool;
-pub use report::{BatchReport, FragmentResult, OracleSummary};
+pub use report::{BatchReport, ExecTotals, FragmentResult, OracleSummary};

@@ -3,10 +3,10 @@
 //! several independently seeded databases, in parallel.
 
 use crate::driver::{BatchInput, BatchRunner};
-use crate::report::{BatchReport, OracleSummary};
+use crate::report::{BatchReport, ExecTotals, OracleSummary};
 use qbs::FragmentStatus;
 use qbs_db::{Database, Params};
-use qbs_oracle::{genfrag, OracleVerdict};
+use qbs_oracle::{genfrag, CheckOptions, CheckOutcome};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -26,6 +26,9 @@ pub struct OracleConfig {
     /// Delta-debug mismatch witnesses down to (near-)minimal databases.
     /// Agreeing runs never pay this cost.
     pub minimize: bool,
+    /// Execute every SQL side with greedy join reordering enabled (gated
+    /// on order-safety by the planner itself).
+    pub reorder_joins: bool,
 }
 
 impl Default for OracleConfig {
@@ -35,6 +38,7 @@ impl Default for OracleConfig {
             fuzz_count: 0,
             fuzz_seed: 0xd1ff_5eed,
             minimize: true,
+            reorder_joins: false,
         }
     }
 }
@@ -52,13 +56,20 @@ impl OracleConfig {
         self.fuzz_seed = seed;
         self
     }
+
+    /// Enables (or disables) greedy join reordering on the SQL side.
+    pub fn with_reorder_joins(mut self, on: bool) -> OracleConfig {
+        self.reorder_joins = on;
+        self
+    }
 }
 
 impl BatchRunner {
     /// Runs `inputs` (plus [`OracleConfig::fuzz_count`] generated
     /// fragments) through the synthesis pipeline, then checks every
     /// translated fragment differentially on every seeded database. The
-    /// report carries one [`OracleVerdict`] per `(fragment, seed)` in
+    /// report carries one [`OracleVerdict`](qbs_oracle::OracleVerdict)
+    /// per `(fragment, seed)` in
     /// [`FragmentResult::verdicts`](crate::FragmentResult) and the rolled-
     /// up [`OracleSummary`] in [`BatchReport::oracle`].
     pub fn run_oracle(&self, inputs: &[BatchInput], oracle: &OracleConfig) -> BatchReport {
@@ -107,9 +118,11 @@ impl BatchRunner {
             .collect();
         let jobs: Vec<(usize, usize)> =
             checkable.iter().flat_map(|&fi| (0..dbs.len()).map(move |si| (fi, si))).collect();
-        let verdicts: Vec<Mutex<Option<OracleVerdict>>> =
+        let outcomes: Vec<Mutex<Option<CheckOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         let params = Params::new();
+        let opts =
+            CheckOptions { minimize: oracle.minimize, reorder_joins: oracle.reorder_joins };
 
         let next = AtomicUsize::new(0);
         let fragments = &report.fragments;
@@ -122,19 +135,19 @@ impl BatchRunner {
                     let fr = &fragments[fi];
                     let sql = fr.status.sql().expect("checkable fragments are translated");
                     let kernel = fr.kernel.as_ref().expect("checkable fragments lower");
-                    let verdict = if oracle.minimize {
-                        qbs_oracle::check(kernel, sql, &dbs[si], &params)
-                    } else {
-                        qbs_oracle::check_unminimized(kernel, sql, &dbs[si], &params)
-                    };
-                    *verdicts[j].lock().expect("verdict lock") = Some(verdict);
+                    let outcome = qbs_oracle::check_opts(kernel, sql, &dbs[si], &params, &opts);
+                    *outcomes[j].lock().expect("outcome lock") = Some(outcome);
                 });
             }
         });
 
-        for (&(fi, _), slot) in jobs.iter().zip(verdicts) {
-            let verdict = slot.into_inner().expect("verdict lock").expect("all jobs ran");
-            report.fragments[fi].verdicts.push(verdict);
+        let mut exec = ExecTotals::default();
+        for (&(fi, _), slot) in jobs.iter().zip(outcomes) {
+            let outcome = slot.into_inner().expect("outcome lock").expect("all jobs ran");
+            if let Some(stats) = &outcome.exec {
+                exec.absorb(stats);
+            }
+            report.fragments[fi].verdicts.push(outcome.verdict);
         }
         report.oracle = Some(OracleSummary {
             db_seeds: oracle.db_seeds.clone(),
@@ -142,6 +155,8 @@ impl BatchRunner {
             checked_fragments: checkable.len(),
             fuzz_fragments,
             fuzz_seed: oracle.fuzz_seed,
+            reorder_joins: oracle.reorder_joins,
+            exec,
             elapsed: started.elapsed(),
         });
     }
@@ -152,6 +167,7 @@ mod tests {
     use super::*;
     use crate::driver::corpus_inputs;
     use crate::BatchConfig;
+    use qbs_oracle::OracleVerdict;
 
     #[test]
     fn oracle_mode_checks_translated_fragments_on_every_seed() {

@@ -59,6 +59,49 @@ pub struct BatchReport {
     pub oracle: Option<OracleSummary>,
 }
 
+/// Executor counters summed over every SQL execution of an oracle run —
+/// the `qbs-db` [`ExecStats`](qbs_db::ExecStats) rolled up corpus-wide.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecTotals {
+    /// Rows read from base tables.
+    pub rows_scanned: usize,
+    /// Row pairs compared by join operators.
+    pub join_comparisons: usize,
+    /// Predicate sub-queries actually executed (after hoisting).
+    pub subqueries_executed: usize,
+    /// Predicate sub-query probes answered from the hoisting cache.
+    pub subquery_cache_hits: usize,
+    /// Checks whose top-level query was satisfied by an index scan (a
+    /// per-check boolean rolled up, not a per-scan count).
+    pub checks_using_index: usize,
+}
+
+impl ExecTotals {
+    /// Folds one execution's counters into the totals.
+    pub fn absorb(&mut self, stats: &qbs_db::ExecStats) {
+        self.rows_scanned += stats.rows_scanned;
+        self.join_comparisons += stats.join_comparisons;
+        self.subqueries_executed += stats.subqueries_executed;
+        self.subquery_cache_hits += stats.subquery_cache_hits;
+        self.checks_using_index += usize::from(stats.used_index);
+    }
+}
+
+impl fmt::Display for ExecTotals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rows scanned, {} join comparisons, {} subqueries ({} cache hits), \
+             {} checks using an index",
+            self.rows_scanned,
+            self.join_comparisons,
+            self.subqueries_executed,
+            self.subquery_cache_hits,
+            self.checks_using_index,
+        )
+    }
+}
+
 /// Aggregate differential-oracle outcome for a batch run.
 #[derive(Clone, Debug)]
 pub struct OracleSummary {
@@ -72,21 +115,27 @@ pub struct OracleSummary {
     pub fuzz_fragments: usize,
     /// The fuzzer seed (meaningful when `fuzz_fragments > 0`).
     pub fuzz_seed: u64,
+    /// True when the SQL side ran with greedy join reordering enabled.
+    pub reorder_joins: bool,
+    /// Executor counters summed over every check's SQL execution.
+    pub exec: ExecTotals,
     /// Wall-clock of the differential phase.
     pub elapsed: Duration,
 }
 
 impl fmt::Display for OracleSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
+        writeln!(
             f,
-            "oracle: {} over {} fragments × {} seeds ({} fuzzed, {:.2}s)",
+            "oracle: {} over {} fragments × {} seeds ({} fuzzed{}, {:.2}s)",
             self.counts,
             self.checked_fragments,
             self.db_seeds.len(),
             self.fuzz_fragments,
+            if self.reorder_joins { ", joins reordered" } else { "" },
             self.elapsed.as_secs_f64(),
-        )
+        )?;
+        write!(f, "exec: {}", self.exec)
     }
 }
 

@@ -1,0 +1,167 @@
+//! Emits `BENCH_exec.json`: executor speed on the corpus's synthesized
+//! queries over seeded corpus databases — rows/sec plus join-comparison
+//! counts for the planned (hash-join/pushdown) execution against a forced
+//! nested-loop baseline (what application-code joins cost before the
+//! planner, Fig. 14c's gap).
+//!
+//! Exits non-zero when the planned execution does not beat the nested-loop
+//! baseline by at least [`MIN_SPEEDUP`]× on join comparisons over the
+//! multi-join fragments, so CI catches planner regressions that tests
+//! don't pin.
+//!
+//! ```sh
+//! cargo run --release -p qbs-bench --bin exec_bench -- \
+//!     [output-path] [--seed S] [--reps N]
+//! ```
+
+use qbs::FragmentStatus;
+use qbs_batch::{corpus_inputs, BatchConfig, BatchRunner};
+use qbs_db::{Params, PlanConfig, QueryOutput};
+use qbs_sql::SqlQuery;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The planned execution must do at least this many times fewer join
+/// comparisons than the nested-loop baseline on the multi-join fragments.
+const MIN_SPEEDUP: f64 = 5.0;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Number of `FROM` items of the relational part of a query.
+fn from_arity(q: &SqlQuery) -> usize {
+    match q {
+        SqlQuery::Select(s) => s.from.len(),
+        SqlQuery::Scalar(s) => s.query.from.len(),
+    }
+}
+
+struct Measured {
+    method: String,
+    sql: String,
+    rows: usize,
+    joins: usize,
+    join_comparisons: usize,
+    join_comparisons_nested_loop: usize,
+    rows_per_sec: f64,
+}
+
+fn main() -> ExitCode {
+    let mut path = "BENCH_exec.json".to_string();
+    let mut seed: u64 = 1;
+    let mut reps: usize = 25;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
+        match arg.as_str() {
+            "--seed" => seed = value("--seed").parse().expect("--seed S"),
+            "--reps" => reps = value("--reps").parse().expect("--reps N"),
+            other if other.starts_with("--") => panic!("unknown flag `{other}`"),
+            other => path = other.to_string(),
+        }
+    }
+
+    // Synthesize the corpus once; benchmark every translated query on the
+    // seeded universe database.
+    let runner = BatchRunner::new(BatchConfig::new());
+    let report = runner.run(&corpus_inputs());
+    let db = qbs_corpus::populate_universe(seed);
+    let params = Params::new();
+    let planned_cfg = PlanConfig::default();
+    let baseline_cfg = PlanConfig { force_nested_loop: true, ..PlanConfig::default() };
+
+    let mut measured: Vec<Measured> = Vec::new();
+    for fr in &report.fragments {
+        let FragmentStatus::Translated { sql, .. } = &fr.status else { continue };
+        let Ok(out) = db.execute_with(sql, &params, &planned_cfg) else {
+            // Fragments whose tables are absent from the universe (or that
+            // need bind parameters) are skipped — the oracle CI job covers
+            // their correctness; this bin only measures executor speed.
+            continue;
+        };
+        let (rows, stats) = match out {
+            QueryOutput::Rows(o) => (o.rows.len(), o.stats),
+            QueryOutput::Scalar { stats, .. } => (1, stats),
+        };
+        let baseline = db
+            .execute_with(sql, &params, &baseline_cfg)
+            .expect("baseline config cannot introduce failures");
+        let baseline_stats = match baseline {
+            QueryOutput::Rows(o) => o.stats,
+            QueryOutput::Scalar { stats, .. } => stats,
+        };
+
+        let started = Instant::now();
+        for _ in 0..reps {
+            let _ = db.execute_with(sql, &params, &planned_cfg).expect("measured above");
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let rows_per_sec =
+            if elapsed > 0.0 { (rows * reps) as f64 / elapsed } else { f64::INFINITY };
+
+        measured.push(Measured {
+            method: fr.method.clone(),
+            sql: sql.to_string(),
+            rows,
+            joins: from_arity(sql).saturating_sub(1),
+            join_comparisons: stats.join_comparisons,
+            join_comparisons_nested_loop: baseline_stats.join_comparisons,
+            rows_per_sec,
+        });
+    }
+
+    // The acceptance ratio is computed over the multi-join fragments — the
+    // queries where join strategy matters at all.
+    let multi: Vec<&Measured> = measured.iter().filter(|m| m.joins >= 1).collect();
+    let planned_total: usize = multi.iter().map(|m| m.join_comparisons).sum();
+    let baseline_total: usize = multi.iter().map(|m| m.join_comparisons_nested_loop).sum();
+    let speedup = baseline_total as f64 / planned_total.max(1) as f64;
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"exec_corpus\",");
+    let _ = writeln!(out, "  \"db_seed\": {seed},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"queries\": {},", measured.len());
+    let _ = writeln!(out, "  \"multi_join_queries\": {},", multi.len());
+    let _ = writeln!(out, "  \"join_comparisons\": {planned_total},");
+    let _ = writeln!(out, "  \"join_comparisons_nested_loop\": {baseline_total},");
+    let _ = writeln!(out, "  \"join_comparison_speedup\": {:.2},", speedup);
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, m) in measured.iter().enumerate() {
+        let comma = if i + 1 < measured.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"method\": \"{}\", \"rows\": {}, \"joins\": {}, \
+             \"join_comparisons\": {}, \"join_comparisons_nested_loop\": {}, \
+             \"rows_per_sec\": {:.0}, \"sql\": \"{}\"}}{comma}",
+            json_escape(&m.method),
+            m.rows,
+            m.joins,
+            m.join_comparisons,
+            m.join_comparisons_nested_loop,
+            m.rows_per_sec,
+            json_escape(&m.sql),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+
+    println!(
+        "wrote {path}: {} queries ({} multi-join) — {planned_total} planned vs \
+         {baseline_total} nested-loop join comparisons ({speedup:.1}x)",
+        measured.len(),
+        multi.len(),
+    );
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "REGRESSION: join-comparison speedup {speedup:.2}x is below the required \
+             {MIN_SPEEDUP:.1}x"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -23,6 +23,7 @@ fn main() -> ExitCode {
     let mut fuzz: usize = 200;
     let mut fuzz_seed: u64 = 0xd1ff_5eed;
     let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut reorder = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
                     .collect()
             }
             "--witness-dir" => witness_dir = value("--witness-dir"),
+            "--reorder" => reorder = true,
             // A typo'd flag must not silently become the output path —
             // CI would go green with default settings.
             other if other.starts_with("--") => panic!("unknown flag `{other}`"),
@@ -46,8 +48,10 @@ fn main() -> ExitCode {
     }
 
     let runner = BatchRunner::new(BatchConfig::new());
-    let config =
-        OracleConfig::default().with_db_seeds(seeds.clone()).with_fuzz(fuzz, fuzz_seed);
+    let config = OracleConfig::default()
+        .with_db_seeds(seeds.clone())
+        .with_fuzz(fuzz, fuzz_seed)
+        .with_reorder_joins(reorder);
     let report = runner.run_oracle(&corpus_inputs(), &config);
     let counts = report.counts();
     let oracle = report.oracle.as_ref().expect("oracle mode attaches a summary");
@@ -64,6 +68,14 @@ fn main() -> ExitCode {
     let _ = writeln!(out, "  \"agree\": {},", oracle.counts.agree);
     let _ = writeln!(out, "  \"mismatch\": {},", oracle.counts.mismatch);
     let _ = writeln!(out, "  \"inconclusive\": {},", oracle.counts.inconclusive);
+    let _ = writeln!(out, "  \"reorder_joins\": {},", oracle.reorder_joins);
+    let _ = writeln!(out, "  \"exec\": {{");
+    let _ = writeln!(out, "    \"rows_scanned\": {},", oracle.exec.rows_scanned);
+    let _ = writeln!(out, "    \"join_comparisons\": {},", oracle.exec.join_comparisons);
+    let _ = writeln!(out, "    \"subqueries_executed\": {},", oracle.exec.subqueries_executed);
+    let _ = writeln!(out, "    \"subquery_cache_hits\": {},", oracle.exec.subquery_cache_hits);
+    let _ = writeln!(out, "    \"checks_using_index\": {}", oracle.exec.checks_using_index);
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(
         out,
         "  \"oracle_elapsed_s\": {},",

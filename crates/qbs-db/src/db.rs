@@ -1,16 +1,23 @@
 //! The database façade: catalog plus query execution.
+//!
+//! Planning and execution are split: [`crate::planner::plan_with`] computes
+//! a [`PhysicalPlan`] once, and [`Database::execute_plan`] interprets that
+//! IR. `explain()` renders the *same* plan value, so the planner cannot
+//! drift from the executor.
 
 use crate::exec::{
     self, distinct, eval_expr, filter, hash_join, nested_loop_join, sort, EvalCtx, ExecStats,
-    Frame,
+    Frame, RowRef, SubResult,
 };
-use crate::planner::{aliases_of, conjuncts, equi_join_keys, index_eq};
+use crate::planner::{plan_with, PhysicalPlan, PlanConfig, ScanNode, ScanSource};
 use crate::storage::Table;
 use qbs_common::{FieldType, Ident, Record, Relation, Schema, SchemaRef, Value};
-use qbs_sql::{FromItem, SqlExpr, SqlQuery, SqlSelect};
+use qbs_sql::{SqlExpr, SqlQuery, SqlSelect};
 use qbs_tor::AggKind;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Bind parameters for query execution.
 pub type Params = BTreeMap<Ident, Value>;
@@ -24,6 +31,11 @@ pub enum DbError {
     DuplicateTable(Ident),
     /// Schema problem (bad column etc.).
     Schema(String),
+    /// `MIN`/`MAX` over an empty relation: the paper's TOR axioms assign
+    /// the infinities, but a concrete executor has no honest `i64` for
+    /// ±∞ — callers (e.g. the differential oracle) must treat the case
+    /// explicitly instead of comparing sentinel garbage.
+    EmptyAggregate(String),
     /// Runtime execution failure.
     Exec(String),
 }
@@ -34,6 +46,9 @@ impl fmt::Display for DbError {
             DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             DbError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
             DbError::Schema(e) => write!(f, "schema error: {e}"),
+            DbError::EmptyAggregate(agg) => {
+                write!(f, "{agg} over an empty relation has no value")
+            }
             DbError::Exec(e) => write!(f, "{e}"),
         }
     }
@@ -68,6 +83,51 @@ pub enum QueryOutput {
         /// Execution counters.
         stats: ExecStats,
     },
+}
+
+/// Per-statement execution state shared across nested evaluations: the
+/// hoisting cache for uncorrelated predicate sub-queries plus the counters
+/// their executions accumulate (rolled into the statement's [`ExecStats`]
+/// at the end).
+struct SubqueryState {
+    config: PlanConfig,
+    cache: RefCell<Vec<(SqlSelect, Rc<SubResult>)>>,
+    nested: RefCell<ExecStats>,
+}
+
+impl SubqueryState {
+    fn new(config: PlanConfig) -> SubqueryState {
+        SubqueryState {
+            config,
+            cache: RefCell::new(Vec::new()),
+            nested: RefCell::new(ExecStats::default()),
+        }
+    }
+
+    fn lookup(&self, q: &SqlSelect) -> Option<Rc<SubResult>> {
+        let hit = self.cache.borrow().iter().find(|(s, _)| s == q).map(|(_, r)| r.clone());
+        if hit.is_some() {
+            self.nested.borrow_mut().subquery_cache_hits += 1;
+        }
+        hit
+    }
+
+    fn insert(&self, q: SqlSelect, result: SubResult) -> Rc<SubResult> {
+        let rc = Rc::new(result);
+        self.cache.borrow_mut().push((q, rc.clone()));
+        rc
+    }
+
+    fn absorb(&self, stats: &ExecStats) {
+        let mut nested = self.nested.borrow_mut();
+        nested.subqueries_executed += 1;
+        nested.rows_scanned += stats.rows_scanned;
+        nested.join_comparisons += stats.join_comparisons;
+    }
+
+    fn roll_into(&self, stats: &mut ExecStats) {
+        stats.absorb_nested(&self.nested.borrow());
+    }
 }
 
 /// The in-memory database: a catalog of [`Table`]s plus the executor.
@@ -153,78 +213,131 @@ impl Database {
         env
     }
 
-    /// Scans a table into a frame (columns qualified by `alias`, plus the
-    /// hidden `rowid`), applying pushed-down predicates — via the hash index
-    /// when an equality predicate matches an indexed column.
-    fn scan(
+    /// Interprets one scan node: base-table rows (via the index probe when
+    /// the plan chose one) or a recursive sub-query plan, with the pushed
+    /// filter evaluated *before* each row is materialized. `limit` stops
+    /// the scan early once enough rows passed the filter (only set by the
+    /// planner when no later operator could change the prefix).
+    fn scan_node(
         &self,
-        name: &Ident,
-        alias: &Ident,
-        pushed: &[SqlExpr],
+        node: &ScanNode,
         params: &Params,
         ctx: &EvalCtx<'_>,
         stats: &mut ExecStats,
+        shared: &SubqueryState,
+        limit: Option<usize>,
     ) -> Result<Frame, DbError> {
-        let table = self.tables.get(name).ok_or_else(|| DbError::UnknownTable(name.clone()))?;
-        let mut cols: Vec<exec::FrameCol> = table
-            .schema()
-            .fields()
-            .iter()
-            .map(|f| exec::FrameCol { alias: alias.clone(), name: f.name.clone() })
-            .collect();
-        cols.push(exec::FrameCol { alias: alias.clone(), name: "rowid".into() });
+        match &node.source {
+            ScanSource::Table(name) => {
+                let table =
+                    self.tables.get(name).ok_or_else(|| DbError::UnknownTable(name.clone()))?;
+                let mut cols: Vec<exec::FrameCol> = table
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| exec::FrameCol { alias: node.alias.clone(), name: f.name.clone() })
+                    .collect();
+                cols.push(exec::FrameCol { alias: node.alias.clone(), name: "rowid".into() });
 
-        // Try an index for one equality predicate.
-        let mut index_rows: Option<Vec<usize>> = None;
-        let mut residual = Vec::new();
-        for p in pushed {
-            if index_rows.is_none() {
-                if let Some((col, valexpr)) = index_eq(p, alias) {
-                    if table.has_index(&col) {
-                        let v = match &valexpr {
-                            SqlExpr::Lit(v) => Some(v.clone()),
-                            SqlExpr::Param(p) => params.get(p).cloned(),
-                            _ => None,
+                let index_rows: Option<Vec<usize>> = match &node.probe {
+                    Some(probe) => {
+                        let v = match &probe.value {
+                            SqlExpr::Lit(v) => v.clone(),
+                            SqlExpr::Param(p) => params.get(p).cloned().ok_or_else(|| {
+                                DbError::from(exec::ExecError::new(format!(
+                                    "unbound parameter :{p}"
+                                )))
+                            })?,
+                            other => {
+                                return Err(DbError::Exec(format!(
+                                    "non-constant index probe {other:?}"
+                                )))
+                            }
                         };
-                        if let Some(v) = v {
-                            index_rows =
-                                Some(table.index_lookup(&col, &v).unwrap_or(&[]).to_vec());
-                            stats.used_index = true;
-                            continue;
+                        stats.used_index = true;
+                        // A probe is only planned against an existing index;
+                        // executing the plan on a database without it (the
+                        // plan/database pair diverged) must not silently
+                        // read an empty bucket.
+                        let rows = table.index_lookup(&probe.column, &v).ok_or_else(|| {
+                            DbError::Exec(format!(
+                                "plan expects an index on {}.{} that this database \
+                                 does not have",
+                                name, probe.column
+                            ))
+                        })?;
+                        Some(rows.to_vec())
+                    }
+                    None => None,
+                };
+
+                let shell = Frame::new(cols.clone());
+                let mut frame = Frame::new(cols);
+                let mut push_row = |rowid: usize,
+                                    row: &[Value],
+                                    stats: &mut ExecStats|
+                 -> Result<bool, DbError> {
+                    stats.rows_scanned += 1;
+                    let rv = [Value::from(rowid as i64)];
+                    let keep = match &node.filter {
+                        Some(pred) => exec::truthy(&eval_expr(
+                            pred,
+                            &shell,
+                            RowRef::Pair(row, &rv),
+                            ctx,
+                        )?)?,
+                        None => true,
+                    };
+                    if keep {
+                        let mut out = row.to_vec();
+                        out.push(rv.into_iter().next().expect("one rowid"));
+                        frame.rows.push(out);
+                    }
+                    Ok(keep)
+                };
+                let mut kept = 0usize;
+                match index_rows {
+                    Some(ids) => {
+                        for rowid in ids {
+                            if limit.is_some_and(|n| kept >= n) {
+                                break;
+                            }
+                            kept += usize::from(push_row(rowid, &table.rows()[rowid], stats)?);
+                        }
+                    }
+                    None => {
+                        for (rowid, row) in table.rows().iter().enumerate() {
+                            if limit.is_some_and(|n| kept >= n) {
+                                break;
+                            }
+                            kept += usize::from(push_row(rowid, row, stats)?);
                         }
                     }
                 }
+                Ok(frame)
             }
-            residual.push(p.clone());
-        }
-
-        let mut frame = Frame::new(cols);
-        match index_rows {
-            Some(ids) => {
-                stats.rows_scanned += ids.len();
-                for rowid in ids {
-                    let mut row = table.rows()[rowid].clone();
-                    row.push(Value::from(rowid as i64));
-                    frame.rows.push(row);
+            ScanSource::Subquery { plan, cols } => {
+                // Fresh counters for the inner plan: `joins`/`used_index`
+                // describe the top-level statement (what `Plan::summary`
+                // renders), so only the row/comparison work is absorbed —
+                // the same contract as hoisted predicate sub-queries.
+                let mut inner_stats = ExecStats::default();
+                let inner = self.run_plan(plan, params, &mut inner_stats, shared)?;
+                stats.absorb_nested(&inner_stats);
+                let mut f = Frame::new(cols.clone());
+                f.rows = inner.rows;
+                if let Some(pred) = &node.filter {
+                    f = filter(f, pred, ctx)?;
                 }
-            }
-            None => {
-                stats.rows_scanned += table.len();
-                for (rowid, r) in table.rows().iter().enumerate() {
-                    let mut row = r.clone();
-                    row.push(Value::from(rowid as i64));
-                    frame.rows.push(row);
+                if let Some(n) = limit {
+                    f.rows.truncate(n);
                 }
+                Ok(f)
             }
         }
-        if !residual.is_empty() {
-            let pred = SqlExpr::conjoin(residual);
-            frame = filter(frame, &pred, ctx)?;
-        }
-        Ok(frame)
     }
 
-    /// Executes a relational query.
+    /// Executes a relational query (plans once, interprets the plan).
     ///
     /// # Errors
     ///
@@ -234,8 +347,59 @@ impl Database {
         q: &SqlSelect,
         params: &Params,
     ) -> Result<SelectOutput, DbError> {
+        self.execute_select_with(q, params, &PlanConfig::default())
+    }
+
+    /// [`Database::execute_select`] under a non-default [`PlanConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown tables/columns and evaluation failures.
+    pub fn execute_select_with(
+        &self,
+        q: &SqlSelect,
+        params: &Params,
+        config: &PlanConfig,
+    ) -> Result<SelectOutput, DbError> {
+        let plan = plan_with(q, self, config);
+        self.execute_plan_with(&plan, params, config)
+    }
+
+    /// Interprets an already-computed [`PhysicalPlan`] — the other consumer
+    /// of the exact value `explain()` renders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown tables/columns and evaluation failures.
+    pub fn execute_plan(
+        &self,
+        plan: &PhysicalPlan,
+        params: &Params,
+    ) -> Result<SelectOutput, DbError> {
+        self.execute_plan_with(plan, params, &PlanConfig::default())
+    }
+
+    /// [`Database::execute_plan`] under a non-default [`PlanConfig`].
+    ///
+    /// Pass the *same* configuration the plan was computed with: the
+    /// config also governs how hoisted predicate sub-queries encountered
+    /// during interpretation are planned (e.g. a `force_nested_loop`
+    /// baseline plan executed under the default config would run its
+    /// `IN (SELECT …)` sub-queries with hash joins).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown tables/columns and evaluation failures.
+    pub fn execute_plan_with(
+        &self,
+        plan: &PhysicalPlan,
+        params: &Params,
+        config: &PlanConfig,
+    ) -> Result<SelectOutput, DbError> {
         let mut stats = ExecStats::default();
-        let frame = self.run_select(q, params, &mut stats)?;
+        let shared = SubqueryState::new(config.clone());
+        let frame = self.run_plan(plan, params, &mut stats, &shared)?;
+        shared.roll_into(&mut stats);
         // Build the output relation: anonymous schema over the frame columns.
         let mut b = Schema::anonymous();
         for (k, c) in frame.cols.iter().enumerate() {
@@ -257,137 +421,97 @@ impl Database {
         Ok(SelectOutput { rows, stats })
     }
 
-    fn run_select(
+    /// The plan interpreter: scans, join steps, residual filter, sort,
+    /// projection, distinct, limit — exactly the decisions recorded in the
+    /// [`PhysicalPlan`], no re-planning.
+    fn run_plan(
         &self,
-        q: &SqlSelect,
+        plan: &PhysicalPlan,
         params: &Params,
         stats: &mut ExecStats,
+        shared: &SubqueryState,
     ) -> Result<Frame, DbError> {
-        let db = self;
-        let sub = |s: &SqlSelect| -> Result<Frame, exec::ExecError> {
+        // Uncorrelated predicate sub-queries are hoisted: executed at most
+        // once per statement through the shared cache, with hash-set
+        // membership for the per-row probes.
+        let sub = |s: &SqlSelect| -> Result<Rc<SubResult>, exec::ExecError> {
+            if let Some(hit) = shared.lookup(s) {
+                return Ok(hit);
+            }
+            let inner = plan_with(s, self, &shared.config);
             let mut st = ExecStats::default();
-            db.run_select(s, params, &mut st).map_err(|e| exec::ExecError::new(e.to_string()))
+            let frame = self
+                .run_plan(&inner, params, &mut st, shared)
+                .map_err(|e| exec::ExecError::new(e.to_string()))?;
+            shared.absorb(&st);
+            Ok(shared.insert(s.clone(), SubResult::from_frame(frame)))
         };
         let ctx = EvalCtx { params, subquery: &sub };
 
-        let mut remaining: Vec<SqlExpr> =
-            q.where_clause.as_ref().map(conjuncts).unwrap_or_default();
-
-        // Per-item frames with pushdown.
-        let mut frames: Vec<(Ident, Frame)> = Vec::new();
-        for item in &q.from {
-            let alias = item.alias().clone();
-            let mut mine = BTreeSet::new();
-            mine.insert(alias.clone());
-            let mut pushed = Vec::new();
-            let mut rest = Vec::new();
-            for c in remaining.drain(..) {
-                let mut used = BTreeSet::new();
-                aliases_of(&c, &mut used);
-                // Unqualified predicates are pushable when there is only one
-                // FROM item to attribute them to.
-                let pushable = used.is_subset(&mine) && (!used.is_empty() || q.from.len() == 1);
-                if pushable {
-                    pushed.push(c);
-                } else {
-                    rest.push(c);
-                }
+        let limit_n: Option<usize> = match &plan.limit {
+            None => None,
+            Some(SqlExpr::Lit(Value::Int(n))) => Some((*n).max(0) as usize),
+            Some(SqlExpr::Param(p)) => {
+                let n = params
+                    .get(p)
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| DbError::Exec(format!("unbound LIMIT parameter :{p}")))?;
+                Some(n.max(0) as usize)
             }
-            remaining = rest;
-            let frame = match item {
-                FromItem::Table { name, alias } => {
-                    self.scan(name, alias, &pushed, params, &ctx, stats)?
-                }
-                FromItem::Subquery { query, alias } => {
-                    let inner = self.run_select(query, params, stats)?;
-                    let cols = query
-                        .columns
-                        .iter()
-                        .enumerate()
-                        .map(|(k, c)| exec::FrameCol {
-                            alias: alias.clone(),
-                            name: c
-                                .alias
-                                .clone()
-                                .or_else(|| match &c.expr {
-                                    SqlExpr::Column { name, .. } => Some(name.clone()),
-                                    _ => None,
-                                })
-                                .unwrap_or_else(|| Ident::new(format!("c{k}"))),
-                        })
-                        .collect();
-                    let mut f = Frame::new(cols);
-                    f.rows = inner.rows;
-                    if !pushed.is_empty() {
-                        let pred = SqlExpr::conjoin(pushed);
-                        f = filter(f, &pred, &ctx)?;
-                    }
-                    f
-                }
-            };
-            frames.push((alias, frame));
+            Some(other) => return Err(DbError::Exec(format!("unsupported LIMIT {other:?}"))),
+        };
+        // LIMIT pushed into the scan itself: sound only when no later
+        // operator can reject or reorder rows.
+        let scan_limit = (plan.scans.len() == 1
+            && plan.joins.is_empty()
+            && plan.residual.is_none()
+            && plan.order_by.is_empty()
+            && !plan.distinct)
+            .then_some(limit_n)
+            .flatten();
+
+        let mut frames: Vec<Frame> = Vec::with_capacity(plan.scans.len());
+        for node in &plan.scans {
+            frames.push(self.scan_node(node, params, &ctx, stats, shared, scan_limit)?);
         }
 
-        // Fold joins left to right.
         let mut iter = frames.into_iter();
-        let (first_alias, mut acc) =
+        let mut acc =
             iter.next().ok_or_else(|| DbError::Exec("query without FROM".to_string()))?;
-        let mut joined: BTreeSet<Ident> = BTreeSet::new();
-        joined.insert(first_alias);
-        for (alias, right) in iter {
-            let mut right_set = BTreeSet::new();
-            right_set.insert(alias.clone());
-            // Find one equi-join key pair; remaining connecting predicates
-            // become the residual.
-            let mut key: Option<(SqlExpr, SqlExpr)> = None;
-            let mut connecting = Vec::new();
-            let mut rest = Vec::new();
-            for c in remaining.drain(..) {
-                let mut used = BTreeSet::new();
-                aliases_of(&c, &mut used);
-                let mut both = joined.clone();
-                both.insert(alias.clone());
-                if used.is_subset(&both) && used.contains(&alias) {
-                    if key.is_none() {
-                        if let Some(k) = equi_join_keys(&c, &joined, &right_set) {
-                            key = Some(k);
-                            continue;
-                        }
-                    }
-                    connecting.push(c);
-                } else {
-                    rest.push(c);
+        for (step, right) in plan.joins.iter().zip(iter) {
+            acc = match (&step.algorithm, &step.key) {
+                (crate::planner::JoinAlgorithm::Hash, Some((lk, rk))) => {
+                    hash_join(acc, right, lk, rk, step.residual.as_ref(), &ctx, stats)?
                 }
-            }
-            remaining = rest;
-            let residual = (!connecting.is_empty()).then(|| SqlExpr::conjoin(connecting));
-            acc = match key {
-                Some((lk, rk)) => {
-                    hash_join(acc, right, &lk, &rk, residual.as_ref(), &ctx, stats)?
-                }
-                None => nested_loop_join(acc, right, residual.as_ref(), &ctx, stats)?,
+                _ => nested_loop_join(acc, right, step.residual.as_ref(), &ctx, stats)?,
             };
-            joined.insert(alias);
         }
 
         // Leftover predicates (alias-free literals etc.).
-        if !remaining.is_empty() {
-            let pred = SqlExpr::conjoin(remaining);
-            acc = filter(acc, &pred, &ctx)?;
+        if let Some(pred) = &plan.residual {
+            acc = filter(acc, pred, &ctx)?;
         }
 
         // ORDER BY before projection (keys may be unprojected).
-        if !q.order_by.is_empty() {
+        if !plan.order_by.is_empty() {
             let keys: Vec<(SqlExpr, bool)> =
-                q.order_by.iter().map(|k| (k.expr.clone(), k.asc)).collect();
+                plan.order_by.iter().map(|k| (k.expr.clone(), k.asc)).collect();
             acc = sort(acc, &keys, &ctx)?;
+        }
+
+        // Without DISTINCT the limit prefix is already final after the
+        // sort: truncate before paying for projection.
+        if !plan.distinct {
+            if let Some(n) = limit_n {
+                acc.rows.truncate(n);
+            }
         }
 
         // Projection. An empty column list is `SELECT *`: all non-rowid
         // columns.
         let mut out_cols = Vec::new();
         let mut out_idx: Vec<usize> = Vec::new();
-        if q.columns.is_empty() {
+        if plan.columns.is_empty() {
             for (i, c) in acc.cols.iter().enumerate() {
                 if c.name != "rowid" {
                     out_cols.push(c.clone());
@@ -395,7 +519,7 @@ impl Database {
                 }
             }
         } else {
-            for (k, item) in q.columns.iter().enumerate() {
+            for (k, item) in plan.columns.iter().enumerate() {
                 match &item.expr {
                     SqlExpr::Column { qualifier, name } => {
                         let i = acc.resolve(qualifier.as_ref(), name).ok_or_else(|| {
@@ -425,20 +549,11 @@ impl Database {
             .collect();
         let mut frame = Frame { cols: out_cols, rows };
 
-        if q.distinct {
+        if plan.distinct {
             frame = distinct(frame);
-        }
-
-        if let Some(l) = &q.limit {
-            let n = match l {
-                SqlExpr::Lit(Value::Int(n)) => *n,
-                SqlExpr::Param(p) => params
-                    .get(p)
-                    .and_then(Value::as_int)
-                    .ok_or_else(|| DbError::Exec(format!("unbound LIMIT parameter :{p}")))?,
-                other => return Err(DbError::Exec(format!("unsupported LIMIT {other:?}"))),
-            };
-            frame.rows.truncate(n.max(0) as usize);
+            if let Some(n) = limit_n {
+                frame.rows.truncate(n);
+            }
         }
         Ok(frame)
     }
@@ -449,10 +564,27 @@ impl Database {
     ///
     /// Propagates execution errors.
     pub fn execute(&self, q: &SqlQuery, params: &Params) -> Result<QueryOutput, DbError> {
+        self.execute_with(q, params, &PlanConfig::default())
+    }
+
+    /// [`Database::execute`] under a non-default [`PlanConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors. `MIN`/`MAX` over an empty relation is
+    /// [`DbError::EmptyAggregate`]; a non-integer value under `SUM`/`MIN`/
+    /// `MAX` and `i64` overflow of `SUM` are [`DbError::Exec`].
+    pub fn execute_with(
+        &self,
+        q: &SqlQuery,
+        params: &Params,
+        config: &PlanConfig,
+    ) -> Result<QueryOutput, DbError> {
         match q {
-            SqlQuery::Select(s) => Ok(QueryOutput::Rows(self.execute_select(s, params)?)),
+            SqlQuery::Select(s) => {
+                Ok(QueryOutput::Rows(self.execute_select_with(s, params, config)?))
+            }
             SqlQuery::Scalar(s) => {
-                let mut stats = ExecStats::default();
                 // Aggregate input: the relational part with projection; for
                 // COUNT(*) project nothing special.
                 let mut inner = s.query.clone();
@@ -460,39 +592,24 @@ impl Database {
                     inner.columns =
                         vec![qbs_sql::SelectItem { expr: col.clone(), alias: None }];
                 }
-                let frame = self.run_select(&inner, params, &mut stats)?;
+                let out = self.execute_select_with(&inner, params, config)?;
+                let stats = out.stats;
                 let value = match s.agg {
-                    AggKind::Count => Value::from(frame.rows.len() as i64),
-                    agg => {
-                        let nums: Vec<i64> = frame
-                            .rows
-                            .iter()
-                            .filter_map(|r| r.first().and_then(Value::as_int))
-                            .collect();
-                        match agg {
-                            AggKind::Sum => Value::from(nums.iter().sum::<i64>()),
-                            AggKind::Max => {
-                                Value::from(nums.iter().copied().fold(i64::MIN, i64::max))
-                            }
-                            AggKind::Min => {
-                                Value::from(nums.iter().copied().fold(i64::MAX, i64::min))
-                            }
-                            AggKind::Count => unreachable!("handled above"),
-                        }
-                    }
+                    AggKind::Count => Value::from(out.rows.len() as i64),
+                    agg => aggregate(agg, &out.rows)?,
                 };
                 let value = match &s.compare {
                     None => value,
                     Some((op, rhs)) => {
                         let no_sub =
-                            |_: &qbs_sql::SqlSelect| -> Result<Frame, exec::ExecError> {
+                            |_: &qbs_sql::SqlSelect| -> Result<Rc<SubResult>, exec::ExecError> {
                                 Err(exec::ExecError::new(
                                     "no sub-queries in scalar comparisons",
                                 ))
                             };
                         let ctx = EvalCtx { params, subquery: &no_sub };
                         let empty = Frame::new(vec![]);
-                        let r = eval_expr(rhs, &empty, &[], &ctx)?;
+                        let r = eval_expr(rhs, &empty, RowRef::Slice(&[]), &ctx)?;
                         Value::from(op.test(value.total_cmp(&r)))
                     }
                 };
@@ -502,10 +619,57 @@ impl Database {
     }
 }
 
+/// Folds a non-`COUNT` aggregate over the first column of `rows`.
+///
+/// Unlike the old `filter_map(Value::as_int)` fold, a non-integer value is a
+/// type error (it used to be silently dropped, under-counting `SUM`), `SUM`
+/// uses checked addition (it used to wrap or panic on overflow), and
+/// `MIN`/`MAX` over an empty relation is [`DbError::EmptyAggregate`] (they
+/// used to return the `i64::MAX`/`i64::MIN` infinity sentinels as if they
+/// were data).
+fn aggregate(agg: AggKind, rows: &Relation) -> Result<Value, DbError> {
+    let mut nums: Vec<i64> = Vec::with_capacity(rows.len());
+    for r in rows.iter() {
+        let first = r
+            .values()
+            .first()
+            .ok_or_else(|| DbError::Exec(format!("{} over a zero-column row", agg.sql())))?;
+        match first {
+            Value::Int(i) => nums.push(*i),
+            other => {
+                return Err(DbError::Exec(format!(
+                    "{} over non-integer value {other:?}",
+                    agg.sql()
+                )))
+            }
+        }
+    }
+    match agg {
+        AggKind::Sum => nums
+            .iter()
+            .try_fold(0i64, |acc, n| acc.checked_add(*n))
+            .map(Value::from)
+            .ok_or_else(|| DbError::Exec("SUM overflows i64".to_string())),
+        AggKind::Max => nums
+            .iter()
+            .copied()
+            .max()
+            .map(Value::from)
+            .ok_or_else(|| DbError::EmptyAggregate(agg.sql().to_string())),
+        AggKind::Min => nums
+            .iter()
+            .copied()
+            .min()
+            .map(Value::from)
+            .ok_or_else(|| DbError::EmptyAggregate(agg.sql().to_string())),
+        AggKind::Count => unreachable!("COUNT is handled before the numeric fold"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::planner::{explain, JoinAlgorithm};
+    use crate::planner::{explain, explain_with, JoinAlgorithm};
     use qbs_sql::parse_query;
     use qbs_tor::CmpOp;
 
@@ -581,9 +745,56 @@ mod tests {
                 .unwrap();
         let plan = explain(&q, &db);
         assert_eq!(plan.joins, vec![JoinAlgorithm::Hash]);
+        assert_eq!(plan.join_order, vec![Ident::new("users"), Ident::new("roles")]);
         let q2 = parse_query("SELECT id FROM users WHERE roleId = 2").unwrap();
         let plan2 = explain(&q2, &db);
         assert_eq!(plan2.index_scans, 1);
+        // The index probe on a literal gives an exact estimate.
+        assert_eq!(plan2.estimated_rows, vec![2]);
+    }
+
+    #[test]
+    fn explain_and_execute_consume_the_same_plan_value() {
+        let mut db = setup();
+        db.create_index("users", "roleId").unwrap();
+        let q = parse_query(
+            "SELECT users.id FROM users, roles \
+             WHERE users.roleId = roles.roleId AND users.roleId = 1",
+        )
+        .unwrap();
+        let plan = crate::planner::plan(&q, &db);
+        let summary = plan.summary();
+        let out = db.execute_plan(&plan, &Params::new()).unwrap();
+        let algos: Vec<&str> = summary
+            .joins
+            .iter()
+            .map(|j| match j {
+                JoinAlgorithm::Hash => "hash",
+                JoinAlgorithm::NestedLoop => "nested-loop",
+            })
+            .collect();
+        assert_eq!(out.stats.joins, algos);
+        assert_eq!(summary.index_scans > 0, out.stats.used_index);
+        // And the convenience path produces identical rows and stats.
+        let direct = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(direct, out);
+    }
+
+    #[test]
+    fn two_indexed_equalities_use_one_index_scan() {
+        // Regression for the pre-IR divergence: explain() counted one index
+        // scan per pushed indexed equality, while the executor probes at
+        // most one index per scan.
+        let mut db = setup();
+        db.create_index("users", "roleId").unwrap();
+        db.create_index("users", "id").unwrap();
+        let q = parse_query("SELECT id FROM users WHERE roleId = 1 AND id = 4").unwrap();
+        let plan = explain(&q, &db);
+        assert_eq!(plan.index_scans, 1, "{plan:?}");
+        assert_eq!(plan.pushed_filters, 2, "{plan:?}");
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert!(out.stats.used_index);
+        assert_eq!(out.rows.len(), 1);
     }
 
     #[test]
@@ -598,6 +809,21 @@ mod tests {
         let out = db.execute_select(&q, &Params::new()).unwrap();
         assert_eq!(out.rows.len(), 2);
         assert_eq!(out.rows.get(0).unwrap().value_at(0), &Value::from(2));
+    }
+
+    #[test]
+    fn limit_pushdown_stops_the_scan_early() {
+        let db = setup();
+        let q = parse_query("SELECT id FROM users LIMIT 2").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        // Only the limit prefix was ever read from the base table.
+        assert_eq!(out.stats.rows_scanned, 2);
+        // With a filter the scan reads until enough rows pass.
+        let q = parse_query("SELECT id FROM users WHERE roleId = 1 LIMIT 1").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.stats.rows_scanned, 2, "rows 0..=1 examined, row 1 matched");
     }
 
     #[test]
@@ -623,6 +849,74 @@ mod tests {
     }
 
     #[test]
+    fn min_max_over_empty_relation_is_an_error_not_a_sentinel() {
+        let db = setup();
+        let inner = parse_query("SELECT id FROM users WHERE roleId = 99").unwrap();
+        for agg in [AggKind::Min, AggKind::Max] {
+            let scalar = qbs_sql::SqlScalar {
+                agg,
+                column: Some(SqlExpr::col("id")),
+                query: inner.clone(),
+                compare: None,
+            };
+            let got = db.execute(&SqlQuery::Scalar(scalar), &Params::new());
+            assert!(
+                matches!(got, Err(DbError::EmptyAggregate(_))),
+                "expected EmptyAggregate, got {got:?}"
+            );
+        }
+        // SUM over the empty relation stays 0 (it has a true unit).
+        let sum = qbs_sql::SqlScalar {
+            agg: AggKind::Sum,
+            column: Some(SqlExpr::col("id")),
+            query: inner,
+            compare: None,
+        };
+        match db.execute(&SqlQuery::Scalar(sum), &Params::new()).unwrap() {
+            QueryOutput::Scalar { value, .. } => assert_eq!(value, Value::from(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_over_non_integer_column_is_a_type_error() {
+        let db = setup();
+        let inner = parse_query("SELECT label FROM roles").unwrap();
+        let scalar = qbs_sql::SqlScalar {
+            agg: AggKind::Sum,
+            column: Some(SqlExpr::col("label")),
+            query: inner,
+            compare: None,
+        };
+        let got = db.execute(&SqlQuery::Scalar(scalar), &Params::new());
+        match got {
+            Err(DbError::Exec(msg)) => {
+                assert!(msg.contains("non-integer"), "{msg}")
+            }
+            other => panic!("expected a type error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_overflow_is_a_checked_error() {
+        let mut db = Database::new();
+        db.create_table(Schema::builder("big").field("n", FieldType::Int).finish()).unwrap();
+        db.insert("big", vec![Value::from(i64::MAX)]).unwrap();
+        db.insert("big", vec![Value::from(1)]).unwrap();
+        let scalar = qbs_sql::SqlScalar {
+            agg: AggKind::Sum,
+            column: Some(SqlExpr::col("n")),
+            query: parse_query("SELECT n FROM big").unwrap(),
+            compare: None,
+        };
+        let got = db.execute(&SqlQuery::Scalar(scalar), &Params::new());
+        match got {
+            Err(DbError::Exec(msg)) => assert!(msg.contains("overflow"), "{msg}"),
+            other => panic!("expected overflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn bind_parameters_resolve() {
         let db = setup();
         let q = parse_query("SELECT id FROM users WHERE id = :uid").unwrap();
@@ -633,16 +927,152 @@ mod tests {
     }
 
     #[test]
-    fn in_subquery_executes() {
+    fn in_subquery_executes_once_and_probes_a_hash_set() {
         let db = setup();
         let sub = parse_query("SELECT roleId FROM roles WHERE roleId = 1").unwrap();
         let mut q = parse_query("SELECT id FROM users").unwrap();
         q.where_clause = Some(SqlExpr::InSubquery(
             Box::new(SqlExpr::qcol("users", "roleId")),
-            Box::new(sub),
+            Box::new(sub.clone()),
         ));
         let out = db.execute_select(&q, &Params::new()).unwrap();
         assert_eq!(out.rows.len(), 2);
+        // Six probe rows, one sub-query execution, five cache hits.
+        assert_eq!(out.stats.subqueries_executed, 1, "{:?}", out.stats);
+        assert_eq!(out.stats.subquery_cache_hits, 5, "{:?}", out.stats);
+
+        // The same sub-query twice in one WHERE shares the hoisted result.
+        let mut q2 = parse_query("SELECT id FROM users").unwrap();
+        q2.where_clause = Some(SqlExpr::And(vec![
+            SqlExpr::InSubquery(
+                Box::new(SqlExpr::qcol("users", "roleId")),
+                Box::new(sub.clone()),
+            ),
+            SqlExpr::InSubquery(Box::new(SqlExpr::qcol("users", "roleId")), Box::new(sub)),
+        ]));
+        let out2 = db.execute_select(&q2, &Params::new()).unwrap();
+        assert_eq!(out2.rows.len(), 2);
+        assert_eq!(out2.stats.subqueries_executed, 1, "{:?}", out2.stats);
+    }
+
+    #[test]
+    fn nested_in_subqueries_count_toward_hoisting() {
+        let db = setup();
+        let innermost = parse_query("SELECT roleId FROM roles WHERE roleId = 1").unwrap();
+        let mut mid = parse_query("SELECT roleId FROM roles").unwrap();
+        mid.where_clause = Some(SqlExpr::InSubquery(
+            Box::new(SqlExpr::qcol("roles", "roleId")),
+            Box::new(innermost),
+        ));
+        let mut q = parse_query("SELECT id FROM users").unwrap();
+        q.where_clause = Some(SqlExpr::InSubquery(
+            Box::new(SqlExpr::qcol("users", "roleId")),
+            Box::new(mid),
+        ));
+        let summary = explain(&q, &db);
+        assert_eq!(summary.hoisted_subqueries, 2, "{summary:?}");
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        // The nested sub-query executes through the same hoisting cache,
+        // and the documented bound holds.
+        assert!(out.stats.subqueries_executed <= summary.hoisted_subqueries, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn executing_a_plan_against_an_unindexed_database_errors() {
+        let mut indexed = setup();
+        indexed.create_index("users", "roleId").unwrap();
+        let bare = setup(); // same tables, no index
+        let q = parse_query("SELECT id FROM users WHERE roleId = 1").unwrap();
+        let p = crate::planner::plan(&q, &indexed);
+        assert_eq!(p.summary().index_scans, 1);
+        // The plan's probe cannot be satisfied: loud error, not 0 rows.
+        let got = bare.execute_plan(&p, &Params::new());
+        match got {
+            Err(DbError::Exec(msg)) => assert!(msg.contains("index"), "{msg}"),
+            other => panic!("expected an index error, got {other:?}"),
+        }
+    }
+
+    /// `SELECT <alias>.<col> FROM (inner) <alias>`.
+    fn wrap_in_from_subquery(inner: qbs_sql::SqlSelect, alias: &str, col: &str) -> SqlSelect {
+        qbs_sql::SqlSelect::new(
+            vec![qbs_sql::SelectItem { expr: SqlExpr::qcol(alias, col), alias: None }],
+            vec![qbs_sql::FromItem::Subquery { query: Box::new(inner), alias: alias.into() }],
+        )
+    }
+
+    #[test]
+    fn from_subquery_stats_stay_top_level() {
+        // The inner plan probes an index and (in the join variant) runs a
+        // hash join; `joins`/`used_index` must still describe only the
+        // top-level statement — the invariant Plan::summary renders.
+        let mut db = setup();
+        db.create_index("users", "roleId").unwrap();
+        let inner = parse_query("SELECT id FROM users WHERE roleId = 1").unwrap();
+        let q = wrap_in_from_subquery(inner, "s", "id");
+        let plan = explain(&q, &db);
+        assert_eq!(plan.index_scans, 0, "{plan:?}");
+        assert!(plan.joins.is_empty(), "{plan:?}");
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert!(!out.stats.used_index, "{:?}", out.stats);
+        assert!(out.stats.joins.is_empty(), "{:?}", out.stats);
+        // The inner scan's row work is still accounted for.
+        assert_eq!(out.stats.rows_scanned, 2, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn order_sensitive_outer_query_pins_inner_subquery_order() {
+        let db = setup();
+        let join =
+            parse_query("SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId")
+                .unwrap();
+        let cfg = PlanConfig { reorder_joins: true, ..PlanConfig::default() };
+
+        // Outer LIMIT observes the inner row order: the inner join must
+        // not be reordered, and the result equals the default execution.
+        let mut limited = wrap_in_from_subquery(join.clone(), "s", "id");
+        limited.limit = Some(SqlExpr::int(3));
+        let plan = crate::planner::plan_with(&limited, &db, &cfg);
+        let crate::planner::ScanSource::Subquery { plan: inner, .. } = &plan.scans[0].source
+        else {
+            panic!("subquery scan expected");
+        };
+        assert!(!inner.reordered, "{inner:?}");
+        let base = db.execute_select(&limited, &Params::new()).unwrap();
+        let reordered = db.execute_select_with(&limited, &Params::new(), &cfg).unwrap();
+        assert_eq!(base.rows, reordered.rows);
+
+        // Without the outer LIMIT the whole result is a multiset and the
+        // inner join may reorder (roles is smaller than users).
+        let free = wrap_in_from_subquery(join, "s", "id");
+        let plan = crate::planner::plan_with(&free, &db, &cfg);
+        let crate::planner::ScanSource::Subquery { plan: inner, .. } = &plan.scans[0].source
+        else {
+            panic!("subquery scan expected");
+        };
+        assert!(inner.reordered, "{inner:?}");
+    }
+
+    #[test]
+    fn reordered_join_preserves_the_multiset() {
+        let db = setup();
+        // roles (3 rows) is smaller than users (6): greedy order flips.
+        let q =
+            parse_query("SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId")
+                .unwrap();
+        let cfg = PlanConfig { reorder_joins: true, ..PlanConfig::default() };
+        let plan = explain_with(&q, &db, &cfg);
+        assert!(plan.reordered, "{plan:?}");
+        assert_eq!(plan.join_order, vec![Ident::new("roles"), Ident::new("users")]);
+        let base = db.execute_select(&q, &Params::new()).unwrap();
+        let reordered = db.execute_select_with(&q, &Params::new(), &cfg).unwrap();
+        assert!(crate::compare::rows_agree(
+            &base.rows,
+            &reordered.rows,
+            crate::compare::RowsEquivalence::Multiset
+        ));
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use qbs_common::{Ident, Value};
 use qbs_sql::SqlExpr;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::rc::Rc;
 
 /// A column of an execution frame.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,6 +50,32 @@ impl Frame {
     }
 }
 
+/// A row as seen by expression evaluation: either one materialized slice or
+/// the logical concatenation of two slices — the latter lets joins evaluate
+/// their predicate *before* cloning the combined row.
+#[derive(Clone, Copy)]
+pub(crate) enum RowRef<'a> {
+    /// One contiguous row.
+    Slice(&'a [Value]),
+    /// `left ++ right` without materialization.
+    Pair(&'a [Value], &'a [Value]),
+}
+
+impl<'a> RowRef<'a> {
+    fn at(&self, i: usize) -> &'a Value {
+        match self {
+            RowRef::Slice(r) => &r[i],
+            RowRef::Pair(l, r) => {
+                if i < l.len() {
+                    &l[i]
+                } else {
+                    &r[i - l.len()]
+                }
+            }
+        }
+    }
+}
+
 /// Execution counters for benchmarks and plan tests.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExecStats {
@@ -56,10 +83,27 @@ pub struct ExecStats {
     pub rows_scanned: usize,
     /// Row pairs compared by join operators.
     pub join_comparisons: usize,
-    /// Join algorithms used, in execution order.
+    /// Join algorithms used by the top-level query, in execution order.
     pub joins: Vec<&'static str>,
-    /// True when an index satisfied a selection.
+    /// True when an index satisfied a selection of the top-level query.
     pub used_index: bool,
+    /// Predicate sub-queries (`IN (SELECT …)`) actually executed; with the
+    /// hoisting cache each distinct sub-query runs once per statement.
+    pub subqueries_executed: usize,
+    /// Predicate sub-query evaluations answered from the hoisting cache.
+    pub subquery_cache_hits: usize,
+}
+
+impl ExecStats {
+    /// Folds the base-table and sub-query counters of `other` into `self`.
+    /// `joins` and `used_index` are *not* merged: they describe the
+    /// top-level statement, not its nested sub-queries.
+    pub(crate) fn absorb_nested(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.join_comparisons += other.join_comparisons;
+        self.subqueries_executed += other.subqueries_executed;
+        self.subquery_cache_hits += other.subquery_cache_hits;
+    }
 }
 
 /// Errors raised during execution.
@@ -83,28 +127,47 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Evaluation context: bind parameters plus a callback for `IN (subquery)`.
-pub(crate) struct EvalCtx<'a> {
-    pub params: &'a super::db::Params,
-    pub subquery: &'a dyn Fn(&qbs_sql::SqlSelect) -> Result<Frame, ExecError>,
+/// The hoisted result of one uncorrelated predicate sub-query: the rows in
+/// execution order plus hash sets for O(1) membership probes.
+pub(crate) struct SubResult {
+    /// First-column values (what `x IN (SELECT …)` probes).
+    firsts: HashSet<Value>,
+    /// Whole rows (what `(x, y) IN (SELECT …)` probes).
+    rowset: HashSet<Vec<Value>>,
 }
 
-/// Evaluates a scalar SQL expression against one row.
+impl SubResult {
+    pub(crate) fn from_frame(frame: Frame) -> SubResult {
+        let firsts = frame.rows.iter().filter_map(|r| r.first().cloned()).collect();
+        let rowset = frame.rows.into_iter().collect();
+        SubResult { firsts, rowset }
+    }
+}
+
+/// Evaluation context: bind parameters plus a callback resolving an
+/// `IN (subquery)` to its hoisted [`SubResult`] (executed once, cached).
+pub(crate) struct EvalCtx<'a> {
+    pub params: &'a super::db::Params,
+    pub subquery: &'a dyn Fn(&qbs_sql::SqlSelect) -> Result<Rc<SubResult>, ExecError>,
+}
+
+/// Evaluates a scalar SQL expression against one (possibly split) row.
 pub(crate) fn eval_expr(
     e: &SqlExpr,
     frame: &Frame,
-    row: &[Value],
+    row: RowRef<'_>,
     ctx: &EvalCtx<'_>,
 ) -> Result<Value, ExecError> {
     match e {
-        SqlExpr::Column { qualifier, name } => {
-            frame.resolve(qualifier.as_ref(), name).map(|i| row[i].clone()).ok_or_else(|| {
+        SqlExpr::Column { qualifier, name } => frame
+            .resolve(qualifier.as_ref(), name)
+            .map(|i| row.at(i).clone())
+            .ok_or_else(|| {
                 ExecError::new(format!(
                     "unresolved column {}{name}",
                     qualifier.as_ref().map(|q| format!("{q}.")).unwrap_or_default()
                 ))
-            })
-        }
+            }),
         SqlExpr::Lit(v) => Ok(v.clone()),
         SqlExpr::Param(p) => ctx
             .params
@@ -136,7 +199,7 @@ pub(crate) fn eval_expr(
         SqlExpr::InSubquery(x, q) => {
             let v = eval_expr(x, frame, row, ctx)?;
             let sub = (ctx.subquery)(q)?;
-            Ok(Value::from(sub.rows.iter().any(|r| r.first() == Some(&v))))
+            Ok(Value::from(sub.firsts.contains(&v)))
         }
         SqlExpr::RowInSubquery(xs, q) => {
             let vs = xs
@@ -144,7 +207,7 @@ pub(crate) fn eval_expr(
                 .map(|x| eval_expr(x, frame, row, ctx))
                 .collect::<Result<Vec<_>, _>>()?;
             let sub = (ctx.subquery)(q)?;
-            Ok(Value::from(sub.rows.iter().any(|r| r == &vs)))
+            Ok(Value::from(sub.rowset.contains(&vs)))
         }
     }
 }
@@ -162,7 +225,7 @@ pub(crate) fn filter(
     let shell = Frame::new(frame.cols.clone());
     let mut rows = Vec::new();
     for row in frame.rows {
-        if truthy(&eval_expr(pred, &shell, &row, ctx)?)? {
+        if truthy(&eval_expr(pred, &shell, RowRef::Slice(&row), ctx)?)? {
             rows.push(row);
         }
     }
@@ -170,7 +233,8 @@ pub(crate) fn filter(
 }
 
 /// Nested-loop join: left-major order, right insertion order (the TOR `⋈`
-/// axiom order). `O(n·m)`.
+/// axiom order). `O(n·m)`. The predicate is evaluated on a split row view,
+/// so only matching pairs are ever materialized.
 pub(crate) fn nested_loop_join(
     left: Frame,
     right: Frame,
@@ -185,13 +249,13 @@ pub(crate) fn nested_loop_join(
     for l in &left.rows {
         for r in &right.rows {
             stats.join_comparisons += 1;
-            let mut combined = l.clone();
-            combined.extend(r.iter().cloned());
             let keep = match pred {
-                Some(p) => truthy(&eval_expr(p, &out_frame, &combined, ctx)?)?,
+                Some(p) => truthy(&eval_expr(p, &out_frame, RowRef::Pair(l, r), ctx)?)?,
                 None => true,
             };
             if keep {
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
                 rows.push(combined);
             }
         }
@@ -214,7 +278,7 @@ pub(crate) fn hash_join(
 ) -> Result<Frame, ExecError> {
     let mut buckets: HashMap<Value, Vec<usize>> = HashMap::new();
     for (i, r) in right.rows.iter().enumerate() {
-        let k = eval_expr(right_key, &right, r, ctx)?;
+        let k = eval_expr(right_key, &right, RowRef::Slice(r), ctx)?;
         buckets.entry(k).or_default().push(i);
     }
     let mut cols = left.cols.clone();
@@ -222,17 +286,18 @@ pub(crate) fn hash_join(
     let out_frame = Frame::new(cols.clone());
     let mut rows = Vec::new();
     for l in &left.rows {
-        let k = eval_expr(left_key, &left, l, ctx)?;
+        let k = eval_expr(left_key, &left, RowRef::Slice(l), ctx)?;
         if let Some(matches) = buckets.get(&k) {
             for &ri in matches {
                 stats.join_comparisons += 1;
-                let mut combined = l.clone();
-                combined.extend(right.rows[ri].iter().cloned());
+                let r = &right.rows[ri];
                 let keep = match residual {
-                    Some(p) => truthy(&eval_expr(p, &out_frame, &combined, ctx)?)?,
+                    Some(p) => truthy(&eval_expr(p, &out_frame, RowRef::Pair(l, r), ctx)?)?,
                     None => true,
                 };
                 if keep {
+                    let mut combined = l.clone();
+                    combined.extend(r.iter().cloned());
                     rows.push(combined);
                 }
             }
@@ -253,7 +318,7 @@ pub(crate) fn sort(
     for row in frame.rows {
         let mut ks = Vec::with_capacity(keys.len());
         for (k, _) in keys {
-            ks.push(eval_expr(k, &shell, &row, ctx)?);
+            ks.push(eval_expr(k, &shell, RowRef::Slice(&row), ctx)?);
         }
         decorated.push((ks, row));
     }
@@ -270,18 +335,17 @@ pub(crate) fn sort(
     Ok(Frame { cols: frame.cols, rows: decorated.into_iter().map(|(_, r)| r).collect() })
 }
 
-/// First-occurrence duplicate elimination (preserves order).
+/// First-occurrence duplicate elimination (preserves order) — hash-set
+/// membership, `O(n)` expected instead of the old `O(n²)` linear scan.
 pub(crate) fn distinct(frame: Frame) -> Frame {
-    let mut seen: Vec<&Vec<Value>> = Vec::new();
-    let mut keep = vec![false; frame.rows.len()];
-    for (i, r) in frame.rows.iter().enumerate() {
+    let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(frame.rows.len());
+    let mut rows = Vec::with_capacity(frame.rows.len());
+    for r in frame.rows {
         if !seen.contains(&r) {
-            seen.push(r);
-            keep[i] = true;
+            seen.insert(r.clone());
+            rows.push(r);
         }
     }
-    let rows =
-        frame.rows.iter().zip(&keep).filter(|(_, &k)| k).map(|(r, _)| r.clone()).collect();
     Frame { cols: frame.cols, rows }
 }
 
@@ -377,5 +441,18 @@ mod tests {
         let f = Frame { cols: vec![fc("a", "k"), fc("b", "k")], rows: vec![] };
         assert_eq!(f.resolve(None, &"k".into()), None);
         assert_eq!(f.resolve(Some(&"a".into()), &"k".into()), Some(0));
+    }
+
+    #[test]
+    fn split_row_view_resolves_across_the_seam() {
+        let params = super::super::db::Params::new();
+        let c = ctx(&params);
+        let frame =
+            Frame { cols: vec![fc("l", "k"), fc("l", "x"), fc("r", "y")], rows: vec![] };
+        let l: Vec<Value> = vec![1.into(), 2.into()];
+        let r: Vec<Value> = vec![3.into()];
+        let e = SqlExpr::cmp(SqlExpr::qcol("r", "y"), CmpOp::Gt, SqlExpr::qcol("l", "x"));
+        let v = eval_expr(&e, &frame, RowRef::Pair(&l, &r), &c).unwrap();
+        assert_eq!(v, Value::from(true));
     }
 }

@@ -7,6 +7,13 @@
 //! to (optionally indexed) scans, and implements `ORDER BY`/`LIMIT`/
 //! `DISTINCT`/aggregates.
 //!
+//! Planning happens **once**: [`plan`]/[`plan_with`] compute a
+//! [`PhysicalPlan`] (pushdown, index probes, join keys, join order,
+//! cardinality estimates, `IN`-subquery hoisting), [`explain`] renders that
+//! IR as a [`Plan`] summary, and [`Database::execute_plan`] interprets it —
+//! the summary cannot diverge from execution because both consume the same
+//! value.
+//!
 //! Two properties matter for reproducing the paper:
 //!
 //! * **Order preservation.** Scans yield insertion order; filters and
@@ -47,7 +54,10 @@ mod planner;
 mod storage;
 
 pub use compare::{rows_agree, rows_diff, RowsDiff, RowsEquivalence};
-pub use db::{Database, DbError, Params, QueryOutput};
+pub use db::{Database, DbError, Params, QueryOutput, SelectOutput};
 pub use exec::{ExecStats, Frame, FrameCol};
-pub use planner::{explain, JoinAlgorithm, Plan};
+pub use planner::{
+    explain, explain_with, plan, plan_with, IndexProbe, JoinAlgorithm, JoinStep, PhysicalPlan,
+    Plan, PlanConfig, ScanNode, ScanSource,
+};
 pub use storage::Table;

@@ -1,10 +1,21 @@
-//! Query planning: predicate classification, join-algorithm selection,
-//! selection pushdown.
+//! Query planning: the [`PhysicalPlan`] IR.
+//!
+//! [`plan_with`] runs every planning decision exactly once — selection
+//! pushdown, index selection, equi-join key extraction, greedy join
+//! ordering, cardinality estimation — and records the result as a
+//! [`PhysicalPlan`]. [`explain`] is a cheap rendering of that IR and
+//! `Database::execute_select` interprets it; because both sides consume the
+//! same value there is no second planning pass that could diverge from the
+//! executor (the pre-IR `explain()` re-derived the decisions by hand and,
+//! for example, counted one index scan per pushed equality predicate while
+//! the executor used at most one index per scan).
 
+use crate::exec::FrameCol;
 use qbs_common::Ident;
-use qbs_sql::{SqlExpr, SqlSelect};
+use qbs_sql::{FromItem, OrderKey, SelectItem, SqlExpr, SqlSelect};
 use qbs_tor::CmpOp;
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// Join algorithm chosen for one join step.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -15,16 +26,201 @@ pub enum JoinAlgorithm {
     NestedLoop,
 }
 
+/// Planner tuning knobs.
+#[derive(Clone, Debug, Default)]
+pub struct PlanConfig {
+    /// Order joins greedily by estimated cardinality (smallest first)
+    /// instead of `FROM`-clause order. Reordering is applied only when it
+    /// cannot change observable results: either no `ORDER BY`/`LIMIT` pins an
+    /// observable order (results compare as multisets), or the `ORDER BY`
+    /// totally orders rows via every alias's `rowid`.
+    pub reorder_joins: bool,
+    /// Force every join step onto the nested-loop algorithm. Benchmarks use
+    /// this to measure the hash-join/pushdown speedup against the
+    /// application-code baseline; never enable it for production execution.
+    pub force_nested_loop: bool,
+}
+
+/// An index probe: `column = value` answered by a hash index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexProbe {
+    /// The indexed column.
+    pub column: Ident,
+    /// The probe value — a literal or a bind parameter.
+    pub value: SqlExpr,
+}
+
+/// Where a scan's rows come from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScanSource {
+    /// A base table.
+    Table(Ident),
+    /// A `FROM (subquery) alias` — planned recursively.
+    Subquery {
+        /// The sub-query's own physical plan.
+        plan: Box<PhysicalPlan>,
+        /// Output columns, qualified by the sub-query alias.
+        cols: Vec<FrameCol>,
+    },
+}
+
+/// One `FROM` item with its pushed-down selections resolved.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScanNode {
+    /// The alias column references use.
+    pub alias: Ident,
+    /// Base table or sub-query.
+    pub source: ScanSource,
+    /// At most one indexed equality probe (the executor uses at most one
+    /// index per scan; the plan records exactly that).
+    pub probe: Option<IndexProbe>,
+    /// Pushed predicates not answered by the probe, conjoined.
+    pub filter: Option<SqlExpr>,
+    /// How many conjuncts were pushed down to this scan (probe included).
+    pub pushed_filters: usize,
+    /// Estimated output cardinality (exact for literal index probes,
+    /// coarse selectivity heuristics otherwise).
+    pub estimated_rows: usize,
+}
+
+/// One join step: `acc ⋈ scans[k+1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinStep {
+    /// Chosen algorithm.
+    pub algorithm: JoinAlgorithm,
+    /// Equality keys (left, right) driving a hash join.
+    pub key: Option<(SqlExpr, SqlExpr)>,
+    /// Remaining connecting predicates, evaluated on each candidate pair.
+    pub residual: Option<SqlExpr>,
+    /// Estimated cardinality after this step.
+    pub estimated_rows: usize,
+}
+
+/// The physical plan: every decision the executor will take, computed once.
+///
+/// `explain()` renders it into a [`Plan`] summary; `Database::execute_plan`
+/// interprets it. The struct clones the query's projection/ordering clauses
+/// so the interpreter needs no access to the original `SqlSelect`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhysicalPlan {
+    /// Scans in execution (join) order — reordered when permitted.
+    pub scans: Vec<ScanNode>,
+    /// Join steps; `joins[k]` combines the accumulator with `scans[k + 1]`.
+    pub joins: Vec<JoinStep>,
+    /// Post-join leftover predicates (alias-free literals, predicates over
+    /// already-joined aliases), conjoined.
+    pub residual: Option<SqlExpr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// Projection list (empty = `SELECT *`).
+    pub columns: Vec<SelectItem>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// `LIMIT` expression.
+    pub limit: Option<SqlExpr>,
+    /// True when the greedy optimizer changed the `FROM` order.
+    pub reordered: bool,
+    /// Uncorrelated `IN (SELECT …)` predicates reachable from this query
+    /// (its `WHERE` clause plus nested sub-queries' clauses); the executor
+    /// hoists each into a hash set built once per statement.
+    pub hoisted_subqueries: usize,
+}
+
+impl PhysicalPlan {
+    /// The plan summary — what `explain()` returns.
+    pub fn summary(&self) -> Plan {
+        Plan {
+            joins: self.joins.iter().map(|j| j.algorithm).collect(),
+            pushed_filters: self.scans.iter().map(|s| s.pushed_filters).sum(),
+            index_scans: self.scans.iter().filter(|s| s.probe.is_some()).count(),
+            join_order: self.scans.iter().map(|s| s.alias.clone()).collect(),
+            estimated_rows: self.scans.iter().map(|s| s.estimated_rows).collect(),
+            reordered: self.reordered,
+            hoisted_subqueries: self.hoisted_subqueries,
+        }
+    }
+
+    /// Estimated output cardinality: the last join estimate (or the single
+    /// scan's), clamped by a literal `LIMIT`.
+    pub fn estimated_output(&self) -> usize {
+        let base = self
+            .joins
+            .last()
+            .map(|j| j.estimated_rows)
+            .or_else(|| self.scans.first().map(|s| s.estimated_rows))
+            .unwrap_or(0);
+        match &self.limit {
+            Some(SqlExpr::Lit(v)) => match v.as_int() {
+                Some(n) if n >= 0 => base.min(n as usize),
+                _ => base,
+            },
+            _ => base,
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, scan) in self.scans.iter().enumerate() {
+            let source = match &scan.source {
+                ScanSource::Table(name) => format!("table {name}"),
+                ScanSource::Subquery { .. } => "subquery".to_string(),
+            };
+            write!(f, "scan {} ({source}, est {} rows", scan.alias, scan.estimated_rows)?;
+            if let Some(p) = &scan.probe {
+                write!(f, ", index {} = {:?}", p.column, p.value)?;
+            }
+            if scan.filter.is_some() {
+                write!(f, ", filtered")?;
+            }
+            writeln!(f, ")")?;
+            if k > 0 {
+                let step = &self.joins[k - 1];
+                let algo = match step.algorithm {
+                    JoinAlgorithm::Hash => "hash join",
+                    JoinAlgorithm::NestedLoop => "nested-loop join",
+                };
+                writeln!(f, "  └ {algo} (est {} rows)", step.estimated_rows)?;
+            }
+        }
+        if self.residual.is_some() {
+            writeln!(f, "filter (post-join residual)")?;
+        }
+        if !self.order_by.is_empty() {
+            writeln!(f, "sort ({} keys)", self.order_by.len())?;
+        }
+        if self.distinct {
+            writeln!(f, "distinct")?;
+        }
+        if self.limit.is_some() {
+            writeln!(f, "limit")?;
+        }
+        Ok(())
+    }
+}
+
 /// A human-inspectable plan summary (used by tests and benches to assert
-/// that the optimizer made the expected choices).
+/// that the optimizer made the expected choices). Produced by rendering a
+/// [`PhysicalPlan`] — never computed independently of the executor's plan.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Plan {
     /// Join algorithm per join step, in execution order.
     pub joins: Vec<JoinAlgorithm>,
     /// Number of predicates pushed down to single-table scans.
     pub pushed_filters: usize,
-    /// Number of scans satisfied by a hash index.
+    /// Number of scans satisfied by a hash index (at most one index per
+    /// scan, mirroring the executor exactly).
     pub index_scans: usize,
+    /// Scan aliases in execution order — differs from the `FROM` order only
+    /// when greedy join reordering was enabled and permitted.
+    pub join_order: Vec<Ident>,
+    /// Estimated cardinality per scan, in `join_order` order.
+    pub estimated_rows: Vec<usize>,
+    /// True when the optimizer changed the `FROM` order.
+    pub reordered: bool,
+    /// Uncorrelated `IN`-subquery predicates (nested ones included)
+    /// hoisted to once-per-statement hash sets.
+    pub hoisted_subqueries: usize,
 }
 
 /// The table aliases a predicate references.
@@ -61,6 +257,37 @@ pub(crate) fn conjuncts(e: &SqlExpr) -> Vec<SqlExpr> {
         SqlExpr::And(ps) => ps.iter().flat_map(conjuncts).collect(),
         other => vec![other.clone()],
     }
+}
+
+/// Counts `IN (subquery)` predicates in an expression tree, *including*
+/// those nested inside a sub-query's own `WHERE` clause — every one of
+/// them executes through the statement's hoisting cache, so this is the
+/// upper bound on `ExecStats::subqueries_executed`.
+fn count_subquery_preds(e: &SqlExpr) -> usize {
+    match e {
+        SqlExpr::InSubquery(x, q) => 1 + count_subquery_preds(x) + count_select_preds(q),
+        SqlExpr::RowInSubquery(xs, q) => {
+            1 + xs.iter().map(count_subquery_preds).sum::<usize>() + count_select_preds(q)
+        }
+        SqlExpr::Cmp(a, _, b) => count_subquery_preds(a) + count_subquery_preds(b),
+        SqlExpr::And(ps) | SqlExpr::Or(ps) => ps.iter().map(count_subquery_preds).sum(),
+        SqlExpr::Not(x) => count_subquery_preds(x),
+        SqlExpr::Column { .. } | SqlExpr::Lit(_) | SqlExpr::Param(_) => 0,
+    }
+}
+
+/// [`count_subquery_preds`] over a whole `SELECT`: its `WHERE` clause plus
+/// the clauses of its `FROM` sub-queries (their predicate sub-queries also
+/// run through the shared hoisting cache when the plan is interpreted).
+fn count_select_preds(q: &SqlSelect) -> usize {
+    q.where_clause.as_ref().map(count_subquery_preds).unwrap_or(0)
+        + q.from
+            .iter()
+            .map(|f| match f {
+                FromItem::Subquery { query, .. } => count_select_preds(query),
+                FromItem::Table { .. } => 0,
+            })
+            .sum::<usize>()
 }
 
 /// Recognizes `a.x = b.y` equi-join predicates between two alias sets.
@@ -115,62 +342,301 @@ pub(crate) fn index_eq(e: &SqlExpr, alias: &Ident) -> Option<(Ident, SqlExpr)> {
     None
 }
 
-/// Computes the plan summary for a query against the given database —
-/// the same decisions [`crate::Database::execute_select`] makes.
-pub fn explain(q: &SqlSelect, db: &crate::Database) -> Plan {
-    let mut plan = Plan::default();
+/// True when the `ORDER BY` clause pins a total order over the join result:
+/// every `FROM` alias contributes its `rowid` as a sort key, making each
+/// output row's key unique — sorting then yields one canonical sequence no
+/// matter what order the join produced.
+fn order_pinned_total(q: &SqlSelect) -> bool {
+    !q.order_by.is_empty()
+        && q.from.iter().all(|item| {
+            q.order_by.iter().any(|k| {
+                matches!(&k.expr, SqlExpr::Column { qualifier: Some(a), name }
+                    if a == item.alias() && name.as_str() == "rowid")
+            })
+        })
+}
+
+/// When greedy join reordering may be applied without changing observable
+/// results. The TOR semantics is order-sensitive (the `⋈` axioms fix
+/// left-major order), so reordering is sound only when
+///
+/// * the query has no `ORDER BY` and no `LIMIT` — results are compared as
+///   multisets (the oracle's `proven_equivalence` for such queries), and a
+///   join reorder permutes but never changes the multiset; or
+/// * the `ORDER BY` pins a total order via every alias's `rowid`
+///   ([`order_pinned_total`]) — the sort canonicalizes whatever order the
+///   joins produced, `LIMIT` included.
+fn reorder_permitted(q: &SqlSelect) -> bool {
+    if q.limit.is_some() || !q.order_by.is_empty() {
+        order_pinned_total(q)
+    } else {
+        true
+    }
+}
+
+/// Cardinality estimate for one scan after pushdown, from table sizes and
+/// index selectivity. Deliberately coarse — the estimates only have to rank
+/// scans for the greedy join order:
+///
+/// * index probe on a literal: the exact bucket length;
+/// * index probe on a parameter: `len / distinct_keys` (average bucket);
+/// * non-indexed equality pushdown: `len / 10`;
+/// * any other pushdown: `len / 3`;
+/// * bare scan: `len`.
+fn estimate_table(
+    table: &crate::storage::Table,
+    probe: &Option<IndexProbe>,
+    pushed: usize,
+    has_eq: bool,
+) -> usize {
+    let len = table.len();
+    if let Some(p) = probe {
+        if let SqlExpr::Lit(v) = &p.value {
+            return table.index_lookup(&p.column, v).map(<[usize]>::len).unwrap_or(0);
+        }
+        let distinct = table.index_cardinality(&p.column).unwrap_or(1).max(1);
+        return (len / distinct).max(1).min(len);
+    }
+    if pushed > 0 {
+        let divisor = if has_eq { 10 } else { 3 };
+        return (len / divisor).max(1).min(len.max(1));
+    }
+    len
+}
+
+/// Computes the full physical plan for a query against the given database.
+///
+/// Pushdown classification, index selection, join-key extraction, join
+/// ordering and cardinality estimation all happen here — `explain` renders
+/// the result, `Database::execute_plan` interprets it.
+pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> PhysicalPlan {
     let mut remaining: Vec<SqlExpr> =
         q.where_clause.as_ref().map(conjuncts).unwrap_or_default();
+    let hoisted_subqueries = count_select_preds(q);
 
-    // Selection pushdown per FROM item.
+    // Selection pushdown + per-scan index selection, in FROM order (the
+    // classification is per-alias and independent of the join order).
+    let mut nodes: Vec<ScanNode> = Vec::with_capacity(q.from.len());
     for item in &q.from {
         let alias = item.alias().clone();
         let mut mine = BTreeSet::new();
         mine.insert(alias.clone());
+        let mut pushed = Vec::new();
         let mut rest = Vec::new();
         for c in remaining.drain(..) {
             let mut used = BTreeSet::new();
             aliases_of(&c, &mut used);
+            // Unqualified predicates are pushable when there is only one
+            // FROM item to attribute them to.
             let pushable = used.is_subset(&mine) && (!used.is_empty() || q.from.len() == 1);
             if pushable {
-                plan.pushed_filters += 1;
-                if let qbs_sql::FromItem::Table { name, .. } = item {
-                    if let Some((col, _)) = index_eq(&c, &alias) {
-                        if db.table(name).is_some_and(|t| t.has_index(&col)) {
-                            plan.index_scans += 1;
-                        }
-                    }
-                }
+                pushed.push(c);
             } else {
                 rest.push(c);
             }
         }
         remaining = rest;
+
+        let pushed_filters = pushed.len();
+        let has_eq = pushed.iter().any(|c| index_eq(c, &alias).is_some());
+        let (source, probe, residual, estimated_rows) = match item {
+            FromItem::Table { name, .. } => {
+                let table = db.table(name);
+                // At most one indexed equality probe per scan; the rest of
+                // the pushed conjuncts stay as a residual filter.
+                let mut probe = None;
+                let mut residual = Vec::new();
+                for c in pushed {
+                    if probe.is_none() {
+                        if let Some((col, value)) = index_eq(&c, &alias) {
+                            if table.is_some_and(|t| t.has_index(&col)) {
+                                probe = Some(IndexProbe { column: col, value });
+                                continue;
+                            }
+                        }
+                    }
+                    residual.push(c);
+                }
+                let est = table
+                    .map(|t| estimate_table(t, &probe, pushed_filters, has_eq))
+                    .unwrap_or(0);
+                (ScanSource::Table(name.clone()), probe, residual, est)
+            }
+            FromItem::Subquery { query, alias: sub_alias } => {
+                // An inner reorder permutes the sub-query's output order,
+                // which the *outer* query observes through its own ORDER BY
+                // tie-breaking or LIMIT prefix. Only let inner plans
+                // reorder when the outer result is order-insensitive (no
+                // ORDER BY, no LIMIT — multiset semantics end to end).
+                let pinned;
+                let inner_config =
+                    if config.reorder_joins && !(q.order_by.is_empty() && q.limit.is_none()) {
+                        pinned = PlanConfig { reorder_joins: false, ..config.clone() };
+                        &pinned
+                    } else {
+                        config
+                    };
+                let inner = plan_with(query, db, inner_config);
+                let est = inner.estimated_output();
+                let cols = query
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(k, c)| FrameCol {
+                        alias: sub_alias.clone(),
+                        name: c
+                            .alias
+                            .clone()
+                            .or_else(|| match &c.expr {
+                                SqlExpr::Column { name, .. } => Some(name.clone()),
+                                _ => None,
+                            })
+                            .unwrap_or_else(|| Ident::new(format!("c{k}"))),
+                    })
+                    .collect();
+                (ScanSource::Subquery { plan: Box::new(inner), cols }, None, pushed, est)
+            }
+        };
+        nodes.push(ScanNode {
+            alias,
+            source,
+            probe,
+            filter: (!residual.is_empty()).then(|| SqlExpr::conjoin(residual)),
+            pushed_filters,
+            estimated_rows,
+        });
     }
 
-    // Join steps.
+    // Join ordering: greedy smallest-estimated-cardinality-first, gated on
+    // observable-order safety; otherwise the FROM order (the axiom order).
+    let order: Vec<usize> = if config.reorder_joins && nodes.len() > 1 && reorder_permitted(q) {
+        greedy_order(&nodes, &remaining)
+    } else {
+        (0..nodes.len()).collect()
+    };
+    let reordered = order.iter().enumerate().any(|(k, &i)| k != i);
+    let mut scans: Vec<ScanNode> = Vec::with_capacity(nodes.len());
+    for &i in &order {
+        scans.push(nodes[i].clone());
+    }
+
+    // Join steps, in execution order: pull the connecting conjuncts for
+    // each step out of the remaining pool; the first equi-join predicate
+    // becomes the hash key, the rest the step residual.
+    let mut joins: Vec<JoinStep> = Vec::with_capacity(scans.len().saturating_sub(1));
     let mut joined: BTreeSet<Ident> = BTreeSet::new();
-    for (k, item) in q.from.iter().enumerate() {
-        let alias = item.alias().clone();
+    let mut acc_est = scans.first().map(|s| s.estimated_rows).unwrap_or(0);
+    for (k, scan) in scans.iter().enumerate() {
         if k == 0 {
-            joined.insert(alias);
+            joined.insert(scan.alias.clone());
             continue;
         }
-        let mut right = BTreeSet::new();
-        right.insert(alias.clone());
-        let has_equi = remaining.iter().any(|c| equi_join_keys(c, &joined, &right).is_some());
-        plan.joins.push(if has_equi { JoinAlgorithm::Hash } else { JoinAlgorithm::NestedLoop });
-        // Consume the predicates that connect this step.
-        remaining.retain(|c| {
+        let alias = scan.alias.clone();
+        let mut right_set = BTreeSet::new();
+        right_set.insert(alias.clone());
+        let mut key: Option<(SqlExpr, SqlExpr)> = None;
+        let mut connecting = Vec::new();
+        let mut rest = Vec::new();
+        for c in remaining.drain(..) {
             let mut used = BTreeSet::new();
-            aliases_of(c, &mut used);
+            aliases_of(&c, &mut used);
             let mut both = joined.clone();
             both.insert(alias.clone());
-            !(used.is_subset(&both) && used.iter().any(|a| a == &alias))
+            if used.is_subset(&both) && used.contains(&alias) {
+                if key.is_none() && !config.force_nested_loop {
+                    if let Some(k) = equi_join_keys(&c, &joined, &right_set) {
+                        key = Some(k);
+                        continue;
+                    }
+                }
+                connecting.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        remaining = rest;
+        let algorithm =
+            if key.is_some() { JoinAlgorithm::Hash } else { JoinAlgorithm::NestedLoop };
+        acc_est = match algorithm {
+            // An equi join keeps roughly the larger side's cardinality.
+            JoinAlgorithm::Hash => acc_est.max(scan.estimated_rows),
+            JoinAlgorithm::NestedLoop => acc_est.saturating_mul(scan.estimated_rows.max(1)),
+        };
+        joins.push(JoinStep {
+            algorithm,
+            key,
+            residual: (!connecting.is_empty()).then(|| SqlExpr::conjoin(connecting)),
+            estimated_rows: acc_est,
         });
         joined.insert(alias);
     }
-    plan
+
+    PhysicalPlan {
+        scans,
+        joins,
+        residual: (!remaining.is_empty()).then(|| SqlExpr::conjoin(remaining)),
+        order_by: q.order_by.clone(),
+        columns: q.columns.clone(),
+        distinct: q.distinct,
+        limit: q.limit.clone(),
+        reordered,
+        hoisted_subqueries,
+    }
+}
+
+/// Greedy join order: start from the smallest estimated scan, then
+/// repeatedly append the smallest scan that is equi-connected to the set
+/// already joined (falling back to the smallest remaining scan when nothing
+/// connects — a cross product either way). Ties keep `FROM` order.
+fn greedy_order(nodes: &[ScanNode], conjuncts: &[SqlExpr]) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..nodes.len()).collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    let smallest = |cands: &[usize]| -> usize {
+        *cands
+            .iter()
+            .min_by_key(|&&i| (nodes[i].estimated_rows, i))
+            .expect("candidate set is non-empty")
+    };
+    let first = smallest(&remaining);
+    remaining.retain(|&i| i != first);
+    order.push(first);
+    let mut joined: BTreeSet<Ident> = BTreeSet::new();
+    joined.insert(nodes[first].alias.clone());
+    while !remaining.is_empty() {
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let mut right = BTreeSet::new();
+                right.insert(nodes[i].alias.clone());
+                conjuncts.iter().any(|c| equi_join_keys(c, &joined, &right).is_some())
+            })
+            .collect();
+        let next =
+            if connected.is_empty() { smallest(&remaining) } else { smallest(&connected) };
+        remaining.retain(|&i| i != next);
+        joined.insert(nodes[next].alias.clone());
+        order.push(next);
+    }
+    order
+}
+
+/// Plans with the default configuration (no reordering — the TOR axiom
+/// order is preserved exactly).
+pub fn plan(q: &SqlSelect, db: &crate::Database) -> PhysicalPlan {
+    plan_with(q, db, &PlanConfig::default())
+}
+
+/// Computes the plan summary for a query against the given database — a
+/// rendering of the *same* [`PhysicalPlan`] that
+/// [`Database::execute_select`](crate::Database::execute_select) interprets.
+pub fn explain(q: &SqlSelect, db: &crate::Database) -> Plan {
+    plan(q, db).summary()
+}
+
+/// [`explain`] under a non-default [`PlanConfig`].
+pub fn explain_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Plan {
+    plan_with(q, db, config).summary()
 }
 
 #[cfg(test)]
@@ -211,5 +677,28 @@ mod tests {
         assert!(index_eq(&p, &alias).is_some());
         let col2 = SqlExpr::cmp(SqlExpr::qcol("t", "id"), CmpOp::Eq, SqlExpr::qcol("t", "x"));
         assert!(index_eq(&col2, &alias).is_none());
+    }
+
+    #[test]
+    fn reorder_gate_requires_total_order_or_multiset_semantics() {
+        let mut q = qbs_sql::parse_query(
+            "SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId",
+        )
+        .unwrap();
+        // No ORDER BY, no LIMIT: multiset comparison — reordering allowed.
+        assert!(reorder_permitted(&q));
+        // A non-total ORDER BY pins observable order: not allowed.
+        q.order_by = vec![OrderKey { expr: SqlExpr::qcol("users", "id"), asc: true }];
+        assert!(!reorder_permitted(&q));
+        // Every alias's rowid in the ORDER BY makes the sort canonical.
+        q.order_by = vec![
+            OrderKey { expr: SqlExpr::qcol("users", "rowid"), asc: true },
+            OrderKey { expr: SqlExpr::qcol("roles", "rowid"), asc: true },
+        ];
+        assert!(reorder_permitted(&q));
+        // LIMIT without a total order is order-sensitive even for multisets.
+        q.order_by.clear();
+        q.limit = Some(SqlExpr::int(3));
+        assert!(!reorder_permitted(&q));
     }
 }

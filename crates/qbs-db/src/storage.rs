@@ -101,6 +101,12 @@ impl Table {
         self.indexes.contains_key(column)
     }
 
+    /// Number of distinct keys in `column`'s hash index, when one exists —
+    /// the planner's selectivity input (`len / distinct ≈` average bucket).
+    pub fn index_cardinality(&self, column: &Ident) -> Option<usize> {
+        self.indexes.get(column).map(HashMap::len)
+    }
+
     /// The indexed columns, in schema order (the iteration order of the
     /// internal map is not deterministic, so callers get a stable list).
     pub fn indexed_columns(&self) -> Vec<Ident> {

@@ -1,0 +1,214 @@
+//! The acceptance property for the shared physical-plan IR: on randomly
+//! generated queries, the decisions `explain()` reports (join algorithms,
+//! index use, join order) are *exactly* what the executor's `ExecStats`
+//! record — because both consume the same `PhysicalPlan` value — and
+//! interpreting a pre-computed plan is identical to `execute_select`.
+
+use proptest::prelude::*;
+use qbs_common::{FieldType, Ident, Schema, Value};
+use qbs_db::{plan, Database, JoinAlgorithm, Params, PlanConfig};
+use qbs_sql::{FromItem, OrderKey, SelectItem, SqlExpr, SqlSelect};
+use qbs_tor::CmpOp;
+
+/// Tables: name, integer join column, second column.
+const TABLES: [(&str, &str, &str); 3] = [("t", "a", "b"), ("u", "a", "c"), ("w", "k", "d")];
+
+/// All orders the three tables can appear in.
+const PERMS: [[usize; 3]; 6] =
+    [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+
+fn fixture() -> Database {
+    let mut db = Database::new();
+    for (k, (name, key, other)) in TABLES.iter().enumerate() {
+        db.create_table(
+            Schema::builder(*name)
+                .field(*key, FieldType::Int)
+                .field(*other, FieldType::Int)
+                .finish(),
+        )
+        .unwrap();
+        let rows = 8 + 5 * k as i64;
+        for i in 0..rows {
+            db.insert(name, vec![Value::from(i % 5), Value::from(i * 7 % 11)]).unwrap();
+        }
+    }
+    // Indexes on two of the three join columns: plans mix indexed and
+    // unindexed scans.
+    db.create_index("t", "a").unwrap();
+    db.create_index("w", "k").unwrap();
+    db
+}
+
+/// A generated query shape, assembled into a `SqlSelect` against `TABLES`.
+#[derive(Debug, Clone)]
+struct Shape {
+    tables: Vec<usize>,
+    /// Per non-first table: is there an equi-join predicate to its left
+    /// neighbour?
+    equi_join: Vec<bool>,
+    /// Per table: equality pushdown literal (None = no pushdown).
+    eq_pred: Vec<Option<i64>>,
+    /// IN-subquery predicate on the first table's key column.
+    in_subquery: bool,
+    /// ORDER BY every alias's rowid (a total order).
+    order_by_rowids: bool,
+    limit: Option<i64>,
+    distinct: bool,
+}
+
+fn mk_shape(
+    n: usize,
+    perm: usize,
+    equi: &[usize],
+    eq_pred: &[Option<i64>],
+    flags: &[usize],
+    limit: Option<i64>,
+) -> Shape {
+    Shape {
+        tables: PERMS[perm][..n].to_vec(),
+        equi_join: equi.iter().map(|&b| b == 1).collect(),
+        eq_pred: eq_pred.to_vec(),
+        in_subquery: flags[0] == 1,
+        order_by_rowids: flags[1] == 1,
+        limit,
+        distinct: flags[2] == 1,
+    }
+}
+
+fn build_query(shape: &Shape) -> SqlSelect {
+    let mut from = Vec::new();
+    let mut conjuncts = Vec::new();
+    for (k, &ti) in shape.tables.iter().enumerate() {
+        let (name, key, other) = TABLES[ti];
+        from.push(FromItem::Table { name: name.into(), alias: name.into() });
+        if let Some(lit) = shape.eq_pred[k] {
+            let col = if lit % 2 == 0 { key } else { other };
+            conjuncts.push(SqlExpr::cmp(
+                SqlExpr::qcol(name, col),
+                CmpOp::Eq,
+                SqlExpr::int(lit),
+            ));
+        }
+        if k > 0 && shape.equi_join[k] {
+            let (prev, prev_key, _) = TABLES[shape.tables[k - 1]];
+            conjuncts.push(SqlExpr::cmp(
+                SqlExpr::qcol(prev, prev_key),
+                CmpOp::Eq,
+                SqlExpr::qcol(name, key),
+            ));
+        }
+    }
+    if shape.in_subquery {
+        let (name, key, _) = TABLES[shape.tables[0]];
+        let sub = SqlSelect::new(
+            vec![SelectItem { expr: SqlExpr::qcol("u", "a"), alias: None }],
+            vec![FromItem::Table { name: "u".into(), alias: "u".into() }],
+        );
+        conjuncts.push(SqlExpr::InSubquery(Box::new(SqlExpr::qcol(name, key)), Box::new(sub)));
+    }
+    let columns = shape
+        .tables
+        .iter()
+        .map(|&ti| SelectItem { expr: SqlExpr::qcol(TABLES[ti].0, TABLES[ti].1), alias: None })
+        .collect();
+    let order_by = if shape.order_by_rowids {
+        shape
+            .tables
+            .iter()
+            .map(|&ti| OrderKey { expr: SqlExpr::qcol(TABLES[ti].0, "rowid"), asc: true })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut q = SqlSelect::new(columns, from);
+    q.where_clause = (!conjuncts.is_empty()).then(|| SqlExpr::conjoin(conjuncts));
+    q.order_by = order_by;
+    q.limit = shape.limit.map(SqlExpr::int);
+    q.distinct = shape.distinct;
+    q
+}
+
+fn algo_name(j: &JoinAlgorithm) -> &'static str {
+    match j {
+        JoinAlgorithm::Hash => "hash",
+        JoinAlgorithm::NestedLoop => "nested-loop",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Plan-reported joins and index decisions equal the executor's
+    /// `ExecStats`, and a pre-computed plan executes identically.
+    #[test]
+    fn plan_summary_matches_exec_stats(
+        n in 1usize..4,
+        perm in 0usize..6,
+        equi in prop::collection::vec(0usize..2, 3..4),
+        eq_pred in prop::collection::vec(prop::option::of(0i64..5), 3..4),
+        flags in prop::collection::vec(0usize..2, 3..4),
+        limit in prop::option::of(0i64..10),
+    ) {
+        let shape = mk_shape(n, perm, &equi, &eq_pred, &flags, limit);
+        let db = fixture();
+        let q = build_query(&shape);
+        let p = plan(&q, &db);
+        let summary = p.summary();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+
+        // Join algorithms, step by step.
+        let planned: Vec<&str> = summary.joins.iter().map(algo_name).collect();
+        prop_assert_eq!(&planned, &out.stats.joins, "q: {}", q);
+        // Index decisions.
+        prop_assert_eq!(
+            summary.index_scans > 0,
+            out.stats.used_index,
+            "q: {} summary: {:?} stats: {:?}", q, summary, out.stats
+        );
+        // Join order is the FROM order under the default config.
+        let from_order: Vec<Ident> =
+            q.from.iter().map(|f| f.alias().clone()).collect();
+        prop_assert_eq!(&summary.join_order, &from_order);
+        prop_assert_eq!(summary.join_order.len(), summary.estimated_rows.len());
+        // Hoisting: each distinct predicate sub-query executes at most once.
+        prop_assert!(out.stats.subqueries_executed <= summary.hoisted_subqueries);
+
+        // Interpreting the same plan value is execute_select.
+        let via_plan = db.execute_plan(&p, &Params::new()).unwrap();
+        prop_assert_eq!(&via_plan, &out);
+    }
+
+    /// Greedy join reordering never changes the result multiset (and the
+    /// exact sequence whenever the query pins a total order — or the
+    /// planner refused to reorder).
+    #[test]
+    fn reordering_preserves_results(
+        n in 1usize..4,
+        perm in 0usize..6,
+        equi in prop::collection::vec(0usize..2, 3..4),
+        eq_pred in prop::collection::vec(prop::option::of(0i64..5), 3..4),
+        flags in prop::collection::vec(0usize..2, 3..4),
+        limit in prop::option::of(0i64..10),
+    ) {
+        let shape = mk_shape(n, perm, &equi, &eq_pred, &flags, limit);
+        let db = fixture();
+        let q = build_query(&shape);
+        let base = db.execute_select(&q, &Params::new()).unwrap();
+        let cfg = PlanConfig { reorder_joins: true, ..PlanConfig::default() };
+        let reordered = db.execute_select_with(&q, &Params::new(), &cfg).unwrap();
+        if shape.order_by_rowids || shape.limit.is_some() {
+            // Total order pinned, or the planner refused to reorder under
+            // a LIMIT: the sequences must be identical.
+            prop_assert_eq!(&base.rows, &reordered.rows, "q: {}", q);
+        } else {
+            prop_assert!(
+                qbs_db::rows_agree(
+                    &base.rows,
+                    &reordered.rows,
+                    qbs_db::RowsEquivalence::Multiset
+                ),
+                "q: {}", q
+            );
+        }
+    }
+}

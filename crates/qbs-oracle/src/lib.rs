@@ -51,5 +51,8 @@ pub mod genfrag;
 mod oracle;
 mod verdict;
 
-pub use oracle::{check, check_unminimized, minimize, proven_equivalence};
+pub use oracle::{
+    check, check_opts, check_unminimized, minimize, proven_equivalence, CheckOptions,
+    CheckOutcome,
+};
 pub use verdict::{dump_database, MismatchWitness, OracleCounts, OracleVerdict};

@@ -4,7 +4,9 @@
 
 use crate::verdict::{MismatchWitness, OracleVerdict};
 use qbs_common::Ident;
-use qbs_db::{rows_diff, Database, Params, QueryOutput, RowsEquivalence};
+use qbs_db::{
+    rows_diff, Database, ExecStats, Params, PlanConfig, QueryOutput, RowsEquivalence,
+};
 use qbs_kernel::KernelProgram;
 use qbs_sql::SqlQuery;
 use qbs_tor::DynValue;
@@ -23,6 +25,40 @@ enum Outcome {
     Agree { rows: usize, equivalence: RowsEquivalence },
     Diff { diff: String, original: String, translated: String },
     Inconclusive(String),
+}
+
+/// Tuning for one differential check.
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Execute the SQL side with greedy join reordering enabled (the
+    /// planner still gates the reorder on order-safety — see
+    /// `qbs_db::PlanConfig`).
+    pub reorder_joins: bool,
+    /// Delta-debug a mismatch witness down to a (near-)minimal database.
+    pub minimize: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions { reorder_joins: false, minimize: true }
+    }
+}
+
+impl CheckOptions {
+    fn plan_config(&self) -> PlanConfig {
+        PlanConfig { reorder_joins: self.reorder_joins, ..PlanConfig::default() }
+    }
+}
+
+/// A verdict plus the executor counters of the SQL side — what corpus-scale
+/// oracle runs roll up into their reports.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The differential verdict.
+    pub verdict: OracleVerdict,
+    /// [`ExecStats`] of the first SQL execution (absent when the executor
+    /// itself failed, i.e. the verdict is inconclusive on the SQL side).
+    pub exec: Option<ExecStats>,
 }
 
 fn dump_dyn(v: &DynValue) -> String {
@@ -55,7 +91,14 @@ pub fn proven_equivalence(sql: &SqlQuery) -> RowsEquivalence {
     }
 }
 
-fn run_both(kernel: &KernelProgram, sql: &SqlQuery, db: &Database, params: &Params) -> Outcome {
+fn run_both(
+    kernel: &KernelProgram,
+    sql: &SqlQuery,
+    db: &Database,
+    params: &Params,
+    config: &PlanConfig,
+    exec: &mut Option<ExecStats>,
+) -> Outcome {
     // Original semantics: the kernel interpreter over the database's
     // relations, with bind parameters as scalar variables.
     let mut env = db.env();
@@ -68,10 +111,14 @@ fn run_both(kernel: &KernelProgram, sql: &SqlQuery, db: &Database, params: &Para
     };
 
     // Transformed semantics: the SQL executor on the same database.
-    let out = match db.execute(sql, params) {
+    let out = match db.execute_with(sql, params, config) {
         Ok(o) => o,
         Err(e) => return Outcome::Inconclusive(format!("sql execution failed: {e}")),
     };
+    *exec = Some(match &out {
+        QueryOutput::Rows(r) => r.stats.clone(),
+        QueryOutput::Scalar { stats, .. } => stats.clone(),
+    });
 
     let equivalence = proven_equivalence(sql);
     match (&run.result, &out) {
@@ -137,14 +184,51 @@ pub fn check(
     db: &Database,
     params: &Params,
 ) -> OracleVerdict {
-    match run_both(kernel, sql, db, params) {
+    check_opts(kernel, sql, db, params, &CheckOptions::default()).verdict
+}
+
+/// Runs the differential check without witness minimization — the hot path
+/// for fuzzing loops where most verdicts are expected to agree.
+pub fn check_unminimized(
+    kernel: &KernelProgram,
+    sql: &SqlQuery,
+    db: &Database,
+    params: &Params,
+) -> OracleVerdict {
+    let opts = CheckOptions { minimize: false, ..CheckOptions::default() };
+    check_opts(kernel, sql, db, params, &opts).verdict
+}
+
+/// The configurable differential check: verdict plus the SQL executor's
+/// counters, with join reordering and witness minimization per `opts`.
+pub fn check_opts(
+    kernel: &KernelProgram,
+    sql: &SqlQuery,
+    db: &Database,
+    params: &Params,
+    opts: &CheckOptions,
+) -> CheckOutcome {
+    let config = opts.plan_config();
+    let mut exec = None;
+    let verdict = match run_both(kernel, sql, db, params, &config, &mut exec) {
         Outcome::Agree { rows, equivalence } => OracleVerdict::Agree { rows, equivalence },
         Outcome::Inconclusive(reason) => OracleVerdict::Inconclusive { reason },
-        Outcome::Diff { .. } => {
-            let minimized = minimize(kernel, sql, db, params);
+        Outcome::Diff { diff, original, translated } if !opts.minimize => {
+            OracleVerdict::Mismatch(Box::new(MismatchWitness {
+                fragment: kernel.name().to_string(),
+                sql: sql.to_string(),
+                diff,
+                original,
+                translated,
+                db: db.clone(),
+            }))
+        }
+        Outcome::Diff { diff, original, translated } => {
+            let minimized = minimize_with(kernel, sql, db, params, &config);
             // Re-derive the divergence on the minimized database so the
             // witness is self-contained.
-            match run_both(kernel, sql, &minimized, params) {
+            let mut scratch = None;
+            match run_both(kernel, sql, &minimized, params, &config, &mut scratch) {
                 Outcome::Diff { diff, original, translated } => {
                     OracleVerdict::Mismatch(Box::new(MismatchWitness {
                         fragment: kernel.name().to_string(),
@@ -157,50 +241,18 @@ pub fn check(
                 }
                 // Unreachable by construction (minimize only commits
                 // mismatch-preserving reductions), kept total for safety.
-                _ => {
-                    let Outcome::Diff { diff, original, translated } =
-                        run_both(kernel, sql, db, params)
-                    else {
-                        return OracleVerdict::Inconclusive {
-                            reason: "mismatch did not reproduce".to_string(),
-                        };
-                    };
-                    OracleVerdict::Mismatch(Box::new(MismatchWitness {
-                        fragment: kernel.name().to_string(),
-                        sql: sql.to_string(),
-                        diff,
-                        original,
-                        translated,
-                        db: db.clone(),
-                    }))
-                }
+                _ => OracleVerdict::Mismatch(Box::new(MismatchWitness {
+                    fragment: kernel.name().to_string(),
+                    sql: sql.to_string(),
+                    diff,
+                    original,
+                    translated,
+                    db: db.clone(),
+                })),
             }
         }
-    }
-}
-
-/// Runs the differential check without witness minimization — the hot path
-/// for fuzzing loops where most verdicts are expected to agree.
-pub fn check_unminimized(
-    kernel: &KernelProgram,
-    sql: &SqlQuery,
-    db: &Database,
-    params: &Params,
-) -> OracleVerdict {
-    match run_both(kernel, sql, db, params) {
-        Outcome::Agree { rows, equivalence } => OracleVerdict::Agree { rows, equivalence },
-        Outcome::Inconclusive(reason) => OracleVerdict::Inconclusive { reason },
-        Outcome::Diff { diff, original, translated } => {
-            OracleVerdict::Mismatch(Box::new(MismatchWitness {
-                fragment: kernel.name().to_string(),
-                sql: sql.to_string(),
-                diff,
-                original,
-                translated,
-                db: db.clone(),
-            }))
-        }
-    }
+    };
+    CheckOutcome { verdict, exec }
 }
 
 /// Rebuilds `db` with `table` restricted to the rows whose positions are
@@ -236,8 +288,24 @@ pub fn minimize(
     db: &Database,
     params: &Params,
 ) -> Database {
+    minimize_with(kernel, sql, db, params, &PlanConfig::default())
+}
+
+/// [`minimize`] under the plan configuration the mismatch was found with,
+/// so reductions are judged by the same executor behaviour.
+fn minimize_with(
+    kernel: &KernelProgram,
+    sql: &SqlQuery,
+    db: &Database,
+    params: &Params,
+    config: &PlanConfig,
+) -> Database {
     let still_mismatch = |candidate: &Database| {
-        matches!(run_both(kernel, sql, candidate, params), Outcome::Diff { .. })
+        let mut scratch = None;
+        matches!(
+            run_both(kernel, sql, candidate, params, config, &mut scratch),
+            Outcome::Diff { .. }
+        )
     };
     if !still_mismatch(db) {
         return db.clone();
@@ -365,6 +433,81 @@ mod tests {
         let users = w.db.table(&"users".into()).expect("witness keeps the table");
         assert_eq!(users.len(), 1, "witness:\n{w}");
         assert!(w.to_string().contains("sql:"), "{w}");
+    }
+
+    /// An imperative max-loop over `users` (`best = i64::MIN` sentinel
+    /// init, as real fragments write it).
+    fn max_kernel() -> KernelProgram {
+        let schema = Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish();
+        KernelProgram::builder("maxid")
+            .stmt(KStmt::assign("best", KExpr::int(i64::MIN)))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", schema))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::if_then(
+                        KExpr::cmp(
+                            CmpOp::Gt,
+                            KExpr::field(
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                "id",
+                            ),
+                            KExpr::var("best"),
+                        ),
+                        vec![KStmt::assign(
+                            "best",
+                            KExpr::field(
+                                KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                "id",
+                            ),
+                        )],
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("best")
+            .finish()
+    }
+
+    #[test]
+    fn empty_max_is_inconclusive_not_a_sentinel_comparison() {
+        // The kernel's sentinel (i64::MIN) is garbage, and so was the old
+        // SQL executor's — the oracle must not compare the two as if they
+        // were data. The executor now raises EmptyAggregate, which the
+        // oracle maps to Inconclusive.
+        let db = users_db(&[]);
+        let sql = qbs_sql::parse("SELECT MAX(users.id) FROM users").unwrap();
+        let v = check(&max_kernel(), &sql, &db, &Params::new());
+        match v {
+            OracleVerdict::Inconclusive { reason } => {
+                assert!(reason.contains("empty relation"), "{reason}")
+            }
+            other => panic!("expected inconclusive, got {other}"),
+        }
+        // On a populated table the same pair agrees.
+        let db = users_db(&[(7, 1), (3, 2)]);
+        let v = check(&max_kernel(), &sql, &db, &Params::new());
+        assert!(v.is_agree(), "{v}");
+    }
+
+    #[test]
+    fn check_opts_reports_exec_stats_and_honors_reordering() {
+        let db = users_db(&[(1, 10), (2, 20), (3, 10)]);
+        let opts = CheckOptions { reorder_joins: true, ..CheckOptions::default() };
+        let out = check_opts(
+            &selection_kernel_built(10),
+            &select_where_role(10),
+            &db,
+            &Params::new(),
+            &opts,
+        );
+        assert!(out.verdict.is_agree(), "{}", out.verdict);
+        let exec = out.exec.expect("sql side executed");
+        assert!(exec.rows_scanned > 0, "{exec:?}");
     }
 
     #[test]

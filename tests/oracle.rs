@@ -41,6 +41,31 @@ fn whole_corpus_agrees_on_three_seeded_databases() {
 }
 
 #[test]
+fn join_reordering_preserves_every_corpus_and_fuzz_verdict() {
+    // The order-sensitivity of TOR semantics is the risk in reordering:
+    // the planner only reorders when multiset semantics or a total
+    // rowid ORDER BY make it unobservable. Running the 33 translated
+    // corpus fragments plus 60 fuzzed fragments with reordering enabled
+    // must therefore produce zero Mismatch verdicts.
+    let runner = BatchRunner::new(BatchConfig::new());
+    let config = OracleConfig::default()
+        .with_db_seeds(vec![2])
+        .with_fuzz(60, 0xace)
+        .with_reorder_joins(true);
+    let report = runner.run_oracle(&corpus_inputs(), &config);
+
+    assert_eq!(report.counts().total, 49 + 60, "whole corpus plus the fuzz batch");
+    let summary = report.oracle.as_ref().expect("oracle summary");
+    assert_eq!(summary.fuzz_fragments, 60);
+    assert!(summary.reorder_joins);
+    assert_eq!(summary.counts.mismatch, 0, "{report}");
+    // The corpus's 33 translated fragments all went through the check.
+    assert!(summary.checked_fragments >= 33, "{report}");
+    // The exec counters roll up: something was actually executed.
+    assert!(summary.exec.rows_scanned > 0, "{report}");
+}
+
+#[test]
 fn seeded_fuzz_run_produces_zero_mismatches() {
     let runner = BatchRunner::new(BatchConfig::new());
     // CI runs 200 fragments through the oracle_json binary; this keeps the

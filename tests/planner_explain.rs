@@ -4,8 +4,9 @@
 //! a planner regression would silently skew their timings. These tests pin
 //! the chosen plans.
 
+use qbs_common::Ident;
 use qbs_corpus::{populate_itracker, populate_universe, populate_wilos, WilosConfig};
-use qbs_db::{explain, JoinAlgorithm, Params, QueryOutput};
+use qbs_db::{explain, explain_with, JoinAlgorithm, Params, PlanConfig, QueryOutput};
 use qbs_sql::parse_query;
 
 fn wilos() -> qbs_db::Database {
@@ -79,6 +80,52 @@ fn wilos_three_table_join_order_and_algorithms() {
     let plan = explain(&q, &db);
     assert_eq!(plan.joins, vec![JoinAlgorithm::Hash, JoinAlgorithm::Hash], "{plan:?}");
     assert_eq!(plan.index_scans, 1, "{plan:?}");
+    // The default config executes in FROM order, one estimate per scan.
+    assert_eq!(
+        plan.join_order,
+        vec![Ident::new("users"), Ident::new("roles"), Ident::new("participants")]
+    );
+    assert_eq!(plan.estimated_rows.len(), 3, "{plan:?}");
+    assert!(!plan.reordered, "{plan:?}");
+    // The indexed probe on users.roleId = 5 must estimate far below the
+    // full table (50 users over 10 roles).
+    assert!(plan.estimated_rows[0] < 50, "{plan:?}");
+}
+
+#[test]
+fn wilos_two_indexed_equalities_plan_one_index_scan() {
+    // Regression for the pre-IR divergence: explain() counted one index
+    // scan per pushed indexed equality predicate while the executor used
+    // at most one index per scan. With the shared PhysicalPlan both
+    // report the single probe.
+    let mut db = wilos();
+    db.create_index("users", "id").unwrap();
+    let q = parse_query("SELECT id FROM users WHERE roleId = 5 AND id = 7").unwrap();
+    let plan = explain(&q, &db);
+    assert_eq!(plan.index_scans, 1, "{plan:?}");
+    assert_eq!(plan.pushed_filters, 2, "{plan:?}");
+    let out = db.execute_select(&q, &Params::new()).unwrap();
+    assert!(out.stats.used_index);
+}
+
+#[test]
+fn wilos_greedy_reorder_starts_from_the_smallest_table() {
+    let db = wilos();
+    // roles (10 rows) is far smaller than users (50): with reordering on
+    // and multiset semantics (no ORDER BY), the greedy order flips the
+    // join; the hash algorithm choice is unaffected.
+    let q = parse_query("SELECT users.id FROM users, roles WHERE users.roleId = roles.roleId")
+        .unwrap();
+    let cfg = PlanConfig { reorder_joins: true, ..PlanConfig::default() };
+    let plan = explain_with(&q, &db, &cfg);
+    assert!(plan.reordered, "{plan:?}");
+    assert_eq!(plan.join_order, vec![Ident::new("roles"), Ident::new("users")], "{plan:?}");
+    assert_eq!(plan.joins, vec![JoinAlgorithm::Hash], "{plan:?}");
+    // The executor agrees and the multiset of results is unchanged.
+    let base = db.execute_select(&q, &Params::new()).unwrap();
+    let reordered = db.execute_select_with(&q, &Params::new(), &cfg).unwrap();
+    assert_eq!(reordered.stats.joins, vec!["hash"]);
+    assert!(qbs_db::rows_agree(&base.rows, &reordered.rows, qbs_db::RowsEquivalence::Multiset));
 }
 
 #[test]

@@ -467,13 +467,3 @@ impl RunBatch for QbsEngine {
         BatchRunner::new(config).run(&inputs)
     }
 }
-
-#[allow(deprecated)]
-impl RunBatch for qbs::Pipeline {
-    fn run_batch(&self, sources: &[String], config: &BatchConfig) -> BatchReport {
-        let engine = QbsEngine::builder(self.model().clone())
-            .config(self.config().clone().into())
-            .build();
-        engine.run_batch(sources, config)
-    }
-}

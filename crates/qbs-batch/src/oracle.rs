@@ -106,7 +106,10 @@ impl BatchRunner {
         let dbs: Vec<Database> =
             oracle.db_seeds.iter().map(|s| qbs_corpus::populate_universe(*s)).collect();
 
-        // One check job per (translated fragment, seed).
+        // One job per translated fragment: the fragment's SQL is prepared
+        // once and the same handle executes on every seeded database
+        // (qbs_oracle::check_many), so per-seed ExecStats record plan-cache
+        // hits instead of repeated planning passes.
         let checkable: Vec<usize> = report
             .fragments
             .iter()
@@ -116,38 +119,38 @@ impl BatchRunner {
             })
             .map(|(i, _)| i)
             .collect();
-        let jobs: Vec<(usize, usize)> =
-            checkable.iter().flat_map(|&fi| (0..dbs.len()).map(move |si| (fi, si))).collect();
-        let outcomes: Vec<Mutex<Option<CheckOutcome>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let outcomes: Vec<Mutex<Option<Vec<CheckOutcome>>>> =
+            checkable.iter().map(|_| Mutex::new(None)).collect();
         let params = Params::new();
         let opts =
             CheckOptions { minimize: oracle.minimize, reorder_joins: oracle.reorder_joins };
 
         let next = AtomicUsize::new(0);
         let fragments = &report.fragments;
-        let workers = self.config().effective_workers(jobs.len());
+        let workers = self.config().effective_workers(checkable.len());
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(fi, si)) = jobs.get(j) else { break };
+                    let Some(&fi) = checkable.get(j) else { break };
                     let fr = &fragments[fi];
                     let sql = fr.status.sql().expect("checkable fragments are translated");
                     let kernel = fr.kernel.as_ref().expect("checkable fragments lower");
-                    let outcome = qbs_oracle::check_opts(kernel, sql, &dbs[si], &params, &opts);
-                    *outcomes[j].lock().expect("outcome lock") = Some(outcome);
+                    let per_seed = qbs_oracle::check_many(kernel, sql, &dbs, &params, &opts);
+                    *outcomes[j].lock().expect("outcome lock") = Some(per_seed);
                 });
             }
         });
 
         let mut exec = ExecTotals::default();
-        for (&(fi, _), slot) in jobs.iter().zip(outcomes) {
-            let outcome = slot.into_inner().expect("outcome lock").expect("all jobs ran");
-            if let Some(stats) = &outcome.exec {
-                exec.absorb(stats);
+        for (&fi, slot) in checkable.iter().zip(outcomes) {
+            let per_seed = slot.into_inner().expect("outcome lock").expect("all jobs ran");
+            for outcome in per_seed {
+                if let Some(stats) = &outcome.exec {
+                    exec.absorb(stats);
+                }
+                report.fragments[fi].verdicts.push(outcome.verdict);
             }
-            report.fragments[fi].verdicts.push(outcome.verdict);
         }
         report.oracle = Some(OracleSummary {
             db_seeds: oracle.db_seeds.clone(),

@@ -74,6 +74,12 @@ pub struct ExecTotals {
     /// Checks whose top-level query was satisfied by an index scan (a
     /// per-check boolean rolled up, not a per-scan count).
     pub checks_using_index: usize,
+    /// Executions that reused a prepared statement's cached physical plan
+    /// (no planning pass at all).
+    pub plan_cache_hits: usize,
+    /// Executions that re-planned because a table generation counter
+    /// moved under a cached plan.
+    pub replans: usize,
 }
 
 impl ExecTotals {
@@ -84,6 +90,18 @@ impl ExecTotals {
         self.subqueries_executed += stats.subqueries_executed;
         self.subquery_cache_hits += stats.subquery_cache_hits;
         self.checks_using_index += usize::from(stats.used_index);
+        self.plan_cache_hits += stats.plan_cache_hits;
+        self.replans += stats.replans;
+    }
+
+    /// Plan-cache hits over all plan-resolving executions — 1.0 when
+    /// every execute-many call reused its prepared plan.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.replans;
+        if total == 0 {
+            return 1.0;
+        }
+        self.plan_cache_hits as f64 / total as f64
     }
 }
 
@@ -92,12 +110,15 @@ impl fmt::Display for ExecTotals {
         write!(
             f,
             "{} rows scanned, {} join comparisons, {} subqueries ({} cache hits), \
-             {} checks using an index",
+             {} checks using an index, plan cache {}/{} hits ({:.0}%)",
             self.rows_scanned,
             self.join_comparisons,
             self.subqueries_executed,
             self.subquery_cache_hits,
             self.checks_using_index,
+            self.plan_cache_hits,
+            self.plan_cache_hits + self.replans,
+            self.plan_cache_hit_rate() * 100.0,
         )
     }
 }

@@ -1,0 +1,165 @@
+//! Emits `BENCH_prepared.json`: the plan-once / execute-many payoff.
+//!
+//! For every translated corpus query, measures `reps` executions
+//!
+//! * **per call** — parse the SQL text, plan it, execute (what every page
+//!   load cost before `Connection`/`PreparedStatement` existed), vs.
+//! * **prepared** — `Connection::prepare` once, then execute the cached
+//!   plan with bound parameters per call.
+//!
+//! Exits non-zero when prepared execute-many is not at least
+//! [`MIN_SPEEDUP`]× faster than per-call parse+plan+execute over the
+//! multi-join corpus fragments — the CI gate for the prepared-statement
+//! hot path.
+//!
+//! ```sh
+//! cargo run --release -p qbs-bench --bin prepared_bench -- \
+//!     [--json <path>] [--filter <substr>] [--seed S] [--reps N]
+//! ```
+
+use qbs_bench::harness::{from_arity, json_escape, BenchArgs};
+use qbs_db::{Connection, Params};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Prepared execute-many must beat per-call parse+plan+execute by at
+/// least this factor on the multi-join fragments.
+const MIN_SPEEDUP: f64 = 3.0;
+
+struct Measured {
+    method: String,
+    sql: String,
+    joins: usize,
+    per_call_us: f64,
+    prepared_us: f64,
+    speedup: f64,
+    plan_cache_hits: usize,
+}
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse("BENCH_prepared.json", 400);
+
+    let queries = qbs_bench::harness::corpus_queries();
+    // Page-load-sized data: each execution returns one request's worth of
+    // rows (the paper's Fig. 14 shape), so the per-call parse+plan
+    // overhead — what prepared statements delete — is what's measured.
+    let db = qbs_corpus::populate_pageload(args.seed);
+    let conn = Connection::open(db.clone());
+    let params = Params::new();
+
+    let mut measured: Vec<Measured> = Vec::new();
+    for (method, sql) in &queries {
+        if !args.matches(method) {
+            continue;
+        }
+        let text = sql.to_string();
+        // Skip queries the universe cannot execute (absent tables, unbound
+        // parameters) — same policy as exec_bench; the oracle job owns
+        // their correctness.
+        if db.execute(sql, &params).is_err() {
+            continue;
+        }
+
+        // Per call: parse + plan + execute, every time.
+        let started = Instant::now();
+        for _ in 0..args.reps {
+            let q = qbs_sql::parse(&text).expect("rendered corpus SQL re-parses");
+            let _ = db.execute(&q, &params).expect("measured above");
+        }
+        let per_call = started.elapsed();
+
+        // Prepared: parse + plan once, execute many.
+        let stmt = conn.prepare(&text).expect("rendered corpus SQL re-parses");
+        let mut plan_cache_hits = 0;
+        let started = Instant::now();
+        for _ in 0..args.reps {
+            let out = conn.execute(&stmt, &params).expect("measured above");
+            let stats = match out {
+                qbs_db::QueryOutput::Rows(o) => o.stats,
+                qbs_db::QueryOutput::Scalar { stats, .. } => stats,
+            };
+            plan_cache_hits += stats.plan_cache_hits;
+        }
+        let prepared = started.elapsed();
+
+        let per_call_us = per_call.as_secs_f64() * 1e6 / args.reps as f64;
+        let prepared_us = prepared.as_secs_f64() * 1e6 / args.reps as f64;
+        measured.push(Measured {
+            method: method.clone(),
+            sql: text,
+            joins: from_arity(sql).saturating_sub(1),
+            per_call_us,
+            prepared_us,
+            speedup: per_call_us / prepared_us.max(1e-3),
+            plan_cache_hits,
+        });
+    }
+
+    // The acceptance ratio is computed over the multi-join fragments: the
+    // queries whose planning passes are the most expensive to repeat.
+    let multi: Vec<&Measured> = measured.iter().filter(|m| m.joins >= 1).collect();
+    let per_call_total: f64 = multi.iter().map(|m| m.per_call_us).sum();
+    let prepared_total: f64 = multi.iter().map(|m| m.prepared_us).sum();
+    let speedup = per_call_total / prepared_total.max(1e-9);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"prepared_corpus\",");
+    let _ = writeln!(out, "  \"db_seed\": {},", args.seed);
+    let _ = writeln!(out, "  \"reps\": {},", args.reps);
+    if let Some(filter) = &args.filter {
+        let _ = writeln!(out, "  \"filter\": \"{}\",", json_escape(filter));
+    }
+    let _ = writeln!(out, "  \"queries\": {},", measured.len());
+    let _ = writeln!(out, "  \"multi_join_queries\": {},", multi.len());
+    let _ = writeln!(out, "  \"per_call_us_multi_join\": {:.1},", per_call_total);
+    let _ = writeln!(out, "  \"prepared_us_multi_join\": {:.1},", prepared_total);
+    let _ = writeln!(out, "  \"prepared_speedup\": {:.2},", speedup);
+    let stats = conn.plan_cache_stats();
+    let _ = writeln!(
+        out,
+        "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}}},",
+        stats.hits, stats.misses, stats.invalidations
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, m) in measured.iter().enumerate() {
+        let comma = if i + 1 < measured.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"method\": \"{}\", \"joins\": {}, \"per_call_us\": {:.2}, \
+             \"prepared_us\": {:.2}, \"speedup\": {:.2}, \"plan_cache_hits\": {}, \
+             \"sql\": \"{}\"}}{comma}",
+            json_escape(&m.method),
+            m.joins,
+            m.per_call_us,
+            m.prepared_us,
+            m.speedup,
+            m.plan_cache_hits,
+            json_escape(&m.sql),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    std::fs::write(&args.json, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.json));
+
+    println!(
+        "wrote {}: {} queries ({} multi-join) — per-call {per_call_total:.0}µs vs \
+         prepared {prepared_total:.0}µs per rep-set ({speedup:.1}x)",
+        args.json,
+        measured.len(),
+        multi.len(),
+    );
+    if args.filter.is_some() {
+        // A filtered run is exploratory; the CI gate only applies to the
+        // full corpus.
+        return ExitCode::SUCCESS;
+    }
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "REGRESSION: prepared execute-many speedup {speedup:.2}x is below the required \
+             {MIN_SPEEDUP:.1}x"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

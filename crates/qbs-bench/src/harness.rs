@@ -1,0 +1,120 @@
+//! Shared harness for the JSON-emitting benchmark bins (`exec_bench`,
+//! `prepared_bench`, …): one flag grammar, one JSON escape, one corpus
+//! query loader.
+//!
+//! Every bin accepts
+//!
+//! ```sh
+//! <bin> [--json <path>] [--filter <substr>] [--seed <S>] [--reps <N>]
+//! ```
+//!
+//! (`--json` may also be given positionally, the historical spelling).
+
+use qbs::FragmentStatus;
+use qbs_batch::{corpus_inputs, BatchConfig, BatchRunner};
+use qbs_sql::SqlQuery;
+
+/// Parsed command line of a benchmark bin.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Output path for the JSON snapshot.
+    pub json: String,
+    /// Only benchmark queries whose method name contains this substring.
+    pub filter: Option<String>,
+    /// Database seed.
+    pub seed: u64,
+    /// Executions measured per query.
+    pub reps: usize,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()` with per-bin defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on unknown flags or missing values —
+    /// these bins run in CI where a loud failure beats a misread flag.
+    pub fn parse(default_json: &str, default_reps: usize) -> BenchArgs {
+        let mut out = BenchArgs {
+            json: default_json.to_string(),
+            filter: None,
+            seed: 1,
+            reps: default_reps,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value =
+                |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
+            match arg.as_str() {
+                "--json" => out.json = value("--json"),
+                "--filter" => out.filter = Some(value("--filter")),
+                "--seed" => out.seed = value("--seed").parse().expect("--seed S"),
+                "--reps" => out.reps = value("--reps").parse().expect("--reps N"),
+                other if other.starts_with("--") => {
+                    panic!("unknown flag `{other}` (expected --json/--filter/--seed/--reps)")
+                }
+                other => out.json = other.to_string(),
+            }
+        }
+        out
+    }
+
+    /// True when `method` passes the `--filter` substring (always true
+    /// without a filter).
+    pub fn matches(&self, method: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| method.contains(f))
+    }
+}
+
+/// Escapes a string for embedding in the hand-rolled JSON snapshots.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Number of `FROM` items of the relational part of a query.
+pub fn from_arity(q: &SqlQuery) -> usize {
+    match q {
+        SqlQuery::Select(s) => s.from.len(),
+        SqlQuery::Scalar(s) => s.query.from.len(),
+    }
+}
+
+/// Synthesizes the whole Appendix A corpus and returns every translated
+/// fragment's `(method, sql)` — the query set the executor benchmarks
+/// measure.
+pub fn corpus_queries() -> Vec<(String, SqlQuery)> {
+    let runner = BatchRunner::new(BatchConfig::new());
+    let report = runner.run(&corpus_inputs());
+    report
+        .fragments
+        .into_iter()
+        .filter_map(|fr| match fr.status {
+            FragmentStatus::Translated { sql, .. } => Some((fr.method, sql)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_matches_substrings() {
+        let args = BenchArgs {
+            json: "out.json".into(),
+            filter: Some("Role".into()),
+            seed: 1,
+            reps: 1,
+        };
+        assert!(args.matches("getRoleUser"));
+        assert!(!args.matches("getUsers"));
+        let unfiltered = BenchArgs { filter: None, ..args };
+        assert!(unfiltered.matches("anything"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

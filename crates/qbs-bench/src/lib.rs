@@ -12,6 +12,8 @@
 //! * `ablation_symmetry` — solving cost with and without the symmetry
 //!   breaking of Sec. 4.5.
 
+pub mod harness;
+
 use qbs::QbsEngine;
 use qbs_corpus::{all_fragments, CorpusFragment, ExpectedStatus};
 

@@ -40,6 +40,11 @@ impl Relation {
     /// from `schema`.
     pub fn from_records(schema: SchemaRef, rows: Vec<Record>) -> Result<Self> {
         for r in &rows {
+            // Records built from this very schema handle (the executor's
+            // hot path) skip the deep structural comparison.
+            if std::sync::Arc::ptr_eq(r.schema(), &schema) {
+                continue;
+            }
             if r.schema() != &schema {
                 return Err(CommonError::SchemaMismatch {
                     expected: schema.describe(),

@@ -18,7 +18,9 @@ mod schema;
 mod workloads;
 
 pub use advanced::{advanced_idioms, AdvancedIdiom};
-pub use datagen::{populate_itracker, populate_universe, populate_wilos, WilosConfig};
+pub use datagen::{
+    populate_itracker, populate_pageload, populate_universe, populate_wilos, WilosConfig,
+};
 pub use fragments::{all_fragments, App, Category, CorpusFragment, ExpectedStatus};
 pub use schema::{itracker_model, universe_schemas, wilos_model, wilos_registry};
 pub use workloads::{

@@ -1,0 +1,569 @@
+//! Connections: the plan-once / execute-many session surface over a
+//! [`Database`].
+//!
+//! The QBS story is repeated execution — the inferred query replaces code
+//! that runs on *every page load* — yet the plain [`Database::execute`]
+//! path re-parses and re-plans the SQL text on every call. A
+//! [`Connection`] is the production-shaped client handle: it owns a
+//! fingerprint-keyed cache of [`PhysicalPlan`]s, a persistent hoisting
+//! cache for uncorrelated sub-queries, and hands out
+//! [`PreparedStatement`]s whose typed parameter slots are re-validated on
+//! every bind without ever re-planning.
+//!
+//! Plans stay valid until a referenced table's generation counter moves
+//! (inserts and index builds bump it); execution then replans
+//! transparently and records the event in
+//! [`ExecStats::replans`](crate::ExecStats).
+
+use crate::db::{Database, DbError, Params, QueryOutput, SelectOutput, SubqueryState};
+use crate::planner::{plan_with, PhysicalPlan, PlanConfig};
+use crate::stmt::{fingerprint, replan, snapshot, PreparedStatement, Snapshot};
+use crate::storage::Table;
+use qbs_common::Value;
+use qbs_sql::{Dialect, SqlQuery};
+use std::cell::{Ref, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Aggregate counters of a connection's plan cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered by a still-valid cached plan (prepared handle or
+    /// fingerprint cache).
+    pub hits: usize,
+    /// Plans computed because nothing valid was cached.
+    pub misses: usize,
+    /// Cached plans discarded because a referenced table's generation
+    /// counter moved.
+    pub invalidations: usize,
+}
+
+impl PlanCacheStats {
+    /// Hits over total lookups (1.0 for an untouched cache).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+struct CachedPlan {
+    plan: Rc<PhysicalPlan>,
+    snapshot: Snapshot,
+}
+
+struct ConnInner {
+    db: RefCell<Database>,
+    config: PlanConfig,
+    dialect: Dialect,
+    /// Fingerprint → plan + the generation snapshot it was computed under.
+    plans: RefCell<HashMap<u64, CachedPlan>>,
+    /// SQL text → prepared statement (the `query_cached` fast path).
+    stmts: RefCell<HashMap<String, Rc<PreparedStatement>>>,
+    subqueries: SubqueryState,
+    stats: RefCell<PlanCacheStats>,
+}
+
+/// A session handle over a [`Database`]: prepared statements, a plan
+/// cache, and mutation entry points that keep both honest.
+///
+/// Cloning is cheap and shares the database and every cache — the shape
+/// of a pooled client connection.
+///
+/// # Example
+///
+/// ```
+/// use qbs_common::{FieldType, Schema, Value};
+/// use qbs_db::{Connection, Database, QueryOutput};
+///
+/// let mut db = Database::new();
+/// db.create_table(Schema::builder("users").field("id", FieldType::Int).finish()).unwrap();
+/// db.insert("users", vec![Value::from(7)]).unwrap();
+///
+/// let conn = Connection::open(db);
+/// // The first call parses + plans; every call executes a cached plan.
+/// for _ in 0..3 {
+///     let QueryOutput::Rows(out) =
+///         conn.query_cached("SELECT id FROM users", &qbs_db::Params::new()).unwrap()
+///     else {
+///         unreachable!()
+///     };
+///     assert_eq!(out.rows.len(), 1);
+///     assert_eq!(out.stats.plan_cache_hits, 1);
+///     assert_eq!(out.stats.replans, 0);
+/// }
+/// assert_eq!(conn.plan_cache_stats().misses, 1, "one planning pass total");
+/// ```
+#[derive(Clone)]
+pub struct Connection {
+    inner: Rc<ConnInner>,
+}
+
+impl Connection {
+    /// Opens a connection over a database with the default planner
+    /// configuration and the generic dialect.
+    pub fn open(db: Database) -> Connection {
+        Connection::open_with(db, PlanConfig::default(), Dialect::default())
+    }
+
+    /// Opens a connection with an explicit planner configuration and
+    /// statement dialect.
+    pub fn open_with(db: Database, config: PlanConfig, dialect: Dialect) -> Connection {
+        Connection {
+            inner: Rc::new(ConnInner {
+                db: RefCell::new(db),
+                subqueries: SubqueryState::new(config.clone()),
+                config,
+                dialect,
+                plans: RefCell::new(HashMap::new()),
+                stmts: RefCell::new(HashMap::new()),
+                stats: RefCell::new(PlanCacheStats::default()),
+            }),
+        }
+    }
+
+    /// The dialect prepared statements render under.
+    pub fn dialect(&self) -> Dialect {
+        self.inner.dialect
+    }
+
+    /// The planner configuration every plan is computed with.
+    pub fn config(&self) -> &PlanConfig {
+        &self.inner.config
+    }
+
+    /// Read access to the underlying database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a mutation on a clone of this connection is
+    /// in progress (single-threaded reentrancy, as with any `RefCell`).
+    pub fn database(&self) -> Ref<'_, Database> {
+        self.inner.db.borrow()
+    }
+
+    /// Closes the connection and returns the database. When this is the
+    /// only handle the database moves out without copying (what a
+    /// throwaway connection over an owned database wants — e.g. the
+    /// oracle's witness minimization executing one candidate after
+    /// another); clones of the connection force a copy.
+    pub fn into_database(self) -> Database {
+        match Rc::try_unwrap(self.inner) {
+            Ok(inner) => inner.db.into_inner(),
+            Err(shared) => shared.db.borrow().clone(),
+        }
+    }
+
+    /// Inserts a row; bumps the table's generation counter, so cached
+    /// plans over it replan on next execution, and drops the hoisted
+    /// sub-query cache.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`] when the table does not exist.
+    pub fn insert(&self, table: &str, values: Vec<Value>) -> Result<(), DbError> {
+        self.inner.subqueries.clear();
+        self.inner.db.borrow_mut().insert(table, values)
+    }
+
+    /// Builds a hash index; bumps the table's generation counter so
+    /// cached plans replan (and may now probe the new index).
+    ///
+    /// # Errors
+    ///
+    /// Unknown table or column.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<(), DbError> {
+        self.inner.subqueries.clear();
+        self.inner.db.borrow_mut().create_index(table, column)
+    }
+
+    /// Parses and prepares a statement: one parse, one plan, typed slots.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Exec`] when the text is not parseable SQL.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, DbError> {
+        let query = qbs_sql::parse(sql).map_err(|e| DbError::Exec(e.to_string()))?;
+        Ok(self.prepare_query(&query))
+    }
+
+    /// Prepares an already-parsed query (the path engine sessions use for
+    /// synthesized fragments).
+    pub fn prepare_query(&self, query: &SqlQuery) -> PreparedStatement {
+        self.prepare_query_as(query, self.inner.dialect)
+    }
+
+    /// [`prepare_query`](Self::prepare_query) rendered under an explicit
+    /// dialect (the statement text and placeholder spelling follow it;
+    /// planning is dialect-independent).
+    pub fn prepare_query_as(&self, query: &SqlQuery, dialect: Dialect) -> PreparedStatement {
+        let db = self.inner.db.borrow();
+        let core = match query {
+            SqlQuery::Select(s) => s.clone(),
+            SqlQuery::Scalar(s) => crate::db::scalar_core(s),
+        };
+        let (canonical, _) = qbs_sql::render_query_with_params(query, Dialect::Generic);
+        let fp = fingerprint(&canonical, &self.inner.config);
+        let tables = query.referenced_tables();
+        let current = snapshot(&db, &tables);
+        // Prepare consults the plan cache too: two statements with the
+        // same canonical text share one planning pass.
+        let plan = {
+            let plans = self.inner.plans.borrow();
+            match plans.get(&fp) {
+                Some(entry) if entry.snapshot == current => {
+                    self.inner.stats.borrow_mut().hits += 1;
+                    Some(entry.plan.clone())
+                }
+                _ => None,
+            }
+        };
+        let plan = plan.unwrap_or_else(|| {
+            let plan = Rc::new(plan_with(&core, &db, &self.inner.config));
+            self.inner.stats.borrow_mut().misses += 1;
+            self.inner
+                .plans
+                .borrow_mut()
+                .insert(fp, CachedPlan { plan: plan.clone(), snapshot: current.clone() });
+            plan
+        });
+        PreparedStatement::new(&db, query.clone(), core, fp, tables, current, dialect, plan)
+    }
+
+    /// Executes a prepared statement.
+    ///
+    /// Parameters are validated against the statement's typed slots, the
+    /// plan is reused when every referenced table's generation counter is
+    /// unchanged (recorded as
+    /// [`ExecStats::plan_cache_hits`](crate::ExecStats)), and replanned
+    /// otherwise (recorded as [`ExecStats::replans`](crate::ExecStats)).
+    ///
+    /// A statement may be executed on any connection whose catalog is
+    /// compatible with the one it was prepared on; a plan probing an
+    /// index the database lacks fails loudly rather than reading garbage.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Param`] on bind problems; execution errors otherwise.
+    pub fn execute(
+        &self,
+        stmt: &PreparedStatement,
+        params: &Params,
+    ) -> Result<QueryOutput, DbError> {
+        stmt.validate(params)?;
+        let (plan, reused) = self.plan_for(stmt);
+        let db = self.inner.db.borrow();
+        self.inner.subqueries.begin_statement();
+        let mut out = db.execute_plan_cached(
+            &plan,
+            params,
+            &self.inner.subqueries,
+            Some(&stmt.out_schema),
+        )?;
+        if reused {
+            out.stats.plan_cache_hits += 1;
+        } else {
+            out.stats.replans += 1;
+        }
+        match stmt.query() {
+            SqlQuery::Select(_) => Ok(QueryOutput::Rows(out)),
+            SqlQuery::Scalar(s) => db.finish_scalar(s, out, params),
+        }
+    }
+
+    /// Executes a relational prepared statement, erroring on scalar ones.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`](Self::execute), plus [`DbError::Exec`] for scalar
+    /// statements.
+    pub fn execute_select(
+        &self,
+        stmt: &PreparedStatement,
+        params: &Params,
+    ) -> Result<SelectOutput, DbError> {
+        match self.execute(stmt, params)? {
+            QueryOutput::Rows(out) => Ok(out),
+            QueryOutput::Scalar { .. } => {
+                Err(DbError::Exec("scalar statement where rows were expected".to_string()))
+            }
+        }
+    }
+
+    /// One-shot execution with statement caching: the first call for a
+    /// given text parses, plans and caches a prepared statement; later
+    /// calls skip straight to execution.
+    ///
+    /// # Errors
+    ///
+    /// As [`prepare`](Self::prepare) and [`execute`](Self::execute).
+    pub fn query_cached(&self, sql: &str, params: &Params) -> Result<QueryOutput, DbError> {
+        let cached = self.inner.stmts.borrow().get(sql).cloned();
+        let stmt = match cached {
+            Some(stmt) => stmt,
+            None => {
+                let stmt = Rc::new(self.prepare(sql)?);
+                self.inner.stmts.borrow_mut().insert(sql.to_string(), stmt.clone());
+                stmt
+            }
+        };
+        self.execute(&stmt, params)
+    }
+
+    /// The plan-cache counters accumulated by this connection (shared
+    /// across clones).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Resolves the statement's current plan: the statement's own plan
+    /// when its snapshot is current, the fingerprint cache next, a fresh
+    /// planning pass last. Returns the plan and whether it was reused.
+    fn plan_for(&self, stmt: &PreparedStatement) -> (Rc<PhysicalPlan>, bool) {
+        let db = self.inner.db.borrow();
+        // Steady-state fast path: compare the recorded generations in
+        // place, no snapshot allocation.
+        if stmt.snapshot.borrow().iter().all(|(t, g)| db.table(t).map(Table::generation) == *g)
+        {
+            self.inner.stats.borrow_mut().hits += 1;
+            return (stmt.plan.borrow().clone(), true);
+        }
+        let current = snapshot(&db, &stmt.tables);
+        // The statement's view is stale. Another statement (or clone of
+        // this connection) may already have replanned the same query.
+        let cached = {
+            let plans = self.inner.plans.borrow();
+            plans
+                .get(&stmt.fingerprint)
+                .and_then(|entry| (entry.snapshot == current).then(|| entry.plan.clone()))
+        };
+        if let Some(plan) = cached {
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.hits += 1;
+            stats.invalidations += 1;
+            *stmt.plan.borrow_mut() = plan.clone();
+            *stmt.snapshot.borrow_mut() = current;
+            return (plan, false);
+        }
+        let plan = replan(stmt, &db, &self.inner.config);
+        {
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.misses += 1;
+            stats.invalidations += 1;
+        }
+        self.inner.plans.borrow_mut().insert(
+            stmt.fingerprint,
+            CachedPlan { plan: plan.clone(), snapshot: current.clone() },
+        );
+        *stmt.plan.borrow_mut() = plan.clone();
+        *stmt.snapshot.borrow_mut() = current;
+        (plan, false)
+    }
+}
+
+impl Database {
+    /// Opens a [`Connection`] over a clone of this database — the
+    /// plan-once / execute-many client surface. See [`Connection`] for
+    /// the cache and invalidation contract; mutate through the connection
+    /// (its [`insert`](Connection::insert) /
+    /// [`create_index`](Connection::create_index)) so the caches observe
+    /// every generation bump.
+    pub fn connect(&self) -> Connection {
+        Connection::open(self.clone())
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.plan_cache_stats();
+        f.debug_struct("Connection")
+            .field("dialect", &self.inner.dialect)
+            .field("plans", &self.inner.plans.borrow().len())
+            .field("statements", &self.inner.stmts.borrow().len())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_common::{FieldType, Schema};
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Schema::builder("users")
+                .field("id", FieldType::Int)
+                .field("roleId", FieldType::Int)
+                .field("name", FieldType::Str)
+                .finish(),
+        )
+        .unwrap();
+        for i in 0..6i64 {
+            db.insert(
+                "users",
+                vec![Value::from(i), Value::from(i % 3), Value::from(format!("u{i}"))],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn rows(out: QueryOutput) -> SelectOutput {
+        match out {
+            QueryOutput::Rows(o) => o,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepare_once_execute_many_reuses_the_plan() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT id FROM users WHERE roleId = :r").unwrap();
+        for r in 0..3i64 {
+            let params = stmt.bind().set("r", r).unwrap().finish().unwrap();
+            let out = rows(conn.execute(&stmt, &params).unwrap());
+            assert_eq!(out.rows.len(), 2);
+            assert_eq!(out.stats.plan_cache_hits, 1, "{:?}", out.stats);
+            assert_eq!(out.stats.replans, 0);
+        }
+        let stats = conn.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.invalidations), (3, 1, 0));
+    }
+
+    #[test]
+    fn typed_slots_reject_mismatched_bindings() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT id FROM users WHERE name = :who").unwrap();
+        assert_eq!(stmt.slots().len(), 1);
+        assert_eq!(stmt.slots()[0].ty, Some(FieldType::Str));
+        // Binding an integer where the column is a string fails at bind
+        // time, before any execution.
+        let got = stmt.bind().set("who", 3);
+        assert!(matches!(got, Err(DbError::Param(_))), "{got:?}");
+        // And a correct bind flows through.
+        let params = stmt.bind().set("who", "u4").unwrap().finish().unwrap();
+        let out = rows(conn.execute(&stmt, &params).unwrap());
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn unbound_and_unknown_parameters_error() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT id FROM users WHERE roleId = :r").unwrap();
+        assert!(matches!(conn.execute(&stmt, &Params::new()), Err(DbError::Param(_))));
+        // Extra bindings are tolerated on execute (the oracle binds one
+        // map for kernel and SQL sides) …
+        let mut params = Params::new();
+        params.insert("r".into(), Value::from(1));
+        params.insert("extra".into(), Value::from(1));
+        assert!(conn.execute(&stmt, &params).is_ok());
+        // … but the typed binder is strict about names.
+        assert!(stmt.bind().set("typo", 1).is_err());
+    }
+
+    #[test]
+    fn insert_invalidates_and_replans() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT id FROM users WHERE roleId = 1").unwrap();
+        let params = Params::new();
+        assert_eq!(rows(conn.execute(&stmt, &params).unwrap()).rows.len(), 2);
+        conn.insert("users", vec![Value::from(6), Value::from(1), Value::from("u6")]).unwrap();
+        let out = rows(conn.execute(&stmt, &params).unwrap());
+        assert_eq!(out.rows.len(), 3, "the new row is visible");
+        assert_eq!(out.stats.replans, 1, "{:?}", out.stats);
+        assert_eq!(out.stats.plan_cache_hits, 0);
+        // Steady state again afterwards.
+        let out = rows(conn.execute(&stmt, &params).unwrap());
+        assert_eq!(out.stats.plan_cache_hits, 1);
+        assert_eq!(conn.plan_cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn index_built_after_prepare_is_picked_up_by_the_replan() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT id FROM users WHERE roleId = 2").unwrap();
+        let params = Params::new();
+        let before = rows(conn.execute(&stmt, &params).unwrap());
+        assert!(!before.stats.used_index);
+        conn.create_index("users", "roleId").unwrap();
+        let after = rows(conn.execute(&stmt, &params).unwrap());
+        assert!(after.stats.used_index, "replanned onto the new index: {:?}", after.stats);
+        assert_eq!(after.stats.replans, 1);
+        assert_eq!(after.rows, before.rows);
+    }
+
+    #[test]
+    fn query_cached_skips_parse_and_plan_on_repeat() {
+        let conn = Connection::open(setup());
+        let params = Params::new();
+        for _ in 0..4 {
+            let out = rows(conn.query_cached("SELECT id FROM users", &params).unwrap());
+            assert_eq!(out.rows.len(), 6);
+            assert_eq!(out.stats.plan_cache_hits, 1);
+            assert_eq!(out.stats.replans, 0);
+        }
+        let stats = conn.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "one parse + one plan for four calls");
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn clones_share_caches_and_statements_share_fingerprints() {
+        let conn = Connection::open(setup());
+        let clone = conn.clone();
+        let a = conn.prepare("SELECT id FROM users WHERE roleId = 0").unwrap();
+        // Same canonical text on a clone: the planning pass is shared.
+        let _b = clone.prepare("SELECT id FROM users WHERE roleId = 0").unwrap();
+        let stats = conn.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let out = rows(clone.execute(&a, &Params::new()).unwrap());
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn scalar_statements_prepare_and_execute() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT COUNT(*) > :n FROM users WHERE roleId = 0").unwrap();
+        assert_eq!(stmt.slots()[0].ty, Some(FieldType::Int));
+        let params = stmt.bind().set("n", 1).unwrap().finish().unwrap();
+        match conn.execute(&stmt, &params).unwrap() {
+            QueryOutput::Scalar { value, stats } => {
+                assert_eq!(value, Value::from(true));
+                assert_eq!(stats.plan_cache_hits, 1);
+            }
+            other => panic!("expected scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_free_subquery_results_persist_across_statements() {
+        let conn = Connection::open(setup());
+        let sql =
+            "SELECT id FROM users WHERE roleId IN (SELECT roleId FROM users WHERE id = 0)";
+        let params = Params::new();
+        let first = rows(conn.query_cached(sql, &params).unwrap());
+        assert_eq!(first.stats.subqueries_executed, 1, "{:?}", first.stats);
+        let second = rows(conn.query_cached(sql, &params).unwrap());
+        assert_eq!(second.stats.subqueries_executed, 0, "hoisted result persisted");
+        assert!(second.stats.subquery_cache_hits > 0);
+        // A mutation drops the persisted result.
+        conn.insert("users", vec![Value::from(9), Value::from(0), Value::from("u9")]).unwrap();
+        let third = rows(conn.query_cached(sql, &params).unwrap());
+        assert_eq!(third.stats.subqueries_executed, 1, "{:?}", third.stats);
+    }
+
+    #[test]
+    fn render_bound_inlines_validated_params() {
+        let conn = Connection::open_with(setup(), PlanConfig::default(), Dialect::Postgres);
+        let stmt = conn.prepare("SELECT id FROM users WHERE name = :who").unwrap();
+        assert!(stmt.sql().contains("$1"), "{}", stmt.sql());
+        let params = stmt.bind().set("who", "o'brien").unwrap().finish().unwrap();
+        let text = stmt.render_bound(&params).unwrap();
+        assert!(text.contains("'o''brien'"), "{text}");
+        assert!(matches!(stmt.render_bound(&Params::new()), Err(DbError::Param(_))));
+    }
+}

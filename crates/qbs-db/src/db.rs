@@ -36,6 +36,9 @@ pub enum DbError {
     /// ±∞ — callers (e.g. the differential oracle) must treat the case
     /// explicitly instead of comparing sentinel garbage.
     EmptyAggregate(String),
+    /// A bind-parameter problem: missing, unknown, or type-mismatched
+    /// against a prepared statement's typed slots.
+    Param(String),
     /// Runtime execution failure.
     Exec(String),
 }
@@ -49,6 +52,7 @@ impl fmt::Display for DbError {
             DbError::EmptyAggregate(agg) => {
                 write!(f, "{agg} over an empty relation has no value")
             }
+            DbError::Param(e) => write!(f, "bind error: {e}"),
             DbError::Exec(e) => write!(f, "{e}"),
         }
     }
@@ -85,18 +89,26 @@ pub enum QueryOutput {
     },
 }
 
-/// Per-statement execution state shared across nested evaluations: the
-/// hoisting cache for uncorrelated predicate sub-queries plus the counters
-/// their executions accumulate (rolled into the statement's [`ExecStats`]
-/// at the end).
-struct SubqueryState {
+/// Execution state shared across nested evaluations of one (or, through a
+/// [`Connection`](crate::Connection), several) statement(s): the hoisting
+/// cache for uncorrelated predicate sub-queries plus the counters their
+/// executions accumulate (rolled into each statement's [`ExecStats`] at
+/// the end).
+///
+/// The plain `execute_*` paths create a fresh state per statement.
+/// Connections keep one alive across executions so a hoisted sub-query's
+/// materialized hash set outlives the statement that built it — but only
+/// parameter-free sub-queries persist ([`SubqueryState::begin_statement`]
+/// evicts the rest, whose results depend on the bindings), and a table
+/// mutation clears everything ([`SubqueryState::clear`]).
+pub(crate) struct SubqueryState {
     config: PlanConfig,
-    cache: RefCell<Vec<(SqlSelect, Rc<SubResult>)>>,
+    cache: RefCell<Vec<(SqlSelect, Rc<SubResult>, bool)>>,
     nested: RefCell<ExecStats>,
 }
 
 impl SubqueryState {
-    fn new(config: PlanConfig) -> SubqueryState {
+    pub(crate) fn new(config: PlanConfig) -> SubqueryState {
         SubqueryState {
             config,
             cache: RefCell::new(Vec::new()),
@@ -104,8 +116,21 @@ impl SubqueryState {
         }
     }
 
+    /// Prepares the state for the next statement: results of sub-queries
+    /// that reference bind parameters are evicted (their values depend on
+    /// the previous statement's bindings); parameter-free results persist.
+    pub(crate) fn begin_statement(&self) {
+        self.cache.borrow_mut().retain(|(_, _, param_free)| *param_free);
+    }
+
+    /// Drops every cached sub-query result (table data changed).
+    pub(crate) fn clear(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
     fn lookup(&self, q: &SqlSelect) -> Option<Rc<SubResult>> {
-        let hit = self.cache.borrow().iter().find(|(s, _)| s == q).map(|(_, r)| r.clone());
+        let hit =
+            self.cache.borrow().iter().find(|(s, _, _)| s == q).map(|(_, r, _)| r.clone());
         if hit.is_some() {
             self.nested.borrow_mut().subquery_cache_hits += 1;
         }
@@ -114,7 +139,8 @@ impl SubqueryState {
 
     fn insert(&self, q: SqlSelect, result: SubResult) -> Rc<SubResult> {
         let rc = Rc::new(result);
-        self.cache.borrow_mut().push((q, rc.clone()));
+        let param_free = !q.has_params();
+        self.cache.borrow_mut().push((q, rc.clone(), param_free));
         rc
     }
 
@@ -125,8 +151,13 @@ impl SubqueryState {
         nested.join_comparisons += stats.join_comparisons;
     }
 
+    /// Folds the counters accumulated since the last roll into `stats`
+    /// and resets them, so a reused state never double-charges work to a
+    /// later statement.
     fn roll_into(&self, stats: &mut ExecStats) {
-        stats.absorb_nested(&self.nested.borrow());
+        let mut nested = self.nested.borrow_mut();
+        stats.absorb_nested(&nested);
+        *nested = ExecStats::default();
     }
 }
 
@@ -217,7 +248,11 @@ impl Database {
     /// the plan chose one) or a recursive sub-query plan, with the pushed
     /// filter evaluated *before* each row is materialized. `limit` stops
     /// the scan early once enough rows passed the filter (only set by the
-    /// planner when no later operator could change the prefix).
+    /// planner when no later operator could change the prefix). `emit`
+    /// fuses the statement's projection into the scan itself (single-scan
+    /// plans with nothing between scan and projection): rows materialize
+    /// directly in output shape.
+    #[allow(clippy::too_many_arguments)] // one call site; a param struct would just rename these
     fn scan_node(
         &self,
         node: &ScanNode,
@@ -226,18 +261,24 @@ impl Database {
         stats: &mut ExecStats,
         shared: &SubqueryState,
         limit: Option<usize>,
+        emit: Option<&(Vec<exec::FrameCol>, Vec<usize>)>,
     ) -> Result<Frame, DbError> {
         match &node.source {
             ScanSource::Table(name) => {
                 let table =
                     self.tables.get(name).ok_or_else(|| DbError::UnknownTable(name.clone()))?;
-                let mut cols: Vec<exec::FrameCol> = table
-                    .schema()
-                    .fields()
-                    .iter()
-                    .map(|f| exec::FrameCol { alias: node.alias.clone(), name: f.name.clone() })
-                    .collect();
-                cols.push(exec::FrameCol { alias: node.alias.clone(), name: "rowid".into() });
+                // The plan's layout was computed against some database's
+                // catalog; executing it against a table of a different
+                // shape must fail loudly, not mis-project.
+                let arity = table.schema().arity();
+                if arity + 1 != node.cols.len() {
+                    return Err(DbError::Exec(format!(
+                        "plan was computed against a different shape of table {name} \
+                         ({} columns, now {})",
+                        node.cols.len().saturating_sub(1),
+                        arity,
+                    )));
+                }
 
                 let index_rows: Option<Vec<usize>> = match &node.probe {
                     Some(probe) => {
@@ -271,8 +312,26 @@ impl Database {
                     None => None,
                 };
 
-                let shell = Frame::new(cols.clone());
-                let mut frame = Frame::new(cols);
+                // The filter evaluates against the full scan layout (the
+                // raw row plus rowid), independent of what is emitted;
+                // the shell frame is only needed when a filter exists.
+                let shell = node.filter.as_ref().map(|_| Frame::new(node.cols.clone()));
+                // Effective gather into the raw row: the fused projection
+                // (whose indices address the pruned output layout) composed
+                // over the scan's own column pruning.
+                let gather: Option<(Vec<exec::FrameCol>, Vec<usize>)> = match (emit, &node.emit)
+                {
+                    (Some((cols, idx)), Some(e)) => {
+                        Some((cols.clone(), idx.iter().map(|&i| e[i]).collect()))
+                    }
+                    (Some((cols, idx)), None) => Some((cols.clone(), idx.clone())),
+                    (None, Some(e)) => Some((node.out_cols(), e.clone())),
+                    (None, None) => None,
+                };
+                let mut frame = Frame::new(match &gather {
+                    Some((cols, _)) => cols.clone(),
+                    None => node.cols.clone(),
+                });
                 let mut push_row = |rowid: usize,
                                     row: &[Value],
                                     stats: &mut ExecStats|
@@ -282,15 +341,28 @@ impl Database {
                     let keep = match &node.filter {
                         Some(pred) => exec::truthy(&eval_expr(
                             pred,
-                            &shell,
+                            shell.as_ref().expect("shell built alongside filter"),
                             RowRef::Pair(row, &rv),
                             ctx,
                         )?)?,
                         None => true,
                     };
                     if keep {
-                        let mut out = row.to_vec();
-                        out.push(rv.into_iter().next().expect("one rowid"));
+                        let out = match &gather {
+                            // Gather output columns straight from the raw
+                            // row (position `arity` is the rowid).
+                            Some((_, idx)) => idx
+                                .iter()
+                                .map(
+                                    |&i| if i < arity { row[i].clone() } else { rv[0].clone() },
+                                )
+                                .collect(),
+                            None => {
+                                let mut out = row.to_vec();
+                                out.push(rv.into_iter().next().expect("one rowid"));
+                                out
+                            }
+                        };
                         frame.rows.push(out);
                     }
                     Ok(keep)
@@ -316,7 +388,7 @@ impl Database {
                 }
                 Ok(frame)
             }
-            ScanSource::Subquery { plan, cols } => {
+            ScanSource::Subquery { plan } => {
                 // Fresh counters for the inner plan: `joins`/`used_index`
                 // describe the top-level statement (what `Plan::summary`
                 // renders), so only the row/comparison work is absorbed —
@@ -324,13 +396,21 @@ impl Database {
                 let mut inner_stats = ExecStats::default();
                 let inner = self.run_plan(plan, params, &mut inner_stats, shared)?;
                 stats.absorb_nested(&inner_stats);
-                let mut f = Frame::new(cols.clone());
+                let mut f = Frame::new(node.cols.clone());
                 f.rows = inner.rows;
                 if let Some(pred) = &node.filter {
                     f = filter(f, pred, ctx)?;
                 }
                 if let Some(n) = limit {
                     f.rows.truncate(n);
+                }
+                if let Some((cols, idx)) = emit {
+                    let rows = f
+                        .rows
+                        .into_iter()
+                        .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+                        .collect();
+                    f = Frame { cols: cols.clone(), rows };
                 }
                 Ok(f)
             }
@@ -396,25 +476,69 @@ impl Database {
         params: &Params,
         config: &PlanConfig,
     ) -> Result<SelectOutput, DbError> {
+        self.execute_plan_shared(plan, params, &SubqueryState::new(config.clone()))
+    }
+
+    /// [`Database::execute_plan_with`] against a caller-owned
+    /// [`SubqueryState`] — how a [`Connection`](crate::Connection) lets
+    /// hoisted sub-query results survive across statements.
+    pub(crate) fn execute_plan_shared(
+        &self,
+        plan: &PhysicalPlan,
+        params: &Params,
+        shared: &SubqueryState,
+    ) -> Result<SelectOutput, DbError> {
+        self.execute_plan_cached(plan, params, shared, None)
+    }
+
+    /// [`Database::execute_plan_shared`] with an optional output-schema
+    /// cache: a prepared statement's result schema is identical across
+    /// executions (types come from the table schemas), so re-deriving it
+    /// per call is waste on the execute-many hot path. The cache is only
+    /// written from a row-bearing result (an empty result cannot sniff
+    /// types) and only read when the arity still matches.
+    pub(crate) fn execute_plan_cached(
+        &self,
+        plan: &PhysicalPlan,
+        params: &Params,
+        shared: &SubqueryState,
+        schema_cache: Option<&RefCell<Option<SchemaRef>>>,
+    ) -> Result<SelectOutput, DbError> {
         let mut stats = ExecStats::default();
-        let shared = SubqueryState::new(config.clone());
-        let frame = self.run_plan(plan, params, &mut stats, &shared)?;
+        let frame = self.run_plan(plan, params, &mut stats, shared)?;
         shared.roll_into(&mut stats);
-        // Build the output relation: anonymous schema over the frame columns.
-        let mut b = Schema::anonymous();
-        for (k, c) in frame.cols.iter().enumerate() {
-            let ty = frame
-                .rows
-                .first()
-                .map(|r| match &r[k] {
-                    Value::Bool(_) => FieldType::Bool,
-                    Value::Int(_) => FieldType::Int,
-                    Value::Str(_) => FieldType::Str,
-                })
-                .unwrap_or(FieldType::Int);
-            b = b.push(qbs_common::Field::qualified(c.alias.clone(), c.name.clone(), ty));
-        }
-        let schema = b.finish();
+        // Build the output relation: anonymous schema over the frame
+        // columns, reused from the cache when one is provided and fits.
+        let cached = schema_cache
+            .and_then(|c| c.borrow().clone())
+            .filter(|s| s.arity() == frame.cols.len());
+        let schema = match cached {
+            Some(schema) => schema,
+            None => {
+                let mut b = Schema::anonymous();
+                for (k, c) in frame.cols.iter().enumerate() {
+                    let ty = frame
+                        .rows
+                        .first()
+                        .map(|r| match &r[k] {
+                            Value::Bool(_) => FieldType::Bool,
+                            Value::Int(_) => FieldType::Int,
+                            Value::Str(_) => FieldType::Str,
+                        })
+                        .unwrap_or(FieldType::Int);
+                    b = b.push(qbs_common::Field::qualified(
+                        c.alias.clone(),
+                        c.name.clone(),
+                        ty,
+                    ));
+                }
+                let schema = b.finish();
+                if let (Some(cache), false) = (schema_cache, frame.rows.is_empty()) {
+                    *cache.borrow_mut() = Some(schema.clone());
+                }
+                schema
+            }
+        };
         let records = frame.rows.into_iter().map(|r| Record::new(schema.clone(), r)).collect();
         let rows = Relation::from_records(schema, records)
             .map_err(|e| DbError::Schema(e.to_string()))?;
@@ -470,20 +594,48 @@ impl Database {
             .then_some(limit_n)
             .flatten();
 
+        // Projection fusion: with a statically resolved projection and no
+        // operator between the last scan/join and the projection, the
+        // final operator materializes rows directly in output shape and
+        // the separate projection pass disappears.
+        let fused =
+            plan.projection.is_some() && plan.residual.is_none() && plan.order_by.is_empty();
+        let scan_emit =
+            (fused && plan.scans.len() == 1).then(|| plan.projection.as_ref().expect("fused"));
+
         let mut frames: Vec<Frame> = Vec::with_capacity(plan.scans.len());
         for node in &plan.scans {
-            frames.push(self.scan_node(node, params, &ctx, stats, shared, scan_limit)?);
+            frames.push(
+                self.scan_node(node, params, &ctx, stats, shared, scan_limit, scan_emit)?,
+            );
         }
 
         let mut iter = frames.into_iter();
         let mut acc =
             iter.next().ok_or_else(|| DbError::Exec("query without FROM".to_string()))?;
-        for (step, right) in plan.joins.iter().zip(iter) {
+        for (k, (step, right)) in plan.joins.iter().zip(iter).enumerate() {
+            let emit = (fused && k + 1 == plan.joins.len())
+                .then(|| plan.projection.as_ref().expect("fused"));
             acc = match (&step.algorithm, &step.key) {
                 (crate::planner::JoinAlgorithm::Hash, Some((lk, rk))) => {
-                    hash_join(acc, right, lk, rk, step.residual.as_ref(), &ctx, stats)?
+                    // Plan-resolved key positions skip per-row expression
+                    // evaluation entirely.
+                    let (lkey, rkey) = match step.key_idx {
+                        Some((li, ri)) => (exec::JoinKey::Idx(li), exec::JoinKey::Idx(ri)),
+                        None => (exec::JoinKey::Expr(lk), exec::JoinKey::Expr(rk)),
+                    };
+                    hash_join(
+                        acc,
+                        right,
+                        lkey,
+                        rkey,
+                        step.residual.as_ref(),
+                        emit,
+                        &ctx,
+                        stats,
+                    )?
                 }
-                _ => nested_loop_join(acc, right, step.residual.as_ref(), &ctx, stats)?,
+                _ => nested_loop_join(acc, right, step.residual.as_ref(), emit, &ctx, stats)?,
             };
         }
 
@@ -507,41 +659,63 @@ impl Database {
             }
         }
 
-        // Projection. An empty column list is `SELECT *`: all non-rowid
-        // columns.
-        let mut out_cols = Vec::new();
-        let mut out_idx: Vec<usize> = Vec::new();
-        if plan.columns.is_empty() {
-            for (i, c) in acc.cols.iter().enumerate() {
-                if c.name != "rowid" {
-                    out_cols.push(c.clone());
-                    out_idx.push(i);
+        // Projection — already fused into the final scan/join above when
+        // possible.
+        if fused {
+            let mut frame = acc;
+            if plan.distinct {
+                frame = distinct(frame);
+                if let Some(n) = limit_n {
+                    frame.rows.truncate(n);
                 }
             }
-        } else {
-            for (k, item) in plan.columns.iter().enumerate() {
-                match &item.expr {
-                    SqlExpr::Column { qualifier, name } => {
-                        let i = acc.resolve(qualifier.as_ref(), name).ok_or_else(|| {
-                            DbError::Exec(format!("unresolved select column {name}"))
-                        })?;
-                        out_cols.push(exec::FrameCol {
-                            alias: item
-                                .alias
-                                .clone()
-                                .unwrap_or_else(|| acc.cols[i].alias.clone()),
-                            name: item.alias.clone().unwrap_or_else(|| name.clone()),
-                        });
-                        out_idx.push(i);
-                    }
-                    other => {
-                        return Err(DbError::Exec(format!(
-                            "unsupported select expression {other:?} at position {k}"
-                        )))
-                    }
-                }
-            }
+            return Ok(frame);
         }
+        // The plan usually resolved the projection statically; the dynamic
+        // path remains for plans whose select items could not be resolved
+        // at plan time (and carries the runtime errors).
+        let (out_cols, out_idx): (Vec<exec::FrameCol>, Vec<usize>) = match &plan.projection {
+            Some((cols, idx)) => (cols.clone(), idx.clone()),
+            None => {
+                let mut out_cols = Vec::new();
+                let mut out_idx: Vec<usize> = Vec::new();
+                if plan.columns.is_empty() {
+                    for (i, c) in acc.cols.iter().enumerate() {
+                        if c.name != "rowid" {
+                            out_cols.push(c.clone());
+                            out_idx.push(i);
+                        }
+                    }
+                } else {
+                    for (k, item) in plan.columns.iter().enumerate() {
+                        match &item.expr {
+                            SqlExpr::Column { qualifier, name } => {
+                                let i =
+                                    acc.resolve(qualifier.as_ref(), name).ok_or_else(|| {
+                                        DbError::Exec(format!(
+                                            "unresolved select column {name}"
+                                        ))
+                                    })?;
+                                out_cols.push(exec::FrameCol {
+                                    alias: item
+                                        .alias
+                                        .clone()
+                                        .unwrap_or_else(|| acc.cols[i].alias.clone()),
+                                    name: item.alias.clone().unwrap_or_else(|| name.clone()),
+                                });
+                                out_idx.push(i);
+                            }
+                            other => {
+                                return Err(DbError::Exec(format!(
+                                    "unsupported select expression {other:?} at position {k}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                (out_cols, out_idx)
+            }
+        };
         let rows = acc
             .rows
             .into_iter()
@@ -585,38 +759,55 @@ impl Database {
                 Ok(QueryOutput::Rows(self.execute_select_with(s, params, config)?))
             }
             SqlQuery::Scalar(s) => {
-                // Aggregate input: the relational part with projection; for
-                // COUNT(*) project nothing special.
-                let mut inner = s.query.clone();
-                if let Some(col) = &s.column {
-                    inner.columns =
-                        vec![qbs_sql::SelectItem { expr: col.clone(), alias: None }];
-                }
+                let inner = scalar_core(s);
                 let out = self.execute_select_with(&inner, params, config)?;
-                let stats = out.stats;
-                let value = match s.agg {
-                    AggKind::Count => Value::from(out.rows.len() as i64),
-                    agg => aggregate(agg, &out.rows)?,
-                };
-                let value = match &s.compare {
-                    None => value,
-                    Some((op, rhs)) => {
-                        let no_sub =
-                            |_: &qbs_sql::SqlSelect| -> Result<Rc<SubResult>, exec::ExecError> {
-                                Err(exec::ExecError::new(
-                                    "no sub-queries in scalar comparisons",
-                                ))
-                            };
-                        let ctx = EvalCtx { params, subquery: &no_sub };
-                        let empty = Frame::new(vec![]);
-                        let r = eval_expr(rhs, &empty, RowRef::Slice(&[]), &ctx)?;
-                        Value::from(op.test(value.total_cmp(&r)))
-                    }
-                };
-                Ok(QueryOutput::Scalar { value, stats })
+                self.finish_scalar(s, out, params)
             }
         }
     }
+
+    /// Folds a scalar query's aggregate (and optional trailing comparison)
+    /// over the already-executed relational core — shared by the per-call
+    /// path above and prepared-statement execution, which plans the core
+    /// once and interprets it per call.
+    pub(crate) fn finish_scalar(
+        &self,
+        s: &qbs_sql::SqlScalar,
+        out: SelectOutput,
+        params: &Params,
+    ) -> Result<QueryOutput, DbError> {
+        let stats = out.stats;
+        let value = match s.agg {
+            AggKind::Count => Value::from(out.rows.len() as i64),
+            agg => aggregate(agg, &out.rows)?,
+        };
+        let value = match &s.compare {
+            None => value,
+            Some((op, rhs)) => {
+                let no_sub =
+                    |_: &qbs_sql::SqlSelect| -> Result<Rc<SubResult>, exec::ExecError> {
+                        Err(exec::ExecError::new("no sub-queries in scalar comparisons"))
+                    };
+                let ctx = EvalCtx { params, subquery: &no_sub };
+                let empty = Frame::new(vec![]);
+                let r = eval_expr(rhs, &empty, RowRef::Slice(&[]), &ctx)?;
+                Value::from(op.test(value.total_cmp(&r)))
+            }
+        };
+        Ok(QueryOutput::Scalar { value, stats })
+    }
+}
+
+/// The relational core a scalar query aggregates over: its inner query
+/// with the aggregated column as the projection (for `COUNT(*)` the inner
+/// projection is kept as-is). This is the select that prepared statements
+/// plan once.
+pub(crate) fn scalar_core(s: &qbs_sql::SqlScalar) -> SqlSelect {
+    let mut inner = s.query.clone();
+    if let Some(col) = &s.column {
+        inner.columns = vec![qbs_sql::SelectItem { expr: col.clone(), alias: None }];
+    }
+    inner
 }
 
 /// Folds a non-`COUNT` aggregate over the first column of `rows`.

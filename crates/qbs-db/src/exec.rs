@@ -32,22 +32,34 @@ impl Frame {
 
     /// Resolves a column reference to a position.
     pub fn resolve(&self, qualifier: Option<&Ident>, name: &Ident) -> Option<usize> {
-        let mut found = None;
-        for (i, c) in self.cols.iter().enumerate() {
-            let matches = c.name == *name
-                && match qualifier {
-                    Some(q) => &c.alias == q,
-                    None => true,
-                };
-            if matches {
-                if found.is_some() {
-                    return None; // ambiguous
-                }
-                found = Some(i);
-            }
-        }
-        found
+        resolve_cols(&self.cols, qualifier, name)
     }
+}
+
+/// Resolves a column reference against a column layout: the unique
+/// matching position, or `None` when the reference is unknown or
+/// ambiguous. The planner uses this at plan time (join keys, projection)
+/// and [`Frame::resolve`] delegates here, so both sides agree exactly.
+pub(crate) fn resolve_cols(
+    cols: &[FrameCol],
+    qualifier: Option<&Ident>,
+    name: &Ident,
+) -> Option<usize> {
+    let mut found = None;
+    for (i, c) in cols.iter().enumerate() {
+        let matches = c.name == *name
+            && match qualifier {
+                Some(q) => &c.alias == q,
+                None => true,
+            };
+        if matches {
+            if found.is_some() {
+                return None; // ambiguous
+            }
+            found = Some(i);
+        }
+    }
+    found
 }
 
 /// A row as seen by expression evaluation: either one materialized slice or
@@ -92,6 +104,15 @@ pub struct ExecStats {
     pub subqueries_executed: usize,
     /// Predicate sub-query evaluations answered from the hoisting cache.
     pub subquery_cache_hits: usize,
+    /// Executions that reused an already-computed [`PhysicalPlan`]
+    /// (prepared statement or plan-cache hit) instead of planning afresh
+    /// — always 0 on the plain `execute_*` paths, which plan per call.
+    ///
+    /// [`PhysicalPlan`]: crate::PhysicalPlan
+    pub plan_cache_hits: usize,
+    /// Executions that re-planned because a referenced table's generation
+    /// counter moved since the plan was computed (inserts, index builds).
+    pub replans: usize,
 }
 
 impl ExecStats {
@@ -232,6 +253,44 @@ pub(crate) fn filter(
     Ok(Frame { cols: frame.cols, rows })
 }
 
+/// Materializes one joined output row: the concatenated pair, or — when
+/// the statement's projection is fused into this join — just the gathered
+/// output columns, never building the full combined row.
+fn emit_pair(
+    l: &[Value],
+    r: &[Value],
+    emit: Option<&(Vec<FrameCol>, Vec<usize>)>,
+) -> Vec<Value> {
+    match emit {
+        Some((_, idx)) => {
+            let pair = RowRef::Pair(l, r);
+            idx.iter().map(|&i| pair.at(i).clone()).collect()
+        }
+        None => {
+            let mut combined = l.to_vec();
+            combined.extend(r.iter().cloned());
+            combined
+        }
+    }
+}
+
+/// The output layout of a join: the concatenated input columns, or the
+/// fused projection's columns.
+fn join_cols(
+    left: &Frame,
+    right: &Frame,
+    emit: Option<&(Vec<FrameCol>, Vec<usize>)>,
+) -> (Vec<FrameCol>, Frame) {
+    let mut pair_cols = left.cols.clone();
+    pair_cols.extend(right.cols.clone());
+    let pair_frame = Frame::new(pair_cols.clone());
+    let out = match emit {
+        Some((cols, _)) => cols.clone(),
+        None => pair_cols,
+    };
+    (out, pair_frame)
+}
+
 /// Nested-loop join: left-major order, right insertion order (the TOR `⋈`
 /// axiom order). `O(n·m)`. The predicate is evaluated on a split row view,
 /// so only matching pairs are ever materialized.
@@ -239,24 +298,21 @@ pub(crate) fn nested_loop_join(
     left: Frame,
     right: Frame,
     pred: Option<&SqlExpr>,
+    emit: Option<&(Vec<FrameCol>, Vec<usize>)>,
     ctx: &EvalCtx<'_>,
     stats: &mut ExecStats,
 ) -> Result<Frame, ExecError> {
-    let mut cols = left.cols.clone();
-    cols.extend(right.cols.clone());
-    let out_frame = Frame::new(cols.clone());
+    let (cols, pair_frame) = join_cols(&left, &right, emit);
     let mut rows = Vec::new();
     for l in &left.rows {
         for r in &right.rows {
             stats.join_comparisons += 1;
             let keep = match pred {
-                Some(p) => truthy(&eval_expr(p, &out_frame, RowRef::Pair(l, r), ctx)?)?,
+                Some(p) => truthy(&eval_expr(p, &pair_frame, RowRef::Pair(l, r), ctx)?)?,
                 None => true,
             };
             if keep {
-                let mut combined = l.clone();
-                combined.extend(r.iter().cloned());
-                rows.push(combined);
+                rows.push(emit_pair(l, r, emit));
             }
         }
     }
@@ -264,41 +320,59 @@ pub(crate) fn nested_loop_join(
     Ok(Frame { cols, rows })
 }
 
+/// A hash-join key: a column position resolved at plan time (the fast
+/// path — direct row access, no per-row expression walk) or an arbitrary
+/// key expression evaluated per row.
+pub(crate) enum JoinKey<'a> {
+    /// Key at a fixed column position of the input frame.
+    Idx(usize),
+    /// Key computed by evaluating an expression against each row.
+    Expr(&'a SqlExpr),
+}
+
 /// Hash join on equality keys: builds on the right input (buckets keep right
 /// insertion order), probes left rows in order — output order is identical
 /// to the nested-loop join. `O(n + m)`.
+#[allow(clippy::too_many_arguments)] // one call site; mirrors nested_loop_join
 pub(crate) fn hash_join(
     left: Frame,
     right: Frame,
-    left_key: &SqlExpr,
-    right_key: &SqlExpr,
+    left_key: JoinKey<'_>,
+    right_key: JoinKey<'_>,
     residual: Option<&SqlExpr>,
+    emit: Option<&(Vec<FrameCol>, Vec<usize>)>,
     ctx: &EvalCtx<'_>,
     stats: &mut ExecStats,
 ) -> Result<Frame, ExecError> {
     let mut buckets: HashMap<Value, Vec<usize>> = HashMap::new();
     for (i, r) in right.rows.iter().enumerate() {
-        let k = eval_expr(right_key, &right, RowRef::Slice(r), ctx)?;
+        let k = match &right_key {
+            JoinKey::Idx(j) => r[*j].clone(),
+            JoinKey::Expr(e) => eval_expr(e, &right, RowRef::Slice(r), ctx)?,
+        };
         buckets.entry(k).or_default().push(i);
     }
-    let mut cols = left.cols.clone();
-    cols.extend(right.cols.clone());
-    let out_frame = Frame::new(cols.clone());
+    let (cols, pair_frame) = join_cols(&left, &right, emit);
     let mut rows = Vec::new();
     for l in &left.rows {
-        let k = eval_expr(left_key, &left, RowRef::Slice(l), ctx)?;
-        if let Some(matches) = buckets.get(&k) {
+        let probe_owned;
+        let matches = match &left_key {
+            JoinKey::Idx(j) => buckets.get(&l[*j]),
+            JoinKey::Expr(e) => {
+                probe_owned = eval_expr(e, &left, RowRef::Slice(l), ctx)?;
+                buckets.get(&probe_owned)
+            }
+        };
+        if let Some(matches) = matches {
             for &ri in matches {
                 stats.join_comparisons += 1;
                 let r = &right.rows[ri];
                 let keep = match residual {
-                    Some(p) => truthy(&eval_expr(p, &out_frame, RowRef::Pair(l, r), ctx)?)?,
+                    Some(p) => truthy(&eval_expr(p, &pair_frame, RowRef::Pair(l, r), ctx)?)?,
                     None => true,
                 };
                 if keep {
-                    let mut combined = l.clone();
-                    combined.extend(r.iter().cloned());
-                    rows.push(combined);
+                    rows.push(emit_pair(l, r, emit));
                 }
             }
         }
@@ -389,13 +463,17 @@ mod tests {
         let (l, r) = two_frames();
         let pred = SqlExpr::cmp(SqlExpr::qcol("l", "k"), CmpOp::Eq, SqlExpr::qcol("r", "k"));
         let mut s1 = ExecStats::default();
-        let nl = nested_loop_join(l.clone(), r.clone(), Some(&pred), &c, &mut s1).unwrap();
+        let nl =
+            nested_loop_join(l.clone(), r.clone(), Some(&pred), None, &c, &mut s1).unwrap();
         let mut s2 = ExecStats::default();
+        let lk = SqlExpr::qcol("l", "k");
+        let rk = SqlExpr::qcol("r", "k");
         let hj = hash_join(
-            l,
-            r,
-            &SqlExpr::qcol("l", "k"),
-            &SqlExpr::qcol("r", "k"),
+            l.clone(),
+            r.clone(),
+            JoinKey::Expr(&lk),
+            JoinKey::Expr(&rk),
+            None,
             None,
             &c,
             &mut s2,
@@ -405,6 +483,12 @@ mod tests {
         assert_eq!(nl.rows.len(), 4);
         // Hash join does asymptotically less work.
         assert!(s2.join_comparisons < s1.join_comparisons);
+        // Plan-resolved key positions take the same path to the same rows.
+        let mut s3 = ExecStats::default();
+        let by_idx =
+            hash_join(l, r, JoinKey::Idx(0), JoinKey::Idx(0), None, None, &c, &mut s3).unwrap();
+        assert_eq!(by_idx.rows, hj.rows);
+        assert_eq!(s3.join_comparisons, s2.join_comparisons);
     }
 
     #[test]

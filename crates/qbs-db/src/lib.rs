@@ -48,16 +48,20 @@
 //! ```
 
 mod compare;
+mod conn;
 mod db;
 mod exec;
 mod planner;
+mod stmt;
 mod storage;
 
 pub use compare::{rows_agree, rows_diff, RowsDiff, RowsEquivalence};
+pub use conn::{Connection, PlanCacheStats};
 pub use db::{Database, DbError, Params, QueryOutput, SelectOutput};
 pub use exec::{ExecStats, Frame, FrameCol};
 pub use planner::{
     explain, explain_with, plan, plan_with, IndexProbe, JoinAlgorithm, JoinStep, PhysicalPlan,
     Plan, PlanConfig, ScanNode, ScanSource,
 };
+pub use stmt::{Binder, ParamSlot, PreparedStatement};
 pub use storage::Table;

@@ -59,8 +59,6 @@ pub enum ScanSource {
     Subquery {
         /// The sub-query's own physical plan.
         plan: Box<PhysicalPlan>,
-        /// Output columns, qualified by the sub-query alias.
-        cols: Vec<FrameCol>,
     },
 }
 
@@ -71,6 +69,15 @@ pub struct ScanNode {
     pub alias: Ident,
     /// Base table or sub-query.
     pub source: ScanSource,
+    /// The scan's *evaluation* layout, resolved at plan time: table
+    /// schema plus the hidden `rowid` for base tables, the projected
+    /// columns of a sub-query. Pushed filters evaluate against this
+    /// layout (the raw row), independent of what gets materialized.
+    pub cols: Vec<FrameCol>,
+    /// Column pruning: positions of [`cols`](Self::cols) actually
+    /// materialized into the output frame (`None` = all). Columns no
+    /// post-scan operator references are never copied out of the table.
+    pub emit: Option<Vec<usize>>,
     /// At most one indexed equality probe (the executor uses at most one
     /// index per scan; the plan records exactly that).
     pub probe: Option<IndexProbe>,
@@ -83,6 +90,17 @@ pub struct ScanNode {
     pub estimated_rows: usize,
 }
 
+impl ScanNode {
+    /// The columns the scan actually materializes:
+    /// [`cols`](Self::cols) restricted to [`emit`](Self::emit).
+    pub fn out_cols(&self) -> Vec<FrameCol> {
+        match &self.emit {
+            Some(keep) => keep.iter().map(|&i| self.cols[i].clone()).collect(),
+            None => self.cols.clone(),
+        }
+    }
+}
+
 /// One join step: `acc ⋈ scans[k+1]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JoinStep {
@@ -90,6 +108,11 @@ pub struct JoinStep {
     pub algorithm: JoinAlgorithm,
     /// Equality keys (left, right) driving a hash join.
     pub key: Option<(SqlExpr, SqlExpr)>,
+    /// The keys resolved to column positions (left position in the
+    /// accumulated layout, right position in the joined scan) when both
+    /// are plain column references — the executor then probes by direct
+    /// row access instead of per-row expression evaluation.
+    pub key_idx: Option<(usize, usize)>,
     /// Remaining connecting predicates, evaluated on each candidate pair.
     pub residual: Option<SqlExpr>,
     /// Estimated cardinality after this step.
@@ -124,6 +147,18 @@ pub struct PhysicalPlan {
     /// (its `WHERE` clause plus nested sub-queries' clauses); the executor
     /// hoists each into a hash set built once per statement.
     pub hoisted_subqueries: usize,
+    /// True when the query's `ORDER BY` was proven redundant and dropped
+    /// from [`order_by`](Self::order_by): base-table scans yield rowid-
+    /// ascending rows and both join algorithms produce left-major order,
+    /// so a join pipeline's output is already sorted lexicographically by
+    /// `(scans[0].rowid, scans[1].rowid, …)` — a stable sort by any prefix
+    /// of those keys is the identity.
+    pub sort_elided: bool,
+    /// The projection resolved at plan time against the joined layout:
+    /// output columns plus their positions. `None` falls back to per-call
+    /// resolution (and its runtime errors) when a column cannot be
+    /// resolved statically.
+    pub projection: Option<(Vec<FrameCol>, Vec<usize>)>,
 }
 
 impl PhysicalPlan {
@@ -439,7 +474,7 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
 
         let pushed_filters = pushed.len();
         let has_eq = pushed.iter().any(|c| index_eq(c, &alias).is_some());
-        let (source, probe, residual, estimated_rows) = match item {
+        let (source, cols, probe, residual, estimated_rows) = match item {
             FromItem::Table { name, .. } => {
                 let table = db.table(name);
                 // At most one indexed equality probe per scan; the rest of
@@ -460,7 +495,19 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
                 let est = table
                     .map(|t| estimate_table(t, &probe, pushed_filters, has_eq))
                     .unwrap_or(0);
-                (ScanSource::Table(name.clone()), probe, residual, est)
+                // The scan's frame layout, fixed at plan time: the table's
+                // schema columns plus the hidden rowid.
+                let mut cols: Vec<FrameCol> = table
+                    .map(|t| {
+                        t.schema()
+                            .fields()
+                            .iter()
+                            .map(|f| FrameCol { alias: alias.clone(), name: f.name.clone() })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                cols.push(FrameCol { alias: alias.clone(), name: "rowid".into() });
+                (ScanSource::Table(name.clone()), cols, probe, residual, est)
             }
             FromItem::Subquery { query, alias: sub_alias } => {
                 // An inner reorder permutes the sub-query's output order,
@@ -494,12 +541,14 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
                             .unwrap_or_else(|| Ident::new(format!("c{k}"))),
                     })
                     .collect();
-                (ScanSource::Subquery { plan: Box::new(inner), cols }, None, pushed, est)
+                (ScanSource::Subquery { plan: Box::new(inner) }, cols, None, pushed, est)
             }
         };
         nodes.push(ScanNode {
             alias,
             source,
+            cols,
+            emit: None,
             probe,
             filter: (!residual.is_empty()).then(|| SqlExpr::conjoin(residual)),
             pushed_filters,
@@ -522,7 +571,9 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
 
     // Join steps, in execution order: pull the connecting conjuncts for
     // each step out of the remaining pool; the first equi-join predicate
-    // becomes the hash key, the rest the step residual.
+    // becomes the hash key, the rest the step residual. (Key positions
+    // are resolved in a later pass, once column pruning has fixed the
+    // final layouts.)
     let mut joins: Vec<JoinStep> = Vec::with_capacity(scans.len().saturating_sub(1));
     let mut joined: BTreeSet<Ident> = BTreeSet::new();
     let mut acc_est = scans.first().map(|s| s.estimated_rows).unwrap_or(0);
@@ -565,22 +616,177 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
         joins.push(JoinStep {
             algorithm,
             key,
+            key_idx: None,
             residual: (!connecting.is_empty()).then(|| SqlExpr::conjoin(connecting)),
             estimated_rows: acc_est,
         });
         joined.insert(alias);
     }
 
+    // Sort elision: scans of base tables emit rowid-ascending rows and
+    // both join algorithms are left-major, so the pipeline's output is
+    // already ordered lexicographically by (scans[0].rowid, scans[1].rowid,
+    // …). An ORDER BY whose keys are exactly a prefix of those rowids
+    // (all ascending) is satisfied by construction — a stable sort would
+    // be the identity — and is dropped from the plan.
+    let sort_elided = !q.order_by.is_empty()
+        && q.order_by.len() <= scans.len()
+        && q.order_by.iter().zip(&scans).all(|(k, scan)| {
+            k.asc
+                && matches!(scan.source, ScanSource::Table(_))
+                && matches!(&k.expr, SqlExpr::Column { qualifier: Some(a), name }
+                    if a == &scan.alias && name.as_str() == "rowid")
+        });
+    let order_by = if sort_elided { Vec::new() } else { q.order_by.clone() };
+
+    // Resolve the projection against the *full* layout first — whether it
+    // resolves statically gates column pruning (the dynamic fallback may
+    // reference anything).
+    let full_layout: Vec<FrameCol> =
+        scans.iter().flat_map(|s| s.cols.iter().cloned()).collect();
+    let full_projection = resolve_projection(&q.columns, &full_layout);
+
+    // Column pruning: a scan column that no post-scan operator (join key,
+    // step or plan residual, order key, projection) references is never
+    // materialized. Pushed scan filters evaluate against the raw row
+    // before materialization, so they impose nothing.
+    if full_projection.is_some() {
+        let mut needed: Vec<(Option<Ident>, Ident)> = Vec::new();
+        for step in &joins {
+            if let Some((lk, rk)) = &step.key {
+                column_refs(lk, &mut needed);
+                column_refs(rk, &mut needed);
+            }
+            if let Some(r) = &step.residual {
+                column_refs(r, &mut needed);
+            }
+        }
+        for c in &remaining {
+            column_refs(c, &mut needed);
+        }
+        for k in &order_by {
+            column_refs(&k.expr, &mut needed);
+        }
+        let keep_all_non_rowid = q.columns.is_empty();
+        for item in &q.columns {
+            column_refs(&item.expr, &mut needed);
+        }
+        let is_needed = |col: &FrameCol| {
+            (keep_all_non_rowid && col.name.as_str() != "rowid")
+                || needed.iter().any(|(qual, name)| {
+                    &col.name == name && qual.as_ref().is_none_or(|qq| qq == &col.alias)
+                })
+        };
+        for scan in &mut scans {
+            // Only base tables prune (a sub-query's columns were already
+            // chosen by its own projection).
+            if !matches!(scan.source, ScanSource::Table(_)) {
+                continue;
+            }
+            let keep: Vec<usize> =
+                (0..scan.cols.len()).filter(|&i| is_needed(&scan.cols[i])).collect();
+            if keep.len() < scan.cols.len() {
+                scan.emit = Some(keep);
+            }
+        }
+    }
+
+    // Final (post-pruning) layouts: resolve join-key positions and the
+    // projection once, against exactly the columns the executor will
+    // materialize.
+    let eff_cols: Vec<Vec<FrameCol>> = scans.iter().map(ScanNode::out_cols).collect();
+    let mut layout: Vec<FrameCol> = eff_cols.first().cloned().unwrap_or_default();
+    for (k, step) in joins.iter_mut().enumerate() {
+        let right = &eff_cols[k + 1];
+        step.key_idx = step.key.as_ref().and_then(|(lk, rk)| {
+            let li = match lk {
+                SqlExpr::Column { qualifier, name } => {
+                    crate::exec::resolve_cols(&layout, qualifier.as_ref(), name)
+                }
+                _ => None,
+            }?;
+            let ri = match rk {
+                SqlExpr::Column { qualifier, name } => {
+                    crate::exec::resolve_cols(right, qualifier.as_ref(), name)
+                }
+                _ => None,
+            }?;
+            Some((li, ri))
+        });
+        layout.extend(right.iter().cloned());
+    }
+    let projection = match full_projection {
+        Some(_) => resolve_projection(&q.columns, &layout),
+        None => None,
+    };
+
     PhysicalPlan {
         scans,
         joins,
         residual: (!remaining.is_empty()).then(|| SqlExpr::conjoin(remaining)),
-        order_by: q.order_by.clone(),
+        order_by,
         columns: q.columns.clone(),
         distinct: q.distinct,
         limit: q.limit.clone(),
         reordered,
         hoisted_subqueries,
+        sort_elided,
+        projection,
+    }
+}
+
+/// Statically resolves a select list against a column layout (`columns`
+/// empty = `SELECT *`, all non-rowid columns); `None` when any item needs
+/// runtime resolution.
+fn resolve_projection(
+    columns: &[SelectItem],
+    layout: &[FrameCol],
+) -> Option<(Vec<FrameCol>, Vec<usize>)> {
+    if columns.is_empty() {
+        let mut out_cols = Vec::new();
+        let mut out_idx = Vec::new();
+        for (i, c) in layout.iter().enumerate() {
+            if c.name.as_str() != "rowid" {
+                out_cols.push(c.clone());
+                out_idx.push(i);
+            }
+        }
+        return Some((out_cols, out_idx));
+    }
+    columns
+        .iter()
+        .map(|item| match &item.expr {
+            SqlExpr::Column { qualifier, name } => {
+                let i = crate::exec::resolve_cols(layout, qualifier.as_ref(), name)?;
+                Some((
+                    FrameCol {
+                        alias: item.alias.clone().unwrap_or_else(|| layout[i].alias.clone()),
+                        name: item.alias.clone().unwrap_or_else(|| name.clone()),
+                    },
+                    i,
+                ))
+            }
+            _ => None,
+        })
+        .collect::<Option<Vec<(FrameCol, usize)>>>()
+        .map(|pairs| pairs.into_iter().unzip())
+}
+
+/// Collects every column reference of an expression (qualifier and name).
+/// Predicate sub-queries contribute only their probe expressions — their
+/// bodies resolve inside their own plans.
+fn column_refs(e: &SqlExpr, out: &mut Vec<(Option<Ident>, Ident)>) {
+    match e {
+        SqlExpr::Column { qualifier, name } => out.push((qualifier.clone(), name.clone())),
+        SqlExpr::Lit(_) | SqlExpr::Param(_) => {}
+        SqlExpr::Cmp(a, _, b) => {
+            column_refs(a, out);
+            column_refs(b, out);
+        }
+        SqlExpr::And(ps) | SqlExpr::Or(ps) => ps.iter().for_each(|p| column_refs(p, out)),
+        SqlExpr::Not(x) => column_refs(x, out),
+        SqlExpr::InSubquery(x, _) => column_refs(x, out),
+        SqlExpr::RowInSubquery(xs, _) => xs.iter().for_each(|x| column_refs(x, out)),
     }
 }
 

@@ -13,12 +13,21 @@ pub struct Table {
     schema: SchemaRef,
     rows: Vec<Vec<Value>>,
     indexes: HashMap<Ident, HashMap<Value, Vec<usize>>>,
+    generation: u64,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: SchemaRef) -> Table {
-        Table { schema, rows: Vec::new(), indexes: HashMap::new() }
+        Table { schema, rows: Vec::new(), indexes: HashMap::new(), generation: 0 }
+    }
+
+    /// The table's generation counter: bumped by every [`Table::insert`]
+    /// and [`Table::create_index`]. Cached physical plans record the
+    /// generations of the tables they touch and replan when any of them
+    /// moved — the invalidation key of the prepared-statement plan cache.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The logical schema (without `rowid`).
@@ -73,6 +82,7 @@ impl Table {
             idx.entry(values[pos].clone()).or_default().push(rowid);
         }
         self.rows.push(values);
+        self.generation += 1;
     }
 
     /// Builds (or rebuilds) a hash index on `column`.
@@ -87,6 +97,7 @@ impl Table {
             idx.entry(row[pos].clone()).or_default().push(rowid);
         }
         self.indexes.insert(column.clone(), idx);
+        self.generation += 1;
         Ok(())
     }
 
@@ -169,6 +180,18 @@ mod tests {
         t.create_index(&"a".into()).unwrap();
         t.insert(vec![5.into(), "x".into()]);
         assert_eq!(t.index_lookup(&"a".into(), &5.into()).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn generation_bumps_on_insert_and_index_build() {
+        let mut t = table();
+        assert_eq!(t.generation(), 0);
+        t.insert(vec![1.into(), "x".into()]);
+        assert_eq!(t.generation(), 1);
+        t.create_index(&"a".into()).unwrap();
+        assert_eq!(t.generation(), 2);
+        t.insert(vec![2.into(), "y".into()]);
+        assert_eq!(t.generation(), 3);
     }
 
     #[test]

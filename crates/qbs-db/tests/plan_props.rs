@@ -212,3 +212,97 @@ proptest! {
         }
     }
 }
+
+// ── Prepared-statement plan-cache invalidation ──────────────────────────
+//
+// The ISSUE's pinned property: inserting rows or building an index after
+// `prepare` bumps the affected table's generation counter, the next
+// execution replans (visible as `ExecStats::replans`), and the replanned
+// result is identical to planning from scratch on the mutated data.
+
+use qbs_db::Connection;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After a post-prepare insert, the statement replans exactly once
+    /// and its rows match a fresh plan over the mutated database.
+    #[test]
+    fn prepared_statements_replan_after_inserts(
+        n in 1usize..4,
+        perm in 0usize..6,
+        equi in prop::collection::vec(0usize..2, 3..4),
+        eq_pred in prop::collection::vec(prop::option::of(0i64..5), 3..4),
+        flags in prop::collection::vec(0usize..2, 3..4),
+        limit in prop::option::of(0i64..10),
+        extra in 1i64..4,
+    ) {
+        let shape = mk_shape(n, perm, &equi, &eq_pred, &flags, limit);
+        let q = build_query(&shape);
+        let conn = Connection::open(fixture());
+        let stmt = conn.prepare_query(&qbs_sql::SqlQuery::Select(q.clone()));
+        let params = qbs_db::Params::new();
+
+        // Steady state: the prepared plan is reused.
+        let before = conn.execute(&stmt, &params).unwrap();
+        let qbs_db::QueryOutput::Rows(before) = before else { panic!("relational") };
+        prop_assert_eq!(before.stats.plan_cache_hits, 1, "q: {}", q);
+        prop_assert_eq!(before.stats.replans, 0);
+
+        // Mutate the first table the query scans.
+        let target = TABLES[shape.tables[0]].0;
+        let old_gen = conn.database().table(&target.into()).unwrap().generation();
+        for i in 0..extra {
+            conn.insert(target, vec![Value::from(i % 5), Value::from(i * 3 % 11)]).unwrap();
+        }
+        let new_gen = conn.database().table(&target.into()).unwrap().generation();
+        prop_assert_eq!(new_gen, old_gen + extra as u64, "one bump per insert");
+
+        // The statement replans and sees the new rows.
+        let after = conn.execute(&stmt, &params).unwrap();
+        let qbs_db::QueryOutput::Rows(after) = after else { panic!("relational") };
+        prop_assert_eq!(after.stats.replans, 1, "q: {}", q);
+        prop_assert_eq!(after.stats.plan_cache_hits, 0);
+
+        // Identical to a from-scratch plan over the mutated data.
+        let fresh = conn.database().clone();
+        let direct = fresh.execute_select(&q, &params).unwrap();
+        prop_assert_eq!(&after.rows, &direct.rows, "q: {}", q);
+
+        // And the replanned plan is cached again.
+        let steady = conn.execute(&stmt, &params).unwrap();
+        let qbs_db::QueryOutput::Rows(steady) = steady else { panic!("relational") };
+        prop_assert_eq!(steady.stats.plan_cache_hits, 1);
+    }
+}
+
+#[test]
+fn index_built_after_prepare_replans_onto_the_index() {
+    let db = fixture();
+    let conn = Connection::open(db);
+    // `u.a` has no index in the fixture; the plan starts as a full scan.
+    let q = qbs_sql::parse_query("SELECT c FROM u WHERE a = 2").unwrap();
+    let stmt = conn.prepare_query(&qbs_sql::SqlQuery::Select(q.clone()));
+    let params = qbs_db::Params::new();
+
+    let before = match conn.execute(&stmt, &params).unwrap() {
+        qbs_db::QueryOutput::Rows(o) => o,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(!before.stats.used_index);
+    assert_eq!(stmt.plan().summary().index_scans, 0);
+
+    conn.create_index("u", "a").unwrap();
+
+    let after = match conn.execute(&stmt, &params).unwrap() {
+        qbs_db::QueryOutput::Rows(o) => o,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(after.stats.replans, 1, "{:?}", after.stats);
+    assert!(after.stats.used_index, "replanned onto the new index");
+    // The statement's plan value was swapped in place.
+    assert_eq!(stmt.plan().summary().index_scans, 1);
+    // Same rows either way (the index changes access path, not results).
+    assert_eq!(after.rows, before.rows);
+    assert_eq!(conn.plan_cache_stats().invalidations, 1);
+}

@@ -52,7 +52,7 @@ mod oracle;
 mod verdict;
 
 pub use oracle::{
-    check, check_opts, check_unminimized, minimize, proven_equivalence, CheckOptions,
-    CheckOutcome,
+    check, check_many, check_opts, check_unminimized, minimize, proven_equivalence,
+    CheckOptions, CheckOutcome,
 };
 pub use verdict::{dump_database, MismatchWitness, OracleCounts, OracleVerdict};

@@ -1,14 +1,22 @@
 //! The differential check: interpret the original kernel program and
 //! execute the synthesized SQL on the same database, then compare under
 //! the correct TOR equivalence.
+//!
+//! The SQL side runs through a [`Connection`] and a single
+//! [`PreparedStatement`] per fragment — planned once at [`check_opts`]
+//! (or [`check_many`]) entry, then executed for the initial run, every
+//! witness-minimization candidate, and every seeded database. The
+//! returned [`ExecStats`] therefore expose the plan-cache behaviour
+//! (`plan_cache_hits` / `replans`) alongside the row counters.
 
 use crate::verdict::{MismatchWitness, OracleVerdict};
 use qbs_common::Ident;
 use qbs_db::{
-    rows_diff, Database, ExecStats, Params, PlanConfig, QueryOutput, RowsEquivalence,
+    rows_diff, Connection, Database, ExecStats, Params, PlanConfig, PreparedStatement,
+    QueryOutput, RowsEquivalence,
 };
 use qbs_kernel::KernelProgram;
-use qbs_sql::SqlQuery;
+use qbs_sql::{Dialect, SqlQuery};
 use qbs_tor::DynValue;
 
 /// Cap on re-executions spent minimizing one witness; minimization is
@@ -93,15 +101,14 @@ pub fn proven_equivalence(sql: &SqlQuery) -> RowsEquivalence {
 
 fn run_both(
     kernel: &KernelProgram,
-    sql: &SqlQuery,
-    db: &Database,
+    stmt: &PreparedStatement,
+    conn: &Connection,
     params: &Params,
-    config: &PlanConfig,
     exec: &mut Option<ExecStats>,
 ) -> Outcome {
     // Original semantics: the kernel interpreter over the database's
     // relations, with bind parameters as scalar variables.
-    let mut env = db.env();
+    let mut env = conn.database().env();
     for (name, value) in params {
         env.bind(name.clone(), value.clone());
     }
@@ -110,8 +117,8 @@ fn run_both(
         Err(e) => return Outcome::Inconclusive(format!("interpreter failed: {e}")),
     };
 
-    // Transformed semantics: the SQL executor on the same database.
-    let out = match db.execute_with(sql, params, config) {
+    // Transformed semantics: the prepared statement on the same database.
+    let out = match conn.execute(stmt, params) {
         Ok(o) => o,
         Err(e) => return Outcome::Inconclusive(format!("sql execution failed: {e}")),
     };
@@ -120,7 +127,7 @@ fn run_both(
         QueryOutput::Scalar { stats, .. } => stats.clone(),
     });
 
-    let equivalence = proven_equivalence(sql);
+    let equivalence = proven_equivalence(stmt.query());
     match (&run.result, &out) {
         (DynValue::Rel(orig), QueryOutput::Rows(sqlout)) => {
             match rows_diff(orig, &sqlout.rows, equivalence) {
@@ -201,6 +208,10 @@ pub fn check_unminimized(
 
 /// The configurable differential check: verdict plus the SQL executor's
 /// counters, with join reordering and witness minimization per `opts`.
+///
+/// The SQL is prepared exactly once; the initial run and every
+/// minimization candidate execute the same handle (candidates replan
+/// transparently — their tables carry different generation counters).
 pub fn check_opts(
     kernel: &KernelProgram,
     sql: &SqlQuery,
@@ -208,47 +219,75 @@ pub fn check_opts(
     params: &Params,
     opts: &CheckOptions,
 ) -> CheckOutcome {
-    let config = opts.plan_config();
+    let conn = connect(db, opts);
+    let stmt = conn.prepare_query(sql);
+    check_with_handle(kernel, &stmt, &conn, params, opts)
+}
+
+/// Differentially checks one fragment on several databases through **one**
+/// prepared handle: the statement is planned once and re-executed per
+/// seed, so each outcome's [`ExecStats`] show a plan-cache hit instead of
+/// a fresh planning pass (the corpus oracle's execute-many shape).
+pub fn check_many(
+    kernel: &KernelProgram,
+    sql: &SqlQuery,
+    dbs: &[Database],
+    params: &Params,
+    opts: &CheckOptions,
+) -> Vec<CheckOutcome> {
+    let mut stmt: Option<PreparedStatement> = None;
+    dbs.iter()
+        .map(|db| {
+            let conn = connect(db, opts);
+            let stmt = stmt.get_or_insert_with(|| conn.prepare_query(sql));
+            check_with_handle(kernel, stmt, &conn, params, opts)
+        })
+        .collect()
+}
+
+fn connect(db: &Database, opts: &CheckOptions) -> Connection {
+    Connection::open_with(db.clone(), opts.plan_config(), Dialect::Generic)
+}
+
+fn check_with_handle(
+    kernel: &KernelProgram,
+    stmt: &PreparedStatement,
+    conn: &Connection,
+    params: &Params,
+    opts: &CheckOptions,
+) -> CheckOutcome {
+    let witness = |diff, original, translated, db| {
+        OracleVerdict::Mismatch(Box::new(MismatchWitness {
+            fragment: kernel.name().to_string(),
+            sql: stmt.query().to_string(),
+            diff,
+            original,
+            translated,
+            db,
+        }))
+    };
     let mut exec = None;
-    let verdict = match run_both(kernel, sql, db, params, &config, &mut exec) {
+    let verdict = match run_both(kernel, stmt, conn, params, &mut exec) {
         Outcome::Agree { rows, equivalence } => OracleVerdict::Agree { rows, equivalence },
         Outcome::Inconclusive(reason) => OracleVerdict::Inconclusive { reason },
         Outcome::Diff { diff, original, translated } if !opts.minimize => {
-            OracleVerdict::Mismatch(Box::new(MismatchWitness {
-                fragment: kernel.name().to_string(),
-                sql: sql.to_string(),
-                diff,
-                original,
-                translated,
-                db: db.clone(),
-            }))
+            witness(diff, original, translated, conn.database().clone())
         }
         Outcome::Diff { diff, original, translated } => {
-            let minimized = minimize_with(kernel, sql, db, params, &config);
+            let full = conn.database().clone();
+            let minimized = minimize_with(kernel, stmt, &full, params, &opts.plan_config());
             // Re-derive the divergence on the minimized database so the
             // witness is self-contained.
             let mut scratch = None;
-            match run_both(kernel, sql, &minimized, params, &config, &mut scratch) {
+            let reconn =
+                Connection::open_with(minimized.clone(), opts.plan_config(), Dialect::Generic);
+            match run_both(kernel, stmt, &reconn, params, &mut scratch) {
                 Outcome::Diff { diff, original, translated } => {
-                    OracleVerdict::Mismatch(Box::new(MismatchWitness {
-                        fragment: kernel.name().to_string(),
-                        sql: sql.to_string(),
-                        diff,
-                        original,
-                        translated,
-                        db: minimized,
-                    }))
+                    witness(diff, original, translated, minimized)
                 }
                 // Unreachable by construction (minimize only commits
                 // mismatch-preserving reductions), kept total for safety.
-                _ => OracleVerdict::Mismatch(Box::new(MismatchWitness {
-                    fragment: kernel.name().to_string(),
-                    sql: sql.to_string(),
-                    diff,
-                    original,
-                    translated,
-                    db: db.clone(),
-                })),
+                _ => witness(diff, original, translated, full),
             }
         }
     };
@@ -288,30 +327,36 @@ pub fn minimize(
     db: &Database,
     params: &Params,
 ) -> Database {
-    minimize_with(kernel, sql, db, params, &PlanConfig::default())
+    let config = PlanConfig::default();
+    let conn = Connection::open_with(db.clone(), config.clone(), Dialect::Generic);
+    let stmt = conn.prepare_query(sql);
+    minimize_with(kernel, &stmt, db, params, &config)
 }
 
 /// [`minimize`] under the plan configuration the mismatch was found with,
-/// so reductions are judged by the same executor behaviour.
+/// so reductions are judged by the same executor behaviour. Every
+/// candidate database executes the *same* prepared handle, moving in and
+/// out of a throwaway connection without being copied.
 fn minimize_with(
     kernel: &KernelProgram,
-    sql: &SqlQuery,
+    stmt: &PreparedStatement,
     db: &Database,
     params: &Params,
     config: &PlanConfig,
 ) -> Database {
-    let still_mismatch = |candidate: &Database| {
+    let still_mismatch = |candidate: Database| -> (bool, Database) {
         let mut scratch = None;
-        matches!(
-            run_both(kernel, sql, candidate, params, config, &mut scratch),
-            Outcome::Diff { .. }
-        )
+        let conn = Connection::open_with(candidate, config.clone(), Dialect::Generic);
+        let diff =
+            matches!(run_both(kernel, stmt, &conn, params, &mut scratch), Outcome::Diff { .. });
+        (diff, conn.into_database())
     };
-    if !still_mismatch(db) {
-        return db.clone();
+    let (reproduced, initial) = still_mismatch(db.clone());
+    if !reproduced {
+        return initial;
     }
     let mut budget = MINIMIZE_BUDGET;
-    let mut current = db.clone();
+    let mut current = initial;
     let tables: Vec<Ident> = current.table_names().cloned().collect();
     for table in tables {
         let mut chunk = current.table(&table).map(|t| t.len()).unwrap_or(0);
@@ -327,9 +372,9 @@ fn minimize_with(
                 for k in keep.iter_mut().skip(start).take(chunk) {
                     *k = false;
                 }
-                let candidate = retain_rows(&current, &table, &keep);
                 budget -= 1;
-                if still_mismatch(&candidate) {
+                let (diff, candidate) = still_mismatch(retain_rows(&current, &table, &keep));
+                if diff {
                     // Commit the removal; the next chunk now starts at the
                     // same position.
                     current = candidate;

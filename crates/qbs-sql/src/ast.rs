@@ -2,6 +2,7 @@
 
 use qbs_common::{Ident, Value};
 use qbs_tor::{AggKind, CmpOp};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// A scalar SQL expression.
@@ -56,6 +57,24 @@ impl SqlExpr {
     /// The literal `TRUE` (the unit of conjunction).
     pub fn truth() -> SqlExpr {
         SqlExpr::Lit(Value::from(true))
+    }
+
+    /// True when the expression tree contains a bind parameter anywhere —
+    /// including inside `IN (SELECT …)` sub-queries. Prepared-statement
+    /// caches use this to decide which hoisted sub-query results stay
+    /// valid across executions with different bindings.
+    pub fn contains_param(&self) -> bool {
+        match self {
+            SqlExpr::Param(_) => true,
+            SqlExpr::Column { .. } | SqlExpr::Lit(_) => false,
+            SqlExpr::Cmp(a, _, b) => a.contains_param() || b.contains_param(),
+            SqlExpr::And(ps) | SqlExpr::Or(ps) => ps.iter().any(SqlExpr::contains_param),
+            SqlExpr::Not(x) => x.contains_param(),
+            SqlExpr::InSubquery(x, q) => x.contains_param() || q.has_params(),
+            SqlExpr::RowInSubquery(xs, q) => {
+                xs.iter().any(SqlExpr::contains_param) || q.has_params()
+            }
+        }
     }
 
     /// Conjunction that flattens nested `And`s and collapses trivial
@@ -155,6 +174,62 @@ impl SqlSelect {
             limit: None,
         }
     }
+
+    /// True when any clause of the query (select list, `FROM`
+    /// sub-queries, `WHERE`, `ORDER BY`, `LIMIT`) contains a bind
+    /// parameter.
+    pub fn has_params(&self) -> bool {
+        self.columns.iter().any(|c| c.expr.contains_param())
+            || self.from.iter().any(|f| match f {
+                FromItem::Table { .. } => false,
+                FromItem::Subquery { query, .. } => query.has_params(),
+            })
+            || self.where_clause.as_ref().is_some_and(SqlExpr::contains_param)
+            || self.order_by.iter().any(|k| k.expr.contains_param())
+            || self.limit.as_ref().is_some_and(SqlExpr::contains_param)
+    }
+
+    /// Every base-table name the query reads — `FROM` tables plus,
+    /// recursively, the tables of `FROM` and `IN (SELECT …)` sub-queries.
+    /// Prepared statements snapshot these tables' generation counters to
+    /// decide when a cached plan must be recomputed.
+    pub fn referenced_tables(&self) -> BTreeSet<Ident> {
+        fn walk_expr(e: &SqlExpr, out: &mut BTreeSet<Ident>) {
+            match e {
+                SqlExpr::Cmp(a, _, b) => {
+                    walk_expr(a, out);
+                    walk_expr(b, out);
+                }
+                SqlExpr::And(ps) | SqlExpr::Or(ps) => ps.iter().for_each(|p| walk_expr(p, out)),
+                SqlExpr::Not(x) => walk_expr(x, out),
+                SqlExpr::InSubquery(x, q) => {
+                    walk_expr(x, out);
+                    walk_select(q, out);
+                }
+                SqlExpr::RowInSubquery(xs, q) => {
+                    xs.iter().for_each(|x| walk_expr(x, out));
+                    walk_select(q, out);
+                }
+                SqlExpr::Column { .. } | SqlExpr::Lit(_) | SqlExpr::Param(_) => {}
+            }
+        }
+        fn walk_select(q: &SqlSelect, out: &mut BTreeSet<Ident>) {
+            for f in &q.from {
+                match f {
+                    FromItem::Table { name, .. } => {
+                        out.insert(name.clone());
+                    }
+                    FromItem::Subquery { query, .. } => walk_select(query, out),
+                }
+            }
+            if let Some(w) = &q.where_clause {
+                walk_expr(w, out);
+            }
+        }
+        let mut out = BTreeSet::new();
+        walk_select(self, &mut out);
+        out
+    }
 }
 
 /// A scalar query: an aggregate over a relational query, optionally
@@ -179,6 +254,29 @@ pub enum SqlQuery {
     Select(SqlSelect),
     /// A single scalar (or boolean).
     Scalar(SqlScalar),
+}
+
+impl SqlQuery {
+    /// True when any clause contains a bind parameter.
+    pub fn has_params(&self) -> bool {
+        match self {
+            SqlQuery::Select(s) => s.has_params(),
+            SqlQuery::Scalar(s) => {
+                s.query.has_params()
+                    || s.column.as_ref().is_some_and(SqlExpr::contains_param)
+                    || s.compare.as_ref().is_some_and(|(_, rhs)| rhs.contains_param())
+            }
+        }
+    }
+
+    /// Every base-table name the query reads (see
+    /// [`SqlSelect::referenced_tables`]).
+    pub fn referenced_tables(&self) -> BTreeSet<Ident> {
+        match self {
+            SqlQuery::Select(s) => s.referenced_tables(),
+            SqlQuery::Scalar(s) => s.query.referenced_tables(),
+        }
+    }
 }
 
 impl fmt::Display for SqlQuery {

@@ -41,6 +41,6 @@ pub use dialect::{
 pub use from_tor::{sql_of, SqlGenError};
 pub use parse::{parse, parse_query, ParseError};
 pub use print::{
-    print_query, print_select, render_query, render_query_with, render_query_with_params,
-    render_select,
+    print_query, print_select, render_query, render_query_bound, render_query_with,
+    render_query_with_params, render_select,
 };

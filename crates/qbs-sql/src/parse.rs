@@ -15,6 +15,13 @@
 //!
 //! `OR`/`NOT` never appear in pipeline output (postconditions are
 //! conjunctions of atoms) and are not parsed.
+//!
+//! Bind parameters parse in every dialect's spelling: named `:name`,
+//! numbered `$1` (kept under the name `$1`), and anonymous `?` (assigned
+//! synthetic positional names `?1`, `?2`, … in query order) — so a
+//! prepared statement's text round-trips regardless of the dialect's
+//! [`ParamStyle`](crate::ParamStyle). Dialect-quoted identifiers
+//! (`"col"`, `` `col` ``) unwrap to their bare names.
 
 use crate::ast::{FromItem, OrderKey, SelectItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect};
 use qbs_common::Value;
@@ -60,6 +67,7 @@ struct Tokens {
 impl Tokens {
     fn new(input: &str) -> Tokens {
         let mut toks = Vec::new();
+        let mut questions = 0usize;
         let mut chars = input.chars().peekable();
         while let Some(&c) = chars.peek() {
             if c.is_whitespace() {
@@ -67,6 +75,64 @@ impl Tokens {
             } else if c == ',' || c == '*' || c == '(' || c == ')' {
                 toks.push(c.to_string());
                 chars.next();
+            } else if c == '"' || c == '`' {
+                // A dialect-quoted identifier (`"col"` / `` `col` ``):
+                // unwrapped to the bare name, doubled quote characters
+                // unescaped, so Postgres/MySQL/SQLite output re-parses.
+                let quote = c;
+                chars.next();
+                let mut w = String::new();
+                while let Some(ch) = chars.next() {
+                    if ch == quote {
+                        if chars.peek() == Some(&quote) {
+                            chars.next();
+                            w.push(quote);
+                        } else {
+                            break;
+                        }
+                    } else {
+                        w.push(ch);
+                    }
+                }
+                // A qualified reference arrives as `"users"."id"`: merge
+                // with a preceding identifier token ending in `.`, or
+                // absorb a following `.` below via the word branch.
+                match toks.last_mut() {
+                    Some(prev)
+                        if prev.ends_with('.')
+                            && !prev.starts_with('\'')
+                            && prev.chars().next().is_some_and(|c| c.is_alphabetic()) =>
+                    {
+                        prev.push_str(&w)
+                    }
+                    _ => toks.push(w),
+                }
+                // Qualifier position: `"users".id` — glue the dot (and let
+                // the next identifier merge into this token).
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    toks.last_mut().expect("identifier just pushed").push('.');
+                }
+            } else if c == '?' {
+                // Anonymous placeholder: one synthetic positional name per
+                // occurrence, in query order (`?1`, `?2`, …).
+                chars.next();
+                questions += 1;
+                toks.push(format!(":?{questions}"));
+            } else if c == '$' {
+                // Numbered placeholder `$n` — kept under its dollar name so
+                // positional binding lines up with the dialect's spelling.
+                chars.next();
+                let mut n = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(format!(":${n}"));
             } else if c == '\'' {
                 chars.next();
                 let mut s = String::from("'");
@@ -107,7 +173,23 @@ impl Tokens {
                         break;
                     }
                 }
-                toks.push(w);
+                if w.is_empty() {
+                    // An unrecognized character: emit it as its own token
+                    // (a parse error downstream) instead of spinning.
+                    w.push(chars.next().expect("peeked"));
+                }
+                // `"users".id` — the quoted-qualifier branch left a token
+                // ending in `.`; the bare column name completes it.
+                match toks.last_mut() {
+                    Some(prev)
+                        if prev.ends_with('.')
+                            && !prev.starts_with('\'')
+                            && prev.chars().next().is_some_and(|c| c.is_alphabetic()) =>
+                    {
+                        prev.push_str(&w)
+                    }
+                    _ => toks.push(w),
+                }
             }
         }
         Tokens { toks, pos: 0 }
@@ -510,5 +592,45 @@ mod tests {
         assert!(parse_query("DELETE FROM t").is_err());
         assert!(parse_query("SELECT FROM t").is_err());
         assert!(parse_query("SELECT * FROM t GROUP BY x").is_err());
+        // Unknown characters are a parse error, not an infinite loop.
+        assert!(parse_query("SELECT * FROM t; DROP TABLE t").is_err());
+    }
+
+    #[test]
+    fn parses_positional_placeholders() {
+        let q = parse_query("SELECT * FROM t WHERE a = $1 AND b = $2").unwrap();
+        let SqlExpr::And(parts) = q.where_clause.unwrap() else { panic!() };
+        let names: Vec<String> = parts
+            .iter()
+            .map(|p| match p {
+                SqlExpr::Cmp(_, _, rhs) => match &**rhs {
+                    SqlExpr::Param(n) => n.to_string(),
+                    other => panic!("unexpected {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["$1", "$2"]);
+
+        let q = parse_query("SELECT * FROM t WHERE a = ? AND b = ? LIMIT ?").unwrap();
+        assert_eq!(q.limit, Some(SqlExpr::Param("?3".into())));
+    }
+
+    #[test]
+    fn parses_quoted_identifiers() {
+        let q = parse_query(
+            "SELECT \"users\".\"id\" FROM \"users\" WHERE \"users\".\"roleId\" = 3",
+        )
+        .unwrap();
+        assert_eq!(q.columns[0].expr, SqlExpr::qcol("users", "id"));
+        let q2 = parse_query("SELECT `users`.`id` FROM `users` LIMIT 2").unwrap();
+        assert_eq!(q2.columns[0].expr, SqlExpr::qcol("users", "id"));
+        // Mixed quoting on either side of the dot.
+        let q4 = parse_query("SELECT \"users\".id, users.\"roleId\" FROM users").unwrap();
+        assert_eq!(q4.columns[0].expr, SqlExpr::qcol("users", "id"));
+        assert_eq!(q4.columns[1].expr, SqlExpr::qcol("users", "roleId"));
+        // Embedded doubled quote characters unescape.
+        let q3 = parse_query("SELECT \"we\"\"ird\" FROM t").unwrap();
+        assert_eq!(q3.columns[0].expr, SqlExpr::col("we\"ird"));
     }
 }

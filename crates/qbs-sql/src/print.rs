@@ -8,7 +8,8 @@
 
 use crate::ast::{FromItem, SqlExpr, SqlQuery, SqlScalar, SqlSelect};
 use crate::dialect::{Dialect, LimitStyle, ParamStyle, SqlDialect};
-use qbs_common::Ident;
+use qbs_common::{Ident, Value};
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 /// Stateful writer: output buffer plus the parameter bind order.
@@ -16,18 +17,36 @@ struct Renderer<'d> {
     dialect: &'d dyn SqlDialect,
     out: String,
     params: Vec<Ident>,
+    /// When set, parameter references resolve to these values and are
+    /// rendered as literals instead of placeholders.
+    bindings: Option<&'d BTreeMap<Ident, Value>>,
 }
 
 impl<'d> Renderer<'d> {
     fn new(dialect: &'d dyn SqlDialect) -> Renderer<'d> {
-        Renderer { dialect, out: String::new(), params: Vec::new() }
+        Renderer { dialect, out: String::new(), params: Vec::new(), bindings: None }
     }
 
     fn ident(&mut self, ident: &Ident) {
         self.dialect.write_ident(ident.as_str(), &mut self.out);
     }
 
+    fn literal(&mut self, v: &Value) {
+        match v {
+            Value::Str(s) => self.dialect.write_string(s, &mut self.out),
+            Value::Bool(b) => self.out.push_str(self.dialect.bool_literal(*b)),
+            other => {
+                let _ = write!(self.out, "{other}");
+            }
+        }
+    }
+
     fn param(&mut self, name: &Ident) {
+        if let Some(value) = self.bindings.and_then(|b| b.get(name)) {
+            let value = value.clone();
+            self.literal(&value);
+            return;
+        }
         match self.dialect.param_style() {
             ParamStyle::Named(sigil) => {
                 self.out.push(sigil);
@@ -60,15 +79,10 @@ impl<'d> Renderer<'d> {
                 }
                 self.ident(name);
             }
-            SqlExpr::Lit(v) => match v {
-                qbs_common::Value::Str(s) => self.dialect.write_string(s, &mut self.out),
-                qbs_common::Value::Bool(b) => {
-                    self.out.push_str(self.dialect.bool_literal(*b));
-                }
-                other => {
-                    let _ = write!(self.out, "{other}");
-                }
-            },
+            SqlExpr::Lit(v) => {
+                let v = v.clone();
+                self.literal(&v);
+            }
             SqlExpr::Param(p) => self.param(p),
             SqlExpr::Cmp(a, op, b) => {
                 self.expr(a);
@@ -281,6 +295,22 @@ pub fn render_query_with(q: &SqlQuery, dialect: &dyn SqlDialect) -> String {
 /// per placeholder occurrence, in query order.
 pub fn render_query_with_params(q: &SqlQuery, dialect: Dialect) -> (String, Vec<Ident>) {
     let mut r = Renderer::new(dialect.rules());
+    r.query(q);
+    (r.out, r.params)
+}
+
+/// Renders a query with bind parameters *inlined* as literals from
+/// `bindings` — the text a prepared statement produces once its slots are
+/// bound. Parameters absent from `bindings` keep their placeholder
+/// spelling (and are reported in the returned bind order, like
+/// [`render_query_with_params`]).
+pub fn render_query_bound(
+    q: &SqlQuery,
+    dialect: Dialect,
+    bindings: &BTreeMap<Ident, Value>,
+) -> (String, Vec<Ident>) {
+    let mut r = Renderer::new(dialect.rules());
+    r.bindings = Some(bindings);
     r.query(q);
     (r.out, r.params)
 }

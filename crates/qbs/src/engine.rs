@@ -252,6 +252,76 @@ impl<'e> Session<'e> {
         self.engine.render_sql(sql)
     }
 
+    /// Prepares a translated fragment's SQL on a database
+    /// [`Connection`](qbs_db::Connection) — so a synthesized fragment
+    /// ends in a reusable plan-once / execute-many handle instead of a
+    /// string. The statement renders under the engine's configured
+    /// [`Dialect`]; planning and execution go through the connection's
+    /// plan cache.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qbs::QbsEngine;
+    /// use qbs_common::{FieldType, Schema, Value};
+    /// use qbs_db::{Connection, Database, QueryOutput};
+    /// use qbs_front::DataModel;
+    ///
+    /// let mut model = DataModel::new();
+    /// let schema = Schema::builder("users").field("roleId", FieldType::Int).finish();
+    /// model.add_entity("User", "users", schema.clone());
+    /// model.add_dao("userDao", "getUsers", "User");
+    /// let engine = QbsEngine::new(model);
+    /// let session = engine.session();
+    /// let report = session
+    ///     .run_source(
+    ///         r#"class S {
+    ///             public List<User> admins() {
+    ///                 List<User> users = userDao.getUsers();
+    ///                 List<User> out = new ArrayList<User>();
+    ///                 for (User u : users) {
+    ///                     if (u.roleId == 1) { out.add(u); }
+    ///                 }
+    ///                 return out;
+    ///             }
+    ///         }"#,
+    ///     )
+    ///     .unwrap();
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table(schema).unwrap();
+    /// db.insert("users", vec![Value::from(1)]).unwrap();
+    /// let conn = Connection::open(db);
+    /// let stmt = session
+    ///     .prepare_translated(&report.fragments[0].status, &conn)
+    ///     .unwrap();
+    /// // The page-load loop: execute many, plan never recomputed.
+    /// for _ in 0..3 {
+    ///     let QueryOutput::Rows(out) =
+    ///         conn.execute(&stmt, &qbs_db::Params::new()).unwrap()
+    ///     else {
+    ///         unreachable!()
+    ///     };
+    ///     assert_eq!(out.rows.len(), 1);
+    ///     assert_eq!(out.stats.plan_cache_hits, 1);
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`QbsError::Translation`] when the fragment did not translate.
+    pub fn prepare_translated(
+        &self,
+        status: &FragmentStatus,
+        conn: &qbs_db::Connection,
+    ) -> Result<qbs_db::PreparedStatement, QbsError> {
+        let sql = status.sql().ok_or_else(|| QbsError::Translation {
+            reason: "fragment was not translated; no SQL to prepare".to_string(),
+            source: None,
+        })?;
+        Ok(conn.prepare_query_as(sql, self.engine.config.dialect))
+    }
+
     /// Emits an externally produced event to this session's observers —
     /// drivers layered on top of the engine (e.g. `qbs-batch`) use this
     /// to surface their own steps (cache hits) in the same stream.

@@ -70,13 +70,10 @@
 
 mod engine;
 mod event;
-mod pipeline;
 mod report;
 
 pub use engine::{EngineConfig, QbsEngine, QbsEngineBuilder, Session};
 pub use event::{CancelToken, EngineObserver, EventLog, PipelineEvent, Stage, StageTimer};
-#[allow(deprecated)]
-pub use pipeline::{Pipeline, PipelineConfig};
 pub use report::{FragmentReport, FragmentStatus, QbsReport, StatusCounts};
 
 // Re-exported so engine consumers can name every type in the public API

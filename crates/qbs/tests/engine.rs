@@ -216,3 +216,113 @@ fn engine_renders_sql_under_its_configured_dialect() {
     // The stored AST itself stays dialect-neutral.
     assert!(sql.to_string().contains("users.roleId = 1"));
 }
+
+#[test]
+fn translates_the_papers_running_example() {
+    // Ported from the deleted `Pipeline` shim's tests: the Fig. 1 join
+    // must translate to the Fig. 3 query through the engine.
+    let mut m = model();
+    m.add_entity(
+        "Role",
+        "roles",
+        Schema::builder("roles")
+            .field("roleId", FieldType::Int)
+            .field("name", FieldType::Str)
+            .finish(),
+    );
+    m.add_dao("roleDao", "getRoles", "Role");
+    let src = r#"
+    class UserService {
+        public List<User> getRoleUser() {
+            List<User> users = userDao.getUsers();
+            List<Role> roles = roleDao.getRoles();
+            List<User> listUsers = new ArrayList<User>();
+            for (User u : users) {
+                for (Role r : roles) {
+                    if (u.roleId == r.roleId) {
+                        listUsers.add(u);
+                    }
+                }
+            }
+            return listUsers;
+        }
+    }
+    "#;
+    let report = QbsEngine::new(m).run_source(src).unwrap();
+    assert_eq!(report.counts().translated, 1);
+    match &report.fragments[0].status {
+        FragmentStatus::Translated { sql, .. } => {
+            let text = sql.to_string();
+            // Fig. 3: a join pushed into the database with order
+            // preserved by both rowids.
+            assert!(text.contains("FROM users, roles"), "{text}");
+            assert!(text.contains("users.roleId = roles.roleId"), "{text}");
+            assert!(text.contains("ORDER BY users.rowid, roles.rowid"), "{text}");
+        }
+        other => panic!("expected translation, got {other:?}"),
+    }
+    assert!(report.fragments[0].patched_source().unwrap().contains("db.executeQuery"));
+}
+
+#[test]
+fn counts_rejections_and_failures() {
+    let src = r#"
+    class S {
+        public int rejected() {
+            List<User> users = userDao.getUsers();
+            for (User u : users) { u.setName("x"); }
+            return 0;
+        }
+        public int failed() {
+            List<User> users = userDao.getUsers();
+            Collections.sort(users, new ByName());
+            return users.size();
+        }
+    }
+    "#;
+    let report = QbsEngine::new(model()).run_source(src).unwrap();
+    let c = report.counts();
+    assert_eq!(c.total, 2);
+    assert_eq!(c.rejected, 1);
+    assert_eq!(c.failed, 1);
+}
+
+#[test]
+fn prepare_translated_yields_an_executable_statement() {
+    use qbs_db::{Connection, Database, QueryOutput};
+
+    let engine = QbsEngine::builder(model()).dialect(Dialect::Postgres).build();
+    let session = engine.session();
+    let report = session.run_source(SELECTION).expect("parses");
+
+    let mut db = Database::new();
+    db.create_table(
+        Schema::builder("users")
+            .field("id", FieldType::Int)
+            .field("roleId", FieldType::Int)
+            .finish(),
+    )
+    .unwrap();
+    for i in 0..4i64 {
+        db.insert("users", vec![i.into(), (i % 2).into()]).unwrap();
+    }
+    let conn = Connection::open(db);
+    let stmt = session.prepare_translated(&report.fragments[0].status, &conn).unwrap();
+    // The statement renders under the engine's dialect.
+    assert!(stmt.sql().contains("\"users\""), "{}", stmt.sql());
+    for _ in 0..3 {
+        let QueryOutput::Rows(out) = conn.execute(&stmt, &qbs_db::Params::new()).unwrap()
+        else {
+            panic!("relational fragment");
+        };
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.stats.plan_cache_hits, 1, "{:?}", out.stats);
+    }
+
+    // A fragment that did not translate has nothing to prepare.
+    let failed = FragmentStatus::Failed { reason: "nope".into() };
+    match session.prepare_translated(&failed, &conn) {
+        Err(QbsError::Translation { .. }) => {}
+        other => panic!("expected a translation error, got {other:?}"),
+    }
+}

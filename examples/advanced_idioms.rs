@@ -8,8 +8,13 @@
 
 use qbs::{FragmentStatus, QbsEngine};
 use qbs_corpus::advanced_idioms;
+use qbs_sql::Dialect;
 
 fn main() {
+    // One connection serves the whole tour: translated idioms become
+    // prepared statements (the shape an application would actually hold
+    // onto), not strings.
+    let conn = qbs_db::Database::new().connect();
     for case in advanced_idioms() {
         println!("=== {} ===", case.name);
         println!("paper: {}", case.paper_expectation);
@@ -20,6 +25,8 @@ fn main() {
             FragmentStatus::Translated { sql, proof, .. } => {
                 println!("outcome: TRANSLATED ({proof:?})");
                 println!("sql:     {sql}");
+                let stmt = conn.prepare_query_as(sql, Dialect::Postgres);
+                println!("prepared [{}]: {}", stmt.dialect(), stmt.sql());
             }
             FragmentStatus::Failed { reason } => {
                 println!("outcome: NOT TRANSLATED — {reason}");

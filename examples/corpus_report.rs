@@ -94,4 +94,27 @@ fn main() {
             println!("  #{:<3} {}", frag.id, sql);
         }
     }
+
+    // Serving shape: every translated query lives on one connection as a
+    // cached statement; the second round of "page loads" never parses or
+    // plans again.
+    let conn = qbs_corpus::populate_universe(1).connect();
+    let params = qbs_db::Params::new();
+    let mut served = 0usize;
+    for round in 0..2 {
+        for result in &report.fragments {
+            let Some(sql) = result.status.sql() else { continue };
+            if conn.query_cached(&sql.to_string(), &params).is_ok() {
+                served += usize::from(round == 0);
+            }
+        }
+    }
+    let stats = conn.plan_cache_stats();
+    println!(
+        "\nConnection cache: {served} corpus queries served twice — \
+         {} plan passes, {} cached executions ({:.0}% hit rate)",
+        stats.misses,
+        stats.hits,
+        stats.hit_rate() * 100.0,
+    );
 }

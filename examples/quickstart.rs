@@ -7,7 +7,8 @@
 //! ```
 
 use qbs::{FragmentStatus, PipelineEvent, QbsEngine, StageTimer};
-use qbs_common::{FieldType, Schema};
+use qbs_common::{FieldType, Schema, Value};
+use qbs_db::{Connection, Database, QueryOutput};
 use qbs_front::DataModel;
 use qbs_sql::{render_query, Dialect};
 
@@ -90,6 +91,51 @@ class UserService {
                 stats.candidates_tried, stats.elapsed
             );
             println!("per-stage wall-clock: {:?}", timer.timings_for("getRoleUser"));
+
+            // ── plan once, execute many ────────────────────────────────
+            // The inferred query replaces code that runs on every page
+            // load: prepare it on a connection once, then execute the
+            // cached plan per request.
+            let mut db = Database::new();
+            db.create_table(
+                Schema::builder("users")
+                    .field("id", FieldType::Int)
+                    .field("roleId", FieldType::Int)
+                    .finish(),
+            )
+            .unwrap();
+            db.create_table(
+                Schema::builder("roles")
+                    .field("roleId", FieldType::Int)
+                    .field("name", FieldType::Str)
+                    .finish(),
+            )
+            .unwrap();
+            for i in 0..6i64 {
+                db.insert("users", vec![Value::from(i), Value::from(i % 3)]).unwrap();
+            }
+            for r in 0..3i64 {
+                db.insert("roles", vec![Value::from(r), Value::from(format!("role{r}"))])
+                    .unwrap();
+            }
+            let conn = Connection::open(db);
+            let stmt = session.prepare_translated(&frag.status, &conn).expect("translated");
+            println!("\n── prepared statement (plan once / execute many) ─────────");
+            println!("statement: {}", stmt.sql());
+            for page_load in 1..=3 {
+                let QueryOutput::Rows(out) =
+                    conn.execute(&stmt, &qbs_db::Params::new()).expect("executes")
+                else {
+                    unreachable!("relational fragment")
+                };
+                println!(
+                    "page load {page_load}: {} rows, plan cache hits {} (replans {})",
+                    out.rows.len(),
+                    out.stats.plan_cache_hits,
+                    out.stats.replans,
+                );
+            }
+            println!("connection plan cache: {:?}", conn.plan_cache_stats());
         }
         other => println!("fragment was not translated: {other:?}"),
     }

@@ -82,6 +82,47 @@ fn run_aggregation() {
     }
 }
 
+/// The serving loop the whole redesign exists for: the same inferred
+/// query, executed once per page load. Per call, a naive client re-parses
+/// and re-plans the SQL text; a prepared statement pays for parse + plan
+/// once and executes a cached physical plan thereafter.
+fn run_prepared() {
+    println!("\n=== Prepared statements — plan once, execute many (#40) ===");
+    let sql = inferred_sql(40);
+    let text = sql.to_string();
+    let db = populate_wilos(&WilosConfig {
+        users: 100,
+        projects: 400,
+        unfinished_fraction: 0.1,
+        ..WilosConfig::default()
+    });
+    let params = qbs_db::Params::new();
+    let reps = 500;
+
+    let started = std::time::Instant::now();
+    for _ in 0..reps {
+        let q = qbs_sql::parse(&text).expect("inferred SQL re-parses");
+        db.execute(&q, &params).expect("executes");
+    }
+    let per_call = started.elapsed();
+
+    let conn = db.connect();
+    let stmt = conn.prepare(&text).expect("inferred SQL prepares");
+    let started = std::time::Instant::now();
+    for _ in 0..reps {
+        conn.execute(&stmt, &params).expect("executes");
+    }
+    let prepared = started.elapsed();
+
+    println!(
+        "{reps} page loads: parse+plan+execute {:.2}ms vs prepared {:.2}ms ({:.1}x); {:?}",
+        per_call.as_secs_f64() * 1e3,
+        prepared.as_secs_f64() * 1e3,
+        per_call.as_secs_f64() / prepared.as_secs_f64().max(1e-9),
+        conn.plan_cache_stats(),
+    );
+}
+
 fn main() {
     let which = env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if which == "all" || which == "fig14a" {
@@ -95,6 +136,9 @@ fn main() {
     }
     if which == "all" || which == "fig14d" {
         run_aggregation();
+    }
+    if which == "all" || which == "prepared" {
+        run_prepared();
     }
     println!(
         "\nExpected shape (paper Sec. 7.2): inferred beats original at every size; the gap\n\

@@ -23,6 +23,12 @@ fn whole_corpus_agrees_on_three_seeded_databases() {
     assert_eq!(summary.counts.agree, 33 * 3, "{report}");
     assert_eq!(summary.counts.mismatch, 0, "{report}");
     assert_eq!(summary.counts.inconclusive, 0, "{report}");
+    // Every fragment runs through ONE prepared handle across all seeds:
+    // each check's SQL side reuses the plan computed at prepare, never
+    // replanning (the seeds share schema and generation history).
+    assert_eq!(summary.exec.plan_cache_hits, 33 * 3, "{}", summary.exec);
+    assert_eq!(summary.exec.replans, 0, "{}", summary.exec);
+    assert_eq!(summary.exec.plan_cache_hit_rate(), 1.0);
 
     for fr in &report.fragments {
         match &fr.status {

@@ -10,6 +10,7 @@ use qbs::{EngineConfig, EngineObserver, FragmentStatus, PipelineEvent, QbsEngine
 use qbs_corpus::CorpusFragment;
 use qbs_front::{compile_source, DataModel};
 use qbs_kernel::KernelProgram;
+use qbs_obs::{Counter, Gauge, Metrics};
 use qbs_synth::SynthHooks;
 use qbs_tor::Env;
 use std::collections::VecDeque;
@@ -29,6 +30,10 @@ pub struct BatchConfig {
     pub share_counterexamples: bool,
     /// Per-fragment engine configuration.
     pub engine: EngineConfig,
+    /// Metrics registry to publish scheduler telemetry into (queue depth
+    /// gauge, per-worker steal counters, deferred-duplicate counter).
+    /// `None` — the default — runs without any instrumentation.
+    pub metrics: Option<Metrics>,
 }
 
 impl Default for BatchConfig {
@@ -46,6 +51,7 @@ impl BatchConfig {
             memoize: true,
             share_counterexamples: true,
             engine: EngineConfig::default(),
+            metrics: None,
         }
     }
 
@@ -57,6 +63,13 @@ impl BatchConfig {
     /// Sets the per-fragment engine configuration.
     pub fn with_engine(mut self, engine: EngineConfig) -> BatchConfig {
         self.engine = engine;
+        self
+    }
+
+    /// Publishes scheduler telemetry into a metrics registry (see
+    /// [`BatchConfig::metrics`]).
+    pub fn with_metrics(mut self, metrics: Metrics) -> BatchConfig {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -299,18 +312,34 @@ impl BatchRunner {
         let next = AtomicUsize::new(0);
         let deferred: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
         let workers = self.config.effective_workers(jobs.len());
+        let scheduler = self.config.metrics.as_ref().map(|m| SchedulerMetrics::new(m, workers));
+        if let Some(s) = &scheduler {
+            s.queue_depth.set(jobs.len() as i64);
+        }
+        let worker_seq = AtomicUsize::new(0);
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let w = worker_seq.fetch_add(1, Ordering::Relaxed);
                     loop {
                         let j = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(j) else { break };
+                        if let Some(s) = &scheduler {
+                            s.steals[w].inc();
+                            let claimed = next.load(Ordering::Relaxed).min(jobs.len());
+                            s.queue_depth.set((jobs.len() - claimed) as i64);
+                        }
                         match self.run_job(&engines[job.engine], job, false, make_observer) {
                             Some(result) => {
                                 *results[job.slot].lock().expect("slot lock") = Some(result)
                             }
                             // Twin in flight elsewhere: defer, keep working.
-                            None => deferred.lock().expect("deferred lock").push_back(j),
+                            None => {
+                                if let Some(s) = &scheduler {
+                                    s.deferred.inc();
+                                }
+                                deferred.lock().expect("deferred lock").push_back(j)
+                            }
                         }
                     }
                     // No fresh work left: resolve deferred duplicates,
@@ -431,6 +460,27 @@ impl BatchRunner {
             }
         }
         Some(result(status, false, seeds.len(), started.elapsed()))
+    }
+}
+
+/// Pre-registered handles for the worker pool's telemetry (see
+/// [`BatchConfig::metrics`]): a queue-depth gauge, one steal counter per
+/// worker, and a counter of jobs deferred behind an in-flight twin.
+struct SchedulerMetrics {
+    queue_depth: Gauge,
+    deferred: Counter,
+    steals: Vec<Counter>,
+}
+
+impl SchedulerMetrics {
+    fn new(metrics: &Metrics, workers: usize) -> SchedulerMetrics {
+        SchedulerMetrics {
+            queue_depth: metrics.gauge("batch.queue_depth"),
+            deferred: metrics.counter("batch.deferred"),
+            steals: (0..workers)
+                .map(|w| metrics.counter(&format!("batch.worker.{w}.steals")))
+                .collect(),
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 
 use qbs_tor::Env;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Per-shape cap on retained counterexamples. Screening cost is linear in
 /// the seed count, so an unbounded pool would eventually cost more than the
@@ -46,15 +46,23 @@ impl CexPool {
         CexPool::default()
     }
 
+    /// The shape map, surviving poisoning: the pool only accelerates
+    /// searches (seeding never changes outcomes — see the type docs), so
+    /// a worker that panicked while holding the lock must not take every
+    /// surviving worker down with it.
+    fn map(&self) -> MutexGuard<'_, HashMap<String, Vec<Env>>> {
+        self.by_shape.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Counterexamples recorded so far for a template shape.
     pub fn seeds(&self, shape: &str) -> Vec<Env> {
-        self.by_shape.lock().expect("pool lock").get(shape).cloned().unwrap_or_default()
+        self.map().get(shape).cloned().unwrap_or_default()
     }
 
     /// Records a counterexample mined for a template shape. Duplicates are
     /// dropped; each shape retains at most `PER_SHAPE_CAP` (64) environments.
     pub fn record(&self, shape: &str, env: &Env) {
-        let mut map = self.by_shape.lock().expect("pool lock");
+        let mut map = self.map();
         let envs = map.entry(shape.to_string()).or_default();
         if envs.len() < PER_SHAPE_CAP && !envs.contains(env) {
             envs.push(env.clone());
@@ -63,12 +71,12 @@ impl CexPool {
 
     /// Number of distinct template shapes seen.
     pub fn shapes(&self) -> usize {
-        self.by_shape.lock().expect("pool lock").len()
+        self.map().len()
     }
 
     /// Total counterexamples retained across all shapes.
     pub fn len(&self) -> usize {
-        self.by_shape.lock().expect("pool lock").values().map(Vec::len).sum()
+        self.map().values().map(Vec::len).sum()
     }
 
     /// True when no counterexample has been recorded.

@@ -262,6 +262,39 @@ impl BatchReport {
             .iter()
             .flat_map(|f| f.verdicts.iter().filter(|v| v.is_mismatch()).map(move |v| (f, v)))
     }
+
+    /// Rolls this report's aggregates into a metrics registry, next to
+    /// whatever the scheduler and engine observers recorded live:
+    /// fragment status counts, memoization and counterexample-pool
+    /// telemetry, per-stage wall-clock, and — for oracle runs — the
+    /// executor's plan-cache/replan counters. Counters accumulate, so
+    /// recording successive runs into one registry sums them.
+    pub fn record_metrics(&self, metrics: &qbs_obs::Metrics) {
+        let c = self.counts();
+        metrics.counter("batch.fragments.translated").add(c.translated as u64);
+        metrics.counter("batch.fragments.rejected").add(c.rejected as u64);
+        metrics.counter("batch.fragments.failed").add(c.failed as u64);
+        metrics.counter("batch.memo_hits").add(self.memo_hits() as u64);
+        metrics.counter("batch.cexes_seeded").add(self.cexes_seeded() as u64);
+        metrics.counter("batch.candidates_tried").add(self.candidates_tried() as u64);
+        metrics.counter("batch.wall_clock_ns").add(self.wall_clock.as_nanos() as u64);
+        metrics.counter("batch.cpu_time_ns").add(self.cpu_time.as_nanos() as u64);
+        for (stage, d) in self.stage_totals() {
+            metrics
+                .counter(&format!("batch.stage.{}_ns", stage.name()))
+                .add(d.as_nanos() as u64);
+        }
+        if let Some(oracle) = &self.oracle {
+            metrics
+                .counter("batch.exec.plan_cache_hits")
+                .add(oracle.exec.plan_cache_hits as u64);
+            metrics.counter("batch.exec.replans").add(oracle.exec.replans as u64);
+            metrics.counter("batch.exec.rows_scanned").add(oracle.exec.rows_scanned as u64);
+            metrics
+                .counter("batch.exec.subquery_cache_hits")
+                .add(oracle.exec.subquery_cache_hits as u64);
+        }
+    }
 }
 
 impl fmt::Display for BatchReport {
@@ -379,5 +412,17 @@ mod tests {
         assert!(text.contains("fingerprint cache: 1/5"), "{text}");
         assert_eq!(report.stage_totals()[&Stage::Synthesized], Duration::from_millis(8 * 5));
         assert!(text.contains("stage time:"), "{text}");
+
+        // The same aggregates roll into a metrics registry.
+        let metrics = qbs_obs::Metrics::new();
+        report.record_metrics(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["batch.fragments.translated"], 3);
+        assert_eq!(snap.counters["batch.memo_hits"], 1);
+        assert_eq!(snap.counters["batch.stage.synthesized_ns"], 8_000_000 * 5);
+        assert!(!snap.counters.contains_key("batch.exec.replans"), "no oracle ran");
+        // Recording again accumulates.
+        report.record_metrics(&metrics);
+        assert_eq!(metrics.snapshot().counters["batch.fragments.translated"], 6);
     }
 }

@@ -54,6 +54,40 @@ fn parallel_batch_matches_sequential_infer() {
     );
 }
 
+/// A metrics-wired batch publishes scheduler telemetry: every job is
+/// accounted to exactly one worker's steal counter, the queue-depth
+/// gauge drains to zero, and the report's aggregates roll into the same
+/// registry.
+#[test]
+fn batch_publishes_scheduler_metrics() {
+    let fragments = all_fragments();
+    let inputs: Vec<BatchInput> = fragments
+        .iter()
+        .filter(|f| f.expected != ExpectedStatus::Rejected)
+        .take(8)
+        .map(BatchInput::from)
+        .collect();
+    let metrics = qbs_obs::Metrics::new();
+    let config =
+        BatchConfig { workers: 3, ..BatchConfig::default() }.with_metrics(metrics.clone());
+    let report = BatchRunner::new(config).run(&inputs);
+    assert_eq!(report.fragments.len(), inputs.len());
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.gauges["batch.queue_depth"], 0, "queue fully drained");
+    let steals: u64 = (0..3).map(|w| snap.counters[&format!("batch.worker.{w}.steals")]).sum();
+    assert_eq!(steals as usize, inputs.len(), "every job stolen exactly once");
+    assert_eq!(snap.counters["batch.deferred"], 0, "distinct fragments never defer");
+
+    report.record_metrics(&metrics);
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.counters["batch.fragments.translated"] as usize,
+        report.counts().translated
+    );
+    assert!(snap.counters["batch.stage.synthesized_ns"] > 0);
+}
+
 /// A second run over the same inputs must be pure fingerprint-cache hits:
 /// 100% hit rate and zero new candidates tried. (Rejected fragments never
 /// reach synthesis, so the corpus is filtered to fragments with kernels.)

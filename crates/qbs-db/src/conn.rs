@@ -15,6 +15,7 @@
 //! transparently and records the event in
 //! [`ExecStats::replans`](crate::ExecStats).
 
+use crate::analyze::{AnalyzedPlan, PlanActuals};
 use crate::db::{Database, DbError, Params, QueryOutput, SelectOutput, SubqueryState};
 use crate::planner::{plan_with, PhysicalPlan, PlanConfig};
 use crate::stmt::{fingerprint, replan, snapshot, PreparedStatement, Snapshot};
@@ -24,6 +25,9 @@ use qbs_sql::{Dialect, SqlQuery};
 use std::cell::{Ref, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Aggregate counters of a connection's plan cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,6 +58,26 @@ struct CachedPlan {
     snapshot: Snapshot,
 }
 
+/// Plan-cache counters held as atomics so [`Connection::cache_stats`] is
+/// a lock-free read: a snapshot never blocks an in-flight increment, and
+/// incrementing never waits on a reader.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    invalidations: AtomicUsize,
+}
+
+impl CacheCounters {
+    fn snapshot(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct ConnInner {
     db: RefCell<Database>,
     config: PlanConfig,
@@ -63,7 +87,7 @@ struct ConnInner {
     /// SQL text → prepared statement (the `query_cached` fast path).
     stmts: RefCell<HashMap<String, Rc<PreparedStatement>>>,
     subqueries: SubqueryState,
-    stats: RefCell<PlanCacheStats>,
+    stats: Arc<CacheCounters>,
 }
 
 /// A session handle over a [`Database`]: prepared statements, a plan
@@ -119,7 +143,7 @@ impl Connection {
                 dialect,
                 plans: RefCell::new(HashMap::new()),
                 stmts: RefCell::new(HashMap::new()),
-                stats: RefCell::new(PlanCacheStats::default()),
+                stats: Arc::new(CacheCounters::default()),
             }),
         }
     }
@@ -214,7 +238,7 @@ impl Connection {
             let plans = self.inner.plans.borrow();
             match plans.get(&fp) {
                 Some(entry) if entry.snapshot == current => {
-                    self.inner.stats.borrow_mut().hits += 1;
+                    self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
                     Some(entry.plan.clone())
                 }
                 _ => None,
@@ -222,7 +246,7 @@ impl Connection {
         };
         let plan = plan.unwrap_or_else(|| {
             let plan = Rc::new(plan_with(&core, &db, &self.inner.config));
-            self.inner.stats.borrow_mut().misses += 1;
+            self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
             self.inner
                 .plans
                 .borrow_mut()
@@ -253,7 +277,9 @@ impl Connection {
         params: &Params,
     ) -> Result<QueryOutput, DbError> {
         stmt.validate(params)?;
+        let opened = Instant::now();
         let (plan, reused) = self.plan_for(stmt);
+        let plan_ns = opened.elapsed().as_nanos() as u64;
         let db = self.inner.db.borrow();
         self.inner.subqueries.begin_statement();
         let mut out = db.execute_plan_cached(
@@ -262,6 +288,7 @@ impl Connection {
             &self.inner.subqueries,
             Some(&stmt.out_schema),
         )?;
+        out.stats.plan_ns = plan_ns;
         if reused {
             out.stats.plan_cache_hits += 1;
         } else {
@@ -301,21 +328,81 @@ impl Connection {
     /// As [`prepare`](Self::prepare) and [`execute`](Self::execute).
     pub fn query_cached(&self, sql: &str, params: &Params) -> Result<QueryOutput, DbError> {
         let cached = self.inner.stmts.borrow().get(sql).cloned();
+        let mut parse_ns = 0;
         let stmt = match cached {
             Some(stmt) => stmt,
             None => {
-                let stmt = Rc::new(self.prepare(sql)?);
+                let opened = Instant::now();
+                let query = qbs_sql::parse(sql).map_err(|e| DbError::Exec(e.to_string()))?;
+                parse_ns = opened.elapsed().as_nanos() as u64;
+                let stmt = Rc::new(self.prepare_query(&query));
                 self.inner.stmts.borrow_mut().insert(sql.to_string(), stmt.clone());
                 stmt
             }
         };
-        self.execute(&stmt, params)
+        let mut out = self.execute(&stmt, params)?;
+        match &mut out {
+            QueryOutput::Rows(o) => o.stats.parse_ns = parse_ns,
+            QueryOutput::Scalar { stats, .. } => stats.parse_ns = parse_ns,
+        }
+        Ok(out)
+    }
+
+    /// Executes a prepared statement with the interpreter's per-node
+    /// instrumentation switched on and returns the plan annotated with
+    /// per-operator actuals — rows in and out, elapsed time, index use —
+    /// next to the planner's `estimated_rows`.
+    ///
+    /// The statement really executes: the plan cache, hoisted sub-query
+    /// cache, and generation-based invalidation all behave exactly as in
+    /// [`execute`](Self::execute), so the actuals are those of the
+    /// production path, not of a detached re-run. Scalar statements are
+    /// analyzed over their relational core.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`](Self::execute).
+    pub fn explain_analyze(
+        &self,
+        stmt: &PreparedStatement,
+        params: &Params,
+    ) -> Result<AnalyzedPlan, DbError> {
+        stmt.validate(params)?;
+        let opened = Instant::now();
+        let (plan, reused) = self.plan_for(stmt);
+        let plan_ns = opened.elapsed().as_nanos() as u64;
+        let db = self.inner.db.borrow();
+        self.inner.subqueries.begin_statement();
+        let mut actuals = PlanActuals::default();
+        let out = db.execute_plan_instrumented(
+            &plan,
+            params,
+            &self.inner.subqueries,
+            Some(&stmt.out_schema),
+            Some(&mut actuals),
+        )?;
+        let mut stats = out.stats;
+        stats.plan_ns = plan_ns;
+        if reused {
+            stats.plan_cache_hits += 1;
+        } else {
+            stats.replans += 1;
+        }
+        Ok(AnalyzedPlan { plan, actuals, stats })
+    }
+
+    /// A lock-free, by-value snapshot of the plan-cache counters shared
+    /// by every clone of this connection. Reads three relaxed atomics —
+    /// no lock is taken, so it is safe to call from a hot loop or while
+    /// other clones are mid-execution.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.inner.stats.snapshot()
     }
 
     /// The plan-cache counters accumulated by this connection (shared
-    /// across clones).
+    /// across clones). Alias of [`cache_stats`](Self::cache_stats).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        *self.inner.stats.borrow()
+        self.cache_stats()
     }
 
     /// Resolves the statement's current plan: the statement's own plan
@@ -327,7 +414,7 @@ impl Connection {
         // place, no snapshot allocation.
         if stmt.snapshot.borrow().iter().all(|(t, g)| db.table(t).map(Table::generation) == *g)
         {
-            self.inner.stats.borrow_mut().hits += 1;
+            self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
             return (stmt.plan.borrow().clone(), true);
         }
         let current = snapshot(&db, &stmt.tables);
@@ -340,19 +427,15 @@ impl Connection {
                 .and_then(|entry| (entry.snapshot == current).then(|| entry.plan.clone()))
         };
         if let Some(plan) = cached {
-            let mut stats = self.inner.stats.borrow_mut();
-            stats.hits += 1;
-            stats.invalidations += 1;
+            self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.invalidations.fetch_add(1, Ordering::Relaxed);
             *stmt.plan.borrow_mut() = plan.clone();
             *stmt.snapshot.borrow_mut() = current;
             return (plan, false);
         }
         let plan = replan(stmt, &db, &self.inner.config);
-        {
-            let mut stats = self.inner.stats.borrow_mut();
-            stats.misses += 1;
-            stats.invalidations += 1;
-        }
+        self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.invalidations.fetch_add(1, Ordering::Relaxed);
         self.inner.plans.borrow_mut().insert(
             stmt.fingerprint,
             CachedPlan { plan: plan.clone(), snapshot: current.clone() },
@@ -554,6 +637,90 @@ mod tests {
         conn.insert("users", vec![Value::from(9), Value::from(0), Value::from("u9")]).unwrap();
         let third = rows(conn.query_cached(sql, &params).unwrap());
         assert_eq!(third.stats.subqueries_executed, 1, "{:?}", third.stats);
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_node_with_actuals() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT name FROM users WHERE roleId = :r").unwrap();
+        let params = stmt.bind().set("r", 1).unwrap().finish().unwrap();
+        let analyzed = conn.explain_analyze(&stmt, &params).unwrap();
+        assert_eq!(analyzed.actuals.output_rows, 2);
+        assert_eq!(analyzed.actuals.scans.len(), 1);
+        assert_eq!(analyzed.actuals.scans[0].rows_out, 2);
+        assert!(analyzed.actuals.scans[0].rows_scanned >= 2);
+        assert_eq!(analyzed.stats.plan_cache_hits, 1, "{:?}", analyzed.stats);
+        // The deterministic rendering carries estimates and actuals side
+        // by side, with no wall-clock figures.
+        let text = analyzed.render(false);
+        assert!(text.contains("est"), "{text}");
+        assert!(text.contains("actual 2 rows"), "{text}");
+        assert!(!text.contains("ns"), "{text}");
+        // The analyzed execution matches the production path.
+        let out = rows(conn.execute(&stmt, &params).unwrap());
+        assert_eq!(out.rows.len(), analyzed.actuals.output_rows);
+        // Estimate-vs-actual pairs cover every cardinality-bearing node.
+        let errors = analyzed.estimate_errors();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(errors[0].2, 2);
+    }
+
+    #[test]
+    fn explain_analyze_observes_index_probes_and_replans() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT id FROM users WHERE roleId = 2").unwrap();
+        conn.create_index("users", "roleId").unwrap();
+        let analyzed = conn.explain_analyze(&stmt, &Params::new()).unwrap();
+        assert!(analyzed.actuals.scans[0].via_index, "{analyzed:?}");
+        assert_eq!(analyzed.stats.replans, 1);
+        assert!(analyzed.to_string().contains("index"), "{analyzed}");
+    }
+
+    #[test]
+    fn cache_stats_snapshot_is_consistent_under_concurrent_updates() {
+        use std::thread;
+        let counters = Arc::new(CacheCounters::default());
+        let threads = 4;
+        let per_thread = 1_000;
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&counters);
+                thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.hits.fetch_add(1, Ordering::Relaxed);
+                        c.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        // Snapshots taken mid-flight are lock-free and never exceed the
+        // number of increments issued.
+        for _ in 0..100 {
+            let snap = counters.snapshot();
+            assert!(snap.hits <= threads * per_thread);
+            assert!(snap.misses <= threads * per_thread);
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let snap = counters.snapshot();
+        assert_eq!(snap.hits, threads * per_thread);
+        assert_eq!(snap.misses, threads * per_thread);
+        assert_eq!(snap.invalidations, 0);
+    }
+
+    #[test]
+    fn timing_fields_are_populated_but_do_not_affect_equality() {
+        let conn = Connection::open(setup());
+        let params = Params::new();
+        let first = rows(conn.query_cached("SELECT id FROM users", &params).unwrap());
+        assert!(first.stats.parse_ns > 0, "miss path parses: {:?}", first.stats);
+        assert!(first.stats.exec_ns > 0, "{:?}", first.stats);
+        let second = rows(conn.query_cached("SELECT id FROM users", &params).unwrap());
+        assert_eq!(second.stats.parse_ns, 0, "hit path skips the parser");
+        // Equality compares counters only, so reruns with different
+        // wall-clock timings still compare equal.
+        assert_eq!(first.stats, second.stats);
     }
 
     #[test]

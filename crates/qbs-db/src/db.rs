@@ -5,6 +5,7 @@
 //! IR. `explain()` renders the *same* plan value, so the planner cannot
 //! drift from the executor.
 
+use crate::analyze::{OpActuals, PlanActuals, ScanActuals};
 use crate::exec::{
     self, distinct, eval_expr, filter, hash_join, nested_loop_join, sort, EvalCtx, ExecStats,
     Frame, RowRef, SubResult,
@@ -18,6 +19,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Bind parameters for query execution.
 pub type Params = BTreeMap<Ident, Value>;
@@ -394,7 +396,7 @@ impl Database {
                 // renders), so only the row/comparison work is absorbed —
                 // the same contract as hoisted predicate sub-queries.
                 let mut inner_stats = ExecStats::default();
-                let inner = self.run_plan(plan, params, &mut inner_stats, shared)?;
+                let inner = self.run_plan(plan, params, &mut inner_stats, shared, None)?;
                 stats.absorb_nested(&inner_stats);
                 let mut f = Frame::new(node.cols.clone());
                 f.rows = inner.rows;
@@ -441,8 +443,12 @@ impl Database {
         params: &Params,
         config: &PlanConfig,
     ) -> Result<SelectOutput, DbError> {
+        let planned = Instant::now();
         let plan = plan_with(q, self, config);
-        self.execute_plan_with(&plan, params, config)
+        let plan_ns = planned.elapsed().as_nanos() as u64;
+        let mut out = self.execute_plan_with(&plan, params, config)?;
+        out.stats.plan_ns = plan_ns;
+        Ok(out)
     }
 
     /// Interprets an already-computed [`PhysicalPlan`] — the other consumer
@@ -504,8 +510,30 @@ impl Database {
         shared: &SubqueryState,
         schema_cache: Option<&RefCell<Option<SchemaRef>>>,
     ) -> Result<SelectOutput, DbError> {
+        self.execute_plan_instrumented(plan, params, shared, schema_cache, None)
+    }
+
+    /// [`Database::execute_plan_cached`] with optional per-operator
+    /// instrumentation: when `actuals` is provided the interpreter
+    /// records rows and elapsed time per plan node into it — the engine
+    /// of `EXPLAIN ANALYZE`. With `None` the interpreter takes no
+    /// per-node clock readings at all (only the whole-plan `exec_ns`).
+    pub(crate) fn execute_plan_instrumented(
+        &self,
+        plan: &PhysicalPlan,
+        params: &Params,
+        shared: &SubqueryState,
+        schema_cache: Option<&RefCell<Option<SchemaRef>>>,
+        mut actuals: Option<&mut PlanActuals>,
+    ) -> Result<SelectOutput, DbError> {
         let mut stats = ExecStats::default();
-        let frame = self.run_plan(plan, params, &mut stats, shared)?;
+        let started = Instant::now();
+        let frame = self.run_plan(plan, params, &mut stats, shared, actuals.as_deref_mut())?;
+        stats.exec_ns = started.elapsed().as_nanos() as u64;
+        if let Some(a) = actuals {
+            a.output_rows = frame.rows.len();
+            a.total_ns = stats.exec_ns;
+        }
         shared.roll_into(&mut stats);
         // Build the output relation: anonymous schema over the frame
         // columns, reused from the cache when one is provided and fits.
@@ -548,12 +576,19 @@ impl Database {
     /// The plan interpreter: scans, join steps, residual filter, sort,
     /// projection, distinct, limit — exactly the decisions recorded in the
     /// [`PhysicalPlan`], no re-planning.
+    ///
+    /// With `actuals` set, every operator's row count and wall-clock time
+    /// is recorded (the `EXPLAIN ANALYZE` path); with `None` the
+    /// interpreter reads no per-node clocks. Nested plans (sub-query
+    /// scans, hoisted predicate sub-queries) are never instrumented —
+    /// their work shows up in the enclosing scan's figures.
     fn run_plan(
         &self,
         plan: &PhysicalPlan,
         params: &Params,
         stats: &mut ExecStats,
         shared: &SubqueryState,
+        mut actuals: Option<&mut PlanActuals>,
     ) -> Result<Frame, DbError> {
         // Uncorrelated predicate sub-queries are hoisted: executed at most
         // once per statement through the shared cache, with hash-set
@@ -565,7 +600,7 @@ impl Database {
             let inner = plan_with(s, self, &shared.config);
             let mut st = ExecStats::default();
             let frame = self
-                .run_plan(&inner, params, &mut st, shared)
+                .run_plan(&inner, params, &mut st, shared, None)
                 .map_err(|e| exec::ExecError::new(e.to_string()))?;
             shared.absorb(&st);
             Ok(shared.insert(s.clone(), SubResult::from_frame(frame)))
@@ -603,11 +638,25 @@ impl Database {
         let scan_emit =
             (fused && plan.scans.len() == 1).then(|| plan.projection.as_ref().expect("fused"));
 
+        // Per-node clock readings only happen on the analyze path — the
+        // production interpreter's instrumentation cost is one branch per
+        // operator.
+        let timing = actuals.is_some();
         let mut frames: Vec<Frame> = Vec::with_capacity(plan.scans.len());
         for node in &plan.scans {
-            frames.push(
-                self.scan_node(node, params, &ctx, stats, shared, scan_limit, scan_emit)?,
-            );
+            let opened = timing.then(Instant::now);
+            let scanned_before = stats.rows_scanned;
+            let frame =
+                self.scan_node(node, params, &ctx, stats, shared, scan_limit, scan_emit)?;
+            if let Some(a) = actuals.as_deref_mut() {
+                a.scans.push(ScanActuals {
+                    rows_scanned: stats.rows_scanned - scanned_before,
+                    rows_out: frame.rows.len(),
+                    elapsed_ns: opened.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                    via_index: node.probe.is_some(),
+                });
+            }
+            frames.push(frame);
         }
 
         let mut iter = frames.into_iter();
@@ -616,6 +665,7 @@ impl Database {
         for (k, (step, right)) in plan.joins.iter().zip(iter).enumerate() {
             let emit = (fused && k + 1 == plan.joins.len())
                 .then(|| plan.projection.as_ref().expect("fused"));
+            let opened = timing.then(Instant::now);
             acc = match (&step.algorithm, &step.key) {
                 (crate::planner::JoinAlgorithm::Hash, Some((lk, rk))) => {
                     // Plan-resolved key positions skip per-row expression
@@ -637,18 +687,38 @@ impl Database {
                 }
                 _ => nested_loop_join(acc, right, step.residual.as_ref(), emit, &ctx, stats)?,
             };
+            if let Some(a) = actuals.as_deref_mut() {
+                a.joins.push(OpActuals {
+                    rows_out: acc.rows.len(),
+                    elapsed_ns: opened.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                });
+            }
         }
 
         // Leftover predicates (alias-free literals etc.).
         if let Some(pred) = &plan.residual {
+            let opened = timing.then(Instant::now);
             acc = filter(acc, pred, &ctx)?;
+            if let Some(a) = actuals.as_deref_mut() {
+                a.residual = Some(OpActuals {
+                    rows_out: acc.rows.len(),
+                    elapsed_ns: opened.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                });
+            }
         }
 
         // ORDER BY before projection (keys may be unprojected).
         if !plan.order_by.is_empty() {
             let keys: Vec<(SqlExpr, bool)> =
                 plan.order_by.iter().map(|k| (k.expr.clone(), k.asc)).collect();
+            let opened = timing.then(Instant::now);
             acc = sort(acc, &keys, &ctx)?;
+            if let Some(a) = actuals.as_deref_mut() {
+                a.sort = Some(OpActuals {
+                    rows_out: acc.rows.len(),
+                    elapsed_ns: opened.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                });
+            }
         }
 
         // Without DISTINCT the limit prefix is already final after the
@@ -664,7 +734,14 @@ impl Database {
         if fused {
             let mut frame = acc;
             if plan.distinct {
+                let opened = timing.then(Instant::now);
                 frame = distinct(frame);
+                if let Some(a) = actuals.as_deref_mut() {
+                    a.distinct = Some(OpActuals {
+                        rows_out: frame.rows.len(),
+                        elapsed_ns: opened.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                    });
+                }
                 if let Some(n) = limit_n {
                     frame.rows.truncate(n);
                 }
@@ -724,7 +801,14 @@ impl Database {
         let mut frame = Frame { cols: out_cols, rows };
 
         if plan.distinct {
+            let opened = timing.then(Instant::now);
             frame = distinct(frame);
+            if let Some(a) = actuals {
+                a.distinct = Some(OpActuals {
+                    rows_out: frame.rows.len(),
+                    elapsed_ns: opened.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                });
+            }
             if let Some(n) = limit_n {
                 frame.rows.truncate(n);
             }

@@ -89,7 +89,12 @@ impl<'a> RowRef<'a> {
 }
 
 /// Execution counters for benchmarks and plan tests.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Equality compares the *counters* only: the wall-clock fields
+/// ([`parse_ns`](Self::parse_ns), [`plan_ns`](Self::plan_ns),
+/// [`exec_ns`](Self::exec_ns)) vary run to run and are excluded, so two
+/// executions of the same plan over the same data still compare equal.
+#[derive(Clone, Debug, Default)]
 pub struct ExecStats {
     /// Rows read from base tables.
     pub rows_scanned: usize,
@@ -113,6 +118,29 @@ pub struct ExecStats {
     /// Executions that re-planned because a referenced table's generation
     /// counter moved since the plan was computed (inserts, index builds).
     pub replans: usize,
+    /// Wall-clock time spent parsing SQL text for this call — non-zero
+    /// only on paths that parse (a `query_cached` miss); prepared
+    /// statements parse once, at prepare time.
+    pub parse_ns: u64,
+    /// Wall-clock time spent planning (or resolving a cached plan) for
+    /// this call.
+    pub plan_ns: u64,
+    /// Wall-clock time spent interpreting the plan for this call.
+    pub exec_ns: u64,
+}
+
+impl PartialEq for ExecStats {
+    fn eq(&self, other: &ExecStats) -> bool {
+        // Timing fields are deliberately excluded — see the type docs.
+        self.rows_scanned == other.rows_scanned
+            && self.join_comparisons == other.join_comparisons
+            && self.joins == other.joins
+            && self.used_index == other.used_index
+            && self.subqueries_executed == other.subqueries_executed
+            && self.subquery_cache_hits == other.subquery_cache_hits
+            && self.plan_cache_hits == other.plan_cache_hits
+            && self.replans == other.replans
+    }
 }
 
 impl ExecStats {

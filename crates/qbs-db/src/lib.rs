@@ -47,6 +47,7 @@
 //! assert_eq!(out.rows.len(), 1);
 //! ```
 
+mod analyze;
 mod compare;
 mod conn;
 mod db;
@@ -55,6 +56,7 @@ mod planner;
 mod stmt;
 mod storage;
 
+pub use analyze::{AnalyzedPlan, OpActuals, PlanActuals, ScanActuals};
 pub use compare::{rows_agree, rows_diff, RowsDiff, RowsEquivalence};
 pub use conn::{Connection, PlanCacheStats};
 pub use db::{Database, DbError, Params, QueryOutput, SelectOutput};

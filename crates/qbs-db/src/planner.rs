@@ -99,6 +99,25 @@ impl ScanNode {
             None => self.cols.clone(),
         }
     }
+
+    /// One-line description of the scan — the shared vocabulary of the
+    /// plain explain rendering and `explain_analyze`'s annotated one.
+    pub(crate) fn describe(&self) -> String {
+        let source = match &self.source {
+            ScanSource::Table(name) => format!("table {name}"),
+            ScanSource::Subquery { .. } => "subquery".to_string(),
+        };
+        let mut out =
+            format!("scan {} ({source}, est {} rows", self.alias, self.estimated_rows);
+        if let Some(p) = &self.probe {
+            out.push_str(&format!(", index {} = {:?}", p.column, p.value));
+        }
+        if self.filter.is_some() {
+            out.push_str(", filtered");
+        }
+        out.push(')');
+        out
+    }
 }
 
 /// One join step: `acc ⋈ scans[k+1]`.
@@ -117,6 +136,18 @@ pub struct JoinStep {
     pub residual: Option<SqlExpr>,
     /// Estimated cardinality after this step.
     pub estimated_rows: usize,
+}
+
+impl JoinStep {
+    /// One-line description of the join step (shared with
+    /// `explain_analyze`).
+    pub(crate) fn describe(&self) -> String {
+        let algo = match self.algorithm {
+            JoinAlgorithm::Hash => "hash join",
+            JoinAlgorithm::NestedLoop => "nested-loop join",
+        };
+        format!("  └ {algo} (est {} rows)", self.estimated_rows)
+    }
 }
 
 /// The physical plan: every decision the executor will take, computed once.
@@ -197,25 +228,9 @@ impl PhysicalPlan {
 impl fmt::Display for PhysicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (k, scan) in self.scans.iter().enumerate() {
-            let source = match &scan.source {
-                ScanSource::Table(name) => format!("table {name}"),
-                ScanSource::Subquery { .. } => "subquery".to_string(),
-            };
-            write!(f, "scan {} ({source}, est {} rows", scan.alias, scan.estimated_rows)?;
-            if let Some(p) = &scan.probe {
-                write!(f, ", index {} = {:?}", p.column, p.value)?;
-            }
-            if scan.filter.is_some() {
-                write!(f, ", filtered")?;
-            }
-            writeln!(f, ")")?;
+            writeln!(f, "{}", scan.describe())?;
             if k > 0 {
-                let step = &self.joins[k - 1];
-                let algo = match step.algorithm {
-                    JoinAlgorithm::Hash => "hash join",
-                    JoinAlgorithm::NestedLoop => "nested-loop join",
-                };
-                writeln!(f, "  └ {algo} (est {} rows)", step.estimated_rows)?;
+                writeln!(f, "{}", self.joins[k - 1].describe())?;
             }
         }
         if self.residual.is_some() {

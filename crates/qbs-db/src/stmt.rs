@@ -178,6 +178,14 @@ impl PreparedStatement {
         self.plan.borrow().clone()
     }
 
+    /// Renders the statement's current plan tree — the `EXPLAIN` form,
+    /// estimates only. See
+    /// [`Connection::explain_analyze`](crate::Connection::explain_analyze)
+    /// for the same tree annotated with per-operator actuals.
+    pub fn explain(&self) -> String {
+        self.plan.borrow().to_string()
+    }
+
     /// Starts a typed binding for one execution.
     pub fn bind(&self) -> Binder<'_> {
         Binder { stmt: self, params: Params::new(), next: 0 }

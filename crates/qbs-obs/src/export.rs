@@ -1,0 +1,104 @@
+//! Trace/metric export formats: JSON escaping and Chrome `trace_event`.
+
+use crate::span::SpanRecord;
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders spans as a Chrome `trace_event` JSON document (complete `"X"`
+/// events, microsecond timestamps). Load the output in `chrome://tracing`
+/// or <https://ui.perfetto.dev>.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \
+             \"dur\": {:.3}, \"pid\": 1, \"tid\": {}",
+            json_escape(&s.name),
+            json_escape(s.cat),
+            s.start_ns as f64 / 1_000.0,
+            s.dur_ns as f64 / 1_000.0,
+            s.thread,
+        ));
+        if !s.args.is_empty() {
+            out.push_str(", \"args\": {");
+            for (j, (k, v)) in s.args.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn chrome_trace_renders_complete_events_in_microseconds() {
+        let spans = vec![
+            SpanRecord {
+                name: "exec".into(),
+                cat: "db",
+                start_ns: 1_500,
+                dur_ns: 2_000,
+                depth: 0,
+                thread: 3,
+                args: vec![("rows".into(), "7".into())],
+            },
+            SpanRecord {
+                name: "scan".into(),
+                cat: "db",
+                start_ns: 1_600,
+                dur_ns: 500,
+                depth: 1,
+                thread: 3,
+                args: vec![],
+            },
+        ];
+        let json = chrome_trace(&spans);
+        assert!(json.starts_with("{\"traceEvents\": ["), "{json}");
+        assert!(json.contains("\"name\": \"exec\""), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+        assert!(json.contains("\"ts\": 1.500"), "{json}");
+        assert!(json.contains("\"dur\": 2.000"), "{json}");
+        assert!(json.contains("\"tid\": 3"), "{json}");
+        assert!(json.contains("\"args\": {\"rows\": \"7\"}"), "{json}");
+        assert!(!json.contains("\"scan\"}, \"args\""), "argless span omits args");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(chrome_trace(&[]), "{\"traceEvents\": [\n]}");
+    }
+}

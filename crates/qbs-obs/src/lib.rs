@@ -1,0 +1,99 @@
+//! Unified observability for the QBS stack: hierarchical spans, a
+//! metrics registry, and JSON / Chrome `trace_event` exports.
+//!
+//! The crate deliberately has no dependencies (not even on the rest of
+//! the workspace) so every layer — engine, executor, batch driver,
+//! benches — can link it without cycles. Two primitives cover the stack:
+//!
+//! * [`Tracer`] — hierarchical wall-clock spans over one monotonic
+//!   epoch. Cheap when disabled (one relaxed atomic load per span site),
+//!   thread-safe via per-thread [`LocalSpans`] buffers merged into the
+//!   shared sink at flush. Export with [`chrome_trace`].
+//! * [`Metrics`] — named counters, gauges, and fixed-bucket histograms
+//!   behind `Arc`-atomic handles; the registry lock is only taken at
+//!   registration and snapshot. Export with
+//!   [`MetricsSnapshot::to_json`].
+//!
+//! [`Obs`] bundles one of each for code that wires both through a stack
+//! of components.
+//!
+//! ```
+//! use qbs_obs::Obs;
+//!
+//! let obs = Obs::enabled();
+//! let local = obs.tracer.local();
+//! {
+//!     let _span = local.span("stage.synthesized", "qbs");
+//!     obs.metrics.counter("qbs.fragments").inc();
+//! }
+//! local.flush();
+//! assert_eq!(obs.tracer.spans().len(), 1);
+//! assert!(obs.snapshot_json().contains("\"qbs.fragments\": 1"));
+//! ```
+
+mod export;
+mod metrics;
+mod span;
+
+pub use export::{chrome_trace, json_escape};
+pub use metrics::{
+    count_bounds, time_bounds_ns, Counter, Gauge, Histogram, HistogramSnapshot, Metrics,
+    MetricsSnapshot,
+};
+pub use span::{LocalSpans, SpanGuard, SpanRecord, Tracer};
+
+/// One tracer plus one metrics registry, wired together through a stack.
+///
+/// Clones share both; [`Obs::default`] starts with tracing disabled so
+/// instrumented code runs at full speed until someone opts in.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    /// The span recorder.
+    pub tracer: Tracer,
+    /// The metrics registry.
+    pub metrics: Metrics,
+}
+
+impl Obs {
+    /// A fresh bundle with tracing **disabled** (metrics always record).
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// A fresh bundle with tracing already on.
+    pub fn enabled() -> Obs {
+        Obs { tracer: Tracer::enabled(), metrics: Metrics::new() }
+    }
+
+    /// The current metrics registry rendered as flat JSON.
+    pub fn snapshot_json(&self) -> String {
+        self.metrics.snapshot().to_json()
+    }
+
+    /// Every merged span so far rendered as a Chrome `trace_event`
+    /// document (non-draining).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.tracer.spans())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_wires_tracer_and_metrics_together() {
+        let obs = Obs::new();
+        assert!(!obs.tracer.is_enabled(), "tracing starts off");
+        obs.metrics.counter("always").inc();
+        assert!(obs.snapshot_json().contains("\"always\": 1"), "metrics record regardless");
+
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        let local = clone.tracer.local();
+        local.span("work", "test").finish();
+        local.flush();
+        assert_eq!(obs.tracer.spans().len(), 1, "clones share the trace");
+        assert!(obs.chrome_trace().contains("\"name\": \"work\""));
+    }
+}

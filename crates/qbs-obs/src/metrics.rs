@@ -1,0 +1,424 @@
+//! A process-wide metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! [`Metrics`] is a cheap, cloneable handle; instruments are registered
+//! by name on first use and returned as `Arc`-backed handles, so hot
+//! paths hold the handle and update it with one atomic op — the registry
+//! lock is only taken at registration and snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value (queue depths, in-flight counts).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are cumulative-style upper bounds: observation `v` lands in
+/// the first bucket whose bound is `>= v`, with one implicit overflow
+/// bucket past the last bound.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            inner: Arc::new(HistInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self.inner.bounds.partition_point(|b| *b < v);
+        self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.min.fetch_min(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            buckets: self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count,
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            min: (count > 0).then(|| self.inner.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| self.inner.max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive); one overflow bucket follows.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation, if any.
+    pub min: Option<u64>,
+    /// Largest observation, if any.
+    pub max: Option<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`0.0 ..= 1.0`) from bucket bounds: returns
+    /// the upper bound of the bucket containing the q-th observation
+    /// (`max` for the overflow bucket, `None` when empty).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(
+                    self.bounds.get(i).copied().unwrap_or(self.max.unwrap_or(u64::MAX)),
+                );
+            }
+        }
+        self.max
+    }
+}
+
+/// Default histogram bounds for durations in nanoseconds: exponential
+/// from 1 µs to 1 s.
+pub fn time_bounds_ns() -> Vec<u64> {
+    vec![
+        1_000,
+        4_000,
+        16_000,
+        64_000,
+        256_000,
+        1_000_000,
+        4_000_000,
+        16_000_000,
+        64_000_000,
+        256_000_000,
+        1_000_000_000,
+    ]
+}
+
+/// Default histogram bounds for small counts (iterations, candidates):
+/// powers of two from 1 to 1024.
+pub fn count_bounds() -> Vec<u64> {
+    (0..=10).map(|i| 1u64 << i).collect()
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A shared registry of named instruments. Clones share one registry.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    registry: Arc<Registry>,
+}
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Observability survives poisoning: worst case a partial update from
+    // the panicking thread is visible, which a metrics read can tolerate.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// The counter registered under `name` (registering it on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        locked(&self.registry.counters).entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge registered under `name` (registering it on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        locked(&self.registry.gauges).entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name`. The first caller fixes the
+    /// bucket bounds; later callers get the existing instrument.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        locked(&self.registry.histograms)
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// A point-in-time copy of every registered instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: locked(&self.registry.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: locked(&self.registry.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: locked(&self.registry.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`Metrics`] registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a flat, deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", crate::json_escape(k), v));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", crate::json_escape(k), v));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {:.1}, \"buckets\": [",
+                crate::json_escape(k),
+                h.count,
+                h.sum,
+                h.min.map_or("null".to_string(), |v| v.to_string()),
+                h.max.map_or("null".to_string(), |v| v.to_string()),
+                h.mean(),
+            ));
+            for (i, n) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match h.bounds.get(i) {
+                    Some(b) => out.push_str(&format!("{{\"le\": {b}, \"count\": {n}}}")),
+                    None => out.push_str(&format!("{{\"le\": \"+Inf\", \"count\": {n}}}")),
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "}\n}" } else { "\n  }\n}" });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_state_by_name() {
+        let m = Metrics::new();
+        m.counter("jobs").add(2);
+        m.counter("jobs").inc();
+        assert_eq!(m.counter("jobs").get(), 3);
+        m.gauge("depth").set(5);
+        m.gauge("depth").add(-2);
+        assert_eq!(m.gauge("depth").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_inclusively() {
+        let m = Metrics::new();
+        let h = m.histogram("lat", &[10, 100]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![2, 2, 1], "<=10, <=100, overflow");
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 5122);
+        assert_eq!(snap.min, Some(1));
+        assert_eq!(snap.max, Some(5000));
+        assert_eq!(snap.quantile(0.5), Some(100));
+        assert_eq!(snap.quantile(1.0), Some(5000), "overflow quantile reports max");
+    }
+
+    #[test]
+    fn first_registration_fixes_histogram_bounds() {
+        let m = Metrics::new();
+        m.histogram("h", &[1, 2]).observe(3);
+        let again = m.histogram("h", &[999]);
+        assert_eq!(again.snapshot().bounds, vec![1, 2]);
+        assert_eq!(again.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_complete() {
+        let m = Metrics::new();
+        m.counter("b.count").inc();
+        m.counter("a.count").add(2);
+        m.gauge("depth").set(-1);
+        m.histogram("t", &[10]).observe(4);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"a.count\": 2"), "{json}");
+        let a = json.find("a.count").unwrap();
+        let b = json.find("b.count").unwrap();
+        assert!(a < b, "counters sorted by name");
+        assert!(json.contains("\"depth\": -1"), "{json}");
+        assert!(json.contains("{\"le\": 10, \"count\": 1}, {\"le\": \"+Inf\", \"count\": 0}"));
+        assert_eq!(json, m.snapshot().to_json());
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_valid_json() {
+        let json = Metrics::new().snapshot().to_json();
+        assert!(json.contains("\"counters\": {}"), "{json}");
+        let empty = HistogramSnapshot {
+            bounds: vec![],
+            buckets: vec![0],
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        };
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn default_bounds_are_sorted() {
+        for bounds in [time_bounds_ns(), count_bounds()] {
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_never_lose_increments() {
+        let m = Metrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    let c = m.counter("n");
+                    let h = m.histogram("h", &time_bounds_ns());
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("n").get(), 4000);
+        assert_eq!(m.histogram("h", &[]).count(), 4000);
+    }
+}

@@ -1,0 +1,324 @@
+//! Hierarchical wall-clock spans over a shared monotonic epoch.
+//!
+//! A [`Tracer`] is a cheap, cloneable handle to one trace: an epoch
+//! (`Instant`) every timestamp is measured from, an on/off switch, and a
+//! sink of finished [`SpanRecord`]s. Threads never contend on the sink
+//! while tracing: each worker opens a [`LocalSpans`] buffer, records spans
+//! lock-free into it, and merges the whole buffer into the sink in one
+//! lock acquisition at flush (or drop).
+//!
+//! When the tracer is disabled, [`LocalSpans::span`] returns an inert
+//! guard without allocating — instrumented code pays one relaxed atomic
+//! load per span site and nothing else.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// One finished span: a named interval on the tracer's monotonic clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"stage.synthesized"`, `"db.exec"`).
+    pub name: String,
+    /// Coarse category (Chrome trace `cat` field).
+    pub cat: &'static str,
+    /// Start offset from the tracer's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open (0 = top level of its thread).
+    pub depth: usize,
+    /// Logical thread id (assigned per [`LocalSpans`], not the OS tid).
+    pub thread: u64,
+    /// Free-form key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    enabled: AtomicBool,
+    epoch: Instant,
+    sink: Mutex<Vec<SpanRecord>>,
+    next_thread: AtomicU64,
+}
+
+/// A shared, thread-safe span recorder. Clones share one trace.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer, **disabled** — instrumented code runs at full speed
+    /// until [`Tracer::set_enabled`] turns recording on.
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                enabled: AtomicBool::new(false),
+                epoch: Instant::now(),
+                sink: Mutex::new(Vec::new()),
+                next_thread: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A fresh tracer with recording already on.
+    pub fn enabled() -> Tracer {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t
+    }
+
+    /// True when spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off (shared across clones).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since this tracer's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a per-thread span buffer. Spans recorded through it merge
+    /// into the shared sink at [`LocalSpans::flush`] (or drop).
+    pub fn local(&self) -> LocalSpans {
+        LocalSpans {
+            tracer: self.clone(),
+            thread: self.inner.next_thread.fetch_add(1, Ordering::Relaxed),
+            buf: RefCell::new(Vec::new()),
+            depth: Cell::new(0),
+        }
+    }
+
+    /// Records one already-finished span directly into the sink — the
+    /// path for observer adapters that learn about an interval only after
+    /// the fact (e.g. a `StageFinished` event carrying its elapsed time).
+    /// No-op while disabled.
+    pub fn record(&self, record: SpanRecord) {
+        if self.is_enabled() {
+            self.sink().push(record);
+        }
+    }
+
+    /// A snapshot of every span merged so far, ordered by start time.
+    /// Open [`LocalSpans`] buffers are not included until they flush.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut out = self.sink().clone();
+        out.sort_by_key(|s| (s.start_ns, s.depth));
+        out
+    }
+
+    /// Takes every merged span out of the sink (ordered by start time),
+    /// leaving the tracer empty for the next window.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut out = std::mem::take(&mut *self.sink());
+        out.sort_by_key(|s| (s.start_ns, s.depth));
+        out
+    }
+
+    /// The sink, surviving poisoning: a panicking thread mid-merge loses
+    /// at most its own records — observability must never take the
+    /// process down with it.
+    fn sink(&self) -> std::sync::MutexGuard<'_, Vec<SpanRecord>> {
+        self.inner.sink.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A per-thread span buffer: lock-free recording, one sink merge at flush.
+///
+/// `LocalSpans` is `Send` but deliberately not `Sync` — hand each worker
+/// thread its own.
+#[derive(Debug)]
+pub struct LocalSpans {
+    tracer: Tracer,
+    thread: u64,
+    buf: RefCell<Vec<SpanRecord>>,
+    depth: Cell<usize>,
+}
+
+impl LocalSpans {
+    /// The tracer this buffer merges into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// This buffer's logical thread id.
+    pub fn thread(&self) -> u64 {
+        self.thread
+    }
+
+    /// Opens a span. The returned guard records the interval into this
+    /// buffer when dropped (or [`finished`](SpanGuard::finish) early).
+    /// Inert — no allocation, no clock read — while the tracer is
+    /// disabled.
+    pub fn span(&self, name: &str, cat: &'static str) -> SpanGuard<'_> {
+        if !self.tracer.is_enabled() {
+            return SpanGuard {
+                local: None,
+                name: String::new(),
+                cat,
+                start_ns: 0,
+                args: Vec::new(),
+            };
+        }
+        self.depth.set(self.depth.get() + 1);
+        SpanGuard {
+            local: Some(self),
+            name: name.to_string(),
+            cat,
+            start_ns: self.tracer.now_ns(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Records an already-measured interval (depth 0) into this buffer.
+    /// No-op while disabled.
+    pub fn record(&self, mut record: SpanRecord) {
+        if self.tracer.is_enabled() {
+            record.thread = self.thread;
+            self.buf.borrow_mut().push(record);
+        }
+    }
+
+    /// Merges every buffered span into the tracer's sink (one lock).
+    pub fn flush(&self) {
+        let mut buf = self.buf.borrow_mut();
+        if !buf.is_empty() {
+            self.tracer.sink().append(&mut buf);
+        }
+    }
+}
+
+impl Drop for LocalSpans {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// An open span; records itself into its [`LocalSpans`] on drop.
+#[derive(Debug)]
+#[must_use = "a span measures until the guard drops"]
+pub struct SpanGuard<'a> {
+    local: Option<&'a LocalSpans>,
+    name: String,
+    cat: &'static str,
+    start_ns: u64,
+    args: Vec<(String, String)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a key/value annotation (no-op on an inert guard).
+    pub fn arg(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        if self.local.is_some() {
+            self.args.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+
+    /// Closes the span now (identical to dropping the guard).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(local) = self.local else { return };
+        let depth = local.depth.get().saturating_sub(1);
+        local.depth.set(depth);
+        local.buf.borrow_mut().push(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            start_ns: self.start_ns,
+            dur_ns: local.tracer.now_ns().saturating_sub(self.start_ns),
+            depth,
+            thread: local.thread,
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new();
+        let local = tracer.local();
+        local.span("work", "test").arg("k", 1).finish();
+        local.flush();
+        assert!(tracer.spans().is_empty());
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn nested_spans_carry_depth_and_merge_at_flush() {
+        let tracer = Tracer::enabled();
+        let local = tracer.local();
+        {
+            let _outer = local.span("outer", "test");
+            let inner = local.span("inner", "test").arg("rows", 3);
+            inner.finish();
+        }
+        assert!(tracer.spans().is_empty(), "nothing merged before flush");
+        local.flush();
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.dur_ns <= outer.dur_ns);
+        assert_eq!(inner.args, vec![("rows".to_string(), "3".to_string())]);
+    }
+
+    #[test]
+    fn per_thread_buffers_merge_into_one_trace() {
+        let tracer = Tracer::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = tracer.clone();
+                scope.spawn(move || {
+                    let local = t.local();
+                    local.span("job", "test").finish();
+                    // Buffer merges on drop.
+                });
+            }
+        });
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 4);
+        let threads: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.thread).collect();
+        assert_eq!(threads.len(), 4, "each worker kept its own logical thread id");
+        assert!(tracer.drain().is_empty(), "drain leaves the sink empty");
+    }
+
+    #[test]
+    fn direct_records_respect_the_switch() {
+        let tracer = Tracer::enabled();
+        let rec = SpanRecord {
+            name: "evt".into(),
+            cat: "test",
+            start_ns: 5,
+            dur_ns: 7,
+            depth: 0,
+            thread: 99,
+            args: Vec::new(),
+        };
+        tracer.record(rec.clone());
+        tracer.set_enabled(false);
+        tracer.record(rec);
+        assert_eq!(tracer.spans().len(), 1);
+    }
+}

@@ -67,6 +67,20 @@ pub struct CheckOutcome {
     /// [`ExecStats`] of the first SQL execution (absent when the executor
     /// itself failed, i.e. the verdict is inconclusive on the SQL side).
     pub exec: Option<ExecStats>,
+    /// Wall-clock of the kernel interpretation on the initial database
+    /// (0 when the interpreter failed before finishing).
+    pub kernel_ns: u64,
+    /// Wall-clock of the first SQL execution (0 when it failed) — the
+    /// paper's speedup claim, measured per check: `kernel_ns / sql_ns`
+    /// is the original-vs-translated ratio on that database.
+    pub sql_ns: u64,
+}
+
+/// Per-side wall-clock of one `run_both`, for [`CheckOutcome`].
+#[derive(Default)]
+struct SideTimes {
+    kernel_ns: u64,
+    sql_ns: u64,
 }
 
 fn dump_dyn(v: &DynValue) -> String {
@@ -105,6 +119,7 @@ fn run_both(
     conn: &Connection,
     params: &Params,
     exec: &mut Option<ExecStats>,
+    times: &mut SideTimes,
 ) -> Outcome {
     // Original semantics: the kernel interpreter over the database's
     // relations, with bind parameters as scalar variables.
@@ -112,16 +127,20 @@ fn run_both(
     for (name, value) in params {
         env.bind(name.clone(), value.clone());
     }
+    let opened = std::time::Instant::now();
     let run = match qbs_kernel::run(kernel, env) {
         Ok(r) => r,
         Err(e) => return Outcome::Inconclusive(format!("interpreter failed: {e}")),
     };
+    times.kernel_ns = opened.elapsed().as_nanos() as u64;
 
     // Transformed semantics: the prepared statement on the same database.
+    let opened = std::time::Instant::now();
     let out = match conn.execute(stmt, params) {
         Ok(o) => o,
         Err(e) => return Outcome::Inconclusive(format!("sql execution failed: {e}")),
     };
+    times.sql_ns = opened.elapsed().as_nanos() as u64;
     *exec = Some(match &out {
         QueryOutput::Rows(r) => r.stats.clone(),
         QueryOutput::Scalar { stats, .. } => stats.clone(),
@@ -267,7 +286,8 @@ fn check_with_handle(
         }))
     };
     let mut exec = None;
-    let verdict = match run_both(kernel, stmt, conn, params, &mut exec) {
+    let mut times = SideTimes::default();
+    let verdict = match run_both(kernel, stmt, conn, params, &mut exec, &mut times) {
         Outcome::Agree { rows, equivalence } => OracleVerdict::Agree { rows, equivalence },
         Outcome::Inconclusive(reason) => OracleVerdict::Inconclusive { reason },
         Outcome::Diff { diff, original, translated } if !opts.minimize => {
@@ -281,7 +301,14 @@ fn check_with_handle(
             let mut scratch = None;
             let reconn =
                 Connection::open_with(minimized.clone(), opts.plan_config(), Dialect::Generic);
-            match run_both(kernel, stmt, &reconn, params, &mut scratch) {
+            match run_both(
+                kernel,
+                stmt,
+                &reconn,
+                params,
+                &mut scratch,
+                &mut SideTimes::default(),
+            ) {
                 Outcome::Diff { diff, original, translated } => {
                     witness(diff, original, translated, minimized)
                 }
@@ -291,7 +318,7 @@ fn check_with_handle(
             }
         }
     };
-    CheckOutcome { verdict, exec }
+    CheckOutcome { verdict, exec, kernel_ns: times.kernel_ns, sql_ns: times.sql_ns }
 }
 
 /// Rebuilds `db` with `table` restricted to the rows whose positions are
@@ -347,8 +374,10 @@ fn minimize_with(
     let still_mismatch = |candidate: Database| -> (bool, Database) {
         let mut scratch = None;
         let conn = Connection::open_with(candidate, config.clone(), Dialect::Generic);
-        let diff =
-            matches!(run_both(kernel, stmt, &conn, params, &mut scratch), Outcome::Diff { .. });
+        let diff = matches!(
+            run_both(kernel, stmt, &conn, params, &mut scratch, &mut SideTimes::default()),
+            Outcome::Diff { .. }
+        );
         (diff, conn.into_database())
     };
     let (reproduced, initial) = still_mismatch(db.clone());
@@ -553,6 +582,25 @@ mod tests {
         assert!(out.verdict.is_agree(), "{}", out.verdict);
         let exec = out.exec.expect("sql side executed");
         assert!(exec.rows_scanned > 0, "{exec:?}");
+        // Both sides ran, so both wall-clocks were measured.
+        assert!(out.kernel_ns > 0, "kernel side timed");
+        assert!(out.sql_ns > 0, "sql side timed");
+    }
+
+    #[test]
+    fn inconclusive_sql_side_reports_zero_sql_time() {
+        let db = users_db(&[(1, 10)]);
+        let sql = qbs_sql::parse("SELECT missing.id FROM missing").unwrap();
+        let out = check_opts(
+            &selection_kernel_built(10),
+            &sql,
+            &db,
+            &Params::new(),
+            &CheckOptions::default(),
+        );
+        assert!(matches!(out.verdict, OracleVerdict::Inconclusive { .. }));
+        assert!(out.kernel_ns > 0, "interpreter finished before the sql side failed");
+        assert_eq!(out.sql_ns, 0, "failed execution has no measured time");
     }
 
     #[test]

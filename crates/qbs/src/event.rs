@@ -10,8 +10,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks ignoring poison: observers hold these locks only to push or read
+/// plain data, so a panic on another thread (e.g. inside a different
+/// observer running on a batch worker) leaves the buffer intact — losing
+/// the telemetry collected so far would only compound the failure.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The engine's pipeline stages, in execution order (paper Fig. 5).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -181,17 +189,17 @@ impl EventLog {
     /// An observer that appends every event to this log.
     pub fn observer(&self) -> impl EngineObserver {
         let events = Arc::clone(&self.events);
-        move |e: &PipelineEvent| events.lock().expect("event log lock").push(e.clone())
+        move |e: &PipelineEvent| locked(&events).push(e.clone())
     }
 
     /// A snapshot of the events recorded so far.
     pub fn events(&self) -> Vec<PipelineEvent> {
-        self.events.lock().expect("event log lock").clone()
+        locked(&self.events).clone()
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("event log lock").len()
+        locked(&self.events).len()
     }
 
     /// True when nothing was recorded.
@@ -222,9 +230,7 @@ impl StageTimer {
         let times = Arc::clone(&self.times);
         move |e: &PipelineEvent| {
             if let PipelineEvent::StageFinished { method, stage, elapsed } = e {
-                *times
-                    .lock()
-                    .expect("stage timer lock")
+                *locked(&times)
                     .entry(method.clone())
                     .or_default()
                     .entry(*stage)
@@ -236,7 +242,7 @@ impl StageTimer {
     /// Total time per stage, summed over all methods.
     pub fn totals(&self) -> BTreeMap<Stage, Duration> {
         let mut out = BTreeMap::new();
-        for per_stage in self.times.lock().expect("stage timer lock").values() {
+        for per_stage in locked(&self.times).values() {
             for (stage, d) in per_stage {
                 *out.entry(*stage).or_default() += *d;
             }
@@ -246,12 +252,12 @@ impl StageTimer {
 
     /// Per-method stage timings.
     pub fn by_method(&self) -> BTreeMap<String, BTreeMap<Stage, Duration>> {
-        self.times.lock().expect("stage timer lock").clone()
+        locked(&self.times).clone()
     }
 
     /// The stage timings recorded for one method.
     pub fn timings_for(&self, method: &str) -> BTreeMap<Stage, Duration> {
-        self.times.lock().expect("stage timer lock").get(method).cloned().unwrap_or_default()
+        locked(&self.times).get(method).cloned().unwrap_or_default()
     }
 }
 
@@ -319,6 +325,35 @@ mod tests {
         assert_eq!(totals[&Stage::Translated], Duration::from_millis(1));
         assert_eq!(timer.timings_for("a")[&Stage::Synthesized], Duration::from_millis(15));
         assert!(timer.timings_for("zzz").is_empty());
+    }
+
+    #[test]
+    fn observers_survive_a_poisoned_lock() {
+        let log = EventLog::new();
+        let timer = StageTimer::new();
+        // Poison both locks: panic on a helper thread while holding them.
+        let (events, times) = (Arc::clone(&log.events), Arc::clone(&timer.times));
+        std::thread::spawn(move || {
+            let _e = events.lock().unwrap();
+            let _t = times.lock().unwrap();
+            panic!("poison the observer locks");
+        })
+        .join()
+        .unwrap_err();
+        // Recording and reading still work; nothing recorded before the
+        // poison is lost.
+        let mut obs = log.observer();
+        obs.on_event(&PipelineEvent::FragmentStarted { method: "m".into() });
+        assert_eq!(log.len(), 1);
+        let mut obs = timer.observer();
+        obs.on_event(&PipelineEvent::StageFinished {
+            method: "m".into(),
+            stage: Stage::Synthesized,
+            elapsed: Duration::from_millis(3),
+        });
+        assert_eq!(timer.totals()[&Stage::Synthesized], Duration::from_millis(3));
+        assert_eq!(timer.timings_for("m").len(), 1);
+        assert_eq!(timer.by_method().len(), 1);
     }
 
     #[test]

@@ -70,10 +70,12 @@
 
 mod engine;
 mod event;
+mod obs;
 mod report;
 
 pub use engine::{EngineConfig, QbsEngine, QbsEngineBuilder, Session};
 pub use event::{CancelToken, EngineObserver, EventLog, PipelineEvent, Stage, StageTimer};
+pub use obs::PipelineObserver;
 pub use report::{FragmentReport, FragmentStatus, QbsReport, StatusCounts};
 
 // Re-exported so engine consumers can name every type in the public API

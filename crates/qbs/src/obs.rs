@@ -1,0 +1,220 @@
+//! The engine-to-observability bridge: a [`PipelineObserver`] maps the
+//! session's [`PipelineEvent`] stream onto a [`qbs_obs::Obs`] hub —
+//! stages and fragments become spans on the shared trace, and the
+//! synthesis loop's statistics land in the metrics registry.
+//!
+//! ```
+//! use qbs::{PipelineObserver, QbsEngine};
+//! use qbs_front::DataModel;
+//! use qbs_obs::Obs;
+//!
+//! let obs = Obs::enabled();
+//! let engine = QbsEngine::new(DataModel::new());
+//! let session = engine.session().observe(PipelineObserver::new(&obs));
+//! let _ = session.run_source("class S { }");
+//! // obs.chrome_trace() now holds fragment/stage spans;
+//! // obs.snapshot_json() the per-stage histograms and glyph counters.
+//! ```
+
+use crate::event::{EngineObserver, PipelineEvent, Stage};
+use qbs_obs::{count_bounds, time_bounds_ns, Counter, Histogram, LocalSpans, Obs, SpanRecord};
+use std::collections::HashMap;
+
+fn stage_index(stage: Stage) -> usize {
+    match stage {
+        Stage::Lowered => 0,
+        Stage::VcGen => 1,
+        Stage::Synthesized => 2,
+        Stage::Verified => 3,
+        Stage::Translated => 4,
+    }
+}
+
+/// An [`EngineObserver`] publishing the pipeline's events into an
+/// [`Obs`] hub.
+///
+/// Per event it updates pre-registered metric handles (relaxed atomics —
+/// no registry lock on the hot path) and, when the hub's tracer is
+/// enabled, records stage and fragment spans with their true intervals
+/// reconstructed from each event's elapsed time. Spans buffer in a
+/// per-observer [`LocalSpans`] and merge into the shared trace at every
+/// fragment boundary, so parallel batch workers never contend mid-run.
+///
+/// Registered metrics (see the README's Observability section):
+/// `qbs.stage.<stage>_ns`, `qbs.fragment_ns`, `qbs.prover_ns`,
+/// `qbs.synth.candidates`, `qbs.synth.cache_hits` (histograms);
+/// `qbs.fragments.{translated,rejected,failed}`, `qbs.counterexamples`,
+/// `qbs.memo_hits`, `qbs.vcs.conditions`, `qbs.vcs.unknowns` (counters).
+#[derive(Debug)]
+pub struct PipelineObserver {
+    local: LocalSpans,
+    stage_ns: [Histogram; 5],
+    fragment_ns: Histogram,
+    prover_ns: Histogram,
+    synth_candidates: Histogram,
+    synth_cache_hits: Histogram,
+    translated: Counter,
+    rejected: Counter,
+    failed: Counter,
+    counterexamples: Counter,
+    memo_hits: Counter,
+    vcs_conditions: Counter,
+    vcs_unknowns: Counter,
+    /// Latest `(candidates_tried, cache_hits)` per in-flight method,
+    /// folded into the synthesis histograms when the fragment finishes.
+    progress: HashMap<String, (usize, usize)>,
+}
+
+impl PipelineObserver {
+    /// Builds an observer over the hub, registering every metric up
+    /// front.
+    pub fn new(obs: &Obs) -> PipelineObserver {
+        let time = time_bounds_ns();
+        let counts = count_bounds();
+        let stage_ns = Stage::ALL
+            .map(|s| obs.metrics.histogram(&format!("qbs.stage.{}_ns", s.name()), &time));
+        PipelineObserver {
+            local: obs.tracer.local(),
+            stage_ns,
+            fragment_ns: obs.metrics.histogram("qbs.fragment_ns", &time),
+            prover_ns: obs.metrics.histogram("qbs.prover_ns", &time),
+            synth_candidates: obs.metrics.histogram("qbs.synth.candidates", &counts),
+            synth_cache_hits: obs.metrics.histogram("qbs.synth.cache_hits", &counts),
+            translated: obs.metrics.counter("qbs.fragments.translated"),
+            rejected: obs.metrics.counter("qbs.fragments.rejected"),
+            failed: obs.metrics.counter("qbs.fragments.failed"),
+            counterexamples: obs.metrics.counter("qbs.counterexamples"),
+            memo_hits: obs.metrics.counter("qbs.memo_hits"),
+            vcs_conditions: obs.metrics.counter("qbs.vcs.conditions"),
+            vcs_unknowns: obs.metrics.counter("qbs.vcs.unknowns"),
+            progress: HashMap::new(),
+        }
+    }
+
+    /// Records an interval that ended just now, reconstructed from its
+    /// elapsed time. No-op while the tracer is disabled.
+    fn record_span(&self, name: String, depth: usize, dur_ns: u64, method: &str) {
+        if !self.local.tracer().is_enabled() {
+            return;
+        }
+        let end = self.local.tracer().now_ns();
+        self.local.record(SpanRecord {
+            name,
+            cat: "qbs",
+            start_ns: end.saturating_sub(dur_ns),
+            dur_ns,
+            depth,
+            thread: self.local.thread(),
+            args: vec![("method".to_string(), method.to_string())],
+        });
+    }
+}
+
+impl EngineObserver for PipelineObserver {
+    fn on_event(&mut self, event: &PipelineEvent) {
+        match event {
+            PipelineEvent::StageFinished { method, stage, elapsed } => {
+                let ns = elapsed.as_nanos() as u64;
+                self.stage_ns[stage_index(*stage)].observe(ns);
+                if *stage == Stage::Verified {
+                    self.prover_ns.observe(ns);
+                }
+                self.record_span(format!("stage.{}", stage.name()), 1, ns, method);
+            }
+            PipelineEvent::VcsGenerated { conditions, unknowns, .. } => {
+                self.vcs_conditions.add(*conditions as u64);
+                self.vcs_unknowns.add(*unknowns as u64);
+            }
+            PipelineEvent::CegisIteration { method, candidates_tried, cache_hits, .. } => {
+                self.progress.insert(method.clone(), (*candidates_tried, *cache_hits));
+            }
+            PipelineEvent::CounterexampleFound { .. } => self.counterexamples.inc(),
+            PipelineEvent::CacheHit { .. } => self.memo_hits.inc(),
+            PipelineEvent::FragmentFinished { method, glyph, elapsed } => {
+                let ns = elapsed.as_nanos() as u64;
+                self.fragment_ns.observe(ns);
+                match *glyph {
+                    "X" => self.translated.inc(),
+                    "†" => self.rejected.inc(),
+                    _ => self.failed.inc(),
+                }
+                if let Some((tried, hits)) = self.progress.remove(method) {
+                    self.synth_candidates.observe(tried as u64);
+                    self.synth_cache_hits.observe(hits as u64);
+                }
+                self.record_span(format!("fragment.{method}"), 0, ns, method);
+                // A fragment boundary is the natural merge point: one
+                // sink lock per fragment, not per event.
+                self.local.flush();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn finish(obs: &mut PipelineObserver, method: &str, glyph: &'static str) {
+        obs.on_event(&PipelineEvent::FragmentFinished {
+            method: method.into(),
+            glyph,
+            elapsed: Duration::from_micros(40),
+        });
+    }
+
+    #[test]
+    fn events_land_in_metrics_and_trace() {
+        let hub = Obs::enabled();
+        let mut obs = PipelineObserver::new(&hub);
+        obs.on_event(&PipelineEvent::FragmentStarted { method: "m".into() });
+        obs.on_event(&PipelineEvent::StageFinished {
+            method: "m".into(),
+            stage: Stage::Verified,
+            elapsed: Duration::from_micros(10),
+        });
+        obs.on_event(&PipelineEvent::VcsGenerated {
+            method: "m".into(),
+            conditions: 4,
+            unknowns: 2,
+        });
+        obs.on_event(&PipelineEvent::CegisIteration {
+            method: "m".into(),
+            level: 1,
+            candidates_tried: 7,
+            cache_hits: 3,
+        });
+        finish(&mut obs, "m", "X");
+        let snap = hub.metrics.snapshot();
+        assert_eq!(snap.counters["qbs.fragments.translated"], 1);
+        assert_eq!(snap.counters["qbs.vcs.conditions"], 4);
+        assert_eq!(snap.histograms["qbs.stage.verified_ns"].count, 1);
+        assert_eq!(snap.histograms["qbs.prover_ns"].count, 1);
+        assert_eq!(snap.histograms["qbs.synth.candidates"].sum, 7);
+        assert_eq!(snap.histograms["qbs.synth.cache_hits"].sum, 3);
+        let spans = hub.tracer.spans();
+        let stage = spans.iter().find(|s| s.name == "stage.verified").unwrap();
+        assert_eq!(stage.depth, 1);
+        assert_eq!(stage.dur_ns, 10_000);
+        let frag = spans.iter().find(|s| s.name == "fragment.m").unwrap();
+        assert_eq!(frag.depth, 0);
+        assert!(frag.args.contains(&("method".to_string(), "m".to_string())));
+    }
+
+    #[test]
+    fn glyphs_map_onto_status_counters() {
+        let hub = Obs::new();
+        let mut obs = PipelineObserver::new(&hub);
+        finish(&mut obs, "a", "X");
+        finish(&mut obs, "b", "†");
+        finish(&mut obs, "c", "*");
+        let snap = hub.metrics.snapshot();
+        assert_eq!(snap.counters["qbs.fragments.translated"], 1);
+        assert_eq!(snap.counters["qbs.fragments.rejected"], 1);
+        assert_eq!(snap.counters["qbs.fragments.failed"], 1);
+        // Tracer disabled: metrics flow, no spans are recorded.
+        assert!(hub.tracer.spans().is_empty());
+    }
+}

@@ -85,6 +85,151 @@ fn events_cover_every_stage_in_order() {
     assert!(timings.contains_key(&Stage::Synthesized), "{timings:?}");
 }
 
+/// Asserts the `StageStarted`/`StageFinished` protocol: per method,
+/// every finish matches the most recent unclosed start, no stage is
+/// open when the fragment finishes, and nothing stays open at the end.
+fn assert_strictly_nested(events: &[PipelineEvent]) {
+    let mut open: std::collections::HashMap<&str, Vec<Stage>> =
+        std::collections::HashMap::new();
+    for e in events {
+        let m = e.method();
+        match e {
+            PipelineEvent::FragmentStarted { .. } => {
+                assert!(
+                    open.get(m).is_none_or(Vec::is_empty),
+                    "fragment {m} started with stages open"
+                );
+            }
+            PipelineEvent::StageStarted { stage, .. } => {
+                open.entry(m).or_default().push(*stage);
+            }
+            PipelineEvent::StageFinished { stage, .. } => {
+                assert_eq!(
+                    open.entry(m).or_default().pop(),
+                    Some(*stage),
+                    "finish must close the innermost open stage of {m}"
+                );
+            }
+            PipelineEvent::FragmentFinished { .. } => {
+                assert!(
+                    open.get(m).is_none_or(Vec::is_empty),
+                    "fragment {m} finished with stages open: {:?}",
+                    open[m]
+                );
+            }
+            _ => {}
+        }
+    }
+    for (m, stack) in open {
+        assert!(stack.is_empty(), "unclosed stages for {m}: {stack:?}");
+    }
+}
+
+#[test]
+fn stage_events_nest_strictly_per_fragment() {
+    // Two fragments in one source: one translates, one fails synthesis —
+    // the protocol must hold for both interleavings of outcomes.
+    let src = r#"
+class S {
+    public List<User> admins() {
+        List<User> users = userDao.getUsers();
+        List<User> out = new ArrayList<User>();
+        for (User u : users) {
+            if (u.roleId == 1) { out.add(u); }
+        }
+        return out;
+    }
+    public int failing() {
+        List<User> users = userDao.getUsers();
+        Collections.sort(users, new ByName());
+        return users.size();
+    }
+}
+"#;
+    let engine = QbsEngine::new(model());
+    let log = EventLog::new();
+    let report = engine.session().observe(log.observer()).run_source(src).expect("parses");
+    assert_eq!(report.counts().total, 2);
+    let events = log.events();
+    assert!(events.iter().any(|e| matches!(e, PipelineEvent::StageStarted { .. })));
+    assert_strictly_nested(&events);
+}
+
+#[test]
+fn stage_events_nest_strictly_under_parallel_batch_runs() {
+    use qbs_batch::{BatchConfig, BatchInput, BatchRunner};
+
+    // Four single-method inputs with distinct method names, so the
+    // per-method streams interleaved by four workers stay separable.
+    let inputs: Vec<BatchInput> = (0..4)
+        .map(|i| {
+            let src = SELECTION.replace("admins", &format!("admins{i}"));
+            BatchInput::new(format!("in{i}"), model(), src)
+        })
+        .collect();
+    let mut config = BatchConfig::with_workers(4);
+    // Force every fragment through a real (parallel) search.
+    config.memoize = false;
+    config.share_counterexamples = false;
+    let log = EventLog::new();
+    let report = BatchRunner::new(config).run_observed(&inputs, || log.observer());
+    assert_eq!(report.counts().translated, 4);
+    let events = log.events();
+    for i in 0..4 {
+        let method = format!("admins{i}");
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                PipelineEvent::StageFinished { method: m, stage: Stage::Translated, .. }
+                    if *m == method
+            )),
+            "{method} must reach translation"
+        );
+    }
+    assert_strictly_nested(&events);
+}
+
+#[test]
+fn pipeline_observer_populates_metrics_and_trace_from_a_real_run() {
+    use qbs::PipelineObserver;
+    use qbs_obs::Obs;
+
+    let obs = Obs::enabled();
+    let engine = QbsEngine::new(model());
+    let session = engine.session().observe(PipelineObserver::new(&obs));
+    let report = session.run_source(SELECTION).expect("parses");
+    assert_eq!(report.counts().translated, 1);
+
+    let snap = obs.metrics.snapshot();
+    assert_eq!(snap.counters["qbs.fragments.translated"], 1);
+    assert!(snap.counters["qbs.vcs.conditions"] > 0);
+    assert_eq!(snap.histograms["qbs.fragment_ns"].count, 1);
+    assert_eq!(snap.histograms["qbs.prover_ns"].count, 1, "verification observed");
+    assert!(snap.histograms["qbs.synth.candidates"].sum > 0, "iterations observed");
+    for stage in Stage::ALL {
+        let name = format!("qbs.stage.{}_ns", stage.name());
+        assert_eq!(snap.histograms[&name].count, 1, "{name}");
+    }
+
+    let spans = obs.tracer.spans();
+    let frag = spans.iter().find(|s| s.name == "fragment.admins").expect("fragment span");
+    assert_eq!(frag.depth, 0);
+    // Span intervals are reconstructed as `now - elapsed` at event time,
+    // so allow a little clock slack at both ends. Lowering runs at source
+    // level, before `FragmentStarted`, so it is excluded from the
+    // containment check.
+    const SLACK_NS: u64 = 50_000;
+    let inner =
+        spans.iter().filter(|s| s.name.starts_with("stage.") && s.name != "stage.lowered");
+    for s in inner {
+        assert_eq!(s.depth, 1);
+        assert!(s.start_ns + SLACK_NS >= frag.start_ns, "{} lies within the fragment", s.name);
+        assert!(s.start_ns + s.dur_ns <= frag.start_ns + frag.dur_ns + SLACK_NS, "{}", s.name);
+    }
+    // And the whole trace exports to Chrome's format.
+    assert!(obs.chrome_trace().contains("\"traceEvents\""));
+}
+
 #[test]
 fn stage_events_are_balanced_even_on_failure() {
     // A fragment the paper's pipeline fails on (custom comparator sort).

@@ -1,0 +1,276 @@
+//! Emits `BENCH_pageload.json`: traffic-shaped concurrent page loads.
+//!
+//! Simulated users replay the `webapp_pageload` request — the three
+//! Fig. 14 fragments (#40 selection, #46 join, #38 aggregation) executed
+//! back-to-back on shared prepared statements — from N reader threads on
+//! **one cloned `Connection`**, while a writer thread churns
+//! `insert_many` batches into `projects` the whole time. Every request
+//! runs on a pinned MVCC snapshot, so readers never block the writer and
+//! never see a partial batch; each projects batch invalidates the
+//! selection plan and the next execution replans against the new head.
+//!
+//! Per thread count the bin reports pageloads/s, p50/p95/p99 latency
+//! (interpolated from a [`qbs_obs`] histogram), plan-cache hit rates and
+//! writer progress. The CI gate compares 8-reader to 1-reader
+//! throughput: on a machine with ≥ 8 cores the snapshot read path must
+//! scale at least [`FULL_MIN_SCALING`]×; on smaller runners the floor is
+//! derated to half the available parallelism (a 1-core container can
+//! only prove the absence of a contention collapse, not speedup).
+//!
+//! ```sh
+//! cargo run --release -p qbs-bench --bin pageload_bench -- \
+//!     [--json <path>] [--seed S] [--duration-ms N] [--min-scaling X]
+//! ```
+
+use qbs_bench::harness::json_escape;
+use qbs_corpus::{inferred_sql, populate_wilos, WilosConfig};
+use qbs_db::{Connection, Params, PreparedStatement};
+use qbs_obs::{time_bounds_ns, Metrics, Percentiles};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Required 8-reader vs 1-reader throughput ratio on a ≥ 8-core machine.
+const FULL_MIN_SCALING: f64 = 4.0;
+
+/// Reader thread counts measured, in order. The last entry is the one
+/// the scaling gate compares against the first.
+const THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
+
+/// Rows per writer batch and the pause between batches — roughly the
+/// write rate of a busy CRUD app next to its read traffic.
+const WRITER_BATCH: usize = 8;
+const WRITER_PACE: Duration = Duration::from_millis(2);
+
+struct Args {
+    json: String,
+    seed: u64,
+    duration: Duration,
+    min_scaling: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        json: "BENCH_pageload.json".to_string(),
+        seed: 1,
+        duration: Duration::from_millis(400),
+        min_scaling: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
+        match arg.as_str() {
+            "--json" => out.json = value("--json"),
+            "--seed" => out.seed = value("--seed").parse().expect("--seed S"),
+            "--duration-ms" => {
+                out.duration = Duration::from_millis(
+                    value("--duration-ms").parse().expect("--duration-ms N"),
+                );
+            }
+            "--min-scaling" => {
+                out.min_scaling =
+                    Some(value("--min-scaling").parse().expect("--min-scaling X"));
+            }
+            other if other.starts_with("--") => panic!(
+                "unknown flag `{other}` (expected --json/--seed/--duration-ms/--min-scaling)"
+            ),
+            other => out.json = other.to_string(),
+        }
+    }
+    out
+}
+
+struct Measured {
+    readers: usize,
+    pageloads: usize,
+    throughput: f64,
+    latency_us: Percentiles,
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_invalidations: usize,
+    writer_batches: usize,
+}
+
+/// One traffic-shaped run: `readers` threads hammer the pageload on a
+/// fresh database while one writer churns. Fresh state per step so the
+/// rows a previous step's writer added never bias a later step.
+fn run_step(readers: usize, seed: u64, duration: Duration) -> Measured {
+    let db = populate_wilos(&WilosConfig {
+        users: 300,
+        roles: 20,
+        projects: 240,
+        unfinished_fraction: 0.1,
+        ..WilosConfig::default()
+    });
+    let _ = seed; // sizing is fixed; the seed names the run in the JSON
+    let conn = Connection::open(db);
+    // One prepared statement per fragment, shared by every reader — the
+    // plan-once / execute-many shape under concurrency.
+    let stmts: Vec<Arc<PreparedStatement>> = [40, 46, 38]
+        .iter()
+        .map(|&id| Arc::new(conn.prepare_query(&inferred_sql(id))))
+        .collect();
+    let metrics = Metrics::new();
+    let hist = metrics.histogram("pageload.latency_ns", &time_bounds_ns());
+    let stop = AtomicBool::new(false);
+    let pageloads = AtomicUsize::new(0);
+    let writer_batches = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..readers {
+            let conn = conn.clone();
+            let stmts = stmts.clone();
+            let hist = hist.clone();
+            let stop = &stop;
+            let pageloads = &pageloads;
+            scope.spawn(move || {
+                let params = Params::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let started = Instant::now();
+                    for stmt in &stmts {
+                        conn.execute(stmt, &params).expect("pageload query");
+                    }
+                    hist.observe(started.elapsed().as_nanos() as u64);
+                    pageloads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        {
+            let conn = conn.clone();
+            let stop = &stop;
+            let writer_batches = &writer_batches;
+            scope.spawn(move || {
+                let mut next_id = 1_000_000i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let rows = (0..WRITER_BATCH as i64)
+                        .map(|i| {
+                            vec![
+                                (next_id + i).into(),
+                                0i64.into(),
+                                // Finished projects stay out of the
+                                // selection result set, so read latency
+                                // measures snapshot churn, not growth.
+                                true.into(),
+                                format!("churn{}", next_id + i).into(),
+                            ]
+                        })
+                        .collect();
+                    conn.insert_many("projects", rows).expect("writer batch");
+                    next_id += WRITER_BATCH as i64;
+                    writer_batches.fetch_add(1, Ordering::Relaxed);
+                    thread::sleep(WRITER_PACE);
+                }
+            });
+        }
+        thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let loads = pageloads.load(Ordering::Relaxed);
+    let snap = hist.snapshot();
+    let ns = snap.percentiles().expect("at least one pageload ran");
+    let stats = conn.plan_cache_stats();
+    Measured {
+        readers,
+        pageloads: loads,
+        throughput: loads as f64 / duration.as_secs_f64(),
+        latency_us: Percentiles { p50: ns.p50 / 1e3, p95: ns.p95 / 1e3, p99: ns.p99 / 1e3 },
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_invalidations: stats.invalidations,
+        writer_batches: writer_batches.load(Ordering::Relaxed),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // On < 8 cores the 4x floor is physically unreachable; derate to
+    // half the parallelism actually present (and never below a floor
+    // that still catches a serialized read path collapsing).
+    let required =
+        args.min_scaling.unwrap_or_else(|| FULL_MIN_SCALING.min((cores as f64 / 2.0).max(0.5)));
+
+    let measured: Vec<Measured> = THREAD_STEPS
+        .iter()
+        .map(|&n| {
+            let m = run_step(n, args.seed, args.duration);
+            println!(
+                "{:>2} readers: {:>7.0} pageloads/s  p50 {:>7.1}µs  p95 {:>7.1}µs  \
+                 p99 {:>7.1}µs  cache {}h/{}m/{}i  writer {} batches",
+                m.readers,
+                m.throughput,
+                m.latency_us.p50,
+                m.latency_us.p95,
+                m.latency_us.p99,
+                m.cache_hits,
+                m.cache_misses,
+                m.cache_invalidations,
+                m.writer_batches,
+            );
+            m
+        })
+        .collect();
+
+    let base = measured.first().expect("at least one step");
+    let top = measured.last().expect("at least one step");
+    let scaling = top.throughput / base.throughput.max(1e-9);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"pageload_concurrent\",");
+    let _ = writeln!(out, "  \"db_seed\": {},", args.seed);
+    let _ = writeln!(out, "  \"duration_ms\": {},", args.duration.as_millis());
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"writer\": {{\"batch_rows\": {WRITER_BATCH}, \"pace_us\": {}}},",
+        WRITER_PACE.as_micros()
+    );
+    let _ = writeln!(out, "  \"scaling_{}x\": {:.2},", top.readers, scaling);
+    let _ = writeln!(out, "  \"required_scaling\": {required:.2},");
+    let _ = writeln!(out, "  \"configs\": [");
+    for (i, m) in measured.iter().enumerate() {
+        let comma = if i + 1 < measured.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"readers\": {}, \"pageloads\": {}, \"throughput_per_s\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}}}, \
+             \"writer_batches\": {}}}{comma}",
+            m.readers,
+            m.pageloads,
+            m.throughput,
+            m.latency_us.p50,
+            m.latency_us.p95,
+            m.latency_us.p99,
+            m.cache_hits,
+            m.cache_misses,
+            m.cache_invalidations,
+            m.writer_batches,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    std::fs::write(&args.json, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.json));
+    // json_escape is linked for parity with the other bins even though
+    // every emitted string here is a literal.
+    debug_assert_eq!(json_escape("x"), "x");
+
+    println!(
+        "wrote {}: {} readers reach {:.2}x the 1-reader throughput (required {:.2}x on {} cores)",
+        args.json, top.readers, scaling, required, cores
+    );
+    if scaling < required {
+        eprintln!(
+            "REGRESSION: {}-reader throughput scaled {scaling:.2}x over 1 reader, below the \
+             required {required:.2}x",
+            top.readers
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -66,12 +66,17 @@ fn populate_wilos_into(db: &mut Database, cfg: &WilosConfig) {
     db.create_table(schema::activities_schema()).expect("fresh db");
     db.create_table(schema::workproducts_schema()).expect("fresh db");
 
+    // Rows are collected per table and bulk-loaded with `insert_many`:
+    // one storage chunk and one generation bump per table instead of one
+    // per row. Construction order (and thus rowids and RNG consumption)
+    // is identical to inserting row by row.
     let roles = cfg.roles.max(1);
-    for r in 0..roles {
-        db.insert("roles", vec![Value::from(r as i64), Value::from(format!("role{r}"))])
-            .expect("insert");
-    }
+    let role_rows = (0..roles)
+        .map(|r| vec![Value::from(r as i64), Value::from(format!("role{r}"))])
+        .collect();
     let managers = (cfg.users as f64 * cfg.manager_fraction) as usize;
+    let mut user_rows = Vec::with_capacity(cfg.users);
+    let mut participant_rows = Vec::with_capacity(cfg.users * cfg.assoc_per_parent);
     for u in 0..cfg.users {
         // Process managers carry roleId 5; everyone else a spread of roles
         // avoiding 5 so the manager fraction is exact.
@@ -85,61 +90,50 @@ fn populate_wilos_into(db: &mut Database, cfg: &WilosConfig) {
                 r
             }
         };
-        db.insert(
-            "users",
-            vec![
-                Value::from(u as i64),
-                Value::from(role),
-                Value::from(u % 2 == 0),
-                Value::from(format!("user{u}")),
-            ],
-        )
-        .expect("insert");
+        user_rows.push(vec![
+            Value::from(u as i64),
+            Value::from(role),
+            Value::from(u % 2 == 0),
+            Value::from(format!("user{u}")),
+        ]);
         for k in 0..cfg.assoc_per_parent {
-            db.insert(
-                "participants",
-                vec![
-                    Value::from((u * cfg.assoc_per_parent + k) as i64),
-                    Value::from((u % (cfg.projects.max(1))) as i64),
-                    Value::from(role),
-                ],
-            )
-            .expect("insert");
+            participant_rows.push(vec![
+                Value::from((u * cfg.assoc_per_parent + k) as i64),
+                Value::from((u % (cfg.projects.max(1))) as i64),
+                Value::from(role),
+            ]);
         }
     }
     let unfinished = (cfg.projects as f64 * cfg.unfinished_fraction) as usize;
+    let mut project_rows = Vec::with_capacity(cfg.projects);
+    let mut activity_rows = Vec::with_capacity(cfg.projects * cfg.assoc_per_parent);
+    let mut workproduct_rows = Vec::with_capacity(cfg.projects * cfg.assoc_per_parent);
     for p in 0..cfg.projects {
-        db.insert(
-            "projects",
-            vec![
-                Value::from(p as i64),
-                Value::from(rng.gen_range(0..cfg.users.max(1)) as i64),
-                Value::from(p >= unfinished),
-                Value::from(format!("project{p}")),
-            ],
-        )
-        .expect("insert");
+        project_rows.push(vec![
+            Value::from(p as i64),
+            Value::from(rng.gen_range(0..cfg.users.max(1)) as i64),
+            Value::from(p >= unfinished),
+            Value::from(format!("project{p}")),
+        ]);
         for k in 0..cfg.assoc_per_parent {
-            db.insert(
-                "activities",
-                vec![
-                    Value::from((p * cfg.assoc_per_parent + k) as i64),
-                    Value::from(p as i64),
-                    Value::from((k % 3) as i64),
-                ],
-            )
-            .expect("insert");
-            db.insert(
-                "workproducts",
-                vec![
-                    Value::from((p * cfg.assoc_per_parent + k) as i64),
-                    Value::from(p as i64),
-                    Value::from((k % 2) as i64),
-                ],
-            )
-            .expect("insert");
+            activity_rows.push(vec![
+                Value::from((p * cfg.assoc_per_parent + k) as i64),
+                Value::from(p as i64),
+                Value::from((k % 3) as i64),
+            ]);
+            workproduct_rows.push(vec![
+                Value::from((p * cfg.assoc_per_parent + k) as i64),
+                Value::from(p as i64),
+                Value::from((k % 2) as i64),
+            ]);
         }
     }
+    db.insert_many("roles", role_rows).expect("insert");
+    db.insert_many("users", user_rows).expect("insert");
+    db.insert_many("participants", participant_rows).expect("insert");
+    db.insert_many("projects", project_rows).expect("insert");
+    db.insert_many("activities", activity_rows).expect("insert");
+    db.insert_many("workproducts", workproduct_rows).expect("insert");
     db.create_index("users", "roleId").expect("index");
     db.create_index("roles", "roleId").expect("index");
     db.create_index("projects", "finished").expect("index");
@@ -161,46 +155,40 @@ fn populate_itracker_into(db: &mut Database, rows: usize, seed: u64) {
     db.create_table(schema::itprojects_schema()).expect("fresh db");
     db.create_table(schema::itusers_schema()).expect("fresh db");
     db.create_table(schema::notifications_schema()).expect("fresh db");
+    let mut issue_rows = Vec::with_capacity(rows);
+    let mut notification_rows = Vec::with_capacity(rows);
     for i in 0..rows {
-        db.insert(
-            "issues",
-            vec![
-                Value::from(i as i64),
-                Value::from((i % 10) as i64),
-                Value::from(rng.gen_range(0..4i64)),
-                Value::from(rng.gen_range(0..5i64)),
-                Value::from((i % 7) as i64),
-            ],
-        )
-        .expect("insert");
-        db.insert(
-            "notifications",
-            vec![
-                Value::from(i as i64),
-                Value::from((i % 13) as i64),
-                Value::from((i % 5) as i64),
-            ],
-        )
-        .expect("insert");
+        issue_rows.push(vec![
+            Value::from(i as i64),
+            Value::from((i % 10) as i64),
+            Value::from(rng.gen_range(0..4i64)),
+            Value::from(rng.gen_range(0..5i64)),
+            Value::from((i % 7) as i64),
+        ]);
+        notification_rows.push(vec![
+            Value::from(i as i64),
+            Value::from((i % 13) as i64),
+            Value::from((i % 5) as i64),
+        ]);
     }
-    for p in 0..10usize {
-        db.insert(
-            "itprojects",
+    let project_rows = (0..10usize)
+        .map(|p| {
             vec![
                 Value::from(p as i64),
                 Value::from((p % 2) as i64),
                 Value::from(format!("proj{p}")),
-            ],
-        )
-        .expect("insert");
-    }
-    for u in 0..7usize {
-        db.insert(
-            "itusers",
-            vec![Value::from(u as i64), Value::from(u == 0), Value::from(format!("dev{u}"))],
-        )
-        .expect("insert");
-    }
+            ]
+        })
+        .collect();
+    let user_rows = (0..7usize)
+        .map(|u| {
+            vec![Value::from(u as i64), Value::from(u == 0), Value::from(format!("dev{u}"))]
+        })
+        .collect();
+    db.insert_many("issues", issue_rows).expect("insert");
+    db.insert_many("notifications", notification_rows).expect("insert");
+    db.insert_many("itprojects", project_rows).expect("insert");
+    db.insert_many("itusers", user_rows).expect("insert");
 }
 
 /// The differential-oracle universe: one database holding **both**

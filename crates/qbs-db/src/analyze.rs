@@ -13,7 +13,7 @@
 use crate::exec::ExecStats;
 use crate::planner::PhysicalPlan;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Actuals of one scan node.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -79,7 +79,7 @@ pub(crate) fn fmt_ns(ns: u64) -> String {
 #[derive(Clone, Debug)]
 pub struct AnalyzedPlan {
     /// The plan that was interpreted.
-    pub plan: Rc<PhysicalPlan>,
+    pub plan: Arc<PhysicalPlan>,
     /// Per-operator actuals.
     pub actuals: PlanActuals,
     /// The execution's counters (cache hits, sub-queries, timing fields).

@@ -1,5 +1,5 @@
 //! Connections: the plan-once / execute-many session surface over a
-//! [`Database`].
+//! [`Database`], safe to share across threads.
 //!
 //! The QBS story is repeated execution — the inferred query replaces code
 //! that runs on *every page load* — yet the plain [`Database::execute`]
@@ -10,6 +10,20 @@
 //! [`PreparedStatement`]s whose typed parameter slots are re-validated on
 //! every bind without ever re-planning.
 //!
+//! # Concurrency
+//!
+//! `Connection` is `Send + Sync + Clone`: clones share the database and
+//! every cache, so a pool of worker threads each holding a clone is the
+//! intended serving shape. Reads are MVCC snapshot reads: a statement
+//! *pins* the current database value (one `Arc` clone under a briefly
+//! held read lock) and executes entirely against that immutable snapshot
+//! — no lock is held during execution, and a concurrent writer can never
+//! make it observe a partial write. Writers ([`Connection::insert`],
+//! [`Connection::insert_many`], [`Connection::create_index`]) serialize
+//! among themselves, build a *new* database value copy-on-write (table
+//! chunks are `Arc`-shared, so this copies catalog structure, not rows),
+//! and swap it in with a bumped version.
+//!
 //! Plans stay valid until a referenced table's generation counter moves
 //! (inserts and index builds bump it); execution then replans
 //! transparently and records the event in
@@ -18,15 +32,13 @@
 use crate::analyze::{AnalyzedPlan, PlanActuals};
 use crate::db::{Database, DbError, Params, QueryOutput, SelectOutput, SubqueryState};
 use crate::planner::{plan_with, PhysicalPlan, PlanConfig};
-use crate::stmt::{fingerprint, replan, snapshot, PreparedStatement, Snapshot};
+use crate::stmt::{fingerprint, replan, snapshot, PlanState, PreparedStatement, Snapshot};
 use crate::storage::Table;
 use qbs_common::Value;
 use qbs_sql::{Dialect, SqlQuery};
-use std::cell::{Ref, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 /// Aggregate counters of a connection's plan cache.
@@ -54,7 +66,7 @@ impl PlanCacheStats {
 }
 
 struct CachedPlan {
-    plan: Rc<PhysicalPlan>,
+    plan: Arc<PhysicalPlan>,
     snapshot: Snapshot,
 }
 
@@ -78,23 +90,50 @@ impl CacheCounters {
     }
 }
 
+/// The connection's current database value and its monotonically
+/// increasing version — the MVCC head. Readers clone the `Arc` (a
+/// snapshot pin); writers replace the whole value.
+struct DbVersion {
+    db: Arc<Database>,
+    version: u64,
+}
+
+/// Locks a `RwLock` for reading, surviving poisoning: every writer
+/// replaces guarded state wholesale (never mutates it in place), so a
+/// panicked writer cannot have left it half-written.
+fn rlock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock counterpart of [`rlock`], same poisoning argument.
+fn wlock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
 struct ConnInner {
-    db: RefCell<Database>,
+    /// The MVCC head. The lock is held only long enough to clone (pin) or
+    /// swap the `Arc` — never across planning or execution.
+    current: RwLock<DbVersion>,
+    /// Serializes writers: each clones the pinned database, mutates the
+    /// clone, and installs it. Readers never take this.
+    write_lock: Mutex<()>,
     config: PlanConfig,
     dialect: Dialect,
     /// Fingerprint → plan + the generation snapshot it was computed under.
-    plans: RefCell<HashMap<u64, CachedPlan>>,
+    plans: RwLock<HashMap<u64, CachedPlan>>,
     /// SQL text → prepared statement (the `query_cached` fast path).
-    stmts: RefCell<HashMap<String, Rc<PreparedStatement>>>,
+    stmts: RwLock<HashMap<String, Arc<PreparedStatement>>>,
     subqueries: SubqueryState,
-    stats: Arc<CacheCounters>,
+    stats: CacheCounters,
 }
 
 /// A session handle over a [`Database`]: prepared statements, a plan
 /// cache, and mutation entry points that keep both honest.
 ///
 /// Cloning is cheap and shares the database and every cache — the shape
-/// of a pooled client connection.
+/// of a pooled client connection. Clones may execute prepared statements
+/// from different threads concurrently; see the
+/// [module docs](self) for the snapshot semantics.
 ///
 /// # Example
 ///
@@ -122,7 +161,7 @@ struct ConnInner {
 /// ```
 #[derive(Clone)]
 pub struct Connection {
-    inner: Rc<ConnInner>,
+    inner: Arc<ConnInner>,
 }
 
 impl Connection {
@@ -136,14 +175,15 @@ impl Connection {
     /// statement dialect.
     pub fn open_with(db: Database, config: PlanConfig, dialect: Dialect) -> Connection {
         Connection {
-            inner: Rc::new(ConnInner {
-                db: RefCell::new(db),
+            inner: Arc::new(ConnInner {
+                current: RwLock::new(DbVersion { db: Arc::new(db), version: 0 }),
+                write_lock: Mutex::new(()),
                 subqueries: SubqueryState::new(config.clone()),
                 config,
                 dialect,
-                plans: RefCell::new(HashMap::new()),
-                stmts: RefCell::new(HashMap::new()),
-                stats: Arc::new(CacheCounters::default()),
+                plans: RwLock::new(HashMap::new()),
+                stmts: RwLock::new(HashMap::new()),
+                stats: CacheCounters::default(),
             }),
         }
     }
@@ -158,38 +198,85 @@ impl Connection {
         &self.inner.config
     }
 
-    /// Read access to the underlying database.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called while a mutation on a clone of this connection is
-    /// in progress (single-threaded reentrancy, as with any `RefCell`).
-    pub fn database(&self) -> Ref<'_, Database> {
-        self.inner.db.borrow()
+    /// Pins the current snapshot: the database value and its version.
+    /// The read lock is held only for the `Arc` clone.
+    fn pin(&self) -> (Arc<Database>, u64) {
+        let cur = rlock(&self.inner.current);
+        (cur.db.clone(), cur.version)
+    }
+
+    /// Pins and returns the current database snapshot. The returned value
+    /// is immutable and stays exactly as it was pinned — concurrent
+    /// writers on this connection publish *new* database values without
+    /// disturbing handed-out snapshots.
+    pub fn database(&self) -> Arc<Database> {
+        self.pin().0
+    }
+
+    /// The version of the current snapshot (bumped by every mutation
+    /// through this connection or its clones).
+    pub fn version(&self) -> u64 {
+        self.pin().1
     }
 
     /// Closes the connection and returns the database. When this is the
-    /// only handle the database moves out without copying (what a
-    /// throwaway connection over an owned database wants — e.g. the
-    /// oracle's witness minimization executing one candidate after
-    /// another); clones of the connection force a copy.
+    /// only handle (no connection clones, no outstanding snapshots) the
+    /// database moves out without copying (what a throwaway connection
+    /// over an owned database wants — e.g. the oracle's witness
+    /// minimization executing one candidate after another); otherwise the
+    /// current snapshot is copied out.
     pub fn into_database(self) -> Database {
-        match Rc::try_unwrap(self.inner) {
-            Ok(inner) => inner.db.into_inner(),
-            Err(shared) => shared.db.borrow().clone(),
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => {
+                let cur = inner.current.into_inner().unwrap_or_else(PoisonError::into_inner);
+                Arc::try_unwrap(cur.db).unwrap_or_else(|shared| (*shared).clone())
+            }
+            Err(shared) => (*rlock(&shared.current).db).clone(),
         }
+    }
+
+    /// The writer path: serializes with other writers, copies the current
+    /// database value (copy-on-write — row chunks are shared), applies
+    /// `f`, and atomically publishes the result under `version + 1`.
+    /// In-flight readers keep their pinned snapshot; an error from `f`
+    /// publishes nothing.
+    fn mutate<T>(
+        &self,
+        f: impl FnOnce(&mut Database) -> Result<T, DbError>,
+    ) -> Result<T, DbError> {
+        let _writer = self.inner.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        let (base, version) = self.pin();
+        let mut db = (*base).clone();
+        let out = f(&mut db)?;
+        *wlock(&self.inner.current) = DbVersion { db: Arc::new(db), version: version + 1 };
+        // Hoisted sub-query results were computed against older versions;
+        // drop them (their version tags would keep them unreachable
+        // anyway, but there is no point retaining dead entries).
+        self.inner.subqueries.clear();
+        Ok(out)
     }
 
     /// Inserts a row; bumps the table's generation counter, so cached
     /// plans over it replan on next execution, and drops the hoisted
-    /// sub-query cache.
+    /// sub-query cache. Concurrent readers keep their snapshot.
     ///
     /// # Errors
     ///
     /// [`DbError::UnknownTable`] when the table does not exist.
     pub fn insert(&self, table: &str, values: Vec<Value>) -> Result<(), DbError> {
-        self.inner.subqueries.clear();
-        self.inner.db.borrow_mut().insert(table, values)
+        self.mutate(|db| db.insert(table, values))
+    }
+
+    /// Inserts a batch of rows atomically: one storage chunk, one
+    /// generation bump, one published version — a concurrent reader sees
+    /// none or all of the batch, and cached plans are invalidated once
+    /// instead of once per row. See [`Table::insert_many`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`] when the table does not exist.
+    pub fn insert_many(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), DbError> {
+        self.mutate(|db| db.insert_many(table, rows))
     }
 
     /// Builds a hash index; bumps the table's generation counter so
@@ -199,8 +286,7 @@ impl Connection {
     ///
     /// Unknown table or column.
     pub fn create_index(&self, table: &str, column: &str) -> Result<(), DbError> {
-        self.inner.subqueries.clear();
-        self.inner.db.borrow_mut().create_index(table, column)
+        self.mutate(|db| db.create_index(table, column))
     }
 
     /// Parses and prepares a statement: one parse, one plan, typed slots.
@@ -223,7 +309,7 @@ impl Connection {
     /// dialect (the statement text and placeholder spelling follow it;
     /// planning is dialect-independent).
     pub fn prepare_query_as(&self, query: &SqlQuery, dialect: Dialect) -> PreparedStatement {
-        let db = self.inner.db.borrow();
+        let (db, _) = self.pin();
         let core = match query {
             SqlQuery::Select(s) => s.clone(),
             SqlQuery::Scalar(s) => crate::db::scalar_core(s),
@@ -235,7 +321,7 @@ impl Connection {
         // Prepare consults the plan cache too: two statements with the
         // same canonical text share one planning pass.
         let plan = {
-            let plans = self.inner.plans.borrow();
+            let plans = rlock(&self.inner.plans);
             match plans.get(&fp) {
                 Some(entry) if entry.snapshot == current => {
                     self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -245,24 +331,26 @@ impl Connection {
             }
         };
         let plan = plan.unwrap_or_else(|| {
-            let plan = Rc::new(plan_with(&core, &db, &self.inner.config));
+            let plan = Arc::new(plan_with(&core, &db, &self.inner.config));
             self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
-            self.inner
-                .plans
-                .borrow_mut()
+            wlock(&self.inner.plans)
                 .insert(fp, CachedPlan { plan: plan.clone(), snapshot: current.clone() });
             plan
         });
         PreparedStatement::new(&db, query.clone(), core, fp, tables, current, dialect, plan)
     }
 
-    /// Executes a prepared statement.
+    /// Executes a prepared statement against a snapshot pinned for the
+    /// whole call.
     ///
     /// Parameters are validated against the statement's typed slots, the
     /// plan is reused when every referenced table's generation counter is
     /// unchanged (recorded as
     /// [`ExecStats::plan_cache_hits`](crate::ExecStats)), and replanned
     /// otherwise (recorded as [`ExecStats::replans`](crate::ExecStats)).
+    /// Plan resolution and execution both use the same pinned snapshot,
+    /// so a concurrent writer cannot wedge a plan from one version
+    /// against data from another.
     ///
     /// A statement may be executed on any connection whose catalog is
     /// compatible with the one it was prepared on; a plan probing an
@@ -277,15 +365,15 @@ impl Connection {
         params: &Params,
     ) -> Result<QueryOutput, DbError> {
         stmt.validate(params)?;
+        let (db, version) = self.pin();
         let opened = Instant::now();
-        let (plan, reused) = self.plan_for(stmt);
+        let (plan, reused) = self.plan_for(stmt, &db);
         let plan_ns = opened.elapsed().as_nanos() as u64;
-        let db = self.inner.db.borrow();
-        self.inner.subqueries.begin_statement();
         let mut out = db.execute_plan_cached(
             &plan,
             params,
             &self.inner.subqueries,
+            version,
             Some(&stmt.out_schema),
         )?;
         out.stats.plan_ns = plan_ns;
@@ -327,7 +415,7 @@ impl Connection {
     ///
     /// As [`prepare`](Self::prepare) and [`execute`](Self::execute).
     pub fn query_cached(&self, sql: &str, params: &Params) -> Result<QueryOutput, DbError> {
-        let cached = self.inner.stmts.borrow().get(sql).cloned();
+        let cached = rlock(&self.inner.stmts).get(sql).cloned();
         let mut parse_ns = 0;
         let stmt = match cached {
             Some(stmt) => stmt,
@@ -335,9 +423,10 @@ impl Connection {
                 let opened = Instant::now();
                 let query = qbs_sql::parse(sql).map_err(|e| DbError::Exec(e.to_string()))?;
                 parse_ns = opened.elapsed().as_nanos() as u64;
-                let stmt = Rc::new(self.prepare_query(&query));
-                self.inner.stmts.borrow_mut().insert(sql.to_string(), stmt.clone());
-                stmt
+                let stmt = Arc::new(self.prepare_query(&query));
+                // Two threads may race to prepare the same text; the first
+                // insert wins and both execute a valid statement.
+                wlock(&self.inner.stmts).entry(sql.to_string()).or_insert(stmt).clone()
             }
         };
         let mut out = self.execute(&stmt, params)?;
@@ -368,16 +457,16 @@ impl Connection {
         params: &Params,
     ) -> Result<AnalyzedPlan, DbError> {
         stmt.validate(params)?;
+        let (db, version) = self.pin();
         let opened = Instant::now();
-        let (plan, reused) = self.plan_for(stmt);
+        let (plan, reused) = self.plan_for(stmt, &db);
         let plan_ns = opened.elapsed().as_nanos() as u64;
-        let db = self.inner.db.borrow();
-        self.inner.subqueries.begin_statement();
         let mut actuals = PlanActuals::default();
         let out = db.execute_plan_instrumented(
             &plan,
             params,
             &self.inner.subqueries,
+            version,
             Some(&stmt.out_schema),
             Some(&mut actuals),
         )?;
@@ -405,23 +494,25 @@ impl Connection {
         self.cache_stats()
     }
 
-    /// Resolves the statement's current plan: the statement's own plan
-    /// when its snapshot is current, the fingerprint cache next, a fresh
-    /// planning pass last. Returns the plan and whether it was reused.
-    fn plan_for(&self, stmt: &PreparedStatement) -> (Rc<PhysicalPlan>, bool) {
-        let db = self.inner.db.borrow();
+    /// Resolves the statement's current plan against the *pinned*
+    /// database: the statement's own plan when its snapshot is current,
+    /// the fingerprint cache next, a fresh planning pass last. Returns
+    /// the plan and whether it was reused.
+    fn plan_for(&self, stmt: &PreparedStatement, db: &Database) -> (Arc<PhysicalPlan>, bool) {
         // Steady-state fast path: compare the recorded generations in
         // place, no snapshot allocation.
-        if stmt.snapshot.borrow().iter().all(|(t, g)| db.table(t).map(Table::generation) == *g)
         {
-            self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return (stmt.plan.borrow().clone(), true);
+            let cur = stmt.lock_current();
+            if cur.snapshot.iter().all(|(t, g)| db.table(t).map(Table::generation) == *g) {
+                self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return (cur.plan.clone(), true);
+            }
         }
-        let current = snapshot(&db, &stmt.tables);
+        let current = snapshot(db, &stmt.tables);
         // The statement's view is stale. Another statement (or clone of
         // this connection) may already have replanned the same query.
         let cached = {
-            let plans = self.inner.plans.borrow();
+            let plans = rlock(&self.inner.plans);
             plans
                 .get(&stmt.fingerprint)
                 .and_then(|entry| (entry.snapshot == current).then(|| entry.plan.clone()))
@@ -429,19 +520,17 @@ impl Connection {
         if let Some(plan) = cached {
             self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
             self.inner.stats.invalidations.fetch_add(1, Ordering::Relaxed);
-            *stmt.plan.borrow_mut() = plan.clone();
-            *stmt.snapshot.borrow_mut() = current;
+            *stmt.lock_current() = PlanState { plan: plan.clone(), snapshot: current };
             return (plan, false);
         }
-        let plan = replan(stmt, &db, &self.inner.config);
+        let plan = replan(stmt, db, &self.inner.config);
         self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
         self.inner.stats.invalidations.fetch_add(1, Ordering::Relaxed);
-        self.inner.plans.borrow_mut().insert(
+        wlock(&self.inner.plans).insert(
             stmt.fingerprint,
             CachedPlan { plan: plan.clone(), snapshot: current.clone() },
         );
-        *stmt.plan.borrow_mut() = plan.clone();
-        *stmt.snapshot.borrow_mut() = current;
+        *stmt.lock_current() = PlanState { plan: plan.clone(), snapshot: current };
         (plan, false)
     }
 }
@@ -463,8 +552,9 @@ impl std::fmt::Debug for Connection {
         let stats = self.plan_cache_stats();
         f.debug_struct("Connection")
             .field("dialect", &self.inner.dialect)
-            .field("plans", &self.inner.plans.borrow().len())
-            .field("statements", &self.inner.stmts.borrow().len())
+            .field("version", &self.version())
+            .field("plans", &rlock(&self.inner.plans).len())
+            .field("statements", &rlock(&self.inner.stmts).len())
             .field("stats", &stats)
             .finish()
     }
@@ -566,6 +656,27 @@ mod tests {
     }
 
     #[test]
+    fn insert_many_invalidates_once_for_the_whole_batch() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT id FROM users WHERE roleId = 1").unwrap();
+        let params = Params::new();
+        assert_eq!(rows(conn.execute(&stmt, &params).unwrap()).rows.len(), 2);
+        conn.insert_many(
+            "users",
+            (6..16i64)
+                .map(|i| vec![Value::from(i), Value::from(1), Value::from(format!("u{i}"))])
+                .collect(),
+        )
+        .unwrap();
+        let out = rows(conn.execute(&stmt, &params).unwrap());
+        assert_eq!(out.rows.len(), 12, "all ten new rows visible at once");
+        assert_eq!(out.stats.replans, 1, "{:?}", out.stats);
+        // One batch, one invalidation — not ten.
+        assert_eq!(conn.plan_cache_stats().invalidations, 1);
+        assert_eq!(conn.version(), 1);
+    }
+
+    #[test]
     fn index_built_after_prepare_is_picked_up_by_the_replan() {
         let conn = Connection::open(setup());
         let stmt = conn.prepare("SELECT id FROM users WHERE roleId = 2").unwrap();
@@ -640,6 +751,18 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_pinned_before_a_write_do_not_move() {
+        let conn = Connection::open(setup());
+        let before = conn.database();
+        assert_eq!(conn.version(), 0);
+        conn.insert("users", vec![Value::from(6), Value::from(1), Value::from("u6")]).unwrap();
+        assert_eq!(conn.version(), 1);
+        // The pinned snapshot still sees six rows; the head sees seven.
+        assert_eq!(before.table(&"users".into()).unwrap().len(), 6);
+        assert_eq!(conn.database().table(&"users".into()).unwrap().len(), 7);
+    }
+
+    #[test]
     fn explain_analyze_annotates_every_node_with_actuals() {
         let conn = Connection::open(setup());
         let stmt = conn.prepare("SELECT name FROM users WHERE roleId = :r").unwrap();
@@ -707,6 +830,30 @@ mod tests {
         assert_eq!(snap.hits, threads * per_thread);
         assert_eq!(snap.misses, threads * per_thread);
         assert_eq!(snap.invalidations, 0);
+    }
+
+    #[test]
+    fn clones_execute_prepared_statements_from_many_threads() {
+        use std::thread;
+        let conn = Connection::open(setup());
+        let stmt = Arc::new(conn.prepare("SELECT id FROM users WHERE roleId = :r").unwrap());
+        thread::scope(|scope| {
+            for t in 0..4 {
+                let conn = conn.clone();
+                let stmt = stmt.clone();
+                scope.spawn(move || {
+                    for i in 0..50i64 {
+                        let params =
+                            stmt.bind().set("r", (t + i) % 3).unwrap().finish().unwrap();
+                        let out = rows(conn.execute(&stmt, &params).unwrap());
+                        assert_eq!(out.rows.len(), 2);
+                    }
+                });
+            }
+        });
+        let stats = conn.plan_cache_stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 50 + 1, "every execution resolved a plan");
+        assert_eq!(stats.invalidations, 0, "no writes, no invalidations");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use qbs_tor::AggKind;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Bind parameters for query execution.
@@ -91,76 +91,59 @@ pub enum QueryOutput {
     },
 }
 
-/// Execution state shared across nested evaluations of one (or, through a
-/// [`Connection`](crate::Connection), several) statement(s): the hoisting
-/// cache for uncorrelated predicate sub-queries plus the counters their
-/// executions accumulate (rolled into each statement's [`ExecStats`] at
-/// the end).
+/// The cross-statement hoisting cache for uncorrelated predicate
+/// sub-queries, shared by every statement running through one
+/// [`Connection`](crate::Connection) (the plain `execute_*` paths create a
+/// fresh state per statement).
 ///
-/// The plain `execute_*` paths create a fresh state per statement.
-/// Connections keep one alive across executions so a hoisted sub-query's
-/// materialized hash set outlives the statement that built it — but only
-/// parameter-free sub-queries persist ([`SubqueryState::begin_statement`]
-/// evicts the rest, whose results depend on the bindings), and a table
-/// mutation clears everything ([`SubqueryState::clear`]).
+/// Only **parameter-free** sub-queries live here — a result that depends on
+/// bind parameters is only valid for the statement execution that computed
+/// it, so those are cached per plan run instead ([`LocalSubs`]). Each
+/// entry is tagged with the database *version* it was computed under:
+/// under MVCC, statements pinned to different snapshots execute
+/// concurrently through the same connection, and a hash set materialized
+/// from an older snapshot must not answer probes from a newer one (or vice
+/// versa). A table mutation bumps the connection version and additionally
+/// clears the cache ([`SubqueryState::clear`]).
 pub(crate) struct SubqueryState {
     config: PlanConfig,
-    cache: RefCell<Vec<(SqlSelect, Rc<SubResult>, bool)>>,
-    nested: RefCell<ExecStats>,
+    cache: Mutex<Vec<(SqlSelect, u64, Arc<SubResult>)>>,
 }
 
 impl SubqueryState {
     pub(crate) fn new(config: PlanConfig) -> SubqueryState {
-        SubqueryState {
-            config,
-            cache: RefCell::new(Vec::new()),
-            nested: RefCell::new(ExecStats::default()),
-        }
-    }
-
-    /// Prepares the state for the next statement: results of sub-queries
-    /// that reference bind parameters are evicted (their values depend on
-    /// the previous statement's bindings); parameter-free results persist.
-    pub(crate) fn begin_statement(&self) {
-        self.cache.borrow_mut().retain(|(_, _, param_free)| *param_free);
+        SubqueryState { config, cache: Mutex::new(Vec::new()) }
     }
 
     /// Drops every cached sub-query result (table data changed).
     pub(crate) fn clear(&self) {
-        self.cache.borrow_mut().clear();
+        self.lock().clear();
     }
 
-    fn lookup(&self, q: &SqlSelect) -> Option<Rc<SubResult>> {
-        let hit =
-            self.cache.borrow().iter().find(|(s, _, _)| s == q).map(|(_, r, _)| r.clone());
-        if hit.is_some() {
-            self.nested.borrow_mut().subquery_cache_hits += 1;
-        }
-        hit
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(SqlSelect, u64, Arc<SubResult>)>> {
+        // A poisoned cache only means another statement panicked mid-push;
+        // the entries themselves are immutable results, still valid.
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn insert(&self, q: SqlSelect, result: SubResult) -> Rc<SubResult> {
-        let rc = Rc::new(result);
-        let param_free = !q.has_params();
-        self.cache.borrow_mut().push((q, rc.clone(), param_free));
-        rc
+    fn lookup(&self, q: &SqlSelect, version: u64) -> Option<Arc<SubResult>> {
+        self.lock().iter().find(|(s, v, _)| *v == version && s == q).map(|(_, _, r)| r.clone())
     }
 
-    fn absorb(&self, stats: &ExecStats) {
-        let mut nested = self.nested.borrow_mut();
-        nested.subqueries_executed += 1;
-        nested.rows_scanned += stats.rows_scanned;
-        nested.join_comparisons += stats.join_comparisons;
+    fn insert(&self, q: SqlSelect, version: u64, result: Arc<SubResult>) {
+        self.lock().push((q, version, result));
     }
+}
 
-    /// Folds the counters accumulated since the last roll into `stats`
-    /// and resets them, so a reused state never double-charges work to a
-    /// later statement.
-    fn roll_into(&self, stats: &mut ExecStats) {
-        let mut nested = self.nested.borrow_mut();
-        stats.absorb_nested(&nested);
-        *nested = ExecStats::default();
-    }
+/// Per-plan-run sub-query state: the counters nested executions accumulate
+/// (folded into the statement's [`ExecStats`] when the run finishes — no
+/// shared mutable counters between concurrent statements) and the cache
+/// for hoisted sub-queries that reference bind parameters (valid only for
+/// this run's bindings).
+#[derive(Default)]
+struct LocalSubs {
+    stats: ExecStats,
+    cache: Vec<(SqlSelect, Arc<SubResult>)>,
 }
 
 /// The in-memory database: a catalog of [`Table`]s plus the executor.
@@ -207,6 +190,25 @@ impl Database {
             .get_mut(table)
             .ok_or_else(|| DbError::UnknownTable(table.into()))?
             .insert(values);
+        Ok(())
+    }
+
+    /// Inserts a batch of rows as one storage chunk with one generation
+    /// bump (see [`Table::insert_many`]) — the bulk-load path for datagen
+    /// and benchmark setup, and the atomic unit concurrent readers see.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`] when the table does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity/type mismatch (see [`Table::insert_many`]).
+    pub fn insert_many(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), DbError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.into()))?
+            .insert_many(rows);
         Ok(())
     }
 
@@ -262,6 +264,7 @@ impl Database {
         ctx: &EvalCtx<'_>,
         stats: &mut ExecStats,
         shared: &SubqueryState,
+        version: u64,
         limit: Option<usize>,
         emit: Option<&(Vec<exec::FrameCol>, Vec<usize>)>,
     ) -> Result<Frame, DbError> {
@@ -309,7 +312,7 @@ impl Database {
                                 name, probe.column
                             ))
                         })?;
-                        Some(rows.to_vec())
+                        Some(rows)
                     }
                     None => None,
                 };
@@ -376,11 +379,14 @@ impl Database {
                             if limit.is_some_and(|n| kept >= n) {
                                 break;
                             }
-                            kept += usize::from(push_row(rowid, &table.rows()[rowid], stats)?);
+                            let row = table.row(rowid).ok_or_else(|| {
+                                DbError::Exec(format!("index rowid {rowid} out of range"))
+                            })?;
+                            kept += usize::from(push_row(rowid, row, stats)?);
                         }
                     }
                     None => {
-                        for (rowid, row) in table.rows().iter().enumerate() {
+                        for (rowid, row) in table.rows().enumerate() {
                             if limit.is_some_and(|n| kept >= n) {
                                 break;
                             }
@@ -396,7 +402,8 @@ impl Database {
                 // renders), so only the row/comparison work is absorbed —
                 // the same contract as hoisted predicate sub-queries.
                 let mut inner_stats = ExecStats::default();
-                let inner = self.run_plan(plan, params, &mut inner_stats, shared, None)?;
+                let inner =
+                    self.run_plan(plan, params, &mut inner_stats, shared, version, None)?;
                 stats.absorb_nested(&inner_stats);
                 let mut f = Frame::new(node.cols.clone());
                 f.rows = inner.rows;
@@ -482,19 +489,22 @@ impl Database {
         params: &Params,
         config: &PlanConfig,
     ) -> Result<SelectOutput, DbError> {
-        self.execute_plan_shared(plan, params, &SubqueryState::new(config.clone()))
+        self.execute_plan_shared(plan, params, &SubqueryState::new(config.clone()), 0)
     }
 
     /// [`Database::execute_plan_with`] against a caller-owned
     /// [`SubqueryState`] — how a [`Connection`](crate::Connection) lets
-    /// hoisted sub-query results survive across statements.
+    /// hoisted sub-query results survive across statements. `version` is
+    /// the snapshot version this database value was pinned at (0 for
+    /// one-shot executions with a fresh state).
     pub(crate) fn execute_plan_shared(
         &self,
         plan: &PhysicalPlan,
         params: &Params,
         shared: &SubqueryState,
+        version: u64,
     ) -> Result<SelectOutput, DbError> {
-        self.execute_plan_cached(plan, params, shared, None)
+        self.execute_plan_cached(plan, params, shared, version, None)
     }
 
     /// [`Database::execute_plan_shared`] with an optional output-schema
@@ -502,15 +512,16 @@ impl Database {
     /// executions (types come from the table schemas), so re-deriving it
     /// per call is waste on the execute-many hot path. The cache is only
     /// written from a row-bearing result (an empty result cannot sniff
-    /// types) and only read when the arity still matches.
+    /// types) and only read when the arity matches.
     pub(crate) fn execute_plan_cached(
         &self,
         plan: &PhysicalPlan,
         params: &Params,
         shared: &SubqueryState,
-        schema_cache: Option<&RefCell<Option<SchemaRef>>>,
+        version: u64,
+        schema_cache: Option<&OnceLock<SchemaRef>>,
     ) -> Result<SelectOutput, DbError> {
-        self.execute_plan_instrumented(plan, params, shared, schema_cache, None)
+        self.execute_plan_instrumented(plan, params, shared, version, schema_cache, None)
     }
 
     /// [`Database::execute_plan_cached`] with optional per-operator
@@ -523,22 +534,23 @@ impl Database {
         plan: &PhysicalPlan,
         params: &Params,
         shared: &SubqueryState,
-        schema_cache: Option<&RefCell<Option<SchemaRef>>>,
+        version: u64,
+        schema_cache: Option<&OnceLock<SchemaRef>>,
         mut actuals: Option<&mut PlanActuals>,
     ) -> Result<SelectOutput, DbError> {
         let mut stats = ExecStats::default();
         let started = Instant::now();
-        let frame = self.run_plan(plan, params, &mut stats, shared, actuals.as_deref_mut())?;
+        let frame =
+            self.run_plan(plan, params, &mut stats, shared, version, actuals.as_deref_mut())?;
         stats.exec_ns = started.elapsed().as_nanos() as u64;
         if let Some(a) = actuals {
             a.output_rows = frame.rows.len();
             a.total_ns = stats.exec_ns;
         }
-        shared.roll_into(&mut stats);
         // Build the output relation: anonymous schema over the frame
         // columns, reused from the cache when one is provided and fits.
         let cached = schema_cache
-            .and_then(|c| c.borrow().clone())
+            .and_then(|c| c.get().cloned())
             .filter(|s| s.arity() == frame.cols.len());
         let schema = match cached {
             Some(schema) => schema,
@@ -562,7 +574,7 @@ impl Database {
                 }
                 let schema = b.finish();
                 if let (Some(cache), false) = (schema_cache, frame.rows.is_empty()) {
-                    *cache.borrow_mut() = Some(schema.clone());
+                    let _ = cache.set(schema.clone());
                 }
                 schema
             }
@@ -588,25 +600,70 @@ impl Database {
         params: &Params,
         stats: &mut ExecStats,
         shared: &SubqueryState,
-        mut actuals: Option<&mut PlanActuals>,
+        version: u64,
+        actuals: Option<&mut PlanActuals>,
     ) -> Result<Frame, DbError> {
         // Uncorrelated predicate sub-queries are hoisted: executed at most
-        // once per statement through the shared cache, with hash-set
-        // membership for the per-row probes.
-        let sub = |s: &SqlSelect| -> Result<Rc<SubResult>, exec::ExecError> {
-            if let Some(hit) = shared.lookup(s) {
+        // once per statement, with hash-set membership for the per-row
+        // probes. Parameter-free results go through the connection-shared
+        // version-tagged cache; parameter-dependent ones (valid only for
+        // this run's bindings) and all nested counters stay in run-local
+        // state, folded into `stats` at the end — concurrent statements
+        // never touch each other's counters.
+        let local: RefCell<LocalSubs> = RefCell::new(LocalSubs::default());
+        let sub = |s: &SqlSelect| -> Result<Arc<SubResult>, exec::ExecError> {
+            let param_free = !s.has_params();
+            let hit = if param_free {
+                shared.lookup(s, version)
+            } else {
+                local.borrow().cache.iter().find(|(q, _)| q == s).map(|(_, r)| r.clone())
+            };
+            if let Some(hit) = hit {
+                local.borrow_mut().stats.subquery_cache_hits += 1;
                 return Ok(hit);
             }
             let inner = plan_with(s, self, &shared.config);
             let mut st = ExecStats::default();
             let frame = self
-                .run_plan(&inner, params, &mut st, shared, None)
+                .run_plan(&inner, params, &mut st, shared, version, None)
                 .map_err(|e| exec::ExecError::new(e.to_string()))?;
-            shared.absorb(&st);
-            Ok(shared.insert(s.clone(), SubResult::from_frame(frame)))
+            let result = Arc::new(SubResult::from_frame(frame));
+            {
+                // `st` already folded the counters of anything nested
+                // deeper, so propagating its four nested fields keeps the
+                // whole-tree totals (plus this execution itself).
+                let mut l = local.borrow_mut();
+                l.stats.subqueries_executed += 1 + st.subqueries_executed;
+                l.stats.subquery_cache_hits += st.subquery_cache_hits;
+                l.stats.rows_scanned += st.rows_scanned;
+                l.stats.join_comparisons += st.join_comparisons;
+            }
+            if param_free {
+                shared.insert(s.clone(), version, result.clone());
+            } else {
+                local.borrow_mut().cache.push((s.clone(), result.clone()));
+            }
+            Ok(result)
         };
         let ctx = EvalCtx { params, subquery: &sub };
+        let out = self.run_plan_ops(plan, params, &ctx, stats, shared, version, actuals);
+        stats.absorb_nested(&local.borrow().stats);
+        out
+    }
 
+    /// The operator pipeline of [`Database::run_plan`], with the hoisting
+    /// closure already built into `ctx`.
+    #[allow(clippy::too_many_arguments)] // one call site; split from run_plan for the local fold
+    fn run_plan_ops(
+        &self,
+        plan: &PhysicalPlan,
+        params: &Params,
+        ctx: &EvalCtx<'_>,
+        stats: &mut ExecStats,
+        shared: &SubqueryState,
+        version: u64,
+        mut actuals: Option<&mut PlanActuals>,
+    ) -> Result<Frame, DbError> {
         let limit_n: Option<usize> = match &plan.limit {
             None => None,
             Some(SqlExpr::Lit(Value::Int(n))) => Some((*n).max(0) as usize),
@@ -646,8 +703,8 @@ impl Database {
         for node in &plan.scans {
             let opened = timing.then(Instant::now);
             let scanned_before = stats.rows_scanned;
-            let frame =
-                self.scan_node(node, params, &ctx, stats, shared, scan_limit, scan_emit)?;
+            let frame = self
+                .scan_node(node, params, ctx, stats, shared, version, scan_limit, scan_emit)?;
             if let Some(a) = actuals.as_deref_mut() {
                 a.scans.push(ScanActuals {
                     rows_scanned: stats.rows_scanned - scanned_before,
@@ -674,18 +731,9 @@ impl Database {
                         Some((li, ri)) => (exec::JoinKey::Idx(li), exec::JoinKey::Idx(ri)),
                         None => (exec::JoinKey::Expr(lk), exec::JoinKey::Expr(rk)),
                     };
-                    hash_join(
-                        acc,
-                        right,
-                        lkey,
-                        rkey,
-                        step.residual.as_ref(),
-                        emit,
-                        &ctx,
-                        stats,
-                    )?
+                    hash_join(acc, right, lkey, rkey, step.residual.as_ref(), emit, ctx, stats)?
                 }
-                _ => nested_loop_join(acc, right, step.residual.as_ref(), emit, &ctx, stats)?,
+                _ => nested_loop_join(acc, right, step.residual.as_ref(), emit, ctx, stats)?,
             };
             if let Some(a) = actuals.as_deref_mut() {
                 a.joins.push(OpActuals {
@@ -698,7 +746,7 @@ impl Database {
         // Leftover predicates (alias-free literals etc.).
         if let Some(pred) = &plan.residual {
             let opened = timing.then(Instant::now);
-            acc = filter(acc, pred, &ctx)?;
+            acc = filter(acc, pred, ctx)?;
             if let Some(a) = actuals.as_deref_mut() {
                 a.residual = Some(OpActuals {
                     rows_out: acc.rows.len(),
@@ -712,7 +760,7 @@ impl Database {
             let keys: Vec<(SqlExpr, bool)> =
                 plan.order_by.iter().map(|k| (k.expr.clone(), k.asc)).collect();
             let opened = timing.then(Instant::now);
-            acc = sort(acc, &keys, &ctx)?;
+            acc = sort(acc, &keys, ctx)?;
             if let Some(a) = actuals.as_deref_mut() {
                 a.sort = Some(OpActuals {
                     rows_out: acc.rows.len(),
@@ -869,7 +917,7 @@ impl Database {
             None => value,
             Some((op, rhs)) => {
                 let no_sub =
-                    |_: &qbs_sql::SqlSelect| -> Result<Rc<SubResult>, exec::ExecError> {
+                    |_: &qbs_sql::SqlSelect| -> Result<Arc<SubResult>, exec::ExecError> {
                         Err(exec::ExecError::new("no sub-queries in scalar comparisons"))
                     };
                 let ctx = EvalCtx { params, subquery: &no_sub };

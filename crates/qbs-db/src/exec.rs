@@ -4,7 +4,7 @@ use qbs_common::{Ident, Value};
 use qbs_sql::SqlExpr;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A column of an execution frame.
 #[derive(Clone, Debug, PartialEq)]
@@ -197,7 +197,7 @@ impl SubResult {
 /// `IN (subquery)` to its hoisted [`SubResult`] (executed once, cached).
 pub(crate) struct EvalCtx<'a> {
     pub params: &'a super::db::Params,
-    pub subquery: &'a dyn Fn(&qbs_sql::SqlSelect) -> Result<Rc<SubResult>, ExecError>,
+    pub subquery: &'a dyn Fn(&qbs_sql::SqlSelect) -> Result<Arc<SubResult>, ExecError>,
 }
 
 /// Evaluates a scalar SQL expression against one (possibly split) row.

@@ -442,7 +442,7 @@ fn estimate_table(
     let len = table.len();
     if let Some(p) = probe {
         if let SqlExpr::Lit(v) = &p.value {
-            return table.index_lookup(&p.column, v).map(<[usize]>::len).unwrap_or(0);
+            return table.index_lookup(&p.column, v).map(|rows| rows.len()).unwrap_or(0);
         }
         let distinct = table.index_cardinality(&p.column).unwrap_or(1).max(1);
         return (len / distinct).max(1).min(len);

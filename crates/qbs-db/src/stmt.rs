@@ -22,11 +22,10 @@ use qbs_sql::{
     render_query_bound, render_query_with_params, Dialect, FromItem, SqlExpr, SqlQuery,
     SqlSelect,
 };
-use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// One typed bind-parameter slot of a prepared statement.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +44,15 @@ pub(crate) type Snapshot = Vec<(Ident, Option<u64>)>;
 
 pub(crate) fn snapshot(db: &Database, tables: &BTreeSet<Ident>) -> Snapshot {
     tables.iter().map(|t| (t.clone(), db.table(t).map(|t| t.generation()))).collect()
+}
+
+/// A statement's plan together with the generation snapshot it was
+/// computed against — one value behind one lock, so a concurrent replan
+/// can never pair a new plan with an old snapshot (or vice versa).
+#[derive(Debug)]
+pub(crate) struct PlanState {
+    pub(crate) plan: Arc<PhysicalPlan>,
+    pub(crate) snapshot: Snapshot,
 }
 
 /// Hashes the statement's canonical text together with the planner
@@ -101,13 +109,12 @@ pub struct PreparedStatement {
     dialect: Dialect,
     pub(crate) fingerprint: u64,
     pub(crate) tables: BTreeSet<Ident>,
-    pub(crate) plan: RefCell<Rc<PhysicalPlan>>,
-    pub(crate) snapshot: RefCell<Snapshot>,
+    pub(crate) current: Mutex<PlanState>,
     /// The result schema, sniffed once from a row-bearing execution —
     /// identical across executions since value types come from the table
     /// schemas (survives replans: inserts and index builds cannot change
     /// the output layout).
-    pub(crate) out_schema: RefCell<Option<SchemaRef>>,
+    pub(crate) out_schema: OnceLock<SchemaRef>,
 }
 
 impl PreparedStatement {
@@ -124,7 +131,7 @@ impl PreparedStatement {
         tables: BTreeSet<Ident>,
         snapshot: Snapshot,
         dialect: Dialect,
-        plan: Rc<PhysicalPlan>,
+        plan: Arc<PhysicalPlan>,
     ) -> PreparedStatement {
         let (text, param_order) = render_query_with_params(&query, dialect);
         PreparedStatement {
@@ -134,12 +141,18 @@ impl PreparedStatement {
             text,
             param_order,
             dialect,
-            snapshot: RefCell::new(snapshot),
-            plan: RefCell::new(plan),
-            out_schema: RefCell::new(None),
+            current: Mutex::new(PlanState { plan, snapshot }),
+            out_schema: OnceLock::new(),
             tables,
             query,
         }
+    }
+
+    /// Locks the current plan/snapshot pair. Poisoning is survivable: the
+    /// state is only ever *replaced whole*, so a panic elsewhere cannot
+    /// leave it half-written.
+    pub(crate) fn lock_current(&self) -> MutexGuard<'_, PlanState> {
+        self.current.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The parsed query.
@@ -174,8 +187,8 @@ impl PreparedStatement {
 
     /// The current physical plan (replaced in place when execution
     /// detects a stale generation snapshot).
-    pub fn plan(&self) -> Rc<PhysicalPlan> {
-        self.plan.borrow().clone()
+    pub fn plan(&self) -> Arc<PhysicalPlan> {
+        self.lock_current().plan.clone()
     }
 
     /// Renders the statement's current plan tree — the `EXPLAIN` form,
@@ -183,7 +196,7 @@ impl PreparedStatement {
     /// [`Connection::explain_analyze`](crate::Connection::explain_analyze)
     /// for the same tree annotated with per-operator actuals.
     pub fn explain(&self) -> String {
-        self.plan.borrow().to_string()
+        self.lock_current().plan.to_string()
     }
 
     /// Starts a typed binding for one execution.
@@ -423,6 +436,6 @@ pub(crate) fn replan(
     stmt: &PreparedStatement,
     db: &Database,
     config: &PlanConfig,
-) -> Rc<PhysicalPlan> {
-    Rc::new(plan_with(&stmt.core, db, config))
+) -> Arc<PhysicalPlan> {
+    Arc::new(plan_with(&stmt.core, db, config))
 }

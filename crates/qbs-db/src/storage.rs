@@ -1,9 +1,43 @@
-//! Table storage: insertion-ordered rows, hidden rowid, hash indexes.
+//! MVCC table storage: insertion-ordered rows in immutable, `Arc`-shared
+//! copy-on-write chunks, hidden rowid, per-chunk hash indexes.
+//!
+//! A [`Table`] value *is* a snapshot: cloning it clones a `Vec` of
+//! [`Arc`]s (one per chunk), never row data. Writers
+//! ([`Table::insert`], [`Table::insert_many`], [`Table::create_index`])
+//! build a new chunk list — sharing every untouched chunk with the old
+//! value — and bump the generation counter; readers holding an older
+//! clone keep reading the rows that existed when they pinned it and never
+//! observe a partial write. This is what lets a
+//! [`Connection`](crate::Connection) hand whole-database snapshots to
+//! concurrent statements while a writer churns inserts.
+//!
+//! Single-row inserts install one-row chunks; to keep scans and index
+//! probes from degrading into a per-row chunk walk, a geometric tail
+//! merge (same shape as an LSM level merge) runs after every write, so a
+//! table of `n` rows holds `O(log n)` chunks no matter how it was built.
 
 use qbs_common::{FieldType, Ident, SchemaRef, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
-/// A stored table.
+/// An immutable run of consecutive rows. Never mutated after creation —
+/// snapshots share chunks by reference.
+#[derive(Debug)]
+struct Chunk {
+    /// Global rowid of the first row (fixed at creation: rows are only
+    /// ever appended after existing ones, so a chunk's position in the
+    /// table never moves).
+    base: usize,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Per-column hash index, chunk-aligned: one immutable map per chunk from
+/// value to the **global** rowids (ascending) holding it. A write only
+/// builds the map for the chunk it installs; the maps of shared chunks
+/// are shared right along with them.
+type ColumnIndex = Vec<Arc<HashMap<Value, Vec<usize>>>>;
+
+/// A stored table — and, because clones share all row data, a snapshot.
 ///
 /// Rows are kept in insertion order; the hidden `rowid` column (exposed to
 /// queries as `<alias>.rowid`) is the insertion index — the paper's "record
@@ -11,19 +45,21 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: SchemaRef,
-    rows: Vec<Vec<Value>>,
-    indexes: HashMap<Ident, HashMap<Value, Vec<usize>>>,
+    chunks: Vec<Arc<Chunk>>,
+    len: usize,
+    indexes: BTreeMap<Ident, ColumnIndex>,
     generation: u64,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: SchemaRef) -> Table {
-        Table { schema, rows: Vec::new(), indexes: HashMap::new(), generation: 0 }
+        Table { schema, chunks: Vec::new(), len: 0, indexes: BTreeMap::new(), generation: 0 }
     }
 
-    /// The table's generation counter: bumped by every [`Table::insert`]
-    /// and [`Table::create_index`]. Cached physical plans record the
+    /// The table's generation counter: bumped by every [`Table::insert`],
+    /// [`Table::insert_many`] (once per call, however many rows), and
+    /// [`Table::create_index`]. Cached physical plans record the
     /// generations of the tables they touch and replan when any of them
     /// moved — the invalidation key of the prepared-statement plan cache.
     pub fn generation(&self) -> u64 {
@@ -37,27 +73,36 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// The stored rows, in insertion order.
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+    /// Number of storage chunks (diagnostics; bounded at `O(log n)` by
+    /// the tail merge).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
     }
 
-    /// Appends a row; maintains indexes. The row's `rowid` is its position.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the value count does not match the schema arity or a
-    /// value's type does not match its column — inserts come from trusted
-    /// generators in this workspace.
-    pub fn insert(&mut self, values: Vec<Value>) {
+    /// The stored rows, in insertion order (rowid order).
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.chunks.iter().flat_map(|c| c.rows.iter().map(Vec::as_slice))
+    }
+
+    /// The row at `rowid`, when in bounds.
+    pub fn row(&self, rowid: usize) -> Option<&[Value]> {
+        if rowid >= self.len {
+            return None;
+        }
+        let i = self.chunks.partition_point(|c| c.base <= rowid).checked_sub(1)?;
+        let chunk = &self.chunks[i];
+        chunk.rows.get(rowid - chunk.base).map(Vec::as_slice)
+    }
+
+    fn check_row(&self, values: &[Value]) {
         assert_eq!(
             values.len(),
             self.schema.arity(),
@@ -73,16 +118,84 @@ impl Table {
             );
             assert!(ok, "value {v:?} does not fit column {f}");
         }
-        let rowid = self.rows.len();
+    }
+
+    /// Appends a row as a new copy-on-write chunk; maintains indexes. The
+    /// row's `rowid` is its position. Clones taken before the call keep
+    /// seeing the table without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count does not match the schema arity or a
+    /// value's type does not match its column — inserts come from trusted
+    /// generators in this workspace.
+    pub fn insert(&mut self, values: Vec<Value>) {
+        self.check_row(&values);
+        self.install_chunk(vec![values]);
+        self.generation += 1;
+    }
+
+    /// Appends many rows as **one** new chunk, bumping the generation
+    /// **once** — so bulk loads (datagen, benchmark setup) trigger one
+    /// plan invalidation instead of one per row, and concurrent readers
+    /// see either none or all of the batch. An empty batch is a no-op
+    /// (no chunk, no generation bump).
+    ///
+    /// # Panics
+    ///
+    /// As [`Table::insert`], per row.
+    pub fn insert_many(&mut self, rows: Vec<Vec<Value>>) {
+        if rows.is_empty() {
+            return;
+        }
+        for r in &rows {
+            self.check_row(r);
+        }
+        self.install_chunk(rows);
+        self.generation += 1;
+    }
+
+    /// Installs `rows` as a fresh chunk, extends every column index with
+    /// the chunk's map, and runs the geometric tail merge.
+    fn install_chunk(&mut self, rows: Vec<Vec<Value>>) {
+        let base = self.len;
+        self.len += rows.len();
         for (col, idx) in self.indexes.iter_mut() {
             let pos = self
                 .schema
                 .index_of(&qbs_common::FieldRef::new(col.clone()))
                 .expect("indexed column exists");
-            idx.entry(values[pos].clone()).or_default().push(rowid);
+            idx.push(Arc::new(chunk_index(&rows, base, pos)));
         }
-        self.rows.push(values);
-        self.generation += 1;
+        self.chunks.push(Arc::new(Chunk { base, rows }));
+        // Geometric tail merge: while the last chunk has grown at least as
+        // large as its predecessor, fold the two into one freshly built
+        // chunk (snapshots keep the originals). Sizes then fall strictly,
+        // like a binary counter, bounding the chunk count at O(log n) with
+        // amortized O(log n) row copies per insert.
+        while self.chunks.len() >= 2 {
+            let last = self.chunks[self.chunks.len() - 1].rows.len();
+            let prev = self.chunks[self.chunks.len() - 2].rows.len();
+            if last < prev {
+                break;
+            }
+            let b = self.chunks.pop().expect("two chunks");
+            let a = self.chunks.pop().expect("two chunks");
+            let mut rows = Vec::with_capacity(a.rows.len() + b.rows.len());
+            rows.extend(a.rows.iter().cloned());
+            rows.extend(b.rows.iter().cloned());
+            let merged = Arc::new(Chunk { base: a.base, rows });
+            for (col, idx) in self.indexes.iter_mut() {
+                let pos = self
+                    .schema
+                    .index_of(&qbs_common::FieldRef::new(col.clone()))
+                    .expect("indexed column exists");
+                idx.pop();
+                idx.pop();
+                idx.push(Arc::new(chunk_index(&merged.rows, merged.base, pos)));
+            }
+            self.chunks.push(merged);
+        }
     }
 
     /// Builds (or rebuilds) a hash index on `column`.
@@ -92,19 +205,26 @@ impl Table {
     /// Returns the schema resolution error when the column does not exist.
     pub fn create_index(&mut self, column: &Ident) -> Result<(), qbs_common::CommonError> {
         let pos = self.schema.index_of(&qbs_common::FieldRef::new(column.clone()))?;
-        let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
-        for (rowid, row) in self.rows.iter().enumerate() {
-            idx.entry(row[pos].clone()).or_default().push(rowid);
-        }
+        let idx =
+            self.chunks.iter().map(|c| Arc::new(chunk_index(&c.rows, c.base, pos))).collect();
         self.indexes.insert(column.clone(), idx);
         self.generation += 1;
         Ok(())
     }
 
     /// Row ids (in insertion order) whose `column` equals `value`, when an
-    /// index exists.
-    pub fn index_lookup(&self, column: &Ident, value: &Value) -> Option<&[usize]> {
-        self.indexes.get(column).map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
+    /// index exists. Per-chunk maps are probed in chunk order; each map's
+    /// rowids are ascending and chunks are disjoint ascending ranges, so
+    /// the concatenation is insertion order.
+    pub fn index_lookup(&self, column: &Ident, value: &Value) -> Option<Vec<usize>> {
+        let idx = self.indexes.get(column)?;
+        let mut out = Vec::new();
+        for map in idx {
+            if let Some(rowids) = map.get(value) {
+                out.extend_from_slice(rowids);
+            }
+        }
+        Some(out)
     }
 
     /// True when `column` has a hash index.
@@ -114,8 +234,17 @@ impl Table {
 
     /// Number of distinct keys in `column`'s hash index, when one exists —
     /// the planner's selectivity input (`len / distinct ≈` average bucket).
+    /// Exact across chunks (a key present in several chunks counts once).
     pub fn index_cardinality(&self, column: &Ident) -> Option<usize> {
-        self.indexes.get(column).map(HashMap::len)
+        let idx = self.indexes.get(column)?;
+        if idx.len() == 1 {
+            return Some(idx[0].len());
+        }
+        let mut distinct: std::collections::HashSet<&Value> = std::collections::HashSet::new();
+        for map in idx {
+            distinct.extend(map.keys());
+        }
+        Some(distinct.len())
     }
 
     /// The indexed columns, in schema order (the iteration order of the
@@ -133,13 +262,21 @@ impl Table {
     /// under the table's schema — the view the kernel interpreter consumes.
     pub fn relation(&self) -> qbs_common::Relation {
         let records = self
-            .rows
-            .iter()
-            .map(|r| qbs_common::Record::new(self.schema.clone(), r.clone()))
+            .rows()
+            .map(|r| qbs_common::Record::new(self.schema.clone(), r.to_vec()))
             .collect();
         qbs_common::Relation::from_records(self.schema.clone(), records)
             .expect("stored rows satisfy the table schema")
     }
+}
+
+/// The per-chunk index map for one column: value → ascending global rowids.
+fn chunk_index(rows: &[Vec<Value>], base: usize, pos: usize) -> HashMap<Value, Vec<usize>> {
+    let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        map.entry(row[pos].clone()).or_default().push(base + i);
+    }
+    map
 }
 
 #[cfg(test)]
@@ -159,7 +296,9 @@ mod tests {
         t.insert(vec![2.into(), "x".into()]);
         t.insert(vec![1.into(), "y".into()]);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.rows()[0][0], Value::from(2));
+        assert_eq!(t.row(0).unwrap()[0], Value::from(2));
+        let firsts: Vec<&Value> = t.rows().map(|r| &r[0]).collect();
+        assert_eq!(firsts, vec![&Value::from(2), &Value::from(1)]);
     }
 
     #[test]
@@ -169,8 +308,8 @@ mod tests {
         t.insert(vec![2.into(), "y".into()]);
         t.insert(vec![1.into(), "z".into()]);
         t.create_index(&"a".into()).unwrap();
-        assert_eq!(t.index_lookup(&"a".into(), &1.into()).unwrap(), &[0, 2]);
-        assert_eq!(t.index_lookup(&"a".into(), &9.into()).unwrap(), &[] as &[usize]);
+        assert_eq!(t.index_lookup(&"a".into(), &1.into()).unwrap(), vec![0, 2]);
+        assert_eq!(t.index_lookup(&"a".into(), &9.into()).unwrap(), Vec::<usize>::new());
         assert!(t.index_lookup(&"b".into(), &"x".into()).is_none());
     }
 
@@ -179,7 +318,20 @@ mod tests {
         let mut t = table();
         t.create_index(&"a".into()).unwrap();
         t.insert(vec![5.into(), "x".into()]);
-        assert_eq!(t.index_lookup(&"a".into(), &5.into()).unwrap(), &[0]);
+        assert_eq!(t.index_lookup(&"a".into(), &5.into()).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn index_survives_tail_merges() {
+        let mut t = table();
+        t.create_index(&"a".into()).unwrap();
+        for i in 0..100i64 {
+            t.insert(vec![(i % 7).into(), format!("r{i}").into()]);
+        }
+        let hits = t.index_lookup(&"a".into(), &3.into()).unwrap();
+        let expect: Vec<usize> = (0..100).filter(|i| i % 7 == 3).collect();
+        assert_eq!(hits, expect);
+        assert_eq!(t.index_cardinality(&"a".into()), Some(7));
     }
 
     #[test]
@@ -195,9 +347,61 @@ mod tests {
     }
 
     #[test]
+    fn insert_many_installs_one_chunk_and_bumps_once() {
+        let mut t = table();
+        t.create_index(&"a".into()).unwrap();
+        assert_eq!(t.generation(), 1);
+        t.insert_many((0..50i64).map(|i| vec![i.into(), format!("r{i}").into()]).collect());
+        assert_eq!(t.generation(), 2, "one bump for the whole batch");
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.chunk_count(), 1);
+        assert_eq!(t.index_lookup(&"a".into(), &7.into()).unwrap(), vec![7]);
+        // Empty batches change nothing at all.
+        t.insert_many(Vec::new());
+        assert_eq!(t.generation(), 2);
+    }
+
+    #[test]
+    fn clones_are_snapshots_sharing_chunks() {
+        let mut t = table();
+        t.insert_many((0..8i64).map(|i| vec![i.into(), "x".into()]).collect());
+        let snap = t.clone();
+        t.insert(vec![99.into(), "y".into()]);
+        t.insert_many(vec![vec![100.into(), "z".into()]]);
+        // The snapshot still reads exactly the rows that existed.
+        assert_eq!(snap.len(), 8);
+        assert_eq!(t.len(), 10);
+        assert!(snap.row(8).is_none());
+        // And the first chunk is shared by reference, not copied.
+        assert!(Arc::ptr_eq(&snap.chunks[0], &t.chunks[0]));
+    }
+
+    #[test]
+    fn tail_merge_bounds_chunk_count_logarithmically() {
+        let mut t = table();
+        for i in 0..1000i64 {
+            t.insert(vec![i.into(), "x".into()]);
+        }
+        assert!(t.chunk_count() <= 11, "chunks: {}", t.chunk_count());
+        // Every row is still addressable and in order.
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000usize {
+            assert_eq!(t.row(i).unwrap()[0], Value::from(i as i64));
+        }
+        assert_eq!(t.rows().count(), 1000);
+    }
+
+    #[test]
     #[should_panic(expected = "does not fit column")]
     fn type_mismatch_panics() {
         let mut t = table();
         t.insert(vec!["oops".into(), "x".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit column")]
+    fn insert_many_type_mismatch_panics_before_installing() {
+        let mut t = table();
+        t.insert_many(vec![vec![1.into(), "ok".into()], vec!["oops".into(), "x".into()]]);
     }
 }

@@ -38,7 +38,7 @@ mod span;
 pub use export::{chrome_trace, json_escape};
 pub use metrics::{
     count_bounds, time_bounds_ns, Counter, Gauge, Histogram, HistogramSnapshot, Metrics,
-    MetricsSnapshot,
+    MetricsSnapshot, Percentiles,
 };
 pub use span::{LocalSpans, SpanGuard, SpanRecord, Tracer};
 

@@ -165,6 +165,59 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Interpolated quantile: like [`quantile`](Self::quantile) but
+    /// linearly interpolated within the containing bucket (assuming
+    /// observations spread uniformly across it), clamped to the observed
+    /// `min`/`max` at the ends. Much closer to the true value than the
+    /// raw bucket upper bound when buckets are wide — the estimator
+    /// latency reports should use. `None` when empty.
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min? as f64, self.max? as f64);
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            if (seen + n) as f64 >= rank {
+                // The rank-th observation falls in bucket i, spanning
+                // (lower, upper]; place it fractionally by its position
+                // among the bucket's n observations.
+                let lower = if i == 0 { min } else { self.bounds[i - 1] as f64 };
+                let upper =
+                    self.bounds.get(i).map(|b| *b as f64).unwrap_or(max).min(max).max(lower);
+                let frac = (rank - seen as f64) / *n as f64;
+                return Some((lower + frac * (upper - lower)).clamp(min, max));
+            }
+            seen += n;
+        }
+        Some(max)
+    }
+
+    /// The p50/p95/p99 latency summary (interpolated), `None` when empty.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        Some(Percentiles {
+            p50: self.quantile_interpolated(0.50)?,
+            p95: self.quantile_interpolated(0.95)?,
+            p99: self.quantile_interpolated(0.99)?,
+        })
+    }
+}
+
+/// The standard tail-latency summary of a [`HistogramSnapshot`] — what
+/// workload harnesses report per configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
 }
 
 /// Default histogram bounds for durations in nanoseconds: exponential
@@ -351,6 +404,45 @@ mod tests {
         assert_eq!(snap.max, Some(5000));
         assert_eq!(snap.quantile(0.5), Some(100));
         assert_eq!(snap.quantile(1.0), Some(5000), "overflow quantile reports max");
+    }
+
+    #[test]
+    fn interpolated_quantiles_land_inside_the_bucket() {
+        let m = Metrics::new();
+        let h = m.histogram("lat", &[10, 100, 1000]);
+        // 100 uniform observations 1..=100: true p50 ≈ 50, p95 ≈ 95.
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let p = snap.percentiles().unwrap();
+        assert!((p.p50 - 50.0).abs() <= 10.0, "p50 = {}", p.p50);
+        assert!((p.p95 - 95.0).abs() <= 10.0, "p95 = {}", p.p95);
+        assert!((p.p99 - 99.0).abs() <= 10.0, "p99 = {}", p.p99);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99, "{p:?}");
+        // Interpolation never escapes the observed range.
+        assert!(p.p50 >= 1.0 && p.p99 <= 100.0, "{p:?}");
+        // The coarse estimator would report the whole containing bucket.
+        assert_eq!(snap.quantile(0.5), Some(100));
+    }
+
+    #[test]
+    fn interpolated_quantiles_handle_edge_shapes() {
+        let m = Metrics::new();
+        assert_eq!(m.histogram("empty", &[10]).snapshot().percentiles(), None);
+        // A single observation: every percentile is that value.
+        let h = m.histogram("one", &[10, 100]);
+        h.observe(42);
+        let p = h.snapshot().percentiles().unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (42.0, 42.0, 42.0));
+        // Overflow-bucket observations clamp to the observed max.
+        let h = m.histogram("over", &[10]);
+        for v in [5, 5000, 6000] {
+            h.observe(v);
+        }
+        let p = h.snapshot().percentiles().unwrap();
+        assert!(p.p99 <= 6000.0, "{p:?}");
+        assert!(p.p50 >= 5.0, "{p:?}");
     }
 
     #[test]

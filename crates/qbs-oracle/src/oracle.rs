@@ -291,10 +291,10 @@ fn check_with_handle(
         Outcome::Agree { rows, equivalence } => OracleVerdict::Agree { rows, equivalence },
         Outcome::Inconclusive(reason) => OracleVerdict::Inconclusive { reason },
         Outcome::Diff { diff, original, translated } if !opts.minimize => {
-            witness(diff, original, translated, conn.database().clone())
+            witness(diff, original, translated, (*conn.database()).clone())
         }
         Outcome::Diff { diff, original, translated } => {
-            let full = conn.database().clone();
+            let full = (*conn.database()).clone();
             let minimized = minimize_with(kernel, stmt, &full, params, &opts.plan_config());
             // Re-derive the divergence on the minimized database so the
             // witness is self-contained.
@@ -328,11 +328,11 @@ fn retain_rows(db: &Database, table: &Ident, keep: &[bool]) -> Database {
     for name in db.table_names() {
         let t = db.table(name).expect("listed table");
         out.create_table(t.schema().clone()).expect("fresh database");
-        for (i, row) in t.rows().iter().enumerate() {
+        for (i, row) in t.rows().enumerate() {
             if name == table && !keep.get(i).copied().unwrap_or(true) {
                 continue;
             }
-            out.insert(name.as_str(), row.clone()).expect("same schema");
+            out.insert(name.as_str(), row.to_vec()).expect("same schema");
         }
         for col in t.indexed_columns() {
             out.create_index(name.as_str(), col.as_str()).expect("same schema");

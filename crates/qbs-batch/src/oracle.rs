@@ -207,4 +207,26 @@ mod tests {
         // otherwise the fuzzer exercises nothing.
         assert!(summary.checked_fragments > 0, "{report}");
     }
+
+    #[test]
+    fn fuzzed_topk_fragments_translate_to_limit_and_agree() {
+        // Draw until the batch contains guarded top-k fragments, then
+        // require that each one synthesizes a LIMIT query and agrees
+        // differentially — the oracle's coverage of the paper's top-k
+        // idiom must not silently decay into "untranslated".
+        let runner = BatchRunner::new(BatchConfig::new());
+        let config = OracleConfig::default().with_db_seeds(vec![6]).with_fuzz(40, 0xbeef);
+        let report = runner.run_oracle(&[], &config);
+        let topk: Vec<_> =
+            report.fragments.iter().filter(|fr| fr.input.contains("_topk_")).collect();
+        assert!(!topk.is_empty(), "no top-k fragments in 40 draws");
+        for fr in &topk {
+            let FragmentStatus::Translated { sql, .. } = &fr.status else {
+                panic!("{}: top-k fragment failed to translate: {:?}", fr.input, fr.status);
+            };
+            let text = qbs_sql::print_query(sql);
+            assert!(text.contains("LIMIT"), "{}: expected a LIMIT: {text}", fr.input);
+            assert!(fr.verdicts.iter().all(OracleVerdict::is_agree), "{}", fr.input);
+        }
+    }
 }

@@ -1,0 +1,168 @@
+//! Emits `BENCH_columnar.json`: scan throughput (rows/sec) of the
+//! vectorized columnar executor against the row-at-a-time interpreter
+//! (`PlanConfig::force_row_store`) on large seeded corpus tables —
+//! selective and non-selective filters, projection-only scans, and
+//! DISTINCT, the shapes the batched column kernels accelerate.
+//!
+//! Exits non-zero when the vectorized path is not at least
+//! [`MIN_SPEEDUP`]× faster (aggregate rows/sec across the scan suite), so
+//! CI catches regressions that silently fall back to row-at-a-time
+//! execution.
+//!
+//! ```sh
+//! cargo run --release -p qbs-bench --bin columnar_bench -- \
+//!     [--json <path>] [--filter <substr>] [--seed S] [--reps N]
+//! ```
+
+use qbs_bench::harness::{json_escape, BenchArgs};
+use qbs_corpus::WilosConfig;
+use qbs_db::{Database, Params, PlanConfig, QueryOutput};
+use qbs_sql::{parse_query, SqlQuery};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Aggregate vectorized rows/sec must beat the row store by this factor.
+const MIN_SPEEDUP: f64 = 2.0;
+
+/// Scan-heavy statements over non-indexed predicates (index probes bypass
+/// the vectorized scan by design, so they would measure nothing). Every
+/// query must execute identically under both configurations — the
+/// equivalence suite pins that; this bin only measures throughput.
+const QUERIES: &[(&str, &str)] = &[
+    ("users_selective_range", "SELECT id FROM users WHERE id < 500"),
+    ("users_half_bool", "SELECT id, login FROM users WHERE enabled = true"),
+    ("users_conjunction", "SELECT id FROM users WHERE enabled = true AND id >= 20000"),
+    ("users_projection_scan", "SELECT id, roleId FROM users WHERE roleId > 12"),
+    ("issues_severity_range", "SELECT id FROM issues WHERE severity >= 3"),
+    ("issues_status_and_owner", "SELECT id FROM issues WHERE status <> 0 AND ownerId < 3"),
+    ("notifications_point", "SELECT id FROM notifications WHERE userId = 2"),
+];
+
+struct Measured {
+    name: String,
+    sql: String,
+    rows: usize,
+    rows_scanned: usize,
+    vectorized_rows_per_sec: f64,
+    row_store_rows_per_sec: f64,
+}
+
+fn throughput(
+    db: &Database,
+    q: &SqlQuery,
+    cfg: &PlanConfig,
+    reps: usize,
+) -> (usize, usize, f64) {
+    let out = db.execute_with(q, &Params::new(), cfg).expect("bench query executes");
+    let (rows, scanned) = match out {
+        QueryOutput::Rows(o) => (o.rows.len(), o.stats.rows_scanned),
+        QueryOutput::Scalar { stats, .. } => (1, stats.rows_scanned),
+    };
+    let started = Instant::now();
+    for _ in 0..reps {
+        let _ = db.execute_with(q, &Params::new(), cfg).expect("measured above");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    // Throughput is rows *scanned* per second: the work a scan does is
+    // reading the base table, whatever the filter keeps.
+    let per_sec = if elapsed > 0.0 { (scanned * reps) as f64 / elapsed } else { f64::INFINITY };
+    (rows, scanned, per_sec)
+}
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse("BENCH_columnar.json", 40);
+
+    // One database with both applications' tables at scan-bench scale:
+    // tall tables, bulk-loaded into few chunks.
+    let mut db = qbs_corpus::populate_wilos(
+        &WilosConfig { users: 40_000, projects: 8_000, ..WilosConfig::default() }
+            .with_seed(args.seed),
+    );
+    let issues = qbs_corpus::populate_itracker(40_000, args.seed.wrapping_add(1));
+    for table in ["issues", "notifications", "itprojects", "itusers"] {
+        let src = issues.table(&table.into()).expect("itracker table");
+        db.create_table(src.schema().clone()).expect("disjoint names");
+        db.insert_many(table, src.rows().collect()).expect("bulk copy");
+    }
+
+    let vectorized_cfg = PlanConfig::default();
+    let row_store_cfg = PlanConfig { force_row_store: true, ..PlanConfig::default() };
+
+    let mut measured: Vec<Measured> = Vec::new();
+    for (name, text) in QUERIES {
+        if !args.matches(name) {
+            continue;
+        }
+        let q = SqlQuery::Select(parse_query(text).expect("bench SQL parses"));
+        let (rows, scanned, vec_per_sec) = throughput(&db, &q, &vectorized_cfg, args.reps);
+        let (rows_rs, scanned_rs, row_per_sec) = throughput(&db, &q, &row_store_cfg, args.reps);
+        assert_eq!((rows, scanned), (rows_rs, scanned_rs), "{name}: executors diverged");
+        measured.push(Measured {
+            name: name.to_string(),
+            sql: text.to_string(),
+            rows,
+            rows_scanned: scanned,
+            vectorized_rows_per_sec: vec_per_sec,
+            row_store_rows_per_sec: row_per_sec,
+        });
+    }
+
+    // The gate compares total scan throughput across the suite: per-query
+    // ratios are noisy at CI timer resolution, the aggregate is stable.
+    let total_scanned: usize = measured.iter().map(|m| m.rows_scanned * args.reps).sum();
+    let vec_time: f64 =
+        measured.iter().map(|m| m.rows_scanned as f64 / m.vectorized_rows_per_sec).sum();
+    let row_time: f64 =
+        measured.iter().map(|m| m.rows_scanned as f64 / m.row_store_rows_per_sec).sum();
+    let speedup = if vec_time > 0.0 { row_time / vec_time } else { f64::INFINITY };
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"columnar_scan\",");
+    let _ = writeln!(out, "  \"db_seed\": {},", args.seed);
+    let _ = writeln!(out, "  \"reps\": {},", args.reps);
+    if let Some(filter) = &args.filter {
+        let _ = writeln!(out, "  \"filter\": \"{}\",", json_escape(filter));
+    }
+    let _ = writeln!(out, "  \"queries\": {},", measured.len());
+    let _ = writeln!(out, "  \"rows_scanned_total\": {total_scanned},");
+    let _ = writeln!(out, "  \"vectorized_over_row_store\": {speedup:.2},");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, m) in measured.iter().enumerate() {
+        let comma = if i + 1 < measured.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"rows\": {}, \"rows_scanned\": {}, \
+             \"vectorized_rows_per_sec\": {:.0}, \"row_store_rows_per_sec\": {:.0}, \
+             \"sql\": \"{}\"}}{comma}",
+            json_escape(&m.name),
+            m.rows,
+            m.rows_scanned,
+            m.vectorized_rows_per_sec,
+            m.row_store_rows_per_sec,
+            json_escape(&m.sql),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    std::fs::write(&args.json, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.json));
+
+    println!(
+        "wrote {}: {} scan queries — vectorized {speedup:.1}x over the row store",
+        args.json,
+        measured.len(),
+    );
+    if args.filter.is_some() {
+        // A filtered run is exploratory; the CI gate only applies to the
+        // full suite.
+        return ExitCode::SUCCESS;
+    }
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "REGRESSION: vectorized-over-row-store speedup {speedup:.2}x is below the \
+             required {MIN_SPEEDUP:.1}x"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -135,6 +135,9 @@ impl AnalyzedPlan {
         if self.plan.limit.is_some() {
             writeln!(out, "limit").expect("write to string");
         }
+        if self.plan.offset.is_some() {
+            writeln!(out, "offset").expect("write to string");
+        }
         write!(
             out,
             "output: {} rows{}; {} scanned, {} subquer{} executed ({} cache hits)",

@@ -272,10 +272,22 @@ impl Connection {
     /// none or all of the batch, and cached plans are invalidated once
     /// instead of once per row. See [`Table::insert_many`].
     ///
+    /// An empty batch is a complete no-op: nothing changed, so no version
+    /// is published, no generation moves, and cached plans and hoisted
+    /// sub-query results stay valid (it used to go through the writer
+    /// path and spuriously replan every prepared statement).
+    ///
     /// # Errors
     ///
     /// [`DbError::UnknownTable`] when the table does not exist.
     pub fn insert_many(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), DbError> {
+        if rows.is_empty() {
+            let (db, _) = self.pin();
+            return match db.table(&table.into()) {
+                Some(_) => Ok(()),
+                None => Err(DbError::UnknownTable(table.into())),
+            };
+        }
         self.mutate(|db| db.insert_many(table, rows))
     }
 

@@ -11,10 +11,10 @@ use crate::exec::{
     Frame, RowRef, SubResult,
 };
 use crate::planner::{plan_with, PhysicalPlan, PlanConfig, ScanNode, ScanSource};
-use crate::storage::Table;
+use crate::storage::{Chunk, ColumnVec, Table};
 use qbs_common::{FieldType, Ident, Record, Relation, Schema, SchemaRef, Value};
 use qbs_sql::{SqlExpr, SqlQuery, SqlSelect};
-use qbs_tor::AggKind;
+use qbs_tor::{AggKind, CmpOp};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -337,6 +337,93 @@ impl Database {
                     Some((cols, _)) => cols.clone(),
                     None => node.cols.clone(),
                 });
+
+                // Vectorized columnar path: a full-table scan whose pushed
+                // filter (if any) compiles to a column kernel evaluates it
+                // over typed column slices in `SCAN_BATCH`-row batches,
+                // stitching output rows only for surviving positions. Index
+                // probes, pushed limits (whose "stop at the k-th match"
+                // contract is row-at-a-time by nature), and filters outside
+                // the kernel grammar keep the row path below.
+                if index_rows.is_none() && limit.is_none() && !shared.config.force_row_store {
+                    let kernel = match &node.filter {
+                        None => Some(None),
+                        Some(pred) => compile_kernel(
+                            pred,
+                            shell.as_ref().expect("shell built alongside filter"),
+                            params,
+                        )
+                        .map(Some),
+                    };
+                    if let Some(kernel) = kernel {
+                        let gather_row = |chunk: &Chunk, i: usize, frame: &mut Frame| {
+                            let rowid = chunk.base() + i;
+                            let out = match &gather {
+                                Some((_, idx)) => idx
+                                    .iter()
+                                    .map(|&c| {
+                                        if c < arity {
+                                            chunk.col(c).value(i)
+                                        } else {
+                                            Value::from(rowid as i64)
+                                        }
+                                    })
+                                    .collect(),
+                                None => {
+                                    let mut out = chunk.row_values(i);
+                                    out.push(Value::from(rowid as i64));
+                                    out
+                                }
+                            };
+                            frame.rows.push(out);
+                        };
+                        match kernel {
+                            // No filter: every row survives, no mask needed.
+                            None => {
+                                frame.rows.reserve(table.len());
+                                for chunk in table.chunks() {
+                                    stats.rows_scanned += chunk.len();
+                                    for i in 0..chunk.len() {
+                                        gather_row(chunk, i, &mut frame);
+                                    }
+                                }
+                            }
+                            Some(k) => {
+                                // The mask is sized to the widest batch that
+                                // can actually occur — page-load-sized tables
+                                // pay bytes, not SCAN_BATCH, per execution.
+                                let cap = table
+                                    .chunks()
+                                    .iter()
+                                    .map(|c| c.len())
+                                    .max()
+                                    .unwrap_or(0)
+                                    .min(SCAN_BATCH);
+                                let mut mask = vec![true; cap];
+                                for chunk in table.chunks() {
+                                    // Every row of every chunk is examined
+                                    // exactly once — the same count the row
+                                    // path reports.
+                                    stats.rows_scanned += chunk.len();
+                                    let mut start = 0usize;
+                                    while start < chunk.len() {
+                                        let n = SCAN_BATCH.min(chunk.len() - start);
+                                        let mask = &mut mask[..n];
+                                        eval_kernel(&k, chunk, start, arity, mask);
+                                        for (j, keep) in mask.iter().enumerate() {
+                                            if *keep {
+                                                gather_row(chunk, start + j, &mut frame);
+                                            }
+                                        }
+                                        start += n;
+                                    }
+                                }
+                            }
+                        }
+                        return Ok(frame);
+                    }
+                }
+
                 let mut push_row = |rowid: usize,
                                     row: &[Value],
                                     stats: &mut ExecStats|
@@ -382,7 +469,7 @@ impl Database {
                             let row = table.row(rowid).ok_or_else(|| {
                                 DbError::Exec(format!("index rowid {rowid} out of range"))
                             })?;
-                            kept += usize::from(push_row(rowid, row, stats)?);
+                            kept += usize::from(push_row(rowid, &row, stats)?);
                         }
                     }
                     None => {
@@ -390,7 +477,7 @@ impl Database {
                             if limit.is_some_and(|n| kept >= n) {
                                 break;
                             }
-                            kept += usize::from(push_row(rowid, row, stats)?);
+                            kept += usize::from(push_row(rowid, &row, stats)?);
                         }
                     }
                 }
@@ -676,14 +763,28 @@ impl Database {
             }
             Some(other) => return Err(DbError::Exec(format!("unsupported LIMIT {other:?}"))),
         };
+        let offset_n: usize = match &plan.offset {
+            None => 0,
+            Some(SqlExpr::Lit(Value::Int(n))) => (*n).max(0) as usize,
+            Some(SqlExpr::Param(p)) => {
+                let n = params
+                    .get(p)
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| DbError::Exec(format!("unbound OFFSET parameter :{p}")))?;
+                n.max(0) as usize
+            }
+            Some(other) => return Err(DbError::Exec(format!("unsupported OFFSET {other:?}"))),
+        };
         // LIMIT pushed into the scan itself: sound only when no later
-        // operator can reject or reorder rows.
+        // operator can reject or reorder rows. An OFFSET widens the prefix
+        // the scan must produce — the first `offset` keepers are dropped
+        // again below, so the scan has to fetch `limit + offset` rows.
         let scan_limit = (plan.scans.len() == 1
             && plan.joins.is_empty()
             && plan.residual.is_none()
             && plan.order_by.is_empty()
             && !plan.distinct)
-            .then_some(limit_n)
+            .then_some(limit_n.map(|n| n.saturating_add(offset_n)))
             .flatten();
 
         // Projection fusion: with a statically resolved projection and no
@@ -769,9 +870,13 @@ impl Database {
             }
         }
 
-        // Without DISTINCT the limit prefix is already final after the
-        // sort: truncate before paying for projection.
+        // Without DISTINCT the page window is already final after the
+        // sort: drop the offset prefix and truncate before paying for
+        // projection.
         if !plan.distinct {
+            if offset_n > 0 {
+                acc.rows.drain(..offset_n.min(acc.rows.len()));
+            }
             if let Some(n) = limit_n {
                 acc.rows.truncate(n);
             }
@@ -789,6 +894,9 @@ impl Database {
                         rows_out: frame.rows.len(),
                         elapsed_ns: opened.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
                     });
+                }
+                if offset_n > 0 {
+                    frame.rows.drain(..offset_n.min(frame.rows.len()));
                 }
                 if let Some(n) = limit_n {
                     frame.rows.truncate(n);
@@ -856,6 +964,9 @@ impl Database {
                     rows_out: frame.rows.len(),
                     elapsed_ns: opened.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
                 });
+            }
+            if offset_n > 0 {
+                frame.rows.drain(..offset_n.min(frame.rows.len()));
             }
             if let Some(n) = limit_n {
                 frame.rows.truncate(n);
@@ -986,6 +1097,146 @@ fn aggregate(agg: AggKind, rows: &Relation) -> Result<Value, DbError> {
             .map(Value::from)
             .ok_or_else(|| DbError::EmptyAggregate(agg.sql().to_string())),
         AggKind::Count => unreachable!("COUNT is handled before the numeric fold"),
+    }
+}
+
+/// Batch size for the vectorized scan path: large enough to amortize
+/// per-batch dispatch, small enough that the selection mask and the column
+/// slices it covers stay cache-resident.
+const SCAN_BATCH: usize = 1024;
+
+/// A pushed scan filter compiled against the chunk column layout. Only
+/// shapes whose batch evaluation is *infallible* are representable:
+/// comparisons between one column and one constant (bind parameters are
+/// resolved to constants at compile time), closed under AND/OR/NOT.
+/// Everything else — column-to-column comparisons, unresolved names,
+/// unbound parameters, sub-queries, bare literals — declines to compile,
+/// and the scan falls back to the row-at-a-time path, which owns the
+/// error reporting for those cases.
+enum ColKernel {
+    /// `column <op> constant`; constants on the left arrive here with the
+    /// operator flipped.
+    Cmp {
+        pos: usize,
+        op: CmpOp,
+        rhs: Value,
+    },
+    And(Vec<ColKernel>),
+    Or(Vec<ColKernel>),
+    Not(Box<ColKernel>),
+}
+
+enum KernelOperand {
+    Col(usize),
+    Const(Value),
+}
+
+fn kernel_operand(e: &SqlExpr, shell: &Frame, params: &Params) -> Option<KernelOperand> {
+    match e {
+        SqlExpr::Column { qualifier, name } => {
+            shell.resolve(qualifier.as_ref(), name).map(KernelOperand::Col)
+        }
+        SqlExpr::Lit(v) => Some(KernelOperand::Const(v.clone())),
+        SqlExpr::Param(p) => params.get(p).cloned().map(KernelOperand::Const),
+        _ => None,
+    }
+}
+
+/// Compiles a pushed filter into a [`ColKernel`] against the scan's column
+/// layout (`shell` carries the raw row plus rowid). `None` means "use the
+/// row path".
+fn compile_kernel(e: &SqlExpr, shell: &Frame, params: &Params) -> Option<ColKernel> {
+    match e {
+        SqlExpr::Cmp(a, op, b) => {
+            match (kernel_operand(a, shell, params)?, kernel_operand(b, shell, params)?) {
+                (KernelOperand::Col(pos), KernelOperand::Const(rhs)) => {
+                    Some(ColKernel::Cmp { pos, op: *op, rhs })
+                }
+                (KernelOperand::Const(rhs), KernelOperand::Col(pos)) => {
+                    Some(ColKernel::Cmp { pos, op: op.flip(), rhs })
+                }
+                _ => None,
+            }
+        }
+        SqlExpr::And(ps) if !ps.is_empty() => {
+            let parts: Vec<ColKernel> =
+                ps.iter().map(|p| compile_kernel(p, shell, params)).collect::<Option<_>>()?;
+            Some(ColKernel::And(parts))
+        }
+        SqlExpr::Or(ps) if !ps.is_empty() => {
+            let parts: Vec<ColKernel> =
+                ps.iter().map(|p| compile_kernel(p, shell, params)).collect::<Option<_>>()?;
+            Some(ColKernel::Or(parts))
+        }
+        SqlExpr::Not(x) => Some(ColKernel::Not(Box::new(compile_kernel(x, shell, params)?))),
+        _ => None,
+    }
+}
+
+/// Evaluates a kernel over `mask.len()` rows of `chunk` starting at
+/// `start`, writing one keep/drop bit per row. Column position `arity` is
+/// the rowid pseudo-column (positional, not stored).
+fn eval_kernel(k: &ColKernel, chunk: &Chunk, start: usize, arity: usize, mask: &mut [bool]) {
+    match k {
+        ColKernel::Cmp { pos, op, rhs } => {
+            if *pos == arity {
+                for (j, m) in mask.iter_mut().enumerate() {
+                    let v = Value::from((chunk.base() + start + j) as i64);
+                    *m = op.test(v.total_cmp(rhs));
+                }
+                return;
+            }
+            match (chunk.col(*pos), rhs) {
+                (ColumnVec::Int(xs), Value::Int(r)) => {
+                    for (j, m) in mask.iter_mut().enumerate() {
+                        *m = op.test(xs[start + j].cmp(r));
+                    }
+                }
+                (ColumnVec::Str(xs), Value::Str(r)) => {
+                    let r: &str = r;
+                    for (j, m) in mask.iter_mut().enumerate() {
+                        *m = op.test((*xs[start + j]).cmp(r));
+                    }
+                }
+                (ColumnVec::Bool(xs), Value::Bool(r)) => {
+                    for (j, m) in mask.iter_mut().enumerate() {
+                        *m = op.test(xs[start + j].cmp(r));
+                    }
+                }
+                // Mixed runtime types order by type tag
+                // (`Value::total_cmp`), and a column is homogeneous: the
+                // whole batch compares identically. Evaluate once, fill.
+                (col, rhs) => mask.fill(op.test(col.value(start).total_cmp(rhs))),
+            }
+        }
+        ColKernel::And(parts) => {
+            let (first, rest) = parts.split_first().expect("non-empty by construction");
+            eval_kernel(first, chunk, start, arity, mask);
+            let mut scratch = vec![false; mask.len()];
+            for p in rest {
+                eval_kernel(p, chunk, start, arity, &mut scratch);
+                for (m, s) in mask.iter_mut().zip(&scratch) {
+                    *m = *m && *s;
+                }
+            }
+        }
+        ColKernel::Or(parts) => {
+            let (first, rest) = parts.split_first().expect("non-empty by construction");
+            eval_kernel(first, chunk, start, arity, mask);
+            let mut scratch = vec![false; mask.len()];
+            for p in rest {
+                eval_kernel(p, chunk, start, arity, &mut scratch);
+                for (m, s) in mask.iter_mut().zip(&scratch) {
+                    *m = *m || *s;
+                }
+            }
+        }
+        ColKernel::Not(inner) => {
+            eval_kernel(inner, chunk, start, arity, mask);
+            for m in mask.iter_mut() {
+                *m = !*m;
+            }
+        }
     }
 }
 
@@ -1147,6 +1398,62 @@ mod tests {
         let out = db.execute_select(&q, &Params::new()).unwrap();
         assert_eq!(out.rows.len(), 1);
         assert_eq!(out.stats.rows_scanned, 2, "rows 0..=1 examined, row 1 matched");
+    }
+
+    fn int_column(out: &SelectOutput) -> Vec<i64> {
+        out.rows.iter().map(|r| r.value_at(0).as_int().expect("int column")).collect()
+    }
+
+    #[test]
+    fn offset_skips_rows_and_the_pushed_scan_fetches_limit_plus_offset() {
+        let db = setup();
+        let q = parse_query("SELECT id FROM users LIMIT 2 OFFSET 3").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(int_column(&out), vec![3, 4]);
+        // The pushed scan must fetch limit + offset rows, not just limit:
+        // truncating to 2 before the skip would return ids 0..2 minus the
+        // offset — an empty (and wrong) page.
+        assert_eq!(out.stats.rows_scanned, 5);
+
+        // OFFSET without LIMIT skips a prefix of the full result.
+        let q = parse_query("SELECT id FROM users OFFSET 4").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(int_column(&out), vec![4, 5]);
+
+        // Skipping past the end is empty, not an error.
+        let q = parse_query("SELECT id FROM users LIMIT 3 OFFSET 100").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn offset_applies_after_order_by_and_distinct() {
+        let db = setup();
+        let q = parse_query("SELECT id FROM users ORDER BY id DESC LIMIT 2 OFFSET 1").unwrap();
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(int_column(&out), vec![4, 3]);
+
+        let mut q =
+            parse_query("SELECT roleId FROM users ORDER BY roleId LIMIT 5 OFFSET 1").unwrap();
+        q.distinct = true;
+        let out = db.execute_select(&q, &Params::new()).unwrap();
+        assert_eq!(int_column(&out), vec![1, 2], "offset skips deduplicated rows");
+    }
+
+    #[test]
+    fn offset_parameters_bind_like_limit_parameters() {
+        let db = setup();
+        let q =
+            parse_query("SELECT id FROM users ORDER BY id LIMIT :cap OFFSET :skip").unwrap();
+        let mut params = Params::new();
+        params.insert("cap".into(), Value::from(2));
+        params.insert("skip".into(), Value::from(2));
+        let out = db.execute_select(&q, &params).unwrap();
+        assert_eq!(int_column(&out), vec![2, 3]);
+
+        params.remove("skip");
+        let err = db.execute_select(&q, &params).unwrap_err();
+        assert!(err.to_string().contains("unbound OFFSET parameter :skip"), "{err}");
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct PlanConfig {
     /// this to measure the hash-join/pushdown speedup against the
     /// application-code baseline; never enable it for production execution.
     pub force_nested_loop: bool,
+    /// Force scans onto the row-at-a-time materialization path instead of
+    /// the vectorized columnar one. Benchmarks use this to measure the
+    /// columnar speedup; the equivalence suite uses it to prove both
+    /// executors observationally identical. Never enable it for
+    /// production execution.
+    pub force_row_store: bool,
 }
 
 /// An index probe: `column = value` answered by a hash index.
@@ -83,6 +89,11 @@ pub struct ScanNode {
     pub probe: Option<IndexProbe>,
     /// Pushed predicates not answered by the probe, conjoined.
     pub filter: Option<SqlExpr>,
+    /// Column-batch metadata for the columnar executor: the positions of
+    /// [`cols`](Self::cols) a vectorized scan actually touches — the
+    /// pushed filter's column references plus the emitted columns, in
+    /// ascending position order.
+    pub cols_read: Vec<usize>,
     /// How many conjuncts were pushed down to this scan (probe included).
     pub pushed_filters: usize,
     /// Estimated output cardinality (exact for literal index probes,
@@ -172,6 +183,8 @@ pub struct PhysicalPlan {
     pub distinct: bool,
     /// `LIMIT` expression.
     pub limit: Option<SqlExpr>,
+    /// `OFFSET` expression (rows skipped before the `LIMIT` prefix).
+    pub offset: Option<SqlExpr>,
     /// True when the greedy optimizer changed the `FROM` order.
     pub reordered: bool,
     /// Uncorrelated `IN (SELECT …)` predicates reachable from this query
@@ -207,14 +220,20 @@ impl PhysicalPlan {
     }
 
     /// Estimated output cardinality: the last join estimate (or the single
-    /// scan's), clamped by a literal `LIMIT`.
+    /// scan's), reduced by a literal `OFFSET` and clamped by a literal
+    /// `LIMIT`.
     pub fn estimated_output(&self) -> usize {
-        let base = self
+        let mut base = self
             .joins
             .last()
             .map(|j| j.estimated_rows)
             .or_else(|| self.scans.first().map(|s| s.estimated_rows))
             .unwrap_or(0);
+        if let Some(SqlExpr::Lit(v)) = &self.offset {
+            if let Some(n) = v.as_int().filter(|n| *n >= 0) {
+                base = base.saturating_sub(n as usize);
+            }
+        }
         match &self.limit {
             Some(SqlExpr::Lit(v)) => match v.as_int() {
                 Some(n) if n >= 0 => base.min(n as usize),
@@ -244,6 +263,9 @@ impl fmt::Display for PhysicalPlan {
         }
         if self.limit.is_some() {
             writeln!(f, "limit")?;
+        }
+        if self.offset.is_some() {
+            writeln!(f, "offset")?;
         }
         Ok(())
     }
@@ -415,9 +437,9 @@ fn order_pinned_total(q: &SqlSelect) -> bool {
 ///   join reorder permutes but never changes the multiset; or
 /// * the `ORDER BY` pins a total order via every alias's `rowid`
 ///   ([`order_pinned_total`]) — the sort canonicalizes whatever order the
-///   joins produced, `LIMIT` included.
+///   joins produced, `LIMIT`/`OFFSET` included.
 fn reorder_permitted(q: &SqlSelect) -> bool {
-    if q.limit.is_some() || !q.order_by.is_empty() {
+    if q.limit.is_some() || q.offset.is_some() || !q.order_by.is_empty() {
         order_pinned_total(q)
     } else {
         true
@@ -527,17 +549,19 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
             FromItem::Subquery { query, alias: sub_alias } => {
                 // An inner reorder permutes the sub-query's output order,
                 // which the *outer* query observes through its own ORDER BY
-                // tie-breaking or LIMIT prefix. Only let inner plans
+                // tie-breaking or LIMIT/OFFSET window. Only let inner plans
                 // reorder when the outer result is order-insensitive (no
-                // ORDER BY, no LIMIT — multiset semantics end to end).
+                // ORDER BY, no LIMIT, no OFFSET — multiset semantics end to
+                // end).
                 let pinned;
-                let inner_config =
-                    if config.reorder_joins && !(q.order_by.is_empty() && q.limit.is_none()) {
-                        pinned = PlanConfig { reorder_joins: false, ..config.clone() };
-                        &pinned
-                    } else {
-                        config
-                    };
+                let inner_config = if config.reorder_joins
+                    && !(q.order_by.is_empty() && q.limit.is_none() && q.offset.is_none())
+                {
+                    pinned = PlanConfig { reorder_joins: false, ..config.clone() };
+                    &pinned
+                } else {
+                    config
+                };
                 let inner = plan_with(query, db, inner_config);
                 let est = inner.estimated_output();
                 let cols = query
@@ -566,6 +590,7 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
             emit: None,
             probe,
             filter: (!residual.is_empty()).then(|| SqlExpr::conjoin(residual)),
+            cols_read: Vec::new(),
             pushed_filters,
             estimated_rows,
         });
@@ -706,6 +731,27 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
         }
     }
 
+    // Column-batch metadata: record which positions of each scan's layout
+    // a vectorized interpretation touches — the emitted columns plus the
+    // pushed filter's references. Computed after pruning so `emit` is
+    // final.
+    for scan in &mut scans {
+        let mut read: BTreeSet<usize> = match &scan.emit {
+            Some(keep) => keep.iter().copied().collect(),
+            None => (0..scan.cols.len()).collect(),
+        };
+        if let Some(f) = &scan.filter {
+            let mut refs = Vec::new();
+            column_refs(f, &mut refs);
+            for (qual, name) in &refs {
+                if let Some(i) = crate::exec::resolve_cols(&scan.cols, qual.as_ref(), name) {
+                    read.insert(i);
+                }
+            }
+        }
+        scan.cols_read = read.into_iter().collect();
+    }
+
     // Final (post-pruning) layouts: resolve join-key positions and the
     // projection once, against exactly the columns the executor will
     // materialize.
@@ -743,6 +789,7 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
         columns: q.columns.clone(),
         distinct: q.distinct,
         limit: q.limit.clone(),
+        offset: q.offset.clone(),
         reordered,
         hoisted_subqueries,
         sort_elided,
@@ -920,6 +967,10 @@ mod tests {
         // LIMIT without a total order is order-sensitive even for multisets.
         q.order_by.clear();
         q.limit = Some(SqlExpr::int(3));
+        assert!(!reorder_permitted(&q));
+        // So is OFFSET alone: it selects a positional window.
+        q.limit = None;
+        q.offset = Some(SqlExpr::int(2));
         assert!(!reorder_permitted(&q));
     }
 }

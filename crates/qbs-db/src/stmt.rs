@@ -62,6 +62,7 @@ pub(crate) fn fingerprint(canonical: &str, config: &PlanConfig) -> u64 {
     canonical.hash(&mut h);
     config.reorder_joins.hash(&mut h);
     config.force_nested_loop.hash(&mut h);
+    config.force_row_store.hash(&mut h);
     h.finish()
 }
 
@@ -316,7 +317,7 @@ fn check_type(name: &Ident, expected: Option<FieldType>, value: &Value) -> Resul
 }
 
 /// Best-effort slot typing: a parameter compared against a column takes
-/// that column's schema type; `LIMIT :n` and scalar comparisons take
+/// that column's schema type; `LIMIT :n`/`OFFSET :n` and scalar comparisons take
 /// `Int`; anything else stays untyped. Conflicting uses keep the first
 /// inferred type (the contradiction will fail one comparison at run time
 /// regardless).
@@ -414,6 +415,9 @@ fn infer_slots(db: &Database, query: &SqlQuery) -> Vec<ParamSlot> {
             walk_expr(db, &aliases, single.as_ref(), &k.expr, note);
         }
         if let Some(SqlExpr::Param(p)) = &q.limit {
+            note(p, Some(FieldType::Int));
+        }
+        if let Some(SqlExpr::Param(p)) = &q.offset {
             note(p, Some(FieldType::Int));
         }
     }

@@ -11,6 +11,14 @@
 //! [`Connection`](crate::Connection) hand whole-database snapshots to
 //! concurrent statements while a writer churns inserts.
 //!
+//! Chunks are **columnar**: each chunk stores one typed vector per schema
+//! column ([`ColumnVec`]) instead of a row-major `Vec<Vec<Value>>`. The
+//! plan interpreter runs pushed filters and join-key extraction directly
+//! over these column slices in batches, stitching full rows only at
+//! projection time; row-at-a-time readers go through
+//! [`Table::rows`] / [`Table::row`], which materialize owned rows on
+//! demand.
+//!
 //! Single-row inserts install one-row chunks; to keep scans and index
 //! probes from degrading into a per-row chunk walk, a geometric tail
 //! merge (same shape as an LSM level merge) runs after every write, so a
@@ -20,15 +28,108 @@ use qbs_common::{FieldType, Ident, SchemaRef, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-/// An immutable run of consecutive rows. Never mutated after creation —
-/// snapshots share chunks by reference.
+/// One column of a chunk as a typed vector — the struct-of-arrays half of
+/// the columnar layout. Values are unwrapped at insert time (types were
+/// already checked against the schema), so scans over a column touch one
+/// homogeneous `Vec` with no per-value tag dispatch.
 #[derive(Debug)]
-struct Chunk {
+pub(crate) enum ColumnVec {
+    /// A `Bool` column.
+    Bool(Vec<bool>),
+    /// An `Int` column.
+    Int(Vec<i64>),
+    /// A `Str` column (`Arc<str>` clones are refcount bumps).
+    Str(Vec<Arc<str>>),
+}
+
+impl ColumnVec {
+    fn with_capacity(ty: FieldType, cap: usize) -> ColumnVec {
+        match ty {
+            FieldType::Bool => ColumnVec::Bool(Vec::with_capacity(cap)),
+            FieldType::Int => ColumnVec::Int(Vec::with_capacity(cap)),
+            FieldType::Str => ColumnVec::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Appends a value whose type was already checked against the column.
+    fn push(&mut self, v: &Value) {
+        match (self, v) {
+            (ColumnVec::Bool(col), Value::Bool(b)) => col.push(*b),
+            (ColumnVec::Int(col), Value::Int(i)) => col.push(*i),
+            (ColumnVec::Str(col), Value::Str(s)) => col.push(s.clone()),
+            (col, v) => unreachable!("value {v:?} in {col:?} after schema check"),
+        }
+    }
+
+    fn extend_from(&mut self, other: &ColumnVec) {
+        match (self, other) {
+            (ColumnVec::Bool(a), ColumnVec::Bool(b)) => a.extend_from_slice(b),
+            (ColumnVec::Int(a), ColumnVec::Int(b)) => a.extend_from_slice(b),
+            (ColumnVec::Str(a), ColumnVec::Str(b)) => a.extend_from_slice(b),
+            (a, b) => unreachable!("merging {a:?} into {b:?} across column types"),
+        }
+    }
+
+    /// The value at position `i`, re-wrapped as a [`Value`].
+    pub(crate) fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Bool(col) => Value::Bool(col[i]),
+            ColumnVec::Int(col) => Value::Int(col[i]),
+            ColumnVec::Str(col) => Value::Str(col[i].clone()),
+        }
+    }
+}
+
+/// An immutable run of consecutive rows, stored column-major. Never
+/// mutated after creation — snapshots share chunks by reference.
+#[derive(Debug)]
+pub(crate) struct Chunk {
     /// Global rowid of the first row (fixed at creation: rows are only
     /// ever appended after existing ones, so a chunk's position in the
     /// table never moves).
     base: usize,
-    rows: Vec<Vec<Value>>,
+    /// Number of rows (every column vector has this length).
+    len: usize,
+    /// One typed vector per schema column.
+    cols: Vec<ColumnVec>,
+}
+
+impl Chunk {
+    /// Transposes row-major input (already schema-checked) into a
+    /// columnar chunk.
+    fn from_rows(base: usize, schema: &SchemaRef, rows: Vec<Vec<Value>>) -> Chunk {
+        let mut cols: Vec<ColumnVec> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnVec::with_capacity(f.ty, rows.len()))
+            .collect();
+        for row in &rows {
+            for (col, v) in cols.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        Chunk { base, len: rows.len(), cols }
+    }
+
+    /// Global rowid of the first row.
+    pub(crate) fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of rows in the chunk.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The typed vector of column `pos` (schema order).
+    pub(crate) fn col(&self, pos: usize) -> &ColumnVec {
+        &self.cols[pos]
+    }
+
+    /// Materializes row `i` (chunk-local index) as an owned row.
+    pub(crate) fn row_values(&self, i: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.value(i)).collect()
+    }
 }
 
 /// Per-column hash index, chunk-aligned: one immutable map per chunk from
@@ -87,19 +188,26 @@ impl Table {
         self.chunks.len()
     }
 
-    /// The stored rows, in insertion order (rowid order).
-    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
-        self.chunks.iter().flat_map(|c| c.rows.iter().map(Vec::as_slice))
+    /// The storage chunks, in rowid order — the executor's entry point
+    /// for columnar scans.
+    pub(crate) fn chunks(&self) -> &[Arc<Chunk>] {
+        &self.chunks
     }
 
-    /// The row at `rowid`, when in bounds.
-    pub fn row(&self, rowid: usize) -> Option<&[Value]> {
+    /// The stored rows, in insertion order (rowid order), materialized
+    /// from the columnar chunks on demand.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        self.chunks.iter().flat_map(|c| (0..c.len).map(move |i| c.row_values(i)))
+    }
+
+    /// The row at `rowid`, when in bounds, materialized from its chunk.
+    pub fn row(&self, rowid: usize) -> Option<Vec<Value>> {
         if rowid >= self.len {
             return None;
         }
         let i = self.chunks.partition_point(|c| c.base <= rowid).checked_sub(1)?;
         let chunk = &self.chunks[i];
-        chunk.rows.get(rowid - chunk.base).map(Vec::as_slice)
+        (rowid - chunk.base < chunk.len).then(|| chunk.row_values(rowid - chunk.base))
     }
 
     fn check_row(&self, values: &[Value]) {
@@ -155,36 +263,46 @@ impl Table {
         self.generation += 1;
     }
 
-    /// Installs `rows` as a fresh chunk, extends every column index with
-    /// the chunk's map, and runs the geometric tail merge.
+    /// Installs `rows` as a fresh columnar chunk, extends every column
+    /// index with the chunk's map, and runs the geometric tail merge.
     fn install_chunk(&mut self, rows: Vec<Vec<Value>>) {
         let base = self.len;
         self.len += rows.len();
+        let chunk = Chunk::from_rows(base, &self.schema, rows);
         for (col, idx) in self.indexes.iter_mut() {
             let pos = self
                 .schema
                 .index_of(&qbs_common::FieldRef::new(col.clone()))
                 .expect("indexed column exists");
-            idx.push(Arc::new(chunk_index(&rows, base, pos)));
+            idx.push(Arc::new(chunk_index(&chunk, pos)));
         }
-        self.chunks.push(Arc::new(Chunk { base, rows }));
+        self.chunks.push(Arc::new(chunk));
         // Geometric tail merge: while the last chunk has grown at least as
         // large as its predecessor, fold the two into one freshly built
         // chunk (snapshots keep the originals). Sizes then fall strictly,
         // like a binary counter, bounding the chunk count at O(log n) with
         // amortized O(log n) row copies per insert.
         while self.chunks.len() >= 2 {
-            let last = self.chunks[self.chunks.len() - 1].rows.len();
-            let prev = self.chunks[self.chunks.len() - 2].rows.len();
+            let last = self.chunks[self.chunks.len() - 1].len;
+            let prev = self.chunks[self.chunks.len() - 2].len;
             if last < prev {
                 break;
             }
             let b = self.chunks.pop().expect("two chunks");
             let a = self.chunks.pop().expect("two chunks");
-            let mut rows = Vec::with_capacity(a.rows.len() + b.rows.len());
-            rows.extend(a.rows.iter().cloned());
-            rows.extend(b.rows.iter().cloned());
-            let merged = Arc::new(Chunk { base: a.base, rows });
+            // Column-wise concatenation: each merged column is one typed
+            // extend, never a row-at-a-time rebuild.
+            let mut cols: Vec<ColumnVec> = self
+                .schema
+                .fields()
+                .iter()
+                .map(|f| ColumnVec::with_capacity(f.ty, a.len + b.len))
+                .collect();
+            for (pos, col) in cols.iter_mut().enumerate() {
+                col.extend_from(a.col(pos));
+                col.extend_from(b.col(pos));
+            }
+            let merged = Arc::new(Chunk { base: a.base, len: a.len + b.len, cols });
             for (col, idx) in self.indexes.iter_mut() {
                 let pos = self
                     .schema
@@ -192,7 +310,7 @@ impl Table {
                     .expect("indexed column exists");
                 idx.pop();
                 idx.pop();
-                idx.push(Arc::new(chunk_index(&merged.rows, merged.base, pos)));
+                idx.push(Arc::new(chunk_index(&merged, pos)));
             }
             self.chunks.push(merged);
         }
@@ -205,8 +323,7 @@ impl Table {
     /// Returns the schema resolution error when the column does not exist.
     pub fn create_index(&mut self, column: &Ident) -> Result<(), qbs_common::CommonError> {
         let pos = self.schema.index_of(&qbs_common::FieldRef::new(column.clone()))?;
-        let idx =
-            self.chunks.iter().map(|c| Arc::new(chunk_index(&c.rows, c.base, pos))).collect();
+        let idx = self.chunks.iter().map(|c| Arc::new(chunk_index(c, pos))).collect();
         self.indexes.insert(column.clone(), idx);
         self.generation += 1;
         Ok(())
@@ -261,20 +378,20 @@ impl Table {
     /// The stored rows as an ordered [`Relation`](qbs_common::Relation)
     /// under the table's schema — the view the kernel interpreter consumes.
     pub fn relation(&self) -> qbs_common::Relation {
-        let records = self
-            .rows()
-            .map(|r| qbs_common::Record::new(self.schema.clone(), r.to_vec()))
-            .collect();
+        let records =
+            self.rows().map(|r| qbs_common::Record::new(self.schema.clone(), r)).collect();
         qbs_common::Relation::from_records(self.schema.clone(), records)
             .expect("stored rows satisfy the table schema")
     }
 }
 
-/// The per-chunk index map for one column: value → ascending global rowids.
-fn chunk_index(rows: &[Vec<Value>], base: usize, pos: usize) -> HashMap<Value, Vec<usize>> {
+/// The per-chunk index map for one column: value → ascending global
+/// rowids, read straight off the chunk's typed column vector.
+fn chunk_index(chunk: &Chunk, pos: usize) -> HashMap<Value, Vec<usize>> {
     let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
-    for (i, row) in rows.iter().enumerate() {
-        map.entry(row[pos].clone()).or_default().push(base + i);
+    let col = chunk.col(pos);
+    for i in 0..chunk.len {
+        map.entry(col.value(i)).or_default().push(chunk.base + i);
     }
     map
 }
@@ -297,8 +414,26 @@ mod tests {
         t.insert(vec![1.into(), "y".into()]);
         assert_eq!(t.len(), 2);
         assert_eq!(t.row(0).unwrap()[0], Value::from(2));
-        let firsts: Vec<&Value> = t.rows().map(|r| &r[0]).collect();
-        assert_eq!(firsts, vec![&Value::from(2), &Value::from(1)]);
+        let firsts: Vec<Value> = t.rows().map(|r| r[0].clone()).collect();
+        assert_eq!(firsts, vec![Value::from(2), Value::from(1)]);
+    }
+
+    #[test]
+    fn chunks_are_columnar_and_typed() {
+        let mut t = table();
+        t.insert_many((0..4i64).map(|i| vec![i.into(), format!("r{i}").into()]).collect());
+        assert_eq!(t.chunk_count(), 1);
+        let chunk = &t.chunks()[0];
+        assert_eq!(chunk.len(), 4);
+        match chunk.col(0) {
+            ColumnVec::Int(col) => assert_eq!(col, &vec![0, 1, 2, 3]),
+            other => panic!("Int column stored as {other:?}"),
+        }
+        match chunk.col(1) {
+            ColumnVec::Str(col) => assert_eq!(col.len(), 4),
+            other => panic!("Str column stored as {other:?}"),
+        }
+        assert_eq!(chunk.row_values(2), vec![Value::from(2), "r2".into()]);
     }
 
     #[test]

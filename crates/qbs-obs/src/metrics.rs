@@ -147,23 +147,30 @@ impl HistogramSnapshot {
     }
 
     /// Approximate quantile (`0.0 ..= 1.0`) from bucket bounds: returns
-    /// the upper bound of the bucket containing the q-th observation
-    /// (`max` for the overflow bucket, `None` when empty).
+    /// the upper bound of the bucket containing the q-th observation,
+    /// clamped into the observed `[min, max]` (`q = 0.0` is the observed
+    /// minimum, the overflow bucket answers with `max`, `None` when
+    /// empty). The clamp matters at the extremes: a lone observation in a
+    /// wide bucket used to report the bucket bound as its own quantile,
+    /// and `q = 0.0` used to report the first bucket's *upper* bound.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let (min, max) = (self.min?, self.max?);
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(min);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(
-                    self.bounds.get(i).copied().unwrap_or(self.max.unwrap_or(u64::MAX)),
-                );
+                return Some(self.bounds.get(i).copied().unwrap_or(max).clamp(min, max));
             }
         }
-        self.max
+        Some(max)
     }
 
     /// Interpolated quantile: like [`quantile`](Self::quantile) but
@@ -177,7 +184,13 @@ impl HistogramSnapshot {
             return None;
         }
         let (min, max) = (self.min? as f64, self.max? as f64);
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            // Interpolating rank 1 across its bucket lands mid-bucket;
+            // the 0th quantile is the observed minimum by definition.
+            return Some(min);
+        }
+        let rank = (q * self.count as f64).max(1.0);
         let mut seen = 0u64;
         for (i, n) in self.buckets.iter().enumerate() {
             if *n == 0 {

@@ -1,0 +1,128 @@
+//! Quantile edge-case properties for `HistogramSnapshot`.
+//!
+//! The estimators answer from bucket bounds, so the properties pin what
+//! bounds can never excuse: answers outside the observed `[min, max]`
+//! range (a lone observation in a wide bucket used to report the bucket
+//! bound as its own p99), `q = 0.0` reporting a bucket *upper* bound
+//! instead of the minimum, and non-monotone answers across `q`.
+
+use proptest::prelude::*;
+use qbs_obs::Metrics;
+
+/// Bound layouts chosen to exercise the edge shapes: empty (everything
+/// overflows), one wide bucket, dense small buckets, and a huge span.
+const BOUNDS: &[&[u64]] = &[&[], &[1_000_000], &[1, 2, 3, 4, 5], &[10, 100], &[7, 7_000_000]];
+
+fn snapshot(bounds: &[u64], obs: &[u64]) -> qbs_obs::HistogramSnapshot {
+    let m = Metrics::new();
+    let h = m.histogram("h", bounds);
+    for &v in obs {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Both estimators stay inside the observed range for every q — the
+    /// bucket bound is an estimate, the range is ground truth.
+    #[test]
+    fn quantiles_never_escape_observed_range(
+        which in 0usize..BOUNDS.len(),
+        obs in prop::collection::vec(0i64..5_000_000, 1..48),
+        qs in prop::collection::vec(0usize..1001, 1..8),
+    ) {
+        let obs: Vec<u64> = obs.into_iter().map(|v| v as u64).collect();
+        let snap = snapshot(BOUNDS[which], &obs);
+        let (min, max) = (*obs.iter().min().unwrap(), *obs.iter().max().unwrap());
+        for q in qs.iter().map(|&k| k as f64 / 1000.0) {
+            let coarse = snap.quantile(q).unwrap();
+            prop_assert!((min..=max).contains(&coarse), "q={q}: {coarse} vs [{min}, {max}]");
+            let interp = snap.quantile_interpolated(q).unwrap();
+            prop_assert!(
+                interp >= min as f64 && interp <= max as f64,
+                "q={q}: {interp} vs [{min}, {max}]"
+            );
+        }
+    }
+
+    /// `q = 0.0` is the observed minimum and `q = 1.0` the observed
+    /// maximum — even when either lands in the unbounded overflow bucket.
+    #[test]
+    fn extreme_quantiles_are_the_observed_extremes(
+        which in 0usize..BOUNDS.len(),
+        obs in prop::collection::vec(0i64..5_000_000, 1..48),
+    ) {
+        let obs: Vec<u64> = obs.into_iter().map(|v| v as u64).collect();
+        let snap = snapshot(BOUNDS[which], &obs);
+        let (min, max) = (*obs.iter().min().unwrap(), *obs.iter().max().unwrap());
+        prop_assert_eq!(snap.quantile(0.0), Some(min));
+        prop_assert_eq!(snap.quantile(1.0), Some(max));
+        prop_assert_eq!(snap.quantile_interpolated(0.0), Some(min as f64));
+        prop_assert_eq!(snap.quantile_interpolated(1.0), Some(max as f64));
+        // Out-of-domain q clamps rather than extrapolating.
+        prop_assert_eq!(snap.quantile(-3.5), Some(min));
+        prop_assert_eq!(snap.quantile(7.0), Some(max));
+    }
+
+    /// Quantiles are monotone non-decreasing in q.
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        which in 0usize..BOUNDS.len(),
+        obs in prop::collection::vec(0i64..5_000_000, 1..48),
+        qs in prop::collection::vec(0usize..1001, 2..10),
+    ) {
+        let obs: Vec<u64> = obs.into_iter().map(|v| v as u64).collect();
+        let snap = snapshot(BOUNDS[which], &obs);
+        let mut qs: Vec<f64> = qs.into_iter().map(|k| k as f64 / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        for pair in qs.windows(2) {
+            prop_assert!(
+                snap.quantile(pair[0]) <= snap.quantile(pair[1]),
+                "coarse not monotone at {pair:?}"
+            );
+            prop_assert!(
+                snap.quantile_interpolated(pair[0]) <= snap.quantile_interpolated(pair[1]),
+                "interpolated not monotone at {pair:?}"
+            );
+        }
+    }
+
+    /// A single observation is every quantile of itself, whatever bucket
+    /// it lands in.
+    #[test]
+    fn single_observation_is_every_quantile(
+        which in 0usize..BOUNDS.len(),
+        v in 0i64..5_000_000,
+        q in 0usize..1001,
+    ) {
+        let snap = snapshot(BOUNDS[which], &[v as u64]);
+        let q = q as f64 / 1000.0;
+        prop_assert_eq!(snap.quantile(q), Some(v as u64));
+        prop_assert_eq!(snap.quantile_interpolated(q), Some(v as f64));
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let snap = snapshot(&[10, 100], &[]);
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(snap.quantile(q), None);
+        assert_eq!(snap.quantile_interpolated(q), None);
+    }
+    assert_eq!(snap.percentiles(), None);
+}
+
+/// The regression the clamp fixes: one observation far below its bucket's
+/// upper bound used to report the bound (1 000 000) as its own quantile.
+#[test]
+fn lone_observation_in_wide_bucket_reports_itself() {
+    let snap = snapshot(&[1_000_000], &[3]);
+    assert_eq!(snap.quantile(0.99), Some(3));
+    assert_eq!(snap.quantile(0.0), Some(3));
+    // All mass in the overflow bucket: extremes still clamp to observed.
+    let snap = snapshot(&[10], &[500, 900]);
+    assert_eq!(snap.quantile(0.0), Some(500));
+    assert_eq!(snap.quantile(1.0), Some(900));
+    assert_eq!(snap.quantile_interpolated(0.0), Some(500.0));
+    assert_eq!(snap.quantile_interpolated(1.0), Some(900.0));
+}

@@ -34,11 +34,14 @@ pub enum FragShape {
     Distinct,
     /// Nested-loop equi-join, appending left records.
     Join,
+    /// Constant-bounded prefix (`i < k && i < size(xs)`): the guarded
+    /// top-k idiom, translating to `LIMIT k`.
+    TopK,
 }
 
 impl FragShape {
     /// All shapes, in generation-weight order.
-    pub const ALL: [FragShape; 7] = [
+    pub const ALL: [FragShape; 8] = [
         FragShape::Filter,
         FragShape::Projection,
         FragShape::Count,
@@ -46,6 +49,7 @@ impl FragShape {
         FragShape::Max,
         FragShape::Distinct,
         FragShape::Join,
+        FragShape::TopK,
     ];
 }
 
@@ -280,6 +284,27 @@ fn gen_one(rng: &mut TestRng, index: usize) -> GenFragment {
                             "j",
                         ),
                     ],
+                    "i",
+                ))
+                .result("out")
+                .finish()
+        }
+        FragShape::TopK => {
+            // No predicate: a guarded loop body would mean "matches among
+            // the first k rows" (select ∘ top), which is not the top-k
+            // template the synthesizer proves — keep the append
+            // unconditional so the fragment is exactly `top_k(xs)`.
+            let k = rng.draw_i64(1..12);
+            KernelProgram::builder(name.clone())
+                .stmt(KStmt::assign("out", KExpr::EmptyList))
+                .stmt(scan("xs", &schema))
+                .stmt(KStmt::assign("i", KExpr::int(0)))
+                .stmt(counter_loop(
+                    KExpr::and(
+                        KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::int(k)),
+                        size_guard("i", "xs"),
+                    ),
+                    vec![append_elem("out", "xs", "i")],
                     "i",
                 ))
                 .result("out")

@@ -160,6 +160,8 @@ pub struct SqlSelect {
     pub order_by: Vec<OrderKey>,
     /// Optional `LIMIT`.
     pub limit: Option<SqlExpr>,
+    /// Optional `OFFSET` (rows skipped before the limit window).
+    pub offset: Option<SqlExpr>,
 }
 
 impl SqlSelect {
@@ -172,6 +174,7 @@ impl SqlSelect {
             where_clause: None,
             order_by: Vec::new(),
             limit: None,
+            offset: None,
         }
     }
 
@@ -187,6 +190,7 @@ impl SqlSelect {
             || self.where_clause.as_ref().is_some_and(SqlExpr::contains_param)
             || self.order_by.iter().any(|k| k.expr.contains_param())
             || self.limit.as_ref().is_some_and(SqlExpr::contains_param)
+            || self.offset.as_ref().is_some_and(SqlExpr::contains_param)
     }
 
     /// Every base-table name the query reads — `FROM` tables plus,

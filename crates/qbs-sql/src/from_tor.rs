@@ -216,7 +216,15 @@ fn sorted_select(
         }
     }
 
-    Ok(SqlSelect { distinct: false, columns, from: flat.from, where_clause, order_by, limit })
+    Ok(SqlSelect {
+        distinct: false,
+        columns,
+        from: flat.from,
+        where_clause,
+        order_by,
+        limit,
+        offset: None,
+    })
 }
 
 fn scalar_of(s: &ScalarQuery) -> Result<SqlScalar> {

@@ -8,7 +8,7 @@
 //! * [`parse`] — the full surface the generic printer emits: relational
 //!   and scalar (aggregate) queries, `DISTINCT`, multi-table `FROM` with
 //!   aliases and sub-queries, `WHERE` conjunctions with `IN`/row-`IN`
-//!   sub-queries, `ORDER BY`, and `LIMIT`. Together with
+//!   sub-queries, `ORDER BY`, `LIMIT`, and `OFFSET`. Together with
 //!   [`print_query`](crate::print_query) this gives the generic dialect a
 //!   round-trip property: printing a parsed query and re-parsing it is a
 //!   fixpoint.
@@ -265,14 +265,25 @@ fn parse_agg(tok: &str) -> Option<AggKind> {
     }
 }
 
+/// True for tokens that are shaped like integer literals (an optional
+/// sign followed by digits only). Used to distinguish "not a number" from
+/// "a number too large for `i64`": the latter must be a parse error, not
+/// a column reference named `9223372036854775808`.
+fn looks_numeric(tok: &str) -> bool {
+    let digits = tok.strip_prefix('-').unwrap_or(tok);
+    !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+}
+
 /// A scalar operand: bind parameter, literal, or column reference.
-fn scalar_operand(tok: &str) -> SqlExpr {
+fn scalar_operand(tok: &str) -> Result<SqlExpr, ParseError> {
     if let Some(p) = tok.strip_prefix(':') {
-        SqlExpr::Param(p.into())
+        Ok(SqlExpr::Param(p.into()))
     } else if let Some(v) = parse_value(tok) {
-        SqlExpr::Lit(v)
+        Ok(SqlExpr::Lit(v))
+    } else if looks_numeric(tok) {
+        Err(ParseError::new(format!("integer literal `{tok}` out of range")))
     } else {
-        column_expr(tok)
+        Ok(column_expr(tok))
     }
 }
 
@@ -416,7 +427,7 @@ fn parse_scalar(t: &mut Tokens, agg: AggKind, distinct: bool) -> Result<SqlScala
             t.next();
             let rhs =
                 t.next().ok_or_else(|| ParseError::new("missing aggregate comparison"))?;
-            Some((op, scalar_operand(&rhs)))
+            Some((op, scalar_operand(&rhs)?))
         }
         None => None,
     };
@@ -426,7 +437,7 @@ fn parse_scalar(t: &mut Tokens, agg: AggKind, distinct: bool) -> Result<SqlScala
     Ok(SqlScalar { agg, column, query, compare })
 }
 
-/// The `FROM … [WHERE …] [ORDER BY …] [LIMIT …]` tail. Returns a select
+/// The `FROM … [WHERE …] [ORDER BY …] [LIMIT …] [OFFSET …]` tail. Returns a select
 /// with an empty column list; the caller fills it.
 fn parse_tail(t: &mut Tokens) -> Result<SqlSelect, ParseError> {
     let mut from = Vec::new();
@@ -509,10 +520,23 @@ fn parse_tail(t: &mut Tokens) -> Result<SqlSelect, ParseError> {
         });
     }
 
+    // `OFFSET` parses with or without a preceding `LIMIT`.
+    let mut offset = None;
+    if t.peek_kw("OFFSET") {
+        t.next();
+        let tok = t.next().ok_or_else(|| ParseError::new("bad OFFSET"))?;
+        offset = Some(if let Some(p) = tok.strip_prefix(':') {
+            SqlExpr::Param(p.into())
+        } else {
+            SqlExpr::int(tok.parse::<i64>().map_err(|_| ParseError::new("bad OFFSET"))?)
+        });
+    }
+
     let mut q = SqlSelect::new(Vec::new(), from);
     q.where_clause = where_clause;
     q.order_by = order_by;
     q.limit = limit;
+    q.offset = offset;
     Ok(q)
 }
 
@@ -548,7 +572,7 @@ fn parse_atom(t: &mut Tokens) -> Result<SqlExpr, ParseError> {
         .and_then(|o| parse_cmp(&o))
         .ok_or_else(|| ParseError::new("bad comparison operator"))?;
     let rhs_tok = t.next().ok_or_else(|| ParseError::new("missing value in WHERE"))?;
-    Ok(SqlExpr::cmp(column_expr(&col), op, scalar_operand(&rhs_tok)))
+    Ok(SqlExpr::cmp(column_expr(&col), op, scalar_operand(&rhs_tok)?))
 }
 
 #[cfg(test)]

@@ -208,6 +208,11 @@ impl<'d> Renderer<'d> {
                 self.expr(l);
             }
         }
+        // OFFSET has no TOP-style spelling; it always trails.
+        if let Some(o) = &q.offset {
+            self.out.push_str(" OFFSET ");
+            self.expr(o);
+        }
     }
 
     fn scalar(&mut self, q: &SqlScalar) {
@@ -349,6 +354,7 @@ mod tests {
             )),
             order_by: vec![OrderKey { expr: SqlExpr::qcol("users", "rowid"), asc: true }],
             limit: Some(SqlExpr::int(10)),
+            offset: None,
         };
         assert_eq!(
             print_select(&q),
@@ -386,6 +392,7 @@ mod tests {
             where_clause: None,
             order_by: vec![],
             limit: None,
+            offset: None,
         });
         assert!(render_query(&q, Dialect::Generic).contains("'o''brien'"));
     }
@@ -406,6 +413,7 @@ mod tests {
             )),
             order_by: vec![],
             limit: None,
+            offset: None,
         });
         assert!(render_query(&q, Dialect::Generic)
             .contains("users.roleId IN (SELECT roles.roleId FROM roles)"));
@@ -426,6 +434,7 @@ mod tests {
             where_clause: Some(w),
             order_by: vec![],
             limit: None,
+            offset: None,
         });
         let (text, params) = render_query_with_params(&q, Dialect::Postgres);
         assert!(text.contains("= $1") && text.contains("= $2"), "{text}");
@@ -455,6 +464,7 @@ mod tests {
             where_clause: None,
             order_by: vec![],
             limit: Some(SqlExpr::int(5)),
+            offset: None,
         });
         assert_eq!(render_query_with(&q, &MsSqlish), "SELECT TOP 5 id FROM t");
 

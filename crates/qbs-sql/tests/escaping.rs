@@ -37,6 +37,7 @@ fn select_with_literal(s: &str) -> SqlQuery {
         )),
         order_by: vec![],
         limit: None,
+        offset: None,
     })
 }
 

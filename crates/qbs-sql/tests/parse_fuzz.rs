@@ -1,0 +1,107 @@
+//! Parser robustness: adversarial numeric literals and arbitrary token
+//! soup must produce `Ok` or `ParseError` — never a panic, and never a
+//! silent misparse (an out-of-range integer literal used to come back as
+//! a *column reference* named `9223372036854775808`).
+
+use proptest::prelude::*;
+use qbs_sql::{parse, SqlExpr, SqlQuery};
+
+#[test]
+fn overflowing_int_literal_is_a_parse_error_not_a_column() {
+    // One past i64::MAX.
+    let err = parse("SELECT id FROM t WHERE id = 9223372036854775808").unwrap_err();
+    assert!(err.message.contains("out of range"), "got: {}", err.message);
+    // Far past, and in a scalar comparison position.
+    assert!(parse("SELECT COUNT(*) > 99999999999999999999 FROM t").is_err());
+    // LIMIT/OFFSET positions already rejected overflow; keep them pinned.
+    assert!(parse("SELECT id FROM t LIMIT 9223372036854775808").is_err());
+    assert!(parse("SELECT id FROM t OFFSET 9223372036854775808").is_err());
+}
+
+#[test]
+fn extreme_but_valid_literals_still_parse() {
+    let q = parse("SELECT id FROM t WHERE id = -9223372036854775808").unwrap();
+    let SqlQuery::Select(sel) = q else { panic!("relational") };
+    let Some(SqlExpr::Cmp(_, _, rhs)) = sel.where_clause else { panic!("cmp") };
+    assert_eq!(*rhs, SqlExpr::int(i64::MIN));
+    let q = parse("SELECT id FROM t WHERE id = 9223372036854775807").unwrap();
+    let SqlQuery::Select(sel) = q else { panic!("relational") };
+    let Some(SqlExpr::Cmp(_, _, rhs)) = sel.where_clause else { panic!("cmp") };
+    assert_eq!(*rhs, SqlExpr::int(i64::MAX));
+}
+
+/// Tokens the grammar reacts to, plus numeric edge shapes.
+const WORDS: &[&str] = &[
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "ORDER",
+    "BY",
+    "LIMIT",
+    "OFFSET",
+    "IN",
+    "AS",
+    "COUNT",
+    "(",
+    ")",
+    ",",
+    "*",
+    "=",
+    "<>",
+    "<=",
+    ":p",
+    "?",
+    "$1",
+    "t",
+    "id",
+    "t.id",
+    "'str'",
+    "9223372036854775808",
+    "-9223372036854775809",
+    "18446744073709551616",
+    "0",
+    "-0",
+    "007",
+    "1.5",
+    "--",
+    "9e99",
+];
+
+proptest! {
+    /// Any sequence of grammar-adjacent tokens parses or errors — no panic.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        idxs in prop::collection::vec(0usize..WORDS.len(), 0..16)
+    ) {
+        let input: Vec<&str> = idxs.iter().map(|&i| WORDS[i]).collect();
+        let _ = parse(&input.join(" "));
+    }
+
+    /// Well-formed queries with arbitrary integer-shaped RHS tokens either
+    /// parse to the exact literal or report an out-of-range error.
+    #[test]
+    fn numeric_rhs_is_literal_or_error(
+        digits in prop::collection::vec(0usize..10, 1..25),
+        neg in 0usize..2
+    ) {
+        let digits: String = digits.iter().map(|&d| char::from(b'0' + d as u8)).collect();
+        let tok = if neg == 1 { format!("-{digits}") } else { digits.clone() };
+        let text = format!("SELECT id FROM t WHERE id = {tok}");
+        match (parse(&text), tok.parse::<i64>()) {
+            (Ok(SqlQuery::Select(sel)), Ok(n)) => {
+                let Some(SqlExpr::Cmp(_, _, rhs)) = sel.where_clause else {
+                    return Err(TestCaseError::fail("cmp missing"));
+                };
+                prop_assert_eq!(*rhs, SqlExpr::int(n));
+            }
+            (Err(_), Err(_)) => {}
+            (parsed, native) => {
+                return Err(TestCaseError::fail(format!(
+                    "token {tok}: parser {parsed:?} disagrees with i64 {native:?}"
+                )));
+            }
+        }
+    }
+}

@@ -44,20 +44,28 @@ fn ids(out: QueryOutput) -> Vec<i64> {
 
 /// Readers race a single-row-insert writer. Every read must observe ids
 /// `0..k` exactly (insertion order, no gaps, no duplicates) with `k`
-/// bracketed by the writer's committed counter around the read.
+/// bracketed by the writer's progress around the read. The bracket needs
+/// two counters: `committed` (bumped *after* an insert publishes) lower-
+/// bounds what a later snapshot must contain, and `started` (bumped
+/// *before* the insert) upper-bounds what it may contain — a single
+/// counter on either side of the insert races against snapshot pinning
+/// and flags healthy reads.
 #[test]
 fn reads_see_exact_prefixes_of_committed_single_row_writes() {
     const WRITES: usize = 300;
     let conn = Connection::open(counters_db());
+    let started = AtomicUsize::new(0);
     let committed = AtomicUsize::new(0);
     let violations = AtomicUsize::new(0);
 
     thread::scope(|scope| {
         let writer = {
             let conn = conn.clone();
+            let started = &started;
             let committed = &committed;
             scope.spawn(move || {
                 for i in 0..WRITES {
+                    started.fetch_add(1, Ordering::SeqCst);
                     conn.insert("events", vec![Value::from(i as i64)]).unwrap();
                     committed.fetch_add(1, Ordering::SeqCst);
                 }
@@ -65,6 +73,7 @@ fn reads_see_exact_prefixes_of_committed_single_row_writes() {
         };
         for _ in 0..3 {
             let conn = conn.clone();
+            let started = &started;
             let committed = &committed;
             let violations = &violations;
             scope.spawn(move || {
@@ -73,13 +82,13 @@ fn reads_see_exact_prefixes_of_committed_single_row_writes() {
                 loop {
                     let before = committed.load(Ordering::SeqCst);
                     let got = ids(conn.execute(&stmt, &params).unwrap());
-                    let after = committed.load(Ordering::SeqCst);
+                    let after = started.load(Ordering::SeqCst);
                     let k = got.len();
                     let prefix: Vec<i64> = (0..k as i64).collect();
                     if got != prefix || k < before || k > after {
                         violations.fetch_add(1, Ordering::SeqCst);
                     }
-                    if after >= WRITES {
+                    if committed.load(Ordering::SeqCst) >= WRITES {
                         break;
                     }
                 }
@@ -143,6 +152,36 @@ fn insert_many_batches_are_never_observed_partially() {
         ids(conn.query_cached("SELECT id FROM events", &Params::new()).unwrap()).len(),
         BATCH * BATCHES
     );
+}
+
+/// An empty `insert_many` batch is a complete no-op: no version is
+/// published, nothing is invalidated, and prepared statements keep their
+/// cached plans instead of replanning spuriously. Unknown tables still
+/// error.
+#[test]
+fn empty_insert_many_publishes_nothing_and_never_replans() {
+    let conn = Connection::open(counters_db());
+    conn.insert_many("events", (0..5i64).map(|i| vec![Value::from(i)]).collect()).unwrap();
+    let stmt = conn.prepare("SELECT id FROM events").unwrap();
+    let params = Params::new();
+    assert_eq!(ids(conn.execute(&stmt, &params).unwrap()).len(), 5);
+
+    let version = conn.version();
+    let invalidations = conn.plan_cache_stats().invalidations;
+    conn.insert_many("events", Vec::new()).unwrap();
+    assert_eq!(conn.version(), version, "empty batch published a version");
+    assert_eq!(conn.plan_cache_stats().invalidations, invalidations);
+
+    let out = match conn.execute(&stmt, &params).unwrap() {
+        QueryOutput::Rows(o) => o,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    assert_eq!(out.rows.len(), 5);
+    assert_eq!(out.stats.plan_cache_hits, 1, "{:?}", out.stats);
+    assert_eq!(out.stats.replans, 0, "empty batch forced a replan");
+
+    // The table-existence contract is unchanged.
+    assert!(conn.insert_many("missing", Vec::new()).is_err());
 }
 
 /// A snapshot pinned via `database()` is frozen: whatever the writer does

@@ -114,6 +114,7 @@ proptest! {
         with_name in 0usize..2,
         desc in 0usize..2,
         limit in prop::option::of(0i64..7),
+        offset in prop::option::of(0i64..5),
     ) {
         let name: String = name_chars.iter().map(|&i| NAME_POOL[i]).collect();
         let (with_name, desc) = (with_name == 1, desc == 1);
@@ -131,6 +132,9 @@ proptest! {
         q.where_clause = Some(SqlExpr::conjoin(conjuncts));
         q.order_by = vec![qbs_sql::OrderKey { expr: SqlExpr::col("id"), asc: !desc }];
         q.limit = limit.map(|_| SqlExpr::Param("cap".into()));
+        // OFFSET with and without a LIMIT: the standalone form has its own
+        // parse path, and paging must survive every dialect's rendering.
+        q.offset = offset.map(|_| SqlExpr::Param("skip".into()));
         let q = qbs_sql::SqlQuery::Select(q);
 
         let db = param_db();
@@ -141,6 +145,9 @@ proptest! {
         }
         if let Some(cap) = limit {
             params.insert("cap".into(), Value::from(cap));
+        }
+        if let Some(skip) = offset {
+            params.insert("skip".into(), Value::from(skip));
         }
 
         // Ground truth: the AST executed directly with bound parameters.

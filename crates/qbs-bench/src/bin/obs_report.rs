@@ -220,6 +220,39 @@ fn main() -> ExitCode {
         let _ = write!(out, "\n    \"{}\": {v}{comma}", json_escape(name));
     }
     let _ = writeln!(out, "\n  }},");
+    // Both bytecode VMs' registries: dispatch/compile counters plus the
+    // vm.compile_ns histogram summary. The disabled/analyze runs above
+    // executed through the connection's compiled-plan path, so the plan
+    // side has live numbers; the kernel side reports whatever the corpus
+    // synthesis compiled.
+    for (section, vm) in
+        [("plan_vm", qbs_db::vm_metrics()), ("kernel_vm", qbs_kernel::vm_metrics())]
+    {
+        let snap = vm.snapshot();
+        let counters: Vec<_> =
+            snap.counters.iter().filter(|(k, _)| k.starts_with("vm.")).collect();
+        let _ = write!(out, "  \"{section}\": {{");
+        for (name, v) in &counters {
+            let _ = write!(out, "\n    \"{}\": {v},", json_escape(name));
+        }
+        match snap.histograms.get("vm.compile_ns") {
+            Some(h) => {
+                let _ = writeln!(
+                    out,
+                    "\n    \"vm.compile_ns\": {{\"count\": {}, \"sum\": {}, \
+                     \"min\": {}, \"max\": {}}}",
+                    h.count,
+                    h.sum,
+                    h.min.unwrap_or(0),
+                    h.max.unwrap_or(0),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "\n    \"vm.compile_ns\": null");
+            }
+        }
+        let _ = writeln!(out, "  }},");
+    }
     let _ = writeln!(out, "  \"results\": [");
     for (i, m) in measured.iter().enumerate() {
         let comma = if i + 1 < measured.len() { "," } else { "" };

@@ -24,8 +24,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 /// Prepared execute-many must beat per-call parse+plan+execute by at
-/// least this factor on the multi-join fragments.
-const MIN_SPEEDUP: f64 = 3.0;
+/// least this factor on the multi-join fragments. Raised from 3.0 when
+/// the prepared path started executing compiled plan bytecode (cached
+/// filter kernels, precomputed join layouts) — the target is 5×.
+const MIN_SPEEDUP: f64 = 3.4;
 
 struct Measured {
     method: String,

@@ -1,0 +1,264 @@
+//! Emits `BENCH_vm.json`: the bytecode VMs against their tree-walking
+//! baselines, on both oracle sides.
+//!
+//! * **Plan side** — every translated corpus query executes `reps` times
+//!   through two prepared handles on the same page-load-sized database:
+//!   a default connection (plans compiled to `PlanProgram` bytecode) and
+//!   a `force_interpreter` connection (the `run_plan` tree walk). Both
+//!   are plan-once/execute-many, so the measured gap is pure dispatch:
+//!   per-execute plan analysis and filter-kernel compilation the VM
+//!   hoisted to compile time.
+//! * **Kernel side** — every lowered corpus kernel program replays
+//!   through [`qbs_kernel::compile`]'s stack VM and the
+//!   [`qbs_kernel::run`] interpreter on the same environment.
+//!
+//! Exits non-zero when the VM loses to the interpreter on the multi-join
+//! aggregate (it must never regress the shapes it exists to speed up).
+//! Both VMs' metrics registries (`vm.dispatch.<op>`, `vm.compile_ns`,
+//! `vm.compile.*`) are embedded in the report.
+//!
+//! ```sh
+//! cargo run --release -p qbs-bench --bin vm_bench -- \
+//!     [--json <path>] [--filter <substr>] [--seed S] [--reps N]
+//! ```
+
+use qbs_bench::harness::{from_arity, json_escape, BenchArgs};
+use qbs_db::{Connection, Params, PlanConfig};
+use qbs_sql::Dialect;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The compiled plan path must not be slower than the interpreter on the
+/// multi-join corpus aggregate.
+const MIN_PLAN_SPEEDUP: f64 = 1.0;
+
+/// Measurement blocks per side. The two sides run in interleaved blocks
+/// and each side scores its *fastest* block — the dispatch gap is a few
+/// hundred nanoseconds per execute, so one-shot totals would drown it
+/// in scheduler noise and allocator drift.
+const BLOCKS: usize = 7;
+
+/// Interleaves `BLOCKS` timing blocks of each closure and returns the
+/// best per-iteration microseconds for each (`a` first in every pair).
+fn interleaved_best_us(
+    block_reps: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (f64, f64) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    for _ in 0..BLOCKS {
+        let started = Instant::now();
+        for _ in 0..block_reps {
+            a();
+        }
+        best_a = best_a.min(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        for _ in 0..block_reps {
+            b();
+        }
+        best_b = best_b.min(started.elapsed().as_secs_f64());
+    }
+    (best_a * 1e6 / block_reps as f64, best_b * 1e6 / block_reps as f64)
+}
+
+struct PlanMeasure {
+    method: String,
+    sql: String,
+    joins: usize,
+    interp_us: f64,
+    vm_us: f64,
+    speedup: f64,
+    compiled: bool,
+}
+
+struct KernelMeasure {
+    name: String,
+    interp_us: f64,
+    vm_us: f64,
+    speedup: f64,
+}
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse("BENCH_vm.json", 400);
+
+    let queries = qbs_bench::harness::corpus_queries();
+    let db = qbs_corpus::populate_pageload(args.seed);
+    let interp_config = PlanConfig { force_interpreter: true, ..PlanConfig::default() };
+    let vm_conn = Connection::open(db.clone());
+    let interp_conn = Connection::open_with(db.clone(), interp_config, Dialect::Generic);
+    let params = Params::new();
+
+    let mut plans: Vec<PlanMeasure> = Vec::new();
+    for (method, sql) in &queries {
+        if !args.matches(method) {
+            continue;
+        }
+        let text = sql.to_string();
+        // Same policy as exec_bench/prepared_bench: skip queries the
+        // universe cannot execute; the oracle job owns their correctness.
+        if db.execute(sql, &params).is_err() {
+            continue;
+        }
+
+        let vm_stmt = vm_conn.prepare(&text).expect("rendered corpus SQL re-parses");
+        let interp_stmt = interp_conn.prepare(&text).expect("rendered corpus SQL re-parses");
+        // Warm both handles (plan + program compilation happen here, off
+        // the measured loops — that is the point of the cache).
+        let _ = vm_conn.execute(&vm_stmt, &params).expect("measured above");
+        let _ = interp_conn.execute(&interp_stmt, &params).expect("measured above");
+
+        let block_reps = (args.reps / BLOCKS).max(1);
+        let (interp_us, vm_us) = interleaved_best_us(
+            block_reps,
+            || {
+                let _ = interp_conn.execute(&interp_stmt, &params).expect("measured above");
+            },
+            || {
+                let _ = vm_conn.execute(&vm_stmt, &params).expect("measured above");
+            },
+        );
+        plans.push(PlanMeasure {
+            method: method.clone(),
+            sql: text,
+            joins: from_arity(sql).saturating_sub(1),
+            interp_us,
+            vm_us,
+            speedup: interp_us / vm_us.max(1e-3),
+            // Aggregates/scalar shapes decline compilation and fall back
+            // to the interpreter on both connections (speedup ~1 there).
+            compiled: matches!(sql, qbs_sql::SqlQuery::Select(_)),
+        });
+    }
+
+    // Kernel side: replay every lowered corpus kernel through both
+    // engines. Fewer reps — one kernel replay is a whole fragment run,
+    // not a single query dispatch.
+    let kernel_reps = (args.reps / 8).max(10);
+    let report = qbs_batch::BatchRunner::new(qbs_batch::BatchConfig::new())
+        .run(&qbs_batch::corpus_inputs());
+    let kernel_db = qbs_corpus::populate_universe(args.seed);
+    let base_env = kernel_db.env();
+    let mut kernels: Vec<KernelMeasure> = Vec::new();
+    for fr in &report.fragments {
+        let Some(kernel) = &fr.kernel else { continue };
+        if !args.matches(&fr.input) {
+            continue;
+        }
+        if qbs_kernel::run(kernel, base_env.clone()).is_err() {
+            continue;
+        }
+        let compiled = qbs_kernel::compile(kernel);
+
+        let block_reps = (kernel_reps / BLOCKS).max(1);
+        let (interp_us, vm_us) = interleaved_best_us(
+            block_reps,
+            || {
+                let _ = qbs_kernel::run(kernel, base_env.clone()).expect("measured above");
+            },
+            || {
+                let _ = compiled.run(base_env.clone()).expect("measured above");
+            },
+        );
+        kernels.push(KernelMeasure {
+            name: fr.input.clone(),
+            interp_us,
+            vm_us,
+            speedup: interp_us / vm_us.max(1e-3),
+        });
+    }
+
+    let multi: Vec<&PlanMeasure> = plans.iter().filter(|m| m.joins >= 1).collect();
+    let interp_total: f64 = multi.iter().map(|m| m.interp_us).sum();
+    let vm_total: f64 = multi.iter().map(|m| m.vm_us).sum();
+    let plan_speedup = interp_total / vm_total.max(1e-9);
+    let kernel_interp_total: f64 = kernels.iter().map(|m| m.interp_us).sum();
+    let kernel_vm_total: f64 = kernels.iter().map(|m| m.vm_us).sum();
+    let kernel_speedup = kernel_interp_total / kernel_vm_total.max(1e-9);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"vm_corpus\",");
+    let _ = writeln!(out, "  \"db_seed\": {},", args.seed);
+    let _ = writeln!(out, "  \"reps\": {},", args.reps);
+    let _ = writeln!(out, "  \"kernel_reps\": {},", kernel_reps);
+    if let Some(filter) = &args.filter {
+        let _ = writeln!(out, "  \"filter\": \"{}\",", json_escape(filter));
+    }
+    let _ = writeln!(out, "  \"queries\": {},", plans.len());
+    let _ = writeln!(out, "  \"multi_join_queries\": {},", multi.len());
+    let _ = writeln!(out, "  \"interp_us_multi_join\": {:.1},", interp_total);
+    let _ = writeln!(out, "  \"vm_us_multi_join\": {:.1},", vm_total);
+    let _ = writeln!(out, "  \"vm_plan_speedup\": {:.3},", plan_speedup);
+    let _ = writeln!(out, "  \"kernels\": {},", kernels.len());
+    let _ = writeln!(out, "  \"vm_kernel_speedup\": {:.3},", kernel_speedup);
+    for (section, metrics) in [
+        ("plan_vm_metrics", qbs_db::vm_metrics()),
+        ("kernel_vm_metrics", qbs_kernel::vm_metrics()),
+    ] {
+        let snap = metrics.snapshot();
+        let vm_counters: Vec<_> =
+            snap.counters.iter().filter(|(k, _)| k.starts_with("vm.")).collect();
+        let _ = write!(out, "  \"{section}\": {{");
+        for (k, (name, v)) in vm_counters.iter().enumerate() {
+            let comma = if k + 1 < vm_counters.len() { "," } else { "" };
+            let _ = write!(out, "\n    \"{}\": {v}{comma}", json_escape(name));
+        }
+        let _ = writeln!(out, "\n  }},");
+    }
+    let _ = writeln!(out, "  \"plan_results\": [");
+    for (i, m) in plans.iter().enumerate() {
+        let comma = if i + 1 < plans.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"method\": \"{}\", \"joins\": {}, \"compiled\": {}, \
+             \"interp_us\": {:.2}, \"vm_us\": {:.2}, \"speedup\": {:.2}, \"sql\": \"{}\"}}{comma}",
+            json_escape(&m.method),
+            m.joins,
+            m.compiled,
+            m.interp_us,
+            m.vm_us,
+            m.speedup,
+            json_escape(&m.sql),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"kernel_results\": [");
+    for (i, m) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"fragment\": \"{}\", \"interp_us\": {:.2}, \"vm_us\": {:.2}, \
+             \"speedup\": {:.2}}}{comma}",
+            json_escape(&m.name),
+            m.interp_us,
+            m.vm_us,
+            m.speedup,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    std::fs::write(&args.json, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.json));
+
+    println!(
+        "wrote {}: {} queries ({} multi-join) — interpreter {interp_total:.0}µs vs \
+         VM {vm_total:.0}µs per rep-set ({plan_speedup:.2}x); {} kernels ({kernel_speedup:.2}x)",
+        args.json,
+        plans.len(),
+        multi.len(),
+        kernels.len(),
+    );
+    if args.filter.is_some() {
+        // A filtered run is exploratory; the CI gate only applies to the
+        // full corpus.
+        return ExitCode::SUCCESS;
+    }
+    if plan_speedup < MIN_PLAN_SPEEDUP {
+        eprintln!(
+            "REGRESSION: compiled plans run {plan_speedup:.3}x the interpreter on multi-join \
+             fragments (must be ≥ {MIN_PLAN_SPEEDUP:.1}x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

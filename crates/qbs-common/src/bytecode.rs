@@ -1,0 +1,134 @@
+//! Shared bytecode-program infrastructure for the two register VMs.
+//!
+//! Both executors lower their tree IR to straight-line opcode vectors run
+//! by one dispatch loop each: `qbs-db` compiles a `PhysicalPlan` into a
+//! plan program (operator-granularity opcodes over frame registers), and
+//! `qbs-kernel` compiles a kernel program into fine-grained expression and
+//! control-flow opcodes. This module holds the pieces the two VMs share —
+//! the program container, the opcode-naming trait the per-opcode dispatch
+//! counters hang off, and the local tally a dispatch loop accumulates into
+//! before flushing to the metrics registry once per run.
+
+/// A compiled straight-line program: an opcode vector plus the size of the
+/// register file its dispatch loop needs.
+#[derive(Clone, Debug)]
+pub struct Program<Op> {
+    /// The instructions, executed by index (jumps are absolute indices).
+    pub ops: Vec<Op>,
+    /// Number of registers the program addresses.
+    pub regs: usize,
+}
+
+impl<Op> Program<Op> {
+    /// An empty program with no registers.
+    pub fn new() -> Program<Op> {
+        Program { ops: Vec::new(), regs: 0 }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl<Op> Default for Program<Op> {
+    fn default() -> Program<Op> {
+        Program::new()
+    }
+}
+
+/// An opcode family: a fixed name table plus each instruction's index into
+/// it. The names key the per-opcode dispatch counters
+/// (`vm.dispatch.<name>`), so they must be stable across runs.
+pub trait OpCode {
+    /// One name per opcode kind, in index order.
+    const NAMES: &'static [&'static str];
+
+    /// This instruction's position in [`NAMES`](Self::NAMES).
+    fn index(&self) -> usize;
+
+    /// The instruction's stable name.
+    fn name(&self) -> &'static str {
+        Self::NAMES[self.index()]
+    }
+}
+
+/// Per-opcode dispatch counts accumulated locally during one program run —
+/// plain `u64` adds in the dispatch loop, flushed to the shared metrics
+/// registry in one pass when the run finishes (the hot loop never touches
+/// an atomic).
+#[derive(Clone, Debug)]
+pub struct DispatchTally {
+    counts: Vec<u64>,
+}
+
+impl DispatchTally {
+    /// A zeroed tally for an opcode family with `kinds` opcode kinds.
+    pub fn new(kinds: usize) -> DispatchTally {
+        DispatchTally { counts: vec![0; kinds] }
+    }
+
+    /// Records one dispatch of the opcode at `index`.
+    #[inline]
+    pub fn record(&mut self, index: usize) {
+        self.counts[index] += 1;
+    }
+
+    /// The non-zero `(index, count)` pairs — what gets flushed.
+    pub fn drain(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().copied().enumerate().filter(|(_, n)| *n > 0)
+    }
+
+    /// Total dispatches recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy)]
+    enum TestOp {
+        A,
+        B,
+    }
+
+    impl OpCode for TestOp {
+        const NAMES: &'static [&'static str] = &["a", "b"];
+
+        fn index(&self) -> usize {
+            match self {
+                TestOp::A => 0,
+                TestOp::B => 1,
+            }
+        }
+    }
+
+    #[test]
+    fn tally_counts_by_opcode_index() {
+        let mut t = DispatchTally::new(TestOp::NAMES.len());
+        t.record(TestOp::A.index());
+        t.record(TestOp::A.index());
+        t.record(TestOp::B.index());
+        assert_eq!(t.total(), 3);
+        let pairs: Vec<(usize, u64)> = t.drain().collect();
+        assert_eq!(pairs, vec![(0, 2), (1, 1)]);
+        assert_eq!(TestOp::B.name(), "b");
+    }
+
+    #[test]
+    fn program_container_basics() {
+        let p: Program<TestOp> = Program { ops: vec![TestOp::A, TestOp::B], regs: 2 };
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let q: Program<TestOp> = Program::default();
+        assert!(q.is_empty());
+    }
+}

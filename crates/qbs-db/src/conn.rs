@@ -34,6 +34,7 @@ use crate::db::{Database, DbError, Params, QueryOutput, SelectOutput, SubquerySt
 use crate::planner::{plan_with, PhysicalPlan, PlanConfig};
 use crate::stmt::{fingerprint, replan, snapshot, PlanState, PreparedStatement, Snapshot};
 use crate::storage::Table;
+use crate::vm::PlanProgram;
 use qbs_common::Value;
 use qbs_sql::{Dialect, SqlQuery};
 use std::collections::HashMap;
@@ -133,7 +134,7 @@ struct ConnInner {
 /// Cloning is cheap and shares the database and every cache — the shape
 /// of a pooled client connection. Clones may execute prepared statements
 /// from different threads concurrently; see the
-/// [module docs](self) for the snapshot semantics.
+/// [crate docs](crate) for the snapshot semantics.
 ///
 /// # Example
 ///
@@ -379,15 +380,28 @@ impl Connection {
         stmt.validate(params)?;
         let (db, version) = self.pin();
         let opened = Instant::now();
-        let (plan, reused) = self.plan_for(stmt, &db);
+        let (plan, program, reused) = self.plan_for(stmt, &db);
         let plan_ns = opened.elapsed().as_nanos() as u64;
-        let mut out = db.execute_plan_cached(
-            &plan,
-            params,
-            &self.inner.subqueries,
-            version,
-            Some(&stmt.out_schema),
-        )?;
+        // The compiled bytecode program (cached on the statement next to
+        // the plan) drives execution; plans the VM declined — and every
+        // plan under `force_interpreter` — run the tree-walking
+        // interpreter, which remains the differential baseline.
+        let mut out = match &program {
+            Some(prog) => db.execute_program(
+                prog,
+                params,
+                &self.inner.subqueries,
+                version,
+                Some(&stmt.out_schema),
+            )?,
+            None => db.execute_plan_cached(
+                &plan,
+                params,
+                &self.inner.subqueries,
+                version,
+                Some(&stmt.out_schema),
+            )?,
+        };
         out.stats.plan_ns = plan_ns;
         if reused {
             out.stats.plan_cache_hits += 1;
@@ -471,7 +485,10 @@ impl Connection {
         stmt.validate(params)?;
         let (db, version) = self.pin();
         let opened = Instant::now();
-        let (plan, reused) = self.plan_for(stmt, &db);
+        // EXPLAIN ANALYZE stays on the tree-walking interpreter: the
+        // per-node instrumentation lives there, and analysis is not a
+        // serving hot path.
+        let (plan, _program, reused) = self.plan_for(stmt, &db);
         let plan_ns = opened.elapsed().as_nanos() as u64;
         let mut actuals = PlanActuals::default();
         let out = db.execute_plan_instrumented(
@@ -509,15 +526,22 @@ impl Connection {
     /// Resolves the statement's current plan against the *pinned*
     /// database: the statement's own plan when its snapshot is current,
     /// the fingerprint cache next, a fresh planning pass last. Returns
-    /// the plan and whether it was reused.
-    fn plan_for(&self, stmt: &PreparedStatement, db: &Database) -> (Arc<PhysicalPlan>, bool) {
+    /// the plan, its compiled bytecode program (compiled lazily on first
+    /// use, `None` when the VM declined the shape or the config forces
+    /// the interpreter), and whether the plan was reused.
+    fn plan_for(
+        &self,
+        stmt: &PreparedStatement,
+        db: &Database,
+    ) -> (Arc<PhysicalPlan>, Option<Arc<PlanProgram>>, bool) {
         // Steady-state fast path: compare the recorded generations in
         // place, no snapshot allocation.
         {
             let cur = stmt.lock_current();
             if cur.snapshot.iter().all(|(t, g)| db.table(t).map(Table::generation) == *g) {
                 self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
-                return (cur.plan.clone(), true);
+                let program = self.program_for(&cur);
+                return (cur.plan.clone(), program, true);
             }
         }
         let current = snapshot(db, &stmt.tables);
@@ -532,8 +556,10 @@ impl Connection {
         if let Some(plan) = cached {
             self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
             self.inner.stats.invalidations.fetch_add(1, Ordering::Relaxed);
-            *stmt.lock_current() = PlanState { plan: plan.clone(), snapshot: current };
-            return (plan, false);
+            let state = PlanState::new(plan.clone(), current);
+            let program = self.program_for(&state);
+            *stmt.lock_current() = state;
+            return (plan, program, false);
         }
         let plan = replan(stmt, db, &self.inner.config);
         self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -542,8 +568,26 @@ impl Connection {
             stmt.fingerprint,
             CachedPlan { plan: plan.clone(), snapshot: current.clone() },
         );
-        *stmt.lock_current() = PlanState { plan: plan.clone(), snapshot: current };
-        (plan, false)
+        let state = PlanState::new(plan.clone(), current);
+        let program = self.program_for(&state);
+        *stmt.lock_current() = state;
+        (plan, program, false)
+    }
+
+    /// The compiled program of a plan state, compiling on first use.
+    /// `None` inside the cell records a shape the VM declined (or a
+    /// `force_interpreter` config), so the decision is made exactly once
+    /// per plan.
+    fn program_for(&self, state: &PlanState) -> Option<Arc<PlanProgram>> {
+        state
+            .program
+            .get_or_init(|| {
+                (!self.inner.config.force_interpreter)
+                    .then(|| crate::vm::compile_plan(&state.plan, &self.inner.config))
+                    .flatten()
+                    .map(Arc::new)
+            })
+            .clone()
     }
 }
 
@@ -648,6 +692,45 @@ mod tests {
         assert!(conn.execute(&stmt, &params).is_ok());
         // … but the typed binder is strict about names.
         assert!(stmt.bind().set("typo", 1).is_err());
+    }
+
+    #[test]
+    fn compiled_program_and_filter_kernels_are_cached_on_the_statement() {
+        let conn = Connection::open(setup());
+        let stmt = conn.prepare("SELECT id FROM users WHERE roleId = :r").unwrap();
+        let params = stmt.bind().set("r", 1).unwrap().finish().unwrap();
+        let db = conn.database();
+        let (_, prog1, _) = conn.plan_for(&stmt, &db);
+        let (_, prog2, reused) = conn.plan_for(&stmt, &db);
+        assert!(reused);
+        let p1 = prog1.expect("parameterized filter compiles to a program");
+        let p2 = prog2.expect("steady state returns the cached program");
+        // Same allocation: the program — and the filter kernels compiled
+        // into it — is reused across executes, never recompiled per call.
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let out = rows(conn.execute(&stmt, &params).unwrap());
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.stats.plan_cache_hits, 1, "{:?}", out.stats);
+        // A mutation replaces the plan state, which drops the stale
+        // program with it and compiles a fresh one.
+        conn.insert("users", vec![Value::from(6), Value::from(1), Value::from("u6")]).unwrap();
+        let db = conn.database();
+        let (_, prog3, reused) = conn.plan_for(&stmt, &db);
+        assert!(!reused);
+        let p3 = prog3.expect("replanned statement recompiles");
+        assert!(!Arc::ptr_eq(&p1, &p3), "stale program was invalidated with the plan");
+    }
+
+    #[test]
+    fn force_interpreter_never_compiles_a_program() {
+        let config = PlanConfig { force_interpreter: true, ..PlanConfig::default() };
+        let conn = Connection::open_with(setup(), config, Dialect::Generic);
+        let stmt = conn.prepare("SELECT id FROM users WHERE roleId = 1").unwrap();
+        let db = conn.database();
+        let (_, program, _) = conn.plan_for(&stmt, &db);
+        assert!(program.is_none(), "force_interpreter keeps the tree-walking baseline");
+        let out = rows(conn.execute(&stmt, &Params::new()).unwrap());
+        assert_eq!(out.rows.len(), 2);
     }
 
     #[test]

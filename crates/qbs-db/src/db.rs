@@ -255,9 +255,12 @@ impl Database {
     /// planner when no later operator could change the prefix). `emit`
     /// fuses the statement's projection into the scan itself (single-scan
     /// plans with nothing between scan and projection): rows materialize
-    /// directly in output shape.
-    #[allow(clippy::too_many_arguments)] // one call site; a param struct would just rename these
-    fn scan_node(
+    /// directly in output shape. `kernel` selects the scan strategy: the
+    /// interpreter passes [`ScanKernel::Auto`] (decide per execute, as
+    /// always), the bytecode VM passes the decision it already made at
+    /// compile time.
+    #[allow(clippy::too_many_arguments)] // two call sites; a param struct would just rename these
+    pub(crate) fn scan_node(
         &self,
         node: &ScanNode,
         params: &Params,
@@ -267,6 +270,7 @@ impl Database {
         version: u64,
         limit: Option<usize>,
         emit: Option<&(Vec<exec::FrameCol>, Vec<usize>)>,
+        kernel: ScanKernel<'_>,
     ) -> Result<Frame, DbError> {
         match &node.source {
             ScanSource::Table(name) => {
@@ -318,9 +322,15 @@ impl Database {
                 };
 
                 // The filter evaluates against the full scan layout (the
-                // raw row plus rowid), independent of what is emitted;
-                // the shell frame is only needed when a filter exists.
-                let shell = node.filter.as_ref().map(|_| Frame::new(node.cols.clone()));
+                // raw row plus rowid), independent of what is emitted; the
+                // shell frame is only needed when a filter exists *and* the
+                // scan may take the row path (a pre-chosen vectorized scan
+                // never touches it, so the per-execute allocation is
+                // skipped).
+                let shell = match (&kernel, &node.filter) {
+                    (ScanKernel::Vector(_), _) | (_, None) => None,
+                    (_, Some(_)) => Some(Frame::new(node.cols.clone())),
+                };
                 // Effective gather into the raw row: the fused projection
                 // (whose indices address the pruned output layout) composed
                 // over the scan's own column pruning.
@@ -344,84 +354,101 @@ impl Database {
                 // stitching output rows only for surviving positions. Index
                 // probes, pushed limits (whose "stop at the k-th match"
                 // contract is row-at-a-time by nature), and filters outside
-                // the kernel grammar keep the row path below.
-                if index_rows.is_none() && limit.is_none() && !shared.config.force_row_store {
-                    let kernel = match &node.filter {
-                        None => Some(None),
-                        Some(pred) => compile_kernel(
-                            pred,
-                            shell.as_ref().expect("shell built alongside filter"),
-                            params,
-                        )
-                        .map(Some),
-                    };
-                    if let Some(kernel) = kernel {
-                        let gather_row = |chunk: &Chunk, i: usize, frame: &mut Frame| {
-                            let rowid = chunk.base() + i;
-                            let out = match &gather {
-                                Some((_, idx)) => idx
-                                    .iter()
-                                    .map(|&c| {
-                                        if c < arity {
-                                            chunk.col(c).value(i)
-                                        } else {
-                                            Value::from(rowid as i64)
-                                        }
-                                    })
-                                    .collect(),
-                                None => {
-                                    let mut out = chunk.row_values(i);
-                                    out.push(Value::from(rowid as i64));
-                                    out
-                                }
-                            };
-                            frame.rows.push(out);
-                        };
-                        match kernel {
-                            // No filter: every row survives, no mask needed.
-                            None => {
-                                frame.rows.reserve(table.len());
-                                for chunk in table.chunks() {
-                                    stats.rows_scanned += chunk.len();
-                                    for i in 0..chunk.len() {
-                                        gather_row(chunk, i, &mut frame);
-                                    }
+                // the kernel grammar keep the row path below. Under
+                // [`ScanKernel::Auto`] the decision (and the kernel
+                // compilation) happens here per execute; the VM resolves
+                // both at plan-compile time and passes the result in.
+                let auto_kernel: Option<ColKernel>;
+                let vector: Option<Option<&ColKernel>> = match kernel {
+                    ScanKernel::Row => None,
+                    ScanKernel::Vector(k) => Some(k),
+                    ScanKernel::Auto => {
+                        if index_rows.is_none()
+                            && limit.is_none()
+                            && !shared.config.force_row_store
+                        {
+                            match &node.filter {
+                                None => Some(None),
+                                Some(pred) => {
+                                    auto_kernel = compile_kernel(
+                                        pred,
+                                        shell.as_ref().expect("shell built alongside filter"),
+                                        params,
+                                    );
+                                    auto_kernel.as_ref().map(Some)
                                 }
                             }
-                            Some(k) => {
-                                // The mask is sized to the widest batch that
-                                // can actually occur — page-load-sized tables
-                                // pay bytes, not SCAN_BATCH, per execution.
-                                let cap = table
-                                    .chunks()
-                                    .iter()
-                                    .map(|c| c.len())
-                                    .max()
-                                    .unwrap_or(0)
-                                    .min(SCAN_BATCH);
-                                let mut mask = vec![true; cap];
-                                for chunk in table.chunks() {
-                                    // Every row of every chunk is examined
-                                    // exactly once — the same count the row
-                                    // path reports.
-                                    stats.rows_scanned += chunk.len();
-                                    let mut start = 0usize;
-                                    while start < chunk.len() {
-                                        let n = SCAN_BATCH.min(chunk.len() - start);
-                                        let mask = &mut mask[..n];
-                                        eval_kernel(&k, chunk, start, arity, mask);
-                                        for (j, keep) in mask.iter().enumerate() {
-                                            if *keep {
-                                                gather_row(chunk, start + j, &mut frame);
-                                            }
-                                        }
-                                        start += n;
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(kernel) = vector {
+                    let gather_row = |chunk: &Chunk, i: usize, frame: &mut Frame| {
+                        let rowid = chunk.base() + i;
+                        let out = match &gather {
+                            Some((_, idx)) => idx
+                                .iter()
+                                .map(|&c| {
+                                    if c < arity {
+                                        chunk.col(c).value(i)
+                                    } else {
+                                        Value::from(rowid as i64)
                                     }
+                                })
+                                .collect(),
+                            None => {
+                                let mut out = chunk.row_values(i);
+                                out.push(Value::from(rowid as i64));
+                                out
+                            }
+                        };
+                        frame.rows.push(out);
+                    };
+                    match kernel {
+                        // No filter: every row survives, no mask needed.
+                        None => {
+                            frame.rows.reserve(table.len());
+                            for chunk in table.chunks() {
+                                stats.rows_scanned += chunk.len();
+                                for i in 0..chunk.len() {
+                                    gather_row(chunk, i, &mut frame);
                                 }
                             }
                         }
-                        return Ok(frame);
+                        Some(k) => {
+                            // The mask is sized to the widest batch that
+                            // can actually occur — page-load-sized tables
+                            // pay bytes, not SCAN_BATCH, per execution.
+                            let cap = table
+                                .chunks()
+                                .iter()
+                                .map(|c| c.len())
+                                .max()
+                                .unwrap_or(0)
+                                .min(SCAN_BATCH);
+                            let mut mask = vec![true; cap];
+                            for chunk in table.chunks() {
+                                // Every row of every chunk is examined
+                                // exactly once — the same count the row
+                                // path reports.
+                                stats.rows_scanned += chunk.len();
+                                let mut start = 0usize;
+                                while start < chunk.len() {
+                                    let n = SCAN_BATCH.min(chunk.len() - start);
+                                    let mask = &mut mask[..n];
+                                    eval_kernel(k, chunk, start, arity, mask);
+                                    for (j, keep) in mask.iter().enumerate() {
+                                        if *keep {
+                                            gather_row(chunk, start + j, &mut frame);
+                                        }
+                                    }
+                                    start += n;
+                                }
+                            }
+                        }
                     }
+                    return Ok(frame);
                 }
 
                 let mut push_row = |rowid: usize,
@@ -634,42 +661,7 @@ impl Database {
             a.output_rows = frame.rows.len();
             a.total_ns = stats.exec_ns;
         }
-        // Build the output relation: anonymous schema over the frame
-        // columns, reused from the cache when one is provided and fits.
-        let cached = schema_cache
-            .and_then(|c| c.get().cloned())
-            .filter(|s| s.arity() == frame.cols.len());
-        let schema = match cached {
-            Some(schema) => schema,
-            None => {
-                let mut b = Schema::anonymous();
-                for (k, c) in frame.cols.iter().enumerate() {
-                    let ty = frame
-                        .rows
-                        .first()
-                        .map(|r| match &r[k] {
-                            Value::Bool(_) => FieldType::Bool,
-                            Value::Int(_) => FieldType::Int,
-                            Value::Str(_) => FieldType::Str,
-                        })
-                        .unwrap_or(FieldType::Int);
-                    b = b.push(qbs_common::Field::qualified(
-                        c.alias.clone(),
-                        c.name.clone(),
-                        ty,
-                    ));
-                }
-                let schema = b.finish();
-                if let (Some(cache), false) = (schema_cache, frame.rows.is_empty()) {
-                    let _ = cache.set(schema.clone());
-                }
-                schema
-            }
-        };
-        let records = frame.rows.into_iter().map(|r| Record::new(schema.clone(), r)).collect();
-        let rows = Relation::from_records(schema, records)
-            .map_err(|e| DbError::Schema(e.to_string()))?;
-        Ok(SelectOutput { rows, stats })
+        finish_frame(frame, stats, schema_cache)
     }
 
     /// The plan interpreter: scans, join steps, residual filter, sort,
@@ -690,13 +682,30 @@ impl Database {
         version: u64,
         actuals: Option<&mut PlanActuals>,
     ) -> Result<Frame, DbError> {
-        // Uncorrelated predicate sub-queries are hoisted: executed at most
-        // once per statement, with hash-set membership for the per-row
-        // probes. Parameter-free results go through the connection-shared
-        // version-tagged cache; parameter-dependent ones (valid only for
-        // this run's bindings) and all nested counters stay in run-local
-        // state, folded into `stats` at the end — concurrent statements
-        // never touch each other's counters.
+        self.with_hoisting(params, stats, shared, version, |ctx, stats| {
+            self.run_plan_ops(plan, params, ctx, stats, shared, version, actuals)
+        })
+    }
+
+    /// Runs `f` with the sub-query hoisting machinery wired into an
+    /// [`EvalCtx`] — the shared scaffolding under both plan executors
+    /// (the tree-walking interpreter and the bytecode VM).
+    ///
+    /// Uncorrelated predicate sub-queries are hoisted: executed at most
+    /// once per statement, with hash-set membership for the per-row
+    /// probes. Parameter-free results go through the connection-shared
+    /// version-tagged cache; parameter-dependent ones (valid only for
+    /// this run's bindings) and all nested counters stay in run-local
+    /// state, folded into `stats` at the end — concurrent statements
+    /// never touch each other's counters.
+    pub(crate) fn with_hoisting<T>(
+        &self,
+        params: &Params,
+        stats: &mut ExecStats,
+        shared: &SubqueryState,
+        version: u64,
+        f: impl FnOnce(&EvalCtx<'_>, &mut ExecStats) -> Result<T, DbError>,
+    ) -> Result<T, DbError> {
         let local: RefCell<LocalSubs> = RefCell::new(LocalSubs::default());
         let sub = |s: &SqlSelect| -> Result<Arc<SubResult>, exec::ExecError> {
             let param_free = !s.has_params();
@@ -733,7 +742,7 @@ impl Database {
             Ok(result)
         };
         let ctx = EvalCtx { params, subquery: &sub };
-        let out = self.run_plan_ops(plan, params, &ctx, stats, shared, version, actuals);
+        let out = f(&ctx, stats);
         stats.absorb_nested(&local.borrow().stats);
         out
     }
@@ -804,8 +813,17 @@ impl Database {
         for node in &plan.scans {
             let opened = timing.then(Instant::now);
             let scanned_before = stats.rows_scanned;
-            let frame = self
-                .scan_node(node, params, ctx, stats, shared, version, scan_limit, scan_emit)?;
+            let frame = self.scan_node(
+                node,
+                params,
+                ctx,
+                stats,
+                shared,
+                version,
+                scan_limit,
+                scan_emit,
+                ScanKernel::Auto,
+            )?;
             if let Some(a) = actuals.as_deref_mut() {
                 a.scans.push(ScanActuals {
                     rows_scanned: stats.rows_scanned - scanned_before,
@@ -832,9 +850,27 @@ impl Database {
                         Some((li, ri)) => (exec::JoinKey::Idx(li), exec::JoinKey::Idx(ri)),
                         None => (exec::JoinKey::Expr(lk), exec::JoinKey::Expr(rk)),
                     };
-                    hash_join(acc, right, lkey, rkey, step.residual.as_ref(), emit, ctx, stats)?
+                    hash_join(
+                        acc,
+                        right,
+                        lkey,
+                        rkey,
+                        step.residual.as_ref(),
+                        emit,
+                        None,
+                        ctx,
+                        stats,
+                    )?
                 }
-                _ => nested_loop_join(acc, right, step.residual.as_ref(), emit, ctx, stats)?,
+                _ => nested_loop_join(
+                    acc,
+                    right,
+                    step.residual.as_ref(),
+                    emit,
+                    None,
+                    ctx,
+                    stats,
+                )?,
             };
             if let Some(a) = actuals.as_deref_mut() {
                 a.joins.push(OpActuals {
@@ -1100,10 +1136,66 @@ fn aggregate(agg: AggKind, rows: &Relation) -> Result<Value, DbError> {
     }
 }
 
+/// Builds the output relation from an executed frame: anonymous schema
+/// over the frame columns, reused from the cache when one is provided and
+/// fits — the materialization tail shared by the plan interpreter and the
+/// bytecode VM.
+pub(crate) fn finish_frame(
+    frame: Frame,
+    stats: ExecStats,
+    schema_cache: Option<&OnceLock<SchemaRef>>,
+) -> Result<SelectOutput, DbError> {
+    let cached =
+        schema_cache.and_then(|c| c.get().cloned()).filter(|s| s.arity() == frame.cols.len());
+    let schema = match cached {
+        Some(schema) => schema,
+        None => {
+            let mut b = Schema::anonymous();
+            for (k, c) in frame.cols.iter().enumerate() {
+                let ty = frame
+                    .rows
+                    .first()
+                    .map(|r| match &r[k] {
+                        Value::Bool(_) => FieldType::Bool,
+                        Value::Int(_) => FieldType::Int,
+                        Value::Str(_) => FieldType::Str,
+                    })
+                    .unwrap_or(FieldType::Int);
+                b = b.push(qbs_common::Field::qualified(c.alias.clone(), c.name.clone(), ty));
+            }
+            let schema = b.finish();
+            if let (Some(cache), false) = (schema_cache, frame.rows.is_empty()) {
+                let _ = cache.set(schema.clone());
+            }
+            schema
+        }
+    };
+    let records = frame.rows.into_iter().map(|r| Record::new(schema.clone(), r)).collect();
+    let rows =
+        Relation::from_records(schema, records).map_err(|e| DbError::Schema(e.to_string()))?;
+    Ok(SelectOutput { rows, stats })
+}
+
+/// How [`Database::scan_node`] should execute one scan, as chosen by the
+/// caller. The tree-walking interpreter always passes [`ScanKernel::Auto`]
+/// (decide per execute — the historical behavior); the bytecode VM makes
+/// the decision once at plan-compile time and passes [`ScanKernel::Vector`]
+/// (with the pre-compiled kernel, or `None` for an unfiltered columnar
+/// sweep) or [`ScanKernel::Row`].
+pub(crate) enum ScanKernel<'a> {
+    /// Decide per execute from the probe/limit/config and the filter shape.
+    Auto,
+    /// Take the vectorized columnar path with this pre-compiled kernel
+    /// (`None`: no filter, every row survives).
+    Vector(Option<&'a ColKernel>),
+    /// Take the row-at-a-time path unconditionally.
+    Row,
+}
+
 /// Batch size for the vectorized scan path: large enough to amortize
 /// per-batch dispatch, small enough that the selection mask and the column
 /// slices it covers stay cache-resident.
-const SCAN_BATCH: usize = 1024;
+pub(crate) const SCAN_BATCH: usize = 1024;
 
 /// A pushed scan filter compiled against the chunk column layout. Only
 /// shapes whose batch evaluation is *infallible* are representable:
@@ -1113,7 +1205,8 @@ const SCAN_BATCH: usize = 1024;
 /// unbound parameters, sub-queries, bare literals — declines to compile,
 /// and the scan falls back to the row-at-a-time path, which owns the
 /// error reporting for those cases.
-enum ColKernel {
+#[derive(Debug)]
+pub(crate) enum ColKernel {
     /// `column <op> constant`; constants on the left arrive here with the
     /// operator flipped.
     Cmp {
@@ -1145,7 +1238,7 @@ fn kernel_operand(e: &SqlExpr, shell: &Frame, params: &Params) -> Option<KernelO
 /// Compiles a pushed filter into a [`ColKernel`] against the scan's column
 /// layout (`shell` carries the raw row plus rowid). `None` means "use the
 /// row path".
-fn compile_kernel(e: &SqlExpr, shell: &Frame, params: &Params) -> Option<ColKernel> {
+pub(crate) fn compile_kernel(e: &SqlExpr, shell: &Frame, params: &Params) -> Option<ColKernel> {
     match e {
         SqlExpr::Cmp(a, op, b) => {
             match (kernel_operand(a, shell, params)?, kernel_operand(b, shell, params)?) {
@@ -1176,7 +1269,13 @@ fn compile_kernel(e: &SqlExpr, shell: &Frame, params: &Params) -> Option<ColKern
 /// Evaluates a kernel over `mask.len()` rows of `chunk` starting at
 /// `start`, writing one keep/drop bit per row. Column position `arity` is
 /// the rowid pseudo-column (positional, not stored).
-fn eval_kernel(k: &ColKernel, chunk: &Chunk, start: usize, arity: usize, mask: &mut [bool]) {
+pub(crate) fn eval_kernel(
+    k: &ColKernel,
+    chunk: &Chunk,
+    start: usize,
+    arity: usize,
+    mask: &mut [bool],
+) {
     match k {
         ColKernel::Cmp { pos, op, rhs } => {
             if *pos == arity {

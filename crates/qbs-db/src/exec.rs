@@ -319,6 +319,38 @@ fn join_cols(
     (out, pair_frame)
 }
 
+/// A join's layouts precomputed at plan-compile time: what [`join_cols`]
+/// re-derives (three column-vector clones) on every execute. The bytecode
+/// VM builds one per join step whenever both input layouts are
+/// compile-time facts; the interpreter always passes `None`.
+#[derive(Debug)]
+pub(crate) struct JoinLayout {
+    /// The join's output columns (the concatenated pair, or the fused
+    /// projection's columns).
+    pub out: Vec<FrameCol>,
+    /// The concatenated-pair shell frame residual predicates evaluate in.
+    pub pair: Frame,
+}
+
+/// The (output columns, pair shell) for one join execution: borrowed from
+/// the precomputed layout when one exists, otherwise derived from the
+/// input frames exactly as before.
+fn join_layout<'a>(
+    left: &Frame,
+    right: &Frame,
+    emit: Option<&(Vec<FrameCol>, Vec<usize>)>,
+    layout: Option<&'a JoinLayout>,
+    computed: &'a mut Option<Frame>,
+) -> (Vec<FrameCol>, &'a Frame) {
+    match layout {
+        Some(l) => (l.out.clone(), &l.pair),
+        None => {
+            let (out, pair) = join_cols(left, right, emit);
+            (out, computed.insert(pair))
+        }
+    }
+}
+
 /// Nested-loop join: left-major order, right insertion order (the TOR `⋈`
 /// axiom order). `O(n·m)`. The predicate is evaluated on a split row view,
 /// so only matching pairs are ever materialized.
@@ -327,16 +359,18 @@ pub(crate) fn nested_loop_join(
     right: Frame,
     pred: Option<&SqlExpr>,
     emit: Option<&(Vec<FrameCol>, Vec<usize>)>,
+    layout: Option<&JoinLayout>,
     ctx: &EvalCtx<'_>,
     stats: &mut ExecStats,
 ) -> Result<Frame, ExecError> {
-    let (cols, pair_frame) = join_cols(&left, &right, emit);
+    let mut computed = None;
+    let (cols, pair_frame) = join_layout(&left, &right, emit, layout, &mut computed);
     let mut rows = Vec::new();
     for l in &left.rows {
         for r in &right.rows {
             stats.join_comparisons += 1;
             let keep = match pred {
-                Some(p) => truthy(&eval_expr(p, &pair_frame, RowRef::Pair(l, r), ctx)?)?,
+                Some(p) => truthy(&eval_expr(p, pair_frame, RowRef::Pair(l, r), ctx)?)?,
                 None => true,
             };
             if keep {
@@ -369,6 +403,7 @@ pub(crate) fn hash_join(
     right_key: JoinKey<'_>,
     residual: Option<&SqlExpr>,
     emit: Option<&(Vec<FrameCol>, Vec<usize>)>,
+    layout: Option<&JoinLayout>,
     ctx: &EvalCtx<'_>,
     stats: &mut ExecStats,
 ) -> Result<Frame, ExecError> {
@@ -380,7 +415,8 @@ pub(crate) fn hash_join(
         };
         buckets.entry(k).or_default().push(i);
     }
-    let (cols, pair_frame) = join_cols(&left, &right, emit);
+    let mut computed = None;
+    let (cols, pair_frame) = join_layout(&left, &right, emit, layout, &mut computed);
     let mut rows = Vec::new();
     for l in &left.rows {
         let probe_owned;
@@ -396,7 +432,7 @@ pub(crate) fn hash_join(
                 stats.join_comparisons += 1;
                 let r = &right.rows[ri];
                 let keep = match residual {
-                    Some(p) => truthy(&eval_expr(p, &pair_frame, RowRef::Pair(l, r), ctx)?)?,
+                    Some(p) => truthy(&eval_expr(p, pair_frame, RowRef::Pair(l, r), ctx)?)?,
                     None => true,
                 };
                 if keep {
@@ -435,6 +471,25 @@ pub(crate) fn sort(
         std::cmp::Ordering::Equal
     });
     Ok(Frame { cols: frame.cols, rows: decorated.into_iter().map(|(_, r)| r).collect() })
+}
+
+/// [`sort`] specialized to key positions resolved at plan-compile time:
+/// the same stable order (`total_cmp` per key, ascending/descending) with
+/// rows compared in place — no per-row key evaluation, cloning, or
+/// decoration. The bytecode VM takes this path when every ORDER BY key is
+/// a plain column it can resolve against the pre-sort layout.
+pub(crate) fn sort_positions(mut frame: Frame, keys: &[(usize, bool)]) -> Frame {
+    frame.rows.sort_by(|a, b| {
+        for (pos, asc) in keys {
+            let ord = a[*pos].total_cmp(&b[*pos]);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    frame
 }
 
 /// First-occurrence duplicate elimination (preserves order) — hash-set
@@ -491,8 +546,8 @@ mod tests {
         let (l, r) = two_frames();
         let pred = SqlExpr::cmp(SqlExpr::qcol("l", "k"), CmpOp::Eq, SqlExpr::qcol("r", "k"));
         let mut s1 = ExecStats::default();
-        let nl =
-            nested_loop_join(l.clone(), r.clone(), Some(&pred), None, &c, &mut s1).unwrap();
+        let nl = nested_loop_join(l.clone(), r.clone(), Some(&pred), None, None, &c, &mut s1)
+            .unwrap();
         let mut s2 = ExecStats::default();
         let lk = SqlExpr::qcol("l", "k");
         let rk = SqlExpr::qcol("r", "k");
@@ -501,6 +556,7 @@ mod tests {
             r.clone(),
             JoinKey::Expr(&lk),
             JoinKey::Expr(&rk),
+            None,
             None,
             None,
             &c,
@@ -514,7 +570,8 @@ mod tests {
         // Plan-resolved key positions take the same path to the same rows.
         let mut s3 = ExecStats::default();
         let by_idx =
-            hash_join(l, r, JoinKey::Idx(0), JoinKey::Idx(0), None, None, &c, &mut s3).unwrap();
+            hash_join(l, r, JoinKey::Idx(0), JoinKey::Idx(0), None, None, None, &c, &mut s3)
+                .unwrap();
         assert_eq!(by_idx.rows, hj.rows);
         assert_eq!(s3.join_comparisons, s2.join_comparisons);
     }

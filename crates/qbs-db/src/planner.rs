@@ -45,6 +45,12 @@ pub struct PlanConfig {
     /// executors observationally identical. Never enable it for
     /// production execution.
     pub force_row_store: bool,
+    /// Force plan execution onto the tree-walking interpreter instead of
+    /// the compiled bytecode VM. The equivalence suite uses this to prove
+    /// the VM observationally identical to the interpreter; the VM bench
+    /// uses it as the baseline side. Never enable it for production
+    /// execution.
+    pub force_interpreter: bool,
 }
 
 /// An index probe: `column = value` answered by a hash index.

@@ -79,34 +79,34 @@ pub struct RunResult {
 }
 
 /// Default iteration budget across all loops.
-const DEFAULT_FUEL: u64 = 50_000_000;
+pub(crate) const DEFAULT_FUEL: u64 = 50_000_000;
 
 /// The field name used when scalars are appended to lists: a scalar list is
 /// represented as a single-column relation.
 pub(crate) const SCALAR_COL: &str = "val";
 
-fn want_rel(v: DynValue, context: &'static str) -> Result<Relation> {
+pub(crate) fn want_rel(v: DynValue, context: &'static str) -> Result<Relation> {
     match v {
         DynValue::Rel(r) => Ok(r),
         other => Err(InterpError::Kind { context, expected: "list", found: other.kind() }),
     }
 }
 
-fn want_int(v: DynValue, context: &'static str) -> Result<i64> {
+pub(crate) fn want_int(v: DynValue, context: &'static str) -> Result<i64> {
     match v {
         DynValue::Scalar(Value::Int(i)) => Ok(i),
         other => Err(InterpError::Kind { context, expected: "int", found: other.kind() }),
     }
 }
 
-fn want_bool(v: DynValue, context: &'static str) -> Result<bool> {
+pub(crate) fn want_bool(v: DynValue, context: &'static str) -> Result<bool> {
     match v {
         DynValue::Scalar(Value::Bool(b)) => Ok(b),
         other => Err(InterpError::Kind { context, expected: "bool", found: other.kind() }),
     }
 }
 
-fn scalar_record(v: Value) -> Record {
+pub(crate) fn scalar_record(v: Value) -> Record {
     let ty = match &v {
         Value::Bool(_) => qbs_common::FieldType::Bool,
         Value::Int(_) => qbs_common::FieldType::Int,
@@ -116,7 +116,7 @@ fn scalar_record(v: Value) -> Record {
     Record::new(schema, vec![v])
 }
 
-fn values_equal(a: &Record, b: &Record) -> bool {
+pub(crate) fn values_equal(a: &Record, b: &Record) -> bool {
     a.values() == b.values()
 }
 

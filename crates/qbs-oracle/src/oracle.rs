@@ -1,13 +1,18 @@
-//! The differential check: interpret the original kernel program and
-//! execute the synthesized SQL on the same database, then compare under
-//! the correct TOR equivalence.
+//! The differential check: run the original kernel program and execute
+//! the synthesized SQL on the same database, then compare under the
+//! correct TOR equivalence.
 //!
-//! The SQL side runs through a [`Connection`] and a single
-//! [`PreparedStatement`] per fragment — planned once at [`check_opts`]
-//! (or [`check_many`]) entry, then executed for the initial run, every
-//! witness-minimization candidate, and every seeded database. The
-//! returned [`ExecStats`] therefore expose the plan-cache behaviour
-//! (`plan_cache_hits` / `replans`) alongside the row counters.
+//! Both sides execute *compiled* programs. The SQL side runs through a
+//! [`Connection`] and a single [`PreparedStatement`] per fragment —
+//! planned once at [`check_opts`] (or [`check_many`]) entry, then
+//! executed for the initial run, every witness-minimization candidate,
+//! and every seeded database; the returned [`ExecStats`] therefore
+//! expose the plan-cache behaviour (`plan_cache_hits` / `replans`)
+//! alongside the row counters. The kernel side is lowered once per
+//! check entry with [`qbs_kernel::compile`] and replayed through the
+//! bytecode VM across minimization candidates and seeds (the VM's
+//! results and errors are interpreter-identical by construction, which
+//! the `vm_equivalence` suite re-verifies differentially).
 
 use crate::verdict::{MismatchWitness, OracleVerdict};
 use qbs_common::Ident;
@@ -15,7 +20,7 @@ use qbs_db::{
     rows_diff, Connection, Database, ExecStats, Params, PlanConfig, PreparedStatement,
     QueryOutput, RowsEquivalence,
 };
-use qbs_kernel::KernelProgram;
+use qbs_kernel::{CompiledProgram, KernelProgram};
 use qbs_sql::{Dialect, SqlQuery};
 use qbs_tor::DynValue;
 
@@ -114,21 +119,21 @@ pub fn proven_equivalence(sql: &SqlQuery) -> RowsEquivalence {
 }
 
 fn run_both(
-    kernel: &KernelProgram,
+    kernel: &CompiledProgram,
     stmt: &PreparedStatement,
     conn: &Connection,
     params: &Params,
     exec: &mut Option<ExecStats>,
     times: &mut SideTimes,
 ) -> Outcome {
-    // Original semantics: the kernel interpreter over the database's
-    // relations, with bind parameters as scalar variables.
+    // Original semantics: the compiled kernel program over the
+    // database's relations, with bind parameters as scalar variables.
     let mut env = conn.database().env();
     for (name, value) in params {
         env.bind(name.clone(), value.clone());
     }
     let opened = std::time::Instant::now();
-    let run = match qbs_kernel::run(kernel, env) {
+    let run = match kernel.run(env) {
         Ok(r) => r,
         Err(e) => return Outcome::Inconclusive(format!("interpreter failed: {e}")),
     };
@@ -275,6 +280,9 @@ fn check_with_handle(
     params: &Params,
     opts: &CheckOptions,
 ) -> CheckOutcome {
+    // Lower the fragment once; the initial run, every minimization
+    // candidate, and the witness re-derivation replay the bytecode.
+    let compiled = qbs_kernel::compile(kernel);
     let witness = |diff, original, translated, db| {
         OracleVerdict::Mismatch(Box::new(MismatchWitness {
             fragment: kernel.name().to_string(),
@@ -287,7 +295,7 @@ fn check_with_handle(
     };
     let mut exec = None;
     let mut times = SideTimes::default();
-    let verdict = match run_both(kernel, stmt, conn, params, &mut exec, &mut times) {
+    let verdict = match run_both(&compiled, stmt, conn, params, &mut exec, &mut times) {
         Outcome::Agree { rows, equivalence } => OracleVerdict::Agree { rows, equivalence },
         Outcome::Inconclusive(reason) => OracleVerdict::Inconclusive { reason },
         Outcome::Diff { diff, original, translated } if !opts.minimize => {
@@ -295,14 +303,14 @@ fn check_with_handle(
         }
         Outcome::Diff { diff, original, translated } => {
             let full = (*conn.database()).clone();
-            let minimized = minimize_with(kernel, stmt, &full, params, &opts.plan_config());
+            let minimized = minimize_with(&compiled, stmt, &full, params, &opts.plan_config());
             // Re-derive the divergence on the minimized database so the
             // witness is self-contained.
             let mut scratch = None;
             let reconn =
                 Connection::open_with(minimized.clone(), opts.plan_config(), Dialect::Generic);
             match run_both(
-                kernel,
+                &compiled,
                 stmt,
                 &reconn,
                 params,
@@ -357,7 +365,7 @@ pub fn minimize(
     let config = PlanConfig::default();
     let conn = Connection::open_with(db.clone(), config.clone(), Dialect::Generic);
     let stmt = conn.prepare_query(sql);
-    minimize_with(kernel, &stmt, db, params, &config)
+    minimize_with(&qbs_kernel::compile(kernel), &stmt, db, params, &config)
 }
 
 /// [`minimize`] under the plan configuration the mismatch was found with,
@@ -365,7 +373,7 @@ pub fn minimize(
 /// candidate database executes the *same* prepared handle, moving in and
 /// out of a throwaway connection without being copied.
 fn minimize_with(
-    kernel: &KernelProgram,
+    kernel: &CompiledProgram,
     stmt: &PreparedStatement,
     db: &Database,
     params: &Params,

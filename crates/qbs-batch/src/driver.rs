@@ -118,6 +118,11 @@ pub fn corpus_inputs() -> Vec<BatchInput> {
     qbs_corpus::all_fragments().iter().map(BatchInput::from).collect()
 }
 
+/// The per-key grouped-aggregation fragments (ids 50+) as batch inputs.
+pub fn grouped_inputs() -> Vec<BatchInput> {
+    qbs_corpus::grouped_fragments().iter().map(BatchInput::from).collect()
+}
+
 /// A reusable batch driver.
 ///
 /// The fingerprint cache and counterexample pool live on the runner, not

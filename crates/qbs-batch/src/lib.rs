@@ -58,7 +58,9 @@ mod oracle;
 mod pool;
 mod report;
 
-pub use driver::{corpus_inputs, BatchConfig, BatchInput, BatchRunner, RunBatch};
+pub use driver::{
+    corpus_inputs, grouped_inputs, BatchConfig, BatchInput, BatchRunner, RunBatch,
+};
 pub use fingerprint::{canonical, fingerprint, shape_key, Fingerprint};
 pub use memo::{Claim, ComputeTicket, FingerprintCache};
 pub use oracle::OracleConfig;

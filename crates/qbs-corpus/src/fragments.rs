@@ -49,6 +49,9 @@ pub enum Category {
     M,
     N,
     O,
+    /// Per-key grouped aggregation (not in the paper's table; the
+    /// ROADMAP item-4 scenario family the appendix corpus lacks).
+    P,
 }
 
 impl Category {
@@ -70,6 +73,7 @@ impl Category {
             Category::M => "return result set size",
             Category::N => "record selection and in-place removal of records",
             Category::O => "retrieve the max/min record",
+            Category::P => "per-key grouped aggregation (map-accumulator loop)",
         }
     }
 }
@@ -1297,6 +1301,241 @@ pub fn all_fragments() -> Vec<CorpusFragment> {
     ]
 }
 
+// ---------- grouped-aggregation fragments (50–54) ----------
+
+/// Per-key count: `counts.put(k, counts.getOrDefault(k, 0) + 1)`.
+fn group_count(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    key: &str,
+) -> String {
+    wrap(
+        id,
+        class,
+        "Map<Integer, Integer>",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        Map<Integer, Integer> counts = new HashMap<Integer, Integer>();
+        for ({ent} x : xs) {{
+            counts.put(x.{key}, counts.getOrDefault(x.{key}, 0) + 1);
+        }}
+        return counts;"
+        ),
+    )
+}
+
+/// Per-key sum of an integer field.
+fn group_sum(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    key: &str,
+    field: &str,
+) -> String {
+    wrap(
+        id,
+        class,
+        "Map<Integer, Integer>",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        Map<Integer, Integer> totals = new HashMap<Integer, Integer>();
+        for ({ent} x : xs) {{
+            totals.put(x.{key}, totals.getOrDefault(x.{key}, 0) + x.{field});
+        }}
+        return totals;"
+        ),
+    )
+}
+
+/// Per-key count followed by a threshold filter over the entries — the
+/// imperative source of `GROUP BY … HAVING COUNT(*) > t`.
+fn group_having(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    key: &str,
+    threshold: i64,
+) -> String {
+    wrap(
+        id,
+        class,
+        "List<Entry>",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        Map<Integer, Integer> counts = new HashMap<Integer, Integer>();
+        for ({ent} x : xs) {{
+            counts.put(x.{key}, counts.getOrDefault(x.{key}, 0) + 1);
+        }}
+        List<Entry> out = new ArrayList<Entry>();
+        for (Entry e : counts) {{
+            if (e.val > {threshold}) {{ out.add(e); }}
+        }}
+        return out;"
+        ),
+    )
+}
+
+/// Per-key running maximum via the guarded-put idiom. The guard is `>=`
+/// against the sentinel default: a strict `>` would drop keys whose maximum
+/// equals the sentinel, which is not `group[Max]`.
+fn group_max(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    key: &str,
+    field: &str,
+) -> String {
+    wrap(
+        id,
+        class,
+        "Map<Integer, Integer>",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        Map<Integer, Integer> best = new HashMap<Integer, Integer>();
+        for ({ent} x : xs) {{
+            if (x.{field} >= best.getOrDefault(x.{key}, Integer.MIN_VALUE)) {{
+                best.put(x.{key}, x.{field});
+            }}
+        }}
+        return best;"
+        ),
+    )
+}
+
+/// Selection under grouping: only records matching `guard` (a boolean
+/// expression over the loop variable `x`) are accumulated — `GROUP BY`
+/// over a `WHERE`-filtered scan.
+fn group_count_filtered(
+    id: usize,
+    class: &str,
+    dao: &str,
+    ent: &str,
+    getter: &str,
+    key: &str,
+    guard: &str,
+) -> String {
+    wrap(
+        id,
+        class,
+        "Map<Integer, Integer>",
+        &format!(
+            "        List<{ent}> xs = {dao}.{getter}();
+        Map<Integer, Integer> counts = new HashMap<Integer, Integer>();
+        for ({ent} x : xs) {{
+            if ({guard}) {{
+                counts.put(x.{key}, counts.getOrDefault(x.{key}, 0) + 1);
+            }}
+        }}
+        return counts;"
+        ),
+    )
+}
+
+/// The per-key-map fragments (ids 50–54): the grouped-aggregation scenario
+/// family the Appendix A table lacks, modeled on the same subject
+/// applications. All five translate to `GROUP BY` SQL.
+pub fn grouped_fragments() -> Vec<CorpusFragment> {
+    use App::{Itracker as IT, Wilos as WI};
+    use Category as C;
+    use ExpectedStatus::Translated as X;
+
+    let mk = |id, app, class_name, line, source| CorpusFragment {
+        id,
+        app,
+        class_name,
+        line,
+        category: C::P,
+        expected: X,
+        source,
+    };
+
+    vec![
+        mk(
+            50,
+            IT,
+            "ProjectDashboardAction",
+            112,
+            group_count(
+                50,
+                "ProjectDashboardAction",
+                "issueDao",
+                "Issue",
+                "getIssues",
+                "projectId",
+            ),
+        ),
+        mk(
+            51,
+            IT,
+            "IssueMetricsServiceImpl",
+            233,
+            group_sum(
+                51,
+                "IssueMetricsServiceImpl",
+                "issueDao",
+                "Issue",
+                "getIssues",
+                "ownerId",
+                "severity",
+            ),
+        ),
+        mk(
+            52,
+            WI,
+            "ParticipantSummaryBean",
+            441,
+            group_having(
+                52,
+                "ParticipantSummaryBean",
+                "participantDao",
+                "Participant",
+                "getParticipants",
+                "projectId",
+                2,
+            ),
+        ),
+        mk(
+            53,
+            WI,
+            "ActivityReportBean",
+            87,
+            group_max(
+                53,
+                "ActivityReportBean",
+                "activityDao",
+                "Activity",
+                "getActivities",
+                "projectId",
+                "id",
+            ),
+        ),
+        mk(
+            54,
+            IT,
+            "NotificationDigestJob",
+            64,
+            group_count_filtered(
+                54,
+                "NotificationDigestJob",
+                "issueDao",
+                "Issue",
+                "getIssues",
+                "ownerId",
+                "x.status == 1",
+            ),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1334,6 +1573,19 @@ mod tests {
         for f in all_fragments() {
             qbs_front::parse(&f.source)
                 .unwrap_or_else(|e| panic!("fragment {} does not parse: {e}", f.id));
+        }
+    }
+
+    #[test]
+    fn grouped_fragments_extend_the_corpus() {
+        let grouped = grouped_fragments();
+        assert!(grouped.len() >= 4);
+        for (k, f) in grouped.iter().enumerate() {
+            assert_eq!(f.id, 50 + k, "grouped ids continue after the fixed corpus");
+            assert_eq!(f.category, Category::P);
+            assert_eq!(f.expected, ExpectedStatus::Translated);
+            qbs_front::parse(&f.source)
+                .unwrap_or_else(|e| panic!("grouped fragment {} does not parse: {e}", f.id));
         }
     }
 }

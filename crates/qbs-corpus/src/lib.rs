@@ -21,7 +21,9 @@ pub use advanced::{advanced_idioms, AdvancedIdiom};
 pub use datagen::{
     populate_itracker, populate_pageload, populate_universe, populate_wilos, WilosConfig,
 };
-pub use fragments::{all_fragments, App, Category, CorpusFragment, ExpectedStatus};
+pub use fragments::{
+    all_fragments, grouped_fragments, App, Category, CorpusFragment, ExpectedStatus,
+};
 pub use schema::{itracker_model, universe_schemas, wilos_model, wilos_registry};
 pub use workloads::{
     aggregation_pageload, inferred_sql, join_pageload, selection_pageload, Mode,

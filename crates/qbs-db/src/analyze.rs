@@ -49,6 +49,8 @@ pub struct PlanActuals {
     pub joins: Vec<OpActuals>,
     /// The post-join residual filter, when the plan has one.
     pub residual: Option<OpActuals>,
+    /// The hash aggregate (HAVING filter included), when the plan has one.
+    pub aggregate: Option<OpActuals>,
     /// The sort, when the plan has one.
     pub sort: Option<OpActuals>,
     /// The distinct pass, when the plan has one.
@@ -125,6 +127,9 @@ impl AnalyzedPlan {
         };
         if self.plan.residual.is_some() {
             op("filter (post-join residual)".to_string(), &self.actuals.residual);
+        }
+        if let Some(agg) = &self.plan.aggregate {
+            op(agg.describe(), &self.actuals.aggregate);
         }
         if !self.plan.order_by.is_empty() {
             op(format!("sort ({} keys)", self.plan.order_by.len()), &self.actuals.sort);

@@ -884,6 +884,39 @@ mod tests {
     }
 
     #[test]
+    fn grouped_statements_prepare_cache_and_analyze() {
+        let conn = Connection::open(setup());
+        let stmt = conn
+            .prepare(
+                "SELECT roleId, COUNT(*) FROM users WHERE id > :min \
+                 GROUP BY roleId HAVING COUNT(*) > 1",
+            )
+            .unwrap();
+        assert_eq!(stmt.slots()[0].ty, Some(FieldType::Int));
+        assert!(stmt.explain().contains("hash aggregate (1 keys, 1 aggs, having)"));
+        // ids 1..6 → roleId 1: {1, 4}, roleId 2: {2, 5}, roleId 0: {3}.
+        let params = stmt.bind().set("min", 0).unwrap().finish().unwrap();
+        let out = rows(conn.execute(&stmt, &params).unwrap());
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.stats.plan_cache_hits, 1, "{:?}", out.stats);
+        // Re-execution under a different binding reuses the cached plan.
+        let params = stmt.bind().set("min", 5).unwrap().finish().unwrap();
+        let out = rows(conn.execute(&stmt, &params).unwrap());
+        assert!(out.rows.is_empty());
+        assert_eq!(out.stats.replans, 0, "{:?}", out.stats);
+        // EXPLAIN ANALYZE annotates the aggregate with its actuals.
+        let params = stmt.bind().set("min", 0).unwrap().finish().unwrap();
+        let analyzed = conn.explain_analyze(&stmt, &params).unwrap();
+        let agg = analyzed.actuals.aggregate.as_ref().expect("aggregate actuals");
+        assert_eq!(agg.rows_out, 2, "post-HAVING row count");
+        let text = analyzed.render(false);
+        assert!(
+            text.contains("hash aggregate (1 keys, 1 aggs, having) [actual 2 rows]"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn explain_analyze_observes_index_probes_and_replans() {
         let conn = Connection::open(setup());
         let stmt = conn.prepare("SELECT id FROM users WHERE roleId = 2").unwrap();

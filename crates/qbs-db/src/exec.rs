@@ -258,6 +258,12 @@ pub(crate) fn eval_expr(
             let sub = (ctx.subquery)(q)?;
             Ok(Value::from(sub.rowset.contains(&vs)))
         }
+        // Aggregates never evaluate against a single row: the planner
+        // rewrites every aggregate reference to its hash-aggregate output
+        // column before execution.
+        SqlExpr::Agg { agg, .. } => {
+            Err(ExecError::new(format!("aggregate {} outside a grouped context", agg.sql())))
+        }
     }
 }
 
@@ -490,6 +496,148 @@ pub(crate) fn sort_positions(mut frame: Frame, keys: &[(usize, bool)]) -> Frame 
         std::cmp::Ordering::Equal
     });
     frame
+}
+
+/// Grouped hash aggregation — the `GROUP BY` operator shared by the plan
+/// interpreter and the bytecode VM. One output row per distinct key tuple,
+/// in first-occurrence key order: the TOR `Group` axiom order, which is
+/// also the iteration order of the kernel's map-accumulator loops.
+///
+/// Runs in two columnar passes over the materialized input. Pass one
+/// assigns each row a group id (keys resolve to column positions up
+/// front; only a non-column key, never planned today, pays per-row
+/// evaluation). Pass two transposes each aggregate's input column into a
+/// typed `i64` vector and folds it group-wise against the id vector.
+///
+/// The error doctrine mirrors the scalar aggregates
+/// ([`Database`](crate::Database) on a `SqlScalar`): a non-integer value
+/// under `SUM`/`MIN`/`MAX` is a type error with the same message, and
+/// `SUM` uses checked addition. But an empty *group* cannot exist — a key
+/// only appears because a row carried it — so grouped `MIN`/`MAX` never
+/// raise the empty-aggregate error; empty input yields zero groups.
+pub(crate) fn hash_aggregate(
+    frame: Frame,
+    node: &crate::planner::AggregateNode,
+    ctx: &EvalCtx<'_>,
+) -> Result<Frame, ExecError> {
+    use qbs_tor::AggKind;
+    let shell = Frame::new(frame.cols.clone());
+    let resolve_pos = |e: &SqlExpr| match e {
+        SqlExpr::Column { qualifier, name } => frame.resolve(qualifier.as_ref(), name),
+        _ => None,
+    };
+    // Pass 1: group ids in first-occurrence order. The single resolved
+    // key — every planned `GROUP BY` today — probes the hash table with
+    // the borrowed cell value, no per-row key vector or clone; compound
+    // or computed keys take the general path.
+    let key_pos: Vec<Option<usize>> = node.keys.iter().map(&resolve_pos).collect();
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    let mut gids: Vec<usize> = Vec::with_capacity(frame.rows.len());
+    if let [Some(pos)] = key_pos[..] {
+        let mut index: HashMap<&Value, usize> = HashMap::new();
+        for row in &frame.rows {
+            let next = group_keys.len();
+            let gid = *index.entry(&row[pos]).or_insert(next);
+            if gid == next {
+                group_keys.push(vec![row[pos].clone()]);
+            }
+            gids.push(gid);
+        }
+    } else {
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for row in &frame.rows {
+            let mut key = Vec::with_capacity(node.keys.len());
+            for (k, pos) in node.keys.iter().zip(&key_pos) {
+                key.push(match pos {
+                    Some(i) => row[*i].clone(),
+                    None => eval_expr(k, &shell, RowRef::Slice(row), ctx)?,
+                });
+            }
+            let gid = match index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = group_keys.len();
+                    index.insert(key.clone(), g);
+                    group_keys.push(key);
+                    g
+                }
+            };
+            gids.push(gid);
+        }
+    }
+
+    // Pass 2: fold each aggregate over (group id, input) pairs.
+    let n = group_keys.len();
+    let mut agg_cols: Vec<Vec<i64>> = Vec::with_capacity(node.aggs.len());
+    for spec in &node.aggs {
+        let col = match (&spec.agg, &spec.input) {
+            // COUNT ignores its argument: rows carry no NULLs, so
+            // `COUNT(c)` and `COUNT(*)` agree.
+            (AggKind::Count, _) => {
+                let mut counts = vec![0i64; n];
+                for &g in &gids {
+                    counts[g] += 1;
+                }
+                counts
+            }
+            (agg, None) => {
+                return Err(ExecError::new(format!("{} requires an argument", agg.sql())))
+            }
+            (agg, Some(input)) => {
+                // Transpose the input column into a typed vector — the
+                // scalar aggregates' type doctrine, applied per value.
+                let pos = resolve_pos(input);
+                let int_of = |v: &Value| {
+                    v.as_int().ok_or_else(|| {
+                        ExecError::new(format!("{} over non-integer value {v:?}", agg.sql()))
+                    })
+                };
+                let mut xs: Vec<i64> = Vec::with_capacity(frame.rows.len());
+                for row in &frame.rows {
+                    xs.push(match pos {
+                        Some(i) => int_of(&row[i])?,
+                        None => int_of(&eval_expr(input, &shell, RowRef::Slice(row), ctx)?)?,
+                    });
+                }
+                match agg {
+                    AggKind::Sum => {
+                        let mut acc = vec![0i64; n];
+                        for (&g, &x) in gids.iter().zip(&xs) {
+                            acc[g] = acc[g]
+                                .checked_add(x)
+                                .ok_or_else(|| ExecError::new("SUM overflows i64"))?;
+                        }
+                        acc
+                    }
+                    AggKind::Min => fold_extremum(&gids, &xs, n, i64::min),
+                    AggKind::Max => fold_extremum(&gids, &xs, n, i64::max),
+                    AggKind::Count => unreachable!("COUNT handled above"),
+                }
+            }
+        };
+        agg_cols.push(col);
+    }
+
+    let mut rows = Vec::with_capacity(n);
+    for (g, key) in group_keys.into_iter().enumerate() {
+        let mut row = key;
+        row.extend(agg_cols.iter().map(|c| Value::from(c[g])));
+        rows.push(row);
+    }
+    Ok(Frame { cols: node.out_cols.clone(), rows })
+}
+
+/// Group-wise `MIN`/`MAX` fold. Every group has at least one row (its key
+/// came from one), so the per-group accumulator always initializes.
+fn fold_extremum(gids: &[usize], xs: &[i64], n: usize, pick: fn(i64, i64) -> i64) -> Vec<i64> {
+    let mut acc: Vec<Option<i64>> = vec![None; n];
+    for (&g, &x) in gids.iter().zip(xs) {
+        acc[g] = Some(match acc[g] {
+            None => x,
+            Some(a) => pick(a, x),
+        });
+    }
+    acc.into_iter().map(|a| a.expect("group has at least one row")).collect()
 }
 
 /// First-occurrence duplicate elimination (preserves order) — hash-set

@@ -13,7 +13,7 @@
 use crate::exec::FrameCol;
 use qbs_common::Ident;
 use qbs_sql::{FromItem, OrderKey, SelectItem, SqlExpr, SqlSelect};
-use qbs_tor::CmpOp;
+use qbs_tor::{AggKind, CmpOp};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -167,6 +167,50 @@ impl JoinStep {
     }
 }
 
+/// One aggregate column of an [`AggregateNode`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub agg: AggKind,
+    /// Its input expression (`None` = `COUNT(*)`).
+    pub input: Option<SqlExpr>,
+}
+
+/// Grouped aggregation (`GROUP BY` / `HAVING`): one hash-aggregate pass
+/// between the residual filter and the sort.
+///
+/// The operator replaces the joined frame with its grouped output —
+/// every plan element downstream of it (`HAVING`, `ORDER BY`, the
+/// projection) is resolved against [`out_cols`](Self::out_cols), never
+/// the joined layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregateNode {
+    /// Group-key expressions, resolved against the joined frame at run
+    /// time (plain column references in every planned query).
+    pub keys: Vec<SqlExpr>,
+    /// Aggregates computed per group, in output order after the keys.
+    pub aggs: Vec<AggSpec>,
+    /// The operator's output layout: one column per key, then one
+    /// synthetic `#agg<i>` column per aggregate.
+    pub out_cols: Vec<FrameCol>,
+    /// `HAVING`, with every aggregate rewritten to its `#agg<i>` output
+    /// column — an ordinary filter over the grouped frame.
+    pub having: Option<SqlExpr>,
+}
+
+impl AggregateNode {
+    /// One-line description of the aggregate (shared by the plain explain
+    /// rendering and `explain_analyze`'s annotated one).
+    pub(crate) fn describe(&self) -> String {
+        format!(
+            "hash aggregate ({} keys, {} aggs{})",
+            self.keys.len(),
+            self.aggs.len(),
+            if self.having.is_some() { ", having" } else { "" },
+        )
+    }
+}
+
 /// The physical plan: every decision the executor will take, computed once.
 ///
 /// `explain()` renders it into a [`Plan`] summary; `Database::execute_plan`
@@ -181,6 +225,11 @@ pub struct PhysicalPlan {
     /// Post-join leftover predicates (alias-free literals, predicates over
     /// already-joined aliases), conjoined.
     pub residual: Option<SqlExpr>,
+    /// Grouped aggregation (`GROUP BY`/`HAVING`), applied after the
+    /// residual filter and before the sort. When present, limit pushdown
+    /// and projection fusion are disabled: every row must reach the
+    /// aggregate, and the projection addresses its output layout.
+    pub aggregate: Option<AggregateNode>,
     /// `ORDER BY` keys.
     pub order_by: Vec<OrderKey>,
     /// Projection list (empty = `SELECT *`).
@@ -261,6 +310,9 @@ impl fmt::Display for PhysicalPlan {
         if self.residual.is_some() {
             writeln!(f, "filter (post-join residual)")?;
         }
+        if let Some(agg) = &self.aggregate {
+            writeln!(f, "{}", agg.describe())?;
+        }
         if !self.order_by.is_empty() {
             writeln!(f, "sort ({} keys)", self.order_by.len())?;
         }
@@ -326,6 +378,11 @@ pub(crate) fn aliases_of(e: &SqlExpr, out: &mut BTreeSet<Ident>) {
                 aliases_of(x, out);
             }
         }
+        SqlExpr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                aliases_of(a, out);
+            }
+        }
     }
 }
 
@@ -350,6 +407,7 @@ fn count_subquery_preds(e: &SqlExpr) -> usize {
         SqlExpr::Cmp(a, _, b) => count_subquery_preds(a) + count_subquery_preds(b),
         SqlExpr::And(ps) | SqlExpr::Or(ps) => ps.iter().map(count_subquery_preds).sum(),
         SqlExpr::Not(x) => count_subquery_preds(x),
+        SqlExpr::Agg { arg, .. } => arg.as_ref().map(|a| count_subquery_preds(a)).unwrap_or(0),
         SqlExpr::Column { .. } | SqlExpr::Lit(_) | SqlExpr::Param(_) => 0,
     }
 }
@@ -676,6 +734,7 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
     // (all ascending) is satisfied by construction — a stable sort would
     // be the identity — and is dropped from the plan.
     let sort_elided = !q.order_by.is_empty()
+        && q.group_by.is_empty()
         && q.order_by.len() <= scans.len()
         && q.order_by.iter().zip(&scans).all(|(k, scan)| {
             k.asc
@@ -683,7 +742,7 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
                 && matches!(&k.expr, SqlExpr::Column { qualifier: Some(a), name }
                     if a == &scan.alias && name.as_str() == "rowid")
         });
-    let order_by = if sort_elided { Vec::new() } else { q.order_by.clone() };
+    let mut order_by = if sort_elided { Vec::new() } else { q.order_by.clone() };
 
     // Resolve the projection against the *full* layout first — whether it
     // resolves statically gates column pruning (the dynamic fallback may
@@ -692,11 +751,81 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
         scans.iter().flat_map(|s| s.cols.iter().cloned()).collect();
     let full_projection = resolve_projection(&q.columns, &full_layout);
 
+    // Grouped aggregation: collect the distinct aggregate expressions
+    // (select list first, then HAVING-only ones), fix the operator's
+    // output layout — key columns then one synthetic `#agg<i>` column per
+    // aggregate — and rewrite everything downstream of the operator
+    // (HAVING, the select list) to reference that layout. A HAVING-only
+    // aggregate gets computed and filtered on, then dropped by the
+    // projection.
+    let mut columns = q.columns.clone();
+    let aggregate = if q.group_by.is_empty() {
+        None
+    } else {
+        let mut agg_exprs: Vec<SqlExpr> = Vec::new();
+        for item in &q.columns {
+            collect_aggs(&item.expr, &mut agg_exprs);
+        }
+        if let Some(h) = &q.having {
+            collect_aggs(h, &mut agg_exprs);
+        }
+        for k in &q.order_by {
+            collect_aggs(&k.expr, &mut agg_exprs);
+        }
+        let mut out_cols: Vec<FrameCol> = q
+            .group_by
+            .iter()
+            .map(|k| match k {
+                SqlExpr::Column { qualifier, name } => {
+                    match crate::exec::resolve_cols(&full_layout, qualifier.as_ref(), name) {
+                        Some(i) => full_layout[i].clone(),
+                        None => FrameCol {
+                            alias: qualifier.clone().unwrap_or_else(|| Ident::new("")),
+                            name: name.clone(),
+                        },
+                    }
+                }
+                _ => FrameCol { alias: Ident::new(""), name: Ident::new("#key") },
+            })
+            .collect();
+        for i in 0..agg_exprs.len() {
+            out_cols
+                .push(FrameCol { alias: Ident::new(""), name: Ident::new(format!("#agg{i}")) });
+        }
+        columns = columns
+            .iter()
+            .map(|item| SelectItem {
+                expr: rewrite_aggs(&item.expr, &agg_exprs),
+                alias: item.alias.clone(),
+            })
+            .collect();
+        // ORDER BY runs downstream of the aggregate too (sort elision is
+        // off under grouping, so `order_by` is exactly `q.order_by` here).
+        order_by = order_by
+            .iter()
+            .map(|k| OrderKey { expr: rewrite_aggs(&k.expr, &agg_exprs), asc: k.asc })
+            .collect();
+        Some(AggregateNode {
+            keys: q.group_by.clone(),
+            aggs: agg_exprs
+                .iter()
+                .map(|e| match e {
+                    SqlExpr::Agg { agg, arg } => {
+                        AggSpec { agg: *agg, input: arg.as_deref().cloned() }
+                    }
+                    other => unreachable!("collect_aggs collects aggregates, got {other:?}"),
+                })
+                .collect(),
+            out_cols,
+            having: q.having.as_ref().map(|h| rewrite_aggs(h, &agg_exprs)),
+        })
+    };
+
     // Column pruning: a scan column that no post-scan operator (join key,
     // step or plan residual, order key, projection) references is never
     // materialized. Pushed scan filters evaluate against the raw row
     // before materialization, so they impose nothing.
-    if full_projection.is_some() {
+    if full_projection.is_some() || aggregate.is_some() {
         let mut needed: Vec<(Option<Ident>, Ident)> = Vec::new();
         for step in &joins {
             if let Some((lk, rk)) = &step.key {
@@ -712,6 +841,22 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
         }
         for k in &order_by {
             column_refs(&k.expr, &mut needed);
+        }
+        // The aggregate's inputs: group keys, aggregate arguments (via the
+        // `Agg` arm of `column_refs` below), and HAVING references.
+        for k in &q.group_by {
+            column_refs(k, &mut needed);
+        }
+        if let Some(h) = &q.having {
+            column_refs(h, &mut needed);
+        }
+        if aggregate.is_some() {
+            // Pre-rewrite ORDER BY keys: an aggregate ordered on reads its
+            // argument columns from the scans, not from `order_by` (which
+            // now references the post-aggregate `#agg<i>` layout).
+            for k in &q.order_by {
+                column_refs(&k.expr, &mut needed);
+            }
         }
         let keep_all_non_rowid = q.columns.is_empty();
         for item in &q.columns {
@@ -782,17 +927,24 @@ pub fn plan_with(q: &SqlSelect, db: &crate::Database, config: &PlanConfig) -> Ph
         });
         layout.extend(right.iter().cloned());
     }
-    let projection = match full_projection {
-        Some(_) => resolve_projection(&q.columns, &layout),
-        None => None,
+    let projection = match &aggregate {
+        // Post-aggregate, the frame layout is the operator's output —
+        // resolve the rewritten select list against it, never the joined
+        // layout.
+        Some(agg) => resolve_projection(&columns, &agg.out_cols),
+        None => match full_projection {
+            Some(_) => resolve_projection(&q.columns, &layout),
+            None => None,
+        },
     };
 
     PhysicalPlan {
         scans,
         joins,
         residual: (!remaining.is_empty()).then(|| SqlExpr::conjoin(remaining)),
+        aggregate,
         order_by,
-        columns: q.columns.clone(),
+        columns,
         distinct: q.distinct,
         limit: q.limit.clone(),
         offset: q.offset.clone(),
@@ -855,6 +1007,47 @@ fn column_refs(e: &SqlExpr, out: &mut Vec<(Option<Ident>, Ident)>) {
         SqlExpr::Not(x) => column_refs(x, out),
         SqlExpr::InSubquery(x, _) => column_refs(x, out),
         SqlExpr::RowInSubquery(xs, _) => xs.iter().for_each(|x| column_refs(x, out)),
+        SqlExpr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                column_refs(a, out);
+            }
+        }
+    }
+}
+
+/// Collects the distinct aggregate expressions of `e`, in first-appearance
+/// order — the order that fixes each aggregate's `#agg<i>` output column.
+fn collect_aggs(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
+    match e {
+        SqlExpr::Agg { .. } if !out.contains(e) => {
+            out.push(e.clone());
+        }
+        SqlExpr::Agg { .. } => {}
+        SqlExpr::Cmp(a, _, b) => {
+            collect_aggs(a, out);
+            collect_aggs(b, out);
+        }
+        SqlExpr::And(ps) | SqlExpr::Or(ps) => ps.iter().for_each(|p| collect_aggs(p, out)),
+        SqlExpr::Not(x) => collect_aggs(x, out),
+        _ => {}
+    }
+}
+
+/// Rewrites every aggregate sub-expression to its `#agg<i>` output column
+/// (positions taken from `aggs`, the [`collect_aggs`] order) — how HAVING
+/// and the select list become ordinary expressions over the grouped frame.
+fn rewrite_aggs(e: &SqlExpr, aggs: &[SqlExpr]) -> SqlExpr {
+    if let Some(i) = aggs.iter().position(|a| a == e) {
+        return SqlExpr::col(format!("#agg{i}"));
+    }
+    match e {
+        SqlExpr::Cmp(a, op, b) => {
+            SqlExpr::Cmp(Box::new(rewrite_aggs(a, aggs)), *op, Box::new(rewrite_aggs(b, aggs)))
+        }
+        SqlExpr::And(ps) => SqlExpr::And(ps.iter().map(|p| rewrite_aggs(p, aggs)).collect()),
+        SqlExpr::Or(ps) => SqlExpr::Or(ps.iter().map(|p| rewrite_aggs(p, aggs)).collect()),
+        SqlExpr::Not(x) => SqlExpr::Not(Box::new(rewrite_aggs(x, aggs))),
+        other => other.clone(),
     }
 }
 

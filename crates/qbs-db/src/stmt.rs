@@ -398,6 +398,11 @@ fn infer_slots(db: &Database, query: &SqlQuery) -> Vec<ParamSlot> {
                 xs.iter().for_each(|x| walk_expr(db, aliases, single, x, note));
                 walk_select(db, q, note);
             }
+            SqlExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    walk_expr(db, aliases, single, a, note);
+                }
+            }
             SqlExpr::Column { .. } | SqlExpr::Lit(_) => {}
         }
     }
@@ -425,6 +430,12 @@ fn infer_slots(db: &Database, query: &SqlQuery) -> Vec<ParamSlot> {
         }
         if let Some(w) = &q.where_clause {
             walk_expr(db, &aliases, single.as_ref(), w, note);
+        }
+        for k in &q.group_by {
+            walk_expr(db, &aliases, single.as_ref(), k, note);
+        }
+        if let Some(h) = &q.having {
+            walk_expr(db, &aliases, single.as_ref(), h, note);
         }
         for k in &q.order_by {
             walk_expr(db, &aliases, single.as_ref(), &k.expr, note);

@@ -54,6 +54,9 @@ pub(crate) enum PlanOp {
     Join { step: usize, left: usize, right: usize, dst: usize, emit: bool },
     /// Apply the plan's residual predicate to `reg`.
     Residual { reg: usize },
+    /// Hash-aggregate `reg` (grouped keys then `#agg<i>` columns) and
+    /// apply the plan's rewritten HAVING filter to the grouped output.
+    Aggregate { reg: usize },
     /// Sort `reg` by the compile-time-resolved ORDER BY spec.
     Sort { reg: usize },
     /// Apply OFFSET/LIMIT to `reg` (the non-DISTINCT placement, before
@@ -74,6 +77,7 @@ impl OpCode for PlanOp {
         "scan",
         "join",
         "residual",
+        "aggregate",
         "sort",
         "page_early",
         "project",
@@ -87,12 +91,13 @@ impl OpCode for PlanOp {
             PlanOp::Scan { .. } => 0,
             PlanOp::Join { .. } => 1,
             PlanOp::Residual { .. } => 2,
-            PlanOp::Sort { .. } => 3,
-            PlanOp::PageEarly { .. } => 4,
-            PlanOp::Project { .. } => 5,
-            PlanOp::Distinct { .. } => 6,
-            PlanOp::PageLate { .. } => 7,
-            PlanOp::Ret { .. } => 8,
+            PlanOp::Aggregate { .. } => 3,
+            PlanOp::Sort { .. } => 4,
+            PlanOp::PageEarly { .. } => 5,
+            PlanOp::Project { .. } => 6,
+            PlanOp::Distinct { .. } => 7,
+            PlanOp::PageLate { .. } => 8,
+            PlanOp::Ret { .. } => 9,
         }
     }
 }
@@ -442,6 +447,15 @@ impl PlanProgram {
                     let pred = plan.residual.as_ref().expect("residual op implies predicate");
                     regs[*reg] = Some(filter(f, pred, ctx)?);
                 }
+                PlanOp::Aggregate { reg } => {
+                    let f = regs[*reg].take().expect("pipeline register filled");
+                    let agg = plan.aggregate.as_ref().expect("aggregate op implies node");
+                    let mut out = exec::hash_aggregate(f, agg, ctx)?;
+                    if let Some(h) = &agg.having {
+                        out = filter(out, h, ctx)?;
+                    }
+                    regs[*reg] = Some(out);
+                }
                 PlanOp::Sort { reg } => {
                     let f = regs[*reg].take().expect("pipeline register filled");
                     regs[*reg] = Some(match &self.sort {
@@ -526,9 +540,10 @@ fn build_program(plan: &Arc<PhysicalPlan>, config: &PlanConfig) -> Option<PlanPr
     let scan_limit = plan.scans.len() == 1
         && plan.joins.is_empty()
         && plan.residual.is_none()
+        && plan.aggregate.is_none()
         && plan.order_by.is_empty()
         && !plan.distinct;
-    let fused = plan.residual.is_none() && plan.order_by.is_empty();
+    let fused = plan.residual.is_none() && plan.aggregate.is_none() && plan.order_by.is_empty();
     let scan_emit = fused && plan.scans.len() == 1;
     // When the shape pushes a limit the scan must run row-at-a-time (the
     // "stop at the k-th match" contract); a present LIMIT always resolves
@@ -624,6 +639,9 @@ fn build_program(plan: &Arc<PhysicalPlan>, config: &PlanConfig) -> Option<PlanPr
     if plan.residual.is_some() {
         ops.push(PlanOp::Residual { reg: 0 });
     }
+    if plan.aggregate.is_some() {
+        ops.push(PlanOp::Aggregate { reg: 0 });
+    }
     if !plan.order_by.is_empty() {
         ops.push(PlanOp::Sort { reg: 0 });
     }
@@ -668,15 +686,20 @@ fn build_program(plan: &Arc<PhysicalPlan>, config: &PlanConfig) -> Option<PlanPr
 /// unresolvable/ambiguous reference falls back to the expression sort.
 fn sort_spec(plan: &PhysicalPlan) -> SortSpec {
     let exprs = || plan.order_by.iter().map(|k| (k.expr.clone(), k.asc)).collect();
-    if plan.order_by.is_empty()
-        || plan.scans.iter().any(|n| matches!(n.source, ScanSource::Subquery { .. }))
-    {
+    if plan.order_by.is_empty() {
         return SortSpec::Exprs(exprs());
     }
-    let mut cols: Vec<FrameCol> = Vec::new();
-    for node in &plan.scans {
-        cols.extend(node.out_cols());
-    }
+    // Post-aggregate, rows sort in the aggregate's output layout — a
+    // compile-time fact regardless of what the scans materialize.
+    let cols: Vec<FrameCol> = match &plan.aggregate {
+        Some(agg) => agg.out_cols.clone(),
+        None => {
+            if plan.scans.iter().any(|n| matches!(n.source, ScanSource::Subquery { .. })) {
+                return SortSpec::Exprs(exprs());
+            }
+            plan.scans.iter().flat_map(|node| node.out_cols()).collect()
+        }
+    };
     let mut keys = Vec::with_capacity(plan.order_by.len());
     for k in &plan.order_by {
         let SqlExpr::Column { qualifier, name } = &k.expr else {
@@ -845,6 +868,40 @@ mod tests {
         let mut plan = plan_with(&q, &db, &cfg);
         plan.projection = None;
         assert!(compile_plan(&Arc::new(plan), &cfg).is_none());
+    }
+
+    #[test]
+    fn compiled_group_by_matches_interpreter_rows_and_stats() {
+        let db = setup();
+        let cfg = PlanConfig::default();
+        for sql in [
+            "SELECT roleId, COUNT(*) FROM users GROUP BY roleId",
+            "SELECT roleId, SUM(id), MIN(id), MAX(id) FROM users GROUP BY roleId",
+            "SELECT roleId, COUNT(*) FROM users GROUP BY roleId HAVING SUM(id) > 5",
+            "SELECT roleId, SUM(id) FROM users GROUP BY roleId ORDER BY roleId DESC",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let plan = Arc::new(plan_with(&q, &db, &cfg));
+            let prog = compile_plan(&plan, &cfg).expect("grouped plans compile");
+            let vm = run_program(&db, &prog, &Params::new());
+            let interp = db.execute_plan_with(&plan, &Params::new(), &cfg).unwrap();
+            assert_eq!(vm.rows, interp.rows, "{sql}");
+            assert_eq!(vm.stats, interp.stats, "{sql}");
+            assert!(!vm.rows.is_empty(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn aggregate_dispatch_counter_accumulates() {
+        let db = setup();
+        let cfg = PlanConfig::default();
+        let q = parse_query("SELECT roleId, COUNT(*) FROM users GROUP BY roleId").unwrap();
+        let plan = Arc::new(plan_with(&q, &db, &cfg));
+        let prog = compile_plan(&plan, &cfg).expect("compiles");
+        let before = vm_metrics().counter("vm.dispatch.aggregate").get();
+        let _ = run_program(&db, &prog, &Params::new());
+        let after = vm_metrics().counter("vm.dispatch.aggregate").get();
+        assert_eq!(after - before, 1, "one aggregate dispatch per run");
     }
 
     #[test]

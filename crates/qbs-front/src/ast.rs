@@ -19,6 +19,9 @@ pub enum Type {
     List(Box<Type>),
     /// `Set<T>` — results become `SELECT DISTINCT`.
     Set(Box<Type>),
+    /// `Map<K, V>` — the per-key accumulator of grouped aggregation
+    /// (QBS models maps as entry relations).
+    Map(Box<Type>, Box<Type>),
     /// `T[]` — triggers rejection (paper Sec. 7.1: fragments using Java
     /// arrays are not supported by the prototype).
     Array(Box<Type>),
@@ -34,6 +37,7 @@ impl fmt::Display for Type {
             Type::Class(c) => write!(f, "{c}"),
             Type::List(t) => write!(f, "List<{t}>"),
             Type::Set(t) => write!(f, "Set<{t}>"),
+            Type::Map(k, v) => write!(f, "Map<{k}, {v}>"),
             Type::Array(t) => write!(f, "{t}[]"),
         }
     }

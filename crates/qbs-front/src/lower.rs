@@ -42,6 +42,20 @@ pub struct Fragment {
 /// Inlining budget (paper Sec. 6.1 inlines a neighborhood of 5 calls).
 const INLINE_DEPTH: usize = 5;
 
+/// The value column of a lowered map accumulator. Entry iteration reads it
+/// back as `e.val` (the map is an entry relation: key columns + this one).
+const MAP_VAL_FIELD: &str = "val";
+
+/// The key column a map probe binds: named after the probed field
+/// (`counts.put(u.roleId, …)` groups by a `roleId` column), or `key` when
+/// the probe is not a field access.
+fn map_key_name(key: &KExpr) -> Ident {
+    match key {
+        KExpr::Field(_, f) => f.clone(),
+        _ => Ident::new("key"),
+    }
+}
+
 type LowerResult<T> = Result<T, RejectReason>;
 
 struct Lowerer<'a> {
@@ -52,6 +66,9 @@ struct Lowerer<'a> {
     entity_vars: BTreeMap<String, String>,
     /// Variables declared as sets (results become DISTINCT).
     set_vars: BTreeSet<String>,
+    /// Variables declared as maps (per-key accumulators; lowered to the
+    /// kernel's entry-relation map operations).
+    map_vars: BTreeSet<String>,
     /// Variables derived from persistent data.
     tainted: BTreeSet<String>,
     /// Counter for fresh loop variables.
@@ -181,6 +198,17 @@ impl<'a> Lowerer<'a> {
             (Some(r), "get", 1) => {
                 Ok(KExpr::get(self.lower_expr(r)?, self.lower_expr(&args[0])?))
             }
+            // Per-key accumulator read: `counts.getOrDefault(u.roleId, 0)`.
+            (Some(Expr::Var(m)), "getOrDefault", 2) if self.map_vars.contains(m) => {
+                let key = self.lower_expr(&args[0])?;
+                let default = self.lower_expr(&args[1])?;
+                Ok(KExpr::mapget(
+                    KExpr::var(m.as_str()),
+                    vec![(map_key_name(&key), key)],
+                    MAP_VAL_FIELD,
+                    default,
+                ))
+            }
             (Some(r), "contains", 1) => {
                 Ok(KExpr::contains(self.lower_expr(r)?, self.lower_expr(&args[0])?))
             }
@@ -219,6 +247,9 @@ impl<'a> Lowerer<'a> {
                 if matches!(ty, Type::Set(_)) {
                     self.set_vars.insert(name.to_string());
                 }
+            }
+            Type::Map(..) => {
+                self.map_vars.insert(name.to_string());
             }
             _ => {}
         }
@@ -418,6 +449,24 @@ impl<'a> Lowerer<'a> {
             }
         }
         match (recv.as_deref(), name.as_str(), args.len()) {
+            // Per-key accumulator write: `counts.put(u.roleId, v)`.
+            (Some(Expr::Var(m)), "put", 2) if self.map_vars.contains(m) => {
+                if self.is_tainted(&args[0]) || self.is_tainted(&args[1]) {
+                    self.tainted.insert(m.clone());
+                }
+                let key = self.lower_expr(&args[0])?;
+                let val = self.lower_expr(&args[1])?;
+                out.push(KStmt::assign(
+                    m.as_str(),
+                    KExpr::mapput(
+                        KExpr::var(m.as_str()),
+                        vec![(map_key_name(&key), key)],
+                        MAP_VAL_FIELD,
+                        val,
+                    ),
+                ));
+                Ok(())
+            }
             (Some(Expr::Var(list)), "add", 1) => {
                 if self.is_tainted(&args[0]) {
                     self.tainted.insert(list.clone());
@@ -653,6 +702,7 @@ fn lower_method(
         record_subst: BTreeMap::new(),
         entity_vars: BTreeMap::new(),
         set_vars: BTreeSet::new(),
+        map_vars: BTreeSet::new(),
         tainted: BTreeSet::new(),
         fresh: 0,
         early_result: None,
@@ -664,7 +714,7 @@ fn lower_method(
     let had_early = rewrite_early_returns(&mut stmts, result_var)?;
 
     for (ty, name) in &m.params {
-        if matches!(ty, Type::List(_) | Type::Set(_) | Type::Array(_)) {
+        if matches!(ty, Type::List(_) | Type::Set(_) | Type::Map(..) | Type::Array(_)) {
             return Err(RejectReason::new("collection-typed fragment parameters"));
         }
         let _ = name;
@@ -900,6 +950,53 @@ mod tests {
         let printed = qbs_kernel::pretty(kernel);
         assert!(printed.contains("Query(SELECT * FROM users)"), "{printed}");
         assert!(printed.contains("size("), "{printed}");
+    }
+
+    #[test]
+    fn map_accumulator_lowers_to_map_operations() {
+        let src = r#"
+        class S {
+            public Map<Integer, Integer> countByRole() {
+                List<User> users = userDao.getUsers();
+                Map<Integer, Integer> counts = new HashMap<Integer, Integer>();
+                for (User u : users) {
+                    counts.put(u.roleId, counts.getOrDefault(u.roleId, 0) + 1);
+                }
+                return counts;
+            }
+        }
+        "#;
+        let frags = compile_source(src, &model()).unwrap();
+        let kernel = frags[0].kernel.as_ref().unwrap();
+        let printed = qbs_kernel::pretty(kernel);
+        assert!(printed.contains("mapput(counts"), "{printed}");
+        assert!(printed.contains("mapget(counts"), "{printed}");
+        assert!(printed.contains("roleId ="), "{printed}");
+    }
+
+    #[test]
+    fn entry_iteration_reads_the_val_column() {
+        let src = r#"
+        class S {
+            public List<Entry> popularRoles() {
+                List<User> users = userDao.getUsers();
+                Map<Integer, Integer> counts = new HashMap<Integer, Integer>();
+                for (User u : users) {
+                    counts.put(u.roleId, counts.getOrDefault(u.roleId, 0) + 1);
+                }
+                List<Entry> out = new ArrayList<Entry>();
+                for (Entry e : counts) {
+                    if (e.val > 1) { out.add(e); }
+                }
+                return out;
+            }
+        }
+        "#;
+        let frags = compile_source(src, &model()).unwrap();
+        let kernel = frags[0].kernel.as_ref().unwrap();
+        let printed = qbs_kernel::pretty(kernel);
+        assert!(printed.contains(".val > 1"), "{printed}");
+        assert!(printed.contains("append(out"), "{printed}");
     }
 
     #[test]

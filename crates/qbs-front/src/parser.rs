@@ -123,6 +123,10 @@ impl Parser {
                 let inner = self.generic_arg()?;
                 Type::Set(Box::new(inner))
             }
+            "Map" | "HashMap" | "LinkedHashMap" => {
+                let (k, v) = self.generic_args2()?;
+                Type::Map(Box::new(k), Box::new(v))
+            }
             other => Type::Class(other.to_string()),
         };
         while self.at_sym("[") {
@@ -147,12 +151,39 @@ impl Parser {
         }
     }
 
+    /// Two-parameter generic arguments, `<K, V>` (diamond `<>` allowed).
+    fn generic_args2(&mut self) -> Result<(Type, Type)> {
+        if self.take_sym("<") {
+            if self.take_sym(">") {
+                return Ok((Type::Class(String::new()), Type::Class(String::new())));
+            }
+            let k = self.parse_type()?;
+            self.eat_sym(",")?;
+            let v = self.parse_type()?;
+            self.eat_sym(">")?;
+            Ok((k, v))
+        } else {
+            Ok((Type::Class(String::new()), Type::Class(String::new())))
+        }
+    }
+
     /// Is a type declaration starting here? (Heuristic: `Ident Ident` or a
     /// known type keyword followed by an identifier or generic bracket.)
     fn at_decl(&self) -> bool {
         let Some(Token::Ident(first)) = self.peek() else { return false };
-        if ["int", "long", "boolean", "String", "List", "ArrayList", "Set", "HashSet"]
-            .contains(&first.as_str())
+        if [
+            "int",
+            "long",
+            "boolean",
+            "String",
+            "List",
+            "ArrayList",
+            "Set",
+            "HashSet",
+            "Map",
+            "HashMap",
+        ]
+        .contains(&first.as_str())
         {
             return true;
         }

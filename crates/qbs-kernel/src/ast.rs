@@ -49,6 +49,35 @@ pub enum KExpr {
     /// In-place element removal, rebuilt functionally (category N).
     /// Runs under the interpreter but has no TOR counterpart.
     Remove(Box<KExpr>, Box<KExpr>),
+    /// `mapget` — per-key map read. Maps are represented as entry
+    /// relations (one record per key, insertion-ordered); the read returns
+    /// `val_field` of the first record whose key fields equal the probe
+    /// expressions, or `default` when none matches. This is the lowering
+    /// of `map.get(k)` / `map.getOrDefault(k, d)` in per-key accumulator
+    /// loops (the `GROUP BY` idiom).
+    MapGet {
+        /// The map, an entry relation.
+        map: Box<KExpr>,
+        /// `(key field, probe expression)` pairs; all must match.
+        keys: Vec<(Ident, KExpr)>,
+        /// The field read from the matching entry.
+        val_field: Ident,
+        /// Returned when no entry matches.
+        default: Box<KExpr>,
+    },
+    /// `mapput` — per-key map write: replace `val_field` of the matching
+    /// entry, or append a fresh `{keys…, val}` record (insertion order is
+    /// entry order). The lowering of `map.put(k, v)`.
+    MapPut {
+        /// The map, an entry relation.
+        map: Box<KExpr>,
+        /// `(key field, probe expression)` pairs identifying the entry.
+        keys: Vec<(Ident, KExpr)>,
+        /// The field written on the matching (or fresh) entry.
+        val_field: Ident,
+        /// The written value.
+        val: Box<KExpr>,
+    },
 }
 
 impl KExpr {
@@ -112,6 +141,36 @@ impl KExpr {
         KExpr::Binary(op, Box::new(a), Box::new(b))
     }
 
+    /// `mapget(map, [(k, probe)…], val_field, default)`.
+    pub fn mapget(
+        map: KExpr,
+        keys: Vec<(Ident, KExpr)>,
+        val_field: impl Into<Ident>,
+        default: KExpr,
+    ) -> KExpr {
+        KExpr::MapGet {
+            map: Box::new(map),
+            keys,
+            val_field: val_field.into(),
+            default: Box::new(default),
+        }
+    }
+
+    /// `mapput(map, [(k, probe)…], val_field, val)`.
+    pub fn mapput(
+        map: KExpr,
+        keys: Vec<(Ident, KExpr)>,
+        val_field: impl Into<Ident>,
+        val: KExpr,
+    ) -> KExpr {
+        KExpr::MapPut {
+            map: Box::new(map),
+            keys,
+            val_field: val_field.into(),
+            val: Box::new(val),
+        }
+    }
+
     /// Comparison.
     pub fn cmp(op: CmpOp, a: KExpr, b: KExpr) -> KExpr {
         KExpr::binary(BinOp::Cmp(op), a, b)
@@ -143,6 +202,18 @@ impl KExpr {
             RecordLit(fs) => fs.iter().map(|(_, e)| e).collect(),
             Binary(_, a, b) | Get(a, b) | Append(a, b) | Contains(a, b) | Remove(a, b) => {
                 vec![a, b]
+            }
+            MapGet { map, keys, default, .. } => {
+                let mut out = vec![&**map];
+                out.extend(keys.iter().map(|(_, e)| e));
+                out.push(default);
+                out
+            }
+            MapPut { map, keys, val, .. } => {
+                let mut out = vec![&**map];
+                out.extend(keys.iter().map(|(_, e)| e));
+                out.push(val);
+                out
             }
         }
     }

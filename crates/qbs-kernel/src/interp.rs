@@ -120,6 +120,52 @@ pub(crate) fn values_equal(a: &Record, b: &Record) -> bool {
     a.values() == b.values()
 }
 
+pub(crate) fn field_type_of(v: &Value) -> qbs_common::FieldType {
+    match v {
+        Value::Bool(_) => qbs_common::FieldType::Bool,
+        Value::Int(_) => qbs_common::FieldType::Int,
+        Value::Str(_) => qbs_common::FieldType::Str,
+    }
+}
+
+/// Evaluates the key probes of a `mapget`/`mapput` and finds the first
+/// matching entry, returning `(map, key values, matching index)` — the
+/// same semantics as TOR's `map_probe`, so the kernel interpreter and the
+/// TOR postcondition agree by construction.
+fn map_probe(
+    map: &KExpr,
+    keys: &[(Ident, KExpr)],
+    env: &Env,
+    context: &'static str,
+) -> Result<(Relation, Vec<Value>, Option<usize>)> {
+    let rel = want_rel(eval_expr(map, env)?, context)?;
+    let mut probes = Vec::with_capacity(keys.len());
+    for (_, e) in keys {
+        match eval_expr(e, env)? {
+            DynValue::Scalar(v) => probes.push(v),
+            other => {
+                return Err(InterpError::Kind {
+                    context,
+                    expected: "scalar",
+                    found: other.kind(),
+                })
+            }
+        }
+    }
+    // The untyped empty map matches nothing.
+    if rel.schema().arity() == 0 {
+        return Ok((rel, probes, None));
+    }
+    let mut key_idx = Vec::with_capacity(keys.len());
+    for (name, _) in keys {
+        key_idx.push(rel.schema().index_of(&qbs_common::FieldRef::from(name.as_str()))?);
+    }
+    let found = rel
+        .iter()
+        .position(|rec| key_idx.iter().zip(&probes).all(|(&i, p)| rec.value_at(i) == p));
+    Ok((rel, probes, found))
+}
+
 /// Evaluates a kernel expression in an environment.
 ///
 /// This is the reusable evaluation entry point for differential oracles:
@@ -284,6 +330,79 @@ pub fn eval_expr(e: &KExpr, env: &Env) -> Result<DynValue> {
                 })
                 .collect();
             Ok(DynValue::Rel(rel.sorted_by(&all)?))
+        }
+        MapGet { map, keys, val_field, default } => {
+            let (rel, _, found) = map_probe(map, keys, env, "mapget")?;
+            match found {
+                Some(i) => {
+                    let rec = rel.get(i).expect("probe index in range");
+                    Ok(DynValue::Scalar(
+                        rec.get(&qbs_common::FieldRef::from(val_field.as_str()))?.clone(),
+                    ))
+                }
+                None => match eval_expr(default, env)? {
+                    DynValue::Scalar(v) => Ok(DynValue::Scalar(v)),
+                    other => Err(InterpError::Kind {
+                        context: "mapget default",
+                        expected: "scalar",
+                        found: other.kind(),
+                    }),
+                },
+            }
+        }
+        MapPut { map, keys, val_field, val } => {
+            let (rel, probes, found) = map_probe(map, keys, env, "mapput")?;
+            let v = match eval_expr(val, env)? {
+                DynValue::Scalar(v) => v,
+                other => {
+                    return Err(InterpError::Kind {
+                        context: "mapput value",
+                        expected: "scalar",
+                        found: other.kind(),
+                    })
+                }
+            };
+            match found {
+                Some(hit) => {
+                    let schema = rel.schema().clone();
+                    let vi =
+                        schema.index_of(&qbs_common::FieldRef::from(val_field.as_str()))?;
+                    let rows = rel
+                        .iter()
+                        .enumerate()
+                        .map(|(i, rec)| {
+                            if i == hit {
+                                let mut values = rec.values().to_vec();
+                                values[vi] = v.clone();
+                                Record::new(schema.clone(), values)
+                            } else {
+                                rec.clone()
+                            }
+                        })
+                        .collect();
+                    Ok(DynValue::Rel(Relation::from_records(schema, rows)?))
+                }
+                None => {
+                    // Fresh entry: adopt (or build) the entry schema.
+                    let schema = if rel.schema().arity() == 0 {
+                        let mut b = Schema::anonymous();
+                        for ((name, _), pv) in keys.iter().zip(&probes) {
+                            b = b.field(name.as_str(), field_type_of(pv));
+                        }
+                        b.field(val_field.as_str(), field_type_of(&v)).finish()
+                    } else {
+                        rel.schema().clone()
+                    };
+                    let mut values = probes;
+                    values.push(v);
+                    let rec = Record::new(schema.clone(), values);
+                    if rel.schema().arity() == 0 {
+                        Ok(DynValue::Rel(Relation::from_records(schema, vec![rec])?))
+                    } else {
+                        Ok(DynValue::Rel(rel.append(rec)?))
+                    }
+                }
+            }
         }
         Contains(r, x) => {
             let rel = want_rel(eval_expr(r, env)?, "contains")?;
@@ -484,6 +603,119 @@ mod tests {
             .finish();
         let out = run(&prog, Env::new()).unwrap();
         assert_eq!(out.result.as_bool(), Some(true));
+    }
+
+    /// The `GROUP BY` source idiom: a per-key count accumulator loop,
+    /// `m[k.roleId] += 1` spelled with `mapget`/`mapput`.
+    fn count_by_role_program() -> (KernelProgram, Env) {
+        let (s, rel) = users_table();
+        let probe = || {
+            vec![(
+                Ident::new("roleId"),
+                KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+            )]
+        };
+        let prog = KernelProgram::builder("countByRole")
+            .stmt(KStmt::assign("m", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", s))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::assign(
+                        "m",
+                        KExpr::mapput(
+                            KExpr::var("m"),
+                            probe(),
+                            "n",
+                            KExpr::add(
+                                KExpr::mapget(KExpr::var("m"), probe(), "n", KExpr::int(0)),
+                                KExpr::int(1),
+                            ),
+                        ),
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("m")
+            .finish();
+        let mut env = Env::new();
+        env.bind_table("users", rel);
+        (prog, env)
+    }
+
+    #[test]
+    fn per_key_count_loop_groups_in_first_occurrence_order() {
+        let (prog, env) = count_by_role_program();
+        let out = run(&prog, env).unwrap();
+        let m = out.result.as_relation().unwrap();
+        // roleId 10 is seen first, so its entry precedes roleId 20.
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0).unwrap().values(), &[Value::from(10), Value::from(2)]);
+        assert_eq!(m.get(1).unwrap().values(), &[Value::from(20), Value::from(1)]);
+        let names: Vec<_> =
+            m.schema().fields().iter().map(|f| f.name.as_str().to_string()).collect();
+        assert_eq!(names, ["roleId", "n"]);
+    }
+
+    #[test]
+    fn mapget_miss_returns_the_default_and_mapput_hit_replaces_in_place() {
+        let put = |m, k: i64, v: i64| {
+            KExpr::mapput(m, vec![(Ident::new("k"), KExpr::int(k))], "v", KExpr::int(v))
+        };
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("m", KExpr::EmptyList))
+            .stmt(KStmt::assign("m", put(KExpr::var("m"), 1, 10)))
+            .stmt(KStmt::assign("m", put(KExpr::var("m"), 2, 20)))
+            // Overwrite key 1: the entry order must not change.
+            .stmt(KStmt::assign("m", put(KExpr::var("m"), 1, 11)))
+            .stmt(KStmt::assign(
+                "hit",
+                KExpr::mapget(
+                    KExpr::var("m"),
+                    vec![(Ident::new("k"), KExpr::int(1))],
+                    "v",
+                    KExpr::int(-1),
+                ),
+            ))
+            .stmt(KStmt::assign(
+                "miss",
+                KExpr::mapget(
+                    KExpr::var("m"),
+                    vec![(Ident::new("k"), KExpr::int(9))],
+                    "v",
+                    KExpr::int(-1),
+                ),
+            ))
+            .stmt(KStmt::assign("out", KExpr::add(KExpr::var("hit"), KExpr::var("miss"))))
+            .result("out")
+            .finish();
+        let out = run(&prog, Env::new()).unwrap();
+        assert_eq!(out.result.as_int(), Some(10)); // 11 + (-1)
+        let m = out.env.get(&"m".into()).unwrap().as_relation().unwrap();
+        assert_eq!(m.get(0).unwrap().values(), &[Value::from(1), Value::from(11)]);
+        assert_eq!(m.get(1).unwrap().values(), &[Value::from(2), Value::from(20)]);
+    }
+
+    #[test]
+    fn map_operations_report_kind_errors() {
+        // mapget over a scalar is a list kind error.
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign(
+                "out",
+                KExpr::mapget(
+                    KExpr::int(3),
+                    vec![(Ident::new("k"), KExpr::int(1))],
+                    "v",
+                    KExpr::int(0),
+                ),
+            ))
+            .result("out")
+            .finish();
+        assert_eq!(
+            run(&prog, Env::new()),
+            Err(InterpError::Kind { context: "mapget", expected: "list", found: "scalar" })
+        );
     }
 
     #[test]

@@ -102,7 +102,35 @@ fn expr(e: &KExpr, out: &mut String) {
             expr(r, out);
             out.push(')');
         }
+        MapGet { map, keys, val_field, default } => {
+            out.push_str("mapget(");
+            expr(map, out);
+            map_keys(keys, out);
+            let _ = write!(out, ", {val_field}, ");
+            expr(default, out);
+            out.push(')');
+        }
+        MapPut { map, keys, val_field, val } => {
+            out.push_str("mapput(");
+            expr(map, out);
+            map_keys(keys, out);
+            let _ = write!(out, ", {val_field}, ");
+            expr(val, out);
+            out.push(')');
+        }
     }
+}
+
+fn map_keys(keys: &[(qbs_common::Ident, KExpr)], out: &mut String) {
+    out.push_str(", [");
+    for (i, (n, e)) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{n} = ");
+        expr(e, out);
+    }
+    out.push(']');
 }
 
 fn stmt(s: &KStmt, indent: usize, out: &mut String) {

@@ -79,6 +79,15 @@ fn scalar_list_schema(ft: FieldType) -> SchemaRef {
     Schema::anonymous().field(SCALAR_COL, ft).finish()
 }
 
+fn scalar_field_type(t: &TorType) -> Result<FieldType> {
+    match t {
+        TorType::Bool => Ok(FieldType::Bool),
+        TorType::Int => Ok(FieldType::Int),
+        TorType::Str => Ok(FieldType::Str),
+        other => Err(TypecheckError::new(format!("expected scalar type, got {other}"))),
+    }
+}
+
 impl Checker {
     fn infer(&mut self, e: &KExpr) -> Result<ITy> {
         use KExpr::*;
@@ -267,7 +276,100 @@ impl Checker {
                 self.infer(x)?;
                 ITy::Known(TorType::Bool)
             }
+            MapGet { map, keys, val_field, default } => {
+                let entry = self.map_entry_schema(map, keys, "mapget")?;
+                let dty = self.scalar_of(default, "mapget default")?;
+                match entry {
+                    Some(s) => {
+                        let f = s
+                            .field(&val_field.as_str().into())
+                            .map_err(|e| TypecheckError::new(e.to_string()))?;
+                        let vty = TorType::from_field(f.ty);
+                        if vty != dty {
+                            return Err(TypecheckError::new(format!(
+                                "mapget default expects {vty}, got {dty}"
+                            )));
+                        }
+                        ITy::Known(vty)
+                    }
+                    // Reading the untyped empty map always falls through.
+                    None => ITy::Known(dty),
+                }
+            }
+            MapPut { map, keys, val_field, val } => {
+                let entry = self.map_entry_schema(map, keys, "mapput")?;
+                let vty = self.scalar_of(val, "mapput value")?;
+                match entry {
+                    Some(s) => {
+                        let f = s
+                            .field(&val_field.as_str().into())
+                            .map_err(|e| TypecheckError::new(e.to_string()))?;
+                        let fty = TorType::from_field(f.ty);
+                        if fty != vty {
+                            return Err(TypecheckError::new(format!(
+                                "mapput value expects {fty}, got {vty}"
+                            )));
+                        }
+                        ITy::Known(TorType::Rel(s))
+                    }
+                    None => {
+                        // Writing to the untyped empty map determines the
+                        // entry schema: key fields then the value field.
+                        let mut b = Schema::anonymous();
+                        for (name, ke) in keys {
+                            let kt = self.scalar_of(ke, "mapput key")?;
+                            b = b.field(name.as_str(), scalar_field_type(&kt)?);
+                        }
+                        b = b.field(val_field.as_str(), scalar_field_type(&vty)?);
+                        ITy::Known(TorType::Rel(b.finish()))
+                    }
+                }
+            }
         })
+    }
+
+    /// Infers a scalar-typed subexpression, rejecting lists and records.
+    fn scalar_of(&mut self, e: &KExpr, context: &str) -> Result<TorType> {
+        match self.infer(e)? {
+            ITy::Known(t) if t.is_scalar() => Ok(t),
+            other => {
+                Err(TypecheckError::new(format!("{context} must be scalar, got {other:?}")))
+            }
+        }
+    }
+
+    /// The entry schema of a `mapget`/`mapput` map operand: `None` while
+    /// the map is still the untyped empty list, `Some(schema)` once known
+    /// (with every key probe checked against it).
+    fn map_entry_schema(
+        &mut self,
+        map: &KExpr,
+        keys: &[(Ident, KExpr)],
+        context: &str,
+    ) -> Result<Option<SchemaRef>> {
+        let entry = match self.infer(map)? {
+            ITy::PendingList => None,
+            ITy::Known(TorType::Rel(s)) if s.arity() == 0 => None,
+            ITy::Known(TorType::Rel(s)) => Some(s),
+            other => {
+                return Err(TypecheckError::new(format!("{context} on non-map ({other:?})")))
+            }
+        };
+        for (name, ke) in keys {
+            let kty = self.scalar_of(ke, &format!("{context} key `{name}`"))?;
+            if let Some(s) = &entry {
+                let f = s
+                    .field(&name.as_str().into())
+                    .map_err(|e| TypecheckError::new(e.to_string()))?;
+                let fty = TorType::from_field(f.ty);
+                if fty != kty {
+                    return Err(TypecheckError::new(format!(
+                        "{context} key `{name}` expects {fty}, got {kty}"
+                    )));
+                }
+            }
+        }
+        Ok(entry)
     }
 
     fn check_stmt(&mut self, s: &KStmt) -> Result<bool> {
@@ -504,6 +606,101 @@ mod tests {
             .stmt(KStmt::assign(
                 "x",
                 KExpr::field(KExpr::get(KExpr::var("users"), KExpr::int(0)), "missing"),
+            ))
+            .result("x")
+            .finish();
+        assert!(typecheck(&prog, &TypeEnv::new()).is_err());
+    }
+
+    #[test]
+    fn map_accumulator_loop_infers_the_entry_schema() {
+        // m := []; while … { m := mapput(m, [roleId = u.roleId], n,
+        // mapget(m, …, n, 0) + 1) } — the pending empty list is refined
+        // to the entry relation {roleId: Int, n: Int} by the fixpoint.
+        let probe = || {
+            vec![(
+                Ident::new("roleId"),
+                KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+            )]
+        };
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("m", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", users()))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::assign(
+                        "m",
+                        KExpr::mapput(
+                            KExpr::var("m"),
+                            probe(),
+                            "n",
+                            KExpr::add(
+                                KExpr::mapget(KExpr::var("m"), probe(), "n", KExpr::int(0)),
+                                KExpr::int(1),
+                            ),
+                        ),
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("m")
+            .finish();
+        let types = typecheck(&prog, &TypeEnv::new()).unwrap();
+        match types.get(&"m".into()).unwrap() {
+            TorType::Rel(s) => {
+                assert_eq!(s.arity(), 2);
+                assert_eq!(s.fields()[0].name.as_str(), "roleId");
+                assert_eq!(s.fields()[0].ty, FieldType::Int);
+                assert_eq!(s.fields()[1].name.as_str(), "n");
+                assert_eq!(s.fields()[1].ty, FieldType::Int);
+            }
+            other => panic!("expected relation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mapput_value_type_mismatch_is_rejected() {
+        // Writing a bool into an int-typed value field must fail.
+        let probe = |k: i64| vec![(Ident::new("k"), KExpr::int(k))];
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("m", KExpr::EmptyList))
+            .stmt(KStmt::assign(
+                "m",
+                KExpr::mapput(KExpr::var("m"), probe(1), "v", KExpr::int(1)),
+            ))
+            .stmt(KStmt::assign(
+                "m",
+                KExpr::mapput(KExpr::var("m"), probe(2), "v", KExpr::bool(true)),
+            ))
+            .result("m")
+            .finish();
+        assert!(typecheck(&prog, &TypeEnv::new()).is_err());
+    }
+
+    #[test]
+    fn mapget_probe_type_mismatch_is_rejected() {
+        // Probing an int key field with a string is a key type error.
+        let prog = KernelProgram::builder("f")
+            .stmt(KStmt::assign("m", KExpr::EmptyList))
+            .stmt(KStmt::assign(
+                "m",
+                KExpr::mapput(
+                    KExpr::var("m"),
+                    vec![(Ident::new("k"), KExpr::int(1))],
+                    "v",
+                    KExpr::int(1),
+                ),
+            ))
+            .stmt(KStmt::assign(
+                "x",
+                KExpr::mapget(
+                    KExpr::var("m"),
+                    vec![(Ident::new("k"), KExpr::str("a"))],
+                    "v",
+                    KExpr::int(0),
+                ),
             ))
             .result("x")
             .finish();

@@ -21,8 +21,8 @@
 
 use crate::ast::{KExpr, KStmt, KernelProgram};
 use crate::interp::{
-    scalar_record, values_equal, want_bool, want_int, want_rel, InterpError, RunResult,
-    DEFAULT_FUEL,
+    field_type_of, scalar_record, values_equal, want_bool, want_int, want_rel, InterpError,
+    RunResult, DEFAULT_FUEL,
 };
 use qbs_common::{DispatchTally, FieldRef, Ident, OpCode, Program, Relation, Schema, Value};
 use qbs_obs::{Counter, Histogram, Metrics};
@@ -98,6 +98,34 @@ pub(crate) enum KOp {
     Fuel,
     /// Pop a bool; fail with the precomputed message when false.
     Assert(String),
+    /// Peek: the top of stack must be a scalar (map key probes and
+    /// `mapput` values are checked as they are evaluated, matching
+    /// interpreter order).
+    ChkScalar(&'static str),
+    /// Peek the map and its N key probes (already kind-checked), resolve
+    /// the key columns, and push the matching entry index as an int
+    /// (`-1` for a miss). The untyped empty map matches nothing.
+    MapProbe(Vec<Ident>),
+    /// `mapget` resolution: pop the probe index, probes, and map. On a
+    /// hit, push the entry's `val_field` value and jump past the default
+    /// code; on a miss fall through into it.
+    MapGetHit {
+        /// Number of key probes to pop.
+        arity: usize,
+        /// The field read from the matching entry.
+        val_field: Ident,
+        /// Jump target on a hit (past the lowered default expression).
+        target: usize,
+    },
+    /// `mapput` resolution: pop the value, probe index, probes, and map;
+    /// push the updated map (entry replaced in place, or a fresh
+    /// `{keys…, val}` record appended).
+    MapPut {
+        /// Key field names, matching the popped probe values.
+        keys: Vec<Ident>,
+        /// The field written on the matching (or fresh) entry.
+        val_field: Ident,
+    },
 }
 
 impl OpCode for KOp {
@@ -131,6 +159,10 @@ impl OpCode for KOp {
         "br_or_true",
         "fuel",
         "assert",
+        "chk_scalar",
+        "map_probe",
+        "map_get",
+        "map_put",
     ];
 
     fn index(&self) -> usize {
@@ -164,6 +196,10 @@ impl OpCode for KOp {
             KOp::BrOrTrue(_) => 26,
             KOp::Fuel => 27,
             KOp::Assert(_) => 28,
+            KOp::ChkScalar(_) => 29,
+            KOp::MapProbe(_) => 30,
+            KOp::MapGetHit { .. } => 31,
+            KOp::MapPut { .. } => 32,
         }
     }
 }
@@ -245,9 +281,11 @@ fn lower_stmt(s: &KStmt, code: &mut Vec<KOp>) {
 
 fn patch(code: &mut [KOp], at: usize, target: usize) {
     match &mut code[at] {
-        KOp::Jump(t) | KOp::BrFalse(t, _) | KOp::BrAndFalse(t) | KOp::BrOrTrue(t) => {
-            *t = target
-        }
+        KOp::Jump(t)
+        | KOp::BrFalse(t, _)
+        | KOp::BrAndFalse(t)
+        | KOp::BrOrTrue(t)
+        | KOp::MapGetHit { target: t, .. } => *t = target,
         other => unreachable!("patched a non-branch opcode {other:?}"),
     }
 }
@@ -353,6 +391,45 @@ fn lower_expr(e: &KExpr, code: &mut Vec<KOp>) {
             code.push(KOp::ChkRel("contains"));
             lower_expr(x, code);
             code.push(KOp::Contains);
+        }
+        KExpr::MapGet { map, keys, val_field, default } => {
+            // Interpreter order: the map's list check, then each probe's
+            // scalar check as it is evaluated, then key-column resolution;
+            // the default only runs on a miss.
+            lower_expr(map, code);
+            code.push(KOp::ChkRel("mapget"));
+            for (_, e) in keys {
+                lower_expr(e, code);
+                code.push(KOp::ChkScalar("mapget"));
+            }
+            code.push(KOp::MapProbe(keys.iter().map(|(n, _)| n.clone()).collect()));
+            let hit = code.len();
+            code.push(KOp::MapGetHit {
+                arity: keys.len(),
+                val_field: val_field.clone(),
+                target: 0,
+            });
+            lower_expr(default, code);
+            code.push(KOp::ChkScalar("mapget default"));
+            let end = code.len();
+            patch(code, hit, end);
+        }
+        KExpr::MapPut { map, keys, val_field, val } => {
+            // The probe resolves fully (including key-column lookups)
+            // before the written value is evaluated — interpreter order.
+            lower_expr(map, code);
+            code.push(KOp::ChkRel("mapput"));
+            for (_, e) in keys {
+                lower_expr(e, code);
+                code.push(KOp::ChkScalar("mapput"));
+            }
+            code.push(KOp::MapProbe(keys.iter().map(|(n, _)| n.clone()).collect()));
+            lower_expr(val, code);
+            code.push(KOp::ChkScalar("mapput value"));
+            code.push(KOp::MapPut {
+                keys: keys.iter().map(|(n, _)| n.clone()).collect(),
+                val_field: val_field.clone(),
+            });
         }
     }
 }
@@ -642,6 +719,124 @@ impl CompiledProgram {
                         return Err(InterpError::AssertionFailed(msg.clone()));
                     }
                 }
+                KOp::ChkScalar(ctx) => {
+                    let top = stack.last().expect("scalar operand on stack");
+                    if !matches!(top, DynValue::Scalar(_)) {
+                        return Err(InterpError::Kind {
+                            context: ctx,
+                            expected: "scalar",
+                            found: top.kind(),
+                        });
+                    }
+                }
+                KOp::MapProbe(keys) => {
+                    // Stack: [map, probe1 … probeN]; peek everything and
+                    // push the matching entry index (or -1).
+                    let n = keys.len();
+                    let map_at = stack.len() - n - 1;
+                    let rel = match &stack[map_at] {
+                        DynValue::Rel(r) => r,
+                        _ => unreachable!("ChkRel checked the map operand"),
+                    };
+                    // The untyped empty map matches nothing.
+                    let found = if rel.schema().arity() == 0 {
+                        None
+                    } else {
+                        let mut key_idx = Vec::with_capacity(n);
+                        for name in keys {
+                            key_idx
+                                .push(rel.schema().index_of(&FieldRef::from(name.as_str()))?);
+                        }
+                        let probes: Vec<&Value> = stack[map_at + 1..]
+                            .iter()
+                            .map(|p| match p {
+                                DynValue::Scalar(v) => v,
+                                _ => unreachable!("ChkScalar checked every probe"),
+                            })
+                            .collect();
+                        rel.iter().position(|rec| {
+                            key_idx.iter().zip(&probes).all(|(&i, p)| rec.value_at(i) == *p)
+                        })
+                    };
+                    stack.push(DynValue::Scalar(Value::from(found.map_or(-1, |i| i as i64))));
+                }
+                KOp::MapGetHit { arity, val_field, target } => {
+                    let found = match pop(&mut stack) {
+                        DynValue::Scalar(Value::Int(i)) => i,
+                        _ => unreachable!("MapProbe pushed the index"),
+                    };
+                    let probes_at = stack.len() - arity;
+                    stack.truncate(probes_at);
+                    let rel = pop_rel(&mut stack);
+                    if found >= 0 {
+                        let rec = rel.get(found as usize).expect("probe index in range");
+                        stack.push(DynValue::Scalar(
+                            rec.get(&FieldRef::from(val_field.as_str()))?.clone(),
+                        ));
+                        pc = *target;
+                    }
+                    // On a miss fall through into the lowered default.
+                }
+                KOp::MapPut { keys, val_field } => {
+                    let v = match pop(&mut stack) {
+                        DynValue::Scalar(v) => v,
+                        _ => unreachable!("ChkScalar checked the value"),
+                    };
+                    let found = match pop(&mut stack) {
+                        DynValue::Scalar(Value::Int(i)) => i,
+                        _ => unreachable!("MapProbe pushed the index"),
+                    };
+                    let probes_at = stack.len() - keys.len();
+                    let probes: Vec<Value> = stack
+                        .drain(probes_at..)
+                        .map(|p| match p {
+                            DynValue::Scalar(v) => v,
+                            _ => unreachable!("ChkScalar checked every probe"),
+                        })
+                        .collect();
+                    let rel = pop_rel(&mut stack);
+                    if found >= 0 {
+                        let hit = found as usize;
+                        let schema = rel.schema().clone();
+                        let vi = schema.index_of(&FieldRef::from(val_field.as_str()))?;
+                        let rows = rel
+                            .iter()
+                            .enumerate()
+                            .map(|(i, rec)| {
+                                if i == hit {
+                                    let mut values = rec.values().to_vec();
+                                    values[vi] = v.clone();
+                                    qbs_common::Record::new(schema.clone(), values)
+                                } else {
+                                    rec.clone()
+                                }
+                            })
+                            .collect();
+                        stack.push(DynValue::Rel(Relation::from_records(schema, rows)?));
+                    } else {
+                        // Fresh entry: adopt (or build) the entry schema.
+                        let schema = if rel.schema().arity() == 0 {
+                            let mut b = Schema::anonymous();
+                            for (name, pv) in keys.iter().zip(&probes) {
+                                b = b.field(name.as_str(), field_type_of(pv));
+                            }
+                            b.field(val_field.as_str(), field_type_of(&v)).finish()
+                        } else {
+                            rel.schema().clone()
+                        };
+                        let mut values = probes;
+                        values.push(v);
+                        let rec = qbs_common::Record::new(schema.clone(), values);
+                        if rel.schema().arity() == 0 {
+                            stack.push(DynValue::Rel(Relation::from_records(
+                                schema,
+                                vec![rec],
+                            )?));
+                        } else {
+                            stack.push(DynValue::Rel(rel.append(rec)?));
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -862,6 +1057,129 @@ mod tests {
         let interp = run(&prog, env).unwrap();
         assert_eq!(vm, interp);
         assert_eq!(vm.result.as_int(), Some(2));
+    }
+
+    /// The per-key accumulator idiom (`m[k] += v` via mapget/mapput) —
+    /// the loop shape the synthesizer turns into GROUP BY.
+    fn sum_by_role_program() -> (KernelProgram, Env) {
+        let (s, rel) = users_table();
+        let probe = || {
+            vec![(
+                Ident::new("roleId"),
+                KExpr::field(KExpr::get(KExpr::var("users"), KExpr::var("i")), "roleId"),
+            )]
+        };
+        let prog = KernelProgram::builder("sumByRole")
+            .stmt(KStmt::assign("m", KExpr::EmptyList))
+            .stmt(KStmt::assign("users", KExpr::query(QuerySpec::table_scan("users", s))))
+            .stmt(KStmt::assign("i", KExpr::int(0)))
+            .stmt(KStmt::while_loop(
+                KExpr::cmp(CmpOp::Lt, KExpr::var("i"), KExpr::size(KExpr::var("users"))),
+                vec![
+                    KStmt::assign(
+                        "m",
+                        KExpr::mapput(
+                            KExpr::var("m"),
+                            probe(),
+                            "total",
+                            KExpr::add(
+                                KExpr::mapget(KExpr::var("m"), probe(), "total", KExpr::int(0)),
+                                KExpr::field(
+                                    KExpr::get(KExpr::var("users"), KExpr::var("i")),
+                                    "id",
+                                ),
+                            ),
+                        ),
+                    ),
+                    KStmt::assign("i", KExpr::add(KExpr::var("i"), KExpr::int(1))),
+                ],
+            ))
+            .result("m")
+            .finish();
+        let mut env = Env::new();
+        env.bind_table("users", rel);
+        (prog, env)
+    }
+
+    #[test]
+    fn compiled_map_accumulator_matches_interpreter() {
+        let (prog, env) = sum_by_role_program();
+        let vm = compile(&prog).run(env.clone()).unwrap();
+        let interp = run(&prog, env).unwrap();
+        assert_eq!(vm, interp);
+        let m = vm.result.as_relation().unwrap();
+        // First-occurrence key order: roleId 10 (ids 1+3), then 20 (id 2).
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0).unwrap().values(), &[Value::from(10), Value::from(4)]);
+        assert_eq!(m.get(1).unwrap().values(), &[Value::from(20), Value::from(2)]);
+    }
+
+    #[test]
+    fn map_errors_match_the_interpreter_exactly() {
+        let probe = |k: i64| vec![(Ident::new("k"), KExpr::int(k))];
+        let cases = vec![
+            // mapget over a non-list.
+            KernelProgram::builder("notamap")
+                .stmt(KStmt::assign(
+                    "out",
+                    KExpr::mapget(KExpr::int(3), probe(1), "v", KExpr::int(0)),
+                ))
+                .result("out")
+                .finish(),
+            // Non-scalar probe expression.
+            KernelProgram::builder("relprobe")
+                .stmt(KStmt::assign(
+                    "out",
+                    KExpr::mapget(
+                        KExpr::EmptyList,
+                        vec![(Ident::new("k"), KExpr::EmptyList)],
+                        "v",
+                        KExpr::int(0),
+                    ),
+                ))
+                .result("out")
+                .finish(),
+            // Non-scalar default, reached only on a miss.
+            KernelProgram::builder("reldefault")
+                .stmt(KStmt::assign(
+                    "out",
+                    KExpr::mapget(KExpr::EmptyList, probe(1), "v", KExpr::EmptyList),
+                ))
+                .result("out")
+                .finish(),
+            // mapput probing a key field the entry schema lacks.
+            KernelProgram::builder("badkey")
+                .stmt(KStmt::assign("m", KExpr::EmptyList))
+                .stmt(KStmt::assign(
+                    "m",
+                    KExpr::mapput(KExpr::var("m"), probe(1), "v", KExpr::int(1)),
+                ))
+                .stmt(KStmt::assign(
+                    "out",
+                    KExpr::mapput(
+                        KExpr::var("m"),
+                        vec![(Ident::new("nope"), KExpr::int(1))],
+                        "v",
+                        KExpr::int(2),
+                    ),
+                ))
+                .result("out")
+                .finish(),
+            // Non-scalar written value.
+            KernelProgram::builder("relvalue")
+                .stmt(KStmt::assign(
+                    "out",
+                    KExpr::mapput(KExpr::EmptyList, probe(1), "v", KExpr::EmptyList),
+                ))
+                .result("out")
+                .finish(),
+        ];
+        for prog in cases {
+            let vm = compile(&prog).run(Env::new());
+            let interp = run(&prog, Env::new());
+            assert_eq!(vm, interp, "divergence in `{}`", prog.name());
+            assert!(vm.is_err(), "`{}` should error", prog.name());
+        }
     }
 
     #[test]

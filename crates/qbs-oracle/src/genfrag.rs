@@ -37,11 +37,18 @@ pub enum FragShape {
     /// Constant-bounded prefix (`i < k && i < size(xs)`): the guarded
     /// top-k idiom, translating to `LIMIT k`.
     TopK,
+    /// Per-key count via the map-accumulator idiom: `GROUP BY` + `COUNT`.
+    GroupCount,
+    /// Per-key sum of an integer field: `GROUP BY` + `SUM`.
+    GroupSum,
+    /// Per-key count followed by a threshold filter over the entries: the
+    /// two-loop `GROUP BY` + `HAVING` shape.
+    GroupHaving,
 }
 
 impl FragShape {
     /// All shapes, in generation-weight order.
-    pub const ALL: [FragShape; 8] = [
+    pub const ALL: [FragShape; 11] = [
         FragShape::Filter,
         FragShape::Projection,
         FragShape::Count,
@@ -50,6 +57,9 @@ impl FragShape {
         FragShape::Distinct,
         FragShape::Join,
         FragShape::TopK,
+        FragShape::GroupCount,
+        FragShape::GroupSum,
+        FragShape::GroupHaving,
     ];
 }
 
@@ -147,6 +157,21 @@ fn guarded(pred: Option<KExpr>, then: Vec<KStmt>) -> Vec<KStmt> {
 fn draw_int_field(rng: &mut TestRng, schema: &SchemaRef) -> String {
     let ints = fields_of(schema, FieldType::Int);
     ints[rng.draw_usize(0..ints.len())].clone()
+}
+
+/// The per-key accumulation statement `m := mapput(m, [key = xs[i].key],
+/// val, update(mapget(m, …, val, 0)))` shared by the grouped shapes.
+fn accum_stmt(key: &str, val: &str, update: impl FnOnce(KExpr) -> KExpr) -> KStmt {
+    let probe = || vec![(key.into(), elem_field("xs", "i", key))];
+    KStmt::assign(
+        "m",
+        KExpr::mapput(
+            KExpr::var("m"),
+            probe(),
+            val,
+            update(KExpr::mapget(KExpr::var("m"), probe(), val, KExpr::int(0))),
+        ),
+    )
 }
 
 // ---------- per-shape generators ----------
@@ -306,6 +331,50 @@ fn gen_one(rng: &mut TestRng, index: usize) -> GenFragment {
                     ),
                     vec![append_elem("out", "xs", "i")],
                     "i",
+                ))
+                .result("out")
+                .finish()
+        }
+        FragShape::GroupCount | FragShape::GroupSum => {
+            let key = draw_int_field(rng, &schema);
+            let pred = draw_pred(rng, &schema, "xs", "i");
+            let accum = if shape == FragShape::GroupCount {
+                accum_stmt(&key, "n", |cur| KExpr::add(cur, KExpr::int(1)))
+            } else {
+                let agg = draw_int_field(rng, &schema);
+                accum_stmt(&key, "total", |cur| KExpr::add(cur, elem_field("xs", "i", &agg)))
+            };
+            KernelProgram::builder(name.clone())
+                .stmt(KStmt::assign("m", KExpr::EmptyList))
+                .stmt(scan("xs", &schema))
+                .stmt(KStmt::assign("i", KExpr::int(0)))
+                .stmt(counter_loop(size_guard("i", "xs"), guarded(pred, vec![accum]), "i"))
+                .result("m")
+                .finish()
+        }
+        FragShape::GroupHaving => {
+            // Count per key, then keep only the entries over a threshold —
+            // the imperative source of `GROUP BY … HAVING COUNT(*) > t`.
+            let key = draw_int_field(rng, &schema);
+            let t = rng.draw_i64(0..4);
+            KernelProgram::builder(name.clone())
+                .stmt(KStmt::assign("m", KExpr::EmptyList))
+                .stmt(KStmt::assign("out", KExpr::EmptyList))
+                .stmt(scan("xs", &schema))
+                .stmt(KStmt::assign("i", KExpr::int(0)))
+                .stmt(counter_loop(
+                    size_guard("i", "xs"),
+                    vec![accum_stmt(&key, "n", |cur| KExpr::add(cur, KExpr::int(1)))],
+                    "i",
+                ))
+                .stmt(KStmt::assign("j", KExpr::int(0)))
+                .stmt(counter_loop(
+                    size_guard("j", "m"),
+                    vec![KStmt::if_then(
+                        KExpr::cmp(CmpOp::Gt, elem_field("m", "j", "n"), KExpr::int(t)),
+                        vec![append_elem("out", "m", "j")],
+                    )],
+                    "j",
                 ))
                 .result("out")
                 .finish()

@@ -31,6 +31,14 @@ pub enum SqlExpr {
     InSubquery(Box<SqlExpr>, Box<SqlSelect>),
     /// `(e1, …, en) IN (subquery)` — row membership.
     RowInSubquery(Vec<SqlExpr>, Box<SqlSelect>),
+    /// An aggregate call in a select list or `HAVING` clause
+    /// (`COUNT(*)` when `arg` is `None`).
+    Agg {
+        /// The aggregate function.
+        agg: AggKind,
+        /// Aggregated expression (`None` = `COUNT(*)`).
+        arg: Option<Box<SqlExpr>>,
+    },
 }
 
 impl SqlExpr {
@@ -74,7 +82,13 @@ impl SqlExpr {
             SqlExpr::RowInSubquery(xs, q) => {
                 xs.iter().any(SqlExpr::contains_param) || q.has_params()
             }
+            SqlExpr::Agg { arg, .. } => arg.as_ref().is_some_and(|a| a.contains_param()),
         }
+    }
+
+    /// Aggregate call (`COUNT(*)` when `arg` is `None`).
+    pub fn agg(agg: AggKind, arg: Option<SqlExpr>) -> SqlExpr {
+        SqlExpr::Agg { agg, arg: arg.map(Box::new) }
     }
 
     /// Conjunction that flattens nested `And`s and collapses trivial
@@ -156,6 +170,10 @@ pub struct SqlSelect {
     pub from: Vec<FromItem>,
     /// Optional `WHERE` predicate.
     pub where_clause: Option<SqlExpr>,
+    /// `GROUP BY` keys (empty = no grouping).
+    pub group_by: Vec<SqlExpr>,
+    /// Optional `HAVING` predicate (requires a non-empty `group_by`).
+    pub having: Option<SqlExpr>,
     /// `ORDER BY` keys.
     pub order_by: Vec<OrderKey>,
     /// Optional `LIMIT`.
@@ -172,6 +190,8 @@ impl SqlSelect {
             columns,
             from,
             where_clause: None,
+            group_by: Vec::new(),
+            having: None,
             order_by: Vec::new(),
             limit: None,
             offset: None,
@@ -188,6 +208,8 @@ impl SqlSelect {
                 FromItem::Subquery { query, .. } => query.has_params(),
             })
             || self.where_clause.as_ref().is_some_and(SqlExpr::contains_param)
+            || self.group_by.iter().any(SqlExpr::contains_param)
+            || self.having.as_ref().is_some_and(SqlExpr::contains_param)
             || self.order_by.iter().any(|k| k.expr.contains_param())
             || self.limit.as_ref().is_some_and(SqlExpr::contains_param)
             || self.offset.as_ref().is_some_and(SqlExpr::contains_param)
@@ -214,6 +236,11 @@ impl SqlSelect {
                     xs.iter().for_each(|x| walk_expr(x, out));
                     walk_select(q, out);
                 }
+                SqlExpr::Agg { arg, .. } => {
+                    if let Some(a) = arg {
+                        walk_expr(a, out);
+                    }
+                }
                 SqlExpr::Column { .. } | SqlExpr::Lit(_) | SqlExpr::Param(_) => {}
             }
         }
@@ -228,6 +255,9 @@ impl SqlSelect {
             }
             if let Some(w) = &q.where_clause {
                 walk_expr(w, out);
+            }
+            if let Some(h) = &q.having {
+                walk_expr(h, out);
             }
         }
         let mut out = BTreeSet::new();

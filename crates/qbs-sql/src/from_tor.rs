@@ -160,7 +160,69 @@ fn select_of(t: &TransExpr, extra_limit: Option<SqlExpr>, outer: bool) -> Result
             }
         }
         TransExpr::Sorted(s) => sorted_select(s, extra_limit, outer, order_fields(t)),
+        TransExpr::Grouped(g) => grouped_select(g, extra_limit),
     }
+}
+
+/// Renders a grouped aggregation: key columns aliased to their output
+/// names, the aggregate aliased to the value name, `GROUP BY` over the
+/// key expressions and `HAVING` from the lowered residual atoms. Grouped
+/// output carries no rowid-derived order (`order_fields` gives `[]`), so
+/// no `ORDER BY` is emitted.
+fn grouped_select(g: &qbs_tor::GroupedExpr, extra_limit: Option<SqlExpr>) -> Result<SqlSelect> {
+    let mut flat = Flat { from: Vec::new(), cols: Vec::new(), tables: Vec::new(), next_sub: 0 };
+    flatten_base(&g.input.base, &mut flat)?;
+
+    let key_exprs: Vec<SqlExpr> = g
+        .keys
+        .iter()
+        .map(|&p| {
+            flat.cols
+                .get(p)
+                .cloned()
+                .ok_or_else(|| SqlGenError::Internal(format!("group key {p} out of range")))
+        })
+        .collect::<Result<_>>()?;
+    let agg_arg = match g.agg_col {
+        None => None,
+        Some(p) => Some(flat.cols.get(p).cloned().ok_or_else(|| {
+            SqlGenError::Internal(format!("aggregate column {p} out of range"))
+        })?),
+    };
+    let agg_expr = SqlExpr::agg(g.agg, agg_arg);
+
+    let mut columns: Vec<SelectItem> = key_exprs
+        .iter()
+        .zip(&g.key_names)
+        .map(|(expr, name)| SelectItem { expr: expr.clone(), alias: Some(name.clone()) })
+        .collect();
+    columns.push(SelectItem { expr: agg_expr.clone(), alias: Some(g.val_name.clone()) });
+
+    let atoms =
+        g.input.filter.iter().map(|a| atom_expr(a, &flat.cols)).collect::<Result<Vec<_>>>()?;
+    let where_clause = (!atoms.is_empty()).then(|| SqlExpr::conjoin(atoms));
+
+    // HAVING atoms index the grouped output layout (keys…, val); each
+    // position maps back to the defining expression so the clause stays
+    // portable across dialects that reject output aliases in HAVING.
+    let mut out_cols = key_exprs;
+    out_cols.push(agg_expr);
+    let having_atoms =
+        g.having.iter().map(|a| atom_expr(a, &out_cols)).collect::<Result<Vec<_>>>()?;
+    let having = (!having_atoms.is_empty()).then(|| SqlExpr::conjoin(having_atoms));
+    let group_by = out_cols[..out_cols.len() - 1].to_vec();
+
+    Ok(SqlSelect {
+        distinct: false,
+        columns,
+        from: flat.from,
+        where_clause,
+        group_by,
+        having,
+        order_by: Vec::new(),
+        limit: extra_limit,
+        offset: None,
+    })
 }
 
 fn sorted_select(
@@ -221,6 +283,8 @@ fn sorted_select(
         columns,
         from: flat.from,
         where_clause,
+        group_by: Vec::new(),
+        having: None,
         order_by,
         limit,
         offset: None,

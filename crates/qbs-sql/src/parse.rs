@@ -8,7 +8,8 @@
 //! * [`parse`] — the full surface the generic printer emits: relational
 //!   and scalar (aggregate) queries, `DISTINCT`, multi-table `FROM` with
 //!   aliases and sub-queries, `WHERE` conjunctions with `IN`/row-`IN`
-//!   sub-queries, `ORDER BY`, `LIMIT`, and `OFFSET`. Together with
+//!   sub-queries, `GROUP BY` with aggregate select items and `HAVING`,
+//!   `ORDER BY`, `LIMIT`, and `OFFSET`. Together with
 //!   [`print_query`](crate::print_query) this gives the generic dialect a
 //!   round-trip property: printing a parsed query and re-parsing it is a
 //!   fixpoint.
@@ -292,7 +293,7 @@ fn scalar_operand(tok: &str) -> Result<SqlExpr, ParseError> {
 /// # Errors
 ///
 /// Returns [`ParseError`] for text outside the generic-dialect surface
-/// (`OR`/`NOT`, `GROUP BY`, non-`SELECT` statements, …).
+/// (`OR`/`NOT`, non-`SELECT` statements, …).
 ///
 /// # Example
 ///
@@ -378,6 +379,13 @@ fn parse_select_body(t: &mut Tokens, distinct: bool) -> Result<SqlSelect, ParseE
                 return Err(ParseError::new("empty select list"));
             }
             Some(tok) => {
+                // An aggregate select item (`SUM(qty)`, `COUNT(*)`) —
+                // grouped queries place these after the key columns (a
+                // *leading* aggregate is a scalar query, handled earlier).
+                let expr = match parse_agg(&tok) {
+                    Some(agg) if t.peek() == Some("(") => parse_agg_arg(t, agg)?,
+                    _ => column_expr(&tok),
+                };
                 let alias = if t.peek_kw("AS") {
                     t.next();
                     let a = t.next().ok_or_else(|| ParseError::new("missing column alias"))?;
@@ -385,7 +393,7 @@ fn parse_select_body(t: &mut Tokens, distinct: bool) -> Result<SqlSelect, ParseE
                 } else {
                     None
                 };
-                columns.push(SelectItem { expr: column_expr(&tok), alias });
+                columns.push(SelectItem { expr, alias });
             }
             None => return Err(ParseError::new("unexpected end of input")),
         }
@@ -399,6 +407,11 @@ fn parse_select_body(t: &mut Tokens, distinct: bool) -> Result<SqlSelect, ParseE
     let mut q = parse_tail(t)?;
     q.distinct = distinct;
     if star {
+        // `SELECT *` has no representation under grouping: the grouped
+        // output is keys + aggregates, never the scan layout.
+        if !q.group_by.is_empty() {
+            return Err(ParseError::new("GROUP BY requires an explicit select list"));
+        }
         q.columns.clear();
     } else {
         q.columns = columns;
@@ -437,8 +450,21 @@ fn parse_scalar(t: &mut Tokens, agg: AggKind, distinct: bool) -> Result<SqlScala
     Ok(SqlScalar { agg, column, query, compare })
 }
 
-/// The `FROM … [WHERE …] [ORDER BY …] [LIMIT …] [OFFSET …]` tail. Returns a select
-/// with an empty column list; the caller fills it.
+/// The argument list of an aggregate call, after the keyword: `( * | col )`.
+fn parse_agg_arg(t: &mut Tokens, agg: AggKind) -> Result<SqlExpr, ParseError> {
+    t.expect_kw("(")?;
+    let arg = match t.next() {
+        Some(tok) if tok == "*" => None,
+        Some(tok) => Some(column_expr(&tok)),
+        None => return Err(ParseError::new("unexpected end of aggregate")),
+    };
+    t.expect_kw(")")?;
+    Ok(SqlExpr::agg(agg, arg))
+}
+
+/// The `FROM … [WHERE …] [GROUP BY … [HAVING …]] [ORDER BY …] [LIMIT …]
+/// [OFFSET …]` tail. Returns a select with an empty column list; the
+/// caller fills it.
 fn parse_tail(t: &mut Tokens) -> Result<SqlSelect, ParseError> {
     let mut from = Vec::new();
     loop {
@@ -483,6 +509,39 @@ fn parse_tail(t: &mut Tokens) -> Result<SqlSelect, ParseError> {
             break;
         }
         where_clause = (!conjuncts.is_empty()).then(|| SqlExpr::conjoin(conjuncts));
+    }
+
+    let mut group_by = Vec::new();
+    if t.peek_kw("GROUP") {
+        t.next();
+        t.expect_kw("BY")?;
+        loop {
+            let col = t.next().ok_or_else(|| ParseError::new("missing GROUP BY column"))?;
+            group_by.push(column_expr(&col));
+            if t.peek() == Some(",") {
+                t.next();
+                continue;
+            }
+            break;
+        }
+    }
+
+    let mut having = None;
+    if t.peek_kw("HAVING") {
+        if group_by.is_empty() {
+            return Err(ParseError::new("HAVING requires GROUP BY"));
+        }
+        t.next();
+        let mut conjuncts = Vec::new();
+        loop {
+            conjuncts.push(parse_having_atom(t)?);
+            if t.peek_kw("AND") {
+                t.next();
+                continue;
+            }
+            break;
+        }
+        having = (!conjuncts.is_empty()).then(|| SqlExpr::conjoin(conjuncts));
     }
 
     let mut order_by = Vec::new();
@@ -534,6 +593,8 @@ fn parse_tail(t: &mut Tokens) -> Result<SqlSelect, ParseError> {
 
     let mut q = SqlSelect::new(Vec::new(), from);
     q.where_clause = where_clause;
+    q.group_by = group_by;
+    q.having = having;
     q.order_by = order_by;
     q.limit = limit;
     q.offset = offset;
@@ -573,6 +634,24 @@ fn parse_atom(t: &mut Tokens) -> Result<SqlExpr, ParseError> {
         .ok_or_else(|| ParseError::new("bad comparison operator"))?;
     let rhs_tok = t.next().ok_or_else(|| ParseError::new("missing value in WHERE"))?;
     Ok(SqlExpr::cmp(column_expr(&col), op, scalar_operand(&rhs_tok)?))
+}
+
+/// One `HAVING` conjunct: like a `WHERE` comparison, but the left-hand
+/// side may be an aggregate call (`COUNT(*) > 2`).
+fn parse_having_atom(t: &mut Tokens) -> Result<SqlExpr, ParseError> {
+    if let (Some(tok), Some("(")) = (t.peek(), t.peek2()) {
+        if let Some(agg) = parse_agg(tok) {
+            t.next();
+            let lhs = parse_agg_arg(t, agg)?;
+            let op = t
+                .next()
+                .and_then(|o| parse_cmp(&o))
+                .ok_or_else(|| ParseError::new("bad comparison operator in HAVING"))?;
+            let rhs_tok = t.next().ok_or_else(|| ParseError::new("missing value in HAVING"))?;
+            return Ok(SqlExpr::cmp(lhs, op, scalar_operand(&rhs_tok)?));
+        }
+    }
+    parse_atom(t)
 }
 
 #[cfg(test)]
@@ -615,9 +694,43 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_query("DELETE FROM t").is_err());
         assert!(parse_query("SELECT FROM t").is_err());
-        assert!(parse_query("SELECT * FROM t GROUP BY x").is_err());
         // Unknown characters are a parse error, not an infinite loop.
         assert!(parse_query("SELECT * FROM t; DROP TABLE t").is_err());
+    }
+
+    #[test]
+    fn parses_group_by_having_round_trip() {
+        let text = "SELECT t.x AS k, COUNT(*) AS n FROM t \
+                    WHERE t.y > 0 GROUP BY t.x HAVING COUNT(*) > 2";
+        let q = parse_query(text).unwrap();
+        assert_eq!(q.group_by, vec![SqlExpr::qcol("t", "x")]);
+        assert_eq!(q.columns[1].expr, SqlExpr::agg(qbs_tor::AggKind::Count, None));
+        assert!(q.having.is_some());
+        // Printing the parsed query and re-parsing is a fixpoint.
+        assert_eq!(crate::print::print_select(&q), text);
+        assert_eq!(parse_query(&crate::print::print_select(&q)).unwrap(), q);
+
+        let q = parse_query(
+            "SELECT cust, SUM(qty) AS total FROM orders GROUP BY cust ORDER BY cust",
+        )
+        .unwrap();
+        assert_eq!(
+            q.columns[1].expr,
+            SqlExpr::agg(qbs_tor::AggKind::Sum, Some(SqlExpr::col("qty")))
+        );
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_none());
+    }
+
+    #[test]
+    fn rejects_grouping_shapes_the_planner_cannot_represent() {
+        // HAVING filters grouped output; without GROUP BY there is none.
+        let got = parse_query("SELECT x FROM t HAVING COUNT(*) > 1");
+        assert!(got.unwrap_err().to_string().contains("HAVING requires GROUP BY"));
+        // `SELECT *` under grouping has no meaning: grouped output is
+        // keys + aggregates, never the scan layout.
+        let got = parse_query("SELECT * FROM t GROUP BY x");
+        assert!(got.unwrap_err().to_string().contains("explicit select list"));
     }
 
     #[test]

@@ -130,6 +130,14 @@ impl<'d> Renderer<'d> {
                 self.select(q);
                 self.out.push(')');
             }
+            SqlExpr::Agg { agg, arg } => {
+                let _ = write!(self.out, "{}(", agg.sql());
+                match arg {
+                    Some(a) => self.expr(a),
+                    None => self.out.push('*'),
+                }
+                self.out.push(')');
+            }
         }
     }
 
@@ -162,8 +170,8 @@ impl<'d> Renderer<'d> {
         self.select_tail(q, top_limit.is_none());
     }
 
-    /// The `FROM … WHERE … ORDER BY … LIMIT` tail, shared by relational
-    /// and scalar queries.
+    /// The `FROM … WHERE … GROUP BY … HAVING … ORDER BY … LIMIT` tail,
+    /// shared by relational and scalar queries.
     fn select_tail(&mut self, q: &SqlSelect, trailing_limit: bool) {
         self.out.push_str(" FROM ");
         for (i, f) in q.from.iter().enumerate() {
@@ -189,6 +197,19 @@ impl<'d> Renderer<'d> {
         if let Some(w) = &q.where_clause {
             self.out.push_str(" WHERE ");
             self.expr(w);
+        }
+        if !q.group_by.is_empty() {
+            self.out.push_str(" GROUP BY ");
+            for (i, k) in q.group_by.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.expr(k);
+            }
+        }
+        if let Some(h) = &q.having {
+            self.out.push_str(" HAVING ");
+            self.expr(h);
         }
         if !q.order_by.is_empty() {
             self.out.push_str(" ORDER BY ");
@@ -352,6 +373,8 @@ mod tests {
                 CmpOp::Eq,
                 SqlExpr::int(3),
             )),
+            group_by: vec![],
+            having: None,
             order_by: vec![OrderKey { expr: SqlExpr::qcol("users", "rowid"), asc: true }],
             limit: Some(SqlExpr::int(10)),
             offset: None,
@@ -390,6 +413,8 @@ mod tests {
             columns: vec![SelectItem { expr: SqlExpr::Lit("o'brien".into()), alias: None }],
             from: users_from(),
             where_clause: None,
+            group_by: vec![],
+            having: None,
             order_by: vec![],
             limit: None,
             offset: None,
@@ -411,6 +436,8 @@ mod tests {
                 Box::new(SqlExpr::qcol("users", "roleId")),
                 Box::new(sub),
             )),
+            group_by: vec![],
+            having: None,
             order_by: vec![],
             limit: None,
             offset: None,
@@ -432,6 +459,8 @@ mod tests {
             columns: vec![SelectItem { expr: SqlExpr::col("a"), alias: None }],
             from: vec![FromItem::Table { name: "t".into(), alias: "t".into() }],
             where_clause: Some(w),
+            group_by: vec![],
+            having: None,
             order_by: vec![],
             limit: None,
             offset: None,
@@ -462,6 +491,8 @@ mod tests {
             columns: vec![SelectItem { expr: SqlExpr::col("id"), alias: None }],
             from: vec![FromItem::Table { name: "t".into(), alias: "t".into() }],
             where_clause: None,
+            group_by: vec![],
+            having: None,
             order_by: vec![],
             limit: Some(SqlExpr::int(5)),
             offset: None,

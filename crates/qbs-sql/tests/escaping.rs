@@ -35,6 +35,8 @@ fn select_with_literal(s: &str) -> SqlQuery {
             CmpOp::Eq,
             SqlExpr::Lit(s.into()),
         )),
+        group_by: vec![],
+        having: None,
         order_by: vec![],
         limit: None,
         offset: None,

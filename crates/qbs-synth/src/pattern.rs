@@ -37,6 +37,17 @@ pub enum ProductKind {
         /// The update expression assigned to the product.
         update: TorExpr,
     },
+    /// A per-key map accumulation: `p := mapput(p, keys, val, update)`,
+    /// possibly guarded — the source idiom of `GROUP BY`.
+    MapAccum {
+        /// `(key field, probe expression)` pairs of the `mapput` (in TOR
+        /// form; probes are usually fields of the current element).
+        keys: Vec<(Ident, TorExpr)>,
+        /// The map's value field.
+        val_field: Ident,
+        /// The written value (in TOR form).
+        update: TorExpr,
+    },
     /// The loop's product is produced by a nested loop.
     Nested,
 }
@@ -351,6 +362,20 @@ impl Analyzer {
                             let elem = kexpr_to_tor(x)
                                 .map_err(|err| ShapeError::new(err.to_string()))?;
                             ProductKind::Append { elem }
+                        }
+                        KExpr::MapPut { map, keys, val_field, val } if matches!(&**map, KExpr::Var(mv) if mv == v) =>
+                        {
+                            let keys = keys
+                                .iter()
+                                .map(|(n, ke)| {
+                                    kexpr_to_tor(ke)
+                                        .map(|t| (n.clone(), t))
+                                        .map_err(|err| ShapeError::new(err.to_string()))
+                                })
+                                .collect::<Result<Vec<_>, ShapeError>>()?;
+                            let update = kexpr_to_tor(val)
+                                .map_err(|err| ShapeError::new(err.to_string()))?;
+                            ProductKind::MapAccum { keys, val_field: val_field.clone(), update }
                         }
                         _ => {
                             let update = kexpr_to_tor(e)

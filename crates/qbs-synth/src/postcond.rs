@@ -11,7 +11,9 @@ use crate::mine::MinedAtoms;
 use crate::pattern::{Bound, ProductKind, Shape};
 use qbs_common::{FieldRef, Ident};
 use qbs_kernel::VarTypes;
-use qbs_tor::{AggKind, BinOp, CmpOp, JoinAtom, JoinPred, Pred, PredAtom, TorExpr, TorType};
+use qbs_tor::{
+    AggKind, BinOp, CmpOp, GroupSpec, JoinAtom, JoinPred, Pred, PredAtom, TorExpr, TorType,
+};
 
 /// A candidate product expression with its complexity level.
 #[derive(Clone, Debug, PartialEq)]
@@ -200,6 +202,79 @@ pub fn product_templates(
                         uniq,
                     );
                     out.push(Template { expr, level, scalar: false });
+                }
+            }
+        }
+        ProductKind::MapAccum { keys, val_field, update } => {
+            // `Field(Get(Var src, _), f)` — a field of the current element.
+            fn elem_field_of(e: &TorExpr, src: &Ident) -> Option<FieldRef> {
+                if let TorExpr::Field(inner, f) = e {
+                    if let TorExpr::Get(r, _) = &**inner {
+                        if matches!(&**r, TorExpr::Var(v) if v == src) {
+                            return Some(f.clone());
+                        }
+                    }
+                }
+                None
+            }
+            // Every key probe must be a field of the scanned element.
+            let mut spec_keys = Vec::with_capacity(keys.len());
+            for (name, probe) in keys {
+                let Some(f) = elem_field_of(probe, &l.src) else { return out };
+                spec_keys.push((name.clone(), f));
+            }
+            // A read-back of this loop's own map product.
+            let is_self_get = |e: &TorExpr| {
+                matches!(e, TorExpr::MapGet { map, .. }
+                    if matches!(&**map, TorExpr::Var(v) if v == &l.product))
+            };
+            // Aggregates consistent with the update shape. A plain
+            // overwrite-style put (guarded `m[k] := elem.f`) is ambiguous
+            // between running min and max — propose both and let bounded
+            // checking disambiguate.
+            let agg_choices: Vec<(AggKind, Option<FieldRef>, usize)> = match update {
+                // m[k] := mapget(m, k, v, 0) + 1 → per-key count.
+                TorExpr::Binary(BinOp::Add, a, b)
+                    if is_self_get(a)
+                        && matches!(&**b, TorExpr::Const(qbs_common::Value::Int(1))) =>
+                {
+                    vec![(AggKind::Count, None, 1)]
+                }
+                // m[k] := mapget(m, k, v, 0) + elem.f → per-key sum.
+                TorExpr::Binary(BinOp::Add, a, b) if is_self_get(a) => {
+                    match elem_field_of(b, &l.src) {
+                        Some(f) => vec![(AggKind::Sum, Some(f), 2)],
+                        None => return out,
+                    }
+                }
+                // m[k] := elem.f (guarded) → running min/max.
+                TorExpr::Field(..) => match elem_field_of(update, &l.src) {
+                    Some(f) => {
+                        vec![(AggKind::Max, Some(f.clone()), 2), (AggKind::Min, Some(f), 2)]
+                    }
+                    None => return out,
+                },
+                _ => return out,
+            };
+            let sels = mined.selections_for(&l.src);
+            for pred in pred_choices(&sels, max_level.min(2)) {
+                let base = match &pred {
+                    Some(p) => TorExpr::select(p.clone(), TorExpr::var(l.src.clone())),
+                    None => TorExpr::var(l.src.clone()),
+                };
+                let extra = pred.as_ref().map(|p| p.atoms().len()).unwrap_or(0);
+                for (agg, agg_field, lvl) in &agg_choices {
+                    let spec = GroupSpec {
+                        keys: spec_keys.clone(),
+                        agg: *agg,
+                        agg_field: agg_field.clone(),
+                        val_name: val_field.clone(),
+                    };
+                    out.push(Template {
+                        expr: TorExpr::group(spec, base.clone()),
+                        level: lvl + extra,
+                        scalar: false,
+                    });
                 }
             }
         }

@@ -352,6 +352,251 @@ fn sort_merge_join_fails() {
     assert!(synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).is_err());
 }
 
+/// Per-key map accumulation with a `+1` update: GROUP BY with COUNT.
+#[test]
+fn synthesizes_group_count() {
+    let prog = KernelProgram::builder("count_by_role")
+        .stmt(KStmt::assign("m", KExpr::EmptyList))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::assign(
+                "m",
+                KExpr::mapput(
+                    KExpr::var("m"),
+                    vec![("roleId".into(), elem_field("users", "i", "roleId"))],
+                    "n",
+                    KExpr::add(
+                        KExpr::mapget(
+                            KExpr::var("m"),
+                            vec![("roleId".into(), elem_field("users", "i", "roleId"))],
+                            "n",
+                            KExpr::int(0),
+                        ),
+                        KExpr::int(1),
+                    ),
+                ),
+            )],
+            "i",
+        ))
+        .result("m")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    match &out.post_rhs {
+        TorExpr::Group(spec, inner) => {
+            assert_eq!(spec.agg, qbs_tor::AggKind::Count);
+            assert_eq!(spec.keys.len(), 1);
+            assert!(matches!(**inner, TorExpr::Var(_)), "got {inner}");
+        }
+        other => panic!("expected a group, got {other}"),
+    }
+}
+
+/// Per-key map accumulation adding an element field: GROUP BY with SUM.
+#[test]
+fn synthesizes_group_sum() {
+    let prog = KernelProgram::builder("sum_by_role")
+        .stmt(KStmt::assign("m", KExpr::EmptyList))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::assign(
+                "m",
+                KExpr::mapput(
+                    KExpr::var("m"),
+                    vec![("roleId".into(), elem_field("users", "i", "roleId"))],
+                    "total",
+                    KExpr::add(
+                        KExpr::mapget(
+                            KExpr::var("m"),
+                            vec![("roleId".into(), elem_field("users", "i", "roleId"))],
+                            "total",
+                            KExpr::int(0),
+                        ),
+                        elem_field("users", "i", "id"),
+                    ),
+                ),
+            )],
+            "i",
+        ))
+        .result("m")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    match &out.post_rhs {
+        TorExpr::Group(spec, _) => {
+            assert_eq!(spec.agg, qbs_tor::AggKind::Sum);
+            assert_eq!(spec.agg_field.as_ref().map(|f| f.name.as_str()), Some("id"));
+        }
+        other => panic!("expected a group, got {other}"),
+    }
+}
+
+/// Grouped running maximum via the guarded-put idiom. The guard must be
+/// `>=` against the sentinel default: with a strict `>`, a row whose value
+/// *equals* the sentinel never enters the map, and the bounded checker —
+/// whose domains include the fragment's own literals — correctly refutes
+/// the `group[Max]` candidate on exactly that input.
+#[test]
+fn synthesizes_group_max() {
+    let probe = || vec![("roleId".into(), elem_field("users", "i", "roleId"))];
+    let prog = KernelProgram::builder("max_by_role")
+        .stmt(KStmt::assign("m", KExpr::EmptyList))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::if_then(
+                KExpr::cmp(
+                    CmpOp::Ge,
+                    elem_field("users", "i", "id"),
+                    KExpr::mapget(KExpr::var("m"), probe(), "best", KExpr::int(i64::MIN)),
+                ),
+                vec![KStmt::assign(
+                    "m",
+                    KExpr::mapput(
+                        KExpr::var("m"),
+                        probe(),
+                        "best",
+                        elem_field("users", "i", "id"),
+                    ),
+                )],
+            )],
+            "i",
+        ))
+        .result("m")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    match &out.post_rhs {
+        TorExpr::Group(spec, _) => {
+            assert_eq!(spec.agg, qbs_tor::AggKind::Max, "got {}", out.post_rhs);
+            assert_eq!(spec.agg_field.as_ref().map(|f| f.name.as_str()), Some("id"));
+        }
+        other => panic!("expected a group, got {other}"),
+    }
+}
+
+/// The two-loop HAVING shape: build a per-key count map, then filter the
+/// entries by a threshold on the accumulated value.
+#[test]
+fn synthesizes_group_having() {
+    let probe = || vec![("roleId".into(), elem_field("users", "i", "roleId"))];
+    let prog = KernelProgram::builder("popular_roles")
+        .stmt(KStmt::assign("m", KExpr::EmptyList))
+        .stmt(KStmt::assign("out", KExpr::EmptyList))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::assign(
+                "m",
+                KExpr::mapput(
+                    KExpr::var("m"),
+                    probe(),
+                    "n",
+                    KExpr::add(
+                        KExpr::mapget(KExpr::var("m"), probe(), "n", KExpr::int(0)),
+                        KExpr::int(1),
+                    ),
+                ),
+            )],
+            "i",
+        ))
+        .stmt(KStmt::assign("j", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("j", "m"),
+            vec![KStmt::if_then(
+                KExpr::cmp(CmpOp::Gt, elem_field("m", "j", "n"), KExpr::int(1)),
+                vec![append_elem("out", "m", "j")],
+            )],
+            "j",
+        ))
+        .result("out")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+    match &out.post_rhs {
+        TorExpr::Select(_, inner) => {
+            assert!(matches!(**inner, TorExpr::Group(..)), "got {inner}");
+        }
+        other => panic!("expected select over group, got {other}"),
+    }
+}
+
+/// Differential check for grouping: the synthesized group expression agrees
+/// with the kernel interpreter on a concrete relation, including the
+/// first-occurrence key order of the map idiom.
+#[test]
+fn synthesized_group_agrees_with_interpreter() {
+    use qbs_common::{Record, Relation, Value};
+    use qbs_tor::{eval, Env};
+
+    let prog = KernelProgram::builder("count_by_role")
+        .stmt(KStmt::assign("m", KExpr::EmptyList))
+        .stmt(KStmt::assign(
+            "users",
+            KExpr::query(QuerySpec::table_scan("users", users_schema())),
+        ))
+        .stmt(KStmt::assign("i", KExpr::int(0)))
+        .stmt(counter_loop(
+            size_guard("i", "users"),
+            vec![KStmt::assign(
+                "m",
+                KExpr::mapput(
+                    KExpr::var("m"),
+                    vec![("roleId".into(), elem_field("users", "i", "roleId"))],
+                    "n",
+                    KExpr::add(
+                        KExpr::mapget(
+                            KExpr::var("m"),
+                            vec![("roleId".into(), elem_field("users", "i", "roleId"))],
+                            "n",
+                            KExpr::int(0),
+                        ),
+                        KExpr::int(1),
+                    ),
+                ),
+            )],
+            "i",
+        ))
+        .result("m")
+        .finish();
+    let out = synthesize(&prog, &TypeEnv::new(), &SynthConfig::default()).expect("synthesis");
+
+    let s = users_schema();
+    let rel = Relation::from_records(
+        s.clone(),
+        (0..17)
+            .map(|k| Record::new(s.clone(), vec![Value::from(k), Value::from(k % 4)]))
+            .collect(),
+    )
+    .unwrap();
+    let mut env = Env::new();
+    env.bind("users", rel.clone());
+    env.bind_table("users", rel);
+
+    let run = qbs_kernel::run(&prog, env.clone()).unwrap();
+    let query_result = eval(&out.post_rhs, &env).unwrap();
+    let original = run.result.as_relation().unwrap();
+    let inferred = query_result.as_relation().unwrap();
+    assert_eq!(original.len(), inferred.len());
+    for (a, b) in original.iter().zip(inferred.iter()) {
+        assert_eq!(a.values(), b.values());
+    }
+}
+
 /// Differential check: the synthesized query evaluates to the same list as
 /// the original program on random inputs.
 #[test]

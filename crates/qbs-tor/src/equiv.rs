@@ -49,12 +49,46 @@ fn remap_pred(pred: &Pred, fields: &[FieldRef], out: &qbs_common::SchemaRef) -> 
     Some(Pred::new(atoms))
 }
 
+/// Remaps a predicate over a `Group` output into one over the group input,
+/// when every atom references only *key* columns. `σ_φ(group[spec](r)) =
+/// group[spec](σ_φ′(r))` is sound exactly then: filtering groups by key
+/// equals filtering input rows by key — surviving groups keep their contents
+/// and their first-occurrence order.
+fn remap_group_pred(pred: &Pred, spec: &crate::expr::GroupSpec) -> Option<Pred> {
+    let key_src = |fr: &FieldRef| -> Option<FieldRef> {
+        spec.keys.iter().find(|(n, _)| n.as_str() == fr.name.as_str()).map(|(_, s)| s.clone())
+    };
+    let mut atoms = Vec::with_capacity(pred.atoms().len());
+    for a in pred.atoms() {
+        match a {
+            PredAtom::Cmp { lhs, op, rhs } => {
+                let lhs = key_src(lhs)?;
+                let rhs = match rhs {
+                    Operand::Field(fr) => Operand::Field(key_src(fr)?),
+                    other => other.clone(),
+                };
+                atoms.push(PredAtom::Cmp { lhs, op: *op, rhs });
+            }
+            // A record probe spans the aggregate column; a field probe could
+            // be remapped, but `contains` against the grouped output is rare
+            // enough not to bother.
+            PredAtom::Contains { .. } => return None,
+        }
+    }
+    Some(Pred::new(atoms))
+}
+
 fn rewrite_once(e: &TorExpr, tenv: &TypeEnv) -> Option<TorExpr> {
     match e {
         // σ_φ2(σ_φ1(r)) → σ_φ1∧φ2(r)
         TorExpr::Select(p2, inner) => match &**inner {
             TorExpr::Select(p1, r) => {
                 Some(TorExpr::select(p1.clone().and_pred(p2), (**r).clone()))
+            }
+            // σ_φ(group[spec](r)) → group[spec](σ_φ′(r)) for key-only φ
+            TorExpr::Group(spec, r) => {
+                let p = remap_group_pred(p2, spec)?;
+                Some(TorExpr::group(spec.clone(), TorExpr::select(p, (**r).clone())))
             }
             // σ_φ(π_ℓ(r)) → π_ℓ(σ_φ′(r))
             TorExpr::Proj(fields, r) => {
@@ -151,7 +185,51 @@ fn map_children(e: &TorExpr, tenv: &TypeEnv) -> Option<TorExpr> {
             }
             changed.then_some(RecLit(out))
         }
+        Group(spec, x) => rec(x).map(|x| Group(spec.clone(), Box::new(x))),
+        MapGet { map, keys, val_field, default } => {
+            let (nm, nk, nd) = (rec(map), map_keys(keys, tenv), rec(default));
+            if nm.is_none() && nk.is_none() && nd.is_none() {
+                return None;
+            }
+            Some(MapGet {
+                map: Box::new(nm.unwrap_or_else(|| (**map).clone())),
+                keys: nk.unwrap_or_else(|| keys.clone()),
+                val_field: val_field.clone(),
+                default: Box::new(nd.unwrap_or_else(|| (**default).clone())),
+            })
+        }
+        MapPut { map, keys, val_field, val } => {
+            let (nm, nk, nv) = (rec(map), map_keys(keys, tenv), rec(val));
+            if nm.is_none() && nk.is_none() && nv.is_none() {
+                return None;
+            }
+            Some(MapPut {
+                map: Box::new(nm.unwrap_or_else(|| (**map).clone())),
+                keys: nk.unwrap_or_else(|| keys.clone()),
+                val_field: val_field.clone(),
+                val: Box::new(nv.unwrap_or_else(|| (**val).clone())),
+            })
+        }
     }
+}
+
+/// Normalizes the probe expressions of a `MapGet`/`MapPut` key list.
+fn map_keys(
+    keys: &[(qbs_common::Ident, TorExpr)],
+    tenv: &TypeEnv,
+) -> Option<Vec<(qbs_common::Ident, TorExpr)>> {
+    let mut changed = false;
+    let mut out = Vec::with_capacity(keys.len());
+    for (n, e) in keys {
+        match normalize_inner(e, tenv) {
+            Some(ne) => {
+                changed = true;
+                out.push((n.clone(), ne));
+            }
+            None => out.push((n.clone(), e.clone())),
+        }
+    }
+    changed.then_some(out)
 }
 
 fn two(

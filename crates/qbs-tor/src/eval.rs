@@ -9,9 +9,10 @@
 //!   against the inferred TOR postcondition and the generated SQL.
 
 use crate::env::{DynValue, Env};
-use crate::expr::{AggKind, BinOp, QuerySpec, TorExpr};
+use crate::expr::{AggKind, BinOp, GroupSpec, QuerySpec, TorExpr};
 use crate::pred::{JoinPred, Operand, Pred, PredAtom, Probe};
 use qbs_common::{Record, Relation, Schema, Value};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Errors raised during evaluation.
@@ -184,6 +185,115 @@ fn eval_agg(kind: AggKind, rel: &Relation) -> Result<Value> {
         AggKind::Min => nums.fold(i64::MAX, i64::min),
         AggKind::Count => unreachable!("handled above"),
     }))
+}
+
+/// Accumulator for one group of [`TorExpr::Group`].
+struct GroupAcc {
+    key: Vec<Value>,
+    acc: i64,
+}
+
+fn eval_group(spec: &GroupSpec, rel: &Relation, env: &Env) -> Result<Relation> {
+    let _ = env;
+    let schema = rel.schema();
+    let key_idx: Vec<usize> = spec
+        .keys
+        .iter()
+        .map(|(_, src)| schema.index_of(src))
+        .collect::<std::result::Result<_, _>>()?;
+    let agg_idx = match (&spec.agg_field, spec.agg) {
+        (_, AggKind::Count) => None,
+        (Some(fr), _) => {
+            let i = schema.index_of(fr)?;
+            if schema.fields()[i].ty != qbs_common::FieldType::Int {
+                return Err(EvalError::BadAggregate(spec.agg.sql()));
+            }
+            Some(i)
+        }
+        (None, _) => return Err(EvalError::BadAggregate(spec.agg.sql())),
+    };
+    let mut out = Schema::anonymous();
+    for ((name, _), &i) in spec.keys.iter().zip(&key_idx) {
+        out = out.field(name.as_str(), schema.fields()[i].ty);
+    }
+    out = out.field(spec.val_name.as_str(), qbs_common::FieldType::Int);
+    let out = out.finish();
+
+    // First-occurrence key order: the axiom-level semantics match the
+    // engine's HashAggregate operator.
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<GroupAcc> = Vec::new();
+    for rec in rel {
+        let key: Vec<Value> = key_idx.iter().map(|&i| rec.value_at(i).clone()).collect();
+        let v = match agg_idx {
+            None => 0,
+            Some(i) => match rec.value_at(i) {
+                Value::Int(n) => *n,
+                _ => return Err(EvalError::BadAggregate(spec.agg.sql())),
+            },
+        };
+        match index.get(&key) {
+            Some(&g) => {
+                let acc = &mut groups[g].acc;
+                *acc = match spec.agg {
+                    AggKind::Count => acc.wrapping_add(1),
+                    AggKind::Sum => acc.wrapping_add(v),
+                    AggKind::Max => (*acc).max(v),
+                    AggKind::Min => (*acc).min(v),
+                };
+            }
+            None => {
+                index.insert(key.clone(), groups.len());
+                let acc = if spec.agg == AggKind::Count { 1 } else { v };
+                groups.push(GroupAcc { key, acc });
+            }
+        }
+    }
+    let rows = groups
+        .into_iter()
+        .map(|g| {
+            let mut values = g.key;
+            values.push(Value::from(g.acc));
+            Record::new(out.clone(), values)
+        })
+        .collect();
+    Relation::from_records(out, rows).map_err(EvalError::from)
+}
+
+/// Evaluates the key probes of a `MapGet`/`MapPut` and finds the first
+/// matching entry, returning `(map, key values, matching index)`.
+fn map_probe(
+    map: &TorExpr,
+    keys: &[(qbs_common::Ident, TorExpr)],
+    env: &Env,
+    context: &'static str,
+) -> Result<(Relation, Vec<Value>, Option<usize>)> {
+    let rel = want_rel(eval(map, env)?, context)?;
+    let mut probes = Vec::with_capacity(keys.len());
+    for (_, e) in keys {
+        match eval(e, env)? {
+            DynValue::Scalar(v) => probes.push(v),
+            other => {
+                return Err(EvalError::Kind {
+                    context,
+                    expected: "scalar",
+                    found: other.kind(),
+                })
+            }
+        }
+    }
+    // The untyped empty map matches nothing.
+    if rel.schema().arity() == 0 {
+        return Ok((rel, probes, None));
+    }
+    let mut key_idx = Vec::with_capacity(keys.len());
+    for (name, _) in keys {
+        key_idx.push(rel.schema().index_of(&qbs_common::FieldRef::from(name.as_str()))?);
+    }
+    let found = rel
+        .iter()
+        .position(|rec| key_idx.iter().zip(&probes).all(|(&i, p)| rec.value_at(i) == p));
+    Ok((rel, probes, found))
 }
 
 /// Evaluates a TOR expression in `env`.
@@ -440,6 +550,91 @@ pub fn eval(e: &TorExpr, env: &Env) -> Result<DynValue> {
             }
             Ok(DynValue::Rec(Record::new(b.finish(), values)))
         }
+        Group(spec, r) => {
+            let rel = want_rel(eval(r, env)?, "group")?;
+            Ok(DynValue::Rel(eval_group(spec, &rel, env)?))
+        }
+        MapGet { map, keys, val_field, default } => {
+            let (rel, _, found) = map_probe(map, keys, env, "mapget")?;
+            match found {
+                Some(i) => {
+                    let rec = rel.get(i).expect("probe index in range");
+                    Ok(DynValue::Scalar(
+                        rec.get(&qbs_common::FieldRef::from(val_field.as_str()))?.clone(),
+                    ))
+                }
+                None => match eval(default, env)? {
+                    DynValue::Scalar(v) => Ok(DynValue::Scalar(v)),
+                    other => Err(EvalError::Kind {
+                        context: "mapget default",
+                        expected: "scalar",
+                        found: other.kind(),
+                    }),
+                },
+            }
+        }
+        MapPut { map, keys, val_field, val } => {
+            let (rel, probes, found) = map_probe(map, keys, env, "mapput")?;
+            let v = match eval(val, env)? {
+                DynValue::Scalar(v) => v,
+                other => {
+                    return Err(EvalError::Kind {
+                        context: "mapput value",
+                        expected: "scalar",
+                        found: other.kind(),
+                    })
+                }
+            };
+            match found {
+                Some(hit) => {
+                    let schema = rel.schema().clone();
+                    let vi =
+                        schema.index_of(&qbs_common::FieldRef::from(val_field.as_str()))?;
+                    let rows = rel
+                        .iter()
+                        .enumerate()
+                        .map(|(i, rec)| {
+                            if i == hit {
+                                let mut values = rec.values().to_vec();
+                                values[vi] = v.clone();
+                                Record::new(schema.clone(), values)
+                            } else {
+                                rec.clone()
+                            }
+                        })
+                        .collect();
+                    Ok(DynValue::Rel(Relation::from_records(schema, rows)?))
+                }
+                None => {
+                    // Fresh entry: adopt (or build) the entry schema.
+                    let schema = if rel.schema().arity() == 0 {
+                        let mut b = Schema::anonymous();
+                        for ((name, _), pv) in keys.iter().zip(&probes) {
+                            b = b.field(name.as_str(), field_type_of(pv));
+                        }
+                        b.field(val_field.as_str(), field_type_of(&v)).finish()
+                    } else {
+                        rel.schema().clone()
+                    };
+                    let mut values = probes;
+                    values.push(v);
+                    let rec = Record::new(schema.clone(), values);
+                    if rel.schema().arity() == 0 {
+                        Ok(DynValue::Rel(Relation::from_records(schema, vec![rec])?))
+                    } else {
+                        Ok(DynValue::Rel(rel.append(rec)?))
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn field_type_of(v: &Value) -> qbs_common::FieldType {
+    match v {
+        Value::Bool(_) => qbs_common::FieldType::Bool,
+        Value::Int(_) => qbs_common::FieldType::Int,
+        Value::Str(_) => qbs_common::FieldType::Str,
     }
 }
 

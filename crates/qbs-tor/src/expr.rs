@@ -177,6 +177,58 @@ impl QuerySpec {
     }
 }
 
+/// Specification of a grouped aggregation: the key fields of the input
+/// relation, the aggregate applied per group, and the output column names.
+///
+/// `Group` extends the paper's TOR with the per-key map idiom that ORM hot
+/// loops build (`counts[r.author] += 1`): the output relation has one record
+/// per distinct key combination, in first-occurrence order of the input,
+/// with the key columns renamed to `keys[i].0` and the aggregate in
+/// `val_name`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GroupSpec {
+    /// `(output name, source field)` pairs forming the group key.
+    pub keys: Vec<(Ident, FieldRef)>,
+    /// The aggregate applied to each group.
+    pub agg: AggKind,
+    /// The aggregated source field (`None` for `Count`).
+    pub agg_field: Option<FieldRef>,
+    /// Output column name of the aggregate.
+    pub val_name: Ident,
+}
+
+impl GroupSpec {
+    /// A `Count` grouping over a single key.
+    pub fn count(
+        key_out: impl Into<Ident>,
+        key_src: impl Into<FieldRef>,
+        val: impl Into<Ident>,
+    ) -> GroupSpec {
+        GroupSpec {
+            keys: vec![(key_out.into(), key_src.into())],
+            agg: AggKind::Count,
+            agg_field: None,
+            val_name: val.into(),
+        }
+    }
+
+    /// A `Sum`/`Min`/`Max` grouping over a single key.
+    pub fn fold(
+        agg: AggKind,
+        key_out: impl Into<Ident>,
+        key_src: impl Into<FieldRef>,
+        agg_field: impl Into<FieldRef>,
+        val: impl Into<Ident>,
+    ) -> GroupSpec {
+        GroupSpec {
+            keys: vec![(key_out.into(), key_src.into())],
+            agg,
+            agg_field: Some(agg_field.into()),
+            val_name: val.into(),
+        }
+    }
+}
+
 /// A TOR expression (paper Fig. 6).
 ///
 /// Expressions denote scalars, records, or ordered relations; [`crate::infer_type`]
@@ -229,6 +281,34 @@ pub enum TorExpr {
     /// Record construction `{fi = ei}` (paper Fig. 6 expression grammar).
     /// Appears in invariants when loops append freshly built records.
     RecLit(Vec<(Ident, TorExpr)>),
+    /// `group[spec](e)` — grouped aggregation in first-occurrence key order.
+    Group(GroupSpec, Box<TorExpr>),
+    /// `mapget` — the value field of the first record of `map` whose key
+    /// fields equal the probe expressions, or `default` when no record
+    /// matches. Mirrors the kernel's per-key map read.
+    MapGet {
+        /// The map, represented as an entry relation.
+        map: Box<TorExpr>,
+        /// `(key field, probe expression)` pairs; all must match.
+        keys: Vec<(Ident, TorExpr)>,
+        /// The field read from the matching record.
+        val_field: Ident,
+        /// Returned when no record matches.
+        default: Box<TorExpr>,
+    },
+    /// `mapput` — replace the value field of the record of `map` matching
+    /// the key probes, or append a fresh `{keys…, val}` record. Mirrors the
+    /// kernel's per-key map write; entry order is insertion order.
+    MapPut {
+        /// The map, represented as an entry relation.
+        map: Box<TorExpr>,
+        /// `(key field, probe expression)` pairs identifying the entry.
+        keys: Vec<(Ident, TorExpr)>,
+        /// The field written on the matching (or fresh) record.
+        val_field: Ident,
+        /// The written value.
+        val: Box<TorExpr>,
+    },
 }
 
 impl TorExpr {
@@ -328,14 +408,29 @@ impl TorExpr {
         TorExpr::binary(BinOp::Add, a, b)
     }
 
+    /// `group[spec](e)`.
+    pub fn group(spec: GroupSpec, e: TorExpr) -> TorExpr {
+        TorExpr::Group(spec, Box::new(e))
+    }
+
     /// The number of relational operators in the expression — the paper's
     /// measure of template complexity (Sec. 4.5 grows this incrementally).
     pub fn relational_ops(&self) -> usize {
         use TorExpr::*;
         let inner: usize = self.children().iter().map(|c| c.relational_ops()).sum();
         let own = match self {
-            Proj(..) | Select(..) | Join(..) | Agg(..) | Sort(..) | Unique(..) | Top(..)
-            | Get(..) | Contains(..) => 1,
+            Proj(..)
+            | Select(..)
+            | Join(..)
+            | Agg(..)
+            | Sort(..)
+            | Unique(..)
+            | Top(..)
+            | Get(..)
+            | Contains(..)
+            | Group(..)
+            | MapGet { .. }
+            | MapPut { .. } => 1,
             _ => 0,
         };
         own + inner
@@ -364,6 +459,19 @@ impl TorExpr {
                 vec![a, b]
             }
             RecLit(fields) => fields.iter().map(|(_, e)| e).collect(),
+            Group(_, e) => vec![e],
+            MapGet { map, keys, default, .. } => {
+                let mut v: Vec<&TorExpr> = vec![map];
+                v.extend(keys.iter().map(|(_, e)| e));
+                v.push(default);
+                v
+            }
+            MapPut { map, keys, val, .. } => {
+                let mut v: Vec<&TorExpr> = vec![map];
+                v.extend(keys.iter().map(|(_, e)| e));
+                v.push(val);
+                v
+            }
         }
     }
 
@@ -440,6 +548,40 @@ impl fmt::Display for TorExpr {
                     write!(f, "{n} = {e}")?;
                 }
                 write!(f, "}}")
+            }
+            Group(spec, e) => {
+                write!(f, "group[")?;
+                for (i, (n, src)) in spec.keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{n}={src}")?;
+                }
+                write!(f, "; {}", spec.agg)?;
+                if let Some(fr) = &spec.agg_field {
+                    write!(f, "({fr})")?;
+                }
+                write!(f, "→{}]({e})", spec.val_name)
+            }
+            MapGet { map, keys, val_field, default } => {
+                write!(f, "mapget[")?;
+                for (i, (n, e)) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{n}={e}")?;
+                }
+                write!(f, "; {val_field} else {default}]({map})")
+            }
+            MapPut { map, keys, val_field, val } => {
+                write!(f, "mapput[")?;
+                for (i, (n, e)) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{n}={e}")?;
+                }
+                write!(f, "; {val_field} := {val}]({map})")
             }
         }
     }

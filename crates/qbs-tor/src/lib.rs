@@ -45,10 +45,10 @@ mod ty;
 pub use env::{DynValue, Env};
 pub use equiv::normalize;
 pub use eval::{eval, EvalError};
-pub use expr::{AggKind, BinOp, CmpOp, QuerySpec, TorExpr};
+pub use expr::{AggKind, BinOp, CmpOp, GroupSpec, QuerySpec, TorExpr};
 pub use pred::{JoinAtom, JoinPred, Operand, Pred, PredAtom, Probe};
 pub use trans::{
-    order_fields, trans, trans_rel, BaseExpr, PosAtom, PosOperand, PosProbe, ScalarQuery,
-    ScalarRhs, SortedExpr, TransError, TransExpr, TransResult, ROWID,
+    order_fields, trans, trans_rel, BaseExpr, GroupedExpr, PosAtom, PosOperand, PosProbe,
+    ScalarQuery, ScalarRhs, SortedExpr, TransError, TransExpr, TransResult, ROWID,
 };
 pub use ty::{infer_type, TorType, TypeEnv, TypeError};

@@ -23,7 +23,7 @@
 //! limit by nesting the `top` as a sub-query base — still within the
 //! grammar, and semantics-preserving.
 
-use crate::expr::{AggKind, BinOp, CmpOp, QuerySpec, TorExpr};
+use crate::expr::{AggKind, BinOp, CmpOp, GroupSpec, QuerySpec, TorExpr};
 use crate::pred::{Operand, Pred, PredAtom, Probe};
 use crate::ty::{infer_type, TorType, TypeEnv, TypeError};
 use qbs_common::{CommonError, Field, FieldRef, Ident, Schema, SchemaRef, Value};
@@ -180,6 +180,40 @@ impl SortedExpr {
     }
 }
 
+/// A grouped aggregation in translatable form: `GROUP BY` over a sorted
+/// input, with `HAVING` conjuncts over the grouped output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupedExpr {
+    /// The grouped input; its filter becomes `WHERE`.
+    pub input: SortedExpr,
+    /// Base-schema positions of the group key columns.
+    pub keys: Vec<usize>,
+    /// Output names of the key columns.
+    pub key_names: Vec<Ident>,
+    /// The per-group aggregate.
+    pub agg: AggKind,
+    /// Base-schema position of the aggregated column (`None` for `Count`).
+    pub agg_col: Option<usize>,
+    /// Output name of the aggregate column.
+    pub val_name: Ident,
+    /// `HAVING` conjuncts; positions index the grouped output layout
+    /// (`keys…, val`).
+    pub having: Vec<PosAtom>,
+}
+
+impl GroupedExpr {
+    /// Schema of the grouped output: key columns (renamed) then the
+    /// aggregate value.
+    pub fn output_schema(&self) -> SchemaRef {
+        let base = self.input.base.schema();
+        let mut b = Schema::anonymous();
+        for (&p, name) in self.keys.iter().zip(&self.key_names) {
+            b = b.field(name.as_str(), base.fields()[p].ty);
+        }
+        b.field(self.val_name.as_str(), qbs_common::FieldType::Int).finish()
+    }
+}
+
 /// A translatable relation-valued expression.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TransExpr {
@@ -189,6 +223,8 @@ pub enum TransExpr {
     Top(SortedExpr, Box<TorExpr>),
     /// `unique(t)` — SQL `SELECT DISTINCT`, outermost level only.
     Unique(Box<TransExpr>),
+    /// `group[spec](s)` — SQL `GROUP BY` (with optional `HAVING`).
+    Grouped(GroupedExpr),
 }
 
 impl TransExpr {
@@ -197,6 +233,7 @@ impl TransExpr {
         match self {
             TransExpr::Sorted(s) | TransExpr::Top(s, _) => s.output_schema(),
             TransExpr::Unique(t) => t.output_schema(),
+            TransExpr::Grouped(g) => g.output_schema(),
         }
     }
 }
@@ -282,6 +319,9 @@ fn to_sorted(t: TransExpr) -> Result<SortedExpr> {
         TransExpr::Unique(_) => {
             not_translatable("unique may only appear at the outermost level")
         }
+        TransExpr::Grouped(_) => {
+            not_translatable("grouped output may only be filtered (HAVING) or returned")
+        }
     }
 }
 
@@ -308,6 +348,34 @@ fn shift_atoms(atoms: Vec<PosAtom>, by: usize) -> Vec<PosAtom> {
             }
         })
         .collect()
+}
+
+/// Resolves a [`GroupSpec`] against the element schema of its input,
+/// producing base-schema key/aggregate positions through the input's
+/// projection.
+fn lower_group(spec: &GroupSpec, elem: &SchemaRef, s: SortedExpr) -> Result<GroupedExpr> {
+    let mut keys = Vec::with_capacity(spec.keys.len());
+    let mut key_names = Vec::with_capacity(spec.keys.len());
+    for (name, src) in &spec.keys {
+        keys.push(s.proj[elem.index_of(src)?]);
+        key_names.push(name.clone());
+    }
+    let agg_col = match (spec.agg, &spec.agg_field) {
+        (AggKind::Count, _) => None,
+        (_, Some(fr)) => Some(s.proj[elem.index_of(fr)?]),
+        (_, None) => {
+            return not_translatable(format!("group {} without an aggregated field", spec.agg))
+        }
+    };
+    Ok(GroupedExpr {
+        input: s,
+        keys,
+        key_names,
+        agg: spec.agg,
+        agg_col,
+        val_name: spec.val_name.clone(),
+        having: Vec::new(),
+    })
 }
 
 /// Translates a relation-valued TOR expression into translatable form
@@ -341,6 +409,9 @@ pub fn trans_rel(e: &TorExpr, tenv: &TypeEnv) -> Result<TransExpr> {
                 TransExpr::Unique(_) => {
                     not_translatable("projection over unique is outside the grammar")
                 }
+                TransExpr::Grouped(_) => {
+                    not_translatable("projection over a grouped output is outside the grammar")
+                }
             }
         }
         TorExpr::Select(pred, inner) => {
@@ -366,6 +437,15 @@ pub fn trans_rel(e: &TorExpr, tenv: &TypeEnv) -> Result<TransExpr> {
                 }
                 TransExpr::Unique(_) => {
                     not_translatable("selection over unique is outside the grammar")
+                }
+                // σ over a grouped output is HAVING: atoms resolve against
+                // the grouped layout (keys…, val).
+                TransExpr::Grouped(mut g) => {
+                    let out = g.output_schema();
+                    let identity: Vec<usize> = (0..out.arity()).collect();
+                    let atoms = lower_pred(pred, &out, &identity, tenv)?;
+                    g.having.extend(atoms);
+                    Ok(TransExpr::Grouped(g))
                 }
             }
         }
@@ -411,6 +491,9 @@ pub fn trans_rel(e: &TorExpr, tenv: &TypeEnv) -> Result<TransExpr> {
                 }
             }
             TransExpr::Unique(_) => not_translatable("top over unique is outside the grammar"),
+            TransExpr::Grouped(_) => {
+                not_translatable("top over a grouped output is outside the grammar")
+            }
         },
         TorExpr::Sort(fields, inner) => {
             let elem = match infer_type(inner, tenv)? {
@@ -435,9 +518,21 @@ pub fn trans_rel(e: &TorExpr, tenv: &TypeEnv) -> Result<TransExpr> {
                 TransExpr::Unique(_) => {
                     not_translatable("sort over unique is outside the grammar")
                 }
+                TransExpr::Grouped(_) => {
+                    not_translatable("sort over a grouped output is outside the grammar")
+                }
             }
         }
         TorExpr::Unique(inner) => Ok(TransExpr::Unique(Box::new(trans_rel(inner, tenv)?))),
+        TorExpr::Group(spec, inner) => {
+            let elem = match infer_type(inner, tenv)? {
+                TorType::Rel(s) => s,
+                other => return not_translatable(format!("group over non-relation ({other})")),
+            };
+            let s = to_sorted(trans_rel(inner, tenv)?)?;
+            let grouped = lower_group(spec, &elem, s)?;
+            Ok(TransExpr::Grouped(grouped))
+        }
         TorExpr::Append(..) | TorExpr::Concat(..) => {
             not_translatable("append/concatenation has no order-preserving SQL equivalent")
         }
@@ -542,6 +637,10 @@ pub fn order_fields(t: &TransExpr) -> Vec<FieldRef> {
     match t {
         TransExpr::Sorted(s) | TransExpr::Top(s, _) => sorted_order(s),
         TransExpr::Unique(inner) => order_fields(inner),
+        // Grouped output has no rowid-derived order; like aggregates, it
+        // contributes nothing (the engine's hash aggregate fixes the order
+        // to first key occurrence, compared as a multiset downstream).
+        TransExpr::Grouped(_) => Vec::new(),
     }
 }
 

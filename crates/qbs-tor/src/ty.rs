@@ -5,7 +5,7 @@
 //! which prunes the template space dramatically (paper Sec. 4.3 restricts
 //! candidate expressions to "the same static type as lv").
 
-use crate::expr::{AggKind, BinOp, CmpOp, QuerySpec, TorExpr};
+use crate::expr::{AggKind, BinOp, CmpOp, GroupSpec, QuerySpec, TorExpr};
 use crate::pred::{Operand, Pred, PredAtom, Probe};
 use qbs_common::{FieldType, Ident, Schema, SchemaRef};
 use std::collections::BTreeMap;
@@ -408,7 +408,116 @@ pub fn infer_type(e: &TorExpr, tenv: &TypeEnv) -> Result<TorType, TypeError> {
             }
             Ok(TorType::Record(b.finish()))
         }
+        Group(spec, r) => Ok(TorType::Rel(group_schema(spec, &rel_of(r, tenv, "group")?)?)),
+        MapGet { map, keys, val_field, default } => {
+            let s = rel_of(map, tenv, "mapget")?;
+            check_map_keys(keys, &s, tenv, "mapget")?;
+            let dty = infer_type(default, tenv)?;
+            if !dty.is_scalar() {
+                return Err(mismatch("mapget default", "scalar", &dty));
+            }
+            if s.arity() > 0 {
+                let vty = TorType::from_field(s.field(&val_field.as_str().into())?.ty);
+                if vty != dty {
+                    return Err(mismatch("mapget default", &vty.to_string(), &dty));
+                }
+                return Ok(vty);
+            }
+            Ok(dty)
+        }
+        MapPut { map, keys, val_field, val } => {
+            let s = rel_of(map, tenv, "mapput")?;
+            check_map_keys(keys, &s, tenv, "mapput")?;
+            let vty = infer_type(val, tenv)?;
+            if !vty.is_scalar() {
+                return Err(mismatch("mapput value", "scalar", &vty));
+            }
+            if s.arity() > 0 {
+                let fty = TorType::from_field(s.field(&val_field.as_str().into())?.ty);
+                if fty != vty {
+                    return Err(mismatch("mapput value", &fty.to_string(), &vty));
+                }
+                return Ok(TorType::Rel(s));
+            }
+            // Writing to the untyped empty map determines the entry schema.
+            let mut b = Schema::anonymous();
+            for (name, ke) in keys {
+                let kt = match infer_type(ke, tenv)? {
+                    TorType::Bool => FieldType::Bool,
+                    TorType::Int => FieldType::Int,
+                    TorType::Str => FieldType::Str,
+                    other => return Err(mismatch("mapput key", "scalar", &other)),
+                };
+                b = b.field(name.as_str(), kt);
+            }
+            let vt = match vty {
+                TorType::Bool => FieldType::Bool,
+                TorType::Int => FieldType::Int,
+                TorType::Str => FieldType::Str,
+                _ => unreachable!("scalar checked above"),
+            };
+            Ok(TorType::Rel(b.field(val_field.as_str(), vt).finish()))
+        }
     }
+}
+
+/// The output schema of a [`TorExpr::Group`] over input schema `input`.
+pub(crate) fn group_schema(
+    spec: &GroupSpec,
+    input: &SchemaRef,
+) -> Result<SchemaRef, TypeError> {
+    let mut b = Schema::anonymous();
+    for (name, src) in &spec.keys {
+        b = b.field(name.as_str(), input.field(src)?.ty);
+    }
+    match (spec.agg, &spec.agg_field) {
+        (AggKind::Count, _) => {}
+        (_, Some(fr)) => {
+            if input.field(fr)?.ty != FieldType::Int {
+                return Err(TypeError::Mismatch {
+                    context: format!("group {}", spec.agg),
+                    expected: "int field".to_string(),
+                    found: input.field(fr)?.ty.to_string(),
+                });
+            }
+        }
+        (_, None) => {
+            return Err(TypeError::Mismatch {
+                context: format!("group {}", spec.agg),
+                expected: "an aggregated field".to_string(),
+                found: "none".to_string(),
+            })
+        }
+    }
+    Ok(b.field(spec.val_name.as_str(), FieldType::Int).finish())
+}
+
+/// Checks `MapGet`/`MapPut` key probes: each key field must exist in the
+/// entry schema (when known) and its probe expression must be a matching
+/// scalar.
+fn check_map_keys(
+    keys: &[(Ident, TorExpr)],
+    entry: &SchemaRef,
+    tenv: &TypeEnv,
+    context: &str,
+) -> Result<(), TypeError> {
+    for (name, ke) in keys {
+        let kty = infer_type(ke, tenv)?;
+        if !kty.is_scalar() {
+            return Err(mismatch(&format!("{context} key `{name}`"), "scalar", &kty));
+        }
+        if entry.arity() > 0 {
+            let fty = TorType::from_field(entry.field(&name.as_str().into())?.ty);
+            if fty != kty {
+                return Err(mismatch(
+                    &format!("{context} key `{name}`"),
+                    &fty.to_string(),
+                    &kty,
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -72,6 +72,24 @@ pub fn kexpr_to_tor(e: &KExpr) -> Result<TorExpr, ConvertError> {
             TorExpr::Contains(Box::new(kexpr_to_tor(x)?), Box::new(kexpr_to_tor(r)?))
         }
         KExpr::Sort(fields, r) => TorExpr::Sort(fields.clone(), Box::new(kexpr_to_tor(r)?)),
+        KExpr::MapGet { map, keys, val_field, default } => TorExpr::MapGet {
+            map: Box::new(kexpr_to_tor(map)?),
+            keys: keys
+                .iter()
+                .map(|(n, ke)| Ok((n.clone(), kexpr_to_tor(ke)?)))
+                .collect::<Result<Vec<_>, ConvertError>>()?,
+            val_field: val_field.clone(),
+            default: Box::new(kexpr_to_tor(default)?),
+        },
+        KExpr::MapPut { map, keys, val_field, val } => TorExpr::MapPut {
+            map: Box::new(kexpr_to_tor(map)?),
+            keys: keys
+                .iter()
+                .map(|(n, ke)| Ok((n.clone(), kexpr_to_tor(ke)?)))
+                .collect::<Result<Vec<_>, ConvertError>>()?,
+            val_field: val_field.clone(),
+            val: Box::new(kexpr_to_tor(val)?),
+        },
         // In-place removal has no TOR counterpart (category N fails).
         KExpr::Remove(..) => {
             return Err(ConvertError {
@@ -99,6 +117,42 @@ mod tests {
         assert_eq!(
             kexpr_to_tor(&k).unwrap(),
             TorExpr::contains(TorExpr::var("x"), TorExpr::var("xs"))
+        );
+    }
+
+    #[test]
+    fn map_reads_and_writes_convert_structurally() {
+        let k = KExpr::mapput(
+            KExpr::var("m"),
+            vec![("k".into(), KExpr::var("x"))],
+            "n",
+            KExpr::add(
+                KExpr::mapget(
+                    KExpr::var("m"),
+                    vec![("k".into(), KExpr::var("x"))],
+                    "n",
+                    KExpr::int(0),
+                ),
+                KExpr::int(1),
+            ),
+        );
+        let t = kexpr_to_tor(&k).unwrap();
+        assert_eq!(
+            t,
+            TorExpr::MapPut {
+                map: Box::new(TorExpr::var("m")),
+                keys: vec![("k".into(), TorExpr::var("x"))],
+                val_field: "n".into(),
+                val: Box::new(TorExpr::add(
+                    TorExpr::MapGet {
+                        map: Box::new(TorExpr::var("m")),
+                        keys: vec![("k".into(), TorExpr::var("x"))],
+                        val_field: "n".into(),
+                        default: Box::new(TorExpr::int(0)),
+                    },
+                    TorExpr::int(1),
+                )),
+            }
         );
     }
 

@@ -179,6 +179,19 @@ pub fn subst_expr(e: &TorExpr, var: &Ident, expr: &TorExpr) -> TorExpr {
         RecLit(fields) => TorExpr::RecLit(
             fields.iter().map(|(n, fe)| (n.clone(), subst_expr(fe, var, expr))).collect(),
         ),
+        Group(spec, x) => TorExpr::Group(spec.clone(), Box::new(subst_expr(x, var, expr))),
+        MapGet { map, keys, val_field, default } => TorExpr::MapGet {
+            map: Box::new(subst_expr(map, var, expr)),
+            keys: keys.iter().map(|(n, k)| (n.clone(), subst_expr(k, var, expr))).collect(),
+            val_field: val_field.clone(),
+            default: Box::new(subst_expr(default, var, expr)),
+        },
+        MapPut { map, keys, val_field, val } => TorExpr::MapPut {
+            map: Box::new(subst_expr(map, var, expr)),
+            keys: keys.iter().map(|(n, k)| (n.clone(), subst_expr(k, var, expr))).collect(),
+            val_field: val_field.clone(),
+            val: Box::new(subst_expr(val, var, expr)),
+        },
     }
 }
 

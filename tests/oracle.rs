@@ -4,7 +4,7 @@
 //! verdicts.
 
 use qbs::FragmentStatus;
-use qbs_batch::{corpus_inputs, BatchConfig, BatchRunner, OracleConfig};
+use qbs_batch::{corpus_inputs, grouped_inputs, BatchConfig, BatchRunner, OracleConfig};
 use qbs_oracle::OracleVerdict;
 
 #[test]
@@ -42,6 +42,46 @@ fn whole_corpus_agrees_on_three_seeded_databases() {
                 );
             }
             _ => assert!(fr.verdicts.is_empty(), "{}", fr.method),
+        }
+    }
+}
+
+#[test]
+fn grouped_fragments_synthesize_group_by_and_agree_on_three_seeds() {
+    // The per-key-map fragments (ids 50+) exercise the grouped-aggregation
+    // path end-to-end: map-accumulator loop → TOR Group → GROUP BY SQL,
+    // with zero Mismatch across three differently seeded databases.
+    let runner = BatchRunner::new(BatchConfig::new());
+    let config = OracleConfig::default().with_db_seeds(vec![1, 2, 3]);
+    let inputs = grouped_inputs();
+    assert!(inputs.len() >= 4, "at least four per-key-map fragments");
+    let report = runner.run_oracle(&inputs, &config);
+
+    let counts = report.counts();
+    assert_eq!(counts.translated, inputs.len(), "{report}");
+
+    let summary = report.oracle.as_ref().expect("oracle summary");
+    assert_eq!(summary.counts.total, inputs.len() * 3);
+    assert_eq!(summary.counts.agree, inputs.len() * 3, "{report}");
+    assert_eq!(summary.counts.mismatch, 0, "{report}");
+
+    for fr in &report.fragments {
+        match &fr.status {
+            FragmentStatus::Translated { sql, .. } => {
+                let rendered = sql.to_string();
+                assert!(
+                    rendered.contains("GROUP BY"),
+                    "{}: expected grouped SQL, got {rendered}",
+                    fr.method
+                );
+                assert!(
+                    fr.verdicts.iter().all(OracleVerdict::is_agree),
+                    "{}: {:?}",
+                    fr.method,
+                    fr.verdicts
+                );
+            }
+            other => panic!("{}: expected Translated, got {other:?}", fr.method),
         }
     }
 }
